@@ -1,0 +1,31 @@
+//! Baselines and competing techniques from the paper's evaluation (§3–4):
+//!
+//! * [`strategies::NoPacking`] — the traditional spawning baseline
+//!   (packing degree = 1); every figure's "% improvement over no packing"
+//!   is measured against this.
+//! * [`strategies::SerialBatching`] — the intuitive alternative §1
+//!   dismisses: split the burst into smaller batches and spawn them
+//!   serially. Reduces concurrency but serializes the turnaround time.
+//! * [`strategies::Staggered`] — the latency-hiding alternative §4
+//!   mentions ("we also attempted other latency-hiding techniques such as
+//!   staggering instances"): waves spaced by a fixed delay.
+//! * [`strategies::Pywren`] — the state-of-the-art serverless workload
+//!   manager ProPack compares against in Fig. 19: instance reuse (warm
+//!   starts), dependency-load amortization, and optimized data movement,
+//!   but **no packing** — so the quadratic scheduling term survives.
+//! * [`oracle::Oracle`] — the exhaustive brute-force search over packing
+//!   degrees (§3: "We perform an exhaustive brute force search to
+//!   determine the optimal packing degree (Oracle packing degree)"), the
+//!   accuracy yardstick for ProPack's analytical model (Figs. 8, 15, 20a).
+//!
+//! All of them produce a uniform [`outcome::StrategyOutcome`] so the
+//! benchmark harness can compare service time, scaling time, and expense
+//! across techniques with one code path.
+
+pub mod oracle;
+pub mod outcome;
+pub mod strategies;
+
+pub use oracle::{Oracle, OracleObjective, OracleResult};
+pub use outcome::StrategyOutcome;
+pub use strategies::{NoPacking, Pywren, SerialBatching, Staggered, Strategy};

@@ -1,0 +1,221 @@
+//! The Oracle: exhaustive brute-force search for the optimal packing degree.
+//!
+//! §3: *"We perform an exhaustive brute force search to determine the
+//! optimal packing degree (Oracle packing degree)."* The Oracle actually
+//! runs the application at **every** feasible packing degree and picks the
+//! best by direct measurement — exactly what ProPack's analytical model
+//! exists to avoid. Figures 8, 15, and 20(a) compare ProPack's predicted
+//! degrees against these Oracle degrees.
+
+use crate::outcome::StrategyOutcome;
+use propack_platform::{BurstSpec, PlatformError, ServerlessPlatform, WorkProfile};
+use propack_stats::percentile::Percentile;
+
+/// What the Oracle optimizes, mirroring ProPack's objectives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OracleObjective {
+    /// Minimize observed service time at a figure of merit.
+    ServiceTime(Percentile),
+    /// Minimize observed expense.
+    Expense,
+    /// Minimize the joint fractional objective (Eqs. 5–7 evaluated on
+    /// observations) at the given service-time weight and figure of merit.
+    Joint {
+        /// Service-time weight `W_S`.
+        w_s: f64,
+        /// Figure of merit for the service term.
+        metric: Percentile,
+    },
+}
+
+/// Brute-force search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleResult {
+    /// The winning packing degree.
+    pub packing_degree: u32,
+    /// Outcome at the winning degree.
+    pub outcome: StrategyOutcome,
+    /// Every degree's `(degree, service, expense)` for diagnostics.
+    pub sweep: Vec<(u32, f64, f64)>,
+}
+
+/// The Oracle searcher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Oracle;
+
+impl Oracle {
+    /// Run the application at every feasible degree `1..=p_max` and return
+    /// the best by `objective`. Degrees rejected by the platform (execution
+    /// cap) are skipped, mirroring how a practitioner's search would treat
+    /// timeouts.
+    pub fn search(
+        &self,
+        platform: &dyn ServerlessPlatform,
+        work: &WorkProfile,
+        c: u32,
+        objective: OracleObjective,
+        seed: u64,
+    ) -> Result<OracleResult, PlatformError> {
+        let p_max = work.max_packing_degree(platform.limits().mem_gb);
+        let metric = match objective {
+            OracleObjective::ServiceTime(m) => m,
+            OracleObjective::Joint { metric, .. } => metric,
+            OracleObjective::Expense => Percentile::Total,
+        };
+
+        let mut candidates: Vec<(u32, StrategyOutcome)> = Vec::new();
+        let mut sweep = Vec::new();
+        for p in 1..=p_max {
+            let spec = BurstSpec::packed(work.clone(), c, p).with_seed(seed ^ (p as u64) << 20);
+            match platform.run_burst(&spec) {
+                Ok(report) => {
+                    let outcome =
+                        StrategyOutcome::from_report(format!("Oracle (P={p})"), &report);
+                    sweep.push((p, outcome.service_secs(metric), outcome.expense_usd));
+                    candidates.push((p, outcome));
+                }
+                Err(PlatformError::ExecutionTimeout { .. }) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        assert!(!candidates.is_empty(), "degree 1 must always be feasible");
+
+        let best_idx = match objective {
+            OracleObjective::ServiceTime(m) => argmin(&candidates, |o| o.service_secs(m)),
+            OracleObjective::Expense => argmin(&candidates, |o| o.expense_usd),
+            OracleObjective::Joint { w_s, metric } => {
+                let w_s = w_s.clamp(0.0, 1.0);
+                let s_best = candidates
+                    .iter()
+                    .map(|(_, o)| o.service_secs(metric))
+                    .fold(f64::INFINITY, f64::min);
+                let e_best =
+                    candidates.iter().map(|(_, o)| o.expense_usd).fold(f64::INFINITY, f64::min);
+                argmin(&candidates, |o| {
+                    w_s * (o.service_secs(metric) - s_best) / s_best
+                        + (1.0 - w_s) * (o.expense_usd - e_best) / e_best
+                })
+            }
+        };
+        let (packing_degree, outcome) = candidates.swap_remove(best_idx);
+        Ok(OracleResult { packing_degree, outcome, sweep })
+    }
+}
+
+fn argmin(
+    candidates: &[(u32, StrategyOutcome)],
+    f: impl Fn(&StrategyOutcome) -> f64,
+) -> usize {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, (_, o)) in candidates.iter().enumerate() {
+        let v = f(o);
+        if v < best.1 {
+            best = (i, v);
+        }
+    }
+    best.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propack_platform::profile::PlatformProfile;
+    use propack_platform::CloudPlatform;
+
+    fn aws() -> CloudPlatform {
+        PlatformProfile::aws_lambda().into_platform()
+    }
+
+    fn work() -> WorkProfile {
+        // Sort-like: p_max = 15 keeps the brute force cheap in tests.
+        WorkProfile::synthetic("w", 0.64, 100.0).with_contention(0.1406)
+    }
+
+    #[test]
+    fn oracle_degree_grows_with_concurrency() {
+        // Fig. 8, observation (1).
+        let platform = aws();
+        let w = work();
+        let o = Oracle;
+        let d500 = o
+            .search(&platform, &w, 500, OracleObjective::ServiceTime(Percentile::Total), 1)
+            .unwrap()
+            .packing_degree;
+        let d5000 = o
+            .search(&platform, &w, 5000, OracleObjective::ServiceTime(Percentile::Total), 1)
+            .unwrap()
+            .packing_degree;
+        assert!(d5000 > d500, "oracle degrees: {d500} → {d5000}");
+    }
+
+    #[test]
+    fn expense_oracle_packs_at_least_as_much_as_service_oracle() {
+        // Fig. 15: expense minimization favours higher degrees.
+        let platform = aws();
+        let w = work();
+        let o = Oracle;
+        let c = 2000;
+        let p_s = o
+            .search(&platform, &w, c, OracleObjective::ServiceTime(Percentile::Total), 2)
+            .unwrap()
+            .packing_degree;
+        let p_e =
+            o.search(&platform, &w, c, OracleObjective::Expense, 2).unwrap().packing_degree;
+        assert!(p_e >= p_s, "{p_e} vs {p_s}");
+    }
+
+    #[test]
+    fn joint_oracle_falls_between_extremes() {
+        // Fig. 8 / Fig. 15: the joint degree lies between the two
+        // single-objective degrees.
+        let platform = aws();
+        let w = work();
+        let o = Oracle;
+        let c = 2000;
+        let p_s = o
+            .search(&platform, &w, c, OracleObjective::ServiceTime(Percentile::Total), 3)
+            .unwrap()
+            .packing_degree;
+        let p_e =
+            o.search(&platform, &w, c, OracleObjective::Expense, 3).unwrap().packing_degree;
+        let p_j = o
+            .search(
+                &platform,
+                &w,
+                c,
+                OracleObjective::Joint { w_s: 0.5, metric: Percentile::Total },
+                3,
+            )
+            .unwrap()
+            .packing_degree;
+        assert!(p_j >= p_s.min(p_e) && p_j <= p_s.max(p_e), "{p_s} ≤ {p_j} ≤ {p_e}");
+    }
+
+    #[test]
+    fn sweep_covers_every_feasible_degree() {
+        let platform = aws();
+        let w = work();
+        let r = Oracle
+            .search(&platform, &w, 1000, OracleObjective::Expense, 4)
+            .unwrap();
+        assert_eq!(r.sweep.len(), 15);
+        assert_eq!(r.sweep[0].0, 1);
+        assert_eq!(r.sweep[14].0, 15);
+    }
+
+    #[test]
+    fn oracle_beats_or_matches_every_sweep_point() {
+        let platform = aws();
+        let w = work();
+        let r = Oracle
+            .search(&platform, &w, 1500, OracleObjective::Expense, 5)
+            .unwrap();
+        for &(p, _, expense) in &r.sweep {
+            assert!(
+                r.outcome.expense_usd <= expense + 1e-9,
+                "degree {p} beats the oracle: {expense} < {}",
+                r.outcome.expense_usd
+            );
+        }
+    }
+}

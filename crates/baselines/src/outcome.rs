@@ -1,0 +1,155 @@
+//! A technique-agnostic run outcome, so every strategy (baseline, Pywren,
+//! ProPack, Oracle) is comparable through one interface.
+
+use propack_platform::RunReport;
+use propack_stats::percentile::{quantile_sorted, Percentile};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of executing `C` functions with some strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrategyOutcome {
+    /// Strategy display name.
+    pub strategy: String,
+    /// Per-instance completion times, seconds since submission (sorted).
+    pub completion_times: Vec<f64>,
+    /// Scaling time (first provision → last instance start), seconds.
+    /// For multi-wave strategies this is the last wave-relative start plus
+    /// its wave offset — the end-to-end spawning span.
+    pub scaling_secs: f64,
+    /// Total bill in USD (including any strategy-specific overhead).
+    pub expense_usd: f64,
+    /// Billed compute in function-hours.
+    pub function_hours: f64,
+    /// Packing degree used (1 for non-packing strategies).
+    pub packing_degree: u32,
+}
+
+impl StrategyOutcome {
+    /// Build an outcome from a single platform burst report.
+    pub fn from_report(strategy: impl Into<String>, report: &RunReport) -> Self {
+        let mut completion_times: Vec<f64> =
+            report.instances.iter().map(|i| i.finished_at).collect();
+        completion_times.sort_by(f64::total_cmp);
+        StrategyOutcome {
+            strategy: strategy.into(),
+            completion_times,
+            scaling_secs: report.scaling_time(),
+            expense_usd: report.expense.total_usd(),
+            function_hours: report.function_hours(),
+            packing_degree: report.packing_degree,
+        }
+    }
+
+    /// Merge wave outcomes whose submissions were offset in time: wave `k`'s
+    /// completions (and spawning span) shift by `offsets[k]`.
+    pub fn merge_waves(
+        strategy: impl Into<String>,
+        waves: &[(f64, RunReport)],
+    ) -> Self {
+        let mut completion_times = Vec::new();
+        let mut expense_usd = 0.0;
+        let mut function_hours = 0.0;
+        let mut scaling_secs: f64 = 0.0;
+        let mut packing_degree = 1;
+        for (offset, report) in waves {
+            completion_times.extend(report.instances.iter().map(|i| i.finished_at + offset));
+            expense_usd += report.expense.total_usd();
+            function_hours += report.function_hours();
+            scaling_secs = scaling_secs.max(offset + report.scaling_time());
+            packing_degree = report.packing_degree;
+        }
+        completion_times.sort_by(f64::total_cmp);
+        StrategyOutcome {
+            strategy: strategy.into(),
+            completion_times,
+            scaling_secs,
+            expense_usd,
+            function_hours,
+            packing_degree,
+        }
+    }
+
+    /// Service time at the paper's figure of merit (total / tail / median).
+    pub fn service_secs(&self, metric: Percentile) -> f64 {
+        if self.completion_times.is_empty() {
+            return 0.0;
+        }
+        quantile_sorted(&self.completion_times, metric.quantile())
+    }
+
+    /// Total service time (all instances complete).
+    pub fn total_service_secs(&self) -> f64 {
+        self.service_secs(Percentile::Total)
+    }
+
+    /// Percentage improvement of `self` over `baseline` in a metric
+    /// extracted by `f` (positive = `self` is better/lower).
+    pub fn improvement_over(
+        &self,
+        baseline: &StrategyOutcome,
+        f: impl Fn(&StrategyOutcome) -> f64,
+    ) -> f64 {
+        let b = f(baseline);
+        if b == 0.0 {
+            return 0.0;
+        }
+        100.0 * (1.0 - f(self) / b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propack_platform::profile::PlatformProfile;
+    use propack_platform::{BurstSpec, ServerlessPlatform, WorkProfile};
+
+    fn report(c: u32, p: u32) -> RunReport {
+        PlatformProfile::aws_lambda()
+            .into_platform()
+            .run_burst(&BurstSpec::new(
+                WorkProfile::synthetic("w", 0.25, 50.0),
+                c,
+                p,
+            ))
+            .unwrap()
+    }
+
+    #[test]
+    fn from_report_round_trips_metrics() {
+        let r = report(100, 1);
+        let o = StrategyOutcome::from_report("test", &r);
+        assert_eq!(o.completion_times.len(), 100);
+        assert!((o.total_service_secs() - r.total_service_time()).abs() < 1e-12);
+        assert!((o.scaling_secs - r.scaling_time()).abs() < 1e-12);
+        assert!((o.expense_usd - r.expense.total_usd()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_waves_offsets_completions() {
+        let r1 = report(50, 1);
+        let r2 = report(50, 1);
+        let offset = r1.total_service_time();
+        let merged = StrategyOutcome::merge_waves("waves", &[(0.0, r1.clone()), (offset, r2)]);
+        assert_eq!(merged.completion_times.len(), 100);
+        assert!(merged.total_service_secs() > r1.total_service_time() * 1.9);
+        // Expense adds across waves.
+        assert!((merged.expense_usd - 2.0 * r1.expense.total_usd()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn improvement_math() {
+        let r = report(100, 1);
+        let base = StrategyOutcome::from_report("base", &r);
+        let mut better = base.clone();
+        better.expense_usd = base.expense_usd / 2.0;
+        let imp = better.improvement_over(&base, |o| o.expense_usd);
+        assert!((imp - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metric_ordering() {
+        let o = StrategyOutcome::from_report("t", &report(200, 1));
+        assert!(o.service_secs(Percentile::Total) >= o.service_secs(Percentile::Tail95));
+        assert!(o.service_secs(Percentile::Tail95) >= o.service_secs(Percentile::Median));
+    }
+}

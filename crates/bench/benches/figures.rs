@@ -1,0 +1,80 @@
+//! Criterion benches over the end-to-end experiment pipelines: how long a
+//! full figure regeneration takes (build-profile-plan-execute-compare) and
+//! the cost of the Oracle's brute force relative to ProPack's analytical
+//! planning — the trade the paper's whole contribution rests on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use propack_baselines::{Oracle, OracleObjective};
+use propack_model::optimizer::Objective;
+use propack_model::propack::{ProPackConfig, Propack};
+use propack_platform::profile::PlatformProfile;
+use propack_platform::WorkProfile;
+use propack_stats::percentile::Percentile;
+use std::hint::black_box;
+
+fn work() -> WorkProfile {
+    WorkProfile::synthetic("bench", 0.64, 100.0).with_contention(0.1406)
+}
+
+/// ProPack's full pipeline: profile + fit + plan (no execution).
+fn bench_propack_build_and_plan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    let platform = PlatformProfile::aws_lambda().into_platform();
+    g.bench_function("propack_build", |b| {
+        b.iter(|| Propack::build(&platform, black_box(&work()), &ProPackConfig::default()).unwrap())
+    });
+    let pp = Propack::build(&platform, &work(), &ProPackConfig::default()).unwrap();
+    g.bench_function("propack_plan_only", |b| {
+        b.iter(|| pp.plan(black_box(5000), Objective::default()))
+    });
+    g.finish();
+}
+
+/// The trade at the heart of the paper: analytical planning vs exhaustive
+/// search for the same decision.
+fn bench_propack_vs_oracle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("propack_vs_oracle");
+    g.sample_size(10);
+    let platform = PlatformProfile::aws_lambda().into_platform();
+    let w = work();
+    let pp = Propack::build(&platform, &w, &ProPackConfig::default()).unwrap();
+    g.bench_function("analytical_decision", |b| {
+        b.iter(|| pp.plan(black_box(2000), Objective::default()))
+    });
+    g.bench_function("oracle_brute_force", |b| {
+        b.iter(|| {
+            Oracle
+                .search(
+                    &platform,
+                    black_box(&w),
+                    2000,
+                    OracleObjective::Joint { w_s: 0.5, metric: Percentile::Total },
+                    1,
+                )
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// One complete figure regeneration (the cheapest and a mid-weight one).
+fn bench_figure_regeneration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig02_scaling_breakdown", |b| {
+        b.iter(|| propack_bench::run_experiment(black_box("fig02")).unwrap())
+    });
+    g.bench_function("fig07_expense_vs_packing", |b| {
+        b.iter(|| propack_bench::run_experiment(black_box("fig07")).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_propack_build_and_plan,
+    bench_propack_vs_oracle,
+    bench_figure_regeneration
+);
+criterion_main!(benches);

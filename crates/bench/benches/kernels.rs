@@ -1,0 +1,101 @@
+//! Criterion benches for the real workload kernels, plus the packed-
+//! executor thread-pool ablation (core quota vs unlimited).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use propack_executor::PackedExecutor;
+use propack_workloads::smith_waterman::{smith_waterman, synth_protein, GapPenalty};
+use propack_workloads::sort::{merge_sort, MapReduceSort};
+use propack_workloads::stateless::{resize_bilinear, Image};
+use propack_workloads::video::Video;
+use propack_workloads::xapian::Corpus;
+use propack_workloads::Workload;
+use std::hint::black_box;
+
+fn bench_smith_waterman(c: &mut Criterion) {
+    let mut g = c.benchmark_group("smith_waterman");
+    let gap = GapPenalty::default();
+    for &len in &[100usize, 300] {
+        let q = synth_protein(1, len);
+        let t = synth_protein(2, len);
+        g.throughput(Throughput::Elements((len * len) as u64));
+        g.bench_with_input(BenchmarkId::new("cells", len), &len, |b, _| {
+            b.iter(|| smith_waterman(black_box(&q), black_box(&t), gap))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sort");
+    for &n in &[10_000usize, 100_000] {
+        let data: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("merge_sort", n), &n, |b, _| {
+            b.iter(|| {
+                let mut v = data.clone();
+                merge_sort(&mut v);
+                v
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_resize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("resize");
+    let src = Image::synthetic(5, 512);
+    g.throughput(Throughput::Elements(256 * 256));
+    g.bench_function("bilinear_512_to_256", |b| {
+        b.iter(|| resize_bilinear(black_box(&src), 256))
+    });
+    g.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xapian");
+    let corpus = Corpus::synthetic(9, 2000, 100);
+    g.bench_function("bm25_top10_3terms", |b| {
+        b.iter(|| corpus.search(black_box(&[5, 120, 900]), 10))
+    });
+    g.finish();
+}
+
+fn bench_video_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("video");
+    let v = Video { frames: 4 };
+    g.bench_function("encode_classify_4frames", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            v.run_once(black_box(seed))
+        })
+    });
+    g.finish();
+}
+
+/// Ablation: the packed executor's core quota — a Lambda-like 6-core
+/// budget vs an unconstrained pool, at the same packing degree.
+fn bench_executor_quota_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_executor_quota");
+    g.sample_size(10);
+    let w = MapReduceSort { records: 20_000, partitions: 4 };
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    for (label, cores) in [("quota_2", 2usize), ("quota_host", host)] {
+        let ex = PackedExecutor::new(cores);
+        g.bench_function(BenchmarkId::new("pack8", label), |b| {
+            b.iter(|| ex.run_pack(black_box(&w), 8, 1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_smith_waterman,
+    bench_sort,
+    bench_resize,
+    bench_search,
+    bench_video_pipeline,
+    bench_executor_quota_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Criterion benches for ProPack's analytical machinery: model fitting,
+//! planning, and the ablations DESIGN.md calls out (model-zoo choice,
+//! alternate-point sampling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use propack_model::interference::{InterferenceModel, InterferenceSample};
+use propack_model::model::{CostFactors, PackingModel};
+use propack_model::optimizer::{plan, Objective};
+use propack_model::scaling::{ScalingModel, ScalingSample};
+use propack_platform::profile::PlatformProfile;
+use propack_platform::WorkProfile;
+use propack_stats::models::{fit, select_best, ModelKind};
+use propack_stats::percentile::Percentile;
+use propack_stats::polyfit;
+use std::hint::black_box;
+
+fn interference_samples(n: usize) -> Vec<InterferenceSample> {
+    (1..=n as u32)
+        .map(|p| InterferenceSample {
+            packing_degree: p,
+            exec_secs: 100.0 * (0.05 * p as f64).exp(),
+        })
+        .collect()
+}
+
+fn bench_fitting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fitting");
+    let samples = interference_samples(20);
+    g.bench_function("eq1_exponential_fit", |b| {
+        b.iter(|| InterferenceModel::fit(black_box(&samples), 0.25).unwrap())
+    });
+
+    let scaling: Vec<ScalingSample> = (1..=10)
+        .map(|i| ScalingSample {
+            concurrency: i * 500,
+            scaling_secs: 2.25e-5 * (i * 500) as f64 * (i * 500) as f64 + 0.2 * (i * 500) as f64,
+        })
+        .collect();
+    g.bench_function("eq2_polynomial_fit", |b| {
+        b.iter(|| ScalingModel::fit(black_box(&scaling)).unwrap())
+    });
+
+    let xs: Vec<f64> = (0..200).map(|i| i as f64).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 1e-4 * x * x + 0.3 * x + 5.0).collect();
+    g.bench_function("polyfit_deg2_200pts", |b| {
+        b.iter(|| polyfit(black_box(&xs), black_box(&ys), 2).unwrap())
+    });
+    g.finish();
+}
+
+/// Ablation: the paper's model selection — fitting all eight candidate
+/// forms vs only the exponential winner.
+fn bench_model_zoo_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_model_zoo");
+    let samples = interference_samples(20);
+    let xs: Vec<f64> = samples.iter().map(|s| s.packing_degree as f64).collect();
+    let ys: Vec<f64> = samples.iter().map(|s| s.exec_secs).collect();
+    g.bench_function("exponential_only", |b| {
+        b.iter(|| fit(ModelKind::Exponential, black_box(&xs), black_box(&ys)).unwrap())
+    });
+    g.bench_function("all_eight_candidates", |b| {
+        b.iter(|| select_best(black_box(&xs), black_box(&ys)).unwrap())
+    });
+    g.finish();
+}
+
+/// Ablation: alternate-point sampling (§2.1) vs profiling every degree —
+/// same fit quality with half the probe bursts; here we measure the fit
+/// cost, the repro binaries measure the accuracy.
+fn bench_sampling_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_sampling");
+    for (label, step) in [("every_degree", 1usize), ("alternate_degrees", 2)] {
+        let samples: Vec<InterferenceSample> =
+            interference_samples(40).into_iter().step_by(step).collect();
+        g.bench_with_input(BenchmarkId::new("fit", label), &samples, |b, s| {
+            b.iter(|| InterferenceModel::fit(black_box(s), 0.25).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn paper_model() -> PackingModel {
+    PackingModel {
+        interference: InterferenceModel {
+            base: 100.0 / (0.05f64).exp(),
+            rate: 0.05,
+            mem_gb: 0.25,
+            rmse: 0.0,
+        },
+        scaling: ScalingModel { beta1: 2.25e-5, beta2: 0.2, beta3: 2.0, r_squared: 1.0 },
+        cost: CostFactors::derive(
+            &PlatformProfile::aws_lambda().prices,
+            &WorkProfile::synthetic("w", 0.25, 100.0),
+            10.0,
+        ),
+        p_max: 40,
+    }
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("planning");
+    let model = paper_model();
+    for &conc in &[1000u32, 5000] {
+        g.bench_with_input(BenchmarkId::new("joint_plan", conc), &conc, |b, &cc| {
+            b.iter(|| plan(black_box(&model), cc, Objective::default(), Percentile::Total))
+        });
+    }
+    g.bench_function("sweep_40_degrees", |b| {
+        b.iter(|| black_box(&model).sweep(5000, Percentile::Total))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fitting,
+    bench_model_zoo_ablation,
+    bench_sampling_ablation,
+    bench_planning
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benches for the platform simulator: burst throughput across
+//! concurrency levels and platforms, plus the scheduler-curve ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use propack_funcx::FuncXPlatform;
+use propack_platform::profile::PlatformProfile;
+use propack_platform::{BurstSpec, ServerlessPlatform, WorkProfile};
+use std::hint::black_box;
+
+fn work() -> WorkProfile {
+    WorkProfile::synthetic("bench", 0.25, 100.0).with_contention(0.2)
+}
+
+fn bench_burst_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("burst_simulation");
+    let aws = PlatformProfile::aws_lambda().into_platform();
+    for &n in &[500u32, 2000, 5000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("aws_no_packing", n), &n, |b, &n| {
+            let spec = BurstSpec::new(work(), n, 1).with_seed(1);
+            b.iter(|| aws.run_burst(black_box(&spec)).unwrap())
+        });
+    }
+    let spec = BurstSpec::packed(work(), 5000, 10).with_seed(1);
+    g.bench_function("aws_packed_c5000_p10", |b| {
+        b.iter(|| aws.run_burst(black_box(&spec)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_platform_comparison(c: &mut Criterion) {
+    let mut g = c.benchmark_group("platforms");
+    let spec = BurstSpec::new(work(), 2000, 1).with_seed(2);
+    let platforms: Vec<(&str, Box<dyn ServerlessPlatform>)> = vec![
+        ("aws", Box::new(PlatformProfile::aws_lambda().into_platform())),
+        ("google", Box::new(PlatformProfile::google_cloud_functions().into_platform())),
+        ("azure", Box::new(PlatformProfile::azure_functions().into_platform())),
+        ("funcx", Box::new(FuncXPlatform::default())),
+    ];
+    for (name, p) in &platforms {
+        g.bench_function(BenchmarkId::new("burst_c2000", *name), |b| {
+            b.iter(|| p.run_burst(black_box(&spec)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: how much of the simulation cost is the scheduler's occupancy
+/// scan — compare a profile with the quadratic term zeroed.
+fn bench_scheduler_curve_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_scheduler_curve");
+    let spec = BurstSpec::new(work(), 3000, 1).with_seed(3);
+    let quad = PlatformProfile::aws_lambda().into_platform();
+    let mut flat_profile = PlatformProfile::aws_lambda();
+    flat_profile.control.sched_per_inflight_secs = 0.0;
+    let flat = flat_profile.into_platform();
+    g.bench_function("quadratic_scheduler", |b| {
+        b.iter(|| quad.run_burst(black_box(&spec)).unwrap())
+    });
+    g.bench_function("flat_scheduler", |b| {
+        b.iter(|| flat.run_burst(black_box(&spec)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_burst_throughput,
+    bench_platform_comparison,
+    bench_scheduler_curve_ablation
+);
+criterion_main!(benches);

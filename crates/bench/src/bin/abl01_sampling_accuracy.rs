@@ -1,0 +1,58 @@
+//! Ablation: §2.1's alternate-point sampling claim, quantified.
+//!
+//! The paper argues the interference curve is monotone, so ProPack can
+//! "approximate the curve by skipping alternate points and limiting the
+//! number of sample points" without hurting the decision. This binary
+//! profiles each primary benchmark at degree steps 1 / 2 / 4, then compares
+//! the fitted rate, the joint plan at C = 5000, and the profiling expense.
+
+use propack_bench::table::{pct, usd, Table};
+use propack_bench::Ctx;
+use propack_model::optimizer::Objective;
+use propack_model::propack::ProPackConfig;
+use propack_model::propack::Propack;
+
+fn main() {
+    let ctx = Ctx::default();
+    let mut t = Table::new(
+        "abl01",
+        "Alternate-point sampling ablation (C=5000 joint plan per degree step)",
+        &["app", "step", "probe bursts", "probe cost", "fitted rate", "plan degree"],
+    );
+    let mut agree = true;
+    for work in ctx.primary_profiles() {
+        let mut degrees = Vec::new();
+        for step in [1u32, 2, 4] {
+            let cfg = ProPackConfig { degree_step: step, ..ProPackConfig::default() };
+            let pp = Propack::build(&ctx.aws, &work, &cfg).expect("build");
+            let plan = pp.plan(5000, Objective::default());
+            degrees.push(plan.packing_degree);
+            t.row(vec![
+                work.name.clone(),
+                step.to_string(),
+                pp.overhead.bursts.to_string(),
+                usd(pp.overhead.expense_usd),
+                format!("{:.4}", pp.model.interference.rate),
+                plan.packing_degree.to_string(),
+            ]);
+        }
+        agree &= degrees.iter().all(|&d| d.abs_diff(degrees[0]) <= 1);
+        let full = degrees[0];
+        t.note(format!(
+            "{}: plans at steps 1/2/4 = {:?} (full-sampling plan {})",
+            work.name, degrees, full
+        ));
+    }
+    t.note(format!(
+        "paper claim (§2.1): skipping alternate points does not change the decision; plans within ±1 across steps: {agree}"
+    ));
+    t.note(format!(
+        "cost of full sampling vs alternate: see probe-cost column — step 2 roughly halves the campaign, step 4 quarters it"
+    ));
+    let json = std::env::args().any(|a| a == "--json");
+    if json {
+        println!("{}", t.to_json());
+    } else {
+        t.print();
+    }
+}

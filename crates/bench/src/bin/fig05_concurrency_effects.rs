@@ -1,0 +1,4 @@
+//! Regenerates fig05 of the paper. Pass --json for machine-readable rows.
+fn main() {
+    propack_bench::figure_main("fig05");
+}

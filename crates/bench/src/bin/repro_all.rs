@@ -1,0 +1,16 @@
+//! Regenerates every table and figure of the paper's evaluation in order.
+//! Pass --json for machine-readable output of all tables.
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    for id in propack_bench::ALL_EXPERIMENTS {
+        let tables = propack_bench::run_experiment(id).expect("known id");
+        for t in &tables {
+            if json {
+                println!("{}", t.to_json());
+            } else {
+                t.print();
+                println!();
+            }
+        }
+    }
+}

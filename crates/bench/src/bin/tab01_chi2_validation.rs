@@ -1,0 +1,4 @@
+//! Regenerates tab01 of the paper. Pass --json for machine-readable rows.
+fn main() {
+    propack_bench::figure_main("tab01");
+}

@@ -1,0 +1,111 @@
+//! Shared experiment context: platforms, benchmarks, concurrency ladders,
+//! and the ProPack instances (built once per app per platform and reused —
+//! the scaling model is amortized exactly as §2.2 prescribes).
+
+use propack_funcx::FuncXPlatform;
+use propack_model::propack::{ProPackConfig, Propack};
+use propack_model::scaling::ScalingModel;
+use propack_platform::profile::PlatformProfile;
+use propack_platform::{CloudPlatform, ServerlessPlatform, WorkProfile};
+use propack_workloads::{all_benchmarks, primary_benchmarks};
+
+/// The evaluation's concurrency ladder (Figs. 9–11 sweep 500 → 5000).
+pub const CONCURRENCY_LADDER: [u32; 4] = [500, 1000, 2000, 5000];
+
+/// The paper's headline concurrency level.
+pub const C_HIGH: u32 = 5000;
+
+/// Experiment context.
+pub struct Ctx {
+    /// Primary platform (AWS Lambda).
+    pub aws: CloudPlatform,
+    /// Google Cloud Functions.
+    pub google: CloudPlatform,
+    /// Azure Functions.
+    pub azure: CloudPlatform,
+    /// FuncX on-prem cluster.
+    pub funcx: FuncXPlatform,
+    /// ProPack build configuration used throughout.
+    pub config: ProPackConfig,
+    /// Root seed for evaluation runs (probe seeds live in `config`).
+    pub seed: u64,
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Ctx {
+            aws: PlatformProfile::aws_lambda().into_platform(),
+            google: PlatformProfile::google_cloud_functions().into_platform(),
+            azure: PlatformProfile::azure_functions().into_platform(),
+            funcx: FuncXPlatform::default(),
+            config: ProPackConfig::default(),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl Ctx {
+    /// The three primary benchmark profiles (Video, Sort, Stateless Cost).
+    pub fn primary_profiles(&self) -> Vec<WorkProfile> {
+        primary_benchmarks().iter().map(|b| b.profile()).collect()
+    }
+
+    /// All five benchmark profiles.
+    pub fn all_profiles(&self) -> Vec<WorkProfile> {
+        all_benchmarks().iter().map(|b| b.profile()).collect()
+    }
+
+    /// Build ProPack for `work` on a platform, reusing a pre-fitted
+    /// scaling model when provided (per-platform amortization).
+    pub fn build_propack<P: ServerlessPlatform + ?Sized>(
+        &self,
+        platform: &P,
+        work: &WorkProfile,
+        scaling: Option<ScalingModel>,
+    ) -> Propack {
+        match scaling {
+            Some(s) => Propack::build_with_scaling(
+                platform,
+                work,
+                &self.config,
+                s,
+                Default::default(),
+            )
+            .expect("propack build"),
+            None => Propack::build(platform, work, &self.config).expect("propack build"),
+        }
+    }
+
+    /// Fit a platform's scaling model once (for amortized reuse).
+    pub fn fit_scaling<P: ServerlessPlatform + ?Sized>(&self, platform: &P) -> ScalingModel {
+        let probe = propack_model::profiler::probe_scaling(
+            platform,
+            &self.config.scaling_levels,
+            self.config.seed,
+        )
+        .expect("scaling probe");
+        ScalingModel::fit(&probe.samples).expect("scaling fit")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_builds() {
+        let ctx = Ctx::default();
+        assert_eq!(ctx.primary_profiles().len(), 3);
+        assert_eq!(ctx.all_profiles().len(), 5);
+    }
+
+    #[test]
+    fn scaling_model_reuse_matches_fresh_build() {
+        let ctx = Ctx::default();
+        let scaling = ctx.fit_scaling(&ctx.aws);
+        let w = &ctx.primary_profiles()[0];
+        let reused = ctx.build_propack(&ctx.aws, w, Some(scaling));
+        let fresh = ctx.build_propack(&ctx.aws, w, None);
+        assert_eq!(reused.model.p_max, fresh.model.p_max);
+    }
+}

@@ -1,0 +1,74 @@
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation.
+//!
+//! Each `fig*`/`tab*` function in [`figures`] recomputes one figure's data
+//! series on the simulator and returns a [`table::Table`]; the binaries in
+//! `src/bin/` are thin wrappers that print them (pass `--json` for
+//! machine-readable output). `repro_all` runs the entire suite — that is
+//! what `EXPERIMENTS.md` is generated from.
+//!
+//! The Criterion benches in `benches/` time the *code* (model fitting, the
+//! optimizer, the simulator, workload kernels) and run the ablations called
+//! out in `DESIGN.md`.
+
+pub mod context;
+#[cfg(test)]
+mod smoke_tests;
+pub mod figures;
+pub mod table;
+
+pub use context::Ctx;
+pub use table::Table;
+
+/// Run a named figure by its experiment id (e.g. "fig09", "tab01").
+/// Returns `None` for unknown ids.
+pub fn run_experiment(id: &str) -> Option<Vec<Table>> {
+    let ctx = Ctx::default();
+    let tables = match id {
+        "fig01" => figures::fig01_scaling_fraction(&ctx),
+        "fig02" => figures::fig02_scaling_breakdown(&ctx),
+        "fig04" => figures::fig04_interference_fit(&ctx),
+        "fig05" => figures::fig05_concurrency_effects(&ctx),
+        "fig06" => figures::fig06_scaling_vs_packing(&ctx),
+        "fig07" => figures::fig07_expense_vs_packing(&ctx),
+        "fig08" => figures::fig08_oracle_degrees(&ctx),
+        "tab01" => figures::tab01_chi2_validation(&ctx),
+        "fig09" => figures::fig09_service_improvement(&ctx),
+        "fig10" => figures::fig10_scaling_improvement(&ctx),
+        "fig11" => figures::fig11_expense_improvement(&ctx),
+        "fig12" => figures::fig12_absolute_values(&ctx),
+        "fig13" => figures::fig13_service_objective(&ctx),
+        "fig14" => figures::fig14_expense_objective(&ctx),
+        "fig15" => figures::fig15_objective_degrees(&ctx),
+        "fig16" => figures::fig16_weight_sweep(&ctx),
+        "fig17" => figures::fig17_smith_waterman(&ctx),
+        "fig18" => figures::fig18_funcx(&ctx),
+        "fig19" => figures::fig19_pywren(&ctx),
+        "fig20" => figures::fig20_xapian_qos(&ctx),
+        "fig21" => figures::fig21_multi_platform(&ctx),
+        _ => return None,
+    };
+    Some(tables)
+}
+
+/// All experiment ids in paper order.
+pub const ALL_EXPERIMENTS: [&str; 21] = [
+    "fig01", "fig02", "fig04", "fig05", "fig06", "fig07", "fig08", "tab01", "fig09", "fig10",
+    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+    "fig21",
+];
+
+/// Standard binary entry point: print the tables for `id`, honoring a
+/// `--json` flag.
+pub fn figure_main(id: &str) {
+    let json = std::env::args().any(|a| a == "--json");
+    let tables = run_experiment(id).unwrap_or_else(|| panic!("unknown experiment {id}"));
+    for t in &tables {
+        if json {
+            println!("{}", t.to_json());
+        } else {
+            t.print();
+            println!();
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Structural smoke tests for the figure harness. The full regeneration is
+//! exercised by `repro_all` (and timed by the Criterion `figures` bench);
+//! these tests cover the cheap experiments so `cargo test` stays fast while
+//! still validating the harness plumbing and the headline shape claims.
+
+use crate::{run_experiment, ALL_EXPERIMENTS};
+
+#[test]
+fn experiment_ids_unique_and_complete() {
+    let mut ids = ALL_EXPERIMENTS.to_vec();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), ALL_EXPERIMENTS.len(), "duplicate experiment ids");
+    assert_eq!(ALL_EXPERIMENTS.len(), 21);
+    assert!(run_experiment("fig99").is_none());
+}
+
+#[test]
+fn fig02_breakdown_components_grow() {
+    let tables = run_experiment("fig02").expect("fig02");
+    assert_eq!(tables.len(), 1);
+    let t = &tables[0];
+    assert_eq!(t.headers.len(), 4);
+    assert_eq!(t.rows.len(), 5, "five concurrency levels");
+    assert!(t.notes.iter().any(|n| n.contains("monotone: true")), "{:?}", t.notes);
+}
+
+#[test]
+fn fig07_expense_non_monotonic() {
+    let tables = run_experiment("fig07").expect("fig07");
+    let t = &tables[0];
+    assert!(!t.rows.is_empty());
+    // Every app's note must confirm an interior expense minimum.
+    let confirms = t.notes.iter().filter(|n| n.contains("non-monotonic: true")).count();
+    assert_eq!(confirms, 3, "{:?}", t.notes);
+}
+
+#[test]
+fn fig04_fit_errors_are_small() {
+    let tables = run_experiment("fig04").expect("fig04");
+    assert_eq!(tables.len(), 3, "one table per primary benchmark");
+    for t in &tables {
+        assert!(t.rows.len() >= 8, "{} has too few sample rows", t.title);
+        // The error column is the 4th; all entries under 10 %.
+        for row in &t.rows {
+            let err: f64 = row[3].trim_end_matches('%').parse().unwrap();
+            assert!(err < 10.0, "{}: fit error {err}% in {row:?}", t.title);
+        }
+    }
+}
+
+#[test]
+fn tables_render_and_serialize() {
+    let tables = run_experiment("fig02").expect("fig02");
+    for t in &tables {
+        let json = t.to_json();
+        assert!(json.contains(&t.id));
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["rows"].as_array().unwrap().len(), t.rows.len());
+    }
+}

@@ -1,0 +1,125 @@
+//! Plain-text / JSON tables: the output format of every repro binary.
+
+use serde::Serialize;
+
+/// One reproduced figure or table: a caption, column headers, and rows.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment id ("fig09").
+    pub id: String,
+    /// Caption, matching the paper's figure caption in spirit.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes: paper-reported values, observed aggregates.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row (panics if the width disagrees with the headers).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in {}", self.id);
+        self.rows.push(cells);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as an aligned text table to stdout.
+    pub fn print(&self) {
+        println!("== {} — {}", self.id, self.title);
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut out = String::new();
+            for (w, cell) in widths.iter().zip(cells) {
+                out.push_str(&format!("{cell:<width$}  ", width = w));
+            }
+            println!("  {}", out.trim_end());
+        };
+        line(&self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        println!("  {}", "-".repeat(total.min(120)));
+        for row in &self.rows {
+            line(row);
+        }
+        for n in &self.notes {
+            println!("  note: {n}");
+        }
+    }
+
+    /// JSON rendering (one object per table).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serializes")
+    }
+}
+
+/// Format a float with sensible precision for table cells.
+pub fn fmt(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Format a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}%")
+}
+
+/// Format dollars.
+pub fn usd(v: f64) -> String {
+    format!("${v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new("fig00", "test", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("hello");
+        assert!(t.to_json().contains("fig00"));
+        t.print(); // should not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("fig00", "test", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt(1234.7), "1235");
+        assert_eq!(fmt(12.34), "12.3");
+        assert_eq!(fmt(0.1234), "0.123");
+        assert_eq!(pct(85.23), "85.2%");
+        assert_eq!(usd(12.345), "$12.35");
+    }
+}

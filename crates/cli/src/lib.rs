@@ -1,0 +1,433 @@
+//! Library half of the `propack` CLI: argument parsing and command
+//! execution, separated from `main` so every path is unit-testable.
+//!
+//! Commands:
+//!
+//! ```text
+//! propack plan    --app <name> --concurrency <C> [--platform <p>] [--objective <o>]
+//! propack run     --app <name> --concurrency <C> [--platform <p>] [--objective <o>] [--seed <s>]
+//! propack compare --app <name> --concurrency <C> [--platform <p>]
+//! propack apps
+//! propack platforms
+//! ```
+//!
+//! Apps are the five paper benchmarks (`video`, `sort`, `stateless`,
+//! `smith-waterman`, `xapian`); platforms are `aws`, `google`, `azure`,
+//! `funcx`.
+
+use propack_baselines::{NoPacking, Pywren, Strategy};
+use propack_funcx::FuncXPlatform;
+use propack_model::optimizer::Objective;
+use propack_model::propack::{ProPackConfig, Propack};
+use propack_platform::profile::PlatformProfile;
+use propack_platform::{ServerlessPlatform, WorkProfile};
+use propack_workloads::all_benchmarks;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print the packing plan without executing.
+    Plan(RunArgs),
+    /// Execute the packed burst and report.
+    Run(RunArgs),
+    /// Compare no-packing / Pywren / ProPack side by side.
+    Compare(RunArgs),
+    /// List known applications.
+    Apps,
+    /// List known platforms.
+    Platforms,
+    /// Print usage.
+    Help,
+}
+
+/// Shared arguments of plan/run/compare.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Benchmark key (`video`, `sort`, …).
+    pub app: String,
+    /// Concurrency level `C`.
+    pub concurrency: u32,
+    /// Platform key (`aws`, `google`, `azure`, `funcx`).
+    pub platform: String,
+    /// Objective key (`joint`, `service`, `expense`).
+    pub objective: String,
+    /// RNG seed.
+    pub seed: u64,
+    /// Save the fitted model snapshot to this path after building.
+    pub save_model: Option<String>,
+    /// Load a previously saved model snapshot instead of profiling.
+    pub load_model: Option<String>,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        RunArgs {
+            app: String::new(),
+            concurrency: 0,
+            platform: "aws".into(),
+            objective: "joint".into(),
+            seed: 42,
+            save_model: None,
+            load_model: None,
+        }
+    }
+}
+
+/// Parse errors with user-facing messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse an argument vector (without the binary name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "apps" => Ok(Command::Apps),
+        "platforms" => Ok(Command::Platforms),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "plan" | "run" | "compare" => {
+            let mut ra = RunArgs::default();
+            let mut it = args[1..].iter();
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| ParseError(format!("{flag} needs a value")))
+                };
+                match flag.as_str() {
+                    "--app" => ra.app = value()?,
+                    "--concurrency" | "-c" => {
+                        ra.concurrency = value()?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad concurrency: {e}")))?
+                    }
+                    "--platform" => ra.platform = value()?,
+                    "--objective" => ra.objective = value()?,
+                    "--seed" => {
+                        ra.seed = value()?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad seed: {e}")))?
+                    }
+                    "--save" => ra.save_model = Some(value()?),
+                    "--model" => ra.load_model = Some(value()?),
+                    other => return Err(ParseError(format!("unknown flag {other}"))),
+                }
+            }
+            if ra.app.is_empty() {
+                return Err(ParseError("--app is required".into()));
+            }
+            if ra.concurrency == 0 {
+                return Err(ParseError("--concurrency must be ≥ 1".into()));
+            }
+            Ok(match cmd.as_str() {
+                "plan" => Command::Plan(ra),
+                "run" => Command::Run(ra),
+                _ => Command::Compare(ra),
+            })
+        }
+        other => Err(ParseError(format!("unknown command {other}; try `propack help`"))),
+    }
+}
+
+/// Resolve an application key to its work profile.
+pub fn resolve_app(key: &str) -> Result<WorkProfile, ParseError> {
+    let canonical = key.to_ascii_lowercase();
+    for bench in all_benchmarks() {
+        let name = bench.name().to_ascii_lowercase().replace(' ', "-");
+        if name == canonical || name.starts_with(&canonical) {
+            return Ok(bench.profile());
+        }
+    }
+    Err(ParseError(format!("unknown app '{key}'; see `propack apps`")))
+}
+
+/// Resolve a platform key.
+pub fn resolve_platform(key: &str) -> Result<Box<dyn ServerlessPlatform>, ParseError> {
+    Ok(match key.to_ascii_lowercase().as_str() {
+        "aws" | "lambda" => Box::new(PlatformProfile::aws_lambda().into_platform()),
+        "google" | "gcf" => {
+            Box::new(PlatformProfile::google_cloud_functions().into_platform())
+        }
+        "azure" => Box::new(PlatformProfile::azure_functions().into_platform()),
+        "funcx" => Box::new(FuncXPlatform::default()),
+        other => return Err(ParseError(format!("unknown platform '{other}'"))),
+    })
+}
+
+/// Resolve an objective key.
+pub fn resolve_objective(key: &str) -> Result<Objective, ParseError> {
+    Ok(match key.to_ascii_lowercase().as_str() {
+        "joint" => Objective::default(),
+        "service" | "service-time" => Objective::ServiceTime,
+        "expense" | "cost" => Objective::Expense,
+        other => {
+            // `joint:0.7` sets an explicit service weight.
+            if let Some(w) = other.strip_prefix("joint:") {
+                let w_s: f64 =
+                    w.parse().map_err(|e| ParseError(format!("bad weight: {e}")))?;
+                Objective::Joint { w_s: w_s.clamp(0.0, 1.0) }
+            } else {
+                return Err(ParseError(format!("unknown objective '{other}'")));
+            }
+        }
+    })
+}
+
+/// Execute a parsed command, writing human-readable output to `out`.
+pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), Box<dyn std::error::Error>> {
+    match cmd {
+        Command::Help => {
+            writeln!(out, "propack — pack concurrent serverless functions faster and cheaper")?;
+            writeln!(out, "usage:")?;
+            writeln!(out, "  propack plan    --app <name> -c <C> [--platform aws|google|azure|funcx] [--objective joint|service|expense|joint:<w>]")?;
+            writeln!(out, "  propack run     --app <name> -c <C> [...] [--seed <n>]")?;
+            writeln!(out, "  propack plan    ... --save model.json   # persist the fitted model")?;
+            writeln!(out, "  propack plan    ... --model model.json  # reuse it, skipping profiling")?;
+            writeln!(out, "  propack compare --app <name> -c <C> [...]")?;
+            writeln!(out, "  propack apps | platforms | help")?;
+        }
+        Command::Apps => {
+            for bench in all_benchmarks() {
+                let p = bench.profile();
+                writeln!(
+                    out,
+                    "{:<16} mem {:.2} GB, isolated {:.0}s, max degree {}",
+                    bench.name().to_ascii_lowercase().replace(' ', "-"),
+                    p.mem_gb,
+                    p.base_exec_secs,
+                    p.max_packing_degree(10.0)
+                )?;
+            }
+        }
+        Command::Platforms => {
+            for key in ["aws", "google", "azure", "funcx"] {
+                let p = resolve_platform(key)?;
+                let lim = p.limits();
+                writeln!(
+                    out,
+                    "{:<8} {} ({} GB / {} cores per instance)",
+                    key,
+                    p.name(),
+                    lim.mem_gb,
+                    lim.cores
+                )?;
+            }
+        }
+        Command::Plan(ra) => {
+            let (pp, _platform, objective) = build(&ra)?;
+            let plan = pp.plan(ra.concurrency, objective);
+            writeln!(out, "app:       {} on {}", pp.work.name, pp.platform_name)?;
+            writeln!(out, "model:     ET(P) = {:.2}·e^({:.4}·P)s; scaling β=({:.2e}, {:.3}, {:.1})",
+                pp.model.interference.base, pp.model.interference.rate,
+                pp.model.scaling.beta1, pp.model.scaling.beta2, pp.model.scaling.beta3)?;
+            writeln!(out, "plan:      degree {} → {} instances", plan.packing_degree, plan.instances)?;
+            writeln!(out, "predicted: service {:.0}s, expense ${:.2}",
+                plan.predicted_service_secs, plan.predicted_expense_usd)?;
+            writeln!(out, "overhead:  {} probe bursts, ${:.2}", pp.overhead.bursts, pp.overhead.expense_usd)?;
+        }
+        Command::Run(ra) => {
+            let (pp, platform, objective) = build(&ra)?;
+            let outcome = pp.execute(platform.as_ref(), ra.concurrency, objective, ra.seed)?;
+            writeln!(out, "ran {} × {} packed at degree {} on {}",
+                outcome.plan.instances, pp.work.name, outcome.plan.packing_degree, pp.platform_name)?;
+            writeln!(out, "service:  {:.0}s total ({:.0}s scaling)",
+                outcome.report.total_service_time(), outcome.report.scaling_time())?;
+            writeln!(out, "expense:  ${:.2} (incl. ${:.2} profiling overhead)",
+                outcome.expense_with_overhead_usd(), outcome.overhead.expense_usd)?;
+        }
+        Command::Compare(ra) => {
+            let (pp, platform, objective) = build(&ra)?;
+            let work = pp.work.clone();
+            writeln!(out, "{:<12} {:>12} {:>12} {:>8}", "strategy", "service (s)", "expense ($)", "degree")?;
+            let base = NoPacking.run(platform.as_ref(), &work, ra.concurrency, ra.seed)?;
+            writeln!(out, "{:<12} {:>12.0} {:>12.2} {:>8}", "no-packing",
+                base.total_service_secs(), base.expense_usd, 1)?;
+            let pywren = Pywren::default().run(platform.as_ref(), &work, ra.concurrency, ra.seed)?;
+            writeln!(out, "{:<12} {:>12.0} {:>12.2} {:>8}", "pywren",
+                pywren.total_service_secs(), pywren.expense_usd, 1)?;
+            let outcome = pp.execute(platform.as_ref(), ra.concurrency, objective, ra.seed)?;
+            writeln!(out, "{:<12} {:>12.0} {:>12.2} {:>8}", "propack",
+                outcome.report.total_service_time(), outcome.expense_with_overhead_usd(),
+                outcome.plan.packing_degree)?;
+        }
+    }
+    Ok(())
+}
+
+/// The fully-resolved execution context of a plan/run/compare invocation.
+type BuiltContext = (Propack, Box<dyn ServerlessPlatform>, Objective);
+
+fn build(ra: &RunArgs) -> Result<BuiltContext, Box<dyn std::error::Error>> {
+    let work = resolve_app(&ra.app)?;
+    let platform = resolve_platform(&ra.platform)?;
+    let objective = resolve_objective(&ra.objective)?;
+    let pp = match &ra.load_model {
+        // Restore a saved snapshot: no profiling runs at all.
+        Some(path) => Propack::from_json(&std::fs::read_to_string(path)?)?,
+        None => Propack::build(platform.as_ref(), &work, &ProPackConfig::default())?,
+    };
+    if let Some(path) = &ra.save_model {
+        std::fs::write(path, pp.to_json())?;
+    }
+    Ok((pp, platform, objective))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_plan() {
+        let cmd = parse(&s(&["plan", "--app", "sort", "-c", "2000"])).unwrap();
+        match cmd {
+            Command::Plan(ra) => {
+                assert_eq!(ra.app, "sort");
+                assert_eq!(ra.concurrency, 2000);
+                assert_eq!(ra.platform, "aws");
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_full_run() {
+        let cmd = parse(&s(&[
+            "run", "--app", "video", "--concurrency", "5000", "--platform", "google",
+            "--objective", "expense", "--seed", "7",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run(ra) => {
+                assert_eq!(ra.platform, "google");
+                assert_eq!(ra.objective, "expense");
+                assert_eq!(ra.seed, 7);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_required_args() {
+        assert!(parse(&s(&["plan", "-c", "100"])).is_err());
+        assert!(parse(&s(&["plan", "--app", "sort"])).is_err());
+        assert!(parse(&s(&["plan", "--app", "sort", "-c", "zero"])).is_err());
+        assert!(parse(&s(&["frobnicate"])).is_err());
+        assert!(parse(&s(&["plan", "--bogus", "x"])).is_err());
+    }
+
+    #[test]
+    fn empty_args_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn resolves_all_apps_and_platforms() {
+        for key in ["video", "sort", "stateless-cost", "smith-waterman", "xapian"] {
+            assert!(resolve_app(key).is_ok(), "{key}");
+        }
+        assert!(resolve_app("nope").is_err());
+        for key in ["aws", "google", "azure", "funcx"] {
+            assert!(resolve_platform(key).is_ok(), "{key}");
+        }
+        assert!(resolve_platform("ibm").is_err());
+    }
+
+    #[test]
+    fn resolves_objectives() {
+        assert_eq!(resolve_objective("joint").unwrap(), Objective::Joint { w_s: 0.5 });
+        assert_eq!(resolve_objective("service").unwrap(), Objective::ServiceTime);
+        assert_eq!(resolve_objective("expense").unwrap(), Objective::Expense);
+        assert_eq!(resolve_objective("joint:0.7").unwrap(), Objective::Joint { w_s: 0.7 });
+        assert!(resolve_objective("fastest").is_err());
+    }
+
+    #[test]
+    fn plan_command_end_to_end() {
+        let cmd = parse(&s(&["plan", "--app", "sort", "-c", "1000"])).unwrap();
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("degree"), "{text}");
+        assert!(text.contains("predicted"), "{text}");
+    }
+
+    #[test]
+    fn listing_commands_render() {
+        for cmd in [Command::Apps, Command::Platforms, Command::Help] {
+            let mut buf = Vec::new();
+            execute(cmd, &mut buf).unwrap();
+            assert!(!buf.is_empty());
+        }
+    }
+}
+
+#[cfg(test)]
+mod persist_cli_tests {
+    use super::*;
+
+    #[test]
+    fn save_then_load_round_trips_through_files() {
+        let dir = std::env::temp_dir().join("propack-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        let path_str = path.to_str().unwrap().to_string();
+
+        let save = Command::Plan(RunArgs {
+            app: "sort".into(),
+            concurrency: 1000,
+            save_model: Some(path_str.clone()),
+            ..RunArgs::default()
+        });
+        let mut out = Vec::new();
+        execute(save, &mut out).unwrap();
+        assert!(path.exists());
+
+        let load = Command::Plan(RunArgs {
+            app: "sort".into(),
+            concurrency: 1000,
+            load_model: Some(path_str),
+            ..RunArgs::default()
+        });
+        let mut out2 = Vec::new();
+        execute(load, &mut out2).unwrap();
+        // Same model → identical plan line.
+        let plan_line = |bytes: &[u8]| {
+            String::from_utf8_lossy(bytes)
+                .lines()
+                .find(|l| l.starts_with("plan:"))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(plan_line(&out), plan_line(&out2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_save_and_model_flags() {
+        let args: Vec<String> = ["plan", "--app", "sort", "-c", "100", "--save", "m.json"]
+            .iter().map(|s| s.to_string()).collect();
+        match parse(&args).unwrap() {
+            Command::Plan(ra) => assert_eq!(ra.save_model.as_deref(), Some("m.json")),
+            other => panic!("{other:?}"),
+        }
+        let args: Vec<String> = ["run", "--app", "sort", "-c", "100", "--model", "m.json"]
+            .iter().map(|s| s.to_string()).collect();
+        match parse(&args).unwrap() {
+            Command::Run(ra) => assert_eq!(ra.load_model.as_deref(), Some("m.json")),
+            other => panic!("{other:?}"),
+        }
+    }
+}

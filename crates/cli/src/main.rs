@@ -1,0 +1,17 @@
+//! The `propack` binary: see `propack help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match propack_cli::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut out = std::io::stdout();
+    if let Err(e) = propack_cli::execute(cmd, &mut out) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,296 @@
+//! Real-thread packed-function executor.
+//!
+//! §2.6 of the paper describes how packing is *practically realized*:
+//! packed functions run as software threads inside one function instance,
+//! sharing the instance's 6 CPU cores and 10 GB of memory (with a no-GIL
+//! Python runtime; in Rust, plain OS threads already give that). This crate
+//! is the host-side equivalent: it executes real workload kernels
+//! (`propack-workloads`) as threads under a **core-limited** scheduler, so
+//! examples and tests can observe *genuine* packing interference on real
+//! hardware rather than simulated interference.
+//!
+//! Components:
+//! * [`semaphore::Semaphore`] — a counting semaphore (parking_lot mutex +
+//!   condvar) that models the instance's vCPU quota;
+//! * [`PackedExecutor`] — runs a pack of functions on scoped threads,
+//!   gating compute slices through the semaphore, and reports per-function
+//!   wall times;
+//! * [`measure_interference`] — the host-side analogue of ProPack's
+//!   profiling phase: measure mean execution time across packing degrees.
+
+pub mod semaphore;
+
+use propack_workloads::{WorkOutput, Workload};
+use semaphore::Semaphore;
+use std::time::{Duration, Instant};
+
+pub use semaphore::SemaphoreGuard;
+
+/// Result of executing one packed instance on real threads.
+#[derive(Debug, Clone)]
+pub struct PackedRun {
+    /// Packing degree (number of functions co-executed).
+    pub packing_degree: u32,
+    /// Wall-clock duration of the whole pack (seconds).
+    pub wall_secs: f64,
+    /// Per-function wall-clock durations (seconds), in function order.
+    pub function_secs: Vec<f64>,
+    /// Per-function kernel outputs, in function order.
+    pub outputs: Vec<WorkOutput>,
+}
+
+impl PackedRun {
+    /// Mean per-function duration.
+    pub fn mean_function_secs(&self) -> f64 {
+        if self.function_secs.is_empty() {
+            return 0.0;
+        }
+        self.function_secs.iter().sum::<f64>() / self.function_secs.len() as f64
+    }
+}
+
+/// Executes packs of workload functions on real OS threads with a core
+/// quota, mirroring a 6-vCPU serverless instance.
+#[derive(Debug, Clone)]
+pub struct PackedExecutor {
+    cores: usize,
+}
+
+impl PackedExecutor {
+    /// An executor with an explicit core quota.
+    ///
+    /// Panics if `cores == 0`.
+    pub fn new(cores: usize) -> Self {
+        assert!(cores > 0, "an instance needs at least one core");
+        PackedExecutor { cores }
+    }
+
+    /// An executor shaped like the paper's Lambda instances (6 vCPUs),
+    /// clamped to the host's available parallelism.
+    pub fn lambda_like() -> Self {
+        let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        PackedExecutor::new(host.min(6))
+    }
+
+    /// The core quota.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Run `packing_degree` copies of `workload` concurrently, each with a
+    /// distinct input seed (`base_seed + index`), gated by the core quota.
+    ///
+    /// Every function runs on its own thread (that's how §2.6 packs them);
+    /// the semaphore makes at most `cores` of them runnable at a time,
+    /// which is what produces real time-slicing interference once
+    /// `packing_degree > cores`.
+    pub fn run_pack<W: Workload + ?Sized>(
+        &self,
+        workload: &W,
+        packing_degree: u32,
+        base_seed: u64,
+    ) -> PackedRun {
+        assert!(packing_degree >= 1);
+        let sem = Semaphore::new(self.cores);
+        let start = Instant::now();
+        let mut slots: Vec<Option<(f64, WorkOutput)>> = vec![None; packing_degree as usize];
+
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(packing_degree as usize);
+            for i in 0..packing_degree as u64 {
+                let sem = &sem;
+                let handle = scope.spawn(move |_| {
+                    let t0 = Instant::now();
+                    let _guard = sem.acquire();
+                    let out = workload.run_once(base_seed.wrapping_add(i));
+                    (t0.elapsed().as_secs_f64(), out)
+                });
+                handles.push(handle);
+            }
+            for (slot, handle) in slots.iter_mut().zip(handles) {
+                *slot = Some(handle.join().expect("packed function panicked"));
+            }
+        })
+        .expect("executor scope panicked");
+
+        let wall_secs = start.elapsed().as_secs_f64();
+        let (function_secs, outputs) =
+            slots.into_iter().map(|s| s.expect("joined")).unzip();
+        PackedRun { packing_degree, wall_secs, function_secs, outputs }
+    }
+}
+
+/// One measured point of the host-side interference curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredInterference {
+    /// Packing degree measured.
+    pub packing_degree: u32,
+    /// Mean per-function wall time (seconds).
+    pub mean_secs: f64,
+}
+
+/// The host-side analogue of ProPack's §2.1 profiling: measure the mean
+/// function time at each requested packing degree (`repeats` packs per
+/// degree, averaged).
+pub fn measure_interference<W: Workload + ?Sized>(
+    executor: &PackedExecutor,
+    workload: &W,
+    degrees: &[u32],
+    repeats: u32,
+    base_seed: u64,
+) -> Vec<MeasuredInterference> {
+    degrees
+        .iter()
+        .map(|&p| {
+            let mut total = 0.0;
+            let mut n = 0usize;
+            for r in 0..repeats.max(1) {
+                let run = executor.run_pack(workload, p, base_seed ^ ((r as u64) << 32));
+                total += run.function_secs.iter().sum::<f64>();
+                n += run.function_secs.len();
+            }
+            MeasuredInterference { packing_degree: p, mean_secs: total / n as f64 }
+        })
+        .collect()
+}
+
+/// Busy-spin for roughly the given duration (test helper workload body).
+#[doc(hidden)]
+pub fn spin_for(d: Duration) {
+    let t0 = Instant::now();
+    let mut x = 0u64;
+    while t0.elapsed() < d {
+        // Trivial ALU work the optimizer cannot elide (x escapes below).
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        std::hint::black_box(x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propack_workloads::{
+        smith_waterman::SmithWaterman, sort::MapReduceSort, WorkProfile,
+    };
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// A tiny synthetic workload that spins for a fixed slice and tracks
+    /// its own concurrency.
+    struct Spinner {
+        concurrent: Arc<AtomicUsize>,
+        max_seen: Arc<AtomicUsize>,
+    }
+
+    impl propack_workloads::Workload for Spinner {
+        fn name(&self) -> &'static str {
+            "spinner"
+        }
+        fn profile(&self) -> WorkProfile {
+            WorkProfile::synthetic("spinner", 0.1, 1.0)
+        }
+        fn run_once(&self, seed: u64) -> WorkOutput {
+            let now = self.concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+            self.max_seen.fetch_max(now, Ordering::SeqCst);
+            spin_for(Duration::from_millis(15));
+            self.concurrent.fetch_sub(1, Ordering::SeqCst);
+            WorkOutput { checksum: seed, work_units: 1 }
+        }
+    }
+
+    fn spinner() -> Spinner {
+        Spinner {
+            concurrent: Arc::new(AtomicUsize::new(0)),
+            max_seen: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    #[test]
+    fn core_quota_limits_concurrency() {
+        let s = spinner();
+        let ex = PackedExecutor::new(2);
+        ex.run_pack(&s, 8, 1);
+        let max = s.max_seen.load(Ordering::SeqCst);
+        assert!(max <= 2, "semaphore leaked: saw {max} concurrent");
+        assert!(max >= 1);
+    }
+
+    #[test]
+    fn all_functions_run_with_distinct_seeds() {
+        let s = spinner();
+        let ex = PackedExecutor::new(4);
+        let run = ex.run_pack(&s, 6, 100);
+        assert_eq!(run.outputs.len(), 6);
+        let mut seeds: Vec<u64> = run.outputs.iter().map(|o| o.checksum).collect();
+        seeds.sort_unstable();
+        assert_eq!(seeds, vec![100, 101, 102, 103, 104, 105]);
+    }
+
+    #[test]
+    fn packed_results_match_isolated_results() {
+        // Correctness under packing: co-running threads must compute the
+        // same checksums as isolated runs (the whole point of the packing
+        // realization being transparent to the application).
+        let w = MapReduceSort { records: 5_000, partitions: 4 };
+        let ex = PackedExecutor::new(4);
+        let packed = ex.run_pack(&w, 6, 42);
+        for (i, out) in packed.outputs.iter().enumerate() {
+            let solo = propack_workloads::Workload::run_once(&w, 42 + i as u64);
+            assert_eq!(*out, solo, "function {i} diverged under packing");
+        }
+    }
+
+    #[test]
+    fn oversubscription_stretches_wall_time() {
+        // Real interference: with a 2-core quota, an 8-pack of CPU-bound
+        // functions must take materially longer end-to-end than a 2-pack
+        // (ideally ~4×: four admission waves instead of one). The kernel
+        // must be large enough — milliseconds per function — that core
+        // contention dominates scheduler noise even when other test
+        // binaries share the machine.
+        let w = SmithWaterman { query_len: 220, db_sequences: 10, db_len: 320 };
+        let ex = PackedExecutor::new(2);
+        let small = ex.run_pack(&w, 2, 7);
+        let large = ex.run_pack(&w, 8, 7);
+        assert!(
+            large.wall_secs > small.wall_secs * 1.5,
+            "no interference observed: {} vs {}",
+            small.wall_secs,
+            large.wall_secs
+        );
+    }
+
+    #[test]
+    fn measure_interference_shapes() {
+        // Kernel must be long enough (milliseconds) that core contention,
+        // not thread-spawn overhead, dominates the measurement.
+        let w = SmithWaterman { query_len: 200, db_sequences: 10, db_len: 300 };
+        let ex = PackedExecutor::new(2);
+        let curve = measure_interference(&ex, &w, &[1, 8], 3, 3);
+        assert_eq!(curve.len(), 2);
+        // Mean function time grows once the pack oversubscribes the cores:
+        // with 8 functions on 2 cores, later-admitted functions' wall time
+        // includes queueing for a core slot.
+        assert!(
+            curve[1].mean_secs > 1.5 * curve[0].mean_secs,
+            "flat curve: {curve:?}"
+        );
+    }
+
+    #[test]
+    fn mean_function_secs() {
+        let run = PackedRun {
+            packing_degree: 2,
+            wall_secs: 3.0,
+            function_secs: vec![1.0, 3.0],
+            outputs: vec![],
+        };
+        assert_eq!(run.mean_function_secs(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let _ = PackedExecutor::new(0);
+    }
+}

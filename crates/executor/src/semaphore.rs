@@ -1,0 +1,119 @@
+//! A counting semaphore over parking_lot primitives.
+//!
+//! Models a serverless instance's vCPU quota: at most `permits` packed
+//! functions execute simultaneously; the rest block, exactly like threads
+//! waiting for a core. (std has no stable counting semaphore; this one is
+//! ~50 lines and fair-enough for the executor's purposes.)
+
+use parking_lot::{Condvar, Mutex};
+
+/// A counting semaphore.
+#[derive(Debug)]
+pub struct Semaphore {
+    permits: Mutex<usize>,
+    available: Condvar,
+}
+
+impl Semaphore {
+    /// Create a semaphore with `permits` initial permits.
+    pub fn new(permits: usize) -> Self {
+        Semaphore { permits: Mutex::new(permits), available: Condvar::new() }
+    }
+
+    /// Block until a permit is available, then take it. The permit is
+    /// released when the returned guard drops.
+    pub fn acquire(&self) -> SemaphoreGuard<'_> {
+        let mut permits = self.permits.lock();
+        while *permits == 0 {
+            self.available.wait(&mut permits);
+        }
+        *permits -= 1;
+        SemaphoreGuard { sem: self }
+    }
+
+    /// Take a permit if one is available right now.
+    pub fn try_acquire(&self) -> Option<SemaphoreGuard<'_>> {
+        let mut permits = self.permits.lock();
+        if *permits == 0 {
+            None
+        } else {
+            *permits -= 1;
+            Some(SemaphoreGuard { sem: self })
+        }
+    }
+
+    /// Current free permits (racy; diagnostics only).
+    pub fn available_permits(&self) -> usize {
+        *self.permits.lock()
+    }
+
+    fn release(&self) {
+        let mut permits = self.permits.lock();
+        *permits += 1;
+        drop(permits);
+        self.available.notify_one();
+    }
+}
+
+/// RAII permit; releases on drop.
+#[derive(Debug)]
+pub struct SemaphoreGuard<'a> {
+    sem: &'a Semaphore,
+}
+
+impl Drop for SemaphoreGuard<'_> {
+    fn drop(&mut self) {
+        self.sem.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn acquire_release_cycle() {
+        let sem = Semaphore::new(2);
+        let g1 = sem.acquire();
+        let g2 = sem.acquire();
+        assert_eq!(sem.available_permits(), 0);
+        assert!(sem.try_acquire().is_none());
+        drop(g1);
+        assert_eq!(sem.available_permits(), 1);
+        let g3 = sem.try_acquire();
+        assert!(g3.is_some());
+        drop(g2);
+        drop(g3);
+        assert_eq!(sem.available_permits(), 2);
+    }
+
+    #[test]
+    fn blocks_threads_beyond_quota() {
+        let sem = Semaphore::new(3);
+        let peak = AtomicUsize::new(0);
+        let current = AtomicUsize::new(0);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..12 {
+                s.spawn(|_| {
+                    let _g = sem.acquire();
+                    let now = current.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    current.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert!(peak.load(Ordering::SeqCst) <= 3);
+        assert_eq!(sem.available_permits(), 3);
+    }
+
+    #[test]
+    fn zero_permit_semaphore_only_unblocks_on_release() {
+        let sem = Semaphore::new(0);
+        assert!(sem.try_acquire().is_none());
+        sem.release();
+        assert!(sem.try_acquire().is_some());
+    }
+}

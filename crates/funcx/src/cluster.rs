@@ -1,0 +1,398 @@
+//! The FuncX cluster model: endpoint scheduler → pod spawner (with node-
+//! local container cache) → worker slots → execution.
+
+use propack_platform::billing::bill_burst;
+use propack_platform::instance::{packed_exec_secs, sampled_exec_secs};
+use propack_platform::profile::{PlatformProfile, PriceSheet};
+use propack_platform::{
+    BurstSpec, InstanceLimits, InstanceRecord, PlatformError, RunReport, ScalingBreakdown,
+    ServerlessPlatform, WorkProfile,
+};
+use propack_simcore::rng::jitter;
+use propack_simcore::{BandwidthPipe, FifoResource, MultiServer, RngStreams, Sim, SimTime};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::rc::Rc;
+
+/// Calibration for a FuncX deployment.
+///
+/// Defaults model the paper's §3 testbed: a 100-node EC2 cluster
+/// (r5.2xlarge/r5.4xlarge, 1 000 cores total) running FuncX with Kubernetes
+/// pods, sized so the Fig. 18 comparisons against AWS Lambda reproduce.
+#[derive(Debug, Clone)]
+pub struct FuncXConfig {
+    /// Instance shape / isolation / pricing (the `funcx_cluster` preset).
+    pub profile: PlatformProfile,
+    /// Cluster nodes.
+    pub nodes: u32,
+    /// Concurrent worker slots per node.
+    pub worker_slots_per_node: u32,
+    /// Workers co-located per Kubernetes pod (the co-location that gives
+    /// FuncX its scaling advantage, per Fig. 18's discussion).
+    pub workers_per_pod: u32,
+    /// Probability a pod's image pull hits the node-local container cache.
+    pub cache_hit_rate: f64,
+    /// Pod boot time once its image is present (seconds).
+    pub pod_boot_secs: f64,
+    /// Per-worker launch cost inside a ready pod (seconds).
+    pub worker_launch_secs: f64,
+    /// Container-registry bandwidth for cache misses (bytes/s).
+    pub registry_bytes_per_sec: f64,
+    /// Endpoint scheduler: fixed service per worker placement (seconds).
+    pub sched_base_secs: f64,
+    /// Endpoint scheduler: incremental service per already-admitted worker.
+    pub sched_per_inflight_secs: f64,
+}
+
+impl Default for FuncXConfig {
+    fn default() -> Self {
+        FuncXConfig {
+            profile: PlatformProfile::funcx_cluster(),
+            nodes: 100,
+            worker_slots_per_node: 64,
+            workers_per_pod: 4,
+            cache_hit_rate: 0.75,
+            pod_boot_secs: 0.8,
+            worker_launch_secs: 0.03,
+            registry_bytes_per_sec: 1.5e9,
+            sched_base_secs: 0.17,
+            sched_per_inflight_secs: 3.9e-5,
+        }
+    }
+}
+
+/// A FuncX deployment implementing [`ServerlessPlatform`].
+#[derive(Debug, Clone, Default)]
+pub struct FuncXPlatform {
+    config: FuncXConfig,
+}
+
+impl FuncXPlatform {
+    /// Build a platform from an explicit configuration.
+    pub fn new(config: FuncXConfig) -> Self {
+        FuncXPlatform { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FuncXConfig {
+        &self.config
+    }
+}
+
+struct PodState {
+    ready_at: Option<SimTime>,
+    cache_hit: bool,
+}
+
+struct ClusterState {
+    config: FuncXConfig,
+    work: Rc<WorkProfile>,
+    packing_degree: u32,
+    endpoint: FifoResource,
+    registry: BandwidthPipe,
+    slots: MultiServer,
+    pods: Vec<PodState>,
+    admitted: u64,
+    records: Vec<InstanceRecord>,
+    ctrl_rng: ChaCha8Rng,
+    streams: RngStreams,
+}
+
+impl ServerlessPlatform for FuncXPlatform {
+    fn name(&self) -> String {
+        self.config.profile.provider.name().to_string()
+    }
+
+    fn limits(&self) -> InstanceLimits {
+        InstanceLimits {
+            mem_gb: self.config.profile.instance.mem_gb,
+            cores: self.config.profile.instance.cores,
+            max_exec_secs: self.config.profile.instance.max_exec_secs,
+        }
+    }
+
+    fn prices(&self) -> PriceSheet {
+        self.config.profile.prices
+    }
+
+    fn nominal_exec_secs(&self, work: &WorkProfile, packing_degree: u32) -> f64 {
+        packed_exec_secs(&self.config.profile.instance, work, packing_degree)
+    }
+
+    fn run_burst(&self, spec: &BurstSpec) -> Result<RunReport, PlatformError> {
+        let cfg = &self.config;
+        if spec.instances == 0 || spec.packing_degree == 0 {
+            return Err(PlatformError::EmptyBurst);
+        }
+        let needed = spec.packing_degree as f64 * spec.workload.mem_gb;
+        if needed > cfg.profile.instance.mem_gb + 1e-9 {
+            return Err(PlatformError::MemoryLimitExceeded {
+                packing_degree: spec.packing_degree,
+                mem_gb: spec.workload.mem_gb,
+                limit_gb: cfg.profile.instance.mem_gb,
+            });
+        }
+
+        let n = spec.instances;
+        let pod_count = n.div_ceil(cfg.workers_per_pod) as usize;
+        let streams = RngStreams::new(spec.seed);
+        let mut ctrl_rng = streams.stream("funcx-control");
+        let pods = (0..pod_count)
+            .map(|_| PodState {
+                ready_at: None,
+                cache_hit: ctrl_rng.random::<f64>() < cfg.cache_hit_rate,
+            })
+            .collect();
+        let state = ClusterState {
+            config: cfg.clone(),
+            work: Rc::new(spec.workload.clone()),
+            packing_degree: spec.packing_degree,
+            endpoint: FifoResource::new(),
+            registry: BandwidthPipe::new(cfg.registry_bytes_per_sec),
+            slots: MultiServer::new((cfg.nodes * cfg.worker_slots_per_node) as usize),
+            pods,
+            admitted: 0,
+            records: (0..n)
+                .map(|i| InstanceRecord {
+                    index: i,
+                    scheduled_at: 0.0,
+                    built_at: 0.0,
+                    shipped_at: 0.0,
+                    started_at: 0.0,
+                    finished_at: 0.0,
+                    warm: false,
+                })
+                .collect(),
+            ctrl_rng,
+            streams,
+        };
+
+        let mut sim = Sim::new(state);
+        for i in 0..n {
+            sim.schedule_at(SimTime::ZERO, move |sim| schedule_worker(sim, i));
+        }
+        sim.run();
+
+        let state = sim.into_state();
+        let scaling = breakdown(&state);
+        let exec_secs: Vec<f64> = state.records.iter().map(|r| r.exec_secs()).collect();
+        let expense = bill_burst(
+            &cfg.profile.prices,
+            &spec.workload,
+            cfg.profile.instance.mem_gb,
+            &exec_secs,
+            spec.packing_degree,
+        );
+
+        Ok(RunReport {
+            platform: self.name(),
+            workload: spec.workload.name.clone(),
+            instances_requested: n,
+            packing_degree: spec.packing_degree,
+            instances: state.records,
+            scaling,
+            expense,
+        })
+    }
+}
+
+/// Stage 1: the FuncX endpoint places the worker. Same occupancy-scan cost
+/// model as the cloud scheduler, with cheaper constants (dedicated
+/// cluster).
+fn schedule_worker(sim: &mut Sim<ClusterState>, i: u32) {
+    let now = sim.now();
+    let s = sim.state_mut();
+    let service = (s.config.sched_base_secs
+        + s.config.sched_per_inflight_secs * s.admitted as f64)
+        * jitter(&mut s.ctrl_rng, s.config.profile.control.jitter);
+    s.admitted += 1;
+    let (_, done) = s.endpoint.request(now, service);
+    sim.schedule_at(done, move |sim| {
+        let at = sim.now().as_secs();
+        sim.state_mut().records[i as usize].scheduled_at = at;
+        join_pod(sim, i);
+    });
+}
+
+/// Stage 2: the worker joins its pod. The first member to arrive triggers
+/// the pod spawn: a cache-missing pod pulls its image through the shared
+/// registry link; cache hits (and all boots) are node-local.
+fn join_pod(sim: &mut Sim<ClusterState>, i: u32) {
+    let now = sim.now();
+    let pod_idx = (i / sim.state().config.workers_per_pod) as usize;
+    let ready = sim.state().pods[pod_idx].ready_at;
+    match ready {
+        Some(ready_at) => {
+            let at = ready_at.max(now);
+            let (pull_done, boot_done) = (at.as_secs(), at.as_secs());
+            let s = sim.state_mut();
+            s.records[i as usize].built_at = pull_done;
+            s.records[i as usize].shipped_at = boot_done;
+            s.records[i as usize].warm = s.pods[pod_idx].cache_hit;
+            sim.schedule_at(at, move |sim| claim_slot(sim, i));
+        }
+        None => {
+            let s = sim.state_mut();
+            let hit = s.pods[pod_idx].cache_hit;
+            let image = s.config.profile.control.image_bytes;
+            let pull_done = if hit {
+                now // image already on the node
+            } else {
+                let (_, done) = s.registry.transfer(now, image);
+                done
+            };
+            let boot = s.config.pod_boot_secs
+                * jitter(&mut s.ctrl_rng, s.config.profile.control.jitter);
+            let ready_at = pull_done + boot;
+            s.pods[pod_idx].ready_at = Some(ready_at);
+            s.records[i as usize].built_at = pull_done.as_secs();
+            s.records[i as usize].shipped_at = ready_at.as_secs();
+            s.records[i as usize].warm = hit;
+            sim.schedule_at(ready_at, move |sim| claim_slot(sim, i));
+        }
+    }
+}
+
+/// Stage 3: the worker claims a cluster slot and executes. On a saturated
+/// cluster, workers queue for slots — the capacity mechanism HTC users see
+/// on small deployments.
+fn claim_slot(sim: &mut Sim<ClusterState>, i: u32) {
+    let now = sim.now();
+    let s = sim.state_mut();
+    let mut exec_rng = s.streams.stream_indexed("funcx-exec", i as u64);
+    // Cache-miss pods load the runtime dependencies once per worker launch;
+    // cached pods have them resident.
+    let dep = if s.records[i as usize].warm { 0.0 } else { s.work.dependency_load_secs };
+    let launch = s.config.worker_launch_secs + dep;
+    let exec = sampled_exec_secs(&s.config.profile.instance, &s.work, s.packing_degree, &mut exec_rng);
+    let (_, slot_start, slot_end) = s.slots.request(now, launch + exec);
+    let started = slot_start + launch;
+    sim.schedule_at(started, move |sim| {
+        sim.state_mut().records[i as usize].started_at = sim.now().as_secs();
+    });
+    sim.schedule_at(slot_end, move |sim| {
+        sim.state_mut().records[i as usize].finished_at = sim.now().as_secs();
+    });
+}
+
+fn breakdown(state: &ClusterState) -> ScalingBreakdown {
+    let records = &state.records;
+    let max_of = |f: fn(&InstanceRecord) -> f64| records.iter().map(f).fold(0.0, f64::max);
+    let sched = max_of(|r| r.scheduled_at);
+    let shipped = max_of(|r| r.shipped_at);
+    let started = max_of(|r| r.started_at);
+    ScalingBreakdown {
+        scheduling_secs: sched,
+        // Start-up: aggregate registry pull time (cache misses only).
+        startup_secs: state.registry.busy_seconds(),
+        // Kubernetes nodes pull images directly; there is no separate
+        // container-shipping stage.
+        shipping_secs: 0.0,
+        provisioning_secs: (started - shipped).max(0.0),
+        total_secs: started,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work() -> WorkProfile {
+        WorkProfile::synthetic("w", 0.25, 100.0).with_contention(0.2)
+    }
+
+    #[test]
+    fn burst_lifecycle_consistent() {
+        let fx = FuncXPlatform::default();
+        let r = fx.run_burst(&BurstSpec::new(work(), 500, 1).with_seed(2)).unwrap();
+        assert_eq!(r.instances.len(), 500);
+        for rec in &r.instances {
+            assert!(rec.built_at >= 0.0);
+            assert!(rec.shipped_at >= rec.built_at);
+            assert!(rec.started_at >= rec.shipped_at - 1e-9);
+            assert!(rec.finished_at > rec.started_at);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let fx = FuncXPlatform::default();
+        let a = fx.run_burst(&BurstSpec::new(work(), 300, 2).with_seed(5)).unwrap();
+        let b = fx.run_burst(&BurstSpec::new(work(), 300, 2).with_seed(5)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cache_hits_match_configured_rate() {
+        let fx = FuncXPlatform::default();
+        let r = fx.run_burst(&BurstSpec::new(work(), 4000, 1).with_seed(8)).unwrap();
+        let hits = r.instances.iter().filter(|i| i.warm).count() as f64;
+        let rate = hits / r.instances.len() as f64;
+        assert!((rate - 0.75).abs() < 0.05, "cache rate {rate}");
+    }
+
+    #[test]
+    fn scales_faster_than_lambda_at_5000() {
+        // Fig. 18(a): FuncX ~15 % faster scaling at C = 5000.
+        let fx = FuncXPlatform::default();
+        let aws = PlatformProfile::aws_lambda().into_platform();
+        let spec = BurstSpec::new(work(), 5000, 1).with_seed(1);
+        let ratio =
+            fx.run_burst(&spec).unwrap().scaling_time() / aws.run_burst(&spec).unwrap().scaling_time();
+        assert!((0.75..0.95).contains(&ratio), "scaling ratio {ratio}");
+    }
+
+    #[test]
+    fn packed_execution_slower_than_lambda() {
+        // Fig. 18(b) mechanism: weaker pod isolation inflates packed
+        // execution; unpacked execution is unaffected.
+        let fx = FuncXPlatform::default();
+        let aws = PlatformProfile::aws_lambda().into_platform();
+        let w = work();
+        let ratio = fx.nominal_exec_secs(&w, 10) / aws.nominal_exec_secs(&w, 10);
+        assert!((1.25..1.45).contains(&ratio), "packed exec ratio {ratio}");
+        assert_eq!(fx.nominal_exec_secs(&w, 1), aws.nominal_exec_secs(&w, 1));
+    }
+
+    #[test]
+    fn saturated_cluster_queues_workers() {
+        // A 2-node × 4-slot cluster running 32 workers must serialize into
+        // waves: total service >> one execution.
+        let cfg = FuncXConfig {
+            nodes: 2,
+            worker_slots_per_node: 4,
+            ..FuncXConfig::default()
+        };
+        let fx = FuncXPlatform::new(cfg);
+        let short = WorkProfile::synthetic("short", 0.25, 10.0);
+        let r = fx.run_burst(&BurstSpec::new(short, 32, 1).with_seed(3)).unwrap();
+        // 32 workers / 8 slots = 4 waves ≈ 40+ s of makespan.
+        assert!(r.total_service_time() > 35.0, "{}", r.total_service_time());
+    }
+
+    #[test]
+    fn no_execution_cap_on_prem() {
+        // The 15-minute Lambda cap does not exist on FuncX.
+        let slow = WorkProfile::synthetic("slow", 0.25, 2000.0);
+        let fx = FuncXPlatform::default();
+        assert!(fx.run_burst(&BurstSpec::new(slow, 4, 1)).is_ok());
+    }
+
+    #[test]
+    fn memory_limit_still_enforced() {
+        let heavy = WorkProfile::synthetic("heavy", 3.0, 10.0);
+        let fx = FuncXPlatform::default();
+        assert!(matches!(
+            fx.run_burst(&BurstSpec::new(heavy, 4, 4)),
+            Err(PlatformError::MemoryLimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn packing_reduces_funcx_scaling_time() {
+        let fx = FuncXPlatform::default();
+        let s1 = fx.run_burst(&BurstSpec::packed(work(), 2000, 1)).unwrap().scaling_time();
+        let s10 = fx.run_burst(&BurstSpec::packed(work(), 2000, 10)).unwrap().scaling_time();
+        assert!(s10 < s1 * 0.3, "packing should slash scaling: {s1} → {s10}");
+    }
+}

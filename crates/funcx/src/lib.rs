@@ -1,0 +1,26 @@
+//! FuncX-style on-premise serverless platform simulator.
+//!
+//! FuncX (Chard et al., HPDC '20) is an HTC/HPC-focused serverless fabric:
+//! workers are spawned inside **Kubernetes pods** on a dedicated cluster
+//! rather than per-request microVMs. The ProPack paper (Fig. 18) observes
+//! three behavioural differences from AWS Lambda, each of which this
+//! simulator reproduces *mechanistically* rather than by fiat:
+//!
+//! 1. **FuncX scales ~15 % faster at C = 5000** — because (a) several
+//!    workers co-locate in one pod, so far fewer container images are
+//!    pulled, and (b) Kubernetes' node-local container cache satisfies most
+//!    pulls without network transfer. Both appear here as per-pod (not
+//!    per-worker) image pulls gated by a seeded cache lottery.
+//! 2. **Packed execution is ~12 % slower than on Lambda** — pods share
+//!    node resources with weaker isolation than Firecracker microVMs; the
+//!    `colocation_penalty` of the cluster profile carries this.
+//! 3. **No 15-minute execution cap and no per-request billing** — on-prem
+//!    accounting is amortized node-hours, represented as a GB·s rate.
+//!
+//! The crate exposes [`FuncXPlatform`], which implements the same
+//! [`ServerlessPlatform`](propack_platform::ServerlessPlatform) trait as the cloud simulator, so ProPack, the
+//! Oracle, and every baseline run on it unchanged.
+
+pub mod cluster;
+
+pub use cluster::{FuncXConfig, FuncXPlatform};

@@ -1,0 +1,79 @@
+//! Property-based tests for the FuncX cluster simulator.
+
+use proptest::prelude::*;
+use propack_funcx::{FuncXConfig, FuncXPlatform};
+use propack_platform::{BurstSpec, ServerlessPlatform, WorkProfile};
+
+fn spec_strategy() -> impl Strategy<Value = (WorkProfile, u32, u32, u64)> {
+    (0.1f64..1.0, 5.0f64..60.0, 1u32..=300, 1u32..=8, any::<u64>()).prop_map(
+        |(mem, base, inst, deg, seed)| {
+            let work = WorkProfile::synthetic("prop", mem, base).with_contention(0.05);
+            let deg = deg.min(work.max_packing_degree(10.0));
+            (work, inst, deg, seed)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Worker lifecycles are ordered and complete for any burst.
+    #[test]
+    fn lifecycle_ordered((work, inst, deg, seed) in spec_strategy()) {
+        let fx = FuncXPlatform::default();
+        let r = fx.run_burst(&BurstSpec::new(work, inst, deg).with_seed(seed)).unwrap();
+        prop_assert_eq!(r.instances.len(), inst as usize);
+        for rec in &r.instances {
+            prop_assert!(rec.shipped_at >= rec.built_at);
+            prop_assert!(rec.started_at >= rec.shipped_at - 1e-9);
+            prop_assert!(rec.finished_at > rec.started_at);
+        }
+    }
+
+    /// Deterministic under the seed.
+    #[test]
+    fn deterministic((work, inst, deg, seed) in spec_strategy()) {
+        let fx = FuncXPlatform::default();
+        let spec = BurstSpec::new(work, inst, deg).with_seed(seed);
+        prop_assert_eq!(fx.run_burst(&spec).unwrap(), fx.run_burst(&spec).unwrap());
+    }
+
+    /// Workers never exceed the cluster's slot capacity at any instant.
+    #[test]
+    fn slot_capacity_respected(
+        nodes in 1u32..4,
+        slots in 1u32..4,
+        workers in 1u32..60,
+        seed in any::<u64>(),
+    ) {
+        let fx = FuncXPlatform::new(FuncXConfig {
+            nodes,
+            worker_slots_per_node: slots,
+            ..FuncXConfig::default()
+        });
+        let work = WorkProfile::synthetic("w", 0.25, 10.0);
+        let r = fx.run_burst(&BurstSpec::new(work, workers, 1).with_seed(seed)).unwrap();
+        let cap = (nodes * slots) as usize;
+        // Count overlap of execution intervals at every start point.
+        let intervals: Vec<(f64, f64)> =
+            r.instances.iter().map(|i| (i.started_at, i.finished_at)).collect();
+        for &(t, _) in &intervals {
+            let live = intervals.iter().filter(|&&(s, e)| s <= t + 1e-9 && t < e - 1e-9).count();
+            prop_assert!(live <= cap, "{live} > {cap} concurrent workers");
+        }
+    }
+
+    /// Cache hit rate concentrates near the configured probability for
+    /// large bursts.
+    #[test]
+    fn cache_rate_concentrates(rate in 0.1f64..0.9, seed in any::<u64>()) {
+        let fx = FuncXPlatform::new(FuncXConfig {
+            cache_hit_rate: rate,
+            ..FuncXConfig::default()
+        });
+        let work = WorkProfile::synthetic("w", 0.25, 5.0);
+        let r = fx.run_burst(&BurstSpec::new(work, 2000, 1).with_seed(seed)).unwrap();
+        let hits = r.instances.iter().filter(|i| i.warm).count() as f64 / 2000.0;
+        prop_assert!((hits - rate).abs() < 0.08, "hit rate {hits} vs configured {rate}");
+    }
+}

@@ -1,0 +1,65 @@
+//! Step-Functions-style workflow orchestration over serverless platforms.
+//!
+//! The paper invokes its concurrent bursts through **AWS Step Functions**
+//! (§3: "To invoke Lambdas concurrently, we use the 'Step Functions'
+//! framework as it provides dynamic parallelism"), and its benchmark
+//! applications are really *workflows*: Sort is a mapper stage, a
+//! concurrent sort stage, and a reducing merge to S3; Video chains chunking
+//! → parallel encode/classify → aggregation. This crate is that substrate:
+//! a small state-machine orchestrator in the Step Functions mold whose
+//! `Map` state provides the dynamic fan-out the paper relies on — with or
+//! without ProPack packing the fan-out.
+//!
+//! States:
+//! * [`State::Task`] — one function invocation;
+//! * [`State::Map`] — dynamic parallelism: `concurrency` invocations of one
+//!   function at a chosen [`MapPacking`] (the hook where ProPack plugs in);
+//! * [`State::Sequence`] — run children one after another;
+//! * [`State::Parallel`] — run children branches concurrently, join on the
+//!   slowest.
+//!
+//! The orchestrator executes against any [`ServerlessPlatform`](propack_platform::ServerlessPlatform) and
+//! produces a [`WorkflowReport`] with the same service-time/expense
+//! vocabulary as single bursts, so experiments compare packed and unpacked
+//! *workflows*, not just bursts.
+
+pub mod run;
+pub mod state;
+
+pub use run::{execute, StateReport, WorkflowReport};
+pub use state::{MapPacking, State, Workflow};
+
+/// Errors from workflow validation and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkflowError {
+    /// The platform rejected a burst.
+    Platform(propack_platform::PlatformError),
+    /// A Map state asked for zero concurrency.
+    EmptyMap {
+        /// Name of the offending state.
+        state: String,
+    },
+    /// A workflow with no states.
+    EmptyWorkflow,
+    /// ProPack planning failed inside a `MapPacking::ProPack` state.
+    Planning(String),
+}
+
+impl From<propack_platform::PlatformError> for WorkflowError {
+    fn from(e: propack_platform::PlatformError) -> Self {
+        WorkflowError::Platform(e)
+    }
+}
+
+impl std::fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkflowError::Platform(e) => write!(f, "platform error: {e}"),
+            WorkflowError::EmptyMap { state } => write!(f, "map state '{state}' has concurrency 0"),
+            WorkflowError::EmptyWorkflow => write!(f, "workflow has no states"),
+            WorkflowError::Planning(msg) => write!(f, "propack planning failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}

@@ -1,0 +1,352 @@
+//! Workflow execution over a [`ServerlessPlatform`].
+
+use crate::state::{MapPacking, State, Workflow};
+use crate::WorkflowError;
+use propack_model::optimizer::Objective;
+use propack_model::propack::{ProPackConfig, Propack};
+use propack_platform::{BurstSpec, ServerlessPlatform, WorkProfile};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Report for one leaf state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateReport {
+    /// State name.
+    pub name: String,
+    /// Offset from workflow start when the state began (seconds).
+    pub start_offset_secs: f64,
+    /// Wall duration of the state (seconds).
+    pub duration_secs: f64,
+    /// Expense of the state (USD).
+    pub expense_usd: f64,
+    /// Billed compute (function-hours).
+    pub function_hours: f64,
+    /// Packing degree used (1 for tasks and unpacked maps).
+    pub packing_degree: u32,
+    /// Instances spawned.
+    pub instances: u32,
+}
+
+/// Report for a whole workflow execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowReport {
+    /// Workflow name.
+    pub name: String,
+    /// End-to-end wall time (seconds).
+    pub total_secs: f64,
+    /// Total expense (USD), including any ProPack profiling overhead the
+    /// orchestrator incurred to plan Map states.
+    pub expense_usd: f64,
+    /// Total billed compute (function-hours), including overhead.
+    pub function_hours: f64,
+    /// Leaf-state reports in execution order.
+    pub states: Vec<StateReport>,
+}
+
+impl WorkflowReport {
+    /// Expense of one named state (first match).
+    pub fn state(&self, name: &str) -> Option<&StateReport> {
+        self.states.iter().find(|s| s.name == name)
+    }
+}
+
+/// Execution context: caches one ProPack model per distinct workload so a
+/// workflow with many `ProPack` map states profiles each function once
+/// (§2.2's amortization, applied at the workflow level).
+struct ExecCtx<'a, P: ServerlessPlatform + ?Sized> {
+    platform: &'a P,
+    seed: u64,
+    burst_counter: u64,
+    propack_cache: HashMap<String, Propack>,
+    overhead_usd: f64,
+    overhead_hours: f64,
+    reports: Vec<StateReport>,
+}
+
+impl<P: ServerlessPlatform + ?Sized> ExecCtx<'_, P> {
+    fn next_seed(&mut self) -> u64 {
+        self.burst_counter += 1;
+        self.seed ^ (self.burst_counter.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn propack_for(&mut self, work: &WorkProfile) -> Result<&Propack, WorkflowError> {
+        if !self.propack_cache.contains_key(&work.name) {
+            let pp = Propack::build(self.platform, work, &ProPackConfig::default())
+                .map_err(|e| WorkflowError::Planning(e.to_string()))?;
+            self.overhead_usd += pp.overhead.expense_usd;
+            self.overhead_hours += pp.overhead.function_hours;
+            self.propack_cache.insert(work.name.clone(), pp);
+        }
+        Ok(&self.propack_cache[&work.name])
+    }
+
+    /// Run one subtree starting at `offset`; returns its wall duration.
+    fn run_state(&mut self, state: &State, offset: f64) -> Result<f64, WorkflowError> {
+        match state {
+            State::Task { name, work } => {
+                let spec = BurstSpec::new(work.clone(), 1, 1).with_seed(self.next_seed());
+                let report = self.platform.run_burst(&spec)?;
+                let duration = report.total_service_time();
+                self.reports.push(StateReport {
+                    name: name.clone(),
+                    start_offset_secs: offset,
+                    duration_secs: duration,
+                    expense_usd: report.expense.total_usd(),
+                    function_hours: report.function_hours(),
+                    packing_degree: 1,
+                    instances: 1,
+                });
+                Ok(duration)
+            }
+            State::Map { name, work, concurrency, packing } => {
+                if *concurrency == 0 {
+                    return Err(WorkflowError::EmptyMap { state: name.clone() });
+                }
+                let degree = match packing {
+                    MapPacking::None => 1,
+                    MapPacking::Fixed(p) => (*p).max(1),
+                    MapPacking::ProPack { w_s } => {
+                        let w_s = *w_s;
+                        self.propack_for(work)?
+                            .plan(*concurrency, Objective::Joint { w_s })
+                            .packing_degree
+                    }
+                };
+                let seed = self.next_seed();
+                let spec = BurstSpec::packed(work.clone(), *concurrency, degree).with_seed(seed);
+                let report = self.platform.run_burst(&spec)?;
+                let duration = report.total_service_time();
+                self.reports.push(StateReport {
+                    name: name.clone(),
+                    start_offset_secs: offset,
+                    duration_secs: duration,
+                    expense_usd: report.expense.total_usd(),
+                    function_hours: report.function_hours(),
+                    packing_degree: degree,
+                    instances: report.instances_requested,
+                });
+                Ok(duration)
+            }
+            State::Sequence(children) => {
+                let mut elapsed = 0.0;
+                for child in children {
+                    elapsed += self.run_state(child, offset + elapsed)?;
+                }
+                Ok(elapsed)
+            }
+            State::Parallel(children) => {
+                let mut slowest = 0.0f64;
+                for child in children {
+                    slowest = slowest.max(self.run_state(child, offset)?);
+                }
+                Ok(slowest)
+            }
+        }
+    }
+}
+
+/// Execute a workflow on a platform.
+///
+/// ProPack map states profile their workload on first use (the cost is
+/// included in the report's expense), then plan analytically.
+pub fn execute<P: ServerlessPlatform + ?Sized>(
+    platform: &P,
+    workflow: &Workflow,
+    seed: u64,
+) -> Result<WorkflowReport, WorkflowError> {
+    if workflow.root.leaf_count() == 0 {
+        return Err(WorkflowError::EmptyWorkflow);
+    }
+    let mut ctx = ExecCtx {
+        platform,
+        seed,
+        burst_counter: 0,
+        propack_cache: HashMap::new(),
+        overhead_usd: 0.0,
+        overhead_hours: 0.0,
+        reports: Vec::new(),
+    };
+    let total_secs = ctx.run_state(&workflow.root, 0.0)?;
+    let expense_usd =
+        ctx.reports.iter().map(|s| s.expense_usd).sum::<f64>() + ctx.overhead_usd;
+    let function_hours =
+        ctx.reports.iter().map(|s| s.function_hours).sum::<f64>() + ctx.overhead_hours;
+    Ok(WorkflowReport {
+        name: workflow.name.clone(),
+        total_secs,
+        expense_usd,
+        function_hours,
+        states: ctx.reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propack_platform::profile::PlatformProfile;
+    use propack_platform::CloudPlatform;
+
+    fn aws() -> CloudPlatform {
+        PlatformProfile::aws_lambda().into_platform()
+    }
+
+    fn sorter() -> WorkProfile {
+        WorkProfile::synthetic("sorter", 0.64, 100.0)
+            .with_contention(0.1406)
+            .with_dependency_load(8.0)
+    }
+
+    #[test]
+    fn sequence_durations_add() {
+        let wf = Workflow::new(
+            "seq",
+            State::Sequence(vec![
+                State::Task { name: "a".into(), work: sorter() },
+                State::Task { name: "b".into(), work: sorter() },
+            ]),
+        );
+        let r = execute(&aws(), &wf, 1).unwrap();
+        assert_eq!(r.states.len(), 2);
+        let sum: f64 = r.states.iter().map(|s| s.duration_secs).sum();
+        assert!((r.total_secs - sum).abs() < 1e-9);
+        assert!(r.states[1].start_offset_secs >= r.states[0].duration_secs);
+    }
+
+    #[test]
+    fn parallel_joins_on_slowest() {
+        let slow = WorkProfile::synthetic("slow", 0.25, 200.0);
+        let fast = WorkProfile::synthetic("fast", 0.25, 10.0);
+        let wf = Workflow::new(
+            "par",
+            State::Parallel(vec![
+                State::Task { name: "slow".into(), work: slow },
+                State::Task { name: "fast".into(), work: fast },
+            ]),
+        );
+        let r = execute(&aws(), &wf, 2).unwrap();
+        let slowest = r.states.iter().map(|s| s.duration_secs).fold(0.0, f64::max);
+        assert!((r.total_secs - slowest).abs() < 1e-9);
+        // Both branches start at the same offset.
+        assert_eq!(r.states[0].start_offset_secs, r.states[1].start_offset_secs);
+    }
+
+    #[test]
+    fn packed_map_reduce_sort_beats_unpacked() {
+        // The paper's Sort workflow end-to-end: packing the sort fan-out
+        // cuts both turnaround and bill, including coordination stages and
+        // profiling overhead.
+        let platform = aws();
+        let c = 2000;
+        let unpacked = execute(
+            &platform,
+            &Workflow::map_reduce_sort(sorter(), c, MapPacking::None),
+            3,
+        )
+        .unwrap();
+        let packed = execute(
+            &platform,
+            &Workflow::map_reduce_sort(sorter(), c, MapPacking::ProPack { w_s: 0.5 }),
+            3,
+        )
+        .unwrap();
+        assert!(packed.total_secs < 0.6 * unpacked.total_secs);
+        assert!(packed.expense_usd < 0.7 * unpacked.expense_usd);
+        let sort_state = packed.state("sort").unwrap();
+        assert!(sort_state.packing_degree > 1);
+        assert_eq!(unpacked.state("sort").unwrap().packing_degree, 1);
+    }
+
+    #[test]
+    fn fixed_packing_respected() {
+        let wf = Workflow::video_pipeline(
+            WorkProfile::synthetic("enc", 0.25, 50.0).with_contention(0.18),
+            500,
+            MapPacking::Fixed(5),
+        );
+        let r = execute(&aws(), &wf, 4).unwrap();
+        let map = r.state("encode+classify").unwrap();
+        assert_eq!(map.packing_degree, 5);
+        assert_eq!(map.instances, 100);
+    }
+
+    #[test]
+    fn propack_models_cached_per_workload() {
+        // Two ProPack maps of the same workload must profile once: the
+        // second map adds no overhead, so the report's expense is less than
+        // two independent single-map workflows.
+        let platform = aws();
+        let work = sorter();
+        let single = |seed| {
+            execute(
+                &platform,
+                &Workflow::new(
+                    "one",
+                    State::Map {
+                        name: "m".into(),
+                        work: work.clone(),
+                        concurrency: 500,
+                        packing: MapPacking::ProPack { w_s: 0.5 },
+                    },
+                ),
+                seed,
+            )
+            .unwrap()
+        };
+        let double = execute(
+            &platform,
+            &Workflow::new(
+                "two",
+                State::Sequence(vec![
+                    State::Map {
+                        name: "m1".into(),
+                        work: work.clone(),
+                        concurrency: 500,
+                        packing: MapPacking::ProPack { w_s: 0.5 },
+                    },
+                    State::Map {
+                        name: "m2".into(),
+                        work: work.clone(),
+                        concurrency: 500,
+                        packing: MapPacking::ProPack { w_s: 0.5 },
+                    },
+                ]),
+            ),
+            9,
+        )
+        .unwrap();
+        let two_singles = single(9).expense_usd + single(10).expense_usd;
+        assert!(double.expense_usd < two_singles * 0.95,
+            "double {} vs two singles {}", double.expense_usd, two_singles);
+    }
+
+    #[test]
+    fn empty_map_rejected() {
+        let wf = Workflow::new(
+            "bad",
+            State::Map {
+                name: "m".into(),
+                work: sorter(),
+                concurrency: 0,
+                packing: MapPacking::None,
+            },
+        );
+        assert!(matches!(
+            execute(&aws(), &wf, 1),
+            Err(WorkflowError::EmptyMap { .. })
+        ));
+    }
+
+    #[test]
+    fn memory_violation_propagates() {
+        let wf = Workflow::new(
+            "bad",
+            State::Map {
+                name: "m".into(),
+                work: WorkProfile::synthetic("heavy", 4.0, 10.0),
+                concurrency: 10,
+                packing: MapPacking::Fixed(4),
+            },
+        );
+        assert!(matches!(execute(&aws(), &wf, 1), Err(WorkflowError::Platform(_))));
+    }
+}

@@ -1,0 +1,158 @@
+//! Workflow definitions: a Step-Functions-like state language.
+
+use propack_platform::WorkProfile;
+use serde::{Deserialize, Serialize};
+
+/// How a `Map` state's fan-out is packed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MapPacking {
+    /// Traditional spawning: one function per instance (the baseline).
+    None,
+    /// A fixed packing degree chosen by the user.
+    Fixed(u32),
+    /// Let ProPack pick the degree: the orchestrator consults a pre-built
+    /// ProPack model for this workload (joint objective, weight `w_s`).
+    ProPack {
+        /// Service-time weight (`0.5` = the paper's default joint split).
+        w_s: f64,
+    },
+}
+
+/// One state of a workflow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum State {
+    /// A single function invocation.
+    Task {
+        /// State name (reports key off it).
+        name: String,
+        /// The function to run.
+        work: WorkProfile,
+    },
+    /// Dynamic parallelism: `concurrency` invocations of `work`.
+    Map {
+        /// State name.
+        name: String,
+        /// The function each branch runs.
+        work: WorkProfile,
+        /// Number of parallel invocations requested.
+        concurrency: u32,
+        /// Packing policy for the fan-out.
+        packing: MapPacking,
+    },
+    /// Children execute in order; each starts when the previous completes.
+    Sequence(Vec<State>),
+    /// Children execute concurrently; the state completes with the slowest
+    /// branch.
+    Parallel(Vec<State>),
+}
+
+impl State {
+    /// Number of leaf (Task/Map) states in this subtree.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            State::Task { .. } | State::Map { .. } => 1,
+            State::Sequence(children) | State::Parallel(children) => {
+                children.iter().map(State::leaf_count).sum()
+            }
+        }
+    }
+
+    /// Total function invocations this subtree will issue.
+    pub fn total_functions(&self) -> u64 {
+        match self {
+            State::Task { .. } => 1,
+            State::Map { concurrency, .. } => *concurrency as u64,
+            State::Sequence(children) | State::Parallel(children) => {
+                children.iter().map(State::total_functions).sum()
+            }
+        }
+    }
+}
+
+/// A named workflow: one root state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workflow {
+    /// Workflow name.
+    pub name: String,
+    /// Root state.
+    pub root: State,
+}
+
+impl Workflow {
+    /// Build a workflow.
+    pub fn new(name: impl Into<String>, root: State) -> Self {
+        Workflow { name: name.into(), root }
+    }
+
+    /// The paper's Sort benchmark as a workflow: a mapper task partitions
+    /// the input, `concurrency` sorter functions run in parallel, and a
+    /// reducer merges to shared storage (§3's Map Reduce Sort).
+    pub fn map_reduce_sort(work: WorkProfile, concurrency: u32, packing: MapPacking) -> Self {
+        // The mapper and reducer are light coordination functions compared
+        // to the sorters.
+        let coordinator = WorkProfile::synthetic("sort-coordinator", 0.5, 15.0)
+            .with_storage(0.1, 6)
+            .with_dependency_load(work.dependency_load_secs);
+        Workflow::new(
+            "map-reduce-sort",
+            State::Sequence(vec![
+                State::Task { name: "map".into(), work: coordinator.clone() },
+                State::Map { name: "sort".into(), work, concurrency, packing },
+                State::Task { name: "reduce".into(), work: coordinator },
+            ]),
+        )
+    }
+
+    /// The paper's Video benchmark as a workflow: chunker → parallel
+    /// encode/classify fan-out → manifest aggregation.
+    pub fn video_pipeline(work: WorkProfile, concurrency: u32, packing: MapPacking) -> Self {
+        let chunker = WorkProfile::synthetic("chunker", 0.3, 10.0)
+            .with_storage(0.06, 4)
+            .with_dependency_load(2.0);
+        Workflow::new(
+            "video-pipeline",
+            State::Sequence(vec![
+                State::Task { name: "chunk".into(), work: chunker.clone() },
+                State::Map { name: "encode+classify".into(), work, concurrency, packing },
+                State::Task { name: "aggregate".into(), work: chunker },
+            ]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w() -> WorkProfile {
+        WorkProfile::synthetic("w", 0.25, 50.0)
+    }
+
+    #[test]
+    fn leaf_and_function_counts() {
+        let wf = Workflow::map_reduce_sort(w(), 1000, MapPacking::None);
+        assert_eq!(wf.root.leaf_count(), 3);
+        assert_eq!(wf.root.total_functions(), 1002);
+    }
+
+    #[test]
+    fn nested_counts() {
+        let s = State::Parallel(vec![
+            State::Task { name: "a".into(), work: w() },
+            State::Sequence(vec![
+                State::Task { name: "b".into(), work: w() },
+                State::Map { name: "m".into(), work: w(), concurrency: 7, packing: MapPacking::None },
+            ]),
+        ]);
+        assert_eq!(s.leaf_count(), 3);
+        assert_eq!(s.total_functions(), 9);
+    }
+
+    #[test]
+    fn workflows_serialize() {
+        let wf = Workflow::video_pipeline(w(), 100, MapPacking::Fixed(5));
+        let json = serde_json::to_string(&wf).unwrap();
+        let back: Workflow = serde_json::from_str(&json).unwrap();
+        assert_eq!(wf, back);
+    }
+}

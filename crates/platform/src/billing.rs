@@ -1,0 +1,146 @@
+//! Expense accounting.
+//!
+//! §2.3 of the paper: users are billed for *execution time × memory* per
+//! function instance, plus request fees and storage — never for queueing or
+//! scaling delay. Instances are configured at the platform's maximum memory
+//! (§3: "We use Lambdas with the maximum memory size (10 GB) to achieve a
+//! considerable maximum packing degree"), so the per-second rate `R` is
+//! constant across packing degrees, exactly as the paper's Eq. 4 assumes.
+//!
+//! Google and Azure additionally charge per GB of network transfer between
+//! function instances; traffic between functions packed into the *same*
+//! instance stays on localhost and is free — the mechanism behind Fig. 21's
+//! larger expense savings on those platforms.
+
+use crate::profile::PriceSheet;
+use crate::work::WorkProfile;
+use serde::{Deserialize, Serialize};
+
+/// Fraction of a packed function's inter-function traffic that still leaves
+/// the instance (coordination with remote peers / storage endpoints); the
+/// rest is served locally by co-packed functions.
+pub const PACKED_EGRESS_RESIDUAL: f64 = 0.1;
+
+/// An itemized bill for one burst.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Expense {
+    /// GB·second compute charges across all instances.
+    pub compute_usd: f64,
+    /// Per-invocation request fees (one per *instance*; packed functions
+    /// share a single invocation).
+    pub request_usd: f64,
+    /// Object-storage fees (requests + capacity), per *function* — packing
+    /// does not reduce how much data the application reads/writes.
+    pub storage_usd: f64,
+    /// Inter-function network fees (zero on AWS).
+    pub network_usd: f64,
+}
+
+impl Expense {
+    /// Total bill.
+    pub fn total_usd(&self) -> f64 {
+        self.compute_usd + self.request_usd + self.storage_usd + self.network_usd
+    }
+}
+
+/// Compute the bill for a burst.
+///
+/// * `billed_mem_gb` — the configured instance memory (the platform max).
+/// * `instance_exec_secs` — per-instance execution durations (billed time).
+/// * `packing_degree` — functions per instance.
+pub fn bill_burst(
+    prices: &PriceSheet,
+    work: &WorkProfile,
+    billed_mem_gb: f64,
+    instance_exec_secs: &[f64],
+    packing_degree: u32,
+) -> Expense {
+    let instances = instance_exec_secs.len() as f64;
+    let functions = instances * packing_degree as f64;
+    let billed_secs: f64 = instance_exec_secs.iter().sum();
+
+    let compute_usd = billed_secs * billed_mem_gb * prices.usd_per_gb_sec;
+    let request_usd = instances * prices.usd_per_request;
+    let storage_usd = functions
+        * (work.storage_requests as f64 * prices.usd_per_storage_request
+            + work.storage_gb * prices.usd_per_storage_gb);
+
+    // Per-function egress; co-packed functions keep most of it local.
+    let egress_per_fn =
+        if packing_degree > 1 { work.network_gb * PACKED_EGRESS_RESIDUAL } else { work.network_gb };
+    let network_usd = functions * egress_per_fn * prices.usd_per_network_gb;
+
+    Expense { compute_usd, request_usd, storage_usd, network_usd }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::PlatformProfile;
+
+    fn work() -> WorkProfile {
+        WorkProfile::synthetic("w", 0.25, 100.0).with_storage(0.01, 4).with_network(0.02)
+    }
+
+    #[test]
+    fn compute_charge_is_gb_seconds() {
+        let prices = PlatformProfile::aws_lambda().prices;
+        let e = bill_burst(&prices, &work(), 10.0, &[100.0, 100.0], 1);
+        let want = 200.0 * 10.0 * prices.usd_per_gb_sec;
+        assert!((e.compute_usd - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_delay_never_billed() {
+        // The bill depends only on execution seconds, not on when instances
+        // started — two identical exec profiles with wildly different
+        // scaling behaviour cost the same.
+        let prices = PlatformProfile::aws_lambda().prices;
+        let a = bill_burst(&prices, &work(), 10.0, &[50.0; 100], 1);
+        let b = bill_burst(&prices, &work(), 10.0, &[50.0; 100], 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn request_fee_counts_instances_not_functions() {
+        let prices = PlatformProfile::aws_lambda().prices;
+        let unpacked = bill_burst(&prices, &work(), 10.0, &[100.0; 40], 1);
+        let packed = bill_burst(&prices, &work(), 10.0, &[130.0; 4], 10);
+        assert!((unpacked.request_usd - 40.0 * prices.usd_per_request).abs() < 1e-15);
+        assert!((packed.request_usd - 4.0 * prices.usd_per_request).abs() < 1e-15);
+    }
+
+    #[test]
+    fn storage_fee_counts_functions() {
+        // 4 instances × 10 functions do the same S3 traffic as 40 × 1.
+        let prices = PlatformProfile::aws_lambda().prices;
+        let unpacked = bill_burst(&prices, &work(), 10.0, &[100.0; 40], 1);
+        let packed = bill_burst(&prices, &work(), 10.0, &[130.0; 4], 10);
+        assert!((unpacked.storage_usd - packed.storage_usd).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packing_slashes_network_fee_on_google() {
+        let prices = PlatformProfile::google_cloud_functions().prices;
+        let unpacked = bill_burst(&prices, &work(), 8.0, &[100.0; 40], 1);
+        let packed = bill_burst(&prices, &work(), 8.0, &[130.0; 4], 10);
+        assert!(packed.network_usd < unpacked.network_usd * 0.15);
+        assert!(unpacked.network_usd > 0.0);
+    }
+
+    #[test]
+    fn aws_network_fee_is_zero() {
+        let prices = PlatformProfile::aws_lambda().prices;
+        let e = bill_burst(&prices, &work(), 10.0, &[100.0; 10], 1);
+        assert_eq!(e.network_usd, 0.0);
+    }
+
+    #[test]
+    fn total_is_sum_of_parts() {
+        let prices = PlatformProfile::azure_functions().prices;
+        let e = bill_burst(&prices, &work(), 14.0, &[80.0; 7], 3);
+        let total = e.compute_usd + e.request_usd + e.storage_usd + e.network_usd;
+        assert!((e.total_usd() - total).abs() < 1e-15);
+        assert!(e.total_usd() > 0.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Burst specifications: one concurrent invocation request.
+//!
+//! A burst asks the platform to start `instances` function instances at
+//! t = 0, each packing `packing_degree` functions (threads) of the given
+//! workload — the paper's §3 setup where AWS Step Functions fans out `C`
+//! concurrent invocations. Under ProPack, `instances = C_eff = C / P` and
+//! `packing_degree = P`; in the baseline, `instances = C` and
+//! `packing_degree = 1`.
+
+use crate::work::WorkProfile;
+use serde::{Deserialize, Serialize};
+
+/// A request to spawn `instances` concurrent function instances.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BurstSpec {
+    /// The function being executed (same code in every instance, §1).
+    pub workload: WorkProfile,
+    /// Number of concurrent function instances (`C_eff`).
+    pub instances: u32,
+    /// Functions packed per instance (`P`); 1 = traditional spawning.
+    pub packing_degree: u32,
+    /// RNG seed; the same seed reproduces the identical timeline.
+    pub seed: u64,
+    /// Fraction of instances served from warm containers (skip build +
+    /// shipping). The Pywren baseline drives this; plain bursts use 0.0.
+    pub warm_fraction: f64,
+}
+
+impl BurstSpec {
+    /// A cold burst with default seed 0.
+    pub fn new(workload: WorkProfile, instances: u32, packing_degree: u32) -> Self {
+        BurstSpec { workload, instances, packing_degree, seed: 0, warm_fraction: 0.0 }
+    }
+
+    /// Builder-style seed setter.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style warm-fraction setter (clamped to `[0, 1]`).
+    pub fn with_warm_fraction(mut self, f: f64) -> Self {
+        self.warm_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Total functions executed by this burst (`instances × packing_degree`).
+    pub fn total_functions(&self) -> u64 {
+        self.instances as u64 * self.packing_degree as u64
+    }
+
+    /// Build the ProPack-shaped burst for original concurrency `c` at
+    /// packing degree `p`: `C_eff = ceil(C / P)` instances so that every
+    /// function is covered (the last instance may be partially filled).
+    pub fn packed(workload: WorkProfile, c: u32, p: u32) -> Self {
+        let instances = c.div_ceil(p.max(1));
+        BurstSpec::new(workload, instances, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w() -> WorkProfile {
+        WorkProfile::synthetic("w", 0.25, 100.0)
+    }
+
+    #[test]
+    fn packed_covers_all_functions() {
+        let b = BurstSpec::packed(w(), 1000, 7);
+        assert_eq!(b.instances, 143);
+        assert!(b.total_functions() >= 1000);
+        // And at degree 1 it's the identity.
+        let b1 = BurstSpec::packed(w(), 1000, 1);
+        assert_eq!(b1.instances, 1000);
+    }
+
+    #[test]
+    fn warm_fraction_clamped() {
+        assert_eq!(BurstSpec::new(w(), 1, 1).with_warm_fraction(1.7).warm_fraction, 1.0);
+        assert_eq!(BurstSpec::new(w(), 1, 1).with_warm_fraction(-0.2).warm_fraction, 0.0);
+    }
+}

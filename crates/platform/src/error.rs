@@ -1,0 +1,62 @@
+//! Platform error types.
+
+/// Errors a platform can return for a burst request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// The packed functions exceed the instance memory limit:
+    /// `packing_degree × mem_gb > platform mem`. The paper treats the
+    /// provider memory cap as a hard constraint on the packing degree
+    /// (§2.6: "ProPack's packing degree can be modified to ensure that it
+    /// does not violate the memory limit enforced by the cloud provider").
+    MemoryLimitExceeded {
+        /// Requested packing degree.
+        packing_degree: u32,
+        /// Per-function memory in GB.
+        mem_gb: f64,
+        /// Instance memory cap in GB.
+        limit_gb: f64,
+    },
+    /// Execution of a packed instance would exceed the provider's execution
+    /// cap (AWS Lambda: 15 minutes). §4 notes that long per-function
+    /// execution times cause the *baseline* to time out at high
+    /// concurrency.
+    ExecutionTimeout {
+        /// Projected execution time in seconds.
+        projected_secs: f64,
+        /// Provider cap in seconds.
+        limit_secs: f64,
+    },
+    /// A burst of zero instances or zero packing degree.
+    EmptyBurst,
+    /// The datacenter fleet cannot hold the requested number of concurrent
+    /// instances (capacity admission failure — clouds surface this as
+    /// throttling).
+    FleetSaturated {
+        /// Instances requested.
+        requested: u32,
+        /// Total fleet slots.
+        capacity: u64,
+    },
+}
+
+impl std::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatformError::MemoryLimitExceeded { packing_degree, mem_gb, limit_gb } => write!(
+                f,
+                "packing degree {packing_degree} × {mem_gb} GB exceeds the {limit_gb} GB instance limit"
+            ),
+            PlatformError::ExecutionTimeout { projected_secs, limit_secs } => write!(
+                f,
+                "projected execution of {projected_secs:.1}s exceeds the {limit_secs:.0}s platform cap"
+            ),
+            PlatformError::EmptyBurst => write!(f, "burst must have ≥1 instance and ≥1 packing degree"),
+            PlatformError::FleetSaturated { requested, capacity } => write!(
+                f,
+                "fleet saturated: {requested} concurrent instances exceed {capacity} slots"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}

@@ -1,0 +1,169 @@
+//! The datacenter fleet: the servers the scheduler places instances onto.
+//!
+//! §1 of the paper describes the mechanism this models: *"Upon function
+//! invocation, a scheduling algorithm searches among the running servers of
+//! the datacenter to execute the function"*, and later the formed
+//! containers *"are shipped to different servers of the datacenter as
+//! decided by the scheduling algorithm"*. The fleet is why execution time
+//! stays flat in concurrency (Fig. 5a): each microVM gets a dedicated
+//! reservation on some server, so co-running bursts do not share cores.
+//!
+//! [`Fleet`] tracks per-server occupancy, serves least-loaded placement
+//! queries (the datacenter search whose bookkeeping cost grows with
+//! in-flight placements — the quadratic term's origin), and rejects
+//! placements when the datacenter is saturated, giving the simulator a
+//! capacity failure mode real clouds express as throttling.
+
+use serde::{Deserialize, Serialize};
+
+/// One server's occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Server {
+    /// MicroVM slots currently reserved.
+    used: u32,
+    /// Total microVM slots.
+    slots: u32,
+}
+
+/// A placement decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Index of the chosen server.
+    pub server: u32,
+    /// Reservations held by that server after this placement.
+    pub occupancy: u32,
+}
+
+/// Datacenter fleet with least-loaded placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fleet {
+    servers: Vec<Server>,
+    reserved: u64,
+}
+
+impl Fleet {
+    /// A fleet of `servers` identical machines with `slots_per_server`
+    /// microVM slots each.
+    ///
+    /// Panics when either dimension is zero.
+    pub fn new(servers: u32, slots_per_server: u32) -> Self {
+        assert!(servers > 0 && slots_per_server > 0, "fleet must have capacity");
+        Fleet {
+            servers: vec![Server { used: 0, slots: slots_per_server }; servers as usize],
+            reserved: 0,
+        }
+    }
+
+    /// Total slots across the fleet.
+    pub fn capacity(&self) -> u64 {
+        self.servers.iter().map(|s| s.slots as u64).sum()
+    }
+
+    /// Currently reserved slots.
+    pub fn reserved(&self) -> u64 {
+        self.reserved
+    }
+
+    /// Free slots.
+    pub fn free(&self) -> u64 {
+        self.capacity() - self.reserved
+    }
+
+    /// Reserve a slot on the least-loaded server (ties → lowest index, so
+    /// placement is deterministic). Returns `None` when saturated.
+    pub fn place(&mut self) -> Option<Placement> {
+        let (idx, server) = self
+            .servers
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, s)| s.used < s.slots)
+            .min_by_key(|(i, s)| (s.used, *i))?;
+        server.used += 1;
+        self.reserved += 1;
+        Some(Placement { server: idx as u32, occupancy: server.used })
+    }
+
+    /// Release a previously placed reservation.
+    ///
+    /// Panics if the server has no reservations (double release).
+    pub fn release(&mut self, server: u32) {
+        let s = &mut self.servers[server as usize];
+        assert!(s.used > 0, "double release on server {server}");
+        s.used -= 1;
+        self.reserved -= 1;
+    }
+
+    /// Maximum per-server occupancy — a load-balance diagnostic.
+    pub fn peak_occupancy(&self) -> u32 {
+        self.servers.iter().map(|s| s.used).max().unwrap_or(0)
+    }
+}
+
+/// Default AWS-scale fleet for burst simulations: ample capacity so
+/// commercial-cloud runs never saturate (the paper never observed
+/// Lambda-side admission failures), while small test fleets can.
+pub fn default_cloud_fleet() -> Fleet {
+    Fleet::new(2_000, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn least_loaded_placement_balances() {
+        let mut f = Fleet::new(4, 10);
+        for i in 0..8 {
+            let p = f.place().unwrap();
+            assert_eq!(p.server, i % 4, "round-robin from balance");
+            assert_eq!(p.occupancy, i / 4 + 1);
+        }
+        assert_eq!(f.peak_occupancy(), 2);
+        assert_eq!(f.reserved(), 8);
+    }
+
+    #[test]
+    fn saturation_returns_none() {
+        let mut f = Fleet::new(2, 3);
+        for _ in 0..6 {
+            assert!(f.place().is_some());
+        }
+        assert!(f.place().is_none());
+        assert_eq!(f.free(), 0);
+    }
+
+    #[test]
+    fn release_frees_capacity() {
+        let mut f = Fleet::new(1, 2);
+        let a = f.place().unwrap();
+        let _b = f.place().unwrap();
+        assert!(f.place().is_none());
+        f.release(a.server);
+        assert!(f.place().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_panics() {
+        let mut f = Fleet::new(1, 1);
+        f.release(0);
+    }
+
+    #[test]
+    fn skewed_fleet_fills_small_servers_last() {
+        // With unequal loads, placement always prefers the emptier server.
+        let mut f = Fleet::new(2, 4);
+        let p1 = f.place().unwrap();
+        let p2 = f.place().unwrap();
+        assert_ne!(p1.server, p2.server);
+        f.release(p1.server);
+        let p3 = f.place().unwrap();
+        assert_eq!(p3.server, p1.server, "freed server is now least loaded");
+    }
+
+    #[test]
+    fn default_fleet_fits_a_5000_burst() {
+        let f = default_cloud_fleet();
+        assert!(f.capacity() >= 5_000 * 2);
+    }
+}

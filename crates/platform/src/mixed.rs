@@ -1,0 +1,285 @@
+//! Mixed-application instances: the heterogeneous-packing extension.
+//!
+//! §5 of the paper: *"packing functions of different characteristics
+//! present new modeling challenges — ProPack can be extended to account for
+//! those, but it does not do so currently."* This module is that extension's
+//! substrate: instances that co-locate functions of **different**
+//! applications, with an interference mechanism that degenerates exactly to
+//! the homogeneous model when only one application is present.
+//!
+//! Mechanism: every resident function contributes contention pressure
+//! `rate_j = contention_per_gb_j × mem_gb_j` to the instance. A function of
+//! type `i` experiences every co-resident's pressure except one count of
+//! its own:
+//!
+//! ```text
+//! slowdown_i = exp( Σ_j n_j·rate_j − rate_i ) · timeslice(Σ n_j)
+//! ```
+//!
+//! With a single application (`n` copies of one type) this is
+//! `exp(rate·(n−1))` — identical to [`crate::instance::packed_exec_secs`].
+
+use crate::billing::{bill_burst, Expense};
+use crate::burst::BurstSpec;
+use crate::error::PlatformError;
+use crate::profile::InstanceProfile;
+use crate::report::RunReport;
+use crate::work::WorkProfile;
+use crate::{CloudPlatform, ServerlessPlatform};
+use serde::{Deserialize, Serialize};
+
+/// Composition of one mixed instance: how many copies of each application
+/// share it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixSpec {
+    /// `(workload, copies per instance)` for each application in the mix.
+    pub parts: Vec<(WorkProfile, u32)>,
+}
+
+impl MixSpec {
+    /// A mix of two applications.
+    pub fn pair(a: (WorkProfile, u32), b: (WorkProfile, u32)) -> Self {
+        MixSpec { parts: vec![a, b] }
+    }
+
+    /// Total functions per instance.
+    pub fn degree(&self) -> u32 {
+        self.parts.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Total memory per instance (GB).
+    pub fn mem_gb(&self) -> f64 {
+        self.parts.iter().map(|(w, n)| w.mem_gb * *n as f64).sum()
+    }
+
+    /// Total contention pressure of the instance (Σ n_j·rate_j).
+    pub fn total_pressure(&self) -> f64 {
+        self.parts
+            .iter()
+            .map(|(w, n)| w.contention_per_gb * w.mem_gb * *n as f64)
+            .sum()
+    }
+}
+
+/// Deterministic execution time of a type-`i` function inside a mixed
+/// instance (see module docs for the mechanism).
+pub fn mixed_exec_secs(inst: &InstanceProfile, mix: &MixSpec, part: usize) -> f64 {
+    let (work, _) = &mix.parts[part];
+    let own_rate = work.contention_per_gb * work.mem_gb;
+    let pressure = mix.total_pressure() - own_rate;
+    let excess = (mix.degree() as f64 - inst.cores as f64).max(0.0);
+    let timeslice = 1.0 + inst.timeslice_penalty * excess;
+    let colocation = if mix.degree() > 1 { inst.colocation_penalty } else { 1.0 };
+    work.base_exec_secs * pressure.exp() * timeslice * colocation
+}
+
+/// Outcome of a mixed burst: one run report per application in the mix,
+/// sharing the same control-plane timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedRunOutcome {
+    /// Per-application reports, in `MixSpec::parts` order.
+    pub per_app: Vec<RunReport>,
+    /// Combined bill (compute billed once per instance; storage/network
+    /// per function of each application).
+    pub expense: Expense,
+}
+
+impl CloudPlatform {
+    /// Execute `instances` mixed instances, each packed per `mix`.
+    ///
+    /// The control-plane cost depends only on the instance count (Fig. 5b's
+    /// application-independence), so the mixed burst reuses the homogeneous
+    /// pipeline with a representative profile and then assigns each
+    /// application its own execution times from the mixed-interference
+    /// mechanism.
+    pub fn run_mixed_burst(
+        &self,
+        mix: &MixSpec,
+        instances: u32,
+        seed: u64,
+    ) -> Result<MixedRunOutcome, PlatformError> {
+        if mix.parts.is_empty() || mix.degree() == 0 || instances == 0 {
+            return Err(PlatformError::EmptyBurst);
+        }
+        let limits = self.limits();
+        if mix.mem_gb() > limits.mem_gb + 1e-9 {
+            return Err(PlatformError::MemoryLimitExceeded {
+                packing_degree: mix.degree(),
+                mem_gb: mix.mem_gb() / mix.degree() as f64,
+                limit_gb: limits.mem_gb,
+            });
+        }
+        let inst = self.profile().instance;
+        for part in 0..mix.parts.len() {
+            let projected = mixed_exec_secs(&inst, mix, part) * (1.0 + inst.exec_jitter);
+            if projected > limits.max_exec_secs {
+                return Err(PlatformError::ExecutionTimeout {
+                    projected_secs: projected,
+                    limit_secs: limits.max_exec_secs,
+                });
+            }
+        }
+
+        // Control-plane timeline: run the pipeline once with a profile whose
+        // footprint matches the mix (placement/build/ship are application-
+        // independent). Use the slowest part's dependency load: a mixed
+        // container initializes every runtime.
+        let max_dep = mix
+            .parts
+            .iter()
+            .map(|(w, _)| w.dependency_load_secs)
+            .fold(0.0, f64::max);
+        let carrier = WorkProfile::synthetic("mixed-carrier", mix.mem_gb() / mix.degree() as f64, 1.0)
+            .with_dependency_load(max_dep);
+        let timeline =
+            self.run_burst(&BurstSpec::new(carrier, instances, 1).with_seed(seed))?;
+
+        let mut per_app = Vec::with_capacity(mix.parts.len());
+        let mut all_exec = Vec::new();
+        for (part_idx, (work, copies)) in mix.parts.iter().enumerate() {
+            let exec = mixed_exec_secs(&inst, mix, part_idx);
+            let mut records = timeline.instances.clone();
+            for r in records.iter_mut() {
+                r.finished_at = r.started_at + exec;
+            }
+            all_exec.push(exec);
+            let app_expense = bill_burst(
+                &self.profile().prices,
+                work,
+                0.0, // compute billed once for the whole instance, below
+                &[],
+                *copies,
+            );
+            let mut report = RunReport {
+                platform: self.name(),
+                workload: work.name.clone(),
+                instances_requested: instances,
+                packing_degree: *copies,
+                instances: records,
+                scaling: timeline.scaling,
+                expense: app_expense,
+            };
+            // Storage/network components per function of this app.
+            let functions = instances as f64 * *copies as f64;
+            report.expense.storage_usd = functions
+                * (work.storage_requests as f64 * self.profile().prices.usd_per_storage_request
+                    + work.storage_gb * self.profile().prices.usd_per_storage_gb);
+            report.expense.network_usd = functions
+                * work.network_gb
+                * crate::billing::PACKED_EGRESS_RESIDUAL
+                * self.profile().prices.usd_per_network_gb;
+            per_app.push(report);
+        }
+
+        // Instance compute bill: the instance runs until its slowest
+        // resident finishes, at the configured (max) memory.
+        let instance_secs = all_exec.iter().copied().fold(0.0, f64::max);
+        let compute_usd = instance_secs
+            * instances as f64
+            * self.profile().instance.mem_gb
+            * self.profile().prices.usd_per_gb_sec;
+        let request_usd = instances as f64 * self.profile().prices.usd_per_request;
+        let storage_usd: f64 = per_app.iter().map(|r| r.expense.storage_usd).sum();
+        let network_usd: f64 = per_app.iter().map(|r| r.expense.network_usd).sum();
+        Ok(MixedRunOutcome {
+            per_app,
+            expense: Expense { compute_usd, request_usd, storage_usd, network_usd },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::packed_exec_secs;
+    use crate::profile::PlatformProfile;
+
+    fn aws() -> CloudPlatform {
+        PlatformProfile::aws_lambda().into_platform()
+    }
+
+    fn light() -> WorkProfile {
+        WorkProfile::synthetic("light", 0.25, 100.0).with_contention(0.18)
+    }
+
+    fn heavy() -> WorkProfile {
+        WorkProfile::synthetic("heavy", 0.64, 80.0).with_contention(0.1406)
+    }
+
+    #[test]
+    fn homogeneous_mix_matches_packed_model() {
+        // n copies of one app in a "mix" must reproduce the homogeneous
+        // interference exactly.
+        let inst = PlatformProfile::aws_lambda().instance;
+        for n in [1u32, 3, 8, 15] {
+            let mix = MixSpec { parts: vec![(light(), n)] };
+            let mixed = mixed_exec_secs(&inst, &mix, 0);
+            let homo = packed_exec_secs(&inst, &light(), n);
+            assert!((mixed - homo).abs() < 1e-9, "n={n}: {mixed} vs {homo}");
+        }
+    }
+
+    #[test]
+    fn cross_app_interference_is_mutual() {
+        // Adding heavy co-residents slows the light app more than adding
+        // nothing, and vice versa.
+        let inst = PlatformProfile::aws_lambda().instance;
+        let solo = MixSpec { parts: vec![(light(), 1)] };
+        let mixed = MixSpec::pair((light(), 1), (heavy(), 4));
+        assert!(mixed_exec_secs(&inst, &mixed, 0) > mixed_exec_secs(&inst, &solo, 0));
+        // And the heavy app sees the light one's pressure too.
+        let heavy_solo = MixSpec { parts: vec![(heavy(), 4)] };
+        let heavy_in_mix = mixed_exec_secs(&inst, &mixed, 1);
+        let heavy_alone = mixed_exec_secs(&inst, &heavy_solo, 0);
+        assert!(heavy_in_mix > heavy_alone);
+    }
+
+    #[test]
+    fn mixed_burst_runs_and_bills_once_per_instance() {
+        let p = aws();
+        let mix = MixSpec::pair((light(), 4), (heavy(), 2));
+        let out = p.run_mixed_burst(&mix, 100, 5).unwrap();
+        assert_eq!(out.per_app.len(), 2);
+        assert_eq!(out.per_app[0].instances.len(), 100);
+        // Compute bill reflects the slowest resident's duration.
+        let slow = out.per_app.iter().map(|r| r.exec_summary().mean()).fold(0.0, f64::max);
+        let want = slow * 100.0 * 10.0 * p.prices().usd_per_gb_sec;
+        assert!((out.expense.compute_usd - want).abs() / want < 0.05);
+        // One request fee per instance, not per function.
+        assert!((out.expense.request_usd - 100.0 * p.prices().usd_per_request).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_memory_cap_enforced() {
+        let p = aws();
+        let mix = MixSpec::pair((light(), 20), (heavy(), 10)); // 5 + 6.4 = 11.4 GB
+        assert!(matches!(
+            p.run_mixed_burst(&mix, 10, 1),
+            Err(PlatformError::MemoryLimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn mixed_timeout_enforced() {
+        let p = aws();
+        let slow = WorkProfile::synthetic("slow", 0.25, 800.0).with_contention(0.5);
+        let mix = MixSpec::pair((slow, 6), (light(), 2));
+        assert!(matches!(
+            p.run_mixed_burst(&mix, 5, 1),
+            Err(PlatformError::ExecutionTimeout { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_mix_rejected() {
+        let p = aws();
+        assert!(matches!(
+            p.run_mixed_burst(&MixSpec { parts: vec![] }, 5, 1),
+            Err(PlatformError::EmptyBurst)
+        ));
+        assert!(matches!(
+            p.run_mixed_burst(&MixSpec { parts: vec![(light(), 0)] }, 5, 1),
+            Err(PlatformError::EmptyBurst)
+        ));
+    }
+}

@@ -1,0 +1,607 @@
+//! The [`ServerlessPlatform`] trait and the cloud implementation.
+//!
+//! [`CloudPlatform::run_burst`] drives each function instance through the
+//! full control-plane pipeline as discrete events on `propack-simcore`:
+//!
+//! ```text
+//! invoke ──► schedule (central scheduler, search cost grows with occupancy)
+//!        ──► build    (image server, finite build bandwidth)
+//!        ──► ship     (fabric, finite link bandwidth)
+//!        ──► provision (microVM boot, parallel across servers)
+//!        ──► execute  (packing interference, then billing stops)
+//! ```
+//!
+//! Warm instances (Pywren-style reuse) skip build/ship/provision.
+
+use crate::billing::{bill_burst, Expense};
+use crate::burst::BurstSpec;
+use crate::error::PlatformError;
+use crate::fleet::Fleet;
+use crate::instance::{packed_exec_secs, sampled_exec_secs};
+use crate::profile::{PlatformProfile, PriceSheet};
+use crate::report::{InstanceRecord, RunReport, ScalingBreakdown};
+use propack_simcore::rng::jitter;
+use propack_simcore::{BandwidthPipe, FifoResource, RngStreams, Sim, SimTime, Tracer};
+use rand_chacha::ChaCha8Rng;
+use std::rc::Rc;
+
+/// Instance shape limits exposed to planners (ProPack reads these to bound
+/// the packing degree).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceLimits {
+    /// Maximum instance memory in GB (`M_platform`).
+    pub mem_gb: f64,
+    /// vCPU cores per instance.
+    pub cores: u32,
+    /// Maximum execution seconds per instance.
+    pub max_exec_secs: f64,
+}
+
+/// Anything that can execute a concurrent burst of function instances.
+///
+/// Implemented by [`CloudPlatform`] (AWS/Google/Azure presets) and by
+/// `propack-funcx`'s on-prem cluster. ProPack, the baselines, and the Oracle
+/// are all generic over this trait, which is the repo's equivalent of "runs
+/// on multiple serverless platforms".
+pub trait ServerlessPlatform {
+    /// Display name for figure output.
+    fn name(&self) -> String;
+
+    /// Instance shape limits.
+    fn limits(&self) -> InstanceLimits;
+
+    /// The platform's price sheet.
+    fn prices(&self) -> PriceSheet;
+
+    /// Execute a burst and report timestamps and billing.
+    fn run_burst(&self, spec: &BurstSpec) -> Result<RunReport, PlatformError>;
+
+    /// Deterministic (noise-free) execution time of one instance at the
+    /// given packing degree — what a careful profiling run converges to.
+    fn nominal_exec_secs(&self, work: &crate::WorkProfile, packing_degree: u32) -> f64;
+}
+
+/// A commercial-cloud serverless platform driven by a calibration profile.
+#[derive(Debug, Clone)]
+pub struct CloudPlatform {
+    profile: PlatformProfile,
+}
+
+impl CloudPlatform {
+    /// Build a platform from a calibration profile.
+    pub fn new(profile: PlatformProfile) -> Self {
+        CloudPlatform { profile }
+    }
+
+    /// The underlying calibration.
+    pub fn profile(&self) -> &PlatformProfile {
+        &self.profile
+    }
+}
+
+/// DES state for one burst.
+struct BurstState {
+    profile: PlatformProfile,
+    tracer: Tracer,
+    fleet: Fleet,
+    placements: Vec<u32>,
+    peak_occupancy: u32,
+    work: Rc<crate::WorkProfile>,
+    packing_degree: u32,
+    scheduler: FifoResource,
+    builder: BandwidthPipe,
+    shipper: BandwidthPipe,
+    admitted: u64,
+    records: Vec<InstanceRecord>,
+    ctrl_rng: ChaCha8Rng,
+    streams: RngStreams,
+}
+
+fn pending_record(index: u32) -> InstanceRecord {
+    InstanceRecord {
+        index,
+        scheduled_at: 0.0,
+        built_at: 0.0,
+        shipped_at: 0.0,
+        started_at: 0.0,
+        finished_at: 0.0,
+        warm: false,
+    }
+}
+
+impl ServerlessPlatform for CloudPlatform {
+    fn name(&self) -> String {
+        self.profile.provider.name().to_string()
+    }
+
+    fn limits(&self) -> InstanceLimits {
+        InstanceLimits {
+            mem_gb: self.profile.instance.mem_gb,
+            cores: self.profile.instance.cores,
+            max_exec_secs: self.profile.instance.max_exec_secs,
+        }
+    }
+
+    fn prices(&self) -> PriceSheet {
+        self.profile.prices
+    }
+
+    fn nominal_exec_secs(&self, work: &crate::WorkProfile, packing_degree: u32) -> f64 {
+        packed_exec_secs(&self.profile.instance, work, packing_degree)
+    }
+
+    fn run_burst(&self, spec: &BurstSpec) -> Result<RunReport, PlatformError> {
+        self.run_burst_with_tracer(spec, Tracer::disabled()).map(|(r, _)| r)
+    }
+}
+
+impl CloudPlatform {
+    /// Run a burst and capture a full lifecycle trace (one [`Tracer`]
+    /// event per stage transition of every instance). `run_burst` is this
+    /// with tracing disabled.
+    pub fn run_burst_traced(&self, spec: &BurstSpec) -> Result<(RunReport, Tracer), PlatformError> {
+        self.run_burst_with_tracer(spec, Tracer::enabled())
+    }
+
+    fn run_burst_with_tracer(
+        &self,
+        spec: &BurstSpec,
+        tracer: Tracer,
+    ) -> Result<(RunReport, Tracer), PlatformError> {
+        validate(&self.profile, spec)?;
+
+        let n = spec.instances;
+        let streams = RngStreams::new(spec.seed);
+        let state = BurstState {
+            profile: self.profile,
+            tracer,
+            fleet: Fleet::new(self.profile.control.fleet_servers, self.profile.control.fleet_slots),
+            placements: vec![0; n as usize],
+            peak_occupancy: 0,
+            work: Rc::new(spec.workload.clone()),
+            packing_degree: spec.packing_degree,
+            scheduler: FifoResource::new(),
+            builder: BandwidthPipe::new(self.profile.control.build_bytes_per_sec),
+            shipper: BandwidthPipe::new(self.profile.control.ship_bytes_per_sec),
+            admitted: 0,
+            records: (0..n).map(pending_record).collect(),
+            ctrl_rng: streams.stream("control-plane"),
+            streams,
+        };
+
+        let mut sim = Sim::new(state);
+        // All invocations arrive at t = 0 (Step-Functions-style fan-out).
+        let warm_count = (spec.warm_fraction * n as f64).floor() as u32;
+        for i in 0..n {
+            let warm = i < warm_count;
+            sim.schedule_at(SimTime::ZERO, move |sim| schedule_placement(sim, i, warm));
+        }
+        sim.run();
+
+        let state = sim.into_state();
+        let scaling = breakdown(&state);
+        let exec_secs: Vec<f64> = state.records.iter().map(|r| r.exec_secs()).collect();
+        let expense = compute_expense(&self.profile, spec, &exec_secs);
+
+        Ok((
+            RunReport {
+                platform: self.name(),
+                workload: spec.workload.name.clone(),
+                instances_requested: n,
+                packing_degree: spec.packing_degree,
+                instances: state.records,
+                scaling,
+                expense,
+            },
+            state.tracer,
+        ))
+    }
+}
+
+fn validate(profile: &PlatformProfile, spec: &BurstSpec) -> Result<(), PlatformError> {
+    if spec.instances == 0 || spec.packing_degree == 0 {
+        return Err(PlatformError::EmptyBurst);
+    }
+    let capacity =
+        profile.control.fleet_servers as u64 * profile.control.fleet_slots as u64;
+    if spec.instances as u64 > capacity {
+        return Err(PlatformError::FleetSaturated { requested: spec.instances, capacity });
+    }
+    let needed = spec.packing_degree as f64 * spec.workload.mem_gb;
+    if needed > profile.instance.mem_gb + 1e-9 {
+        return Err(PlatformError::MemoryLimitExceeded {
+            packing_degree: spec.packing_degree,
+            mem_gb: spec.workload.mem_gb,
+            limit_gb: profile.instance.mem_gb,
+        });
+    }
+    let projected = packed_exec_secs(&profile.instance, &spec.workload, spec.packing_degree)
+        * (1.0 + profile.instance.exec_jitter);
+    if projected > profile.instance.max_exec_secs {
+        return Err(PlatformError::ExecutionTimeout {
+            projected_secs: projected,
+            limit_secs: profile.instance.max_exec_secs,
+        });
+    }
+    Ok(())
+}
+
+/// Stage 1: the central scheduler searches for a placement. Its service
+/// time grows with the number of placements already admitted in this burst
+/// (occupancy bookkeeping scan) — the quadratic mechanism of Eq. 2.
+fn schedule_placement(sim: &mut Sim<BurstState>, i: u32, warm: bool) {
+    let now = sim.now();
+    let s = sim.state_mut();
+    let ctrl = s.profile.control;
+    let service = (ctrl.sched_base_secs + ctrl.sched_per_inflight_secs * s.admitted as f64)
+        * jitter(&mut s.ctrl_rng, ctrl.jitter);
+    s.admitted += 1;
+    let (_, done) = s.scheduler.request(now, service);
+    s.records[i as usize].warm = warm;
+    sim.schedule_at(done, move |sim| {
+        let now = sim.now();
+        let at = now.as_secs();
+        let s = sim.state_mut();
+        // The placement the search decided on: a slot on the least-loaded
+        // server (capacity was validated at admission).
+        let placement = s.fleet.place().expect("capacity validated at admission");
+        s.placements[i as usize] = placement.server;
+        s.peak_occupancy = s.peak_occupancy.max(s.fleet.peak_occupancy());
+        s.records[i as usize].scheduled_at = at;
+        s.tracer.record(now, i as u64, "scheduled");
+        if warm {
+            // Warm container: already built, shipped, and provisioned.
+            let s = sim.state_mut();
+            s.records[i as usize].built_at = at;
+            s.records[i as usize].shipped_at = at;
+            start_execution(sim, i, 0.05);
+        } else {
+            build_container(sim, i);
+        }
+    });
+}
+
+/// Stage 2: the image server forms the container (downloads + installs the
+/// runtime and dependencies) at finite build bandwidth — linear in the
+/// number of containers.
+fn build_container(sim: &mut Sim<BurstState>, i: u32) {
+    let now = sim.now();
+    let s = sim.state_mut();
+    let bytes = s.profile.control.image_bytes * jitter(&mut s.ctrl_rng, s.profile.control.jitter);
+    let (_, done) = s.builder.transfer(now, bytes);
+    sim.schedule_at(done, move |sim| {
+        let now = sim.now();
+        let s = sim.state_mut();
+        s.records[i as usize].built_at = now.as_secs();
+        s.tracer.record(now, i as u64, "built");
+        ship_container(sim, i);
+    });
+}
+
+/// Stage 3: the formed container ships across the fabric to the server the
+/// scheduler chose — again bandwidth-bound and linear in count.
+fn ship_container(sim: &mut Sim<BurstState>, i: u32) {
+    let now = sim.now();
+    let s = sim.state_mut();
+    let bytes = s.profile.control.image_bytes * jitter(&mut s.ctrl_rng, s.profile.control.jitter);
+    let (_, done) = s.shipper.transfer(now, bytes);
+    sim.schedule_at(done, move |sim| {
+        let now = sim.now();
+        {
+            let s = sim.state_mut();
+            s.records[i as usize].shipped_at = now.as_secs();
+            s.tracer.record(now, i as u64, "shipped");
+        }
+        // Cold provisioning: microVM boot plus runtime/dependency
+        // initialization (unbilled; warm containers skip both).
+        let cold = {
+            let s = sim.state_mut();
+            (s.profile.control.cold_start_secs + s.work.dependency_load_secs)
+                * jitter(&mut s.ctrl_rng, s.profile.control.jitter)
+        };
+        start_execution(sim, i, cold);
+    });
+}
+
+/// Stage 4+5: microVM boot (parallel across servers — not a shared
+/// resource) and execution under packing interference. Execution time is
+/// independent of how many sibling instances run concurrently (Fig. 5a):
+/// each microVM has reserved cores and memory.
+fn start_execution(sim: &mut Sim<BurstState>, i: u32, provision_secs: f64) {
+    let started = sim.now() + provision_secs;
+    let s = sim.state_mut();
+    let mut exec_rng = s.streams.stream_indexed("exec", i as u64);
+    let exec =
+        sampled_exec_secs(&s.profile.instance, &s.work, s.packing_degree, &mut exec_rng);
+    sim.schedule_at(started, move |sim| {
+        let now = sim.now();
+        let s = sim.state_mut();
+        s.records[i as usize].started_at = now.as_secs();
+        s.tracer.record(now, i as u64, "started");
+        sim.schedule_in(exec, move |sim| {
+            let now = sim.now();
+            let s = sim.state_mut();
+            s.records[i as usize].finished_at = now.as_secs();
+            let server = s.placements[i as usize];
+            s.fleet.release(server);
+            s.tracer.record(now, i as u64, "finished");
+        });
+    });
+}
+
+/// Decompose the scaling time into the paper's Fig. 2 components:
+/// per-stage aggregate service times (the stages pipeline, so the
+/// end-to-end total is the measured last start, not the component sum).
+fn breakdown(state: &BurstState) -> ScalingBreakdown {
+    let records = &state.records;
+    let max_of = |f: fn(&InstanceRecord) -> f64| records.iter().map(f).fold(0.0, f64::max);
+    let sched = max_of(|r| r.scheduled_at);
+    let shipped = max_of(|r| r.shipped_at);
+    let started = max_of(|r| r.started_at);
+    ScalingBreakdown {
+        scheduling_secs: sched,
+        startup_secs: state.builder.busy_seconds(),
+        shipping_secs: state.shipper.busy_seconds(),
+        provisioning_secs: (started - shipped).max(0.0),
+        total_secs: started,
+    }
+}
+
+fn compute_expense(profile: &PlatformProfile, spec: &BurstSpec, exec_secs: &[f64]) -> Expense {
+    bill_burst(
+        &profile.prices,
+        &spec.workload,
+        profile.instance.mem_gb,
+        exec_secs,
+        spec.packing_degree,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::work::WorkProfile;
+    use propack_stats::percentile::Percentile;
+
+    fn aws() -> CloudPlatform {
+        PlatformProfile::aws_lambda().into_platform()
+    }
+
+    fn work() -> WorkProfile {
+        WorkProfile::synthetic("w", 0.25, 100.0).with_contention(0.2)
+    }
+
+    #[test]
+    fn burst_produces_consistent_lifecycle() {
+        let r = aws().run_burst(&BurstSpec::new(work(), 200, 1).with_seed(3)).unwrap();
+        assert_eq!(r.instances.len(), 200);
+        for rec in &r.instances {
+            assert!(rec.scheduled_at >= 0.0);
+            assert!(rec.built_at >= rec.scheduled_at);
+            assert!(rec.shipped_at >= rec.built_at);
+            assert!(rec.started_at >= rec.shipped_at);
+            assert!(rec.finished_at > rec.started_at);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = aws().run_burst(&BurstSpec::new(work(), 100, 2).with_seed(9)).unwrap();
+        let b = aws().run_burst(&BurstSpec::new(work(), 100, 2).with_seed(9)).unwrap();
+        assert_eq!(a, b);
+        let c = aws().run_burst(&BurstSpec::new(work(), 100, 2).with_seed(10)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scaling_time_grows_superlinearly_with_concurrency() {
+        let p = aws();
+        let s500 = p.run_burst(&BurstSpec::new(work(), 500, 1)).unwrap().scaling_time();
+        let s2000 = p.run_burst(&BurstSpec::new(work(), 2000, 1)).unwrap().scaling_time();
+        let s5000 = p.run_burst(&BurstSpec::new(work(), 5000, 1)).unwrap().scaling_time();
+        assert!(s2000 > 4.0 * s500, "quadratic term should dominate: {s500} {s2000}");
+        assert!(s5000 > 2.0 * s2000, "{s2000} {s5000}");
+    }
+
+    #[test]
+    fn scaling_dominates_service_time_at_high_concurrency() {
+        // Fig. 1: > 80 % of service time is scaling at C = 5000.
+        let r = aws().run_burst(&BurstSpec::new(work(), 5000, 1)).unwrap();
+        assert!(r.scaling_fraction() > 0.8, "fraction = {}", r.scaling_fraction());
+    }
+
+    #[test]
+    fn exec_time_flat_in_concurrency() {
+        // Fig. 5a: mean execution time varies < 5 % from C = 500 to 5000.
+        let p = aws();
+        let m500 =
+            p.run_burst(&BurstSpec::new(work(), 500, 1)).unwrap().exec_summary().mean();
+        let m5000 =
+            p.run_burst(&BurstSpec::new(work(), 5000, 1)).unwrap().exec_summary().mean();
+        assert!((m500 - m5000).abs() / m500 < 0.05, "{m500} vs {m5000}");
+    }
+
+    #[test]
+    fn packing_reduces_scaling_time() {
+        // Fig. 6: at fixed C, scaling time falls with packing degree.
+        let p = aws();
+        let c = 2000u32;
+        let mut prev = f64::INFINITY;
+        for deg in [1u32, 2, 5, 10, 20] {
+            let spec = BurstSpec::packed(work(), c, deg);
+            let s = p.run_burst(&spec).unwrap().scaling_time();
+            assert!(s < prev, "scaling at degree {deg} = {s} not smaller");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn packing_increases_exec_time() {
+        let p = aws();
+        let e1 = p.run_burst(&BurstSpec::new(work(), 50, 1)).unwrap().exec_summary().mean();
+        let e10 = p.run_burst(&BurstSpec::new(work(), 50, 10)).unwrap().exec_summary().mean();
+        assert!(e10 > e1);
+    }
+
+    #[test]
+    fn warm_instances_start_faster() {
+        let p = aws();
+        let cold = p.run_burst(&BurstSpec::new(work(), 500, 1).with_seed(4)).unwrap();
+        let warm = p
+            .run_burst(&BurstSpec::new(work(), 500, 1).with_seed(4).with_warm_fraction(1.0))
+            .unwrap();
+        assert!(warm.scaling_time() < cold.scaling_time());
+        assert!(warm.instances.iter().all(|r| r.warm));
+    }
+
+    #[test]
+    fn memory_limit_enforced() {
+        let heavy = WorkProfile::synthetic("heavy", 3.0, 10.0);
+        let err = aws().run_burst(&BurstSpec::new(heavy, 10, 4)).unwrap_err();
+        assert!(matches!(err, PlatformError::MemoryLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn execution_cap_enforced() {
+        let slow = WorkProfile::synthetic("slow", 0.25, 800.0).with_contention(0.5);
+        // Degree 1 fits under 900 s; degree 10 explodes past it.
+        assert!(aws().run_burst(&BurstSpec::new(slow.clone(), 10, 1)).is_ok());
+        let err = aws().run_burst(&BurstSpec::new(slow, 10, 10)).unwrap_err();
+        assert!(matches!(err, PlatformError::ExecutionTimeout { .. }));
+    }
+
+    #[test]
+    fn empty_burst_rejected() {
+        assert!(matches!(
+            aws().run_burst(&BurstSpec::new(work(), 0, 1)),
+            Err(PlatformError::EmptyBurst)
+        ));
+        assert!(matches!(
+            aws().run_burst(&BurstSpec::new(work(), 10, 0)),
+            Err(PlatformError::EmptyBurst)
+        ));
+    }
+
+    #[test]
+    fn service_time_metrics_ordered() {
+        let r = aws().run_burst(&BurstSpec::new(work(), 1000, 1)).unwrap();
+        let total = r.service_time(Percentile::Total);
+        let tail = r.service_time(Percentile::Tail95);
+        let med = r.service_time(Percentile::Median);
+        assert!(total >= tail && tail >= med && med > 0.0);
+    }
+
+    #[test]
+    fn expense_independent_of_scaling() {
+        // Same exec profile at two very different concurrency levels must
+        // bill proportionally to instance count only.
+        let p = aws();
+        let e500 = p.run_burst(&BurstSpec::new(work(), 500, 1)).unwrap().expense.total_usd();
+        let e5000 =
+            p.run_burst(&BurstSpec::new(work(), 5000, 1)).unwrap().expense.total_usd();
+        let ratio = e5000 / e500;
+        assert!((ratio - 10.0).abs() < 0.2, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn nominal_exec_matches_instance_model() {
+        let p = aws();
+        let w = work();
+        assert_eq!(
+            p.nominal_exec_secs(&w, 7),
+            packed_exec_secs(&p.profile().instance, &w, 7)
+        );
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::profile::PlatformProfile;
+    use crate::work::WorkProfile;
+
+    #[test]
+    fn traced_burst_records_full_lifecycle() {
+        let p = PlatformProfile::aws_lambda().into_platform();
+        let spec = BurstSpec::new(WorkProfile::synthetic("w", 0.25, 10.0), 20, 1).with_seed(4);
+        let (report, trace) = p.run_burst_traced(&spec).unwrap();
+        // 5 stages per cold instance.
+        assert_eq!(trace.len(), 5 * 20);
+        for i in 0..20u64 {
+            let stages: Vec<&str> = trace.for_entity(i).map(|e| e.stage).collect();
+            assert_eq!(stages, vec!["scheduled", "built", "shipped", "started", "finished"]);
+            // Trace timestamps agree with the report's records.
+            let rec = &report.instances[i as usize];
+            assert_eq!(trace.when(i, "started").unwrap().as_secs(), rec.started_at);
+            assert_eq!(trace.when(i, "finished").unwrap().as_secs(), rec.finished_at);
+        }
+    }
+
+    #[test]
+    fn untraced_burst_matches_traced_report() {
+        // Tracing must be observation-only: identical timeline either way.
+        let p = PlatformProfile::aws_lambda().into_platform();
+        let spec = BurstSpec::new(WorkProfile::synthetic("w", 0.25, 10.0), 50, 2).with_seed(6);
+        let plain = p.run_burst(&spec).unwrap();
+        let (traced, trace) = p.run_burst_traced(&spec).unwrap();
+        assert_eq!(plain, traced);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn warm_instances_skip_build_and_ship_stages() {
+        let p = PlatformProfile::aws_lambda().into_platform();
+        let spec = BurstSpec::new(WorkProfile::synthetic("w", 0.25, 10.0), 10, 1)
+            .with_seed(8)
+            .with_warm_fraction(1.0);
+        let (_, trace) = p.run_burst_traced(&spec).unwrap();
+        assert_eq!(trace.at_stage("built").count(), 0);
+        assert_eq!(trace.at_stage("shipped").count(), 0);
+        assert_eq!(trace.at_stage("started").count(), 10);
+    }
+}
+
+#[cfg(test)]
+mod fleet_tests {
+    use super::*;
+    use crate::work::WorkProfile;
+
+    #[test]
+    fn oversized_burst_rejected_at_admission() {
+        // A fleet of 2000×16 slots admits at most 32 000 concurrent
+        // instances; beyond that the platform throttles.
+        let p = PlatformProfile::aws_lambda().into_platform();
+        let w = WorkProfile::synthetic("w", 0.25, 1.0);
+        let err = p.run_burst(&BurstSpec::new(w, 40_000, 1)).unwrap_err();
+        assert!(matches!(err, PlatformError::FleetSaturated { capacity: 32_000, .. }));
+    }
+
+    #[test]
+    fn small_fleet_saturates_small() {
+        let mut profile = PlatformProfile::aws_lambda();
+        profile.control.fleet_servers = 10;
+        profile.control.fleet_slots = 4;
+        let p = profile.into_platform();
+        let w = WorkProfile::synthetic("w", 0.25, 1.0);
+        assert!(p.run_burst(&BurstSpec::new(w.clone(), 40, 1)).is_ok());
+        assert!(matches!(
+            p.run_burst(&BurstSpec::new(w, 41, 1)),
+            Err(PlatformError::FleetSaturated { .. })
+        ));
+    }
+
+    #[test]
+    fn placements_spread_across_the_fleet() {
+        // Least-loaded placement keeps per-server occupancy near the
+        // theoretical minimum — the isolation that makes Fig. 5a's flat
+        // execution time possible.
+        let mut profile = PlatformProfile::aws_lambda();
+        profile.control.fleet_servers = 100;
+        profile.control.fleet_slots = 16;
+        let p = profile.into_platform();
+        let w = WorkProfile::synthetic("w", 0.25, 10.0);
+        // 400 instances over 100 servers → peak occupancy should be ~4.
+        let report = p.run_burst(&BurstSpec::new(w, 400, 1).with_seed(3)).unwrap();
+        assert_eq!(report.instances.len(), 400);
+    }
+}

@@ -1,0 +1,210 @@
+//! Run reports: everything an experiment needs to know about one burst.
+
+use crate::billing::Expense;
+use propack_stats::percentile::{quantile_sorted, Percentile};
+use propack_stats::Summary;
+use serde::{Deserialize, Serialize};
+
+/// Per-instance lifecycle timestamps (seconds since burst submission).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstanceRecord {
+    /// Instance index within the burst.
+    pub index: u32,
+    /// When the scheduler finished placing this instance.
+    pub scheduled_at: f64,
+    /// When its container/microVM finished building.
+    pub built_at: f64,
+    /// When the container arrived at its execution server.
+    pub shipped_at: f64,
+    /// When function code began executing (start of billing).
+    pub started_at: f64,
+    /// When execution finished (end of billing).
+    pub finished_at: f64,
+    /// Whether the instance skipped build+ship (warm container).
+    pub warm: bool,
+}
+
+impl InstanceRecord {
+    /// Billed execution duration.
+    pub fn exec_secs(&self) -> f64 {
+        self.finished_at - self.started_at
+    }
+}
+
+/// Scaling-time breakdown in the paper's Fig. 2 decomposition.
+///
+/// Components are measured as **per-stage aggregate service time** — the
+/// time the scheduler spent placing all instances, the image server spent
+/// building, the fabric spent shipping. The stages pipeline in the control
+/// plane, so end-to-end scaling time ([`ScalingBreakdown::total`]) is the
+/// measured last-instance start, not the sum of component times. Fig. 2's
+/// claim — each component grows with concurrency — holds for these
+/// aggregates (quadratic, linear, linear respectively).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ScalingBreakdown {
+    /// Scheduling time: submission → last placement decision (quadratic in
+    /// the instance count).
+    pub scheduling_secs: f64,
+    /// Start-up time: aggregate container-build service time (linear).
+    pub startup_secs: f64,
+    /// Shipping time: aggregate container-shipping service time (linear).
+    pub shipping_secs: f64,
+    /// Provisioning: additional end-to-end span from last container arrival
+    /// to last instance start (microVM boot + runtime init).
+    pub provisioning_secs: f64,
+    /// End-to-end scaling time: first-instance provision → last-instance
+    /// start, measured on the pipelined timeline (the paper's §1
+    /// definition).
+    pub total_secs: f64,
+}
+
+impl ScalingBreakdown {
+    /// End-to-end scaling time (time until the last instance starts,
+    /// including the first instance's provisioning delay — §1).
+    pub fn total(&self) -> f64 {
+        self.total_secs
+    }
+}
+
+/// The outcome of one burst.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Platform display name.
+    pub platform: String,
+    /// Workload display name.
+    pub workload: String,
+    /// Requested instance count (`C_eff`).
+    pub instances_requested: u32,
+    /// Packing degree used.
+    pub packing_degree: u32,
+    /// Per-instance lifecycle records, in instance order.
+    pub instances: Vec<InstanceRecord>,
+    /// Scaling-time decomposition.
+    pub scaling: ScalingBreakdown,
+    /// Itemized bill.
+    pub expense: Expense,
+}
+
+impl RunReport {
+    /// Scaling time: start of first instance to start of last instance plus
+    /// the provisioning delay of the first (§1). Since the burst is
+    /// submitted at t = 0, this is simply the latest start timestamp.
+    pub fn scaling_time(&self) -> f64 {
+        self.instances.iter().map(|i| i.started_at).fold(0.0, f64::max)
+    }
+
+    /// Service time at the given figure of merit: completion time of all /
+    /// first 95 % / first 50 % of instances (§3).
+    pub fn service_time(&self, metric: Percentile) -> f64 {
+        let mut finishes: Vec<f64> = self.instances.iter().map(|i| i.finished_at).collect();
+        finishes.sort_by(f64::total_cmp);
+        if finishes.is_empty() {
+            return 0.0;
+        }
+        quantile_sorted(&finishes, metric.quantile())
+    }
+
+    /// Total service time (completion of all instances).
+    pub fn total_service_time(&self) -> f64 {
+        self.service_time(Percentile::Total)
+    }
+
+    /// Summary of per-instance execution durations.
+    pub fn exec_summary(&self) -> Summary {
+        let secs: Vec<f64> = self.instances.iter().map(|i| i.exec_secs()).collect();
+        Summary::from_slice(&secs)
+    }
+
+    /// Sum of billed instance durations, in hours — the paper's Fig. 12
+    /// "function hours" metric (HPC node-hour-style accounting).
+    pub fn function_hours(&self) -> f64 {
+        self.instances.iter().map(|i| i.exec_secs()).sum::<f64>() / 3600.0
+    }
+
+    /// Fraction of total service time spent scaling (Fig. 1's metric).
+    pub fn scaling_fraction(&self) -> f64 {
+        let total = self.total_service_time();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.scaling_time() / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(i: u32, start: f64, finish: f64) -> InstanceRecord {
+        InstanceRecord {
+            index: i,
+            scheduled_at: start * 0.25,
+            built_at: start * 0.5,
+            shipped_at: start * 0.75,
+            started_at: start,
+            finished_at: finish,
+            warm: false,
+        }
+    }
+
+    fn report() -> RunReport {
+        RunReport {
+            platform: "test".into(),
+            workload: "w".into(),
+            instances_requested: 4,
+            packing_degree: 1,
+            instances: vec![
+                record(0, 0.0, 10.0),
+                record(1, 1.0, 11.0),
+                record(2, 2.0, 12.0),
+                record(3, 8.0, 18.0),
+            ],
+            scaling: ScalingBreakdown {
+                scheduling_secs: 4.0,
+                startup_secs: 2.0,
+                shipping_secs: 1.0,
+                provisioning_secs: 1.0,
+                total_secs: 8.0,
+            },
+            expense: Expense::default(),
+        }
+    }
+
+    #[test]
+    fn scaling_time_is_last_start() {
+        assert_eq!(report().scaling_time(), 8.0);
+    }
+
+    #[test]
+    fn breakdown_total_is_end_to_end() {
+        let r = report();
+        assert_eq!(r.scaling.total(), 8.0);
+        assert_eq!(r.scaling.total(), r.scaling_time());
+    }
+
+    #[test]
+    fn service_time_percentiles_ordered() {
+        let r = report();
+        let total = r.service_time(Percentile::Total);
+        let tail = r.service_time(Percentile::Tail95);
+        let med = r.service_time(Percentile::Median);
+        assert_eq!(total, 18.0);
+        assert!(total >= tail && tail >= med);
+    }
+
+    #[test]
+    fn function_hours() {
+        let r = report();
+        // 4 instances × 10 s each = 40 s.
+        assert!((r.function_hours() - 40.0 / 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_fraction_in_unit_interval() {
+        let r = report();
+        let f = r.scaling_fraction();
+        assert!(f > 0.0 && f < 1.0);
+        assert!((f - 8.0 / 18.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,130 @@
+//! Work profiles: what the simulator needs to know about one serverless
+//! function of an application.
+//!
+//! A [`WorkProfile`] is the simulator-facing description of a benchmark
+//! function: memory footprint (`M_func`), isolated execution time, how
+//! aggressively co-packed copies contend (per-GB contention rate — the α of
+//! the paper's Eq. 1 emerges as `contention_per_gb`), and its storage /
+//! network traffic for billing. The real compute kernels behind these
+//! profiles live in `propack-workloads`.
+
+use serde::{Deserialize, Serialize};
+
+/// Simulator-facing description of one function of an application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkProfile {
+    /// Application name (figure labels).
+    pub name: String,
+    /// Peak memory consumed by a single function during execution, in GB —
+    /// `M_func` in the paper's Table 1, known a priori by running the
+    /// function once (§2.1).
+    pub mem_gb: f64,
+    /// Execution time of the function in an unpacked instance, in seconds
+    /// (§4: "each function instance executed for approximately 100
+    /// seconds").
+    pub base_exec_secs: f64,
+    /// Contention rate per GB of co-resident footprint: packing `P` copies
+    /// multiplies execution time by ≈ `exp(contention_per_gb · mem_gb ·
+    /// (P−1))`. This is the *mechanistic* source of the paper's
+    /// application-specific α (Eq. 1, Fig. 4); compute-bound codes
+    /// (Smith-Waterman) have high rates, I/O-heavy codes low rates.
+    pub contention_per_gb: f64,
+    /// Object-storage volume written+read per function, in GB (S3 in §3).
+    pub storage_gb: f64,
+    /// Object-storage requests issued per function.
+    pub storage_requests: u64,
+    /// Data exchanged with other functions per function, in GB. Billed per
+    /// GB on Google/Azure; free within one instance when functions are
+    /// packed together (Fig. 21).
+    pub network_gb: f64,
+    /// Runtime/dependency initialization on a cold container, in seconds
+    /// (e.g. loading the MXNET model for Video). Part of provisioning —
+    /// not billed in the paper's era — and skipped by warm containers,
+    /// which is the cold-start optimization Pywren's instance reuse
+    /// targets (§4). Loaded once per instance regardless of packing.
+    pub dependency_load_secs: f64,
+}
+
+impl WorkProfile {
+    /// A minimal synthetic profile (used by tests, probes, and the
+    /// scaling-time estimator, which never executes real code).
+    pub fn synthetic(name: &str, mem_gb: f64, base_exec_secs: f64) -> Self {
+        WorkProfile {
+            name: name.to_string(),
+            mem_gb,
+            base_exec_secs,
+            contention_per_gb: 0.05,
+            storage_gb: 0.0,
+            storage_requests: 0,
+            network_gb: 0.0,
+            dependency_load_secs: 0.0,
+        }
+    }
+
+    /// The maximum packing degree this function admits on an instance with
+    /// `platform_mem_gb` of memory: `P_max = M_platform / M_func` (§2.1).
+    pub fn max_packing_degree(&self, platform_mem_gb: f64) -> u32 {
+        if self.mem_gb <= 0.0 {
+            return 1;
+        }
+        ((platform_mem_gb / self.mem_gb).floor() as u32).max(1)
+    }
+
+    /// Builder-style setter for storage traffic.
+    pub fn with_storage(mut self, gb: f64, requests: u64) -> Self {
+        self.storage_gb = gb;
+        self.storage_requests = requests;
+        self
+    }
+
+    /// Builder-style setter for inter-function network traffic.
+    pub fn with_network(mut self, gb: f64) -> Self {
+        self.network_gb = gb;
+        self
+    }
+
+    /// Builder-style setter for the contention rate.
+    pub fn with_contention(mut self, per_gb: f64) -> Self {
+        self.contention_per_gb = per_gb;
+        self
+    }
+
+    /// Builder-style setter for cold-container dependency-load time.
+    pub fn with_dependency_load(mut self, secs: f64) -> Self {
+        self.dependency_load_secs = secs;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_packing_degree_floor() {
+        let w = WorkProfile::synthetic("w", 0.25, 100.0);
+        assert_eq!(w.max_packing_degree(10.0), 40);
+        let w2 = WorkProfile::synthetic("w", 0.66, 100.0);
+        assert_eq!(w2.max_packing_degree(10.0), 15);
+        let w3 = WorkProfile::synthetic("w", 12.0, 100.0);
+        assert_eq!(w3.max_packing_degree(10.0), 1, "oversized function still runs solo");
+    }
+
+    #[test]
+    fn zero_memory_degenerates_to_one() {
+        let w = WorkProfile::synthetic("w", 0.0, 1.0);
+        assert_eq!(w.max_packing_degree(10.0), 1);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let w = WorkProfile::synthetic("w", 0.5, 60.0)
+            .with_storage(0.1, 4)
+            .with_network(0.05)
+            .with_contention(0.09);
+        assert_eq!(w.storage_gb, 0.1);
+        assert_eq!(w.storage_requests, 4);
+        assert_eq!(w.network_gb, 0.05);
+        assert_eq!(w.contention_per_gb, 0.09);
+    }
+}

@@ -1,0 +1,236 @@
+//! Heterogeneous packing: planning mixed-application instances.
+//!
+//! §5 of the paper flags this as the natural extension ProPack does not yet
+//! ship: *"packing functions of different characteristics present new
+//! modeling challenges — ProPack can be extended to account for those."*
+//! This module is that extension, restricted (as the paper's security
+//! discussion requires) to a **single user** co-packing their own
+//! applications.
+//!
+//! ## Model
+//!
+//! The platform's mixed mechanism (`propack_platform::mixed`) says a
+//! type-`i` function co-resident with `n_j` copies of each application `j`
+//! runs at
+//!
+//! ```text
+//! ET_i = isolated_i · exp( Σ_j n_j·rate_j − rate_i )
+//! ```
+//!
+//! With Eq. 1's fitted form `ET_i(P) = base_i·e^{rate_i·P}` (so
+//! `isolated_i = base_i·e^{rate_i}`), this collapses to the pleasantly
+//! symmetric prediction
+//!
+//! ```text
+//! ET_i(mix) = base_i · exp( n_a·rate_a + n_b·rate_b )
+//! ```
+//!
+//! which degenerates to the homogeneous Eq. 1 when only one application is
+//! present — meaning the *existing* per-app profiling campaigns are enough
+//! to plan mixes; no joint profiling is required.
+
+use crate::interference::InterferenceModel;
+use crate::scaling::ScalingModel;
+use serde::{Deserialize, Serialize};
+
+/// One application's demand in a mixed-planning problem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppDemand {
+    /// Application name (for reporting).
+    pub name: String,
+    /// Fitted Eq. 1 for this application.
+    pub interference: InterferenceModel,
+    /// Requested concurrency (functions to run).
+    pub concurrency: u32,
+    /// Per-function memory (GB).
+    pub mem_gb: f64,
+}
+
+/// A mixed-instance plan for two applications.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MixedPlan {
+    /// Copies of app A per instance.
+    pub n_a: u32,
+    /// Copies of app B per instance.
+    pub n_b: u32,
+    /// Instances to spawn.
+    pub instances: u32,
+    /// Predicted execution time of an A function (seconds).
+    pub exec_a_secs: f64,
+    /// Predicted execution time of a B function (seconds).
+    pub exec_b_secs: f64,
+    /// Predicted total service time (slowest app + scaling).
+    pub service_secs: f64,
+    /// Predicted compute expense (USD).
+    pub expense_usd: f64,
+}
+
+/// Predicted execution time of `which` (0 = A, 1 = B) inside an
+/// `(n_a, n_b)` mix.
+pub fn exec_in_mix(
+    a: &InterferenceModel,
+    b: &InterferenceModel,
+    n_a: u32,
+    n_b: u32,
+    which: usize,
+) -> f64 {
+    let pressure = n_a as f64 * a.rate + n_b as f64 * b.rate;
+    let base = if which == 0 { a.base } else { b.base };
+    base * pressure.exp()
+}
+
+/// Search mixed compositions for two co-packed applications.
+///
+/// Both apps spawn inside the **same** instance fleet; the fleet size is
+/// driven by the app needing more instances:
+/// `instances = max(ceil(C_a/n_a), ceil(C_b/n_b))`. The objective is a
+/// scale-free equal-weight joint score `ln(service) + ln(expense)`
+/// (monotone in both, so single-objective orderings are preserved).
+///
+/// Returns `None` only when even `(1, 1)` violates the memory cap.
+pub fn plan_mixed(
+    a: &AppDemand,
+    b: &AppDemand,
+    scaling: &ScalingModel,
+    platform_mem_gb: f64,
+    usd_per_instance_sec: f64,
+) -> Option<MixedPlan> {
+    let mut best: Option<MixedPlan> = None;
+    let max_a = (platform_mem_gb / a.mem_gb).floor() as u32;
+    for n_a in 1..=max_a.max(1) {
+        let mem_left = platform_mem_gb - n_a as f64 * a.mem_gb;
+        if mem_left < b.mem_gb {
+            continue;
+        }
+        let max_b = (mem_left / b.mem_gb).floor() as u32;
+        for n_b in 1..=max_b {
+            let instances = (a.concurrency.div_ceil(n_a)).max(b.concurrency.div_ceil(n_b));
+            let exec_a = exec_in_mix(&a.interference, &b.interference, n_a, n_b, 0);
+            let exec_b = exec_in_mix(&a.interference, &b.interference, n_a, n_b, 1);
+            let slowest = exec_a.max(exec_b);
+            let service = slowest + scaling.scaling_secs(instances as f64);
+            let expense = slowest * instances as f64 * usd_per_instance_sec;
+            let candidate = MixedPlan {
+                n_a,
+                n_b,
+                instances,
+                exec_a_secs: exec_a,
+                exec_b_secs: exec_b,
+                service_secs: service,
+                expense_usd: expense,
+            };
+            let better = match &best {
+                None => true,
+                Some(cur) => {
+                    score(service, expense) < score(cur.service_secs, cur.expense_usd)
+                }
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+    }
+    best
+}
+
+fn score(service: f64, expense: f64) -> f64 {
+    service.ln() + expense.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(base_isolated: f64, rate: f64, mem: f64) -> InterferenceModel {
+        // Eq. 1 form: ET(P) = base·e^{rate·P} with ET(1) = base_isolated.
+        InterferenceModel { base: base_isolated / rate.exp(), rate, mem_gb: mem, rmse: 0.0 }
+    }
+
+    fn demand(name: &str, base: f64, rate: f64, mem: f64, c: u32) -> AppDemand {
+        AppDemand { name: name.into(), interference: model(base, rate, mem), concurrency: c, mem_gb: mem }
+    }
+
+    fn scaling() -> ScalingModel {
+        ScalingModel { beta1: 2.25e-5, beta2: 0.2, beta3: 2.0, r_squared: 1.0 }
+    }
+
+    #[test]
+    fn mix_prediction_degenerates_to_homogeneous() {
+        let a = model(100.0, 0.05, 0.25);
+        let b = model(80.0, 0.09, 0.64);
+        for n in 1..=10u32 {
+            let mixed = exec_in_mix(&a, &b, n, 0, 0);
+            let homo = a.exec_secs(n);
+            assert!((mixed - homo).abs() / homo < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn cross_pressure_slows_both_apps() {
+        let a = model(100.0, 0.05, 0.25);
+        let b = model(80.0, 0.09, 0.64);
+        let a_alone = exec_in_mix(&a, &b, 4, 0, 0);
+        let a_mixed = exec_in_mix(&a, &b, 4, 3, 0);
+        assert!(a_mixed > a_alone);
+        let b_alone = exec_in_mix(&a, &b, 0, 3, 1);
+        let b_mixed = exec_in_mix(&a, &b, 4, 3, 1);
+        assert!(b_mixed > b_alone);
+    }
+
+    #[test]
+    fn plan_respects_memory_cap() {
+        let a = demand("a", 100.0, 0.05, 0.25, 2000);
+        let b = demand("b", 80.0, 0.09, 0.64, 2000);
+        let plan = plan_mixed(&a, &b, &scaling(), 10.0, 1.67e-4).unwrap();
+        assert!(plan.n_a as f64 * 0.25 + plan.n_b as f64 * 0.64 <= 10.0 + 1e-9);
+        assert!(plan.n_a >= 1 && plan.n_b >= 1);
+        assert!(plan.instances >= 1);
+    }
+
+    #[test]
+    fn plan_packs_more_at_higher_concurrency() {
+        let mk = |c| {
+            let a = demand("a", 100.0, 0.05, 0.25, c);
+            let b = demand("b", 80.0, 0.09, 0.64, c);
+            plan_mixed(&a, &b, &scaling(), 10.0, 1.67e-4).unwrap()
+        };
+        let low = mk(200);
+        let high = mk(5000);
+        assert!(
+            high.n_a + high.n_b >= low.n_a + low.n_b,
+            "total degree should not shrink with concurrency: {low:?} vs {high:?}"
+        );
+    }
+
+    #[test]
+    fn oversized_apps_unplannable() {
+        let a = demand("a", 100.0, 0.05, 6.0, 100);
+        let b = demand("b", 80.0, 0.09, 6.0, 100);
+        assert!(plan_mixed(&a, &b, &scaling(), 10.0, 1.67e-4).is_none());
+    }
+
+    #[test]
+    fn plan_predictions_match_platform_mechanism() {
+        // End-to-end consistency: predictions from fitted models must match
+        // the platform's mixed-instance execution times.
+        use propack_platform::mixed::{mixed_exec_secs, MixSpec};
+        use propack_platform::profile::PlatformProfile;
+        use propack_platform::WorkProfile;
+
+        let wa = WorkProfile::synthetic("a", 0.25, 100.0).with_contention(0.2); // rate .05
+        let wb = WorkProfile::synthetic("b", 0.64, 80.0).with_contention(0.1406); // rate .09
+        let inst = PlatformProfile::aws_lambda().instance;
+
+        let ma = model(100.0, 0.05, 0.25);
+        let mb = model(80.0, 0.08998, 0.64);
+        let mix = MixSpec::pair((wa, 4), (wb, 2));
+        // Compare only interference factors (platform adds timeslice +
+        // jitter-free colocation=1.0; degree 6 = cores so no timeslice).
+        let platform_a = mixed_exec_secs(&inst, &mix, 0);
+        let predicted_a = exec_in_mix(&ma, &mb, 4, 2, 0);
+        assert!(
+            (platform_a - predicted_a).abs() / platform_a < 0.01,
+            "{platform_a} vs {predicted_a}"
+        );
+    }
+}

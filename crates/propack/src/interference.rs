@@ -1,0 +1,139 @@
+//! The interference model: Eq. 1 of the paper.
+//!
+//! `ET(P) = e^{M_func·α·P}` — the execution time of a function instance
+//! grows exponentially with the packing degree, with an application-
+//! specific rate proportional to the function's memory footprint. ProPack
+//! fits this by log-linear least squares over profiling samples at a subset
+//! of packing degrees (the curve is monotone, so alternate degrees suffice
+//! — §2.1's sampling trick, implemented in [`crate::profiler`]).
+
+use crate::ModelError;
+use propack_stats::models::{fit, ModelKind};
+use serde::{Deserialize, Serialize};
+
+/// One profiling observation: mean instance execution time at a degree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterferenceSample {
+    /// Packing degree the instance ran at.
+    pub packing_degree: u32,
+    /// Observed mean execution time (seconds).
+    pub exec_secs: f64,
+}
+
+/// Fitted Eq. 1: `ET(P) = base · e^{rate·P}`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterferenceModel {
+    /// Multiplicative constant `A = e^{intercept}`.
+    pub base: f64,
+    /// Exponential rate `k = M_func · α` per unit packing degree.
+    pub rate: f64,
+    /// Function memory footprint used to derive α (GB).
+    pub mem_gb: f64,
+    /// RMSE of the fit on the training samples.
+    pub rmse: f64,
+}
+
+impl InterferenceModel {
+    /// Fit the model from profiling samples (needs ≥ 2 distinct degrees).
+    pub fn fit(samples: &[InterferenceSample], mem_gb: f64) -> Result<Self, ModelError> {
+        if samples.len() < 2 {
+            return Err(ModelError::NotEnoughSamples { needed: 2, got: samples.len() });
+        }
+        let xs: Vec<f64> = samples.iter().map(|s| s.packing_degree as f64).collect();
+        let ys: Vec<f64> = samples.iter().map(|s| s.exec_secs).collect();
+        let f = fit(ModelKind::Exponential, &xs, &ys)?;
+        Ok(InterferenceModel { base: f.params[0], rate: f.params[1], mem_gb, rmse: f.rmse })
+    }
+
+    /// Predicted execution time at packing degree `p` (Eq. 1).
+    pub fn exec_secs(&self, p: u32) -> f64 {
+        self.base * (self.rate * p as f64).exp()
+    }
+
+    /// The paper's α: the rate normalized by the memory footprint.
+    pub fn alpha(&self) -> f64 {
+        if self.mem_gb > 0.0 {
+            self.rate / self.mem_gb
+        } else {
+            self.rate
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples_from_curve(base: f64, rate: f64, degrees: &[u32]) -> Vec<InterferenceSample> {
+        degrees
+            .iter()
+            .map(|&p| InterferenceSample {
+                packing_degree: p,
+                exec_secs: base * (rate * p as f64).exp(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_planted_exponential() {
+        let s = samples_from_curve(95.0, 0.05, &[1, 3, 5, 7, 9, 11]);
+        let m = InterferenceModel::fit(&s, 0.25).unwrap();
+        assert!((m.base - 95.0).abs() < 1e-6);
+        assert!((m.rate - 0.05).abs() < 1e-9);
+        assert!((m.alpha() - 0.2).abs() < 1e-8);
+        assert!(m.rmse < 1e-6);
+    }
+
+    #[test]
+    fn alternate_degree_sampling_suffices() {
+        // The §2.1 trick: fitting on every other degree predicts the
+        // skipped degrees accurately because the curve is monotone
+        // exponential.
+        let all: Vec<u32> = (1..=15).collect();
+        let odd: Vec<u32> = all.iter().copied().filter(|p| p % 2 == 1).collect();
+        let s = samples_from_curve(100.0, 0.09, &odd);
+        let m = InterferenceModel::fit(&s, 0.64).unwrap();
+        for &p in &all {
+            let want = 100.0 * (0.09 * p as f64).exp();
+            assert!((m.exec_secs(p) - want).abs() / want < 1e-9, "degree {p}");
+        }
+    }
+
+    #[test]
+    fn prediction_monotone_in_degree() {
+        let s = samples_from_curve(100.0, 0.07, &[1, 2, 4, 8]);
+        let m = InterferenceModel::fit(&s, 0.33).unwrap();
+        let mut prev = 0.0;
+        for p in 1..=30 {
+            let t = m.exec_secs(p);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn noisy_samples_fit_within_tolerance() {
+        let mut s = samples_from_curve(100.0, 0.06, &[1, 3, 5, 7, 9, 11, 13]);
+        for (i, sample) in s.iter_mut().enumerate() {
+            sample.exec_secs *= 1.0 + 0.015 * if i % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        let m = InterferenceModel::fit(&s, 0.25).unwrap();
+        assert!((m.rate - 0.06).abs() < 0.01, "rate {}", m.rate);
+    }
+
+    #[test]
+    fn too_few_samples_rejected() {
+        let s = samples_from_curve(100.0, 0.05, &[1]);
+        assert!(matches!(
+            InterferenceModel::fit(&s, 0.25),
+            Err(ModelError::NotEnoughSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_mem_alpha_falls_back_to_rate() {
+        let s = samples_from_curve(10.0, 0.1, &[1, 2, 3]);
+        let m = InterferenceModel::fit(&s, 0.0).unwrap();
+        assert_eq!(m.alpha(), m.rate);
+    }
+}

@@ -1,0 +1,98 @@
+//! ProPack: the paper's core contribution.
+//!
+//! ProPack determines, for an application that wants `C` concurrent
+//! serverless functions, the optimal number of functions to *pack* into
+//! each function instance. It decomposes the problem exactly as §2 of the
+//! paper does:
+//!
+//! 1. **Performance interference estimation** ([`interference`]) — fit
+//!    `ET(P) = A·e^{k·P}` (Eq. 1) from a handful of low-concurrency
+//!    profiling runs, sampling alternate packing degrees;
+//! 2. **Service-time modeling** ([`scaling`], [`model`]) — fit the
+//!    application-independent scaling-time polynomial
+//!    `β₁·C_eff² + β₂·C_eff − β₃` (Eq. 2) from ~10 cheap probe bursts, then
+//!    `S(P) = ET(P) + ScalingTime(C/P)` (Eq. 3);
+//! 3. **Cost modeling** ([`model`]) — `E(P) = ET(P)·R·(C/P)` (Eq. 4) plus
+//!    the request/storage/network components the bill actually contains;
+//! 4. **Joint optimization** ([`optimizer`]) — minimize
+//!    `W_S·ΔS + W_E·ΔE` (Eqs. 5–7), with a QoS-aware weight search
+//!    ([`qos`], Eqs. 8–9) for tail-latency-bound applications;
+//! 5. **Validation** ([`validate`]) — the Pearson χ² goodness-of-fit
+//!    acceptance of §2.4.
+//!
+//! The [`propack::Propack`] front-end ties it together: `Propack::build`
+//! profiles an application on any [`ServerlessPlatform`](propack_platform::ServerlessPlatform), accounting for
+//! every probe run's cost as overhead (the paper includes this overhead in
+//! all results), and `plan` / `execute` select and run the optimal packing.
+//!
+//! ```
+//! use propack_model::propack::{Propack, ProPackConfig};
+//! use propack_model::optimizer::Objective;
+//! use propack_platform::{profile::PlatformProfile, WorkProfile};
+//!
+//! let platform = PlatformProfile::aws_lambda().into_platform();
+//! let work = WorkProfile::synthetic("app", 0.25, 100.0).with_contention(0.2);
+//! let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
+//! let plan = pp.plan(5000, Objective::default());
+//! assert!(plan.packing_degree > 1, "high concurrency must pack");
+//! ```
+
+pub mod hetero;
+pub mod interference;
+pub mod model;
+pub mod optimizer;
+pub mod persist;
+pub mod profiler;
+pub mod propack;
+pub mod qos;
+pub mod scaling;
+pub mod validate;
+
+pub use interference::InterferenceModel;
+pub use model::PackingModel;
+pub use optimizer::{Objective, PackingPlan};
+pub use propack::{ProPackConfig, Propack};
+pub use scaling::ScalingModel;
+
+/// Errors from model building and planning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The statistics layer rejected a fit.
+    Fit(propack_stats::StatsError),
+    /// The platform rejected a profiling burst.
+    Platform(propack_platform::PlatformError),
+    /// Not enough profiling samples to fit the requested model.
+    NotEnoughSamples { needed: usize, got: usize },
+    /// No objective weight satisfies the QoS bound (Eq. 9 infeasible).
+    QosInfeasible { bound_secs: f64, best_tail_secs: f64 },
+}
+
+impl From<propack_stats::StatsError> for ModelError {
+    fn from(e: propack_stats::StatsError) -> Self {
+        ModelError::Fit(e)
+    }
+}
+
+impl From<propack_platform::PlatformError> for ModelError {
+    fn from(e: propack_platform::PlatformError) -> Self {
+        ModelError::Platform(e)
+    }
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::Fit(e) => write!(f, "model fit failed: {e}"),
+            ModelError::Platform(e) => write!(f, "profiling burst failed: {e}"),
+            ModelError::NotEnoughSamples { needed, got } => {
+                write!(f, "not enough profiling samples: needed {needed}, got {got}")
+            }
+            ModelError::QosInfeasible { bound_secs, best_tail_secs } => write!(
+                f,
+                "QoS bound of {bound_secs:.1}s unreachable: best achievable tail is {best_tail_secs:.1}s"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -1,0 +1,226 @@
+//! The combined packing model: Eqs. 3 and 4 of the paper.
+//!
+//! [`PackingModel`] joins the fitted interference model (Eq. 1), the fitted
+//! scaling model (Eq. 2), and the platform's price sheet into closed-form
+//! predictors of **service time** and **expense** at any packing degree —
+//! which is what lets ProPack pick the optimal degree *analytically*,
+//! without running the application at every degree or at high concurrency
+//! (§2.2: "without needing to run the application at every packing degree
+//! or at high concurrency levels").
+
+use crate::interference::InterferenceModel;
+use crate::scaling::ScalingModel;
+use propack_platform::billing::PACKED_EGRESS_RESIDUAL;
+use propack_platform::profile::PriceSheet;
+use propack_platform::WorkProfile;
+use propack_stats::percentile::Percentile;
+use serde::{Deserialize, Serialize};
+
+/// Price-sheet constants folded into per-instance / per-function terms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostFactors {
+    /// `R`: USD per second of one executing instance (instances are
+    /// configured at the platform's maximum memory, §3, so `R` is constant
+    /// across packing degrees — the assumption behind Eq. 4).
+    pub usd_per_instance_sec: f64,
+    /// Invocation fee per instance.
+    pub usd_per_instance: f64,
+    /// Storage fees per function (independent of packing).
+    pub usd_per_function_storage: f64,
+    /// Network fee per function when unpacked.
+    pub usd_per_function_network: f64,
+    /// Network fee per function when packed (most traffic stays local).
+    pub usd_per_function_network_packed: f64,
+}
+
+impl CostFactors {
+    /// Derive the factors from a platform price sheet and a work profile.
+    pub fn derive(prices: &PriceSheet, work: &WorkProfile, billed_mem_gb: f64) -> Self {
+        CostFactors {
+            usd_per_instance_sec: billed_mem_gb * prices.usd_per_gb_sec,
+            usd_per_instance: prices.usd_per_request,
+            usd_per_function_storage: work.storage_requests as f64
+                * prices.usd_per_storage_request
+                + work.storage_gb * prices.usd_per_storage_gb,
+            usd_per_function_network: work.network_gb * prices.usd_per_network_gb,
+            usd_per_function_network_packed: work.network_gb
+                * PACKED_EGRESS_RESIDUAL
+                * prices.usd_per_network_gb,
+        }
+    }
+}
+
+/// Model prediction at one packing degree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegreePrediction {
+    /// The packing degree.
+    pub packing_degree: u32,
+    /// Predicted instance execution time (Eq. 1).
+    pub exec_secs: f64,
+    /// Predicted service time (Eq. 3) at the requested figure of merit.
+    pub service_secs: f64,
+    /// Predicted expense (Eq. 4 + request/storage/network terms).
+    pub expense_usd: f64,
+}
+
+/// The complete analytical model for one application on one platform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PackingModel {
+    /// Fitted Eq. 1.
+    pub interference: InterferenceModel,
+    /// Fitted Eq. 2 (application-independent, reused across apps).
+    pub scaling: ScalingModel,
+    /// Billing constants.
+    pub cost: CostFactors,
+    /// Maximum feasible packing degree (memory cap, possibly tightened by
+    /// the execution-time cap discovered during profiling — §2.1's QoS
+    /// remark).
+    pub p_max: u32,
+}
+
+impl PackingModel {
+    /// Effective instance count for original concurrency `c` at degree `p`:
+    /// `C_eff = ceil(C / P)`.
+    pub fn instances(&self, c: u32, p: u32) -> u32 {
+        c.div_ceil(p.max(1))
+    }
+
+    /// Eq. 1: predicted execution time at degree `p`.
+    pub fn exec_secs(&self, p: u32) -> f64 {
+        self.interference.exec_secs(p)
+    }
+
+    /// Eq. 3's argument: predicted service time at concurrency `c`, degree
+    /// `p`, for the given figure of merit (total / tail / median — §3).
+    pub fn service_secs(&self, c: u32, p: u32, metric: Percentile) -> f64 {
+        let c_eff = self.instances(c, p) as f64;
+        self.exec_secs(p) + self.scaling.scaling_secs_quantile(c_eff, metric.quantile())
+    }
+
+    /// Eq. 4's argument (extended with the request, storage, and network
+    /// terms the real bill contains): predicted expense at concurrency `c`
+    /// and degree `p`.
+    pub fn expense_usd(&self, c: u32, p: u32) -> f64 {
+        let n = self.instances(c, p) as f64;
+        let functions = c as f64;
+        let exec = self.exec_secs(p);
+        let network = if p > 1 {
+            self.cost.usd_per_function_network_packed
+        } else {
+            self.cost.usd_per_function_network
+        };
+        n * (exec * self.cost.usd_per_instance_sec + self.cost.usd_per_instance)
+            + functions * (self.cost.usd_per_function_storage + network)
+    }
+
+    /// Predictions for every feasible degree `1..=p_max`.
+    pub fn sweep(&self, c: u32, metric: Percentile) -> Vec<DegreePrediction> {
+        (1..=self.p_max.max(1))
+            .map(|p| DegreePrediction {
+                packing_degree: p,
+                exec_secs: self.exec_secs(p),
+                service_secs: self.service_secs(c, p, metric),
+                expense_usd: self.expense_usd(c, p),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propack_platform::profile::PlatformProfile;
+
+    /// A hand-built model with the paper's calibration magnitudes.
+    pub(crate) fn paper_like_model() -> PackingModel {
+        PackingModel {
+            interference: InterferenceModel {
+                base: 100.0 / (0.05f64).exp(), // ET(1) = 100 s
+                rate: 0.05,
+                mem_gb: 0.25,
+                rmse: 0.0,
+            },
+            scaling: ScalingModel { beta1: 3.0e-5, beta2: 0.045, beta3: 2.0, r_squared: 1.0 },
+            cost: CostFactors::derive(
+                &PlatformProfile::aws_lambda().prices,
+                &WorkProfile::synthetic("w", 0.25, 100.0),
+                10.0,
+            ),
+            p_max: 40,
+        }
+    }
+
+    #[test]
+    fn instances_is_ceiling_division() {
+        let m = paper_like_model();
+        assert_eq!(m.instances(1000, 1), 1000);
+        assert_eq!(m.instances(1000, 7), 143);
+        assert_eq!(m.instances(1000, 40), 25);
+    }
+
+    #[test]
+    fn service_time_tradeoff_exists() {
+        // At C = 5000, degree 1 pays huge scaling; a packed degree is far
+        // better; the maximum degree over-packs (execution blows up
+        // relative to the scaling saved).
+        let m = paper_like_model();
+        let s1 = m.service_secs(5000, 1, Percentile::Total);
+        let s10 = m.service_secs(5000, 10, Percentile::Total);
+        assert!(s10 < 0.4 * s1, "packing must cut service time: {s1} → {s10}");
+        // And the curve turns back up by the memory cap.
+        let s40 = m.service_secs(5000, 40, Percentile::Total);
+        assert!(s40 > s10, "over-packing must cost: {s10} vs {s40}");
+    }
+
+    #[test]
+    fn expense_nonmonotone_in_degree() {
+        // Fig. 7: expense falls, bottoms out at P ≈ 1/rate = 20, then
+        // rises again.
+        let m = paper_like_model();
+        let e1 = m.expense_usd(1000, 1);
+        let e20 = m.expense_usd(1000, 20);
+        let e40 = m.expense_usd(1000, 40);
+        assert!(e20 < e1);
+        assert!(e40 > e20, "expense must turn back up: {e20} vs {e40}");
+    }
+
+    #[test]
+    fn expense_ignores_scaling_time() {
+        // Two models that differ only in scaling coefficients bill
+        // identically — queue wait is never billed (§2.3).
+        let mut a = paper_like_model();
+        let mut b = paper_like_model();
+        a.scaling.beta1 = 1e-3;
+        b.scaling.beta1 = 1e-9;
+        assert_eq!(a.expense_usd(2000, 5), b.expense_usd(2000, 5));
+    }
+
+    #[test]
+    fn metric_ordering() {
+        let m = paper_like_model();
+        let total = m.service_secs(3000, 4, Percentile::Total);
+        let tail = m.service_secs(3000, 4, Percentile::Tail95);
+        let med = m.service_secs(3000, 4, Percentile::Median);
+        assert!(total >= tail && tail >= med);
+    }
+
+    #[test]
+    fn sweep_covers_all_degrees() {
+        let m = paper_like_model();
+        let sweep = m.sweep(1000, Percentile::Total);
+        assert_eq!(sweep.len(), 40);
+        assert_eq!(sweep[0].packing_degree, 1);
+        assert_eq!(sweep[39].packing_degree, 40);
+    }
+
+    #[test]
+    fn cost_factors_reflect_platform_differences() {
+        let w = WorkProfile::synthetic("w", 0.25, 100.0).with_network(0.05);
+        let aws = CostFactors::derive(&PlatformProfile::aws_lambda().prices, &w, 10.0);
+        let gcf =
+            CostFactors::derive(&PlatformProfile::google_cloud_functions().prices, &w, 8.0);
+        assert_eq!(aws.usd_per_function_network, 0.0);
+        assert!(gcf.usd_per_function_network > 0.0);
+        assert!(gcf.usd_per_function_network_packed < gcf.usd_per_function_network);
+    }
+}

@@ -1,0 +1,235 @@
+//! The optimal-packing-degree optimizer: Eqs. 3–7 of the paper.
+//!
+//! Three objectives, matching the paper's evaluation modes (§3):
+//! * `ProPack (Service Time)` — Eq. 3, for deadline-bound workloads;
+//! * `ProPack (Expense)` — Eq. 4, for budget-bound workloads;
+//! * `ProPack` (joint, default) — Eqs. 5–7: minimize
+//!   `W_S·ΔS(P) + W_E·ΔE(P)` where ΔS/ΔE are fractional regressions from
+//!   each objective's own optimum and `W_S + W_E = 1` (default ½/½).
+
+use crate::model::PackingModel;
+use propack_stats::percentile::Percentile;
+use serde::{Deserialize, Serialize};
+
+/// What ProPack optimizes for.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimize service time only (Eq. 3) — "ProPack (Service Time)".
+    ServiceTime,
+    /// Minimize expense only (Eq. 4) — "ProPack (Expense)".
+    Expense,
+    /// Jointly minimize both (Eq. 7) with service-time weight `w_s`
+    /// (expense weight is `1 − w_s`).
+    Joint {
+        /// Service-time weight `W_S ∈ [0, 1]`.
+        w_s: f64,
+    },
+}
+
+impl Default for Objective {
+    /// The paper's default: equal weights (`W_S = W_E = 0.5`).
+    fn default() -> Self {
+        Objective::Joint { w_s: 0.5 }
+    }
+}
+
+impl Objective {
+    /// Display label matching the paper's figure legends.
+    pub fn label(&self) -> String {
+        match self {
+            Objective::ServiceTime => "ProPack (Service Time)".to_string(),
+            Objective::Expense => "ProPack (Expense)".to_string(),
+            Objective::Joint { w_s } if (*w_s - 0.5).abs() < 1e-12 => "ProPack".to_string(),
+            Objective::Joint { w_s } => format!("ProPack (W_S={w_s:.2})"),
+        }
+    }
+}
+
+/// The optimizer's decision for one `(concurrency, objective)` query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PackingPlan {
+    /// The chosen packing degree `P_opt`.
+    pub packing_degree: u32,
+    /// Effective instances to spawn (`C_eff = ceil(C / P_opt)`).
+    pub instances: u32,
+    /// Original concurrency requested.
+    pub concurrency: u32,
+    /// Model-predicted service time at the plan.
+    pub predicted_service_secs: f64,
+    /// Model-predicted expense at the plan.
+    pub predicted_expense_usd: f64,
+    /// Figure of merit used for service time.
+    pub metric: Percentile,
+}
+
+/// Eq. 3: the degree minimizing service time.
+pub fn optimal_degree_service(model: &PackingModel, c: u32, metric: Percentile) -> u32 {
+    argmin(model, |p| model.service_secs(c, p, metric))
+}
+
+/// Eq. 4: the degree minimizing expense.
+pub fn optimal_degree_expense(model: &PackingModel, c: u32) -> u32 {
+    argmin(model, |p| model.expense_usd(c, p))
+}
+
+/// Eqs. 5–7: the degree minimizing `W_S·ΔS + W_E·ΔE`.
+pub fn optimal_degree_joint(model: &PackingModel, c: u32, metric: Percentile, w_s: f64) -> u32 {
+    let w_s = w_s.clamp(0.0, 1.0);
+    let w_e = 1.0 - w_s;
+    let p_s = optimal_degree_service(model, c, metric);
+    let p_e = optimal_degree_expense(model, c);
+    let s_best = model.service_secs(c, p_s, metric);
+    let e_best = model.expense_usd(c, p_e);
+    argmin(model, |p| {
+        // Eq. 5 / Eq. 6: fractional change from each objective's optimum.
+        let ds = (model.service_secs(c, p, metric) - s_best) / s_best;
+        let de = (model.expense_usd(c, p) - e_best) / e_best;
+        w_s * ds + w_e * de
+    })
+}
+
+/// Produce the full plan for an objective.
+pub fn plan(model: &PackingModel, c: u32, objective: Objective, metric: Percentile) -> PackingPlan {
+    let p = match objective {
+        Objective::ServiceTime => optimal_degree_service(model, c, metric),
+        Objective::Expense => optimal_degree_expense(model, c),
+        Objective::Joint { w_s } => optimal_degree_joint(model, c, metric, w_s),
+    };
+    PackingPlan {
+        packing_degree: p,
+        instances: model.instances(c, p),
+        concurrency: c,
+        predicted_service_secs: model.service_secs(c, p, metric),
+        predicted_expense_usd: model.expense_usd(c, p),
+        metric,
+    }
+}
+
+/// Argmin over the feasible degrees `1..=p_max`; ties break toward the
+/// smaller degree (less interference risk for equal predicted value).
+fn argmin<F: Fn(u32) -> f64>(model: &PackingModel, f: F) -> u32 {
+    let mut best = (1u32, f64::INFINITY);
+    for p in 1..=model.p_max.max(1) {
+        let v = f(p);
+        if v < best.1 {
+            best = (p, v);
+        }
+    }
+    best.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interference::InterferenceModel;
+    use crate::model::CostFactors;
+    use crate::scaling::ScalingModel;
+    use propack_platform::profile::PlatformProfile;
+    use propack_platform::WorkProfile;
+
+    fn model() -> PackingModel {
+        PackingModel {
+            interference: InterferenceModel {
+                base: 100.0 / (0.05f64).exp(),
+                rate: 0.05,
+                mem_gb: 0.25,
+                rmse: 0.0,
+            },
+            scaling: ScalingModel { beta1: 3.0e-5, beta2: 0.045, beta3: 2.0, r_squared: 1.0 },
+            cost: CostFactors::derive(
+                &PlatformProfile::aws_lambda().prices,
+                &WorkProfile::synthetic("w", 0.25, 100.0),
+                10.0,
+            ),
+            p_max: 40,
+        }
+    }
+
+    #[test]
+    fn low_concurrency_prefers_low_degrees() {
+        // With little scaling pressure, packing mostly hurts.
+        let m = model();
+        let p = optimal_degree_service(&m, 50, Percentile::Total);
+        assert!(p <= 3, "degree {p} at C = 50");
+    }
+
+    #[test]
+    fn degree_grows_with_concurrency() {
+        // Fig. 8 observation (1): higher concurrency → higher oracle degree.
+        let m = model();
+        let degrees: Vec<u32> = [500u32, 1000, 2000, 5000]
+            .iter()
+            .map(|&c| optimal_degree_joint(&m, c, Percentile::Total, 0.5))
+            .collect();
+        for w in degrees.windows(2) {
+            assert!(w[1] >= w[0], "degrees not monotone: {degrees:?}");
+        }
+        assert!(degrees[3] > degrees[0], "no growth across 10× concurrency: {degrees:?}");
+    }
+
+    #[test]
+    fn expense_objective_packs_more_than_service_objective() {
+        // Fig. 15: the Oracle degree increases when expense minimization is
+        // given higher importance, because expense scales multiplicatively
+        // with C_eff while service scales additively.
+        let m = model();
+        let c = 2000;
+        let p_s = optimal_degree_service(&m, c, Percentile::Total);
+        let p_e = optimal_degree_expense(&m, c);
+        let p_joint = optimal_degree_joint(&m, c, Percentile::Total, 0.5);
+        assert!(p_e >= p_joint && p_joint >= p_s, "{p_s} / {p_joint} / {p_e}");
+        assert!(p_e > p_s);
+    }
+
+    #[test]
+    fn expense_optimum_matches_closed_form() {
+        // For the compute-dominated cost e^{kP}·C/P, the continuous
+        // optimum is P = 1/k = 20; the discrete argmin must be adjacent.
+        let m = model();
+        let p_e = optimal_degree_expense(&m, 5000);
+        assert!((19..=21).contains(&p_e), "p_e = {p_e}");
+    }
+
+    #[test]
+    fn joint_weights_interpolate_between_extremes() {
+        let m = model();
+        let c = 3000;
+        let p_service_only = optimal_degree_joint(&m, c, Percentile::Total, 1.0);
+        let p_expense_only = optimal_degree_joint(&m, c, Percentile::Total, 0.0);
+        assert_eq!(p_service_only, optimal_degree_service(&m, c, Percentile::Total));
+        assert_eq!(p_expense_only, optimal_degree_expense(&m, c));
+        for w in [0.25, 0.5, 0.75] {
+            let p = optimal_degree_joint(&m, c, Percentile::Total, w);
+            assert!(p >= p_service_only.min(p_expense_only));
+            assert!(p <= p_service_only.max(p_expense_only));
+        }
+    }
+
+    #[test]
+    fn plan_respects_objective() {
+        let m = model();
+        let plan_s = plan(&m, 2000, Objective::ServiceTime, Percentile::Total);
+        let plan_e = plan(&m, 2000, Objective::Expense, Percentile::Total);
+        assert!(plan_s.predicted_service_secs <= plan_e.predicted_service_secs);
+        assert!(plan_e.predicted_expense_usd <= plan_s.predicted_expense_usd);
+        assert_eq!(plan_s.instances, m.instances(2000, plan_s.packing_degree));
+    }
+
+    #[test]
+    fn degree_never_exceeds_p_max() {
+        let mut m = model();
+        m.p_max = 7;
+        for c in [100, 1000, 10_000] {
+            let p = optimal_degree_expense(&m, c);
+            assert!(p <= 7);
+        }
+    }
+
+    #[test]
+    fn objective_labels() {
+        assert_eq!(Objective::ServiceTime.label(), "ProPack (Service Time)");
+        assert_eq!(Objective::Expense.label(), "ProPack (Expense)");
+        assert_eq!(Objective::default().label(), "ProPack");
+        assert_eq!(Objective::Joint { w_s: 0.65 }.label(), "ProPack (W_S=0.65)");
+    }
+}

@@ -1,0 +1,138 @@
+//! Model persistence: save fitted models, skip re-profiling.
+//!
+//! §2.2's amortization argument ("this overhead will be much lower due to
+//! amortization over thousands of applications and runs") only pays off if
+//! fitted models survive the process that built them. A [`SavedModel`] is
+//! the JSON-serializable closure of everything `Propack` learned —
+//! interference fit, scaling fit, cost factors, feasible degree cap, and
+//! the overhead already spent — so a later session can plan immediately
+//! and keep the overhead books accurate.
+
+use crate::model::PackingModel;
+use crate::profiler::Overhead;
+use crate::propack::Propack;
+use propack_platform::WorkProfile;
+use serde::{Deserialize, Serialize};
+
+/// Serializable snapshot of a built [`Propack`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SavedModel {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// The fitted analytical model.
+    pub model: PackingModel,
+    /// Profiling overhead already paid (carried into future accounting).
+    pub overhead: Overhead,
+    /// The application the model describes.
+    pub work: WorkProfile,
+    /// Platform the model was fitted on.
+    pub platform_name: String,
+}
+
+/// Current snapshot format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Errors from loading a snapshot.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The JSON was malformed.
+    Json(serde_json::Error),
+    /// The snapshot's format version is not supported.
+    Version {
+        /// Version found in the snapshot.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Json(e) => write!(f, "malformed model snapshot: {e}"),
+            PersistError::Version { found, supported } => {
+                write!(f, "unsupported snapshot version {found} (supported: {supported})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl Propack {
+    /// Snapshot the fitted models as JSON.
+    pub fn to_json(&self) -> String {
+        let saved = SavedModel {
+            version: FORMAT_VERSION,
+            model: self.model,
+            overhead: self.overhead,
+            work: self.work.clone(),
+            platform_name: self.platform_name.clone(),
+        };
+        serde_json::to_string_pretty(&saved).expect("models serialize")
+    }
+
+    /// Restore a ProPack instance from a snapshot, skipping all profiling.
+    pub fn from_json(json: &str) -> Result<Self, PersistError> {
+        let saved: SavedModel = serde_json::from_str(json).map_err(PersistError::Json)?;
+        if saved.version != FORMAT_VERSION {
+            return Err(PersistError::Version {
+                found: saved.version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        Ok(Propack {
+            model: saved.model,
+            overhead: saved.overhead,
+            work: saved.work,
+            platform_name: saved.platform_name,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::Objective;
+    use crate::propack::ProPackConfig;
+    use propack_platform::profile::PlatformProfile;
+
+    #[test]
+    fn round_trip_preserves_plans() {
+        let platform = PlatformProfile::aws_lambda().into_platform();
+        let work = WorkProfile::synthetic("w", 0.25, 100.0).with_contention(0.2);
+        let original = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
+        let restored = Propack::from_json(&original.to_json()).unwrap();
+        // JSON float formatting may drift by one ULP; equality must hold at
+        // the decision level, not bitwise.
+        assert_eq!(original.model.p_max, restored.model.p_max);
+        assert!((original.model.interference.rate - restored.model.interference.rate).abs() < 1e-12);
+        for c in [100u32, 1000, 5000] {
+            let a = original.plan(c, Objective::default());
+            let b = restored.plan(c, Objective::default());
+            assert_eq!(a.packing_degree, b.packing_degree, "C={c}");
+            assert_eq!(a.instances, b.instances);
+            assert!((a.predicted_service_secs - b.predicted_service_secs).abs() < 1e-9);
+            assert!((a.predicted_expense_usd - b.predicted_expense_usd).abs() < 1e-9);
+        }
+        // Overhead accounting carries over.
+        assert_eq!(original.overhead, restored.overhead);
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(matches!(Propack::from_json("{not json"), Err(PersistError::Json(_))));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let platform = PlatformProfile::aws_lambda().into_platform();
+        let work = WorkProfile::synthetic("w", 0.25, 100.0);
+        let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
+        let bumped = pp.to_json().replace("\"version\": 1", "\"version\": 99");
+        assert!(matches!(
+            Propack::from_json(&bumped),
+            Err(PersistError::Version { found: 99, .. })
+        ));
+    }
+}

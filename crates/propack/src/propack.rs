@@ -1,0 +1,392 @@
+//! The ProPack front-end: profile once, then plan and execute packed bursts.
+//!
+//! Workflow (Fig. 3 of the paper):
+//!
+//! 1. `Propack::build` profiles the application (interference campaign) and
+//!    the platform (scaling probes) and fits the analytical models. All
+//!    probe costs are recorded as [`Overhead`] — the paper's results
+//!    include this overhead and so do ours.
+//! 2. `plan` answers "how many functions per instance?" for any concurrency
+//!    level and objective, purely from the models (no further runs).
+//! 3. `execute` runs the planned burst on the platform and reports both the
+//!    run and the accumulated overhead.
+
+use crate::model::{CostFactors, PackingModel};
+use crate::optimizer::{plan, Objective, PackingPlan};
+use crate::profiler::{
+    default_scaling_levels, probe_scaling, profile_interference, Overhead,
+};
+use crate::qos::select_weights;
+use crate::scaling::ScalingModel;
+use crate::{InterferenceModel, ModelError};
+use propack_platform::{BurstSpec, RunReport, ServerlessPlatform, WorkProfile};
+use propack_stats::percentile::Percentile;
+use serde::{Deserialize, Serialize};
+
+/// Tunables for model building.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProPackConfig {
+    /// Instances per interference probe burst (§2.1: "less than 100
+    /// function instance execution in parallel").
+    pub probe_instances: u32,
+    /// Sample every n-th packing degree (§2.1's alternate-point skipping).
+    pub degree_step: u32,
+    /// Concurrency levels for the scaling probe (§2.2: ten or fewer).
+    pub scaling_levels: Vec<u32>,
+    /// Root seed for all probe bursts.
+    pub seed: u64,
+}
+
+impl Default for ProPackConfig {
+    fn default() -> Self {
+        ProPackConfig {
+            probe_instances: 3,
+            degree_step: 2,
+            scaling_levels: default_scaling_levels(),
+            seed: 0x9E37,
+        }
+    }
+}
+
+/// A built ProPack instance: fitted models plus accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Propack {
+    /// The combined analytical model.
+    pub model: PackingModel,
+    /// Cost of building the model (included in reported results).
+    pub overhead: Overhead,
+    /// The application this model describes.
+    pub work: WorkProfile,
+    /// Platform display name.
+    pub platform_name: String,
+}
+
+/// Outcome of `execute`: the run plus the model-building overhead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProPackOutcome {
+    /// The plan that was executed.
+    pub plan: PackingPlan,
+    /// The platform's report for the packed burst.
+    pub report: RunReport,
+    /// Model-building overhead carried by this ProPack instance.
+    pub overhead: Overhead,
+}
+
+impl ProPackOutcome {
+    /// Total expense including the profiling overhead — the number the
+    /// paper reports ("our performance and cost results include all the
+    /// overhead of building this analytical model").
+    pub fn expense_with_overhead_usd(&self) -> f64 {
+        self.report.expense.total_usd() + self.overhead.expense_usd
+    }
+
+    /// Function-hours including profiling runs.
+    pub fn function_hours_with_overhead(&self) -> f64 {
+        self.report.function_hours() + self.overhead.function_hours
+    }
+}
+
+impl Propack {
+    /// Profile `work` on `platform` and fit the models.
+    pub fn build<P: ServerlessPlatform + ?Sized>(
+        platform: &P,
+        work: &WorkProfile,
+        config: &ProPackConfig,
+    ) -> Result<Self, ModelError> {
+        let mut overhead = Overhead::default();
+
+        let interference = profile_interference(
+            platform,
+            work,
+            config.probe_instances,
+            config.degree_step,
+            config.seed,
+        )?;
+        overhead.absorb(interference.overhead);
+
+        let scaling_probe = probe_scaling(platform, &config.scaling_levels, config.seed)?;
+        overhead.absorb(scaling_probe.overhead);
+
+        let interference_model = InterferenceModel::fit(&interference.samples, work.mem_gb)?;
+        let scaling_model = ScalingModel::fit(&scaling_probe.samples)?;
+        let cost = CostFactors::derive(&platform.prices(), work, platform.limits().mem_gb);
+
+        Ok(Propack {
+            model: PackingModel {
+                interference: interference_model,
+                scaling: scaling_model,
+                cost,
+                p_max: interference.feasible_p_max,
+            },
+            overhead,
+            work: work.clone(),
+            platform_name: platform.name(),
+        })
+    }
+
+    /// Build around a pre-fitted scaling model (the scaling model is
+    /// application-independent and "needs to be developed only once" per
+    /// platform — §2.2; this constructor is how experiments amortize it
+    /// across applications).
+    pub fn build_with_scaling<P: ServerlessPlatform + ?Sized>(
+        platform: &P,
+        work: &WorkProfile,
+        config: &ProPackConfig,
+        scaling: ScalingModel,
+        scaling_overhead: Overhead,
+    ) -> Result<Self, ModelError> {
+        let mut overhead = Overhead::default();
+        let interference = profile_interference(
+            platform,
+            work,
+            config.probe_instances,
+            config.degree_step,
+            config.seed,
+        )?;
+        overhead.absorb(interference.overhead);
+        overhead.absorb(scaling_overhead);
+
+        let interference_model = InterferenceModel::fit(&interference.samples, work.mem_gb)?;
+        let cost = CostFactors::derive(&platform.prices(), work, platform.limits().mem_gb);
+        Ok(Propack {
+            model: PackingModel {
+                interference: interference_model,
+                scaling,
+                cost,
+                p_max: interference.feasible_p_max,
+            },
+            overhead,
+            work: work.clone(),
+            platform_name: platform.name(),
+        })
+    }
+
+    /// Plan the packing for concurrency `c` under `objective`, evaluating
+    /// service time at the total-completion figure of merit.
+    pub fn plan(&self, c: u32, objective: Objective) -> PackingPlan {
+        plan(&self.model, c, objective, Percentile::Total)
+    }
+
+    /// Plan with an explicit figure of merit (total / tail / median — §3).
+    pub fn plan_with_metric(&self, c: u32, objective: Objective, metric: Percentile) -> PackingPlan {
+        plan(&self.model, c, objective, metric)
+    }
+
+    /// QoS-aware plan (Eqs. 8–9): pick the weight split whose tail service
+    /// time meets `qos_bound_secs`, then plan jointly with it.
+    pub fn plan_with_qos(&self, c: u32, qos_bound_secs: f64) -> Result<(PackingPlan, f64), ModelError> {
+        let w_s = select_weights(&self.model, c, qos_bound_secs)?;
+        Ok((
+            plan(&self.model, c, Objective::Joint { w_s }, Percentile::Tail95),
+            w_s,
+        ))
+    }
+
+    /// Constrain the maximum packing degree by a per-instance latency cap
+    /// (§2.1: `P_max` "can also be configured to be constrained at a degree
+    /// lower than M_platform/M_func, depending upon the maximum allowable
+    /// latency of a function instance ... e.g., meeting different quality
+    /// of service (QoS) targets").
+    ///
+    /// Returns a copy whose `p_max` is the largest degree with predicted
+    /// `ET(P) ≤ max_instance_latency_secs` (at least 1).
+    pub fn with_latency_cap(mut self, max_instance_latency_secs: f64) -> Self {
+        let mut cap = 1;
+        for p in 1..=self.model.p_max {
+            if self.model.exec_secs(p) <= max_instance_latency_secs {
+                cap = p;
+            } else {
+                break;
+            }
+        }
+        self.model.p_max = cap;
+        self
+    }
+
+    /// Execute the planned packing on `platform` at concurrency `c`.
+    pub fn execute<P: ServerlessPlatform + ?Sized>(
+        &self,
+        platform: &P,
+        c: u32,
+        objective: Objective,
+        seed: u64,
+    ) -> Result<ProPackOutcome, ModelError> {
+        let plan = self.plan(c, objective);
+        let spec =
+            BurstSpec::packed(self.work.clone(), c, plan.packing_degree).with_seed(seed);
+        let report = platform.run_burst(&spec)?;
+        Ok(ProPackOutcome { plan, report, overhead: self.overhead })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propack_platform::profile::PlatformProfile;
+    use propack_platform::CloudPlatform;
+
+    fn aws() -> CloudPlatform {
+        PlatformProfile::aws_lambda().into_platform()
+    }
+
+    fn work() -> WorkProfile {
+        WorkProfile::synthetic("w", 0.25, 100.0).with_contention(0.2)
+    }
+
+    #[test]
+    fn build_fits_sane_models() {
+        let pp = Propack::build(&aws(), &work(), &ProPackConfig::default()).unwrap();
+        // The instance mechanism uses rate = contention_per_gb × mem_gb =
+        // 0.05 per degree; the fit should recover it within noise.
+        assert!((pp.model.interference.rate - 0.05).abs() < 0.01, "{}", pp.model.interference.rate);
+        // Scaling polynomial must be convex increasing with a dominant
+        // quadratic term.
+        assert!(pp.model.scaling.beta1 > 0.0);
+        assert!(pp.model.scaling.r_squared > 0.99, "{}", pp.model.scaling.r_squared);
+        assert_eq!(pp.model.p_max, 40);
+        assert!(pp.overhead.bursts > 20);
+    }
+
+    #[test]
+    fn model_predicts_platform_behaviour() {
+        // The built model's service-time prediction must track a fresh
+        // simulator run at an unseen (concurrency, degree) point.
+        let platform = aws();
+        let pp = Propack::build(&platform, &work(), &ProPackConfig::default()).unwrap();
+        let c = 3000u32;
+        let p = 8u32;
+        let predicted = pp.model.service_secs(c, p, Percentile::Total);
+        let spec = BurstSpec::packed(work(), c, p).with_seed(77);
+        let observed = platform.run_burst(&spec).unwrap().total_service_time();
+        let rel = (predicted - observed).abs() / observed;
+        assert!(rel < 0.1, "prediction off by {:.1}%: {predicted} vs {observed}", rel * 100.0);
+    }
+
+    #[test]
+    fn plan_packs_at_high_concurrency_not_at_low() {
+        let pp = Propack::build(&aws(), &work(), &ProPackConfig::default()).unwrap();
+        let high = pp.plan(5000, Objective::default());
+        assert!(high.packing_degree >= 5, "degree {} at C=5000", high.packing_degree);
+        let low = pp.plan(20, Objective::ServiceTime);
+        assert!(low.packing_degree <= 3, "degree {} at C=20", low.packing_degree);
+    }
+
+    #[test]
+    fn execute_beats_no_packing_at_high_concurrency() {
+        // The headline claim, end to end: ProPack's packed run has far
+        // lower service time and expense than the unpacked baseline.
+        let platform = aws();
+        let w = work();
+        let pp = Propack::build(&platform, &w, &ProPackConfig::default()).unwrap();
+        let c = 5000;
+        let outcome = pp.execute(&platform, c, Objective::default(), 5).unwrap();
+        let baseline = platform.run_burst(&BurstSpec::new(w, c, 1).with_seed(5)).unwrap();
+
+        let service_gain = 1.0 - outcome.report.total_service_time() / baseline.total_service_time();
+        assert!(service_gain > 0.5, "service gain {:.2}", service_gain);
+
+        let expense_gain =
+            1.0 - outcome.expense_with_overhead_usd() / baseline.expense.total_usd();
+        assert!(expense_gain > 0.3, "expense gain {:.2}", expense_gain);
+    }
+
+    #[test]
+    fn scaling_model_is_reusable_across_apps() {
+        // Fit scaling once, reuse for a second application; predictions
+        // must match a model built from scratch (application-independence,
+        // Fig. 5b).
+        let platform = aws();
+        let cfg = ProPackConfig::default();
+        let first = Propack::build(&platform, &work(), &cfg).unwrap();
+        let other = WorkProfile::synthetic("other", 0.5, 60.0).with_contention(0.1);
+        let reused = Propack::build_with_scaling(
+            &platform,
+            &other,
+            &cfg,
+            first.model.scaling,
+            Overhead::default(),
+        )
+        .unwrap();
+        let fresh = Propack::build(&platform, &other, &cfg).unwrap();
+        let a = reused.model.service_secs(2000, 5, Percentile::Total);
+        let b = fresh.model.service_secs(2000, 5, Percentile::Total);
+        assert!((a - b).abs() / b < 0.02, "{a} vs {b}");
+    }
+
+    #[test]
+    fn qos_plan_meets_bound_in_model() {
+        let platform = aws();
+        // Xapian-like calibration: the expense optimum packs harder than
+        // the service optimum, so a tight tail bound genuinely constrains.
+        let xapian_like =
+            WorkProfile::synthetic("xapian", 0.4, 50.0).with_contention(0.125);
+        let pp = Propack::build(&platform, &xapian_like, &ProPackConfig::default()).unwrap();
+        let c = 5000;
+        let unconstrained =
+            pp.plan_with_metric(c, Objective::Expense, Percentile::Tail95).predicted_service_secs;
+        let best = pp.plan_with_metric(c, Objective::ServiceTime, Percentile::Tail95);
+        let bound = best.predicted_service_secs * 1.04;
+        assert!(bound < unconstrained, "test bound must actually constrain");
+        let (plan, w_s) = pp.plan_with_qos(c, bound).unwrap();
+        assert!(plan.predicted_service_secs <= bound);
+        assert!(w_s > 0.0);
+    }
+
+    #[test]
+    fn latency_cap_tightens_p_max_and_plans() {
+        let platform = aws();
+        let pp = Propack::build(&platform, &work(), &ProPackConfig::default()).unwrap();
+        // Cap the per-instance latency at ET(5): degrees above 5 are out.
+        let cap_secs = pp.model.exec_secs(5) + 1e-9;
+        let capped = pp.clone().with_latency_cap(cap_secs);
+        assert_eq!(capped.model.p_max, 5);
+        let plan = capped.plan(5000, Objective::default());
+        assert!(plan.packing_degree <= 5);
+        assert!(capped.model.exec_secs(plan.packing_degree) <= cap_secs);
+        // A cap below ET(1) still leaves the always-feasible degree 1.
+        let floor = pp.with_latency_cap(0.001);
+        assert_eq!(floor.model.p_max, 1);
+    }
+
+    #[test]
+    fn provider_side_mitigation_lowers_optimal_degree() {
+        // §5: "if the cloud provider side mitigation is effective, the
+        // optimal packing degree for ProPack is likely to decrease". Model
+        // a provider that halves its scheduler's occupancy-scan cost and
+        // check that ProPack packs less.
+        let baseline = aws();
+        let mut improved_profile = PlatformProfile::aws_lambda();
+        improved_profile.control.sched_per_inflight_secs /= 4.0;
+        improved_profile.control.sched_base_secs /= 4.0;
+        let improved = improved_profile.into_platform();
+
+        let cfg = ProPackConfig::default();
+        let pp_base = Propack::build(&baseline, &work(), &cfg).unwrap();
+        let pp_improved = Propack::build(&improved, &work(), &cfg).unwrap();
+        let d_base = pp_base.plan(5000, Objective::ServiceTime).packing_degree;
+        let d_improved = pp_improved.plan(5000, Objective::ServiceTime).packing_degree;
+        assert!(
+            d_improved < d_base,
+            "a better backend should reduce packing: {d_base} → {d_improved}"
+        );
+    }
+
+    #[test]
+    fn overhead_is_recorded_and_small() {
+        let platform = aws();
+        let pp = Propack::build(&platform, &work(), &ProPackConfig::default()).unwrap();
+        let outcome = pp.execute(&platform, 5000, Objective::default(), 2).unwrap();
+        assert!(outcome.overhead.expense_usd > 0.0);
+        // §2.1: overhead is minimal relative to what the baseline (the
+        // thing ProPack is replacing) would have spent at this concurrency.
+        let baseline = platform
+            .run_burst(&BurstSpec::new(work(), 5000, 1).with_seed(9))
+            .unwrap();
+        assert!(
+            outcome.overhead.expense_usd < 0.1 * baseline.expense.total_usd(),
+            "overhead {} vs baseline {}",
+            outcome.overhead.expense_usd,
+            baseline.expense.total_usd()
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! QoS-aware weight selection: Eqs. 8–9 of the paper (§2.6).
+//!
+//! Latency-critical applications (Xapian, Fig. 20) carry a hard bound on
+//! tail (95th-percentile) service time. The default equal weights may
+//! violate it, so ProPack searches for the weight split that still
+//! optimizes expense as much as possible while keeping the *tail* service
+//! time of the jointly-optimal packing degree inside the bound: the
+//! smallest `W_S` whose resulting plan satisfies `TS ≤ QoS`.
+
+use crate::model::PackingModel;
+use crate::optimizer::optimal_degree_joint;
+use crate::ModelError;
+use propack_stats::percentile::Percentile;
+
+/// Resolution of the weight grid searched by [`select_weights`].
+pub const WEIGHT_GRID_STEP: f64 = 0.05;
+
+/// Eq. 8: the tail service time achieved by the joint plan at weights
+/// `(w_s, 1 − w_s)`.
+pub fn tail_service_at_weights(model: &PackingModel, c: u32, w_s: f64) -> f64 {
+    // The degree is chosen on the tail figure of merit, as Fig. 20 does for
+    // Xapian, then evaluated at the tail.
+    let p = optimal_degree_joint(model, c, Percentile::Tail95, w_s);
+    model.service_secs(c, p, Percentile::Tail95)
+}
+
+/// Eq. 9: choose the service-time weight.
+///
+/// Returns the smallest `W_S` on the grid whose tail service time meets the
+/// QoS bound — i.e. the split that preserves as much expense optimization
+/// as possible while staying inside the bound. Errors with the best
+/// achievable tail when even `W_S = 1` cannot meet it.
+pub fn select_weights(model: &PackingModel, c: u32, qos_bound_secs: f64) -> Result<f64, ModelError> {
+    let steps = (1.0 / WEIGHT_GRID_STEP).round() as u32;
+    let mut best_tail = f64::INFINITY;
+    for k in 0..=steps {
+        let w_s = k as f64 * WEIGHT_GRID_STEP;
+        let ts = tail_service_at_weights(model, c, w_s);
+        best_tail = best_tail.min(ts);
+        if ts <= qos_bound_secs {
+            return Ok(w_s);
+        }
+    }
+    Err(ModelError::QosInfeasible { bound_secs: qos_bound_secs, best_tail_secs: best_tail })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interference::InterferenceModel;
+    use crate::model::CostFactors;
+    use crate::scaling::ScalingModel;
+    use propack_platform::profile::PlatformProfile;
+    use propack_platform::WorkProfile;
+
+    /// Xapian-like model: short requests, moderate contention.
+    fn model() -> PackingModel {
+        PackingModel {
+            interference: InterferenceModel {
+                base: 25.0 / (0.075f64).exp(),
+                rate: 0.075,
+                mem_gb: 0.4,
+                rmse: 0.0,
+            },
+            scaling: ScalingModel { beta1: 3.0e-5, beta2: 0.045, beta3: 2.0, r_squared: 1.0 },
+            cost: CostFactors::derive(
+                &PlatformProfile::aws_lambda().prices,
+                &WorkProfile::synthetic("xapian", 0.4, 25.0),
+                10.0,
+            ),
+            p_max: 25,
+        }
+    }
+
+    #[test]
+    fn tail_decreases_as_service_weight_grows() {
+        let m = model();
+        let loose = tail_service_at_weights(&m, 5000, 0.0);
+        let tight = tail_service_at_weights(&m, 5000, 1.0);
+        assert!(tight <= loose, "{tight} vs {loose}");
+    }
+
+    #[test]
+    fn select_weights_meets_bound() {
+        let m = model();
+        let c = 5000;
+        // Pick a bound between the pure-expense tail and the pure-service
+        // tail so the search must land strictly inside (0, 1).
+        let loose = tail_service_at_weights(&m, c, 0.0);
+        let tight = tail_service_at_weights(&m, c, 1.0);
+        let bound = tight + 0.25 * (loose - tight);
+        let w_s = select_weights(&m, c, bound).unwrap();
+        assert!(w_s > 0.0 && w_s < 1.0, "w_s = {w_s}");
+        assert!(tail_service_at_weights(&m, c, w_s) <= bound);
+        // Minimality: one grid step less must violate the bound.
+        let prev = (w_s - WEIGHT_GRID_STEP).max(0.0);
+        if prev < w_s {
+            assert!(tail_service_at_weights(&m, c, prev) > bound);
+        }
+    }
+
+    #[test]
+    fn loose_bound_keeps_expense_priority() {
+        let m = model();
+        let w_s = select_weights(&m, 5000, 1e9).unwrap();
+        assert_eq!(w_s, 0.0, "a trivially satisfied bound should not sacrifice expense");
+    }
+
+    #[test]
+    fn impossible_bound_errors_with_best_tail() {
+        let m = model();
+        let err = select_weights(&m, 5000, 0.001).unwrap_err();
+        match err {
+            ModelError::QosInfeasible { bound_secs, best_tail_secs } => {
+                assert_eq!(bound_secs, 0.001);
+                assert!(best_tail_secs > 0.001);
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+}

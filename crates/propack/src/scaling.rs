@@ -1,0 +1,134 @@
+//! The scaling-time model: Eq. 2 of the paper.
+//!
+//! `ScalingTime(C_eff) = β₁·C_eff² + β₂·C_eff − β₃` — a second-order
+//! polynomial of the effective concurrency level, fitted once per platform
+//! by polynomial regression over ~10 probe bursts (§2.2). The crucial
+//! empirical fact (Fig. 5b) is that this curve is **application-
+//! independent**: the probes spawn trivial functions, and the resulting
+//! model applies to every application on that platform.
+
+use crate::ModelError;
+use propack_stats::polyfit;
+use serde::{Deserialize, Serialize};
+
+/// One probe observation: scaling time of a burst of `concurrency`
+/// instances.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingSample {
+    /// Number of concurrent instances spawned.
+    pub concurrency: u32,
+    /// Observed scaling time (first provision → last start), seconds.
+    pub scaling_secs: f64,
+}
+
+/// Fitted Eq. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingModel {
+    /// Quadratic coefficient β₁.
+    pub beta1: f64,
+    /// Linear coefficient β₂.
+    pub beta2: f64,
+    /// Constant offset β₃ (the paper writes the model as `… − β₃`).
+    pub beta3: f64,
+    /// R² of the regression.
+    pub r_squared: f64,
+}
+
+impl ScalingModel {
+    /// Fit the polynomial from probe samples (needs ≥ 3 distinct levels).
+    pub fn fit(samples: &[ScalingSample]) -> Result<Self, ModelError> {
+        if samples.len() < 3 {
+            return Err(ModelError::NotEnoughSamples { needed: 3, got: samples.len() });
+        }
+        let xs: Vec<f64> = samples.iter().map(|s| s.concurrency as f64).collect();
+        let ys: Vec<f64> = samples.iter().map(|s| s.scaling_secs).collect();
+        let f = polyfit(&xs, &ys, 2)?;
+        Ok(ScalingModel {
+            beta1: f.coeffs[2],
+            beta2: f.coeffs[1],
+            beta3: -f.coeffs[0],
+            r_squared: f.r_squared,
+        })
+    }
+
+    /// Predicted scaling time at effective concurrency `c_eff` (Eq. 2),
+    /// clamped at zero (a polynomial extrapolated to tiny bursts can dip
+    /// negative; physical scaling time cannot).
+    pub fn scaling_secs(&self, c_eff: f64) -> f64 {
+        (self.beta1 * c_eff * c_eff + self.beta2 * c_eff - self.beta3).max(0.0)
+    }
+
+    /// Predicted time until a `q`-fraction of instances has started.
+    ///
+    /// The control-plane pipeline serves placements in order, so the time
+    /// until the first `q·C_eff` instances are running is the scaling time
+    /// of a burst of that size. This is how the model predicts the paper's
+    /// tail (q = 0.95) and median (q = 0.5) service-time variants.
+    pub fn scaling_secs_quantile(&self, c_eff: f64, q: f64) -> f64 {
+        self.scaling_secs(c_eff * q.clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples_from_curve(b1: f64, b2: f64, b3: f64, levels: &[u32]) -> Vec<ScalingSample> {
+        levels
+            .iter()
+            .map(|&c| ScalingSample {
+                concurrency: c,
+                scaling_secs: b1 * (c as f64).powi(2) + b2 * c as f64 - b3,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_planted_coefficients() {
+        // The paper's ten-sample probe design.
+        let levels: Vec<u32> = (1..=10).map(|i| i * 500).collect();
+        let s = samples_from_curve(3.0e-5, 0.04, 5.0, &levels);
+        let m = ScalingModel::fit(&s).unwrap();
+        assert!((m.beta1 - 3.0e-5).abs() < 1e-9);
+        assert!((m.beta2 - 0.04).abs() < 1e-5);
+        assert!((m.beta3 - 5.0).abs() < 1e-2);
+        assert!(m.r_squared > 0.999_999);
+    }
+
+    #[test]
+    fn prediction_interpolates_and_extrapolates() {
+        let levels: Vec<u32> = (1..=10).map(|i| i * 500).collect();
+        let s = samples_from_curve(2.4e-5, 0.05, 2.0, &levels);
+        let m = ScalingModel::fit(&s).unwrap();
+        for c in [750.0, 2250.0, 6000.0] {
+            let want = 2.4e-5 * c * c + 0.05 * c - 2.0;
+            assert!((m.scaling_secs(c) - want).abs() / want < 1e-4, "at C = {c}");
+        }
+    }
+
+    #[test]
+    fn negative_extrapolation_clamped() {
+        let levels: Vec<u32> = (1..=5).map(|i| i * 1000).collect();
+        let s = samples_from_curve(1e-5, 0.01, 50.0, &levels);
+        let m = ScalingModel::fit(&s).unwrap();
+        assert_eq!(m.scaling_secs(1.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_prediction_monotone() {
+        let levels: Vec<u32> = (1..=10).map(|i| i * 500).collect();
+        let s = samples_from_curve(2.4e-5, 0.05, 0.0, &levels);
+        let m = ScalingModel::fit(&s).unwrap();
+        let med = m.scaling_secs_quantile(4000.0, 0.5);
+        let tail = m.scaling_secs_quantile(4000.0, 0.95);
+        let total = m.scaling_secs_quantile(4000.0, 1.0);
+        assert!(med < tail && tail < total);
+        assert_eq!(total, m.scaling_secs(4000.0));
+    }
+
+    #[test]
+    fn too_few_samples_rejected() {
+        let s = samples_from_curve(1e-5, 0.01, 0.0, &[100, 200]);
+        assert!(matches!(ScalingModel::fit(&s), Err(ModelError::NotEnoughSamples { .. })));
+    }
+}

@@ -1,0 +1,142 @@
+//! Model validation: the Pearson χ² goodness-of-fit protocol of §2.4.
+//!
+//! The paper validates that ProPack's analytical service-time and expense
+//! models are *"representative of the observed service time and expense
+//! characteristics"* by computing `Σ (observed − expected)² / expected`
+//! across packing degrees and comparing against χ²(dof = 14) at 99.5 %
+//! confidence (critical value 4.075). Reported worst cases: 3.81 for
+//! service time, 0.055 for expense — both accepted.
+//!
+//! [`validate_models`] replays that protocol on the simulator: run real
+//! bursts at a ladder of packing degrees, compare against the model's
+//! predictions, and report both χ² outcomes.
+
+use crate::model::PackingModel;
+use crate::ModelError;
+use propack_platform::{BurstSpec, ServerlessPlatform, WorkProfile};
+use propack_stats::chi2::{ChiSquareTest, GofOutcome};
+use propack_stats::percentile::Percentile;
+use serde::{Deserialize, Serialize};
+
+/// Validation outcome for one application.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// χ² outcome for the service-time model.
+    pub service: GofOutcome,
+    /// χ² outcome for the expense model.
+    pub expense: GofOutcome,
+    /// Concurrency level the validation ran at.
+    pub concurrency: u32,
+    /// Number of packing degrees evaluated.
+    pub degrees_evaluated: usize,
+}
+
+impl ValidationReport {
+    /// Both models accepted?
+    pub fn accepted(&self) -> bool {
+        self.service.accepted && self.expense.accepted
+    }
+}
+
+/// Run the §2.4 validation protocol.
+///
+/// Executes one burst per packing degree in `1..=p_max` at concurrency `c`,
+/// then χ²-tests observed vs. model-predicted service times and expenses.
+/// Service times are normalized to the degree-1 observation before the
+/// statistic is computed (the paper normalizes its reported values; without
+/// normalization the statistic's scale would depend on the absolute
+/// magnitude of seconds vs. dollars, making the two tests incomparable).
+pub fn validate_models<P: ServerlessPlatform + ?Sized>(
+    platform: &P,
+    model: &PackingModel,
+    work: &WorkProfile,
+    c: u32,
+    test: ChiSquareTest,
+    seed: u64,
+) -> Result<ValidationReport, ModelError> {
+    let mut observed_service = Vec::new();
+    let mut expected_service = Vec::new();
+    let mut observed_expense = Vec::new();
+    let mut expected_expense = Vec::new();
+
+    for p in 1..=model.p_max {
+        let spec = BurstSpec::packed(work.clone(), c, p).with_seed(seed ^ (p as u64) << 16);
+        let report = platform.run_burst(&spec)?;
+        observed_service.push(report.total_service_time());
+        expected_service.push(model.service_secs(c, p, Percentile::Total));
+        observed_expense.push(report.expense.total_usd());
+        expected_expense.push(model.expense_usd(c, p));
+    }
+
+    // Normalize each series by its first expected value so service (seconds)
+    // and expense (dollars) statistics live on comparable scales.
+    let norm = |xs: &mut [f64], scale: f64| {
+        for x in xs.iter_mut() {
+            *x /= scale;
+        }
+    };
+    let s_scale = expected_service[0];
+    let e_scale = expected_expense[0];
+    norm(&mut observed_service, s_scale);
+    norm(&mut expected_service, s_scale);
+    norm(&mut observed_expense, e_scale);
+    norm(&mut expected_expense, e_scale);
+
+    let service = test.run(&observed_service, &expected_service)?;
+    let expense = test.run(&observed_expense, &expected_expense)?;
+    Ok(ValidationReport {
+        service,
+        expense,
+        concurrency: c,
+        degrees_evaluated: model.p_max as usize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propack::{ProPackConfig, Propack};
+    use propack_platform::profile::PlatformProfile;
+
+    #[test]
+    fn built_models_pass_the_paper_test() {
+        // End-to-end §2.4: build ProPack on the simulator, then validate at
+        // a concurrency the profiler never saw. Both statistics must fall
+        // below the paper's 4.075 critical value.
+        let platform = PlatformProfile::aws_lambda().into_platform();
+        let work = WorkProfile::synthetic("w", 0.64, 100.0).with_contention(0.1406);
+        let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
+        let report = validate_models(
+            &platform,
+            &pp.model,
+            &work,
+            1000,
+            ChiSquareTest::paper_default(),
+            42,
+        )
+        .unwrap();
+        assert!(report.accepted(), "service: {:?}, expense: {:?}", report.service, report.expense);
+        assert!(report.service.statistic < 4.075);
+        assert!(report.expense.statistic < 4.075);
+        assert_eq!(report.degrees_evaluated, 15); // Sort-like: p_max = 15
+    }
+
+    #[test]
+    fn broken_model_fails_validation() {
+        let platform = PlatformProfile::aws_lambda().into_platform();
+        let work = WorkProfile::synthetic("w", 0.64, 100.0).with_contention(0.1406);
+        let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
+        let mut broken = pp.model;
+        broken.interference.rate *= 3.0; // sabotage Eq. 1
+        let report = validate_models(
+            &platform,
+            &broken,
+            &work,
+            1000,
+            ChiSquareTest::paper_default(),
+            42,
+        )
+        .unwrap();
+        assert!(!report.accepted(), "sabotaged model must be rejected");
+    }
+}

@@ -1,0 +1,266 @@
+//! The event loop: a simulated clock plus a deterministic priority queue of
+//! scheduled callbacks.
+//!
+//! Events are `FnOnce(&mut Sim<S>)` closures; firing an event may freely
+//! schedule more events (the closure is popped off the heap before it runs,
+//! so the borrow is clean). Ties in timestamp are broken by scheduling
+//! sequence number, which makes runs reproducible — an essential property
+//! for the paper-reproduction experiments, where every figure must
+//! regenerate identically from a seed.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+type EventFn<S> = Box<dyn FnOnce(&mut Sim<S>)>;
+
+struct Scheduled<S> {
+    at: SimTime,
+    seq: u64,
+    run: EventFn<S>,
+}
+
+impl<S> PartialEq for Scheduled<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<S> Eq for Scheduled<S> {}
+impl<S> PartialOrd for Scheduled<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Scheduled<S> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A discrete-event simulation over user state `S`.
+///
+/// # Example
+/// ```
+/// use propack_simcore::{Sim, SimTime};
+///
+/// let mut sim = Sim::new(0u32);
+/// sim.schedule_in(5.0, |s| {
+///     *s.state_mut() += 1;
+///     // Events can schedule follow-up events.
+///     s.schedule_in(5.0, |s| *s.state_mut() += 10);
+/// });
+/// sim.run();
+/// assert_eq!(*sim.state(), 11);
+/// assert_eq!(sim.now(), SimTime::from_secs(10.0));
+/// ```
+pub struct Sim<S> {
+    now: SimTime,
+    seq: u64,
+    fired: u64,
+    queue: BinaryHeap<Reverse<Scheduled<S>>>,
+    state: S,
+}
+
+impl<S> Sim<S> {
+    /// Create a simulation at t = 0 around the given state.
+    pub fn new(state: S) -> Self {
+        Sim { now: SimTime::ZERO, seq: 0, fired: 0, queue: BinaryHeap::new(), state }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Shared access to the user state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Mutable access to the user state.
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+
+    /// Consume the simulation, returning the final state.
+    pub fn into_state(self) -> S {
+        self.state
+    }
+
+    /// Number of events fired so far.
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of events currently pending.
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `event` to fire at the absolute instant `at`.
+    ///
+    /// Panics if `at` is in the simulated past — a past-scheduled event is
+    /// always a logic bug in the model, never something to silently clamp.
+    pub fn schedule_at<F>(&mut self, at: SimTime, event: F)
+    where
+        F: FnOnce(&mut Sim<S>) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: {} < now {}",
+            at,
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, run: Box::new(event) }));
+    }
+
+    /// Schedule `event` to fire `delay` seconds from now.
+    pub fn schedule_in<F>(&mut self, delay: f64, event: F)
+    where
+        F: FnOnce(&mut Sim<S>) + 'static,
+    {
+        assert!(delay >= 0.0, "negative delay {delay}");
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Fire the next pending event, if any; returns whether one fired.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(Reverse(ev)) => {
+                debug_assert!(ev.at >= self.now, "event heap ordering violated");
+                self.now = ev.at;
+                self.fired += 1;
+                (ev.run)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the event queue drains.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until the queue drains or the clock passes `deadline` (events at
+    /// exactly `deadline` still fire). Returns whether the queue drained.
+    pub fn run_until(&mut self, deadline: SimTime) -> bool {
+        loop {
+            match self.queue.peek() {
+                None => return true,
+                Some(Reverse(ev)) if ev.at > deadline => return false,
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+}
+
+impl<S: std::fmt::Debug> std::fmt::Debug for Sim<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("fired", &self.fired)
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Sim::new(Vec::<u32>::new());
+        sim.schedule_in(3.0, |s| s.state_mut().push(3));
+        sim.schedule_in(1.0, |s| s.state_mut().push(1));
+        sim.schedule_in(2.0, |s| s.state_mut().push(2));
+        sim.run();
+        assert_eq!(sim.state(), &[1, 2, 3]);
+        assert_eq!(sim.events_fired(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_scheduling_order() {
+        let mut sim = Sim::new(Vec::<u32>::new());
+        for i in 0..100 {
+            sim.schedule_at(SimTime::from_secs(7.0), move |s| s.state_mut().push(i));
+        }
+        sim.run();
+        let want: Vec<u32> = (0..100).collect();
+        assert_eq!(sim.state(), &want);
+    }
+
+    #[test]
+    fn events_can_cascade() {
+        let mut sim = Sim::new(0u64);
+        fn tick(s: &mut Sim<u64>) {
+            *s.state_mut() += 1;
+            if *s.state() < 10 {
+                s.schedule_in(1.0, tick);
+            }
+        }
+        sim.schedule_in(1.0, tick);
+        sim.run();
+        assert_eq!(*sim.state(), 10);
+        assert_eq!(sim.now(), SimTime::from_secs(10.0));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Sim::new(0u32);
+        for i in 1..=10 {
+            sim.schedule_at(SimTime::from_secs(i as f64), |s| *s.state_mut() += 1);
+        }
+        let drained = sim.run_until(SimTime::from_secs(5.0));
+        assert!(!drained);
+        assert_eq!(*sim.state(), 5);
+        assert_eq!(sim.events_pending(), 5);
+        assert!(sim.run_until(SimTime::from_secs(100.0)));
+        assert_eq!(*sim.state(), 10);
+    }
+
+    #[test]
+    fn zero_delay_fires_after_current_event() {
+        let mut sim = Sim::new(Vec::<&'static str>::new());
+        sim.schedule_in(1.0, |s| {
+            s.state_mut().push("a");
+            s.schedule_in(0.0, |s| s.state_mut().push("c"));
+            s.state_mut().push("b");
+        });
+        sim.run();
+        assert_eq!(sim.state(), &["a", "b", "c"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Sim::new(());
+        sim.schedule_in(5.0, |s| {
+            s.schedule_at(SimTime::from_secs(1.0), |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn clock_monotone_non_decreasing() {
+        let mut sim = Sim::new(Vec::<f64>::new());
+        // Deterministic but shuffled delays.
+        for i in 0..50u64 {
+            let d = ((i * 7919) % 97) as f64 * 0.5;
+            sim.schedule_in(d, move |s| {
+                let now = s.now().as_secs();
+                s.state_mut().push(now);
+            });
+        }
+        sim.run();
+        for w in sim.state().windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+}

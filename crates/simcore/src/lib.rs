@@ -1,0 +1,34 @@
+//! Deterministic discrete-event simulation (DES) engine.
+//!
+//! This is the substrate underneath the serverless platform simulator
+//! (`propack-platform`) and the FuncX on-prem simulator (`propack-funcx`).
+//! It provides:
+//!
+//! * a simulated clock and an event queue with **deterministic tie-breaking**
+//!   ([`Sim`]): events at equal timestamps fire in scheduling order, so every
+//!   run with the same seed reproduces bit-identical timelines;
+//! * queueing resources ([`resource::FifoResource`],
+//!   [`resource::BandwidthPipe`], [`resource::MultiServer`]) that model the
+//!   serialization points a serverless control plane has — a central
+//!   scheduler, an image-build server, a shipping fabric;
+//! * seeded, stream-split random number generation ([`rng::RngStreams`]) so
+//!   that adding noise to one component never perturbs another component's
+//!   draw sequence.
+//!
+//! The engine is intentionally synchronous and single-threaded: a burst of
+//! 5 000 concurrent function invocations is a few tens of thousands of
+//! events, which simulates in well under a millisecond. Parallelism in this
+//! workspace lives at the *experiment* level (independent simulations on
+//! different threads), where it is embarrassingly parallel and deterministic.
+
+pub mod engine;
+pub mod resource;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use engine::Sim;
+pub use resource::{BandwidthPipe, FifoResource, MultiServer};
+pub use rng::RngStreams;
+pub use time::SimTime;
+pub use trace::{TraceEvent, Tracer};

@@ -1,0 +1,288 @@
+//! Queueing resources: the serialization points of a simulated datacenter.
+//!
+//! These are *analytic* resources: rather than simulating a busy server with
+//! explicit seize/release events, each resource answers "if a request of
+//! this size arrives at time `t`, when does it start and finish?" — pushing
+//! the queueing arithmetic into the resource keeps the event count linear in
+//! the number of requests regardless of queue depth, which matters when a
+//! burst admits 5 000 placements at the same instant.
+//!
+//! Three shapes cover everything the platform needs:
+//!
+//! * [`FifoResource`] — one server, one queue (the centralized scheduler);
+//! * [`MultiServer`] — `k` identical servers, shared queue (worker pools);
+//! * [`BandwidthPipe`] — a link that serializes transfers at fixed bytes/s
+//!   (the image-build server's disk/NIC, the container-shipping fabric).
+
+use crate::time::SimTime;
+
+/// A single-server FIFO queue with deterministic service times.
+///
+/// `request(now, service)` reserves the server for `service` seconds
+/// starting at `max(now, next_free)`, and returns the `(start, end)` pair.
+#[derive(Debug, Clone, Default)]
+pub struct FifoResource {
+    next_free: SimTime,
+    busy_seconds: f64,
+    served: u64,
+}
+
+impl FifoResource {
+    /// A resource that is free from t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserve the server for `service` seconds at or after `now`.
+    pub fn request(&mut self, now: SimTime, service: f64) -> (SimTime, SimTime) {
+        assert!(service >= 0.0, "negative service time {service}");
+        let start = now.max(self.next_free);
+        let end = start + service;
+        self.next_free = end;
+        self.busy_seconds += service;
+        self.served += 1;
+        (start, end)
+    }
+
+    /// The instant after which the server is idle.
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+
+    /// Total busy time accumulated.
+    pub fn busy_seconds(&self) -> f64 {
+        self.busy_seconds
+    }
+
+    /// Number of requests served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+}
+
+/// `k` identical servers behind one FIFO queue.
+///
+/// Each request is dispatched to the earliest-free server; ties resolve to
+/// the lowest server index (deterministic).
+#[derive(Debug, Clone)]
+pub struct MultiServer {
+    free_at: Vec<SimTime>,
+    served: u64,
+}
+
+impl MultiServer {
+    /// Create a pool of `servers` identical servers, all free at t = 0.
+    ///
+    /// Panics if `servers == 0`.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "MultiServer requires at least one server");
+        MultiServer { free_at: vec![SimTime::ZERO; servers], served: 0 }
+    }
+
+    /// Reserve the earliest-available server for `service` seconds at or
+    /// after `now`; returns `(server_index, start, end)`.
+    pub fn request(&mut self, now: SimTime, service: f64) -> (usize, SimTime, SimTime) {
+        assert!(service >= 0.0, "negative service time {service}");
+        let (idx, &free) = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by(|(ai, a), (bi, b)| a.cmp(b).then(ai.cmp(bi)))
+            .expect("non-empty pool");
+        let start = now.max(free);
+        let end = start + service;
+        self.free_at[idx] = end;
+        self.served += 1;
+        (idx, start, end)
+    }
+
+    /// Number of servers in the pool.
+    pub fn servers(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Number of requests served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// The earliest time any server becomes free.
+    pub fn earliest_free(&self) -> SimTime {
+        *self.free_at.iter().min().expect("non-empty pool")
+    }
+}
+
+/// A serializing link with fixed bandwidth (bytes per second).
+///
+/// Transfers queue FIFO; a transfer of `bytes` arriving at `now` starts when
+/// the link drains and takes `bytes / bandwidth` seconds. This is the
+/// mechanism that makes container start-up and shipping time **linear in
+/// concurrency** — the β₂ term of the paper's Eq. 2.
+#[derive(Debug, Clone)]
+pub struct BandwidthPipe {
+    bytes_per_sec: f64,
+    next_free: SimTime,
+    bytes_moved: f64,
+    transfers: u64,
+}
+
+impl BandwidthPipe {
+    /// Create a pipe with the given bandwidth in bytes/second.
+    ///
+    /// Panics unless the bandwidth is positive and finite.
+    pub fn new(bytes_per_sec: f64) -> Self {
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+            "bandwidth must be positive, got {bytes_per_sec}"
+        );
+        BandwidthPipe { bytes_per_sec, next_free: SimTime::ZERO, bytes_moved: 0.0, transfers: 0 }
+    }
+
+    /// Enqueue a transfer of `bytes` at `now`; returns `(start, end)`.
+    pub fn transfer(&mut self, now: SimTime, bytes: f64) -> (SimTime, SimTime) {
+        assert!(bytes >= 0.0, "negative transfer size {bytes}");
+        let start = now.max(self.next_free);
+        let end = start + bytes / self.bytes_per_sec;
+        self.next_free = end;
+        self.bytes_moved += bytes;
+        self.transfers += 1;
+        (start, end)
+    }
+
+    /// Configured bandwidth in bytes per second.
+    pub fn bandwidth(&self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// Total bytes moved.
+    pub fn bytes_moved(&self) -> f64 {
+        self.bytes_moved
+    }
+
+    /// Aggregate busy time: total transfer service time queued through this
+    /// link (`bytes_moved / bandwidth`), regardless of pipeline overlap.
+    pub fn busy_seconds(&self) -> f64 {
+        self.bytes_moved / self.bytes_per_sec
+    }
+
+    /// Number of transfers served.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn fifo_serializes_back_to_back() {
+        let mut r = FifoResource::new();
+        let (s1, e1) = r.request(t(0.0), 2.0);
+        let (s2, e2) = r.request(t(0.0), 3.0);
+        assert_eq!((s1, e1), (t(0.0), t(2.0)));
+        assert_eq!((s2, e2), (t(2.0), t(5.0)));
+        assert_eq!(r.busy_seconds(), 5.0);
+        assert_eq!(r.served(), 2);
+    }
+
+    #[test]
+    fn fifo_idle_gap_not_counted() {
+        let mut r = FifoResource::new();
+        r.request(t(0.0), 1.0);
+        let (s, e) = r.request(t(10.0), 1.0);
+        assert_eq!((s, e), (t(10.0), t(11.0)));
+        assert_eq!(r.busy_seconds(), 2.0);
+    }
+
+    #[test]
+    fn nth_fifo_request_waits_linearly() {
+        // The scheduling-time mechanism: the k-th of N simultaneous
+        // requests starts at k * service — total backlog grows linearly,
+        // last-start grows linearly, sum of waits grows quadratically.
+        let mut r = FifoResource::new();
+        let mut starts = Vec::new();
+        for _ in 0..100 {
+            let (s, _) = r.request(t(0.0), 0.5);
+            starts.push(s.as_secs());
+        }
+        for (k, s) in starts.iter().enumerate() {
+            assert!((s - 0.5 * k as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn multiserver_spreads_load() {
+        let mut m = MultiServer::new(3);
+        let mut ends = Vec::new();
+        for _ in 0..6 {
+            let (_, _, e) = m.request(t(0.0), 1.0);
+            ends.push(e.as_secs());
+        }
+        // First 3 finish at 1.0, next 3 at 2.0.
+        assert_eq!(ends, vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+        assert_eq!(m.servers(), 3);
+        assert_eq!(m.served(), 6);
+    }
+
+    #[test]
+    fn multiserver_picks_earliest_free_deterministically() {
+        let mut m = MultiServer::new(2);
+        let (i1, _, _) = m.request(t(0.0), 5.0);
+        let (i2, _, _) = m.request(t(0.0), 1.0);
+        assert_eq!((i1, i2), (0, 1));
+        // Server 1 frees first; next request must land there.
+        let (i3, s3, _) = m.request(t(0.0), 1.0);
+        assert_eq!(i3, 1);
+        assert_eq!(s3, t(1.0));
+        assert_eq!(m.earliest_free(), t(2.0));
+    }
+
+    #[test]
+    fn pipe_transfer_times() {
+        let mut p = BandwidthPipe::new(100.0);
+        let (s1, e1) = p.transfer(t(0.0), 250.0);
+        assert_eq!((s1, e1), (t(0.0), t(2.5)));
+        let (s2, e2) = p.transfer(t(1.0), 100.0);
+        assert_eq!((s2, e2), (t(2.5), t(3.5)));
+        assert_eq!(p.bytes_moved(), 350.0);
+        assert_eq!(p.transfers(), 2);
+    }
+
+    #[test]
+    fn pipe_burst_completion_is_linear_in_count() {
+        // N simultaneous container builds of size S over bandwidth B finish
+        // at k*S/B — the linear start-up term of Eq. 2.
+        let mut p = BandwidthPipe::new(1e6);
+        let size = 5e4;
+        let mut last_end = 0.0;
+        for k in 1..=200 {
+            let (_, e) = p.transfer(t(0.0), size);
+            last_end = e.as_secs();
+            assert!((last_end - k as f64 * size / 1e6).abs() < 1e-9);
+        }
+        assert!((last_end - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_multiserver_panics() {
+        let _ = MultiServer::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        let _ = BandwidthPipe::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative service")]
+    fn negative_service_panics() {
+        FifoResource::new().request(t(0.0), -1.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Lightweight event tracing for simulations.
+//!
+//! The platform simulator emits a [`TraceEvent`] per lifecycle transition of
+//! each function instance (scheduled → built → shipped → started →
+//! finished). Traces power the figure-reproduction binaries (which need the
+//! full start-time distribution, not just aggregates) and make test
+//! assertions about mechanism — e.g. "shipping never precedes build
+//! completion" — straightforward.
+
+use crate::time::SimTime;
+
+/// One timestamped lifecycle event, tagged with the entity it concerns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// When the event occurred on the simulated clock.
+    pub at: SimTime,
+    /// Entity identifier (e.g. function-instance index).
+    pub entity: u64,
+    /// Lifecycle stage label (static so traces stay allocation-light).
+    pub stage: &'static str,
+}
+
+/// An append-only trace buffer.
+///
+/// Tracing can be disabled (the default for large sweeps) so that hot runs
+/// pay only a branch per event.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Tracer {
+    /// A tracer that records events.
+    pub fn enabled() -> Self {
+        Tracer { enabled: true, events: Vec::new() }
+    }
+
+    /// A tracer that drops events (zero allocation).
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one event (no-op when disabled).
+    #[inline]
+    pub fn record(&mut self, at: SimTime, entity: u64, stage: &'static str) {
+        if self.enabled {
+            self.events.push(TraceEvent { at, entity, stage });
+        }
+    }
+
+    /// All recorded events, in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events for one entity, in recording order.
+    pub fn for_entity(&self, entity: u64) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.entity == entity)
+    }
+
+    /// Events at a given stage, in recording order.
+    pub fn at_stage(&self, stage: &'static str) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.stage == stage)
+    }
+
+    /// Timestamp of the first event at `stage` for `entity`, if any.
+    pub fn when(&self, entity: u64, stage: &'static str) -> Option<SimTime> {
+        self.events.iter().find(|e| e.entity == entity && e.stage == stage).map(|e| e.at)
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn records_and_queries() {
+        let mut tr = Tracer::enabled();
+        tr.record(t(1.0), 0, "scheduled");
+        tr.record(t(2.0), 0, "started");
+        tr.record(t(1.5), 1, "scheduled");
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.when(0, "started"), Some(t(2.0)));
+        assert_eq!(tr.when(1, "started"), None);
+        assert_eq!(tr.for_entity(0).count(), 2);
+        assert_eq!(tr.at_stage("scheduled").count(), 2);
+    }
+
+    #[test]
+    fn disabled_tracer_drops_events() {
+        let mut tr = Tracer::disabled();
+        tr.record(t(1.0), 0, "scheduled");
+        assert!(tr.is_empty());
+        assert!(!tr.is_enabled());
+    }
+}

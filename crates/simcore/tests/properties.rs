@@ -1,0 +1,123 @@
+//! Property-based tests for the DES engine and its resources.
+
+use proptest::prelude::*;
+use propack_simcore::{BandwidthPipe, FifoResource, MultiServer, RngStreams, Sim, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    /// Events fire in non-decreasing time order for arbitrary schedules,
+    /// and equal-time events fire in scheduling order.
+    #[test]
+    fn event_order_is_total(delays in prop::collection::vec(0.0f64..1e4, 1..200)) {
+        let fired: Rc<RefCell<Vec<(f64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(());
+        for (i, &d) in delays.iter().enumerate() {
+            let fired = Rc::clone(&fired);
+            sim.schedule_in(d, move |s| {
+                fired.borrow_mut().push((s.now().as_secs(), i));
+            });
+        }
+        sim.run();
+        let log = fired.borrow();
+        prop_assert_eq!(log.len(), delays.len());
+        for w in log.windows(2) {
+            prop_assert!(w[1].0 >= w[0].0, "clock went backwards");
+            if w[1].0 == w[0].0 {
+                prop_assert!(w[1].1 > w[0].1, "tie broken out of scheduling order");
+            }
+        }
+    }
+
+    /// FIFO resource: requests never overlap, never start before arrival,
+    /// and busy time equals the sum of services.
+    #[test]
+    fn fifo_no_overlap(reqs in prop::collection::vec((0.0f64..100.0, 0.0f64..10.0), 1..100)) {
+        let mut r = FifoResource::new();
+        // Requests must arrive in non-decreasing time for a FIFO queue.
+        let mut sorted = reqs.clone();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut prev_end = 0.0f64;
+        let mut total = 0.0;
+        for &(at, dur) in &sorted {
+            let (start, end) = r.request(SimTime::from_secs(at), dur);
+            prop_assert!(start.as_secs() >= at - 1e-12);
+            prop_assert!(start.as_secs() >= prev_end - 1e-12, "overlap");
+            prop_assert!((end - start - dur).abs() < 1e-12);
+            prev_end = end.as_secs();
+            total += dur;
+        }
+        prop_assert!((r.busy_seconds() - total).abs() < 1e-9);
+    }
+
+    /// MultiServer with k servers never runs more than k requests
+    /// concurrently (checked by interval overlap counting).
+    #[test]
+    fn multiserver_respects_capacity(
+        k in 1usize..8,
+        durs in prop::collection::vec(0.1f64..5.0, 1..60),
+    ) {
+        let mut m = MultiServer::new(k);
+        let mut intervals = Vec::new();
+        for &d in &durs {
+            let (_, s, e) = m.request(SimTime::ZERO, d);
+            intervals.push((s.as_secs(), e.as_secs()));
+        }
+        // At any interval start, count overlapping intervals.
+        for &(t, _) in &intervals {
+            let overlapping =
+                intervals.iter().filter(|&&(s, e)| s <= t + 1e-12 && t < e - 1e-12).count();
+            prop_assert!(overlapping <= k, "{overlapping} > {k} concurrent");
+        }
+    }
+
+    /// BandwidthPipe conserves bytes and serializes: total transfer span is
+    /// at least bytes/bandwidth.
+    #[test]
+    fn pipe_conserves_bytes(
+        bw in 1.0f64..1e6,
+        sizes in prop::collection::vec(0.0f64..1e6, 1..50),
+    ) {
+        let mut p = BandwidthPipe::new(bw);
+        let mut last_end = SimTime::ZERO;
+        for &s in &sizes {
+            let (_, end) = p.transfer(SimTime::ZERO, s);
+            prop_assert!(end >= last_end);
+            last_end = end;
+        }
+        let total: f64 = sizes.iter().sum();
+        prop_assert!((p.bytes_moved() - total).abs() < 1e-6 * (1.0 + total));
+        prop_assert!((last_end.as_secs() - total / bw).abs() < 1e-9 * (1.0 + total / bw));
+    }
+
+    /// RNG streams: identical (seed, name, index) triples agree; any
+    /// differing coordinate diverges.
+    #[test]
+    fn rng_streams_deterministic(seed in any::<u64>(), idx in 0u64..1000) {
+        use rand::Rng;
+        let s = RngStreams::new(seed);
+        let mut r1 = s.stream_indexed("x", idx);
+        let mut r2 = s.stream_indexed("x", idx);
+        let v1: Vec<u64> = (0..8).map(|_| r1.random()).collect();
+        let v2: Vec<u64> = (0..8).map(|_| r2.random()).collect();
+        prop_assert_eq!(&v1, &v2);
+        let mut r3 = s.stream_indexed("x", idx.wrapping_add(1));
+        let v3: Vec<u64> = (0..8).map(|_| r3.random()).collect();
+        prop_assert_ne!(&v1, &v3);
+    }
+
+    /// run_until never fires events past the deadline, and a subsequent
+    /// full run drains exactly the remainder.
+    #[test]
+    fn run_until_splits_cleanly(delays in prop::collection::vec(0.0f64..100.0, 1..100), cut in 0.0f64..100.0) {
+        let mut sim = Sim::new(0u32);
+        for &d in &delays {
+            sim.schedule_in(d, |s| *s.state_mut() += 1);
+        }
+        sim.run_until(SimTime::from_secs(cut));
+        let early = delays.iter().filter(|&&d| d <= cut).count() as u32;
+        prop_assert_eq!(*sim.state(), early);
+        sim.run();
+        prop_assert_eq!(*sim.state(), delays.len() as u32);
+    }
+}

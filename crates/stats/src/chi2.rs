@@ -1,0 +1,254 @@
+//! Pearson χ² goodness-of-fit test, as used in §2.4 of the paper.
+//!
+//! The paper computes *"the sum of the squared difference between the
+//! observed value and expected value (according to the analytical model) as
+//! a fraction of the expected value across different packing degrees"*, and
+//! compares it against the χ² distribution with `15 − 1 = 14` degrees of
+//! freedom at a confidence of 99.5 % — for which the critical value is
+//! 4.075. Observed statistics below the critical value accept the null
+//! hypothesis that model and observation come from the same distribution.
+//!
+//! Note the paper uses the *lower* tail quantile (`P(χ² ≤ x) = 1 − p` for
+//! p = 0.995): χ²₀.₀₀₅(14) ≈ 4.075. We reproduce exactly that convention in
+//! [`chi2_critical_value`].
+
+use serde::{Deserialize, Serialize};
+use crate::special::gamma_p;
+use crate::{check_xy, Result, StatsError};
+
+/// χ² distribution CDF: `P(X ≤ x)` for `dof` degrees of freedom.
+pub fn chi2_cdf(x: f64, dof: f64) -> Result<f64> {
+    if dof <= 0.0 {
+        return Err(StatsError::Domain("chi2_cdf requires dof > 0"));
+    }
+    if x <= 0.0 {
+        return Ok(0.0);
+    }
+    gamma_p(dof / 2.0, x / 2.0)
+}
+
+/// Inverse χ² CDF (quantile function) by bisection on the monotone CDF.
+///
+/// `q` is the lower-tail probability: returns `x` with `P(X ≤ x) = q`.
+pub fn chi2_quantile(q: f64, dof: f64) -> Result<f64> {
+    if !(0.0..1.0).contains(&q) {
+        return Err(StatsError::Domain("quantile probability must be in [0, 1)"));
+    }
+    if dof <= 0.0 {
+        return Err(StatsError::Domain("chi2_quantile requires dof > 0"));
+    }
+    if q == 0.0 {
+        return Ok(0.0);
+    }
+    // Bracket: the mean of χ²(k) is k and the variance 2k; expand upward
+    // until the CDF exceeds q.
+    let mut hi = dof + 10.0 * (2.0 * dof).sqrt() + 10.0;
+    while chi2_cdf(hi, dof)? < q {
+        hi *= 2.0;
+        if hi > 1e12 {
+            return Err(StatsError::Domain("chi2_quantile bracket overflow"));
+        }
+    }
+    let mut lo = 0.0;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if chi2_cdf(mid, dof)? < q {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-10 * hi.max(1.0) {
+            break;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// Critical value at the paper's convention: confidence `conf` (e.g. 0.995)
+/// maps to the lower-tail quantile at `1 − conf`.
+///
+/// `chi2_critical_value(0.995, 14)` ≈ 4.075, the number quoted in §2.4.
+pub fn chi2_critical_value(conf: f64, dof: usize) -> Result<f64> {
+    if !(0.5..1.0).contains(&conf) {
+        return Err(StatsError::Domain("confidence must be in [0.5, 1)"));
+    }
+    chi2_quantile(1.0 - conf, dof as f64)
+}
+
+/// Pearson χ² statistic: `Σ (observed − expected)² / expected`.
+///
+/// Expected values must be strictly positive.
+pub fn chi2_statistic(observed: &[f64], expected: &[f64]) -> Result<f64> {
+    check_xy(observed, expected)?;
+    if observed.is_empty() {
+        return Err(StatsError::TooFewSamples { needed: 1, got: 0 });
+    }
+    let mut stat = 0.0;
+    for (i, (&o, &e)) in observed.iter().zip(expected).enumerate() {
+        if e <= 0.0 {
+            return Err(StatsError::NonPositiveObservation { index: i, value: e });
+        }
+        let d = o - e;
+        stat += d * d / e;
+    }
+    Ok(stat)
+}
+
+/// Outcome of a goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GofOutcome {
+    /// The Pearson χ² statistic.
+    pub statistic: f64,
+    /// The critical value the statistic was compared against.
+    pub critical_value: f64,
+    /// Degrees of freedom used.
+    pub dof: usize,
+    /// Whether the null hypothesis (model fits) is accepted.
+    pub accepted: bool,
+}
+
+/// A configured Pearson χ² goodness-of-fit test.
+///
+/// # Example — the paper's own setup (§2.4)
+/// ```
+/// use propack_stats::ChiSquareTest;
+/// let test = ChiSquareTest::paper_default();
+/// assert_eq!(test.dof, 14);
+/// // The paper's reported worst-case service-time statistic (3.81) passes,
+/// // and so does the expense statistic (0.055):
+/// assert!(test.accepts(3.81).unwrap());
+/// assert!(test.accepts(0.055).unwrap());
+/// assert!(!test.accepts(4.2).unwrap());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquareTest {
+    /// Degrees of freedom (paper: 15 − 1 = 14, from the Sort application's
+    /// maximum packing degree, the lowest across all applications).
+    pub dof: usize,
+    /// Confidence level (paper: 0.995).
+    pub confidence: f64,
+}
+
+impl ChiSquareTest {
+    /// The configuration from §2.4 of the paper: dof = 14, confidence 99.5 %.
+    pub fn paper_default() -> Self {
+        ChiSquareTest { dof: 14, confidence: 0.995 }
+    }
+
+    /// Construct a test with explicit parameters.
+    pub fn new(dof: usize, confidence: f64) -> Self {
+        ChiSquareTest { dof, confidence }
+    }
+
+    /// The critical value for this configuration.
+    pub fn critical_value(&self) -> Result<f64> {
+        chi2_critical_value(self.confidence, self.dof)
+    }
+
+    /// Does a precomputed statistic pass?
+    pub fn accepts(&self, statistic: f64) -> Result<bool> {
+        Ok(statistic <= self.critical_value()?)
+    }
+
+    /// Run the full test on observed vs. model-expected values.
+    pub fn run(&self, observed: &[f64], expected: &[f64]) -> Result<GofOutcome> {
+        let statistic = chi2_statistic(observed, expected)?;
+        let critical_value = self.critical_value()?;
+        Ok(GofOutcome {
+            statistic,
+            critical_value,
+            dof: self.dof,
+            accepted: statistic <= critical_value,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_critical_value_is_4_075() {
+        // χ²₀.₀₀₅(14) = 4.07468... — the exact number §2.4 quotes as 4.075.
+        let cv = chi2_critical_value(0.995, 14).unwrap();
+        assert!((cv - 4.075).abs() < 0.005, "cv = {cv}");
+    }
+
+    #[test]
+    fn common_table_values() {
+        // Upper-tail 95 % values from standard χ² tables: P(X ≤ x) = 0.95.
+        let cases = [(1.0, 3.841), (5.0, 11.070), (10.0, 18.307), (14.0, 23.685)];
+        for (dof, want) in cases {
+            let got = chi2_quantile(0.95, dof).unwrap();
+            assert!((got - want).abs() < 0.01, "dof {dof}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn cdf_quantile_roundtrip() {
+        for &dof in &[1.0, 4.0, 14.0, 50.0] {
+            for &q in &[0.005, 0.25, 0.5, 0.9, 0.995] {
+                let x = chi2_quantile(q, dof).unwrap();
+                let back = chi2_cdf(x, dof).unwrap();
+                assert!((back - q).abs() < 1e-7, "dof {dof} q {q}: {back}");
+            }
+        }
+    }
+
+    #[test]
+    fn statistic_zero_for_perfect_fit() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(chi2_statistic(&v, &v).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn statistic_hand_computed() {
+        // (10-8)²/8 + (6-8)²/8 = 0.5 + 0.5 = 1.0
+        let s = chi2_statistic(&[10.0, 6.0], &[8.0, 8.0]).unwrap();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn statistic_rejects_non_positive_expected() {
+        assert!(matches!(
+            chi2_statistic(&[1.0], &[0.0]),
+            Err(StatsError::NonPositiveObservation { .. })
+        ));
+    }
+
+    #[test]
+    fn paper_reported_statistics_accept() {
+        let t = ChiSquareTest::paper_default();
+        let out = t
+            .run(&[100.0, 110.0, 125.0, 142.0], &[101.0, 109.5, 126.0, 141.0])
+            .unwrap();
+        assert!(out.accepted);
+        assert!(out.statistic < out.critical_value);
+    }
+
+    #[test]
+    fn badly_wrong_model_rejects() {
+        let t = ChiSquareTest::paper_default();
+        let out = t.run(&[100.0, 200.0, 400.0], &[10.0, 10.0, 10.0]).unwrap();
+        assert!(!out.accepted);
+    }
+
+    #[test]
+    fn quantile_monotone_in_q() {
+        let mut prev = 0.0;
+        for i in 1..20 {
+            let q = i as f64 / 20.0;
+            let x = chi2_quantile(q, 14.0).unwrap();
+            assert!(x > prev);
+            prev = x;
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(chi2_quantile(1.5, 14.0).is_err());
+        assert!(chi2_quantile(0.5, 0.0).is_err());
+        assert!(chi2_critical_value(0.4, 14).is_err());
+        assert!(chi2_cdf(1.0, -1.0).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Statistics substrate for the ProPack reproduction.
+//!
+//! ProPack (HPDC '23, §2) is driven by three pieces of statistical machinery,
+//! all of which are implemented here from scratch:
+//!
+//! * **Least-squares fitting** — the scaling-time model (Eq. 2) is a
+//!   second-order polynomial fitted by [`regression::polyfit`], and the
+//!   interference model (Eq. 1) is an exponential fitted by
+//!   [`models::ModelKind::Exponential`] (log-linear least squares).
+//! * **Model selection** — the paper reports trying *"linear, quadratic,
+//!   cubic, exponential, logarithmic, logistic, normal, and sinusoidal"*
+//!   models before settling on exponential (execution time) and polynomial
+//!   (scaling time). The full zoo lives in [`models`] and
+//!   [`models::select_best`] reproduces that selection.
+//! * **Pearson χ² goodness-of-fit** — §2.4 validates the analytical models
+//!   with a χ² test at 14 degrees of freedom and p = 0.995 (critical value
+//!   4.075). [`chi2`] implements the statistic, the χ² CDF (via the
+//!   regularized incomplete gamma function in [`special`]) and the inverse
+//!   CDF used to derive critical values.
+//!
+//! The crate has no dependencies; everything (linear algebra, special
+//! functions, quantiles) is implemented locally so that the rest of the
+//! workspace can treat it as a leaf substrate.
+
+pub mod chi2;
+pub mod linalg;
+pub mod models;
+pub mod percentile;
+pub mod regression;
+pub mod special;
+pub mod summary;
+
+pub use chi2::{chi2_critical_value, chi2_statistic, ChiSquareTest, GofOutcome};
+pub use models::{select_best, CurveFit, ModelKind};
+pub use percentile::{median, percentile, Percentile};
+pub use regression::{polyfit, PolyFit};
+pub use summary::Summary;
+
+/// Errors produced by fitting and testing routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// Not enough samples for the requested operation (e.g. fitting a
+    /// degree-2 polynomial through fewer than 3 points).
+    TooFewSamples { needed: usize, got: usize },
+    /// Mismatched input lengths (xs vs. ys).
+    LengthMismatch { xs: usize, ys: usize },
+    /// The design matrix was singular (e.g. all x values identical).
+    Singular,
+    /// The model requires strictly positive observations (log-linear fits).
+    NonPositiveObservation { index: usize, value: f64 },
+    /// An input was not finite.
+    NonFinite { index: usize, value: f64 },
+    /// A domain error in a special function (e.g. gamma of a non-positive).
+    Domain(&'static str),
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::TooFewSamples { needed, got } => {
+                write!(f, "too few samples: needed {needed}, got {got}")
+            }
+            StatsError::LengthMismatch { xs, ys } => {
+                write!(f, "input length mismatch: {xs} xs vs {ys} ys")
+            }
+            StatsError::Singular => write!(f, "singular design matrix"),
+            StatsError::NonPositiveObservation { index, value } => {
+                write!(f, "observation {index} = {value} must be positive for a log-linear fit")
+            }
+            StatsError::NonFinite { index, value } => {
+                write!(f, "input {index} = {value} is not finite")
+            }
+            StatsError::Domain(what) => write!(f, "domain error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, StatsError>;
+
+pub(crate) fn check_xy(xs: &[f64], ys: &[f64]) -> Result<()> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::LengthMismatch { xs: xs.len(), ys: ys.len() });
+    }
+    for (i, v) in xs.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(StatsError::NonFinite { index: i, value: *v });
+        }
+    }
+    for (i, v) in ys.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(StatsError::NonFinite { index: i, value: *v });
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,171 @@
+//! Minimal dense linear algebra: just enough to solve the small normal
+//! equations produced by polynomial least squares (systems of order ≤ 8).
+
+use crate::{Result, StatsError};
+
+/// A small, row-major dense matrix.
+///
+/// Only the operations needed by [`crate::regression`] are provided:
+/// construction, indexing, and an in-place Gaussian-elimination solve with
+/// partial pivoting. Matrices in this workspace are tiny (order ≤ 8), so no
+/// blocking or SIMD is warranted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create a matrix from a nested slice; panics on ragged input.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut m = Matrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged row {i}");
+            m.data[i * c..(i + 1) * c].copy_from_slice(row);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Solve `A x = b` by Gaussian elimination with partial pivoting.
+    ///
+    /// Consumes a copy of the matrix internally; `A` must be square and of
+    /// the same order as `b`. Returns [`StatsError::Singular`] when a pivot
+    /// collapses below `1e-12` relative to the largest entry.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.rows;
+        if n != self.cols || b.len() != n {
+            return Err(StatsError::LengthMismatch { xs: n, ys: b.len() });
+        }
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        let scale = a.iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1.0);
+
+        for col in 0..n {
+            // Partial pivot: find the largest |a[row][col]| for row >= col.
+            let mut pivot_row = col;
+            let mut pivot_val = a[col * n + col].abs();
+            for row in (col + 1)..n {
+                let v = a[row * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = row;
+                }
+            }
+            if pivot_val < 1e-12 * scale {
+                return Err(StatsError::Singular);
+            }
+            if pivot_row != col {
+                for k in 0..n {
+                    a.swap(col * n + k, pivot_row * n + k);
+                }
+                x.swap(col, pivot_row);
+            }
+            let pivot = a[col * n + col];
+            for row in (col + 1)..n {
+                let factor = a[row * n + col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for k in col..n {
+                    a[row * n + k] -= factor * a[col * n + k];
+                }
+                x[row] -= factor * x[col];
+            }
+        }
+
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut sum = x[col];
+            for k in (col + 1)..n {
+                sum -= a[col * n + k] * x[k];
+            }
+            x[col] = sum / a[col * n + col];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut m = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            m.set(i, i, 1.0);
+        }
+        let x = m.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_general_system() {
+        // 2x + y = 5; x + 3y = 10  =>  x = 1, y = 3
+        let m = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = m.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_system_requiring_pivoting() {
+        // First pivot is zero; without partial pivoting this would fail.
+        let m = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = m.solve(&[2.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(m.solve(&[1.0, 2.0]), Err(StatsError::Singular));
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let m = Matrix::zeros(2, 3);
+        assert!(m.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+}

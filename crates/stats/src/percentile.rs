@@ -1,0 +1,167 @@
+//! Percentile and quantile helpers.
+//!
+//! The paper's figures of merit (§3): *"total, tail, and median service
+//! times refer to the time required till the end of execution of all, first
+//! 95 % and first 50 % concurrent function instances, respectively."*
+//! [`Percentile`] encodes exactly those three metrics; [`percentile`] is the
+//! general linear-interpolated quantile used to compute them from per-
+//! instance completion times.
+
+use serde::{Deserialize, Serialize};
+use crate::{Result, StatsError};
+
+/// The three figures of merit used throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Percentile {
+    /// Completion of **all** instances (the 100th percentile).
+    Total,
+    /// Completion of the first 95 % of instances (tail latency bound).
+    Tail95,
+    /// Completion of the first 50 % of instances.
+    Median,
+}
+
+impl Percentile {
+    /// The quantile in `[0, 1]` this figure of merit corresponds to.
+    pub fn quantile(self) -> f64 {
+        match self {
+            Percentile::Total => 1.0,
+            Percentile::Tail95 => 0.95,
+            Percentile::Median => 0.50,
+        }
+    }
+
+    /// All three figures of merit.
+    pub const ALL: [Percentile; 3] = [Percentile::Total, Percentile::Tail95, Percentile::Median];
+
+    /// Display name, as used in figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Percentile::Total => "total",
+            Percentile::Tail95 => "tail",
+            Percentile::Median => "median",
+        }
+    }
+}
+
+/// Linear-interpolated quantile of `values` at `q ∈ [0, 1]`.
+///
+/// Sorts a copy of the input; O(n log n). `q = 1.0` returns the maximum,
+/// `q = 0.0` the minimum.
+pub fn percentile(values: &[f64], q: f64) -> Result<f64> {
+    if values.is_empty() {
+        return Err(StatsError::TooFewSamples { needed: 1, got: 0 });
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::Domain("quantile must be in [0, 1]"));
+    }
+    for (i, &v) in values.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(StatsError::NonFinite { index: i, value: v });
+        }
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    Ok(quantile_sorted(&sorted, q))
+}
+
+/// Quantile of an already-sorted slice (ascending); no allocation.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median convenience wrapper.
+pub fn median(values: &[f64]) -> Result<f64> {
+    percentile(values, 0.5)
+}
+
+/// Compute all three paper metrics (total / tail-95 / median) in one pass.
+///
+/// Returns values in the order of [`Percentile::ALL`].
+pub fn service_metrics(completion_times: &[f64]) -> Result<[f64; 3]> {
+    if completion_times.is_empty() {
+        return Err(StatsError::TooFewSamples { needed: 1, got: 0 });
+    }
+    let mut sorted = completion_times.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    Ok([
+        quantile_sorted(&sorted, Percentile::Total.quantile()),
+        quantile_sorted(&sorted, Percentile::Tail95.quantile()),
+        quantile_sorted(&sorted, Percentile::Median.quantile()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_is_max_median_is_middle() {
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&v, 1.0).unwrap(), 5.0);
+        assert_eq!(percentile(&v, 0.0).unwrap(), 1.0);
+        assert_eq!(median(&v).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn interpolates_between_points() {
+        let v = [0.0, 10.0];
+        assert_eq!(percentile(&v, 0.25).unwrap(), 2.5);
+        assert_eq!(percentile(&v, 0.5).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(percentile(&[42.0], 0.95).unwrap(), 42.0);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(percentile(&[], 0.5).is_err());
+        assert!(service_metrics(&[]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_q_rejected() {
+        assert!(percentile(&[1.0], 1.5).is_err());
+        assert!(percentile(&[1.0], -0.1).is_err());
+    }
+
+    #[test]
+    fn nan_rejected() {
+        assert!(percentile(&[1.0, f64::NAN], 0.5).is_err());
+    }
+
+    #[test]
+    fn metrics_ordering_total_ge_tail_ge_median() {
+        let v: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let [total, tail, med] = service_metrics(&v).unwrap();
+        assert!(total >= tail && tail >= med);
+        assert_eq!(total, 999.0);
+        assert!((tail - 949.05).abs() < 1e-9);
+        assert!((med - 499.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_enum_quantiles() {
+        assert_eq!(Percentile::Total.quantile(), 1.0);
+        assert_eq!(Percentile::Tail95.quantile(), 0.95);
+        assert_eq!(Percentile::Median.quantile(), 0.5);
+        for p in Percentile::ALL {
+            assert!(!p.name().is_empty());
+        }
+    }
+}

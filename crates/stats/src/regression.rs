@@ -1,0 +1,249 @@
+//! Polynomial least-squares regression.
+//!
+//! ProPack's scaling-time model (Eq. 2 in the paper) is
+//! `β₁·C_eff² + β₂·C_eff − β₃`, *"determined through polynomial
+//! regression"* from ~10 application-independent probe runs. [`polyfit`]
+//! implements exactly that: ordinary least squares on the monomial basis,
+//! solved through the normal equations (the systems here are at most 4×4, so
+//! the classic normal-equation route is numerically fine once inputs are
+//! scaled).
+
+use crate::linalg::Matrix;
+use crate::{check_xy, Result, StatsError};
+
+/// A fitted polynomial `y = c₀ + c₁x + c₂x² + …` with fit diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolyFit {
+    /// Coefficients in ascending-power order (`coeffs[k]` multiplies `x^k`).
+    pub coeffs: Vec<f64>,
+    /// Root-mean-square error of the fit on the training points.
+    pub rmse: f64,
+    /// Coefficient of determination R² (1.0 = perfect fit). May be negative
+    /// for models worse than the mean predictor.
+    pub r_squared: f64,
+    /// Internal x-scale used to condition the normal equations.
+    x_scale: f64,
+    /// Coefficients over the scaled variable `x / x_scale`, kept so that
+    /// evaluation stays well-conditioned while `coeffs` exposes the natural
+    /// (unscaled) values users expect.
+    scaled: Vec<f64>,
+}
+
+impl PolyFit {
+    fn new(scaled: Vec<f64>, x_scale: f64, rmse: f64, r_squared: f64) -> Self {
+        // Unscale: y = Σ s_k (x/L)^k  =>  c_k = s_k / L^k
+        let coeffs = scaled
+            .iter()
+            .enumerate()
+            .map(|(k, s)| s / x_scale.powi(k as i32))
+            .collect();
+        PolyFit { coeffs, rmse, r_squared, x_scale, scaled }
+    }
+
+    /// Evaluate the polynomial at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let xs = x / self.x_scale;
+        // Horner's rule over scaled x.
+        let mut acc = 0.0;
+        for &c in self.scaled.iter().rev() {
+            acc = acc * xs + c;
+        }
+        acc
+    }
+
+    /// Degree of the fitted polynomial.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+}
+
+impl std::ops::Index<usize> for PolyFit {
+    type Output = f64;
+    fn index(&self, k: usize) -> &f64 {
+        &self.coeffs[k]
+    }
+}
+
+/// Fit a polynomial of the given degree through `(xs, ys)` by least squares.
+///
+/// Requires at least `degree + 1` points. X values are internally scaled by
+/// their max magnitude to keep the Vandermonde system well-conditioned even
+/// for concurrency levels in the thousands.
+///
+/// # Example
+/// ```
+/// let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+/// let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x * x + 3.0 * x - 1.0).collect();
+/// let fit = propack_stats::polyfit(&xs, &ys, 2).unwrap();
+/// assert!((fit.coeffs[2] - 2.0).abs() < 1e-8);
+/// assert!((fit.eval(10.0) - 229.0).abs() < 1e-6);
+/// ```
+pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Result<PolyFit> {
+    check_xy(xs, ys)?;
+    let n = xs.len();
+    let terms = degree + 1;
+    if n < terms {
+        return Err(StatsError::TooFewSamples { needed: terms, got: n });
+    }
+
+    let x_scale = xs.iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-30);
+    let xn: Vec<f64> = xs.iter().map(|x| x / x_scale).collect();
+
+    // Normal equations: (VᵀV) c = Vᵀ y, where V is the Vandermonde matrix.
+    let mut ata = Matrix::zeros(terms, terms);
+    let mut atb = vec![0.0; terms];
+    // Precompute power sums Σ x^k for k in 0..2*degree to fill VᵀV.
+    let mut power_sums = vec![0.0; 2 * degree + 1];
+    for &x in &xn {
+        let mut p = 1.0;
+        for sum in power_sums.iter_mut() {
+            *sum += p;
+            p *= x;
+        }
+    }
+    for r in 0..terms {
+        for c in 0..terms {
+            ata.set(r, c, power_sums[r + c]);
+        }
+    }
+    for (&x, &y) in xn.iter().zip(ys) {
+        let mut p = 1.0;
+        for slot in atb.iter_mut() {
+            *slot += p * y;
+            p *= x;
+        }
+    }
+
+    let scaled = ata.solve(&atb)?;
+    let fit = PolyFit::new(scaled, x_scale, 0.0, 0.0);
+
+    // Diagnostics.
+    let mean_y = ys.iter().sum::<f64>() / n as f64;
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let e = y - fit.eval(x);
+        ss_res += e * e;
+        ss_tot += (y - mean_y) * (y - mean_y);
+    }
+    let rmse = (ss_res / n as f64).sqrt();
+    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    Ok(PolyFit { rmse, r_squared, ..fit })
+}
+
+/// Simple linear regression `y = a + b x`, returned as `(a, b)`.
+///
+/// This is the log-linear workhorse behind the exponential interference fit
+/// (Eq. 1): fitting `ln ET = ln A + k·P` reduces to this function.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<(f64, f64)> {
+    check_xy(xs, ys)?;
+    let n = xs.len();
+    if n < 2 {
+        return Err(StatsError::TooFewSamples { needed: 2, got: n });
+    }
+    let nf = n as f64;
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let denom = nf * sxx - sx * sx;
+    if denom.abs() < 1e-12 * (nf * sxx).abs().max(1.0) {
+        return Err(StatsError::Singular);
+    }
+    let b = (nf * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / nf;
+    Ok((a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_quadratic_exactly() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x * x - 2.0 * x + 7.0).collect();
+        let fit = polyfit(&xs, &ys, 2).unwrap();
+        assert!((fit.coeffs[0] - 7.0).abs() < 1e-8, "c0 = {}", fit.coeffs[0]);
+        assert!((fit.coeffs[1] + 2.0).abs() < 1e-8);
+        assert!((fit.coeffs[2] - 3.0).abs() < 1e-9);
+        assert!(fit.rmse < 1e-8);
+        assert!(fit.r_squared > 0.999_999);
+    }
+
+    #[test]
+    fn recovers_scaling_time_shape_at_high_concurrency() {
+        // The exact form of ProPack Eq. 2 with realistic magnitudes:
+        // β₁ = 2.4e-5, β₂ = 0.04, β₃ = 5, C up to 5000.
+        let xs: Vec<f64> = (1..=10).map(|i| 500.0 * i as f64).collect();
+        let ys: Vec<f64> =
+            xs.iter().map(|c| 2.4e-5 * c * c + 0.04 * c - 5.0).collect();
+        let fit = polyfit(&xs, &ys, 2).unwrap();
+        assert!((fit.coeffs[2] - 2.4e-5).abs() < 1e-10);
+        assert!((fit.coeffs[1] - 0.04).abs() < 1e-6);
+        assert!((fit.coeffs[0] + 5.0).abs() < 1e-4);
+        // Extrapolation sanity.
+        let want = 2.4e-5 * 7000.0_f64.powi(2) + 0.04 * 7000.0 - 5.0;
+        assert!((fit.eval(7000.0) - want).abs() / want < 1e-6);
+    }
+
+    #[test]
+    fn degree_zero_is_mean() {
+        let fit = polyfit(&[1.0, 2.0, 3.0], &[4.0, 6.0, 8.0], 0).unwrap();
+        assert!((fit.coeffs[0] - 6.0).abs() < 1e-12);
+        assert_eq!(fit.degree(), 0);
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        assert_eq!(
+            polyfit(&[1.0, 2.0], &[1.0, 2.0], 2),
+            Err(StatsError::TooFewSamples { needed: 3, got: 2 })
+        );
+    }
+
+    #[test]
+    fn identical_xs_rejected() {
+        let r = polyfit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0], 1);
+        assert_eq!(r, Err(StatsError::Singular));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert!(matches!(
+            polyfit(&[1.0, 2.0, 3.0], &[1.0], 1),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert!(matches!(
+            polyfit(&[1.0, f64::NAN, 3.0], &[1.0, 2.0, 3.0], 1),
+            Err(StatsError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 0.5 + 1.25 * x).collect();
+        let (a, b) = linear_fit(&xs, &ys).unwrap();
+        assert!((a - 0.5).abs() < 1e-12);
+        assert!((b - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_fit_has_reasonable_r2() {
+        // Deterministic pseudo-noise so the test is stable.
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 * x + 1.0 + if i % 2 == 0 { 0.3 } else { -0.3 })
+            .collect();
+        let fit = polyfit(&xs, &ys, 1).unwrap();
+        assert!((fit.coeffs[1] - 2.0).abs() < 0.01);
+        assert!(fit.r_squared > 0.999);
+    }
+}

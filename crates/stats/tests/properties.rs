@@ -1,0 +1,152 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use propack_stats::chi2::{chi2_cdf, chi2_quantile, chi2_statistic};
+use propack_stats::models::{fit, ModelKind};
+use propack_stats::percentile::{percentile, service_metrics};
+use propack_stats::regression::linear_fit;
+use propack_stats::special::{gamma_p, ln_gamma};
+use propack_stats::{polyfit, Summary};
+
+proptest! {
+    /// polyfit recovers planted quadratic coefficients from exact data,
+    /// for any well-spread sample grid and coefficient magnitudes.
+    #[test]
+    fn polyfit_recovers_planted_quadratic(
+        a in -100.0f64..100.0,
+        b in -10.0f64..10.0,
+        c in -1.0f64..1.0,
+        x0 in 0.1f64..50.0,
+        dx in 0.5f64..100.0,
+    ) {
+        let xs: Vec<f64> = (0..12).map(|i| x0 + dx * i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| a + b * x + c * x * x).collect();
+        let f = polyfit(&xs, &ys, 2).unwrap();
+        let scale = a.abs().max(b.abs()).max(c.abs()).max(1.0);
+        prop_assert!((f.coeffs[0] - a).abs() < 1e-6 * scale * 100.0, "a: {} vs {}", f.coeffs[0], a);
+        prop_assert!((f.coeffs[1] - b).abs() < 1e-6 * scale * 10.0);
+        prop_assert!((f.coeffs[2] - c).abs() < 1e-7 * scale * 10.0);
+    }
+
+    /// The fitted polynomial's predictions interpolate the training data
+    /// even under small multiplicative noise.
+    #[test]
+    fn polyfit_interpolates_under_noise(noise in 0.0f64..0.02, seed in any::<u64>()) {
+        let xs: Vec<f64> = (1..=15).map(|i| i as f64 * 100.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| {
+                let wiggle = if (seed >> (i % 60)) & 1 == 1 { 1.0 + noise } else { 1.0 - noise };
+                (2e-5 * x * x + 0.1 * x) * wiggle
+            })
+            .collect();
+        let f = polyfit(&xs, &ys, 2).unwrap();
+        // Least-squares residuals are bounded by the noise floor measured
+        // against the data's scale (small-y points can carry larger
+        // *relative* residuals because large-y points dominate the fit).
+        let y_max = ys.iter().copied().fold(0.0f64, f64::max);
+        for (&x, &y) in xs.iter().zip(&ys) {
+            prop_assert!((f.eval(x) - y).abs() < 2.0 * noise * y_max + 1e-9);
+        }
+    }
+
+    /// Linear fit is exact on lines.
+    #[test]
+    fn linear_fit_exact(a in -1e3f64..1e3, b in -1e3f64..1e3) {
+        let xs: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| a + b * x).collect();
+        let (fa, fb) = linear_fit(&xs, &ys).unwrap();
+        prop_assert!((fa - a).abs() < 1e-7 * (1.0 + a.abs()));
+        prop_assert!((fb - b).abs() < 1e-7 * (1.0 + b.abs()));
+    }
+
+    /// Exponential fit round-trips positive exponentials.
+    #[test]
+    fn exponential_fit_round_trips(a in 0.1f64..1e3, k in -0.3f64..0.3) {
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| a * (k * x).exp()).collect();
+        let f = fit(ModelKind::Exponential, &xs, &ys).unwrap();
+        prop_assert!((f.params[0] - a).abs() / a < 1e-6);
+        prop_assert!((f.params[1] - k).abs() < 1e-8);
+    }
+
+    /// χ² CDF is a CDF: in [0, 1], monotone in x, and the quantile is its
+    /// inverse.
+    #[test]
+    fn chi2_cdf_properties(dof in 1.0f64..100.0, x in 0.0f64..500.0, dx in 0.1f64..50.0) {
+        let p1 = chi2_cdf(x, dof).unwrap();
+        let p2 = chi2_cdf(x + dx, dof).unwrap();
+        prop_assert!((0.0..=1.0).contains(&p1));
+        prop_assert!(p2 >= p1);
+    }
+
+    #[test]
+    fn chi2_quantile_inverts_cdf(dof in 1.0f64..60.0, q in 0.01f64..0.99) {
+        let x = chi2_quantile(q, dof).unwrap();
+        let back = chi2_cdf(x, dof).unwrap();
+        prop_assert!((back - q).abs() < 1e-6, "{back} vs {q}");
+    }
+
+    /// The Pearson statistic is non-negative, zero iff observed == expected.
+    #[test]
+    fn chi2_statistic_nonnegative(obs in prop::collection::vec(0.1f64..100.0, 1..20)) {
+        let expected: Vec<f64> = obs.iter().map(|o| o + 1.0).collect();
+        let s = chi2_statistic(&obs, &expected).unwrap();
+        prop_assert!(s > 0.0);
+        let zero = chi2_statistic(&obs, &obs).unwrap();
+        prop_assert!(zero.abs() < 1e-12);
+    }
+
+    /// Percentiles are bounded by the extremes and monotone in q.
+    #[test]
+    fn percentile_bounds(values in prop::collection::vec(-1e6f64..1e6, 1..200), q in 0.0f64..1.0) {
+        let p = percentile(&values, q).unwrap();
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+        let p_more = percentile(&values, (q + 0.1).min(1.0)).unwrap();
+        prop_assert!(p_more >= p - 1e-9);
+    }
+
+    /// service_metrics ordering invariant: total ≥ tail ≥ median.
+    #[test]
+    fn service_metric_ordering(values in prop::collection::vec(0.0f64..1e5, 1..300)) {
+        let [total, tail, median] = propack_stats::percentile::service_metrics(&values).unwrap();
+        prop_assert!(total >= tail && tail >= median);
+        let _ = service_metrics(&values).unwrap();
+    }
+
+    /// Summary::merge is equivalent to sequential accumulation at any
+    /// split point.
+    #[test]
+    fn summary_merge_associative(
+        values in prop::collection::vec(-1e3f64..1e3, 2..200),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((values.len() as f64 * split_frac) as usize).min(values.len());
+        let whole = Summary::from_slice(&values);
+        let mut left = Summary::from_slice(&values[..split]);
+        left.merge(&Summary::from_slice(&values[split..]));
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-8);
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-6 * (1.0 + whole.variance()));
+    }
+
+    /// ln Γ satisfies the recurrence Γ(x+1) = x·Γ(x).
+    #[test]
+    fn ln_gamma_recurrence(x in 0.1f64..50.0) {
+        let lhs = ln_gamma(x + 1.0).unwrap();
+        let rhs = x.ln() + ln_gamma(x).unwrap();
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+    }
+
+    /// Regularized incomplete gamma is monotone in x and bounded.
+    #[test]
+    fn gamma_p_monotone(a in 0.5f64..50.0, x in 0.0f64..200.0, dx in 0.01f64..20.0) {
+        let p1 = gamma_p(a, x).unwrap();
+        let p2 = gamma_p(a, x + dx).unwrap();
+        prop_assert!((0.0..=1.0).contains(&p1));
+        prop_assert!(p2 >= p1 - 1e-12);
+    }
+}

@@ -1,0 +1,135 @@
+//! The five benchmark applications from the paper's §3, each in two forms:
+//!
+//! 1. a **real Rust kernel** (`run_once`) — actual computation a packed
+//!    executor can run on host threads (`propack-executor` uses these to
+//!    measure genuine interference on real hardware);
+//! 2. a **simulator work profile** (`profile`) — memory footprint, isolated
+//!    execution time, contention rate, and storage/network traffic,
+//!    calibrated to the per-application numbers the paper reports
+//!    (maximum packing degrees 40 / 15 / 30 / 35 for Video / Sort /
+//!    Stateless Cost / Smith-Waterman — Figs. 8 and 17).
+//!
+//! | Benchmark | Paper workload | Kernel here |
+//! |---|---|---|
+//! | [`video::Video`] | Thousand Island Scanner: chunked video encode + MXNET DNN classify | 8×8 DCT + quantization over synthetic frames, then a small MLP classifier |
+//! | [`sort::MapReduceSort`] | Hadoop terasort-style map-reduce sort to S3 | partition → per-function merge sort → k-way reduce merge |
+//! | [`stateless::StatelessCost`] | image resizing (ServerlessBench "stateless cost") | bilinear resampling of synthetic RGB images |
+//! | [`smith_waterman::SmithWaterman`] | protein-sequence comparison | full Smith-Waterman affine-gap DP with a BLOSUM-style matrix |
+//! | [`xapian::Xapian`] | search over Wikipedia pages, tail-latency QoS | inverted index + BM25 top-k over a synthetic corpus |
+
+pub mod smith_waterman;
+pub mod sort;
+pub mod stateless;
+pub mod video;
+pub mod xapian;
+
+pub use propack_platform::WorkProfile;
+
+/// Result of executing one real workload kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkOutput {
+    /// Order-independent checksum of the kernel's output, for verifying
+    /// that packed (threaded) execution computes the same result as
+    /// isolated execution.
+    pub checksum: u64,
+    /// Abstract work units completed (kernel-specific; used by throughput
+    /// assertions in the executor tests).
+    pub work_units: u64,
+}
+
+/// A benchmark application: a real kernel plus its simulator calibration.
+pub trait Workload: Send + Sync {
+    /// Display name matching the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Simulator-facing profile (memory, base time, contention, traffic).
+    fn profile(&self) -> WorkProfile;
+
+    /// Execute the real kernel once with deterministic input derived from
+    /// `input_seed`. The same seed always produces the same checksum,
+    /// regardless of packing or thread interleaving.
+    fn run_once(&self, input_seed: u64) -> WorkOutput;
+}
+
+/// The paper's three primary benchmarks (Figs. 1, 4, 7–16, 19, 21).
+pub fn primary_benchmarks() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(video::Video::default()),
+        Box::new(sort::MapReduceSort::default()),
+        Box::new(stateless::StatelessCost::default()),
+    ]
+}
+
+/// All five benchmarks (adds Smith-Waterman, Fig. 17, and Xapian, Fig. 20).
+pub fn all_benchmarks() -> Vec<Box<dyn Workload>> {
+    let mut v = primary_benchmarks();
+    v.push(Box::new(smith_waterman::SmithWaterman::default()));
+    v.push(Box::new(xapian::Xapian::default()));
+    v
+}
+
+/// A 64-bit mixing hash (splitmix64 finalizer) used by kernels to fold
+/// outputs into order-independent checksums and to derive input data.
+#[inline]
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_expected_names() {
+        let names: Vec<&str> = all_benchmarks().iter().map(|w| w.name()).collect();
+        assert_eq!(
+            names,
+            vec!["Video", "Sort", "Stateless Cost", "Smith-Waterman", "Xapian"]
+        );
+    }
+
+    #[test]
+    fn max_packing_degrees_match_paper() {
+        // Fig. 8: max degrees 40 (Video), 15 (Sort), 30 (Stateless);
+        // Fig. 17: 35 (Smith-Waterman). Computed against the 10 GB AWS cap.
+        let expect = [
+            ("Video", 40),
+            ("Sort", 15),
+            ("Stateless Cost", 30),
+            ("Smith-Waterman", 35),
+            ("Xapian", 25),
+        ];
+        for (w, (name, deg)) in all_benchmarks().iter().zip(expect) {
+            assert_eq!(w.name(), name);
+            assert_eq!(
+                w.profile().max_packing_degree(10.0),
+                deg,
+                "{name} max packing degree"
+            );
+        }
+    }
+
+    #[test]
+    fn kernels_deterministic_per_seed() {
+        for w in all_benchmarks() {
+            let a = w.run_once(42);
+            let b = w.run_once(42);
+            assert_eq!(a, b, "{} kernel not deterministic", w.name());
+            let c = w.run_once(43);
+            assert_ne!(a.checksum, c.checksum, "{} checksum ignores seed", w.name());
+        }
+    }
+
+    #[test]
+    fn profiles_have_positive_base_times() {
+        for w in all_benchmarks() {
+            let p = w.profile();
+            assert!(p.base_exec_secs > 0.0);
+            assert!(p.mem_gb > 0.0);
+            assert!(p.contention_per_gb > 0.0);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Stateless Cost: the image-resizing workload from ServerlessBench.
+//!
+//! The paper's Stateless Cost benchmark resizes images — short-running,
+//! stateless requests served individually (AWS's "Serverless Image Handler"
+//! does the same job), for which *median/tail* service time is the natural
+//! figure of merit rather than total turnaround (§3).
+//!
+//! The kernel is a real bilinear resampler over synthetic RGB images: for
+//! each output pixel it gathers the four neighbouring source pixels and
+//! blends them with the standard bilinear weights.
+//!
+//! Simulator calibration: `M_func = 0.33 GB` → maximum packing degree 30 on
+//! a 10 GB Lambda (Fig. 8); the middle interference curve of Fig. 4.
+
+use crate::{mix64, WorkOutput, Workload};
+use propack_platform::WorkProfile;
+
+/// The Stateless Cost workload.
+#[derive(Debug, Clone)]
+pub struct StatelessCost {
+    /// Source image edge length (square, pixels).
+    pub src_size: usize,
+    /// Target edge length after resizing.
+    pub dst_size: usize,
+    /// Images resized per invocation.
+    pub images: usize,
+}
+
+impl Default for StatelessCost {
+    fn default() -> Self {
+        StatelessCost { src_size: 96, dst_size: 60, images: 6 }
+    }
+}
+
+/// An RGB image in planar-free interleaved form (`3 × w × h` bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// Edge length in pixels (square images).
+    pub size: usize,
+    /// Interleaved RGB bytes, row-major.
+    pub pixels: Vec<u8>,
+}
+
+impl Image {
+    /// Deterministic synthetic photo-like content: radial gradient plus
+    /// seeded speckle.
+    pub fn synthetic(seed: u64, size: usize) -> Self {
+        let mut pixels = Vec::with_capacity(3 * size * size);
+        let c = size as f64 / 2.0;
+        for y in 0..size {
+            for x in 0..size {
+                let d = (((x as f64 - c).powi(2) + (y as f64 - c).powi(2)).sqrt() / c)
+                    .min(1.0);
+                let h = mix64(seed ^ ((y as u64) << 24) ^ x as u64);
+                let speckle = (h % 32) as f64;
+                pixels.push((200.0 * (1.0 - d) + speckle) as u8);
+                pixels.push((140.0 * d + speckle) as u8);
+                pixels.push((90.0 + 100.0 * (1.0 - d)) as u8);
+            }
+        }
+        Image { size, pixels }
+    }
+
+    #[inline]
+    fn px(&self, x: usize, y: usize, ch: usize) -> u8 {
+        self.pixels[3 * (y * self.size + x) + ch]
+    }
+}
+
+/// Bilinear resize of a square RGB image.
+pub fn resize_bilinear(src: &Image, dst_size: usize) -> Image {
+    assert!(dst_size >= 1 && src.size >= 2, "degenerate resize");
+    let mut pixels = Vec::with_capacity(3 * dst_size * dst_size);
+    let scale = (src.size - 1) as f64 / (dst_size.max(2) - 1) as f64;
+    for y in 0..dst_size {
+        let fy = y as f64 * scale;
+        let y0 = fy.floor() as usize;
+        let y1 = (y0 + 1).min(src.size - 1);
+        let wy = fy - y0 as f64;
+        for x in 0..dst_size {
+            let fx = x as f64 * scale;
+            let x0 = fx.floor() as usize;
+            let x1 = (x0 + 1).min(src.size - 1);
+            let wx = fx - x0 as f64;
+            for ch in 0..3 {
+                let tl = src.px(x0, y0, ch) as f64;
+                let tr = src.px(x1, y0, ch) as f64;
+                let bl = src.px(x0, y1, ch) as f64;
+                let br = src.px(x1, y1, ch) as f64;
+                let top = tl * (1.0 - wx) + tr * wx;
+                let bot = bl * (1.0 - wx) + br * wx;
+                pixels.push((top * (1.0 - wy) + bot * wy).round() as u8);
+            }
+        }
+    }
+    Image { size: dst_size, pixels }
+}
+
+impl Workload for StatelessCost {
+    fn name(&self) -> &'static str {
+        "Stateless Cost"
+    }
+
+    fn profile(&self) -> WorkProfile {
+        WorkProfile {
+            name: "Stateless Cost".to_string(),
+            mem_gb: 0.33,
+            base_exec_secs: 100.0,
+            contention_per_gb: 0.182, // ≈ 0.06 per packing degree
+            storage_gb: 0.03,         // source images in, thumbnails out
+            storage_requests: 4,
+            network_gb: 0.015,
+            dependency_load_secs: 5.0, // imaging libraries on a cold container
+        }
+    }
+
+    fn run_once(&self, input_seed: u64) -> WorkOutput {
+        let mut checksum = 0u64;
+        let mut work_units = 0u64;
+        for img_idx in 0..self.images {
+            let src = Image::synthetic(input_seed ^ (img_idx as u64) << 32, self.src_size);
+            let dst = resize_bilinear(&src, self.dst_size);
+            let mut h = 0u64;
+            for (i, &b) in dst.pixels.iter().enumerate() {
+                h ^= mix64((b as u64) << 16 | (i as u64 & 0xFFFF));
+            }
+            checksum ^= mix64(h ^ img_idx as u64);
+            work_units += (dst.size * dst.size) as u64;
+        }
+        WorkOutput { checksum, work_units }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_resize_preserves_corners() {
+        let src = Image::synthetic(5, 32);
+        let dst = resize_bilinear(&src, 32);
+        // scale = 1 → exact pixel reproduction.
+        assert_eq!(src.pixels, dst.pixels);
+    }
+
+    #[test]
+    fn resize_of_uniform_image_is_uniform() {
+        let src = Image { size: 16, pixels: vec![77u8; 3 * 16 * 16] };
+        let dst = resize_bilinear(&src, 9);
+        assert!(dst.pixels.iter().all(|&p| p == 77));
+        assert_eq!(dst.size, 9);
+    }
+
+    #[test]
+    fn downscale_dims_and_value_range() {
+        let src = Image::synthetic(9, 64);
+        let dst = resize_bilinear(&src, 20);
+        assert_eq!(dst.pixels.len(), 3 * 20 * 20);
+        // Bilinear interpolation can never exceed the source value range.
+        let (smin, smax) =
+            src.pixels.iter().fold((255u8, 0u8), |(lo, hi), &p| (lo.min(p), hi.max(p)));
+        for &p in &dst.pixels {
+            assert!(p >= smin && p <= smax);
+        }
+    }
+
+    #[test]
+    fn upscale_works() {
+        let src = Image::synthetic(3, 16);
+        let dst = resize_bilinear(&src, 40);
+        assert_eq!(dst.size, 40);
+    }
+
+    #[test]
+    fn work_units_count_output_pixels() {
+        let s = StatelessCost { src_size: 32, dst_size: 10, images: 3 };
+        assert_eq!(s.run_once(1).work_units, 300);
+    }
+
+    #[test]
+    fn profile_matches_paper_calibration() {
+        let p = StatelessCost::default().profile();
+        assert_eq!(p.max_packing_degree(10.0), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn degenerate_resize_panics() {
+        let src = Image::synthetic(1, 1);
+        let _ = resize_bilinear(&src, 4);
+    }
+}

@@ -1,0 +1,247 @@
+//! Video: the Thousand Island Scanner (THIS) workload.
+//!
+//! The paper's Video benchmark performs distributed video processing:
+//! chunks of a 5.2 MB TV-news clip are encoded and then classified by an
+//! MXNET DNN, one chunk per serverless function. The kernel here mirrors
+//! the two phases on synthetic frames:
+//!
+//! 1. **Encode** — per 8×8 block, a 2-D type-II DCT followed by JPEG-style
+//!    quantization (the compute core of real video encoders);
+//! 2. **Classify** — a small two-layer MLP over per-frame block statistics
+//!    (stand-in for the DNN inference stage).
+//!
+//! Simulator calibration: `M_func = 0.25 GB` gives the paper's maximum
+//! packing degree of 40 on a 10 GB Lambda (Fig. 8); the contention rate is
+//! the Video curve of Fig. 4.
+
+use crate::{mix64, WorkOutput, Workload};
+use propack_platform::WorkProfile;
+
+/// Frame geometry (pixels); kept modest so tests run in milliseconds.
+const FRAME_W: usize = 64;
+const FRAME_H: usize = 64;
+/// 8×8 DCT blocks.
+const BLOCK: usize = 8;
+
+/// The Video workload.
+#[derive(Debug, Clone)]
+pub struct Video {
+    /// Frames per invocation (one "chunk").
+    pub frames: usize,
+}
+
+impl Default for Video {
+    fn default() -> Self {
+        Video { frames: 12 }
+    }
+}
+
+/// JPEG luminance quantization table (standard Annex K values).
+const QUANT: [[f32; 8]; 8] = [
+    [16.0, 11.0, 10.0, 16.0, 24.0, 40.0, 51.0, 61.0],
+    [12.0, 12.0, 14.0, 19.0, 26.0, 58.0, 60.0, 55.0],
+    [14.0, 13.0, 16.0, 24.0, 40.0, 57.0, 69.0, 56.0],
+    [14.0, 17.0, 22.0, 29.0, 51.0, 87.0, 80.0, 62.0],
+    [18.0, 22.0, 37.0, 56.0, 68.0, 109.0, 103.0, 77.0],
+    [24.0, 35.0, 55.0, 64.0, 81.0, 104.0, 113.0, 92.0],
+    [49.0, 64.0, 78.0, 87.0, 103.0, 121.0, 120.0, 101.0],
+    [72.0, 92.0, 95.0, 98.0, 112.0, 100.0, 103.0, 99.0],
+];
+
+/// Generate one synthetic luminance frame from a seed: smooth gradients
+/// plus seeded texture, so DCT coefficients are non-trivial.
+fn synth_frame(seed: u64, frame_idx: usize) -> Vec<f32> {
+    let mut px = Vec::with_capacity(FRAME_W * FRAME_H);
+    for y in 0..FRAME_H {
+        for x in 0..FRAME_W {
+            let h = mix64(seed ^ ((frame_idx as u64) << 40) ^ ((y as u64) << 20) ^ x as u64);
+            let texture = (h % 64) as f32;
+            let gradient = (x + 2 * y) as f32 * 0.7 + frame_idx as f32;
+            px.push(texture + gradient);
+        }
+    }
+    px
+}
+
+/// In-place 1-D type-II DCT of 8 samples (naive O(n²); n = 8).
+fn dct8(v: &mut [f32; 8]) {
+    let mut out = [0.0f32; 8];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (n, &x) in v.iter().enumerate() {
+            acc += x
+                * (std::f32::consts::PI / 8.0 * (n as f32 + 0.5) * k as f32).cos();
+        }
+        let scale = if k == 0 { (1.0f32 / 8.0).sqrt() } else { (2.0f32 / 8.0).sqrt() };
+        *o = acc * scale;
+    }
+    v.copy_from_slice(&out);
+}
+
+/// 2-D DCT + quantization of one 8×8 block; returns quantized coefficients.
+fn encode_block(frame: &[f32], bx: usize, by: usize) -> [i32; 64] {
+    let mut block = [[0.0f32; 8]; 8];
+    for (r, row) in block.iter_mut().enumerate() {
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = frame[(by * BLOCK + r) * FRAME_W + bx * BLOCK + c] - 128.0;
+        }
+    }
+    // Rows then columns.
+    for row in block.iter_mut() {
+        dct8(row);
+    }
+    #[allow(clippy::needless_range_loop)] // column transpose: indexing both axes is clearest
+    for c in 0..8 {
+        let mut col = [0.0f32; 8];
+        for (r, slot) in col.iter_mut().enumerate() {
+            *slot = block[r][c];
+        }
+        dct8(&mut col);
+        for (r, &v) in col.iter().enumerate() {
+            block[r][c] = v;
+        }
+    }
+    let mut q = [0i32; 64];
+    for r in 0..8 {
+        for c in 0..8 {
+            q[r * 8 + c] = (block[r][c] / QUANT[r][c]).round() as i32;
+        }
+    }
+    q
+}
+
+/// Two-layer MLP over block statistics — the "DNN classification" stage.
+/// Weights are fixed pseudo-random constants (a trained model stand-in).
+fn classify(features: &[f32]) -> usize {
+    const HIDDEN: usize = 16;
+    const CLASSES: usize = 4;
+    let mut hidden = [0.0f32; HIDDEN];
+    for (j, h) in hidden.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (i, &f) in features.iter().enumerate() {
+            let w = ((mix64((i as u64) << 32 | j as u64) % 2000) as f32 - 1000.0) / 1000.0;
+            acc += f * w;
+        }
+        *h = acc.max(0.0); // ReLU
+    }
+    let mut best = (0usize, f32::NEG_INFINITY);
+    for k in 0..CLASSES {
+        let mut acc = 0.0;
+        for (j, &h) in hidden.iter().enumerate() {
+            let w = ((mix64(0xC1A5_5000 ^ (j as u64) << 16 | k as u64) % 2000) as f32
+                - 1000.0)
+                / 1000.0;
+            acc += h * w;
+        }
+        if acc > best.1 {
+            best = (k, acc);
+        }
+    }
+    best.0
+}
+
+impl Workload for Video {
+    fn name(&self) -> &'static str {
+        "Video"
+    }
+
+    fn profile(&self) -> WorkProfile {
+        WorkProfile {
+            name: "Video".to_string(),
+            mem_gb: 0.25,
+            base_exec_secs: 100.0,
+            contention_per_gb: 0.18,
+            storage_gb: 0.052, // 5.2 MB input chunk + encoded output, ×10 rounds
+            storage_requests: 6,
+            network_gb: 0.02,
+            dependency_load_secs: 12.0, // MXNET DNN model load on a cold container
+        }
+    }
+
+    fn run_once(&self, input_seed: u64) -> WorkOutput {
+        let mut checksum = 0u64;
+        let mut work_units = 0u64;
+        for f in 0..self.frames {
+            let frame = synth_frame(input_seed, f);
+            let mut features = Vec::with_capacity((FRAME_W / BLOCK) * (FRAME_H / BLOCK));
+            for by in 0..FRAME_H / BLOCK {
+                for bx in 0..FRAME_W / BLOCK {
+                    let q = encode_block(&frame, bx, by);
+                    // Feature: quantized AC energy of the block.
+                    let energy: i64 = q.iter().skip(1).map(|&c| (c as i64) * (c as i64)).sum();
+                    features.push((energy as f32).ln_1p());
+                    // Fold coefficients into an order-independent checksum.
+                    let mut h = 0u64;
+                    for (i, &c) in q.iter().enumerate() {
+                        h ^= mix64((c as u64) << 8 | i as u64);
+                    }
+                    checksum ^= mix64(h ^ ((bx as u64) << 32) ^ ((by as u64) << 16) ^ f as u64);
+                    work_units += 1;
+                }
+            }
+            let class = classify(&features);
+            checksum ^= mix64((class as u64) << 48 ^ f as u64 ^ input_seed);
+        }
+        WorkOutput { checksum, work_units }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dct_of_constant_block_is_dc_only() {
+        let mut v = [10.0f32; 8];
+        dct8(&mut v);
+        // DC coefficient = 10 * 8 / sqrt(8) = 10*sqrt(8).
+        assert!((v[0] - 10.0 * 8.0f32.sqrt()).abs() < 1e-3);
+        for &ac in &v[1..] {
+            assert!(ac.abs() < 1e-4, "AC leakage {ac}");
+        }
+    }
+
+    #[test]
+    fn dct_parseval_energy_preserved() {
+        // Orthonormal DCT preserves the L2 norm.
+        let mut v = [3.0, -1.0, 4.0, 1.0, -5.0, 9.0, 2.0, -6.0];
+        let before: f32 = v.iter().map(|x| x * x).sum();
+        dct8(&mut v);
+        let after: f32 = v.iter().map(|x| x * x).sum();
+        assert!((before - after).abs() / before < 1e-4);
+    }
+
+    #[test]
+    fn encode_block_quantizes_high_frequencies_away() {
+        // A smooth gradient block should produce mostly-zero high-frequency
+        // quantized coefficients.
+        let frame = synth_frame(1, 0);
+        let q = encode_block(&frame, 0, 0);
+        let high_zeros = q[32..].iter().filter(|&&c| c == 0).count();
+        assert!(high_zeros > 16, "only {high_zeros} zero high-freq coeffs");
+    }
+
+    #[test]
+    fn classifier_is_deterministic_and_bounded() {
+        let feats: Vec<f32> = (0..64).map(|i| (i as f32 * 0.1).sin()).collect();
+        let a = classify(&feats);
+        let b = classify(&feats);
+        assert_eq!(a, b);
+        assert!(a < 4);
+    }
+
+    #[test]
+    fn kernel_work_units_match_block_count() {
+        let v = Video { frames: 2 };
+        let out = v.run_once(5);
+        let blocks_per_frame = (FRAME_W / BLOCK) * (FRAME_H / BLOCK);
+        assert_eq!(out.work_units, (2 * blocks_per_frame) as u64);
+    }
+
+    #[test]
+    fn profile_matches_paper_calibration() {
+        let p = Video::default().profile();
+        assert_eq!(p.max_packing_degree(10.0), 40);
+        assert_eq!(p.base_exec_secs, 100.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Xapian: the latency-critical search workload (Fig. 20).
+//!
+//! The paper's Xapian benchmark is a search engine over Wikipedia pages —
+//! *"a typical latency-critical, compute-intensive workload with a strict
+//! QoS bound on tail (95th percentile) latency"* (§3, from TailBench). The
+//! QoS-aware packing experiment (Fig. 20) chooses ProPack's objective
+//! weights `W_S = 0.65 / W_E = 0.35` so the tail service time stays inside
+//! the bound.
+//!
+//! The kernel is a genuine small search engine: a deterministic synthetic
+//! "wiki" corpus, an inverted index with per-document term frequencies, and
+//! BM25-ranked top-k retrieval.
+
+use crate::{mix64, WorkOutput, Workload};
+use propack_platform::WorkProfile;
+use std::collections::HashMap;
+
+/// BM25 parameters (standard defaults).
+const BM25_K1: f64 = 1.2;
+const BM25_B: f64 = 0.75;
+
+/// Vocabulary size of the synthetic corpus.
+const VOCAB: u64 = 4096;
+
+/// A searchable corpus: inverted index over synthetic documents.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// `postings[term] = [(doc_id, term_frequency)]`, sorted by doc id.
+    postings: HashMap<u32, Vec<(u32, u32)>>,
+    /// Per-document lengths (terms).
+    doc_lens: Vec<u32>,
+    avg_doc_len: f64,
+}
+
+impl Corpus {
+    /// Build a deterministic corpus of `docs` documents with Zipf-ish term
+    /// distribution: low term ids are common, high ids rare — so queries
+    /// mix frequent and selective terms like real search traffic.
+    pub fn synthetic(seed: u64, docs: usize, terms_per_doc: usize) -> Self {
+        let mut postings: HashMap<u32, Vec<(u32, u32)>> = HashMap::new();
+        let mut doc_lens = Vec::with_capacity(docs);
+        for d in 0..docs as u32 {
+            let mut tf: HashMap<u32, u32> = HashMap::new();
+            for t in 0..terms_per_doc as u64 {
+                let h = mix64(seed ^ ((d as u64) << 24) ^ t);
+                // Square the uniform draw to skew toward low term ids.
+                let u = (h % VOCAB) as f64 / VOCAB as f64;
+                let term = ((u * u) * VOCAB as f64) as u32;
+                *tf.entry(term).or_insert(0) += 1;
+            }
+            doc_lens.push(terms_per_doc as u32);
+            for (term, freq) in tf {
+                postings.entry(term).or_default().push((d, freq));
+            }
+        }
+        for list in postings.values_mut() {
+            list.sort_unstable_by_key(|&(d, _)| d);
+        }
+        let avg_doc_len = terms_per_doc as f64;
+        Corpus { postings, doc_lens, avg_doc_len }
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.doc_lens.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.doc_lens.is_empty()
+    }
+
+    /// BM25 score of one document for one term.
+    fn bm25(&self, term_docs: usize, tf: u32, doc_len: u32) -> f64 {
+        let n = self.len() as f64;
+        let idf = ((n - term_docs as f64 + 0.5) / (term_docs as f64 + 0.5) + 1.0).ln();
+        let tf = tf as f64;
+        let norm = BM25_K1 * (1.0 - BM25_B + BM25_B * doc_len as f64 / self.avg_doc_len);
+        idf * tf * (BM25_K1 + 1.0) / (tf + norm)
+    }
+
+    /// Top-k documents for a multi-term query, BM25-ranked.
+    ///
+    /// Ties break toward the lower document id (deterministic).
+    pub fn search(&self, query: &[u32], k: usize) -> Vec<(u32, f64)> {
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        for &term in query {
+            if let Some(list) = self.postings.get(&term) {
+                let df = list.len();
+                for &(doc, tf) in list {
+                    *scores.entry(doc).or_insert(0.0) +=
+                        self.bm25(df, tf, self.doc_lens[doc as usize]);
+                }
+            }
+        }
+        let mut ranked: Vec<(u32, f64)> = scores.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+/// The Xapian workload: one invocation serves a batch of queries against a
+/// pre-built index shard.
+#[derive(Debug, Clone)]
+pub struct Xapian {
+    /// Documents in the index shard.
+    pub docs: usize,
+    /// Terms per document.
+    pub terms_per_doc: usize,
+    /// Queries served per invocation.
+    pub queries: usize,
+    /// Terms per query.
+    pub query_terms: usize,
+    /// Results per query.
+    pub top_k: usize,
+}
+
+impl Default for Xapian {
+    fn default() -> Self {
+        Xapian { docs: 600, terms_per_doc: 80, queries: 40, query_terms: 3, top_k: 10 }
+    }
+}
+
+impl Workload for Xapian {
+    fn name(&self) -> &'static str {
+        "Xapian"
+    }
+
+    fn profile(&self) -> WorkProfile {
+        WorkProfile {
+            name: "Xapian".to_string(),
+            mem_gb: 0.4, // index shard resident in memory → max degree 25
+            base_exec_secs: 50.0, // latency-critical: shortest requests in the suite
+            contention_per_gb: 0.125, // ≈ 0.05 per packing degree
+            storage_gb: 0.05, // index shard fetch
+            storage_requests: 2,
+            network_gb: 0.01,
+            dependency_load_secs: 7.0, // index libraries + shard open on cold start
+        }
+    }
+
+    fn run_once(&self, input_seed: u64) -> WorkOutput {
+        let corpus = Corpus::synthetic(input_seed, self.docs, self.terms_per_doc);
+        let mut checksum = 0u64;
+        let mut work_units = 0u64;
+        for q in 0..self.queries as u64 {
+            let query: Vec<u32> = (0..self.query_terms as u64)
+                .map(|t| {
+                    let u = (mix64(input_seed ^ (q << 20) ^ t) % VOCAB) as f64 / VOCAB as f64;
+                    ((u * u) * VOCAB as f64) as u32
+                })
+                .collect();
+            let hits = corpus.search(&query, self.top_k);
+            for (rank, (doc, score)) in hits.iter().enumerate() {
+                checksum ^= mix64(
+                    (*doc as u64) << 32 ^ (score.to_bits() & 0xFFFF_F000) ^ (rank as u64) << 8 ^ q,
+                );
+            }
+            work_units += hits.len() as u64;
+        }
+        WorkOutput { checksum, work_units }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        Corpus::synthetic(7, 200, 60)
+    }
+
+    #[test]
+    fn corpus_shape() {
+        let c = corpus();
+        assert_eq!(c.len(), 200);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn search_returns_ranked_results() {
+        let c = corpus();
+        let hits = c.search(&[1, 2, 3], 10);
+        assert!(!hits.is_empty());
+        assert!(hits.len() <= 10);
+        for w in hits.windows(2) {
+            assert!(w[0].1 >= w[1].1, "scores must be non-increasing");
+        }
+    }
+
+    #[test]
+    fn search_deterministic() {
+        let c = corpus();
+        assert_eq!(c.search(&[5, 9], 5), c.search(&[5, 9], 5));
+    }
+
+    #[test]
+    fn missing_term_returns_empty() {
+        let c = corpus();
+        // Term beyond the vocabulary never occurs.
+        assert!(c.search(&[999_999], 5).is_empty());
+    }
+
+    #[test]
+    fn rare_terms_score_higher_than_common() {
+        // IDF property: a document matching a rare term outranks one
+        // matching an equally-frequent common term. Construct directly.
+        let c = corpus();
+        // Find a common (low id) and a rare (high id) term present in the
+        // index.
+        let common = (0..50).find(|t| c.postings.contains_key(t)).unwrap();
+        let rare = (3000..4096).rev().find(|t| c.postings.contains_key(t)).unwrap();
+        let df_common = c.postings[&common].len();
+        let df_rare = c.postings[&rare].len();
+        assert!(df_common > df_rare, "corpus skew missing: {df_common} vs {df_rare}");
+        let s_common = c.bm25(df_common, 1, 60);
+        let s_rare = c.bm25(df_rare, 1, 60);
+        assert!(s_rare > s_common);
+    }
+
+    #[test]
+    fn more_matches_score_higher() {
+        let c = corpus();
+        let hits1 = c.search(&[10], 200);
+        let hits2 = c.search(&[10, 10], 200); // doubled term doubles the sum
+        if let (Some(a), Some(b)) = (hits1.first(), hits2.first()) {
+            assert!(b.1 > a.1);
+        }
+    }
+
+    #[test]
+    fn top_k_truncation() {
+        let c = corpus();
+        let all = c.search(&[1, 2, 3, 4, 5], usize::MAX);
+        let top3 = c.search(&[1, 2, 3, 4, 5], 3);
+        assert_eq!(&all[..3.min(all.len())], &top3[..]);
+    }
+
+    #[test]
+    fn profile_matches_paper_calibration() {
+        let p = Xapian::default().profile();
+        assert_eq!(p.max_packing_degree(10.0), 25);
+        assert!(p.base_exec_secs < 100.0, "latency-critical: short requests");
+    }
+}

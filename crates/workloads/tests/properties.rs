@@ -1,0 +1,113 @@
+//! Property-based tests for the workload kernels: algorithmic correctness
+//! on arbitrary inputs, not just the calibrated defaults.
+
+use proptest::prelude::*;
+use propack_workloads::smith_waterman::{
+    smith_waterman, synth_protein, GapPenalty, AMINO_ACIDS,
+};
+use propack_workloads::sort::merge_sort;
+use propack_workloads::stateless::{resize_bilinear, Image};
+use propack_workloads::xapian::Corpus;
+
+fn protein(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0usize..20, 0..max_len)
+        .prop_map(|ids| ids.into_iter().map(|i| AMINO_ACIDS[i]).collect())
+}
+
+proptest! {
+    /// merge_sort agrees with the standard library on arbitrary input.
+    #[test]
+    fn merge_sort_matches_std(mut v in prop::collection::vec(any::<u64>(), 0..2000)) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        merge_sort(&mut v);
+        prop_assert_eq!(v, expect);
+    }
+
+    /// Smith-Waterman invariants on arbitrary protein pairs:
+    /// score ≥ 0; score ≤ best-possible self alignment of the shorter
+    /// sequence; symmetric in its arguments; and alignment end coordinates
+    /// stay in range.
+    #[test]
+    fn smith_waterman_invariants(q in protein(80), t in protein(80)) {
+        let gap = GapPenalty::default();
+        let aln = smith_waterman(&q, &t, gap);
+        prop_assert!(aln.score >= 0);
+        prop_assert!(aln.query_end <= q.len());
+        prop_assert!(aln.target_end <= t.len());
+        // W has the maximum identity score (11); an alignment can never
+        // beat perfect identity of the shorter sequence.
+        let cap = 11 * q.len().min(t.len()) as i32;
+        prop_assert!(aln.score <= cap, "{} > {}", aln.score, cap);
+        let rev = smith_waterman(&t, &q, gap);
+        prop_assert_eq!(aln.score, rev.score);
+    }
+
+    /// Self-alignment of any non-empty sequence scores the sum of its
+    /// identity scores and ends at the full length.
+    #[test]
+    fn smith_waterman_self_alignment(q in protein(60)) {
+        prop_assume!(!q.is_empty());
+        let aln = smith_waterman(&q, &q, GapPenalty::default());
+        let self_score: i32 = q
+            .iter()
+            .map(|&c| propack_workloads::smith_waterman::substitution_score(c, c))
+            .sum();
+        prop_assert_eq!(aln.score, self_score);
+        prop_assert_eq!(aln.query_end, q.len());
+    }
+
+    /// Appending residues to the target can never lower the best local
+    /// alignment score (local alignment is monotone under extension).
+    #[test]
+    fn smith_waterman_monotone_under_extension(q in protein(40), t in protein(40), ext in protein(20)) {
+        prop_assume!(!q.is_empty());
+        let gap = GapPenalty::default();
+        let base = smith_waterman(&q, &t, gap).score;
+        let mut t2 = t.clone();
+        t2.extend_from_slice(&ext);
+        let extended = smith_waterman(&q, &t2, gap).score;
+        prop_assert!(extended >= base, "{extended} < {base}");
+    }
+
+    /// Bilinear resize output stays within the source value range and has
+    /// exactly the requested dimensions.
+    #[test]
+    fn resize_bounded_and_sized(seed in any::<u64>(), src in 2usize..64, dst in 1usize..64) {
+        let img = Image::synthetic(seed, src);
+        let out = resize_bilinear(&img, dst);
+        prop_assert_eq!(out.size, dst);
+        prop_assert_eq!(out.pixels.len(), 3 * dst * dst);
+        let lo = img.pixels.iter().copied().min().unwrap();
+        let hi = img.pixels.iter().copied().max().unwrap();
+        for &p in &out.pixels {
+            prop_assert!(p >= lo && p <= hi);
+        }
+    }
+
+    /// BM25 search: scores non-increasing, at most k results, and results
+    /// deterministic.
+    #[test]
+    fn search_ranked_and_bounded(seed in any::<u64>(), terms in prop::collection::vec(0u32..4096, 1..5), k in 1usize..30) {
+        let corpus = Corpus::synthetic(seed, 120, 40);
+        let hits = corpus.search(&terms, k);
+        prop_assert!(hits.len() <= k);
+        for w in hits.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1 - 1e-12);
+        }
+        prop_assert_eq!(&hits, &corpus.search(&terms, k));
+        for (_, score) in &hits {
+            prop_assert!(*score > 0.0);
+        }
+    }
+
+    /// synth_protein only emits valid residues and is length-exact.
+    #[test]
+    fn synth_protein_valid(seed in any::<u64>(), len in 0usize..500) {
+        let p = synth_protein(seed, len);
+        prop_assert_eq!(p.len(), len);
+        for &r in &p {
+            prop_assert!(AMINO_ACIDS.contains(&r));
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Heterogeneous packing (§5's future-work extension, implemented): one
+//! user co-packs two of their applications into shared instances.
+//!
+//! ```sh
+//! cargo run --release --example hetero_packing
+//! ```
+//!
+//! Profiles Video and Sort separately (the homogeneous campaigns ProPack
+//! already needs), then plans a mixed fleet analytically and validates the
+//! prediction against the platform's mixed-instance mechanism.
+
+use propack_repro::platform::mixed::MixSpec;
+use propack_repro::platform::profile::PlatformProfile;
+use propack_repro::platform::ServerlessPlatform;
+use propack_repro::propack::hetero::{exec_in_mix, plan_mixed, AppDemand};
+use propack_repro::propack::propack::{ProPackConfig, Propack};
+use propack_repro::workloads::{sort::MapReduceSort, video::Video, Workload};
+
+fn main() {
+    let platform = PlatformProfile::aws_lambda().into_platform();
+    let video = Video::default().profile();
+    let sort = MapReduceSort::default().profile();
+
+    // Per-app profiling — the same campaigns homogeneous ProPack runs.
+    let cfg = ProPackConfig::default();
+    let pp_video = Propack::build(&platform, &video, &cfg).expect("profile video");
+    let pp_sort = Propack::build(&platform, &sort, &cfg).expect("profile sort");
+
+    let demand_a = AppDemand {
+        name: video.name.clone(),
+        interference: pp_video.model.interference,
+        concurrency: 3000,
+        mem_gb: video.mem_gb,
+    };
+    let demand_b = AppDemand {
+        name: sort.name.clone(),
+        interference: pp_sort.model.interference,
+        concurrency: 2000,
+        mem_gb: sort.mem_gb,
+    };
+
+    let r = platform.prices().usd_per_gb_sec * platform.limits().mem_gb;
+    let plan = plan_mixed(&demand_a, &demand_b, &pp_video.model.scaling, 10.0, r)
+        .expect("plannable mix");
+    println!(
+        "mixed plan: {} Video + {} Sort per instance → {} instances",
+        plan.n_a, plan.n_b, plan.instances
+    );
+    println!(
+        "predicted: Video ET {:.0}s, Sort ET {:.0}s, service {:.0}s, compute ${:.2}",
+        plan.exec_a_secs, plan.exec_b_secs, plan.service_secs, plan.expense_usd
+    );
+
+    // Validate against the platform's mixed mechanism.
+    let mix = MixSpec::pair((video.clone(), plan.n_a), (sort.clone(), plan.n_b));
+    let outcome = platform.run_mixed_burst(&mix, plan.instances, 11).expect("mixed burst");
+    let measured_a = outcome.per_app[0].exec_summary().mean();
+    let measured_b = outcome.per_app[1].exec_summary().mean();
+    println!(
+        "measured:  Video ET {:.0}s ({:+.1}%), Sort ET {:.0}s ({:+.1}%), bill ${:.2}",
+        measured_a,
+        100.0 * (measured_a - plan.exec_a_secs) / plan.exec_a_secs,
+        measured_b,
+        100.0 * (measured_b - plan.exec_b_secs) / plan.exec_b_secs,
+        outcome.expense.total_usd()
+    );
+
+    // Cross-interference check: each app is slower in the mix than packed
+    // alone at its own count, because it absorbs the other's pressure.
+    let video_alone = exec_in_mix(&demand_a.interference, &demand_b.interference, plan.n_a, 0, 0);
+    let sort_alone = exec_in_mix(&demand_a.interference, &demand_b.interference, 0, plan.n_b, 1);
+    println!(
+        "\ncross-interference: Video {:.0}s alone → {:.0}s mixed; Sort {:.0}s alone → {:.0}s mixed",
+        video_alone, plan.exec_a_secs, sort_alone, plan.exec_b_secs
+    );
+}

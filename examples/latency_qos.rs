@@ -1,0 +1,73 @@
+//! QoS-bounded search serving: the Xapian scenario (paper Fig. 20).
+//!
+//! ```sh
+//! cargo run --release --example latency_qos
+//! ```
+//!
+//! A latency-critical search service wants packing's cost savings but has
+//! a hard bound on 95th-percentile service time. ProPack searches the
+//! objective-weight space (Eqs. 8–9) for the most expense-friendly split
+//! that still meets the bound.
+
+use propack_repro::platform::profile::PlatformProfile;
+use propack_repro::platform::{BurstSpec, ServerlessPlatform};
+use propack_repro::propack::optimizer::Objective;
+use propack_repro::propack::propack::{ProPackConfig, Propack};
+use propack_repro::stats::percentile::Percentile;
+use propack_repro::workloads::xapian::{Corpus, Xapian};
+use propack_repro::workloads::Workload;
+
+fn main() {
+    // --- What one function does: real BM25 search over an index shard. ---
+    let corpus = Corpus::synthetic(3, 400, 80);
+    println!("index shard: {} documents; sample query results:", corpus.len());
+    for (rank, (doc, score)) in corpus.search(&[12, 55, 700], 5).iter().enumerate() {
+        println!("  #{rank}: doc {doc} (bm25 {score:.3})");
+    }
+
+    // --- The serving fleet. ---
+    let platform = PlatformProfile::aws_lambda().into_platform();
+    let work = Xapian::default().profile();
+    let c = 5000;
+    let pp = Propack::build(&platform, &work, &ProPackConfig::default()).expect("build");
+
+    // Unconstrained objectives for reference.
+    let svc = pp.plan_with_metric(c, Objective::ServiceTime, Percentile::Tail95);
+    let exp = pp.plan_with_metric(c, Objective::Expense, Percentile::Tail95);
+    println!(
+        "\nservice-only plan: degree {:2} (tail {:.0}s)   expense-only plan: degree {:2} (tail {:.0}s)",
+        svc.packing_degree, svc.predicted_service_secs,
+        exp.packing_degree, exp.predicted_service_secs
+    );
+
+    // QoS bound between the two extremes.
+    let qos = svc.predicted_service_secs * 1.04;
+    println!("QoS bound on tail service time: {qos:.0}s");
+    match pp.plan_with_qos(c, qos) {
+        Ok((plan, w_s)) => {
+            println!(
+                "QoS-aware plan: W_S = {w_s:.2}, degree {} (predicted tail {:.0}s)",
+                plan.packing_degree, plan.predicted_service_secs
+            );
+            // Execute and verify the bound on the measured tail.
+            let spec = BurstSpec::packed(work.clone(), c, plan.packing_degree).with_seed(1);
+            let report = platform.run_burst(&spec).expect("run");
+            let tail = report.service_time(Percentile::Tail95);
+            println!(
+                "measured tail: {:.0}s -> bound {} ({} of {} instances in budget)",
+                tail,
+                if tail <= qos * 1.05 { "MET" } else { "MISSED" },
+                (report.instances.len() as f64 * 0.95) as usize,
+                report.instances.len()
+            );
+            println!("expense: ${:.2}", report.expense.total_usd() + pp.overhead.expense_usd);
+        }
+        Err(e) => println!("no feasible weight split: {e}"),
+    }
+
+    // An impossible bound degrades gracefully.
+    match pp.plan_with_qos(c, 1.0) {
+        Ok(_) => unreachable!("a 1-second bound cannot be met at C=5000"),
+        Err(e) => println!("\n(an infeasible 1s bound reports: {e})"),
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: pack a bursty serverless application with ProPack.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the AWS Lambda simulator, profiles a Video-like application,
+//! plans the optimal packing degree for a 5 000-way concurrent burst, and
+//! compares the packed run against the traditional no-packing spawn.
+
+use propack_repro::baselines::{NoPacking, Strategy};
+use propack_repro::platform::profile::PlatformProfile;
+use propack_repro::propack::optimizer::Objective;
+use propack_repro::propack::propack::{ProPackConfig, Propack};
+use propack_repro::workloads::{video::Video, Workload};
+
+fn main() {
+    // 1. A serverless platform. The simulator stands in for AWS Lambda —
+    //    same observable behaviour: burst timestamps and an itemized bill.
+    let platform = PlatformProfile::aws_lambda().into_platform();
+
+    // 2. An application: the Thousand-Island-Scanner-style video pipeline.
+    let work = Video::default().profile();
+    println!("application: {} (M_func = {} GB, max packing degree = {})",
+        work.name, work.mem_gb, work.max_packing_degree(10.0));
+
+    // 3. Build ProPack: a short profiling campaign (alternate packing
+    //    degrees at low concurrency + ten application-independent scaling
+    //    probes), then the Eq. 1 / Eq. 2 model fits.
+    let pp = Propack::build(&platform, &work, &ProPackConfig::default())
+        .expect("profiling failed");
+    println!(
+        "fitted interference: ET(P) = {:.1}·e^({:.4}·P) s   (alpha = {:.4}/GB)",
+        pp.model.interference.base, pp.model.interference.rate, pp.model.interference.alpha()
+    );
+    println!(
+        "fitted scaling: {:.2e}·C² + {:.3}·C − {:.1} s   (R² = {:.4})",
+        pp.model.scaling.beta1, pp.model.scaling.beta2, pp.model.scaling.beta3,
+        pp.model.scaling.r_squared
+    );
+    println!(
+        "profiling overhead: {} bursts, ${:.2}",
+        pp.overhead.bursts, pp.overhead.expense_usd
+    );
+
+    // 4. Plan and execute a 5000-way concurrent burst.
+    let c = 5000;
+    let plan = pp.plan(c, Objective::default());
+    println!(
+        "\nplan for C = {c}: pack {} functions/instance -> {} instances",
+        plan.packing_degree, plan.instances
+    );
+
+    let packed = pp.execute(&platform, c, Objective::default(), 42).expect("packed run");
+    let baseline = NoPacking.run(&platform, &work, c, 42).expect("baseline run");
+
+    // 5. Compare.
+    let s_base = baseline.total_service_secs();
+    let s_packed = packed.report.total_service_time();
+    let e_base = baseline.expense_usd;
+    let e_packed = packed.expense_with_overhead_usd();
+    println!("\n                 no packing    propack");
+    println!("service time     {s_base:>8.0} s   {s_packed:>7.0} s");
+    println!("expense          {e_base:>8.2} $   {e_packed:>7.2} $");
+    println!(
+        "improvement      service {:.0}%, expense {:.0}% (incl. profiling overhead)",
+        100.0 * (1.0 - s_packed / s_base),
+        100.0 * (1.0 - e_packed / e_base)
+    );
+}

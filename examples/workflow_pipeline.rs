@@ -1,0 +1,44 @@
+//! End-to-end workflows through the Step-Functions-style orchestrator:
+//! the paper's Sort benchmark as the three-stage pipeline it really is
+//! (map → concurrent sort → reduce), with and without ProPack packing the
+//! fan-out.
+//!
+//! ```sh
+//! cargo run --release --example workflow_pipeline
+//! ```
+
+use propack_repro::orchestrator::{execute, MapPacking, Workflow};
+use propack_repro::platform::profile::PlatformProfile;
+use propack_repro::workloads::{sort::MapReduceSort, Workload};
+
+fn main() {
+    let platform = PlatformProfile::aws_lambda().into_platform();
+    let sorter = MapReduceSort::default().profile();
+    let c = 3000;
+
+    println!("map-reduce-sort workflow, {c}-way sort fan-out\n");
+    for (label, packing) in [
+        ("no packing", MapPacking::None),
+        ("fixed degree 4", MapPacking::Fixed(4)),
+        ("propack (joint)", MapPacking::ProPack { w_s: 0.5 }),
+    ] {
+        let wf = Workflow::map_reduce_sort(sorter.clone(), c, packing);
+        let report = execute(&platform, &wf, 21).expect("workflow run");
+        println!("{label}:");
+        for s in &report.states {
+            println!(
+                "  {:<8} t+{:>5.0}s  {:>6.0}s  ${:>7.2}  degree {:>2} × {:>4} instances",
+                s.name, s.start_offset_secs, s.duration_secs, s.expense_usd,
+                s.packing_degree, s.instances
+            );
+        }
+        println!(
+            "  total    {:>6.0}s  ${:.2} ({:.1} function-hours)\n",
+            report.total_secs, report.expense_usd, report.function_hours
+        );
+    }
+    println!(
+        "The coordination stages are identical in every variant — the whole \
+         difference is how the fan-out stage is packed."
+    );
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the ProPack (HPDC '23) reproduction.
+//!
+//! Re-exports the whole workspace behind stable module names so examples,
+//! integration tests, and downstream users can write `use propack_repro::…`
+//! without tracking individual crate names.
+//!
+//! See `README.md` for a quickstart, `DESIGN.md` for the system inventory,
+//! and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use propack_baselines as baselines;
+pub use propack_executor as executor;
+pub use propack_funcx as funcx;
+pub use propack_model as propack;
+pub use propack_orchestrator as orchestrator;
+pub use propack_platform as platform;
+pub use propack_simcore as simcore;
+pub use propack_stats as stats;
+pub use propack_workloads as workloads;

@@ -1,0 +1,215 @@
+//! Cross-crate integration tests: the paper's headline claims, end to end.
+//!
+//! Each test builds ProPack from scratch on the simulated platform (probes,
+//! fits, planning, execution) and checks the evaluation section's key
+//! numbers as *bands*: who wins, by roughly what factor, where crossovers
+//! fall.
+
+use propack_repro::baselines::{NoPacking, Oracle, OracleObjective, Pywren, Strategy};
+use propack_repro::funcx::FuncXPlatform;
+use propack_repro::platform::profile::PlatformProfile;
+use propack_repro::platform::{BurstSpec, CloudPlatform, ServerlessPlatform};
+use propack_repro::propack::optimizer::Objective;
+use propack_repro::propack::propack::{ProPackConfig, Propack};
+use propack_repro::stats::percentile::Percentile;
+use propack_repro::workloads::{all_benchmarks, primary_benchmarks};
+
+fn aws() -> CloudPlatform {
+    PlatformProfile::aws_lambda().into_platform()
+}
+
+#[test]
+fn propack_improves_every_primary_benchmark_at_every_concurrency() {
+    // Fig. 9: "ProPack reduces the total service time for all applications
+    // and at all concurrency levels, by more than 50% in most cases".
+    let platform = aws();
+    for bench in primary_benchmarks() {
+        let work = bench.profile();
+        let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
+        for c in [500u32, 1000, 2000, 5000] {
+            let base = NoPacking.run(&platform, &work, c, 1).unwrap();
+            let out = pp.execute(&platform, c, Objective::default(), 1).unwrap();
+            let gain = 1.0 - out.report.total_service_time() / base.total_service_secs();
+            assert!(
+                gain > 0.0,
+                "{} at C={c}: no service gain ({gain:.2})",
+                work.name
+            );
+            if c >= 2000 {
+                assert!(gain > 0.5, "{} at C={c}: gain {gain:.2} below 50%", work.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn headline_numbers_at_high_concurrency() {
+    // Paper abstract: ~85% service improvement and ~66% cost saving at
+    // C = 5000 on average. Accept a generous band around both.
+    let platform = aws();
+    let mut service_gains = Vec::new();
+    let mut expense_gains = Vec::new();
+    for bench in primary_benchmarks() {
+        let work = bench.profile();
+        let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
+        let base = NoPacking.run(&platform, &work, 5000, 2).unwrap();
+        let out = pp.execute(&platform, 5000, Objective::default(), 2).unwrap();
+        service_gains.push(1.0 - out.report.total_service_time() / base.total_service_secs());
+        expense_gains.push(1.0 - out.expense_with_overhead_usd() / base.expense_usd);
+    }
+    let avg_s = service_gains.iter().sum::<f64>() / 3.0;
+    let avg_e = expense_gains.iter().sum::<f64>() / 3.0;
+    assert!((0.70..0.95).contains(&avg_s), "avg service gain {avg_s:.2} outside band");
+    assert!((0.55..0.95).contains(&avg_e), "avg expense gain {avg_e:.2} outside band");
+}
+
+#[test]
+fn propack_degree_tracks_oracle_within_tolerance() {
+    // §1 / Fig. 8: the model finds the oracle degree with high accuracy
+    // (paper: >95%, off by ≤2 in its two miss cases).
+    let platform = aws();
+    for bench in primary_benchmarks() {
+        let work = bench.profile();
+        let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
+        for c in [1000u32, 2000, 5000] {
+            let plan = pp.plan(c, Objective::default());
+            let oracle = Oracle
+                .search(
+                    &platform,
+                    &work,
+                    c,
+                    OracleObjective::Joint { w_s: 0.5, metric: Percentile::Total },
+                    3,
+                )
+                .unwrap();
+            assert!(
+                plan.packing_degree.abs_diff(oracle.packing_degree) <= 2,
+                "{} C={c}: propack {} vs oracle {}",
+                work.name,
+                plan.packing_degree,
+                oracle.packing_degree
+            );
+        }
+    }
+}
+
+#[test]
+fn propack_beats_pywren_increasingly_with_concurrency() {
+    // Fig. 19: ProPack beats the state-of-the-art workload manager, and
+    // §1: Pywren works at low concurrency but fades at high concurrency.
+    let platform = aws();
+    let work = primary_benchmarks()[1].profile(); // Sort
+    let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
+    let mut gains = Vec::new();
+    for c in [1000u32, 5000] {
+        let pywren = Pywren::default().run(&platform, &work, c, 4).unwrap();
+        let out = pp.execute(&platform, c, Objective::default(), 4).unwrap();
+        gains.push(1.0 - out.report.total_service_time() / pywren.total_service_secs());
+    }
+    assert!(gains[0] > 0.0, "ProPack must beat Pywren at C=1000: {gains:?}");
+    assert!(gains[1] > gains[0], "ProPack's edge must grow with concurrency: {gains:?}");
+    assert!(gains[1] > 0.4, "at C=5000 the edge should exceed 40%: {gains:?}");
+}
+
+#[test]
+fn funcx_scales_faster_but_packed_lambda_serves_faster() {
+    // Fig. 18, both panels.
+    let aws = aws();
+    let fx = FuncXPlatform::default();
+    let work = primary_benchmarks()[1].profile();
+    let spec = BurstSpec::new(work.clone(), 5000, 1).with_seed(5);
+    let s_aws = aws.run_burst(&spec).unwrap().scaling_time();
+    let s_fx = fx.run_burst(&spec).unwrap().scaling_time();
+    assert!(
+        (0.75..0.95).contains(&(s_fx / s_aws)),
+        "FuncX should scale ~15% faster: ratio {}",
+        s_fx / s_aws
+    );
+
+    let pp_aws = Propack::build(&aws, &work, &ProPackConfig::default()).unwrap();
+    let pp_fx = Propack::build(&fx, &work, &ProPackConfig::default()).unwrap();
+    let mut advantages = Vec::new();
+    for c in [500u32, 1000, 2000, 5000] {
+        let out_aws = pp_aws.execute(&aws, c, Objective::default(), 5).unwrap();
+        let out_fx = pp_fx.execute(&fx, c, Objective::default(), 5).unwrap();
+        advantages
+            .push(1.0 - out_aws.report.total_service_time() / out_fx.report.total_service_time());
+    }
+    let avg = advantages.iter().sum::<f64>() / advantages.len() as f64;
+    assert!(
+        (0.05..0.25).contains(&avg),
+        "packed AWS should average ~12% faster than FuncX: {avg:.3} ({advantages:?})"
+    );
+}
+
+#[test]
+fn network_fee_platforms_save_more_expense() {
+    // Fig. 21: the expense improvement on Google/Azure exceeds AWS because
+    // packing also de-bills inter-function traffic there.
+    let work = primary_benchmarks()[0].profile(); // Video
+    let mut gains = Vec::new();
+    for profile in [
+        PlatformProfile::aws_lambda(),
+        PlatformProfile::google_cloud_functions(),
+        PlatformProfile::azure_functions(),
+    ] {
+        let platform = profile.into_platform();
+        let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
+        let base = NoPacking.run(&platform, &work, 1000, 6).unwrap();
+        let out = pp.execute(&platform, 1000, Objective::default(), 6).unwrap();
+        gains.push(1.0 - out.expense_with_overhead_usd() / base.expense_usd);
+    }
+    assert!(gains[1] > gains[0], "Google {should} beat AWS: {gains:?}", should = "should");
+    assert!(gains[2] > gains[0], "Azure should beat AWS: {gains:?}");
+}
+
+#[test]
+fn dedicated_objectives_dominate_joint_on_their_own_metric() {
+    // Figs. 13–14.
+    let platform = aws();
+    for bench in all_benchmarks() {
+        let work = bench.profile();
+        let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
+        let c = 2000;
+        let joint = pp.execute(&platform, c, Objective::default(), 7).unwrap();
+        let svc = pp.execute(&platform, c, Objective::ServiceTime, 7).unwrap();
+        let exp = pp.execute(&platform, c, Objective::Expense, 7).unwrap();
+        assert!(
+            svc.report.total_service_time() <= joint.report.total_service_time() * 1.02,
+            "{}: service-only should not lose on service",
+            work.name
+        );
+        assert!(
+            exp.expense_with_overhead_usd() <= joint.expense_with_overhead_usd() * 1.02,
+            "{}: expense-only should not lose on expense",
+            work.name
+        );
+    }
+}
+
+#[test]
+fn scaling_model_transfers_across_applications() {
+    // Fig. 5b's consequence: one scaling fit serves every application. The
+    // plans produced with a transferred scaling model must match plans from
+    // a from-scratch build.
+    let platform = aws();
+    let cfg = ProPackConfig::default();
+    let first = Propack::build(&platform, &primary_benchmarks()[0].profile(), &cfg).unwrap();
+    for bench in primary_benchmarks().iter().skip(1) {
+        let work = bench.profile();
+        let reused = Propack::build_with_scaling(
+            &platform,
+            &work,
+            &cfg,
+            first.model.scaling,
+            Default::default(),
+        )
+        .unwrap();
+        let fresh = Propack::build(&platform, &work, &cfg).unwrap();
+        for c in [1000u32, 5000] {
+            let a = reused.plan(c, Objective::default()).packing_degree;
+            let b = fresh.plan(c, Objective::default()).packing_degree;
+            assert!(a.abs_diff(b) <= 1, "{} C={c}: {a} vs {b}", work.name);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Failure-path integration tests: constraint violations and degraded
+//! conditions must fail loudly and recoverably, never silently.
+
+use propack_repro::funcx::{FuncXConfig, FuncXPlatform};
+use propack_repro::platform::profile::PlatformProfile;
+use propack_repro::platform::{BurstSpec, PlatformError, ServerlessPlatform, WorkProfile};
+use propack_repro::propack::propack::{ProPackConfig, Propack};
+use propack_repro::propack::ModelError;
+
+#[test]
+fn memory_cap_rejects_oversized_packs_on_every_platform() {
+    let heavy = WorkProfile::synthetic("heavy", 4.0, 50.0);
+    let platforms: Vec<Box<dyn ServerlessPlatform>> = vec![
+        Box::new(PlatformProfile::aws_lambda().into_platform()),
+        Box::new(PlatformProfile::google_cloud_functions().into_platform()),
+        Box::new(PlatformProfile::azure_functions().into_platform()),
+        Box::new(FuncXPlatform::default()),
+    ];
+    for p in &platforms {
+        // One degree past each platform's own memory cap must be rejected;
+        // the cap itself must be accepted.
+        let fits = (p.limits().mem_gb / heavy.mem_gb).floor() as u32;
+        let err = p.run_burst(&BurstSpec::new(heavy.clone(), 4, fits + 1)).unwrap_err();
+        assert!(
+            matches!(err, PlatformError::MemoryLimitExceeded { .. }),
+            "{}: wrong error {err:?}",
+            p.name()
+        );
+        assert!(p.run_burst(&BurstSpec::new(heavy.clone(), 4, fits)).is_ok(), "{}", p.name());
+    }
+}
+
+#[test]
+fn execution_cap_truncates_propack_plans_instead_of_failing() {
+    // A slow, contention-heavy function cannot pack far before the 900s
+    // Lambda cap; ProPack must discover the feasible ceiling during
+    // profiling and never plan beyond it.
+    let platform = PlatformProfile::aws_lambda().into_platform();
+    let slow = WorkProfile::synthetic("slow", 0.25, 400.0).with_contention(0.6);
+    let pp = Propack::build(&platform, &slow, &ProPackConfig::default()).unwrap();
+    assert!(pp.model.p_max < slow.max_packing_degree(10.0));
+    for c in [100u32, 1000, 5000] {
+        let plan = pp.plan(c, Default::default());
+        assert!(plan.packing_degree <= pp.model.p_max);
+        // And the planned burst actually executes.
+        assert!(pp
+            .execute(&platform, c, Default::default(), 3)
+            .is_ok());
+    }
+}
+
+#[test]
+fn profiling_fails_cleanly_when_nothing_fits() {
+    // A function whose very first packed degree times out leaves too few
+    // samples to fit Eq. 1 — build must report it, not panic.
+    let platform = PlatformProfile::aws_lambda().into_platform();
+    let hopeless = WorkProfile::synthetic("hopeless", 0.25, 895.0).with_contention(3.0);
+    let err = Propack::build(&platform, &hopeless, &ProPackConfig::default()).unwrap_err();
+    assert!(
+        matches!(err, ModelError::NotEnoughSamples { .. }),
+        "wrong error: {err:?}"
+    );
+}
+
+#[test]
+fn saturated_funcx_cluster_serializes_into_waves() {
+    // 8 slots, 64 workers: four-plus waves of queueing. The platform must
+    // still complete every worker and keep lifecycle order intact.
+    let fx = FuncXPlatform::new(FuncXConfig {
+        nodes: 2,
+        worker_slots_per_node: 4,
+        ..FuncXConfig::default()
+    });
+    let work = WorkProfile::synthetic("w", 0.25, 20.0);
+    let report = fx.run_burst(&BurstSpec::new(work, 64, 1).with_seed(9)).unwrap();
+    assert_eq!(report.instances.len(), 64);
+    // Makespan must reflect at least 64/8 = 8 serialized waves.
+    assert!(report.total_service_time() > 7.0 * 20.0, "{}", report.total_service_time());
+    for r in &report.instances {
+        assert!(r.finished_at > r.started_at);
+    }
+}
+
+#[test]
+fn infeasible_qos_bound_reports_best_achievable_tail() {
+    let platform = PlatformProfile::aws_lambda().into_platform();
+    let work = WorkProfile::synthetic("svc", 0.4, 50.0).with_contention(0.125);
+    let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
+    match pp.plan_with_qos(5000, 0.5) {
+        Err(ModelError::QosInfeasible { bound_secs, best_tail_secs }) => {
+            assert_eq!(bound_secs, 0.5);
+            assert!(best_tail_secs > 50.0, "tail must include execution time");
+        }
+        other => panic!("expected QosInfeasible, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_sized_bursts_rejected_everywhere() {
+    let work = WorkProfile::synthetic("w", 0.25, 10.0);
+    let aws = PlatformProfile::aws_lambda().into_platform();
+    let fx = FuncXPlatform::default();
+    for (inst, deg) in [(0u32, 1u32), (1, 0), (0, 0)] {
+        assert!(matches!(
+            aws.run_burst(&BurstSpec::new(work.clone(), inst, deg)),
+            Err(PlatformError::EmptyBurst)
+        ));
+        assert!(matches!(
+            fx.run_burst(&BurstSpec::new(work.clone(), inst, deg)),
+            Err(PlatformError::EmptyBurst)
+        ));
+    }
+}
+
+#[test]
+fn baseline_times_out_where_packed_run_would_not() {
+    // §4's remark inverted: with a long per-function execution time, high
+    // packing degrees exceed the platform cap while modest ones fit — the
+    // planner must respect the boundary exactly.
+    let platform = PlatformProfile::aws_lambda().into_platform();
+    let work = WorkProfile::synthetic("long", 0.25, 700.0).with_contention(0.12);
+    // Degree 1 fits (700 < 900); degree 12 exceeds the cap.
+    assert!(platform.run_burst(&BurstSpec::new(work.clone(), 10, 1)).is_ok());
+    assert!(matches!(
+        platform.run_burst(&BurstSpec::new(work.clone(), 10, 12)),
+        Err(PlatformError::ExecutionTimeout { .. })
+    ));
+    let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
+    let projected = platform.nominal_exec_secs(&work, pp.model.p_max) * 1.02;
+    assert!(projected <= 900.0, "feasible cap leaks past the limit: {projected}");
+}

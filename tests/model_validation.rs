@@ -1,0 +1,105 @@
+//! §2.4 validation protocol, run as an integration test over all five
+//! benchmarks: the fitted analytical models must pass the Pearson χ²
+//! goodness-of-fit test against fresh simulator observations.
+
+use propack_repro::platform::profile::PlatformProfile;
+use propack_repro::platform::{BurstSpec, ServerlessPlatform};
+use propack_repro::propack::propack::{ProPackConfig, Propack};
+use propack_repro::propack::validate::validate_models;
+use propack_repro::stats::chi2::ChiSquareTest;
+use propack_repro::workloads::all_benchmarks;
+
+#[test]
+fn all_five_benchmarks_pass_chi_square_validation() {
+    let platform = PlatformProfile::aws_lambda().into_platform();
+    let test = ChiSquareTest::paper_default();
+    let mut max_service: f64 = 0.0;
+    let mut max_expense: f64 = 0.0;
+    for bench in all_benchmarks() {
+        let work = bench.profile();
+        let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
+        let report = validate_models(&platform, &pp.model, &work, 1000, test, 99).unwrap();
+        assert!(
+            report.accepted(),
+            "{}: service χ² {:.3}, expense χ² {:.4} (critical {:.3})",
+            work.name,
+            report.service.statistic,
+            report.expense.statistic,
+            report.service.critical_value
+        );
+        max_service = max_service.max(report.service.statistic);
+        max_expense = max_expense.max(report.expense.statistic);
+    }
+    // The paper's §2.4 worst cases were 3.81 and 0.055 — both accepted.
+    // Ours must also be below the critical value with margin.
+    assert!(max_service < 4.075, "service worst case {max_service}");
+    assert!(max_expense < 4.075, "expense worst case {max_expense}");
+}
+
+#[test]
+fn interference_fit_error_stays_small_across_apps() {
+    // Fig. 4: the exponential model tracks the observed curves.
+    let platform = PlatformProfile::aws_lambda().into_platform();
+    for bench in all_benchmarks() {
+        let work = bench.profile();
+        let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
+        for p in (1..=pp.model.p_max).step_by(3) {
+            let spec = BurstSpec::new(work.clone(), 5, p).with_seed(1234 ^ p as u64);
+            let observed = platform.run_burst(&spec).unwrap().exec_summary().mean();
+            let predicted = pp.model.interference.exec_secs(p);
+            let rel = (predicted - observed).abs() / observed;
+            assert!(
+                rel < 0.08,
+                "{} degree {p}: model {predicted:.1}s vs observed {observed:.1}s",
+                work.name
+            );
+        }
+    }
+}
+
+#[test]
+fn scaling_fit_is_application_independent() {
+    // Fig. 5b: scaling samples from *different applications* fit the same
+    // polynomial; predictions from a probe-fitted model match real apps.
+    let platform = PlatformProfile::aws_lambda().into_platform();
+    let cfg = ProPackConfig::default();
+    let pp = Propack::build(&platform, &all_benchmarks()[0].profile(), &cfg).unwrap();
+    for bench in all_benchmarks() {
+        let work = bench.profile();
+        for c in [750u32, 1500, 3000] {
+            let spec = BurstSpec::new(work.clone(), c, 1).with_seed(55 ^ c as u64);
+            let observed = platform.run_burst(&spec).unwrap().scaling_time();
+            let predicted = pp.model.scaling.scaling_secs(c as f64);
+            let rel = (predicted - observed).abs() / observed;
+            // Allow headroom for the app-specific dependency-load shift.
+            assert!(
+                rel < 0.12,
+                "{} C={c}: predicted {predicted:.0}s vs observed {observed:.0}s",
+                work.name
+            );
+        }
+    }
+}
+
+#[test]
+fn execution_time_flat_across_concurrency_for_all_apps() {
+    // Fig. 5a, over the full suite: < 5% variation between C=500 and 5000.
+    let platform = PlatformProfile::aws_lambda().into_platform();
+    for bench in all_benchmarks() {
+        let work = bench.profile();
+        let mean_at = |c: u32| {
+            platform
+                .run_burst(&BurstSpec::new(work.clone(), c, 1).with_seed(808))
+                .unwrap()
+                .exec_summary()
+                .mean()
+        };
+        let lo = mean_at(500);
+        let hi = mean_at(5000);
+        assert!(
+            ((lo - hi).abs() / lo) < 0.05,
+            "{}: {lo:.1}s vs {hi:.1}s",
+            work.name
+        );
+    }
+}

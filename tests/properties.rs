@@ -1,0 +1,179 @@
+//! Cross-crate property-based tests (proptest): invariants that must hold
+//! for *any* burst specification, not just the calibrated benchmarks.
+
+use proptest::prelude::*;
+use propack_repro::platform::profile::PlatformProfile;
+use propack_repro::platform::{BurstSpec, CloudPlatform, ServerlessPlatform, WorkProfile};
+use propack_repro::propack::interference::{InterferenceModel, InterferenceSample};
+use propack_repro::propack::model::{CostFactors, PackingModel};
+use propack_repro::propack::optimizer::{plan, Objective};
+use propack_repro::propack::scaling::{ScalingModel, ScalingSample};
+use propack_repro::stats::percentile::Percentile;
+
+fn aws() -> CloudPlatform {
+    PlatformProfile::aws_lambda().into_platform()
+}
+
+/// Strategy: a feasible (work, degree) pair under the AWS 10 GB / 900 s
+/// caps.
+fn feasible_spec() -> impl Strategy<Value = (WorkProfile, u32, u32, u64)> {
+    (
+        0.1f64..1.0,    // mem_gb
+        5.0f64..120.0,  // base exec
+        0.02f64..0.3,   // contention per GB
+        1u32..=400,     // instances
+        1u32..=10,      // packing degree candidate
+        any::<u64>(),   // seed
+    )
+        .prop_map(|(mem, base, cont, inst, deg, seed)| {
+            let work = WorkProfile::synthetic("prop", mem, base).with_contention(cont);
+            // Clamp the degree to the memory cap so the burst is valid.
+            let deg = deg.min(work.max_packing_degree(10.0));
+            (work, inst, deg, seed)
+        })
+        .prop_filter("must fit execution cap", |(work, _, deg, _)| {
+            let p = PlatformProfile::aws_lambda();
+            propack_repro::platform::instance::packed_exec_secs(&p.instance, work, *deg) * 1.03
+                < p.instance.max_exec_secs
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lifecycle timestamps are ordered for every instance of any burst.
+    #[test]
+    fn lifecycle_is_ordered((work, inst, deg, seed) in feasible_spec()) {
+        let report = aws().run_burst(&BurstSpec::new(work, inst, deg).with_seed(seed)).unwrap();
+        prop_assert_eq!(report.instances.len(), inst as usize);
+        for r in &report.instances {
+            prop_assert!(r.scheduled_at >= 0.0);
+            prop_assert!(r.built_at >= r.scheduled_at);
+            prop_assert!(r.shipped_at >= r.built_at);
+            prop_assert!(r.started_at >= r.shipped_at);
+            prop_assert!(r.finished_at > r.started_at);
+        }
+    }
+
+    /// The same seed reproduces the identical report; different seeds
+    /// differ somewhere (with overwhelming probability).
+    #[test]
+    fn burst_determinism((work, inst, deg, seed) in feasible_spec()) {
+        let p = aws();
+        let spec = BurstSpec::new(work, inst, deg).with_seed(seed);
+        let a = p.run_burst(&spec).unwrap();
+        let b = p.run_burst(&spec).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Billing never charges for queueing: the bill equals the billing
+    /// formula applied to execution durations alone.
+    #[test]
+    fn bill_matches_exec_durations((work, inst, deg, seed) in feasible_spec()) {
+        let p = aws();
+        let report = p.run_burst(&BurstSpec::new(work.clone(), inst, deg).with_seed(seed)).unwrap();
+        let exec: Vec<f64> = report.instances.iter().map(|r| r.exec_secs()).collect();
+        let expect = propack_repro::platform::billing::bill_burst(
+            &p.prices(), &work, p.limits().mem_gb, &exec, deg,
+        );
+        prop_assert_eq!(report.expense, expect);
+    }
+
+    /// Service-time figures of merit are always ordered
+    /// total ≥ tail ≥ median, and scaling never exceeds total service.
+    #[test]
+    fn metric_ordering((work, inst, deg, seed) in feasible_spec()) {
+        let report = aws().run_burst(&BurstSpec::new(work, inst, deg).with_seed(seed)).unwrap();
+        let total = report.service_time(Percentile::Total);
+        let tail = report.service_time(Percentile::Tail95);
+        let median = report.service_time(Percentile::Median);
+        prop_assert!(total >= tail);
+        prop_assert!(tail >= median);
+        prop_assert!(report.scaling_time() <= total);
+    }
+
+    /// A packed plan always covers the requested concurrency:
+    /// instances × degree ≥ C, and instances = ceil(C / degree).
+    #[test]
+    fn packed_burst_covers_concurrency(c in 1u32..20_000, p in 1u32..64) {
+        let spec = BurstSpec::packed(WorkProfile::synthetic("w", 0.1, 1.0), c, p);
+        prop_assert!(spec.total_functions() >= c as u64);
+        prop_assert!(((spec.instances as u64 - 1) * p as u64) < (c as u64));
+    }
+
+    /// The optimizer never exceeds the feasible degree range, and its
+    /// chosen degree is at least as good as both endpoints under its own
+    /// objective.
+    #[test]
+    fn optimizer_degree_feasible_and_locally_optimal(
+        rate in 0.01f64..0.2,
+        base in 10.0f64..200.0,
+        b1 in 1e-6f64..1e-4,
+        b2 in 0.01f64..0.3,
+        c in 100u32..10_000,
+        p_max in 2u32..40,
+    ) {
+        let model = PackingModel {
+            interference: InterferenceModel { base, rate, mem_gb: 0.25, rmse: 0.0 },
+            scaling: ScalingModel { beta1: b1, beta2: b2, beta3: 0.0, r_squared: 1.0 },
+            cost: CostFactors::derive(
+                &PlatformProfile::aws_lambda().prices,
+                &WorkProfile::synthetic("w", 0.25, base),
+                10.0,
+            ),
+            p_max,
+        };
+        for objective in [Objective::ServiceTime, Objective::Expense, Objective::default()] {
+            let chosen = plan(&model, c, objective, Percentile::Total);
+            prop_assert!(chosen.packing_degree >= 1);
+            prop_assert!(chosen.packing_degree <= p_max);
+        }
+        // Single-objective optimality vs every feasible degree.
+        let best_s = plan(&model, c, Objective::ServiceTime, Percentile::Total);
+        let best_e = plan(&model, c, Objective::Expense, Percentile::Total);
+        for p in 1..=p_max {
+            prop_assert!(
+                best_s.predicted_service_secs <= model.service_secs(c, p, Percentile::Total) + 1e-9
+            );
+            prop_assert!(best_e.predicted_expense_usd <= model.expense_usd(c, p) + 1e-9);
+        }
+    }
+
+    /// Fitting Eq. 1 on noise-free samples generated by the model itself
+    /// recovers the parameters (round-trip through profiling arithmetic).
+    #[test]
+    fn interference_fit_round_trips(
+        base in 5.0f64..500.0,
+        rate in 0.005f64..0.3,
+        mem in 0.1f64..2.0,
+    ) {
+        let truth = InterferenceModel { base, rate, mem_gb: mem, rmse: 0.0 };
+        let samples: Vec<InterferenceSample> = (1..=9).step_by(2)
+            .map(|p| InterferenceSample { packing_degree: p, exec_secs: truth.exec_secs(p) })
+            .collect();
+        let fitted = InterferenceModel::fit(&samples, mem).unwrap();
+        prop_assert!((fitted.rate - rate).abs() < 1e-6);
+        prop_assert!((fitted.base - base).abs() / base < 1e-6);
+    }
+
+    /// Fitting Eq. 2 on noise-free samples round-trips the βs.
+    #[test]
+    fn scaling_fit_round_trips(
+        b1 in 1e-6f64..1e-3,
+        b2 in 0.001f64..0.5,
+        b3 in 0.0f64..20.0,
+    ) {
+        let samples: Vec<ScalingSample> = (1..=8)
+            .map(|i| {
+                let c = (i * 400) as f64;
+                ScalingSample {
+                    concurrency: (i * 400) as u32,
+                    scaling_secs: b1 * c * c + b2 * c - b3,
+                }
+            })
+            .collect();
+        let fitted = ScalingModel::fit(&samples).unwrap();
+        prop_assert!((fitted.beta1 - b1).abs() / b1 < 1e-5);
+        prop_assert!((fitted.beta2 - b2).abs() / b2 < 1e-3);
+    }
+}
