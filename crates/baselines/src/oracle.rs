@@ -69,8 +69,7 @@ impl Oracle {
             let spec = BurstSpec::packed(work.clone(), c, p).with_seed(seed ^ (p as u64) << 20);
             match platform.run_burst(&spec) {
                 Ok(report) => {
-                    let outcome =
-                        StrategyOutcome::from_report(format!("Oracle (P={p})"), &report);
+                    let outcome = StrategyOutcome::from_report(format!("Oracle (P={p})"), &report);
                     sweep.push((p, outcome.service_secs(metric), outcome.expense_usd));
                     candidates.push((p, outcome));
                 }
@@ -89,8 +88,10 @@ impl Oracle {
                     .iter()
                     .map(|(_, o)| o.service_secs(metric))
                     .fold(f64::INFINITY, f64::min);
-                let e_best =
-                    candidates.iter().map(|(_, o)| o.expense_usd).fold(f64::INFINITY, f64::min);
+                let e_best = candidates
+                    .iter()
+                    .map(|(_, o)| o.expense_usd)
+                    .fold(f64::INFINITY, f64::min);
                 argmin(&candidates, |o| {
                     w_s * (o.service_secs(metric) - s_best) / s_best
                         + (1.0 - w_s) * (o.expense_usd - e_best) / e_best
@@ -98,14 +99,15 @@ impl Oracle {
             }
         };
         let (packing_degree, outcome) = candidates.swap_remove(best_idx);
-        Ok(OracleResult { packing_degree, outcome, sweep })
+        Ok(OracleResult {
+            packing_degree,
+            outcome,
+            sweep,
+        })
     }
 }
 
-fn argmin(
-    candidates: &[(u32, StrategyOutcome)],
-    f: impl Fn(&StrategyOutcome) -> f64,
-) -> usize {
+fn argmin(candidates: &[(u32, StrategyOutcome)], f: impl Fn(&StrategyOutcome) -> f64) -> usize {
     let mut best = (0usize, f64::INFINITY);
     for (i, (_, o)) in candidates.iter().enumerate() {
         let v = f(o);
@@ -138,11 +140,23 @@ mod tests {
         let w = work();
         let o = Oracle;
         let d500 = o
-            .search(&platform, &w, 500, OracleObjective::ServiceTime(Percentile::Total), 1)
+            .search(
+                &platform,
+                &w,
+                500,
+                OracleObjective::ServiceTime(Percentile::Total),
+                1,
+            )
             .unwrap()
             .packing_degree;
         let d5000 = o
-            .search(&platform, &w, 5000, OracleObjective::ServiceTime(Percentile::Total), 1)
+            .search(
+                &platform,
+                &w,
+                5000,
+                OracleObjective::ServiceTime(Percentile::Total),
+                1,
+            )
             .unwrap()
             .packing_degree;
         assert!(d5000 > d500, "oracle degrees: {d500} → {d5000}");
@@ -156,11 +170,19 @@ mod tests {
         let o = Oracle;
         let c = 2000;
         let p_s = o
-            .search(&platform, &w, c, OracleObjective::ServiceTime(Percentile::Total), 2)
+            .search(
+                &platform,
+                &w,
+                c,
+                OracleObjective::ServiceTime(Percentile::Total),
+                2,
+            )
             .unwrap()
             .packing_degree;
-        let p_e =
-            o.search(&platform, &w, c, OracleObjective::Expense, 2).unwrap().packing_degree;
+        let p_e = o
+            .search(&platform, &w, c, OracleObjective::Expense, 2)
+            .unwrap()
+            .packing_degree;
         assert!(p_e >= p_s, "{p_e} vs {p_s}");
     }
 
@@ -173,22 +195,36 @@ mod tests {
         let o = Oracle;
         let c = 2000;
         let p_s = o
-            .search(&platform, &w, c, OracleObjective::ServiceTime(Percentile::Total), 3)
+            .search(
+                &platform,
+                &w,
+                c,
+                OracleObjective::ServiceTime(Percentile::Total),
+                3,
+            )
             .unwrap()
             .packing_degree;
-        let p_e =
-            o.search(&platform, &w, c, OracleObjective::Expense, 3).unwrap().packing_degree;
+        let p_e = o
+            .search(&platform, &w, c, OracleObjective::Expense, 3)
+            .unwrap()
+            .packing_degree;
         let p_j = o
             .search(
                 &platform,
                 &w,
                 c,
-                OracleObjective::Joint { w_s: 0.5, metric: Percentile::Total },
+                OracleObjective::Joint {
+                    w_s: 0.5,
+                    metric: Percentile::Total,
+                },
                 3,
             )
             .unwrap()
             .packing_degree;
-        assert!(p_j >= p_s.min(p_e) && p_j <= p_s.max(p_e), "{p_s} ≤ {p_j} ≤ {p_e}");
+        assert!(
+            p_j >= p_s.min(p_e) && p_j <= p_s.max(p_e),
+            "{p_s} ≤ {p_j} ≤ {p_e}"
+        );
     }
 
     #[test]

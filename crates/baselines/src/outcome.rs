@@ -42,10 +42,7 @@ impl StrategyOutcome {
 
     /// Merge wave outcomes whose submissions were offset in time: wave `k`'s
     /// completions (and spawning span) shift by `offsets[k]`.
-    pub fn merge_waves(
-        strategy: impl Into<String>,
-        waves: &[(f64, RunReport)],
-    ) -> Self {
+    pub fn merge_waves(strategy: impl Into<String>, waves: &[(f64, RunReport)]) -> Self {
         let mut completion_times = Vec::new();
         let mut expense_usd = 0.0;
         let mut function_hours = 0.0;

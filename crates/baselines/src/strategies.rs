@@ -151,7 +151,10 @@ pub struct Pywren {
 
 impl Default for Pywren {
     fn default() -> Self {
-        Pywren { pool_size: 2000, storage_discount: 0.4 }
+        Pywren {
+            pool_size: 2000,
+            storage_discount: 0.4,
+        }
     }
 }
 
@@ -169,7 +172,9 @@ impl Strategy for Pywren {
     ) -> Result<StrategyOutcome, PlatformError> {
         let warm = (self.pool_size as f64 / c as f64).min(1.0);
         let report = platform.run_burst(
-            &BurstSpec::new(work.clone(), c, 1).with_seed(seed).with_warm_fraction(warm),
+            &BurstSpec::new(work.clone(), c, 1)
+                .with_seed(seed)
+                .with_warm_fraction(warm),
         )?;
         let mut outcome = StrategyOutcome::from_report(self.name(), &report);
         // Data-movement optimization: staged reads/writes through common
@@ -212,7 +217,9 @@ mod tests {
         let platform = aws();
         let w = work();
         let base = NoPacking.run(&platform, &w, 2000, 3).unwrap();
-        let batched = SerialBatching { batch_size: 500 }.run(&platform, &w, 2000, 3).unwrap();
+        let batched = SerialBatching { batch_size: 500 }
+            .run(&platform, &w, 2000, 3)
+            .unwrap();
         assert!(batched.total_service_secs() > base.total_service_secs());
         assert_eq!(batched.completion_times.len(), 2000);
     }
@@ -223,8 +230,12 @@ mod tests {
         let platform = aws();
         let w = work();
         let base = NoPacking.run(&platform, &w, 1000, 5).unwrap();
-        let staggered =
-            Staggered { wave_size: 100, gap_secs: 60.0 }.run(&platform, &w, 1000, 5).unwrap();
+        let staggered = Staggered {
+            wave_size: 100,
+            gap_secs: 60.0,
+        }
+        .run(&platform, &w, 1000, 5)
+        .unwrap();
         assert!(staggered.total_service_secs() > base.total_service_secs());
     }
 
@@ -263,24 +274,32 @@ mod tests {
     fn pywren_storage_discount_applies() {
         let platform = aws();
         let w = work();
-        let no_discount = Pywren { pool_size: 2000, storage_discount: 0.0 }
-            .run(&platform, &w, 300, 2)
-            .unwrap();
+        let no_discount = Pywren {
+            pool_size: 2000,
+            storage_discount: 0.0,
+        }
+        .run(&platform, &w, 300, 2)
+        .unwrap();
         let with_discount = Pywren::default().run(&platform, &w, 300, 2).unwrap();
         assert!(with_discount.expense_usd < no_discount.expense_usd);
     }
 
     #[test]
     fn batching_covers_non_divisible_counts() {
-        let o = SerialBatching { batch_size: 300 }.run(&aws(), &work(), 1000, 1).unwrap();
+        let o = SerialBatching { batch_size: 300 }
+            .run(&aws(), &work(), 1000, 1)
+            .unwrap();
         assert_eq!(o.completion_times.len(), 1000);
     }
 
     #[test]
     fn strategies_report_consistent_metrics() {
-        let o = Staggered { wave_size: 200, gap_secs: 30.0 }
-            .run(&aws(), &work(), 600, 1)
-            .unwrap();
+        let o = Staggered {
+            wave_size: 200,
+            gap_secs: 30.0,
+        }
+        .run(&aws(), &work(), 600, 1)
+        .unwrap();
         assert!(o.service_secs(Percentile::Median) <= o.service_secs(Percentile::Total));
         assert!(o.function_hours > 0.0);
     }

@@ -49,7 +49,10 @@ fn bench_propack_vs_oracle(c: &mut Criterion) {
                     &platform,
                     black_box(&w),
                     2000,
-                    OracleObjective::Joint { w_s: 0.5, metric: Percentile::Total },
+                    OracleObjective::Joint {
+                        w_s: 0.5,
+                        metric: Percentile::Total,
+                    },
                     1,
                 )
                 .unwrap()

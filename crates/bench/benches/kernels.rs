@@ -28,7 +28,9 @@ fn bench_smith_waterman(c: &mut Criterion) {
 fn bench_sort(c: &mut Criterion) {
     let mut g = c.benchmark_group("sort");
     for &n in &[10_000usize, 100_000] {
-        let data: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let data: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
         g.throughput(Throughput::Elements(n as u64));
         g.bench_with_input(BenchmarkId::new("merge_sort", n), &n, |b, _| {
             b.iter(|| {
@@ -78,8 +80,13 @@ fn bench_video_pipeline(c: &mut Criterion) {
 fn bench_executor_quota_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_executor_quota");
     g.sample_size(10);
-    let w = MapReduceSort { records: 20_000, partitions: 4 };
-    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let w = MapReduceSort {
+        records: 20_000,
+        partitions: 4,
+    };
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     for (label, cores) in [("quota_2", 2usize), ("quota_host", host)] {
         let ex = PackedExecutor::new(cores);
         g.bench_function(BenchmarkId::new("pack8", label), |b| {

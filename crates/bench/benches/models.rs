@@ -87,7 +87,12 @@ fn paper_model() -> PackingModel {
             mem_gb: 0.25,
             rmse: 0.0,
         },
-        scaling: ScalingModel { beta1: 2.25e-5, beta2: 0.2, beta3: 2.0, r_squared: 1.0 },
+        scaling: ScalingModel {
+            beta1: 2.25e-5,
+            beta2: 0.2,
+            beta3: 2.0,
+            r_squared: 1.0,
+        },
         cost: CostFactors::derive(
             &PlatformProfile::aws_lambda().prices,
             &WorkProfile::synthetic("w", 0.25, 100.0),
@@ -102,7 +107,14 @@ fn bench_planning(c: &mut Criterion) {
     let model = paper_model();
     for &conc in &[1000u32, 5000] {
         g.bench_with_input(BenchmarkId::new("joint_plan", conc), &conc, |b, &cc| {
-            b.iter(|| plan(black_box(&model), cc, Objective::default(), Percentile::Total))
+            b.iter(|| {
+                plan(
+                    black_box(&model),
+                    cc,
+                    Objective::default(),
+                    Percentile::Total,
+                )
+            })
         });
     }
     g.bench_function("sweep_40_degrees", |b| {

@@ -32,9 +32,18 @@ fn bench_platform_comparison(c: &mut Criterion) {
     let mut g = c.benchmark_group("platforms");
     let spec = BurstSpec::new(work(), 2000, 1).with_seed(2);
     let platforms: Vec<(&str, Box<dyn ServerlessPlatform>)> = vec![
-        ("aws", Box::new(PlatformProfile::aws_lambda().into_platform())),
-        ("google", Box::new(PlatformProfile::google_cloud_functions().into_platform())),
-        ("azure", Box::new(PlatformProfile::azure_functions().into_platform())),
+        (
+            "aws",
+            Box::new(PlatformProfile::aws_lambda().into_platform()),
+        ),
+        (
+            "google",
+            Box::new(PlatformProfile::google_cloud_functions().into_platform()),
+        ),
+        (
+            "azure",
+            Box::new(PlatformProfile::azure_functions().into_platform()),
+        ),
         ("funcx", Box::new(FuncXPlatform::default())),
     ];
     for (name, p) in &platforms {

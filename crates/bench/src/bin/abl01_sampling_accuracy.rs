@@ -6,7 +6,7 @@
 //! profiles each primary benchmark at degree steps 1 / 2 / 4, then compares
 //! the fitted rate, the joint plan at C = 5000, and the profiling expense.
 
-use propack_bench::table::{pct, usd, Table};
+use propack_bench::table::{usd, Table};
 use propack_bench::Ctx;
 use propack_model::optimizer::Objective;
 use propack_model::propack::ProPackConfig;
@@ -17,13 +17,23 @@ fn main() {
     let mut t = Table::new(
         "abl01",
         "Alternate-point sampling ablation (C=5000 joint plan per degree step)",
-        &["app", "step", "probe bursts", "probe cost", "fitted rate", "plan degree"],
+        &[
+            "app",
+            "step",
+            "probe bursts",
+            "probe cost",
+            "fitted rate",
+            "plan degree",
+        ],
     );
     let mut agree = true;
     for work in ctx.primary_profiles() {
         let mut degrees = Vec::new();
         for step in [1u32, 2, 4] {
-            let cfg = ProPackConfig { degree_step: step, ..ProPackConfig::default() };
+            let cfg = ProPackConfig {
+                degree_step: step,
+                ..ProPackConfig::default()
+            };
             let pp = Propack::build(&ctx.aws, &work, &cfg).expect("build");
             let plan = pp.plan(5000, Objective::default());
             degrees.push(plan.packing_degree);
@@ -46,9 +56,10 @@ fn main() {
     t.note(format!(
         "paper claim (§2.1): skipping alternate points does not change the decision; plans within ±1 across steps: {agree}"
     ));
-    t.note(format!(
+    t.note(
         "cost of full sampling vs alternate: see probe-cost column — step 2 roughly halves the campaign, step 4 quarters it"
-    ));
+            .to_string(),
+    );
     let json = std::env::args().any(|a| a == "--json");
     if json {
         println!("{}", t.to_json());

@@ -64,14 +64,10 @@ impl Ctx {
         scaling: Option<ScalingModel>,
     ) -> Propack {
         match scaling {
-            Some(s) => Propack::build_with_scaling(
-                platform,
-                work,
-                &self.config,
-                s,
-                Default::default(),
-            )
-            .expect("propack build"),
+            Some(s) => {
+                Propack::build_with_scaling(platform, work, &self.config, s, Default::default())
+                    .expect("propack build")
+            }
             None => Propack::build(platform, work, &self.config).expect("propack build"),
         }
     }

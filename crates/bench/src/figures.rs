@@ -37,7 +37,9 @@ fn propack_outcome<P: ServerlessPlatform + ?Sized>(
     c: u32,
     objective: Objective,
 ) -> StrategyOutcome {
-    let out = pp.execute(platform, c, objective, ctx.seed).expect("propack run");
+    let out = pp
+        .execute(platform, c, objective, ctx.seed)
+        .expect("propack run");
     let mut outcome = StrategyOutcome::from_report(objective.label(), &out.report);
     outcome.expense_usd = out.expense_with_overhead_usd();
     outcome.function_hours = out.function_hours_with_overhead();
@@ -81,8 +83,11 @@ pub fn fig01_scaling_fraction(ctx: &Ctx) -> Vec<Table> {
         "Scaling time as a fraction of total service time (no packing)",
         &["platform", "app", "concurrency", "scaling %of service"],
     );
-    let platforms: [(&str, &dyn ServerlessPlatform); 3] =
-        [("AWS", &ctx.aws), ("Google", &ctx.google), ("Azure", &ctx.azure)];
+    let platforms: [(&str, &dyn ServerlessPlatform); 3] = [
+        ("AWS", &ctx.aws),
+        ("Google", &ctx.google),
+        ("Azure", &ctx.azure),
+    ];
     let mut aws_high = 0.0f64;
     for (pname, platform) in platforms {
         for work in ctx.primary_profiles() {
@@ -94,7 +99,12 @@ pub fn fig01_scaling_fraction(ctx: &Ctx) -> Vec<Table> {
                 if pname == "AWS" && c == C_HIGH {
                     aws_high = aws_high.max(frac);
                 }
-                t.row(vec![pname.into(), work.name.clone(), c.to_string(), pct(frac)]);
+                t.row(vec![
+                    pname.into(),
+                    work.name.clone(),
+                    c.to_string(),
+                    pct(frac),
+                ]);
             }
         }
     }
@@ -125,8 +135,11 @@ pub fn fig02_scaling_breakdown(ctx: &Ctx) -> Vec<Table> {
     let mut monotone = true;
     for c in [1000, 2000, 3000, 4000, C_HIGH] {
         let b = at(c);
-        let cur =
-            (100.0 * b.scheduling_secs / norm, 100.0 * b.startup_secs / norm, 100.0 * b.shipping_secs / norm);
+        let cur = (
+            100.0 * b.scheduling_secs / norm,
+            100.0 * b.startup_secs / norm,
+            100.0 * b.shipping_secs / norm,
+        );
         monotone &= cur.0 >= prev.0 && cur.1 >= prev.1 && cur.2 >= prev.2;
         prev = cur;
         t.row(vec![c.to_string(), pct(cur.0), pct(cur.1), pct(cur.2)]);
@@ -205,7 +218,10 @@ pub fn fig05_concurrency_effects(ctx: &Ctx) -> Vec<Table> {
             spread_at[i].push(r.scaling_time());
         }
         let mean = execs.iter().sum::<f64>() / execs.len() as f64;
-        let var = execs.iter().map(|e| (e - mean).abs() / mean).fold(0.0, f64::max);
+        let var = execs
+            .iter()
+            .map(|e| (e - mean).abs() / mean)
+            .fold(0.0, f64::max);
         a.row(vec![
             work.name.clone(),
             fmt(execs[0]),
@@ -226,7 +242,9 @@ pub fn fig05_concurrency_effects(ctx: &Ctx) -> Vec<Table> {
     let max_spread = spread_at
         .iter()
         .map(|v| {
-            let (lo, hi) = v.iter().fold((f64::INFINITY, 0.0f64), |(l, h), &x| (l.min(x), h.max(x)));
+            let (lo, hi) = v
+                .iter()
+                .fold((f64::INFINITY, 0.0f64), |(l, h), &x| (l.min(x), h.max(x)));
             (hi - lo) / hi
         })
         .fold(0.0, f64::max);
@@ -286,8 +304,15 @@ pub fn fig07_expense_vs_packing(ctx: &Ctx) -> Vec<Table> {
             series.push((p, r.expense.total_usd()));
         }
         let base = series[0].1;
-        let min = series.iter().copied().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
-        for &(p, e) in series.iter().filter(|(p, _)| p % 2 == 1 || *p == min.0 || *p == p_max) {
+        let min = series
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap_or((1, base));
+        for &(p, e) in series
+            .iter()
+            .filter(|(p, _)| p % 2 == 1 || *p == min.0 || *p == p_max)
+        {
             t.row(vec![
                 work.name.clone(),
                 p.to_string(),
@@ -295,7 +320,8 @@ pub fn fig07_expense_vs_packing(ctx: &Ctx) -> Vec<Table> {
                 pct(100.0 * (1.0 - e / base)),
             ]);
         }
-        let turns_up = series.last().unwrap().1 > min.1 * 1.001 && min.0 > 1;
+        let last = series.last().copied().unwrap_or((1, base));
+        let turns_up = last.1 > min.1 * 1.001 && min.0 > 1;
         t.note(format!(
             "{}: expense minimum at degree {} (non-monotonic: {})",
             work.name, min.0, turns_up
@@ -354,7 +380,13 @@ pub fn tab01_chi2_validation(ctx: &Ctx) -> Vec<Table> {
     let mut t = Table::new(
         "tab01",
         "Pearson chi-square goodness-of-fit (critical value 4.075 at dof=14, conf 99.5%)",
-        &["app", "concurrency", "service stat", "expense stat", "accepted"],
+        &[
+            "app",
+            "concurrency",
+            "service stat",
+            "expense stat",
+            "accepted",
+        ],
     );
     let scaling = ctx.fit_scaling(&ctx.aws);
     let test = ChiSquareTest::paper_default();
@@ -363,8 +395,8 @@ pub fn tab01_chi2_validation(ctx: &Ctx) -> Vec<Table> {
     for work in ctx.primary_profiles() {
         let pp = ctx.build_propack(&ctx.aws, &work, Some(scaling));
         for c in [500, 1000, 2000] {
-            let v = validate_models(&ctx.aws, &pp.model, &work, c, test, ctx.seed)
-                .expect("validation");
+            let v =
+                validate_models(&ctx.aws, &pp.model, &work, c, test, ctx.seed).expect("validation");
             max_service = max_service.max(v.service.statistic);
             max_expense = max_expense.max(v.expense.statistic);
             t.row(vec![
@@ -395,7 +427,14 @@ fn improvement_sweep(
     let mut t = Table::new(
         id,
         title,
-        &["app", "concurrency", "baseline", "propack", "improvement", "degree"],
+        &[
+            "app",
+            "concurrency",
+            "baseline",
+            "propack",
+            "improvement",
+            "degree",
+        ],
     );
     let scaling = ctx.fit_scaling(&ctx.aws);
     let mut high_c_gains = Vec::new();
@@ -419,7 +458,10 @@ fn improvement_sweep(
         }
     }
     let avg = high_c_gains.iter().sum::<f64>() / high_c_gains.len() as f64;
-    t.note(format!("average {metric_name} improvement at C=5000: {}", pct(avg)));
+    t.note(format!(
+        "average {metric_name} improvement at C=5000: {}",
+        pct(avg)
+    ));
     vec![t]
 }
 
@@ -463,7 +505,13 @@ pub fn fig12_absolute_values(ctx: &Ctx) -> Vec<Table> {
     let mut t = Table::new(
         "fig12",
         "Absolute function-hours and expense (AWS, C=2000)",
-        &["app", "baseline fn-hours", "propack fn-hours", "baseline $", "propack $"],
+        &[
+            "app",
+            "baseline fn-hours",
+            "propack fn-hours",
+            "baseline $",
+            "propack $",
+        ],
     );
     let scaling = ctx.fit_scaling(&ctx.aws);
     let mut totals = (0.0, 0.0, 0.0, 0.0);
@@ -517,7 +565,13 @@ fn objective_comparison(
     let mut t = Table::new(
         id,
         title,
-        &["app", "concurrency", "joint impr", "single-objective impr", "extra"],
+        &[
+            "app",
+            "concurrency",
+            "joint impr",
+            "single-objective impr",
+            "extra",
+        ],
     );
     let scaling = ctx.fit_scaling(&ctx.aws);
     let mut extras = Vec::new();
@@ -540,7 +594,10 @@ fn objective_comparison(
         }
     }
     let avg = extras.iter().sum::<f64>() / extras.len() as f64;
-    t.note(format!("average extra improvement from the dedicated objective: {}", pct(avg)));
+    t.note(format!(
+        "average extra improvement from the dedicated objective: {}",
+        pct(avg)
+    ));
     vec![t]
 }
 
@@ -572,7 +629,14 @@ pub fn fig15_objective_degrees(ctx: &Ctx) -> Vec<Table> {
     let mut t = Table::new(
         "fig15",
         "Oracle and ProPack degrees: service-only vs expense-only objectives",
-        &["app", "concurrency", "oracle(svc)", "propack(svc)", "oracle(exp)", "propack(exp)"],
+        &[
+            "app",
+            "concurrency",
+            "oracle(svc)",
+            "propack(svc)",
+            "oracle(exp)",
+            "propack(exp)",
+        ],
     );
     let scaling = ctx.fit_scaling(&ctx.aws);
     let mut ordering_holds = true;
@@ -590,7 +654,13 @@ pub fn fig15_objective_degrees(ctx: &Ctx) -> Vec<Table> {
                 .expect("oracle")
                 .packing_degree;
             let o_e = Oracle
-                .search(&as_dyn(&ctx.aws), &work, c, OracleObjective::Expense, ctx.seed)
+                .search(
+                    &as_dyn(&ctx.aws),
+                    &work,
+                    c,
+                    OracleObjective::Expense,
+                    ctx.seed,
+                )
                 .expect("oracle")
                 .packing_degree;
             let p_s = pp.plan(c, Objective::ServiceTime).packing_degree;
@@ -627,15 +697,16 @@ pub fn fig16_weight_sweep(ctx: &Ctx) -> Vec<Table> {
     let mut expense_series = Vec::new();
     for k in 1..=9 {
         let w_s = k as f64 / 10.0;
-        let packed =
-            propack_outcome(ctx, &ctx.aws, &pp, C_HIGH, Objective::Joint { w_s });
+        let packed = propack_outcome(ctx, &ctx.aws, &pp, C_HIGH, Objective::Joint { w_s });
         let s_gain = packed.improvement_over(&base, |o| o.total_service_secs());
         let e_gain = packed.improvement_over(&base, |o| o.expense_usd);
         service_series.push(s_gain);
         expense_series.push(e_gain);
         t.row(vec![
             format!("{:.1}/{:.1}", w_s, 1.0 - w_s),
-            pp.plan(C_HIGH, Objective::Joint { w_s }).packing_degree.to_string(),
+            pp.plan(C_HIGH, Objective::Joint { w_s })
+                .packing_degree
+                .to_string(),
             pct(s_gain),
             pct(e_gain),
         ]);
@@ -643,9 +714,9 @@ pub fn fig16_weight_sweep(ctx: &Ctx) -> Vec<Table> {
     t.note(format!(
         "paper: service improvement grows with W_S, expense improvement with W_E; measured trend: service {} → {}, expense {} → {}",
         pct(service_series[0]),
-        pct(*service_series.last().unwrap()),
+        pct(service_series.last().copied().unwrap_or(0.0)),
         pct(expense_series[0]),
-        pct(*expense_series.last().unwrap())
+        pct(expense_series.last().copied().unwrap_or(0.0))
     ));
     vec![t]
 }
@@ -655,7 +726,13 @@ pub fn fig17_smith_waterman(ctx: &Ctx) -> Vec<Table> {
     let mut t = Table::new(
         "fig17",
         "Smith-Waterman: ProPack improvements (AWS)",
-        &["concurrency", "service impr", "scaling impr", "expense impr", "degree"],
+        &[
+            "concurrency",
+            "service impr",
+            "scaling impr",
+            "expense impr",
+            "degree",
+        ],
     );
     let work = propack_workloads::smith_waterman::SmithWaterman::default().profile();
     let pp = ctx.build_propack(&ctx.aws, &work, None);
@@ -682,7 +759,10 @@ pub fn fig17_smith_waterman(ctx: &Ctx) -> Vec<Table> {
             &as_dyn(&ctx.aws),
             &work,
             C_HIGH,
-            OracleObjective::Joint { w_s: 0.5, metric: Percentile::Total },
+            OracleObjective::Joint {
+                w_s: 0.5,
+                metric: Percentile::Total,
+            },
             ctx.seed,
         )
         .expect("oracle")
@@ -712,7 +792,12 @@ pub fn fig18_funcx(ctx: &Ctx) -> Vec<Table> {
         if c == C_HIGH {
             ratio_at_5000 = 100.0 * (1.0 - fx / aws);
         }
-        a.row(vec![c.to_string(), fmt(aws), fmt(fx), pct(100.0 * (1.0 - fx / aws))]);
+        a.row(vec![
+            c.to_string(),
+            fmt(aws),
+            fmt(fx),
+            pct(100.0 * (1.0 - fx / aws)),
+        ]);
     }
     a.note(format!(
         "paper: FuncX scales ~15% faster at C=5000; measured {}",
@@ -791,10 +876,12 @@ pub fn fig20_xapian_qos(ctx: &Ctx) -> Vec<Table> {
         "Xapian: packing degree by objective (tail figure of merit)",
         &["objective", "degree"],
     );
-    let p_service =
-        pp.plan_with_metric(c, Objective::ServiceTime, Percentile::Tail95).packing_degree;
-    let p_expense =
-        pp.plan_with_metric(c, Objective::Expense, Percentile::Tail95).packing_degree;
+    let p_service = pp
+        .plan_with_metric(c, Objective::ServiceTime, Percentile::Tail95)
+        .packing_degree;
+    let p_expense = pp
+        .plan_with_metric(c, Objective::Expense, Percentile::Tail95)
+        .packing_degree;
     // QoS bound: 4% above the best achievable tail service time — tight
     // enough to require a service-leaning weight split, matching the
     // paper's W_S = 0.65 story for Xapian.
@@ -804,7 +891,10 @@ pub fn fig20_xapian_qos(ctx: &Ctx) -> Vec<Table> {
     let qos = best_tail * 1.04;
     let (qos_plan, w_s) = pp.plan_with_qos(c, qos).expect("qos plan");
     a.row(vec!["ProPack (Service Time)".into(), p_service.to_string()]);
-    a.row(vec![format!("ProPack QoS (W_S={w_s:.2})"), qos_plan.packing_degree.to_string()]);
+    a.row(vec![
+        format!("ProPack QoS (W_S={w_s:.2})"),
+        qos_plan.packing_degree.to_string(),
+    ]);
     a.row(vec!["ProPack (Expense)".into(), p_expense.to_string()]);
     a.note(format!(
         "paper: QoS degree falls between the service-only and expense-only degrees (W_S=0.65 for Xapian); ordering holds: {}",
@@ -852,8 +942,11 @@ pub fn fig21_multi_platform(ctx: &Ctx) -> Vec<Table> {
         "ProPack across platforms at C=1000 (% improvement over no packing)",
         &["platform", "app", "service impr", "expense impr"],
     );
-    let platforms: [(&str, &dyn ServerlessPlatform); 3] =
-        [("AWS", &ctx.aws), ("Google", &ctx.google), ("Azure", &ctx.azure)];
+    let platforms: [(&str, &dyn ServerlessPlatform); 3] = [
+        ("AWS", &ctx.aws),
+        ("Google", &ctx.google),
+        ("Azure", &ctx.azure),
+    ];
     let mut expense_by_platform = [0.0f64; 3];
     for (i, (pname, platform)) in platforms.iter().enumerate() {
         for work in ctx.primary_profiles() {
@@ -861,7 +954,9 @@ pub fn fig21_multi_platform(ctx: &Ctx) -> Vec<Table> {
             let base = NoPacking
                 .run(&as_dyn(*platform), &work, 1000, ctx.seed)
                 .expect("baseline");
-            let out = pp.execute(*platform, 1000, Objective::default(), ctx.seed).expect("run");
+            let out = pp
+                .execute(*platform, 1000, Objective::default(), ctx.seed)
+                .expect("run");
             let mut packed = StrategyOutcome::from_report("ProPack", &out.report);
             packed.expense_usd = out.expense_with_overhead_usd();
             let s = packed.improvement_over(&base, |o| o.total_service_secs());

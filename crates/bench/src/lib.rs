@@ -12,9 +12,9 @@
 //! out in `DESIGN.md`.
 
 pub mod context;
+pub mod figures;
 #[cfg(test)]
 mod smoke_tests;
-pub mod figures;
 pub mod table;
 
 pub use context::Ctx;

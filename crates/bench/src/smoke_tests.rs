@@ -22,7 +22,11 @@ fn fig02_breakdown_components_grow() {
     let t = &tables[0];
     assert_eq!(t.headers.len(), 4);
     assert_eq!(t.rows.len(), 5, "five concurrency levels");
-    assert!(t.notes.iter().any(|n| n.contains("monotone: true")), "{:?}", t.notes);
+    assert!(
+        t.notes.iter().any(|n| n.contains("monotone: true")),
+        "{:?}",
+        t.notes
+    );
 }
 
 #[test]
@@ -31,7 +35,11 @@ fn fig07_expense_non_monotonic() {
     let t = &tables[0];
     assert!(!t.rows.is_empty());
     // Every app's note must confirm an interior expense minimum.
-    let confirms = t.notes.iter().filter(|n| n.contains("non-monotonic: true")).count();
+    let confirms = t
+        .notes
+        .iter()
+        .filter(|n| n.contains("non-monotonic: true"))
+        .count();
     assert_eq!(confirms, 3, "{:?}", t.notes);
 }
 

@@ -31,7 +31,12 @@ impl Table {
 
     /// Append a row (panics if the width disagrees with the headers).
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in {}", self.id);
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in {}",
+            self.id
+        );
         self.rows.push(cells);
     }
 

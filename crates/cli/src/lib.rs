@@ -134,7 +134,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 _ => Command::Compare(ra),
             })
         }
-        other => Err(ParseError(format!("unknown command {other}; try `propack help`"))),
+        other => Err(ParseError(format!(
+            "unknown command {other}; try `propack help`"
+        ))),
     }
 }
 
@@ -147,16 +149,16 @@ pub fn resolve_app(key: &str) -> Result<WorkProfile, ParseError> {
             return Ok(bench.profile());
         }
     }
-    Err(ParseError(format!("unknown app '{key}'; see `propack apps`")))
+    Err(ParseError(format!(
+        "unknown app '{key}'; see `propack apps`"
+    )))
 }
 
 /// Resolve a platform key.
 pub fn resolve_platform(key: &str) -> Result<Box<dyn ServerlessPlatform>, ParseError> {
     Ok(match key.to_ascii_lowercase().as_str() {
         "aws" | "lambda" => Box::new(PlatformProfile::aws_lambda().into_platform()),
-        "google" | "gcf" => {
-            Box::new(PlatformProfile::google_cloud_functions().into_platform())
-        }
+        "google" | "gcf" => Box::new(PlatformProfile::google_cloud_functions().into_platform()),
         "azure" => Box::new(PlatformProfile::azure_functions().into_platform()),
         "funcx" => Box::new(FuncXPlatform::default()),
         other => return Err(ParseError(format!("unknown platform '{other}'"))),
@@ -172,9 +174,12 @@ pub fn resolve_objective(key: &str) -> Result<Objective, ParseError> {
         other => {
             // `joint:0.7` sets an explicit service weight.
             if let Some(w) = other.strip_prefix("joint:") {
-                let w_s: f64 =
-                    w.parse().map_err(|e| ParseError(format!("bad weight: {e}")))?;
-                Objective::Joint { w_s: w_s.clamp(0.0, 1.0) }
+                let w_s: f64 = w
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad weight: {e}")))?;
+                Objective::Joint {
+                    w_s: w_s.clamp(0.0, 1.0),
+                }
             } else {
                 return Err(ParseError(format!("unknown objective '{other}'")));
             }
@@ -183,15 +188,30 @@ pub fn resolve_objective(key: &str) -> Result<Objective, ParseError> {
 }
 
 /// Execute a parsed command, writing human-readable output to `out`.
-pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), Box<dyn std::error::Error>> {
+pub fn execute(
+    cmd: Command,
+    out: &mut impl std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
     match cmd {
         Command::Help => {
-            writeln!(out, "propack — pack concurrent serverless functions faster and cheaper")?;
+            writeln!(
+                out,
+                "propack — pack concurrent serverless functions faster and cheaper"
+            )?;
             writeln!(out, "usage:")?;
             writeln!(out, "  propack plan    --app <name> -c <C> [--platform aws|google|azure|funcx] [--objective joint|service|expense|joint:<w>]")?;
-            writeln!(out, "  propack run     --app <name> -c <C> [...] [--seed <n>]")?;
-            writeln!(out, "  propack plan    ... --save model.json   # persist the fitted model")?;
-            writeln!(out, "  propack plan    ... --model model.json  # reuse it, skipping profiling")?;
+            writeln!(
+                out,
+                "  propack run     --app <name> -c <C> [...] [--seed <n>]"
+            )?;
+            writeln!(
+                out,
+                "  propack plan    ... --save model.json   # persist the fitted model"
+            )?;
+            writeln!(
+                out,
+                "  propack plan    ... --model model.json  # reuse it, skipping profiling"
+            )?;
             writeln!(out, "  propack compare --app <name> -c <C> [...]")?;
             writeln!(out, "  propack apps | platforms | help")?;
         }
@@ -226,38 +246,88 @@ pub fn execute(cmd: Command, out: &mut impl std::io::Write) -> Result<(), Box<dy
             let (pp, _platform, objective) = build(&ra)?;
             let plan = pp.plan(ra.concurrency, objective);
             writeln!(out, "app:       {} on {}", pp.work.name, pp.platform_name)?;
-            writeln!(out, "model:     ET(P) = {:.2}·e^({:.4}·P)s; scaling β=({:.2e}, {:.3}, {:.1})",
-                pp.model.interference.base, pp.model.interference.rate,
-                pp.model.scaling.beta1, pp.model.scaling.beta2, pp.model.scaling.beta3)?;
-            writeln!(out, "plan:      degree {} → {} instances", plan.packing_degree, plan.instances)?;
-            writeln!(out, "predicted: service {:.0}s, expense ${:.2}",
-                plan.predicted_service_secs, plan.predicted_expense_usd)?;
-            writeln!(out, "overhead:  {} probe bursts, ${:.2}", pp.overhead.bursts, pp.overhead.expense_usd)?;
+            writeln!(
+                out,
+                "model:     ET(P) = {:.2}·e^({:.4}·P)s; scaling β=({:.2e}, {:.3}, {:.1})",
+                pp.model.interference.base,
+                pp.model.interference.rate,
+                pp.model.scaling.beta1,
+                pp.model.scaling.beta2,
+                pp.model.scaling.beta3
+            )?;
+            writeln!(
+                out,
+                "plan:      degree {} → {} instances",
+                plan.packing_degree, plan.instances
+            )?;
+            writeln!(
+                out,
+                "predicted: service {:.0}s, expense ${:.2}",
+                plan.predicted_service_secs, plan.predicted_expense_usd
+            )?;
+            writeln!(
+                out,
+                "overhead:  {} probe bursts, ${:.2}",
+                pp.overhead.bursts, pp.overhead.expense_usd
+            )?;
         }
         Command::Run(ra) => {
             let (pp, platform, objective) = build(&ra)?;
             let outcome = pp.execute(platform.as_ref(), ra.concurrency, objective, ra.seed)?;
-            writeln!(out, "ran {} × {} packed at degree {} on {}",
-                outcome.plan.instances, pp.work.name, outcome.plan.packing_degree, pp.platform_name)?;
-            writeln!(out, "service:  {:.0}s total ({:.0}s scaling)",
-                outcome.report.total_service_time(), outcome.report.scaling_time())?;
-            writeln!(out, "expense:  ${:.2} (incl. ${:.2} profiling overhead)",
-                outcome.expense_with_overhead_usd(), outcome.overhead.expense_usd)?;
+            writeln!(
+                out,
+                "ran {} × {} packed at degree {} on {}",
+                outcome.plan.instances, pp.work.name, outcome.plan.packing_degree, pp.platform_name
+            )?;
+            writeln!(
+                out,
+                "service:  {:.0}s total ({:.0}s scaling)",
+                outcome.report.total_service_time(),
+                outcome.report.scaling_time()
+            )?;
+            writeln!(
+                out,
+                "expense:  ${:.2} (incl. ${:.2} profiling overhead)",
+                outcome.expense_with_overhead_usd(),
+                outcome.overhead.expense_usd
+            )?;
         }
         Command::Compare(ra) => {
             let (pp, platform, objective) = build(&ra)?;
             let work = pp.work.clone();
-            writeln!(out, "{:<12} {:>12} {:>12} {:>8}", "strategy", "service (s)", "expense ($)", "degree")?;
+            writeln!(
+                out,
+                "{:<12} {:>12} {:>12} {:>8}",
+                "strategy", "service (s)", "expense ($)", "degree"
+            )?;
             let base = NoPacking.run(platform.as_ref(), &work, ra.concurrency, ra.seed)?;
-            writeln!(out, "{:<12} {:>12.0} {:>12.2} {:>8}", "no-packing",
-                base.total_service_secs(), base.expense_usd, 1)?;
-            let pywren = Pywren::default().run(platform.as_ref(), &work, ra.concurrency, ra.seed)?;
-            writeln!(out, "{:<12} {:>12.0} {:>12.2} {:>8}", "pywren",
-                pywren.total_service_secs(), pywren.expense_usd, 1)?;
+            writeln!(
+                out,
+                "{:<12} {:>12.0} {:>12.2} {:>8}",
+                "no-packing",
+                base.total_service_secs(),
+                base.expense_usd,
+                1
+            )?;
+            let pywren =
+                Pywren::default().run(platform.as_ref(), &work, ra.concurrency, ra.seed)?;
+            writeln!(
+                out,
+                "{:<12} {:>12.0} {:>12.2} {:>8}",
+                "pywren",
+                pywren.total_service_secs(),
+                pywren.expense_usd,
+                1
+            )?;
             let outcome = pp.execute(platform.as_ref(), ra.concurrency, objective, ra.seed)?;
-            writeln!(out, "{:<12} {:>12.0} {:>12.2} {:>8}", "propack",
-                outcome.report.total_service_time(), outcome.expense_with_overhead_usd(),
-                outcome.plan.packing_degree)?;
+            writeln!(
+                out,
+                "{:<12} {:>12.0} {:>12.2} {:>8}",
+                "propack",
+                outcome.report.total_service_time(),
+                outcome.expense_with_overhead_usd(),
+                outcome.plan.packing_degree
+            )?;
         }
     }
     Ok(())
@@ -276,7 +346,7 @@ fn build(ra: &RunArgs) -> Result<BuiltContext, Box<dyn std::error::Error>> {
         None => Propack::build(platform.as_ref(), &work, &ProPackConfig::default())?,
     };
     if let Some(path) = &ra.save_model {
-        std::fs::write(path, pp.to_json())?;
+        std::fs::write(path, pp.to_json()?)?;
     }
     Ok((pp, platform, objective))
 }
@@ -305,8 +375,17 @@ mod tests {
     #[test]
     fn parses_full_run() {
         let cmd = parse(&s(&[
-            "run", "--app", "video", "--concurrency", "5000", "--platform", "google",
-            "--objective", "expense", "--seed", "7",
+            "run",
+            "--app",
+            "video",
+            "--concurrency",
+            "5000",
+            "--platform",
+            "google",
+            "--objective",
+            "expense",
+            "--seed",
+            "7",
         ]))
         .unwrap();
         match cmd {
@@ -335,7 +414,13 @@ mod tests {
 
     #[test]
     fn resolves_all_apps_and_platforms() {
-        for key in ["video", "sort", "stateless-cost", "smith-waterman", "xapian"] {
+        for key in [
+            "video",
+            "sort",
+            "stateless-cost",
+            "smith-waterman",
+            "xapian",
+        ] {
             assert!(resolve_app(key).is_ok(), "{key}");
         }
         assert!(resolve_app("nope").is_err());
@@ -347,10 +432,19 @@ mod tests {
 
     #[test]
     fn resolves_objectives() {
-        assert_eq!(resolve_objective("joint").unwrap(), Objective::Joint { w_s: 0.5 });
-        assert_eq!(resolve_objective("service").unwrap(), Objective::ServiceTime);
+        assert_eq!(
+            resolve_objective("joint").unwrap(),
+            Objective::Joint { w_s: 0.5 }
+        );
+        assert_eq!(
+            resolve_objective("service").unwrap(),
+            Objective::ServiceTime
+        );
         assert_eq!(resolve_objective("expense").unwrap(), Objective::Expense);
-        assert_eq!(resolve_objective("joint:0.7").unwrap(), Objective::Joint { w_s: 0.7 });
+        assert_eq!(
+            resolve_objective("joint:0.7").unwrap(),
+            Objective::Joint { w_s: 0.7 }
+        );
         assert!(resolve_objective("fastest").is_err());
     }
 
@@ -418,13 +512,17 @@ mod persist_cli_tests {
     #[test]
     fn parse_save_and_model_flags() {
         let args: Vec<String> = ["plan", "--app", "sort", "-c", "100", "--save", "m.json"]
-            .iter().map(|s| s.to_string()).collect();
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         match parse(&args).unwrap() {
             Command::Plan(ra) => assert_eq!(ra.save_model.as_deref(), Some("m.json")),
             other => panic!("{other:?}"),
         }
         let args: Vec<String> = ["run", "--app", "sort", "-c", "100", "--model", "m.json"]
-            .iter().map(|s| s.to_string()).collect();
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         match parse(&args).unwrap() {
             Command::Run(ra) => assert_eq!(ra.load_model.as_deref(), Some("m.json")),
             other => panic!("{other:?}"),

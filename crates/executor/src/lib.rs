@@ -68,7 +68,9 @@ impl PackedExecutor {
     /// An executor shaped like the paper's Lambda instances (6 vCPUs),
     /// clamped to the host's available parallelism.
     pub fn lambda_like() -> Self {
-        let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         PackedExecutor::new(host.min(6))
     }
 
@@ -114,9 +116,13 @@ impl PackedExecutor {
         .expect("executor scope panicked");
 
         let wall_secs = start.elapsed().as_secs_f64();
-        let (function_secs, outputs) =
-            slots.into_iter().map(|s| s.expect("joined")).unzip();
-        PackedRun { packing_degree, wall_secs, function_secs, outputs }
+        let (function_secs, outputs) = slots.into_iter().map(|s| s.expect("joined")).unzip();
+        PackedRun {
+            packing_degree,
+            wall_secs,
+            function_secs,
+            outputs,
+        }
     }
 }
 
@@ -149,7 +155,10 @@ pub fn measure_interference<W: Workload + ?Sized>(
                 total += run.function_secs.iter().sum::<f64>();
                 n += run.function_secs.len();
             }
-            MeasuredInterference { packing_degree: p, mean_secs: total / n as f64 }
+            MeasuredInterference {
+                packing_degree: p,
+                mean_secs: total / n as f64,
+            }
         })
         .collect()
 }
@@ -161,7 +170,9 @@ pub fn spin_for(d: Duration) {
     let mut x = 0u64;
     while t0.elapsed() < d {
         // Trivial ALU work the optimizer cannot elide (x escapes below).
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         std::hint::black_box(x);
     }
 }
@@ -169,9 +180,7 @@ pub fn spin_for(d: Duration) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use propack_workloads::{
-        smith_waterman::SmithWaterman, sort::MapReduceSort, WorkProfile,
-    };
+    use propack_workloads::{smith_waterman::SmithWaterman, sort::MapReduceSort, WorkProfile};
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
@@ -194,7 +203,10 @@ mod tests {
             self.max_seen.fetch_max(now, Ordering::SeqCst);
             spin_for(Duration::from_millis(15));
             self.concurrent.fetch_sub(1, Ordering::SeqCst);
-            WorkOutput { checksum: seed, work_units: 1 }
+            WorkOutput {
+                checksum: seed,
+                work_units: 1,
+            }
         }
     }
 
@@ -231,7 +243,10 @@ mod tests {
         // Correctness under packing: co-running threads must compute the
         // same checksums as isolated runs (the whole point of the packing
         // realization being transparent to the application).
-        let w = MapReduceSort { records: 5_000, partitions: 4 };
+        let w = MapReduceSort {
+            records: 5_000,
+            partitions: 4,
+        };
         let ex = PackedExecutor::new(4);
         let packed = ex.run_pack(&w, 6, 42);
         for (i, out) in packed.outputs.iter().enumerate() {
@@ -248,7 +263,11 @@ mod tests {
         // must be large enough — milliseconds per function — that core
         // contention dominates scheduler noise even when other test
         // binaries share the machine.
-        let w = SmithWaterman { query_len: 220, db_sequences: 10, db_len: 320 };
+        let w = SmithWaterman {
+            query_len: 220,
+            db_sequences: 10,
+            db_len: 320,
+        };
         let ex = PackedExecutor::new(2);
         let small = ex.run_pack(&w, 2, 7);
         let large = ex.run_pack(&w, 8, 7);
@@ -264,7 +283,11 @@ mod tests {
     fn measure_interference_shapes() {
         // Kernel must be long enough (milliseconds) that core contention,
         // not thread-spawn overhead, dominates the measurement.
-        let w = SmithWaterman { query_len: 200, db_sequences: 10, db_len: 300 };
+        let w = SmithWaterman {
+            query_len: 200,
+            db_sequences: 10,
+            db_len: 300,
+        };
         let ex = PackedExecutor::new(2);
         let curve = measure_interference(&ex, &w, &[1, 8], 3, 3);
         assert_eq!(curve.len(), 2);

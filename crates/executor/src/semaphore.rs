@@ -17,7 +17,10 @@ pub struct Semaphore {
 impl Semaphore {
     /// Create a semaphore with `permits` initial permits.
     pub fn new(permits: usize) -> Self {
-        Semaphore { permits: Mutex::new(permits), available: Condvar::new() }
+        Semaphore {
+            permits: Mutex::new(permits),
+            available: Condvar::new(),
+        }
     }
 
     /// Block until a permit is available, then take it. The permit is

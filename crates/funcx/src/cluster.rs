@@ -202,8 +202,7 @@ impl ServerlessPlatform for FuncXPlatform {
 fn schedule_worker(sim: &mut Sim<ClusterState>, i: u32) {
     let now = sim.now();
     let s = sim.state_mut();
-    let service = (s.config.sched_base_secs
-        + s.config.sched_per_inflight_secs * s.admitted as f64)
+    let service = (s.config.sched_base_secs + s.config.sched_per_inflight_secs * s.admitted as f64)
         * jitter(&mut s.ctrl_rng, s.config.profile.control.jitter);
     s.admitted += 1;
     let (_, done) = s.endpoint.request(now, service);
@@ -241,8 +240,8 @@ fn join_pod(sim: &mut Sim<ClusterState>, i: u32) {
                 let (_, done) = s.registry.transfer(now, image);
                 done
             };
-            let boot = s.config.pod_boot_secs
-                * jitter(&mut s.ctrl_rng, s.config.profile.control.jitter);
+            let boot =
+                s.config.pod_boot_secs * jitter(&mut s.ctrl_rng, s.config.profile.control.jitter);
             let ready_at = pull_done + boot;
             s.pods[pod_idx].ready_at = Some(ready_at);
             s.records[i as usize].built_at = pull_done.as_secs();
@@ -262,9 +261,18 @@ fn claim_slot(sim: &mut Sim<ClusterState>, i: u32) {
     let mut exec_rng = s.streams.stream_indexed("funcx-exec", i as u64);
     // Cache-miss pods load the runtime dependencies once per worker launch;
     // cached pods have them resident.
-    let dep = if s.records[i as usize].warm { 0.0 } else { s.work.dependency_load_secs };
+    let dep = if s.records[i as usize].warm {
+        0.0
+    } else {
+        s.work.dependency_load_secs
+    };
     let launch = s.config.worker_launch_secs + dep;
-    let exec = sampled_exec_secs(&s.config.profile.instance, &s.work, s.packing_degree, &mut exec_rng);
+    let exec = sampled_exec_secs(
+        &s.config.profile.instance,
+        &s.work,
+        s.packing_degree,
+        &mut exec_rng,
+    );
     let (_, slot_start, slot_end) = s.slots.request(now, launch + exec);
     let started = slot_start + launch;
     sim.schedule_at(started, move |sim| {
@@ -304,7 +312,9 @@ mod tests {
     #[test]
     fn burst_lifecycle_consistent() {
         let fx = FuncXPlatform::default();
-        let r = fx.run_burst(&BurstSpec::new(work(), 500, 1).with_seed(2)).unwrap();
+        let r = fx
+            .run_burst(&BurstSpec::new(work(), 500, 1).with_seed(2))
+            .unwrap();
         assert_eq!(r.instances.len(), 500);
         for rec in &r.instances {
             assert!(rec.built_at >= 0.0);
@@ -317,15 +327,21 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let fx = FuncXPlatform::default();
-        let a = fx.run_burst(&BurstSpec::new(work(), 300, 2).with_seed(5)).unwrap();
-        let b = fx.run_burst(&BurstSpec::new(work(), 300, 2).with_seed(5)).unwrap();
+        let a = fx
+            .run_burst(&BurstSpec::new(work(), 300, 2).with_seed(5))
+            .unwrap();
+        let b = fx
+            .run_burst(&BurstSpec::new(work(), 300, 2).with_seed(5))
+            .unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn cache_hits_match_configured_rate() {
         let fx = FuncXPlatform::default();
-        let r = fx.run_burst(&BurstSpec::new(work(), 4000, 1).with_seed(8)).unwrap();
+        let r = fx
+            .run_burst(&BurstSpec::new(work(), 4000, 1).with_seed(8))
+            .unwrap();
         let hits = r.instances.iter().filter(|i| i.warm).count() as f64;
         let rate = hits / r.instances.len() as f64;
         assert!((rate - 0.75).abs() < 0.05, "cache rate {rate}");
@@ -337,8 +353,8 @@ mod tests {
         let fx = FuncXPlatform::default();
         let aws = PlatformProfile::aws_lambda().into_platform();
         let spec = BurstSpec::new(work(), 5000, 1).with_seed(1);
-        let ratio =
-            fx.run_burst(&spec).unwrap().scaling_time() / aws.run_burst(&spec).unwrap().scaling_time();
+        let ratio = fx.run_burst(&spec).unwrap().scaling_time()
+            / aws.run_burst(&spec).unwrap().scaling_time();
         assert!((0.75..0.95).contains(&ratio), "scaling ratio {ratio}");
     }
 
@@ -365,7 +381,9 @@ mod tests {
         };
         let fx = FuncXPlatform::new(cfg);
         let short = WorkProfile::synthetic("short", 0.25, 10.0);
-        let r = fx.run_burst(&BurstSpec::new(short, 32, 1).with_seed(3)).unwrap();
+        let r = fx
+            .run_burst(&BurstSpec::new(short, 32, 1).with_seed(3))
+            .unwrap();
         // 32 workers / 8 slots = 4 waves ≈ 40+ s of makespan.
         assert!(r.total_service_time() > 35.0, "{}", r.total_service_time());
     }
@@ -391,8 +409,14 @@ mod tests {
     #[test]
     fn packing_reduces_funcx_scaling_time() {
         let fx = FuncXPlatform::default();
-        let s1 = fx.run_burst(&BurstSpec::packed(work(), 2000, 1)).unwrap().scaling_time();
-        let s10 = fx.run_burst(&BurstSpec::packed(work(), 2000, 10)).unwrap().scaling_time();
+        let s1 = fx
+            .run_burst(&BurstSpec::packed(work(), 2000, 1))
+            .unwrap()
+            .scaling_time();
+        let s10 = fx
+            .run_burst(&BurstSpec::packed(work(), 2000, 10))
+            .unwrap()
+            .scaling_time();
         assert!(s10 < s1 * 0.3, "packing should slash scaling: {s1} → {s10}");
     }
 }

@@ -1,17 +1,22 @@
 //! Property-based tests for the FuncX cluster simulator.
 
-use proptest::prelude::*;
 use propack_funcx::{FuncXConfig, FuncXPlatform};
 use propack_platform::{BurstSpec, ServerlessPlatform, WorkProfile};
+use proptest::prelude::*;
 
 fn spec_strategy() -> impl Strategy<Value = (WorkProfile, u32, u32, u64)> {
-    (0.1f64..1.0, 5.0f64..60.0, 1u32..=300, 1u32..=8, any::<u64>()).prop_map(
-        |(mem, base, inst, deg, seed)| {
+    (
+        0.1f64..1.0,
+        5.0f64..60.0,
+        1u32..=300,
+        1u32..=8,
+        any::<u64>(),
+    )
+        .prop_map(|(mem, base, inst, deg, seed)| {
             let work = WorkProfile::synthetic("prop", mem, base).with_contention(0.05);
             let deg = deg.min(work.max_packing_degree(10.0));
             (work, inst, deg, seed)
-        },
-    )
+        })
 }
 
 proptest! {

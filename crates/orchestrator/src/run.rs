@@ -6,7 +6,7 @@ use propack_model::optimizer::Objective;
 use propack_model::propack::{ProPackConfig, Propack};
 use propack_platform::{BurstSpec, ServerlessPlatform, WorkProfile};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Report for one leaf state.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -57,7 +57,7 @@ struct ExecCtx<'a, P: ServerlessPlatform + ?Sized> {
     platform: &'a P,
     seed: u64,
     burst_counter: u64,
-    propack_cache: HashMap<String, Propack>,
+    propack_cache: BTreeMap<String, Propack>,
     overhead_usd: f64,
     overhead_hours: f64,
     reports: Vec<StateReport>,
@@ -98,9 +98,16 @@ impl<P: ServerlessPlatform + ?Sized> ExecCtx<'_, P> {
                 });
                 Ok(duration)
             }
-            State::Map { name, work, concurrency, packing } => {
+            State::Map {
+                name,
+                work,
+                concurrency,
+                packing,
+            } => {
                 if *concurrency == 0 {
-                    return Err(WorkflowError::EmptyMap { state: name.clone() });
+                    return Err(WorkflowError::EmptyMap {
+                        state: name.clone(),
+                    });
                 }
                 let degree = match packing {
                     MapPacking::None => 1,
@@ -161,14 +168,13 @@ pub fn execute<P: ServerlessPlatform + ?Sized>(
         platform,
         seed,
         burst_counter: 0,
-        propack_cache: HashMap::new(),
+        propack_cache: BTreeMap::new(),
         overhead_usd: 0.0,
         overhead_hours: 0.0,
         reports: Vec::new(),
     };
     let total_secs = ctx.run_state(&workflow.root, 0.0)?;
-    let expense_usd =
-        ctx.reports.iter().map(|s| s.expense_usd).sum::<f64>() + ctx.overhead_usd;
+    let expense_usd = ctx.reports.iter().map(|s| s.expense_usd).sum::<f64>() + ctx.overhead_usd;
     let function_hours =
         ctx.reports.iter().map(|s| s.function_hours).sum::<f64>() + ctx.overhead_hours;
     Ok(WorkflowReport {
@@ -201,8 +207,14 @@ mod tests {
         let wf = Workflow::new(
             "seq",
             State::Sequence(vec![
-                State::Task { name: "a".into(), work: sorter() },
-                State::Task { name: "b".into(), work: sorter() },
+                State::Task {
+                    name: "a".into(),
+                    work: sorter(),
+                },
+                State::Task {
+                    name: "b".into(),
+                    work: sorter(),
+                },
             ]),
         );
         let r = execute(&aws(), &wf, 1).unwrap();
@@ -219,8 +231,14 @@ mod tests {
         let wf = Workflow::new(
             "par",
             State::Parallel(vec![
-                State::Task { name: "slow".into(), work: slow },
-                State::Task { name: "fast".into(), work: fast },
+                State::Task {
+                    name: "slow".into(),
+                    work: slow,
+                },
+                State::Task {
+                    name: "fast".into(),
+                    work: fast,
+                },
             ]),
         );
         let r = execute(&aws(), &wf, 2).unwrap();
@@ -315,8 +333,12 @@ mod tests {
         )
         .unwrap();
         let two_singles = single(9).expense_usd + single(10).expense_usd;
-        assert!(double.expense_usd < two_singles * 0.95,
-            "double {} vs two singles {}", double.expense_usd, two_singles);
+        assert!(
+            double.expense_usd < two_singles * 0.95,
+            "double {} vs two singles {}",
+            double.expense_usd,
+            two_singles
+        );
     }
 
     #[test]
@@ -347,6 +369,9 @@ mod tests {
                 packing: MapPacking::Fixed(4),
             },
         );
-        assert!(matches!(execute(&aws(), &wf, 1), Err(WorkflowError::Platform(_))));
+        assert!(matches!(
+            execute(&aws(), &wf, 1),
+            Err(WorkflowError::Platform(_))
+        ));
     }
 }

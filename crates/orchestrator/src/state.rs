@@ -81,7 +81,10 @@ pub struct Workflow {
 impl Workflow {
     /// Build a workflow.
     pub fn new(name: impl Into<String>, root: State) -> Self {
-        Workflow { name: name.into(), root }
+        Workflow {
+            name: name.into(),
+            root,
+        }
     }
 
     /// The paper's Sort benchmark as a workflow: a mapper task partitions
@@ -96,9 +99,20 @@ impl Workflow {
         Workflow::new(
             "map-reduce-sort",
             State::Sequence(vec![
-                State::Task { name: "map".into(), work: coordinator.clone() },
-                State::Map { name: "sort".into(), work, concurrency, packing },
-                State::Task { name: "reduce".into(), work: coordinator },
+                State::Task {
+                    name: "map".into(),
+                    work: coordinator.clone(),
+                },
+                State::Map {
+                    name: "sort".into(),
+                    work,
+                    concurrency,
+                    packing,
+                },
+                State::Task {
+                    name: "reduce".into(),
+                    work: coordinator,
+                },
             ]),
         )
     }
@@ -112,9 +126,20 @@ impl Workflow {
         Workflow::new(
             "video-pipeline",
             State::Sequence(vec![
-                State::Task { name: "chunk".into(), work: chunker.clone() },
-                State::Map { name: "encode+classify".into(), work, concurrency, packing },
-                State::Task { name: "aggregate".into(), work: chunker },
+                State::Task {
+                    name: "chunk".into(),
+                    work: chunker.clone(),
+                },
+                State::Map {
+                    name: "encode+classify".into(),
+                    work,
+                    concurrency,
+                    packing,
+                },
+                State::Task {
+                    name: "aggregate".into(),
+                    work: chunker,
+                },
             ]),
         )
     }
@@ -138,10 +163,21 @@ mod tests {
     #[test]
     fn nested_counts() {
         let s = State::Parallel(vec![
-            State::Task { name: "a".into(), work: w() },
+            State::Task {
+                name: "a".into(),
+                work: w(),
+            },
             State::Sequence(vec![
-                State::Task { name: "b".into(), work: w() },
-                State::Map { name: "m".into(), work: w(), concurrency: 7, packing: MapPacking::None },
+                State::Task {
+                    name: "b".into(),
+                    work: w(),
+                },
+                State::Map {
+                    name: "m".into(),
+                    work: w(),
+                    concurrency: 7,
+                    packing: MapPacking::None,
+                },
             ]),
         ]);
         assert_eq!(s.leaf_count(), 3);

@@ -66,11 +66,19 @@ pub fn bill_burst(
             + work.storage_gb * prices.usd_per_storage_gb);
 
     // Per-function egress; co-packed functions keep most of it local.
-    let egress_per_fn =
-        if packing_degree > 1 { work.network_gb * PACKED_EGRESS_RESIDUAL } else { work.network_gb };
+    let egress_per_fn = if packing_degree > 1 {
+        work.network_gb * PACKED_EGRESS_RESIDUAL
+    } else {
+        work.network_gb
+    };
     let network_usd = functions * egress_per_fn * prices.usd_per_network_gb;
 
-    Expense { compute_usd, request_usd, storage_usd, network_usd }
+    Expense {
+        compute_usd,
+        request_usd,
+        storage_usd,
+        network_usd,
+    }
 }
 
 #[cfg(test)]
@@ -79,7 +87,9 @@ mod tests {
     use crate::profile::PlatformProfile;
 
     fn work() -> WorkProfile {
-        WorkProfile::synthetic("w", 0.25, 100.0).with_storage(0.01, 4).with_network(0.02)
+        WorkProfile::synthetic("w", 0.25, 100.0)
+            .with_storage(0.01, 4)
+            .with_network(0.02)
     }
 
     #[test]

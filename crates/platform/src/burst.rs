@@ -29,7 +29,13 @@ pub struct BurstSpec {
 impl BurstSpec {
     /// A cold burst with default seed 0.
     pub fn new(workload: WorkProfile, instances: u32, packing_degree: u32) -> Self {
-        BurstSpec { workload, instances, packing_degree, seed: 0, warm_fraction: 0.0 }
+        BurstSpec {
+            workload,
+            instances,
+            packing_degree,
+            seed: 0,
+            warm_fraction: 0.0,
+        }
     }
 
     /// Builder-style seed setter.
@@ -78,7 +84,17 @@ mod tests {
 
     #[test]
     fn warm_fraction_clamped() {
-        assert_eq!(BurstSpec::new(w(), 1, 1).with_warm_fraction(1.7).warm_fraction, 1.0);
-        assert_eq!(BurstSpec::new(w(), 1, 1).with_warm_fraction(-0.2).warm_fraction, 0.0);
+        assert_eq!(
+            BurstSpec::new(w(), 1, 1)
+                .with_warm_fraction(1.7)
+                .warm_fraction,
+            1.0
+        );
+        assert_eq!(
+            BurstSpec::new(w(), 1, 1)
+                .with_warm_fraction(-0.2)
+                .warm_fraction,
+            0.0
+        );
     }
 }

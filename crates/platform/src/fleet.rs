@@ -47,9 +47,18 @@ impl Fleet {
     ///
     /// Panics when either dimension is zero.
     pub fn new(servers: u32, slots_per_server: u32) -> Self {
-        assert!(servers > 0 && slots_per_server > 0, "fleet must have capacity");
+        assert!(
+            servers > 0 && slots_per_server > 0,
+            "fleet must have capacity"
+        );
         Fleet {
-            servers: vec![Server { used: 0, slots: slots_per_server }; servers as usize],
+            servers: vec![
+                Server {
+                    used: 0,
+                    slots: slots_per_server
+                };
+                servers as usize
+            ],
             reserved: 0,
         }
     }
@@ -80,7 +89,10 @@ impl Fleet {
             .min_by_key(|(i, s)| (s.used, *i))?;
         server.used += 1;
         self.reserved += 1;
-        Some(Placement { server: idx as u32, occupancy: server.used })
+        Some(Placement {
+            server: idx as u32,
+            occupancy: server.used,
+        })
     }
 
     /// Release a previously placed reservation.

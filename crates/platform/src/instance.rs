@@ -40,7 +40,11 @@ pub fn packed_exec_secs(inst: &InstanceProfile, work: &WorkProfile, packing_degr
     let contention = (work.contention_per_gb * work.mem_gb * (p - 1.0)).exp();
     let excess = (p - inst.cores as f64).max(0.0);
     let timeslice = 1.0 + inst.timeslice_penalty * excess;
-    let colocation = if packing_degree > 1 { inst.colocation_penalty } else { 1.0 };
+    let colocation = if packing_degree > 1 {
+        inst.colocation_penalty
+    } else {
+        1.0
+    };
     work.base_exec_secs * contention * timeslice * colocation
 }
 
@@ -106,9 +110,7 @@ mod tests {
         let inst = aws_inst();
         let w = work(0.5, 0.1);
         let ratios: Vec<f64> = (1..6)
-            .map(|p| {
-                packed_exec_secs(&inst, &w, p + 1) / packed_exec_secs(&inst, &w, p)
-            })
+            .map(|p| packed_exec_secs(&inst, &w, p + 1) / packed_exec_secs(&inst, &w, p))
             .collect();
         for r in &ratios {
             assert!((r - ratios[0]).abs() < 1e-12);
@@ -143,9 +145,9 @@ mod tests {
         inst.colocation_penalty = 1.12;
         let w = work(0.25, 0.0);
         assert_eq!(packed_exec_secs(&inst, &w, 1), 100.0);
-        assert!((packed_exec_secs(&inst, &w, 2) / packed_exec_secs(&inst, &w, 1) - 1.12)
-            .abs()
-            < 0.02);
+        assert!(
+            (packed_exec_secs(&inst, &w, 2) / packed_exec_secs(&inst, &w, 1) - 1.12).abs() < 0.02
+        );
     }
 
     #[test]

@@ -69,7 +69,11 @@ pub fn mixed_exec_secs(inst: &InstanceProfile, mix: &MixSpec, part: usize) -> f6
     let pressure = mix.total_pressure() - own_rate;
     let excess = (mix.degree() as f64 - inst.cores as f64).max(0.0);
     let timeslice = 1.0 + inst.timeslice_penalty * excess;
-    let colocation = if mix.degree() > 1 { inst.colocation_penalty } else { 1.0 };
+    let colocation = if mix.degree() > 1 {
+        inst.colocation_penalty
+    } else {
+        1.0
+    };
     work.base_exec_secs * pressure.exp() * timeslice * colocation
 }
 
@@ -129,10 +133,10 @@ impl CloudPlatform {
             .iter()
             .map(|(w, _)| w.dependency_load_secs)
             .fold(0.0, f64::max);
-        let carrier = WorkProfile::synthetic("mixed-carrier", mix.mem_gb() / mix.degree() as f64, 1.0)
-            .with_dependency_load(max_dep);
-        let timeline =
-            self.run_burst(&BurstSpec::new(carrier, instances, 1).with_seed(seed))?;
+        let carrier =
+            WorkProfile::synthetic("mixed-carrier", mix.mem_gb() / mix.degree() as f64, 1.0)
+                .with_dependency_load(max_dep);
+        let timeline = self.run_burst(&BurstSpec::new(carrier, instances, 1).with_seed(seed))?;
 
         let mut per_app = Vec::with_capacity(mix.parts.len());
         let mut all_exec = Vec::new();
@@ -183,7 +187,12 @@ impl CloudPlatform {
         let network_usd: f64 = per_app.iter().map(|r| r.expense.network_usd).sum();
         Ok(MixedRunOutcome {
             per_app,
-            expense: Expense { compute_usd, request_usd, storage_usd, network_usd },
+            expense: Expense {
+                compute_usd,
+                request_usd,
+                storage_usd,
+                network_usd,
+            },
         })
     }
 }
@@ -212,7 +221,9 @@ mod tests {
         // interference exactly.
         let inst = PlatformProfile::aws_lambda().instance;
         for n in [1u32, 3, 8, 15] {
-            let mix = MixSpec { parts: vec![(light(), n)] };
+            let mix = MixSpec {
+                parts: vec![(light(), n)],
+            };
             let mixed = mixed_exec_secs(&inst, &mix, 0);
             let homo = packed_exec_secs(&inst, &light(), n);
             assert!((mixed - homo).abs() < 1e-9, "n={n}: {mixed} vs {homo}");
@@ -224,11 +235,15 @@ mod tests {
         // Adding heavy co-residents slows the light app more than adding
         // nothing, and vice versa.
         let inst = PlatformProfile::aws_lambda().instance;
-        let solo = MixSpec { parts: vec![(light(), 1)] };
+        let solo = MixSpec {
+            parts: vec![(light(), 1)],
+        };
         let mixed = MixSpec::pair((light(), 1), (heavy(), 4));
         assert!(mixed_exec_secs(&inst, &mixed, 0) > mixed_exec_secs(&inst, &solo, 0));
         // And the heavy app sees the light one's pressure too.
-        let heavy_solo = MixSpec { parts: vec![(heavy(), 4)] };
+        let heavy_solo = MixSpec {
+            parts: vec![(heavy(), 4)],
+        };
         let heavy_in_mix = mixed_exec_secs(&inst, &mixed, 1);
         let heavy_alone = mixed_exec_secs(&inst, &heavy_solo, 0);
         assert!(heavy_in_mix > heavy_alone);
@@ -242,7 +257,11 @@ mod tests {
         assert_eq!(out.per_app.len(), 2);
         assert_eq!(out.per_app[0].instances.len(), 100);
         // Compute bill reflects the slowest resident's duration.
-        let slow = out.per_app.iter().map(|r| r.exec_summary().mean()).fold(0.0, f64::max);
+        let slow = out
+            .per_app
+            .iter()
+            .map(|r| r.exec_summary().mean())
+            .fold(0.0, f64::max);
         let want = slow * 100.0 * 10.0 * p.prices().usd_per_gb_sec;
         assert!((out.expense.compute_usd - want).abs() / want < 0.05);
         // One request fee per instance, not per function.
@@ -278,7 +297,13 @@ mod tests {
             Err(PlatformError::EmptyBurst)
         ));
         assert!(matches!(
-            p.run_mixed_burst(&MixSpec { parts: vec![(light(), 0)] }, 5, 1),
+            p.run_mixed_burst(
+                &MixSpec {
+                    parts: vec![(light(), 0)]
+                },
+                5,
+                1
+            ),
             Err(PlatformError::EmptyBurst)
         ));
     }

@@ -92,6 +92,10 @@ struct BurstState {
     builder: BandwidthPipe,
     shipper: BandwidthPipe,
     admitted: u64,
+    /// Instances the fleet could not place. Admission control sizes bursts
+    /// against fleet capacity, so this stays 0; if it ever doesn't, the run
+    /// returns `FleetSaturated` instead of panicking mid-simulation.
+    place_failures: u32,
     records: Vec<InstanceRecord>,
     ctrl_rng: ChaCha8Rng,
     streams: RngStreams,
@@ -131,7 +135,8 @@ impl ServerlessPlatform for CloudPlatform {
     }
 
     fn run_burst(&self, spec: &BurstSpec) -> Result<RunReport, PlatformError> {
-        self.run_burst_with_tracer(spec, Tracer::disabled()).map(|(r, _)| r)
+        self.run_burst_with_tracer(spec, Tracer::disabled())
+            .map(|(r, _)| r)
     }
 }
 
@@ -155,7 +160,10 @@ impl CloudPlatform {
         let state = BurstState {
             profile: self.profile,
             tracer,
-            fleet: Fleet::new(self.profile.control.fleet_servers, self.profile.control.fleet_slots),
+            fleet: Fleet::new(
+                self.profile.control.fleet_servers,
+                self.profile.control.fleet_slots,
+            ),
             placements: vec![0; n as usize],
             peak_occupancy: 0,
             work: Rc::new(spec.workload.clone()),
@@ -164,6 +172,7 @@ impl CloudPlatform {
             builder: BandwidthPipe::new(self.profile.control.build_bytes_per_sec),
             shipper: BandwidthPipe::new(self.profile.control.ship_bytes_per_sec),
             admitted: 0,
+            place_failures: 0,
             records: (0..n).map(pending_record).collect(),
             ctrl_rng: streams.stream("control-plane"),
             streams,
@@ -179,6 +188,14 @@ impl CloudPlatform {
         sim.run();
 
         let state = sim.into_state();
+        if state.place_failures > 0 {
+            let capacity =
+                self.profile.control.fleet_servers as u64 * self.profile.control.fleet_slots as u64;
+            return Err(PlatformError::FleetSaturated {
+                requested: n,
+                capacity,
+            });
+        }
         let scaling = breakdown(&state);
         let exec_secs: Vec<f64> = state.records.iter().map(|r| r.exec_secs()).collect();
         let expense = compute_expense(&self.profile, spec, &exec_secs);
@@ -202,10 +219,12 @@ fn validate(profile: &PlatformProfile, spec: &BurstSpec) -> Result<(), PlatformE
     if spec.instances == 0 || spec.packing_degree == 0 {
         return Err(PlatformError::EmptyBurst);
     }
-    let capacity =
-        profile.control.fleet_servers as u64 * profile.control.fleet_slots as u64;
+    let capacity = profile.control.fleet_servers as u64 * profile.control.fleet_slots as u64;
     if spec.instances as u64 > capacity {
-        return Err(PlatformError::FleetSaturated { requested: spec.instances, capacity });
+        return Err(PlatformError::FleetSaturated {
+            requested: spec.instances,
+            capacity,
+        });
     }
     let needed = spec.packing_degree as f64 * spec.workload.mem_gb;
     if needed > profile.instance.mem_gb + 1e-9 {
@@ -243,8 +262,17 @@ fn schedule_placement(sim: &mut Sim<BurstState>, i: u32, warm: bool) {
         let at = now.as_secs();
         let s = sim.state_mut();
         // The placement the search decided on: a slot on the least-loaded
-        // server (capacity was validated at admission).
-        let placement = s.fleet.place().expect("capacity validated at admission");
+        // server (capacity was validated at admission, so `place` only
+        // fails if that invariant broke — recorded and surfaced after the
+        // run rather than aborting the simulation).
+        let placement = match s.fleet.place() {
+            Some(p) => p,
+            None => {
+                s.place_failures += 1;
+                s.tracer.record(now, i as u64, "place-failed");
+                return;
+            }
+        };
         s.placements[i as usize] = placement.server;
         s.peak_occupancy = s.peak_occupancy.max(s.fleet.peak_occupancy());
         s.records[i as usize].scheduled_at = at;
@@ -311,8 +339,12 @@ fn start_execution(sim: &mut Sim<BurstState>, i: u32, provision_secs: f64) {
     let started = sim.now() + provision_secs;
     let s = sim.state_mut();
     let mut exec_rng = s.streams.stream_indexed("exec", i as u64);
-    let exec =
-        sampled_exec_secs(&s.profile.instance, &s.work, s.packing_degree, &mut exec_rng);
+    let exec = sampled_exec_secs(
+        &s.profile.instance,
+        &s.work,
+        s.packing_degree,
+        &mut exec_rng,
+    );
     sim.schedule_at(started, move |sim| {
         let now = sim.now();
         let s = sim.state_mut();
@@ -373,7 +405,9 @@ mod tests {
 
     #[test]
     fn burst_produces_consistent_lifecycle() {
-        let r = aws().run_burst(&BurstSpec::new(work(), 200, 1).with_seed(3)).unwrap();
+        let r = aws()
+            .run_burst(&BurstSpec::new(work(), 200, 1).with_seed(3))
+            .unwrap();
         assert_eq!(r.instances.len(), 200);
         for rec in &r.instances {
             assert!(rec.scheduled_at >= 0.0);
@@ -386,20 +420,38 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let a = aws().run_burst(&BurstSpec::new(work(), 100, 2).with_seed(9)).unwrap();
-        let b = aws().run_burst(&BurstSpec::new(work(), 100, 2).with_seed(9)).unwrap();
+        let a = aws()
+            .run_burst(&BurstSpec::new(work(), 100, 2).with_seed(9))
+            .unwrap();
+        let b = aws()
+            .run_burst(&BurstSpec::new(work(), 100, 2).with_seed(9))
+            .unwrap();
         assert_eq!(a, b);
-        let c = aws().run_burst(&BurstSpec::new(work(), 100, 2).with_seed(10)).unwrap();
+        let c = aws()
+            .run_burst(&BurstSpec::new(work(), 100, 2).with_seed(10))
+            .unwrap();
         assert_ne!(a, c);
     }
 
     #[test]
     fn scaling_time_grows_superlinearly_with_concurrency() {
         let p = aws();
-        let s500 = p.run_burst(&BurstSpec::new(work(), 500, 1)).unwrap().scaling_time();
-        let s2000 = p.run_burst(&BurstSpec::new(work(), 2000, 1)).unwrap().scaling_time();
-        let s5000 = p.run_burst(&BurstSpec::new(work(), 5000, 1)).unwrap().scaling_time();
-        assert!(s2000 > 4.0 * s500, "quadratic term should dominate: {s500} {s2000}");
+        let s500 = p
+            .run_burst(&BurstSpec::new(work(), 500, 1))
+            .unwrap()
+            .scaling_time();
+        let s2000 = p
+            .run_burst(&BurstSpec::new(work(), 2000, 1))
+            .unwrap()
+            .scaling_time();
+        let s5000 = p
+            .run_burst(&BurstSpec::new(work(), 5000, 1))
+            .unwrap()
+            .scaling_time();
+        assert!(
+            s2000 > 4.0 * s500,
+            "quadratic term should dominate: {s500} {s2000}"
+        );
         assert!(s5000 > 2.0 * s2000, "{s2000} {s5000}");
     }
 
@@ -407,17 +459,27 @@ mod tests {
     fn scaling_dominates_service_time_at_high_concurrency() {
         // Fig. 1: > 80 % of service time is scaling at C = 5000.
         let r = aws().run_burst(&BurstSpec::new(work(), 5000, 1)).unwrap();
-        assert!(r.scaling_fraction() > 0.8, "fraction = {}", r.scaling_fraction());
+        assert!(
+            r.scaling_fraction() > 0.8,
+            "fraction = {}",
+            r.scaling_fraction()
+        );
     }
 
     #[test]
     fn exec_time_flat_in_concurrency() {
         // Fig. 5a: mean execution time varies < 5 % from C = 500 to 5000.
         let p = aws();
-        let m500 =
-            p.run_burst(&BurstSpec::new(work(), 500, 1)).unwrap().exec_summary().mean();
-        let m5000 =
-            p.run_burst(&BurstSpec::new(work(), 5000, 1)).unwrap().exec_summary().mean();
+        let m500 = p
+            .run_burst(&BurstSpec::new(work(), 500, 1))
+            .unwrap()
+            .exec_summary()
+            .mean();
+        let m5000 = p
+            .run_burst(&BurstSpec::new(work(), 5000, 1))
+            .unwrap()
+            .exec_summary()
+            .mean();
         assert!((m500 - m5000).abs() / m500 < 0.05, "{m500} vs {m5000}");
     }
 
@@ -438,17 +500,31 @@ mod tests {
     #[test]
     fn packing_increases_exec_time() {
         let p = aws();
-        let e1 = p.run_burst(&BurstSpec::new(work(), 50, 1)).unwrap().exec_summary().mean();
-        let e10 = p.run_burst(&BurstSpec::new(work(), 50, 10)).unwrap().exec_summary().mean();
+        let e1 = p
+            .run_burst(&BurstSpec::new(work(), 50, 1))
+            .unwrap()
+            .exec_summary()
+            .mean();
+        let e10 = p
+            .run_burst(&BurstSpec::new(work(), 50, 10))
+            .unwrap()
+            .exec_summary()
+            .mean();
         assert!(e10 > e1);
     }
 
     #[test]
     fn warm_instances_start_faster() {
         let p = aws();
-        let cold = p.run_burst(&BurstSpec::new(work(), 500, 1).with_seed(4)).unwrap();
+        let cold = p
+            .run_burst(&BurstSpec::new(work(), 500, 1).with_seed(4))
+            .unwrap();
         let warm = p
-            .run_burst(&BurstSpec::new(work(), 500, 1).with_seed(4).with_warm_fraction(1.0))
+            .run_burst(
+                &BurstSpec::new(work(), 500, 1)
+                    .with_seed(4)
+                    .with_warm_fraction(1.0),
+            )
             .unwrap();
         assert!(warm.scaling_time() < cold.scaling_time());
         assert!(warm.instances.iter().all(|r| r.warm));
@@ -465,7 +541,9 @@ mod tests {
     fn execution_cap_enforced() {
         let slow = WorkProfile::synthetic("slow", 0.25, 800.0).with_contention(0.5);
         // Degree 1 fits under 900 s; degree 10 explodes past it.
-        assert!(aws().run_burst(&BurstSpec::new(slow.clone(), 10, 1)).is_ok());
+        assert!(aws()
+            .run_burst(&BurstSpec::new(slow.clone(), 10, 1))
+            .is_ok());
         let err = aws().run_burst(&BurstSpec::new(slow, 10, 10)).unwrap_err();
         assert!(matches!(err, PlatformError::ExecutionTimeout { .. }));
     }
@@ -496,9 +574,16 @@ mod tests {
         // Same exec profile at two very different concurrency levels must
         // bill proportionally to instance count only.
         let p = aws();
-        let e500 = p.run_burst(&BurstSpec::new(work(), 500, 1)).unwrap().expense.total_usd();
-        let e5000 =
-            p.run_burst(&BurstSpec::new(work(), 5000, 1)).unwrap().expense.total_usd();
+        let e500 = p
+            .run_burst(&BurstSpec::new(work(), 500, 1))
+            .unwrap()
+            .expense
+            .total_usd();
+        let e5000 = p
+            .run_burst(&BurstSpec::new(work(), 5000, 1))
+            .unwrap()
+            .expense
+            .total_usd();
         let ratio = e5000 / e500;
         assert!((ratio - 10.0).abs() < 0.2, "ratio = {ratio}");
     }
@@ -529,11 +614,17 @@ mod trace_tests {
         assert_eq!(trace.len(), 5 * 20);
         for i in 0..20u64 {
             let stages: Vec<&str> = trace.for_entity(i).map(|e| e.stage).collect();
-            assert_eq!(stages, vec!["scheduled", "built", "shipped", "started", "finished"]);
+            assert_eq!(
+                stages,
+                vec!["scheduled", "built", "shipped", "started", "finished"]
+            );
             // Trace timestamps agree with the report's records.
             let rec = &report.instances[i as usize];
             assert_eq!(trace.when(i, "started").unwrap().as_secs(), rec.started_at);
-            assert_eq!(trace.when(i, "finished").unwrap().as_secs(), rec.finished_at);
+            assert_eq!(
+                trace.when(i, "finished").unwrap().as_secs(),
+                rec.finished_at
+            );
         }
     }
 
@@ -573,7 +664,13 @@ mod fleet_tests {
         let p = PlatformProfile::aws_lambda().into_platform();
         let w = WorkProfile::synthetic("w", 0.25, 1.0);
         let err = p.run_burst(&BurstSpec::new(w, 40_000, 1)).unwrap_err();
-        assert!(matches!(err, PlatformError::FleetSaturated { capacity: 32_000, .. }));
+        assert!(matches!(
+            err,
+            PlatformError::FleetSaturated {
+                capacity: 32_000,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -601,7 +698,9 @@ mod fleet_tests {
         let p = profile.into_platform();
         let w = WorkProfile::synthetic("w", 0.25, 10.0);
         // 400 instances over 100 servers → peak occupancy should be ~4.
-        let report = p.run_burst(&BurstSpec::new(w, 400, 1).with_seed(3)).unwrap();
+        let report = p
+            .run_burst(&BurstSpec::new(w, 400, 1).with_seed(3))
+            .unwrap();
         assert_eq!(report.instances.len(), 400);
     }
 }

@@ -10,6 +10,35 @@
 
 use serde::{Deserialize, Serialize};
 
+// Named calibration anchors shared by more than one preset. Every `pub
+// const` in this module must carry a doc comment citing the paper artifact
+// it was read from — enforced by `cargo xtask simlint` (rule `const-doc`).
+
+/// Instance memory cap on AWS Lambda in GB — `M_platform` of Table 1; also
+/// the FuncX cluster's per-pod budget (Fig. 18 runs the same shape on-prem).
+pub const AWS_MEM_GB: f64 = 10.0;
+
+/// vCPU cores per 10 GB Lambda instance (§2.6); packing beyond this count
+/// pays the time-slicing penalty that bends the Fig. 6 service curve.
+pub const AWS_CORES: u32 = 6;
+
+/// AWS Lambda execution cap in seconds (§2.6, §3) — the `ExecutionTimeout`
+/// admission bound.
+pub const AWS_MAX_EXEC_SECS: f64 = 900.0;
+
+/// Published Lambda compute price (USD per GB·second) that makes the Fig. 12
+/// absolute dollar values line up.
+pub const AWS_USD_PER_GB_SEC: f64 = 1.666_67e-5;
+
+/// Fleet size backing every preset's placement search: §1's "scheduling
+/// algorithm searches among the running servers of the datacenter", sized so
+/// C = 5000 bursts (Fig. 1) fit without saturating admission.
+pub const FLEET_SERVERS: u32 = 2_000;
+
+/// MicroVM slots per fleet server; with [`FLEET_SERVERS`] this bounds
+/// admitted concurrency for the Fig. 1 scaling sweeps.
+pub const FLEET_SLOTS: u32 = 16;
+
 /// Which cloud (or on-prem) provider a profile models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Provider {
@@ -35,8 +64,11 @@ impl Provider {
     }
 
     /// The three commercial clouds evaluated in Fig. 1 / Fig. 21.
-    pub const CLOUDS: [Provider; 3] =
-        [Provider::AwsLambda, Provider::GoogleCloudFunctions, Provider::AzureFunctions];
+    pub const CLOUDS: [Provider; 3] = [
+        Provider::AwsLambda,
+        Provider::GoogleCloudFunctions,
+        Provider::AzureFunctions,
+    ];
 }
 
 /// Control-plane cost curve constants.
@@ -152,20 +184,20 @@ impl PlatformProfile {
                 build_bytes_per_sec: 2.2e9,
                 ship_bytes_per_sec: 3.0e9,
                 cold_start_secs: 2.5,
-                fleet_servers: 2_000,
-                fleet_slots: 16,
+                fleet_servers: FLEET_SERVERS,
+                fleet_slots: FLEET_SLOTS,
                 jitter: 0.05,
             },
             instance: InstanceProfile {
-                cores: 6,
-                mem_gb: 10.0,
-                max_exec_secs: 900.0,
+                cores: AWS_CORES,
+                mem_gb: AWS_MEM_GB,
+                max_exec_secs: AWS_MAX_EXEC_SECS,
                 timeslice_penalty: 0.004,
                 exec_jitter: 0.02,
                 colocation_penalty: 1.0,
             },
             prices: PriceSheet {
-                usd_per_gb_sec: 1.666_67e-5,
+                usd_per_gb_sec: AWS_USD_PER_GB_SEC,
                 usd_per_request: 2.0e-7,
                 usd_per_storage_request: 5.0e-6,
                 usd_per_storage_gb: 0.023 / 30.0, // S3 monthly rate amortized per day-scale run
@@ -189,8 +221,8 @@ impl PlatformProfile {
                 build_bytes_per_sec: 2.0e9,
                 ship_bytes_per_sec: 2.4e9,
                 cold_start_secs: 3.2,
-                fleet_servers: 2_000,
-                fleet_slots: 16,
+                fleet_servers: FLEET_SERVERS,
+                fleet_slots: FLEET_SLOTS,
                 jitter: 0.06,
             },
             instance: InstanceProfile {
@@ -222,8 +254,8 @@ impl PlatformProfile {
                 build_bytes_per_sec: 1.8e9,
                 ship_bytes_per_sec: 2.2e9,
                 cold_start_secs: 3.8,
-                fleet_servers: 2_000,
-                fleet_slots: 16,
+                fleet_servers: FLEET_SERVERS,
+                fleet_slots: FLEET_SLOTS,
                 jitter: 0.07,
             },
             instance: InstanceProfile {
@@ -263,13 +295,13 @@ impl PlatformProfile {
                 build_bytes_per_sec: 9.0e9,
                 ship_bytes_per_sec: 6.0e9,
                 cold_start_secs: 1.2,
-                fleet_servers: 2_000,
-                fleet_slots: 16,
+                fleet_servers: FLEET_SERVERS,
+                fleet_slots: FLEET_SLOTS,
                 jitter: 0.05,
             },
             instance: InstanceProfile {
-                cores: 6,
-                mem_gb: 10.0,
+                cores: AWS_CORES,
+                mem_gb: AWS_MEM_GB,
                 max_exec_secs: f64::INFINITY, // on-prem: no execution cap
                 timeslice_penalty: 0.004,
                 exec_jitter: 0.03,
@@ -330,7 +362,12 @@ mod tests {
     fn aws_has_no_network_fee_google_azure_do() {
         // The mechanism behind Fig. 21's expense asymmetry.
         assert_eq!(PlatformProfile::aws_lambda().prices.usd_per_network_gb, 0.0);
-        assert!(PlatformProfile::google_cloud_functions().prices.usd_per_network_gb > 0.0);
+        assert!(
+            PlatformProfile::google_cloud_functions()
+                .prices
+                .usd_per_network_gb
+                > 0.0
+        );
         assert!(PlatformProfile::azure_functions().prices.usd_per_network_gb > 0.0);
     }
 

@@ -90,7 +90,10 @@ impl RunReport {
     /// the provisioning delay of the first (§1). Since the burst is
     /// submitted at t = 0, this is simply the latest start timestamp.
     pub fn scaling_time(&self) -> f64 {
-        self.instances.iter().map(|i| i.started_at).fold(0.0, f64::max)
+        self.instances
+            .iter()
+            .map(|i| i.started_at)
+            .fold(0.0, f64::max)
     }
 
     /// Service time at the given figure of merit: completion time of all /

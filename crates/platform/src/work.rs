@@ -107,7 +107,11 @@ mod tests {
         let w2 = WorkProfile::synthetic("w", 0.66, 100.0);
         assert_eq!(w2.max_packing_degree(10.0), 15);
         let w3 = WorkProfile::synthetic("w", 12.0, 100.0);
-        assert_eq!(w3.max_packing_degree(10.0), 1, "oversized function still runs solo");
+        assert_eq!(
+            w3.max_packing_degree(10.0),
+            1,
+            "oversized function still runs solo"
+        );
     }
 
     #[test]

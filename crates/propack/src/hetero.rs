@@ -121,9 +121,7 @@ pub fn plan_mixed(
             };
             let better = match &best {
                 None => true,
-                Some(cur) => {
-                    score(service, expense) < score(cur.service_secs, cur.expense_usd)
-                }
+                Some(cur) => score(service, expense) < score(cur.service_secs, cur.expense_usd),
             };
             if better {
                 best = Some(candidate);
@@ -143,15 +141,30 @@ mod tests {
 
     fn model(base_isolated: f64, rate: f64, mem: f64) -> InterferenceModel {
         // Eq. 1 form: ET(P) = base·e^{rate·P} with ET(1) = base_isolated.
-        InterferenceModel { base: base_isolated / rate.exp(), rate, mem_gb: mem, rmse: 0.0 }
+        InterferenceModel {
+            base: base_isolated / rate.exp(),
+            rate,
+            mem_gb: mem,
+            rmse: 0.0,
+        }
     }
 
     fn demand(name: &str, base: f64, rate: f64, mem: f64, c: u32) -> AppDemand {
-        AppDemand { name: name.into(), interference: model(base, rate, mem), concurrency: c, mem_gb: mem }
+        AppDemand {
+            name: name.into(),
+            interference: model(base, rate, mem),
+            concurrency: c,
+            mem_gb: mem,
+        }
     }
 
     fn scaling() -> ScalingModel {
-        ScalingModel { beta1: 2.25e-5, beta2: 0.2, beta3: 2.0, r_squared: 1.0 }
+        ScalingModel {
+            beta1: 2.25e-5,
+            beta2: 0.2,
+            beta3: 2.0,
+            r_squared: 1.0,
+        }
     }
 
     #[test]

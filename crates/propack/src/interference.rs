@@ -37,12 +37,20 @@ impl InterferenceModel {
     /// Fit the model from profiling samples (needs ≥ 2 distinct degrees).
     pub fn fit(samples: &[InterferenceSample], mem_gb: f64) -> Result<Self, ModelError> {
         if samples.len() < 2 {
-            return Err(ModelError::NotEnoughSamples { needed: 2, got: samples.len() });
+            return Err(ModelError::NotEnoughSamples {
+                needed: 2,
+                got: samples.len(),
+            });
         }
         let xs: Vec<f64> = samples.iter().map(|s| s.packing_degree as f64).collect();
         let ys: Vec<f64> = samples.iter().map(|s| s.exec_secs).collect();
         let f = fit(ModelKind::Exponential, &xs, &ys)?;
-        Ok(InterferenceModel { base: f.params[0], rate: f.params[1], mem_gb, rmse: f.rmse })
+        Ok(InterferenceModel {
+            base: f.params[0],
+            rate: f.params[1],
+            mem_gb,
+            rmse: f.rmse,
+        })
     }
 
     /// Predicted execution time at packing degree `p` (Eq. 1).

@@ -64,7 +64,10 @@ pub enum ModelError {
     /// Not enough profiling samples to fit the requested model.
     NotEnoughSamples { needed: usize, got: usize },
     /// No objective weight satisfies the QoS bound (Eq. 9 infeasible).
-    QosInfeasible { bound_secs: f64, best_tail_secs: f64 },
+    QosInfeasible {
+        bound_secs: f64,
+        best_tail_secs: f64,
+    },
 }
 
 impl From<propack_stats::StatsError> for ModelError {

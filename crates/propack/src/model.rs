@@ -39,8 +39,7 @@ impl CostFactors {
         CostFactors {
             usd_per_instance_sec: billed_mem_gb * prices.usd_per_gb_sec,
             usd_per_instance: prices.usd_per_request,
-            usd_per_function_storage: work.storage_requests as f64
-                * prices.usd_per_storage_request
+            usd_per_function_storage: work.storage_requests as f64 * prices.usd_per_storage_request
                 + work.storage_gb * prices.usd_per_storage_gb,
             usd_per_function_network: work.network_gb * prices.usd_per_network_gb,
             usd_per_function_network_packed: work.network_gb
@@ -140,7 +139,12 @@ mod tests {
                 mem_gb: 0.25,
                 rmse: 0.0,
             },
-            scaling: ScalingModel { beta1: 3.0e-5, beta2: 0.045, beta3: 2.0, r_squared: 1.0 },
+            scaling: ScalingModel {
+                beta1: 3.0e-5,
+                beta2: 0.045,
+                beta3: 2.0,
+                r_squared: 1.0,
+            },
             cost: CostFactors::derive(
                 &PlatformProfile::aws_lambda().prices,
                 &WorkProfile::synthetic("w", 0.25, 100.0),
@@ -166,7 +170,10 @@ mod tests {
         let m = paper_like_model();
         let s1 = m.service_secs(5000, 1, Percentile::Total);
         let s10 = m.service_secs(5000, 10, Percentile::Total);
-        assert!(s10 < 0.4 * s1, "packing must cut service time: {s1} → {s10}");
+        assert!(
+            s10 < 0.4 * s1,
+            "packing must cut service time: {s1} → {s10}"
+        );
         // And the curve turns back up by the memory cap.
         let s40 = m.service_secs(5000, 40, Percentile::Total);
         assert!(s40 > s10, "over-packing must cost: {s10} vs {s40}");
@@ -217,8 +224,7 @@ mod tests {
     fn cost_factors_reflect_platform_differences() {
         let w = WorkProfile::synthetic("w", 0.25, 100.0).with_network(0.05);
         let aws = CostFactors::derive(&PlatformProfile::aws_lambda().prices, &w, 10.0);
-        let gcf =
-            CostFactors::derive(&PlatformProfile::google_cloud_functions().prices, &w, 8.0);
+        let gcf = CostFactors::derive(&PlatformProfile::google_cloud_functions().prices, &w, 8.0);
         assert_eq!(aws.usd_per_function_network, 0.0);
         assert!(gcf.usd_per_function_network > 0.0);
         assert!(gcf.usd_per_function_network_packed < gcf.usd_per_function_network);

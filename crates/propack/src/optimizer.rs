@@ -135,7 +135,12 @@ mod tests {
                 mem_gb: 0.25,
                 rmse: 0.0,
             },
-            scaling: ScalingModel { beta1: 3.0e-5, beta2: 0.045, beta3: 2.0, r_squared: 1.0 },
+            scaling: ScalingModel {
+                beta1: 3.0e-5,
+                beta2: 0.045,
+                beta3: 2.0,
+                r_squared: 1.0,
+            },
             cost: CostFactors::derive(
                 &PlatformProfile::aws_lambda().prices,
                 &WorkProfile::synthetic("w", 0.25, 100.0),
@@ -164,7 +169,10 @@ mod tests {
         for w in degrees.windows(2) {
             assert!(w[1] >= w[0], "degrees not monotone: {degrees:?}");
         }
-        assert!(degrees[3] > degrees[0], "no growth across 10× concurrency: {degrees:?}");
+        assert!(
+            degrees[3] > degrees[0],
+            "no growth across 10× concurrency: {degrees:?}"
+        );
     }
 
     #[test]
@@ -177,7 +185,10 @@ mod tests {
         let p_s = optimal_degree_service(&m, c, Percentile::Total);
         let p_e = optimal_degree_expense(&m, c);
         let p_joint = optimal_degree_joint(&m, c, Percentile::Total, 0.5);
-        assert!(p_e >= p_joint && p_joint >= p_s, "{p_s} / {p_joint} / {p_e}");
+        assert!(
+            p_e >= p_joint && p_joint >= p_s,
+            "{p_s} / {p_joint} / {p_e}"
+        );
         assert!(p_e > p_s);
     }
 
@@ -196,7 +207,10 @@ mod tests {
         let c = 3000;
         let p_service_only = optimal_degree_joint(&m, c, Percentile::Total, 1.0);
         let p_expense_only = optimal_degree_joint(&m, c, Percentile::Total, 0.0);
-        assert_eq!(p_service_only, optimal_degree_service(&m, c, Percentile::Total));
+        assert_eq!(
+            p_service_only,
+            optimal_degree_service(&m, c, Percentile::Total)
+        );
         assert_eq!(p_expense_only, optimal_degree_expense(&m, c));
         for w in [0.25, 0.5, 0.75] {
             let p = optimal_degree_joint(&m, c, Percentile::Total, w);

@@ -51,7 +51,10 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::Json(e) => write!(f, "malformed model snapshot: {e}"),
             PersistError::Version { found, supported } => {
-                write!(f, "unsupported snapshot version {found} (supported: {supported})")
+                write!(
+                    f,
+                    "unsupported snapshot version {found} (supported: {supported})"
+                )
             }
         }
     }
@@ -61,7 +64,7 @@ impl std::error::Error for PersistError {}
 
 impl Propack {
     /// Snapshot the fitted models as JSON.
-    pub fn to_json(&self) -> String {
+    pub fn to_json(&self) -> Result<String, PersistError> {
         let saved = SavedModel {
             version: FORMAT_VERSION,
             model: self.model,
@@ -69,7 +72,7 @@ impl Propack {
             work: self.work.clone(),
             platform_name: self.platform_name.clone(),
         };
-        serde_json::to_string_pretty(&saved).expect("models serialize")
+        serde_json::to_string_pretty(&saved).map_err(PersistError::Json)
     }
 
     /// Restore a ProPack instance from a snapshot, skipping all profiling.
@@ -102,11 +105,13 @@ mod tests {
         let platform = PlatformProfile::aws_lambda().into_platform();
         let work = WorkProfile::synthetic("w", 0.25, 100.0).with_contention(0.2);
         let original = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
-        let restored = Propack::from_json(&original.to_json()).unwrap();
+        let restored = Propack::from_json(&original.to_json().unwrap()).unwrap();
         // JSON float formatting may drift by one ULP; equality must hold at
         // the decision level, not bitwise.
         assert_eq!(original.model.p_max, restored.model.p_max);
-        assert!((original.model.interference.rate - restored.model.interference.rate).abs() < 1e-12);
+        assert!(
+            (original.model.interference.rate - restored.model.interference.rate).abs() < 1e-12
+        );
         for c in [100u32, 1000, 5000] {
             let a = original.plan(c, Objective::default());
             let b = restored.plan(c, Objective::default());
@@ -121,7 +126,10 @@ mod tests {
 
     #[test]
     fn malformed_json_rejected() {
-        assert!(matches!(Propack::from_json("{not json"), Err(PersistError::Json(_))));
+        assert!(matches!(
+            Propack::from_json("{not json"),
+            Err(PersistError::Json(_))
+        ));
     }
 
     #[test]
@@ -129,7 +137,10 @@ mod tests {
         let platform = PlatformProfile::aws_lambda().into_platform();
         let work = WorkProfile::synthetic("w", 0.25, 100.0);
         let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
-        let bumped = pp.to_json().replace("\"version\": 1", "\"version\": 99");
+        let bumped = pp
+            .to_json()
+            .unwrap()
+            .replace("\"version\": 1", "\"version\": 99");
         assert!(matches!(
             Propack::from_json(&bumped),
             Err(PersistError::Version { found: 99, .. })

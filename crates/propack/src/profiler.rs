@@ -79,8 +79,8 @@ pub fn profile_interference<P: ServerlessPlatform + ?Sized>(
     let mut overhead = Overhead::default();
     let mut feasible_p_max = 1;
     for (k, &p) in degrees.iter().enumerate() {
-        let spec =
-            BurstSpec::new(work.clone(), probe_instances.max(1), p).with_seed(seed ^ (k as u64) << 32);
+        let spec = BurstSpec::new(work.clone(), probe_instances.max(1), p)
+            .with_seed(seed ^ (k as u64) << 32);
         match platform.run_burst(&spec) {
             Ok(report) => {
                 overhead.expense_usd += report.expense.total_usd();
@@ -99,9 +99,16 @@ pub fn profile_interference<P: ServerlessPlatform + ?Sized>(
         }
     }
     if samples.len() < 2 {
-        return Err(ModelError::NotEnoughSamples { needed: 2, got: samples.len() });
+        return Err(ModelError::NotEnoughSamples {
+            needed: 2,
+            got: samples.len(),
+        });
     }
-    Ok(InterferenceProfile { samples, feasible_p_max, overhead })
+    Ok(InterferenceProfile {
+        samples,
+        feasible_p_max,
+        overhead,
+    })
 }
 
 /// Scaling-probe outcome.
@@ -136,7 +143,10 @@ pub fn probe_scaling<P: ServerlessPlatform + ?Sized>(
         overhead.expense_usd += report.expense.total_usd();
         overhead.function_hours += report.function_hours();
         overhead.bursts += 1;
-        samples.push(ScalingSample { concurrency: c, scaling_secs: report.scaling_time() });
+        samples.push(ScalingSample {
+            concurrency: c,
+            scaling_secs: report.scaling_time(),
+        });
     }
     Ok(ScalingProbe { samples, overhead })
 }
@@ -190,7 +200,11 @@ mod tests {
         // modest degrees; the profiler must stop there, not error.
         let slow = WorkProfile::synthetic("slow", 0.25, 500.0).with_contention(0.5);
         let prof = profile_interference(&aws(), &slow, 5, 2, 1).unwrap();
-        assert!(prof.feasible_p_max < 10, "cap not applied: {}", prof.feasible_p_max);
+        assert!(
+            prof.feasible_p_max < 10,
+            "cap not applied: {}",
+            prof.feasible_p_max
+        );
         assert!(prof.samples.len() >= 2);
     }
 
@@ -207,7 +221,11 @@ mod tests {
         // §2.2: the scaling probe is cheap — trivial functions, ≤ 10
         // bursts. Assert the whole campaign stays under a dollar.
         let probe = probe_scaling(&aws(), &default_scaling_levels(), 3).unwrap();
-        assert!(probe.overhead.expense_usd < 1.0, "{}", probe.overhead.expense_usd);
+        assert!(
+            probe.overhead.expense_usd < 1.0,
+            "{}",
+            probe.overhead.expense_usd
+        );
     }
 
     #[test]

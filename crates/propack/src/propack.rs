@@ -13,9 +13,7 @@
 
 use crate::model::{CostFactors, PackingModel};
 use crate::optimizer::{plan, Objective, PackingPlan};
-use crate::profiler::{
-    default_scaling_levels, probe_scaling, profile_interference, Overhead,
-};
+use crate::profiler::{default_scaling_levels, probe_scaling, profile_interference, Overhead};
 use crate::qos::select_weights;
 use crate::scaling::ScalingModel;
 use crate::{InterferenceModel, ModelError};
@@ -168,13 +166,22 @@ impl Propack {
     }
 
     /// Plan with an explicit figure of merit (total / tail / median — §3).
-    pub fn plan_with_metric(&self, c: u32, objective: Objective, metric: Percentile) -> PackingPlan {
+    pub fn plan_with_metric(
+        &self,
+        c: u32,
+        objective: Objective,
+        metric: Percentile,
+    ) -> PackingPlan {
         plan(&self.model, c, objective, metric)
     }
 
     /// QoS-aware plan (Eqs. 8–9): pick the weight split whose tail service
     /// time meets `qos_bound_secs`, then plan jointly with it.
-    pub fn plan_with_qos(&self, c: u32, qos_bound_secs: f64) -> Result<(PackingPlan, f64), ModelError> {
+    pub fn plan_with_qos(
+        &self,
+        c: u32,
+        qos_bound_secs: f64,
+    ) -> Result<(PackingPlan, f64), ModelError> {
         let w_s = select_weights(&self.model, c, qos_bound_secs)?;
         Ok((
             plan(&self.model, c, Objective::Joint { w_s }, Percentile::Tail95),
@@ -212,10 +219,13 @@ impl Propack {
         seed: u64,
     ) -> Result<ProPackOutcome, ModelError> {
         let plan = self.plan(c, objective);
-        let spec =
-            BurstSpec::packed(self.work.clone(), c, plan.packing_degree).with_seed(seed);
+        let spec = BurstSpec::packed(self.work.clone(), c, plan.packing_degree).with_seed(seed);
         let report = platform.run_burst(&spec)?;
-        Ok(ProPackOutcome { plan, report, overhead: self.overhead })
+        Ok(ProPackOutcome {
+            plan,
+            report,
+            overhead: self.overhead,
+        })
     }
 }
 
@@ -238,11 +248,19 @@ mod tests {
         let pp = Propack::build(&aws(), &work(), &ProPackConfig::default()).unwrap();
         // The instance mechanism uses rate = contention_per_gb × mem_gb =
         // 0.05 per degree; the fit should recover it within noise.
-        assert!((pp.model.interference.rate - 0.05).abs() < 0.01, "{}", pp.model.interference.rate);
+        assert!(
+            (pp.model.interference.rate - 0.05).abs() < 0.01,
+            "{}",
+            pp.model.interference.rate
+        );
         // Scaling polynomial must be convex increasing with a dominant
         // quadratic term.
         assert!(pp.model.scaling.beta1 > 0.0);
-        assert!(pp.model.scaling.r_squared > 0.99, "{}", pp.model.scaling.r_squared);
+        assert!(
+            pp.model.scaling.r_squared > 0.99,
+            "{}",
+            pp.model.scaling.r_squared
+        );
         assert_eq!(pp.model.p_max, 40);
         assert!(pp.overhead.bursts > 20);
     }
@@ -259,16 +277,28 @@ mod tests {
         let spec = BurstSpec::packed(work(), c, p).with_seed(77);
         let observed = platform.run_burst(&spec).unwrap().total_service_time();
         let rel = (predicted - observed).abs() / observed;
-        assert!(rel < 0.1, "prediction off by {:.1}%: {predicted} vs {observed}", rel * 100.0);
+        assert!(
+            rel < 0.1,
+            "prediction off by {:.1}%: {predicted} vs {observed}",
+            rel * 100.0
+        );
     }
 
     #[test]
     fn plan_packs_at_high_concurrency_not_at_low() {
         let pp = Propack::build(&aws(), &work(), &ProPackConfig::default()).unwrap();
         let high = pp.plan(5000, Objective::default());
-        assert!(high.packing_degree >= 5, "degree {} at C=5000", high.packing_degree);
+        assert!(
+            high.packing_degree >= 5,
+            "degree {} at C=5000",
+            high.packing_degree
+        );
         let low = pp.plan(20, Objective::ServiceTime);
-        assert!(low.packing_degree <= 3, "degree {} at C=20", low.packing_degree);
+        assert!(
+            low.packing_degree <= 3,
+            "degree {} at C=20",
+            low.packing_degree
+        );
     }
 
     #[test]
@@ -280,13 +310,15 @@ mod tests {
         let pp = Propack::build(&platform, &w, &ProPackConfig::default()).unwrap();
         let c = 5000;
         let outcome = pp.execute(&platform, c, Objective::default(), 5).unwrap();
-        let baseline = platform.run_burst(&BurstSpec::new(w, c, 1).with_seed(5)).unwrap();
+        let baseline = platform
+            .run_burst(&BurstSpec::new(w, c, 1).with_seed(5))
+            .unwrap();
 
-        let service_gain = 1.0 - outcome.report.total_service_time() / baseline.total_service_time();
+        let service_gain =
+            1.0 - outcome.report.total_service_time() / baseline.total_service_time();
         assert!(service_gain > 0.5, "service gain {:.2}", service_gain);
 
-        let expense_gain =
-            1.0 - outcome.expense_with_overhead_usd() / baseline.expense.total_usd();
+        let expense_gain = 1.0 - outcome.expense_with_overhead_usd() / baseline.expense.total_usd();
         assert!(expense_gain > 0.3, "expense gain {:.2}", expense_gain);
     }
 
@@ -318,12 +350,12 @@ mod tests {
         let platform = aws();
         // Xapian-like calibration: the expense optimum packs harder than
         // the service optimum, so a tight tail bound genuinely constrains.
-        let xapian_like =
-            WorkProfile::synthetic("xapian", 0.4, 50.0).with_contention(0.125);
+        let xapian_like = WorkProfile::synthetic("xapian", 0.4, 50.0).with_contention(0.125);
         let pp = Propack::build(&platform, &xapian_like, &ProPackConfig::default()).unwrap();
         let c = 5000;
-        let unconstrained =
-            pp.plan_with_metric(c, Objective::Expense, Percentile::Tail95).predicted_service_secs;
+        let unconstrained = pp
+            .plan_with_metric(c, Objective::Expense, Percentile::Tail95)
+            .predicted_service_secs;
         let best = pp.plan_with_metric(c, Objective::ServiceTime, Percentile::Tail95);
         let bound = best.predicted_service_secs * 1.04;
         assert!(bound < unconstrained, "test bound must actually constrain");
@@ -364,7 +396,9 @@ mod tests {
         let pp_base = Propack::build(&baseline, &work(), &cfg).unwrap();
         let pp_improved = Propack::build(&improved, &work(), &cfg).unwrap();
         let d_base = pp_base.plan(5000, Objective::ServiceTime).packing_degree;
-        let d_improved = pp_improved.plan(5000, Objective::ServiceTime).packing_degree;
+        let d_improved = pp_improved
+            .plan(5000, Objective::ServiceTime)
+            .packing_degree;
         assert!(
             d_improved < d_base,
             "a better backend should reduce packing: {d_base} → {d_improved}"
@@ -375,7 +409,9 @@ mod tests {
     fn overhead_is_recorded_and_small() {
         let platform = aws();
         let pp = Propack::build(&platform, &work(), &ProPackConfig::default()).unwrap();
-        let outcome = pp.execute(&platform, 5000, Objective::default(), 2).unwrap();
+        let outcome = pp
+            .execute(&platform, 5000, Objective::default(), 2)
+            .unwrap();
         assert!(outcome.overhead.expense_usd > 0.0);
         // §2.1: overhead is minimal relative to what the baseline (the
         // thing ProPack is replacing) would have spent at this concurrency.

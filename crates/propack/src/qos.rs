@@ -30,7 +30,11 @@ pub fn tail_service_at_weights(model: &PackingModel, c: u32, w_s: f64) -> f64 {
 /// QoS bound — i.e. the split that preserves as much expense optimization
 /// as possible while staying inside the bound. Errors with the best
 /// achievable tail when even `W_S = 1` cannot meet it.
-pub fn select_weights(model: &PackingModel, c: u32, qos_bound_secs: f64) -> Result<f64, ModelError> {
+pub fn select_weights(
+    model: &PackingModel,
+    c: u32,
+    qos_bound_secs: f64,
+) -> Result<f64, ModelError> {
     let steps = (1.0 / WEIGHT_GRID_STEP).round() as u32;
     let mut best_tail = f64::INFINITY;
     for k in 0..=steps {
@@ -41,7 +45,10 @@ pub fn select_weights(model: &PackingModel, c: u32, qos_bound_secs: f64) -> Resu
             return Ok(w_s);
         }
     }
-    Err(ModelError::QosInfeasible { bound_secs: qos_bound_secs, best_tail_secs: best_tail })
+    Err(ModelError::QosInfeasible {
+        bound_secs: qos_bound_secs,
+        best_tail_secs: best_tail,
+    })
 }
 
 #[cfg(test)]
@@ -62,7 +69,12 @@ mod tests {
                 mem_gb: 0.4,
                 rmse: 0.0,
             },
-            scaling: ScalingModel { beta1: 3.0e-5, beta2: 0.045, beta3: 2.0, r_squared: 1.0 },
+            scaling: ScalingModel {
+                beta1: 3.0e-5,
+                beta2: 0.045,
+                beta3: 2.0,
+                r_squared: 1.0,
+            },
             cost: CostFactors::derive(
                 &PlatformProfile::aws_lambda().prices,
                 &WorkProfile::synthetic("xapian", 0.4, 25.0),
@@ -103,7 +115,10 @@ mod tests {
     fn loose_bound_keeps_expense_priority() {
         let m = model();
         let w_s = select_weights(&m, 5000, 1e9).unwrap();
-        assert_eq!(w_s, 0.0, "a trivially satisfied bound should not sacrifice expense");
+        assert_eq!(
+            w_s, 0.0,
+            "a trivially satisfied bound should not sacrifice expense"
+        );
     }
 
     #[test]
@@ -111,7 +126,10 @@ mod tests {
         let m = model();
         let err = select_weights(&m, 5000, 0.001).unwrap_err();
         match err {
-            ModelError::QosInfeasible { bound_secs, best_tail_secs } => {
+            ModelError::QosInfeasible {
+                bound_secs,
+                best_tail_secs,
+            } => {
                 assert_eq!(bound_secs, 0.001);
                 assert!(best_tail_secs > 0.001);
             }

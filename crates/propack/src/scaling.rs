@@ -38,7 +38,10 @@ impl ScalingModel {
     /// Fit the polynomial from probe samples (needs ≥ 3 distinct levels).
     pub fn fit(samples: &[ScalingSample]) -> Result<Self, ModelError> {
         if samples.len() < 3 {
-            return Err(ModelError::NotEnoughSamples { needed: 3, got: samples.len() });
+            return Err(ModelError::NotEnoughSamples {
+                needed: 3,
+                got: samples.len(),
+            });
         }
         let xs: Vec<f64> = samples.iter().map(|s| s.concurrency as f64).collect();
         let ys: Vec<f64> = samples.iter().map(|s| s.scaling_secs).collect();
@@ -129,6 +132,9 @@ mod tests {
     #[test]
     fn too_few_samples_rejected() {
         let s = samples_from_curve(1e-5, 0.01, 0.0, &[100, 200]);
-        assert!(matches!(ScalingModel::fit(&s), Err(ModelError::NotEnoughSamples { .. })));
+        assert!(matches!(
+            ScalingModel::fit(&s),
+            Err(ModelError::NotEnoughSamples { .. })
+        ));
     }
 }

@@ -115,7 +115,12 @@ mod tests {
             42,
         )
         .unwrap();
-        assert!(report.accepted(), "service: {:?}, expense: {:?}", report.service, report.expense);
+        assert!(
+            report.accepted(),
+            "service: {:?}, expense: {:?}",
+            report.service,
+            report.expense
+        );
         assert!(report.service.statistic < 4.075);
         assert!(report.expense.statistic < 4.075);
         assert_eq!(report.degrees_evaluated, 15); // Sort-like: p_max = 15

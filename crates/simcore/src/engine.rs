@@ -64,7 +64,13 @@ pub struct Sim<S> {
 impl<S> Sim<S> {
     /// Create a simulation at t = 0 around the given state.
     pub fn new(state: S) -> Self {
-        Sim { now: SimTime::ZERO, seq: 0, fired: 0, queue: BinaryHeap::new(), state }
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            fired: 0,
+            queue: BinaryHeap::new(),
+            state,
+        }
     }
 
     /// Current simulated time.
@@ -113,7 +119,11 @@ impl<S> Sim<S> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, run: Box::new(event) }));
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq,
+            run: Box::new(event),
+        }));
     }
 
     /// Schedule `event` to fire `delay` seconds from now.

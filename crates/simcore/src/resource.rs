@@ -76,19 +76,24 @@ impl MultiServer {
     /// Panics if `servers == 0`.
     pub fn new(servers: usize) -> Self {
         assert!(servers > 0, "MultiServer requires at least one server");
-        MultiServer { free_at: vec![SimTime::ZERO; servers], served: 0 }
+        MultiServer {
+            free_at: vec![SimTime::ZERO; servers],
+            served: 0,
+        }
     }
 
     /// Reserve the earliest-available server for `service` seconds at or
     /// after `now`; returns `(server_index, start, end)`.
     pub fn request(&mut self, now: SimTime, service: f64) -> (usize, SimTime, SimTime) {
         assert!(service >= 0.0, "negative service time {service}");
-        let (idx, &free) = self
-            .free_at
-            .iter()
-            .enumerate()
-            .min_by(|(ai, a), (bi, b)| a.cmp(b).then(ai.cmp(bi)))
-            .expect("non-empty pool");
+        let mut idx = 0;
+        let mut free = self.free_at.first().copied().unwrap_or(SimTime::ZERO);
+        for (i, &t) in self.free_at.iter().enumerate().skip(1) {
+            if t < free {
+                idx = i;
+                free = t;
+            }
+        }
         let start = now.max(free);
         let end = start + service;
         self.free_at[idx] = end;
@@ -108,7 +113,7 @@ impl MultiServer {
 
     /// The earliest time any server becomes free.
     pub fn earliest_free(&self) -> SimTime {
-        *self.free_at.iter().min().expect("non-empty pool")
+        self.free_at.iter().min().copied().unwrap_or(SimTime::ZERO)
     }
 }
 
@@ -135,7 +140,12 @@ impl BandwidthPipe {
             bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
             "bandwidth must be positive, got {bytes_per_sec}"
         );
-        BandwidthPipe { bytes_per_sec, next_free: SimTime::ZERO, bytes_moved: 0.0, transfers: 0 }
+        BandwidthPipe {
+            bytes_per_sec,
+            next_free: SimTime::ZERO,
+            bytes_moved: 0.0,
+            transfers: 0,
+        }
     }
 
     /// Enqueue a transfer of `bytes` at `now`; returns `(start, end)`.

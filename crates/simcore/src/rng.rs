@@ -91,8 +91,16 @@ mod tests {
 
     #[test]
     fn different_seeds_different_streams() {
-        let xs: Vec<u64> = RngStreams::new(1).stream("exec").random_iter().take(16).collect();
-        let ys: Vec<u64> = RngStreams::new(2).stream("exec").random_iter().take(16).collect();
+        let xs: Vec<u64> = RngStreams::new(1)
+            .stream("exec")
+            .random_iter()
+            .take(16)
+            .collect();
+        let ys: Vec<u64> = RngStreams::new(2)
+            .stream("exec")
+            .random_iter()
+            .take(16)
+            .collect();
         assert_ne!(xs, ys);
     }
 

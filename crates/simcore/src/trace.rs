@@ -33,7 +33,10 @@ pub struct Tracer {
 impl Tracer {
     /// A tracer that records events.
     pub fn enabled() -> Self {
-        Tracer { enabled: true, events: Vec::new() }
+        Tracer {
+            enabled: true,
+            events: Vec::new(),
+        }
     }
 
     /// A tracer that drops events (zero allocation).
@@ -71,7 +74,10 @@ impl Tracer {
 
     /// Timestamp of the first event at `stage` for `entity`, if any.
     pub fn when(&self, entity: u64, stage: &'static str) -> Option<SimTime> {
-        self.events.iter().find(|e| e.entity == entity && e.stage == stage).map(|e| e.at)
+        self.events
+            .iter()
+            .find(|e| e.entity == entity && e.stage == stage)
+            .map(|e| e.at)
     }
 
     /// Number of recorded events.

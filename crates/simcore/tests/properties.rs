@@ -1,7 +1,7 @@
 //! Property-based tests for the DES engine and its resources.
 
-use proptest::prelude::*;
 use propack_simcore::{BandwidthPipe, FifoResource, MultiServer, RngStreams, Sim, SimTime};
+use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
 

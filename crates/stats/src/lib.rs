@@ -65,7 +65,10 @@ impl std::fmt::Display for StatsError {
             }
             StatsError::Singular => write!(f, "singular design matrix"),
             StatsError::NonPositiveObservation { index, value } => {
-                write!(f, "observation {index} = {value} must be positive for a log-linear fit")
+                write!(
+                    f,
+                    "observation {index} = {value} must be positive for a log-linear fit"
+                )
             }
             StatsError::NonFinite { index, value } => {
                 write!(f, "input {index} = {value} is not finite")
@@ -82,16 +85,25 @@ pub type Result<T> = std::result::Result<T, StatsError>;
 
 pub(crate) fn check_xy(xs: &[f64], ys: &[f64]) -> Result<()> {
     if xs.len() != ys.len() {
-        return Err(StatsError::LengthMismatch { xs: xs.len(), ys: ys.len() });
+        return Err(StatsError::LengthMismatch {
+            xs: xs.len(),
+            ys: ys.len(),
+        });
     }
     for (i, v) in xs.iter().enumerate() {
         if !v.is_finite() {
-            return Err(StatsError::NonFinite { index: i, value: *v });
+            return Err(StatsError::NonFinite {
+                index: i,
+                value: *v,
+            });
         }
     }
     for (i, v) in ys.iter().enumerate() {
         if !v.is_finite() {
-            return Err(StatsError::NonFinite { index: i, value: *v });
+            return Err(StatsError::NonFinite {
+                index: i,
+                value: *v,
+            });
         }
     }
     Ok(())

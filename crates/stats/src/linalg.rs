@@ -19,7 +19,11 @@ pub struct Matrix {
 impl Matrix {
     /// Create a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create a matrix from a nested slice; panics on ragged input.
@@ -95,6 +99,7 @@ impl Matrix {
             let pivot = a[col * n + col];
             for row in (col + 1)..n {
                 let factor = a[row * n + col] / pivot;
+                // simlint: allow(float-eq): "skip-zero fast path; eliminating with factor 0 is a no-op"
                 if factor == 0.0 {
                     continue;
                 }

@@ -98,8 +98,16 @@ impl CurveFit {
 }
 
 fn rmse_of(kind: ModelKind, params: &[f64], xs: &[f64], ys: &[f64]) -> f64 {
-    let fit = CurveFit { kind, params: params.to_vec(), rmse: 0.0 };
-    let ss: f64 = xs.iter().zip(ys).map(|(&x, &y)| (y - fit.eval(x)).powi(2)).sum();
+    let fit = CurveFit {
+        kind,
+        params: params.to_vec(),
+        rmse: 0.0,
+    };
+    let ss: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| (y - fit.eval(x)).powi(2))
+        .sum();
     (ss / xs.len() as f64).sqrt()
 }
 
@@ -165,14 +173,21 @@ fn fit_logarithmic(xs: &[f64], ys: &[f64]) -> Result<Vec<f64>> {
 
 /// Grid helper: spread `n` points across `[lo, hi]` inclusive.
 fn grid(lo: f64, hi: f64, n: usize) -> impl Iterator<Item = f64> {
-    let step = if n > 1 { (hi - lo) / (n - 1) as f64 } else { 0.0 };
+    let step = if n > 1 {
+        (hi - lo) / (n - 1) as f64
+    } else {
+        0.0
+    };
     (0..n).map(move |i| lo + step * i as f64)
 }
 
 /// `y = L / (1 + e^{-k(x-x0)})` via grid search on (k, x0), closed-form L.
 fn fit_logistic(xs: &[f64], ys: &[f64]) -> Result<Vec<f64>> {
     if xs.len() < 3 {
-        return Err(StatsError::TooFewSamples { needed: 3, got: xs.len() });
+        return Err(StatsError::TooFewSamples {
+            needed: 3,
+            got: xs.len(),
+        });
     }
     let (xmin, xmax) = min_max(xs);
     let span = (xmax - xmin).max(1e-9);
@@ -204,7 +219,10 @@ fn fit_logistic(xs: &[f64], ys: &[f64]) -> Result<Vec<f64>> {
 /// (mu, sigma) with closed-form amplitude at each grid point.
 fn fit_normal(xs: &[f64], ys: &[f64]) -> Result<Vec<f64>> {
     if xs.len() < 3 {
-        return Err(StatsError::TooFewSamples { needed: 3, got: xs.len() });
+        return Err(StatsError::TooFewSamples {
+            needed: 3,
+            got: xs.len(),
+        });
     }
     let (xmin, xmax) = min_max(xs);
     let span = (xmax - xmin).max(1e-9);
@@ -237,24 +255,43 @@ fn fit_normal(xs: &[f64], ys: &[f64]) -> Result<Vec<f64>> {
             }
         }
     };
-    search(xmin - 0.5 * span, xmax + 0.5 * span, span / 20.0, 2.0 * span, &mut best);
+    search(
+        xmin - 0.5 * span,
+        xmax + 0.5 * span,
+        span / 20.0,
+        2.0 * span,
+        &mut best,
+    );
     // Refine around the coarse winner with a grid one tenth the pitch.
     let (mu0, sg0) = (best.1[1], best.1[2]);
     let mu_pitch = 2.0 * span / 39.0;
     let sg_pitch = 2.0 * span / 39.0;
-    search(mu0 - mu_pitch, mu0 + mu_pitch, sg0 - sg_pitch, sg0 + sg_pitch, &mut best);
+    search(
+        mu0 - mu_pitch,
+        mu0 + mu_pitch,
+        sg0 - sg_pitch,
+        sg0 + sg_pitch,
+        &mut best,
+    );
     Ok(best.1)
 }
 
 /// `y = a sin(bx + c) + d` via grid search on (b, c), closed-form (a, d).
 fn fit_sinusoidal(xs: &[f64], ys: &[f64]) -> Result<Vec<f64>> {
     if xs.len() < 4 {
-        return Err(StatsError::TooFewSamples { needed: 4, got: xs.len() });
+        return Err(StatsError::TooFewSamples {
+            needed: 4,
+            got: xs.len(),
+        });
     }
     let (xmin, xmax) = min_max(xs);
     let span = (xmax - xmin).max(1e-9);
     let mut best = (f64::INFINITY, vec![0.0, 1.0, 0.0, 0.0]);
-    for b in grid(std::f64::consts::PI / (4.0 * span), 8.0 * std::f64::consts::PI / span, 48) {
+    for b in grid(
+        std::f64::consts::PI / (4.0 * span),
+        8.0 * std::f64::consts::PI / span,
+        48,
+    ) {
         for c in grid(0.0, 2.0 * std::f64::consts::PI, 24) {
             // Linear least squares in (a, d): y = a*s + d.
             let n = xs.len() as f64;
@@ -285,7 +322,10 @@ fn fit_sinusoidal(xs: &[f64], ys: &[f64]) -> Result<Vec<f64>> {
 }
 
 fn min_max(xs: &[f64]) -> (f64, f64) {
-    xs.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| (lo.min(x), hi.max(x)))
+    xs.iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+            (lo.min(x), hi.max(x))
+        })
 }
 
 /// Fit every candidate in the zoo and return them sorted by ascending RMSE
@@ -294,10 +334,15 @@ fn min_max(xs: &[f64]) -> (f64, f64) {
 /// search would discard inapplicable forms.
 pub fn select_best(xs: &[f64], ys: &[f64]) -> Result<Vec<CurveFit>> {
     check_xy(xs, ys)?;
-    let mut fits: Vec<CurveFit> =
-        ModelKind::ALL.iter().filter_map(|&k| fit(k, xs, ys).ok()).collect();
+    let mut fits: Vec<CurveFit> = ModelKind::ALL
+        .iter()
+        .filter_map(|&k| fit(k, xs, ys).ok())
+        .collect();
     if fits.is_empty() {
-        return Err(StatsError::TooFewSamples { needed: 4, got: xs.len() });
+        return Err(StatsError::TooFewSamples {
+            needed: 4,
+            got: xs.len(),
+        });
     }
     fits.sort_by(|a, b| a.rmse.total_cmp(&b.rmse));
     Ok(fits)
@@ -337,8 +382,10 @@ mod tests {
     #[test]
     fn logistic_fit_tracks_sigmoid() {
         let xs: Vec<f64> = (0..40).map(|i| i as f64 * 0.5).collect();
-        let ys: Vec<f64> =
-            xs.iter().map(|x| 10.0 / (1.0 + (-0.8 * (x - 10.0)).exp())).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 10.0 / (1.0 + (-0.8 * (x - 10.0)).exp()))
+            .collect();
         let f = fit(ModelKind::Logistic, &xs, &ys).unwrap();
         // Grid search is coarse; just require a good functional match.
         assert!(f.rmse < 0.2, "rmse = {}", f.rmse);
@@ -347,8 +394,10 @@ mod tests {
     #[test]
     fn normal_fit_tracks_gaussian() {
         let xs: Vec<f64> = (0..50).map(|i| i as f64 * 0.4).collect();
-        let ys: Vec<f64> =
-            xs.iter().map(|x| 5.0 * (-0.5 * ((x - 8.0) / 2.0_f64).powi(2)).exp()).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 5.0 * (-0.5 * ((x - 8.0) / 2.0_f64).powi(2)).exp())
+            .collect();
         let f = fit(ModelKind::Normal, &xs, &ys).unwrap();
         assert!(f.rmse < 0.1, "rmse = {}", f.rmse);
     }
@@ -356,7 +405,10 @@ mod tests {
     #[test]
     fn sinusoidal_fit_tracks_sine() {
         let xs: Vec<f64> = (0..60).map(|i| i as f64 * 0.2).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * (1.5 * x + 0.3).sin() + 4.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 2.0 * (1.5 * x + 0.3).sin() + 4.0)
+            .collect();
         let f = fit(ModelKind::Sinusoidal, &xs, &ys).unwrap();
         assert!(f.rmse < 0.3, "rmse = {}", f.rmse);
     }

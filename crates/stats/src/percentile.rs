@@ -7,8 +7,8 @@
 //! general linear-interpolated quantile used to compute them from per-
 //! instance completion times.
 
-use serde::{Deserialize, Serialize};
 use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
 
 /// The three figures of merit used throughout the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]

@@ -37,7 +37,13 @@ impl PolyFit {
             .enumerate()
             .map(|(k, s)| s / x_scale.powi(k as i32))
             .collect();
-        PolyFit { coeffs, rmse, r_squared, x_scale, scaled }
+        PolyFit {
+            coeffs,
+            rmse,
+            r_squared,
+            x_scale,
+            scaled,
+        }
     }
 
     /// Evaluate the polynomial at `x`.
@@ -83,7 +89,10 @@ pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Result<PolyFit> {
     let n = xs.len();
     let terms = degree + 1;
     if n < terms {
-        return Err(StatsError::TooFewSamples { needed: terms, got: n });
+        return Err(StatsError::TooFewSamples {
+            needed: terms,
+            got: n,
+        });
     }
 
     let x_scale = xs.iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-30);
@@ -127,8 +136,16 @@ pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Result<PolyFit> {
         ss_tot += (y - mean_y) * (y - mean_y);
     }
     let rmse = (ss_res / n as f64).sqrt();
-    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
-    Ok(PolyFit { rmse, r_squared, ..fit })
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
+    Ok(PolyFit {
+        rmse,
+        r_squared,
+        ..fit
+    })
 }
 
 /// Simple linear regression `y = a + b x`, returned as `(a, b)`.
@@ -176,8 +193,7 @@ mod tests {
         // The exact form of ProPack Eq. 2 with realistic magnitudes:
         // β₁ = 2.4e-5, β₂ = 0.04, β₃ = 5, C up to 5000.
         let xs: Vec<f64> = (1..=10).map(|i| 500.0 * i as f64).collect();
-        let ys: Vec<f64> =
-            xs.iter().map(|c| 2.4e-5 * c * c + 0.04 * c - 5.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|c| 2.4e-5 * c * c + 0.04 * c - 5.0).collect();
         let fit = polyfit(&xs, &ys, 2).unwrap();
         assert!((fit.coeffs[2] - 2.4e-5).abs() < 1e-10);
         assert!((fit.coeffs[1] - 0.04).abs() < 1e-6);

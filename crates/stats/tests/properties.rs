@@ -1,12 +1,12 @@
 //! Property-based tests for the statistics substrate.
 
-use proptest::prelude::*;
 use propack_stats::chi2::{chi2_cdf, chi2_quantile, chi2_statistic};
 use propack_stats::models::{fit, ModelKind};
 use propack_stats::percentile::{percentile, service_metrics};
 use propack_stats::regression::linear_fit;
 use propack_stats::special::{gamma_p, ln_gamma};
 use propack_stats::{polyfit, Summary};
+use proptest::prelude::*;
 
 proptest! {
     /// polyfit recovers planted quadratic coefficients from exact data,

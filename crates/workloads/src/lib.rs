@@ -87,7 +87,13 @@ mod tests {
         let names: Vec<&str> = all_benchmarks().iter().map(|w| w.name()).collect();
         assert_eq!(
             names,
-            vec!["Video", "Sort", "Stateless Cost", "Smith-Waterman", "Xapian"]
+            vec![
+                "Video",
+                "Sort",
+                "Stateless Cost",
+                "Smith-Waterman",
+                "Xapian"
+            ]
         );
     }
 

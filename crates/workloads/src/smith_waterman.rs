@@ -19,8 +19,8 @@ use propack_platform::WorkProfile;
 
 /// Amino acid alphabet (standard 20 residues).
 pub const AMINO_ACIDS: [u8; 20] = [
-    b'A', b'R', b'N', b'D', b'C', b'Q', b'E', b'G', b'H', b'I', b'L', b'K', b'M', b'F', b'P',
-    b'S', b'T', b'W', b'Y', b'V',
+    b'A', b'R', b'N', b'D', b'C', b'Q', b'E', b'G', b'H', b'I', b'L', b'K', b'M', b'F', b'P', b'S',
+    b'T', b'W', b'Y', b'V',
 ];
 
 /// Substitution score between two residues.
@@ -39,18 +39,18 @@ pub fn substitution_score(a: u8, b: u8) -> i32 {
         (b'S', 4), (b'T', 5), (b'W', 11), (b'Y', 7), (b'V', 4),
     ];
     fn idx(x: u8) -> usize {
-        AMINO_ACIDS.iter().position(|&a| a == x).expect("valid residue")
+        AMINO_ACIDS
+            .iter()
+            .position(|&a| a == x)
+            .expect("valid residue")
     }
     if a == b {
         GROUPS[idx(a)].1
     } else {
         // Similar-group bonus: hydrophobic {I L V M}, aromatic {F Y W},
         // basic {K R H}, acidic/amide {D E N Q}, small {A S T G P}.
-        const FAMILIES: [&[u8]; 5] =
-            [b"ILVM", b"FYW", b"KRH", b"DENQ", b"ASTGP"];
-        let same_family = FAMILIES
-            .iter()
-            .any(|f| f.contains(&a) && f.contains(&b));
+        const FAMILIES: [&[u8]; 5] = [b"ILVM", b"FYW", b"KRH", b"DENQ", b"ASTGP"];
+        let same_family = FAMILIES.iter().any(|f| f.contains(&a) && f.contains(&b));
         if same_family {
             2
         } else {
@@ -71,7 +71,10 @@ pub struct GapPenalty {
 
 impl Default for GapPenalty {
     fn default() -> Self {
-        GapPenalty { open: 11, extend: 1 }
+        GapPenalty {
+            open: 11,
+            extend: 1,
+        }
     }
 }
 
@@ -94,12 +97,20 @@ pub struct Alignment {
 pub fn smith_waterman(query: &[u8], target: &[u8], gap: GapPenalty) -> Alignment {
     let m = target.len();
     if query.is_empty() || m == 0 {
-        return Alignment { score: 0, query_end: 0, target_end: 0 };
+        return Alignment {
+            score: 0,
+            query_end: 0,
+            target_end: 0,
+        };
     }
     let mut h_prev = vec![0i32; m + 1];
     let mut h_row = vec![0i32; m + 1];
     let mut e_row = vec![0i32; m + 1]; // E carries over per column
-    let mut best = Alignment { score: 0, query_end: 0, target_end: 0 };
+    let mut best = Alignment {
+        score: 0,
+        query_end: 0,
+        target_end: 0,
+    };
 
     for (i, &q) in query.iter().enumerate() {
         let mut f = 0i32; // F resets per row
@@ -112,7 +123,11 @@ pub fn smith_waterman(query: &[u8], target: &[u8], gap: GapPenalty) -> Alignment
             h_row[j + 1] = h;
             e_row[j + 1] = e;
             if h > best.score {
-                best = Alignment { score: h, query_end: i + 1, target_end: j + 1 };
+                best = Alignment {
+                    score: h,
+                    query_end: i + 1,
+                    target_end: j + 1,
+                };
             }
         }
         std::mem::swap(&mut h_prev, &mut h_row);
@@ -122,7 +137,9 @@ pub fn smith_waterman(query: &[u8], target: &[u8], gap: GapPenalty) -> Alignment
 
 /// Deterministic synthetic protein sequence.
 pub fn synth_protein(seed: u64, len: usize) -> Vec<u8> {
-    (0..len as u64).map(|i| AMINO_ACIDS[(mix64(seed ^ i) % 20) as usize]).collect()
+    (0..len as u64)
+        .map(|i| AMINO_ACIDS[(mix64(seed ^ i) % 20) as usize])
+        .collect()
 }
 
 /// The Smith-Waterman workload: one invocation aligns a query against a
@@ -139,7 +156,11 @@ pub struct SmithWaterman {
 
 impl Default for SmithWaterman {
     fn default() -> Self {
-        SmithWaterman { query_len: 160, db_sequences: 24, db_len: 200 }
+        SmithWaterman {
+            query_len: 160,
+            db_sequences: 24,
+            db_len: 200,
+        }
     }
 }
 
@@ -180,7 +201,10 @@ impl Workload for SmithWaterman {
             );
             cells += (self.query_len * self.db_len) as u64;
         }
-        WorkOutput { checksum, work_units: cells }
+        WorkOutput {
+            checksum,
+            work_units: cells,
+        }
     }
 }
 
@@ -209,7 +233,11 @@ mod tests {
         let b = b"WWWW";
         let aln = smith_waterman(a, b, gap());
         assert!(aln.score >= 0);
-        assert!(aln.score <= 2, "A vs W should not align well: {}", aln.score);
+        assert!(
+            aln.score <= 2,
+            "A vs W should not align well: {}",
+            aln.score
+        );
     }
 
     #[test]
@@ -269,7 +297,11 @@ mod tests {
 
     #[test]
     fn work_units_count_dp_cells() {
-        let sw = SmithWaterman { query_len: 10, db_sequences: 3, db_len: 20 };
+        let sw = SmithWaterman {
+            query_len: 10,
+            db_sequences: 3,
+            db_len: 20,
+        };
         assert_eq!(sw.run_once(4).work_units, 600);
     }
 

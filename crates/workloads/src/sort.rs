@@ -29,13 +29,18 @@ pub struct MapReduceSort {
 
 impl Default for MapReduceSort {
     fn default() -> Self {
-        MapReduceSort { records: 40_000, partitions: 8 }
+        MapReduceSort {
+            records: 40_000,
+            partitions: 8,
+        }
     }
 }
 
 /// Deterministic record stream for a seed.
 fn generate_records(seed: u64, n: usize) -> Vec<u64> {
-    (0..n as u64).map(|i| mix64(seed.wrapping_add(i.wrapping_mul(0x2545_F491_4F6C_DD1D)))).collect()
+    (0..n as u64)
+        .map(|i| mix64(seed.wrapping_add(i.wrapping_mul(0x2545_F491_4F6C_DD1D))))
+        .collect()
 }
 
 /// Map phase: range-partition records into `k` buckets by key prefix.
@@ -122,7 +127,7 @@ impl Workload for MapReduceSort {
             contention_per_gb: 0.1406, // ≈ 0.09 per packing degree: Fig. 4's steepest curve
             storage_gb: 0.25,          // partition spill + merged output on S3
             storage_requests: 12,
-            network_gb: 0.08, // shuffle traffic between mappers and sorters
+            network_gb: 0.08,          // shuffle traffic between mappers and sorters
             dependency_load_secs: 8.0, // Hadoop runtime/jars on a cold container
         }
     }
@@ -142,7 +147,10 @@ impl Workload for MapReduceSort {
         for (i, &r) in merged.iter().enumerate() {
             checksum = mix64(checksum ^ r.rotate_left((i % 61) as u32));
         }
-        WorkOutput { checksum, work_units: merged.len() as u64 }
+        WorkOutput {
+            checksum,
+            work_units: merged.len() as u64,
+        }
     }
 }
 
@@ -220,7 +228,10 @@ mod tests {
 
     #[test]
     fn end_to_end_work_units_equal_record_count() {
-        let s = MapReduceSort { records: 2000, partitions: 4 };
+        let s = MapReduceSort {
+            records: 2000,
+            partitions: 4,
+        };
         let out = s.run_once(21);
         assert_eq!(out.work_units, 2000);
     }

@@ -28,7 +28,11 @@ pub struct StatelessCost {
 
 impl Default for StatelessCost {
     fn default() -> Self {
-        StatelessCost { src_size: 96, dst_size: 60, images: 6 }
+        StatelessCost {
+            src_size: 96,
+            dst_size: 60,
+            images: 6,
+        }
     }
 }
 
@@ -49,8 +53,7 @@ impl Image {
         let c = size as f64 / 2.0;
         for y in 0..size {
             for x in 0..size {
-                let d = (((x as f64 - c).powi(2) + (y as f64 - c).powi(2)).sqrt() / c)
-                    .min(1.0);
+                let d = (((x as f64 - c).powi(2) + (y as f64 - c).powi(2)).sqrt() / c).min(1.0);
                 let h = mix64(seed ^ ((y as u64) << 24) ^ x as u64);
                 let speckle = (h % 32) as f64;
                 pixels.push((200.0 * (1.0 - d) + speckle) as u8);
@@ -93,7 +96,10 @@ pub fn resize_bilinear(src: &Image, dst_size: usize) -> Image {
             }
         }
     }
-    Image { size: dst_size, pixels }
+    Image {
+        size: dst_size,
+        pixels,
+    }
 }
 
 impl Workload for StatelessCost {
@@ -127,7 +133,10 @@ impl Workload for StatelessCost {
             checksum ^= mix64(h ^ img_idx as u64);
             work_units += (dst.size * dst.size) as u64;
         }
-        WorkOutput { checksum, work_units }
+        WorkOutput {
+            checksum,
+            work_units,
+        }
     }
 }
 
@@ -145,7 +154,10 @@ mod tests {
 
     #[test]
     fn resize_of_uniform_image_is_uniform() {
-        let src = Image { size: 16, pixels: vec![77u8; 3 * 16 * 16] };
+        let src = Image {
+            size: 16,
+            pixels: vec![77u8; 3 * 16 * 16],
+        };
         let dst = resize_bilinear(&src, 9);
         assert!(dst.pixels.iter().all(|&p| p == 77));
         assert_eq!(dst.size, 9);
@@ -157,8 +169,10 @@ mod tests {
         let dst = resize_bilinear(&src, 20);
         assert_eq!(dst.pixels.len(), 3 * 20 * 20);
         // Bilinear interpolation can never exceed the source value range.
-        let (smin, smax) =
-            src.pixels.iter().fold((255u8, 0u8), |(lo, hi), &p| (lo.min(p), hi.max(p)));
+        let (smin, smax) = src
+            .pixels
+            .iter()
+            .fold((255u8, 0u8), |(lo, hi), &p| (lo.min(p), hi.max(p)));
         for &p in &dst.pixels {
             assert!(p >= smin && p <= smax);
         }
@@ -173,7 +187,11 @@ mod tests {
 
     #[test]
     fn work_units_count_output_pixels() {
-        let s = StatelessCost { src_size: 32, dst_size: 10, images: 3 };
+        let s = StatelessCost {
+            src_size: 32,
+            dst_size: 10,
+            images: 3,
+        };
         assert_eq!(s.run_once(1).work_units, 300);
     }
 

@@ -69,10 +69,13 @@ fn dct8(v: &mut [f32; 8]) {
     for (k, o) in out.iter_mut().enumerate() {
         let mut acc = 0.0;
         for (n, &x) in v.iter().enumerate() {
-            acc += x
-                * (std::f32::consts::PI / 8.0 * (n as f32 + 0.5) * k as f32).cos();
+            acc += x * (std::f32::consts::PI / 8.0 * (n as f32 + 0.5) * k as f32).cos();
         }
-        let scale = if k == 0 { (1.0f32 / 8.0).sqrt() } else { (2.0f32 / 8.0).sqrt() };
+        let scale = if k == 0 {
+            (1.0f32 / 8.0).sqrt()
+        } else {
+            (2.0f32 / 8.0).sqrt()
+        };
         *o = acc * scale;
     }
     v.copy_from_slice(&out);
@@ -128,8 +131,7 @@ fn classify(features: &[f32]) -> usize {
     for k in 0..CLASSES {
         let mut acc = 0.0;
         for (j, &h) in hidden.iter().enumerate() {
-            let w = ((mix64(0xC1A5_5000 ^ (j as u64) << 16 | k as u64) % 2000) as f32
-                - 1000.0)
+            let w = ((mix64(0xC1A5_5000 ^ (j as u64) << 16 | k as u64) % 2000) as f32 - 1000.0)
                 / 1000.0;
             acc += h * w;
         }
@@ -182,7 +184,10 @@ impl Workload for Video {
             let class = classify(&features);
             checksum ^= mix64((class as u64) << 48 ^ f as u64 ^ input_seed);
         }
-        WorkOutput { checksum, work_units }
+        WorkOutput {
+            checksum,
+            work_units,
+        }
     }
 }
 

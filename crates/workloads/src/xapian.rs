@@ -13,7 +13,7 @@
 
 use crate::{mix64, WorkOutput, Workload};
 use propack_platform::WorkProfile;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// BM25 parameters (standard defaults).
 const BM25_K1: f64 = 1.2;
@@ -26,7 +26,7 @@ const VOCAB: u64 = 4096;
 #[derive(Debug, Clone)]
 pub struct Corpus {
     /// `postings[term] = [(doc_id, term_frequency)]`, sorted by doc id.
-    postings: HashMap<u32, Vec<(u32, u32)>>,
+    postings: BTreeMap<u32, Vec<(u32, u32)>>,
     /// Per-document lengths (terms).
     doc_lens: Vec<u32>,
     avg_doc_len: f64,
@@ -37,10 +37,10 @@ impl Corpus {
     /// distribution: low term ids are common, high ids rare — so queries
     /// mix frequent and selective terms like real search traffic.
     pub fn synthetic(seed: u64, docs: usize, terms_per_doc: usize) -> Self {
-        let mut postings: HashMap<u32, Vec<(u32, u32)>> = HashMap::new();
+        let mut postings: BTreeMap<u32, Vec<(u32, u32)>> = BTreeMap::new();
         let mut doc_lens = Vec::with_capacity(docs);
         for d in 0..docs as u32 {
-            let mut tf: HashMap<u32, u32> = HashMap::new();
+            let mut tf: BTreeMap<u32, u32> = BTreeMap::new();
             for t in 0..terms_per_doc as u64 {
                 let h = mix64(seed ^ ((d as u64) << 24) ^ t);
                 // Square the uniform draw to skew toward low term ids.
@@ -57,7 +57,11 @@ impl Corpus {
             list.sort_unstable_by_key(|&(d, _)| d);
         }
         let avg_doc_len = terms_per_doc as f64;
-        Corpus { postings, doc_lens, avg_doc_len }
+        Corpus {
+            postings,
+            doc_lens,
+            avg_doc_len,
+        }
     }
 
     /// Number of documents.
@@ -83,7 +87,7 @@ impl Corpus {
     ///
     /// Ties break toward the lower document id (deterministic).
     pub fn search(&self, query: &[u32], k: usize) -> Vec<(u32, f64)> {
-        let mut scores: HashMap<u32, f64> = HashMap::new();
+        let mut scores: BTreeMap<u32, f64> = BTreeMap::new();
         for &term in query {
             if let Some(list) = self.postings.get(&term) {
                 let df = list.len();
@@ -118,7 +122,13 @@ pub struct Xapian {
 
 impl Default for Xapian {
     fn default() -> Self {
-        Xapian { docs: 600, terms_per_doc: 80, queries: 40, query_terms: 3, top_k: 10 }
+        Xapian {
+            docs: 600,
+            terms_per_doc: 80,
+            queries: 40,
+            query_terms: 3,
+            top_k: 10,
+        }
     }
 }
 
@@ -130,10 +140,10 @@ impl Workload for Xapian {
     fn profile(&self) -> WorkProfile {
         WorkProfile {
             name: "Xapian".to_string(),
-            mem_gb: 0.4, // index shard resident in memory → max degree 25
-            base_exec_secs: 50.0, // latency-critical: shortest requests in the suite
+            mem_gb: 0.4,              // index shard resident in memory → max degree 25
+            base_exec_secs: 50.0,     // latency-critical: shortest requests in the suite
             contention_per_gb: 0.125, // ≈ 0.05 per packing degree
-            storage_gb: 0.05, // index shard fetch
+            storage_gb: 0.05,         // index shard fetch
             storage_requests: 2,
             network_gb: 0.01,
             dependency_load_secs: 7.0, // index libraries + shard open on cold start
@@ -159,7 +169,10 @@ impl Workload for Xapian {
             }
             work_units += hits.len() as u64;
         }
-        WorkOutput { checksum, work_units }
+        WorkOutput {
+            checksum,
+            work_units,
+        }
     }
 }
 
@@ -210,10 +223,16 @@ mod tests {
         // Find a common (low id) and a rare (high id) term present in the
         // index.
         let common = (0..50).find(|t| c.postings.contains_key(t)).unwrap();
-        let rare = (3000..4096).rev().find(|t| c.postings.contains_key(t)).unwrap();
+        let rare = (3000..4096)
+            .rev()
+            .find(|t| c.postings.contains_key(t))
+            .unwrap();
         let df_common = c.postings[&common].len();
         let df_rare = c.postings[&rare].len();
-        assert!(df_common > df_rare, "corpus skew missing: {df_common} vs {df_rare}");
+        assert!(
+            df_common > df_rare,
+            "corpus skew missing: {df_common} vs {df_rare}"
+        );
         let s_common = c.bm25(df_common, 1, 60);
         let s_rare = c.bm25(df_rare, 1, 60);
         assert!(s_rare > s_common);

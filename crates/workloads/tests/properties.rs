@@ -1,13 +1,11 @@
 //! Property-based tests for the workload kernels: algorithmic correctness
 //! on arbitrary inputs, not just the calibrated defaults.
 
-use proptest::prelude::*;
-use propack_workloads::smith_waterman::{
-    smith_waterman, synth_protein, GapPenalty, AMINO_ACIDS,
-};
+use propack_workloads::smith_waterman::{smith_waterman, synth_protein, GapPenalty, AMINO_ACIDS};
 use propack_workloads::sort::merge_sort;
 use propack_workloads::stateless::{resize_bilinear, Image};
 use propack_workloads::xapian::Corpus;
+use proptest::prelude::*;
 
 fn protein(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
     prop::collection::vec(0usize..20, 0..max_len)

@@ -1,0 +1,7 @@
+//! simlint fixture: an `allow` without a justification string is itself a
+//! violation and does not suppress the underlying one.
+
+pub fn exact_zero_guard(x: f64) -> bool {
+    // simlint: allow(float-eq)
+    x == 0.0
+}

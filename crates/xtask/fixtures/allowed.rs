@@ -1,0 +1,11 @@
+//! simlint fixture: justified `allow` directives suppress their violations,
+//! both standalone (covers the next line) and trailing (covers its line).
+
+pub fn exact_zero_guard(x: f64) -> bool {
+    // simlint: allow(float-eq): "exact zero is a sentinel from the caller"
+    x == 0.0
+}
+
+pub fn trailing_form(x: f64) -> bool {
+    x != 0.0 // simlint: allow(float-eq): "exact sentinel comparison"
+}

@@ -1,0 +1,18 @@
+//! simlint fixture: code that satisfies every rule in every crate scope.
+use std::collections::BTreeMap;
+
+pub fn tally(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+pub fn first_or_zero(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap_or(0)
+}

@@ -1,0 +1,16 @@
+//! simlint fixture: `const-doc` provenance checks (2 violations), linted as
+//! if it were `crates/platform/src/profile.rs`.
+
+/// Cold-start scaling coefficient for the AWS curve (Fig. 4).
+pub const CITED: f64 = 0.52;
+
+/// The citation may sit on any line of a multi-line doc block — here the
+/// second: this value is the dof = 14 critical value of Table 1.
+pub const CITED_ON_LATER_LINE: f64 = 4.075;
+
+pub const UNDOCUMENTED: f64 = 1.0;
+
+/// Prose without any provenance marker.
+pub const WRONG_DOC: u32 = 14;
+
+const PRIVATE_CONSTS_NEED_NO_CITATION: u32 = 3;

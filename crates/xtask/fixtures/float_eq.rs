@@ -1,0 +1,14 @@
+//! simlint fixture: deliberate `float-eq` violations (2 sites); the integer
+//! comparison is exempt.
+
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn is_not_unit(x: f64) -> bool {
+    1.0 != x
+}
+
+pub fn int_compare_is_fine(n: u32) -> bool {
+    n == 0
+}

@@ -1,0 +1,10 @@
+//! simlint fixture: deliberate `hash-map` violations (3 sites).
+use std::collections::HashMap;
+
+pub fn index(keys: &[u32]) -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    for (i, &k) in keys.iter().enumerate() {
+        m.insert(k, i as u32);
+    }
+    m
+}

@@ -1,0 +1,27 @@
+//! simlint fixture: deliberate `panic-path` violations (4 sites in library
+//! code); the `cfg(test)` module and the `unwrap_or` call are exempt.
+
+pub fn bounds(xs: &[u32]) -> u32 {
+    let lo = xs.first().unwrap();
+    let hi = xs.last().expect("non-empty");
+    if lo > hi {
+        panic!("unsorted");
+    }
+    lo + hi
+}
+
+pub fn later() -> u32 {
+    todo!("not implemented in this fixture")
+}
+
+pub fn safe(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

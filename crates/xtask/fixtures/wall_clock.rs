@@ -1,0 +1,8 @@
+//! simlint fixture: deliberate `wall-clock` violations (4 sites).
+use std::time::{Instant, SystemTime};
+
+pub fn elapsed_ms() -> u64 {
+    let t0 = Instant::now();
+    let _entropy = rand::rng();
+    t0.elapsed().as_millis() as u64
+}

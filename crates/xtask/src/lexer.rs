@@ -1,0 +1,529 @@
+//! A small Rust token scanner for `simlint`.
+//!
+//! This is not a full parser: simlint's rules are expressible over a token
+//! stream plus a little context (brace depth, attribute lookahead), so a
+//! hand-rolled lexer keeps the xtask crate dependency-free. The lexer
+//! understands everything that can *hide* tokens from a naive text search —
+//! strings (including raw strings), char literals vs. lifetimes, nested
+//! block comments, doc comments — which is exactly what grep-based "lints"
+//! get wrong.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Identifier text, operator spelling, or literal text.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Token categories simlint distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    Ident,
+    IntLit,
+    FloatLit,
+    StrLit,
+    CharLit,
+    Lifetime,
+    Punct,
+    /// `///` or `/** */` outer doc, `//!` or `/*! */` inner doc.
+    DocComment,
+}
+
+/// A `// simlint: allow(<rule>): "why"` directive found in a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// Rule name inside `allow(...)`.
+    pub rule: String,
+    /// The justification string, if one was given.
+    pub justification: Option<String>,
+    /// Line the directive appears on.
+    pub line: u32,
+    /// Whether the comment had code before it on the same line (trailing
+    /// comment) — a trailing allow covers its own line, a standalone allow
+    /// covers the next code line.
+    pub trailing: bool,
+}
+
+/// Lexer output: the token stream plus comment-derived side channels.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub allows: Vec<AllowDirective>,
+}
+
+/// Lex a Rust source file. Unterminated constructs are tolerated (the
+/// remainder of the file is consumed); simlint lints the workspace, it does
+/// not validate it — rustc does that.
+pub fn lex(src: &str) -> Lexed {
+    Lexer::new(src).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    line_has_code: bool,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            line_has_code: false,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.line_has_code = false;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.line_has_code = true;
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_lit(),
+                'r' | 'b' if self.raw_or_byte_prefix() => {}
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphabetic() => self.ident(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.line_has_code;
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        let body = &text[2..];
+        let is_doc = (body.starts_with('/') && !body.starts_with("//")) || body.starts_with('!');
+        if is_doc {
+            self.out.tokens.push(Token {
+                kind: TokenKind::DocComment,
+                text,
+                line,
+            });
+        } else if let Some(d) = parse_allow(body, line, trailing) {
+            self.out.allows.push(d);
+        }
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        // `/**/` is not a doc comment; `/**` and `/*!` are.
+        let is_doc =
+            (text.starts_with("/**") && !text.starts_with("/**/")) || text.starts_with("/*!");
+        if is_doc {
+            self.out.tokens.push(Token {
+                kind: TokenKind::DocComment,
+                text,
+                line,
+            });
+        }
+    }
+
+    fn string_lit(&mut self) {
+        let line = self.line;
+        self.bump();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::StrLit, String::new(), line);
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `br"…"`, `b"…"`, `b'…'`, and raw idents
+    /// (`r#ident`). Returns true if it consumed anything.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let c0 = self.peek(0);
+        let line = self.line;
+        // b'…' byte char
+        if c0 == Some('b') && self.peek(1) == Some('\'') {
+            self.bump();
+            self.bump();
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        self.bump();
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            self.push(TokenKind::CharLit, String::new(), line);
+            return true;
+        }
+        // b"…" byte string
+        if c0 == Some('b') && self.peek(1) == Some('"') {
+            self.bump();
+            self.string_lit();
+            return true;
+        }
+        // r#ident raw identifier
+        if c0 == Some('r')
+            && self.peek(1) == Some('#')
+            && self.peek(2).is_some_and(|c| c == '_' || c.is_alphabetic())
+        {
+            self.bump();
+            self.bump();
+            self.ident();
+            return true;
+        }
+        // r"…" / r#"…"# / br"…" / br#"…"# raw strings
+        let offset = match (c0, self.peek(1)) {
+            (Some('r'), Some('"' | '#')) => 1,
+            (Some('b'), Some('r')) if matches!(self.peek(2), Some('"' | '#')) => 2,
+            _ => return false,
+        };
+        let mut hashes = 0usize;
+        while self.peek(offset + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(offset + hashes) != Some('"') {
+            return false;
+        }
+        for _ in 0..offset + hashes + 1 {
+            self.bump();
+        }
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokenKind::StrLit, String::new(), line);
+        true
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // 'a' / '\n' are char literals; 'a / 'static are lifetimes or labels.
+        let is_char = match (self.peek(1), self.peek(2)) {
+            (Some('\\'), _) => true,
+            (Some(_), Some('\'')) => true,
+            _ => false,
+        };
+        if is_char {
+            self.bump();
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        self.bump();
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            self.push(TokenKind::CharLit, String::new(), line);
+        } else {
+            self.bump();
+            let start = self.pos;
+            while self
+                .peek(0)
+                .is_some_and(|c| c == '_' || c.is_alphanumeric())
+            {
+                self.bump();
+            }
+            let text: String = self.chars[start..self.pos].iter().collect();
+            self.push(TokenKind::Lifetime, text, line);
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        let mut float = false;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
+            self.bump();
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|c| c == '_' || c.is_ascii_alphanumeric())
+            {
+                self.bump();
+            }
+        } else {
+            while self.peek(0).is_some_and(|c| c == '_' || c.is_ascii_digit()) {
+                self.bump();
+            }
+            // A dot makes it a float unless it's `..` or a method/field access.
+            if self.peek(0) == Some('.')
+                && self.peek(1) != Some('.')
+                && !self.peek(1).is_some_and(|c| c == '_' || c.is_alphabetic())
+            {
+                float = true;
+                self.bump();
+                while self.peek(0).is_some_and(|c| c == '_' || c.is_ascii_digit()) {
+                    self.bump();
+                }
+            }
+            if matches!(self.peek(0), Some('e' | 'E')) {
+                let sign = matches!(self.peek(1), Some('+' | '-'));
+                let digits_at = if sign { 2 } else { 1 };
+                if self.peek(digits_at).is_some_and(|c| c.is_ascii_digit()) {
+                    float = true;
+                    self.bump();
+                    if sign {
+                        self.bump();
+                    }
+                    while self.peek(0).is_some_and(|c| c == '_' || c.is_ascii_digit()) {
+                        self.bump();
+                    }
+                }
+            }
+            // Type suffix: f32/f64 forces float; integer suffixes keep int.
+            if self.peek(0) == Some('f') && (self.slice_matches("f32") || self.slice_matches("f64"))
+            {
+                float = true;
+            }
+            while self
+                .peek(0)
+                .is_some_and(|c| c == '_' || c.is_ascii_alphanumeric())
+            {
+                self.bump();
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        let kind = if float {
+            TokenKind::FloatLit
+        } else {
+            TokenKind::IntLit
+        };
+        self.push(kind, text, line);
+    }
+
+    fn slice_matches(&self, s: &str) -> bool {
+        s.chars().enumerate().all(|(i, c)| self.peek(i) == Some(c))
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while self
+            .peek(0)
+            .is_some_and(|c| c == '_' || c.is_alphanumeric())
+        {
+            self.bump();
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn punct(&mut self) {
+        const MULTI: [&str; 21] = [
+            "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..",
+            "+=", "-=", "*=", "/=", "%=", "<<", ">>",
+        ];
+        let line = self.line;
+        for op in MULTI {
+            if self.slice_matches(op) {
+                for _ in 0..op.len() {
+                    self.bump();
+                }
+                self.push(TokenKind::Punct, op.to_string(), line);
+                return;
+            }
+        }
+        if let Some(c) = self.bump() {
+            self.push(TokenKind::Punct, c.to_string(), line);
+        }
+    }
+}
+
+/// Parse a `simlint: allow(<rule>): "why"` directive from a line-comment
+/// body (the text after `//`).
+fn parse_allow(body: &str, line: u32, trailing: bool) -> Option<AllowDirective> {
+    let rest = body.trim_start().strip_prefix("simlint:")?.trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let tail = rest[close + 1..].trim_start();
+    let justification = tail.strip_prefix(':').and_then(|t| {
+        let t = t.trim_start();
+        let inner = t.strip_prefix('"')?;
+        let end = inner.find('"')?;
+        let j = inner[..end].trim();
+        (!j.is_empty()).then(|| j.to_string())
+    });
+    Some(AllowDirective {
+        rule,
+        justification,
+        line,
+        trailing,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap in a block /* nested */ comment */
+            let s = "HashMap::new()";
+            let r = r#"Instant::now in a raw string"#;
+            let real = Real::thing();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(ids.contains(&"Real".to_string()));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }").tokens;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::CharLit)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn floats_vs_ints_vs_ranges() {
+        let toks = lex("let a = 1.5; let b = 2; let c = 0..10; let d = 1e-3; let e = x.0;").tokens;
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::FloatLit)
+            .map(|t| &t.text)
+            .collect();
+        let ints: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::IntLit)
+            .map(|t| &t.text)
+            .collect();
+        assert_eq!(floats, ["1.5", "1e-3"]);
+        assert_eq!(ints, ["2", "0", "10", "0"]);
+    }
+
+    #[test]
+    fn method_call_on_int_is_not_float() {
+        let toks = lex("let m = 1.max(2);").tokens;
+        assert!(toks.iter().all(|t| t.kind != TokenKind::FloatLit));
+    }
+
+    #[test]
+    fn doc_comments_are_separate_tokens() {
+        let lexed = lex("/// cites Fig. 2\npub const X: u32 = 1;\n");
+        assert_eq!(lexed.tokens[0].kind, TokenKind::DocComment);
+        assert!(lexed.tokens[0].text.contains("Fig. 2"));
+    }
+
+    #[test]
+    fn allow_directives_parse() {
+        let lexed = lex(
+            "let x = a == 0.0; // simlint: allow(float-eq): \"exact zero guard\"\n\
+             // simlint: allow(hash-map)\n\
+             let y = 1;\n",
+        );
+        assert_eq!(lexed.allows.len(), 2);
+        assert_eq!(lexed.allows[0].rule, "float-eq");
+        assert_eq!(
+            lexed.allows[0].justification.as_deref(),
+            Some("exact zero guard")
+        );
+        assert!(lexed.allows[0].trailing);
+        assert_eq!(lexed.allows[1].rule, "hash-map");
+        assert_eq!(lexed.allows[1].justification, None);
+        assert!(!lexed.allows[1].trailing);
+    }
+
+    #[test]
+    fn equality_operators_lex_whole() {
+        let ops: Vec<String> = lex("a == b != c <= d >= e => f .. g ..= h")
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(ops, ["==", "!=", "<=", ">=", "=>", "..", "..="]);
+    }
+}

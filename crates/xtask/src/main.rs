@@ -1,0 +1,227 @@
+//! `cargo xtask` — workspace automation for the ProPack reproduction.
+//!
+//! The only task so far is `simlint`, a repo-specific static-analysis pass
+//! enforcing the determinism and robustness invariants described in
+//! DESIGN.md §6. Run it as:
+//!
+//! ```text
+//! cargo xtask simlint [--root <workspace-root>]
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when violations were found, 2 on usage or
+//! I/O errors. Diagnostics are rustc-style `file:line` lines on stderr.
+
+mod lexer;
+mod rules;
+mod walk;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let task = args.next();
+    match task.as_deref() {
+        Some("simlint") => {
+            let mut root: Option<std::path::PathBuf> = None;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--root" => match args.next() {
+                        Some(p) => root = Some(p.into()),
+                        None => return usage("--root requires a path"),
+                    },
+                    other => return usage(&format!("unknown simlint option `{other}`")),
+                }
+            }
+            let root = root.unwrap_or_else(default_root);
+            simlint(&root)
+        }
+        Some(other) => usage(&format!("unknown task `{other}`")),
+        None => usage("no task given"),
+    }
+}
+
+/// The workspace root, assuming this binary is built in-tree at
+/// `crates/xtask`. Overridable with `--root` (used by CI and tests).
+fn default_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask has a workspace root two levels up")
+        .to_path_buf()
+}
+
+fn simlint(root: &std::path::Path) -> ExitCode {
+    let files = match walk::workspace_sources(root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("error: cannot walk workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let mut violations = Vec::new();
+    let mut scanned = 0usize;
+    for file in &files {
+        let src = match std::fs::read_to_string(&file.abs_path) {
+            Ok(src) => src,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", file.abs_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        scanned += 1;
+        violations.extend(rules::lint_file(&src, &file.ctx));
+    }
+    for v in &violations {
+        eprintln!("{}", v.render());
+    }
+    if violations.is_empty() {
+        eprintln!("simlint: {scanned} files clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "simlint: {} violation{} in {scanned} files",
+            violations.len(),
+            if violations.len() == 1 { "" } else { "s" }
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}\n\nUsage: cargo xtask simlint [--root <workspace-root>]");
+    ExitCode::from(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::{lint_file, FileCtx, Violation};
+
+    fn ctx(crate_name: &str, rel_path: &str) -> FileCtx {
+        FileCtx {
+            crate_name: crate_name.to_string(),
+            rel_path: rel_path.to_string(),
+            test_target: false,
+        }
+    }
+
+    fn rules_hit(violations: &[Violation]) -> Vec<&'static str> {
+        let mut rules: Vec<&'static str> = violations.iter().map(|v| v.rule).collect();
+        rules.dedup();
+        rules
+    }
+
+    #[test]
+    fn fixture_hash_map_flagged_in_sim_crates_only() {
+        let src = include_str!("../fixtures/hash_map.rs");
+        let v = lint_file(src, &ctx("workloads", "crates/workloads/src/bad.rs"));
+        assert_eq!(rules_hit(&v), ["hash-map"]);
+        assert_eq!(v.len(), 3, "use + two sites: {v:?}");
+        // Same source in a non-simulation crate is fine.
+        let v = lint_file(src, &ctx("bench", "crates/bench/src/bad.rs"));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn fixture_wall_clock_flagged_outside_executor() {
+        let src = include_str!("../fixtures/wall_clock.rs");
+        let v = lint_file(src, &ctx("simcore", "crates/simcore/src/bad.rs"));
+        assert_eq!(rules_hit(&v), ["wall-clock"]);
+        assert_eq!(v.len(), 4, "{v:?}");
+        let v = lint_file(src, &ctx("executor", "crates/executor/src/ok.rs"));
+        assert!(v.is_empty(), "executor may use wall-clock: {v:?}");
+    }
+
+    #[test]
+    fn fixture_panic_path_flagged_outside_tests() {
+        let src = include_str!("../fixtures/panic_path.rs");
+        let v = lint_file(src, &ctx("platform", "crates/platform/src/bad.rs"));
+        assert_eq!(rules_hit(&v), ["panic-path"]);
+        // unwrap, expect, panic!, todo! in library code; the cfg(test) mod's
+        // unwrap and the unwrap_or/expect_fn idents are exempt.
+        assert_eq!(v.len(), 4, "{v:?}");
+        let v = lint_file(src, &ctx("cli", "crates/cli/src/ok.rs"));
+        assert!(v.is_empty(), "cli is not a panic-free crate: {v:?}");
+    }
+
+    #[test]
+    fn fixture_float_eq_flagged() {
+        let src = include_str!("../fixtures/float_eq.rs");
+        let v = lint_file(src, &ctx("stats", "crates/stats/src/bad.rs"));
+        assert_eq!(rules_hit(&v), ["float-eq"]);
+        assert_eq!(v.len(), 2, "{v:?}");
+        let v = lint_file(src, &ctx("simcore", "crates/simcore/src/ok.rs"));
+        assert!(v.is_empty(), "float-eq scoped to stats/propack: {v:?}");
+    }
+
+    #[test]
+    fn fixture_const_doc_flagged_in_platform_profile_only() {
+        let src = include_str!("../fixtures/const_doc.rs");
+        let v = lint_file(src, &ctx("platform", "crates/platform/src/profile.rs"));
+        assert_eq!(rules_hit(&v), ["const-doc"]);
+        // UNDOCUMENTED and WRONG_DOC lack citations; CITED and the private
+        // const are fine.
+        assert_eq!(v.len(), 2, "{v:?}");
+        let v = lint_file(src, &ctx("platform", "crates/platform/src/fleet.rs"));
+        assert!(v.is_empty(), "const-doc scoped to profile.rs: {v:?}");
+    }
+
+    #[test]
+    fn fixture_allows_suppress_with_justification() {
+        let src = include_str!("../fixtures/allowed.rs");
+        let v = lint_file(src, &ctx("stats", "crates/stats/src/ok.rs"));
+        assert!(v.is_empty(), "justified allows must suppress: {v:?}");
+    }
+
+    #[test]
+    fn fixture_bare_allow_is_itself_a_violation() {
+        let src = include_str!("../fixtures/allow_missing_justification.rs");
+        let v = lint_file(src, &ctx("stats", "crates/stats/src/bad.rs"));
+        let rules = rules_hit(&v);
+        assert!(rules.contains(&"bad-allow"), "{v:?}");
+        assert!(
+            rules.contains(&"float-eq"),
+            "an unjustified allow must not suppress: {v:?}"
+        );
+    }
+
+    #[test]
+    fn fixture_clean_passes_everywhere() {
+        let src = include_str!("../fixtures/clean.rs");
+        for krate in ["simcore", "platform", "propack", "stats", "workloads"] {
+            let v = lint_file(src, &ctx(krate, "crates/x/src/clean.rs"));
+            assert!(v.is_empty(), "clean fixture flagged in {krate}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn test_targets_are_exempt_from_panic_path() {
+        let src = "fn helper() { Some(1).unwrap(); }\n";
+        let mut c = ctx("platform", "crates/platform/tests/it.rs");
+        c.test_target = true;
+        assert!(lint_file(src, &c).is_empty());
+        c.test_target = false;
+        assert_eq!(lint_file(src, &c).len(), 1);
+    }
+
+    #[test]
+    fn walker_maps_paths_to_crates_and_skips_fixtures() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .unwrap();
+        let files = crate::walk::workspace_sources(root).expect("walk workspace");
+        assert!(
+            files.iter().any(|f| f.ctx.crate_name == "simcore"),
+            "workspace walk must reach crates/simcore"
+        );
+        assert!(
+            files.iter().all(|f| !f.ctx.rel_path.contains("fixtures")),
+            "fixtures must not be linted as workspace sources"
+        );
+        let it = files
+            .iter()
+            .find(|f| f.ctx.rel_path.starts_with("tests/"))
+            .expect("root integration tests are walked");
+        assert!(it.ctx.test_target);
+    }
+}

@@ -1,0 +1,435 @@
+//! The simlint rule set.
+//!
+//! Five rules, each scoped to the crates where its invariant matters (see
+//! DESIGN.md §6, "Determinism policy & simlint"):
+//!
+//! | rule        | scope                                   | invariant |
+//! |-------------|-----------------------------------------|-----------|
+//! | `hash-map`  | simulation crates                       | no `HashMap`/`HashSet`: iteration order must be deterministic |
+//! | `wall-clock`| all crates except `executor`            | no `Instant`/`SystemTime`/entropy-seeded RNG: virtual time and seeded streams only |
+//! | `panic-path`| `simcore`, `platform`, `propack` (non-test) | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`: route errors through `platform::error` |
+//! | `float-eq`  | `stats`, `propack` (non-test)           | no `==`/`!=` against float literals: use tolerances or document exact-zero guards |
+//! | `const-doc` | `platform::profile`                     | every `pub const` cites its paper provenance (Fig./Eq./Table/§) |
+//!
+//! Escape hatch: `// simlint: allow(<rule>): "justification"` on the same
+//! line (trailing) or the line above. The justification string is mandatory;
+//! a bare `allow` is itself reported.
+
+use crate::lexer::{lex, AllowDirective, Token, TokenKind};
+
+/// Crates whose iteration order feeds simulated outcomes.
+pub const SIM_CRATES: &[&str] = &[
+    "simcore",
+    "platform",
+    "funcx",
+    "workloads",
+    "propack",
+    "baselines",
+    "orchestrator",
+];
+
+/// Crates whose non-test library code must be panic-free.
+pub const PANIC_FREE_CRATES: &[&str] = &["simcore", "platform", "propack"];
+
+/// Crates where exact float comparison is suspect.
+pub const FLOAT_EQ_CRATES: &[&str] = &["stats", "propack"];
+
+/// Crates allowed to touch wall-clock time and OS entropy: `executor` runs
+/// real kernels on real hardware; `xtask` is tooling, not simulation.
+pub const WALL_CLOCK_EXEMPT: &[&str] = &["executor", "xtask"];
+
+/// All rule names, for `allow(...)` validation.
+pub const RULES: &[&str] = &[
+    "hash-map",
+    "wall-clock",
+    "panic-path",
+    "float-eq",
+    "const-doc",
+];
+
+/// Wall-clock / entropy identifiers banned outside `executor`.
+const WALL_CLOCK_IDENTS: &[&str] = &[
+    "Instant",
+    "SystemTime",
+    "thread_rng",
+    "from_entropy",
+    "from_os_rng",
+];
+
+/// Substrings accepted as a paper-provenance citation in a doc comment.
+const CITATION_MARKERS: &[&str] = &["Fig.", "Eq.", "Table", "§"];
+
+/// Where a file sits in the workspace, for rule scoping.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Crate the file belongs to (directory name under `crates/`), or the
+    /// umbrella package name for root `src/` and `tests/`.
+    pub crate_name: String,
+    /// Path relative to the workspace root, for diagnostics.
+    pub rel_path: String,
+    /// True for integration-test and bench targets (`tests/`, `benches/`):
+    /// the whole file is test code.
+    pub test_target: bool,
+}
+
+impl FileCtx {
+    /// Whether the `const-doc` rule applies to this file.
+    fn wants_const_doc(&self) -> bool {
+        self.crate_name == "platform" && self.rel_path.ends_with("profile.rs")
+    }
+}
+
+/// One rule violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: &'static str,
+    pub rel_path: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl Violation {
+    /// Render in rustc style: `error[simlint::rule]: msg\n  --> path:line`.
+    pub fn render(&self) -> String {
+        format!(
+            "error[simlint::{}]: {}\n  --> {}:{}\n",
+            self.rule, self.message, self.rel_path, self.line
+        )
+    }
+}
+
+/// Lint one source file. Pure: all context arrives through `ctx`, so unit
+/// tests can lint fixture strings under any crate identity.
+pub fn lint_file(src: &str, ctx: &FileCtx) -> Vec<Violation> {
+    let lexed = lex(src);
+    let test_lines = test_region_lines(&lexed.tokens, ctx.test_target);
+    let mut raw: Vec<Violation> = Vec::new();
+
+    check_hash_map(&lexed.tokens, ctx, &mut raw);
+    check_wall_clock(&lexed.tokens, ctx, &mut raw);
+    check_panic_path(&lexed.tokens, ctx, &test_lines, &mut raw);
+    check_float_eq(&lexed.tokens, ctx, &test_lines, &mut raw);
+    check_const_doc(&lexed.tokens, ctx, &mut raw);
+
+    apply_allows(raw, &lexed.allows, ctx)
+}
+
+/// Map token stream to the set of lines inside `#[cfg(test)]`-gated items
+/// (or the whole file for test targets). Brace-matched from the attribute's
+/// item; `#[test]` fns live inside `#[cfg(test)] mod tests` in this repo,
+/// so attribute-level tracking is sufficient.
+fn test_region_lines(tokens: &[Token], whole_file: bool) -> TestLines {
+    if whole_file {
+        return TestLines::All;
+    }
+    let mut ranges: Vec<(u32, u32)> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            // Find the gated item's opening brace, then its matching close.
+            let mut j = i + 7; // past `# [ cfg ( test ) ]`
+            while j < tokens.len() && !is_punct(&tokens[j], "{") {
+                // A `;`-terminated item (e.g. `#[cfg(test)] use …;`) has no
+                // braced body; nothing to exempt.
+                if is_punct(&tokens[j], ";") {
+                    break;
+                }
+                j += 1;
+            }
+            if j < tokens.len() && is_punct(&tokens[j], "{") {
+                let start_line = tokens[i].line;
+                let mut depth = 0i32;
+                while j < tokens.len() {
+                    if is_punct(&tokens[j], "{") {
+                        depth += 1;
+                    } else if is_punct(&tokens[j], "}") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                let end_line = tokens.get(j).map_or(u32::MAX, |t| t.line);
+                ranges.push((start_line, end_line));
+                i = j;
+            }
+        }
+        i += 1;
+    }
+    TestLines::Ranges(ranges)
+}
+
+enum TestLines {
+    All,
+    Ranges(Vec<(u32, u32)>),
+}
+
+impl TestLines {
+    fn contains(&self, line: u32) -> bool {
+        match self {
+            TestLines::All => true,
+            TestLines::Ranges(rs) => rs.iter().any(|&(a, b)| a <= line && line <= b),
+        }
+    }
+}
+
+/// Matches the token sequence `# [ cfg ( test ) ]` (also as part of
+/// `cfg(all(test, …))` — any `cfg` attribute whose args mention `test`).
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    if !(is_punct(&tokens[i], "#")
+        && matches!(tokens.get(i + 1), Some(t) if is_punct(t, "["))
+        && matches!(tokens.get(i + 2), Some(t) if is_ident(t, "cfg"))
+        && matches!(tokens.get(i + 3), Some(t) if is_punct(t, "(")))
+    {
+        return false;
+    }
+    let mut depth = 1i32;
+    let mut j = i + 4;
+    while let Some(t) = tokens.get(j) {
+        if is_punct(t, "(") {
+            depth += 1;
+        } else if is_punct(t, ")") {
+            depth -= 1;
+            if depth == 0 {
+                return false;
+            }
+        } else if is_ident(t, "test") {
+            return true;
+        }
+        j += 1;
+    }
+    false
+}
+
+fn is_punct(t: &Token, s: &str) -> bool {
+    t.kind == TokenKind::Punct && t.text == s
+}
+
+fn is_ident(t: &Token, s: &str) -> bool {
+    t.kind == TokenKind::Ident && t.text == s
+}
+
+fn check_hash_map(tokens: &[Token], ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if !SIM_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    for t in tokens {
+        if t.kind == TokenKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            out.push(Violation {
+                rule: "hash-map",
+                rel_path: ctx.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{}` iterates in randomized order; simulation crates must use \
+                     `BTreeMap`/`BTreeSet` so replays are bit-identical",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn check_wall_clock(tokens: &[Token], ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if WALL_CLOCK_EXEMPT.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let banned = WALL_CLOCK_IDENTS.contains(&t.text.as_str())
+            // `rand::random()` / `rand::rng()` pull from OS entropy.
+            || ((t.text == "random" || t.text == "rng")
+                && i >= 2
+                && is_punct(&tokens[i - 1], "::")
+                && is_ident(&tokens[i - 2], "rand"));
+        if banned {
+            out.push(Violation {
+                rule: "wall-clock",
+                rel_path: ctx.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{}` reads wall-clock time or OS entropy; outside `crates/executor` \
+                     use virtual `SimTime` and seeded `RngStreams`",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn check_panic_path(
+    tokens: &[Token],
+    ctx: &FileCtx,
+    test_lines: &TestLines,
+    out: &mut Vec<Violation>,
+) {
+    if !PANIC_FREE_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || test_lines.contains(t.line) {
+            continue;
+        }
+        // `.unwrap(` / `.expect(` method calls.
+        let method = (t.text == "unwrap" || t.text == "expect")
+            && i >= 1
+            && is_punct(&tokens[i - 1], ".")
+            && matches!(tokens.get(i + 1), Some(n) if is_punct(n, "("));
+        // `panic!` / `todo!` / `unimplemented!` macro invocations.
+        let mac = matches!(t.text.as_str(), "panic" | "todo" | "unimplemented")
+            && matches!(tokens.get(i + 1), Some(n) if is_punct(n, "!"));
+        if method || mac {
+            let spelled = if method {
+                format!(".{}()", t.text)
+            } else {
+                format!("{}!", t.text)
+            };
+            out.push(Violation {
+                rule: "panic-path",
+                rel_path: ctx.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{spelled}` can abort a simulation mid-burst; return a \
+                     `platform::error::PlatformError` (or restructure) instead"
+                ),
+            });
+        }
+    }
+}
+
+fn check_float_eq(
+    tokens: &[Token],
+    ctx: &FileCtx,
+    test_lines: &TestLines,
+    out: &mut Vec<Violation>,
+) {
+    if !FLOAT_EQ_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if !(t.kind == TokenKind::Punct && (t.text == "==" || t.text == "!="))
+            || test_lines.contains(t.line)
+        {
+            continue;
+        }
+        let float_adjacent = (i >= 1 && tokens[i - 1].kind == TokenKind::FloatLit)
+            || matches!(tokens.get(i + 1), Some(n) if n.kind == TokenKind::FloatLit);
+        if float_adjacent {
+            out.push(Violation {
+                rule: "float-eq",
+                rel_path: ctx.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "exact `{}` against a float literal; compare with a tolerance, or \
+                     annotate a deliberate exact-zero guard",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn check_const_doc(tokens: &[Token], ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if !ctx.wants_const_doc() {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if !is_ident(t, "const") {
+            continue;
+        }
+        // Only `pub const` (any visibility form: pub, pub(crate), …).
+        let is_pub = (i >= 1 && is_ident(&tokens[i - 1], "pub"))
+            || (i >= 4 && is_punct(&tokens[i - 1], ")") && is_ident(&tokens[i - 4], "pub"));
+        if !is_pub {
+            continue;
+        }
+        let name = match tokens.get(i + 1) {
+            Some(n) if n.kind == TokenKind::Ident => n.text.clone(),
+            _ => continue, // `pub const fn` or malformed
+        };
+        if name == "fn" {
+            continue;
+        }
+        // Walk back over the visibility tokens to the token preceding the
+        // item; it must be a doc comment carrying a citation.
+        let mut j = i;
+        while j > 0
+            && (is_ident(&tokens[j - 1], "pub")
+                || is_ident(&tokens[j - 1], "crate")
+                || is_ident(&tokens[j - 1], "super")
+                || is_punct(&tokens[j - 1], "(")
+                || is_punct(&tokens[j - 1], ")"))
+        {
+            j -= 1;
+        }
+        // A doc block lexes as one token per `///` line; accept a citation
+        // anywhere in the contiguous run of doc lines above the item.
+        let mut cited = false;
+        while j > 0 && tokens[j - 1].kind == TokenKind::DocComment {
+            cited |= CITATION_MARKERS
+                .iter()
+                .any(|m| tokens[j - 1].text.contains(m));
+            j -= 1;
+        }
+        if !cited {
+            out.push(Violation {
+                rule: "const-doc",
+                rel_path: ctx.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "calibration constant `{name}` has no provenance doc comment; cite \
+                     the paper figure/equation/table it was read from (e.g. `/// Fig. 4`)"
+                ),
+            });
+        }
+    }
+}
+
+/// Filter violations through `// simlint: allow(...)` directives, and emit
+/// violations for malformed directives (unknown rule, missing justification).
+fn apply_allows(raw: Vec<Violation>, allows: &[AllowDirective], ctx: &FileCtx) -> Vec<Violation> {
+    let mut out: Vec<Violation> = Vec::new();
+    for d in allows {
+        if !RULES.contains(&d.rule.as_str()) {
+            out.push(Violation {
+                rule: "bad-allow",
+                rel_path: ctx.rel_path.clone(),
+                line: d.line,
+                message: format!(
+                    "`allow({})` names no simlint rule; known rules: {}",
+                    d.rule,
+                    RULES.join(", ")
+                ),
+            });
+        } else if d.justification.is_none() {
+            out.push(Violation {
+                rule: "bad-allow",
+                rel_path: ctx.rel_path.clone(),
+                line: d.line,
+                message: format!(
+                    "`allow({})` requires a justification: \
+                     `// simlint: allow({}): \"why this is sound\"`",
+                    d.rule, d.rule
+                ),
+            });
+        }
+    }
+    for v in raw {
+        let suppressed = allows.iter().any(|d| {
+            d.rule == v.rule
+                && d.justification.is_some()
+                && if d.trailing {
+                    d.line == v.line
+                } else {
+                    d.line + 1 == v.line
+                }
+        });
+        if !suppressed {
+            out.push(v);
+        }
+    }
+    out.sort_by(|a, b| (&a.rel_path, a.line).cmp(&(&b.rel_path, b.line)));
+    out
+}

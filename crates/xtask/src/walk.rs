@@ -1,0 +1,73 @@
+//! Workspace traversal: find every `.rs` source that simlint should see and
+//! attach the [`FileCtx`] the rules need (owning crate, test-target flag).
+
+use crate::rules::FileCtx;
+use std::path::{Path, PathBuf};
+
+/// A source file plus its lint context.
+#[derive(Debug)]
+pub struct SourceFile {
+    pub abs_path: PathBuf,
+    pub ctx: FileCtx,
+}
+
+/// Directories never descended into: build output, VCS metadata, and the
+/// lint fixtures themselves (which contain deliberate violations).
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "fixtures"];
+
+/// Collect all lintable `.rs` files under `root`, deterministically ordered.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    visit(root, root, &mut files)?;
+    files.sort_by(|a, b| a.ctx.rel_path.cmp(&b.ctx.rel_path));
+    Ok(files)
+}
+
+fn visit(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                visit(root, &path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile {
+                abs_path: path,
+                ctx: classify(&rel),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Derive the owning crate and target kind from a workspace-relative path.
+///
+/// `crates/<name>/…` belongs to `<name>`; anything else (root `src/`,
+/// `tests/`, stray scripts) belongs to the umbrella package. Files under a
+/// `tests/` or `benches/` directory are whole-file test targets.
+fn classify(rel_path: &str) -> FileCtx {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    let crate_name = match parts.as_slice() {
+        ["crates", name, ..] => (*name).to_string(),
+        _ => "propack-repro".to_string(),
+    };
+    let test_target = parts
+        .iter()
+        .rev()
+        .skip(1) // the file name itself
+        .any(|p| *p == "tests" || *p == "benches");
+    FileCtx {
+        crate_name,
+        rel_path: rel_path.to_string(),
+        test_target,
+    }
+}

@@ -23,7 +23,10 @@ use propack_repro::workloads::Workload;
 fn main() {
     // --- What one serverless function does: real local alignments. ---
     let query = synth_protein(7, 120);
-    println!("one function aligns a {}-residue query against a DB shard:", query.len());
+    println!(
+        "one function aligns a {}-residue query against a DB shard:",
+        query.len()
+    );
     for s in 0..4 {
         let target = synth_protein(100 + s, 180);
         let aln = smith_waterman(&query, &target, GapPenalty::default());
@@ -55,14 +58,21 @@ fn main() {
             &platform,
             &work,
             c,
-            OracleObjective::Joint { w_s: 0.5, metric: Percentile::Total },
+            OracleObjective::Joint {
+                w_s: 0.5,
+                metric: Percentile::Total,
+            },
             9,
         )
         .expect("oracle");
-    println!("brute-force oracle degree: {} (ProPack predicted {})",
-        oracle.packing_degree, plan.packing_degree);
+    println!(
+        "brute-force oracle degree: {} (ProPack predicted {})",
+        oracle.packing_degree, plan.packing_degree
+    );
 
-    let packed = pp.execute(&platform, c, Objective::default(), 9).expect("run");
+    let packed = pp
+        .execute(&platform, c, Objective::default(), 9)
+        .expect("run");
     let base = NoPacking.run(&platform, &work, c, 9).expect("baseline");
     println!(
         "\ncampaign results: service {:.0}s -> {:.0}s ({:.0}% faster), \

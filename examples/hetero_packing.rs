@@ -40,8 +40,8 @@ fn main() {
     };
 
     let r = platform.prices().usd_per_gb_sec * platform.limits().mem_gb;
-    let plan = plan_mixed(&demand_a, &demand_b, &pp_video.model.scaling, 10.0, r)
-        .expect("plannable mix");
+    let plan =
+        plan_mixed(&demand_a, &demand_b, &pp_video.model.scaling, 10.0, r).expect("plannable mix");
     println!(
         "mixed plan: {} Video + {} Sort per instance → {} instances",
         plan.n_a, plan.n_b, plan.instances
@@ -53,7 +53,9 @@ fn main() {
 
     // Validate against the platform's mixed mechanism.
     let mix = MixSpec::pair((video.clone(), plan.n_a), (sort.clone(), plan.n_b));
-    let outcome = platform.run_mixed_burst(&mix, plan.instances, 11).expect("mixed burst");
+    let outcome = platform
+        .run_mixed_burst(&mix, plan.instances, 11)
+        .expect("mixed burst");
     let measured_a = outcome.per_app[0].exec_summary().mean();
     let measured_b = outcome.per_app[1].exec_summary().mean();
     println!(
@@ -67,8 +69,20 @@ fn main() {
 
     // Cross-interference check: each app is slower in the mix than packed
     // alone at its own count, because it absorbs the other's pressure.
-    let video_alone = exec_in_mix(&demand_a.interference, &demand_b.interference, plan.n_a, 0, 0);
-    let sort_alone = exec_in_mix(&demand_a.interference, &demand_b.interference, 0, plan.n_b, 1);
+    let video_alone = exec_in_mix(
+        &demand_a.interference,
+        &demand_b.interference,
+        plan.n_a,
+        0,
+        0,
+    );
+    let sort_alone = exec_in_mix(
+        &demand_a.interference,
+        &demand_b.interference,
+        0,
+        plan.n_b,
+        1,
+    );
     println!(
         "\ncross-interference: Video {:.0}s alone → {:.0}s mixed; Sort {:.0}s alone → {:.0}s mixed",
         video_alone, plan.exec_a_secs, sort_alone, plan.exec_b_secs

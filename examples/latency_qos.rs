@@ -20,7 +20,10 @@ use propack_repro::workloads::Workload;
 fn main() {
     // --- What one function does: real BM25 search over an index shard. ---
     let corpus = Corpus::synthetic(3, 400, 80);
-    println!("index shard: {} documents; sample query results:", corpus.len());
+    println!(
+        "index shard: {} documents; sample query results:",
+        corpus.len()
+    );
     for (rank, (doc, score)) in corpus.search(&[12, 55, 700], 5).iter().enumerate() {
         println!("  #{rank}: doc {doc} (bm25 {score:.3})");
     }
@@ -60,7 +63,10 @@ fn main() {
                 (report.instances.len() as f64 * 0.95) as usize,
                 report.instances.len()
             );
-            println!("expense: ${:.2}", report.expense.total_usd() + pp.overhead.expense_usd);
+            println!(
+                "expense: ${:.2}",
+                report.expense.total_usd() + pp.overhead.expense_usd
+            );
         }
         Err(e) => println!("no feasible weight split: {e}"),
     }

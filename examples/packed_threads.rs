@@ -41,26 +41,39 @@ fn main() {
     println!(
         "packed executor: {} core quota (host has {} threads)",
         ex.cores(),
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
 
     let degrees = [1, 2, 4, 8, 12];
     profile(
         "Smith-Waterman (compute-bound)",
         &ex,
-        &SmithWaterman { query_len: 150, db_sequences: 8, db_len: 220 },
+        &SmithWaterman {
+            query_len: 150,
+            db_sequences: 8,
+            db_len: 220,
+        },
         &degrees,
     );
     profile(
         "Map-Reduce Sort (memory-bound)",
         &ex,
-        &MapReduceSort { records: 120_000, partitions: 8 },
+        &MapReduceSort {
+            records: 120_000,
+            partitions: 8,
+        },
         &degrees,
     );
     profile(
         "Stateless image resize",
         &ex,
-        &StatelessCost { src_size: 256, dst_size: 128, images: 8 },
+        &StatelessCost {
+            src_size: 256,
+            dst_size: 128,
+            images: 8,
+        },
         &degrees,
     );
 

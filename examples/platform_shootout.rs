@@ -21,12 +21,18 @@ use propack_repro::workloads::Workload;
 fn run_on(platform: &dyn ServerlessPlatform, c: u32) {
     let work = MapReduceSort::default().profile();
     println!("\n=== {} (Sort, C = {c}) ===", platform.name());
-    println!("{:<28} {:>12} {:>12} {:>8}", "strategy", "service (s)", "expense ($)", "degree");
+    println!(
+        "{:<28} {:>12} {:>12} {:>8}",
+        "strategy", "service (s)", "expense ($)", "degree"
+    );
 
     let strategies: Vec<Box<dyn Strategy>> = vec![
         Box::new(NoPacking),
         Box::new(SerialBatching { batch_size: c / 4 }),
-        Box::new(Staggered { wave_size: c / 10, gap_secs: 30.0 }),
+        Box::new(Staggered {
+            wave_size: c / 10,
+            gap_secs: 30.0,
+        }),
         Box::new(Pywren::default()),
     ];
     for s in &strategies {
@@ -41,7 +47,9 @@ fn run_on(platform: &dyn ServerlessPlatform, c: u32) {
     }
 
     let pp = Propack::build(platform, &work, &ProPackConfig::default()).expect("build");
-    let out = pp.execute(platform, c, Objective::default(), 77).expect("propack run");
+    let out = pp
+        .execute(platform, c, Objective::default(), 77)
+        .expect("propack run");
     println!(
         "{:<28} {:>12.0} {:>12.2} {:>8}",
         "ProPack",
@@ -54,7 +62,10 @@ fn run_on(platform: &dyn ServerlessPlatform, c: u32) {
 fn main() {
     let c = 2000;
     run_on(&PlatformProfile::aws_lambda().into_platform(), c);
-    run_on(&PlatformProfile::google_cloud_functions().into_platform(), c);
+    run_on(
+        &PlatformProfile::google_cloud_functions().into_platform(),
+        c,
+    );
     run_on(&PlatformProfile::azure_functions().into_platform(), c);
     run_on(&FuncXPlatform::default(), c);
     println!(

@@ -21,21 +21,28 @@ fn main() {
 
     // 2. An application: the Thousand-Island-Scanner-style video pipeline.
     let work = Video::default().profile();
-    println!("application: {} (M_func = {} GB, max packing degree = {})",
-        work.name, work.mem_gb, work.max_packing_degree(10.0));
+    println!(
+        "application: {} (M_func = {} GB, max packing degree = {})",
+        work.name,
+        work.mem_gb,
+        work.max_packing_degree(10.0)
+    );
 
     // 3. Build ProPack: a short profiling campaign (alternate packing
     //    degrees at low concurrency + ten application-independent scaling
     //    probes), then the Eq. 1 / Eq. 2 model fits.
-    let pp = Propack::build(&platform, &work, &ProPackConfig::default())
-        .expect("profiling failed");
+    let pp = Propack::build(&platform, &work, &ProPackConfig::default()).expect("profiling failed");
     println!(
         "fitted interference: ET(P) = {:.1}·e^({:.4}·P) s   (alpha = {:.4}/GB)",
-        pp.model.interference.base, pp.model.interference.rate, pp.model.interference.alpha()
+        pp.model.interference.base,
+        pp.model.interference.rate,
+        pp.model.interference.alpha()
     );
     println!(
         "fitted scaling: {:.2e}·C² + {:.3}·C − {:.1} s   (R² = {:.4})",
-        pp.model.scaling.beta1, pp.model.scaling.beta2, pp.model.scaling.beta3,
+        pp.model.scaling.beta1,
+        pp.model.scaling.beta2,
+        pp.model.scaling.beta3,
         pp.model.scaling.r_squared
     );
     println!(
@@ -51,8 +58,12 @@ fn main() {
         plan.packing_degree, plan.instances
     );
 
-    let packed = pp.execute(&platform, c, Objective::default(), 42).expect("packed run");
-    let baseline = NoPacking.run(&platform, &work, c, 42).expect("baseline run");
+    let packed = pp
+        .execute(&platform, c, Objective::default(), 42)
+        .expect("packed run");
+    let baseline = NoPacking
+        .run(&platform, &work, c, 42)
+        .expect("baseline run");
 
     // 5. Compare.
     let s_base = baseline.total_service_secs();

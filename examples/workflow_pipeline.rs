@@ -28,8 +28,12 @@ fn main() {
         for s in &report.states {
             println!(
                 "  {:<8} t+{:>5.0}s  {:>6.0}s  ${:>7.2}  degree {:>2} × {:>4} instances",
-                s.name, s.start_offset_secs, s.duration_secs, s.expense_usd,
-                s.packing_degree, s.instances
+                s.name,
+                s.start_offset_secs,
+                s.duration_secs,
+                s.expense_usd,
+                s.packing_degree,
+                s.instances
             );
         }
         println!(

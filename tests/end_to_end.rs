@@ -36,7 +36,11 @@ fn propack_improves_every_primary_benchmark_at_every_concurrency() {
                 work.name
             );
             if c >= 2000 {
-                assert!(gain > 0.5, "{} at C={c}: gain {gain:.2} below 50%", work.name);
+                assert!(
+                    gain > 0.5,
+                    "{} at C={c}: gain {gain:.2} below 50%",
+                    work.name
+                );
             }
         }
     }
@@ -53,14 +57,22 @@ fn headline_numbers_at_high_concurrency() {
         let work = bench.profile();
         let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
         let base = NoPacking.run(&platform, &work, 5000, 2).unwrap();
-        let out = pp.execute(&platform, 5000, Objective::default(), 2).unwrap();
+        let out = pp
+            .execute(&platform, 5000, Objective::default(), 2)
+            .unwrap();
         service_gains.push(1.0 - out.report.total_service_time() / base.total_service_secs());
         expense_gains.push(1.0 - out.expense_with_overhead_usd() / base.expense_usd);
     }
     let avg_s = service_gains.iter().sum::<f64>() / 3.0;
     let avg_e = expense_gains.iter().sum::<f64>() / 3.0;
-    assert!((0.70..0.95).contains(&avg_s), "avg service gain {avg_s:.2} outside band");
-    assert!((0.55..0.95).contains(&avg_e), "avg expense gain {avg_e:.2} outside band");
+    assert!(
+        (0.70..0.95).contains(&avg_s),
+        "avg service gain {avg_s:.2} outside band"
+    );
+    assert!(
+        (0.55..0.95).contains(&avg_e),
+        "avg expense gain {avg_e:.2} outside band"
+    );
 }
 
 #[test]
@@ -78,7 +90,10 @@ fn propack_degree_tracks_oracle_within_tolerance() {
                     &platform,
                     &work,
                     c,
-                    OracleObjective::Joint { w_s: 0.5, metric: Percentile::Total },
+                    OracleObjective::Joint {
+                        w_s: 0.5,
+                        metric: Percentile::Total,
+                    },
                     3,
                 )
                 .unwrap();
@@ -106,9 +121,18 @@ fn propack_beats_pywren_increasingly_with_concurrency() {
         let out = pp.execute(&platform, c, Objective::default(), 4).unwrap();
         gains.push(1.0 - out.report.total_service_time() / pywren.total_service_secs());
     }
-    assert!(gains[0] > 0.0, "ProPack must beat Pywren at C=1000: {gains:?}");
-    assert!(gains[1] > gains[0], "ProPack's edge must grow with concurrency: {gains:?}");
-    assert!(gains[1] > 0.4, "at C=5000 the edge should exceed 40%: {gains:?}");
+    assert!(
+        gains[0] > 0.0,
+        "ProPack must beat Pywren at C=1000: {gains:?}"
+    );
+    assert!(
+        gains[1] > gains[0],
+        "ProPack's edge must grow with concurrency: {gains:?}"
+    );
+    assert!(
+        gains[1] > 0.4,
+        "at C=5000 the edge should exceed 40%: {gains:?}"
+    );
 }
 
 #[test]
@@ -156,10 +180,16 @@ fn network_fee_platforms_save_more_expense() {
         let platform = profile.into_platform();
         let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
         let base = NoPacking.run(&platform, &work, 1000, 6).unwrap();
-        let out = pp.execute(&platform, 1000, Objective::default(), 6).unwrap();
+        let out = pp
+            .execute(&platform, 1000, Objective::default(), 6)
+            .unwrap();
         gains.push(1.0 - out.expense_with_overhead_usd() / base.expense_usd);
     }
-    assert!(gains[1] > gains[0], "Google {should} beat AWS: {gains:?}", should = "should");
+    assert!(
+        gains[1] > gains[0],
+        "Google {should} beat AWS: {gains:?}",
+        should = "should"
+    );
     assert!(gains[2] > gains[0], "Azure should beat AWS: {gains:?}");
 }
 

@@ -20,13 +20,19 @@ fn memory_cap_rejects_oversized_packs_on_every_platform() {
         // One degree past each platform's own memory cap must be rejected;
         // the cap itself must be accepted.
         let fits = (p.limits().mem_gb / heavy.mem_gb).floor() as u32;
-        let err = p.run_burst(&BurstSpec::new(heavy.clone(), 4, fits + 1)).unwrap_err();
+        let err = p
+            .run_burst(&BurstSpec::new(heavy.clone(), 4, fits + 1))
+            .unwrap_err();
         assert!(
             matches!(err, PlatformError::MemoryLimitExceeded { .. }),
             "{}: wrong error {err:?}",
             p.name()
         );
-        assert!(p.run_burst(&BurstSpec::new(heavy.clone(), 4, fits)).is_ok(), "{}", p.name());
+        assert!(
+            p.run_burst(&BurstSpec::new(heavy.clone(), 4, fits)).is_ok(),
+            "{}",
+            p.name()
+        );
     }
 }
 
@@ -43,9 +49,7 @@ fn execution_cap_truncates_propack_plans_instead_of_failing() {
         let plan = pp.plan(c, Default::default());
         assert!(plan.packing_degree <= pp.model.p_max);
         // And the planned burst actually executes.
-        assert!(pp
-            .execute(&platform, c, Default::default(), 3)
-            .is_ok());
+        assert!(pp.execute(&platform, c, Default::default(), 3).is_ok());
     }
 }
 
@@ -72,10 +76,16 @@ fn saturated_funcx_cluster_serializes_into_waves() {
         ..FuncXConfig::default()
     });
     let work = WorkProfile::synthetic("w", 0.25, 20.0);
-    let report = fx.run_burst(&BurstSpec::new(work, 64, 1).with_seed(9)).unwrap();
+    let report = fx
+        .run_burst(&BurstSpec::new(work, 64, 1).with_seed(9))
+        .unwrap();
     assert_eq!(report.instances.len(), 64);
     // Makespan must reflect at least 64/8 = 8 serialized waves.
-    assert!(report.total_service_time() > 7.0 * 20.0, "{}", report.total_service_time());
+    assert!(
+        report.total_service_time() > 7.0 * 20.0,
+        "{}",
+        report.total_service_time()
+    );
     for r in &report.instances {
         assert!(r.finished_at > r.started_at);
     }
@@ -87,7 +97,10 @@ fn infeasible_qos_bound_reports_best_achievable_tail() {
     let work = WorkProfile::synthetic("svc", 0.4, 50.0).with_contention(0.125);
     let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
     match pp.plan_with_qos(5000, 0.5) {
-        Err(ModelError::QosInfeasible { bound_secs, best_tail_secs }) => {
+        Err(ModelError::QosInfeasible {
+            bound_secs,
+            best_tail_secs,
+        }) => {
             assert_eq!(bound_secs, 0.5);
             assert!(best_tail_secs > 50.0, "tail must include execution time");
         }
@@ -120,12 +133,17 @@ fn baseline_times_out_where_packed_run_would_not() {
     let platform = PlatformProfile::aws_lambda().into_platform();
     let work = WorkProfile::synthetic("long", 0.25, 700.0).with_contention(0.12);
     // Degree 1 fits (700 < 900); degree 12 exceeds the cap.
-    assert!(platform.run_burst(&BurstSpec::new(work.clone(), 10, 1)).is_ok());
+    assert!(platform
+        .run_burst(&BurstSpec::new(work.clone(), 10, 1))
+        .is_ok());
     assert!(matches!(
         platform.run_burst(&BurstSpec::new(work.clone(), 10, 12)),
         Err(PlatformError::ExecutionTimeout { .. })
     ));
     let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
     let projected = platform.nominal_exec_secs(&work, pp.model.p_max) * 1.02;
-    assert!(projected <= 900.0, "feasible cap leaks past the limit: {projected}");
+    assert!(
+        projected <= 900.0,
+        "feasible cap leaks past the limit: {projected}"
+    );
 }

@@ -40,6 +40,11 @@ fn distinct_seeds_produce_distinct_work() {
         let mut checksums: Vec<u64> = run.outputs.iter().map(|o| o.checksum).collect();
         checksums.sort_unstable();
         checksums.dedup();
-        assert_eq!(checksums.len(), 6, "{}: checksum collision across seeds", bench.name());
+        assert_eq!(
+            checksums.len(),
+            6,
+            "{}: checksum collision across seeds",
+            bench.name()
+        );
     }
 }

@@ -1,7 +1,6 @@
 //! Cross-crate property-based tests (proptest): invariants that must hold
 //! for *any* burst specification, not just the calibrated benchmarks.
 
-use proptest::prelude::*;
 use propack_repro::platform::profile::PlatformProfile;
 use propack_repro::platform::{BurstSpec, CloudPlatform, ServerlessPlatform, WorkProfile};
 use propack_repro::propack::interference::{InterferenceModel, InterferenceSample};
@@ -9,6 +8,7 @@ use propack_repro::propack::model::{CostFactors, PackingModel};
 use propack_repro::propack::optimizer::{plan, Objective};
 use propack_repro::propack::scaling::{ScalingModel, ScalingSample};
 use propack_repro::stats::percentile::Percentile;
+use proptest::prelude::*;
 
 fn aws() -> CloudPlatform {
     PlatformProfile::aws_lambda().into_platform()
@@ -18,12 +18,12 @@ fn aws() -> CloudPlatform {
 /// caps.
 fn feasible_spec() -> impl Strategy<Value = (WorkProfile, u32, u32, u64)> {
     (
-        0.1f64..1.0,    // mem_gb
-        5.0f64..120.0,  // base exec
-        0.02f64..0.3,   // contention per GB
-        1u32..=400,     // instances
-        1u32..=10,      // packing degree candidate
-        any::<u64>(),   // seed
+        0.1f64..1.0,   // mem_gb
+        5.0f64..120.0, // base exec
+        0.02f64..0.3,  // contention per GB
+        1u32..=400,    // instances
+        1u32..=10,     // packing degree candidate
+        any::<u64>(),  // seed
     )
         .prop_map(|(mem, base, cont, inst, deg, seed)| {
             let work = WorkProfile::synthetic("prop", mem, base).with_contention(cont);
