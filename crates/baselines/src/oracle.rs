@@ -121,11 +121,11 @@ fn argmin(candidates: &[(u32, StrategyOutcome)], f: impl Fn(&StrategyOutcome) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use propack_platform::profile::PlatformProfile;
     use propack_platform::CloudPlatform;
+    use propack_platform::PlatformBuilder;
 
     fn aws() -> CloudPlatform {
-        PlatformProfile::aws_lambda().into_platform()
+        PlatformBuilder::aws().build()
     }
 
     fn work() -> WorkProfile {

@@ -97,12 +97,11 @@ impl StrategyOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use propack_platform::profile::PlatformProfile;
-    use propack_platform::{BurstSpec, ServerlessPlatform, WorkProfile};
+    use propack_platform::{BurstSpec, PlatformBuilder, ServerlessPlatform, WorkProfile};
 
     fn report(c: u32, p: u32) -> RunReport {
-        PlatformProfile::aws_lambda()
-            .into_platform()
+        PlatformBuilder::aws()
+            .build()
             .run_burst(&BurstSpec::new(
                 WorkProfile::synthetic("w", 0.25, 50.0),
                 c,

@@ -187,12 +187,12 @@ impl Strategy for Pywren {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use propack_platform::profile::PlatformProfile;
     use propack_platform::CloudPlatform;
+    use propack_platform::PlatformBuilder;
     use propack_stats::percentile::Percentile;
 
     fn aws() -> CloudPlatform {
-        PlatformProfile::aws_lambda().into_platform()
+        PlatformBuilder::aws().build()
     }
 
     fn work() -> WorkProfile {

@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use propack_baselines::{Oracle, OracleObjective};
 use propack_model::optimizer::Objective;
 use propack_model::propack::{ProPackConfig, Propack};
-use propack_platform::profile::PlatformProfile;
+use propack_platform::PlatformBuilder;
 use propack_platform::WorkProfile;
 use propack_stats::percentile::Percentile;
 use std::hint::black_box;
@@ -20,7 +20,7 @@ fn work() -> WorkProfile {
 fn bench_propack_build_and_plan(c: &mut Criterion) {
     let mut g = c.benchmark_group("end_to_end");
     g.sample_size(10);
-    let platform = PlatformProfile::aws_lambda().into_platform();
+    let platform = PlatformBuilder::aws().build();
     g.bench_function("propack_build", |b| {
         b.iter(|| Propack::build(&platform, black_box(&work()), &ProPackConfig::default()).unwrap())
     });
@@ -36,7 +36,7 @@ fn bench_propack_build_and_plan(c: &mut Criterion) {
 fn bench_propack_vs_oracle(c: &mut Criterion) {
     let mut g = c.benchmark_group("propack_vs_oracle");
     g.sample_size(10);
-    let platform = PlatformProfile::aws_lambda().into_platform();
+    let platform = PlatformBuilder::aws().build();
     let w = work();
     let pp = Propack::build(&platform, &w, &ProPackConfig::default()).unwrap();
     g.bench_function("analytical_decision", |b| {

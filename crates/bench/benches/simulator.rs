@@ -4,7 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use propack_funcx::FuncXPlatform;
 use propack_platform::profile::PlatformProfile;
-use propack_platform::{BurstSpec, ServerlessPlatform, WorkProfile};
+use propack_platform::PlatformBuilder;
+use propack_platform::{BurstSpec, CloudPlatform, ServerlessPlatform, WorkProfile};
 use std::hint::black_box;
 
 fn work() -> WorkProfile {
@@ -13,7 +14,7 @@ fn work() -> WorkProfile {
 
 fn bench_burst_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("burst_simulation");
-    let aws = PlatformProfile::aws_lambda().into_platform();
+    let aws = PlatformBuilder::aws().build();
     for &n in &[500u32, 2000, 5000] {
         g.throughput(Throughput::Elements(n as u64));
         g.bench_with_input(BenchmarkId::new("aws_no_packing", n), &n, |b, &n| {
@@ -32,18 +33,9 @@ fn bench_platform_comparison(c: &mut Criterion) {
     let mut g = c.benchmark_group("platforms");
     let spec = BurstSpec::new(work(), 2000, 1).with_seed(2);
     let platforms: Vec<(&str, Box<dyn ServerlessPlatform>)> = vec![
-        (
-            "aws",
-            Box::new(PlatformProfile::aws_lambda().into_platform()),
-        ),
-        (
-            "google",
-            Box::new(PlatformProfile::google_cloud_functions().into_platform()),
-        ),
-        (
-            "azure",
-            Box::new(PlatformProfile::azure_functions().into_platform()),
-        ),
+        ("aws", Box::new(PlatformBuilder::aws().build())),
+        ("google", Box::new(PlatformBuilder::google().build())),
+        ("azure", Box::new(PlatformBuilder::azure().build())),
         ("funcx", Box::new(FuncXPlatform::default())),
     ];
     for (name, p) in &platforms {
@@ -59,10 +51,10 @@ fn bench_platform_comparison(c: &mut Criterion) {
 fn bench_scheduler_curve_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_scheduler_curve");
     let spec = BurstSpec::new(work(), 3000, 1).with_seed(3);
-    let quad = PlatformProfile::aws_lambda().into_platform();
+    let quad = PlatformBuilder::aws().build();
     let mut flat_profile = PlatformProfile::aws_lambda();
     flat_profile.control.sched_per_inflight_secs = 0.0;
-    let flat = flat_profile.into_platform();
+    let flat = CloudPlatform::new(flat_profile);
     g.bench_function("quadratic_scheduler", |b| {
         b.iter(|| quad.run_burst(black_box(&spec)).unwrap())
     });

@@ -5,9 +5,9 @@
 use propack_funcx::FuncXPlatform;
 use propack_model::propack::{ProPackConfig, Propack};
 use propack_model::scaling::ScalingModel;
-use propack_platform::profile::PlatformProfile;
+use propack_platform::PlatformBuilder;
 use propack_platform::{CloudPlatform, ServerlessPlatform, WorkProfile};
-use propack_workloads::{all_benchmarks, primary_benchmarks};
+use propack_workloads::Benchmarks;
 
 /// The evaluation's concurrency ladder (Figs. 9–11 sweep 500 → 5000).
 pub const CONCURRENCY_LADDER: [u32; 4] = [500, 1000, 2000, 5000];
@@ -34,9 +34,9 @@ pub struct Ctx {
 impl Default for Ctx {
     fn default() -> Self {
         Ctx {
-            aws: PlatformProfile::aws_lambda().into_platform(),
-            google: PlatformProfile::google_cloud_functions().into_platform(),
-            azure: PlatformProfile::azure_functions().into_platform(),
+            aws: PlatformBuilder::aws().build(),
+            google: PlatformBuilder::google().build(),
+            azure: PlatformBuilder::azure().build(),
             funcx: FuncXPlatform::default(),
             config: ProPackConfig::default(),
             seed: 0xC0FFEE,
@@ -45,14 +45,20 @@ impl Default for Ctx {
 }
 
 impl Ctx {
+    /// Worker-thread count for sweep-engine-backed figures: one per core.
+    /// Output is deterministic at any thread count (see `propack_sweep`).
+    pub fn sweep_threads() -> usize {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+
     /// The three primary benchmark profiles (Video, Sort, Stateless Cost).
     pub fn primary_profiles(&self) -> Vec<WorkProfile> {
-        primary_benchmarks().iter().map(|b| b.profile()).collect()
+        Benchmarks::primary().iter().map(|b| b.profile()).collect()
     }
 
     /// All five benchmark profiles.
     pub fn all_profiles(&self) -> Vec<WorkProfile> {
-        all_benchmarks().iter().map(|b| b.profile()).collect()
+        Benchmarks::all().iter().map(|b| b.profile()).collect()
     }
 
     /// Build ProPack for `work` on a platform, reusing a pre-fitted

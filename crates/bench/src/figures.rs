@@ -14,6 +14,7 @@ use propack_model::validate::validate_models;
 use propack_platform::{BurstSpec, ServerlessPlatform, WorkProfile};
 use propack_stats::chi2::ChiSquareTest;
 use propack_stats::percentile::Percentile;
+use propack_sweep::{PackingPolicy, PlatformAxis, SweepRunner, SweepSpec};
 use propack_workloads::Workload;
 
 /// Baseline (no packing) outcome for `work` at concurrency `c`.
@@ -77,25 +78,42 @@ impl<P: ServerlessPlatform + ?Sized> ServerlessPlatform for DynPlatform<'_, P> {
 }
 
 /// Fig. 1: scaling time as % of total service time across providers.
+///
+/// Runs as a [`SweepSpec`] grid on the parallel sweep engine; the table is
+/// assembled in the paper's row order from the deterministically merged
+/// cells, so the values are identical to the old hand-rolled serial loop.
 pub fn fig01_scaling_fraction(ctx: &Ctx) -> Vec<Table> {
     let mut t = Table::new(
         "fig01",
         "Scaling time as a fraction of total service time (no packing)",
         &["platform", "app", "concurrency", "scaling %of service"],
     );
-    let platforms: [(&str, &dyn ServerlessPlatform); 3] = [
-        ("AWS", &ctx.aws),
-        ("Google", &ctx.google),
-        ("Azure", &ctx.azure),
-    ];
+    let spec = SweepSpec::new("fig01")
+        .platforms([PlatformAxis::Aws, PlatformAxis::Google, PlatformAxis::Azure])
+        .workloads(ctx.primary_profiles())
+        .concurrency([1000, 2000, C_HIGH])
+        .policies([PackingPolicy::NoPacking])
+        .seeds([ctx.seed])
+        .fit_config(ctx.config.clone());
+    let report = SweepRunner::new()
+        .threads(Ctx::sweep_threads())
+        .run(&spec)
+        .expect("fig01 sweep");
+
     let mut aws_high = 0.0f64;
-    for (pname, platform) in platforms {
+    for (pname, label) in [("AWS", "aws"), ("Google", "google"), ("Azure", "azure")] {
         for work in ctx.primary_profiles() {
             for c in [1000, 2000, C_HIGH] {
-                let report = platform
-                    .run_burst(&BurstSpec::new(work.clone(), c, 1).with_seed(ctx.seed))
-                    .expect("burst");
-                let frac = 100.0 * report.scaling_fraction();
+                let cell = report
+                    .cells
+                    .iter()
+                    .find(|r| {
+                        r.key.platform == label
+                            && r.key.workload == work.name
+                            && r.key.concurrency == c
+                    })
+                    .expect("cell present");
+                let frac = 100.0 * cell.scaling_secs / cell.service_secs;
                 if pname == "AWS" && c == C_HIGH {
                     aws_high = aws_high.max(frac);
                 }
@@ -936,31 +954,49 @@ pub fn fig20_xapian_qos(ctx: &Ctx) -> Vec<Table> {
 }
 
 /// Fig. 21: multi-platform improvements at C = 1000.
+///
+/// Runs as a [`SweepSpec`] grid (3 platforms × 3 apps × {no-packing,
+/// ProPack}) on the parallel sweep engine; the shared model cache fits one
+/// ProPack model per (platform, app) and the overhead-inclusive expense
+/// accounting matches the old hand-rolled loop exactly.
 pub fn fig21_multi_platform(ctx: &Ctx) -> Vec<Table> {
     let mut t = Table::new(
         "fig21",
         "ProPack across platforms at C=1000 (% improvement over no packing)",
         &["platform", "app", "service impr", "expense impr"],
     );
-    let platforms: [(&str, &dyn ServerlessPlatform); 3] = [
-        ("AWS", &ctx.aws),
-        ("Google", &ctx.google),
-        ("Azure", &ctx.azure),
-    ];
+    let spec = SweepSpec::new("fig21")
+        .platforms([PlatformAxis::Aws, PlatformAxis::Google, PlatformAxis::Azure])
+        .workloads(ctx.primary_profiles())
+        .concurrency([1000])
+        .policies([PackingPolicy::NoPacking, PackingPolicy::propack_default()])
+        .seeds([ctx.seed])
+        .fit_config(ctx.config.clone());
+    let report = SweepRunner::new()
+        .threads(Ctx::sweep_threads())
+        .run(&spec)
+        .expect("fig21 sweep");
+    let cell = |platform: &str, work: &str, policy_label: &str| {
+        report
+            .cells
+            .iter()
+            .find(|r| {
+                r.key.platform == platform && r.key.workload == work && r.key.policy == policy_label
+            })
+            .expect("cell present")
+    };
+    let propack_label = PackingPolicy::propack_default().label();
+
     let mut expense_by_platform = [0.0f64; 3];
-    for (i, (pname, platform)) in platforms.iter().enumerate() {
+    for (i, (pname, label)) in [("AWS", "aws"), ("Google", "google"), ("Azure", "azure")]
+        .iter()
+        .enumerate()
+    {
         for work in ctx.primary_profiles() {
-            let pp = ctx.build_propack(*platform, &work, None);
-            let base = NoPacking
-                .run(&as_dyn(*platform), &work, 1000, ctx.seed)
-                .expect("baseline");
-            let out = pp
-                .execute(*platform, 1000, Objective::default(), ctx.seed)
-                .expect("run");
-            let mut packed = StrategyOutcome::from_report("ProPack", &out.report);
-            packed.expense_usd = out.expense_with_overhead_usd();
-            let s = packed.improvement_over(&base, |o| o.total_service_secs());
-            let e = packed.improvement_over(&base, |o| o.expense_usd);
+            let base = cell(label, &work.name, "no-packing");
+            let packed = cell(label, &work.name, &propack_label);
+            let s = 100.0 * (1.0 - packed.service_secs / base.service_secs);
+            let e = 100.0 * (1.0 - packed.expense_usd / base.expense_usd);
             expense_by_platform[i] += e / 3.0;
             t.row(vec![(*pname).into(), work.name.clone(), pct(s), pct(e)]);
         }

@@ -58,6 +58,10 @@ fn fig04_fit_errors_are_small() {
 }
 
 #[test]
+#[cfg_attr(
+    feature = "offline-stub",
+    ignore = "requires real serde_json (offline stub cannot serialize)"
+)]
 fn tables_render_and_serialize() {
     let tables = run_experiment("fig02").expect("fig02");
     for t in &tables {

@@ -45,9 +45,10 @@ impl Table {
         self.notes.push(s.into());
     }
 
-    /// Render as an aligned text table to stdout.
-    pub fn print(&self) {
-        println!("== {} — {}", self.id, self.title);
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut text = String::new();
+        text.push_str(&format!("== {} — {}\n", self.id, self.title));
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
         for row in &self.rows {
             for (w, cell) in widths.iter_mut().zip(row) {
@@ -59,17 +60,23 @@ impl Table {
             for (w, cell) in widths.iter().zip(cells) {
                 out.push_str(&format!("{cell:<width$}  ", width = w));
             }
-            println!("  {}", out.trim_end());
+            format!("  {}\n", out.trim_end())
         };
-        line(&self.headers);
+        text.push_str(&line(&self.headers));
         let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
-        println!("  {}", "-".repeat(total.min(120)));
+        text.push_str(&format!("  {}\n", "-".repeat(total.min(120))));
         for row in &self.rows {
-            line(row);
+            text.push_str(&line(row));
         }
         for n in &self.notes {
-            println!("  note: {n}");
+            text.push_str(&format!("  note: {n}\n"));
         }
+        text
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
     }
 
     /// JSON rendering (one object per table).
@@ -104,6 +111,10 @@ mod tests {
     use super::*;
 
     #[test]
+    #[cfg_attr(
+        feature = "offline-stub",
+        ignore = "requires real serde_json (offline stub cannot serialize)"
+    )]
     fn table_roundtrip() {
         let mut t = Table::new("fig00", "test", &["a", "b"]);
         t.row(vec!["1".into(), "2".into()]);

@@ -1,36 +1,55 @@
 //! Library half of the `propack` CLI: argument parsing and command
 //! execution, separated from `main` so every path is unit-testable.
 //!
-//! Commands:
+//! Parsing is table-driven: every subcommand is one [`Subcommand`] row
+//! declaring its flags, and all rows share one flag parser (no per-command
+//! positional parsing). Commands:
 //!
 //! ```text
-//! propack plan    --app <name> --concurrency <C> [--platform <p>] [--objective <o>]
-//! propack run     --app <name> --concurrency <C> [--platform <p>] [--objective <o>] [--seed <s>]
-//! propack compare --app <name> --concurrency <C> [--platform <p>]
-//! propack apps
-//! propack platforms
+//! propack sweep    --apps <a,b> [--platforms <p,..>] [--concurrency <C,..>]
+//!                  [--policies <pol,..>] [--seeds <s,..>] [--threads <n>]
+//!                  [--bench-out <file>] [--compare-serial] [--name <id>]
+//! propack figures  [--fig <fig01,fig21,..|all>] [--json]
+//! propack validate --app <name> -c <C> [--platform <p>] [--seed <s>]
+//! propack help
 //! ```
+//!
+//! The single-cell commands of earlier releases (`plan`, `run`, `compare`,
+//! `apps`, `platforms`) keep working; `plan`/`run`/`compare` print a
+//! deprecation note on stderr pointing at `propack sweep`.
 //!
 //! Apps are the five paper benchmarks (`video`, `sort`, `stateless`,
 //! `smith-waterman`, `xapian`); platforms are `aws`, `google`, `azure`,
-//! `funcx`.
+//! `funcx`; policies are `no-packing`, `pywren`, `fixed:<P>`, `propack`,
+//! `propack:<objective>`.
+
+use std::collections::{BTreeMap, BTreeSet};
 
 use propack_baselines::{NoPacking, Pywren, Strategy};
 use propack_funcx::FuncXPlatform;
 use propack_model::optimizer::Objective;
 use propack_model::propack::{ProPackConfig, Propack};
-use propack_platform::profile::PlatformProfile;
+use propack_model::validate::validate_models;
+use propack_platform::PlatformBuilder;
 use propack_platform::{ServerlessPlatform, WorkProfile};
-use propack_workloads::all_benchmarks;
+use propack_stats::chi2::ChiSquareTest;
+use propack_sweep::{bench_json, PackingPolicy, PlatformAxis, RunTiming, SweepRunner, SweepSpec};
+use propack_workloads::Benchmarks;
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// Print the packing plan without executing.
+    /// Run a declarative experiment grid on the parallel sweep engine.
+    Sweep(SweepArgs),
+    /// Regenerate paper figures/tables by experiment id.
+    Figures(FiguresArgs),
+    /// Replay the §2.4 χ² model-validation protocol for one app.
+    Validate(ValidateArgs),
+    /// Print the packing plan without executing (legacy single-cell).
     Plan(RunArgs),
-    /// Execute the packed burst and report.
+    /// Execute the packed burst and report (legacy single-cell).
     Run(RunArgs),
-    /// Compare no-packing / Pywren / ProPack side by side.
+    /// Compare no-packing / Pywren / ProPack side by side (legacy).
     Compare(RunArgs),
     /// List known applications.
     Apps,
@@ -40,7 +59,52 @@ pub enum Command {
     Help,
 }
 
-/// Shared arguments of plan/run/compare.
+/// Arguments of `propack sweep`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepArgs {
+    /// Sweep name (used in the report header and `BENCH_sweep.json`).
+    pub name: String,
+    /// Benchmark keys (comma list).
+    pub apps: Vec<String>,
+    /// Platform keys (comma list).
+    pub platforms: Vec<String>,
+    /// Concurrency levels (comma list).
+    pub concurrency: Vec<u32>,
+    /// Policy keys (comma list).
+    pub policies: Vec<String>,
+    /// Seeds (comma list).
+    pub seeds: Vec<u64>,
+    /// Worker threads; 0 = one per available core.
+    pub threads: usize,
+    /// Write `BENCH_sweep.json` here.
+    pub bench_out: Option<String>,
+    /// Also run serially and verify byte-identical output + speedup.
+    pub compare_serial: bool,
+}
+
+/// Arguments of `propack figures`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FiguresArgs {
+    /// Experiment ids (`fig01`, `tab01`, …); empty = all, in paper order.
+    pub ids: Vec<String>,
+    /// Emit JSON tables instead of aligned text.
+    pub json: bool,
+}
+
+/// Arguments of `propack validate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidateArgs {
+    /// Benchmark key.
+    pub app: String,
+    /// Concurrency level to validate at.
+    pub concurrency: u32,
+    /// Platform key.
+    pub platform: String,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Shared arguments of the legacy plan/run/compare commands.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunArgs {
     /// Benchmark key (`video`, `sort`, …).
@@ -85,65 +149,337 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-/// Parse an argument vector (without the binary name).
-pub fn parse(args: &[String]) -> Result<Command, ParseError> {
-    let Some(cmd) = args.first() else {
-        return Ok(Command::Help);
-    };
-    match cmd.as_str() {
-        "apps" => Ok(Command::Apps),
-        "platforms" => Ok(Command::Platforms),
-        "help" | "--help" | "-h" => Ok(Command::Help),
-        "plan" | "run" | "compare" => {
-            let mut ra = RunArgs::default();
-            let mut it = args[1..].iter();
-            while let Some(flag) = it.next() {
-                let mut value = || {
-                    it.next()
-                        .cloned()
-                        .ok_or_else(|| ParseError(format!("{flag} needs a value")))
-                };
-                match flag.as_str() {
-                    "--app" => ra.app = value()?,
-                    "--concurrency" | "-c" => {
-                        ra.concurrency = value()?
-                            .parse()
-                            .map_err(|e| ParseError(format!("bad concurrency: {e}")))?
-                    }
-                    "--platform" => ra.platform = value()?,
-                    "--objective" => ra.objective = value()?,
-                    "--seed" => {
-                        ra.seed = value()?
-                            .parse()
-                            .map_err(|e| ParseError(format!("bad seed: {e}")))?
-                    }
-                    "--save" => ra.save_model = Some(value()?),
-                    "--model" => ra.load_model = Some(value()?),
-                    other => return Err(ParseError(format!("unknown flag {other}"))),
-                }
-            }
-            if ra.app.is_empty() {
-                return Err(ParseError("--app is required".into()));
-            }
-            if ra.concurrency == 0 {
-                return Err(ParseError("--concurrency must be ≥ 1".into()));
-            }
-            Ok(match cmd.as_str() {
-                "plan" => Command::Plan(ra),
-                "run" => Command::Run(ra),
-                _ => Command::Compare(ra),
-            })
+// ---------------------------------------------------------------------------
+// The subcommand table and its shared flag parser.
+// ---------------------------------------------------------------------------
+
+/// Flags collected by the shared parser: `--flag value` pairs plus bare
+/// switches, with aliases already canonicalized.
+#[derive(Debug, Default)]
+pub struct FlagSet {
+    values: BTreeMap<String, String>,
+    switches: BTreeSet<String>,
+}
+
+impl FlagSet {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.switches.contains(key)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, ParseError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|e| ParseError(format!("bad {key}: {e}"))),
         }
-        other => Err(ParseError(format!(
-            "unknown command {other}; try `propack help`"
-        ))),
+    }
+
+    /// A comma-separated list flag, trimmed, empty items dropped.
+    fn list(&self, key: &str) -> Option<Vec<String>> {
+        self.get(key).map(|raw| {
+            raw.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+    }
+
+    fn parsed_list<T: std::str::FromStr>(&self, key: &str) -> Result<Option<Vec<T>>, ParseError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.list(key) {
+            None => Ok(None),
+            Some(items) => items
+                .iter()
+                .map(|s| {
+                    s.parse()
+                        .map_err(|e| ParseError(format!("bad {key} value '{s}': {e}")))
+                })
+                .collect::<Result<Vec<T>, ParseError>>()
+                .map(Some),
+        }
     }
 }
+
+/// Flag aliases shared by every subcommand: `(alias, canonical, note)`.
+/// A `Some` note marks the alias deprecated.
+const FLAG_ALIASES: &[(&str, &str, Option<&str>)] = &[
+    ("-c", "--concurrency", None),
+    (
+        "--model",
+        "--load",
+        Some("`--model` is deprecated; use `--load <file>`"),
+    ),
+];
+
+/// The one flag parser every subcommand shares: canonicalize aliases, then
+/// accept exactly the declared value flags and switches.
+fn parse_flags(
+    args: &[String],
+    value_flags: &[&str],
+    switch_flags: &[&str],
+    notes: &mut Vec<String>,
+) -> Result<FlagSet, ParseError> {
+    let mut flags = FlagSet::default();
+    let mut it = args.iter();
+    while let Some(raw) = it.next() {
+        let mut canonical = raw.as_str();
+        for (alias, target, note) in FLAG_ALIASES {
+            if raw == alias {
+                canonical = target;
+                if let Some(note) = note {
+                    notes.push(note.to_string());
+                }
+            }
+        }
+        if switch_flags.contains(&canonical) {
+            flags.switches.insert(trim_dashes(canonical));
+        } else if value_flags.contains(&canonical) {
+            let value = it
+                .next()
+                .ok_or_else(|| ParseError(format!("{canonical} needs a value")))?;
+            flags.values.insert(trim_dashes(canonical), value.clone());
+        } else {
+            return Err(ParseError(format!("unknown flag {raw}")));
+        }
+    }
+    Ok(flags)
+}
+
+fn trim_dashes(flag: &str) -> String {
+    flag.trim_start_matches('-').to_string()
+}
+
+/// One row of the subcommand table.
+struct Subcommand {
+    name: &'static str,
+    usage: &'static str,
+    value_flags: &'static [&'static str],
+    switch_flags: &'static [&'static str],
+    /// Printed to stderr when the subcommand is used (deprecation path).
+    note: Option<&'static str>,
+    build: fn(&FlagSet) -> Result<Command, ParseError>,
+}
+
+const RUN_FLAGS: &[&str] = &[
+    "--app",
+    "--concurrency",
+    "--platform",
+    "--objective",
+    "--seed",
+    "--save",
+    "--load",
+];
+
+const LEGACY_NOTE: &str =
+    "single-cell commands are legacy; grid experiments have moved to `propack sweep`";
+
+const SUBCOMMANDS: &[Subcommand] = &[
+    Subcommand {
+        name: "sweep",
+        usage: "sweep    --apps <a,..> [--platforms aws,google,azure,funcx] [--concurrency <C,..>] [--policies no-packing,pywren,fixed:<P>,propack[:<obj>]] [--seeds <s,..>] [--threads <n>] [--bench-out <file>] [--compare-serial] [--name <id>]",
+        value_flags: &[
+            "--name",
+            "--apps",
+            "--platforms",
+            "--concurrency",
+            "--policies",
+            "--seeds",
+            "--threads",
+            "--bench-out",
+        ],
+        switch_flags: &["--compare-serial"],
+        note: None,
+        build: build_sweep,
+    },
+    Subcommand {
+        name: "figures",
+        usage: "figures  [--fig fig01,fig21,..|all] [--json]",
+        value_flags: &["--fig"],
+        switch_flags: &["--json"],
+        note: None,
+        build: build_figures,
+    },
+    Subcommand {
+        name: "validate",
+        usage: "validate --app <name> -c <C> [--platform <p>] [--seed <s>]",
+        value_flags: &["--app", "--concurrency", "--platform", "--seed"],
+        switch_flags: &[],
+        note: None,
+        build: build_validate,
+    },
+    Subcommand {
+        name: "plan",
+        usage: "plan     --app <name> -c <C> [--platform <p>] [--objective <o>] [--save <file>] [--load <file>]",
+        value_flags: RUN_FLAGS,
+        switch_flags: &[],
+        note: Some(LEGACY_NOTE),
+        build: |fs| Ok(Command::Plan(build_run_args(fs)?)),
+    },
+    Subcommand {
+        name: "run",
+        usage: "run      --app <name> -c <C> [--platform <p>] [--objective <o>] [--seed <n>] [--save <file>] [--load <file>]",
+        value_flags: RUN_FLAGS,
+        switch_flags: &[],
+        note: Some(LEGACY_NOTE),
+        build: |fs| Ok(Command::Run(build_run_args(fs)?)),
+    },
+    Subcommand {
+        name: "compare",
+        usage: "compare  --app <name> -c <C> [--platform <p>]",
+        value_flags: RUN_FLAGS,
+        switch_flags: &[],
+        note: Some(LEGACY_NOTE),
+        build: |fs| Ok(Command::Compare(build_run_args(fs)?)),
+    },
+    Subcommand {
+        name: "apps",
+        usage: "apps",
+        value_flags: &[],
+        switch_flags: &[],
+        note: None,
+        build: |_| Ok(Command::Apps),
+    },
+    Subcommand {
+        name: "platforms",
+        usage: "platforms",
+        value_flags: &[],
+        switch_flags: &[],
+        note: None,
+        build: |_| Ok(Command::Platforms),
+    },
+    Subcommand {
+        name: "help",
+        usage: "help",
+        value_flags: &[],
+        switch_flags: &[],
+        note: None,
+        build: |_| Ok(Command::Help),
+    },
+];
+
+fn build_sweep(flags: &FlagSet) -> Result<Command, ParseError> {
+    let apps = flags
+        .list("apps")
+        .ok_or_else(|| ParseError("--apps is required (see `propack apps`)".into()))?;
+    Ok(Command::Sweep(SweepArgs {
+        name: flags.get("name").unwrap_or("cli-sweep").to_string(),
+        apps,
+        platforms: flags
+            .list("platforms")
+            .unwrap_or_else(|| vec!["aws".into()]),
+        concurrency: flags
+            .parsed_list("concurrency")?
+            .unwrap_or_else(|| vec![100, 1000]),
+        policies: flags
+            .list("policies")
+            .unwrap_or_else(|| vec!["no-packing".into(), "pywren".into(), "propack".into()]),
+        seeds: flags.parsed_list("seeds")?.unwrap_or_else(|| vec![42]),
+        threads: flags.parsed("threads")?.unwrap_or(0),
+        bench_out: flags.get("bench-out").map(str::to_string),
+        compare_serial: flags.has("compare-serial"),
+    }))
+}
+
+fn build_figures(flags: &FlagSet) -> Result<Command, ParseError> {
+    let ids = match flags.list("fig") {
+        None => Vec::new(),
+        Some(ids) if ids.iter().any(|i| i == "all") => Vec::new(),
+        Some(ids) => ids,
+    };
+    Ok(Command::Figures(FiguresArgs {
+        ids,
+        json: flags.has("json"),
+    }))
+}
+
+fn build_validate(flags: &FlagSet) -> Result<Command, ParseError> {
+    Ok(Command::Validate(ValidateArgs {
+        app: require_app(flags)?,
+        concurrency: require_concurrency(flags)?,
+        platform: flags.get("platform").unwrap_or("aws").to_string(),
+        seed: flags.parsed("seed")?.unwrap_or(42),
+    }))
+}
+
+fn build_run_args(flags: &FlagSet) -> Result<RunArgs, ParseError> {
+    Ok(RunArgs {
+        app: require_app(flags)?,
+        concurrency: require_concurrency(flags)?,
+        platform: flags.get("platform").unwrap_or("aws").to_string(),
+        objective: flags.get("objective").unwrap_or("joint").to_string(),
+        seed: flags.parsed("seed")?.unwrap_or(42),
+        save_model: flags.get("save").map(str::to_string),
+        load_model: flags.get("load").map(str::to_string),
+    })
+}
+
+fn require_app(flags: &FlagSet) -> Result<String, ParseError> {
+    flags
+        .get("app")
+        .map(str::to_string)
+        .filter(|a| !a.is_empty())
+        .ok_or_else(|| ParseError("--app is required".into()))
+}
+
+fn require_concurrency(flags: &FlagSet) -> Result<u32, ParseError> {
+    match flags.parsed::<u32>("concurrency")? {
+        Some(c) if c >= 1 => Ok(c),
+        _ => Err(ParseError("--concurrency must be ≥ 1".into())),
+    }
+}
+
+/// Parse an argument vector (without the binary name), returning the
+/// command plus any deprecation notes the invocation triggered.
+pub fn parse_with_notes(args: &[String]) -> Result<(Command, Vec<String>), ParseError> {
+    let Some(cmd) = args.first() else {
+        return Ok((Command::Help, Vec::new()));
+    };
+    let name = match cmd.as_str() {
+        "--help" | "-h" => "help",
+        other => other,
+    };
+    let def = SUBCOMMANDS
+        .iter()
+        .find(|d| d.name == name)
+        .ok_or_else(|| ParseError(format!("unknown command {cmd}; try `propack help`")))?;
+    let mut notes = Vec::new();
+    if let Some(note) = def.note {
+        notes.push(note.to_string());
+    }
+    let flags = parse_flags(&args[1..], def.value_flags, def.switch_flags, &mut notes)?;
+    Ok(((def.build)(&flags)?, notes))
+}
+
+/// Parse an argument vector (without the binary name); deprecation notes
+/// go to stderr.
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let (command, notes) = parse_with_notes(args)?;
+    for note in notes {
+        eprintln!("note: {note}");
+    }
+    Ok(command)
+}
+
+// ---------------------------------------------------------------------------
+// Key resolution (shared by every subcommand).
+// ---------------------------------------------------------------------------
 
 /// Resolve an application key to its work profile.
 pub fn resolve_app(key: &str) -> Result<WorkProfile, ParseError> {
     let canonical = key.to_ascii_lowercase();
-    for bench in all_benchmarks() {
+    for bench in Benchmarks::all() {
         let name = bench.name().to_ascii_lowercase().replace(' ', "-");
         if name == canonical || name.starts_with(&canonical) {
             return Ok(bench.profile());
@@ -157,10 +493,21 @@ pub fn resolve_app(key: &str) -> Result<WorkProfile, ParseError> {
 /// Resolve a platform key.
 pub fn resolve_platform(key: &str) -> Result<Box<dyn ServerlessPlatform>, ParseError> {
     Ok(match key.to_ascii_lowercase().as_str() {
-        "aws" | "lambda" => Box::new(PlatformProfile::aws_lambda().into_platform()),
-        "google" | "gcf" => Box::new(PlatformProfile::google_cloud_functions().into_platform()),
-        "azure" => Box::new(PlatformProfile::azure_functions().into_platform()),
+        "aws" | "lambda" => Box::new(PlatformBuilder::aws().build()),
+        "google" | "gcf" => Box::new(PlatformBuilder::google().build()),
+        "azure" => Box::new(PlatformBuilder::azure().build()),
         "funcx" => Box::new(FuncXPlatform::default()),
+        other => return Err(ParseError(format!("unknown platform '{other}'"))),
+    })
+}
+
+/// Resolve a platform key to a sweep axis value.
+pub fn resolve_platform_axis(key: &str) -> Result<PlatformAxis, ParseError> {
+    Ok(match key.to_ascii_lowercase().as_str() {
+        "aws" | "lambda" => PlatformAxis::Aws,
+        "google" | "gcf" => PlatformAxis::Google,
+        "azure" => PlatformAxis::Azure,
+        "funcx" => PlatformAxis::FuncX,
         other => return Err(ParseError(format!("unknown platform '{other}'"))),
     })
 }
@@ -187,7 +534,67 @@ pub fn resolve_objective(key: &str) -> Result<Objective, ParseError> {
     })
 }
 
+/// Resolve a packing-policy key (`no-packing`, `pywren`, `fixed:<P>`,
+/// `propack`, `propack:<objective>`).
+pub fn resolve_policy(key: &str) -> Result<PackingPolicy, ParseError> {
+    let canonical = key.to_ascii_lowercase();
+    match canonical.as_str() {
+        "no-packing" | "nopacking" | "none" | "baseline" => Ok(PackingPolicy::NoPacking),
+        "pywren" => Ok(PackingPolicy::Pywren),
+        "propack" => Ok(PackingPolicy::propack_default()),
+        other => {
+            if let Some(p) = other
+                .strip_prefix("fixed:")
+                .or_else(|| other.strip_prefix("fixed-"))
+            {
+                let degree: u32 = p
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad packing degree '{p}': {e}")))?;
+                Ok(PackingPolicy::Fixed(degree))
+            } else if let Some(objective) = other.strip_prefix("propack:") {
+                Ok(PackingPolicy::Propack {
+                    objective: resolve_objective(objective)?,
+                })
+            } else {
+                Err(ParseError(format!("unknown policy '{key}'")))
+            }
+        }
+    }
+}
+
+/// Build a [`SweepSpec`] from parsed `propack sweep` arguments.
+pub fn build_sweep_spec(args: &SweepArgs) -> Result<SweepSpec, ParseError> {
+    let workloads = args
+        .apps
+        .iter()
+        .map(|a| resolve_app(a))
+        .collect::<Result<Vec<_>, _>>()?;
+    let platforms = args
+        .platforms
+        .iter()
+        .map(|p| resolve_platform_axis(p))
+        .collect::<Result<Vec<_>, _>>()?;
+    let policies = args
+        .policies
+        .iter()
+        .map(|p| resolve_policy(p))
+        .collect::<Result<Vec<_>, _>>()?;
+    let spec = SweepSpec::new(args.name.clone())
+        .platforms(platforms)
+        .workloads(workloads)
+        .concurrency(args.concurrency.iter().copied())
+        .policies(policies)
+        .seeds(args.seeds.iter().copied());
+    spec.validate().map_err(|e| ParseError(e.to_string()))?;
+    Ok(spec)
+}
+
+// ---------------------------------------------------------------------------
+// Execution.
+// ---------------------------------------------------------------------------
+
 /// Execute a parsed command, writing human-readable output to `out`.
+/// Host-timing summaries and deprecation notes go to stderr, never `out`.
 pub fn execute(
     cmd: Command,
     out: &mut impl std::io::Write,
@@ -199,24 +606,16 @@ pub fn execute(
                 "propack — pack concurrent serverless functions faster and cheaper"
             )?;
             writeln!(out, "usage:")?;
-            writeln!(out, "  propack plan    --app <name> -c <C> [--platform aws|google|azure|funcx] [--objective joint|service|expense|joint:<w>]")?;
+            for def in SUBCOMMANDS {
+                writeln!(out, "  propack {}", def.usage)?;
+            }
             writeln!(
                 out,
-                "  propack run     --app <name> -c <C> [...] [--seed <n>]"
+                "apps: video sort stateless-cost smith-waterman xapian; platforms: aws google azure funcx"
             )?;
-            writeln!(
-                out,
-                "  propack plan    ... --save model.json   # persist the fitted model"
-            )?;
-            writeln!(
-                out,
-                "  propack plan    ... --model model.json  # reuse it, skipping profiling"
-            )?;
-            writeln!(out, "  propack compare --app <name> -c <C> [...]")?;
-            writeln!(out, "  propack apps | platforms | help")?;
         }
         Command::Apps => {
-            for bench in all_benchmarks() {
+            for bench in Benchmarks::all() {
                 let p = bench.profile();
                 writeln!(
                     out,
@@ -241,6 +640,69 @@ pub fn execute(
                     lim.cores
                 )?;
             }
+        }
+        Command::Sweep(sa) => run_sweep(&sa, out)?,
+        Command::Figures(fa) => {
+            let ids: Vec<String> = if fa.ids.is_empty() {
+                propack_bench::ALL_EXPERIMENTS
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect()
+            } else {
+                fa.ids.clone()
+            };
+            for id in &ids {
+                let tables = propack_bench::run_experiment(id).ok_or_else(|| {
+                    ParseError(format!(
+                        "unknown experiment id '{id}'; known ids: {}",
+                        propack_bench::ALL_EXPERIMENTS.join(", ")
+                    ))
+                })?;
+                for table in tables {
+                    if fa.json {
+                        writeln!(out, "{}", table.to_json())?;
+                    } else {
+                        writeln!(out, "{}", table.render())?;
+                    }
+                }
+            }
+        }
+        Command::Validate(va) => {
+            let work = resolve_app(&va.app)?;
+            let platform = resolve_platform(&va.platform)?;
+            let pp = Propack::build(platform.as_ref(), &work, &ProPackConfig::default())?;
+            let report = validate_models(
+                platform.as_ref(),
+                &pp.model,
+                &work,
+                va.concurrency,
+                ChiSquareTest::paper_default(),
+                va.seed,
+            )?;
+            writeln!(
+                out,
+                "χ² validation of {} on {} at C={} ({} packing degrees)",
+                pp.work.name, pp.platform_name, va.concurrency, report.degrees_evaluated
+            )?;
+            for (label, gof) in [("service", report.service), ("expense", report.expense)] {
+                writeln!(
+                    out,
+                    "{label:<8} statistic {:.3} vs critical {:.3} (dof {}) → {}",
+                    gof.statistic,
+                    gof.critical_value,
+                    gof.dof,
+                    if gof.accepted { "accepted" } else { "REJECTED" }
+                )?;
+            }
+            writeln!(
+                out,
+                "models {}",
+                if report.accepted() {
+                    "ACCEPTED"
+                } else {
+                    "REJECTED"
+                }
+            )?;
         }
         Command::Plan(ra) => {
             let (pp, _platform, objective) = build(&ra)?;
@@ -333,6 +795,62 @@ pub fn execute(
     Ok(())
 }
 
+/// `propack sweep`: run the grid (optionally serial-first for the
+/// determinism + speedup comparison), render deterministically to `out`,
+/// and emit timing to stderr / `BENCH_sweep.json`.
+fn run_sweep(
+    sa: &SweepArgs,
+    out: &mut impl std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let spec = build_sweep_spec(sa)?;
+    let threads = if sa.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        sa.threads
+    };
+
+    let mut runs = Vec::new();
+    let mut serial_render = None;
+    if sa.compare_serial && threads > 1 {
+        let serial = SweepRunner::new().run(&spec)?;
+        eprintln!("{}", serial.timing_line());
+        runs.push(RunTiming {
+            threads: serial.threads,
+            wall_secs: serial.wall_secs,
+        });
+        serial_render = Some(serial.render());
+    }
+
+    let report = SweepRunner::new().threads(threads).run(&spec)?;
+    eprintln!("{}", report.timing_line());
+    runs.push(RunTiming {
+        threads: report.threads,
+        wall_secs: report.wall_secs,
+    });
+
+    let outputs_identical = serial_render.map(|s| s == report.render());
+    match outputs_identical {
+        Some(true) => {
+            if let Some(speedup) = propack_sweep::speedup(&runs) {
+                eprintln!("serial and parallel output identical; speedup {speedup:.2}x");
+            }
+        }
+        Some(false) => {
+            return Err(Box::new(ParseError(
+                "serial and parallel sweep output diverged — determinism bug".into(),
+            )));
+        }
+        None => {}
+    }
+
+    out.write_all(report.render().as_bytes())?;
+    if let Some(path) = &sa.bench_out {
+        std::fs::write(path, bench_json(&report, &runs, outputs_identical))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
 /// The fully-resolved execution context of a plan/run/compare invocation.
 type BuiltContext = (Propack, Box<dyn ServerlessPlatform>, Objective);
 
@@ -399,17 +917,121 @@ mod tests {
     }
 
     #[test]
+    fn parses_sweep() {
+        let cmd = parse(&s(&[
+            "sweep",
+            "--apps",
+            "sort,video",
+            "--platforms",
+            "aws,google",
+            "--concurrency",
+            "100,1000",
+            "--policies",
+            "no-packing,fixed:4,propack:expense",
+            "--seeds",
+            "1,2",
+            "--threads",
+            "4",
+            "--bench-out",
+            "B.json",
+            "--compare-serial",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Sweep(sa) => {
+                assert_eq!(sa.apps, vec!["sort", "video"]);
+                assert_eq!(sa.platforms, vec!["aws", "google"]);
+                assert_eq!(sa.concurrency, vec![100, 1000]);
+                assert_eq!(sa.seeds, vec![1, 2]);
+                assert_eq!(sa.threads, 4);
+                assert_eq!(sa.bench_out.as_deref(), Some("B.json"));
+                assert!(sa.compare_serial);
+                let spec = build_sweep_spec(&sa).unwrap();
+                assert_eq!(spec.cell_count(), 2 * 2 * 2 * 3 * 2);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_defaults_are_filled_in() {
+        match parse(&s(&["sweep", "--apps", "sort"])).unwrap() {
+            Command::Sweep(sa) => {
+                assert_eq!(sa.platforms, vec!["aws"]);
+                assert_eq!(sa.concurrency, vec![100, 1000]);
+                assert_eq!(sa.policies.len(), 3);
+                assert_eq!(sa.seeds, vec![42]);
+                assert_eq!(sa.threads, 0); // auto
+                assert!(!sa.compare_serial);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&s(&["sweep"])).is_err(), "--apps is required");
+    }
+
+    #[test]
+    fn parses_figures_and_validate() {
+        assert_eq!(
+            parse(&s(&["figures", "--fig", "fig01,fig21"])).unwrap(),
+            Command::Figures(FiguresArgs {
+                ids: vec!["fig01".into(), "fig21".into()],
+                json: false,
+            })
+        );
+        assert_eq!(
+            parse(&s(&["figures", "--fig", "all", "--json"])).unwrap(),
+            Command::Figures(FiguresArgs {
+                ids: Vec::new(),
+                json: true,
+            })
+        );
+        match parse(&s(&["validate", "--app", "sort", "-c", "500"])).unwrap() {
+            Command::Validate(va) => {
+                assert_eq!(va.app, "sort");
+                assert_eq!(va.concurrency, 500);
+                assert_eq!(va.platform, "aws");
+                assert_eq!(va.seed, 42);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_commands_carry_a_deprecation_note() {
+        let (_, notes) = parse_with_notes(&s(&["plan", "--app", "sort", "-c", "100"])).unwrap();
+        assert!(
+            notes.iter().any(|n| n.contains("propack sweep")),
+            "{notes:?}"
+        );
+        let (_, notes) = parse_with_notes(&s(&["sweep", "--apps", "sort"])).unwrap();
+        assert!(notes.is_empty(), "{notes:?}");
+        // `--model` is an alias for `--load`, with its own note.
+        let (cmd, notes) = parse_with_notes(&s(&[
+            "run", "--app", "sort", "-c", "100", "--model", "m.json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run(ra) => assert_eq!(ra.load_model.as_deref(), Some("m.json")),
+            other => panic!("{other:?}"),
+        }
+        assert!(notes.iter().any(|n| n.contains("--load")), "{notes:?}");
+    }
+
+    #[test]
     fn rejects_missing_required_args() {
         assert!(parse(&s(&["plan", "-c", "100"])).is_err());
         assert!(parse(&s(&["plan", "--app", "sort"])).is_err());
         assert!(parse(&s(&["plan", "--app", "sort", "-c", "zero"])).is_err());
         assert!(parse(&s(&["frobnicate"])).is_err());
         assert!(parse(&s(&["plan", "--bogus", "x"])).is_err());
+        assert!(parse(&s(&["sweep", "--apps", "sort", "--threads"])).is_err());
+        assert!(parse(&s(&["sweep", "--apps", "sort", "--concurrency", "x"])).is_err());
     }
 
     #[test]
     fn empty_args_is_help() {
         assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&s(&["--help"])).unwrap(), Command::Help);
     }
 
     #[test]
@@ -426,8 +1048,10 @@ mod tests {
         assert!(resolve_app("nope").is_err());
         for key in ["aws", "google", "azure", "funcx"] {
             assert!(resolve_platform(key).is_ok(), "{key}");
+            assert!(resolve_platform_axis(key).is_ok(), "{key}");
         }
         assert!(resolve_platform("ibm").is_err());
+        assert!(resolve_platform_axis("ibm").is_err());
     }
 
     #[test]
@@ -449,6 +1073,29 @@ mod tests {
     }
 
     #[test]
+    fn resolves_policies() {
+        assert_eq!(
+            resolve_policy("no-packing").unwrap(),
+            PackingPolicy::NoPacking
+        );
+        assert_eq!(resolve_policy("pywren").unwrap(), PackingPolicy::Pywren);
+        assert_eq!(resolve_policy("fixed:8").unwrap(), PackingPolicy::Fixed(8));
+        assert_eq!(resolve_policy("fixed-8").unwrap(), PackingPolicy::Fixed(8));
+        assert_eq!(
+            resolve_policy("propack").unwrap(),
+            PackingPolicy::propack_default()
+        );
+        assert_eq!(
+            resolve_policy("propack:expense").unwrap(),
+            PackingPolicy::Propack {
+                objective: Objective::Expense
+            }
+        );
+        assert!(resolve_policy("magic").is_err());
+        assert!(resolve_policy("fixed:x").is_err());
+    }
+
+    #[test]
     fn plan_command_end_to_end() {
         let cmd = parse(&s(&["plan", "--app", "sort", "-c", "1000"])).unwrap();
         let mut buf = Vec::new();
@@ -459,11 +1106,62 @@ mod tests {
     }
 
     #[test]
+    fn sweep_command_end_to_end() {
+        let dir = std::env::temp_dir().join("propack-cli-sweep-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bench_path = dir.join("BENCH_sweep.json");
+        let cmd = Command::Sweep(SweepArgs {
+            name: "cli-e2e".into(),
+            apps: vec!["sort".into()],
+            platforms: vec!["aws".into()],
+            concurrency: vec![100, 400],
+            policies: vec!["no-packing".into(), "fixed:4".into()],
+            seeds: vec![1],
+            threads: 2,
+            bench_out: Some(bench_path.to_str().unwrap().to_string()),
+            compare_serial: true,
+        });
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("sweep cli-e2e: 4 cells"), "{text}");
+        assert!(text.contains("fixed-4"), "{text}");
+        let json = std::fs::read_to_string(&bench_path).unwrap();
+        assert!(json.contains("\"outputs_identical\": true"), "{json}");
+        assert!(json.contains("\"runs\""), "{json}");
+        std::fs::remove_file(&bench_path).ok();
+    }
+
+    #[test]
+    fn figures_rejects_unknown_ids() {
+        let cmd = Command::Figures(FiguresArgs {
+            ids: vec!["fig99".into()],
+            json: false,
+        });
+        let mut buf = Vec::new();
+        assert!(execute(cmd, &mut buf).is_err());
+    }
+
+    #[test]
     fn listing_commands_render() {
         for cmd in [Command::Apps, Command::Platforms, Command::Help] {
             let mut buf = Vec::new();
             execute(cmd, &mut buf).unwrap();
             assert!(!buf.is_empty());
+        }
+    }
+
+    #[test]
+    fn help_lists_every_subcommand() {
+        let mut buf = Vec::new();
+        execute(Command::Help, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        for def in SUBCOMMANDS {
+            assert!(
+                text.contains(&format!("propack {}", def.name)),
+                "{}",
+                def.name
+            );
         }
     }
 }
@@ -473,6 +1171,10 @@ mod persist_cli_tests {
     use super::*;
 
     #[test]
+    #[cfg_attr(
+        feature = "offline-stub",
+        ignore = "requires real serde_json (offline stub cannot serialize)"
+    )]
     fn save_then_load_round_trips_through_files() {
         let dir = std::env::temp_dir().join("propack-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -510,7 +1212,7 @@ mod persist_cli_tests {
     }
 
     #[test]
-    fn parse_save_and_model_flags() {
+    fn parse_save_and_load_flags() {
         let args: Vec<String> = ["plan", "--app", "sort", "-c", "100", "--save", "m.json"]
             .iter()
             .map(|s| s.to_string())
@@ -519,7 +1221,7 @@ mod persist_cli_tests {
             Command::Plan(ra) => assert_eq!(ra.save_model.as_deref(), Some("m.json")),
             other => panic!("{other:?}"),
         }
-        let args: Vec<String> = ["run", "--app", "sort", "-c", "100", "--model", "m.json"]
+        let args: Vec<String> = ["run", "--app", "sort", "-c", "100", "--load", "m.json"]
             .iter()
             .map(|s| s.to_string())
             .collect();

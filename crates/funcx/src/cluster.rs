@@ -12,7 +12,7 @@ use propack_simcore::rng::jitter;
 use propack_simcore::{BandwidthPipe, FifoResource, MultiServer, RngStreams, Sim, SimTime};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Calibration for a FuncX deployment.
 ///
@@ -86,7 +86,7 @@ struct PodState {
 
 struct ClusterState {
     config: FuncXConfig,
-    work: Rc<WorkProfile>,
+    work: Arc<WorkProfile>,
     packing_degree: u32,
     endpoint: FifoResource,
     registry: BandwidthPipe,
@@ -145,7 +145,7 @@ impl ServerlessPlatform for FuncXPlatform {
             .collect();
         let state = ClusterState {
             config: cfg.clone(),
-            work: Rc::new(spec.workload.clone()),
+            work: Arc::new(spec.workload.clone()),
             packing_degree: spec.packing_degree,
             endpoint: FifoResource::new(),
             registry: BandwidthPipe::new(cfg.registry_bytes_per_sec),
@@ -304,6 +304,7 @@ fn breakdown(state: &ClusterState) -> ScalingBreakdown {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use propack_platform::PlatformBuilder;
 
     fn work() -> WorkProfile {
         WorkProfile::synthetic("w", 0.25, 100.0).with_contention(0.2)
@@ -351,7 +352,7 @@ mod tests {
     fn scales_faster_than_lambda_at_5000() {
         // Fig. 18(a): FuncX ~15 % faster scaling at C = 5000.
         let fx = FuncXPlatform::default();
-        let aws = PlatformProfile::aws_lambda().into_platform();
+        let aws = PlatformBuilder::aws().build();
         let spec = BurstSpec::new(work(), 5000, 1).with_seed(1);
         let ratio = fx.run_burst(&spec).unwrap().scaling_time()
             / aws.run_burst(&spec).unwrap().scaling_time();
@@ -363,7 +364,7 @@ mod tests {
         // Fig. 18(b) mechanism: weaker pod isolation inflates packed
         // execution; unpacked execution is unaffected.
         let fx = FuncXPlatform::default();
-        let aws = PlatformProfile::aws_lambda().into_platform();
+        let aws = PlatformBuilder::aws().build();
         let w = work();
         let ratio = fx.nominal_exec_secs(&w, 10) / aws.nominal_exec_secs(&w, 10);
         assert!((1.25..1.45).contains(&ratio), "packed exec ratio {ratio}");

@@ -26,7 +26,7 @@
 pub mod run;
 pub mod state;
 
-pub use run::{execute, StateReport, WorkflowReport};
+pub use run::{execute, execute_with_cache, StateReport, WorkflowReport};
 pub use state::{MapPacking, State, Workflow};
 
 /// Errors from workflow validation and execution.

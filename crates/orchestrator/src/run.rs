@@ -2,11 +2,13 @@
 
 use crate::state::{MapPacking, State, Workflow};
 use crate::WorkflowError;
+use propack_model::cache::ModelCache;
 use propack_model::optimizer::Objective;
 use propack_model::propack::{ProPackConfig, Propack};
 use propack_platform::{BurstSpec, ServerlessPlatform, WorkProfile};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Report for one leaf state.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -50,14 +52,20 @@ impl WorkflowReport {
     }
 }
 
-/// Execution context: caches one ProPack model per distinct workload so a
-/// workflow with many `ProPack` map states profiles each function once
-/// (§2.2's amortization, applied at the workflow level).
+/// Execution context: ProPack models come from a shared [`ModelCache`]
+/// (one fit per distinct `(platform, workload, config)` anywhere in the
+/// process — §2.2's amortization, generalized beyond a single workflow).
+///
+/// Profiling overhead is charged once per distinct workload *per
+/// execution*, whether the model came from a cold fit or a cache hit: a
+/// pre-warmed cache must not change what a workflow reports, only how fast
+/// the report is produced.
 struct ExecCtx<'a, P: ServerlessPlatform + ?Sized> {
     platform: &'a P,
     seed: u64,
     burst_counter: u64,
-    propack_cache: BTreeMap<String, Propack>,
+    models: &'a ModelCache,
+    charged: BTreeSet<String>,
     overhead_usd: f64,
     overhead_hours: f64,
     reports: Vec<StateReport>,
@@ -69,15 +77,16 @@ impl<P: ServerlessPlatform + ?Sized> ExecCtx<'_, P> {
         self.seed ^ (self.burst_counter.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
-    fn propack_for(&mut self, work: &WorkProfile) -> Result<&Propack, WorkflowError> {
-        if !self.propack_cache.contains_key(&work.name) {
-            let pp = Propack::build(self.platform, work, &ProPackConfig::default())
-                .map_err(|e| WorkflowError::Planning(e.to_string()))?;
+    fn propack_for(&mut self, work: &WorkProfile) -> Result<Arc<Propack>, WorkflowError> {
+        let pp = self
+            .models
+            .fit(self.platform, work, &ProPackConfig::default())
+            .map_err(|e| WorkflowError::Planning(e.to_string()))?;
+        if self.charged.insert(work.name.clone()) {
             self.overhead_usd += pp.overhead.expense_usd;
             self.overhead_hours += pp.overhead.function_hours;
-            self.propack_cache.insert(work.name.clone(), pp);
         }
-        Ok(&self.propack_cache[&work.name])
+        Ok(pp)
     }
 
     /// Run one subtree starting at `offset`; returns its wall duration.
@@ -155,11 +164,28 @@ impl<P: ServerlessPlatform + ?Sized> ExecCtx<'_, P> {
 /// Execute a workflow on a platform.
 ///
 /// ProPack map states profile their workload on first use (the cost is
-/// included in the report's expense), then plan analytically.
+/// included in the report's expense), then plan analytically. Each call
+/// uses a private model cache; use [`execute_with_cache`] to share fits
+/// across executions.
 pub fn execute<P: ServerlessPlatform + ?Sized>(
     platform: &P,
     workflow: &Workflow,
     seed: u64,
+) -> Result<WorkflowReport, WorkflowError> {
+    execute_with_cache(platform, workflow, seed, &ModelCache::new())
+}
+
+/// Execute a workflow, drawing ProPack fits from (and contributing them
+/// to) a shared [`ModelCache`].
+///
+/// The report is bit-identical to [`execute`]'s regardless of the cache's
+/// prior contents: model fits are deterministic, and profiling overhead is
+/// charged per workflow, not per fit.
+pub fn execute_with_cache<P: ServerlessPlatform + ?Sized>(
+    platform: &P,
+    workflow: &Workflow,
+    seed: u64,
+    models: &ModelCache,
 ) -> Result<WorkflowReport, WorkflowError> {
     if workflow.root.leaf_count() == 0 {
         return Err(WorkflowError::EmptyWorkflow);
@@ -168,7 +194,8 @@ pub fn execute<P: ServerlessPlatform + ?Sized>(
         platform,
         seed,
         burst_counter: 0,
-        propack_cache: BTreeMap::new(),
+        models,
+        charged: BTreeSet::new(),
         overhead_usd: 0.0,
         overhead_hours: 0.0,
         reports: Vec::new(),
@@ -189,11 +216,11 @@ pub fn execute<P: ServerlessPlatform + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use propack_platform::profile::PlatformProfile;
     use propack_platform::CloudPlatform;
+    use propack_platform::PlatformBuilder;
 
     fn aws() -> CloudPlatform {
-        PlatformProfile::aws_lambda().into_platform()
+        PlatformBuilder::aws().build()
     }
 
     fn sorter() -> WorkProfile {
@@ -339,6 +366,22 @@ mod tests {
             double.expense_usd,
             two_singles
         );
+    }
+
+    #[test]
+    fn prewarmed_cache_does_not_change_the_report() {
+        // Bit-identical reports whether the shared cache is cold, warm, or
+        // private — the cache may only change how fast results arrive.
+        let platform = aws();
+        let wf = Workflow::map_reduce_sort(sorter(), 1000, MapPacking::ProPack { w_s: 0.5 });
+        let private = execute(&platform, &wf, 7).unwrap();
+        let shared = ModelCache::new();
+        let cold = execute_with_cache(&platform, &wf, 7, &shared).unwrap();
+        assert!(shared.misses() >= 1);
+        let warm = execute_with_cache(&platform, &wf, 7, &shared).unwrap();
+        assert!(shared.hits() >= 1);
+        assert_eq!(private, cold);
+        assert_eq!(cold, warm);
     }
 
     #[test]

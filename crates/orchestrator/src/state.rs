@@ -185,6 +185,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        feature = "offline-stub",
+        ignore = "requires real serde_json (offline stub cannot serialize)"
+    )]
     fn workflows_serialize() {
         let wf = Workflow::video_pipeline(w(), 100, MapPacking::Fixed(5));
         let json = serde_json::to_string(&wf).unwrap();

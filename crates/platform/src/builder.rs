@@ -1,0 +1,181 @@
+//! Fluent construction of simulated platforms.
+//!
+//! [`PlatformBuilder`] is the front door for making a [`CloudPlatform`]:
+//! start from a provider preset (or a custom [`PlatformProfile`]), override
+//! the fleet shape, the price sheet, or the default tracing mode, and
+//! `build()`. It replaces the loose `PlatformProfile::…().into_platform()`
+//! chains the bench binaries used to hand-roll; those remain available but
+//! deprecated.
+//!
+//! ```
+//! use propack_platform::prelude::*;
+//!
+//! let platform = PlatformBuilder::aws()
+//!     .fleet(100, 16)
+//!     .tracing(true)
+//!     .build();
+//! assert_eq!(platform.profile().control.fleet_servers, 100);
+//! assert!(platform.tracing_enabled());
+//! ```
+
+use crate::platform::CloudPlatform;
+use crate::profile::{PlatformProfile, PriceSheet, Provider};
+
+/// Step-by-step construction of a [`CloudPlatform`].
+///
+/// The builder owns a [`PlatformProfile`] (seeded from a preset) plus the
+/// platform-level options that are not part of the calibration itself
+/// (currently: whether runs trace by default). Every method is chainable
+/// and order-independent; `build()` is infallible because every
+/// intermediate state is a valid platform.
+#[derive(Debug, Clone)]
+pub struct PlatformBuilder {
+    profile: PlatformProfile,
+    tracing: bool,
+}
+
+impl PlatformBuilder {
+    /// Start from the preset calibration for `provider`.
+    pub fn new(provider: Provider) -> Self {
+        Self::from_profile(PlatformProfile::preset(provider))
+    }
+
+    /// Start from an explicit (possibly hand-tuned) calibration.
+    pub fn from_profile(profile: PlatformProfile) -> Self {
+        PlatformBuilder {
+            profile,
+            tracing: false,
+        }
+    }
+
+    /// AWS Lambda preset — the paper's primary testbed.
+    pub fn aws() -> Self {
+        Self::new(Provider::AwsLambda)
+    }
+
+    /// Google Cloud Functions preset.
+    pub fn google() -> Self {
+        Self::new(Provider::GoogleCloudFunctions)
+    }
+
+    /// Azure Functions preset.
+    pub fn azure() -> Self {
+        Self::new(Provider::AzureFunctions)
+    }
+
+    /// FuncX-style on-prem cluster preset.
+    pub fn funcx() -> Self {
+        Self::new(Provider::FuncX)
+    }
+
+    /// Override the datacenter fleet shape: `servers` machines with `slots`
+    /// microVM slots each. `servers × slots` bounds admitted concurrency.
+    pub fn fleet(mut self, servers: u32, slots: u32) -> Self {
+        self.profile.control.fleet_servers = servers;
+        self.profile.control.fleet_slots = slots;
+        self
+    }
+
+    /// Replace the billing rates wholesale.
+    pub fn prices(mut self, prices: PriceSheet) -> Self {
+        self.profile.prices = prices;
+        self
+    }
+
+    /// Whether bursts on this platform trace lifecycle events by default
+    /// (see [`CloudPlatform::run_burst_observed`]). Off by default: large
+    /// sweeps should pay only a branch per event.
+    pub fn tracing(mut self, enabled: bool) -> Self {
+        self.tracing = enabled;
+        self
+    }
+
+    /// Arbitrary calibration tweak — escape hatch for experiments that need
+    /// to vary a constant the builder has no dedicated method for.
+    pub fn tune(mut self, f: impl FnOnce(&mut PlatformProfile)) -> Self {
+        f(&mut self.profile);
+        self
+    }
+
+    /// The calibration as configured so far.
+    pub fn profile(&self) -> &PlatformProfile {
+        &self.profile
+    }
+
+    /// Finish: produce the platform.
+    pub fn build(self) -> CloudPlatform {
+        CloudPlatform::new(self.profile).with_tracing(self.tracing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::ServerlessPlatform;
+
+    #[test]
+    fn builder_defaults_match_presets() {
+        for prov in [
+            Provider::AwsLambda,
+            Provider::GoogleCloudFunctions,
+            Provider::AzureFunctions,
+            Provider::FuncX,
+        ] {
+            let built = PlatformBuilder::new(prov).build();
+            assert_eq!(*built.profile(), PlatformProfile::preset(prov));
+            assert!(!built.tracing_enabled());
+        }
+    }
+
+    #[test]
+    fn shorthand_constructors_pick_the_right_provider() {
+        assert_eq!(
+            PlatformBuilder::aws().profile().provider,
+            Provider::AwsLambda
+        );
+        assert_eq!(
+            PlatformBuilder::google().profile().provider,
+            Provider::GoogleCloudFunctions
+        );
+        assert_eq!(
+            PlatformBuilder::azure().profile().provider,
+            Provider::AzureFunctions
+        );
+        assert_eq!(PlatformBuilder::funcx().profile().provider, Provider::FuncX);
+    }
+
+    #[test]
+    fn fleet_and_prices_overrides_apply() {
+        let sheet = PriceSheet {
+            usd_per_gb_sec: 1.0,
+            usd_per_request: 2.0,
+            usd_per_storage_request: 3.0,
+            usd_per_storage_gb: 4.0,
+            usd_per_network_gb: 5.0,
+        };
+        let p = PlatformBuilder::aws().fleet(7, 3).prices(sheet).build();
+        assert_eq!(p.profile().control.fleet_servers, 7);
+        assert_eq!(p.profile().control.fleet_slots, 3);
+        assert_eq!(p.prices(), sheet);
+    }
+
+    #[test]
+    fn tune_reaches_arbitrary_constants() {
+        let p = PlatformBuilder::aws()
+            .tune(|prof| prof.instance.cores = 12)
+            .build();
+        assert_eq!(p.limits().cores, 12);
+    }
+
+    #[test]
+    fn built_platform_behaves_identically_to_direct_construction() {
+        use crate::burst::BurstSpec;
+        use crate::work::WorkProfile;
+        let spec = BurstSpec::new(WorkProfile::synthetic("w", 0.25, 10.0), 50, 1).with_seed(11);
+        let via_builder = PlatformBuilder::aws().build().run_burst(&spec).unwrap();
+        let direct = CloudPlatform::new(PlatformProfile::aws_lambda())
+            .run_burst(&spec)
+            .unwrap();
+        assert_eq!(via_builder, direct);
+    }
+}

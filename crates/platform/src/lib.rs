@@ -23,14 +23,13 @@
 //! (→ convex packing interference). ProPack itself only ever sees
 //! `(timestamps, bill)` — exactly what it would see on the real cloud.
 //!
-//! Entry point: build a [`CloudPlatform`] from a [`profile::PlatformProfile`]
-//! preset and call [`ServerlessPlatform::run_burst`].
+//! Entry point: build a [`CloudPlatform`] with [`builder::PlatformBuilder`]
+//! and call [`ServerlessPlatform::run_burst`].
 //!
 //! ```
-//! use propack_platform::{profile::PlatformProfile, BurstSpec, ServerlessPlatform};
-//! use propack_platform::work::WorkProfile;
+//! use propack_platform::prelude::*;
 //!
-//! let platform = PlatformProfile::aws_lambda().into_platform();
+//! let platform = PlatformBuilder::aws().build();
 //! let work = WorkProfile::synthetic("noop", 0.25, 10.0);
 //! let report = platform
 //!     .run_burst(&BurstSpec::new(work, 100, 1).with_seed(7))
@@ -40,6 +39,7 @@
 //! ```
 
 pub mod billing;
+pub mod builder;
 pub mod burst;
 pub mod error;
 pub mod fleet;
@@ -50,9 +50,25 @@ pub mod profile;
 pub mod report;
 pub mod work;
 
+pub use builder::PlatformBuilder;
 pub use burst::BurstSpec;
 pub use error::PlatformError;
 pub use platform::{CloudPlatform, InstanceLimits, ServerlessPlatform};
 pub use profile::{PlatformProfile, Provider};
 pub use report::{InstanceRecord, RunReport, ScalingBreakdown};
 pub use work::WorkProfile;
+
+/// One-stop imports for platform construction and burst execution.
+///
+/// `use propack_platform::prelude::*;` brings in everything a typical
+/// experiment needs: the builder, the trait, the spec/report types, and the
+/// calibration structs.
+pub mod prelude {
+    pub use crate::builder::PlatformBuilder;
+    pub use crate::burst::BurstSpec;
+    pub use crate::error::PlatformError;
+    pub use crate::platform::{CloudPlatform, InstanceLimits, ServerlessPlatform};
+    pub use crate::profile::{PlatformProfile, PriceSheet, Provider};
+    pub use crate::report::RunReport;
+    pub use crate::work::WorkProfile;
+}

@@ -200,11 +200,12 @@ impl CloudPlatform {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::PlatformBuilder;
     use crate::instance::packed_exec_secs;
     use crate::profile::PlatformProfile;
 
     fn aws() -> CloudPlatform {
-        PlatformProfile::aws_lambda().into_platform()
+        PlatformBuilder::aws().build()
     }
 
     fn light() -> WorkProfile {

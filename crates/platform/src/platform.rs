@@ -23,7 +23,7 @@ use crate::report::{InstanceRecord, RunReport, ScalingBreakdown};
 use propack_simcore::rng::jitter;
 use propack_simcore::{BandwidthPipe, FifoResource, RngStreams, Sim, SimTime, Tracer};
 use rand_chacha::ChaCha8Rng;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Instance shape limits exposed to planners (ProPack reads these to bound
 /// the packing degree).
@@ -65,12 +65,37 @@ pub trait ServerlessPlatform {
 #[derive(Debug, Clone)]
 pub struct CloudPlatform {
     profile: PlatformProfile,
+    tracing: bool,
 }
 
 impl CloudPlatform {
-    /// Build a platform from a calibration profile.
+    /// Build a platform from a calibration profile. Prefer
+    /// [`crate::builder::PlatformBuilder`] when starting from a preset.
     pub fn new(profile: PlatformProfile) -> Self {
-        CloudPlatform { profile }
+        CloudPlatform {
+            profile,
+            tracing: false,
+        }
+    }
+
+    /// Set whether [`Self::run_burst_observed`] traces by default.
+    pub fn with_tracing(mut self, enabled: bool) -> Self {
+        self.tracing = enabled;
+        self
+    }
+
+    /// Whether this platform traces lifecycle events by default.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracing
+    }
+
+    /// A tracer matching this platform's configured default.
+    pub fn tracer(&self) -> Tracer {
+        if self.tracing {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        }
     }
 
     /// The underlying calibration.
@@ -86,7 +111,7 @@ struct BurstState {
     fleet: Fleet,
     placements: Vec<u32>,
     peak_occupancy: u32,
-    work: Rc<crate::WorkProfile>,
+    work: Arc<crate::WorkProfile>,
     packing_degree: u32,
     scheduler: FifoResource,
     builder: BandwidthPipe,
@@ -148,6 +173,17 @@ impl CloudPlatform {
         self.run_burst_with_tracer(spec, Tracer::enabled())
     }
 
+    /// Run a burst under the platform's *configured* tracing default (see
+    /// [`crate::builder::PlatformBuilder::tracing`]): the returned tracer is
+    /// populated when tracing is on and empty (zero-allocation) when off.
+    /// The report is identical either way — tracing is observation-only.
+    pub fn run_burst_observed(
+        &self,
+        spec: &BurstSpec,
+    ) -> Result<(RunReport, Tracer), PlatformError> {
+        self.run_burst_with_tracer(spec, self.tracer())
+    }
+
     fn run_burst_with_tracer(
         &self,
         spec: &BurstSpec,
@@ -166,7 +202,7 @@ impl CloudPlatform {
             ),
             placements: vec![0; n as usize],
             peak_occupancy: 0,
-            work: Rc::new(spec.workload.clone()),
+            work: Arc::new(spec.workload.clone()),
             packing_degree: spec.packing_degree,
             scheduler: FifoResource::new(),
             builder: BandwidthPipe::new(self.profile.control.build_bytes_per_sec),
@@ -392,11 +428,12 @@ fn compute_expense(profile: &PlatformProfile, spec: &BurstSpec, exec_secs: &[f64
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::PlatformBuilder;
     use crate::work::WorkProfile;
     use propack_stats::percentile::Percentile;
 
     fn aws() -> CloudPlatform {
-        PlatformProfile::aws_lambda().into_platform()
+        PlatformBuilder::aws().build()
     }
 
     fn work() -> WorkProfile {
@@ -602,12 +639,12 @@ mod tests {
 #[cfg(test)]
 mod trace_tests {
     use super::*;
-    use crate::profile::PlatformProfile;
+    use crate::builder::PlatformBuilder;
     use crate::work::WorkProfile;
 
     #[test]
     fn traced_burst_records_full_lifecycle() {
-        let p = PlatformProfile::aws_lambda().into_platform();
+        let p = PlatformBuilder::aws().build();
         let spec = BurstSpec::new(WorkProfile::synthetic("w", 0.25, 10.0), 20, 1).with_seed(4);
         let (report, trace) = p.run_burst_traced(&spec).unwrap();
         // 5 stages per cold instance.
@@ -631,7 +668,7 @@ mod trace_tests {
     #[test]
     fn untraced_burst_matches_traced_report() {
         // Tracing must be observation-only: identical timeline either way.
-        let p = PlatformProfile::aws_lambda().into_platform();
+        let p = PlatformBuilder::aws().build();
         let spec = BurstSpec::new(WorkProfile::synthetic("w", 0.25, 10.0), 50, 2).with_seed(6);
         let plain = p.run_burst(&spec).unwrap();
         let (traced, trace) = p.run_burst_traced(&spec).unwrap();
@@ -641,7 +678,7 @@ mod trace_tests {
 
     #[test]
     fn warm_instances_skip_build_and_ship_stages() {
-        let p = PlatformProfile::aws_lambda().into_platform();
+        let p = PlatformBuilder::aws().build();
         let spec = BurstSpec::new(WorkProfile::synthetic("w", 0.25, 10.0), 10, 1)
             .with_seed(8)
             .with_warm_fraction(1.0);
@@ -655,13 +692,14 @@ mod trace_tests {
 #[cfg(test)]
 mod fleet_tests {
     use super::*;
+    use crate::builder::PlatformBuilder;
     use crate::work::WorkProfile;
 
     #[test]
     fn oversized_burst_rejected_at_admission() {
         // A fleet of 2000×16 slots admits at most 32 000 concurrent
         // instances; beyond that the platform throttles.
-        let p = PlatformProfile::aws_lambda().into_platform();
+        let p = PlatformBuilder::aws().build();
         let w = WorkProfile::synthetic("w", 0.25, 1.0);
         let err = p.run_burst(&BurstSpec::new(w, 40_000, 1)).unwrap_err();
         assert!(matches!(
@@ -678,7 +716,7 @@ mod fleet_tests {
         let mut profile = PlatformProfile::aws_lambda();
         profile.control.fleet_servers = 10;
         profile.control.fleet_slots = 4;
-        let p = profile.into_platform();
+        let p = CloudPlatform::new(profile);
         let w = WorkProfile::synthetic("w", 0.25, 1.0);
         assert!(p.run_burst(&BurstSpec::new(w.clone(), 40, 1)).is_ok());
         assert!(matches!(
@@ -695,7 +733,7 @@ mod fleet_tests {
         let mut profile = PlatformProfile::aws_lambda();
         profile.control.fleet_servers = 100;
         profile.control.fleet_slots = 16;
-        let p = profile.into_platform();
+        let p = CloudPlatform::new(profile);
         let w = WorkProfile::synthetic("w", 0.25, 10.0);
         // 400 instances over 100 servers → peak occupancy should be ~4.
         let report = p

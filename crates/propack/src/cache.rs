@@ -1,0 +1,236 @@
+//! A shareable, memoized store of fitted ProPack models.
+//!
+//! Building a [`Propack`] is the expensive step of the pipeline: it runs an
+//! interference campaign plus scaling probes on the platform. Across a
+//! sweep grid (or a workflow with repeated stages) the same
+//! `(platform, workload, config)` triple recurs many times, and the paper's
+//! method fits **one** model per application per platform (§2.1–2.2) — so
+//! the fit is cached and shared.
+//!
+//! The cache is `Sync`: the sweep engine's worker threads consult one
+//! instance concurrently. Internally it is a `Mutex<BTreeMap>` of per-key
+//! slots — ordered, deterministic iteration; the map lock is held only to
+//! fetch a slot, and same-key callers coalesce on the slot's own lock, so
+//! each distinct key is fitted exactly once and hits are a cheap clone of
+//! an [`Arc`].
+//!
+//! Determinism note: whether a model comes from a cold fit or a cache hit
+//! is *invisible* in results. `Propack::build` is deterministic in
+//! `(platform, workload, config)`, so the cached model is bit-identical to
+//! what a cold fit would produce, and the recorded probe overhead is part
+//! of the model itself ([`Propack::overhead`]), not of cache bookkeeping.
+
+use crate::propack::{ProPackConfig, Propack};
+use crate::ModelError;
+use propack_platform::{ServerlessPlatform, WorkProfile};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Identity of one fitted model: which platform, which application, which
+/// profiling tunables.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ModelKey {
+    /// Platform display name (presets are keyed by provider name).
+    pub platform: String,
+    /// Workload name from the [`WorkProfile`].
+    pub workload: String,
+    /// Profiling configuration (probe sizes, levels, seed).
+    pub config: ProPackConfig,
+}
+
+impl ModelKey {
+    /// Key for fitting `work` on `platform` under `config`.
+    pub fn new<P: ServerlessPlatform + ?Sized>(
+        platform: &P,
+        work: &WorkProfile,
+        config: &ProPackConfig,
+    ) -> Self {
+        ModelKey {
+            platform: platform.name(),
+            workload: work.name.clone(),
+            config: config.clone(),
+        }
+    }
+}
+
+/// One cache entry: `None` until a fit completes. The per-key mutex is the
+/// coalescing point — concurrent same-key callers queue on it, so a cold
+/// fit runs exactly once per key even under a thread race (fitting is the
+/// expensive step; duplicating it would waste hundreds of milliseconds per
+/// racer without changing any result).
+type Slot = Mutex<Option<Arc<Propack>>>;
+
+/// A thread-safe memo of fitted [`Propack`] models, one per distinct
+/// [`ModelKey`].
+#[derive(Debug, Default)]
+pub struct ModelCache {
+    slots: Mutex<BTreeMap<ModelKey, Arc<Slot>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ModelCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Return the fitted model for `(platform, work, config)`, building and
+    /// inserting it on first use.
+    ///
+    /// The platform probes run while holding only this key's slot lock, so
+    /// concurrent callers with *different* keys never serialize on each
+    /// other's fits, and concurrent callers on the *same* cold key coalesce:
+    /// the first fits, the rest wait and take a hit. If a fit fails the slot
+    /// stays empty and the next caller retries.
+    pub fn fit<P: ServerlessPlatform + ?Sized>(
+        &self,
+        platform: &P,
+        work: &WorkProfile,
+        config: &ProPackConfig,
+    ) -> Result<Arc<Propack>, ModelError> {
+        let key = ModelKey::new(platform, work, config);
+        let slot = {
+            let mut slots = self.lock_slots();
+            Arc::clone(slots.entry(key).or_default())
+        };
+        let mut entry = lock_recovering(&slot);
+        if let Some(found) = entry.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(found));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(Propack::build(platform, work, config)?);
+        *entry = Some(Arc::clone(&built));
+        Ok(built)
+    }
+
+    /// The model for `key` if it has already been fitted.
+    pub fn get(&self, key: &ModelKey) -> Option<Arc<Propack>> {
+        let slot = self.lock_slots().get(key).map(Arc::clone)?;
+        let entry = lock_recovering(&slot);
+        entry.as_ref().map(Arc::clone)
+    }
+
+    /// Number of distinct models currently cached (completed fits only).
+    pub fn len(&self) -> usize {
+        let slots: Vec<Arc<Slot>> = self.lock_slots().values().map(Arc::clone).collect();
+        slots
+            .iter()
+            .filter(|s| lock_recovering(s).is_some())
+            .count()
+    }
+
+    /// Whether the cache holds no fitted models.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that required a fresh fit so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn lock_slots(&self) -> std::sync::MutexGuard<'_, BTreeMap<ModelKey, Arc<Slot>>> {
+        // A poisoned lock means another worker panicked mid-insert; the map
+        // itself is still a valid memo (worst case: missing an entry that
+        // will simply be re-fitted), so recover rather than propagate.
+        self.slots
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// Lock a slot, recovering from poison: a panic mid-fit leaves the slot
+/// `None`, which simply means the next caller re-fits.
+fn lock_recovering(slot: &Slot) -> std::sync::MutexGuard<'_, Option<Arc<Propack>>> {
+    slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::Objective;
+    use propack_platform::PlatformBuilder;
+
+    fn work() -> WorkProfile {
+        WorkProfile::synthetic("cache-w", 0.25, 60.0).with_contention(0.25)
+    }
+
+    #[test]
+    fn second_fit_is_a_hit_and_identical() {
+        let cache = ModelCache::new();
+        let platform = PlatformBuilder::aws().build();
+        let cfg = ProPackConfig::default();
+        let cold = cache.fit(&platform, &work(), &cfg).unwrap();
+        let warm = cache.fit(&platform, &work(), &cfg).unwrap();
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert!(Arc::ptr_eq(&cold, &warm));
+        // Cache hit vs. cold fit: identical packing decisions.
+        let fresh = Propack::build(&platform, &work(), &cfg).unwrap();
+        for c in [100, 1000, 5000] {
+            assert_eq!(
+                warm.plan(c, Objective::default()),
+                fresh.plan(c, Objective::default())
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_models() {
+        let cache = ModelCache::new();
+        let aws = PlatformBuilder::aws().build();
+        let google = PlatformBuilder::google().build();
+        let cfg = ProPackConfig::default();
+        cache.fit(&aws, &work(), &cfg).unwrap();
+        cache.fit(&google, &work(), &cfg).unwrap();
+        let other = WorkProfile::synthetic("other", 0.5, 30.0).with_contention(0.1);
+        cache.fit(&aws, &other, &cfg).unwrap();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn config_is_part_of_the_key() {
+        let cache = ModelCache::new();
+        let platform = PlatformBuilder::aws().build();
+        let a = ProPackConfig::default();
+        let b = ProPackConfig {
+            seed: a.seed + 1,
+            ..a.clone()
+        };
+        cache.fit(&platform, &work(), &a).unwrap();
+        cache.fit(&platform, &work(), &b).unwrap();
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache = Arc::new(ModelCache::new());
+        let cfg = ProPackConfig::default();
+        // simlint: allow(thread-spawn): "test exercises the cache's cross-thread sharing contract; no simulated outcome depends on scheduling"
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                let cfg = cfg.clone();
+                scope.spawn(move || {
+                    let platform = PlatformBuilder::aws().build();
+                    cache.fit(&platform, &work(), &cfg).unwrap();
+                });
+            }
+        });
+        // All four threads converged on one model, and the cold fit ran
+        // exactly once — same-key racers coalesce on the slot lock.
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 3);
+    }
+}

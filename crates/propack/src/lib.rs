@@ -28,15 +28,16 @@
 //! ```
 //! use propack_model::propack::{Propack, ProPackConfig};
 //! use propack_model::optimizer::Objective;
-//! use propack_platform::{profile::PlatformProfile, WorkProfile};
+//! use propack_platform::{PlatformBuilder, WorkProfile};
 //!
-//! let platform = PlatformProfile::aws_lambda().into_platform();
+//! let platform = PlatformBuilder::aws().build();
 //! let work = WorkProfile::synthetic("app", 0.25, 100.0).with_contention(0.2);
 //! let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
 //! let plan = pp.plan(5000, Objective::default());
 //! assert!(plan.packing_degree > 1, "high concurrency must pack");
 //! ```
 
+pub mod cache;
 pub mod hetero;
 pub mod interference;
 pub mod model;
@@ -48,6 +49,7 @@ pub mod qos;
 pub mod scaling;
 pub mod validate;
 
+pub use cache::{ModelCache, ModelKey};
 pub use interference::InterferenceModel;
 pub use model::PackingModel;
 pub use optimizer::{Objective, PackingPlan};

@@ -98,11 +98,15 @@ mod tests {
     use super::*;
     use crate::optimizer::Objective;
     use crate::propack::ProPackConfig;
-    use propack_platform::profile::PlatformProfile;
+    use propack_platform::PlatformBuilder;
 
     #[test]
+    #[cfg_attr(
+        feature = "offline-stub",
+        ignore = "requires real serde_json (offline stub cannot serialize)"
+    )]
     fn round_trip_preserves_plans() {
-        let platform = PlatformProfile::aws_lambda().into_platform();
+        let platform = PlatformBuilder::aws().build();
         let work = WorkProfile::synthetic("w", 0.25, 100.0).with_contention(0.2);
         let original = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
         let restored = Propack::from_json(&original.to_json().unwrap()).unwrap();
@@ -125,6 +129,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        feature = "offline-stub",
+        ignore = "requires real serde_json (offline stub cannot parse)"
+    )]
     fn malformed_json_rejected() {
         assert!(matches!(
             Propack::from_json("{not json"),
@@ -133,8 +141,12 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        feature = "offline-stub",
+        ignore = "requires real serde_json (offline stub cannot serialize)"
+    )]
     fn wrong_version_rejected() {
-        let platform = PlatformProfile::aws_lambda().into_platform();
+        let platform = PlatformBuilder::aws().build();
         let work = WorkProfile::synthetic("w", 0.25, 100.0);
         let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
         let bumped = pp

@@ -159,10 +159,10 @@ pub fn default_scaling_levels() -> Vec<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use propack_platform::profile::PlatformProfile;
+    use propack_platform::PlatformBuilder;
 
     fn aws() -> propack_platform::CloudPlatform {
-        PlatformProfile::aws_lambda().into_platform()
+        PlatformBuilder::aws().build()
     }
 
     fn work() -> WorkProfile {

@@ -22,7 +22,10 @@ use propack_stats::percentile::Percentile;
 use serde::{Deserialize, Serialize};
 
 /// Tunables for model building.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// All fields are integral, so the config is totally ordered and usable as
+/// part of a [`crate::cache::ModelCache`] key.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ProPackConfig {
     /// Instances per interference probe burst (§2.1: "less than 100
     /// function instance execution in parallel").
@@ -234,9 +237,10 @@ mod tests {
     use super::*;
     use propack_platform::profile::PlatformProfile;
     use propack_platform::CloudPlatform;
+    use propack_platform::PlatformBuilder;
 
     fn aws() -> CloudPlatform {
-        PlatformProfile::aws_lambda().into_platform()
+        PlatformBuilder::aws().build()
     }
 
     fn work() -> WorkProfile {
@@ -390,7 +394,7 @@ mod tests {
         let mut improved_profile = PlatformProfile::aws_lambda();
         improved_profile.control.sched_per_inflight_secs /= 4.0;
         improved_profile.control.sched_base_secs /= 4.0;
-        let improved = improved_profile.into_platform();
+        let improved = CloudPlatform::new(improved_profile);
 
         let cfg = ProPackConfig::default();
         let pp_base = Propack::build(&baseline, &work(), &cfg).unwrap();

@@ -96,14 +96,14 @@ pub fn validate_models<P: ServerlessPlatform + ?Sized>(
 mod tests {
     use super::*;
     use crate::propack::{ProPackConfig, Propack};
-    use propack_platform::profile::PlatformProfile;
+    use propack_platform::PlatformBuilder;
 
     #[test]
     fn built_models_pass_the_paper_test() {
         // End-to-end §2.4: build ProPack on the simulator, then validate at
         // a concurrency the profiler never saw. Both statistics must fall
         // below the paper's 4.075 critical value.
-        let platform = PlatformProfile::aws_lambda().into_platform();
+        let platform = PlatformBuilder::aws().build();
         let work = WorkProfile::synthetic("w", 0.64, 100.0).with_contention(0.1406);
         let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
         let report = validate_models(
@@ -128,7 +128,7 @@ mod tests {
 
     #[test]
     fn broken_model_fails_validation() {
-        let platform = PlatformProfile::aws_lambda().into_platform();
+        let platform = PlatformBuilder::aws().build();
         let work = WorkProfile::synthetic("w", 0.64, 100.0).with_contention(0.1406);
         let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
         let mut broken = pp.model;

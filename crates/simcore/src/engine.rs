@@ -7,12 +7,17 @@
 //! sequence number, which makes runs reproducible — an essential property
 //! for the paper-reproduction experiments, where every figure must
 //! regenerate identically from a seed.
+//!
+//! Event closures are required to be `Send` so that `Sim<S>: Send` whenever
+//! the user state `S` is `Send`. A simulation still runs on exactly one
+//! thread — the bound exists so the parallel sweep engine
+//! (`propack-sweep`) can hand whole simulations to worker threads.
 
 use crate::time::SimTime;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-type EventFn<S> = Box<dyn FnOnce(&mut Sim<S>)>;
+type EventFn<S> = Box<dyn FnOnce(&mut Sim<S>) + Send>;
 
 struct Scheduled<S> {
     at: SimTime,
@@ -109,7 +114,7 @@ impl<S> Sim<S> {
     /// always a logic bug in the model, never something to silently clamp.
     pub fn schedule_at<F>(&mut self, at: SimTime, event: F)
     where
-        F: FnOnce(&mut Sim<S>) + 'static,
+        F: FnOnce(&mut Sim<S>) + Send + 'static,
     {
         assert!(
             at >= self.now,
@@ -129,7 +134,7 @@ impl<S> Sim<S> {
     /// Schedule `event` to fire `delay` seconds from now.
     pub fn schedule_in<F>(&mut self, delay: f64, event: F)
     where
-        F: FnOnce(&mut Sim<S>) + 'static,
+        F: FnOnce(&mut Sim<S>) + Send + 'static,
     {
         assert!(delay >= 0.0, "negative delay {delay}");
         self.schedule_at(self.now + delay, event);

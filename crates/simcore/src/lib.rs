@@ -19,7 +19,10 @@
 //! 5 000 concurrent function invocations is a few tens of thousands of
 //! events, which simulates in well under a millisecond. Parallelism in this
 //! workspace lives at the *experiment* level (independent simulations on
-//! different threads), where it is embarrassingly parallel and deterministic.
+//! different threads, see `propack-sweep`), where it is embarrassingly
+//! parallel and deterministic. To support that, every core type here is
+//! [`Send`] — event closures carry a `Send` bound, and the audit below
+//! fails to compile if a non-`Send` member ever sneaks in.
 
 pub mod engine;
 pub mod resource;
@@ -32,3 +35,35 @@ pub use resource::{BandwidthPipe, FifoResource, MultiServer};
 pub use rng::RngStreams;
 pub use time::SimTime;
 pub use trace::{TraceEvent, Tracer};
+
+#[cfg(test)]
+mod send_audit {
+    //! Compile-time audit: the sweep engine moves whole simulations across
+    //! worker threads, so these types must stay `Send` (and the passive data
+    //! holders `Sync`). A regression here is a build failure, not a runtime
+    //! surprise in a far-away crate.
+    use super::*;
+
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+
+    #[test]
+    fn core_types_are_send() {
+        assert_send::<Sim<Vec<u64>>>();
+        assert_send::<RngStreams>();
+        assert_send::<Tracer>();
+        assert_send::<TraceEvent>();
+        assert_send::<SimTime>();
+        assert_send::<FifoResource>();
+        assert_send::<BandwidthPipe>();
+        assert_send::<MultiServer>();
+    }
+
+    #[test]
+    fn passive_types_are_sync() {
+        assert_sync::<RngStreams>();
+        assert_sync::<Tracer>();
+        assert_sync::<TraceEvent>();
+        assert_sync::<SimTime>();
+    }
+}

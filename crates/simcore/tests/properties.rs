@@ -2,24 +2,23 @@
 
 use propack_simcore::{BandwidthPipe, FifoResource, MultiServer, RngStreams, Sim, SimTime};
 use proptest::prelude::*;
-use std::cell::RefCell;
-use std::rc::Rc;
 
 proptest! {
     /// Events fire in non-decreasing time order for arbitrary schedules,
     /// and equal-time events fire in scheduling order.
     #[test]
     fn event_order_is_total(delays in prop::collection::vec(0.0f64..1e4, 1..200)) {
-        let fired: Rc<RefCell<Vec<(f64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
-        let mut sim = Sim::new(());
+        // Event closures are `Send`, so the shared log lives in the sim state
+        // rather than behind an `Rc`.
+        let mut sim = Sim::new(Vec::<(f64, usize)>::new());
         for (i, &d) in delays.iter().enumerate() {
-            let fired = Rc::clone(&fired);
             sim.schedule_in(d, move |s| {
-                fired.borrow_mut().push((s.now().as_secs(), i));
+                let now = s.now().as_secs();
+                s.state_mut().push((now, i));
             });
         }
         sim.run();
-        let log = fired.borrow();
+        let log = sim.state();
         prop_assert_eq!(log.len(), delays.len());
         for w in log.windows(2) {
             prop_assert!(w[1].0 >= w[0].0, "clock went backwards");

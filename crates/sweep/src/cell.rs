@@ -1,0 +1,182 @@
+//! Grid cells: the unit of work a sweep fans out.
+
+use crate::spec::{PackingPolicy, PlatformAxis, SweepSpec};
+
+/// The identity of one grid cell, totally ordered.
+///
+/// The deterministic reduce sorts merged results by this key — never by
+/// completion order — which is what makes `--threads N` output
+/// byte-identical to `--threads 1`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CellKey {
+    /// Platform axis label.
+    pub platform: String,
+    /// Workload name.
+    pub workload: String,
+    /// Policy axis label.
+    pub policy: String,
+    /// Concurrency level `C`.
+    pub concurrency: u32,
+    /// Replication seed.
+    pub seed: u64,
+}
+
+impl CellKey {
+    /// Compact single-string form, used in `BENCH_sweep.json`.
+    pub fn compact(&self) -> String {
+        format!(
+            "{}/{}/{}/c{}/s{}",
+            self.platform, self.workload, self.policy, self.concurrency, self.seed
+        )
+    }
+}
+
+/// One unit of work: a key plus everything needed to run it.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Sort/merge key.
+    pub key: CellKey,
+    /// Platform to instantiate.
+    pub platform: PlatformAxis,
+    /// Workload profile to run.
+    pub work: propack_platform::WorkProfile,
+    /// Concurrency level.
+    pub concurrency: u32,
+    /// Packing policy.
+    pub policy: PackingPolicy,
+    /// Seed for the cell's burst(s).
+    pub seed: u64,
+}
+
+/// Simulation results for one cell.
+///
+/// `wall_ms` is host timing: it is captured for `BENCH_sweep.json` but
+/// excluded from the deterministic render and from equality, so identical
+/// grids compare equal across runs and thread counts.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Which cell.
+    pub key: CellKey,
+    /// Packing degree the policy chose (1 for non-packing policies).
+    pub packing_degree: u32,
+    /// Instances the platform spawned.
+    pub instances: u32,
+    /// End-to-end service time, seconds (total metric: last completion).
+    pub service_secs: f64,
+    /// Scaling span, seconds.
+    pub scaling_secs: f64,
+    /// Bill in USD (for ProPack cells: including profiling overhead).
+    pub expense_usd: f64,
+    /// Billed compute in function-hours (ProPack: including overhead).
+    pub function_hours: f64,
+    /// Populated when the platform rejected the cell (the sweep continues;
+    /// a rejection is data, e.g. "degree 40 exceeds the memory cap").
+    pub error: Option<String>,
+    /// Host milliseconds spent simulating this cell (timing only).
+    pub wall_ms: f64,
+}
+
+impl CellResult {
+    /// Whether the cell ran to completion.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+
+    /// The deterministic fields as one rendered line (fixed precision, no
+    /// host timing).
+    pub fn render_line(&self) -> String {
+        let k = &self.key;
+        match &self.error {
+            Some(e) => format!(
+                "{}\t{}\t{}\tC={}\tseed={}\tERROR: {}",
+                k.platform, k.workload, k.policy, k.concurrency, k.seed, e
+            ),
+            None => format!(
+                "{}\t{}\t{}\tC={}\tseed={}\tP={}\tinstances={}\tservice_s={:.3}\tscaling_s={:.3}\texpense_usd={:.6}\tfn_hours={:.6}",
+                k.platform,
+                k.workload,
+                k.policy,
+                k.concurrency,
+                k.seed,
+                self.packing_degree,
+                self.instances,
+                self.service_secs,
+                self.scaling_secs,
+                self.expense_usd,
+                self.function_hours,
+            ),
+        }
+    }
+}
+
+/// Expand a spec into its cells, in fixed grid order (platform-major,
+/// seed-minor). Workers may *run* cells in any order; merging sorts by
+/// [`CellKey`], so enumeration order never shows in output.
+pub fn expand(spec: &SweepSpec) -> Vec<Cell> {
+    let mut cells = Vec::with_capacity(spec.cell_count());
+    for platform in &spec.platforms {
+        for work in &spec.workloads {
+            for &concurrency in &spec.concurrency {
+                for policy in &spec.policies {
+                    for &seed in &spec.seeds {
+                        cells.push(Cell {
+                            key: CellKey {
+                                platform: platform.label(),
+                                workload: work.name.clone(),
+                                policy: policy.label(),
+                                concurrency,
+                                seed,
+                            },
+                            platform: platform.clone(),
+                            work: work.clone(),
+                            concurrency,
+                            policy: *policy,
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propack_platform::WorkProfile;
+
+    #[test]
+    fn expansion_covers_the_grid_once() {
+        let spec = SweepSpec::new("x")
+            .platforms([PlatformAxis::Aws, PlatformAxis::Google])
+            .workloads([WorkProfile::synthetic("w", 0.25, 60.0)])
+            .concurrency([100, 200])
+            .policies([PackingPolicy::NoPacking, PackingPolicy::Fixed(4)])
+            .seeds([1]);
+        let cells = expand(&spec);
+        assert_eq!(cells.len(), spec.cell_count());
+        let mut keys: Vec<CellKey> = cells.iter().map(|c| c.key.clone()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), cells.len(), "duplicate cell keys");
+    }
+
+    #[test]
+    fn keys_order_lexicographically() {
+        let a = CellKey {
+            platform: "aws".into(),
+            workload: "w".into(),
+            policy: "no-packing".into(),
+            concurrency: 100,
+            seed: 2,
+        };
+        let mut b = a.clone();
+        b.seed = 1;
+        assert!(b < a);
+        let mut c = a.clone();
+        c.platform = "azure".into();
+        assert!(c > a);
+        assert_eq!(a.compact(), "aws/w/no-packing/c100/s2");
+    }
+}

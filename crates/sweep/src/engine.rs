@@ -1,0 +1,336 @@
+//! The work-stealing parallel sweep engine.
+//!
+//! [`SweepRunner`] fans a [`SweepSpec`] grid across `std::thread` workers.
+//! Each cell is an *independent seeded simulation* — a fresh platform, a
+//! fresh DES timeline, its own RNG streams — so cells never share mutable
+//! state and any execution order yields the same per-cell numbers. The only
+//! cross-cell structure is the shared [`ModelCache`], whose hits are
+//! provably invisible in results (see `propack_model::cache`).
+//!
+//! Scheduling is work-stealing over per-worker deques: cell indices are
+//! dealt round-robin, each worker pops its own deque from the front and
+//! steals from the *back* of a victim's deque when it runs dry. No work is
+//! ever added after seeding, so an empty full scan means the sweep is
+//! drained. The merge then sorts by [`CellKey`], which is what makes
+//! `--threads N` output byte-identical to `--threads 1`.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+use propack_baselines::{NoPacking, Pywren, Strategy, StrategyOutcome};
+use propack_model::cache::ModelCache;
+use propack_model::propack::ProPackConfig;
+use propack_platform::BurstSpec;
+
+use crate::cell::{expand, Cell, CellKey, CellResult};
+use crate::report::SweepReport;
+use crate::spec::{PackingPolicy, SweepError, SweepSpec};
+
+/// Executes sweep grids; configure with the builder-style setters, then
+/// call [`SweepRunner::run`].
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepRunner {
+    /// A serial runner (one worker thread).
+    pub fn new() -> Self {
+        SweepRunner { threads: 1 }
+    }
+
+    /// Set the worker count. Values are clamped to at least 1; the engine
+    /// also never spawns more workers than there are cells.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Run `spec` with a private model cache (one ProPack fit per distinct
+    /// `(platform, workload, fit_config)` across the whole grid).
+    pub fn run(&self, spec: &SweepSpec) -> Result<SweepReport, SweepError> {
+        self.run_with_cache(spec, &ModelCache::new())
+    }
+
+    /// Run `spec` against a caller-provided model cache, e.g. one shared
+    /// across several sweeps. Results are identical to [`SweepRunner::run`]
+    /// whether the cache is cold or prewarmed; only the hit/miss counters
+    /// (which are cache-lifetime totals) differ.
+    pub fn run_with_cache(
+        &self,
+        spec: &SweepSpec,
+        models: &ModelCache,
+    ) -> Result<SweepReport, SweepError> {
+        spec.validate()?;
+        let started = Instant::now();
+        let cells = expand(spec);
+        let workers = self.threads.min(cells.len()).max(1);
+        let mut results = if workers == 1 {
+            cells
+                .iter()
+                .map(|cell| run_cell(cell, &spec.fit_config, models))
+                .collect()
+        } else {
+            run_parallel(&cells, &spec.fit_config, models, workers)
+        };
+        // The deterministic reduce: order by cell key, never by completion.
+        results.sort_by(|a, b| a.key.cmp(&b.key));
+        debug_assert_eq!(results.len(), cells.len());
+        Ok(SweepReport {
+            name: spec.name.clone(),
+            threads: workers,
+            cells: results,
+            fitted_models: models.len(),
+            fit_hits: models.hits(),
+            fit_misses: models.misses(),
+            wall_secs: started.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+/// Fan `cells` across `workers` threads with work-stealing deques.
+fn run_parallel(
+    cells: &[Cell],
+    fit_config: &ProPackConfig,
+    models: &ModelCache,
+    workers: usize,
+) -> Vec<CellResult> {
+    // Deal indices round-robin so each worker starts with a balanced,
+    // deterministic share; stealing rebalances when cells are uneven.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..cells.len()).step_by(workers).collect()))
+        .collect();
+
+    let mut results = Vec::with_capacity(cells.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let queues = &queues;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    while let Some(i) = next_index(queues, w) {
+                        mine.push(run_cell(&cells[i], fit_config, models));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(batch) => results.extend(batch),
+                // A worker panic is a bug in the simulator, not a cell
+                // outcome; surface it instead of silently dropping cells.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    results
+}
+
+/// Claim the next cell index for worker `w`: own deque front first, then
+/// steal from the back of the other deques. `None` means the grid is
+/// drained (no work is ever added after seeding).
+fn next_index(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    if let Some(i) = lock(&queues[w]).pop_front() {
+        return Some(i);
+    }
+    for step in 1..queues.len() {
+        if let Some(i) = lock(&queues[(w + step) % queues.len()]).pop_back() {
+            return Some(i);
+        }
+    }
+    None
+}
+
+fn lock(queue: &Mutex<VecDeque<usize>>) -> MutexGuard<'_, VecDeque<usize>> {
+    // A poisoned deque only means another worker panicked while holding the
+    // guard; the indices themselves are still valid work.
+    queue
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Run one cell, capturing host wall time for `BENCH_sweep.json`.
+fn run_cell(cell: &Cell, fit_config: &ProPackConfig, models: &ModelCache) -> CellResult {
+    let started = Instant::now();
+    let mut result = simulate(cell, fit_config, models);
+    result.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    result
+}
+
+/// The cell body: build a fresh platform from the axis and execute the
+/// cell's policy. Failures (e.g. a packing degree the platform rejects)
+/// are recorded in the result, not raised — one bad cell must not sink a
+/// thousand-cell sweep.
+fn simulate(cell: &Cell, fit_config: &ProPackConfig, models: &ModelCache) -> CellResult {
+    let platform = cell.platform.build();
+    match cell.policy {
+        PackingPolicy::NoPacking => from_strategy(
+            &cell.key,
+            NoPacking.run(&*platform, &cell.work, cell.concurrency, cell.seed),
+        ),
+        PackingPolicy::Pywren => from_strategy(
+            &cell.key,
+            Pywren::default().run(&*platform, &cell.work, cell.concurrency, cell.seed),
+        ),
+        PackingPolicy::Fixed(p) => {
+            let burst =
+                BurstSpec::packed(cell.work.clone(), cell.concurrency, p).with_seed(cell.seed);
+            from_strategy(
+                &cell.key,
+                platform
+                    .run_burst(&burst)
+                    .map(|report| StrategyOutcome::from_report(format!("Fixed ({p})"), &report)),
+            )
+        }
+        PackingPolicy::Propack { objective } => {
+            match models.fit(&*platform, &cell.work, fit_config) {
+                Err(e) => failed(&cell.key, e.to_string()),
+                Ok(pp) => match pp.execute(&*platform, cell.concurrency, objective, cell.seed) {
+                    Err(e) => failed(&cell.key, e.to_string()),
+                    Ok(outcome) => CellResult {
+                        key: cell.key.clone(),
+                        packing_degree: outcome.plan.packing_degree,
+                        instances: outcome.report.instances.len() as u32,
+                        service_secs: outcome.report.total_service_time(),
+                        scaling_secs: outcome.report.scaling_time(),
+                        // The paper's accounting: profiling overhead is
+                        // charged to ProPack (once per model, baked into
+                        // the fitted model, so cache hits change nothing).
+                        expense_usd: outcome.expense_with_overhead_usd(),
+                        function_hours: outcome.function_hours_with_overhead(),
+                        error: None,
+                        wall_ms: 0.0,
+                    },
+                },
+            }
+        }
+    }
+}
+
+fn from_strategy<E: std::fmt::Display>(
+    key: &CellKey,
+    outcome: Result<StrategyOutcome, E>,
+) -> CellResult {
+    match outcome {
+        Err(e) => failed(key, e.to_string()),
+        Ok(o) => CellResult {
+            key: key.clone(),
+            packing_degree: o.packing_degree,
+            instances: o.completion_times.len() as u32,
+            service_secs: o.total_service_secs(),
+            scaling_secs: o.scaling_secs,
+            expense_usd: o.expense_usd,
+            function_hours: o.function_hours,
+            error: None,
+            wall_ms: 0.0,
+        },
+    }
+}
+
+fn failed(key: &CellKey, error: String) -> CellResult {
+    CellResult {
+        key: key.clone(),
+        packing_degree: 0,
+        instances: 0,
+        service_secs: 0.0,
+        scaling_secs: 0.0,
+        expense_usd: 0.0,
+        function_hours: 0.0,
+        error: Some(error),
+        wall_ms: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::PlatformAxis;
+    use propack_platform::WorkProfile;
+
+    fn work(name: &str) -> WorkProfile {
+        WorkProfile::synthetic(name, 0.25, 45.0).with_contention(0.2)
+    }
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec::new("engine-test")
+            .platforms([PlatformAxis::Aws, PlatformAxis::Google])
+            .workloads([work("w1"), work("w2")])
+            .concurrency([200, 800])
+            .policies([
+                PackingPolicy::NoPacking,
+                PackingPolicy::Fixed(4),
+                PackingPolicy::propack_default(),
+            ])
+            .seeds([7, 8])
+    }
+
+    #[test]
+    fn parallel_render_matches_serial_bit_for_bit() {
+        let spec = small_spec();
+        let serial = SweepRunner::new().run(&spec).unwrap();
+        for threads in [2, 4, 8] {
+            let parallel = SweepRunner::new().threads(threads).run(&spec).unwrap();
+            assert_eq!(serial.render(), parallel.render(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn one_model_fit_per_distinct_workload() {
+        let spec = small_spec();
+        let models = ModelCache::new();
+        let report = SweepRunner::new().run_with_cache(&spec, &models).unwrap();
+        // 2 platforms x 2 workloads share fits across concurrency & seeds.
+        assert_eq!(report.fitted_models, 4);
+        // Every propack cell consulted the cache exactly once.
+        assert_eq!(report.fit_hits + report.fit_misses, 2 * 2 * 2 * 2);
+    }
+
+    #[test]
+    fn prewarmed_cache_changes_nothing_in_output() {
+        let spec = small_spec();
+        let cold = SweepRunner::new().run(&spec).unwrap();
+        let models = ModelCache::new();
+        let _ = SweepRunner::new().run_with_cache(&spec, &models).unwrap();
+        let warm = SweepRunner::new()
+            .threads(4)
+            .run_with_cache(&spec, &models)
+            .unwrap();
+        assert_eq!(cold.render(), warm.render());
+    }
+
+    #[test]
+    fn infeasible_cells_record_errors_without_sinking_the_sweep() {
+        // Degree 64 x 0.25 GB = 16 GB, past every preset's memory cap.
+        let spec = SweepSpec::new("errors")
+            .platforms([PlatformAxis::Aws])
+            .workloads([work("w")])
+            .concurrency([128])
+            .policies([PackingPolicy::Fixed(64), PackingPolicy::NoPacking])
+            .seeds([1]);
+        let report = SweepRunner::new().threads(2).run(&spec).unwrap();
+        assert_eq!(report.cells.len(), 2);
+        let by_policy = |label: &str| {
+            report
+                .cells
+                .iter()
+                .find(|c| c.key.policy == label)
+                .expect("cell present")
+        };
+        assert!(by_policy("fixed-64").error.is_some());
+        assert!(by_policy("no-packing").is_ok());
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_up_front() {
+        let spec = SweepSpec::new("empty");
+        assert!(SweepRunner::new().run(&spec).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! # propack-sweep — the parallel deterministic sweep engine
+//!
+//! Every experiment in the reproduction is a *grid*: platforms ×
+//! workloads × concurrency levels × packing policies × seeds. This crate
+//! is the single way to run such grids. You describe the experiment as a
+//! declarative [`SweepSpec`], hand it to a [`SweepRunner`], and get back a
+//! [`SweepReport`] whose rendered output is **byte-identical for every
+//! `--threads` value** — parallelism is purely a wall-clock optimization,
+//! never a source of nondeterminism.
+//!
+//! Three properties make that hold:
+//!
+//! 1. **Cell independence.** Each grid cell runs a fresh platform and a
+//!    fresh seeded DES timeline; nothing mutable is shared between cells.
+//! 2. **Deterministic reduce.** Results are merged in [`CellKey`] order,
+//!    never completion order.
+//! 3. **Invisible memoization.** ProPack model fits are shared through a
+//!    [`ModelCache`], and a cached fit is bit-identical to a cold one, so
+//!    caching changes throughput, not results.
+//!
+//! Scheduling is work-stealing over per-worker deques (own front, steal
+//! back), which keeps workers busy even when cell costs are skewed —
+//! e.g. `C = 10 000` cells next to `C = 100` cells.
+//!
+//! ```
+//! use propack_sweep::prelude::*;
+//! use propack_platform::WorkProfile;
+//!
+//! let spec = SweepSpec::new("doc")
+//!     .platforms([PlatformAxis::Aws])
+//!     .workloads([WorkProfile::synthetic("w", 0.25, 30.0).with_contention(0.2)])
+//!     .concurrency([200])
+//!     .policies([PackingPolicy::NoPacking, PackingPolicy::propack_default()])
+//!     .seeds([7]);
+//! let serial = SweepRunner::new().run(&spec).unwrap();
+//! let parallel = SweepRunner::new().threads(2).run(&spec).unwrap();
+//! assert_eq!(serial.render(), parallel.render());
+//! ```
+
+pub mod cell;
+pub mod engine;
+pub mod report;
+pub mod spec;
+
+pub use cell::{Cell, CellKey, CellResult};
+pub use engine::SweepRunner;
+pub use report::{bench_json, speedup, RunTiming, SweepReport};
+pub use spec::{PackingPolicy, PlatformAxis, SweepError, SweepSpec};
+
+/// Everything needed to define and run a sweep.
+pub mod prelude {
+    pub use crate::cell::{CellKey, CellResult};
+    pub use crate::engine::SweepRunner;
+    pub use crate::report::{bench_json, RunTiming, SweepReport};
+    pub use crate::spec::{PackingPolicy, PlatformAxis, SweepError, SweepSpec};
+    pub use propack_model::cache::ModelCache;
+}

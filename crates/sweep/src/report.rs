@@ -1,0 +1,297 @@
+//! Sweep reports: a deterministic render plus host-timing capture for
+//! `BENCH_sweep.json`.
+//!
+//! The split matters: [`SweepReport::render`] contains only simulation
+//! results (sorted by cell key, fixed precision) and is required to be
+//! byte-identical across `--threads` values; wall-clock timing, cache
+//! hit/miss counters, and speedups are *measurements of the host*, so they
+//! live in stderr summaries and in [`bench_json`] only.
+
+use crate::cell::CellResult;
+
+/// The merged outcome of one sweep run.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Spec name.
+    pub name: String,
+    /// Worker threads actually used (after clamping to the cell count).
+    pub threads: usize,
+    /// Per-cell results, sorted by [`crate::CellKey`].
+    pub cells: Vec<CellResult>,
+    /// Distinct fitted models in the cache after the run.
+    pub fitted_models: usize,
+    /// Cache-lifetime hit counter (host-dependent under races; not rendered).
+    pub fit_hits: u64,
+    /// Cache-lifetime miss counter (host-dependent under races; not rendered).
+    pub fit_misses: u64,
+    /// Host wall time for the whole run, seconds (timing only).
+    pub wall_secs: f64,
+}
+
+impl SweepReport {
+    /// Cells that completed.
+    pub fn ok_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_ok()).count()
+    }
+
+    /// Cells the platform rejected.
+    pub fn error_count(&self) -> usize {
+        self.cells.len() - self.ok_count()
+    }
+
+    /// The deterministic text report: identical for every thread count.
+    ///
+    /// Contains no wall-clock timing and no cache hit/miss counts — the
+    /// hit/miss split can legitimately differ between runs when two workers
+    /// race on the same cold fit.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "sweep {}: {} cells, {} fitted models, {} ok, {} failed\n",
+            self.name,
+            self.cells.len(),
+            self.fitted_models,
+            self.ok_count(),
+            self.error_count(),
+        ));
+        out.push_str(
+            "platform\tworkload\tpolicy\tC\tseed\tP\tinstances\tservice_s\tscaling_s\texpense_usd\tfn_hours\n",
+        );
+        for cell in &self.cells {
+            out.push_str(&cell.render_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// One-line host-timing summary for stderr (never part of `render`).
+    pub fn timing_line(&self) -> String {
+        format!(
+            "timing: {} cells on {} thread(s) in {:.3}s ({:.1} cells/s), fit cache {} hit / {} miss",
+            self.cells.len(),
+            self.threads,
+            self.wall_secs,
+            self.cells.len() as f64 / self.wall_secs.max(1e-9),
+            self.fit_hits,
+            self.fit_misses,
+        )
+    }
+}
+
+/// Host timing of one run of a sweep, for the serial-vs-parallel benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct RunTiming {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Host wall time, seconds.
+    pub wall_secs: f64,
+}
+
+/// Compose `BENCH_sweep.json` from a sweep plus the timings of one or more
+/// runs of it (e.g. `--threads 1` and `--threads 8` over the same spec).
+///
+/// `outputs_identical` reports whether every run rendered byte-identically
+/// (pass `None` when only one run was made). The JSON is hand-rolled: the
+/// sweep crate takes no serde dependency, and the document is flat.
+pub fn bench_json(
+    report: &SweepReport,
+    runs: &[RunTiming],
+    outputs_identical: Option<bool>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"sweep\",\n");
+    out.push_str(&format!(
+        "  \"sweep\": \"{}\",\n",
+        escape_json(&report.name)
+    ));
+    out.push_str(&format!("  \"cells\": {},\n", report.cells.len()));
+    out.push_str(&format!("  \"ok\": {},\n", report.ok_count()));
+    out.push_str(&format!("  \"failed\": {},\n", report.error_count()));
+    out.push_str(&format!("  \"fitted_models\": {},\n", report.fitted_models));
+    out.push_str(&format!("  \"fit_hits\": {},\n", report.fit_hits));
+    out.push_str(&format!("  \"fit_misses\": {},\n", report.fit_misses));
+
+    out.push_str("  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"wall_secs\": {}, \"cells_per_sec\": {}}}{}\n",
+            run.threads,
+            json_f64(run.wall_secs),
+            json_f64(report.cells.len() as f64 / run.wall_secs.max(1e-9)),
+            comma,
+        ));
+    }
+    out.push_str("  ],\n");
+
+    match speedup(runs) {
+        Some(s) => out.push_str(&format!(
+            "  \"speedup_parallel_vs_serial\": {},\n",
+            json_f64(s)
+        )),
+        None => out.push_str("  \"speedup_parallel_vs_serial\": null,\n"),
+    }
+    match outputs_identical {
+        Some(b) => out.push_str(&format!("  \"outputs_identical\": {b},\n")),
+        None => out.push_str("  \"outputs_identical\": null,\n"),
+    }
+
+    out.push_str("  \"cell_wall_ms\": [\n");
+    for (i, cell) in report.cells.iter().enumerate() {
+        let comma = if i + 1 < report.cells.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"cell\": \"{}\", \"wall_ms\": {}}}{}\n",
+            escape_json(&cell.key.compact()),
+            json_f64(cell.wall_ms),
+            comma,
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Serial wall time over the best parallel wall time, if both were run.
+pub fn speedup(runs: &[RunTiming]) -> Option<f64> {
+    let serial = runs.iter().find(|r| r.threads == 1)?.wall_secs;
+    let parallel = runs
+        .iter()
+        .filter(|r| r.threads > 1)
+        .map(|r| r.wall_secs)
+        .min_by(f64::total_cmp)?;
+    Some(serial / parallel.max(1e-9))
+}
+
+/// JSON-legal float rendering (JSON has no NaN/Infinity literals).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escape a string for embedding in a JSON document.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKey;
+
+    fn result(policy: &str, seed: u64) -> CellResult {
+        CellResult {
+            key: CellKey {
+                platform: "aws".into(),
+                workload: "w".into(),
+                policy: policy.into(),
+                concurrency: 100,
+                seed,
+            },
+            packing_degree: 4,
+            instances: 25,
+            service_secs: 12.5,
+            scaling_secs: 3.25,
+            expense_usd: 0.125,
+            function_hours: 0.5,
+            error: None,
+            wall_ms: 1.5,
+        }
+    }
+
+    fn report() -> SweepReport {
+        SweepReport {
+            name: "unit".into(),
+            threads: 2,
+            cells: vec![result("fixed-4", 1), result("no-packing", 2)],
+            fitted_models: 1,
+            fit_hits: 3,
+            fit_misses: 1,
+            wall_secs: 0.25,
+        }
+    }
+
+    #[test]
+    fn render_excludes_host_timing_and_cache_counters() {
+        let mut a = report();
+        let mut b = report();
+        b.wall_secs = 99.0;
+        b.threads = 8;
+        b.fit_hits = 0;
+        b.fit_misses = 4;
+        for cell in &mut b.cells {
+            cell.wall_ms = 1e6;
+        }
+        assert_eq!(a.render(), b.render());
+        a.cells[0].expense_usd += 1.0;
+        assert_ne!(a.render(), b.render());
+    }
+
+    #[test]
+    fn bench_json_is_wellformed_enough() {
+        let r = report();
+        let runs = [
+            RunTiming {
+                threads: 1,
+                wall_secs: 1.0,
+            },
+            RunTiming {
+                threads: 8,
+                wall_secs: 0.25,
+            },
+        ];
+        let json = bench_json(&r, &runs, Some(true));
+        assert!(json.contains("\"bench\": \"sweep\""));
+        assert!(json.contains("\"speedup_parallel_vs_serial\": 4"));
+        assert!(json.contains("\"outputs_identical\": true"));
+        assert!(json.contains("aws/w/fixed-4/c100/s1"));
+        // Braces and brackets balance.
+        let balance = |open: char, close: char| {
+            json.chars().filter(|&c| c == open).count()
+                == json.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}'));
+        assert!(balance('[', ']'));
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_controls() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn speedup_needs_both_serial_and_parallel() {
+        assert!(speedup(&[RunTiming {
+            threads: 1,
+            wall_secs: 1.0
+        }])
+        .is_none());
+        let s = speedup(&[
+            RunTiming {
+                threads: 1,
+                wall_secs: 2.0,
+            },
+            RunTiming {
+                threads: 4,
+                wall_secs: 0.5,
+            },
+        ]);
+        assert_eq!(s, Some(4.0));
+    }
+}

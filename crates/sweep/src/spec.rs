@@ -1,0 +1,352 @@
+//! The declarative description of an experiment grid.
+//!
+//! A [`SweepSpec`] is the cross product of five axes — platform ×
+//! workload × concurrency × packing policy × seed — and is the single
+//! entry point for multi-run experiments: every figure grid in the
+//! reproduction is one of these. The spec is pure data; handing it to a
+//! [`crate::SweepRunner`] produces one independent seeded simulation per
+//! cell.
+
+use propack_funcx::{FuncXConfig, FuncXPlatform};
+use propack_model::optimizer::Objective;
+use propack_model::propack::ProPackConfig;
+use propack_platform::{CloudPlatform, PlatformProfile, Provider, ServerlessPlatform};
+
+/// One point on the platform axis.
+///
+/// Cells hold an *axis value*, not a live platform: each worker thread
+/// builds its platform fresh from the axis when it runs the cell, so the
+/// spec stays plain data and nothing shared crosses threads except the
+/// model cache.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformAxis {
+    /// AWS Lambda preset.
+    Aws,
+    /// Google Cloud Functions preset.
+    Google,
+    /// Azure Functions preset.
+    Azure,
+    /// FuncX on-prem cluster (default configuration).
+    FuncX,
+    /// A hand-tuned cloud calibration.
+    Custom(Box<PlatformProfile>),
+}
+
+impl PlatformAxis {
+    /// The three commercial clouds of Figs. 1 and 21.
+    pub fn clouds() -> Vec<PlatformAxis> {
+        vec![PlatformAxis::Aws, PlatformAxis::Google, PlatformAxis::Azure]
+    }
+
+    /// Stable label used in cell keys and rendered output.
+    pub fn label(&self) -> String {
+        match self {
+            PlatformAxis::Aws => "aws".to_string(),
+            PlatformAxis::Google => "google".to_string(),
+            PlatformAxis::Azure => "azure".to_string(),
+            PlatformAxis::FuncX => "funcx".to_string(),
+            PlatformAxis::Custom(profile) => {
+                format!("custom:{}", profile.provider.name())
+            }
+        }
+    }
+
+    /// Instantiate a fresh platform for one cell.
+    pub fn build(&self) -> Box<dyn ServerlessPlatform> {
+        match self {
+            PlatformAxis::Aws => Box::new(CloudPlatform::new(PlatformProfile::aws_lambda())),
+            PlatformAxis::Google => {
+                Box::new(CloudPlatform::new(PlatformProfile::google_cloud_functions()))
+            }
+            PlatformAxis::Azure => Box::new(CloudPlatform::new(PlatformProfile::azure_functions())),
+            PlatformAxis::FuncX => Box::new(FuncXPlatform::new(FuncXConfig::default())),
+            PlatformAxis::Custom(profile) => Box::new(CloudPlatform::new(*profile.clone())),
+        }
+    }
+
+    /// Axis value for a provider preset.
+    pub fn preset(provider: Provider) -> PlatformAxis {
+        match provider {
+            Provider::AwsLambda => PlatformAxis::Aws,
+            Provider::GoogleCloudFunctions => PlatformAxis::Google,
+            Provider::AzureFunctions => PlatformAxis::Azure,
+            Provider::FuncX => PlatformAxis::FuncX,
+        }
+    }
+}
+
+/// One point on the policy axis: how each burst packs its functions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PackingPolicy {
+    /// The traditional baseline: one function per instance.
+    NoPacking,
+    /// A fixed packing degree (ablation axis).
+    Fixed(u32),
+    /// Pywren-style warm pool reuse, no packing.
+    Pywren,
+    /// ProPack: profile (via the shared model cache), plan, execute.
+    Propack {
+        /// The optimization objective for the planner.
+        objective: Objective,
+    },
+}
+
+impl PackingPolicy {
+    /// ProPack with the paper's default joint objective.
+    pub fn propack_default() -> PackingPolicy {
+        PackingPolicy::Propack {
+            objective: Objective::default(),
+        }
+    }
+
+    /// Stable label used in cell keys and rendered output.
+    pub fn label(&self) -> String {
+        match self {
+            PackingPolicy::NoPacking => "no-packing".to_string(),
+            PackingPolicy::Fixed(p) => format!("fixed-{p}"),
+            PackingPolicy::Pywren => "pywren".to_string(),
+            PackingPolicy::Propack { objective } => match objective {
+                Objective::ServiceTime => "propack-service".to_string(),
+                Objective::Expense => "propack-expense".to_string(),
+                Objective::Joint { w_s } => format!("propack-joint-{w_s}"),
+            },
+        }
+    }
+}
+
+/// A declarative experiment grid (see module docs).
+///
+/// ```
+/// use propack_sweep::{PackingPolicy, PlatformAxis, SweepSpec};
+/// use propack_platform::WorkProfile;
+///
+/// let spec = SweepSpec::new("demo")
+///     .platforms([PlatformAxis::Aws])
+///     .workloads([WorkProfile::synthetic("w", 0.25, 60.0).with_contention(0.2)])
+///     .concurrency([500, 1000])
+///     .policies([PackingPolicy::NoPacking, PackingPolicy::propack_default()])
+///     .seeds([7]);
+/// assert_eq!(spec.cell_count(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Experiment name (used in reports and `BENCH_sweep.json`).
+    pub name: String,
+    /// Platform axis.
+    pub platforms: Vec<PlatformAxis>,
+    /// Workload axis (simulator profiles).
+    pub workloads: Vec<propack_platform::WorkProfile>,
+    /// Concurrency axis (the paper's `C`).
+    pub concurrency: Vec<u32>,
+    /// Packing-policy axis.
+    pub policies: Vec<PackingPolicy>,
+    /// Seed axis (one independent replication per seed).
+    pub seeds: Vec<u64>,
+    /// Profiling configuration for ProPack cells (part of the model-cache
+    /// key, so every cell sharing it shares one fit per workload).
+    pub fit_config: ProPackConfig,
+}
+
+impl SweepSpec {
+    /// An empty spec named `name`; populate the axes with the builder
+    /// methods. Defaults: no axis values, default [`ProPackConfig`].
+    pub fn new(name: impl Into<String>) -> Self {
+        SweepSpec {
+            name: name.into(),
+            platforms: Vec::new(),
+            workloads: Vec::new(),
+            concurrency: Vec::new(),
+            policies: Vec::new(),
+            seeds: Vec::new(),
+            fit_config: ProPackConfig::default(),
+        }
+    }
+
+    /// Set the platform axis.
+    pub fn platforms(mut self, axis: impl IntoIterator<Item = PlatformAxis>) -> Self {
+        self.platforms = axis.into_iter().collect();
+        self
+    }
+
+    /// Set the workload axis.
+    pub fn workloads(
+        mut self,
+        axis: impl IntoIterator<Item = propack_platform::WorkProfile>,
+    ) -> Self {
+        self.workloads = axis.into_iter().collect();
+        self
+    }
+
+    /// Set the concurrency axis.
+    pub fn concurrency(mut self, axis: impl IntoIterator<Item = u32>) -> Self {
+        self.concurrency = axis.into_iter().collect();
+        self
+    }
+
+    /// Set the policy axis.
+    pub fn policies(mut self, axis: impl IntoIterator<Item = PackingPolicy>) -> Self {
+        self.policies = axis.into_iter().collect();
+        self
+    }
+
+    /// Set the seed axis.
+    pub fn seeds(mut self, axis: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = axis.into_iter().collect();
+        self
+    }
+
+    /// Set the ProPack profiling configuration.
+    pub fn fit_config(mut self, config: ProPackConfig) -> Self {
+        self.fit_config = config;
+        self
+    }
+
+    /// Grid size.
+    pub fn cell_count(&self) -> usize {
+        self.platforms.len()
+            * self.workloads.len()
+            * self.concurrency.len()
+            * self.policies.len()
+            * self.seeds.len()
+    }
+
+    /// Check the spec describes a runnable, non-degenerate grid.
+    pub fn validate(&self) -> Result<(), SweepError> {
+        let axes = [
+            ("platforms", self.platforms.len()),
+            ("workloads", self.workloads.len()),
+            ("concurrency", self.concurrency.len()),
+            ("policies", self.policies.len()),
+            ("seeds", self.seeds.len()),
+        ];
+        for (name, len) in axes {
+            if len == 0 {
+                return Err(SweepError::EmptyAxis { axis: name });
+            }
+        }
+        if let Some(&c) = self.concurrency.iter().find(|&&c| c == 0) {
+            return Err(SweepError::InvalidValue {
+                what: "concurrency",
+                value: c.to_string(),
+            });
+        }
+        if let Some(p) = self.policies.iter().find_map(|p| match p {
+            PackingPolicy::Fixed(0) => Some(0u32),
+            _ => None,
+        }) {
+            return Err(SweepError::InvalidValue {
+                what: "fixed packing degree",
+                value: p.to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Spec-level failures (individual cell failures are recorded per cell,
+/// not raised).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// An axis has no values, so the grid is empty.
+    EmptyAxis {
+        /// Which axis.
+        axis: &'static str,
+    },
+    /// An axis value is outside its domain.
+    InvalidValue {
+        /// Which quantity.
+        what: &'static str,
+        /// The offending value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::EmptyAxis { axis } => write!(f, "sweep axis `{axis}` is empty"),
+            SweepError::InvalidValue { what, value } => {
+                write!(f, "invalid {what}: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propack_platform::WorkProfile;
+
+    fn work() -> WorkProfile {
+        WorkProfile::synthetic("w", 0.25, 60.0).with_contention(0.2)
+    }
+
+    #[test]
+    fn cell_count_is_axis_product() {
+        let spec = SweepSpec::new("x")
+            .platforms(PlatformAxis::clouds())
+            .workloads([work(), work()])
+            .concurrency([100, 200, 300])
+            .policies([PackingPolicy::NoPacking])
+            .seeds([1, 2]);
+        assert_eq!(spec.cell_count(), 3 * 2 * 3 * 2);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_axis_rejected() {
+        let spec = SweepSpec::new("x")
+            .platforms([PlatformAxis::Aws])
+            .workloads([work()])
+            .policies([PackingPolicy::NoPacking])
+            .seeds([1]);
+        assert_eq!(
+            spec.validate(),
+            Err(SweepError::EmptyAxis {
+                axis: "concurrency"
+            })
+        );
+    }
+
+    #[test]
+    fn zero_values_rejected() {
+        let base = SweepSpec::new("x")
+            .platforms([PlatformAxis::Aws])
+            .workloads([work()])
+            .concurrency([100])
+            .policies([PackingPolicy::NoPacking])
+            .seeds([1]);
+        assert!(base.clone().concurrency([0]).validate().is_err());
+        assert!(base.policies([PackingPolicy::Fixed(0)]).validate().is_err());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(PlatformAxis::Aws.label(), "aws");
+        assert_eq!(
+            PlatformAxis::Custom(Box::new(PlatformProfile::azure_functions())).label(),
+            "custom:Azure Functions"
+        );
+        assert_eq!(PackingPolicy::Fixed(8).label(), "fixed-8");
+        assert_eq!(
+            PackingPolicy::propack_default().label(),
+            "propack-joint-0.5"
+        );
+    }
+
+    #[test]
+    fn axis_platforms_build() {
+        for axis in [
+            PlatformAxis::Aws,
+            PlatformAxis::Google,
+            PlatformAxis::Azure,
+            PlatformAxis::FuncX,
+        ] {
+            let p = axis.build();
+            assert!(!p.name().is_empty());
+            assert!(p.limits().mem_gb > 0.0);
+        }
+    }
+}

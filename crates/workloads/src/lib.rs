@@ -51,21 +51,65 @@ pub trait Workload: Send + Sync {
     fn run_once(&self, input_seed: u64) -> WorkOutput;
 }
 
+/// The benchmark catalog: the single entry point for enumerating or
+/// resolving the paper's applications.
+///
+/// ```
+/// use propack_workloads::Benchmarks;
+///
+/// assert_eq!(Benchmarks::primary().len(), 3);
+/// assert_eq!(Benchmarks::all().len(), 5);
+/// let video = Benchmarks::resolve("video").unwrap();
+/// assert_eq!(video.name(), "Video");
+/// ```
+pub struct Benchmarks;
+
+impl Benchmarks {
+    /// The paper's three primary benchmarks (Figs. 1, 4, 7–16, 19, 21).
+    pub fn primary() -> Vec<Box<dyn Workload>> {
+        vec![
+            Box::new(video::Video::default()),
+            Box::new(sort::MapReduceSort::default()),
+            Box::new(stateless::StatelessCost::default()),
+        ]
+    }
+
+    /// All five benchmarks (adds Smith-Waterman, Fig. 17, and Xapian,
+    /// Fig. 20).
+    pub fn all() -> Vec<Box<dyn Workload>> {
+        let mut v = Self::primary();
+        v.push(Box::new(smith_waterman::SmithWaterman::default()));
+        v.push(Box::new(xapian::Xapian::default()));
+        v
+    }
+
+    /// Look a benchmark up by a case-insensitive key: either the display
+    /// name ("Smith-Waterman") or a compact alias ("sw", "video", "sort",
+    /// "stateless", "xapian").
+    pub fn resolve(key: &str) -> Option<Box<dyn Workload>> {
+        let k = key.to_ascii_lowercase();
+        Self::all().into_iter().find(|w| {
+            let name = w.name().to_ascii_lowercase();
+            name == k
+                || name.replace(['-', ' '], "") == k.replace(['-', ' '], "")
+                || matches!(
+                    (name.as_str(), k.as_str()),
+                    ("smith-waterman", "sw") | ("stateless cost", "stateless")
+                )
+        })
+    }
+}
+
 /// The paper's three primary benchmarks (Figs. 1, 4, 7–16, 19, 21).
+#[deprecated(since = "0.2.0", note = "use `Benchmarks::primary()`")]
 pub fn primary_benchmarks() -> Vec<Box<dyn Workload>> {
-    vec![
-        Box::new(video::Video::default()),
-        Box::new(sort::MapReduceSort::default()),
-        Box::new(stateless::StatelessCost::default()),
-    ]
+    Benchmarks::primary()
 }
 
 /// All five benchmarks (adds Smith-Waterman, Fig. 17, and Xapian, Fig. 20).
+#[deprecated(since = "0.2.0", note = "use `Benchmarks::all()`")]
 pub fn all_benchmarks() -> Vec<Box<dyn Workload>> {
-    let mut v = primary_benchmarks();
-    v.push(Box::new(smith_waterman::SmithWaterman::default()));
-    v.push(Box::new(xapian::Xapian::default()));
-    v
+    Benchmarks::all()
 }
 
 /// A 64-bit mixing hash (splitmix64 finalizer) used by kernels to fold
@@ -84,7 +128,7 @@ mod tests {
 
     #[test]
     fn registry_contains_expected_names() {
-        let names: Vec<&str> = all_benchmarks().iter().map(|w| w.name()).collect();
+        let names: Vec<&str> = Benchmarks::all().iter().map(|w| w.name()).collect();
         assert_eq!(
             names,
             vec![
@@ -108,7 +152,7 @@ mod tests {
             ("Smith-Waterman", 35),
             ("Xapian", 25),
         ];
-        for (w, (name, deg)) in all_benchmarks().iter().zip(expect) {
+        for (w, (name, deg)) in Benchmarks::all().iter().zip(expect) {
             assert_eq!(w.name(), name);
             assert_eq!(
                 w.profile().max_packing_degree(10.0),
@@ -120,7 +164,7 @@ mod tests {
 
     #[test]
     fn kernels_deterministic_per_seed() {
-        for w in all_benchmarks() {
+        for w in Benchmarks::all() {
             let a = w.run_once(42);
             let b = w.run_once(42);
             assert_eq!(a, b, "{} kernel not deterministic", w.name());
@@ -131,7 +175,7 @@ mod tests {
 
     #[test]
     fn profiles_have_positive_base_times() {
-        for w in all_benchmarks() {
+        for w in Benchmarks::all() {
             let p = w.profile();
             assert!(p.base_exec_secs > 0.0);
             assert!(p.mem_gb > 0.0);

@@ -1,0 +1,15 @@
+//! simlint fixture: deliberate `thread-spawn` violations (2 sites).
+use std::thread;
+
+pub fn fan_out() -> i32 {
+    let handle = std::thread::spawn(|| 1 + 1);
+    thread::scope(|s| {
+        s.spawn(|| ());
+    });
+    handle.join().unwrap_or(0)
+}
+
+pub fn fine() -> usize {
+    // Querying parallelism is allowed; only creating threads is not.
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

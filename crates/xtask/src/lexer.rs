@@ -269,11 +269,10 @@ impl Lexer {
     fn char_or_lifetime(&mut self) {
         let line = self.line;
         // 'a' / '\n' are char literals; 'a / 'static are lifetimes or labels.
-        let is_char = match (self.peek(1), self.peek(2)) {
-            (Some('\\'), _) => true,
-            (Some(_), Some('\'')) => true,
-            _ => false,
-        };
+        let is_char = matches!(
+            (self.peek(1), self.peek(2)),
+            (Some('\\'), _) | (Some(_), Some('\''))
+        );
         if is_char {
             self.bump();
             while let Some(c) = self.bump() {

@@ -2,7 +2,7 @@
 //!
 //! The only task so far is `simlint`, a repo-specific static-analysis pass
 //! enforcing the determinism and robustness invariants described in
-//! DESIGN.md §6. Run it as:
+//! DESIGN.md §7. Run it as:
 //!
 //! ```text
 //! cargo xtask simlint [--root <workspace-root>]
@@ -163,6 +163,20 @@ mod tests {
         assert_eq!(v.len(), 2, "{v:?}");
         let v = lint_file(src, &ctx("platform", "crates/platform/src/fleet.rs"));
         assert!(v.is_empty(), "const-doc scoped to profile.rs: {v:?}");
+    }
+
+    #[test]
+    fn fixture_thread_spawn_flagged_outside_sweep_and_executor() {
+        let src = include_str!("../fixtures/thread_spawn.rs");
+        let v = lint_file(src, &ctx("propack", "crates/propack/src/bad.rs"));
+        assert_eq!(rules_hit(&v), ["thread-spawn"]);
+        // `std::thread::spawn` + `thread::scope`; the inner `s.spawn` and
+        // `available_parallelism` are not separate violations.
+        assert_eq!(v.len(), 2, "{v:?}");
+        for krate in ["sweep", "executor"] {
+            let v = lint_file(src, &ctx(krate, "crates/x/src/ok.rs"));
+            assert!(v.is_empty(), "{krate} may spawn threads: {v:?}");
+        }
     }
 
     #[test]

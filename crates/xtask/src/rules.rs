@@ -1,15 +1,16 @@
 //! The simlint rule set.
 //!
-//! Five rules, each scoped to the crates where its invariant matters (see
-//! DESIGN.md §6, "Determinism policy & simlint"):
+//! Six rules, each scoped to the crates where its invariant matters (see
+//! DESIGN.md §7, "Determinism policy & simlint"):
 //!
 //! | rule        | scope                                   | invariant |
 //! |-------------|-----------------------------------------|-----------|
 //! | `hash-map`  | simulation crates                       | no `HashMap`/`HashSet`: iteration order must be deterministic |
-//! | `wall-clock`| all crates except `executor`            | no `Instant`/`SystemTime`/entropy-seeded RNG: virtual time and seeded streams only |
+//! | `wall-clock`| all crates except `executor`, `sweep`   | no `Instant`/`SystemTime`/entropy-seeded RNG: virtual time and seeded streams only |
 //! | `panic-path`| `simcore`, `platform`, `propack` (non-test) | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`: route errors through `platform::error` |
 //! | `float-eq`  | `stats`, `propack` (non-test)           | no `==`/`!=` against float literals: use tolerances or document exact-zero guards |
 //! | `const-doc` | `platform::profile`                     | every `pub const` cites its paper provenance (Fig./Eq./Table/§) |
+//! | `thread-spawn` | all crates except `sweep`, `executor` | no `thread::spawn`/`thread::scope`: host concurrency lives in the sweep engine and kernel harness |
 //!
 //! Escape hatch: `// simlint: allow(<rule>): "justification"` on the same
 //! line (trailing) or the line above. The justification string is mandatory;
@@ -35,8 +36,16 @@ pub const PANIC_FREE_CRATES: &[&str] = &["simcore", "platform", "propack"];
 pub const FLOAT_EQ_CRATES: &[&str] = &["stats", "propack"];
 
 /// Crates allowed to touch wall-clock time and OS entropy: `executor` runs
-/// real kernels on real hardware; `xtask` is tooling, not simulation.
-pub const WALL_CLOCK_EXEMPT: &[&str] = &["executor", "xtask"];
+/// real kernels on real hardware; `sweep` measures host wall-time per grid
+/// cell (timing is reported, never rendered into sweep output); `xtask` is
+/// tooling, not simulation.
+pub const WALL_CLOCK_EXEMPT: &[&str] = &["executor", "sweep", "xtask"];
+
+/// Crates allowed to create OS threads: `sweep` owns the work-stealing grid
+/// fan-out, `executor` drives real kernels, `xtask` is tooling. Everything
+/// else stays single-threaded so simulated outcomes cannot depend on host
+/// scheduling; route parallel experiments through `propack_sweep`.
+pub const THREAD_EXEMPT: &[&str] = &["executor", "sweep", "xtask"];
 
 /// All rule names, for `allow(...)` validation.
 pub const RULES: &[&str] = &[
@@ -45,6 +54,7 @@ pub const RULES: &[&str] = &[
     "panic-path",
     "float-eq",
     "const-doc",
+    "thread-spawn",
 ];
 
 /// Wall-clock / entropy identifiers banned outside `executor`.
@@ -110,6 +120,7 @@ pub fn lint_file(src: &str, ctx: &FileCtx) -> Vec<Violation> {
     check_panic_path(&lexed.tokens, ctx, &test_lines, &mut raw);
     check_float_eq(&lexed.tokens, ctx, &test_lines, &mut raw);
     check_const_doc(&lexed.tokens, ctx, &mut raw);
+    check_thread_spawn(&lexed.tokens, ctx, &mut raw);
 
     apply_allows(raw, &lexed.allows, ctx)
 }
@@ -381,6 +392,35 @@ fn check_const_doc(tokens: &[Token], ctx: &FileCtx, out: &mut Vec<Violation>) {
                 message: format!(
                     "calibration constant `{name}` has no provenance doc comment; cite \
                      the paper figure/equation/table it was read from (e.g. `/// Fig. 4`)"
+                ),
+            });
+        }
+    }
+}
+
+fn check_thread_spawn(tokens: &[Token], ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if THREAD_EXEMPT.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        // `thread::spawn` / `thread::scope` (also via `std::thread::…`).
+        // `scope.spawn(…)` inside the closure is not matched separately: the
+        // enclosing `thread::scope` call is already the violation.
+        let spawns = t.kind == TokenKind::Ident
+            && (t.text == "spawn" || t.text == "scope")
+            && i >= 2
+            && is_punct(&tokens[i - 1], "::")
+            && is_ident(&tokens[i - 2], "thread");
+        if spawns {
+            out.push(Violation {
+                rule: "thread-spawn",
+                rel_path: ctx.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "`thread::{}` creates OS threads outside the sweep engine; run \
+                     parallel grids through `propack_sweep::SweepRunner` (host threads \
+                     belong to `crates/sweep` and `crates/executor` only)",
+                    t.text
                 ),
             });
         }

@@ -11,7 +11,7 @@
 //! pack far below their memory-permitted maximum.
 
 use propack_repro::baselines::{NoPacking, Oracle, OracleObjective, Strategy};
-use propack_repro::platform::profile::PlatformProfile;
+use propack_repro::platform::PlatformBuilder;
 use propack_repro::propack::optimizer::Objective;
 use propack_repro::propack::propack::{ProPackConfig, Propack};
 use propack_repro::stats::percentile::Percentile;
@@ -37,7 +37,7 @@ fn main() {
     }
 
     // --- The campaign: C = 5000 concurrent comparisons. ---
-    let platform = PlatformProfile::aws_lambda().into_platform();
+    let platform = PlatformBuilder::aws().build();
     let work = SmithWaterman::default().profile();
     let c = 5000;
 

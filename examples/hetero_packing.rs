@@ -10,14 +10,14 @@
 //! prediction against the platform's mixed-instance mechanism.
 
 use propack_repro::platform::mixed::MixSpec;
-use propack_repro::platform::profile::PlatformProfile;
+use propack_repro::platform::PlatformBuilder;
 use propack_repro::platform::ServerlessPlatform;
 use propack_repro::propack::hetero::{exec_in_mix, plan_mixed, AppDemand};
 use propack_repro::propack::propack::{ProPackConfig, Propack};
 use propack_repro::workloads::{sort::MapReduceSort, video::Video, Workload};
 
 fn main() {
-    let platform = PlatformProfile::aws_lambda().into_platform();
+    let platform = PlatformBuilder::aws().build();
     let video = Video::default().profile();
     let sort = MapReduceSort::default().profile();
 

@@ -9,7 +9,7 @@
 //! objective-weight space (Eqs. 8–9) for the most expense-friendly split
 //! that still meets the bound.
 
-use propack_repro::platform::profile::PlatformProfile;
+use propack_repro::platform::PlatformBuilder;
 use propack_repro::platform::{BurstSpec, ServerlessPlatform};
 use propack_repro::propack::optimizer::Objective;
 use propack_repro::propack::propack::{ProPackConfig, Propack};
@@ -29,7 +29,7 @@ fn main() {
     }
 
     // --- The serving fleet. ---
-    let platform = PlatformProfile::aws_lambda().into_platform();
+    let platform = PlatformBuilder::aws().build();
     let work = Xapian::default().profile();
     let c = 5000;
     let pp = Propack::build(&platform, &work, &ProPackConfig::default()).expect("build");

@@ -11,7 +11,7 @@
 
 use propack_repro::baselines::{NoPacking, Pywren, SerialBatching, Staggered, Strategy};
 use propack_repro::funcx::FuncXPlatform;
-use propack_repro::platform::profile::PlatformProfile;
+use propack_repro::platform::PlatformBuilder;
 use propack_repro::platform::ServerlessPlatform;
 use propack_repro::propack::optimizer::Objective;
 use propack_repro::propack::propack::{ProPackConfig, Propack};
@@ -61,12 +61,9 @@ fn run_on(platform: &dyn ServerlessPlatform, c: u32) {
 
 fn main() {
     let c = 2000;
-    run_on(&PlatformProfile::aws_lambda().into_platform(), c);
-    run_on(
-        &PlatformProfile::google_cloud_functions().into_platform(),
-        c,
-    );
-    run_on(&PlatformProfile::azure_functions().into_platform(), c);
+    run_on(&PlatformBuilder::aws().build(), c);
+    run_on(&PlatformBuilder::google().build(), c);
+    run_on(&PlatformBuilder::azure().build(), c);
     run_on(&FuncXPlatform::default(), c);
     println!(
         "\nPacking wins everywhere because only it reduces the *number* of \

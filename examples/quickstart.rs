@@ -9,7 +9,7 @@
 //! compares the packed run against the traditional no-packing spawn.
 
 use propack_repro::baselines::{NoPacking, Strategy};
-use propack_repro::platform::profile::PlatformProfile;
+use propack_repro::platform::PlatformBuilder;
 use propack_repro::propack::optimizer::Objective;
 use propack_repro::propack::propack::{ProPackConfig, Propack};
 use propack_repro::workloads::{video::Video, Workload};
@@ -17,7 +17,7 @@ use propack_repro::workloads::{video::Video, Workload};
 fn main() {
     // 1. A serverless platform. The simulator stands in for AWS Lambda —
     //    same observable behaviour: burst timestamps and an itemized bill.
-    let platform = PlatformProfile::aws_lambda().into_platform();
+    let platform = PlatformBuilder::aws().build();
 
     // 2. An application: the Thousand-Island-Scanner-style video pipeline.
     let work = Video::default().profile();

@@ -8,11 +8,11 @@
 //! ```
 
 use propack_repro::orchestrator::{execute, MapPacking, Workflow};
-use propack_repro::platform::profile::PlatformProfile;
+use propack_repro::platform::PlatformBuilder;
 use propack_repro::workloads::{sort::MapReduceSort, Workload};
 
 fn main() {
-    let platform = PlatformProfile::aws_lambda().into_platform();
+    let platform = PlatformBuilder::aws().build();
     let sorter = MapReduceSort::default().profile();
     let c = 3000;
 

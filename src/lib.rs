@@ -15,4 +15,12 @@ pub use propack_orchestrator as orchestrator;
 pub use propack_platform as platform;
 pub use propack_simcore as simcore;
 pub use propack_stats as stats;
+pub use propack_sweep as sweep;
 pub use propack_workloads as workloads;
+
+/// The experiment-facing surface: build a platform, describe a sweep, run
+/// it. One import for examples and notebooks-style scripts.
+pub mod prelude {
+    pub use propack_platform::prelude::*;
+    pub use propack_sweep::prelude::*;
+}

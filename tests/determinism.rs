@@ -7,7 +7,7 @@
 //! seed differs (otherwise the jitter streams are dead and the percentile
 //! claims of Fig. 5 are meaningless).
 
-use propack_repro::platform::profile::PlatformProfile;
+use propack_repro::platform::PlatformBuilder;
 use propack_repro::platform::{BurstSpec, CloudPlatform};
 use propack_repro::propack::optimizer::Objective;
 use propack_repro::propack::propack::{ProPackConfig, Propack};
@@ -16,7 +16,7 @@ use propack_repro::workloads::video::Video;
 use propack_repro::workloads::Workload;
 
 fn aws() -> CloudPlatform {
-    PlatformProfile::aws_lambda().into_platform()
+    PlatformBuilder::aws().build()
 }
 
 /// The paper's Fig. 9 setting: Video at original concurrency C = 1000,

@@ -8,14 +8,15 @@
 use propack_repro::baselines::{NoPacking, Oracle, OracleObjective, Pywren, Strategy};
 use propack_repro::funcx::FuncXPlatform;
 use propack_repro::platform::profile::PlatformProfile;
+use propack_repro::platform::PlatformBuilder;
 use propack_repro::platform::{BurstSpec, CloudPlatform, ServerlessPlatform};
 use propack_repro::propack::optimizer::Objective;
 use propack_repro::propack::propack::{ProPackConfig, Propack};
 use propack_repro::stats::percentile::Percentile;
-use propack_repro::workloads::{all_benchmarks, primary_benchmarks};
+use propack_repro::workloads::Benchmarks;
 
 fn aws() -> CloudPlatform {
-    PlatformProfile::aws_lambda().into_platform()
+    PlatformBuilder::aws().build()
 }
 
 #[test]
@@ -23,7 +24,7 @@ fn propack_improves_every_primary_benchmark_at_every_concurrency() {
     // Fig. 9: "ProPack reduces the total service time for all applications
     // and at all concurrency levels, by more than 50% in most cases".
     let platform = aws();
-    for bench in primary_benchmarks() {
+    for bench in Benchmarks::primary() {
         let work = bench.profile();
         let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
         for c in [500u32, 1000, 2000, 5000] {
@@ -53,7 +54,7 @@ fn headline_numbers_at_high_concurrency() {
     let platform = aws();
     let mut service_gains = Vec::new();
     let mut expense_gains = Vec::new();
-    for bench in primary_benchmarks() {
+    for bench in Benchmarks::primary() {
         let work = bench.profile();
         let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
         let base = NoPacking.run(&platform, &work, 5000, 2).unwrap();
@@ -80,7 +81,7 @@ fn propack_degree_tracks_oracle_within_tolerance() {
     // §1 / Fig. 8: the model finds the oracle degree with high accuracy
     // (paper: >95%, off by ≤2 in its two miss cases).
     let platform = aws();
-    for bench in primary_benchmarks() {
+    for bench in Benchmarks::primary() {
         let work = bench.profile();
         let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
         for c in [1000u32, 2000, 5000] {
@@ -113,7 +114,7 @@ fn propack_beats_pywren_increasingly_with_concurrency() {
     // Fig. 19: ProPack beats the state-of-the-art workload manager, and
     // §1: Pywren works at low concurrency but fades at high concurrency.
     let platform = aws();
-    let work = primary_benchmarks()[1].profile(); // Sort
+    let work = Benchmarks::primary()[1].profile(); // Sort
     let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
     let mut gains = Vec::new();
     for c in [1000u32, 5000] {
@@ -140,7 +141,7 @@ fn funcx_scales_faster_but_packed_lambda_serves_faster() {
     // Fig. 18, both panels.
     let aws = aws();
     let fx = FuncXPlatform::default();
-    let work = primary_benchmarks()[1].profile();
+    let work = Benchmarks::primary()[1].profile();
     let spec = BurstSpec::new(work.clone(), 5000, 1).with_seed(5);
     let s_aws = aws.run_burst(&spec).unwrap().scaling_time();
     let s_fx = fx.run_burst(&spec).unwrap().scaling_time();
@@ -170,14 +171,14 @@ fn funcx_scales_faster_but_packed_lambda_serves_faster() {
 fn network_fee_platforms_save_more_expense() {
     // Fig. 21: the expense improvement on Google/Azure exceeds AWS because
     // packing also de-bills inter-function traffic there.
-    let work = primary_benchmarks()[0].profile(); // Video
+    let work = Benchmarks::primary()[0].profile(); // Video
     let mut gains = Vec::new();
     for profile in [
         PlatformProfile::aws_lambda(),
         PlatformProfile::google_cloud_functions(),
         PlatformProfile::azure_functions(),
     ] {
-        let platform = profile.into_platform();
+        let platform = CloudPlatform::new(profile);
         let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
         let base = NoPacking.run(&platform, &work, 1000, 6).unwrap();
         let out = pp
@@ -197,7 +198,7 @@ fn network_fee_platforms_save_more_expense() {
 fn dedicated_objectives_dominate_joint_on_their_own_metric() {
     // Figs. 13–14.
     let platform = aws();
-    for bench in all_benchmarks() {
+    for bench in Benchmarks::all() {
         let work = bench.profile();
         let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
         let c = 2000;
@@ -224,8 +225,8 @@ fn scaling_model_transfers_across_applications() {
     // a from-scratch build.
     let platform = aws();
     let cfg = ProPackConfig::default();
-    let first = Propack::build(&platform, &primary_benchmarks()[0].profile(), &cfg).unwrap();
-    for bench in primary_benchmarks().iter().skip(1) {
+    let first = Propack::build(&platform, &Benchmarks::primary()[0].profile(), &cfg).unwrap();
+    for bench in Benchmarks::primary().iter().skip(1) {
         let work = bench.profile();
         let reused = Propack::build_with_scaling(
             &platform,

@@ -2,7 +2,7 @@
 //! conditions must fail loudly and recoverably, never silently.
 
 use propack_repro::funcx::{FuncXConfig, FuncXPlatform};
-use propack_repro::platform::profile::PlatformProfile;
+use propack_repro::platform::PlatformBuilder;
 use propack_repro::platform::{BurstSpec, PlatformError, ServerlessPlatform, WorkProfile};
 use propack_repro::propack::propack::{ProPackConfig, Propack};
 use propack_repro::propack::ModelError;
@@ -11,9 +11,9 @@ use propack_repro::propack::ModelError;
 fn memory_cap_rejects_oversized_packs_on_every_platform() {
     let heavy = WorkProfile::synthetic("heavy", 4.0, 50.0);
     let platforms: Vec<Box<dyn ServerlessPlatform>> = vec![
-        Box::new(PlatformProfile::aws_lambda().into_platform()),
-        Box::new(PlatformProfile::google_cloud_functions().into_platform()),
-        Box::new(PlatformProfile::azure_functions().into_platform()),
+        Box::new(PlatformBuilder::aws().build()),
+        Box::new(PlatformBuilder::google().build()),
+        Box::new(PlatformBuilder::azure().build()),
         Box::new(FuncXPlatform::default()),
     ];
     for p in &platforms {
@@ -41,7 +41,7 @@ fn execution_cap_truncates_propack_plans_instead_of_failing() {
     // A slow, contention-heavy function cannot pack far before the 900s
     // Lambda cap; ProPack must discover the feasible ceiling during
     // profiling and never plan beyond it.
-    let platform = PlatformProfile::aws_lambda().into_platform();
+    let platform = PlatformBuilder::aws().build();
     let slow = WorkProfile::synthetic("slow", 0.25, 400.0).with_contention(0.6);
     let pp = Propack::build(&platform, &slow, &ProPackConfig::default()).unwrap();
     assert!(pp.model.p_max < slow.max_packing_degree(10.0));
@@ -57,7 +57,7 @@ fn execution_cap_truncates_propack_plans_instead_of_failing() {
 fn profiling_fails_cleanly_when_nothing_fits() {
     // A function whose very first packed degree times out leaves too few
     // samples to fit Eq. 1 — build must report it, not panic.
-    let platform = PlatformProfile::aws_lambda().into_platform();
+    let platform = PlatformBuilder::aws().build();
     let hopeless = WorkProfile::synthetic("hopeless", 0.25, 895.0).with_contention(3.0);
     let err = Propack::build(&platform, &hopeless, &ProPackConfig::default()).unwrap_err();
     assert!(
@@ -93,7 +93,7 @@ fn saturated_funcx_cluster_serializes_into_waves() {
 
 #[test]
 fn infeasible_qos_bound_reports_best_achievable_tail() {
-    let platform = PlatformProfile::aws_lambda().into_platform();
+    let platform = PlatformBuilder::aws().build();
     let work = WorkProfile::synthetic("svc", 0.4, 50.0).with_contention(0.125);
     let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
     match pp.plan_with_qos(5000, 0.5) {
@@ -111,7 +111,7 @@ fn infeasible_qos_bound_reports_best_achievable_tail() {
 #[test]
 fn zero_sized_bursts_rejected_everywhere() {
     let work = WorkProfile::synthetic("w", 0.25, 10.0);
-    let aws = PlatformProfile::aws_lambda().into_platform();
+    let aws = PlatformBuilder::aws().build();
     let fx = FuncXPlatform::default();
     for (inst, deg) in [(0u32, 1u32), (1, 0), (0, 0)] {
         assert!(matches!(
@@ -130,7 +130,7 @@ fn baseline_times_out_where_packed_run_would_not() {
     // §4's remark inverted: with a long per-function execution time, high
     // packing degrees exceed the platform cap while modest ones fit — the
     // planner must respect the boundary exactly.
-    let platform = PlatformProfile::aws_lambda().into_platform();
+    let platform = PlatformBuilder::aws().build();
     let work = WorkProfile::synthetic("long", 0.25, 700.0).with_contention(0.12);
     // Degree 1 fits (700 < 900); degree 12 exceeds the cap.
     assert!(platform

@@ -2,12 +2,12 @@
 //! realization must be transparent to application results.
 
 use propack_repro::executor::PackedExecutor;
-use propack_repro::workloads::all_benchmarks;
+use propack_repro::workloads::Benchmarks;
 
 #[test]
 fn every_kernel_computes_identical_results_packed_and_solo() {
     let ex = PackedExecutor::new(3);
-    for bench in all_benchmarks() {
+    for bench in Benchmarks::all() {
         let packed = ex.run_pack(bench.as_ref(), 5, 1000);
         assert_eq!(packed.outputs.len(), 5, "{}", bench.name());
         for (i, out) in packed.outputs.iter().enumerate() {
@@ -25,7 +25,7 @@ fn every_kernel_computes_identical_results_packed_and_solo() {
 #[test]
 fn packed_runs_are_repeatable() {
     let ex = PackedExecutor::new(2);
-    for bench in all_benchmarks() {
+    for bench in Benchmarks::all() {
         let a = ex.run_pack(bench.as_ref(), 4, 7);
         let b = ex.run_pack(bench.as_ref(), 4, 7);
         assert_eq!(a.outputs, b.outputs, "{}", bench.name());
@@ -35,7 +35,7 @@ fn packed_runs_are_repeatable() {
 #[test]
 fn distinct_seeds_produce_distinct_work() {
     let ex = PackedExecutor::new(4);
-    for bench in all_benchmarks() {
+    for bench in Benchmarks::all() {
         let run = ex.run_pack(bench.as_ref(), 6, 31);
         let mut checksums: Vec<u64> = run.outputs.iter().map(|o| o.checksum).collect();
         checksums.sort_unstable();

@@ -2,20 +2,20 @@
 //! benchmarks: the fitted analytical models must pass the Pearson χ²
 //! goodness-of-fit test against fresh simulator observations.
 
-use propack_repro::platform::profile::PlatformProfile;
+use propack_repro::platform::PlatformBuilder;
 use propack_repro::platform::{BurstSpec, ServerlessPlatform};
 use propack_repro::propack::propack::{ProPackConfig, Propack};
 use propack_repro::propack::validate::validate_models;
 use propack_repro::stats::chi2::ChiSquareTest;
-use propack_repro::workloads::all_benchmarks;
+use propack_repro::workloads::Benchmarks;
 
 #[test]
 fn all_five_benchmarks_pass_chi_square_validation() {
-    let platform = PlatformProfile::aws_lambda().into_platform();
+    let platform = PlatformBuilder::aws().build();
     let test = ChiSquareTest::paper_default();
     let mut max_service: f64 = 0.0;
     let mut max_expense: f64 = 0.0;
-    for bench in all_benchmarks() {
+    for bench in Benchmarks::all() {
         let work = bench.profile();
         let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
         let report = validate_models(&platform, &pp.model, &work, 1000, test, 99).unwrap();
@@ -39,8 +39,8 @@ fn all_five_benchmarks_pass_chi_square_validation() {
 #[test]
 fn interference_fit_error_stays_small_across_apps() {
     // Fig. 4: the exponential model tracks the observed curves.
-    let platform = PlatformProfile::aws_lambda().into_platform();
-    for bench in all_benchmarks() {
+    let platform = PlatformBuilder::aws().build();
+    for bench in Benchmarks::all() {
         let work = bench.profile();
         let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
         for p in (1..=pp.model.p_max).step_by(3) {
@@ -61,10 +61,10 @@ fn interference_fit_error_stays_small_across_apps() {
 fn scaling_fit_is_application_independent() {
     // Fig. 5b: scaling samples from *different applications* fit the same
     // polynomial; predictions from a probe-fitted model match real apps.
-    let platform = PlatformProfile::aws_lambda().into_platform();
+    let platform = PlatformBuilder::aws().build();
     let cfg = ProPackConfig::default();
-    let pp = Propack::build(&platform, &all_benchmarks()[0].profile(), &cfg).unwrap();
-    for bench in all_benchmarks() {
+    let pp = Propack::build(&platform, &Benchmarks::all()[0].profile(), &cfg).unwrap();
+    for bench in Benchmarks::all() {
         let work = bench.profile();
         for c in [750u32, 1500, 3000] {
             let spec = BurstSpec::new(work.clone(), c, 1).with_seed(55 ^ c as u64);
@@ -84,8 +84,8 @@ fn scaling_fit_is_application_independent() {
 #[test]
 fn execution_time_flat_across_concurrency_for_all_apps() {
     // Fig. 5a, over the full suite: < 5% variation between C=500 and 5000.
-    let platform = PlatformProfile::aws_lambda().into_platform();
-    for bench in all_benchmarks() {
+    let platform = PlatformBuilder::aws().build();
+    for bench in Benchmarks::all() {
         let work = bench.profile();
         let mean_at = |c: u32| {
             platform

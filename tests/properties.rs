@@ -2,6 +2,7 @@
 //! for *any* burst specification, not just the calibrated benchmarks.
 
 use propack_repro::platform::profile::PlatformProfile;
+use propack_repro::platform::PlatformBuilder;
 use propack_repro::platform::{BurstSpec, CloudPlatform, ServerlessPlatform, WorkProfile};
 use propack_repro::propack::interference::{InterferenceModel, InterferenceSample};
 use propack_repro::propack::model::{CostFactors, PackingModel};
@@ -11,7 +12,7 @@ use propack_repro::stats::percentile::Percentile;
 use proptest::prelude::*;
 
 fn aws() -> CloudPlatform {
-    PlatformProfile::aws_lambda().into_platform()
+    PlatformBuilder::aws().build()
 }
 
 /// Strategy: a feasible (work, degree) pair under the AWS 10 GB / 900 s

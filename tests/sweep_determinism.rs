@@ -1,0 +1,79 @@
+//! The sweep engine's headline guarantee, tested end to end: the same
+//! `SweepSpec` rendered at `--threads 1`, `--threads 4`, and `--threads 8`
+//! is byte-identical, and the memoized model-fit cache is invisible in the
+//! output (a cache hit produces the same packing decisions as a cold fit).
+
+use propack_repro::prelude::*;
+use propack_repro::propack::optimizer::Objective;
+use propack_repro::propack::propack::{ProPackConfig, Propack};
+use propack_repro::workloads::Benchmarks;
+
+fn grid() -> SweepSpec {
+    SweepSpec::new("determinism")
+        .platforms([PlatformAxis::Aws, PlatformAxis::Google, PlatformAxis::FuncX])
+        .workloads(
+            Benchmarks::primary()
+                .into_iter()
+                .take(2)
+                .map(|b| b.profile()),
+        )
+        .concurrency([100, 1000])
+        .policies([
+            PackingPolicy::NoPacking,
+            PackingPolicy::Pywren,
+            PackingPolicy::Fixed(4),
+            PackingPolicy::propack_default(),
+        ])
+        .seeds([11, 12])
+}
+
+#[test]
+fn threads_1_4_8_render_byte_identically() {
+    let spec = grid();
+    let reference = SweepRunner::new().run(&spec).unwrap().render();
+    assert!(reference.lines().count() > spec.cell_count());
+    for threads in [4, 8] {
+        let rendered = SweepRunner::new()
+            .threads(threads)
+            .run(&spec)
+            .unwrap()
+            .render();
+        assert_eq!(
+            reference.as_bytes(),
+            rendered.as_bytes(),
+            "threads={threads} output diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_are_reproducible() {
+    let spec = grid();
+    let a = SweepRunner::new().threads(4).run(&spec).unwrap().render();
+    let b = SweepRunner::new().threads(4).run(&spec).unwrap().render();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn cache_hit_matches_cold_fit_packing_decisions() {
+    let platform = PlatformBuilder::aws().build();
+    let work = Benchmarks::primary()[0].profile();
+    let cfg = ProPackConfig::default();
+
+    let cache = ModelCache::new();
+    let first = cache.fit(&platform, &work, &cfg).unwrap();
+    let hit = cache.fit(&platform, &work, &cfg).unwrap();
+    assert_eq!(cache.hits(), 1, "second fit must be served from the cache");
+
+    let cold = Propack::build(&platform, &work, &cfg).unwrap();
+    for c in [50, 500, 5000] {
+        for objective in [
+            Objective::ServiceTime,
+            Objective::Expense,
+            Objective::default(),
+        ] {
+            assert_eq!(hit.plan(c, objective), cold.plan(c, objective));
+            assert_eq!(first.plan(c, objective), cold.plan(c, objective));
+        }
+    }
+}
