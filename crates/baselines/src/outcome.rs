@@ -1,7 +1,7 @@
 //! A technique-agnostic run outcome, so every strategy (baseline, Pywren,
 //! ProPack, Oracle) is comparable through one interface.
 
-use propack_platform::RunReport;
+use propack_platform::{FaultSummary, RunReport};
 use propack_stats::percentile::{quantile_sorted, Percentile};
 use serde::{Deserialize, Serialize};
 
@@ -22,6 +22,10 @@ pub struct StrategyOutcome {
     pub function_hours: f64,
     /// Packing degree used (1 for non-packing strategies).
     pub packing_degree: u32,
+    /// Fault and retry counters aggregated over every burst the strategy
+    /// launched (all-zero when faults are disabled).
+    #[serde(default)]
+    pub faults: FaultSummary,
 }
 
 impl StrategyOutcome {
@@ -37,6 +41,7 @@ impl StrategyOutcome {
             expense_usd: report.expense.total_usd(),
             function_hours: report.function_hours(),
             packing_degree: report.packing_degree,
+            faults: report.faults,
         }
     }
 
@@ -48,12 +53,14 @@ impl StrategyOutcome {
         let mut function_hours = 0.0;
         let mut scaling_secs: f64 = 0.0;
         let mut packing_degree = 1;
+        let mut faults = FaultSummary::default();
         for (offset, report) in waves {
             completion_times.extend(report.instances.iter().map(|i| i.finished_at + offset));
             expense_usd += report.expense.total_usd();
             function_hours += report.function_hours();
             scaling_secs = scaling_secs.max(offset + report.scaling_time());
             packing_degree = report.packing_degree;
+            faults.merge(&report.faults);
         }
         completion_times.sort_by(f64::total_cmp);
         StrategyOutcome {
@@ -63,6 +70,7 @@ impl StrategyOutcome {
             expense_usd,
             function_hours,
             packing_degree,
+            faults,
         }
     }
 

@@ -2,7 +2,9 @@
 //! paper evaluates or dismisses.
 
 use crate::outcome::StrategyOutcome;
-use propack_platform::{BurstSpec, PlatformError, ServerlessPlatform, WorkProfile};
+use propack_platform::{
+    BurstSpec, FaultSpec, PlatformError, RetryPolicy, ServerlessPlatform, WorkProfile,
+};
 
 /// A way to execute `C` concurrent functions on a platform.
 pub trait Strategy {
@@ -10,12 +12,37 @@ pub trait Strategy {
     fn name(&self) -> String;
 
     /// Execute `c` functions of `work` and report the outcome.
+    ///
+    /// Fault-free convenience wrapper around [`Strategy::run_faulted`].
     fn run(
         &self,
         platform: &dyn ServerlessPlatform,
         work: &WorkProfile,
         c: u32,
         seed: u64,
+    ) -> Result<StrategyOutcome, PlatformError> {
+        self.run_faulted(
+            platform,
+            work,
+            c,
+            seed,
+            FaultSpec::none(),
+            RetryPolicy::no_retries(),
+        )
+    }
+
+    /// Execute `c` functions of `work` under a fault process and report the
+    /// outcome. Baselines face the same fault environment as ProPack in
+    /// comparative experiments — each strategy threads `faults`/`retry`
+    /// through to every burst it launches.
+    fn run_faulted(
+        &self,
+        platform: &dyn ServerlessPlatform,
+        work: &WorkProfile,
+        c: u32,
+        seed: u64,
+        faults: FaultSpec,
+        retry: RetryPolicy,
     ) -> Result<StrategyOutcome, PlatformError>;
 }
 
@@ -30,14 +57,21 @@ impl Strategy for NoPacking {
         "No Packing".to_string()
     }
 
-    fn run(
+    fn run_faulted(
         &self,
         platform: &dyn ServerlessPlatform,
         work: &WorkProfile,
         c: u32,
         seed: u64,
+        faults: FaultSpec,
+        retry: RetryPolicy,
     ) -> Result<StrategyOutcome, PlatformError> {
-        let report = platform.run_burst(&BurstSpec::new(work.clone(), c, 1).with_seed(seed))?;
+        let report = platform.run_burst(
+            &BurstSpec::new(work.clone(), c, 1)
+                .with_seed(seed)
+                .with_faults(faults)
+                .with_retry(retry),
+        )?;
         Ok(StrategyOutcome::from_report(self.name(), &report))
     }
 }
@@ -58,12 +92,14 @@ impl Strategy for SerialBatching {
         format!("Serial Batching ({})", self.batch_size)
     }
 
-    fn run(
+    fn run_faulted(
         &self,
         platform: &dyn ServerlessPlatform,
         work: &WorkProfile,
         c: u32,
         seed: u64,
+        faults: FaultSpec,
+        retry: RetryPolicy,
     ) -> Result<StrategyOutcome, PlatformError> {
         assert!(self.batch_size > 0, "batch size must be positive");
         let mut waves = Vec::new();
@@ -72,8 +108,12 @@ impl Strategy for SerialBatching {
         let mut k = 0u64;
         while remaining > 0 {
             let batch = remaining.min(self.batch_size);
-            let report = platform
-                .run_burst(&BurstSpec::new(work.clone(), batch, 1).with_seed(seed ^ (k << 17)))?;
+            let report = platform.run_burst(
+                &BurstSpec::new(work.clone(), batch, 1)
+                    .with_seed(seed ^ (k << 17))
+                    .with_faults(faults)
+                    .with_retry(retry),
+            )?;
             let makespan = report.total_service_time();
             waves.push((offset, report));
             offset += makespan;
@@ -102,12 +142,14 @@ impl Strategy for Staggered {
         format!("Staggered ({} every {:.0}s)", self.wave_size, self.gap_secs)
     }
 
-    fn run(
+    fn run_faulted(
         &self,
         platform: &dyn ServerlessPlatform,
         work: &WorkProfile,
         c: u32,
         seed: u64,
+        faults: FaultSpec,
+        retry: RetryPolicy,
     ) -> Result<StrategyOutcome, PlatformError> {
         assert!(self.wave_size > 0 && self.gap_secs >= 0.0);
         let mut waves = Vec::new();
@@ -115,8 +157,12 @@ impl Strategy for Staggered {
         let mut k = 0u64;
         while remaining > 0 {
             let wave = remaining.min(self.wave_size);
-            let report = platform
-                .run_burst(&BurstSpec::new(work.clone(), wave, 1).with_seed(seed ^ (k << 13)))?;
+            let report = platform.run_burst(
+                &BurstSpec::new(work.clone(), wave, 1)
+                    .with_seed(seed ^ (k << 13))
+                    .with_faults(faults)
+                    .with_retry(retry),
+            )?;
             waves.push((k as f64 * self.gap_secs, report));
             remaining -= wave;
             k += 1;
@@ -163,18 +209,22 @@ impl Strategy for Pywren {
         "Pywren".to_string()
     }
 
-    fn run(
+    fn run_faulted(
         &self,
         platform: &dyn ServerlessPlatform,
         work: &WorkProfile,
         c: u32,
         seed: u64,
+        faults: FaultSpec,
+        retry: RetryPolicy,
     ) -> Result<StrategyOutcome, PlatformError> {
         let warm = (self.pool_size as f64 / c as f64).min(1.0);
         let report = platform.run_burst(
             &BurstSpec::new(work.clone(), c, 1)
                 .with_seed(seed)
-                .with_warm_fraction(warm),
+                .with_warm_fraction(warm)
+                .with_faults(faults)
+                .with_retry(retry),
         )?;
         let mut outcome = StrategyOutcome::from_report(self.name(), &report);
         // Data-movement optimization: staged reads/writes through common
@@ -282,6 +332,33 @@ mod tests {
         .unwrap();
         let with_discount = Pywren::default().run(&platform, &w, 300, 2).unwrap();
         assert!(with_discount.expense_usd < no_discount.expense_usd);
+    }
+
+    #[test]
+    fn strategies_thread_faults_through_every_burst() {
+        // Every strategy must expose the fault environment: under a nonzero
+        // crash rate the aggregated counters are nonzero and the bill grows.
+        let platform = aws();
+        let w = work();
+        let faults = propack_platform::FaultSpec::none().with_crash_rate(0.05);
+        let retry = propack_platform::RetryPolicy::default();
+        let strategies: Vec<Box<dyn Strategy>> = vec![
+            Box::new(NoPacking),
+            Box::new(SerialBatching { batch_size: 200 }),
+            Box::new(Staggered {
+                wave_size: 200,
+                gap_secs: 10.0,
+            }),
+            Box::new(Pywren::default()),
+        ];
+        for s in &strategies {
+            let clean = s.run(&platform, &w, 600, 9).unwrap();
+            let faulted = s.run_faulted(&platform, &w, 600, 9, faults, retry).unwrap();
+            assert_eq!(clean.faults, Default::default(), "{}", s.name());
+            assert!(faulted.faults.crashes > 0, "{}", s.name());
+            assert!(faulted.faults.retries > 0, "{}", s.name());
+            assert!(faulted.expense_usd > clean.expense_usd, "{}", s.name());
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@ fn bench_propack_build_and_plan(c: &mut Criterion) {
     });
     let pp = Propack::build(&platform, &work(), &ProPackConfig::default()).unwrap();
     g.bench_function("propack_plan_only", |b| {
-        b.iter(|| pp.plan(black_box(5000), Objective::default()))
+        b.iter(|| pp.plan(black_box(5000), Objective::default()).unwrap())
     });
     g.finish();
 }
@@ -40,7 +40,7 @@ fn bench_propack_vs_oracle(c: &mut Criterion) {
     let w = work();
     let pp = Propack::build(&platform, &w, &ProPackConfig::default()).unwrap();
     g.bench_function("analytical_decision", |b| {
-        b.iter(|| pp.plan(black_box(2000), Objective::default()))
+        b.iter(|| pp.plan(black_box(2000), Objective::default()).unwrap())
     });
     g.bench_function("oracle_brute_force", |b| {
         b.iter(|| {

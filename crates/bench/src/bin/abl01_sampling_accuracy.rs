@@ -35,7 +35,7 @@ fn main() {
                 ..ProPackConfig::default()
             };
             let pp = Propack::build(&ctx.aws, &work, &cfg).expect("build");
-            let plan = pp.plan(5000, Objective::default());
+            let plan = pp.plan(5000, Objective::default()).expect("plan");
             degrees.push(plan.packing_degree);
             t.row(vec![
                 work.name.clone(),

@@ -372,7 +372,9 @@ pub fn fig08_oracle_degrees(ctx: &Ctx) -> Vec<Table> {
                         ctx.seed,
                     )
                     .expect("oracle");
-                let plan = pp.plan_with_metric(c, Objective::default(), metric);
+                let plan = pp
+                    .plan_with_metric(c, Objective::default(), metric)
+                    .expect("joint plan");
                 total += 1;
                 let near = plan.packing_degree.abs_diff(oracle.packing_degree) <= 2;
                 matched += near as u32;
@@ -681,8 +683,8 @@ pub fn fig15_objective_degrees(ctx: &Ctx) -> Vec<Table> {
                 )
                 .expect("oracle")
                 .packing_degree;
-            let p_s = pp.plan(c, Objective::ServiceTime).packing_degree;
-            let p_e = pp.plan(c, Objective::Expense).packing_degree;
+            let p_s = pp.plan(c, Objective::ServiceTime).expect("plan").packing_degree;
+            let p_e = pp.plan(c, Objective::Expense).expect("plan").packing_degree;
             ordering_holds &= o_e >= o_s;
             t.row(vec![
                 work.name.clone(),
@@ -723,6 +725,7 @@ pub fn fig16_weight_sweep(ctx: &Ctx) -> Vec<Table> {
         t.row(vec![
             format!("{:.1}/{:.1}", w_s, 1.0 - w_s),
             pp.plan(C_HIGH, Objective::Joint { w_s })
+                .expect("joint plan")
                 .packing_degree
                 .to_string(),
             pct(s_gain),
@@ -896,15 +899,18 @@ pub fn fig20_xapian_qos(ctx: &Ctx) -> Vec<Table> {
     );
     let p_service = pp
         .plan_with_metric(c, Objective::ServiceTime, Percentile::Tail95)
+        .expect("service plan")
         .packing_degree;
     let p_expense = pp
         .plan_with_metric(c, Objective::Expense, Percentile::Tail95)
+        .expect("expense plan")
         .packing_degree;
     // QoS bound: 4% above the best achievable tail service time — tight
     // enough to require a service-leaning weight split, matching the
     // paper's W_S = 0.65 story for Xapian.
     let best_tail = pp
         .plan_with_metric(c, Objective::ServiceTime, Percentile::Tail95)
+        .expect("tail plan")
         .predicted_service_secs;
     let qos = best_tail * 1.04;
     let (qos_plan, w_s) = pp.plan_with_qos(c, qos).expect("qos plan");

@@ -7,8 +7,9 @@
 //!
 //! ```text
 //! propack sweep    --apps <a,b> [--platforms <p,..>] [--concurrency <C,..>]
-//!                  [--policies <pol,..>] [--seeds <s,..>] [--threads <n>]
-//!                  [--bench-out <file>] [--compare-serial] [--name <id>]
+//!                  [--policies <pol,..>] [--seeds <s,..>] [--faults <f,..>]
+//!                  [--threads <n>] [--bench-out <file>] [--compare-serial]
+//!                  [--name <id>]
 //! propack figures  [--fig <fig01,fig21,..|all>] [--json]
 //! propack validate --app <name> -c <C> [--platform <p>] [--seed <s>]
 //! propack help
@@ -33,7 +34,9 @@ use propack_model::validate::validate_models;
 use propack_platform::PlatformBuilder;
 use propack_platform::{ServerlessPlatform, WorkProfile};
 use propack_stats::chi2::ChiSquareTest;
-use propack_sweep::{bench_json, PackingPolicy, PlatformAxis, RunTiming, SweepRunner, SweepSpec};
+use propack_sweep::{
+    bench_json, FaultScenario, PackingPolicy, PlatformAxis, RunTiming, SweepRunner, SweepSpec,
+};
 use propack_workloads::Benchmarks;
 
 /// A parsed CLI invocation.
@@ -74,6 +77,9 @@ pub struct SweepArgs {
     pub policies: Vec<String>,
     /// Seeds (comma list).
     pub seeds: Vec<u64>,
+    /// Fault scenarios (comma list of `none`, `default`, or
+    /// `key=value[;key=value..]` specs — see `propack_sweep::FaultScenario`).
+    pub faults: Vec<String>,
     /// Worker threads; 0 = one per available core.
     pub threads: usize,
     /// Write `BENCH_sweep.json` here.
@@ -288,7 +294,7 @@ const LEGACY_NOTE: &str =
 const SUBCOMMANDS: &[Subcommand] = &[
     Subcommand {
         name: "sweep",
-        usage: "sweep    --apps <a,..> [--platforms aws,google,azure,funcx] [--concurrency <C,..>] [--policies no-packing,pywren,fixed:<P>,propack[:<obj>]] [--seeds <s,..>] [--threads <n>] [--bench-out <file>] [--compare-serial] [--name <id>]",
+        usage: "sweep    --apps <a,..> [--platforms aws,google,azure,funcx] [--concurrency <C,..>] [--policies no-packing,pywren,fixed:<P>,propack[:<obj>]] [--seeds <s,..>] [--faults none,default,crash=<r>[;straggler=<r>;..]] [--threads <n>] [--bench-out <file>] [--compare-serial] [--name <id>]",
         value_flags: &[
             "--name",
             "--apps",
@@ -296,6 +302,7 @@ const SUBCOMMANDS: &[Subcommand] = &[
             "--concurrency",
             "--policies",
             "--seeds",
+            "--faults",
             "--threads",
             "--bench-out",
         ],
@@ -386,6 +393,7 @@ fn build_sweep(flags: &FlagSet) -> Result<Command, ParseError> {
             .list("policies")
             .unwrap_or_else(|| vec!["no-packing".into(), "pywren".into(), "propack".into()]),
         seeds: flags.parsed_list("seeds")?.unwrap_or_else(|| vec![42]),
+        faults: flags.list("faults").unwrap_or_else(|| vec!["none".into()]),
         threads: flags.parsed("threads")?.unwrap_or(0),
         bench_out: flags.get("bench-out").map(str::to_string),
         compare_serial: flags.has("compare-serial"),
@@ -519,14 +527,18 @@ pub fn resolve_objective(key: &str) -> Result<Objective, ParseError> {
         "service" | "service-time" => Objective::ServiceTime,
         "expense" | "cost" => Objective::Expense,
         other => {
-            // `joint:0.7` sets an explicit service weight.
+            // `joint:0.7` sets an explicit service weight. Out-of-range
+            // weights are an error, never silently clamped — a user who
+            // typed `joint:1.5` meant something, and it wasn't `joint:1`.
             if let Some(w) = other.strip_prefix("joint:") {
                 let w_s: f64 = w
                     .parse()
                     .map_err(|e| ParseError(format!("bad weight: {e}")))?;
-                Objective::Joint {
-                    w_s: w_s.clamp(0.0, 1.0),
-                }
+                let objective = Objective::Joint { w_s };
+                objective
+                    .validate()
+                    .map_err(|e| ParseError(e.to_string()))?;
+                objective
             } else {
                 return Err(ParseError(format!("unknown objective '{other}'")));
             }
@@ -579,12 +591,18 @@ pub fn build_sweep_spec(args: &SweepArgs) -> Result<SweepSpec, ParseError> {
         .iter()
         .map(|p| resolve_policy(p))
         .collect::<Result<Vec<_>, _>>()?;
+    let faults = args
+        .faults
+        .iter()
+        .map(|f| FaultScenario::parse(f).map_err(|e| ParseError(e.to_string())))
+        .collect::<Result<Vec<_>, _>>()?;
     let spec = SweepSpec::new(args.name.clone())
         .platforms(platforms)
         .workloads(workloads)
         .concurrency(args.concurrency.iter().copied())
         .policies(policies)
-        .seeds(args.seeds.iter().copied());
+        .seeds(args.seeds.iter().copied())
+        .faults(faults);
     spec.validate().map_err(|e| ParseError(e.to_string()))?;
     Ok(spec)
 }
@@ -706,7 +724,7 @@ pub fn execute(
         }
         Command::Plan(ra) => {
             let (pp, _platform, objective) = build(&ra)?;
-            let plan = pp.plan(ra.concurrency, objective);
+            let plan = pp.plan(ra.concurrency, objective)?;
             writeln!(out, "app:       {} on {}", pp.work.name, pp.platform_name)?;
             writeln!(
                 out,
@@ -930,6 +948,8 @@ mod tests {
             "no-packing,fixed:4,propack:expense",
             "--seeds",
             "1,2",
+            "--faults",
+            "none,crash=0.01;attempts=5",
             "--threads",
             "4",
             "--bench-out",
@@ -943,13 +963,32 @@ mod tests {
                 assert_eq!(sa.platforms, vec!["aws", "google"]);
                 assert_eq!(sa.concurrency, vec![100, 1000]);
                 assert_eq!(sa.seeds, vec![1, 2]);
+                assert_eq!(sa.faults, vec!["none", "crash=0.01;attempts=5"]);
                 assert_eq!(sa.threads, 4);
                 assert_eq!(sa.bench_out.as_deref(), Some("B.json"));
                 assert!(sa.compare_serial);
                 let spec = build_sweep_spec(&sa).unwrap();
-                assert_eq!(spec.cell_count(), 2 * 2 * 2 * 3 * 2);
+                assert_eq!(spec.cell_count(), 2 * 2 * 2 * 3 * 2 * 2);
+                assert_eq!(spec.faults[1].label, "crash=0.01;attempts=5");
+                assert_eq!(spec.faults[1].retry.max_attempts, 5);
             }
             other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_fault_scenarios_are_rejected() {
+        for bad in ["crash=1.5", "warp=0.1", "crash"] {
+            match parse(&s(&["sweep", "--apps", "sort", "--faults", bad])).unwrap() {
+                Command::Sweep(sa) => {
+                    let err = build_sweep_spec(&sa).unwrap_err();
+                    assert!(
+                        err.0.contains("fault scenario"),
+                        "unhelpful error for {bad:?}: {err}"
+                    );
+                }
+                other => panic!("wrong command {other:?}"),
+            }
         }
     }
 
@@ -961,6 +1000,7 @@ mod tests {
                 assert_eq!(sa.concurrency, vec![100, 1000]);
                 assert_eq!(sa.policies.len(), 3);
                 assert_eq!(sa.seeds, vec![42]);
+                assert_eq!(sa.faults, vec!["none"]);
                 assert_eq!(sa.threads, 0); // auto
                 assert!(!sa.compare_serial);
             }
@@ -1073,6 +1113,26 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_joint_weights_error_instead_of_clamping() {
+        for bad in ["joint:1.5", "joint:-0.1", "joint:nan"] {
+            let err = resolve_objective(bad).unwrap_err();
+            assert!(
+                err.0.contains("must be in [0, 1]"),
+                "weight {bad:?} should report its domain, got: {err}"
+            );
+        }
+        // The boundaries themselves are legal.
+        assert_eq!(
+            resolve_objective("joint:0").unwrap(),
+            Objective::Joint { w_s: 0.0 }
+        );
+        assert_eq!(
+            resolve_objective("joint:1").unwrap(),
+            Objective::Joint { w_s: 1.0 }
+        );
+    }
+
+    #[test]
     fn resolves_policies() {
         assert_eq!(
             resolve_policy("no-packing").unwrap(),
@@ -1117,6 +1177,7 @@ mod tests {
             concurrency: vec![100, 400],
             policies: vec!["no-packing".into(), "fixed:4".into()],
             seeds: vec![1],
+            faults: vec!["none".into(), "crash=0.02".into()],
             threads: 2,
             bench_out: Some(bench_path.to_str().unwrap().to_string()),
             compare_serial: true,
@@ -1124,8 +1185,9 @@ mod tests {
         let mut buf = Vec::new();
         execute(cmd, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        assert!(text.starts_with("sweep cli-e2e: 4 cells"), "{text}");
+        assert!(text.starts_with("sweep cli-e2e: 8 cells"), "{text}");
         assert!(text.contains("fixed-4"), "{text}");
+        assert!(text.contains("crash=0.02"), "{text}");
         let json = std::fs::read_to_string(&bench_path).unwrap();
         assert!(json.contains("\"outputs_identical\": true"), "{json}");
         assert!(json.contains("\"runs\""), "{json}");

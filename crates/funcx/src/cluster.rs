@@ -5,11 +5,14 @@ use propack_platform::billing::bill_burst;
 use propack_platform::instance::{packed_exec_secs, sampled_exec_secs};
 use propack_platform::profile::{PlatformProfile, PriceSheet};
 use propack_platform::{
-    BurstSpec, InstanceLimits, InstanceRecord, PlatformError, RunReport, ScalingBreakdown,
-    ServerlessPlatform, WorkProfile,
+    BurstSpec, FaultSummary, InstanceLimits, InstanceRecord, PlatformError, RunReport,
+    ScalingBreakdown, ServerlessPlatform, WorkProfile,
 };
 use propack_simcore::rng::jitter;
-use propack_simcore::{BandwidthPipe, FifoResource, MultiServer, RngStreams, Sim, SimTime};
+use propack_simcore::{
+    BandwidthPipe, FaultPlan, FaultSpec, FifoResource, MultiServer, RetryPolicy, RngStreams, Sim,
+    SimTime,
+};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
@@ -96,6 +99,13 @@ struct ClusterState {
     records: Vec<InstanceRecord>,
     ctrl_rng: ChaCha8Rng,
     streams: RngStreams,
+    /// Seeded fault draws. The cluster honors the crash and straggler
+    /// lanes; provision-failure and ship-stall lanes are cloud-only stages
+    /// (no microVM boot, no shipping fabric) and are ignored here.
+    fault_plan: FaultPlan,
+    retry: RetryPolicy,
+    retry_budget_left: u32,
+    faults: FaultSummary,
 }
 
 impl ServerlessPlatform for FuncXPlatform {
@@ -117,6 +127,10 @@ impl ServerlessPlatform for FuncXPlatform {
 
     fn nominal_exec_secs(&self, work: &WorkProfile, packing_degree: u32) -> f64 {
         packed_exec_secs(&self.config.profile.instance, work, packing_degree)
+    }
+
+    fn default_faults(&self) -> FaultSpec {
+        self.config.profile.default_faults()
     }
 
     fn run_burst(&self, spec: &BurstSpec) -> Result<RunReport, PlatformError> {
@@ -161,9 +175,15 @@ impl ServerlessPlatform for FuncXPlatform {
                     started_at: 0.0,
                     finished_at: 0.0,
                     warm: false,
+                    billed_secs: 0.0,
+                    failed: false,
                 })
                 .collect(),
             ctrl_rng,
+            fault_plan: FaultPlan::new(&streams, spec.faults),
+            retry: spec.retry,
+            retry_budget_left: spec.retry.retry_budget,
+            faults: FaultSummary::default(),
             streams,
         };
 
@@ -175,12 +195,13 @@ impl ServerlessPlatform for FuncXPlatform {
 
         let state = sim.into_state();
         let scaling = breakdown(&state);
-        let exec_secs: Vec<f64> = state.records.iter().map(|r| r.exec_secs()).collect();
+        // Bill every attempt (crashed partials included), never backoff.
+        let billed_secs: Vec<f64> = state.records.iter().map(|r| r.billed_secs).collect();
         let expense = bill_burst(
             &cfg.profile.prices,
             &spec.workload,
             cfg.profile.instance.mem_gb,
-            &exec_secs,
+            &billed_secs,
             spec.packing_degree,
         );
 
@@ -192,6 +213,7 @@ impl ServerlessPlatform for FuncXPlatform {
             instances: state.records,
             scaling,
             expense,
+            faults: state.faults,
         })
     }
 }
@@ -255,6 +277,12 @@ fn join_pod(sim: &mut Sim<ClusterState>, i: u32) {
 /// Stage 3: the worker claims a cluster slot and executes. On a saturated
 /// cluster, workers queue for slots — the capacity mechanism HTC users see
 /// on small deployments.
+///
+/// Fault handling: crash and straggler draws are pure functions of
+/// `(seed, instance, attempt)`, so the whole attempt sequence (crashes,
+/// backoffs, the final successful run or abandonment) is resolved up front
+/// and the worker holds its slot for the combined span — FuncX retries a
+/// failed task on the same worker rather than rescheduling it.
 fn claim_slot(sim: &mut Sim<ClusterState>, i: u32) {
     let now = sim.now();
     let s = sim.state_mut();
@@ -267,14 +295,51 @@ fn claim_slot(sim: &mut Sim<ClusterState>, i: u32) {
         s.work.dependency_load_secs
     };
     let launch = s.config.worker_launch_secs + dep;
-    let exec = sampled_exec_secs(
+    let mut exec = sampled_exec_secs(
         &s.config.profile.instance,
         &s.work,
         s.packing_degree,
         &mut exec_rng,
     );
-    let (_, slot_start, slot_end) = s.slots.request(now, launch + exec);
+    if let Some(factor) = s.fault_plan.straggler(i) {
+        s.faults.stragglers += 1;
+        exec *= factor;
+    }
+    // Resolve the attempt sequence: billed seconds (all attempts, partial
+    // crashes included) and slot occupancy (attempts + backoff gaps).
+    let mut billed = 0.0;
+    let mut occupancy = 0.0;
+    let mut attempt = 1u32;
+    let failed = loop {
+        match s.fault_plan.crash_point(i, attempt) {
+            None => {
+                billed += exec;
+                occupancy += exec;
+                break false;
+            }
+            Some(fraction) => {
+                let partial = exec * fraction;
+                s.faults.crashes += 1;
+                billed += partial;
+                occupancy += partial;
+                if attempt < s.retry.max_attempts && s.retry_budget_left > 0 {
+                    s.retry_budget_left -= 1;
+                    s.faults.retries += 1;
+                    occupancy += s.retry.backoff_secs(attempt);
+                    attempt += 1;
+                } else {
+                    break true;
+                }
+            }
+        }
+    };
+    if failed {
+        s.faults.failed_functions += s.packing_degree as u64;
+    }
+    let (_, slot_start, slot_end) = s.slots.request(now, launch + occupancy);
     let started = slot_start + launch;
+    s.records[i as usize].billed_secs = billed;
+    s.records[i as usize].failed = failed;
     sim.schedule_at(started, move |sim| {
         sim.state_mut().records[i as usize].started_at = sim.now().as_secs();
     });
@@ -405,6 +470,55 @@ mod tests {
             fx.run_burst(&BurstSpec::new(heavy, 4, 4)),
             Err(PlatformError::MemoryLimitExceeded { .. })
         ));
+    }
+
+    #[test]
+    fn crash_faults_retry_and_bill_on_cluster() {
+        let fx = FuncXPlatform::default();
+        let clean = fx
+            .run_burst(&BurstSpec::packed(work(), 800, 4).with_seed(6))
+            .unwrap();
+        let faulted = fx
+            .run_burst(
+                &BurstSpec::packed(work(), 800, 4)
+                    .with_seed(6)
+                    .with_faults(FaultSpec::none().with_crash_rate(0.05)),
+            )
+            .unwrap();
+        assert!(faulted.faults.crashes > 0);
+        assert!(faulted.faults.retries > 0);
+        assert!(faulted.expense.total_usd() > clean.expense.total_usd());
+        assert!(faulted.total_service_time() > clean.total_service_time());
+        // Replay stability with faults enabled.
+        let again = fx
+            .run_burst(
+                &BurstSpec::packed(work(), 800, 4)
+                    .with_seed(6)
+                    .with_faults(FaultSpec::none().with_crash_rate(0.05)),
+            )
+            .unwrap();
+        assert_eq!(faulted, again);
+    }
+
+    #[test]
+    fn cloud_only_fault_lanes_ignored_on_prem() {
+        // Provision-failure and ship-stall lanes model microVM boots and a
+        // shipping fabric the cluster does not have.
+        let fx = FuncXPlatform::default();
+        let spec = BurstSpec::new(work(), 200, 1).with_seed(4).with_faults(
+            FaultSpec::none()
+                .with_provision_failure_rate(1.0)
+                .with_ship_stall(1.0, 10.0),
+        );
+        let r = fx.run_burst(&spec).unwrap();
+        assert_eq!(r.faults.provision_failures, 0);
+        assert_eq!(r.faults.ship_stalls, 0);
+        assert!(!r.is_partial());
+        assert_eq!(
+            r,
+            fx.run_burst(&BurstSpec::new(work(), 200, 1).with_seed(4))
+                .unwrap()
+        );
     }
 
     #[test]

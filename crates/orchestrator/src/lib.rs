@@ -23,10 +23,15 @@
 //! vocabulary as single bursts, so experiments compare packed and unpacked
 //! *workflows*, not just bursts.
 
+pub mod retry;
 pub mod run;
 pub mod state;
 
-pub use run::{execute, execute_with_cache, StateReport, WorkflowReport};
+pub use retry::{run_burst_with_retry, RetriedRun};
+pub use run::{
+    execute, execute_faulted, execute_with_cache, execute_with_cache_faulted, StateReport,
+    WorkflowReport,
+};
 pub use state::{MapPacking, State, Workflow};
 
 /// Errors from workflow validation and execution.

@@ -1,0 +1,207 @@
+//! Orchestrator-level retry: resubmit failed functions as follow-up bursts.
+//!
+//! The platform's own retry loop (capped exponential backoff inside an
+//! instance, see `propack_simcore::RetryPolicy`) handles transient faults
+//! *within* a burst. When an instance exhausts its attempts or the burst's
+//! retry budget, its functions come back failed and the burst is partial.
+//! Step-Functions-style orchestrators handle that layer too: the failed
+//! fan-out entries are resubmitted as a smaller follow-up burst, up to
+//! [`RetryPolicy::max_rounds`] submissions total. Rounds serialize — a
+//! follow-up is only submitted once the previous round has completed — so
+//! the retried service time is the sum of round makespans.
+//!
+//! Determinism: round `k` draws its seed as a pure function of the original
+//! seed and `k` (round 0 uses the original seed verbatim, so a fault-free
+//! run is bit-identical to a plain `run_burst`).
+
+use propack_platform::{
+    BurstSpec, FaultSpec, FaultSummary, PlatformError, RetryPolicy, RunReport, ServerlessPlatform,
+    WorkProfile,
+};
+
+/// Outcome of a burst executed under the orchestrator's retry loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetriedRun {
+    /// Per-round platform reports; `rounds[0]` is the original submission.
+    pub rounds: Vec<RunReport>,
+    /// Functions still failed after the final round — nonzero means the
+    /// workflow completed *partially*.
+    pub abandoned_functions: u64,
+}
+
+impl RetriedRun {
+    /// End-to-end service time: rounds serialize, so makespans add.
+    pub fn total_service_secs(&self) -> f64 {
+        self.rounds.iter().map(|r| r.total_service_time()).sum()
+    }
+
+    /// Total bill across all rounds (failed attempts are still billed).
+    pub fn expense_usd(&self) -> f64 {
+        self.rounds.iter().map(|r| r.expense.total_usd()).sum()
+    }
+
+    /// Billed compute across all rounds, function-hours.
+    pub fn function_hours(&self) -> f64 {
+        self.rounds.iter().map(|r| r.function_hours()).sum()
+    }
+
+    /// Instances spawned across all rounds.
+    pub fn instances(&self) -> u32 {
+        self.rounds.iter().map(|r| r.instances_requested).sum()
+    }
+
+    /// Fault counters merged across all rounds.
+    pub fn faults(&self) -> FaultSummary {
+        let mut total = FaultSummary::default();
+        for r in &self.rounds {
+            total.merge(&r.faults);
+        }
+        total
+    }
+
+    /// Follow-up submissions beyond the original burst.
+    pub fn resubmission_rounds(&self) -> u32 {
+        self.rounds.len() as u32 - 1
+    }
+
+    /// True when functions remain failed after every round.
+    pub fn is_partial(&self) -> bool {
+        self.abandoned_functions > 0
+    }
+}
+
+/// Seed for resubmission round `round` (round 0 reproduces `seed` exactly,
+/// keeping fault-free runs bit-identical to a plain burst).
+fn round_seed(seed: u64, round: u32) -> u64 {
+    seed ^ u64::from(round).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Run `c` functions of `work` packed at `degree`, resubmitting failed
+/// functions as follow-up bursts until everything completes or
+/// [`RetryPolicy::max_rounds`] submissions have been made.
+pub fn run_burst_with_retry<P: ServerlessPlatform + ?Sized>(
+    platform: &P,
+    work: &WorkProfile,
+    c: u32,
+    degree: u32,
+    seed: u64,
+    faults: FaultSpec,
+    retry: RetryPolicy,
+) -> Result<RetriedRun, PlatformError> {
+    let mut rounds = Vec::new();
+    let mut remaining = c;
+    let mut round = 0u32;
+    while remaining > 0 && round < retry.max_rounds.max(1) {
+        // A follow-up round smaller than the packing degree packs what it
+        // has — never more functions per instance than functions left.
+        let p = degree.max(1).min(remaining);
+        let spec = BurstSpec::packed(work.clone(), remaining, p)
+            .with_seed(round_seed(seed, round))
+            .with_faults(faults)
+            .with_retry(retry);
+        let report = platform.run_burst(&spec)?;
+        // The platform counts failures in whole-instance units of `p`, so a
+        // remainder instance can report more failed functions than were
+        // actually submitted; the resubmission is capped at what remains.
+        let failed = report.faults.failed_functions.min(u64::from(remaining));
+        rounds.push(report);
+        remaining = failed as u32;
+        round += 1;
+    }
+    Ok(RetriedRun {
+        rounds,
+        abandoned_functions: u64::from(remaining),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propack_platform::{CloudPlatform, PlatformBuilder};
+
+    fn aws() -> CloudPlatform {
+        PlatformBuilder::aws().build()
+    }
+
+    fn work() -> WorkProfile {
+        WorkProfile::synthetic("w", 0.25, 60.0).with_contention(0.2)
+    }
+
+    #[test]
+    fn fault_free_run_is_one_round_and_matches_plain_burst() {
+        let platform = aws();
+        let run = run_burst_with_retry(
+            &platform,
+            &work(),
+            400,
+            4,
+            11,
+            FaultSpec::none(),
+            RetryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(run.rounds.len(), 1);
+        assert_eq!(run.resubmission_rounds(), 0);
+        assert!(!run.is_partial());
+        let plain = platform
+            .run_burst(&BurstSpec::packed(work(), 400, 4).with_seed(11))
+            .unwrap();
+        assert_eq!(run.rounds[0], plain);
+    }
+
+    #[test]
+    fn failed_functions_are_resubmitted_in_a_smaller_round() {
+        // no_retries + a high crash rate forces platform-level failures;
+        // max_rounds = 3 lets the orchestrator resubmit them twice.
+        let platform = aws();
+        let retry = RetryPolicy {
+            max_rounds: 3,
+            ..RetryPolicy::no_retries()
+        };
+        let faults = FaultSpec::none().with_crash_rate(0.3);
+        let run = run_burst_with_retry(&platform, &work(), 600, 4, 7, faults, retry).unwrap();
+        assert!(run.rounds.len() > 1, "failures must trigger a follow-up");
+        assert!(
+            run.rounds[1].instances_requested < run.rounds[0].instances_requested,
+            "follow-up rounds shrink"
+        );
+        // Rounds serialize: the retried service time exceeds round 0's.
+        assert!(run.total_service_secs() > run.rounds[0].total_service_time());
+        assert!(run.faults().crashes > 0);
+    }
+
+    #[test]
+    fn round_cap_yields_partial_completion() {
+        // Certain crash with no in-platform retries and a single round:
+        // everything fails and nothing is resubmitted.
+        let platform = aws();
+        let run = run_burst_with_retry(
+            &platform,
+            &work(),
+            200,
+            4,
+            3,
+            FaultSpec::none().with_crash_rate(1.0),
+            RetryPolicy::no_retries(),
+        )
+        .unwrap();
+        assert_eq!(run.rounds.len(), 1);
+        assert!(run.is_partial());
+        assert_eq!(run.abandoned_functions, 200);
+        // Failed attempts are still billed.
+        assert!(run.expense_usd() > 0.0);
+    }
+
+    #[test]
+    fn retried_runs_replay_bit_identically() {
+        let platform = aws();
+        let retry = RetryPolicy {
+            max_rounds: 3,
+            ..RetryPolicy::no_retries()
+        };
+        let faults = FaultSpec::none().with_crash_rate(0.3);
+        let a = run_burst_with_retry(&platform, &work(), 600, 4, 7, faults, retry).unwrap();
+        let b = run_burst_with_retry(&platform, &work(), 600, 4, 7, faults, retry).unwrap();
+        assert_eq!(a, b);
+    }
+}

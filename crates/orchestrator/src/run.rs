@@ -1,11 +1,12 @@
 //! Workflow execution over a [`ServerlessPlatform`].
 
+use crate::retry::run_burst_with_retry;
 use crate::state::{MapPacking, State, Workflow};
 use crate::WorkflowError;
 use propack_model::cache::ModelCache;
 use propack_model::optimizer::Objective;
 use propack_model::propack::{ProPackConfig, Propack};
-use propack_platform::{BurstSpec, ServerlessPlatform, WorkProfile};
+use propack_platform::{FaultSpec, FaultSummary, RetryPolicy, ServerlessPlatform, WorkProfile};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -27,6 +28,14 @@ pub struct StateReport {
     pub packing_degree: u32,
     /// Instances spawned.
     pub instances: u32,
+    /// Retries consumed inside the state's bursts (platform-level attempt
+    /// retries summed over all resubmission rounds).
+    #[serde(default)]
+    pub retries: u64,
+    /// Functions still failed after every retry round — nonzero marks a
+    /// partially-completed state.
+    #[serde(default)]
+    pub abandoned_functions: u64,
 }
 
 /// Report for a whole workflow execution.
@@ -43,12 +52,21 @@ pub struct WorkflowReport {
     pub function_hours: f64,
     /// Leaf-state reports in execution order.
     pub states: Vec<StateReport>,
+    /// Fault and retry counters merged across every burst the workflow ran
+    /// (all-zero when faults are disabled).
+    #[serde(default)]
+    pub faults: FaultSummary,
 }
 
 impl WorkflowReport {
     /// Expense of one named state (first match).
     pub fn state(&self, name: &str) -> Option<&StateReport> {
         self.states.iter().find(|s| s.name == name)
+    }
+
+    /// True when any state abandoned functions after exhausting retries.
+    pub fn is_partial(&self) -> bool {
+        self.states.iter().any(|s| s.abandoned_functions > 0)
     }
 }
 
@@ -69,6 +87,9 @@ struct ExecCtx<'a, P: ServerlessPlatform + ?Sized> {
     overhead_usd: f64,
     overhead_hours: f64,
     reports: Vec<StateReport>,
+    faults: FaultSpec,
+    retry: RetryPolicy,
+    fault_totals: FaultSummary,
 }
 
 impl<P: ServerlessPlatform + ?Sized> ExecCtx<'_, P> {
@@ -93,17 +114,21 @@ impl<P: ServerlessPlatform + ?Sized> ExecCtx<'_, P> {
     fn run_state(&mut self, state: &State, offset: f64) -> Result<f64, WorkflowError> {
         match state {
             State::Task { name, work } => {
-                let spec = BurstSpec::new(work.clone(), 1, 1).with_seed(self.next_seed());
-                let report = self.platform.run_burst(&spec)?;
-                let duration = report.total_service_time();
+                let seed = self.next_seed();
+                let run =
+                    run_burst_with_retry(self.platform, work, 1, 1, seed, self.faults, self.retry)?;
+                let duration = run.total_service_secs();
+                self.fault_totals.merge(&run.faults());
                 self.reports.push(StateReport {
                     name: name.clone(),
                     start_offset_secs: offset,
                     duration_secs: duration,
-                    expense_usd: report.expense.total_usd(),
-                    function_hours: report.function_hours(),
+                    expense_usd: run.expense_usd(),
+                    function_hours: run.function_hours(),
                     packing_degree: 1,
-                    instances: 1,
+                    instances: run.instances(),
+                    retries: run.faults().retries,
+                    abandoned_functions: run.abandoned_functions,
                 });
                 Ok(duration)
             }
@@ -125,21 +150,32 @@ impl<P: ServerlessPlatform + ?Sized> ExecCtx<'_, P> {
                         let w_s = *w_s;
                         self.propack_for(work)?
                             .plan(*concurrency, Objective::Joint { w_s })
+                            .map_err(|e| WorkflowError::Planning(e.to_string()))?
                             .packing_degree
                     }
                 };
                 let seed = self.next_seed();
-                let spec = BurstSpec::packed(work.clone(), *concurrency, degree).with_seed(seed);
-                let report = self.platform.run_burst(&spec)?;
-                let duration = report.total_service_time();
+                let run = run_burst_with_retry(
+                    self.platform,
+                    work,
+                    *concurrency,
+                    degree,
+                    seed,
+                    self.faults,
+                    self.retry,
+                )?;
+                let duration = run.total_service_secs();
+                self.fault_totals.merge(&run.faults());
                 self.reports.push(StateReport {
                     name: name.clone(),
                     start_offset_secs: offset,
                     duration_secs: duration,
-                    expense_usd: report.expense.total_usd(),
-                    function_hours: report.function_hours(),
+                    expense_usd: run.expense_usd(),
+                    function_hours: run.function_hours(),
                     packing_degree: degree,
-                    instances: report.instances_requested,
+                    instances: run.instances(),
+                    retries: run.faults().retries,
+                    abandoned_functions: run.abandoned_functions,
                 });
                 Ok(duration)
             }
@@ -175,6 +211,22 @@ pub fn execute<P: ServerlessPlatform + ?Sized>(
     execute_with_cache(platform, workflow, seed, &ModelCache::new())
 }
 
+/// Execute a workflow under a runtime fault process: every burst any state
+/// launches runs with `faults`/`retry`, failed functions are resubmitted by
+/// the orchestrator (up to [`RetryPolicy::max_rounds`] rounds per state),
+/// and the report carries the merged fault counters. States that abandon
+/// functions are reported, not errors — check
+/// [`WorkflowReport::is_partial`].
+pub fn execute_faulted<P: ServerlessPlatform + ?Sized>(
+    platform: &P,
+    workflow: &Workflow,
+    seed: u64,
+    faults: FaultSpec,
+    retry: RetryPolicy,
+) -> Result<WorkflowReport, WorkflowError> {
+    execute_with_cache_faulted(platform, workflow, seed, &ModelCache::new(), faults, retry)
+}
+
 /// Execute a workflow, drawing ProPack fits from (and contributing them
 /// to) a shared [`ModelCache`].
 ///
@@ -186,6 +238,29 @@ pub fn execute_with_cache<P: ServerlessPlatform + ?Sized>(
     workflow: &Workflow,
     seed: u64,
     models: &ModelCache,
+) -> Result<WorkflowReport, WorkflowError> {
+    execute_with_cache_faulted(
+        platform,
+        workflow,
+        seed,
+        models,
+        FaultSpec::none(),
+        RetryPolicy::no_retries(),
+    )
+}
+
+/// [`execute_faulted`] with a shared [`ModelCache`].
+///
+/// Profiling probes stay fault-free — the analytical models describe the
+/// healthy platform — so cached fits are shared between faulted and
+/// fault-free executions.
+pub fn execute_with_cache_faulted<P: ServerlessPlatform + ?Sized>(
+    platform: &P,
+    workflow: &Workflow,
+    seed: u64,
+    models: &ModelCache,
+    faults: FaultSpec,
+    retry: RetryPolicy,
 ) -> Result<WorkflowReport, WorkflowError> {
     if workflow.root.leaf_count() == 0 {
         return Err(WorkflowError::EmptyWorkflow);
@@ -199,6 +274,9 @@ pub fn execute_with_cache<P: ServerlessPlatform + ?Sized>(
         overhead_usd: 0.0,
         overhead_hours: 0.0,
         reports: Vec::new(),
+        faults,
+        retry,
+        fault_totals: FaultSummary::default(),
     };
     let total_secs = ctx.run_state(&workflow.root, 0.0)?;
     let expense_usd = ctx.reports.iter().map(|s| s.expense_usd).sum::<f64>() + ctx.overhead_usd;
@@ -210,6 +288,7 @@ pub fn execute_with_cache<P: ServerlessPlatform + ?Sized>(
         expense_usd,
         function_hours,
         states: ctx.reports,
+        faults: ctx.fault_totals,
     })
 }
 
@@ -382,6 +461,59 @@ mod tests {
         assert!(shared.hits() >= 1);
         assert_eq!(private, cold);
         assert_eq!(cold, warm);
+    }
+
+    #[test]
+    fn faulted_workflow_reports_retries_and_costs_more() {
+        let platform = aws();
+        let wf = Workflow::map_reduce_sort(sorter(), 800, MapPacking::Fixed(4));
+        let clean = execute(&platform, &wf, 5).unwrap();
+        let faults = FaultSpec::none().with_crash_rate(0.05);
+        let faulted = execute_faulted(&platform, &wf, 5, faults, RetryPolicy::default()).unwrap();
+        assert!(faulted.faults.crashes > 0);
+        assert!(faulted.faults.retries > 0);
+        assert!(faulted.expense_usd > clean.expense_usd);
+        assert!(faulted.total_secs > clean.total_secs);
+        // Deterministic replay.
+        let again = execute_faulted(&platform, &wf, 5, faults, RetryPolicy::default()).unwrap();
+        assert_eq!(faulted, again);
+        // Fault-free execution through the faulted entry is bit-identical
+        // to the plain one.
+        let neutral = execute_faulted(
+            &platform,
+            &wf,
+            5,
+            FaultSpec::none(),
+            RetryPolicy::no_retries(),
+        )
+        .unwrap();
+        assert_eq!(neutral, clean);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_partial_workflow() {
+        let platform = aws();
+        let wf = Workflow::new(
+            "doomed",
+            State::Map {
+                name: "m".into(),
+                work: sorter(),
+                concurrency: 100,
+                packing: MapPacking::Fixed(4),
+            },
+        );
+        let r = execute_faulted(
+            &platform,
+            &wf,
+            2,
+            FaultSpec::none().with_crash_rate(1.0),
+            RetryPolicy::no_retries(),
+        )
+        .unwrap();
+        assert!(r.is_partial());
+        assert_eq!(r.state("m").unwrap().abandoned_functions, 100);
+        // The partial run is still billed.
+        assert!(r.expense_usd > 0.0);
     }
 
     #[test]

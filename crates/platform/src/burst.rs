@@ -8,6 +8,7 @@
 //! `packing_degree = 1`.
 
 use crate::work::WorkProfile;
+use propack_simcore::{FaultSpec, RetryPolicy};
 use serde::{Deserialize, Serialize};
 
 /// A request to spawn `instances` concurrent function instances.
@@ -24,6 +25,13 @@ pub struct BurstSpec {
     /// Fraction of instances served from warm containers (skip build +
     /// shipping). The Pywren baseline drives this; plain bursts use 0.0.
     pub warm_fraction: f64,
+    /// Runtime fault processes injected into this burst (default: none,
+    /// which replays the historical fault-free timeline exactly).
+    #[serde(default)]
+    pub faults: FaultSpec,
+    /// Retry/backoff policy for faulted instances.
+    #[serde(default)]
+    pub retry: RetryPolicy,
 }
 
 impl BurstSpec {
@@ -35,6 +43,8 @@ impl BurstSpec {
             packing_degree,
             seed: 0,
             warm_fraction: 0.0,
+            faults: FaultSpec::none(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -47,6 +57,18 @@ impl BurstSpec {
     /// Builder-style warm-fraction setter (clamped to `[0, 1]`).
     pub fn with_warm_fraction(mut self, f: f64) -> Self {
         self.warm_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder-style fault-injection setter.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Builder-style retry-policy setter.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -80,6 +102,17 @@ mod tests {
         // And at degree 1 it's the identity.
         let b1 = BurstSpec::packed(w(), 1000, 1);
         assert_eq!(b1.instances, 1000);
+    }
+
+    #[test]
+    fn bursts_default_fault_free() {
+        let b = BurstSpec::new(w(), 10, 1);
+        assert!(b.faults.is_none());
+        let faulted = b
+            .with_faults(FaultSpec::none().with_crash_rate(0.01))
+            .with_retry(RetryPolicy::no_retries());
+        assert!(!faulted.faults.is_none());
+        assert_eq!(faulted.retry.max_attempts, 1);
     }
 
     #[test]

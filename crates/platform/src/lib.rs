@@ -55,8 +55,13 @@ pub use burst::BurstSpec;
 pub use error::PlatformError;
 pub use platform::{CloudPlatform, InstanceLimits, ServerlessPlatform};
 pub use profile::{PlatformProfile, Provider};
-pub use report::{InstanceRecord, RunReport, ScalingBreakdown};
+pub use report::{FaultSummary, InstanceRecord, RunReport, ScalingBreakdown};
 pub use work::WorkProfile;
+
+// Fault-injection inputs live in the simulation core (the draws must come
+// from its seeded RNG tree); re-exported here so downstream crates that
+// only depend on the platform can configure faulted bursts.
+pub use propack_simcore::{FaultSpec, RetryPolicy};
 
 /// One-stop imports for platform construction and burst execution.
 ///
@@ -69,6 +74,7 @@ pub mod prelude {
     pub use crate::error::PlatformError;
     pub use crate::platform::{CloudPlatform, InstanceLimits, ServerlessPlatform};
     pub use crate::profile::{PlatformProfile, PriceSheet, Provider};
-    pub use crate::report::RunReport;
+    pub use crate::report::{FaultSummary, RunReport};
     pub use crate::work::WorkProfile;
+    pub use propack_simcore::{FaultSpec, RetryPolicy};
 }

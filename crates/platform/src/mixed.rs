@@ -145,6 +145,7 @@ impl CloudPlatform {
             let mut records = timeline.instances.clone();
             for r in records.iter_mut() {
                 r.finished_at = r.started_at + exec;
+                r.billed_secs = exec;
             }
             all_exec.push(exec);
             let app_expense = bill_burst(
@@ -162,6 +163,7 @@ impl CloudPlatform {
                 instances: records,
                 scaling: timeline.scaling,
                 expense: app_expense,
+                faults: timeline.faults,
             };
             // Storage/network components per function of this app.
             let functions = instances as f64 * *copies as f64;

@@ -19,9 +19,12 @@ use crate::error::PlatformError;
 use crate::fleet::Fleet;
 use crate::instance::{packed_exec_secs, sampled_exec_secs};
 use crate::profile::{PlatformProfile, PriceSheet};
-use crate::report::{InstanceRecord, RunReport, ScalingBreakdown};
+use crate::report::{FaultSummary, InstanceRecord, RunReport, ScalingBreakdown};
 use propack_simcore::rng::jitter;
-use propack_simcore::{BandwidthPipe, FifoResource, RngStreams, Sim, SimTime, Tracer};
+use propack_simcore::{
+    BandwidthPipe, FaultPlan, FaultSpec, FifoResource, RetryPolicy, RngStreams, Sim, SimTime,
+    Tracer,
+};
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
 
@@ -59,6 +62,13 @@ pub trait ServerlessPlatform {
     /// Deterministic (noise-free) execution time of one instance at the
     /// given packing degree — what a careful profiling run converges to.
     fn nominal_exec_secs(&self, work: &crate::WorkProfile, packing_degree: u32) -> f64;
+
+    /// The fault rates this platform exhibits in practice (used by
+    /// `--faults default` scenarios). Fault-free unless the implementation
+    /// overrides it with calibrated per-provider rates.
+    fn default_faults(&self) -> FaultSpec {
+        FaultSpec::none()
+    }
 }
 
 /// A commercial-cloud serverless platform driven by a calibration profile.
@@ -124,6 +134,13 @@ struct BurstState {
     records: Vec<InstanceRecord>,
     ctrl_rng: ChaCha8Rng,
     streams: RngStreams,
+    /// Seeded fault draws (lanes independent of `ctrl_rng`/`exec`, so a
+    /// fault-free spec replays the historical timeline bit-identically).
+    fault_plan: FaultPlan,
+    retry: RetryPolicy,
+    /// Burst-wide retry budget; consumed in deterministic event order.
+    retry_budget_left: u32,
+    faults: FaultSummary,
 }
 
 fn pending_record(index: u32) -> InstanceRecord {
@@ -135,6 +152,8 @@ fn pending_record(index: u32) -> InstanceRecord {
         started_at: 0.0,
         finished_at: 0.0,
         warm: false,
+        billed_secs: 0.0,
+        failed: false,
     }
 }
 
@@ -162,6 +181,10 @@ impl ServerlessPlatform for CloudPlatform {
     fn run_burst(&self, spec: &BurstSpec) -> Result<RunReport, PlatformError> {
         self.run_burst_with_tracer(spec, Tracer::disabled())
             .map(|(r, _)| r)
+    }
+
+    fn default_faults(&self) -> FaultSpec {
+        self.profile.default_faults()
     }
 }
 
@@ -211,6 +234,10 @@ impl CloudPlatform {
             place_failures: 0,
             records: (0..n).map(pending_record).collect(),
             ctrl_rng: streams.stream("control-plane"),
+            fault_plan: FaultPlan::new(&streams, spec.faults),
+            retry: spec.retry,
+            retry_budget_left: spec.retry.retry_budget,
+            faults: FaultSummary::default(),
             streams,
         };
 
@@ -233,8 +260,10 @@ impl CloudPlatform {
             });
         }
         let scaling = breakdown(&state);
-        let exec_secs: Vec<f64> = state.records.iter().map(|r| r.exec_secs()).collect();
-        let expense = compute_expense(&self.profile, spec, &exec_secs);
+        // Billing counts every attempt (crashed partial runs included) but
+        // never the backoff gaps — that is what `billed_secs` accumulates.
+        let billed_secs: Vec<f64> = state.records.iter().map(|r| r.billed_secs).collect();
+        let expense = compute_expense(&self.profile, spec, &billed_secs);
 
         Ok((
             RunReport {
@@ -245,6 +274,7 @@ impl CloudPlatform {
                 instances: state.records,
                 scaling,
                 expense,
+                faults: state.faults,
             },
             state.tracer,
         ))
@@ -314,11 +344,12 @@ fn schedule_placement(sim: &mut Sim<BurstState>, i: u32, warm: bool) {
         s.records[i as usize].scheduled_at = at;
         s.tracer.record(now, i as u64, "scheduled");
         if warm {
-            // Warm container: already built, shipped, and provisioned.
+            // Warm container: already built, shipped, and provisioned —
+            // warm starts cannot suffer provision faults.
             let s = sim.state_mut();
             s.records[i as usize].built_at = at;
             s.records[i as usize].shipped_at = at;
-            start_execution(sim, i, 0.05);
+            start_execution(sim, i, 0.05, 1);
         } else {
             build_container(sim, i);
         }
@@ -343,58 +374,149 @@ fn build_container(sim: &mut Sim<BurstState>, i: u32) {
 }
 
 /// Stage 3: the formed container ships across the fabric to the server the
-/// scheduler chose — again bandwidth-bound and linear in count.
+/// scheduler chose — again bandwidth-bound and linear in count. A stalled
+/// transfer (fault lane `fault-ship`) moves its bytes at a fraction of the
+/// fabric rate, occupying the shared pipe for longer.
 fn ship_container(sim: &mut Sim<BurstState>, i: u32) {
     let now = sim.now();
     let s = sim.state_mut();
-    let bytes = s.profile.control.image_bytes * jitter(&mut s.ctrl_rng, s.profile.control.jitter);
+    let mut bytes =
+        s.profile.control.image_bytes * jitter(&mut s.ctrl_rng, s.profile.control.jitter);
+    if let Some(factor) = s.fault_plan.ship_stall(i) {
+        s.faults.ship_stalls += 1;
+        s.tracer.record(now, i as u64, "ship-stalled");
+        bytes *= factor;
+    }
     let (_, done) = s.shipper.transfer(now, bytes);
     sim.schedule_at(done, move |sim| {
         let now = sim.now();
-        {
-            let s = sim.state_mut();
-            s.records[i as usize].shipped_at = now.as_secs();
-            s.tracer.record(now, i as u64, "shipped");
-        }
-        // Cold provisioning: microVM boot plus runtime/dependency
-        // initialization (unbilled; warm containers skip both).
-        let cold = {
-            let s = sim.state_mut();
-            (s.profile.control.cold_start_secs + s.work.dependency_load_secs)
-                * jitter(&mut s.ctrl_rng, s.profile.control.jitter)
-        };
-        start_execution(sim, i, cold);
+        let s = sim.state_mut();
+        s.records[i as usize].shipped_at = now.as_secs();
+        s.tracer.record(now, i as u64, "shipped");
+        provision(sim, i, 1);
     });
 }
 
-/// Stage 4+5: microVM boot (parallel across servers — not a shared
-/// resource) and execution under packing interference. Execution time is
-/// independent of how many sibling instances run concurrently (Fig. 5a):
-/// each microVM has reserved cores and memory.
-fn start_execution(sim: &mut Sim<BurstState>, i: u32, provision_secs: f64) {
-    let started = sim.now() + provision_secs;
+/// Stage 4: cold provisioning — microVM boot plus runtime/dependency
+/// initialization (unbilled; parallel across servers, so not a shared
+/// resource; warm containers skip it). A boot can fail (fault lane
+/// `fault-provision`); a failed boot still consumes its cold-start time,
+/// then backs off and reboots until attempts or the burst retry budget run
+/// out, at which point the instance abandons its functions.
+fn provision(sim: &mut Sim<BurstState>, i: u32, attempt: u32) {
     let s = sim.state_mut();
+    let cold = (s.profile.control.cold_start_secs + s.work.dependency_load_secs)
+        * jitter(&mut s.ctrl_rng, s.profile.control.jitter);
+    if !s.fault_plan.provision_fails(i, attempt) {
+        start_execution(sim, i, cold, 1);
+        return;
+    }
+    // The boot fails only after consuming its cold-start time.
+    sim.schedule_in(cold, move |sim| {
+        let now = sim.now();
+        let s = sim.state_mut();
+        s.faults.provision_failures += 1;
+        s.tracer.record(now, i as u64, "provision-failed");
+        if attempt < s.retry.max_attempts && s.retry_budget_left > 0 {
+            s.retry_budget_left -= 1;
+            s.faults.retries += 1;
+            let backoff = s.retry.backoff_secs(attempt);
+            sim.schedule_in(backoff, move |sim| provision(sim, i, attempt + 1));
+        } else {
+            abandon(sim, i);
+        }
+    });
+}
+
+/// Stage 5: execution under packing interference. Execution time is
+/// independent of how many sibling instances run concurrently (Fig. 5a):
+/// each microVM has reserved cores and memory. The sampled duration comes
+/// from the per-instance `exec` stream, so every retry re-executes the
+/// same work for the same duration; straggler and crash draws come from
+/// their own fault lanes.
+fn start_execution(sim: &mut Sim<BurstState>, i: u32, provision_secs: f64, attempt: u32) {
+    let started = sim.now() + provision_secs;
+    sim.schedule_at(started, move |sim| run_attempt(sim, i, attempt));
+}
+
+/// One execution attempt of instance `i`. A crashed attempt bills its
+/// partial run, then backs off and re-executes until attempts or the burst
+/// retry budget run out.
+fn run_attempt(sim: &mut Sim<BurstState>, i: u32, attempt: u32) {
+    let now = sim.now();
+    let s = sim.state_mut();
+    if attempt == 1 {
+        s.records[i as usize].started_at = now.as_secs();
+        s.tracer.record(now, i as u64, "started");
+    }
     let mut exec_rng = s.streams.stream_indexed("exec", i as u64);
-    let exec = sampled_exec_secs(
+    let mut exec = sampled_exec_secs(
         &s.profile.instance,
         &s.work,
         s.packing_degree,
         &mut exec_rng,
     );
-    sim.schedule_at(started, move |sim| {
-        let now = sim.now();
-        let s = sim.state_mut();
-        s.records[i as usize].started_at = now.as_secs();
-        s.tracer.record(now, i as u64, "started");
-        sim.schedule_in(exec, move |sim| {
-            let now = sim.now();
-            let s = sim.state_mut();
-            s.records[i as usize].finished_at = now.as_secs();
-            let server = s.placements[i as usize];
-            s.fleet.release(server);
-            s.tracer.record(now, i as u64, "finished");
-        });
-    });
+    if let Some(factor) = s.fault_plan.straggler(i) {
+        if attempt == 1 {
+            s.faults.stragglers += 1;
+            s.tracer.record(now, i as u64, "straggler");
+        }
+        exec *= factor;
+    }
+    let attempt_start = now.as_secs();
+    match s.fault_plan.crash_point(i, attempt) {
+        None => {
+            sim.schedule_in(exec, move |sim| {
+                let now = sim.now();
+                let s = sim.state_mut();
+                s.records[i as usize].finished_at = now.as_secs();
+                s.records[i as usize].billed_secs += now.as_secs() - attempt_start;
+                let server = s.placements[i as usize];
+                s.fleet.release(server);
+                s.tracer.record(now, i as u64, "finished");
+            });
+        }
+        Some(fraction) => {
+            // The instance dies after completing `fraction` of the attempt;
+            // the partial run is billed (the provider metered it).
+            sim.schedule_in(exec * fraction, move |sim| {
+                let now = sim.now();
+                let s = sim.state_mut();
+                s.faults.crashes += 1;
+                s.records[i as usize].billed_secs += now.as_secs() - attempt_start;
+                s.tracer.record(now, i as u64, "crashed");
+                if attempt < s.retry.max_attempts && s.retry_budget_left > 0 {
+                    s.retry_budget_left -= 1;
+                    s.faults.retries += 1;
+                    let backoff = s.retry.backoff_secs(attempt);
+                    sim.schedule_in(backoff, move |sim| run_attempt(sim, i, attempt + 1));
+                } else {
+                    abandon(sim, i);
+                }
+            });
+        }
+    }
+}
+
+/// Terminal failure: the instance ran out of attempts or the burst ran out
+/// of retry budget. Its functions are reported as failed (partial
+/// completion) rather than silently completed; partial attempts stay
+/// billed, and the slot returns to the fleet.
+fn abandon(sim: &mut Sim<BurstState>, i: u32) {
+    let now = sim.now();
+    let s = sim.state_mut();
+    let record = &mut s.records[i as usize];
+    if record.started_at <= 0.0 {
+        // Provision exhaustion: execution never began, so pin the span to
+        // the abandon instant (zero observed execution, zero billing).
+        record.started_at = now.as_secs();
+    }
+    record.finished_at = now.as_secs();
+    record.failed = true;
+    s.faults.failed_functions += s.packing_degree as u64;
+    let server = s.placements[i as usize];
+    s.fleet.release(server);
+    s.tracer.record(now, i as u64, "abandoned");
 }
 
 /// Decompose the scaling time into the paper's Fig. 2 components:
@@ -415,12 +537,12 @@ fn breakdown(state: &BurstState) -> ScalingBreakdown {
     }
 }
 
-fn compute_expense(profile: &PlatformProfile, spec: &BurstSpec, exec_secs: &[f64]) -> Expense {
+fn compute_expense(profile: &PlatformProfile, spec: &BurstSpec, billed_secs: &[f64]) -> Expense {
     bill_burst(
         &profile.prices,
         &spec.workload,
         profile.instance.mem_gb,
-        exec_secs,
+        billed_secs,
         spec.packing_degree,
     )
 }
@@ -633,6 +755,219 @@ mod tests {
             p.nominal_exec_secs(&w, 7),
             packed_exec_secs(&p.profile().instance, &w, 7)
         );
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::builder::PlatformBuilder;
+    use crate::work::WorkProfile;
+
+    fn aws() -> CloudPlatform {
+        PlatformBuilder::aws().build()
+    }
+
+    fn work() -> WorkProfile {
+        WorkProfile::synthetic("w", 0.25, 60.0).with_contention(0.2)
+    }
+
+    #[test]
+    fn fault_free_spec_reproduces_legacy_timeline() {
+        // The fault subsystem must be invisible when disabled: a spec that
+        // never mentions faults matches one that explicitly disables them.
+        let base = BurstSpec::new(work(), 150, 2).with_seed(11);
+        let explicit = base
+            .clone()
+            .with_faults(FaultSpec::none())
+            .with_retry(RetryPolicy::no_retries());
+        let a = aws().run_burst(&base).unwrap();
+        let b = aws().run_burst(&explicit).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.faults, FaultSummary::default());
+        assert!(!a.is_partial());
+    }
+
+    #[test]
+    fn crashes_are_retried_and_billed() {
+        let spec = BurstSpec::packed(work(), 600, 4)
+            .with_seed(11)
+            .with_faults(FaultSpec::none().with_crash_rate(0.05));
+        let clean = aws()
+            .run_burst(&BurstSpec::packed(work(), 600, 4).with_seed(11))
+            .unwrap();
+        let faulted = aws().run_burst(&spec).unwrap();
+        assert!(faulted.faults.crashes > 0);
+        assert!(faulted.faults.retries > 0);
+        // Retries cost real money: crashed partial attempts are billed on
+        // top of the eventual successful run.
+        assert!(faulted.expense.total_usd() > clean.expense.total_usd());
+        assert!(faulted.function_hours() > clean.function_hours());
+        // And real time: the retried instances finish later.
+        assert!(faulted.total_service_time() > clean.total_service_time());
+    }
+
+    #[test]
+    fn retry_exhaustion_reports_partial_completion() {
+        // Certain crash + no retries: every instance abandons.
+        let spec = BurstSpec::packed(work(), 40, 4)
+            .with_seed(3)
+            .with_faults(FaultSpec::none().with_crash_rate(1.0))
+            .with_retry(RetryPolicy::no_retries());
+        let r = aws().run_burst(&spec).unwrap();
+        assert!(r.is_partial());
+        assert_eq!(r.faults.failed_functions, r.total_functions());
+        assert_eq!(r.completed_functions(), 0);
+        assert_eq!(r.faults.retries, 0);
+        assert!(r.instances.iter().all(|i| i.failed));
+        // The partial runs are still billed.
+        assert!(r.expense.total_usd() > 0.0);
+    }
+
+    #[test]
+    fn retry_budget_caps_total_retries() {
+        let spec = BurstSpec::packed(work(), 400, 4)
+            .with_seed(5)
+            .with_faults(FaultSpec::none().with_crash_rate(0.9))
+            .with_retry(RetryPolicy {
+                max_attempts: 10,
+                backoff_base_secs: 0.5,
+                backoff_cap_secs: 4.0,
+                retry_budget: 16,
+                max_rounds: 1,
+            });
+        let r = aws().run_burst(&spec).unwrap();
+        assert_eq!(r.faults.retries, 16, "budget must bound retries");
+        assert!(r.is_partial());
+    }
+
+    #[test]
+    fn provision_failures_retry_with_backoff() {
+        let spec = BurstSpec::new(work(), 300, 1)
+            .with_seed(7)
+            .with_faults(FaultSpec::none().with_provision_failure_rate(0.2))
+            .with_retry(RetryPolicy {
+                // Enough attempts that exhaustion (0.2^9) is implausible.
+                max_attempts: 10,
+                ..RetryPolicy::default()
+            });
+        let clean = aws()
+            .run_burst(&BurstSpec::new(work(), 300, 1).with_seed(7))
+            .unwrap();
+        let r = aws().run_burst(&spec).unwrap();
+        assert!(r.faults.provision_failures > 0);
+        assert!(r.faults.retries > 0);
+        // Reboots + backoff push the last start later.
+        assert!(r.scaling_time() > clean.scaling_time());
+        // Provisioning is never billed, so a successful reboot costs time,
+        // not money (same billed seconds as the clean run's instances).
+        assert!(!r.is_partial());
+    }
+
+    #[test]
+    fn ship_stalls_slow_the_fabric() {
+        let spec = BurstSpec::new(work(), 500, 1)
+            .with_seed(9)
+            .with_faults(FaultSpec::none().with_ship_stall(0.05, 8.0));
+        let clean = aws()
+            .run_burst(&BurstSpec::new(work(), 500, 1).with_seed(9))
+            .unwrap();
+        let r = aws().run_burst(&spec).unwrap();
+        assert!(r.faults.ship_stalls > 0);
+        assert!(r.scaling.shipping_secs > clean.scaling.shipping_secs);
+    }
+
+    #[test]
+    fn stragglers_stretch_the_tail() {
+        let spec = BurstSpec::new(work(), 400, 1)
+            .with_seed(13)
+            .with_faults(FaultSpec::none().with_straggler(0.05, 4.0));
+        let clean = aws()
+            .run_burst(&BurstSpec::new(work(), 400, 1).with_seed(13))
+            .unwrap();
+        let r = aws().run_burst(&spec).unwrap();
+        assert!(r.faults.stragglers > 0);
+        assert!(r.total_service_time() > clean.total_service_time());
+        // Stragglers run longer, so they are billed longer.
+        assert!(r.function_hours() > clean.function_hours());
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_under_seed() {
+        let spec = BurstSpec::packed(work(), 500, 4).with_seed(21).with_faults(
+            FaultSpec::none()
+                .with_crash_rate(0.03)
+                .with_provision_failure_rate(0.02)
+                .with_ship_stall(0.02, 4.0)
+                .with_straggler(0.02, 3.0),
+        );
+        let a = aws().run_burst(&spec).unwrap();
+        let b = aws().run_burst(&spec).unwrap();
+        assert_eq!(a, b);
+        let c = aws().run_burst(&spec.clone().with_seed(22)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn warm_instances_skip_provision_faults() {
+        // A fully warm burst cannot suffer provision failures or ship
+        // stalls — those stages are skipped.
+        let spec = BurstSpec::new(work(), 200, 1)
+            .with_seed(17)
+            .with_warm_fraction(1.0)
+            .with_faults(
+                FaultSpec::none()
+                    .with_provision_failure_rate(1.0)
+                    .with_ship_stall(1.0, 10.0),
+            );
+        let r = aws().run_burst(&spec).unwrap();
+        assert_eq!(r.faults.provision_failures, 0);
+        assert_eq!(r.faults.ship_stalls, 0);
+        assert!(!r.is_partial());
+    }
+
+    #[test]
+    fn crash_blast_radius_scales_with_packing_degree() {
+        // The same abandoned instance takes P functions down with it —
+        // the blast-radius concentration that makes faults matter more
+        // under packing.
+        let faults = FaultSpec::none().with_crash_rate(1.0);
+        let no_retry = RetryPolicy::no_retries();
+        let packed = aws()
+            .run_burst(
+                &BurstSpec::packed(work(), 120, 6)
+                    .with_seed(2)
+                    .with_faults(faults)
+                    .with_retry(no_retry),
+            )
+            .unwrap();
+        assert_eq!(packed.faults.failed_functions, 120);
+        let unpacked = aws()
+            .run_burst(
+                &BurstSpec::packed(work(), 120, 1)
+                    .with_seed(2)
+                    .with_faults(faults)
+                    .with_retry(no_retry),
+            )
+            .unwrap();
+        assert_eq!(unpacked.faults.failed_functions, 120);
+        assert_eq!(packed.instances.len(), 20);
+        assert_eq!(unpacked.instances.len(), 120);
+    }
+
+    #[test]
+    fn traced_faulted_burst_records_fault_events() {
+        let p = PlatformBuilder::aws().build();
+        let spec = BurstSpec::packed(work(), 100, 2)
+            .with_seed(19)
+            .with_faults(FaultSpec::none().with_crash_rate(0.2));
+        let (report, trace) = p.run_burst_traced(&spec).unwrap();
+        assert_eq!(
+            trace.at_stage("crashed").count() as u64,
+            report.faults.crashes
+        );
+        let abandoned = report.instances.iter().filter(|r| r.failed).count();
+        assert_eq!(trace.at_stage("abandoned").count(), abandoned);
     }
 }
 

@@ -16,18 +16,70 @@ pub struct InstanceRecord {
     pub built_at: f64,
     /// When the container arrived at its execution server.
     pub shipped_at: f64,
-    /// When function code began executing (start of billing).
+    /// When function code began executing (start of billing; first attempt
+    /// under retries).
     pub started_at: f64,
-    /// When execution finished (end of billing).
+    /// When execution finished (end of billing; final attempt under
+    /// retries — the end of the last attempt for abandoned instances).
     pub finished_at: f64,
     /// Whether the instance skipped build+ship (warm container).
     pub warm: bool,
+    /// Billed execution seconds: the sum of all attempt durations,
+    /// including crashed partial runs. Backoff gaps between attempts sit
+    /// inside the `started_at..finished_at` span but are never billed.
+    /// Equals [`InstanceRecord::exec_secs`] for fault-free instances.
+    #[serde(default)]
+    pub billed_secs: f64,
+    /// Whether the instance exhausted its retries and abandoned its work
+    /// (its functions are reported as failed, not silently completed).
+    #[serde(default)]
+    pub failed: bool,
 }
 
 impl InstanceRecord {
-    /// Billed execution duration.
+    /// Observed execution span (first attempt start → final attempt end,
+    /// including retries and backoff). Billing uses
+    /// [`InstanceRecord::billed_secs`] instead, which excludes backoff.
     pub fn exec_secs(&self) -> f64 {
         self.finished_at - self.started_at
+    }
+}
+
+/// Fault and retry counters for one burst. All-zero for fault-free runs.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Execution attempts that crashed mid-run.
+    pub crashes: u64,
+    /// Cold-provision attempts that failed.
+    pub provision_failures: u64,
+    /// Shipping transfers that stalled.
+    pub ship_stalls: u64,
+    /// Instances slowed down for their whole lifetime.
+    pub stragglers: u64,
+    /// Retries consumed (both crash re-executions and provision re-boots).
+    pub retries: u64,
+    /// Functions whose instance ran out of attempts or retry budget; the
+    /// burst completed *partially* — callers must check
+    /// [`RunReport::is_partial`].
+    pub failed_functions: u64,
+}
+
+impl FaultSummary {
+    /// Accumulate another burst's counters into this one (used when a
+    /// strategy or orchestrator aggregates multiple bursts).
+    pub fn merge(&mut self, other: &FaultSummary) {
+        self.crashes += other.crashes;
+        self.provision_failures += other.provision_failures;
+        self.ship_stalls += other.ship_stalls;
+        self.stragglers += other.stragglers;
+        self.retries += other.retries;
+        self.failed_functions += other.failed_functions;
+    }
+
+    /// Total fault events of any kind (excluding the derived retry/failure
+    /// counters).
+    pub fn total_faults(&self) -> u64 {
+        self.crashes + self.provision_failures + self.ship_stalls + self.stragglers
     }
 }
 
@@ -83,6 +135,9 @@ pub struct RunReport {
     pub scaling: ScalingBreakdown,
     /// Itemized bill.
     pub expense: Expense,
+    /// Fault/retry counters (all zero when fault injection is off).
+    #[serde(default)]
+    pub faults: FaultSummary,
 }
 
 impl RunReport {
@@ -119,9 +174,28 @@ impl RunReport {
     }
 
     /// Sum of billed instance durations, in hours — the paper's Fig. 12
-    /// "function hours" metric (HPC node-hour-style accounting).
+    /// "function hours" metric (HPC node-hour-style accounting). Uses
+    /// billed seconds, so crashed partial attempts count but backoff gaps
+    /// do not.
     pub fn function_hours(&self) -> f64 {
-        self.instances.iter().map(|i| i.exec_secs()).sum::<f64>() / 3600.0
+        self.instances.iter().map(|i| i.billed_secs).sum::<f64>() / 3600.0
+    }
+
+    /// Total functions this burst was asked to run.
+    pub fn total_functions(&self) -> u64 {
+        self.instances.len() as u64 * self.packing_degree as u64
+    }
+
+    /// Functions that actually completed (total minus abandoned).
+    pub fn completed_functions(&self) -> u64 {
+        self.total_functions()
+            .saturating_sub(self.faults.failed_functions)
+    }
+
+    /// Whether the burst completed only partially (some instances ran out
+    /// of retries and abandoned their functions).
+    pub fn is_partial(&self) -> bool {
+        self.faults.failed_functions > 0
     }
 
     /// Fraction of total service time spent scaling (Fig. 1's metric).
@@ -148,6 +222,8 @@ mod tests {
             started_at: start,
             finished_at: finish,
             warm: false,
+            billed_secs: finish - start,
+            failed: false,
         }
     }
 
@@ -171,6 +247,7 @@ mod tests {
                 total_secs: 8.0,
             },
             expense: Expense::default(),
+            faults: FaultSummary::default(),
         }
     }
 
@@ -201,6 +278,33 @@ mod tests {
         let r = report();
         // 4 instances × 10 s each = 40 s.
         assert!((r.function_hours() - 40.0 / 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_completion_accounting() {
+        let mut r = report();
+        assert!(!r.is_partial());
+        assert_eq!(r.total_functions(), 4);
+        assert_eq!(r.completed_functions(), 4);
+        r.packing_degree = 3;
+        r.faults.failed_functions = 3;
+        assert!(r.is_partial());
+        assert_eq!(r.total_functions(), 12);
+        assert_eq!(r.completed_functions(), 9);
+    }
+
+    #[test]
+    fn billed_secs_excludes_backoff_gaps() {
+        let mut r = report();
+        // Instance 0 retried: its observed span stretches to 25 s but only
+        // 12 s (two attempts) were billed.
+        r.instances[0].finished_at = 25.0;
+        r.instances[0].billed_secs = 12.0;
+        r.faults.crashes = 1;
+        r.faults.retries = 1;
+        assert_eq!(r.instances[0].exec_secs(), 25.0);
+        let expected = (12.0 + 10.0 + 10.0 + 10.0) / 3600.0;
+        assert!((r.function_hours() - expected).abs() < 1e-12);
     }
 
     #[test]

@@ -177,8 +177,8 @@ mod tests {
         let fresh = Propack::build(&platform, &work(), &cfg).unwrap();
         for c in [100, 1000, 5000] {
             assert_eq!(
-                warm.plan(c, Objective::default()),
-                fresh.plan(c, Objective::default())
+                warm.plan(c, Objective::default()).unwrap(),
+                fresh.plan(c, Objective::default()).unwrap()
             );
         }
     }

@@ -33,7 +33,7 @@
 //! let platform = PlatformBuilder::aws().build();
 //! let work = WorkProfile::synthetic("app", 0.25, 100.0).with_contention(0.2);
 //! let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
-//! let plan = pp.plan(5000, Objective::default());
+//! let plan = pp.plan(5000, Objective::default()).unwrap();
 //! assert!(plan.packing_degree > 1, "high concurrency must pack");
 //! ```
 
@@ -70,6 +70,9 @@ pub enum ModelError {
         bound_secs: f64,
         best_tail_secs: f64,
     },
+    /// A joint-objective service-time weight outside `[0, 1]` (Eq. 7
+    /// requires `W_S + W_E = 1` with both weights non-negative).
+    InvalidWeight { w_s: f64 },
 }
 
 impl From<propack_stats::StatsError> for ModelError {
@@ -95,6 +98,10 @@ impl std::fmt::Display for ModelError {
             ModelError::QosInfeasible { bound_secs, best_tail_secs } => write!(
                 f,
                 "QoS bound of {bound_secs:.1}s unreachable: best achievable tail is {best_tail_secs:.1}s"
+            ),
+            ModelError::InvalidWeight { w_s } => write!(
+                f,
+                "joint service-time weight must be in [0, 1], got {w_s}"
             ),
         }
     }

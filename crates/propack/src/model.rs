@@ -91,24 +91,43 @@ impl PackingModel {
 
     /// Eq. 3's argument: predicted service time at concurrency `c`, degree
     /// `p`, for the given figure of merit (total / tail / median — §3).
+    ///
+    /// When `p ∤ c` the last instance holds only `c mod p` functions and
+    /// therefore runs *faster* than the full ones (less interference), so
+    /// the execution term is governed by the slowest instance class: a full
+    /// instance whenever one exists, the partial instance only when the
+    /// whole burst fits in it (`c < p`).
     pub fn service_secs(&self, c: u32, p: u32, metric: Percentile) -> f64 {
         let c_eff = self.instances(c, p) as f64;
-        self.exec_secs(p) + self.scaling.scaling_secs_quantile(c_eff, metric.quantile())
+        let slowest = p.max(1).min(c.max(1));
+        self.exec_secs(slowest) + self.scaling.scaling_secs_quantile(c_eff, metric.quantile())
     }
 
     /// Eq. 4's argument (extended with the request, storage, and network
     /// terms the real bill contains): predicted expense at concurrency `c`
     /// and degree `p`.
+    ///
+    /// Eq. 4 bills all `⌈C/P⌉` instances at the full-degree execution time,
+    /// over-approximating whenever `p ∤ c`: the last instance holds only
+    /// `c mod p` functions, suffers their (smaller) interference, and bills
+    /// for that shorter run. This predictor bills the partial instance at
+    /// its actual occupancy, matching the simulator's per-instance bill.
     pub fn expense_usd(&self, c: u32, p: u32) -> f64 {
-        let n = self.instances(c, p) as f64;
+        let p = p.max(1);
+        let full = (c / p) as f64;
+        let rem = c % p;
         let functions = c as f64;
-        let exec = self.exec_secs(p);
         let network = if p > 1 {
             self.cost.usd_per_function_network_packed
         } else {
             self.cost.usd_per_function_network
         };
-        n * (exec * self.cost.usd_per_instance_sec + self.cost.usd_per_instance)
+        let mut compute = full * self.exec_secs(p) * self.cost.usd_per_instance_sec;
+        if rem > 0 {
+            compute += self.exec_secs(rem) * self.cost.usd_per_instance_sec;
+        }
+        compute
+            + self.instances(c, p) as f64 * self.cost.usd_per_instance
             + functions * (self.cost.usd_per_function_storage + network)
     }
 
@@ -189,6 +208,53 @@ mod tests {
         let e40 = m.expense_usd(1000, 40);
         assert!(e20 < e1);
         assert!(e40 > e20, "expense must turn back up: {e20} vs {e40}");
+    }
+
+    #[test]
+    fn remainder_instance_billed_at_actual_occupancy() {
+        // C = 10, P = 4 → two full instances (4 functions each) and one
+        // partial instance holding 10 mod 4 = 2. The partial instance runs
+        // and bills at the 2-function interference level, not the
+        // 4-function one Eq. 4 would over-approximate with.
+        let m = paper_like_model();
+        let r = m.cost.usd_per_instance_sec;
+        let want = (2.0 * m.exec_secs(4) + m.exec_secs(2)) * r
+            + 3.0 * m.cost.usd_per_instance
+            + 10.0 * (m.cost.usd_per_function_storage + m.cost.usd_per_function_network_packed);
+        let got = m.expense_usd(10, 4);
+        assert!(
+            (got - want).abs() < 1e-12,
+            "expense C=10 P=4: got {got}, want {want}"
+        );
+        // The old all-full-instances bill is strictly larger.
+        let over = 3.0 * m.exec_secs(4) * r
+            + 3.0 * m.cost.usd_per_instance
+            + 10.0 * (m.cost.usd_per_function_storage + m.cost.usd_per_function_network_packed);
+        assert!(got < over);
+        // Even division has no partial instance and is unchanged.
+        let even = m.expense_usd(8, 4);
+        let even_want = 2.0 * m.exec_secs(4) * r
+            + 2.0 * m.cost.usd_per_instance
+            + 8.0 * (m.cost.usd_per_function_storage + m.cost.usd_per_function_network_packed);
+        assert!((even - even_want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn service_time_tracks_slowest_instance_class() {
+        let m = paper_like_model();
+        // A full instance exists (C = 10 > P = 4): the slower full
+        // instances set the makespan, so the partial one changes nothing.
+        assert_eq!(
+            m.service_secs(10, 4, Percentile::Total),
+            m.service_secs(8, 4, Percentile::Total) - m.scaling.scaling_secs_quantile(2.0, 1.0)
+                + m.scaling.scaling_secs_quantile(3.0, 1.0)
+        );
+        // The whole burst fits in one partial instance (C = 3 < P = 8):
+        // only 3 functions interfere.
+        let s = m.service_secs(3, 8, Percentile::Total);
+        let want = m.exec_secs(3) + m.scaling.scaling_secs_quantile(1.0, 1.0);
+        assert!((s - want).abs() < 1e-12);
+        assert!(s < m.exec_secs(8) + m.scaling.scaling_secs_quantile(1.0, 1.0));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //!   each objective's own optimum and `W_S + W_E = 1` (default ½/½).
 
 use crate::model::PackingModel;
+use crate::ModelError;
 use propack_stats::percentile::Percentile;
 use serde::{Deserialize, Serialize};
 
@@ -34,6 +35,18 @@ impl Default for Objective {
 }
 
 impl Objective {
+    /// Check the objective's parameters. Eq. 7 defines the joint objective
+    /// only for `W_S ∈ [0, 1]` (with `W_E = 1 − W_S`); out-of-range or NaN
+    /// weights are rejected rather than silently clamped.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        match *self {
+            Objective::Joint { w_s } if !(0.0..=1.0).contains(&w_s) => {
+                Err(ModelError::InvalidWeight { w_s })
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// Display label matching the paper's figure legends.
     pub fn label(&self) -> String {
         match self {
@@ -73,8 +86,10 @@ pub fn optimal_degree_expense(model: &PackingModel, c: u32) -> u32 {
 }
 
 /// Eqs. 5–7: the degree minimizing `W_S·ΔS + W_E·ΔE`.
+///
+/// `w_s` must lie in `[0, 1]`; [`plan`] enforces this via
+/// [`Objective::validate`] before calling in.
 pub fn optimal_degree_joint(model: &PackingModel, c: u32, metric: Percentile, w_s: f64) -> u32 {
-    let w_s = w_s.clamp(0.0, 1.0);
     let w_e = 1.0 - w_s;
     let p_s = optimal_degree_service(model, c, metric);
     let p_e = optimal_degree_expense(model, c);
@@ -89,20 +104,29 @@ pub fn optimal_degree_joint(model: &PackingModel, c: u32, metric: Percentile, w_
 }
 
 /// Produce the full plan for an objective.
-pub fn plan(model: &PackingModel, c: u32, objective: Objective, metric: Percentile) -> PackingPlan {
+///
+/// Fails with [`ModelError::InvalidWeight`] when a joint objective carries
+/// a service-time weight outside `[0, 1]`.
+pub fn plan(
+    model: &PackingModel,
+    c: u32,
+    objective: Objective,
+    metric: Percentile,
+) -> Result<PackingPlan, ModelError> {
+    objective.validate()?;
     let p = match objective {
         Objective::ServiceTime => optimal_degree_service(model, c, metric),
         Objective::Expense => optimal_degree_expense(model, c),
         Objective::Joint { w_s } => optimal_degree_joint(model, c, metric, w_s),
     };
-    PackingPlan {
+    Ok(PackingPlan {
         packing_degree: p,
         instances: model.instances(c, p),
         concurrency: c,
         predicted_service_secs: model.service_secs(c, p, metric),
         predicted_expense_usd: model.expense_usd(c, p),
         metric,
-    }
+    })
 }
 
 /// Argmin over the feasible degrees `1..=p_max`; ties break toward the
@@ -222,8 +246,8 @@ mod tests {
     #[test]
     fn plan_respects_objective() {
         let m = model();
-        let plan_s = plan(&m, 2000, Objective::ServiceTime, Percentile::Total);
-        let plan_e = plan(&m, 2000, Objective::Expense, Percentile::Total);
+        let plan_s = plan(&m, 2000, Objective::ServiceTime, Percentile::Total).unwrap();
+        let plan_e = plan(&m, 2000, Objective::Expense, Percentile::Total).unwrap();
         assert!(plan_s.predicted_service_secs <= plan_e.predicted_service_secs);
         assert!(plan_e.predicted_expense_usd <= plan_s.predicted_expense_usd);
         assert_eq!(plan_s.instances, m.instances(2000, plan_s.packing_degree));
@@ -237,6 +261,22 @@ mod tests {
             let p = optimal_degree_expense(&m, c);
             assert!(p <= 7);
         }
+    }
+
+    #[test]
+    fn out_of_range_joint_weight_rejected_not_clamped() {
+        let m = model();
+        for w_s in [-0.1, 1.5, f64::NAN] {
+            match plan(&m, 2000, Objective::Joint { w_s }, Percentile::Total) {
+                Err(ModelError::InvalidWeight { w_s: got }) => {
+                    assert!(got.is_nan() == w_s.is_nan() && (got.is_nan() || got == w_s));
+                }
+                other => panic!("w_s = {w_s} must be rejected, got {other:?}"),
+            }
+        }
+        // The boundary weights are valid, not edge-case rejections.
+        assert!(plan(&m, 2000, Objective::Joint { w_s: 0.0 }, Percentile::Total).is_ok());
+        assert!(plan(&m, 2000, Objective::Joint { w_s: 1.0 }, Percentile::Total).is_ok());
     }
 
     #[test]

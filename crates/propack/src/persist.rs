@@ -117,8 +117,8 @@ mod tests {
             (original.model.interference.rate - restored.model.interference.rate).abs() < 1e-12
         );
         for c in [100u32, 1000, 5000] {
-            let a = original.plan(c, Objective::default());
-            let b = restored.plan(c, Objective::default());
+            let a = original.plan(c, Objective::default()).unwrap();
+            let b = restored.plan(c, Objective::default()).unwrap();
             assert_eq!(a.packing_degree, b.packing_degree, "C={c}");
             assert_eq!(a.instances, b.instances);
             assert!((a.predicted_service_secs - b.predicted_service_secs).abs() < 1e-9);

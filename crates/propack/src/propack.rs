@@ -17,7 +17,9 @@ use crate::profiler::{default_scaling_levels, probe_scaling, profile_interferenc
 use crate::qos::select_weights;
 use crate::scaling::ScalingModel;
 use crate::{InterferenceModel, ModelError};
-use propack_platform::{BurstSpec, RunReport, ServerlessPlatform, WorkProfile};
+use propack_platform::{
+    BurstSpec, FaultSpec, RetryPolicy, RunReport, ServerlessPlatform, WorkProfile,
+};
 use propack_stats::percentile::Percentile;
 use serde::{Deserialize, Serialize};
 
@@ -164,7 +166,10 @@ impl Propack {
 
     /// Plan the packing for concurrency `c` under `objective`, evaluating
     /// service time at the total-completion figure of merit.
-    pub fn plan(&self, c: u32, objective: Objective) -> PackingPlan {
+    ///
+    /// Fails with [`ModelError::InvalidWeight`] for a joint objective whose
+    /// weight is outside `[0, 1]`.
+    pub fn plan(&self, c: u32, objective: Objective) -> Result<PackingPlan, ModelError> {
         plan(&self.model, c, objective, Percentile::Total)
     }
 
@@ -174,7 +179,7 @@ impl Propack {
         c: u32,
         objective: Objective,
         metric: Percentile,
-    ) -> PackingPlan {
+    ) -> Result<PackingPlan, ModelError> {
         plan(&self.model, c, objective, metric)
     }
 
@@ -187,7 +192,7 @@ impl Propack {
     ) -> Result<(PackingPlan, f64), ModelError> {
         let w_s = select_weights(&self.model, c, qos_bound_secs)?;
         Ok((
-            plan(&self.model, c, Objective::Joint { w_s }, Percentile::Tail95),
+            plan(&self.model, c, Objective::Joint { w_s }, Percentile::Tail95)?,
             w_s,
         ))
     }
@@ -221,8 +226,38 @@ impl Propack {
         objective: Objective,
         seed: u64,
     ) -> Result<ProPackOutcome, ModelError> {
-        let plan = self.plan(c, objective);
-        let spec = BurstSpec::packed(self.work.clone(), c, plan.packing_degree).with_seed(seed);
+        self.execute_faulted(
+            platform,
+            c,
+            objective,
+            seed,
+            FaultSpec::none(),
+            RetryPolicy::no_retries(),
+        )
+    }
+
+    /// Execute the planned packing under a runtime fault process.
+    ///
+    /// The *plan* is unchanged — profiling probes and the analytical models
+    /// stay fault-free (the paper's models describe the healthy platform) —
+    /// but the planned burst itself runs with `faults`/`retry` threaded
+    /// through, so the reported expense and service time include crashes,
+    /// retries, and backoff. Check [`RunReport::is_partial`] on the result
+    /// when the retry budget may be exhaustible.
+    pub fn execute_faulted<P: ServerlessPlatform + ?Sized>(
+        &self,
+        platform: &P,
+        c: u32,
+        objective: Objective,
+        seed: u64,
+        faults: FaultSpec,
+        retry: RetryPolicy,
+    ) -> Result<ProPackOutcome, ModelError> {
+        let plan = self.plan(c, objective)?;
+        let spec = BurstSpec::packed(self.work.clone(), c, plan.packing_degree)
+            .with_seed(seed)
+            .with_faults(faults)
+            .with_retry(retry);
         let report = platform.run_burst(&spec)?;
         Ok(ProPackOutcome {
             plan,
@@ -291,13 +326,13 @@ mod tests {
     #[test]
     fn plan_packs_at_high_concurrency_not_at_low() {
         let pp = Propack::build(&aws(), &work(), &ProPackConfig::default()).unwrap();
-        let high = pp.plan(5000, Objective::default());
+        let high = pp.plan(5000, Objective::default()).unwrap();
         assert!(
             high.packing_degree >= 5,
             "degree {} at C=5000",
             high.packing_degree
         );
-        let low = pp.plan(20, Objective::ServiceTime);
+        let low = pp.plan(20, Objective::ServiceTime).unwrap();
         assert!(
             low.packing_degree <= 3,
             "degree {} at C=20",
@@ -359,8 +394,11 @@ mod tests {
         let c = 5000;
         let unconstrained = pp
             .plan_with_metric(c, Objective::Expense, Percentile::Tail95)
+            .unwrap()
             .predicted_service_secs;
-        let best = pp.plan_with_metric(c, Objective::ServiceTime, Percentile::Tail95);
+        let best = pp
+            .plan_with_metric(c, Objective::ServiceTime, Percentile::Tail95)
+            .unwrap();
         let bound = best.predicted_service_secs * 1.04;
         assert!(bound < unconstrained, "test bound must actually constrain");
         let (plan, w_s) = pp.plan_with_qos(c, bound).unwrap();
@@ -376,7 +414,7 @@ mod tests {
         let cap_secs = pp.model.exec_secs(5) + 1e-9;
         let capped = pp.clone().with_latency_cap(cap_secs);
         assert_eq!(capped.model.p_max, 5);
-        let plan = capped.plan(5000, Objective::default());
+        let plan = capped.plan(5000, Objective::default()).unwrap();
         assert!(plan.packing_degree <= 5);
         assert!(capped.model.exec_secs(plan.packing_degree) <= cap_secs);
         // A cap below ET(1) still leaves the always-feasible degree 1.
@@ -399,9 +437,13 @@ mod tests {
         let cfg = ProPackConfig::default();
         let pp_base = Propack::build(&baseline, &work(), &cfg).unwrap();
         let pp_improved = Propack::build(&improved, &work(), &cfg).unwrap();
-        let d_base = pp_base.plan(5000, Objective::ServiceTime).packing_degree;
+        let d_base = pp_base
+            .plan(5000, Objective::ServiceTime)
+            .unwrap()
+            .packing_degree;
         let d_improved = pp_improved
             .plan(5000, Objective::ServiceTime)
+            .unwrap()
             .packing_degree;
         assert!(
             d_improved < d_base,

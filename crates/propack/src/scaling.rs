@@ -37,10 +37,16 @@ pub struct ScalingModel {
 impl ScalingModel {
     /// Fit the polynomial from probe samples (needs ≥ 3 distinct levels).
     pub fn fit(samples: &[ScalingSample]) -> Result<Self, ModelError> {
-        if samples.len() < 3 {
+        // A quadratic has three coefficients: three samples at the *same*
+        // concurrency pin only one point of the curve, so the count that
+        // matters is distinct probe levels, not raw sample count.
+        let mut levels: Vec<u32> = samples.iter().map(|s| s.concurrency).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        if levels.len() < 3 {
             return Err(ModelError::NotEnoughSamples {
                 needed: 3,
-                got: samples.len(),
+                got: levels.len(),
             });
         }
         let xs: Vec<f64> = samples.iter().map(|s| s.concurrency as f64).collect();
@@ -136,5 +142,24 @@ mod tests {
             ScalingModel::fit(&s),
             Err(ModelError::NotEnoughSamples { .. })
         ));
+    }
+
+    #[test]
+    fn repeated_levels_do_not_count_as_distinct_samples() {
+        // Five samples but only two distinct probe levels: a quadratic
+        // through them is underdetermined and must be rejected, not fitted.
+        let s = samples_from_curve(1e-5, 0.01, 0.0, &[100, 100, 100, 200, 200]);
+        assert_eq!(s.len(), 5);
+        match ScalingModel::fit(&s) {
+            Err(ModelError::NotEnoughSamples { needed, got }) => {
+                assert_eq!(needed, 3);
+                assert_eq!(got, 2, "got must count distinct levels");
+            }
+            other => panic!("expected NotEnoughSamples, got {other:?}"),
+        }
+        // Adding one sample at a *third* level makes the fit well-posed.
+        let mut s3 = s;
+        s3.extend(samples_from_curve(1e-5, 0.01, 0.0, &[300]));
+        assert!(ScalingModel::fit(&s3).is_ok());
     }
 }

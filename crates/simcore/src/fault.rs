@@ -1,0 +1,397 @@
+//! Deterministic fault injection: seeded, replay-stable fault lanes.
+//!
+//! Real serverless fleets lose instances to crashes, failed cold starts,
+//! shipping stalls, and stragglers; the happy-path simulator pretended they
+//! don't exist. A [`FaultSpec`] describes the per-stage fault *processes*
+//! (rates and severities) and a [`FaultPlan`] turns those processes into
+//! concrete draws.
+//!
+//! Every draw comes from its own named lane of the seeded
+//! [`RngStreams`] tree (`fault-crash`, `fault-provision`, `fault-ship`,
+//! `fault-straggler`), indexed by `(instance, attempt)`. Two consequences:
+//!
+//! 1. *Replay stability*: a draw is a pure function of
+//!    `(seed, lane, instance, attempt)` — it does not depend on event
+//!    ordering, on how many other faults fired, or on the thread count of
+//!    the surrounding sweep. The determinism contract (same seed ⇒
+//!    bit-identical output at any `--threads`) holds with faults enabled.
+//! 2. *Independence under refactoring*: fault lanes never touch the
+//!    pre-existing `control-plane` / `exec` streams, so enabling (or
+//!    adding) fault draws cannot shift the timeline of a fault-free run.
+//!
+//! Lane RNG must come from the seeded tree — constructing generators
+//! directly in fault code is rejected by `cargo xtask simlint` (rule
+//! `fault-rng`); wall-clock or OS-entropy seeding would break replay.
+
+use crate::rng::RngStreams;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-stage fault process rates and severities.
+///
+/// All rates are per-attempt Bernoulli probabilities in `[0, 1]`; factors
+/// are multiplicative slowdowns `≥ 1`. The default is fault-free, so every
+/// pre-existing burst spec replays its exact historical timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Probability an execution attempt crashes mid-run (the instance dies
+    /// after completing a uniformly drawn fraction of its work; the partial
+    /// run is billed).
+    pub crash_rate: f64,
+    /// Probability a cold provision attempt (microVM boot + runtime init)
+    /// fails and must be redone.
+    pub provision_failure_rate: f64,
+    /// Probability a container's shipping transfer stalls.
+    pub ship_stall_rate: f64,
+    /// Effective slowdown of a stalled shipping transfer (`≥ 1`).
+    pub ship_stall_factor: f64,
+    /// Probability an instance is a straggler (slow hardware, noisy
+    /// neighbour) for its whole lifetime.
+    pub straggler_rate: f64,
+    /// Execution slowdown of a straggler instance (`≥ 1`).
+    pub straggler_factor: f64,
+}
+
+impl FaultSpec {
+    /// The fault-free scenario (all rates zero) — draws are skipped
+    /// entirely, so a fault-free burst takes no lane draws at all.
+    pub fn none() -> Self {
+        FaultSpec {
+            crash_rate: 0.0,
+            provision_failure_rate: 0.0,
+            ship_stall_rate: 0.0,
+            ship_stall_factor: 4.0,
+            straggler_rate: 0.0,
+            straggler_factor: 3.0,
+        }
+    }
+
+    /// Whether every fault process is disabled.
+    pub fn is_none(&self) -> bool {
+        self.crash_rate <= 0.0
+            && self.provision_failure_rate <= 0.0
+            && self.ship_stall_rate <= 0.0
+            && self.straggler_rate <= 0.0
+    }
+
+    /// Builder-style crash-rate setter.
+    pub fn with_crash_rate(mut self, rate: f64) -> Self {
+        self.crash_rate = rate;
+        self
+    }
+
+    /// Builder-style provision-failure-rate setter.
+    pub fn with_provision_failure_rate(mut self, rate: f64) -> Self {
+        self.provision_failure_rate = rate;
+        self
+    }
+
+    /// Builder-style ship-stall setter (rate and slowdown factor).
+    pub fn with_ship_stall(mut self, rate: f64, factor: f64) -> Self {
+        self.ship_stall_rate = rate;
+        self.ship_stall_factor = factor;
+        self
+    }
+
+    /// Builder-style straggler setter (rate and slowdown factor).
+    pub fn with_straggler(mut self, rate: f64, factor: f64) -> Self {
+        self.straggler_rate = rate;
+        self.straggler_factor = factor;
+        self
+    }
+
+    /// The first field that is outside its domain, if any: rates must lie
+    /// in `[0, 1]` and slowdown factors must be `≥ 1`.
+    pub fn invalid_field(&self) -> Option<(&'static str, f64)> {
+        let rate_fields = [
+            ("crash rate", self.crash_rate),
+            ("provision failure rate", self.provision_failure_rate),
+            ("ship stall rate", self.ship_stall_rate),
+            ("straggler rate", self.straggler_rate),
+        ];
+        for (name, value) in rate_fields {
+            if !(0.0..=1.0).contains(&value) {
+                return Some((name, value));
+            }
+        }
+        let factor_fields = [
+            ("ship stall factor", self.ship_stall_factor),
+            ("straggler factor", self.straggler_factor),
+        ];
+        for (name, value) in factor_fields {
+            if value < 1.0 || value.is_nan() {
+                return Some((name, value));
+            }
+        }
+        None
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec::none()
+    }
+}
+
+/// Retry/timeout/backoff policy for faulted work: capped exponential
+/// backoff with a per-instance attempt cap and a per-burst retry budget.
+///
+/// The simulator consumes this in-burst (a crashed or failed-to-provision
+/// instance retries in place); the orchestrator additionally uses it to
+/// pace whole-burst resubmission rounds (see `propack-orchestrator`'s
+/// `retry` module). When attempts or budget run out, the work is abandoned
+/// and reported as a partial completion instead of silently succeeding.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum execution/provision attempts per instance (`1` = no
+    /// retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, seconds.
+    pub backoff_base_secs: f64,
+    /// Cap on the exponential backoff, seconds.
+    pub backoff_cap_secs: f64,
+    /// Total retries one burst may consume across all its instances; once
+    /// exhausted, further failures are abandoned immediately.
+    pub retry_budget: u32,
+    /// Whole-burst resubmission rounds the orchestrator may add on top of
+    /// in-burst retries (`1` = never resubmit).
+    pub max_rounds: u32,
+}
+
+impl RetryPolicy {
+    /// Backoff before retrying after the `attempt`-th failure (1-based):
+    /// `min(base · 2^(attempt−1), cap)`.
+    pub fn backoff_secs(&self, attempt: u32) -> f64 {
+        let exp = attempt.saturating_sub(1).min(30);
+        (self.backoff_base_secs * f64::from(1u32 << exp)).min(self.backoff_cap_secs)
+    }
+
+    /// A policy that never retries (single attempt, no budget).
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base_secs: 0.0,
+            backoff_cap_secs: 0.0,
+            retry_budget: 0,
+            max_rounds: 1,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_secs: 0.5,
+            backoff_cap_secs: 8.0,
+            retry_budget: 1024,
+            max_rounds: 2,
+        }
+    }
+}
+
+/// Concrete fault draws for one burst, bound to the burst's seeded RNG
+/// tree. See the module docs for the replay-stability argument.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    streams: RngStreams,
+    spec: FaultSpec,
+}
+
+impl FaultPlan {
+    /// Bind `spec`'s fault processes to `streams`' seed.
+    pub fn new(streams: &RngStreams, spec: FaultSpec) -> Self {
+        FaultPlan {
+            streams: streams.clone(),
+            spec,
+        }
+    }
+
+    /// The fault processes this plan draws from.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Lane index mixing instance and attempt so each `(instance, attempt)`
+    /// pair owns an independent stream.
+    fn lane(instance: u32, attempt: u32) -> u64 {
+        (u64::from(instance) << 32) | u64::from(attempt)
+    }
+
+    /// Does execution attempt `attempt` of `instance` crash? If so, returns
+    /// the fraction of the attempt's work completed before the crash
+    /// (uniform in `[0.05, 0.95]` — the partial run is billed).
+    pub fn crash_point(&self, instance: u32, attempt: u32) -> Option<f64> {
+        if self.spec.crash_rate <= 0.0 {
+            return None;
+        }
+        let mut rng = self
+            .streams
+            .stream_indexed("fault-crash", Self::lane(instance, attempt));
+        if rng.random::<f64>() < self.spec.crash_rate {
+            Some(0.05 + 0.9 * rng.random::<f64>())
+        } else {
+            None
+        }
+    }
+
+    /// Does cold-provision attempt `attempt` of `instance` fail?
+    pub fn provision_fails(&self, instance: u32, attempt: u32) -> bool {
+        if self.spec.provision_failure_rate <= 0.0 {
+            return false;
+        }
+        let mut rng = self
+            .streams
+            .stream_indexed("fault-provision", Self::lane(instance, attempt));
+        rng.random::<f64>() < self.spec.provision_failure_rate
+    }
+
+    /// Does `instance`'s shipping transfer stall? Returns the slowdown
+    /// factor when it does.
+    pub fn ship_stall(&self, instance: u32) -> Option<f64> {
+        if self.spec.ship_stall_rate <= 0.0 {
+            return None;
+        }
+        let mut rng = self
+            .streams
+            .stream_indexed("fault-ship", Self::lane(instance, 0));
+        if rng.random::<f64>() < self.spec.ship_stall_rate {
+            Some(self.spec.ship_stall_factor)
+        } else {
+            None
+        }
+    }
+
+    /// Is `instance` a straggler? Returns the execution slowdown factor
+    /// when it is (applies to every attempt of the instance).
+    pub fn straggler(&self, instance: u32) -> Option<f64> {
+        if self.spec.straggler_rate <= 0.0 {
+            return None;
+        }
+        let mut rng = self
+            .streams
+            .stream_indexed("fault-straggler", Self::lane(instance, 0));
+        if rng.random::<f64>() < self.spec.straggler_rate {
+            Some(self.spec.straggler_factor)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(seed: u64, spec: FaultSpec) -> FaultPlan {
+        FaultPlan::new(&RngStreams::new(seed), spec)
+    }
+
+    #[test]
+    fn fault_free_spec_never_draws() {
+        let p = plan(1, FaultSpec::none());
+        for i in 0..64 {
+            assert!(p.crash_point(i, 1).is_none());
+            assert!(!p.provision_fails(i, 1));
+            assert!(p.ship_stall(i).is_none());
+            assert!(p.straggler(i).is_none());
+        }
+        assert!(FaultSpec::none().is_none());
+        assert!(!FaultSpec::none().with_crash_rate(0.1).is_none());
+    }
+
+    #[test]
+    fn draws_are_replay_stable() {
+        let spec = FaultSpec::none()
+            .with_crash_rate(0.3)
+            .with_provision_failure_rate(0.2)
+            .with_ship_stall(0.2, 5.0)
+            .with_straggler(0.2, 2.5);
+        let a = plan(42, spec);
+        let b = plan(42, spec);
+        for i in 0..256 {
+            for attempt in 1..4 {
+                assert_eq!(a.crash_point(i, attempt), b.crash_point(i, attempt));
+                assert_eq!(a.provision_fails(i, attempt), b.provision_fails(i, attempt));
+            }
+            assert_eq!(a.ship_stall(i), b.ship_stall(i));
+            assert_eq!(a.straggler(i), b.straggler(i));
+        }
+    }
+
+    #[test]
+    fn draws_are_order_independent() {
+        // Reading lanes in a different order (as a different event
+        // interleaving would) cannot change any individual draw.
+        let spec = FaultSpec::none().with_crash_rate(0.5);
+        let p = plan(7, spec);
+        let forward: Vec<_> = (0..64).map(|i| p.crash_point(i, 1)).collect();
+        let backward: Vec<_> = (0..64).rev().map(|i| p.crash_point(i, 1)).collect();
+        assert_eq!(forward, backward.into_iter().rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn crash_rate_matches_draw_frequency() {
+        let p = plan(11, FaultSpec::none().with_crash_rate(0.25));
+        let crashes = (0..4000).filter(|&i| p.crash_point(i, 1).is_some()).count();
+        let rate = crashes as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.03, "observed crash rate {rate}");
+    }
+
+    #[test]
+    fn attempts_draw_independently() {
+        // With a 50 % crash rate some instances crash on attempt 1 but not
+        // attempt 2, and vice versa — attempts are not one shared draw.
+        let p = plan(3, FaultSpec::none().with_crash_rate(0.5));
+        let differs =
+            (0..128).any(|i| p.crash_point(i, 1).is_some() != p.crash_point(i, 2).is_some());
+        assert!(differs);
+    }
+
+    #[test]
+    fn crash_point_is_a_billed_fraction() {
+        let p = plan(5, FaultSpec::none().with_crash_rate(1.0));
+        for i in 0..64 {
+            let frac = p.crash_point(i, 1).unwrap();
+            assert!((0.05..=0.95).contains(&frac));
+        }
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            backoff_base_secs: 0.5,
+            backoff_cap_secs: 3.0,
+            retry_budget: 16,
+            max_rounds: 1,
+        };
+        assert_eq!(policy.backoff_secs(1), 0.5);
+        assert_eq!(policy.backoff_secs(2), 1.0);
+        assert_eq!(policy.backoff_secs(3), 2.0);
+        assert_eq!(policy.backoff_secs(4), 3.0); // capped
+        assert_eq!(policy.backoff_secs(40), 3.0); // no overflow
+    }
+
+    #[test]
+    fn invalid_fields_detected() {
+        assert!(FaultSpec::none().invalid_field().is_none());
+        let bad_rate = FaultSpec::none().with_crash_rate(1.5);
+        assert_eq!(bad_rate.invalid_field(), Some(("crash rate", 1.5)));
+        let bad_factor = FaultSpec::none().with_straggler(0.1, 0.5);
+        assert_eq!(bad_factor.invalid_field(), Some(("straggler factor", 0.5)));
+        let negative = FaultSpec::none().with_provision_failure_rate(-0.1);
+        assert_eq!(
+            negative.invalid_field(),
+            Some(("provision failure rate", -0.1))
+        );
+    }
+
+    #[test]
+    fn no_retry_policy_is_single_attempt() {
+        let p = RetryPolicy::no_retries();
+        assert_eq!(p.max_attempts, 1);
+        assert_eq!(p.retry_budget, 0);
+        assert_eq!(p.backoff_secs(1), 0.0);
+    }
+}

@@ -25,12 +25,14 @@
 //! fails to compile if a non-`Send` member ever sneaks in.
 
 pub mod engine;
+pub mod fault;
 pub mod resource;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
 pub use engine::Sim;
+pub use fault::{FaultPlan, FaultSpec, RetryPolicy};
 pub use resource::{BandwidthPipe, FifoResource, MultiServer};
 pub use rng::RngStreams;
 pub use time::SimTime;
@@ -57,6 +59,9 @@ mod send_audit {
         assert_send::<FifoResource>();
         assert_send::<BandwidthPipe>();
         assert_send::<MultiServer>();
+        assert_send::<FaultPlan>();
+        assert_send::<FaultSpec>();
+        assert_send::<RetryPolicy>();
     }
 
     #[test]
@@ -65,5 +70,7 @@ mod send_audit {
         assert_sync::<Tracer>();
         assert_sync::<TraceEvent>();
         assert_sync::<SimTime>();
+        assert_sync::<FaultSpec>();
+        assert_sync::<RetryPolicy>();
     }
 }

@@ -1,5 +1,6 @@
 //! Grid cells: the unit of work a sweep fans out.
 
+use crate::faults::FaultScenario;
 use crate::spec::{PackingPolicy, PlatformAxis, SweepSpec};
 
 /// The identity of one grid cell, totally ordered.
@@ -19,14 +20,17 @@ pub struct CellKey {
     pub concurrency: u32,
     /// Replication seed.
     pub seed: u64,
+    /// Fault-scenario label (last in the sort order, so adding the fault
+    /// axis appends to pre-fault grid orderings instead of reshuffling).
+    pub faults: String,
 }
 
 impl CellKey {
     /// Compact single-string form, used in `BENCH_sweep.json`.
     pub fn compact(&self) -> String {
         format!(
-            "{}/{}/{}/c{}/s{}",
-            self.platform, self.workload, self.policy, self.concurrency, self.seed
+            "{}/{}/{}/c{}/s{}/f{}",
+            self.platform, self.workload, self.policy, self.concurrency, self.seed, self.faults
         )
     }
 }
@@ -46,6 +50,8 @@ pub struct Cell {
     pub policy: PackingPolicy,
     /// Seed for the cell's burst(s).
     pub seed: u64,
+    /// Fault scenario to run the cell under.
+    pub faults: FaultScenario,
 }
 
 /// Simulation results for one cell.
@@ -69,6 +75,10 @@ pub struct CellResult {
     pub expense_usd: f64,
     /// Billed compute in function-hours (ProPack: including overhead).
     pub function_hours: f64,
+    /// In-burst retries the fault/retry machinery consumed.
+    pub retries: u64,
+    /// Functions still failed after all retries (partial completion).
+    pub failed_functions: u64,
     /// Populated when the platform rejected the cell (the sweep continues;
     /// a rejection is data, e.g. "degree 40 exceeds the memory cap").
     pub error: Option<String>,
@@ -88,30 +98,33 @@ impl CellResult {
         let k = &self.key;
         match &self.error {
             Some(e) => format!(
-                "{}\t{}\t{}\tC={}\tseed={}\tERROR: {}",
-                k.platform, k.workload, k.policy, k.concurrency, k.seed, e
+                "{}\t{}\t{}\tC={}\tseed={}\tfaults={}\tERROR: {}",
+                k.platform, k.workload, k.policy, k.concurrency, k.seed, k.faults, e
             ),
             None => format!(
-                "{}\t{}\t{}\tC={}\tseed={}\tP={}\tinstances={}\tservice_s={:.3}\tscaling_s={:.3}\texpense_usd={:.6}\tfn_hours={:.6}",
+                "{}\t{}\t{}\tC={}\tseed={}\tfaults={}\tP={}\tinstances={}\tservice_s={:.3}\tscaling_s={:.3}\texpense_usd={:.6}\tfn_hours={:.6}\tretries={}\tfailed={}",
                 k.platform,
                 k.workload,
                 k.policy,
                 k.concurrency,
                 k.seed,
+                k.faults,
                 self.packing_degree,
                 self.instances,
                 self.service_secs,
                 self.scaling_secs,
                 self.expense_usd,
                 self.function_hours,
+                self.retries,
+                self.failed_functions,
             ),
         }
     }
 }
 
 /// Expand a spec into its cells, in fixed grid order (platform-major,
-/// seed-minor). Workers may *run* cells in any order; merging sorts by
-/// [`CellKey`], so enumeration order never shows in output.
+/// fault-scenario-minor). Workers may *run* cells in any order; merging
+/// sorts by [`CellKey`], so enumeration order never shows in output.
 pub fn expand(spec: &SweepSpec) -> Vec<Cell> {
     let mut cells = Vec::with_capacity(spec.cell_count());
     for platform in &spec.platforms {
@@ -119,20 +132,24 @@ pub fn expand(spec: &SweepSpec) -> Vec<Cell> {
             for &concurrency in &spec.concurrency {
                 for policy in &spec.policies {
                     for &seed in &spec.seeds {
-                        cells.push(Cell {
-                            key: CellKey {
-                                platform: platform.label(),
-                                workload: work.name.clone(),
-                                policy: policy.label(),
+                        for faults in &spec.faults {
+                            cells.push(Cell {
+                                key: CellKey {
+                                    platform: platform.label(),
+                                    workload: work.name.clone(),
+                                    policy: policy.label(),
+                                    concurrency,
+                                    seed,
+                                    faults: faults.label.clone(),
+                                },
+                                platform: platform.clone(),
+                                work: work.clone(),
                                 concurrency,
+                                policy: *policy,
                                 seed,
-                            },
-                            platform: platform.clone(),
-                            work: work.clone(),
-                            concurrency,
-                            policy: *policy,
-                            seed,
-                        });
+                                faults: faults.clone(),
+                            });
+                        }
                     }
                 }
             }
@@ -153,7 +170,8 @@ mod tests {
             .workloads([WorkProfile::synthetic("w", 0.25, 60.0)])
             .concurrency([100, 200])
             .policies([PackingPolicy::NoPacking, PackingPolicy::Fixed(4)])
-            .seeds([1]);
+            .seeds([1])
+            .faults([FaultScenario::none(), FaultScenario::provider_default()]);
         let cells = expand(&spec);
         assert_eq!(cells.len(), spec.cell_count());
         let mut keys: Vec<CellKey> = cells.iter().map(|c| c.key.clone()).collect();
@@ -170,6 +188,7 @@ mod tests {
             policy: "no-packing".into(),
             concurrency: 100,
             seed: 2,
+            faults: "none".into(),
         };
         let mut b = a.clone();
         b.seed = 1;
@@ -177,6 +196,9 @@ mod tests {
         let mut c = a.clone();
         c.platform = "azure".into();
         assert!(c > a);
-        assert_eq!(a.compact(), "aws/w/no-packing/c100/s2");
+        let mut d = a.clone();
+        d.faults = "crash=0.01".into();
+        assert!(d < a, "fault label sorts last, after seed");
+        assert_eq!(a.compact(), "aws/w/no-packing/c100/s2/fnone");
     }
 }

@@ -165,24 +165,44 @@ fn run_cell(cell: &Cell, fit_config: &ProPackConfig, models: &ModelCache) -> Cel
     result
 }
 
-/// The cell body: build a fresh platform from the axis and execute the
-/// cell's policy. Failures (e.g. a packing degree the platform rejects)
-/// are recorded in the result, not raised — one bad cell must not sink a
-/// thousand-cell sweep.
+/// The cell body: build a fresh platform from the axis, resolve the cell's
+/// fault scenario against it (a `default` scenario means each provider's
+/// own calibrated rates), and execute the cell's policy under those faults.
+/// Failures (e.g. a packing degree the platform rejects) are recorded in
+/// the result, not raised — one bad cell must not sink a thousand-cell
+/// sweep.
 fn simulate(cell: &Cell, fit_config: &ProPackConfig, models: &ModelCache) -> CellResult {
     let platform = cell.platform.build();
+    let faults = cell.faults.resolve(&*platform);
+    let retry = cell.faults.retry;
     match cell.policy {
         PackingPolicy::NoPacking => from_strategy(
             &cell.key,
-            NoPacking.run(&*platform, &cell.work, cell.concurrency, cell.seed),
+            NoPacking.run_faulted(
+                &*platform,
+                &cell.work,
+                cell.concurrency,
+                cell.seed,
+                faults,
+                retry,
+            ),
         ),
         PackingPolicy::Pywren => from_strategy(
             &cell.key,
-            Pywren::default().run(&*platform, &cell.work, cell.concurrency, cell.seed),
+            Pywren::default().run_faulted(
+                &*platform,
+                &cell.work,
+                cell.concurrency,
+                cell.seed,
+                faults,
+                retry,
+            ),
         ),
         PackingPolicy::Fixed(p) => {
-            let burst =
-                BurstSpec::packed(cell.work.clone(), cell.concurrency, p).with_seed(cell.seed);
+            let burst = BurstSpec::packed(cell.work.clone(), cell.concurrency, p)
+                .with_seed(cell.seed)
+                .with_faults(faults)
+                .with_retry(retry);
             from_strategy(
                 &cell.key,
                 platform
@@ -191,9 +211,18 @@ fn simulate(cell: &Cell, fit_config: &ProPackConfig, models: &ModelCache) -> Cel
             )
         }
         PackingPolicy::Propack { objective } => {
+            // Profiling stays fault-free (the model cache key excludes the
+            // fault axis); only the planned execution burst is faulted.
             match models.fit(&*platform, &cell.work, fit_config) {
                 Err(e) => failed(&cell.key, e.to_string()),
-                Ok(pp) => match pp.execute(&*platform, cell.concurrency, objective, cell.seed) {
+                Ok(pp) => match pp.execute_faulted(
+                    &*platform,
+                    cell.concurrency,
+                    objective,
+                    cell.seed,
+                    faults,
+                    retry,
+                ) {
                     Err(e) => failed(&cell.key, e.to_string()),
                     Ok(outcome) => CellResult {
                         key: cell.key.clone(),
@@ -206,6 +235,8 @@ fn simulate(cell: &Cell, fit_config: &ProPackConfig, models: &ModelCache) -> Cel
                         // the fitted model, so cache hits change nothing).
                         expense_usd: outcome.expense_with_overhead_usd(),
                         function_hours: outcome.function_hours_with_overhead(),
+                        retries: outcome.report.faults.retries,
+                        failed_functions: outcome.report.faults.failed_functions,
                         error: None,
                         wall_ms: 0.0,
                     },
@@ -229,6 +260,8 @@ fn from_strategy<E: std::fmt::Display>(
             scaling_secs: o.scaling_secs,
             expense_usd: o.expense_usd,
             function_hours: o.function_hours,
+            retries: o.faults.retries,
+            failed_functions: o.faults.failed_functions,
             error: None,
             wall_ms: 0.0,
         },
@@ -244,6 +277,8 @@ fn failed(key: &CellKey, error: String) -> CellResult {
         scaling_secs: 0.0,
         expense_usd: 0.0,
         function_hours: 0.0,
+        retries: 0,
+        failed_functions: 0,
         error: Some(error),
         wall_ms: 0.0,
     }
@@ -252,6 +287,7 @@ fn failed(key: &CellKey, error: String) -> CellResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultScenario;
     use crate::spec::PlatformAxis;
     use propack_platform::WorkProfile;
 
@@ -304,6 +340,82 @@ mod tests {
             .run_with_cache(&spec, &models)
             .unwrap();
         assert_eq!(cold.render(), warm.render());
+    }
+
+    #[test]
+    fn fault_scenarios_report_retries_and_cost_more() {
+        let spec = SweepSpec::new("faulted")
+            .platforms([PlatformAxis::Aws])
+            .workloads([work("w")])
+            .concurrency([400])
+            .policies([PackingPolicy::Fixed(4), PackingPolicy::NoPacking])
+            .seeds([7])
+            .faults([
+                FaultScenario::none(),
+                FaultScenario::parse("crash=0.05").unwrap(),
+            ]);
+        let report = SweepRunner::new().run(&spec).unwrap();
+        assert_eq!(report.cells.len(), 4);
+        let cell = |policy: &str, faults: &str| {
+            report
+                .cells
+                .iter()
+                .find(|c| c.key.policy == policy && c.key.faults == faults)
+                .expect("cell present")
+        };
+        for policy in ["fixed-4", "no-packing"] {
+            let clean = cell(policy, "none");
+            let faulty = cell(policy, "crash=0.05");
+            assert_eq!(clean.retries, 0, "{policy}: fault-free cell retried");
+            assert!(faulty.retries > 0, "{policy}: crashes must trigger retries");
+            assert!(
+                faulty.expense_usd > clean.expense_usd,
+                "{policy}: billed partial attempts must raise the bill"
+            );
+            assert!(
+                faulty.service_secs > clean.service_secs,
+                "{policy}: retries and backoff must stretch service time"
+            );
+        }
+    }
+
+    #[test]
+    fn faulted_sweeps_stay_thread_count_invariant() {
+        let spec = SweepSpec::new("faulted-threads")
+            .platforms([PlatformAxis::Aws, PlatformAxis::FuncX])
+            .workloads([work("w")])
+            .concurrency([200])
+            .policies([PackingPolicy::Fixed(4), PackingPolicy::propack_default()])
+            .seeds([3, 4])
+            .faults([
+                FaultScenario::provider_default(),
+                FaultScenario::parse("crash=0.02,straggler=0.05").unwrap(),
+            ]);
+        let serial = SweepRunner::new().run(&spec).unwrap();
+        for threads in [4, 8] {
+            let parallel = SweepRunner::new().threads(threads).run(&spec).unwrap();
+            assert_eq!(serial.render(), parallel.render(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fault_axis_shares_model_fits_across_scenarios() {
+        // Profiling is fault-free, so the cache key excludes the fault
+        // axis: two scenarios reuse one fit per (platform, workload).
+        let spec = SweepSpec::new("fault-cache")
+            .platforms([PlatformAxis::Aws])
+            .workloads([work("w")])
+            .concurrency([200])
+            .policies([PackingPolicy::propack_default()])
+            .seeds([1])
+            .faults([
+                FaultScenario::none(),
+                FaultScenario::parse("crash=0.01").unwrap(),
+            ]);
+        let models = ModelCache::new();
+        let report = SweepRunner::new().run_with_cache(&spec, &models).unwrap();
+        assert_eq!(report.fitted_models, 1);
+        assert_eq!(report.fit_hits + report.fit_misses, 2);
     }
 
     #[test]

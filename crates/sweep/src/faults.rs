@@ -1,0 +1,249 @@
+//! The fault-scenario axis: named fault/retry configurations for a grid.
+//!
+//! A [`FaultScenario`] pairs a [`FaultSpec`] (or a deferred
+//! "provider default" that resolves per platform cell) with the
+//! [`RetryPolicy`] governing in-burst retries. Every sweep has this axis;
+//! the default single value is [`FaultScenario::none`], which reproduces
+//! the exact fault-free timelines of pre-fault sweeps — zero rates take no
+//! RNG lane draws at all, so enabling the axis cannot shift legacy output.
+//!
+//! Scenarios are plain data with a stable `label` that becomes part of the
+//! [`crate::CellKey`] (and so of the deterministic render order). The
+//! textual grammar understood by [`FaultScenario::parse`] is what the CLI's
+//! `--faults` flag accepts:
+//!
+//! ```text
+//! none                                  fault-free (the default)
+//! default                               each platform's calibrated rates
+//! crash=0.01                            explicit per-lane rates...
+//! crash=0.01,straggler=0.05,attempts=5  ...with optional retry knobs
+//! ```
+//!
+//! Keys: `crash`, `provision`, `ship-stall`, `ship-stall-factor`,
+//! `straggler`, `straggler-factor` (fault processes) and `attempts`,
+//! `budget`, `rounds` (retry policy). Unset fault rates stay zero; unset
+//! retry knobs keep [`RetryPolicy::default`]. `;` is accepted as a key
+//! separator interchangeably with `,`, so a multi-key scenario can sit
+//! inside the CLI's comma-separated `--faults` scenario list.
+
+use propack_platform::{FaultSpec, RetryPolicy, ServerlessPlatform};
+
+use crate::spec::SweepError;
+
+/// How a scenario's fault processes are determined.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultScenarioSpec {
+    /// A fixed [`FaultSpec`], identical on every platform cell.
+    Explicit(FaultSpec),
+    /// Resolved per cell from
+    /// [`ServerlessPlatform::default_faults`] — each provider's calibrated
+    /// rates (a cloud preset and an on-prem cluster fault differently).
+    ProviderDefault,
+}
+
+/// One point on the fault-scenario axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultScenario {
+    /// Stable label used in cell keys and rendered output.
+    pub label: String,
+    /// Fault processes (explicit or per-provider).
+    pub spec: FaultScenarioSpec,
+    /// Retry/backoff policy applied to every burst run under this scenario.
+    pub retry: RetryPolicy,
+}
+
+impl FaultScenario {
+    /// The fault-free scenario — the axis default, byte-identical to
+    /// pre-fault sweep output.
+    pub fn none() -> Self {
+        FaultScenario {
+            label: "none".to_string(),
+            spec: FaultScenarioSpec::Explicit(FaultSpec::none()),
+            retry: RetryPolicy::no_retries(),
+        }
+    }
+
+    /// Each platform's own calibrated fault rates, with the default retry
+    /// policy.
+    pub fn provider_default() -> Self {
+        FaultScenario {
+            label: "default".to_string(),
+            spec: FaultScenarioSpec::ProviderDefault,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// An explicit scenario under a caller-chosen label.
+    pub fn explicit(label: impl Into<String>, spec: FaultSpec, retry: RetryPolicy) -> Self {
+        FaultScenario {
+            label: label.into(),
+            spec: FaultScenarioSpec::Explicit(spec),
+            retry,
+        }
+    }
+
+    /// Whether this scenario injects no faults on any platform.
+    pub fn is_none(&self) -> bool {
+        matches!(&self.spec, FaultScenarioSpec::Explicit(s) if s.is_none())
+    }
+
+    /// The concrete fault processes for one platform cell.
+    pub fn resolve(&self, platform: &dyn ServerlessPlatform) -> FaultSpec {
+        match &self.spec {
+            FaultScenarioSpec::Explicit(spec) => *spec,
+            FaultScenarioSpec::ProviderDefault => platform.default_faults(),
+        }
+    }
+
+    /// Check the scenario describes a valid fault/retry configuration.
+    pub fn validate(&self) -> Result<(), SweepError> {
+        if let FaultScenarioSpec::Explicit(spec) = &self.spec {
+            if let Some((field, value)) = spec.invalid_field() {
+                return Err(SweepError::InvalidValue {
+                    what: "fault scenario",
+                    value: format!("{}: {field} = {value}", self.label),
+                });
+            }
+        }
+        if self.retry.max_attempts == 0 {
+            return Err(SweepError::InvalidValue {
+                what: "fault scenario",
+                value: format!("{}: attempts must be >= 1", self.label),
+            });
+        }
+        if self.retry.max_rounds == 0 {
+            return Err(SweepError::InvalidValue {
+                what: "fault scenario",
+                value: format!("{}: rounds must be >= 1", self.label),
+            });
+        }
+        Ok(())
+    }
+
+    /// Parse the `--faults` grammar (see module docs). The normalized input
+    /// (whitespace stripped) becomes the scenario label.
+    pub fn parse(input: &str) -> Result<FaultScenario, SweepError> {
+        let label: String = input.chars().filter(|c| !c.is_whitespace()).collect();
+        match label.as_str() {
+            "" => Err(invalid(input, "empty scenario")),
+            "none" => Ok(FaultScenario::none()),
+            "default" => Ok(FaultScenario::provider_default()),
+            _ => {
+                let mut spec = FaultSpec::none();
+                let mut retry = RetryPolicy::default();
+                for part in label.split([',', ';']) {
+                    let (key, value) = part
+                        .split_once('=')
+                        .ok_or_else(|| invalid(part, "expected key=value"))?;
+                    match key {
+                        "crash" => spec.crash_rate = number(part, value)?,
+                        "provision" => spec.provision_failure_rate = number(part, value)?,
+                        "ship-stall" => spec.ship_stall_rate = number(part, value)?,
+                        "ship-stall-factor" => spec.ship_stall_factor = number(part, value)?,
+                        "straggler" => spec.straggler_rate = number(part, value)?,
+                        "straggler-factor" => spec.straggler_factor = number(part, value)?,
+                        "attempts" => retry.max_attempts = integer(part, value)?,
+                        "budget" => retry.retry_budget = integer(part, value)?,
+                        "rounds" => retry.max_rounds = integer(part, value)?,
+                        _ => return Err(invalid(part, "unknown key")),
+                    }
+                }
+                let scenario = FaultScenario {
+                    label,
+                    spec: FaultScenarioSpec::Explicit(spec),
+                    retry,
+                };
+                scenario.validate()?;
+                Ok(scenario)
+            }
+        }
+    }
+}
+
+fn invalid(part: &str, why: &str) -> SweepError {
+    SweepError::InvalidValue {
+        what: "fault scenario",
+        value: format!("`{part}` ({why})"),
+    }
+}
+
+fn number(part: &str, value: &str) -> Result<f64, SweepError> {
+    value
+        .parse::<f64>()
+        .map_err(|_| invalid(part, "not a number"))
+}
+
+fn integer(part: &str, value: &str) -> Result<u32, SweepError> {
+    value
+        .parse::<u32>()
+        .map_err(|_| invalid(part, "not a non-negative integer"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propack_platform::{CloudPlatform, PlatformProfile};
+
+    #[test]
+    fn none_and_default_are_keywords() {
+        let none = FaultScenario::parse("none").unwrap();
+        assert!(none.is_none());
+        assert_eq!(none.label, "none");
+        let default = FaultScenario::parse("default").unwrap();
+        assert_eq!(default.spec, FaultScenarioSpec::ProviderDefault);
+        assert!(!default.is_none());
+    }
+
+    #[test]
+    fn explicit_scenarios_parse_rates_and_retry_knobs() {
+        let sc = FaultScenario::parse("crash=0.01, straggler=0.05, attempts=5").unwrap();
+        assert_eq!(sc.label, "crash=0.01,straggler=0.05,attempts=5");
+        match sc.spec {
+            FaultScenarioSpec::Explicit(spec) => {
+                assert_eq!(spec.crash_rate, 0.01);
+                assert_eq!(spec.straggler_rate, 0.05);
+                assert_eq!(spec.provision_failure_rate, 0.0);
+            }
+            other => panic!("expected explicit spec, got {other:?}"),
+        }
+        assert_eq!(sc.retry.max_attempts, 5);
+        assert_eq!(sc.retry.retry_budget, RetryPolicy::default().retry_budget);
+    }
+
+    #[test]
+    fn provider_default_resolves_per_platform() {
+        let sc = FaultScenario::provider_default();
+        let aws = CloudPlatform::new(PlatformProfile::aws_lambda());
+        let resolved = sc.resolve(&aws);
+        assert!(resolved.crash_rate > 0.0);
+        assert!(resolved.provision_failure_rate > 0.0);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected_with_the_offending_part() {
+        for bad in [
+            "",
+            "crash",
+            "crash=x",
+            "warp=0.1",
+            "crash=1.5",
+            "straggler=0.1,straggler-factor=0.5",
+            "attempts=0",
+            "rounds=0",
+            "attempts=-3",
+        ] {
+            assert!(FaultScenario::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn validate_catches_hand_built_out_of_domain_specs() {
+        let sc = FaultScenario::explicit(
+            "bad",
+            FaultSpec::none().with_crash_rate(2.0),
+            RetryPolicy::default(),
+        );
+        assert!(sc.validate().is_err());
+        assert!(FaultScenario::none().validate().is_ok());
+    }
+}

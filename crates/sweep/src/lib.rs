@@ -1,7 +1,8 @@
 //! # propack-sweep — the parallel deterministic sweep engine
 //!
 //! Every experiment in the reproduction is a *grid*: platforms ×
-//! workloads × concurrency levels × packing policies × seeds. This crate
+//! workloads × concurrency levels × packing policies × seeds × fault
+//! scenarios. This crate
 //! is the single way to run such grids. You describe the experiment as a
 //! declarative [`SweepSpec`], hand it to a [`SweepRunner`], and get back a
 //! [`SweepReport`] whose rendered output is **byte-identical for every
@@ -39,11 +40,13 @@
 
 pub mod cell;
 pub mod engine;
+pub mod faults;
 pub mod report;
 pub mod spec;
 
 pub use cell::{Cell, CellKey, CellResult};
 pub use engine::SweepRunner;
+pub use faults::{FaultScenario, FaultScenarioSpec};
 pub use report::{bench_json, speedup, RunTiming, SweepReport};
 pub use spec::{PackingPolicy, PlatformAxis, SweepError, SweepSpec};
 
@@ -51,6 +54,7 @@ pub use spec::{PackingPolicy, PlatformAxis, SweepError, SweepSpec};
 pub mod prelude {
     pub use crate::cell::{CellKey, CellResult};
     pub use crate::engine::SweepRunner;
+    pub use crate::faults::{FaultScenario, FaultScenarioSpec};
     pub use crate::report::{bench_json, RunTiming, SweepReport};
     pub use crate::spec::{PackingPolicy, PlatformAxis, SweepError, SweepSpec};
     pub use propack_model::cache::ModelCache;

@@ -55,7 +55,7 @@ impl SweepReport {
             self.error_count(),
         ));
         out.push_str(
-            "platform\tworkload\tpolicy\tC\tseed\tP\tinstances\tservice_s\tscaling_s\texpense_usd\tfn_hours\n",
+            "platform\tworkload\tpolicy\tC\tseed\tfaults\tP\tinstances\tservice_s\tscaling_s\texpense_usd\tfn_hours\tretries\tfailed\n",
         );
         for cell in &self.cells {
             out.push_str(&cell.render_line());
@@ -202,6 +202,7 @@ mod tests {
                 policy: policy.into(),
                 concurrency: 100,
                 seed,
+                faults: "none".into(),
             },
             packing_degree: 4,
             instances: 25,
@@ -209,6 +210,8 @@ mod tests {
             scaling_secs: 3.25,
             expense_usd: 0.125,
             function_hours: 0.5,
+            retries: 0,
+            failed_functions: 0,
             error: None,
             wall_ms: 1.5,
         }
@@ -259,7 +262,7 @@ mod tests {
         assert!(json.contains("\"bench\": \"sweep\""));
         assert!(json.contains("\"speedup_parallel_vs_serial\": 4"));
         assert!(json.contains("\"outputs_identical\": true"));
-        assert!(json.contains("aws/w/fixed-4/c100/s1"));
+        assert!(json.contains("aws/w/fixed-4/c100/s1/fnone"));
         // Braces and brackets balance.
         let balance = |open: char, close: char| {
             json.chars().filter(|&c| c == open).count()

@@ -1,13 +1,16 @@
 //! The declarative description of an experiment grid.
 //!
-//! A [`SweepSpec`] is the cross product of five axes — platform ×
-//! workload × concurrency × packing policy × seed — and is the single
-//! entry point for multi-run experiments: every figure grid in the
-//! reproduction is one of these. The spec is pure data; handing it to a
-//! [`crate::SweepRunner`] produces one independent seeded simulation per
-//! cell.
+//! A [`SweepSpec`] is the cross product of six axes — platform ×
+//! workload × concurrency × packing policy × seed × fault scenario — and
+//! is the single entry point for multi-run experiments: every figure grid
+//! in the reproduction is one of these. The spec is pure data; handing it
+//! to a [`crate::SweepRunner`] produces one independent seeded simulation
+//! per cell. The fault axis defaults to the single fault-free scenario, so
+//! specs that never mention it keep their exact pre-fault grids.
 
 use propack_funcx::{FuncXConfig, FuncXPlatform};
+
+use crate::faults::FaultScenario;
 use propack_model::optimizer::Objective;
 use propack_model::propack::ProPackConfig;
 use propack_platform::{CloudPlatform, PlatformProfile, Provider, ServerlessPlatform};
@@ -142,8 +145,11 @@ pub struct SweepSpec {
     pub policies: Vec<PackingPolicy>,
     /// Seed axis (one independent replication per seed).
     pub seeds: Vec<u64>,
+    /// Fault-scenario axis; defaults to the single fault-free scenario.
+    pub faults: Vec<FaultScenario>,
     /// Profiling configuration for ProPack cells (part of the model-cache
-    /// key, so every cell sharing it shares one fit per workload).
+    /// key, so every cell sharing it shares one fit per workload; profiling
+    /// itself always runs fault-free, whatever the fault axis says).
     pub fit_config: ProPackConfig,
 }
 
@@ -158,6 +164,7 @@ impl SweepSpec {
             concurrency: Vec::new(),
             policies: Vec::new(),
             seeds: Vec::new(),
+            faults: vec![FaultScenario::none()],
             fit_config: ProPackConfig::default(),
         }
     }
@@ -195,6 +202,12 @@ impl SweepSpec {
         self
     }
 
+    /// Set the fault-scenario axis (replacing the fault-free default).
+    pub fn faults(mut self, axis: impl IntoIterator<Item = FaultScenario>) -> Self {
+        self.faults = axis.into_iter().collect();
+        self
+    }
+
     /// Set the ProPack profiling configuration.
     pub fn fit_config(mut self, config: ProPackConfig) -> Self {
         self.fit_config = config;
@@ -208,6 +221,7 @@ impl SweepSpec {
             * self.concurrency.len()
             * self.policies.len()
             * self.seeds.len()
+            * self.faults.len()
     }
 
     /// Check the spec describes a runnable, non-degenerate grid.
@@ -218,11 +232,15 @@ impl SweepSpec {
             ("concurrency", self.concurrency.len()),
             ("policies", self.policies.len()),
             ("seeds", self.seeds.len()),
+            ("faults", self.faults.len()),
         ];
         for (name, len) in axes {
             if len == 0 {
                 return Err(SweepError::EmptyAxis { axis: name });
             }
+        }
+        for scenario in &self.faults {
+            scenario.validate()?;
         }
         if let Some(&c) = self.concurrency.iter().find(|&&c| c == 0) {
             return Err(SweepError::InvalidValue {
@@ -320,6 +338,34 @@ mod tests {
             .seeds([1]);
         assert!(base.clone().concurrency([0]).validate().is_err());
         assert!(base.policies([PackingPolicy::Fixed(0)]).validate().is_err());
+    }
+
+    #[test]
+    fn fault_axis_multiplies_the_grid_and_is_validated() {
+        let base = SweepSpec::new("x")
+            .platforms([PlatformAxis::Aws])
+            .workloads([work()])
+            .concurrency([100])
+            .policies([PackingPolicy::NoPacking])
+            .seeds([1]);
+        // The implicit default axis is the single fault-free scenario.
+        assert_eq!(base.cell_count(), 1);
+        let two = base.clone().faults([
+            FaultScenario::none(),
+            FaultScenario::parse("crash=0.01").unwrap(),
+        ]);
+        assert_eq!(two.cell_count(), 2);
+        assert!(two.validate().is_ok());
+        assert_eq!(
+            base.clone().faults([]).validate(),
+            Err(SweepError::EmptyAxis { axis: "faults" })
+        );
+        let bad = FaultScenario::explicit(
+            "bad",
+            propack_platform::FaultSpec::none().with_crash_rate(7.0),
+            propack_platform::RetryPolicy::default(),
+        );
+        assert!(base.faults([bad]).validate().is_err());
     }
 
     #[test]

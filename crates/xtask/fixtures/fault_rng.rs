@@ -1,0 +1,8 @@
+//! simlint fixture: deliberate `fault-rng` violations (3 sites).
+use rand_chacha::ChaCha8Rng;
+
+pub fn crash_draw(seed: u64, instance: u32) -> f64 {
+    // Hand-rolled generator instead of the seeded RngStreams lane tree.
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ u64::from(instance));
+    rng.random::<f64>()
+}

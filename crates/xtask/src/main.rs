@@ -180,6 +180,26 @@ mod tests {
     }
 
     #[test]
+    fn fixture_fault_rng_flagged_in_fault_files_of_sim_crates_only() {
+        let src = include_str!("../fixtures/fault_rng.rs");
+        let v = lint_file(src, &ctx("simcore", "crates/simcore/src/fault.rs"));
+        assert_eq!(rules_hit(&v), ["fault-rng"]);
+        // `ChaCha8Rng` in the use + the call site, plus `seed_from_u64`.
+        assert_eq!(v.len(), 3, "{v:?}");
+        // The seeded-stream implementation itself lives in rng.rs and is
+        // the one legitimate construction site.
+        let v = lint_file(src, &ctx("simcore", "crates/simcore/src/rng.rs"));
+        assert!(v.is_empty(), "rng.rs may construct generators: {v:?}");
+        // Non-simulation crates are out of scope whatever the file name.
+        let v = lint_file(src, &ctx("bench", "crates/bench/src/fault.rs"));
+        assert!(v.is_empty(), "{v:?}");
+        // The real fault-lane implementation must satisfy its own rule.
+        let real = include_str!("../../simcore/src/fault.rs");
+        let v = lint_file(real, &ctx("simcore", "crates/simcore/src/fault.rs"));
+        assert!(v.is_empty(), "shipped fault.rs violates fault-rng: {v:?}");
+    }
+
+    #[test]
     fn fixture_allows_suppress_with_justification() {
         let src = include_str!("../fixtures/allowed.rs");
         let v = lint_file(src, &ctx("stats", "crates/stats/src/ok.rs"));

@@ -1,6 +1,6 @@
 //! The simlint rule set.
 //!
-//! Six rules, each scoped to the crates where its invariant matters (see
+//! Seven rules, each scoped to the crates where its invariant matters (see
 //! DESIGN.md §7, "Determinism policy & simlint"):
 //!
 //! | rule        | scope                                   | invariant |
@@ -11,6 +11,7 @@
 //! | `float-eq`  | `stats`, `propack` (non-test)           | no `==`/`!=` against float literals: use tolerances or document exact-zero guards |
 //! | `const-doc` | `platform::profile`                     | every `pub const` cites its paper provenance (Fig./Eq./Table/§) |
 //! | `thread-spawn` | all crates except `sweep`, `executor` | no `thread::spawn`/`thread::scope`: host concurrency lives in the sweep engine and kernel harness |
+//! | `fault-rng` | `*fault*.rs` in simulation crates       | no direct RNG construction: fault draws come only from the seeded `RngStreams` lane tree |
 //!
 //! Escape hatch: `// simlint: allow(<rule>): "justification"` on the same
 //! line (trailing) or the line above. The justification string is mandatory;
@@ -55,6 +56,7 @@ pub const RULES: &[&str] = &[
     "float-eq",
     "const-doc",
     "thread-spawn",
+    "fault-rng",
 ];
 
 /// Wall-clock / entropy identifiers banned outside `executor`.
@@ -68,6 +70,19 @@ const WALL_CLOCK_IDENTS: &[&str] = &[
 
 /// Substrings accepted as a paper-provenance citation in a doc comment.
 const CITATION_MARKERS: &[&str] = &["Fig.", "Eq.", "Table", "§"];
+
+/// Direct RNG construction banned in fault-lane code: fault draws must come
+/// from the burst's seeded `RngStreams` tree so they replay bit-identically
+/// and stay independent of the pre-existing timeline streams.
+const FAULT_RNG_IDENTS: &[&str] = &[
+    "ChaCha8Rng",
+    "ChaCha12Rng",
+    "ChaCha20Rng",
+    "StdRng",
+    "SmallRng",
+    "seed_from_u64",
+    "from_seed",
+];
 
 /// Where a file sits in the workspace, for rule scoping.
 #[derive(Debug, Clone)]
@@ -86,6 +101,18 @@ impl FileCtx {
     /// Whether the `const-doc` rule applies to this file.
     fn wants_const_doc(&self) -> bool {
         self.crate_name == "platform" && self.rel_path.ends_with("profile.rs")
+    }
+
+    /// Whether the `fault-rng` rule applies: fault-lane source files in the
+    /// simulation crates (matched on the file name, so `fault.rs`,
+    /// `faults.rs`, or a future `fault_model.rs` are all covered).
+    fn wants_fault_rng(&self) -> bool {
+        SIM_CRATES.contains(&self.crate_name.as_str())
+            && self
+                .rel_path
+                .rsplit('/')
+                .next()
+                .is_some_and(|name| name.contains("fault"))
     }
 }
 
@@ -121,6 +148,7 @@ pub fn lint_file(src: &str, ctx: &FileCtx) -> Vec<Violation> {
     check_float_eq(&lexed.tokens, ctx, &test_lines, &mut raw);
     check_const_doc(&lexed.tokens, ctx, &mut raw);
     check_thread_spawn(&lexed.tokens, ctx, &mut raw);
+    check_fault_rng(&lexed.tokens, ctx, &mut raw);
 
     apply_allows(raw, &lexed.allows, ctx)
 }
@@ -420,6 +448,27 @@ fn check_thread_spawn(tokens: &[Token], ctx: &FileCtx, out: &mut Vec<Violation>)
                     "`thread::{}` creates OS threads outside the sweep engine; run \
                      parallel grids through `propack_sweep::SweepRunner` (host threads \
                      belong to `crates/sweep` and `crates/executor` only)",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn check_fault_rng(tokens: &[Token], ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if !ctx.wants_fault_rng() {
+        return;
+    }
+    for t in tokens {
+        if t.kind == TokenKind::Ident && FAULT_RNG_IDENTS.contains(&t.text.as_str()) {
+            out.push(Violation {
+                rule: "fault-rng",
+                rel_path: ctx.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{}` constructs an RNG directly in fault-lane code; draw from the \
+                     burst's seeded `RngStreams` lanes (`stream_indexed(\"fault-…\", …)`) \
+                     so fault draws replay bit-identically at any thread count",
                     t.text
                 ),
             });

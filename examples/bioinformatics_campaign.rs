@@ -42,7 +42,7 @@ fn main() {
     let c = 5000;
 
     let pp = Propack::build(&platform, &work, &ProPackConfig::default()).expect("build");
-    let plan = pp.plan(c, Objective::default());
+    let plan = pp.plan(c, Objective::default()).expect("plan");
     println!(
         "\nmemory permits packing {} functions, but profiling found only {} fit \
          under the 900s execution cap; ProPack plans degree {} — compute-bound \

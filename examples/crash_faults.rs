@@ -1,0 +1,100 @@
+//! Crash faults vs. packing: how instance failures move the packing
+//! optimum.
+//!
+//! ```sh
+//! cargo run --release --example crash_faults
+//! ```
+//!
+//! The paper's model (§2) assumes every packed instance completes. Real
+//! fleets crash: a crashed instance takes all `P` of its packed functions
+//! down at once, the partial attempt is still billed, and the retry runs
+//! after a backoff. That coupling penalizes aggressive packing — the blast
+//! radius of one crash grows with `P` — so the *empirical* optimum under
+//! faults can sit below the fault-free plan.
+//!
+//! This experiment sweeps crash rates {0%, 0.1%, 1%} over every feasible
+//! packing degree for a 2 000-way Sort burst on the AWS profile, executing
+//! each cell under the platform's retry/backoff machinery, and reports
+//! where the realized service-time and expense optima land next to the
+//! fault-free ProPack plan. Everything is seeded: rerunning prints the
+//! same table bit for bit.
+
+use propack_repro::platform::{
+    BurstSpec, FaultSpec, PlatformBuilder, RetryPolicy, ServerlessPlatform,
+};
+use propack_repro::propack::optimizer::Objective;
+use propack_repro::propack::propack::{ProPackConfig, Propack};
+use propack_repro::workloads::{sort::MapReduceSort, Workload};
+
+fn main() {
+    let platform = PlatformBuilder::aws().build();
+    let work = MapReduceSort::default().profile();
+    let c = 2000u32;
+    let seed = 17u64;
+
+    // The fault-free plan, for reference: profiling never injects faults,
+    // so this is the paper's P_opt regardless of the crash rate below.
+    let pp = Propack::build(&platform, &work, &ProPackConfig::default()).expect("profiling");
+    let plan = pp.plan(c, Objective::default()).expect("plan");
+    println!(
+        "application: {} on {}, C = {c}; fault-free ProPack plan: P = {} ({} instances)",
+        work.name,
+        platform.name(),
+        plan.packing_degree,
+        plan.instances
+    );
+
+    let degrees: Vec<u32> = (1..=pp.model.p_max).collect();
+    println!(
+        "\ncrash_rate  P_best(service)  service_s  P_best(expense)  expense_usd  retries@P_plan  failed@P_plan"
+    );
+    for crash_rate in [0.0, 0.001, 0.01] {
+        let faults = FaultSpec::none().with_crash_rate(crash_rate);
+        let retry = RetryPolicy::default();
+        // Execute every feasible degree under this crash rate and pick the
+        // realized optima (the empirical analogue of Eqs. 5-6).
+        let mut best_service: Option<(u32, f64)> = None;
+        let mut best_expense: Option<(u32, f64)> = None;
+        let mut at_plan = (0u64, 0u64);
+        for &p in &degrees {
+            let spec = BurstSpec::packed(work.clone(), c, p)
+                .with_seed(seed)
+                .with_faults(faults)
+                .with_retry(retry);
+            let report = match platform.run_burst(&spec) {
+                Ok(r) => r,
+                Err(_) => continue, // degree infeasible under the cap
+            };
+            let service = report.total_service_time();
+            let expense = report.expense.total_usd();
+            if best_service.is_none_or(|(_, s)| service < s) {
+                best_service = Some((p, service));
+            }
+            if best_expense.is_none_or(|(_, e)| expense < e) {
+                best_expense = Some((p, expense));
+            }
+            if p == plan.packing_degree {
+                at_plan = (report.faults.retries, report.faults.failed_functions);
+            }
+        }
+        let (ps, ss) = best_service.expect("at least one feasible degree");
+        let (pe, ee) = best_expense.expect("at least one feasible degree");
+        println!(
+            "{:>9.3}%  {:>15}  {:>9.1}  {:>15}  {:>11.4}  {:>14}  {:>13}",
+            crash_rate * 100.0,
+            ps,
+            ss,
+            pe,
+            ee,
+            at_plan.0,
+            at_plan.1
+        );
+    }
+
+    println!(
+        "\nreading: with faults off the expense optimum is the deepest feasible pack; \
+         as the crash rate rises, billed partial attempts and backoff stretch both \
+         metrics and the optima drift toward shallower packing — the planner's P_opt \
+         is an upper bound under faults, not a guarantee."
+    );
+}

@@ -35,8 +35,12 @@ fn main() {
     let pp = Propack::build(&platform, &work, &ProPackConfig::default()).expect("build");
 
     // Unconstrained objectives for reference.
-    let svc = pp.plan_with_metric(c, Objective::ServiceTime, Percentile::Tail95);
-    let exp = pp.plan_with_metric(c, Objective::Expense, Percentile::Tail95);
+    let svc = pp
+        .plan_with_metric(c, Objective::ServiceTime, Percentile::Tail95)
+        .expect("service plan");
+    let exp = pp
+        .plan_with_metric(c, Objective::Expense, Percentile::Tail95)
+        .expect("expense plan");
     println!(
         "\nservice-only plan: degree {:2} (tail {:.0}s)   expense-only plan: degree {:2} (tail {:.0}s)",
         svc.packing_degree, svc.predicted_service_secs,

@@ -52,7 +52,7 @@ fn main() {
 
     // 4. Plan and execute a 5000-way concurrent burst.
     let c = 5000;
-    let plan = pp.plan(c, Objective::default());
+    let plan = pp.plan(c, Objective::default()).expect("plan");
     println!(
         "\nplan for C = {c}: pack {} functions/instance -> {} instances",
         plan.packing_degree, plan.instances

@@ -85,7 +85,7 @@ fn propack_degree_tracks_oracle_within_tolerance() {
         let work = bench.profile();
         let pp = Propack::build(&platform, &work, &ProPackConfig::default()).unwrap();
         for c in [1000u32, 2000, 5000] {
-            let plan = pp.plan(c, Objective::default());
+            let plan = pp.plan(c, Objective::default()).unwrap();
             let oracle = Oracle
                 .search(
                     &platform,
@@ -238,8 +238,8 @@ fn scaling_model_transfers_across_applications() {
         .unwrap();
         let fresh = Propack::build(&platform, &work, &cfg).unwrap();
         for c in [1000u32, 5000] {
-            let a = reused.plan(c, Objective::default()).packing_degree;
-            let b = fresh.plan(c, Objective::default()).packing_degree;
+            let a = reused.plan(c, Objective::default()).unwrap().packing_degree;
+            let b = fresh.plan(c, Objective::default()).unwrap().packing_degree;
             assert!(a.abs_diff(b) <= 1, "{} C={c}: {a} vs {b}", work.name);
         }
     }

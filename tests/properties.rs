@@ -125,13 +125,13 @@ proptest! {
             p_max,
         };
         for objective in [Objective::ServiceTime, Objective::Expense, Objective::default()] {
-            let chosen = plan(&model, c, objective, Percentile::Total);
+            let chosen = plan(&model, c, objective, Percentile::Total).expect("valid objective");
             prop_assert!(chosen.packing_degree >= 1);
             prop_assert!(chosen.packing_degree <= p_max);
         }
         // Single-objective optimality vs every feasible degree.
-        let best_s = plan(&model, c, Objective::ServiceTime, Percentile::Total);
-        let best_e = plan(&model, c, Objective::Expense, Percentile::Total);
+        let best_s = plan(&model, c, Objective::ServiceTime, Percentile::Total).expect("service");
+        let best_e = plan(&model, c, Objective::Expense, Percentile::Total).expect("expense");
         for p in 1..=p_max {
             prop_assert!(
                 best_s.predicted_service_secs <= model.service_secs(c, p, Percentile::Total) + 1e-9
