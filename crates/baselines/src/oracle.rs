@@ -63,10 +63,12 @@ impl Oracle {
             OracleObjective::Expense => Percentile::Total,
         };
 
+        let work = std::sync::Arc::new(work.clone());
         let mut candidates: Vec<(u32, StrategyOutcome)> = Vec::new();
         let mut sweep = Vec::new();
         for p in 1..=p_max {
-            let spec = BurstSpec::packed(work.clone(), c, p).with_seed(seed ^ (p as u64) << 20);
+            let spec = BurstSpec::packed(std::sync::Arc::clone(&work), c, p)
+                .with_seed(seed ^ (p as u64) << 20);
             match platform.run_burst(&spec) {
                 Ok(report) => {
                     let outcome = StrategyOutcome::from_report(format!("Oracle (P={p})"), &report);

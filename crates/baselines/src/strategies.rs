@@ -102,6 +102,7 @@ impl Strategy for SerialBatching {
         retry: RetryPolicy,
     ) -> Result<StrategyOutcome, PlatformError> {
         assert!(self.batch_size > 0, "batch size must be positive");
+        let work = std::sync::Arc::new(work.clone());
         let mut waves = Vec::new();
         let mut offset = 0.0;
         let mut remaining = c;
@@ -109,7 +110,7 @@ impl Strategy for SerialBatching {
         while remaining > 0 {
             let batch = remaining.min(self.batch_size);
             let report = platform.run_burst(
-                &BurstSpec::new(work.clone(), batch, 1)
+                &BurstSpec::new(std::sync::Arc::clone(&work), batch, 1)
                     .with_seed(seed ^ (k << 17))
                     .with_faults(faults)
                     .with_retry(retry),
@@ -152,13 +153,14 @@ impl Strategy for Staggered {
         retry: RetryPolicy,
     ) -> Result<StrategyOutcome, PlatformError> {
         assert!(self.wave_size > 0 && self.gap_secs >= 0.0);
+        let work = std::sync::Arc::new(work.clone());
         let mut waves = Vec::new();
         let mut remaining = c;
         let mut k = 0u64;
         while remaining > 0 {
             let wave = remaining.min(self.wave_size);
             let report = platform.run_burst(
-                &BurstSpec::new(work.clone(), wave, 1)
+                &BurstSpec::new(std::sync::Arc::clone(&work), wave, 1)
                     .with_seed(seed ^ (k << 13))
                     .with_faults(faults)
                     .with_retry(retry),

@@ -1,0 +1,48 @@
+//! Criterion bench for the simulation kernel: the `BENCH_kernel.json` grid
+//! under the statistical harness. The `kernel_bench` binary is the CI gate
+//! (warmup + best-of-reps + golden bit-identity check); this bench is for
+//! local investigation — per-group distributions, outlier detection, and
+//! `--baseline` comparisons across kernel changes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use propack_bench::kernel::{golden_render, kernel_grid, KERNEL_SEED};
+use propack_sweep::SweepRunner;
+use std::hint::black_box;
+
+/// One serial pass over the full 16-cell kernel grid, fresh model cache per
+/// iteration (fit cost is part of what the kernel bench measures).
+fn bench_kernel_grid(c: &mut Criterion) {
+    let spec = kernel_grid();
+    let mut g = c.benchmark_group("kernel");
+    g.throughput(Throughput::Elements(spec.cell_count() as u64));
+    g.bench_function("grid_16_cells_serial", |b| {
+        b.iter(|| {
+            SweepRunner::new()
+                .threads(1)
+                .run(black_box(&spec))
+                .expect("kernel grid must run")
+        })
+    });
+    g.finish();
+}
+
+/// The cohort fast path's burst, end to end: one golden configuration per
+/// platform so a placement or event-queue regression shows up here before
+/// it shows up as a grid slowdown.
+fn bench_golden_bursts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("golden_burst");
+    g.bench_function("aws_sort_c1000", |b| {
+        b.iter(|| golden_render(black_box("aws"), "sort", 1000, "fault-free").expect("burst"))
+    });
+    g.bench_function("funcx_video_c1000", |b| {
+        b.iter(|| golden_render(black_box("funcx"), "video", 1000, "fault-free").expect("burst"))
+    });
+    g.bench_function("aws_sort_c1000_crash001", |b| {
+        b.iter(|| golden_render(black_box("aws"), "sort", 1000, "crash001").expect("burst"))
+    });
+    let _ = KERNEL_SEED; // grid and goldens share the CI smoke seed
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernel_grid, bench_golden_bursts);
+criterion_main!(benches);

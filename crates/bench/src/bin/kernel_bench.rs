@@ -1,0 +1,97 @@
+//! Generates `BENCH_kernel.json`: kernel cell-throughput on the fixed grid,
+//! with a bit-exact `outputs_identical` check against `tests/golden/`.
+//!
+//! ```text
+//! kernel_bench [--out BENCH_kernel.json] [--reps 3]
+//!              [--baseline crates/bench/baselines/kernel_pr3.json]
+//! ```
+//!
+//! With `--baseline`, per-policy speedups over the committed baseline are
+//! embedded in the output (this is how the tentpole's ≥3× claim for the
+//! propack-joint cells is recorded).
+
+use propack_bench::kernel;
+use std::path::PathBuf;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_kernel.json".to_string());
+    let reps: usize = arg_value(&args, "--reps")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let baseline = arg_value(&args, "--baseline");
+
+    // Repo root = two levels up from this crate's manifest.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let golden_dir = root.join("tests").join("golden");
+
+    eprintln!(
+        "kernel_bench: checking golden outputs against {}",
+        golden_dir.display()
+    );
+    let divergences = kernel::golden_divergences(&golden_dir).expect("golden replay");
+    let outputs_identical = divergences.is_empty();
+    if !outputs_identical {
+        eprintln!("kernel_bench: OUTPUT DIVERGENCE in {divergences:?}");
+    }
+
+    eprintln!("kernel_bench: measuring ({reps} reps + warmup, threads=1)");
+    let groups = kernel::measure(reps).expect("kernel grid");
+    for g in &groups {
+        eprintln!(
+            "  {:<20} {:>3} cells  {:>9.4}s  {:>10.2} cells/s",
+            g.policy, g.cells, g.wall_secs, g.cells_per_sec
+        );
+    }
+
+    let speedups: Option<(String, Vec<(String, f64)>)> = baseline.map(|path| {
+        let text = std::fs::read_to_string(root.join(&path))
+            .unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        let base = kernel::parse_cells_per_sec(&text);
+        let sp = groups
+            .iter()
+            .filter_map(|g| {
+                base.iter().find(|(p, _)| *p == g.policy).map(|(_, b)| {
+                    (
+                        g.policy.clone(),
+                        if *b > 0.0 {
+                            g.cells_per_sec / b
+                        } else {
+                            f64::INFINITY
+                        },
+                    )
+                })
+            })
+            .collect();
+        (path, sp)
+    });
+    if let Some((_, sp)) = &speedups {
+        for (policy, s) in sp {
+            eprintln!("  speedup vs baseline: {policy:<20} {s:.2}x");
+        }
+    }
+
+    let json = kernel::render_json(
+        &groups,
+        reps,
+        outputs_identical,
+        speedups
+            .as_ref()
+            .map(|(src, sp)| (src.as_str(), sp.as_slice())),
+    );
+    std::fs::write(root.join(&out), &json).expect("write BENCH_kernel.json");
+    eprintln!("kernel_bench: wrote {out}");
+    if !outputs_identical {
+        std::process::exit(1);
+    }
+}

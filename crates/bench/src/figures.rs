@@ -683,7 +683,10 @@ pub fn fig15_objective_degrees(ctx: &Ctx) -> Vec<Table> {
                 )
                 .expect("oracle")
                 .packing_degree;
-            let p_s = pp.plan(c, Objective::ServiceTime).expect("plan").packing_degree;
+            let p_s = pp
+                .plan(c, Objective::ServiceTime)
+                .expect("plan")
+                .packing_degree;
             let p_e = pp.plan(c, Objective::Expense).expect("plan").packing_degree;
             ordering_holds &= o_e >= o_s;
             t.row(vec![

@@ -1,0 +1,329 @@
+//! Kernel throughput bench: `BENCH_kernel.json`.
+//!
+//! Measures how many sweep cells per second the simulation kernel sustains
+//! on a fixed grid (the CI smoke-sweep grid: {aws, funcx} × {sort, video} ×
+//! C ∈ {500, 1000} × {no-packing, propack-joint} × seed 42), grouped by
+//! packing policy so the ProPack cells — whose cost is dominated by model
+//! fitting — are tracked separately from the raw-burst baseline cells.
+//!
+//! Methodology (see `DESIGN.md` §9):
+//! * one **warmup** run (untimed) so allocator and page-cache state do not
+//!   pollute the first timed repetition;
+//! * `reps` timed repetitions, each with a **fresh** `SweepRunner` (and
+//!   therefore a fresh `ModelCache`), so model-fit cost is measured rather
+//!   than amortized away across repetitions;
+//! * per policy group, the **best** (minimum) total wall time across
+//!   repetitions is reported — the standard noise-robust estimator for
+//!   throughput benches;
+//! * `outputs_identical` re-runs the 16 golden replay configurations
+//!   (`tests/golden/`) and compares the bit-exact canonical rendering, so a
+//!   kernel that got faster by changing simulated results cannot report a
+//!   win.
+//!
+//! The committed PR-3 numbers live in `crates/bench/baselines/`; CI gates on
+//! `cargo xtask benchdiff` (>30 % `cells_per_sec` regression fails).
+
+use propack_funcx::{FuncXConfig, FuncXPlatform};
+use propack_platform::prelude::*;
+use propack_sweep::prelude::*;
+use propack_workloads::Benchmarks;
+use std::path::Path;
+use std::time::Instant;
+
+/// Seed shared with the CI smoke sweep and the golden replay fixtures.
+pub const KERNEL_SEED: u64 = 42;
+
+/// The fixed measurement grid (16 cells: 8 baseline + 8 ProPack).
+pub fn kernel_grid() -> SweepSpec {
+    SweepSpec::new("kernel")
+        .platforms([PlatformAxis::Aws, PlatformAxis::FuncX])
+        .workloads(["sort", "video"].into_iter().map(|k| {
+            Benchmarks::resolve(k)
+                .unwrap_or_else(|| panic!("unknown workload {k}"))
+                .profile()
+        }))
+        .concurrency([500, 1000])
+        .policies([PackingPolicy::NoPacking, PackingPolicy::propack_default()])
+        .seeds([KERNEL_SEED])
+}
+
+/// Throughput of one policy group on the kernel grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupTiming {
+    /// Policy label (`no-packing`, `propack-joint-0.5`, …).
+    pub policy: String,
+    /// Cells of this policy in the grid.
+    pub cells: usize,
+    /// Best-of-reps total wall time for the group, seconds.
+    pub wall_secs: f64,
+    /// `cells / wall_secs`.
+    pub cells_per_sec: f64,
+}
+
+/// Run the kernel grid (`1 + reps` times) and report per-policy throughput.
+pub fn measure(reps: usize) -> Result<Vec<GroupTiming>, String> {
+    let spec = kernel_grid();
+    // Warmup: full run, result discarded.
+    run_once(&spec)?;
+    let mut best: Vec<(String, usize, f64)> = Vec::new();
+    for _ in 0..reps.max(1) {
+        for (policy, cells, secs) in run_once(&spec)? {
+            match best.iter_mut().find(|(p, _, _)| *p == policy) {
+                Some((_, _, b)) => *b = b.min(secs),
+                None => best.push((policy, cells, secs)),
+            }
+        }
+    }
+    Ok(best
+        .into_iter()
+        .map(|(policy, cells, wall_secs)| GroupTiming {
+            policy,
+            cells,
+            cells_per_sec: if wall_secs > 0.0 {
+                cells as f64 / wall_secs
+            } else {
+                f64::INFINITY
+            },
+            wall_secs,
+        })
+        .collect())
+}
+
+/// One serial run of the grid; returns `(policy, cells, wall_secs)` per
+/// group, in first-seen cell order.
+fn run_once(spec: &SweepSpec) -> Result<Vec<(String, usize, f64)>, String> {
+    let runner = SweepRunner::new().threads(1);
+    let started = Instant::now();
+    let report = runner.run(spec).map_err(|e| format!("sweep failed: {e}"))?;
+    let total = started.elapsed().as_secs_f64();
+    let mut groups: Vec<(String, usize, f64)> = Vec::new();
+    let mut cell_wall_total = 0.0;
+    for cell in &report.cells {
+        cell_wall_total += cell.wall_ms;
+        match groups.iter_mut().find(|(p, _, _)| *p == cell.key.policy) {
+            Some((_, n, secs)) => {
+                *n += 1;
+                *secs += cell.wall_ms / 1000.0;
+            }
+            None => groups.push((cell.key.policy.clone(), 1, cell.wall_ms / 1000.0)),
+        }
+    }
+    // Attribute engine overhead (expansion, sorting, dispatch) pro rata so
+    // group times sum to the true wall time instead of undercounting.
+    if cell_wall_total > 0.0 {
+        let scale = (total * 1000.0) / cell_wall_total;
+        if scale > 1.0 {
+            for (_, _, secs) in &mut groups {
+                *secs *= scale;
+            }
+        }
+    }
+    Ok(groups)
+}
+
+/// The 16 golden replay configurations, `(fixture-name, platform, workload,
+/// concurrency, fault-scenario)` — must stay in lockstep with
+/// `tests/golden_replay.rs`.
+pub fn golden_cases() -> Vec<(String, &'static str, &'static str, u32, &'static str)> {
+    let mut v = Vec::new();
+    for plat in ["aws", "funcx"] {
+        for work in ["sort", "video"] {
+            for faults in ["fault-free", "crash001"] {
+                for c in [500u32, 1000] {
+                    v.push((
+                        format!("{plat}_{work}_{faults}_c{c}.txt"),
+                        plat,
+                        work,
+                        c,
+                        faults,
+                    ));
+                }
+            }
+        }
+    }
+    v
+}
+
+/// Bit-exact canonical render of one golden configuration under the current
+/// kernel.
+pub fn golden_render(plat: &str, work: &str, c: u32, faults: &str) -> Result<String, String> {
+    let platform: Box<dyn ServerlessPlatform> = match plat {
+        "aws" => Box::new(PlatformBuilder::aws().build()),
+        "funcx" => Box::new(FuncXPlatform::new(FuncXConfig::default())),
+        other => return Err(format!("unknown platform {other}")),
+    };
+    let profile = Benchmarks::resolve(work)
+        .ok_or_else(|| format!("unknown workload {work}"))?
+        .profile();
+    let mut spec = BurstSpec::new(profile, c, 1).with_seed(KERNEL_SEED);
+    match faults {
+        "fault-free" => {}
+        "crash001" => {
+            spec = spec
+                .with_faults(FaultSpec::none().with_crash_rate(0.01))
+                .with_retry(RetryPolicy::default());
+        }
+        other => return Err(format!("unknown fault scenario {other}")),
+    }
+    platform
+        .run_burst(&spec)
+        .map(|r| r.canonical_text())
+        .map_err(|e| format!("{plat}/{work}/c{c}/{faults}: {e:?}"))
+}
+
+/// Compare every golden configuration against its committed fixture.
+/// Returns the names of diverging or unreadable fixtures (empty = all
+/// bit-identical).
+pub fn golden_divergences(golden_dir: &Path) -> Result<Vec<String>, String> {
+    let mut bad = Vec::new();
+    for (name, plat, work, c, faults) in golden_cases() {
+        let current = golden_render(plat, work, c, faults)?;
+        match std::fs::read_to_string(golden_dir.join(&name)) {
+            Ok(golden) if golden == current => {}
+            _ => bad.push(name),
+        }
+    }
+    Ok(bad)
+}
+
+/// Render `BENCH_kernel.json`. One group per line so the (dependency-free)
+/// `cargo xtask benchdiff` parser and humans can both read it.
+pub fn render_json(
+    groups: &[GroupTiming],
+    reps: usize,
+    outputs_identical: bool,
+    baseline: Option<(&str, &[(String, f64)])>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"kernel\",\n");
+    out.push_str(&format!("  \"seed\": {KERNEL_SEED},\n"));
+    out.push_str(
+        "  \"grid\": \"aws,funcx x sort,video x c{500,1000} x {no-packing,propack-joint} x seed 42\",\n",
+    );
+    out.push_str(&format!("  \"reps\": {reps},\n"));
+    out.push_str(&format!("  \"outputs_identical\": {outputs_identical},\n"));
+    out.push_str("  \"groups\": [\n");
+    for (i, g) in groups.iter().enumerate() {
+        let comma = if i + 1 < groups.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"cells\": {}, \"wall_secs\": {:.6}, \"cells_per_sec\": {:.3}}}{comma}\n",
+            g.policy, g.cells, g.wall_secs, g.cells_per_sec
+        ));
+    }
+    out.push_str("  ]");
+    if let Some((source, speedups)) = baseline {
+        out.push_str(",\n  \"baseline\": {\n");
+        out.push_str(&format!("    \"source\": \"{source}\",\n"));
+        out.push_str("    \"speedups\": [\n");
+        for (i, (policy, speedup)) in speedups.iter().enumerate() {
+            let comma = if i + 1 < speedups.len() { "," } else { "" };
+            out.push_str(&format!(
+                "      {{\"policy\": \"{policy}\", \"speedup\": {speedup:.3}}}{comma}\n"
+            ));
+        }
+        out.push_str("    ]\n  }");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Extract `(policy, cells_per_sec)` pairs from a `BENCH_kernel.json`
+/// document without a JSON dependency: each group object sits on one line
+/// carrying both a `"policy"` and a `"cells_per_sec"` key.
+pub fn parse_cells_per_sec(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(p) = extract_str(line, "\"policy\": \"") else {
+            continue;
+        };
+        let Some(v) = extract_f64(line, "\"cells_per_sec\": ") else {
+            continue;
+        };
+        out.push((p, v));
+    }
+    out
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn extract_f64(line: &str, key: &str) -> Option<f64> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|ch: char| !(ch.is_ascii_digit() || ch == '.' || ch == '-' || ch == 'e' || ch == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_the_ci_smoke_grid() {
+        let spec = kernel_grid();
+        assert_eq!(spec.cell_count(), 16);
+        assert_eq!(golden_cases().len(), 16);
+    }
+
+    #[test]
+    fn json_round_trips_through_the_benchdiff_parser() {
+        let groups = vec![
+            GroupTiming {
+                policy: "no-packing".into(),
+                cells: 8,
+                wall_secs: 0.25,
+                cells_per_sec: 32.0,
+            },
+            GroupTiming {
+                policy: "propack-joint-0.5".into(),
+                cells: 8,
+                wall_secs: 2.0,
+                cells_per_sec: 4.0,
+            },
+        ];
+        let json = render_json(
+            &groups,
+            3,
+            true,
+            Some(("baselines/x.json", &[("propack-joint-0.5".into(), 3.1)])),
+        );
+        let parsed = parse_cells_per_sec(&json);
+        assert_eq!(
+            parsed,
+            vec![
+                ("no-packing".into(), 32.0),
+                ("propack-joint-0.5".into(), 4.0)
+            ]
+        );
+        assert!(json.contains("\"outputs_identical\": true"));
+        assert!(json.contains("\"speedup\": 3.100"));
+        // Braces and brackets balance (the render is hand-rolled).
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn golden_render_matches_platform_run() {
+        // Spot-check one configuration against a direct run.
+        let direct = PlatformBuilder::aws()
+            .build()
+            .run_burst(
+                &BurstSpec::new(Benchmarks::resolve("sort").expect("sort").profile(), 500, 1)
+                    .with_seed(KERNEL_SEED),
+            )
+            .expect("burst")
+            .canonical_text();
+        assert_eq!(
+            golden_render("aws", "sort", 500, "fault-free").expect("render"),
+            direct
+        );
+    }
+}

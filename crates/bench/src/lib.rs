@@ -13,6 +13,7 @@
 
 pub mod context;
 pub mod figures;
+pub mod kernel;
 #[cfg(test)]
 mod smoke_tests;
 pub mod table;

@@ -813,9 +813,19 @@ pub fn execute(
     Ok(())
 }
 
+/// Thread ladder for `--bench-out` runs: serial anchor plus the scaling
+/// points CI trends over time.
+const BENCH_THREAD_LADDER: [usize; 4] = [1, 2, 4, 8];
+
 /// `propack sweep`: run the grid (optionally serial-first for the
 /// determinism + speedup comparison), render deterministically to `out`,
 /// and emit timing to stderr / `BENCH_sweep.json`.
+///
+/// With `--bench-out`, the run switches to the benchmark methodology: one
+/// untimed warmup run (so allocator and page-cache state do not pollute the
+/// first timed point), then a timed run at each thread count in
+/// [`BENCH_THREAD_LADDER`]; every run's render must be byte-identical, and
+/// all four timings land in `BENCH_sweep.json`.
 fn run_sweep(
     sa: &SweepArgs,
     out: &mut impl std::io::Write,
@@ -826,6 +836,9 @@ fn run_sweep(
     } else {
         sa.threads
     };
+    if let Some(path) = &sa.bench_out {
+        return run_sweep_bench(&spec, path, out);
+    }
 
     let mut runs = Vec::new();
     let mut serial_render = None;
@@ -862,10 +875,49 @@ fn run_sweep(
     }
 
     out.write_all(report.render().as_bytes())?;
-    if let Some(path) = &sa.bench_out {
-        std::fs::write(path, bench_json(&report, &runs, outputs_identical))?;
-        eprintln!("wrote {path}");
+    Ok(())
+}
+
+/// The `--bench-out` methodology: warmup, then the full thread ladder with a
+/// byte-identity check across every render.
+fn run_sweep_bench(
+    spec: &propack_sweep::SweepSpec,
+    bench_path: &str,
+    out: &mut impl std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    // Warmup: full serial run, result discarded, never timed.
+    let _ = SweepRunner::new().threads(1).run(spec)?;
+
+    let mut runs = Vec::new();
+    let mut first_render: Option<String> = None;
+    let mut last = None;
+    for &t in &BENCH_THREAD_LADDER {
+        let report = SweepRunner::new().threads(t).run(spec)?;
+        eprintln!("{}", report.timing_line());
+        runs.push(RunTiming {
+            threads: report.threads,
+            wall_secs: report.wall_secs,
+        });
+        let render = report.render();
+        match &first_render {
+            None => first_render = Some(render),
+            Some(first) if *first != render => {
+                return Err(Box::new(ParseError(format!(
+                    "sweep output at {t} thread(s) diverged from serial — determinism bug"
+                ))));
+            }
+            Some(_) => {}
+        }
+        last = Some(report);
     }
+    let report = last.ok_or_else(|| ParseError("empty bench ladder".into()))?;
+    if let Some(speedup) = propack_sweep::speedup(&runs) {
+        eprintln!("all renders identical across the thread ladder; best speedup {speedup:.2}x");
+    }
+
+    out.write_all(report.render().as_bytes())?;
+    std::fs::write(bench_path, bench_json(&report, &runs, Some(true)))?;
+    eprintln!("wrote {bench_path}");
     Ok(())
 }
 
@@ -1191,6 +1243,13 @@ mod tests {
         let json = std::fs::read_to_string(&bench_path).unwrap();
         assert!(json.contains("\"outputs_identical\": true"), "{json}");
         assert!(json.contains("\"runs\""), "{json}");
+        // The bench methodology reports the full thread ladder…
+        for t in BENCH_THREAD_LADDER {
+            assert!(json.contains(&format!("\"threads\": {t}")), "{json}");
+        }
+        // …and the per-cell fit-vs-run wall-time split.
+        assert!(json.contains("\"fit_ms\""), "{json}");
+        assert!(json.contains("\"run_ms\""), "{json}");
         std::fs::remove_file(&bench_path).ok();
     }
 

@@ -88,6 +88,7 @@ pub fn run_burst_with_retry<P: ServerlessPlatform + ?Sized>(
     faults: FaultSpec,
     retry: RetryPolicy,
 ) -> Result<RetriedRun, PlatformError> {
+    let work = std::sync::Arc::new(work.clone());
     let mut rounds = Vec::new();
     let mut remaining = c;
     let mut round = 0u32;
@@ -95,7 +96,7 @@ pub fn run_burst_with_retry<P: ServerlessPlatform + ?Sized>(
         // A follow-up round smaller than the packing degree packs what it
         // has — never more functions per instance than functions left.
         let p = degree.max(1).min(remaining);
-        let spec = BurstSpec::packed(work.clone(), remaining, p)
+        let spec = BurstSpec::packed(std::sync::Arc::clone(&work), remaining, p)
             .with_seed(round_seed(seed, round))
             .with_faults(faults)
             .with_retry(retry);

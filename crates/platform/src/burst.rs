@@ -10,12 +10,20 @@
 use crate::work::WorkProfile;
 use propack_simcore::{FaultSpec, RetryPolicy};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A request to spawn `instances` concurrent function instances.
+///
+/// The workload is held behind an [`Arc`] so that cloning a spec — which the
+/// platform, the sweep engine, and the profiler all do per burst — never
+/// deep-copies the profile's histogram vectors. Serialization goes through
+/// the [`BurstSpecWire`] mirror so the wire format is unchanged (the profile
+/// is inlined, not reference-counted, on disk).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(from = "BurstSpecWire", into = "BurstSpecWire")]
 pub struct BurstSpec {
     /// The function being executed (same code in every instance, §1).
-    pub workload: WorkProfile,
+    pub workload: Arc<WorkProfile>,
     /// Number of concurrent function instances (`C_eff`).
     pub instances: u32,
     /// Functions packed per instance (`P`); 1 = traditional spawning.
@@ -34,11 +42,57 @@ pub struct BurstSpec {
     pub retry: RetryPolicy,
 }
 
-impl BurstSpec {
-    /// A cold burst with default seed 0.
-    pub fn new(workload: WorkProfile, instances: u32, packing_degree: u32) -> Self {
+/// Serde mirror of [`BurstSpec`] with the workload stored by value, keeping
+/// the on-disk format identical to the pre-`Arc` struct.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BurstSpecWire {
+    workload: WorkProfile,
+    instances: u32,
+    packing_degree: u32,
+    seed: u64,
+    warm_fraction: f64,
+    #[serde(default)]
+    faults: FaultSpec,
+    #[serde(default)]
+    retry: RetryPolicy,
+}
+
+impl From<BurstSpecWire> for BurstSpec {
+    fn from(w: BurstSpecWire) -> Self {
         BurstSpec {
-            workload,
+            workload: Arc::new(w.workload),
+            instances: w.instances,
+            packing_degree: w.packing_degree,
+            seed: w.seed,
+            warm_fraction: w.warm_fraction,
+            faults: w.faults,
+            retry: w.retry,
+        }
+    }
+}
+
+impl From<BurstSpec> for BurstSpecWire {
+    fn from(s: BurstSpec) -> Self {
+        BurstSpecWire {
+            workload: WorkProfile::clone(&s.workload),
+            instances: s.instances,
+            packing_degree: s.packing_degree,
+            seed: s.seed,
+            warm_fraction: s.warm_fraction,
+            faults: s.faults,
+            retry: s.retry,
+        }
+    }
+}
+
+impl BurstSpec {
+    /// A cold burst with default seed 0. Accepts either an owned
+    /// [`WorkProfile`] or an already-shared `Arc<WorkProfile>`; pass the
+    /// `Arc` when issuing many bursts of the same workload to avoid
+    /// deep-copying the profile per burst.
+    pub fn new(workload: impl Into<Arc<WorkProfile>>, instances: u32, packing_degree: u32) -> Self {
+        BurstSpec {
+            workload: workload.into(),
             instances,
             packing_degree,
             seed: 0,
@@ -80,7 +134,7 @@ impl BurstSpec {
     /// Build the ProPack-shaped burst for original concurrency `c` at
     /// packing degree `p`: `C_eff = ceil(C / P)` instances so that every
     /// function is covered (the last instance may be partially filled).
-    pub fn packed(workload: WorkProfile, c: u32, p: u32) -> Self {
+    pub fn packed(workload: impl Into<Arc<WorkProfile>>, c: u32, p: u32) -> Self {
         let instances = c.div_ceil(p.max(1));
         BurstSpec::new(workload, instances, p)
     }

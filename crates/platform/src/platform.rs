@@ -12,18 +12,36 @@
 //! ```
 //!
 //! Warm instances (Pywren-style reuse) skip build/ship/provision.
+//!
+//! ## Kernel fast paths
+//!
+//! The pipeline runs on `propack-simcore`'s pooled typed-event queue: every
+//! stage transition is a [`BurstEvent`] (a small enum recycled through a
+//! slab), not a boxed closure, and the t = 0 fan-out enqueues all `C`
+//! invocations in one [`Sim::schedule_batch`] call. On top of that,
+//! fault-free instances take a *cohort* shortcut: once an instance clears
+//! the shared control plane (scheduler, build/ship pipes, provision — which
+//! all consume the sequential control-plane RNG and therefore must stay in
+//! event order), its execution phase touches only per-instance state. If
+//! attempt 1 cannot crash and tracing is off, the start/finish timestamps
+//! are computed arithmetically with the burst's hoisted interference term
+//! instead of dispatching two more events — bit-identical to the
+//! event-by-event timeline (asserted by the golden replay tests) because
+//! the arithmetic replays the exact f64 operation chain the events would
+//! have performed. Crashing, provision-failing and traced instances still
+//! simulate event-by-event.
 
 use crate::billing::{bill_burst, Expense};
 use crate::burst::BurstSpec;
 use crate::error::PlatformError;
 use crate::fleet::Fleet;
-use crate::instance::{packed_exec_secs, sampled_exec_secs};
+use crate::instance::packed_exec_secs;
 use crate::profile::{PlatformProfile, PriceSheet};
 use crate::report::{FaultSummary, InstanceRecord, RunReport, ScalingBreakdown};
 use propack_simcore::rng::jitter;
 use propack_simcore::{
-    BandwidthPipe, FaultPlan, FaultSpec, FifoResource, RetryPolicy, RngStreams, Sim, SimTime,
-    Tracer,
+    BandwidthPipe, EventState, FaultPlan, FaultSpec, FifoResource, RetryPolicy, RngStreams, Sim,
+    SimTime, Tracer,
 };
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
@@ -123,6 +141,10 @@ struct BurstState {
     peak_occupancy: u32,
     work: Arc<crate::WorkProfile>,
     packing_degree: u32,
+    /// Cohort-shared interference term: `packed_exec_secs` is a pure
+    /// function of (instance shape, workload, degree), all constant within
+    /// a burst, so it is computed once here instead of once per attempt.
+    base_exec_secs: f64,
     scheduler: FifoResource,
     builder: BandwidthPipe,
     shipper: BandwidthPipe,
@@ -141,6 +163,59 @@ struct BurstState {
     /// Burst-wide retry budget; consumed in deterministic event order.
     retry_budget_left: u32,
     faults: FaultSummary,
+}
+
+/// One pooled DES event of the burst pipeline. Each variant is a stage
+/// transition of instance `i`; the engine recycles their slab slots, so a
+/// 5000-instance burst allocates a handful of vectors, not tens of
+/// thousands of boxed closures.
+#[derive(Debug, Clone, Copy)]
+enum BurstEvent {
+    /// Instance `i` invokes at t = 0 (Step-Functions-style fan-out).
+    Invoke { i: u32, warm: bool },
+    /// The central scheduler finished its placement search for `i`.
+    Placed { i: u32, warm: bool },
+    /// The image server finished forming `i`'s container.
+    Built { i: u32 },
+    /// `i`'s container arrived at its server.
+    Shipped { i: u32 },
+    /// Boot `attempt` of `i` surfaced its failure (after consuming the
+    /// cold-start time).
+    ProvisionFailed { i: u32, attempt: u32 },
+    /// Reboot `i` after backoff.
+    Reprovision { i: u32, attempt: u32 },
+    /// Execution attempt `attempt` of `i` begins.
+    RunAttempt { i: u32, attempt: u32 },
+    /// The running attempt (started at `attempt_start`) completes.
+    Finish { i: u32, attempt_start: f64 },
+    /// The running attempt (number `attempt`) dies mid-execution.
+    Crashed {
+        i: u32,
+        attempt: u32,
+        attempt_start: f64,
+    },
+}
+
+impl EventState for BurstState {
+    type Event = BurstEvent;
+
+    fn handle(sim: &mut Sim<Self>, event: BurstEvent) {
+        match event {
+            BurstEvent::Invoke { i, warm } => schedule_placement(sim, i, warm),
+            BurstEvent::Placed { i, warm } => place_instance(sim, i, warm),
+            BurstEvent::Built { i } => container_built(sim, i),
+            BurstEvent::Shipped { i } => container_shipped(sim, i),
+            BurstEvent::ProvisionFailed { i, attempt } => provision_failed(sim, i, attempt),
+            BurstEvent::Reprovision { i, attempt } => provision(sim, i, attempt),
+            BurstEvent::RunAttempt { i, attempt } => run_attempt(sim, i, attempt),
+            BurstEvent::Finish { i, attempt_start } => finish_attempt(sim, i, attempt_start),
+            BurstEvent::Crashed {
+                i,
+                attempt,
+                attempt_start,
+            } => crash_attempt(sim, i, attempt, attempt_start),
+        }
+    }
 }
 
 fn pending_record(index: u32) -> InstanceRecord {
@@ -225,8 +300,13 @@ impl CloudPlatform {
             ),
             placements: vec![0; n as usize],
             peak_occupancy: 0,
-            work: Arc::new(spec.workload.clone()),
+            work: Arc::clone(&spec.workload),
             packing_degree: spec.packing_degree,
+            base_exec_secs: packed_exec_secs(
+                &self.profile.instance,
+                &spec.workload,
+                spec.packing_degree,
+            ),
             scheduler: FifoResource::new(),
             builder: BandwidthPipe::new(self.profile.control.build_bytes_per_sec),
             shipper: BandwidthPipe::new(self.profile.control.ship_bytes_per_sec),
@@ -242,12 +322,16 @@ impl CloudPlatform {
         };
 
         let mut sim = Sim::new(state);
-        // All invocations arrive at t = 0 (Step-Functions-style fan-out).
+        // All invocations arrive at t = 0, enqueued as one batch (instance
+        // order is preserved — consecutive sequence numbers).
         let warm_count = (spec.warm_fraction * n as f64).floor() as u32;
-        for i in 0..n {
-            let warm = i < warm_count;
-            sim.schedule_at(SimTime::ZERO, move |sim| schedule_placement(sim, i, warm));
-        }
+        sim.schedule_batch(
+            SimTime::ZERO,
+            (0..n).map(|i| BurstEvent::Invoke {
+                i,
+                warm: i < warm_count,
+            }),
+        );
         sim.run();
 
         let state = sim.into_state();
@@ -323,37 +407,39 @@ fn schedule_placement(sim: &mut Sim<BurstState>, i: u32, warm: bool) {
     s.admitted += 1;
     let (_, done) = s.scheduler.request(now, service);
     s.records[i as usize].warm = warm;
-    sim.schedule_at(done, move |sim| {
-        let now = sim.now();
-        let at = now.as_secs();
-        let s = sim.state_mut();
-        // The placement the search decided on: a slot on the least-loaded
-        // server (capacity was validated at admission, so `place` only
-        // fails if that invariant broke — recorded and surfaced after the
-        // run rather than aborting the simulation).
-        let placement = match s.fleet.place() {
-            Some(p) => p,
-            None => {
-                s.place_failures += 1;
-                s.tracer.record(now, i as u64, "place-failed");
-                return;
-            }
-        };
-        s.placements[i as usize] = placement.server;
-        s.peak_occupancy = s.peak_occupancy.max(s.fleet.peak_occupancy());
-        s.records[i as usize].scheduled_at = at;
-        s.tracer.record(now, i as u64, "scheduled");
-        if warm {
-            // Warm container: already built, shipped, and provisioned —
-            // warm starts cannot suffer provision faults.
-            let s = sim.state_mut();
-            s.records[i as usize].built_at = at;
-            s.records[i as usize].shipped_at = at;
-            start_execution(sim, i, 0.05, 1);
-        } else {
-            build_container(sim, i);
+    sim.schedule_event(done, BurstEvent::Placed { i, warm });
+}
+
+/// The placement the scheduler's search decided on: a slot on the
+/// least-loaded server (capacity was validated at admission, so `place`
+/// only fails if that invariant broke — recorded and surfaced after the
+/// run rather than aborting the simulation).
+fn place_instance(sim: &mut Sim<BurstState>, i: u32, warm: bool) {
+    let now = sim.now();
+    let at = now.as_secs();
+    let s = sim.state_mut();
+    let placement = match s.fleet.place() {
+        Some(p) => p,
+        None => {
+            s.place_failures += 1;
+            s.tracer.record(now, i as u64, "place-failed");
+            return;
         }
-    });
+    };
+    s.placements[i as usize] = placement.server;
+    s.peak_occupancy = s.peak_occupancy.max(s.fleet.peak_occupancy());
+    s.records[i as usize].scheduled_at = at;
+    s.tracer.record(now, i as u64, "scheduled");
+    if warm {
+        // Warm container: already built, shipped, and provisioned —
+        // warm starts cannot suffer provision faults.
+        let s = sim.state_mut();
+        s.records[i as usize].built_at = at;
+        s.records[i as usize].shipped_at = at;
+        start_execution(sim, i, 0.05, 1);
+    } else {
+        build_container(sim, i);
+    }
 }
 
 /// Stage 2: the image server forms the container (downloads + installs the
@@ -364,13 +450,15 @@ fn build_container(sim: &mut Sim<BurstState>, i: u32) {
     let s = sim.state_mut();
     let bytes = s.profile.control.image_bytes * jitter(&mut s.ctrl_rng, s.profile.control.jitter);
     let (_, done) = s.builder.transfer(now, bytes);
-    sim.schedule_at(done, move |sim| {
-        let now = sim.now();
-        let s = sim.state_mut();
-        s.records[i as usize].built_at = now.as_secs();
-        s.tracer.record(now, i as u64, "built");
-        ship_container(sim, i);
-    });
+    sim.schedule_event(done, BurstEvent::Built { i });
+}
+
+fn container_built(sim: &mut Sim<BurstState>, i: u32) {
+    let now = sim.now();
+    let s = sim.state_mut();
+    s.records[i as usize].built_at = now.as_secs();
+    s.tracer.record(now, i as u64, "built");
+    ship_container(sim, i);
 }
 
 /// Stage 3: the formed container ships across the fabric to the server the
@@ -388,13 +476,15 @@ fn ship_container(sim: &mut Sim<BurstState>, i: u32) {
         bytes *= factor;
     }
     let (_, done) = s.shipper.transfer(now, bytes);
-    sim.schedule_at(done, move |sim| {
-        let now = sim.now();
-        let s = sim.state_mut();
-        s.records[i as usize].shipped_at = now.as_secs();
-        s.tracer.record(now, i as u64, "shipped");
-        provision(sim, i, 1);
-    });
+    sim.schedule_event(done, BurstEvent::Shipped { i });
+}
+
+fn container_shipped(sim: &mut Sim<BurstState>, i: u32) {
+    let now = sim.now();
+    let s = sim.state_mut();
+    s.records[i as usize].shipped_at = now.as_secs();
+    s.tracer.record(now, i as u64, "shipped");
+    provision(sim, i, 1);
 }
 
 /// Stage 4: cold provisioning — microVM boot plus runtime/dependency
@@ -412,20 +502,28 @@ fn provision(sim: &mut Sim<BurstState>, i: u32, attempt: u32) {
         return;
     }
     // The boot fails only after consuming its cold-start time.
-    sim.schedule_in(cold, move |sim| {
-        let now = sim.now();
-        let s = sim.state_mut();
-        s.faults.provision_failures += 1;
-        s.tracer.record(now, i as u64, "provision-failed");
-        if attempt < s.retry.max_attempts && s.retry_budget_left > 0 {
-            s.retry_budget_left -= 1;
-            s.faults.retries += 1;
-            let backoff = s.retry.backoff_secs(attempt);
-            sim.schedule_in(backoff, move |sim| provision(sim, i, attempt + 1));
-        } else {
-            abandon(sim, i);
-        }
-    });
+    sim.schedule_event_in(cold, BurstEvent::ProvisionFailed { i, attempt });
+}
+
+fn provision_failed(sim: &mut Sim<BurstState>, i: u32, attempt: u32) {
+    let now = sim.now();
+    let s = sim.state_mut();
+    s.faults.provision_failures += 1;
+    s.tracer.record(now, i as u64, "provision-failed");
+    if attempt < s.retry.max_attempts && s.retry_budget_left > 0 {
+        s.retry_budget_left -= 1;
+        s.faults.retries += 1;
+        let backoff = s.retry.backoff_secs(attempt);
+        sim.schedule_event_in(
+            backoff,
+            BurstEvent::Reprovision {
+                i,
+                attempt: attempt + 1,
+            },
+        );
+    } else {
+        abandon(sim, i);
+    }
 }
 
 /// Stage 5: execution under packing interference. Execution time is
@@ -435,8 +533,47 @@ fn provision(sim: &mut Sim<BurstState>, i: u32, attempt: u32) {
 /// same work for the same duration; straggler and crash draws come from
 /// their own fault lanes.
 fn start_execution(sim: &mut Sim<BurstState>, i: u32, provision_secs: f64, attempt: u32) {
+    let s = sim.state_mut();
+    // Cohort fast path: a first attempt that cannot crash touches only
+    // per-instance state from here on (the exec draw comes from the
+    // instance's own RNG stream, straggler/crash draws are pure functions
+    // of the fault lanes, and fleet release order is report-invisible), so
+    // its start/finish can be computed arithmetically instead of
+    // dispatching RunAttempt + Finish through the queue. Traced runs stay
+    // on the event path so the tracer observes every transition in
+    // chronological order.
+    if attempt == 1 && !s.tracer.is_enabled() && s.fault_plan.crash_point(i, 1).is_none() {
+        finish_arithmetically(sim, i, provision_secs);
+        return;
+    }
     let started = sim.now() + provision_secs;
-    sim.schedule_at(started, move |sim| run_attempt(sim, i, attempt));
+    sim.schedule_event(started, BurstEvent::RunAttempt { i, attempt });
+}
+
+/// The fast path's arithmetic replay of `RunAttempt` + `Finish` for a
+/// crash-free first attempt. Every f64 operation matches the event path
+/// exactly: `started = now + provision_secs` (the instant `RunAttempt`
+/// would have fired), `finished = started + exec` (the instant `Finish`
+/// would have fired), and billing accumulates the same
+/// `finished − started` difference of the rounded second values.
+fn finish_arithmetically(sim: &mut Sim<BurstState>, i: u32, provision_secs: f64) {
+    let started = sim.now() + provision_secs;
+    let started_secs = started.as_secs();
+    let s = sim.state_mut();
+    let mut exec_rng = s.streams.stream_indexed("exec", i as u64);
+    let mut exec = s.base_exec_secs * jitter(&mut exec_rng, s.profile.instance.exec_jitter);
+    if let Some(factor) = s.fault_plan.straggler(i) {
+        s.faults.stragglers += 1;
+        exec *= factor;
+    }
+    let finished = started + exec;
+    let finished_secs = finished.as_secs();
+    let record = &mut s.records[i as usize];
+    record.started_at = started_secs;
+    record.finished_at = finished_secs;
+    record.billed_secs += finished_secs - started_secs;
+    let server = s.placements[i as usize];
+    s.fleet.release(server);
 }
 
 /// One execution attempt of instance `i`. A crashed attempt bills its
@@ -450,12 +587,7 @@ fn run_attempt(sim: &mut Sim<BurstState>, i: u32, attempt: u32) {
         s.tracer.record(now, i as u64, "started");
     }
     let mut exec_rng = s.streams.stream_indexed("exec", i as u64);
-    let mut exec = sampled_exec_secs(
-        &s.profile.instance,
-        &s.work,
-        s.packing_degree,
-        &mut exec_rng,
-    );
+    let mut exec = s.base_exec_secs * jitter(&mut exec_rng, s.profile.instance.exec_jitter);
     if let Some(factor) = s.fault_plan.straggler(i) {
         if attempt == 1 {
             s.faults.stragglers += 1;
@@ -466,35 +598,52 @@ fn run_attempt(sim: &mut Sim<BurstState>, i: u32, attempt: u32) {
     let attempt_start = now.as_secs();
     match s.fault_plan.crash_point(i, attempt) {
         None => {
-            sim.schedule_in(exec, move |sim| {
-                let now = sim.now();
-                let s = sim.state_mut();
-                s.records[i as usize].finished_at = now.as_secs();
-                s.records[i as usize].billed_secs += now.as_secs() - attempt_start;
-                let server = s.placements[i as usize];
-                s.fleet.release(server);
-                s.tracer.record(now, i as u64, "finished");
-            });
+            sim.schedule_event_in(exec, BurstEvent::Finish { i, attempt_start });
         }
         Some(fraction) => {
             // The instance dies after completing `fraction` of the attempt;
             // the partial run is billed (the provider metered it).
-            sim.schedule_in(exec * fraction, move |sim| {
-                let now = sim.now();
-                let s = sim.state_mut();
-                s.faults.crashes += 1;
-                s.records[i as usize].billed_secs += now.as_secs() - attempt_start;
-                s.tracer.record(now, i as u64, "crashed");
-                if attempt < s.retry.max_attempts && s.retry_budget_left > 0 {
-                    s.retry_budget_left -= 1;
-                    s.faults.retries += 1;
-                    let backoff = s.retry.backoff_secs(attempt);
-                    sim.schedule_in(backoff, move |sim| run_attempt(sim, i, attempt + 1));
-                } else {
-                    abandon(sim, i);
-                }
-            });
+            sim.schedule_event_in(
+                exec * fraction,
+                BurstEvent::Crashed {
+                    i,
+                    attempt,
+                    attempt_start,
+                },
+            );
         }
+    }
+}
+
+fn finish_attempt(sim: &mut Sim<BurstState>, i: u32, attempt_start: f64) {
+    let now = sim.now();
+    let s = sim.state_mut();
+    s.records[i as usize].finished_at = now.as_secs();
+    s.records[i as usize].billed_secs += now.as_secs() - attempt_start;
+    let server = s.placements[i as usize];
+    s.fleet.release(server);
+    s.tracer.record(now, i as u64, "finished");
+}
+
+fn crash_attempt(sim: &mut Sim<BurstState>, i: u32, attempt: u32, attempt_start: f64) {
+    let now = sim.now();
+    let s = sim.state_mut();
+    s.faults.crashes += 1;
+    s.records[i as usize].billed_secs += now.as_secs() - attempt_start;
+    s.tracer.record(now, i as u64, "crashed");
+    if attempt < s.retry.max_attempts && s.retry_budget_left > 0 {
+        s.retry_budget_left -= 1;
+        s.faults.retries += 1;
+        let backoff = s.retry.backoff_secs(attempt);
+        sim.schedule_event_in(
+            backoff,
+            BurstEvent::RunAttempt {
+                i,
+                attempt: attempt + 1,
+            },
+        );
+    } else {
+        abandon(sim, i);
     }
 }
 

@@ -207,6 +207,67 @@ impl RunReport {
             self.scaling_time() / total
         }
     }
+
+    /// Render the report as canonical, bit-exact text: every `f64` is
+    /// emitted as the hex of its IEEE-754 bit pattern, so two reports render
+    /// identically **iff** they are bit-identical. This is the format the
+    /// golden replay fixtures (`tests/golden/`) and the kernel bench's
+    /// `outputs_identical` check are pinned to — any kernel optimization
+    /// that perturbs a single ULP of any timestamp shows up as a diff.
+    pub fn canonical_text(&self) -> String {
+        fn h(v: f64) -> String {
+            format!("{:016x}", v.to_bits())
+        }
+        let mut out = String::with_capacity(64 + self.instances.len() * 128);
+        out.push_str("golden-v1\n");
+        out.push_str(&format!("platform\t{}\n", self.platform));
+        out.push_str(&format!("workload\t{}\n", self.workload));
+        out.push_str(&format!(
+            "instances_requested\t{}\n",
+            self.instances_requested
+        ));
+        out.push_str(&format!("packing_degree\t{}\n", self.packing_degree));
+        out.push_str(&format!(
+            "scaling\t{}\t{}\t{}\t{}\t{}\n",
+            h(self.scaling.scheduling_secs),
+            h(self.scaling.startup_secs),
+            h(self.scaling.shipping_secs),
+            h(self.scaling.provisioning_secs),
+            h(self.scaling.total_secs),
+        ));
+        out.push_str(&format!(
+            "expense\t{}\t{}\t{}\t{}\n",
+            h(self.expense.compute_usd),
+            h(self.expense.request_usd),
+            h(self.expense.storage_usd),
+            h(self.expense.network_usd),
+        ));
+        out.push_str(&format!(
+            "faults\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            self.faults.crashes,
+            self.faults.provision_failures,
+            self.faults.ship_stalls,
+            self.faults.stragglers,
+            self.faults.retries,
+            self.faults.failed_functions,
+        ));
+        out.push_str(&format!("instances\t{}\n", self.instances.len()));
+        for r in &self.instances {
+            out.push_str(&format!(
+                "i\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                r.index,
+                h(r.scheduled_at),
+                h(r.built_at),
+                h(r.shipped_at),
+                h(r.started_at),
+                h(r.finished_at),
+                u8::from(r.warm),
+                h(r.billed_secs),
+                u8::from(r.failed),
+            ));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -305,6 +366,25 @@ mod tests {
         assert_eq!(r.instances[0].exec_secs(), 25.0);
         let expected = (12.0 + 10.0 + 10.0 + 10.0) / 3600.0;
         assert!((r.function_hours() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn canonical_text_is_bit_exact() {
+        let r = report();
+        let a = r.canonical_text();
+        assert_eq!(a, r.clone().canonical_text());
+        assert_eq!(a.lines().count(), 9 + r.instances.len());
+        // A one-ULP perturbation of any timestamp must change the render.
+        let mut ulp = r.clone();
+        ulp.instances[2].finished_at = f64::from_bits(ulp.instances[2].finished_at.to_bits() + 1);
+        assert_ne!(a, ulp.canonical_text());
+        // Negative zero and zero are distinct bit patterns: the render is
+        // strictly bit-exact, not value-equal.
+        let mut pz = r;
+        pz.scaling.shipping_secs = 0.0;
+        let mut nz = pz.clone();
+        nz.scaling.shipping_secs = -0.0;
+        assert_ne!(nz.canonical_text(), pz.canonical_text());
     }
 
     #[test]

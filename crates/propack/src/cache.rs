@@ -20,7 +20,9 @@
 //! what a cold fit would produce, and the recorded probe overhead is part
 //! of the model itself ([`Propack::overhead`]), not of cache bookkeeping.
 
+use crate::profiler::{probe_scaling, Overhead};
 use crate::propack::{ProPackConfig, Propack};
+use crate::scaling::ScalingModel;
 use crate::ModelError;
 use propack_platform::{ServerlessPlatform, WorkProfile};
 use std::collections::BTreeMap;
@@ -61,11 +63,30 @@ impl ModelKey {
 /// racer without changing any result).
 type Slot = Mutex<Option<Arc<Propack>>>;
 
+/// Identity of one scaling-probe campaign. The scaling model is
+/// application-*independent* (§2.2: it "needs to be developed only once"
+/// per platform), so its key deliberately omits the workload — every
+/// application fitted on the same platform with the same probe ladder and
+/// seed shares one campaign.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct ScalingKey {
+    platform: String,
+    levels: Vec<u32>,
+    seed: u64,
+}
+
+/// A completed scaling campaign: the fitted polynomial plus the probe cost
+/// that every model reusing it must still account for.
+type ScalingSlot = Mutex<Option<Arc<(ScalingModel, Overhead)>>>;
+
 /// A thread-safe memo of fitted [`Propack`] models, one per distinct
-/// [`ModelKey`].
+/// [`ModelKey`], plus a second memo of scaling-probe campaigns keyed by
+/// `(platform, levels, seed)` so the probe ladder runs once per platform,
+/// not once per workload.
 #[derive(Debug, Default)]
 pub struct ModelCache {
     slots: Mutex<BTreeMap<ModelKey, Arc<Slot>>>,
+    scaling: Mutex<BTreeMap<ScalingKey, Arc<ScalingSlot>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -101,9 +122,73 @@ impl ModelCache {
             return Ok(Arc::clone(found));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let built = Arc::new(Propack::build(platform, work, config)?);
+        // The application-independent half of the fit comes from the
+        // scaling memo (one probe campaign per platform); only the
+        // interference campaign runs per workload. `build_with_scaling`
+        // with the campaign's exact outputs reproduces `Propack::build`
+        // bit-for-bit: both campaigns are deterministic and independent
+        // (each probe burst is its own seeded simulation), and the
+        // overhead is absorbed in the same interference-then-scaling order.
+        let (scaling, scaling_overhead) = self.scaling_campaign(platform, config)?;
+        let built = Arc::new(Propack::build_with_scaling(
+            platform,
+            work,
+            config,
+            scaling,
+            scaling_overhead,
+        )?);
         *entry = Some(Arc::clone(&built));
         Ok(built)
+    }
+
+    /// The memoized scaling campaign for `platform` under `config`'s probe
+    /// ladder and seed, running it on first use. Same coalescing discipline
+    /// as the model slots: distinct platforms never serialize on each
+    /// other, same-platform racers run the ladder once.
+    fn scaling_campaign<P: ServerlessPlatform + ?Sized>(
+        &self,
+        platform: &P,
+        config: &ProPackConfig,
+    ) -> Result<(ScalingModel, Overhead), ModelError> {
+        let key = ScalingKey {
+            platform: platform.name(),
+            levels: config.scaling_levels.clone(),
+            seed: config.seed,
+        };
+        let slot = {
+            let mut scaling = self
+                .scaling
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            Arc::clone(scaling.entry(key).or_default())
+        };
+        let mut entry = slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(found) = entry.as_ref() {
+            return Ok((found.0, found.1));
+        }
+        let probe = probe_scaling(platform, &config.scaling_levels, config.seed)?;
+        let model = ScalingModel::fit(&probe.samples)?;
+        *entry = Some(Arc::new((model, probe.overhead)));
+        Ok((model, probe.overhead))
+    }
+
+    /// Number of distinct scaling-probe campaigns run so far.
+    pub fn scaling_campaigns(&self) -> usize {
+        let slots: Vec<Arc<ScalingSlot>> = self
+            .scaling
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .values()
+            .map(Arc::clone)
+            .collect();
+        slots
+            .iter()
+            .filter(|s| {
+                s.lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .is_some()
+            })
+            .count()
     }
 
     /// The model for `key` if it has already been fitted.
@@ -196,6 +281,26 @@ mod tests {
         assert_eq!(cache.len(), 3);
         assert_eq!(cache.misses(), 3);
         assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn scaling_campaign_shared_across_workloads() {
+        let cache = ModelCache::new();
+        let platform = PlatformBuilder::aws().build();
+        let cfg = ProPackConfig::default();
+        cache.fit(&platform, &work(), &cfg).unwrap();
+        let other = WorkProfile::synthetic("other-w", 0.5, 30.0).with_contention(0.1);
+        cache.fit(&platform, &other, &cfg).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(
+            cache.scaling_campaigns(),
+            1,
+            "the probe ladder is application-independent: one campaign per platform"
+        );
+        // A memoized-scaling fit must be indistinguishable from a cold
+        // standalone build.
+        let fresh = Propack::build(&platform, &work(), &cfg).unwrap();
+        assert_eq!(*cache.fit(&platform, &work(), &cfg).unwrap(), fresh);
     }
 
     #[test]

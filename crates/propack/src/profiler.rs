@@ -22,6 +22,7 @@ use crate::scaling::ScalingSample;
 use crate::ModelError;
 use propack_platform::{BurstSpec, PlatformError, ServerlessPlatform, WorkProfile};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Accumulated cost of model building.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -78,8 +79,11 @@ pub fn profile_interference<P: ServerlessPlatform + ?Sized>(
     let mut samples = Vec::with_capacity(degrees.len());
     let mut overhead = Overhead::default();
     let mut feasible_p_max = 1;
+    // One shared allocation for the whole campaign: every probe burst holds
+    // the same `Arc<WorkProfile>` instead of deep-cloning the profile.
+    let work: Arc<WorkProfile> = Arc::new(work.clone());
     for (k, &p) in degrees.iter().enumerate() {
-        let spec = BurstSpec::new(work.clone(), probe_instances.max(1), p)
+        let spec = BurstSpec::new(Arc::clone(&work), probe_instances.max(1), p)
             .with_seed(seed ^ (k as u64) << 32);
         match platform.run_burst(&spec) {
             Ok(report) => {
@@ -134,11 +138,12 @@ pub fn probe_scaling<P: ServerlessPlatform + ?Sized>(
     levels: &[u32],
     seed: u64,
 ) -> Result<ScalingProbe, ModelError> {
-    let work = probe_workload();
+    let work: Arc<WorkProfile> = Arc::new(probe_workload());
     let mut samples = Vec::with_capacity(levels.len());
     let mut overhead = Overhead::default();
     for (k, &c) in levels.iter().enumerate() {
-        let spec = BurstSpec::new(work.clone(), c, 1).with_seed(seed ^ 0xA5A5 ^ (k as u64) << 24);
+        let spec =
+            BurstSpec::new(Arc::clone(&work), c, 1).with_seed(seed ^ 0xA5A5 ^ (k as u64) << 24);
         let report = platform.run_burst(&spec)?;
         overhead.expense_usd += report.expense.total_usd();
         overhead.function_hours += report.function_hours();

@@ -59,8 +59,11 @@ pub fn validate_models<P: ServerlessPlatform + ?Sized>(
     let mut observed_expense = Vec::new();
     let mut expected_expense = Vec::new();
 
+    // One shared profile allocation for the whole validation ladder.
+    let work = std::sync::Arc::new(work.clone());
     for p in 1..=model.p_max {
-        let spec = BurstSpec::packed(work.clone(), c, p).with_seed(seed ^ (p as u64) << 16);
+        let spec = BurstSpec::packed(std::sync::Arc::clone(&work), c, p)
+            .with_seed(seed ^ (p as u64) << 16);
         let report = platform.run_burst(&spec)?;
         observed_service.push(report.total_service_time());
         expected_service.push(model.service_secs(c, p, Percentile::Total));

@@ -1,44 +1,146 @@
 //! The event loop: a simulated clock plus a deterministic priority queue of
-//! scheduled callbacks.
+//! scheduled events, backed by slot pools instead of per-event boxes.
 //!
-//! Events are `FnOnce(&mut Sim<S>)` closures; firing an event may freely
-//! schedule more events (the closure is popped off the heap before it runs,
-//! so the borrow is clean). Ties in timestamp are broken by scheduling
-//! sequence number, which makes runs reproducible — an essential property
-//! for the paper-reproduction experiments, where every figure must
-//! regenerate identically from a seed.
+//! Two kinds of events share one queue and one tie-breaking sequence:
 //!
-//! Event closures are required to be `Send` so that `Sim<S>: Send` whenever
-//! the user state `S` is `Send`. A simulation still runs on exactly one
-//! thread — the bound exists so the parallel sweep engine
-//! (`propack-sweep`) can hand whole simulations to worker threads.
+//! * **Typed events** (`S::Event` where `S: EventState`) — the fast path.
+//!   The event value is stored by value in a recycled slot pool and the heap
+//!   holds only a `(time, seq, slot)` entry, so scheduling a typed event
+//!   performs **no heap allocation** once the pools reach steady state.
+//!   Platform simulators route their per-instance pipeline stages through
+//!   this path (`simlint`'s `event-alloc` rule enforces it).
+//! * **Closure events** (`FnOnce(&mut Sim<S>)`) — the general fallback for
+//!   one-off callbacks and tests. Each closure still costs one `Box`, but
+//!   the box lives in a slot pool, keeping heap entries uniform and small.
+//!
+//! Firing an event may freely schedule more events (the event is taken out
+//! of its pool before it runs, so the borrow is clean). Ties in timestamp
+//! are broken by scheduling sequence number — shared across both event
+//! kinds — which makes runs reproducible: an essential property for the
+//! paper-reproduction experiments, where every figure must regenerate
+//! identically from a seed.
+//!
+//! Event closures and typed events are required to be `Send` so that
+//! `Sim<S>: Send` whenever the user state `S` is `Send`. A simulation still
+//! runs on exactly one thread — the bound exists so the parallel sweep
+//! engine (`propack-sweep`) can hand whole simulations to worker threads.
 
 use crate::time::SimTime;
+use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 type EventFn<S> = Box<dyn FnOnce(&mut Sim<S>) + Send>;
 
-struct Scheduled<S> {
-    at: SimTime,
-    seq: u64,
-    run: EventFn<S>,
+/// User state that defines a typed event vocabulary.
+///
+/// Implementing this unlocks [`Sim::schedule_event`],
+/// [`Sim::schedule_event_in`], and [`Sim::schedule_batch`]: events are plain
+/// values of `Self::Event` (typically a small enum), stored in a recycled
+/// pool and dispatched through [`EventState::handle`] — no per-event heap
+/// allocation, unlike closure scheduling.
+///
+/// # Example
+/// ```
+/// use propack_simcore::{EventState, Sim, SimTime};
+///
+/// struct Counter {
+///     total: u64,
+/// }
+/// enum Ev {
+///     Add(u64),
+/// }
+/// impl EventState for Counter {
+///     type Event = Ev;
+///     fn handle(sim: &mut Sim<Self>, ev: Ev) {
+///         match ev {
+///             Ev::Add(n) => sim.state_mut().total += n,
+///         }
+///     }
+/// }
+///
+/// let mut sim = Sim::new(Counter { total: 0 });
+/// sim.schedule_batch(SimTime::ZERO, (1..=4).map(Ev::Add));
+/// sim.run();
+/// assert_eq!(sim.state().total, 10);
+/// ```
+pub trait EventState: Sized {
+    /// The typed event vocabulary (usually a small enum).
+    type Event: Send + 'static;
+
+    /// Fire one event against the simulation.
+    fn handle(sim: &mut Sim<Self>, event: Self::Event);
 }
 
-impl<S> PartialEq for Scheduled<S> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
+/// Where a heap entry's payload lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    /// Index into the closure pool (fallback path).
+    Closure(u32),
+    /// Index into the typed-event pool (fast path).
+    Typed(u32),
 }
-impl<S> Eq for Scheduled<S> {}
-impl<S> PartialOrd for Scheduled<S> {
+
+/// A heap entry: 24 bytes, no payload, no per-`S` code. The payload sits in
+/// a pool slot and is reclaimed when the event fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HeapEntry {
+    at: SimTime,
+    seq: u64,
+    slot: Slot,
+}
+
+impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<S> Ord for Scheduled<S> {
+impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A slot pool: insert returns a stable index, take frees it for reuse.
+/// Slots are recycled LIFO so a steady-state simulation stops allocating.
+struct Pool<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+}
+
+impl<T> Pool<T> {
+    fn new() -> Self {
+        Pool {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, value: T) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(value);
+                i
+            }
+            None => {
+                self.slots.push(Some(value));
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    fn take(&mut self, index: u32) -> Option<T> {
+        let taken = self.slots.get_mut(index as usize)?.take();
+        if taken.is_some() {
+            self.free.push(index);
+        }
+        taken
+    }
+
+    /// Allocated slot count (occupied + recyclable) — test observability.
+    #[cfg(test)]
+    fn capacity(&self) -> usize {
+        self.slots.len()
     }
 }
 
@@ -62,7 +164,15 @@ pub struct Sim<S> {
     now: SimTime,
     seq: u64,
     fired: u64,
-    queue: BinaryHeap<Reverse<Scheduled<S>>>,
+    queue: BinaryHeap<Reverse<HeapEntry>>,
+    closures: Pool<EventFn<S>>,
+    /// `Pool<S::Event>` when `S: EventState` and a typed event has been
+    /// scheduled; type-erased so `Sim<S>` stays usable (and object-code
+    /// identical) for plain states with no event vocabulary.
+    typed: Option<Box<dyn Any + Send>>,
+    /// Monomorphized dispatcher for the typed pool, captured at first
+    /// typed-event scheduling (where `S: EventState` is in scope).
+    dispatch: Option<fn(&mut Sim<S>, u32)>,
     state: S,
 }
 
@@ -74,6 +184,9 @@ impl<S> Sim<S> {
             seq: 0,
             fired: 0,
             queue: BinaryHeap::new(),
+            closures: Pool::new(),
+            typed: None,
+            dispatch: None,
             state,
         }
     }
@@ -108,27 +221,37 @@ impl<S> Sim<S> {
         self.queue.len()
     }
 
-    /// Schedule `event` to fire at the absolute instant `at`.
-    ///
-    /// Panics if `at` is in the simulated past — a past-scheduled event is
-    /// always a logic bug in the model, never something to silently clamp.
-    pub fn schedule_at<F>(&mut self, at: SimTime, event: F)
-    where
-        F: FnOnce(&mut Sim<S>) + Send + 'static,
-    {
+    fn next_seq(&mut self) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        seq
+    }
+
+    fn assert_not_past(&self, at: SimTime) {
         assert!(
             at >= self.now,
             "cannot schedule event in the past: {} < now {}",
             at,
             self.now
         );
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(Scheduled {
-            at,
-            seq,
-            run: Box::new(event),
-        }));
+    }
+
+    /// Schedule `event` to fire at the absolute instant `at`.
+    ///
+    /// Panics if `at` is in the simulated past — a past-scheduled event is
+    /// always a logic bug in the model, never something to silently clamp.
+    ///
+    /// This is the closure fallback path (one `Box` per event); hot
+    /// per-instance pipelines should define an [`EventState`] vocabulary
+    /// and use [`Sim::schedule_event`] instead.
+    pub fn schedule_at<F>(&mut self, at: SimTime, event: F)
+    where
+        F: FnOnce(&mut Sim<S>) + Send + 'static,
+    {
+        self.assert_not_past(at);
+        let seq = self.next_seq();
+        let slot = Slot::Closure(self.closures.insert(Box::new(event)));
+        self.queue.push(Reverse(HeapEntry { at, seq, slot }));
     }
 
     /// Schedule `event` to fire `delay` seconds from now.
@@ -143,11 +266,22 @@ impl<S> Sim<S> {
     /// Fire the next pending event, if any; returns whether one fired.
     pub fn step(&mut self) -> bool {
         match self.queue.pop() {
-            Some(Reverse(ev)) => {
-                debug_assert!(ev.at >= self.now, "event heap ordering violated");
-                self.now = ev.at;
+            Some(Reverse(entry)) => {
+                debug_assert!(entry.at >= self.now, "event heap ordering violated");
+                self.now = entry.at;
                 self.fired += 1;
-                (ev.run)(self);
+                match entry.slot {
+                    Slot::Closure(index) => {
+                        if let Some(run) = self.closures.take(index) {
+                            run(self);
+                        }
+                    }
+                    Slot::Typed(index) => {
+                        if let Some(dispatch) = self.dispatch {
+                            dispatch(self, index);
+                        }
+                    }
+                }
                 true
             }
             None => false,
@@ -165,12 +299,109 @@ impl<S> Sim<S> {
         loop {
             match self.queue.peek() {
                 None => return true,
-                Some(Reverse(ev)) if ev.at > deadline => return false,
+                Some(Reverse(entry)) if entry.at > deadline => return false,
                 Some(_) => {
                     self.step();
                 }
             }
         }
+    }
+}
+
+impl<S: EventState> Sim<S> {
+    /// The typed pool, created on first use. The downcast cannot fail:
+    /// `S: EventState` fixes exactly one `S::Event` per simulation, and the
+    /// pool is (re)installed with that type right here.
+    fn typed_pool(&mut self) -> &mut Pool<S::Event> {
+        let installed = self
+            .typed
+            .as_deref()
+            .is_some_and(|pool| pool.is::<Pool<S::Event>>());
+        if !installed {
+            self.typed = Some(Box::new(Pool::<S::Event>::new()));
+            self.dispatch = Some(dispatch_typed::<S>);
+        }
+        let Some(pool) = self
+            .typed
+            .as_mut()
+            .and_then(|pool| pool.downcast_mut::<Pool<S::Event>>())
+        else {
+            unreachable!("typed event pool was just installed with this exact type")
+        };
+        pool
+    }
+
+    /// Schedule a typed event at the absolute instant `at` — the
+    /// allocation-free fast path. Panics if `at` is in the simulated past,
+    /// exactly like [`Sim::schedule_at`].
+    pub fn schedule_event(&mut self, at: SimTime, event: S::Event) {
+        self.assert_not_past(at);
+        let seq = self.next_seq();
+        let slot = Slot::Typed(self.typed_pool().insert(event));
+        self.queue.push(Reverse(HeapEntry { at, seq, slot }));
+    }
+
+    /// Schedule a typed event `delay` seconds from now.
+    pub fn schedule_event_in(&mut self, delay: f64, event: S::Event) {
+        assert!(delay >= 0.0, "negative delay {delay}");
+        self.schedule_event(self.now + delay, event);
+    }
+
+    /// Enqueue a batch of typed events at the same instant in one call —
+    /// one heap `extend` instead of per-event pushes. Events fire in
+    /// iteration order (they receive consecutive sequence numbers), so a
+    /// burst's C instance-start events keep their instance order.
+    pub fn schedule_batch<I>(&mut self, at: SimTime, events: I)
+    where
+        I: IntoIterator<Item = S::Event>,
+    {
+        self.assert_not_past(at);
+        let events = events.into_iter();
+        let (lower, _) = events.size_hint();
+        self.queue.reserve(lower);
+        // Collect pool insertions first: the pool borrow and the queue
+        // borrow are disjoint fields, but the iterator may be arbitrary
+        // user code, so keep the two phases separated per item.
+        let mut entries: Vec<HeapEntry> = Vec::with_capacity(lower);
+        {
+            let base_seq = self.seq;
+            let pool = {
+                // Touch the pool once so it exists before the loop.
+                let _ = self.typed_pool();
+                // Reborrow without re-checking the downcast per item.
+                let Some(pool) = self
+                    .typed
+                    .as_mut()
+                    .and_then(|pool| pool.downcast_mut::<Pool<S::Event>>())
+                else {
+                    unreachable!("typed event pool was just installed with this exact type")
+                };
+                pool
+            };
+            for (offset, event) in events.enumerate() {
+                let slot = Slot::Typed(pool.insert(event));
+                entries.push(HeapEntry {
+                    at,
+                    seq: base_seq + offset as u64,
+                    slot,
+                });
+            }
+        }
+        self.seq += entries.len() as u64;
+        self.queue.extend(entries.into_iter().map(Reverse));
+    }
+}
+
+/// Take the event out of the pool, then hand it to `S::handle`. Stored as a
+/// plain fn pointer in `Sim` so `step` needs no `S: EventState` bound.
+fn dispatch_typed<S: EventState>(sim: &mut Sim<S>, slot: u32) {
+    let event = sim
+        .typed
+        .as_mut()
+        .and_then(|pool| pool.downcast_mut::<Pool<S::Event>>())
+        .and_then(|pool| pool.take(slot));
+    if let Some(event) = event {
+        S::handle(sim, event);
     }
 }
 
@@ -277,5 +508,138 @@ mod tests {
         for w in sim.state().windows(2) {
             assert!(w[1] >= w[0]);
         }
+    }
+
+    // ---- typed-event path -------------------------------------------------
+
+    struct Log {
+        seen: Vec<u32>,
+    }
+
+    enum LogEv {
+        Push(u32),
+        PushThenChain(u32),
+    }
+
+    impl EventState for Log {
+        type Event = LogEv;
+        fn handle(sim: &mut Sim<Self>, ev: LogEv) {
+            match ev {
+                LogEv::Push(v) => sim.state_mut().seen.push(v),
+                LogEv::PushThenChain(v) => {
+                    sim.state_mut().seen.push(v);
+                    if v < 5 {
+                        sim.schedule_event_in(1.0, LogEv::PushThenChain(v + 1));
+                    }
+                }
+            }
+        }
+    }
+
+    fn log_sim() -> Sim<Log> {
+        Sim::new(Log { seen: Vec::new() })
+    }
+
+    #[test]
+    fn typed_events_fire_in_time_then_seq_order() {
+        let mut sim = log_sim();
+        sim.schedule_event(SimTime::from_secs(2.0), LogEv::Push(2));
+        sim.schedule_event(SimTime::from_secs(1.0), LogEv::Push(1));
+        sim.schedule_event(SimTime::from_secs(1.0), LogEv::Push(11));
+        sim.run();
+        assert_eq!(sim.state().seen, &[1, 11, 2]);
+        assert_eq!(sim.events_fired(), 3);
+    }
+
+    #[test]
+    fn typed_and_closure_events_share_one_tiebreak_sequence() {
+        // Interleave the two kinds at the same timestamp: firing order must
+        // equal scheduling order regardless of kind.
+        let mut sim = log_sim();
+        let t = SimTime::from_secs(3.0);
+        sim.schedule_event(t, LogEv::Push(0));
+        sim.schedule_at(t, |s| s.state_mut().seen.push(1));
+        sim.schedule_event(t, LogEv::Push(2));
+        sim.schedule_at(t, |s| s.state_mut().seen.push(3));
+        sim.run();
+        assert_eq!(sim.state().seen, &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn typed_events_can_cascade() {
+        let mut sim = log_sim();
+        sim.schedule_event_in(1.0, LogEv::PushThenChain(1));
+        sim.run();
+        assert_eq!(sim.state().seen, &[1, 2, 3, 4, 5]);
+        assert_eq!(sim.now(), SimTime::from_secs(5.0));
+    }
+
+    #[test]
+    fn schedule_batch_preserves_iteration_order() {
+        let mut sim = log_sim();
+        sim.schedule_batch(SimTime::ZERO, (0..500).map(LogEv::Push));
+        assert_eq!(sim.events_pending(), 500);
+        sim.run();
+        let want: Vec<u32> = (0..500).collect();
+        assert_eq!(sim.state().seen, want);
+    }
+
+    #[test]
+    fn batch_then_singles_keep_global_order() {
+        let mut sim = log_sim();
+        sim.schedule_batch(SimTime::from_secs(1.0), (0..3).map(LogEv::Push));
+        sim.schedule_event(SimTime::from_secs(1.0), LogEv::Push(3));
+        sim.schedule_at(SimTime::from_secs(1.0), |s| s.state_mut().seen.push(4));
+        sim.run();
+        assert_eq!(sim.state().seen, &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn typed_scheduling_in_the_past_panics() {
+        let mut sim = log_sim();
+        sim.schedule_event(SimTime::from_secs(5.0), LogEv::Push(0));
+        sim.run();
+        sim.schedule_event(SimTime::from_secs(1.0), LogEv::Push(1));
+    }
+
+    #[test]
+    fn pools_recycle_slots_in_steady_state() {
+        // A chain of 1000 sequential typed events must not grow the pool
+        // beyond the peak number of *simultaneously pending* events (1).
+        let mut sim = log_sim();
+        sim.schedule_event_in(1.0, LogEv::PushThenChain(1));
+        sim.run();
+        assert_eq!(sim.typed_pool().capacity(), 1);
+
+        // Same for the closure pool.
+        let mut sim = Sim::new(0u64);
+        fn tick(s: &mut Sim<u64>) {
+            *s.state_mut() += 1;
+            if *s.state() < 1000 {
+                s.schedule_in(1.0, tick);
+            }
+        }
+        sim.schedule_in(1.0, tick);
+        sim.run();
+        assert_eq!(sim.closures.capacity(), 1);
+        assert_eq!(*sim.state(), 1000);
+    }
+
+    #[test]
+    fn mixed_kind_runs_drain_completely() {
+        let mut sim = log_sim();
+        for i in 0..64u32 {
+            let d = f64::from((i * 31) % 17);
+            if i % 2 == 0 {
+                sim.schedule_in(d, move |s| s.state_mut().seen.push(i));
+            } else {
+                sim.schedule_event_in(d, LogEv::Push(i));
+            }
+        }
+        sim.run();
+        assert_eq!(sim.state().seen.len(), 64);
+        assert_eq!(sim.events_pending(), 0);
+        assert_eq!(sim.events_fired(), 64);
     }
 }

@@ -31,7 +31,7 @@ pub mod rng;
 pub mod time;
 pub mod trace;
 
-pub use engine::Sim;
+pub use engine::{EventState, Sim};
 pub use fault::{FaultPlan, FaultSpec, RetryPolicy};
 pub use resource::{BandwidthPipe, FifoResource, MultiServer};
 pub use rng::RngStreams;

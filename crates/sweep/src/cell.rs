@@ -84,6 +84,13 @@ pub struct CellResult {
     pub error: Option<String>,
     /// Host milliseconds spent simulating this cell (timing only).
     pub wall_ms: f64,
+    /// Host milliseconds of `wall_ms` spent fitting (or fetching) the
+    /// ProPack model — 0 for non-ProPack policies and for cache hits, which
+    /// cost microseconds. Timing only, like `wall_ms`.
+    pub fit_ms: f64,
+    /// Host milliseconds of `wall_ms` spent running the cell's burst(s)
+    /// after model fitting (`wall_ms − fit_ms`). Timing only.
+    pub run_ms: f64,
 }
 
 impl CellResult {

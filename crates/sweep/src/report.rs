@@ -141,9 +141,11 @@ pub fn bench_json(
     for (i, cell) in report.cells.iter().enumerate() {
         let comma = if i + 1 < report.cells.len() { "," } else { "" };
         out.push_str(&format!(
-            "    {{\"cell\": \"{}\", \"wall_ms\": {}}}{}\n",
+            "    {{\"cell\": \"{}\", \"wall_ms\": {}, \"fit_ms\": {}, \"run_ms\": {}}}{}\n",
             escape_json(&cell.key.compact()),
             json_f64(cell.wall_ms),
+            json_f64(cell.fit_ms),
+            json_f64(cell.run_ms),
             comma,
         ));
     }
@@ -214,6 +216,8 @@ mod tests {
             failed_functions: 0,
             error: None,
             wall_ms: 1.5,
+            fit_ms: 1.0,
+            run_ms: 0.5,
         }
     }
 

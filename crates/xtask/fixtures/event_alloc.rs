@@ -1,0 +1,30 @@
+//! Fixture for the `event-alloc` rule: boxed closures handed to the
+//! scheduler. Never compiled — lexed by the simlint unit tests.
+
+fn bad(sim: &mut Sim) {
+    // Closure boxed per event on the hot path: flagged.
+    sim.schedule(SimTime::ZERO, Box::new(move |sim| tick(sim)));
+    // Any `schedule_*` spelling is covered.
+    sim.schedule_in(delay, Box::new(|sim| drain(sim)));
+}
+
+fn good(sim: &mut Sim) {
+    // Typed events through the pooled queue: clean.
+    sim.schedule_event(SimTime::ZERO, Ev::Tick);
+    sim.schedule_batch(SimTime::ZERO, (0..n).map(Ev::Invoke));
+    // A box outside any schedule call is someone else's business.
+    let _cb: Box<dyn Fn()> = Box::new(|| {});
+}
+
+fn justified(sim: &mut Sim) {
+    // simlint: allow(event-alloc): "one-shot setup event, not per-instance"
+    sim.schedule(SimTime::ZERO, Box::new(|sim| init(sim)));
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn closures_fine_in_tests() {
+        sim.schedule(SimTime::ZERO, Box::new(|sim| probe(sim)));
+    }
+}

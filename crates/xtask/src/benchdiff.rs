@@ -1,0 +1,206 @@
+//! `cargo xtask benchdiff` — the kernel-throughput regression gate.
+//!
+//! Compares the per-policy `cells_per_sec` figures of a freshly generated
+//! `BENCH_kernel.json` against the committed baseline
+//! (`crates/bench/baselines/kernel_baseline.json`) and fails when any group
+//! regressed by more than the tolerance. Absolute throughput is noisy across
+//! machines, so the gate is generous (30 % by default) — it exists to catch
+//! accidental algorithmic regressions (an O(n) scan reintroduced on a hot
+//! path), not scheduler jitter.
+//!
+//! The parser is a line-oriented duplicate of
+//! `propack_bench::kernel::parse_cells_per_sec`: xtask takes no
+//! dependencies (not even on workspace crates), so it cannot link the bench
+//! crate. Both sides rely on `BENCH_kernel.json` writing each group object
+//! on one line carrying both a `"policy"` and a `"cells_per_sec"` key.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Extract `(policy, cells_per_sec)` pairs from a `BENCH_kernel.json`
+/// document.
+pub fn parse_cells_per_sec(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(policy) = extract_str(line, "\"policy\": \"") else {
+            continue;
+        };
+        let Some(value) = extract_f64(line, "\"cells_per_sec\": ") else {
+            continue;
+        };
+        out.push((policy, value));
+    }
+    out
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn extract_f64(line: &str, key: &str) -> Option<f64> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|ch: char| !(ch.is_ascii_digit() || ch == '.' || ch == '-' || ch == 'e' || ch == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// One policy group's comparison outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Within tolerance (or faster). Carries current/baseline ratio.
+    Ok(f64),
+    /// Regressed beyond tolerance. Carries current/baseline ratio.
+    Regressed(f64),
+    /// Policy present in the baseline but missing from the current run.
+    Missing,
+}
+
+/// Compare current vs. baseline throughput per policy. Every baseline policy
+/// must appear in the current document; policies new in the current document
+/// pass (there is nothing to regress against).
+pub fn compare(
+    current: &[(String, f64)],
+    baseline: &[(String, f64)],
+    tolerance: f64,
+) -> Vec<(String, Verdict)> {
+    baseline
+        .iter()
+        .map(|(policy, base)| {
+            let verdict = match current.iter().find(|(p, _)| p == policy) {
+                None => Verdict::Missing,
+                Some((_, now)) => {
+                    let ratio = if *base > 0.0 {
+                        now / base
+                    } else {
+                        f64::INFINITY
+                    };
+                    if ratio < 1.0 - tolerance {
+                        Verdict::Regressed(ratio)
+                    } else {
+                        Verdict::Ok(ratio)
+                    }
+                }
+            };
+            (policy.clone(), verdict)
+        })
+        .collect()
+}
+
+/// Run the gate: parse both documents, compare, report to stderr.
+pub fn run(current: &Path, baseline: &Path, tolerance: f64) -> ExitCode {
+    let read = |path: &Path| -> Result<Vec<(String, f64)>, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let groups = parse_cells_per_sec(&text);
+        if groups.is_empty() {
+            return Err(format!(
+                "{}: no `policy`/`cells_per_sec` groups found",
+                path.display()
+            ));
+        }
+        Ok(groups)
+    };
+    let (current_groups, baseline_groups) = match (read(current), read(baseline)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failed = false;
+    for (policy, verdict) in compare(&current_groups, &baseline_groups, tolerance) {
+        match verdict {
+            Verdict::Ok(ratio) => {
+                eprintln!("benchdiff: {policy}: {:.2}x baseline — ok", ratio);
+            }
+            Verdict::Regressed(ratio) => {
+                failed = true;
+                eprintln!(
+                    "benchdiff: {policy}: {:.2}x baseline — REGRESSED beyond {:.0}% tolerance",
+                    ratio,
+                    tolerance * 100.0
+                );
+            }
+            Verdict::Missing => {
+                failed = true;
+                eprintln!("benchdiff: {policy}: missing from current run — FAILED");
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        eprintln!("benchdiff: within {:.0}% tolerance", tolerance * 100.0);
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+  "bench": "kernel",
+  "groups": [
+    {"policy": "no-packing", "cells": 8, "wall_secs": 0.1, "cells_per_sec": 80.0},
+    {"policy": "propack-joint-0.5", "cells": 8, "wall_secs": 0.2, "cells_per_sec": 40.0}
+  ]
+}
+"#;
+
+    #[test]
+    fn parser_reads_groups() {
+        let groups = parse_cells_per_sec(DOC);
+        assert_eq!(
+            groups,
+            vec![
+                ("no-packing".to_string(), 80.0),
+                ("propack-joint-0.5".to_string(), 40.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = parse_cells_per_sec(DOC);
+        let current = vec![
+            ("no-packing".to_string(), 60.0),         // 0.75x: ok at 30%
+            ("propack-joint-0.5".to_string(), 120.0), // faster: ok
+        ];
+        let verdicts = compare(&current, &base, 0.30);
+        assert!(
+            verdicts.iter().all(|(_, v)| matches!(v, Verdict::Ok(_))),
+            "{verdicts:?}"
+        );
+    }
+
+    #[test]
+    fn beyond_tolerance_regresses() {
+        let base = parse_cells_per_sec(DOC);
+        let current = vec![
+            ("no-packing".to_string(), 80.0),
+            ("propack-joint-0.5".to_string(), 20.0), // 0.5x: regressed
+        ];
+        let verdicts = compare(&current, &base, 0.30);
+        assert_eq!(verdicts[0].1, Verdict::Ok(1.0));
+        assert!(matches!(verdicts[1].1, Verdict::Regressed(r) if (r - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn missing_policy_fails_and_new_policy_passes() {
+        let base = parse_cells_per_sec(DOC);
+        let current = vec![
+            ("no-packing".to_string(), 80.0),
+            ("brand-new-policy".to_string(), 1.0),
+        ];
+        let verdicts = compare(&current, &base, 0.30);
+        assert_eq!(verdicts.len(), 2, "one verdict per baseline policy");
+        assert!(matches!(verdicts[1].1, Verdict::Missing));
+    }
+}

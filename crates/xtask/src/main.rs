@@ -1,16 +1,29 @@
 //! `cargo xtask` — workspace automation for the ProPack reproduction.
 //!
-//! The only task so far is `simlint`, a repo-specific static-analysis pass
-//! enforcing the determinism and robustness invariants described in
-//! DESIGN.md §7. Run it as:
+//! Two tasks:
 //!
-//! ```text
-//! cargo xtask simlint [--root <workspace-root>]
-//! ```
+//! * `simlint` — a repo-specific static-analysis pass enforcing the
+//!   determinism and robustness invariants described in DESIGN.md §7:
 //!
-//! Exit status: 0 when clean, 1 when violations were found, 2 on usage or
-//! I/O errors. Diagnostics are rustc-style `file:line` lines on stderr.
+//!   ```text
+//!   cargo xtask simlint [--root <workspace-root>]
+//!   ```
+//!
+//! * `benchdiff` — the kernel-throughput regression gate: compares a fresh
+//!   `BENCH_kernel.json` against the committed baseline and fails when any
+//!   policy group's `cells_per_sec` regressed by more than the tolerance
+//!   (default 30 %):
+//!
+//!   ```text
+//!   cargo xtask benchdiff [--current BENCH_kernel.json] \
+//!       [--baseline crates/bench/baselines/kernel_baseline.json] \
+//!       [--tolerance 0.30]
+//!   ```
+//!
+//! Exit status: 0 when clean, 1 when violations/regressions were found, 2 on
+//! usage or I/O errors. Diagnostics are `file:line`-style lines on stderr.
 
+mod benchdiff;
 mod lexer;
 mod rules;
 mod walk;
@@ -34,6 +47,30 @@ fn main() -> ExitCode {
             }
             let root = root.unwrap_or_else(default_root);
             simlint(&root)
+        }
+        Some("benchdiff") => {
+            let mut current = std::path::PathBuf::from("BENCH_kernel.json");
+            let mut baseline =
+                std::path::PathBuf::from("crates/bench/baselines/kernel_baseline.json");
+            let mut tolerance = 0.30f64;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--current" => match args.next() {
+                        Some(p) => current = p.into(),
+                        None => return usage("--current requires a path"),
+                    },
+                    "--baseline" => match args.next() {
+                        Some(p) => baseline = p.into(),
+                        None => return usage("--baseline requires a path"),
+                    },
+                    "--tolerance" => match args.next().and_then(|t| t.parse().ok()) {
+                        Some(t) => tolerance = t,
+                        None => return usage("--tolerance requires a fraction (e.g. 0.30)"),
+                    },
+                    other => return usage(&format!("unknown benchdiff option `{other}`")),
+                }
+            }
+            benchdiff::run(&current, &baseline, tolerance)
         }
         Some(other) => usage(&format!("unknown task `{other}`")),
         None => usage("no task given"),
@@ -88,7 +125,10 @@ fn simlint(root: &std::path::Path) -> ExitCode {
 }
 
 fn usage(err: &str) -> ExitCode {
-    eprintln!("error: {err}\n\nUsage: cargo xtask simlint [--root <workspace-root>]");
+    eprintln!(
+        "error: {err}\n\nUsage:\n  cargo xtask simlint [--root <workspace-root>]\n  \
+         cargo xtask benchdiff [--current <json>] [--baseline <json>] [--tolerance <frac>]"
+    );
     ExitCode::from(2)
 }
 
@@ -197,6 +237,23 @@ mod tests {
         let real = include_str!("../../simcore/src/fault.rs");
         let v = lint_file(real, &ctx("simcore", "crates/simcore/src/fault.rs"));
         assert!(v.is_empty(), "shipped fault.rs violates fault-rng: {v:?}");
+    }
+
+    #[test]
+    fn fixture_event_alloc_flagged_outside_simcore() {
+        let src = include_str!("../fixtures/event_alloc.rs");
+        let v = lint_file(src, &ctx("platform", "crates/platform/src/bad.rs"));
+        assert_eq!(rules_hit(&v), ["event-alloc"]);
+        // Two boxed closures in library code; the typed-event calls, the
+        // non-schedule Box, the justified allow, and the cfg(test) closure
+        // are all exempt.
+        assert_eq!(v.len(), 2, "{v:?}");
+        // simcore owns the closure fallback and may exercise it.
+        let v = lint_file(src, &ctx("simcore", "crates/simcore/src/ok.rs"));
+        assert!(v.is_empty(), "simcore may box scheduler closures: {v:?}");
+        // Non-simulation crates are out of scope.
+        let v = lint_file(src, &ctx("bench", "crates/bench/src/ok.rs"));
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]

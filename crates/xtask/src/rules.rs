@@ -12,6 +12,7 @@
 //! | `const-doc` | `platform::profile`                     | every `pub const` cites its paper provenance (Fig./Eq./Table/§) |
 //! | `thread-spawn` | all crates except `sweep`, `executor` | no `thread::spawn`/`thread::scope`: host concurrency lives in the sweep engine and kernel harness |
 //! | `fault-rng` | `*fault*.rs` in simulation crates       | no direct RNG construction: fault draws come only from the seeded `RngStreams` lane tree |
+//! | `event-alloc` | simulation crates except `simcore` (non-test) | no `Box::new` inside `schedule_*(…)` calls: hot paths use the typed pooled event queue; the boxed-closure path is simcore's compatibility fallback |
 //!
 //! Escape hatch: `// simlint: allow(<rule>): "justification"` on the same
 //! line (trailing) or the line above. The justification string is mandatory;
@@ -38,9 +39,10 @@ pub const FLOAT_EQ_CRATES: &[&str] = &["stats", "propack"];
 
 /// Crates allowed to touch wall-clock time and OS entropy: `executor` runs
 /// real kernels on real hardware; `sweep` measures host wall-time per grid
-/// cell (timing is reported, never rendered into sweep output); `xtask` is
-/// tooling, not simulation.
-pub const WALL_CLOCK_EXEMPT: &[&str] = &["executor", "sweep", "xtask"];
+/// cell (timing is reported, never rendered into sweep output); `bench`
+/// times the kernel itself for `BENCH_kernel.json`; `xtask` is tooling, not
+/// simulation.
+pub const WALL_CLOCK_EXEMPT: &[&str] = &["executor", "sweep", "bench", "xtask"];
 
 /// Crates allowed to create OS threads: `sweep` owns the work-stealing grid
 /// fan-out, `executor` drives real kernels, `xtask` is tooling. Everything
@@ -57,6 +59,7 @@ pub const RULES: &[&str] = &[
     "const-doc",
     "thread-spawn",
     "fault-rng",
+    "event-alloc",
 ];
 
 /// Wall-clock / entropy identifiers banned outside `executor`.
@@ -101,6 +104,13 @@ impl FileCtx {
     /// Whether the `const-doc` rule applies to this file.
     fn wants_const_doc(&self) -> bool {
         self.crate_name == "platform" && self.rel_path.ends_with("profile.rs")
+    }
+
+    /// Whether the `event-alloc` rule applies: simulation crates other than
+    /// `simcore` itself — the boxed-closure `schedule`/`schedule_in` fallback
+    /// is implemented (and legitimately exercised) there.
+    fn wants_event_alloc(&self) -> bool {
+        SIM_CRATES.contains(&self.crate_name.as_str()) && self.crate_name != "simcore"
     }
 
     /// Whether the `fault-rng` rule applies: fault-lane source files in the
@@ -149,6 +159,7 @@ pub fn lint_file(src: &str, ctx: &FileCtx) -> Vec<Violation> {
     check_const_doc(&lexed.tokens, ctx, &mut raw);
     check_thread_spawn(&lexed.tokens, ctx, &mut raw);
     check_fault_rng(&lexed.tokens, ctx, &mut raw);
+    check_event_alloc(&lexed.tokens, ctx, &test_lines, &mut raw);
 
     apply_allows(raw, &lexed.allows, ctx)
 }
@@ -473,6 +484,66 @@ fn check_fault_rng(tokens: &[Token], ctx: &FileCtx, out: &mut Vec<Violation>) {
                 ),
             });
         }
+    }
+}
+
+/// Flag `Box::new` inside the argument list of any `schedule_*(…)` call:
+/// every boxed closure handed to the scheduler is a heap allocation on the
+/// kernel's hot path. Simulation crates route events through the typed,
+/// pooled queue (`EventState::Event` + `schedule_event`/`schedule_batch`);
+/// the closure form survives in `simcore` only as a compatibility fallback.
+fn check_event_alloc(
+    tokens: &[Token],
+    ctx: &FileCtx,
+    test_lines: &TestLines,
+    out: &mut Vec<Violation>,
+) {
+    if !ctx.wants_event_alloc() {
+        return;
+    }
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        let is_schedule_call = t.kind == TokenKind::Ident
+            && t.text.starts_with("schedule")
+            && matches!(tokens.get(i + 1), Some(n) if is_punct(n, "("));
+        if !is_schedule_call {
+            i += 1;
+            continue;
+        }
+        let callee = t.text.clone();
+        // Paren-match the call's argument span.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while j < tokens.len() {
+            if is_punct(&tokens[j], "(") {
+                depth += 1;
+            } else if is_punct(&tokens[j], ")") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if depth > 0
+                && is_ident(&tokens[j], "Box")
+                && matches!(tokens.get(j + 1), Some(n) if is_punct(n, "::"))
+                && matches!(tokens.get(j + 2), Some(n) if is_ident(n, "new"))
+                && !test_lines.contains(tokens[j].line)
+            {
+                out.push(Violation {
+                    rule: "event-alloc",
+                    rel_path: ctx.rel_path.clone(),
+                    line: tokens[j].line,
+                    message: format!(
+                        "`Box::new` inside `{callee}(…)` heap-allocates a closure per \
+                         event; define a typed event (`EventState::Event`) and use \
+                         `schedule_event`/`schedule_batch` — the boxed-closure form is \
+                         simcore's compatibility fallback, not the hot path"
+                    ),
+                });
+            }
+            j += 1;
+        }
+        i = j.max(i + 1);
     }
 }
 

@@ -1,0 +1,153 @@
+//! Golden replay tests: the kernel-optimization safety net.
+//!
+//! Each fixture in `tests/golden/` pins the **bit-exact** `RunReport` of one
+//! burst configuration, rendered with [`RunReport::canonical_text`] (every
+//! `f64` as its IEEE-754 bit pattern). The fixtures were generated with the
+//! pre-optimization kernel (PR 3); the current kernel — pooled event queue,
+//! cohort batching, typed events — must reproduce every one of them byte for
+//! byte. A single-ULP drift in any timestamp, bill, or fault counter fails
+//! the test with a pointer to the first diverging line.
+//!
+//! Grid: {aws, funcx} × {Sort, Video} × {fault-free, crash=0.01} ×
+//! C ∈ {500, 1000}, seed 42 (the CI smoke-sweep seed) — 16 fixtures.
+//!
+//! Regenerate (only when *intentionally* changing simulated behaviour, never
+//! as part of a performance PR):
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --release --test golden_replay
+//! ```
+
+use propack_repro::funcx::{FuncXConfig, FuncXPlatform};
+use propack_repro::platform::prelude::*;
+use propack_repro::workloads::Benchmarks;
+use std::fs;
+use std::path::PathBuf;
+
+const SEED: u64 = 42;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn platform(key: &str) -> Box<dyn ServerlessPlatform> {
+    match key {
+        "aws" => Box::new(PlatformBuilder::aws().build()),
+        "funcx" => Box::new(FuncXPlatform::new(FuncXConfig::default())),
+        other => panic!("unknown platform key {other}"),
+    }
+}
+
+fn workload(key: &str) -> WorkProfile {
+    Benchmarks::resolve(key)
+        .unwrap_or_else(|| panic!("unknown workload key {key}"))
+        .profile()
+}
+
+fn spec(work: &WorkProfile, concurrency: u32, faults: &str) -> BurstSpec {
+    let base = BurstSpec::new(work.clone(), concurrency, 1).with_seed(SEED);
+    match faults {
+        "fault-free" => base,
+        "crash001" => base
+            .with_faults(FaultSpec::none().with_crash_rate(0.01))
+            .with_retry(RetryPolicy::default()),
+        other => panic!("unknown fault scenario {other}"),
+    }
+}
+
+/// All 16 golden cases as (fixture-name, platform, workload, C, faults).
+fn cases() -> Vec<(String, &'static str, &'static str, u32, &'static str)> {
+    let mut v = Vec::new();
+    for plat in ["aws", "funcx"] {
+        for work in ["sort", "video"] {
+            for faults in ["fault-free", "crash001"] {
+                for c in [500u32, 1000] {
+                    let name = format!("{plat}_{work}_{faults}_c{c}.txt");
+                    v.push((name, plat, work, c, faults));
+                }
+            }
+        }
+    }
+    v
+}
+
+fn render_case(plat: &str, work: &str, c: u32, faults: &str) -> String {
+    let p = platform(plat);
+    let w = workload(work);
+    let report = p
+        .run_burst(&spec(&w, c, faults))
+        .unwrap_or_else(|e| panic!("{plat}/{work}/c{c}/{faults}: {e:?}"));
+    report.canonical_text()
+}
+
+/// Point at the first diverging line so a ULP drift is debuggable.
+fn first_divergence(golden: &str, current: &str) -> String {
+    for (n, (g, c)) in golden.lines().zip(current.lines()).enumerate() {
+        if g != c {
+            return format!(
+                "first divergence at line {}:\n  golden:  {g}\n  current: {c}",
+                n + 1
+            );
+        }
+    }
+    format!(
+        "line counts differ: golden {} vs current {}",
+        golden.lines().count(),
+        current.lines().count()
+    )
+}
+
+#[test]
+fn golden_replay_bit_identical() {
+    let dir = golden_dir();
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    if update {
+        fs::create_dir_all(&dir).expect("create tests/golden");
+    }
+    let mut missing = Vec::new();
+    for (name, plat, work, c, faults) in cases() {
+        let current = render_case(plat, work, c, faults);
+        let path = dir.join(&name);
+        if update {
+            fs::write(&path, &current).expect("write golden fixture");
+            continue;
+        }
+        let golden = match fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(_) => {
+                missing.push(name);
+                continue;
+            }
+        };
+        assert_eq!(
+            golden,
+            current,
+            "golden replay diverged for {name}: {}",
+            first_divergence(&golden, &current)
+        );
+    }
+    assert!(
+        missing.is_empty(),
+        "missing golden fixtures (run with UPDATE_GOLDEN=1 to generate): {missing:?}"
+    );
+}
+
+/// The crash-fault fixtures must actually contain faults — otherwise the
+/// crash scenario silently degenerated into the fault-free one and the
+/// golden grid lost half its coverage.
+#[test]
+fn crash_fixtures_exercise_the_fault_path() {
+    for (plat, work) in [("aws", "sort"), ("funcx", "video")] {
+        let p = platform(plat);
+        let w = workload(work);
+        let report = p
+            .run_burst(&spec(&w, 1000, "crash001"))
+            .expect("crash burst");
+        assert!(
+            report.faults.crashes > 0,
+            "{plat}/{work} crash=0.01 burst recorded no crashes"
+        );
+    }
+}

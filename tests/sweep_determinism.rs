@@ -77,3 +77,41 @@ fn cache_hit_matches_cold_fit_packing_decisions() {
         }
     }
 }
+
+/// The kernel's cohort fast path (fault-free, first-attempt instances whose
+/// lifecycle is finished arithmetically) must be invisible in results.
+/// Tracing disables the fast path — every instance then simulates its
+/// execution individually through scheduled events — so a traced burst
+/// exercises the slow path the fast path replaced. Both must agree
+/// bit-for-bit, across fault-free, straggler, and crash-retry bursts (the
+/// latter mixing fast-path and individually-simulated instances).
+#[test]
+fn cohort_fast_path_matches_individual_simulation() {
+    let platform = PlatformBuilder::aws().build();
+    let work = Benchmarks::primary()[0].profile();
+    let specs = [
+        BurstSpec::packed(work.clone(), 500, 4).with_seed(21),
+        BurstSpec::packed(work.clone(), 1000, 25)
+            .with_seed(22)
+            .with_warm_fraction(0.3),
+        BurstSpec::packed(work.clone(), 400, 4)
+            .with_seed(23)
+            .with_faults(FaultSpec::none().with_straggler(0.05, 3.0)),
+        BurstSpec::packed(work, 400, 4)
+            .with_seed(24)
+            .with_faults(FaultSpec::none().with_crash_rate(0.02))
+            .with_retry(RetryPolicy::default()),
+    ];
+    for spec in specs {
+        let fast = platform.run_burst(&spec).unwrap();
+        let (individual, trace) = platform.run_burst_traced(&spec).unwrap();
+        assert!(!trace.is_empty(), "traced run must actually trace");
+        assert_eq!(
+            fast.canonical_text(),
+            individual.canonical_text(),
+            "cohort-batched and individually-simulated bursts diverged (seed {})",
+            spec.seed
+        );
+        assert_eq!(fast, individual);
+    }
+}
