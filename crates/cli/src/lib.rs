@@ -10,6 +10,9 @@
 //!                  [--policies <pol,..>] [--seeds <s,..>] [--faults <f,..>]
 //!                  [--threads <n>] [--bench-out <file>] [--compare-serial]
 //!                  [--name <id>]
+//! propack replay   [--trace <file.csv> | --arrivals <gen>] [--epoch <s>]
+//!                  [--controller <c,..>] [--faults <f>] [--seed <s>]
+//!                  [--threads <n>] [--compare-serial] [--out <file>]
 //! propack figures  [--fig <fig01,fig21,..|all>] [--json]
 //! propack validate --app <name> -c <C> [--platform <p>] [--seed <s>]
 //! propack help
@@ -28,14 +31,17 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use propack_baselines::{NoPacking, Pywren, Strategy};
 use propack_funcx::FuncXPlatform;
+use propack_model::cache::ModelCache;
 use propack_model::optimizer::Objective;
 use propack_model::propack::{ProPackConfig, Propack};
 use propack_model::validate::validate_models;
 use propack_platform::PlatformBuilder;
 use propack_platform::{ServerlessPlatform, WorkProfile};
+use propack_replay::{ArrivalTrace, Controller, ReplayEngine, ReplaySpec};
 use propack_stats::chi2::ChiSquareTest;
 use propack_sweep::{
-    bench_json, FaultScenario, PackingPolicy, PlatformAxis, RunTiming, SweepRunner, SweepSpec,
+    bench_json, replay_bench_json, timed_replay, FaultScenario, PackingPolicy, PlatformAxis,
+    ReplayGrid, RunTiming, SweepRunner, SweepSpec,
 };
 use propack_workloads::Benchmarks;
 
@@ -44,6 +50,8 @@ use propack_workloads::Benchmarks;
 pub enum Command {
     /// Run a declarative experiment grid on the parallel sweep engine.
     Sweep(SweepArgs),
+    /// Replay a trace-driven arrival stream under online controllers.
+    Replay(ReplayArgs),
     /// Regenerate paper figures/tables by experiment id.
     Figures(FiguresArgs),
     /// Replay the §2.4 χ² model-validation protocol for one app.
@@ -86,6 +94,46 @@ pub struct SweepArgs {
     pub bench_out: Option<String>,
     /// Also run serially and verify byte-identical output + speedup.
     pub compare_serial: bool,
+}
+
+/// Arguments of `propack replay`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayArgs {
+    /// Benchmark key executed per arrival.
+    pub app: String,
+    /// Platform key.
+    pub platform: String,
+    /// CSV trace file (`app,timestamp,count` rows); `None` with no
+    /// `--arrivals` means the bundled diurnal sample.
+    pub trace: Option<String>,
+    /// Which app to replay from a multi-app trace file.
+    pub trace_app: Option<String>,
+    /// Synthetic generator spec (`poisson:<rate>`,
+    /// `diurnal:<mean>,<amplitude>,<period>`, `burst:<rate>,<on_s>,<off_s>`).
+    pub arrivals: Option<String>,
+    /// Horizon for synthetic generators, seconds.
+    pub horizon: Option<f64>,
+    /// Epoch (control window) width, seconds.
+    pub epoch_secs: f64,
+    /// Controller keys (comma list: `no-packing`, `fixed:<P>`, `oracle`,
+    /// `propack[:<forecaster>]`).
+    pub controllers: Vec<String>,
+    /// Objective key for the planning controllers.
+    pub objective: String,
+    /// Per-epoch tail-latency QoS bound, seconds.
+    pub qos: Option<f64>,
+    /// Fault scenario (single `--faults` spec, same grammar as sweep).
+    pub faults: String,
+    /// Base seed.
+    pub seed: u64,
+    /// Worker threads for the `--compare-serial` sweep cross-check;
+    /// 0 = one per available core.
+    pub threads: usize,
+    /// Also run the controllers through the sweep grid serially and in
+    /// parallel and require byte-identical output.
+    pub compare_serial: bool,
+    /// Write `BENCH_replay.json` here.
+    pub out: Option<String>,
 }
 
 /// Arguments of `propack figures`.
@@ -311,6 +359,29 @@ const SUBCOMMANDS: &[Subcommand] = &[
         build: build_sweep,
     },
     Subcommand {
+        name: "replay",
+        usage: "replay   [--app <a>] [--trace <file.csv> | --arrivals poisson:<rate>|diurnal:<mean>,<amp>,<period>|burst:<rate>,<on_s>,<off_s>] [--trace-app <name>] [--horizon <s>] [--epoch <s>] [--controller no-packing,fixed:<P>,oracle,propack[:<forecaster>]] [--platform <p>] [--objective <o>] [--qos <s>] [--faults <spec>] [--seed <s>] [--threads <n>] [--compare-serial] [--out <file>]",
+        value_flags: &[
+            "--app",
+            "--trace",
+            "--trace-app",
+            "--arrivals",
+            "--horizon",
+            "--epoch",
+            "--controller",
+            "--platform",
+            "--objective",
+            "--qos",
+            "--faults",
+            "--seed",
+            "--threads",
+            "--out",
+        ],
+        switch_flags: &["--compare-serial"],
+        note: None,
+        build: build_replay,
+    },
+    Subcommand {
         name: "figures",
         usage: "figures  [--fig fig01,fig21,..|all] [--json]",
         value_flags: &["--fig"],
@@ -397,6 +468,28 @@ fn build_sweep(flags: &FlagSet) -> Result<Command, ParseError> {
         threads: flags.parsed("threads")?.unwrap_or(0),
         bench_out: flags.get("bench-out").map(str::to_string),
         compare_serial: flags.has("compare-serial"),
+    }))
+}
+
+fn build_replay(flags: &FlagSet) -> Result<Command, ParseError> {
+    Ok(Command::Replay(ReplayArgs {
+        app: flags.get("app").unwrap_or("sort").to_string(),
+        platform: flags.get("platform").unwrap_or("aws").to_string(),
+        trace: flags.get("trace").map(str::to_string),
+        trace_app: flags.get("trace-app").map(str::to_string),
+        arrivals: flags.get("arrivals").map(str::to_string),
+        horizon: flags.parsed("horizon")?,
+        epoch_secs: flags.parsed("epoch")?.unwrap_or(60.0),
+        controllers: flags
+            .list("controller")
+            .unwrap_or_else(|| vec!["propack:ewma".into()]),
+        objective: flags.get("objective").unwrap_or("service").to_string(),
+        qos: flags.parsed("qos")?,
+        faults: flags.get("faults").unwrap_or("none").to_string(),
+        seed: flags.parsed("seed")?.unwrap_or(42),
+        threads: flags.parsed("threads")?.unwrap_or(0),
+        compare_serial: flags.has("compare-serial"),
+        out: flags.get("out").map(str::to_string),
     }))
 }
 
@@ -660,6 +753,7 @@ pub fn execute(
             }
         }
         Command::Sweep(sa) => run_sweep(&sa, out)?,
+        Command::Replay(ra) => run_replay(&ra, out)?,
         Command::Figures(fa) => {
             let ids: Vec<String> = if fa.ids.is_empty() {
                 propack_bench::ALL_EXPERIMENTS
@@ -918,6 +1012,235 @@ fn run_sweep_bench(
     out.write_all(report.render().as_bytes())?;
     std::fs::write(bench_path, bench_json(&report, &runs, Some(true)))?;
     eprintln!("wrote {bench_path}");
+    Ok(())
+}
+
+/// Resolve a replay controller key.
+pub fn resolve_controller(key: &str) -> Result<Controller, ParseError> {
+    Controller::parse(key).map_err(ParseError)
+}
+
+/// Resolve the arrival trace of a `propack replay` invocation: a CSV file
+/// (`--trace`), a synthetic generator (`--arrivals`), or — with neither —
+/// the bundled diurnal sample.
+fn resolve_trace(ra: &ReplayArgs) -> Result<ArrivalTrace, Box<dyn std::error::Error>> {
+    let from_file =
+        |text: &str, origin: &str| -> Result<ArrivalTrace, Box<dyn std::error::Error>> {
+            let traces = ArrivalTrace::load_csv(text)?;
+            match &ra.trace_app {
+                Some(app) => Ok(ArrivalTrace::select(&traces, app)?.clone()),
+                None if traces.len() == 1 => Ok(traces.into_iter().next().expect("one trace")),
+                None => {
+                    let apps: Vec<&str> = traces.iter().map(|t| t.name()).collect();
+                    Err(Box::new(ParseError(format!(
+                        "{origin} holds {} apps ({}); pick one with --trace-app",
+                        traces.len(),
+                        apps.join(", ")
+                    ))))
+                }
+            }
+        };
+    match (&ra.trace, &ra.arrivals) {
+        (Some(_), Some(_)) => Err(Box::new(ParseError(
+            "--trace and --arrivals are mutually exclusive".into(),
+        ))),
+        (Some(path), None) => from_file(&std::fs::read_to_string(path)?, path),
+        (None, Some(spec)) => {
+            // Synthetic horizons default to the bundled sample's 24 minutes.
+            let horizon = ra.horizon.unwrap_or(1440.0);
+            Ok(resolve_arrivals(spec, &ra.app, horizon, ra.seed)?)
+        }
+        (None, None) => {
+            let traces = ArrivalTrace::bundled_diurnal()?;
+            let app = ra.trace_app.as_deref().unwrap_or("sort");
+            Ok(ArrivalTrace::select(&traces, app)?.clone())
+        }
+    }
+}
+
+/// Parse a synthetic generator spec for `--arrivals`.
+fn resolve_arrivals(
+    spec: &str,
+    name: &str,
+    horizon: f64,
+    seed: u64,
+) -> Result<ArrivalTrace, ParseError> {
+    let bad_params =
+        |what: &str, spec: &str| ParseError(format!("bad --arrivals '{spec}': expected {what}"));
+    let floats = |body: &str, n: usize, what: &str| -> Result<Vec<f64>, ParseError> {
+        let vals: Vec<f64> = body
+            .split(',')
+            .map(|v| v.trim().parse::<f64>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| bad_params(what, spec))?;
+        if vals.len() == n {
+            Ok(vals)
+        } else {
+            Err(bad_params(what, spec))
+        }
+    };
+    let trace = if let Some(body) = spec.strip_prefix("poisson:") {
+        let v = floats(body, 1, "poisson:<rate_per_sec>")?;
+        ArrivalTrace::poisson(name, v[0], horizon, seed)
+    } else if let Some(body) = spec.strip_prefix("diurnal:") {
+        let v = floats(body, 3, "diurnal:<mean_rate>,<amplitude>,<period_secs>")?;
+        ArrivalTrace::diurnal(name, v[0], v[1], v[2], horizon, seed)
+    } else if let Some(body) = spec.strip_prefix("burst:") {
+        let v = floats(body, 3, "burst:<on_rate>,<on_secs>,<off_secs>")?;
+        ArrivalTrace::burst_train(name, v[0], v[1], v[2], horizon, seed)
+    } else {
+        return Err(ParseError(format!(
+            "unknown --arrivals generator '{spec}'; use poisson:, diurnal:, or burst:"
+        )));
+    };
+    trace.map_err(|e| ParseError(e.to_string()))
+}
+
+/// `propack replay`: replay the trace under each controller, render every
+/// per-epoch report deterministically to `out`, and emit host timing to
+/// stderr / `BENCH_replay.json`.
+///
+/// `--compare-serial` routes the identical controller grid through the
+/// sweep engine's seventh axis at one and many threads and requires
+/// byte-identical renders. `--out` follows the `BENCH_sweep.json`
+/// methodology: one untimed warmup pass, then two timed passes whose
+/// renders must match (the second pass supplies the repeat timings).
+fn run_replay(
+    ra: &ReplayArgs,
+    out: &mut impl std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let work = resolve_app(&ra.app)?;
+    let platform = resolve_platform(&ra.platform)?;
+    let trace = resolve_trace(ra)?;
+    let objective = resolve_objective(&ra.objective)?;
+    let scenario = FaultScenario::parse(&ra.faults).map_err(|e| ParseError(e.to_string()))?;
+    let controllers = ra
+        .controllers
+        .iter()
+        .map(|c| resolve_controller(c))
+        .collect::<Result<Vec<_>, _>>()?;
+    if controllers.is_empty() {
+        return Err(Box::new(ParseError(
+            "--controller needs at least one controller".into(),
+        )));
+    }
+
+    let engine = ReplayEngine::new(ReplaySpec {
+        epoch_secs: ra.epoch_secs,
+        seed: ra.seed,
+        objective,
+        qos_secs: ra.qos,
+        faults: scenario.resolve(platform.as_ref()),
+        retry: scenario.retry,
+        fit_config: ProPackConfig::default(),
+    });
+    let models = ModelCache::new();
+
+    if ra.compare_serial {
+        compare_serial_replay(ra, &work, &trace, &scenario, objective, &controllers)?;
+    }
+
+    if ra.out.is_some() {
+        // Warmup pass: fills the model cache and OS caches, never timed.
+        for controller in &controllers {
+            engine.run(platform.as_ref(), &work, &trace, controller, &models)?;
+        }
+    }
+
+    let mut reports = Vec::new();
+    let mut runs = Vec::new();
+    for controller in &controllers {
+        let (report, timing) = timed_replay(
+            &engine,
+            platform.as_ref(),
+            &work,
+            &trace,
+            controller,
+            &models,
+        )?;
+        eprintln!(
+            "timing: {} replayed {} epochs in {:.3}s (fit {:.1} ms)",
+            report.controller,
+            report.epochs.len(),
+            timing.wall_secs,
+            report.fit_ms,
+        );
+        reports.push(report);
+        runs.push(timing);
+    }
+    for (i, report) in reports.iter().enumerate() {
+        if i > 0 {
+            writeln!(out)?;
+        }
+        out.write_all(report.render().as_bytes())?;
+    }
+
+    if let Some(path) = &ra.out {
+        // Second timed pass doubles as the re-run determinism check.
+        for (controller, first) in controllers.iter().zip(&reports) {
+            let (second, timing) = timed_replay(
+                &engine,
+                platform.as_ref(),
+                &work,
+                &trace,
+                controller,
+                &models,
+            )?;
+            if second.render() != first.render() {
+                return Err(Box::new(ParseError(format!(
+                    "replay output for {} diverged between passes — determinism bug",
+                    first.controller
+                ))));
+            }
+            runs.push(timing);
+        }
+        std::fs::write(path, replay_bench_json(&reports, &runs, Some(true)))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// The `--compare-serial` cross-check: the same controllers as a sweep
+/// controller axis, serial vs parallel, byte-identical or error.
+fn compare_serial_replay(
+    ra: &ReplayArgs,
+    work: &WorkProfile,
+    trace: &ArrivalTrace,
+    scenario: &FaultScenario,
+    objective: Objective,
+    controllers: &[Controller],
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut grid = ReplayGrid::new(trace.clone(), ra.epoch_secs).objective(objective);
+    if let Some(qos) = ra.qos {
+        grid = grid.qos_secs(qos);
+    }
+    let spec = SweepSpec::new("replay-compare")
+        .platforms([resolve_platform_axis(&ra.platform)?])
+        .workloads([work.clone()])
+        .concurrency([1])
+        .policies([PackingPolicy::NoPacking])
+        .seeds([ra.seed])
+        .faults([scenario.clone()])
+        .replay(grid)
+        .controllers(controllers.to_vec());
+    let threads = if ra.threads == 0 {
+        std::thread::available_parallelism().map_or(2, |n| n.get())
+    } else {
+        ra.threads
+    }
+    .max(2);
+    let serial = SweepRunner::new().run(&spec)?;
+    let parallel = SweepRunner::new().threads(threads).run(&spec)?;
+    if serial.render() != parallel.render() {
+        return Err(Box::new(ParseError(
+            "serial and parallel replay sweep output diverged — determinism bug".into(),
+        )));
+    }
+    eprintln!(
+        "sweep cross-check: {} controller cells byte-identical at 1 and {} thread(s)",
+        serial.cells.len(),
+        parallel.threads,
+    );
     Ok(())
 }
 
@@ -1250,6 +1573,139 @@ mod tests {
         // …and the per-cell fit-vs-run wall-time split.
         assert!(json.contains("\"fit_ms\""), "{json}");
         assert!(json.contains("\"run_ms\""), "{json}");
+        std::fs::remove_file(&bench_path).ok();
+    }
+
+    #[test]
+    fn parses_replay() {
+        match parse(&s(&[
+            "replay",
+            "--app",
+            "sort",
+            "--epoch",
+            "120",
+            "--controller",
+            "fixed:4,oracle,propack:ewma",
+            "--faults",
+            "crash=0.01",
+            "--seed",
+            "7",
+            "--qos",
+            "90",
+            "--out",
+            "R.json",
+            "--compare-serial",
+        ]))
+        .unwrap()
+        {
+            Command::Replay(ra) => {
+                assert_eq!(ra.app, "sort");
+                assert_eq!(ra.epoch_secs, 120.0);
+                assert_eq!(ra.controllers, vec!["fixed:4", "oracle", "propack:ewma"]);
+                assert_eq!(ra.faults, "crash=0.01");
+                assert_eq!(ra.seed, 7);
+                assert_eq!(ra.qos, Some(90.0));
+                assert_eq!(ra.out.as_deref(), Some("R.json"));
+                assert!(ra.compare_serial);
+                assert!(ra.trace.is_none() && ra.arrivals.is_none());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replay_defaults_are_filled_in() {
+        match parse(&s(&["replay"])).unwrap() {
+            Command::Replay(ra) => {
+                assert_eq!(ra.app, "sort");
+                assert_eq!(ra.platform, "aws");
+                assert_eq!(ra.epoch_secs, 60.0);
+                assert_eq!(ra.controllers, vec!["propack:ewma"]);
+                assert_eq!(ra.objective, "service");
+                assert_eq!(ra.faults, "none");
+                assert_eq!(ra.seed, 42);
+                assert!(!ra.compare_serial);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resolves_arrival_generators() {
+        let p = resolve_arrivals("poisson:0.5", "w", 100.0, 1).unwrap();
+        assert!(p.len() > 10);
+        let d = resolve_arrivals("diurnal:1.0,0.8,600", "w", 600.0, 1).unwrap();
+        assert!(d.len() > 100);
+        let b = resolve_arrivals("burst:2.0,10,50", "w", 300.0, 1).unwrap();
+        assert!(b.len() > 5);
+        for bad in [
+            "poisson:x",
+            "diurnal:1.0",
+            "burst:2.0,10",
+            "sawtooth:1",
+            "diurnal:1.0,2.0,600",
+        ] {
+            assert!(resolve_arrivals(bad, "w", 100.0, 1).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn replay_rejects_conflicting_trace_sources() {
+        let ra = ReplayArgs {
+            trace: Some("t.csv".into()),
+            arrivals: Some("poisson:1".into()),
+            ..default_replay_args()
+        };
+        let err = resolve_trace(&ra).unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+    }
+
+    fn default_replay_args() -> ReplayArgs {
+        match parse(&s(&["replay"])).unwrap() {
+            Command::Replay(ra) => ra,
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replay_bundled_trace_needs_no_flags_and_selects_sort() {
+        let trace = resolve_trace(&default_replay_args()).unwrap();
+        assert_eq!(trace.name(), "sort");
+        assert!(trace.len() > 1000, "bundled diurnal sample is non-trivial");
+        // The other bundled app is reachable with --trace-app.
+        let video = resolve_trace(&ReplayArgs {
+            trace_app: Some("video".into()),
+            ..default_replay_args()
+        })
+        .unwrap();
+        assert_eq!(video.name(), "video");
+    }
+
+    #[test]
+    fn replay_command_end_to_end() {
+        let dir = std::env::temp_dir().join("propack-cli-replay-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bench_path = dir.join("BENCH_replay.json");
+        let cmd = Command::Replay(ReplayArgs {
+            arrivals: Some("diurnal:1.0,0.8,600".into()),
+            horizon: Some(600.0),
+            epoch_secs: 100.0,
+            controllers: vec!["fixed:4".into(), "propack:ewma".into()],
+            threads: 2,
+            compare_serial: true,
+            out: Some(bench_path.to_str().unwrap().to_string()),
+            ..default_replay_args()
+        });
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("controller=fixed-4"), "{text}");
+        assert!(text.contains("controller=propack-ewma"), "{text}");
+        assert!(text.contains("forecast_mae="), "{text}");
+        let json = std::fs::read_to_string(&bench_path).unwrap();
+        assert!(json.contains("\"bench\": \"replay\""), "{json}");
+        assert!(json.contains("\"outputs_identical\": true"), "{json}");
+        assert!(json.contains("\"epoch_run_ms\""), "{json}");
         std::fs::remove_file(&bench_path).ok();
     }
 

@@ -3,9 +3,9 @@
 //! [`PlatformBuilder`] is the front door for making a [`CloudPlatform`]:
 //! start from a provider preset (or a custom [`PlatformProfile`]), override
 //! the fleet shape, the price sheet, or the default tracing mode, and
-//! `build()`. It replaces the loose `PlatformProfile::…().into_platform()`
-//! chains the bench binaries used to hand-roll; those remain available but
-//! deprecated.
+//! `build()`. It replaced the loose `PlatformProfile::…().into_platform()`
+//! chains the bench binaries used to hand-roll; the deprecated free
+//! constructors have since been removed.
 //!
 //! ```
 //! use propack_platform::prelude::*;

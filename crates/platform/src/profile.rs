@@ -399,17 +399,6 @@ impl PlatformProfile {
             Provider::FuncX => Self::funcx_cluster(),
         }
     }
-
-    /// Convenience: wrap this profile in a ready-to-run [`crate::CloudPlatform`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "construct platforms through `PlatformBuilder` \
-                (e.g. `PlatformBuilder::aws().build()` or \
-                `PlatformBuilder::from_profile(profile).build()`)"
-    )]
-    pub fn into_platform(self) -> crate::CloudPlatform {
-        crate::CloudPlatform::new(self)
-    }
 }
 
 #[cfg(test)]

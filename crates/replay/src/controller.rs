@@ -1,0 +1,156 @@
+//! Packing controllers: how the packing degree is chosen each epoch.
+//!
+//! Four policies span the design space the replay experiments compare:
+//!
+//! * `no-packing` — every function gets its own instance (`P = 1`);
+//! * `fixed:P` — the one-shot offline plan: a single degree for the whole
+//!   trace, chosen before any arrivals are seen;
+//! * `propack:<forecaster>` — the online ProPack controller: re-plan `P`
+//!   each epoch from a *forecast* of the next epoch's concurrency;
+//! * `oracle` — re-plan each epoch from the epoch's *true* concurrency.
+//!   The oracle isolates forecast error: it pays the same model error as
+//!   `propack:*` but zero forecast error, so the propack-vs-oracle gap is
+//!   exactly the price of predicting the future.
+
+use std::fmt;
+
+use crate::forecast::ForecasterKind;
+
+/// A packing-degree policy for the replay engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Controller {
+    /// `P = 1` everywhere.
+    NoPacking,
+    /// A single static degree for every epoch.
+    Fixed(u32),
+    /// Re-plan per epoch with the epoch's true concurrency (clairvoyant).
+    Oracle,
+    /// Re-plan per epoch with a forecast of the epoch's concurrency.
+    Propack(ForecasterKind),
+}
+
+impl Controller {
+    /// Parse `no-packing`, `fixed:P` (or `fixed-P`), `oracle`,
+    /// `propack[:forecaster[:param]]`.
+    pub fn parse(input: &str) -> Result<Self, String> {
+        let input = input.trim();
+        if input.is_empty() {
+            return Err("empty controller spec".to_string());
+        }
+        if input == "no-packing" {
+            return Ok(Controller::NoPacking);
+        }
+        if input == "oracle" {
+            return Ok(Controller::Oracle);
+        }
+        if let Some(rest) = input
+            .strip_prefix("fixed:")
+            .or_else(|| input.strip_prefix("fixed-"))
+        {
+            let p: u32 = rest
+                .trim()
+                .parse()
+                .map_err(|_| format!("fixed degree `{rest}` is not an integer"))?;
+            if p == 0 {
+                return Err("fixed degree must be at least 1".to_string());
+            }
+            return Ok(Controller::Fixed(p));
+        }
+        if input == "propack" {
+            return Ok(Controller::Propack(ForecasterKind::Ewma {
+                alpha: crate::forecast::Ewma::DEFAULT_ALPHA,
+            }));
+        }
+        if let Some(rest) = input.strip_prefix("propack:") {
+            return ForecasterKind::parse(rest).map(Controller::Propack);
+        }
+        Err(format!(
+            "unknown controller `{input}` (expected no-packing, fixed:P, oracle, or propack:<forecaster>)"
+        ))
+    }
+
+    /// Stable display label used in reports and sweep cell keys, e.g.
+    /// `fixed-4`, `propack-ewma`, `propack-window:5`.
+    pub fn label(&self) -> String {
+        match self {
+            Controller::NoPacking => "no-packing".to_string(),
+            Controller::Fixed(p) => format!("fixed-{p}"),
+            Controller::Oracle => "oracle".to_string(),
+            Controller::Propack(kind) => format!("propack-{}", kind.label()),
+        }
+    }
+
+    /// True when this controller needs a fitted ProPack model.
+    pub fn needs_model(&self) -> bool {
+        matches!(self, Controller::Oracle | Controller::Propack(_))
+    }
+}
+
+impl fmt::Display for Controller {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_controller_form() {
+        assert_eq!(
+            Controller::parse("no-packing").expect("parses"),
+            Controller::NoPacking
+        );
+        assert_eq!(
+            Controller::parse("fixed:4").expect("parses"),
+            Controller::Fixed(4)
+        );
+        assert_eq!(
+            Controller::parse("fixed-7").expect("parses"),
+            Controller::Fixed(7)
+        );
+        assert_eq!(
+            Controller::parse("oracle").expect("parses"),
+            Controller::Oracle
+        );
+        assert_eq!(
+            Controller::parse("propack").expect("parses"),
+            Controller::Propack(ForecasterKind::Ewma { alpha: 0.5 })
+        );
+        assert_eq!(
+            Controller::parse("propack:window:5").expect("parses"),
+            Controller::Propack(ForecasterKind::WindowMax { window: 5 })
+        );
+    }
+
+    #[test]
+    fn rejects_junk_specs() {
+        for bad in [
+            "",
+            "fixed:0",
+            "fixed:x",
+            "propack:holt",
+            "packer",
+            "oracle:2",
+        ] {
+            assert!(Controller::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn labels_are_stable_and_model_need_is_explicit() {
+        let cases = [
+            ("no-packing", "no-packing", false),
+            ("fixed:4", "fixed-4", false),
+            ("oracle", "oracle", true),
+            ("propack:ewma", "propack-ewma", true),
+            ("propack:window", "propack-window", true),
+        ];
+        for (spec, label, needs) in cases {
+            let c = Controller::parse(spec).expect("parses");
+            assert_eq!(c.label(), label);
+            assert_eq!(c.needs_model(), needs, "{spec}");
+        }
+    }
+}

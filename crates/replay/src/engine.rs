@@ -1,0 +1,538 @@
+//! The replay engine: an online packing controller on sim time.
+//!
+//! The engine chops a trace's horizon into fixed-width epochs
+//! ([`EpochTimeline`]) and drives a [`Sim`] whose only events are typed
+//! epoch-boundary ticks. When epoch `k`'s window closes, the controller:
+//!
+//! 1. counts the window's arrivals `c_k` (the final epoch's window is
+//!    closed on the right, so an arrival exactly on the horizon replays
+//!    exactly once);
+//! 2. picks a packing degree — `no-packing` and `fixed:P` statically,
+//!    `oracle` by planning with the true `c_k`, `propack:<forecaster>` by
+//!    planning with the forecast `ĉ_k` built from epochs `0..k` (a cold
+//!    forecaster has no information, so the first epoch runs unpacked);
+//! 3. dispatches the `c_k` admitted functions as one burst through the
+//!    orchestrator's retry path (faults and retries honored when
+//!    configured), and records the realized service time, tail latency vs
+//!    QoS, expense, and forecast error.
+//!
+//! Epochs are open-loop: each window's burst is an independent seeded
+//! simulation (seed decorrelated per epoch), and a slow epoch never delays
+//! the next boundary — the controller's cost is the *sum* of what each
+//! window realized. Model fitting happens once per (platform, workload,
+//! config) through [`ModelCache`], never per epoch; per-epoch planning is
+//! a pure evaluation of the fitted model.
+//!
+//! Determinism: given `(trace, seed, controller)`, every simulated number
+//! in the report is bit-identical across re-runs and across sweep thread
+//! counts. Host timing (`fit_ms`, per-epoch `run_ms`) is sampled through an
+//! injected clock so this crate never reads `std::time` — wall-clock-exempt
+//! callers (the sweep crate) pass a real clock, everyone else gets zeros.
+
+use std::fmt;
+use std::sync::Arc;
+
+use propack_model::{cache::ModelCache, Objective, ProPackConfig, Propack};
+use propack_orchestrator::run_burst_with_retry;
+use propack_platform::{FaultSpec, RetryPolicy, ServerlessPlatform, WorkProfile};
+use propack_simcore::{EpochTimeline, EventState, Sim};
+use propack_stats::Percentile;
+
+use crate::controller::Controller;
+use crate::forecast::Forecaster;
+use crate::report::{EpochResult, ReplayReport};
+use crate::trace::ArrivalTrace;
+
+/// Errors that abort a replay before any epoch runs. Per-epoch platform
+/// rejections do *not* abort: they are recorded on the epoch's row.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// The trace has no invocations to replay.
+    EmptyTrace {
+        /// Trace name.
+        name: String,
+    },
+    /// The epoch width or trace horizon is degenerate.
+    InvalidEpoch {
+        /// The rejected epoch width.
+        epoch_secs: f64,
+    },
+    /// The controller needs a ProPack model and the fit failed.
+    Model(propack_model::ModelError),
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::EmptyTrace { name } => {
+                write!(f, "trace `{name}` has no invocations to replay")
+            }
+            ReplayError::InvalidEpoch { epoch_secs } => {
+                write!(f, "invalid epoch width {epoch_secs}s")
+            }
+            ReplayError::Model(e) => write!(f, "model fit failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<propack_model::ModelError> for ReplayError {
+    fn from(e: propack_model::ModelError) -> Self {
+        ReplayError::Model(e)
+    }
+}
+
+/// Everything about a replay except the trace, platform, and controller.
+#[derive(Debug, Clone)]
+pub struct ReplaySpec {
+    /// Epoch (control window) width, seconds.
+    pub epoch_secs: f64,
+    /// Base seed; each epoch's burst derives a decorrelated seed from it.
+    pub seed: u64,
+    /// Objective the planning controllers optimize.
+    pub objective: Objective,
+    /// Per-epoch tail-latency QoS bound, seconds, if violations should be
+    /// counted.
+    pub qos_secs: Option<f64>,
+    /// Fault rates injected into every epoch's burst.
+    pub faults: FaultSpec,
+    /// Retry policy for faulted bursts.
+    pub retry: RetryPolicy,
+    /// Model-fit configuration (shared through [`ModelCache`]).
+    pub fit_config: ProPackConfig,
+}
+
+impl Default for ReplaySpec {
+    fn default() -> Self {
+        Self {
+            epoch_secs: 60.0,
+            seed: 42,
+            // Service time is the figure of merit the replay experiments
+            // rank controllers by; expense is still reported per epoch.
+            objective: Objective::ServiceTime,
+            qos_secs: None,
+            faults: FaultSpec::none(),
+            retry: RetryPolicy::no_retries(),
+            fit_config: ProPackConfig::default(),
+        }
+    }
+}
+
+/// The online controller runner. See the module docs for semantics.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayEngine {
+    spec: ReplaySpec,
+}
+
+impl ReplayEngine {
+    /// Build an engine from a spec.
+    pub fn new(spec: ReplaySpec) -> Self {
+        Self { spec }
+    }
+
+    /// The spec this engine runs.
+    pub fn spec(&self) -> &ReplaySpec {
+        &self.spec
+    }
+
+    /// Replay `trace` on `platform` under `controller`. Host timing fields
+    /// in the report are zero; use [`ReplayEngine::run_with_clock`] from a
+    /// wall-clock-exempt crate to capture them.
+    pub fn run<P: ServerlessPlatform + ?Sized>(
+        &self,
+        platform: &P,
+        work: &WorkProfile,
+        trace: &ArrivalTrace,
+        controller: &Controller,
+        models: &ModelCache,
+    ) -> Result<ReplayReport, ReplayError> {
+        self.run_with_clock(platform, work, trace, controller, models, &|| 0.0)
+    }
+
+    /// [`ReplayEngine::run`] with an injected host clock (seconds since an
+    /// arbitrary origin) for `fit_ms` / per-epoch `run_ms` capture. The
+    /// clock influences timing fields only, never simulated results.
+    pub fn run_with_clock<P: ServerlessPlatform + ?Sized>(
+        &self,
+        platform: &P,
+        work: &WorkProfile,
+        trace: &ArrivalTrace,
+        controller: &Controller,
+        models: &ModelCache,
+        clock: &dyn Fn() -> f64,
+    ) -> Result<ReplayReport, ReplayError> {
+        if trace.is_empty() {
+            return Err(ReplayError::EmptyTrace {
+                name: trace.name().to_string(),
+            });
+        }
+        let timeline = EpochTimeline::over_horizon(self.spec.epoch_secs, trace.horizon_secs())
+            .ok_or(ReplayError::InvalidEpoch {
+                epoch_secs: self.spec.epoch_secs,
+            })?;
+
+        // Fit once per (platform, workload, config) — the cache coalesces
+        // repeat fits across controllers, cells, and threads.
+        let (model, model_overhead_usd, fit_ms) = if controller.needs_model() {
+            let t0 = clock();
+            let pp = models.fit(platform, work, &self.spec.fit_config)?;
+            let fit_ms = (clock() - t0) * 1000.0;
+            let overhead = pp.overhead.expense_usd;
+            (Some(pp), overhead, fit_ms)
+        } else {
+            (None, 0.0, 0.0)
+        };
+        let forecaster = match controller {
+            Controller::Propack(kind) => Some(kind.build()),
+            _ => None,
+        };
+
+        let driver = EpochDriver {
+            platform,
+            work,
+            trace,
+            timeline,
+            controller,
+            model,
+            forecaster,
+            spec: &self.spec,
+            clock,
+            epochs: Vec::with_capacity(timeline.len() as usize),
+        };
+        let mut sim = Sim::new(driver);
+        // One typed tick per epoch, fired at the instant the window closes.
+        for (k, _start, end) in timeline.iter() {
+            sim.schedule_event(end, EpochTick(k));
+        }
+        sim.run();
+        let epochs = std::mem::take(&mut sim.state_mut().epochs);
+
+        Ok(ReplayReport {
+            trace: trace.name().to_string(),
+            platform: platform.name(),
+            workload: work.name.clone(),
+            controller: controller.label(),
+            epoch_secs: self.spec.epoch_secs,
+            seed: self.spec.seed,
+            qos_secs: self.spec.qos_secs,
+            epochs,
+            model_overhead_usd,
+            fit_ms,
+        })
+    }
+}
+
+/// The typed epoch-boundary event.
+struct EpochTick(u32);
+
+/// Sim state for one replay run: borrows everything, accumulates rows.
+struct EpochDriver<'a, P: ServerlessPlatform + ?Sized> {
+    platform: &'a P,
+    work: &'a WorkProfile,
+    trace: &'a ArrivalTrace,
+    timeline: EpochTimeline,
+    controller: &'a Controller,
+    model: Option<Arc<Propack>>,
+    forecaster: Option<Box<dyn Forecaster + Send>>,
+    spec: &'a ReplaySpec,
+    clock: &'a dyn Fn() -> f64,
+    epochs: Vec<EpochResult>,
+}
+
+impl<P: ServerlessPlatform + ?Sized> EventState for EpochDriver<'_, P> {
+    type Event = EpochTick;
+
+    fn handle(sim: &mut Sim<Self>, EpochTick(k): EpochTick) {
+        let st = sim.state_mut();
+        let start = st.timeline.start(k);
+        let end = st.timeline.end(k);
+        let include_end = k + 1 == st.timeline.len();
+        let arrivals = st.trace.count_window(start, end, include_end);
+
+        // The controller plans with what it knew *before* the window's
+        // count is revealed; observation happens after.
+        let forecast = st.forecaster.as_ref().and_then(|f| f.forecast());
+        let mut error: Option<String> = None;
+        let degree = match st.controller {
+            Controller::NoPacking => 1,
+            Controller::Fixed(p) => *p,
+            Controller::Oracle => st.plan_degree(arrivals, &mut error).unwrap_or(1),
+            Controller::Propack(_) => match forecast {
+                // Cold start or an all-quiet forecast: no information to
+                // pack on, run unpacked.
+                None | Some(0) => 1,
+                Some(c) => st.plan_degree(c, &mut error).unwrap_or(1),
+            },
+        };
+        if let Some(f) = st.forecaster.as_mut() {
+            f.observe(arrivals);
+        }
+
+        let mut row = EpochResult {
+            epoch: k,
+            start_secs: start.as_secs(),
+            arrivals,
+            forecast,
+            packing_degree: degree,
+            instances: 0,
+            service_secs: 0.0,
+            tail_secs: 0.0,
+            expense_usd: 0.0,
+            function_hours: 0.0,
+            retries: 0,
+            failed_functions: 0,
+            qos_violation: false,
+            error,
+            run_ms: 0.0,
+        };
+        if arrivals > 0 && row.error.is_none() {
+            let t0 = (st.clock)();
+            match run_burst_with_retry(
+                st.platform,
+                st.work,
+                arrivals,
+                degree,
+                epoch_seed(st.spec.seed, k),
+                st.spec.faults,
+                st.spec.retry,
+            ) {
+                Ok(run) => {
+                    let faults = run.faults();
+                    row.instances = run.instances();
+                    row.service_secs = run.total_service_secs();
+                    // Retry rounds serialize, so per-round tails add: a
+                    // function finishing in round r waited out rounds < r.
+                    row.tail_secs = run
+                        .rounds
+                        .iter()
+                        .map(|r| r.service_time(Percentile::Tail95))
+                        .sum();
+                    row.expense_usd = run.expense_usd();
+                    row.function_hours = run.function_hours();
+                    row.retries = faults.retries;
+                    row.failed_functions = run.abandoned_functions;
+                    row.qos_violation = st.spec.qos_secs.is_some_and(|q| row.tail_secs > q);
+                }
+                Err(e) => row.error = Some(e.to_string()),
+            }
+            row.run_ms = ((st.clock)() - t0) * 1000.0;
+        }
+        st.epochs.push(row);
+    }
+}
+
+impl<P: ServerlessPlatform + ?Sized> EpochDriver<'_, P> {
+    /// Plan a packing degree for concurrency `c`; `None` (with the error
+    /// recorded) when planning fails, so the epoch degrades to unpacked.
+    fn plan_degree(&self, c: u32, error: &mut Option<String>) -> Option<u32> {
+        if c == 0 {
+            return Some(1);
+        }
+        let model = self.model.as_ref()?;
+        match model.plan(c, self.spec.objective) {
+            Ok(plan) => Some(plan.packing_degree),
+            Err(e) => {
+                *error = Some(format!("plan failed: {e}"));
+                None
+            }
+        }
+    }
+}
+
+/// Decorrelated per-epoch seed. A plain `seed ^ k·GOLDEN` would collide
+/// with the orchestrator's per-round xor (epoch 1 round 1 would reuse epoch
+/// 0 round 0's seed), so the epoch index is mixed through a finalizer
+/// first.
+fn epoch_seed(seed: u64, k: u32) -> u64 {
+    let mut z = seed ^ u64::from(k + 1).wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z ^= z >> 33;
+    z = z.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    z ^ (z >> 33)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propack_platform::PlatformBuilder;
+    use propack_workloads::Benchmarks;
+
+    fn small_fit() -> ProPackConfig {
+        ProPackConfig {
+            scaling_levels: vec![10, 20, 40],
+            ..ProPackConfig::default()
+        }
+    }
+
+    fn sort_profile() -> WorkProfile {
+        Benchmarks::all()
+            .into_iter()
+            .find(|w| w.name().to_lowercase().contains("sort"))
+            .map(|w| w.profile())
+            .expect("sort benchmark exists")
+    }
+
+    #[test]
+    fn epoch_seeds_are_decorrelated_and_distinct_from_round_seeds() {
+        let base = 42;
+        let golden = 0x9E37_79B9_7F4A_7C15u64;
+        let mut seen = std::collections::BTreeSet::new();
+        for k in 0..64 {
+            let s = epoch_seed(base, k);
+            assert!(seen.insert(s), "epoch seed collision at {k}");
+            // Round 1 of this epoch must not reproduce any epoch's round 0.
+            assert!(
+                !seen.contains(&(s ^ golden)),
+                "round-1 seed collides at epoch {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic_across_reruns() {
+        let platform = PlatformBuilder::aws().build();
+        let work = sort_profile();
+        let trace = ArrivalTrace::diurnal("sort", 1.0, 0.8, 600.0, 600.0, 7).expect("trace");
+        let spec = ReplaySpec {
+            epoch_secs: 100.0,
+            fit_config: small_fit(),
+            ..ReplaySpec::default()
+        };
+        let engine = ReplayEngine::new(spec);
+        let controller = Controller::parse("propack:ewma").expect("controller");
+        let models = ModelCache::default();
+        let a = engine
+            .run(&platform, &work, &trace, &controller, &models)
+            .expect("first run");
+        let b = engine
+            .run(&platform, &work, &trace, &controller, &models)
+            .expect("second run");
+        assert_eq!(a.render(), b.render());
+        // A cold cache must agree with the warm one (cache invisibility).
+        let c = engine
+            .run(
+                &platform,
+                &work,
+                &trace,
+                &controller,
+                &ModelCache::default(),
+            )
+            .expect("cold-cache run");
+        assert_eq!(a.render(), c.render());
+    }
+
+    #[test]
+    fn model_fit_is_paid_once_not_per_epoch() {
+        let platform = PlatformBuilder::aws().build();
+        let work = sort_profile();
+        let trace = ArrivalTrace::poisson("sort", 0.5, 500.0, 3).expect("trace");
+        let spec = ReplaySpec {
+            epoch_secs: 50.0,
+            fit_config: small_fit(),
+            ..ReplaySpec::default()
+        };
+        let models = ModelCache::default();
+        let engine = ReplayEngine::new(spec);
+        let report = engine
+            .run(&platform, &work, &trace, &Controller::Oracle, &models)
+            .expect("oracle run");
+        assert!(report.epochs.len() >= 5, "several epochs replayed");
+        assert_eq!(models.misses(), 1, "one fit for the whole replay");
+        // A second controller on the same cache pays nothing new.
+        let controller = Controller::parse("propack:window").expect("controller");
+        engine
+            .run(&platform, &work, &trace, &controller, &models)
+            .expect("propack run");
+        assert_eq!(models.misses(), 1);
+        assert!(models.hits() >= 1);
+    }
+
+    #[test]
+    fn cold_start_epoch_runs_unpacked_then_packs() {
+        let platform = PlatformBuilder::aws().build();
+        let work = sort_profile();
+        let trace = ArrivalTrace::poisson("sort", 1.0, 300.0, 9).expect("trace");
+        let spec = ReplaySpec {
+            epoch_secs: 100.0,
+            fit_config: small_fit(),
+            ..ReplaySpec::default()
+        };
+        let controller = Controller::parse("propack:ewma").expect("controller");
+        let report = ReplayEngine::new(spec)
+            .run(
+                &platform,
+                &work,
+                &trace,
+                &controller,
+                &ModelCache::default(),
+            )
+            .expect("runs");
+        assert_eq!(report.epochs[0].forecast, None);
+        assert_eq!(report.epochs[0].packing_degree, 1);
+        assert!(
+            report.epochs[1..].iter().any(|e| e.packing_degree > 1),
+            "later epochs pack"
+        );
+        // Forecasts exist from epoch 1 on.
+        assert!(report.epochs[1..].iter().all(|e| e.forecast.is_some()));
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs_are_rejected() {
+        let platform = PlatformBuilder::aws().build();
+        let work = sort_profile();
+        let empty = ArrivalTrace::from_timestamps("sort", vec![], 100.0).expect("trace");
+        let engine = ReplayEngine::new(ReplaySpec::default());
+        assert!(matches!(
+            engine.run(
+                &platform,
+                &work,
+                &empty,
+                &Controller::NoPacking,
+                &ModelCache::default()
+            ),
+            Err(ReplayError::EmptyTrace { .. })
+        ));
+        let trace = ArrivalTrace::poisson("sort", 1.0, 100.0, 1).expect("trace");
+        let bad = ReplayEngine::new(ReplaySpec {
+            epoch_secs: 0.0,
+            ..ReplaySpec::default()
+        });
+        assert!(matches!(
+            bad.run(
+                &platform,
+                &work,
+                &trace,
+                &Controller::NoPacking,
+                &ModelCache::default()
+            ),
+            Err(ReplayError::InvalidEpoch { .. })
+        ));
+    }
+
+    #[test]
+    fn every_arrival_is_replayed_exactly_once() {
+        let platform = PlatformBuilder::aws().build();
+        let work = sort_profile();
+        // Horizon lands exactly on the last arrival: the inclusive final
+        // window must pick it up, and only once.
+        let trace =
+            ArrivalTrace::from_timestamps("sort", vec![0.0, 30.0, 59.9, 60.0, 90.0, 120.0], 120.0)
+                .expect("trace");
+        let report = ReplayEngine::new(ReplaySpec {
+            epoch_secs: 60.0,
+            ..ReplaySpec::default()
+        })
+        .run(
+            &platform,
+            &work,
+            &trace,
+            &Controller::Fixed(2),
+            &ModelCache::default(),
+        )
+        .expect("runs");
+        assert_eq!(report.total_arrivals(), trace.len() as u64);
+        let counts: Vec<u32> = report.epochs.iter().map(|e| e.arrivals).collect();
+        assert_eq!(counts, vec![3, 3], "[0,60) and [60,120] with inclusive end");
+    }
+}

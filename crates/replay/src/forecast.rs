@@ -1,0 +1,269 @@
+//! Next-epoch concurrency forecasters.
+//!
+//! The online controller must choose a packing degree for epoch `k+1`
+//! *before* seeing epoch `k+1`'s arrivals. Everything it knows is the
+//! realized per-epoch counts so far; a [`Forecaster`] turns that history
+//! into a point prediction. Two classics are provided: EWMA (smooth
+//! tracker, lags a trend by roughly `1/alpha` epochs) and sliding-window
+//! max (conservative envelope, over-provisions on the way down but never
+//! under-forecasts a recent peak).
+
+use std::fmt;
+
+/// A point forecaster over a stream of per-epoch invocation counts.
+pub trait Forecaster {
+    /// Record the realized count of the epoch that just closed.
+    fn observe(&mut self, actual: u32);
+
+    /// Predicted count for the next epoch; `None` before any observation
+    /// (the controller treats a cold start as "no information — don't pack").
+    fn forecast(&self) -> Option<u32>;
+
+    /// Stable display label, e.g. `ewma` or `window:3`.
+    fn label(&self) -> String;
+}
+
+/// Exponentially weighted moving average: `level ← α·x + (1-α)·level`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    level: Option<f64>,
+}
+
+impl Ewma {
+    /// Default smoothing factor.
+    pub const DEFAULT_ALPHA: f64 = 0.5;
+
+    /// Build with smoothing factor `alpha` in (0, 1].
+    pub fn new(alpha: f64) -> Option<Self> {
+        if !alpha.is_finite() || alpha <= 0.0 || alpha > 1.0 {
+            return None;
+        }
+        Some(Self { alpha, level: None })
+    }
+}
+
+impl Forecaster for Ewma {
+    fn observe(&mut self, actual: u32) {
+        let x = f64::from(actual);
+        self.level = Some(match self.level {
+            None => x,
+            Some(level) => self.alpha * x + (1.0 - self.alpha) * level,
+        });
+    }
+
+    fn forecast(&self) -> Option<u32> {
+        self.level.map(|l| l.round().max(0.0) as u32)
+    }
+
+    fn label(&self) -> String {
+        if self.alpha == Self::DEFAULT_ALPHA {
+            "ewma".to_string()
+        } else {
+            format!("ewma:{}", self.alpha)
+        }
+    }
+}
+
+/// Maximum over the last `window` observed epochs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlidingWindowMax {
+    window: usize,
+    history: Vec<u32>,
+}
+
+impl SlidingWindowMax {
+    /// Default window length, epochs.
+    pub const DEFAULT_WINDOW: usize = 3;
+
+    /// Build with a window of at least one epoch.
+    pub fn new(window: usize) -> Option<Self> {
+        if window == 0 {
+            return None;
+        }
+        Some(Self {
+            window,
+            history: Vec::new(),
+        })
+    }
+}
+
+impl Forecaster for SlidingWindowMax {
+    fn observe(&mut self, actual: u32) {
+        self.history.push(actual);
+        if self.history.len() > self.window {
+            self.history.remove(0);
+        }
+    }
+
+    fn forecast(&self) -> Option<u32> {
+        self.history.iter().copied().max()
+    }
+
+    fn label(&self) -> String {
+        if self.window == Self::DEFAULT_WINDOW {
+            "window".to_string()
+        } else {
+            format!("window:{}", self.window)
+        }
+    }
+}
+
+/// A parsed forecaster choice — the value stored in controller specs so a
+/// fresh stateful [`Forecaster`] can be instantiated per replay run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForecasterKind {
+    /// EWMA with the given smoothing factor.
+    Ewma {
+        /// Smoothing factor in (0, 1].
+        alpha: f64,
+    },
+    /// Sliding-window max with the given window length (epochs).
+    WindowMax {
+        /// Window length, epochs (≥ 1).
+        window: usize,
+    },
+}
+
+impl ForecasterKind {
+    /// Parse `ewma`, `ewma:0.3`, `window`, or `window:5`.
+    pub fn parse(input: &str) -> Result<Self, String> {
+        let input = input.trim();
+        let (kind, param) = match input.split_once(':') {
+            Some((k, p)) => (k.trim(), Some(p.trim())),
+            None => (input, None),
+        };
+        match kind {
+            "ewma" => {
+                let alpha = match param {
+                    None => Ewma::DEFAULT_ALPHA,
+                    Some(p) => p
+                        .parse::<f64>()
+                        .map_err(|_| format!("ewma alpha `{p}` is not a number"))?,
+                };
+                Ewma::new(alpha)
+                    .map(|_| ForecasterKind::Ewma { alpha })
+                    .ok_or_else(|| format!("ewma alpha {alpha} must be in (0, 1]"))
+            }
+            "window" => {
+                let window = match param {
+                    None => SlidingWindowMax::DEFAULT_WINDOW,
+                    Some(p) => p
+                        .parse::<usize>()
+                        .map_err(|_| format!("window length `{p}` is not an integer"))?,
+                };
+                SlidingWindowMax::new(window)
+                    .map(|_| ForecasterKind::WindowMax { window })
+                    .ok_or_else(|| "window length must be at least 1".to_string())
+            }
+            other => Err(format!(
+                "unknown forecaster `{other}` (expected ewma[:alpha] or window[:len])"
+            )),
+        }
+    }
+
+    /// Instantiate a fresh, empty forecaster of this kind.
+    pub fn build(&self) -> Box<dyn Forecaster + Send> {
+        match *self {
+            ForecasterKind::Ewma { alpha } => Box::new(Ewma::new(alpha).unwrap_or(Ewma {
+                alpha: Ewma::DEFAULT_ALPHA,
+                level: None,
+            })),
+            ForecasterKind::WindowMax { window } => {
+                Box::new(SlidingWindowMax::new(window).unwrap_or(SlidingWindowMax {
+                    window: SlidingWindowMax::DEFAULT_WINDOW,
+                    history: Vec::new(),
+                }))
+            }
+        }
+    }
+
+    /// Stable display label (matches the built forecaster's label).
+    pub fn label(&self) -> String {
+        self.build().label()
+    }
+}
+
+impl fmt::Display for ForecasterKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_converges_to_a_constant_signal() {
+        let mut f = Ewma::new(0.5).expect("valid alpha");
+        assert_eq!(f.forecast(), None);
+        for _ in 0..20 {
+            f.observe(120);
+        }
+        assert_eq!(f.forecast(), Some(120));
+    }
+
+    #[test]
+    fn ewma_lags_a_step_by_roughly_one_over_alpha() {
+        let mut f = Ewma::new(0.5).expect("valid alpha");
+        for _ in 0..10 {
+            f.observe(10);
+        }
+        f.observe(100);
+        // One step after the jump: 0.5*100 + 0.5*10 = 55.
+        assert_eq!(f.forecast(), Some(55));
+        for _ in 0..20 {
+            f.observe(100);
+        }
+        assert_eq!(f.forecast(), Some(100));
+    }
+
+    #[test]
+    fn window_max_tracks_a_step_function() {
+        let mut f = SlidingWindowMax::new(3).expect("valid window");
+        assert_eq!(f.forecast(), None);
+        for x in [5, 5, 5, 50, 50] {
+            f.observe(x);
+        }
+        assert_eq!(f.forecast(), Some(50));
+        // Step back down: the peak persists for exactly `window` epochs.
+        f.observe(5);
+        assert_eq!(f.forecast(), Some(50), "peak still inside the window");
+        f.observe(5);
+        f.observe(5);
+        assert_eq!(f.forecast(), Some(5), "peak aged out of the window");
+    }
+
+    #[test]
+    fn kind_parsing_accepts_defaults_params_and_rejects_junk() {
+        assert_eq!(
+            ForecasterKind::parse("ewma").expect("parses"),
+            ForecasterKind::Ewma { alpha: 0.5 }
+        );
+        assert_eq!(
+            ForecasterKind::parse("ewma:0.25").expect("parses"),
+            ForecasterKind::Ewma { alpha: 0.25 }
+        );
+        assert_eq!(
+            ForecasterKind::parse("window:5").expect("parses"),
+            ForecasterKind::WindowMax { window: 5 }
+        );
+        assert!(ForecasterKind::parse("ewma:1.5").is_err());
+        assert!(ForecasterKind::parse("ewma:x").is_err());
+        assert!(ForecasterKind::parse("window:0").is_err());
+        assert!(ForecasterKind::parse("holt").is_err());
+    }
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        for text in ["ewma", "ewma:0.25", "window", "window:5"] {
+            let kind = ForecasterKind::parse(text).expect("parses");
+            assert_eq!(kind.label(), text);
+            assert_eq!(
+                ForecasterKind::parse(&kind.label()).expect("label reparses"),
+                kind
+            );
+        }
+    }
+}

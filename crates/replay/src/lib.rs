@@ -1,0 +1,39 @@
+//! Trace-driven arrival workloads and an online ProPack controller.
+//!
+//! Everything else in this workspace answers an *offline* question: given
+//! `C` simultaneous invocations, what packing degree should they run at?
+//! This crate answers the *online* version: given a continuous arrival
+//! stream — diurnal load, bursts, real trace files — how should the packing
+//! degree track the load, and what does mis-forecasting it cost?
+//!
+//! Three layers:
+//!
+//! * [`trace`] — [`ArrivalTrace`]: per-app invocation timestamps over a
+//!   finite horizon, from deterministic synthetic generators (Poisson,
+//!   diurnal sinusoid, burst train) or Azure-Functions-style CSV files.
+//! * [`forecast`] / [`controller`] — the decision layer: [`Forecaster`]
+//!   implementations (EWMA, sliding-window max) and the [`Controller`]
+//!   policies `no-packing`, `fixed:P`, `oracle`, `propack:<forecaster>`.
+//! * [`engine`] / [`report`] — [`ReplayEngine`] windows the trace into
+//!   epochs on simcore sim time, re-plans `P` per epoch through the shared
+//!   [`propack_model::ModelCache`], dispatches each window through the
+//!   orchestrator's burst/retry path, and accumulates a [`ReplayReport`]
+//!   (per-epoch service time, tail vs QoS, expense, chosen `P`, forecast
+//!   error).
+//!
+//! The whole crate obeys the workspace determinism policy: RNG only
+//! through named [`propack_simcore::RngStreams`] lanes, no wall clock (host
+//! timing is injected by wall-clock-exempt callers), and reports render
+//! bit-identically across re-runs and sweep thread counts.
+
+pub mod controller;
+pub mod engine;
+pub mod forecast;
+pub mod report;
+pub mod trace;
+
+pub use controller::Controller;
+pub use engine::{ReplayEngine, ReplayError, ReplaySpec};
+pub use forecast::{Ewma, Forecaster, ForecasterKind, SlidingWindowMax};
+pub use report::{EpochResult, ReplayReport};
+pub use trace::{ArrivalTrace, TraceError};

@@ -1,0 +1,304 @@
+//! Replay reports: per-epoch accounting with a deterministic render.
+//!
+//! The same split as sweep reports: [`ReplayReport::render`] contains only
+//! simulated results at fixed precision and must be byte-identical across
+//! re-runs and thread counts; host timing (`fit_ms`, per-epoch `run_ms`)
+//! is captured for `BENCH_replay.json` but never rendered.
+
+/// One epoch's realized outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochResult {
+    /// Epoch index.
+    pub epoch: u32,
+    /// Epoch start, seconds on the sim clock.
+    pub start_secs: f64,
+    /// Realized invocations admitted in this epoch's window.
+    pub arrivals: u32,
+    /// The forecast the controller planned with (`propack:*` only).
+    pub forecast: Option<u32>,
+    /// Packing degree the controller chose.
+    pub packing_degree: u32,
+    /// Instances spawned (all retry rounds).
+    pub instances: u32,
+    /// Realized service time, seconds (retry rounds serialize).
+    pub service_secs: f64,
+    /// Realized tail (p95) latency, seconds, summed across retry rounds.
+    pub tail_secs: f64,
+    /// Billed expense, USD (failed attempts are billed too).
+    pub expense_usd: f64,
+    /// Billed compute, function-hours.
+    pub function_hours: f64,
+    /// Retries consumed by fault recovery.
+    pub retries: u64,
+    /// Functions abandoned after the retry budget.
+    pub failed_functions: u64,
+    /// True when a QoS bound was set and the epoch's tail exceeded it.
+    pub qos_violation: bool,
+    /// Platform or planning error, if the epoch could not run.
+    pub error: Option<String>,
+    /// Host milliseconds dispatching this epoch (timing only, not rendered).
+    pub run_ms: f64,
+}
+
+/// Accumulated outcome of replaying one trace under one controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    /// Trace (app) name.
+    pub trace: String,
+    /// Platform display name.
+    pub platform: String,
+    /// Workload name.
+    pub workload: String,
+    /// Controller label, e.g. `propack-ewma`.
+    pub controller: String,
+    /// Epoch width, seconds.
+    pub epoch_secs: f64,
+    /// Base seed.
+    pub seed: u64,
+    /// QoS bound on per-epoch tail latency, if one was set.
+    pub qos_secs: Option<f64>,
+    /// Per-epoch results, in epoch order.
+    pub epochs: Vec<EpochResult>,
+    /// Model-building expense, USD, paid once per replay (zero for
+    /// controllers that never fit a model).
+    pub model_overhead_usd: f64,
+    /// Host milliseconds spent fitting the model (timing only, not rendered).
+    pub fit_ms: f64,
+}
+
+impl ReplayReport {
+    /// Total invocations replayed.
+    pub fn total_arrivals(&self) -> u64 {
+        self.epochs.iter().map(|e| u64::from(e.arrivals)).sum()
+    }
+
+    /// Total realized service time, seconds (epochs are independent bursts;
+    /// the controller's cost is their sum).
+    pub fn total_service_secs(&self) -> f64 {
+        self.epochs.iter().map(|e| e.service_secs).sum()
+    }
+
+    /// Total billed expense including the one-time model overhead, USD.
+    pub fn total_expense_usd(&self) -> f64 {
+        self.model_overhead_usd + self.epochs.iter().map(|e| e.expense_usd).sum::<f64>()
+    }
+
+    /// Total billed compute, function-hours (model overhead excluded — it is
+    /// reported separately in USD).
+    pub fn total_function_hours(&self) -> f64 {
+        self.epochs.iter().map(|e| e.function_hours).sum()
+    }
+
+    /// Epochs whose tail latency violated the QoS bound.
+    pub fn qos_violations(&self) -> u32 {
+        self.epochs.iter().filter(|e| e.qos_violation).count() as u32
+    }
+
+    /// Total retries across all epochs.
+    pub fn total_retries(&self) -> u64 {
+        self.epochs.iter().map(|e| e.retries).sum()
+    }
+
+    /// Total abandoned functions across all epochs.
+    pub fn total_failed(&self) -> u64 {
+        self.epochs.iter().map(|e| e.failed_functions).sum()
+    }
+
+    /// Mean absolute forecast error over forecasted epochs, functions;
+    /// `None` when the controller never forecast.
+    pub fn mean_abs_forecast_error(&self) -> Option<f64> {
+        let errs: Vec<f64> = self
+            .epochs
+            .iter()
+            .filter_map(|e| {
+                e.forecast
+                    .map(|f| (f64::from(f) - f64::from(e.arrivals)).abs())
+            })
+            .collect();
+        if errs.is_empty() {
+            None
+        } else {
+            Some(errs.iter().sum::<f64>() / errs.len() as f64)
+        }
+    }
+
+    /// Largest packing degree any epoch used.
+    pub fn max_degree(&self) -> u32 {
+        self.epochs
+            .iter()
+            .map(|e| e.packing_degree)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Epochs that failed to run.
+    pub fn error_count(&self) -> usize {
+        self.epochs.iter().filter(|e| e.error.is_some()).count()
+    }
+
+    /// The deterministic text report: fixed precision, no host timing.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "replay {} on {}/{}: controller={} epochs={} epoch_s={:.1} seed={} qos_s={}\n",
+            self.trace,
+            self.platform,
+            self.workload,
+            self.controller,
+            self.epochs.len(),
+            self.epoch_secs,
+            self.seed,
+            match self.qos_secs {
+                Some(q) => format!("{q:.3}"),
+                None => "-".to_string(),
+            },
+        ));
+        out.push_str(
+            "epoch\tstart_s\tarrivals\tforecast\tP\tinstances\tservice_s\ttail_s\texpense_usd\tfn_hours\tretries\tfailed\tqos\n",
+        );
+        for e in &self.epochs {
+            if let Some(err) = &e.error {
+                out.push_str(&format!(
+                    "{}\t{:.1}\t{}\t{}\t{}\tERROR: {}\n",
+                    e.epoch,
+                    e.start_secs,
+                    e.arrivals,
+                    forecast_cell(e.forecast),
+                    e.packing_degree,
+                    err,
+                ));
+                continue;
+            }
+            out.push_str(&format!(
+                "{}\t{:.1}\t{}\t{}\t{}\t{}\t{:.3}\t{:.3}\t{:.6}\t{:.4}\t{}\t{}\t{}\n",
+                e.epoch,
+                e.start_secs,
+                e.arrivals,
+                forecast_cell(e.forecast),
+                e.packing_degree,
+                e.instances,
+                e.service_secs,
+                e.tail_secs,
+                e.expense_usd,
+                e.function_hours,
+                e.retries,
+                e.failed_functions,
+                if e.qos_violation { "VIOLATED" } else { "ok" },
+            ));
+        }
+        out.push_str(&format!(
+            "total: arrivals={} service_s={:.3} expense_usd={:.6} (model_overhead_usd={:.6}) fn_hours={:.4} retries={} failed={} qos_violations={} forecast_mae={}\n",
+            self.total_arrivals(),
+            self.total_service_secs(),
+            self.total_expense_usd(),
+            self.model_overhead_usd,
+            self.total_function_hours(),
+            self.total_retries(),
+            self.total_failed(),
+            self.qos_violations(),
+            match self.mean_abs_forecast_error() {
+                Some(m) => format!("{m:.2}"),
+                None => "-".to_string(),
+            },
+        ));
+        out
+    }
+}
+
+fn forecast_cell(f: Option<u32>) -> String {
+    match f {
+        Some(v) => v.to_string(),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epoch(k: u32, arrivals: u32, forecast: Option<u32>, service: f64) -> EpochResult {
+        EpochResult {
+            epoch: k,
+            start_secs: f64::from(k) * 60.0,
+            arrivals,
+            forecast,
+            packing_degree: 4,
+            instances: arrivals.div_ceil(4),
+            service_secs: service,
+            tail_secs: service * 0.9,
+            expense_usd: 0.01,
+            function_hours: 0.2,
+            retries: 0,
+            failed_functions: 0,
+            qos_violation: service > 30.0,
+            error: None,
+            run_ms: 5.0,
+        }
+    }
+
+    fn report() -> ReplayReport {
+        ReplayReport {
+            trace: "sort".into(),
+            platform: "AWS Lambda".into(),
+            workload: "sort".into(),
+            controller: "propack-ewma".into(),
+            epoch_secs: 60.0,
+            seed: 42,
+            qos_secs: Some(30.0),
+            epochs: vec![
+                epoch(0, 100, None, 12.0),
+                epoch(1, 120, Some(100), 35.0),
+                epoch(2, 80, Some(110), 10.0),
+            ],
+            model_overhead_usd: 0.005,
+            fit_ms: 9.0,
+        }
+    }
+
+    #[test]
+    fn totals_and_forecast_error_accumulate() {
+        let r = report();
+        assert_eq!(r.total_arrivals(), 300);
+        assert!((r.total_service_secs() - 57.0).abs() < 1e-12);
+        assert!((r.total_expense_usd() - 0.035).abs() < 1e-12);
+        assert_eq!(r.qos_violations(), 1);
+        // |100-120| = 20, |110-80| = 30 → MAE 25 over the 2 forecasted epochs.
+        assert_eq!(r.mean_abs_forecast_error(), Some(25.0));
+        assert_eq!(r.max_degree(), 4);
+    }
+
+    #[test]
+    fn render_excludes_host_timing() {
+        let a = report();
+        let mut b = report();
+        b.fit_ms = 1e9;
+        for e in &mut b.epochs {
+            e.run_ms = 1e9;
+        }
+        assert_eq!(a.render(), b.render());
+        let mut c = report();
+        c.epochs[1].service_secs += 0.001;
+        assert_ne!(a.render(), c.render());
+    }
+
+    #[test]
+    fn render_marks_violations_and_errors() {
+        let mut r = report();
+        r.epochs[2].error = Some("instance limit".into());
+        let text = r.render();
+        assert!(text.contains("VIOLATED"));
+        assert!(text.contains("ERROR: instance limit"));
+        assert!(text.contains("qos_violations=1"));
+        assert!(text.contains("forecast_mae=25.00"));
+    }
+
+    #[test]
+    fn controllers_without_forecasts_render_a_dash() {
+        let mut r = report();
+        for e in &mut r.epochs {
+            e.forecast = None;
+        }
+        assert_eq!(r.mean_abs_forecast_error(), None);
+        assert!(r.render().contains("forecast_mae=-"));
+    }
+}

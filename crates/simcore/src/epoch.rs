@@ -1,0 +1,127 @@
+//! Epoch timelines: deterministic, fixed-width control windows on sim time.
+//!
+//! Online controllers (the replay engine) chop a finite trace horizon into
+//! equal epochs and act at each boundary. The arithmetic looks trivial but
+//! hides two determinism traps this module exists to centralise:
+//!
+//! * boundary times must be computed as `k * epoch_secs` from the origin,
+//!   never by repeated `t += epoch_secs` accumulation, so that epoch `k`'s
+//!   boundary is bit-identical no matter how many epochs preceded it; and
+//! * the final partial window must be included exactly once — a trace whose
+//!   horizon is not a multiple of the epoch width still ends in a (shorter)
+//!   epoch, and an arrival exactly on the horizon belongs to that window.
+
+use crate::time::SimTime;
+
+/// A finite sequence of equal-width epochs `[k·E, (k+1)·E)` covering a
+/// horizon, with the last window clipped to the horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochTimeline {
+    epoch_secs: f64,
+    epochs: u32,
+    horizon_secs: f64,
+}
+
+impl EpochTimeline {
+    /// Cover `[0, horizon_secs]` with epochs of `epoch_secs` width.
+    ///
+    /// Returns `None` when either argument is non-finite or non-positive —
+    /// there is no meaningful zero-width epoch or empty horizon to control.
+    pub fn over_horizon(epoch_secs: f64, horizon_secs: f64) -> Option<Self> {
+        if !epoch_secs.is_finite() || epoch_secs <= 0.0 {
+            return None;
+        }
+        if !horizon_secs.is_finite() || horizon_secs <= 0.0 {
+            return None;
+        }
+        let epochs = (horizon_secs / epoch_secs).ceil() as u32;
+        Some(Self {
+            epoch_secs,
+            epochs: epochs.max(1),
+            horizon_secs,
+        })
+    }
+
+    /// Epoch width in seconds.
+    pub fn epoch_secs(&self) -> f64 {
+        self.epoch_secs
+    }
+
+    /// Number of epochs (the last may be shorter than `epoch_secs`).
+    pub fn len(&self) -> u32 {
+        self.epochs
+    }
+
+    /// True when the timeline has no epochs (never constructed by
+    /// [`EpochTimeline::over_horizon`], but required by clippy convention).
+    pub fn is_empty(&self) -> bool {
+        self.epochs == 0
+    }
+
+    /// Start of epoch `k`, computed directly (not accumulated).
+    pub fn start(&self, k: u32) -> SimTime {
+        SimTime::from_secs(f64::from(k) * self.epoch_secs)
+    }
+
+    /// Exclusive end of epoch `k`, clipped to the horizon. This is also the
+    /// boundary at which a controller acts on epoch `k`'s arrivals.
+    pub fn end(&self, k: u32) -> SimTime {
+        let raw = f64::from(k + 1) * self.epoch_secs;
+        SimTime::from_secs(raw.min(self.horizon_secs))
+    }
+
+    /// Iterate `(k, start, end)` over every epoch in order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, SimTime, SimTime)> + '_ {
+        (0..self.epochs).map(|k| (k, self.start(k), self.end(k)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_multiple_horizon_splits_evenly() {
+        let tl = EpochTimeline::over_horizon(60.0, 300.0).expect("valid");
+        assert_eq!(tl.len(), 5);
+        assert_eq!(tl.start(0), SimTime::ZERO);
+        assert_eq!(tl.end(4).as_secs(), 300.0);
+        assert_eq!(tl.start(3).as_secs(), 180.0);
+    }
+
+    #[test]
+    fn partial_final_epoch_is_clipped_not_dropped() {
+        let tl = EpochTimeline::over_horizon(60.0, 130.0).expect("valid");
+        assert_eq!(tl.len(), 3);
+        assert_eq!(tl.end(2).as_secs(), 130.0);
+        assert_eq!(tl.start(2).as_secs(), 120.0);
+    }
+
+    #[test]
+    fn boundaries_are_computed_not_accumulated() {
+        // 0.1 is not representable in binary; accumulation would drift.
+        let tl = EpochTimeline::over_horizon(0.1, 10.0).expect("valid");
+        let direct = tl.start(73).as_secs();
+        assert_eq!(direct, 73.0 * 0.1);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        assert!(EpochTimeline::over_horizon(0.0, 100.0).is_none());
+        assert!(EpochTimeline::over_horizon(-1.0, 100.0).is_none());
+        assert!(EpochTimeline::over_horizon(60.0, 0.0).is_none());
+        assert!(EpochTimeline::over_horizon(f64::NAN, 100.0).is_none());
+        assert!(EpochTimeline::over_horizon(60.0, f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn iter_yields_contiguous_windows() {
+        let tl = EpochTimeline::over_horizon(45.0, 100.0).expect("valid");
+        let windows: Vec<_> = tl.iter().collect();
+        assert_eq!(windows.len(), 3);
+        for pair in windows.windows(2) {
+            assert_eq!(pair[0].2, pair[1].1, "end of k must equal start of k+1");
+        }
+        assert_eq!(windows[2].2.as_secs(), 100.0);
+    }
+}

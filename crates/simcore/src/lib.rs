@@ -25,6 +25,7 @@
 //! fails to compile if a non-`Send` member ever sneaks in.
 
 pub mod engine;
+pub mod epoch;
 pub mod fault;
 pub mod resource;
 pub mod rng;
@@ -32,6 +33,7 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{EventState, Sim};
+pub use epoch::EpochTimeline;
 pub use fault::{FaultPlan, FaultSpec, RetryPolicy};
 pub use resource::{BandwidthPipe, FifoResource, MultiServer};
 pub use rng::RngStreams;
@@ -52,6 +54,7 @@ mod send_audit {
     #[test]
     fn core_types_are_send() {
         assert_send::<Sim<Vec<u64>>>();
+        assert_send::<EpochTimeline>();
         assert_send::<RngStreams>();
         assert_send::<Tracer>();
         assert_send::<TraceEvent>();
@@ -66,6 +69,7 @@ mod send_audit {
 
     #[test]
     fn passive_types_are_sync() {
+        assert_sync::<EpochTimeline>();
         assert_sync::<RngStreams>();
         assert_sync::<Tracer>();
         assert_sync::<TraceEvent>();

@@ -1,7 +1,9 @@
 //! Grid cells: the unit of work a sweep fans out.
 
+use propack_replay::Controller;
+
 use crate::faults::FaultScenario;
-use crate::spec::{PackingPolicy, PlatformAxis, SweepSpec};
+use crate::spec::{PackingPolicy, PlatformAxis, ReplayGrid, SweepSpec};
 
 /// The identity of one grid cell, totally ordered.
 ///
@@ -20,17 +22,27 @@ pub struct CellKey {
     pub concurrency: u32,
     /// Replication seed.
     pub seed: u64,
-    /// Fault-scenario label (last in the sort order, so adding the fault
-    /// axis appends to pre-fault grid orderings instead of reshuffling).
+    /// Fault-scenario label (after seed in the sort order, so adding the
+    /// fault axis appended to pre-fault grid orderings instead of
+    /// reshuffling).
     pub faults: String,
+    /// Replay-controller label, `off` for classic cells (last in the sort
+    /// order for the same append-only reason as `faults`).
+    pub controller: String,
 }
 
 impl CellKey {
     /// Compact single-string form, used in `BENCH_sweep.json`.
     pub fn compact(&self) -> String {
         format!(
-            "{}/{}/{}/c{}/s{}/f{}",
-            self.platform, self.workload, self.policy, self.concurrency, self.seed, self.faults
+            "{}/{}/{}/c{}/s{}/f{}/r{}",
+            self.platform,
+            self.workload,
+            self.policy,
+            self.concurrency,
+            self.seed,
+            self.faults,
+            self.controller
         )
     }
 }
@@ -52,6 +64,11 @@ pub struct Cell {
     pub seed: u64,
     /// Fault scenario to run the cell under.
     pub faults: FaultScenario,
+    /// Replay controller, when the cell replays a trace instead of running
+    /// one fixed-`C` burst.
+    pub controller: Option<Controller>,
+    /// The shared replay configuration for controller cells.
+    pub replay: Option<ReplayGrid>,
 }
 
 /// Simulation results for one cell.
@@ -105,17 +122,18 @@ impl CellResult {
         let k = &self.key;
         match &self.error {
             Some(e) => format!(
-                "{}\t{}\t{}\tC={}\tseed={}\tfaults={}\tERROR: {}",
-                k.platform, k.workload, k.policy, k.concurrency, k.seed, k.faults, e
+                "{}\t{}\t{}\tC={}\tseed={}\tfaults={}\tctl={}\tERROR: {}",
+                k.platform, k.workload, k.policy, k.concurrency, k.seed, k.faults, k.controller, e
             ),
             None => format!(
-                "{}\t{}\t{}\tC={}\tseed={}\tfaults={}\tP={}\tinstances={}\tservice_s={:.3}\tscaling_s={:.3}\texpense_usd={:.6}\tfn_hours={:.6}\tretries={}\tfailed={}",
+                "{}\t{}\t{}\tC={}\tseed={}\tfaults={}\tctl={}\tP={}\tinstances={}\tservice_s={:.3}\tscaling_s={:.3}\texpense_usd={:.6}\tfn_hours={:.6}\tretries={}\tfailed={}",
                 k.platform,
                 k.workload,
                 k.policy,
                 k.concurrency,
                 k.seed,
                 k.faults,
+                k.controller,
                 self.packing_degree,
                 self.instances,
                 self.service_secs,
@@ -130,9 +148,16 @@ impl CellResult {
 }
 
 /// Expand a spec into its cells, in fixed grid order (platform-major,
-/// fault-scenario-minor). Workers may *run* cells in any order; merging
+/// controller-minor). Workers may *run* cells in any order; merging
 /// sorts by [`CellKey`], so enumeration order never shows in output.
+/// An empty controller axis expands to the single `off` value: replay
+/// disabled, classic single-burst cells.
 pub fn expand(spec: &SweepSpec) -> Vec<Cell> {
+    let controllers: Vec<Option<&Controller>> = if spec.controllers.is_empty() {
+        vec![None]
+    } else {
+        spec.controllers.iter().map(Some).collect()
+    };
     let mut cells = Vec::with_capacity(spec.cell_count());
     for platform in &spec.platforms {
         for work in &spec.workloads {
@@ -140,22 +165,28 @@ pub fn expand(spec: &SweepSpec) -> Vec<Cell> {
                 for policy in &spec.policies {
                     for &seed in &spec.seeds {
                         for faults in &spec.faults {
-                            cells.push(Cell {
-                                key: CellKey {
-                                    platform: platform.label(),
-                                    workload: work.name.clone(),
-                                    policy: policy.label(),
+                            for controller in &controllers {
+                                cells.push(Cell {
+                                    key: CellKey {
+                                        platform: platform.label(),
+                                        workload: work.name.clone(),
+                                        policy: policy.label(),
+                                        concurrency,
+                                        seed,
+                                        faults: faults.label.clone(),
+                                        controller: controller
+                                            .map_or_else(|| "off".to_string(), |c| c.label()),
+                                    },
+                                    platform: platform.clone(),
+                                    work: work.clone(),
                                     concurrency,
+                                    policy: *policy,
                                     seed,
-                                    faults: faults.label.clone(),
-                                },
-                                platform: platform.clone(),
-                                work: work.clone(),
-                                concurrency,
-                                policy: *policy,
-                                seed,
-                                faults: faults.clone(),
-                            });
+                                    faults: faults.clone(),
+                                    controller: controller.cloned(),
+                                    replay: controller.and(spec.replay.clone()),
+                                });
+                            }
                         }
                     }
                 }
@@ -196,6 +227,7 @@ mod tests {
             concurrency: 100,
             seed: 2,
             faults: "none".into(),
+            controller: "off".into(),
         };
         let mut b = a.clone();
         b.seed = 1;
@@ -205,7 +237,47 @@ mod tests {
         assert!(c > a);
         let mut d = a.clone();
         d.faults = "crash=0.01".into();
-        assert!(d < a, "fault label sorts last, after seed");
-        assert_eq!(a.compact(), "aws/w/no-packing/c100/s2/fnone");
+        assert!(d < a, "fault label sorts after seed");
+        let mut e = a.clone();
+        e.controller = "fixed-4".into();
+        assert!(e < a, "controller label sorts last, after faults");
+        assert_eq!(a.compact(), "aws/w/no-packing/c100/s2/fnone/roff");
+    }
+
+    #[test]
+    fn controller_axis_expands_innermost_with_the_shared_grid() {
+        use propack_replay::ArrivalTrace;
+
+        let trace = ArrivalTrace::poisson("w", 0.5, 120.0, 7).expect("trace");
+        let spec = SweepSpec::new("x")
+            .platforms([PlatformAxis::Aws])
+            .workloads([WorkProfile::synthetic("w", 0.25, 60.0)])
+            .concurrency([100])
+            .policies([PackingPolicy::NoPacking])
+            .seeds([1, 2])
+            .replay(crate::spec::ReplayGrid::new(trace, 60.0))
+            .controllers([Controller::Fixed(4), Controller::Oracle]);
+        let cells = expand(&spec);
+        assert_eq!(cells.len(), 4);
+        // Controller is the innermost loop and lands in every key.
+        let labels: Vec<&str> = cells.iter().map(|c| c.key.controller.as_str()).collect();
+        assert_eq!(labels, vec!["fixed-4", "oracle", "fixed-4", "oracle"]);
+        for cell in &cells {
+            assert!(cell.controller.is_some());
+            let grid = cell.replay.as_ref().expect("replay grid attached");
+            assert_eq!(grid.trace.name(), "w");
+        }
+        // Classic expansion leaves both replay fields unset.
+        let classic = expand(
+            &SweepSpec::new("y")
+                .platforms([PlatformAxis::Aws])
+                .workloads([WorkProfile::synthetic("w", 0.25, 60.0)])
+                .concurrency([100])
+                .policies([PackingPolicy::NoPacking])
+                .seeds([1]),
+        );
+        assert_eq!(classic.len(), 1);
+        assert_eq!(classic[0].key.controller, "off");
+        assert!(classic[0].controller.is_none() && classic[0].replay.is_none());
     }
 }

@@ -22,10 +22,11 @@ use propack_baselines::{NoPacking, Pywren, Strategy, StrategyOutcome};
 use propack_model::cache::ModelCache;
 use propack_model::propack::ProPackConfig;
 use propack_platform::BurstSpec;
+use propack_replay::{Controller, ReplayEngine, ReplaySpec};
 
 use crate::cell::{expand, Cell, CellKey, CellResult};
 use crate::report::SweepReport;
-use crate::spec::{PackingPolicy, SweepError, SweepSpec};
+use crate::spec::{PackingPolicy, ReplayGrid, SweepError, SweepSpec};
 
 /// Executes sweep grids; configure with the builder-style setters, then
 /// call [`SweepRunner::run`].
@@ -175,6 +176,9 @@ fn run_cell(cell: &Cell, fit_config: &ProPackConfig, models: &ModelCache) -> Cel
 /// the result, not raised — one bad cell must not sink a thousand-cell
 /// sweep.
 fn simulate(cell: &Cell, fit_config: &ProPackConfig, models: &ModelCache) -> CellResult {
+    if let (Some(controller), Some(grid)) = (&cell.controller, &cell.replay) {
+        return simulate_replay(cell, controller, grid, fit_config, models);
+    }
     let platform = cell.platform.build();
     let faults = cell.faults.resolve(&*platform);
     let retry = cell.faults.retry;
@@ -249,6 +253,78 @@ fn simulate(cell: &Cell, fit_config: &ProPackConfig, models: &ModelCache) -> Cel
                         run_ms: 0.0,
                     },
                 },
+            }
+        }
+    }
+}
+
+/// The replay-cell body: window the grid's trace into epochs and drive it
+/// under the cell's controller through [`ReplayEngine`]. The cell's seed
+/// decorrelates replications, its fault scenario applies to every epoch's
+/// burst, and the concurrency axis value is ignored — replay cells draw
+/// their load from the trace. Host timing is injected here because this
+/// crate is wall-clock exempt and the replay crate is not.
+fn simulate_replay(
+    cell: &Cell,
+    controller: &Controller,
+    grid: &ReplayGrid,
+    fit_config: &ProPackConfig,
+    models: &ModelCache,
+) -> CellResult {
+    let platform = cell.platform.build();
+    let spec = ReplaySpec {
+        epoch_secs: grid.epoch_secs,
+        seed: cell.seed,
+        objective: grid.objective,
+        qos_secs: grid.qos_secs,
+        faults: cell.faults.resolve(&*platform),
+        retry: cell.faults.retry,
+        fit_config: fit_config.clone(),
+    };
+    let origin = Instant::now();
+    let clock = move || origin.elapsed().as_secs_f64();
+    let run = ReplayEngine::new(spec).run_with_clock(
+        &*platform,
+        &cell.work,
+        &grid.trace,
+        controller,
+        models,
+        &clock,
+    );
+    match run {
+        Err(e) => failed(&cell.key, e.to_string()),
+        Ok(report) => {
+            // Per-epoch failures degrade the cell, they don't erase its
+            // aggregates; the first message stands in for the details the
+            // full `ReplayReport` render would show.
+            let error = (report.error_count() > 0).then(|| {
+                let first = report
+                    .epochs
+                    .iter()
+                    .find_map(|e| e.error.clone())
+                    .unwrap_or_default();
+                format!(
+                    "{} of {} epochs failed; first: {first}",
+                    report.error_count(),
+                    report.epochs.len(),
+                )
+            });
+            CellResult {
+                key: cell.key.clone(),
+                packing_degree: report.max_degree(),
+                instances: report.epochs.iter().map(|e| e.instances).sum(),
+                service_secs: report.total_service_secs(),
+                // Replay accounts scaling inside each epoch's service time;
+                // there is no separate cross-epoch scaling span.
+                scaling_secs: 0.0,
+                expense_usd: report.total_expense_usd(),
+                function_hours: report.total_function_hours(),
+                retries: report.total_retries(),
+                failed_functions: report.total_failed(),
+                error,
+                wall_ms: 0.0,
+                fit_ms: report.fit_ms,
+                run_ms: 0.0,
             }
         }
     }
@@ -456,5 +532,75 @@ mod tests {
     fn invalid_spec_is_rejected_up_front() {
         let spec = SweepSpec::new("empty");
         assert!(SweepRunner::new().run(&spec).is_err());
+    }
+
+    fn replay_spec(name: &str) -> SweepSpec {
+        use propack_replay::ArrivalTrace;
+        let trace = ArrivalTrace::diurnal("w", 1.0, 0.8, 600.0, 600.0, 11).expect("trace");
+        SweepSpec::new(name)
+            .platforms([PlatformAxis::Aws])
+            .workloads([work("w")])
+            .concurrency([1])
+            .policies([PackingPolicy::NoPacking])
+            .seeds([7, 8])
+            .replay(ReplayGrid::new(trace, 100.0))
+            .controllers([
+                Controller::Fixed(4),
+                Controller::Oracle,
+                Controller::parse("propack:ewma").expect("controller"),
+            ])
+            .fit_config(ProPackConfig {
+                scaling_levels: vec![10, 20, 40],
+                ..ProPackConfig::default()
+            })
+    }
+
+    #[test]
+    fn controller_axis_stays_thread_count_invariant() {
+        let spec = replay_spec("replay-threads");
+        let serial = SweepRunner::new().run(&spec).unwrap();
+        assert_eq!(serial.cells.len(), 6);
+        assert_eq!(serial.error_count(), 0);
+        for threads in [2, 4, 8] {
+            let parallel = SweepRunner::new().threads(threads).run(&spec).unwrap();
+            assert_eq!(serial.render(), parallel.render(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn replay_cells_share_one_fit_across_controllers_and_seeds() {
+        let spec = replay_spec("replay-cache");
+        let models = ModelCache::new();
+        let report = SweepRunner::new().run_with_cache(&spec, &models).unwrap();
+        // Only oracle and propack:ewma consult the cache (fixed-4 never
+        // fits); 2 controllers x 2 seeds share the single fit.
+        assert_eq!(report.fitted_models, 1);
+        assert_eq!(report.fit_hits + report.fit_misses, 4);
+        // Replay cells carry the fit timing for `BENCH_sweep.json`; the
+        // cell that missed the cache paid real fit time.
+        let planned: Vec<_> = report
+            .cells
+            .iter()
+            .filter(|c| c.key.controller != "fixed-4")
+            .collect();
+        assert_eq!(planned.len(), 4);
+        assert!(planned.iter().all(|c| c.is_ok()));
+    }
+
+    #[test]
+    fn replay_and_classic_cells_coexist_across_specs_in_one_cache() {
+        // The same cache serves a classic grid and a replay grid without
+        // contaminating either (fit keys exclude replay parameters).
+        let models = ModelCache::new();
+        let classic = SweepRunner::new()
+            .run_with_cache(&small_spec(), &models)
+            .unwrap();
+        let replay = SweepRunner::new()
+            .threads(2)
+            .run_with_cache(&replay_spec("mixed"), &models)
+            .unwrap();
+        assert!(classic.cells.iter().all(|c| c.key.controller == "off"));
+        assert!(replay.cells.iter().all(|c| c.key.controller != "off"));
+        assert_eq!(replay.error_count(), 0);
     }
 }

@@ -1,0 +1,182 @@
+//! Host-timing harness for `propack replay`: timed runs and
+//! `BENCH_replay.json`.
+//!
+//! This lives in the sweep crate, not the replay crate, because only
+//! wall-clock-exempt crates may read `std::time` (the workspace determinism
+//! policy): [`propack_replay::ReplayEngine`] takes an injected clock, and
+//! [`timed_replay`] is the one place that injects a real one. The JSON
+//! follows the `BENCH_sweep.json` conventions — hand-rolled (no serde
+//! dependency), host timing only, with the warmup run excluded from the
+//! reported timings by the caller.
+
+use std::time::Instant;
+
+use propack_model::cache::ModelCache;
+use propack_platform::{ServerlessPlatform, WorkProfile};
+use propack_replay::{ArrivalTrace, Controller, ReplayEngine, ReplayError, ReplayReport};
+
+use crate::report::{escape_json, json_f64, RunTiming};
+
+/// Run one replay with host timing captured: the report's `fit_ms` and
+/// per-epoch `run_ms` fields are real measurements, and the returned
+/// [`RunTiming`] covers the whole replay. Simulated results are identical
+/// to [`ReplayEngine::run`] — the clock feeds timing fields only.
+pub fn timed_replay(
+    engine: &ReplayEngine,
+    platform: &dyn ServerlessPlatform,
+    work: &WorkProfile,
+    trace: &ArrivalTrace,
+    controller: &Controller,
+    models: &ModelCache,
+) -> Result<(ReplayReport, RunTiming), ReplayError> {
+    let origin = Instant::now();
+    let clock = move || origin.elapsed().as_secs_f64();
+    let report = engine.run_with_clock(platform, work, trace, controller, models, &clock)?;
+    Ok((
+        report,
+        RunTiming {
+            threads: 1,
+            wall_secs: origin.elapsed().as_secs_f64(),
+        },
+    ))
+}
+
+/// Compose `BENCH_replay.json` from the reports of one replay pass (one
+/// report per controller, all over the same trace) plus the pass timings.
+///
+/// `runs` follows the `BENCH_sweep.json` warmup convention: the caller runs
+/// one untimed warmup pass first and reports only the timed passes here.
+/// `outputs_identical` says whether every pass rendered byte-identically
+/// (`None` when only one timed pass was made).
+pub fn replay_bench_json(
+    reports: &[ReplayReport],
+    runs: &[RunTiming],
+    outputs_identical: Option<bool>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"replay\",\n");
+    let (trace, platform, workload, epoch_secs, epochs) =
+        reports
+            .first()
+            .map_or((String::new(), String::new(), String::new(), 0.0, 0), |r| {
+                (
+                    r.trace.clone(),
+                    r.platform.clone(),
+                    r.workload.clone(),
+                    r.epoch_secs,
+                    r.epochs.len(),
+                )
+            });
+    out.push_str(&format!("  \"trace\": \"{}\",\n", escape_json(&trace)));
+    out.push_str(&format!(
+        "  \"platform\": \"{}\",\n",
+        escape_json(&platform)
+    ));
+    out.push_str(&format!(
+        "  \"workload\": \"{}\",\n",
+        escape_json(&workload)
+    ));
+    out.push_str(&format!("  \"epoch_secs\": {},\n", json_f64(epoch_secs)));
+    out.push_str(&format!("  \"epochs\": {epochs},\n"));
+
+    out.push_str("  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"wall_secs\": {}}}{}\n",
+            run.threads,
+            json_f64(run.wall_secs),
+            comma,
+        ));
+    }
+    out.push_str("  ],\n");
+    match outputs_identical {
+        Some(b) => out.push_str(&format!("  \"outputs_identical\": {b},\n")),
+        None => out.push_str("  \"outputs_identical\": null,\n"),
+    }
+
+    out.push_str("  \"controllers\": [\n");
+    for (i, report) in reports.iter().enumerate() {
+        let comma = if i + 1 < reports.len() { "," } else { "" };
+        let epoch_run_ms: Vec<String> = report.epochs.iter().map(|e| json_f64(e.run_ms)).collect();
+        out.push_str(&format!(
+            "    {{\"controller\": \"{}\", \"fit_ms\": {}, \"total_service_secs\": {}, \"total_expense_usd\": {}, \"qos_violations\": {}, \"forecast_mae\": {}, \"epoch_run_ms\": [{}]}}{}\n",
+            escape_json(&report.controller),
+            json_f64(report.fit_ms),
+            json_f64(report.total_service_secs()),
+            json_f64(report.total_expense_usd()),
+            report.qos_violations(),
+            report
+                .mean_abs_forecast_error()
+                .map_or("null".to_string(), json_f64),
+            epoch_run_ms.join(", "),
+            comma,
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propack_platform::PlatformBuilder;
+    use propack_replay::ReplaySpec;
+
+    #[test]
+    fn timed_replay_measures_without_changing_results() {
+        let platform = PlatformBuilder::aws().build();
+        let work = WorkProfile::synthetic("w", 0.25, 45.0).with_contention(0.2);
+        let trace = ArrivalTrace::poisson("w", 0.5, 300.0, 5).expect("trace");
+        let engine = ReplayEngine::new(ReplaySpec {
+            epoch_secs: 100.0,
+            ..ReplaySpec::default()
+        });
+        let controller = Controller::parse("propack:ewma").expect("controller");
+        let models = ModelCache::new();
+        let (timed, timing) = timed_replay(&engine, &platform, &work, &trace, &controller, &models)
+            .expect("timed run");
+        let untimed = engine
+            .run(&platform, &work, &trace, &controller, &models)
+            .expect("untimed run");
+        assert_eq!(timed.render(), untimed.render());
+        assert!(timing.wall_secs > 0.0);
+        assert!(timed.fit_ms > 0.0, "real clock reaches the fit timer");
+        assert!(untimed.fit_ms == 0.0, "null clock reports zeros");
+    }
+
+    #[test]
+    fn replay_bench_json_is_wellformed_enough() {
+        let platform = PlatformBuilder::aws().build();
+        let work = WorkProfile::synthetic("w", 0.25, 45.0).with_contention(0.2);
+        let trace = ArrivalTrace::poisson("w", 0.5, 200.0, 5).expect("trace");
+        let engine = ReplayEngine::new(ReplaySpec {
+            epoch_secs: 100.0,
+            ..ReplaySpec::default()
+        });
+        let models = ModelCache::new();
+        let mut reports = Vec::new();
+        let mut runs = Vec::new();
+        for key in ["fixed:4", "propack:ewma"] {
+            let controller = Controller::parse(key).expect("controller");
+            let (report, timing) =
+                timed_replay(&engine, &platform, &work, &trace, &controller, &models).expect("run");
+            reports.push(report);
+            runs.push(timing);
+        }
+        let json = replay_bench_json(&reports, &runs, Some(true));
+        assert!(json.contains("\"bench\": \"replay\""));
+        assert!(json.contains("\"controller\": \"fixed-4\""));
+        assert!(json.contains("\"controller\": \"propack-ewma\""));
+        assert!(json.contains("\"epoch_run_ms\""));
+        assert!(json.contains("\"outputs_identical\": true"));
+        let balance = |open: char, close: char| {
+            json.chars().filter(|&c| c == open).count()
+                == json.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}'));
+        assert!(balance('[', ']'));
+    }
+}

@@ -55,7 +55,7 @@ impl SweepReport {
             self.error_count(),
         ));
         out.push_str(
-            "platform\tworkload\tpolicy\tC\tseed\tfaults\tP\tinstances\tservice_s\tscaling_s\texpense_usd\tfn_hours\tretries\tfailed\n",
+            "platform\tworkload\tpolicy\tC\tseed\tfaults\tctl\tP\tinstances\tservice_s\tscaling_s\texpense_usd\tfn_hours\tretries\tfailed\n",
         );
         for cell in &self.cells {
             out.push_str(&cell.render_line());
@@ -166,7 +166,7 @@ pub fn speedup(runs: &[RunTiming]) -> Option<f64> {
 }
 
 /// JSON-legal float rendering (JSON has no NaN/Infinity literals).
-fn json_f64(x: f64) -> String {
+pub(crate) fn json_f64(x: f64) -> String {
     if x.is_finite() {
         format!("{x}")
     } else {
@@ -175,7 +175,7 @@ fn json_f64(x: f64) -> String {
 }
 
 /// Escape a string for embedding in a JSON document.
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
         match ch {
@@ -205,6 +205,7 @@ mod tests {
                 concurrency: 100,
                 seed,
                 faults: "none".into(),
+                controller: "off".into(),
             },
             packing_degree: 4,
             instances: 25,
@@ -266,7 +267,7 @@ mod tests {
         assert!(json.contains("\"bench\": \"sweep\""));
         assert!(json.contains("\"speedup_parallel_vs_serial\": 4"));
         assert!(json.contains("\"outputs_identical\": true"));
-        assert!(json.contains("aws/w/fixed-4/c100/s1/fnone"));
+        assert!(json.contains("aws/w/fixed-4/c100/s1/fnone/roff"));
         // Braces and brackets balance.
         let balance = |open: char, close: char| {
             json.chars().filter(|&c| c == open).count()

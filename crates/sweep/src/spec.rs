@@ -1,12 +1,15 @@
 //! The declarative description of an experiment grid.
 //!
-//! A [`SweepSpec`] is the cross product of six axes — platform ×
-//! workload × concurrency × packing policy × seed × fault scenario — and
-//! is the single entry point for multi-run experiments: every figure grid
-//! in the reproduction is one of these. The spec is pure data; handing it
-//! to a [`crate::SweepRunner`] produces one independent seeded simulation
-//! per cell. The fault axis defaults to the single fault-free scenario, so
-//! specs that never mention it keep their exact pre-fault grids.
+//! A [`SweepSpec`] is the cross product of seven axes — platform ×
+//! workload × concurrency × packing policy × seed × fault scenario ×
+//! replay controller — and is the single entry point for multi-run
+//! experiments: every figure grid in the reproduction is one of these. The
+//! spec is pure data; handing it to a [`crate::SweepRunner`] produces one
+//! independent seeded simulation per cell. The fault axis defaults to the
+//! single fault-free scenario and the controller axis to the single `off`
+//! value, so specs that never mention them keep their exact legacy grids.
+
+use std::sync::Arc;
 
 use propack_funcx::{FuncXConfig, FuncXPlatform};
 
@@ -14,6 +17,7 @@ use crate::faults::FaultScenario;
 use propack_model::optimizer::Objective;
 use propack_model::propack::ProPackConfig;
 use propack_platform::{CloudPlatform, PlatformProfile, Provider, ServerlessPlatform};
+use propack_replay::{ArrivalTrace, Controller};
 
 /// One point on the platform axis.
 ///
@@ -117,6 +121,49 @@ impl PackingPolicy {
     }
 }
 
+/// The replay configuration shared by every replay cell: the arrival trace
+/// plus the control-loop parameters. The *axis* is the controller list
+/// ([`SweepSpec::controllers`]); the grid stays plain data because the
+/// trace sits behind an [`Arc`] that worker threads share read-only.
+#[derive(Debug, Clone)]
+pub struct ReplayGrid {
+    /// Arrival trace every replay cell replays.
+    pub trace: Arc<ArrivalTrace>,
+    /// Epoch (control window) width, seconds.
+    pub epoch_secs: f64,
+    /// Objective the planning controllers (`oracle`, `propack:*`) optimize.
+    pub objective: Objective,
+    /// Per-epoch tail-latency QoS bound, seconds, if violations should be
+    /// counted.
+    pub qos_secs: Option<f64>,
+}
+
+impl ReplayGrid {
+    /// A grid over `trace` with `epoch_secs` windows; controllers optimize
+    /// service time (the replay experiments' figure of merit) and no QoS
+    /// bound is tracked.
+    pub fn new(trace: ArrivalTrace, epoch_secs: f64) -> Self {
+        ReplayGrid {
+            trace: Arc::new(trace),
+            epoch_secs,
+            objective: Objective::ServiceTime,
+            qos_secs: None,
+        }
+    }
+
+    /// Set the planning objective.
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Track per-epoch tail-latency violations against `qos_secs`.
+    pub fn qos_secs(mut self, qos_secs: f64) -> Self {
+        self.qos_secs = Some(qos_secs);
+        self
+    }
+}
+
 /// A declarative experiment grid (see module docs).
 ///
 /// ```
@@ -147,6 +194,14 @@ pub struct SweepSpec {
     pub seeds: Vec<u64>,
     /// Fault-scenario axis; defaults to the single fault-free scenario.
     pub faults: Vec<FaultScenario>,
+    /// Replay-controller axis (the seventh axis); empty by default, which
+    /// means replay is off and every cell is a classic single-burst cell.
+    /// Non-empty controllers require a [`ReplayGrid`] and turn every cell
+    /// into a trace replay under that controller.
+    pub controllers: Vec<Controller>,
+    /// The shared replay configuration (trace, epoch width, objective, QoS)
+    /// when the controller axis is in use.
+    pub replay: Option<ReplayGrid>,
     /// Profiling configuration for ProPack cells (part of the model-cache
     /// key, so every cell sharing it shares one fit per workload; profiling
     /// itself always runs fault-free, whatever the fault axis says).
@@ -165,6 +220,8 @@ impl SweepSpec {
             policies: Vec::new(),
             seeds: Vec::new(),
             faults: vec![FaultScenario::none()],
+            controllers: Vec::new(),
+            replay: None,
             fit_config: ProPackConfig::default(),
         }
     }
@@ -208,6 +265,18 @@ impl SweepSpec {
         self
     }
 
+    /// Set the replay-controller axis (requires [`SweepSpec::replay`]).
+    pub fn controllers(mut self, axis: impl IntoIterator<Item = Controller>) -> Self {
+        self.controllers = axis.into_iter().collect();
+        self
+    }
+
+    /// Set the shared replay configuration for the controller axis.
+    pub fn replay(mut self, grid: ReplayGrid) -> Self {
+        self.replay = Some(grid);
+        self
+    }
+
     /// Set the ProPack profiling configuration.
     pub fn fit_config(mut self, config: ProPackConfig) -> Self {
         self.fit_config = config;
@@ -222,6 +291,7 @@ impl SweepSpec {
             * self.policies.len()
             * self.seeds.len()
             * self.faults.len()
+            * self.controllers.len().max(1)
     }
 
     /// Check the spec describes a runnable, non-degenerate grid.
@@ -255,6 +325,59 @@ impl SweepSpec {
             return Err(SweepError::InvalidValue {
                 what: "fixed packing degree",
                 value: p.to_string(),
+            });
+        }
+        self.validate_replay()
+    }
+
+    /// The replay-axis invariants: controllers and a [`ReplayGrid`] come
+    /// together, the grid is non-degenerate, and the classic policy /
+    /// concurrency axes are pinned to single placeholder values (replay
+    /// cells draw their load from the trace, so extra values would only
+    /// duplicate cells).
+    fn validate_replay(&self) -> Result<(), SweepError> {
+        let Some(grid) = &self.replay else {
+            if self.controllers.is_empty() {
+                return Ok(());
+            }
+            return Err(SweepError::InvalidValue {
+                what: "controllers",
+                value: "set without a replay grid (call .replay(..))".to_string(),
+            });
+        };
+        if self.controllers.is_empty() {
+            return Err(SweepError::EmptyAxis {
+                axis: "controllers",
+            });
+        }
+        if !(grid.epoch_secs.is_finite() && grid.epoch_secs > 0.0) {
+            return Err(SweepError::InvalidValue {
+                what: "replay epoch width",
+                value: grid.epoch_secs.to_string(),
+            });
+        }
+        if grid.trace.is_empty() {
+            return Err(SweepError::InvalidValue {
+                what: "replay trace",
+                value: format!("`{}` has no invocations", grid.trace.name()),
+            });
+        }
+        if self.policies.len() > 1 {
+            return Err(SweepError::InvalidValue {
+                what: "policies",
+                value: format!(
+                    "{} values; replay grids pin the policy axis to one placeholder",
+                    self.policies.len()
+                ),
+            });
+        }
+        if self.concurrency.len() > 1 {
+            return Err(SweepError::InvalidValue {
+                what: "concurrency",
+                value: format!(
+                    "{} values; replay cells draw concurrency from the trace",
+                    self.concurrency.len()
+                ),
             });
         }
         Ok(())
@@ -380,6 +503,85 @@ mod tests {
             PackingPolicy::propack_default().label(),
             "propack-joint-0.5"
         );
+    }
+
+    #[test]
+    fn controller_axis_multiplies_the_grid_and_needs_a_replay_grid() {
+        let base = SweepSpec::new("x")
+            .platforms([PlatformAxis::Aws])
+            .workloads([work()])
+            .concurrency([100])
+            .policies([PackingPolicy::NoPacking])
+            .seeds([1, 2]);
+        // Empty controller axis: replay off, grid unchanged.
+        assert_eq!(base.cell_count(), 2);
+        assert!(base.validate().is_ok());
+
+        let trace = ArrivalTrace::poisson("w", 0.5, 120.0, 7).expect("trace");
+        let replayed = base
+            .clone()
+            .replay(ReplayGrid::new(trace, 60.0))
+            .controllers([
+                Controller::Fixed(4),
+                Controller::Oracle,
+                Controller::parse("propack:ewma").expect("controller"),
+            ]);
+        assert_eq!(replayed.cell_count(), 6);
+        assert!(replayed.validate().is_ok());
+
+        // Controllers without a grid, or a grid without controllers, fail.
+        let orphan = base.clone().controllers([Controller::Oracle]);
+        assert!(matches!(
+            orphan.validate(),
+            Err(SweepError::InvalidValue {
+                what: "controllers",
+                ..
+            })
+        ));
+        let empty = replayed.clone().controllers([]);
+        assert_eq!(
+            empty.validate(),
+            Err(SweepError::EmptyAxis {
+                axis: "controllers"
+            })
+        );
+        // Replay pins the classic policy / concurrency axes to one value.
+        let multi = replayed
+            .clone()
+            .policies([PackingPolicy::NoPacking, PackingPolicy::Fixed(4)]);
+        assert!(multi.validate().is_err());
+        let multi_c = replayed.concurrency([100, 200]);
+        assert!(multi_c.validate().is_err());
+    }
+
+    #[test]
+    fn degenerate_replay_grids_are_rejected() {
+        let trace = ArrivalTrace::poisson("w", 0.5, 120.0, 7).expect("trace");
+        let base = SweepSpec::new("x")
+            .platforms([PlatformAxis::Aws])
+            .workloads([work()])
+            .concurrency([100])
+            .policies([PackingPolicy::NoPacking])
+            .seeds([1])
+            .controllers([Controller::Oracle]);
+        let zero_epoch = base.clone().replay(ReplayGrid::new(trace, 0.0));
+        assert!(matches!(
+            zero_epoch.validate(),
+            Err(SweepError::InvalidValue {
+                what: "replay epoch width",
+                ..
+            })
+        ));
+        let empty_trace =
+            ArrivalTrace::from_timestamps("quiet", vec![], 100.0).expect("empty trace");
+        let no_arrivals = base.replay(ReplayGrid::new(empty_trace, 60.0));
+        assert!(matches!(
+            no_arrivals.validate(),
+            Err(SweepError::InvalidValue {
+                what: "replay trace",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -100,18 +100,6 @@ impl Benchmarks {
     }
 }
 
-/// The paper's three primary benchmarks (Figs. 1, 4, 7–16, 19, 21).
-#[deprecated(since = "0.2.0", note = "use `Benchmarks::primary()`")]
-pub fn primary_benchmarks() -> Vec<Box<dyn Workload>> {
-    Benchmarks::primary()
-}
-
-/// All five benchmarks (adds Smith-Waterman, Fig. 17, and Xapian, Fig. 20).
-#[deprecated(since = "0.2.0", note = "use `Benchmarks::all()`")]
-pub fn all_benchmarks() -> Vec<Box<dyn Workload>> {
-    Benchmarks::all()
-}
-
 /// A 64-bit mixing hash (splitmix64 finalizer) used by kernels to fold
 /// outputs into order-independent checksums and to derive input data.
 #[inline]

@@ -240,6 +240,34 @@ mod tests {
     }
 
     #[test]
+    fn replay_crate_is_covered_by_sim_rules() {
+        // `replay` joined SIM_CRATES: hash-map applies, wall-clock applies
+        // (replay is not exempt — host timing is injected from `sweep`),
+        // and the fault-rng rule now also matches `*trace*.rs` files.
+        let src = include_str!("../fixtures/fault_rng.rs");
+        let v = lint_file(src, &ctx("replay", "crates/replay/src/trace.rs"));
+        assert_eq!(rules_hit(&v), ["fault-rng"], "{v:?}");
+        let src = include_str!("../fixtures/hash_map.rs");
+        let v = lint_file(src, &ctx("replay", "crates/replay/src/engine.rs"));
+        assert_eq!(rules_hit(&v), ["hash-map"], "{v:?}");
+        let src = include_str!("../fixtures/wall_clock.rs");
+        let v = lint_file(src, &ctx("replay", "crates/replay/src/engine.rs"));
+        assert_eq!(rules_hit(&v), ["wall-clock"], "{v:?}");
+        // The shipped arrival-trace generators must satisfy the extended
+        // fault-rng scope: every draw goes through `RngStreams` lanes.
+        let real = include_str!("../../replay/src/trace.rs");
+        let v = lint_file(real, &ctx("replay", "crates/replay/src/trace.rs"));
+        assert!(
+            v.is_empty(),
+            "shipped replay trace.rs violates simlint: {v:?}"
+        );
+        // simcore's RNG-free `Tracer` (also `trace.rs`) stays clean too.
+        let real = include_str!("../../simcore/src/trace.rs");
+        let v = lint_file(real, &ctx("simcore", "crates/simcore/src/trace.rs"));
+        assert!(v.is_empty(), "simcore tracer flagged by trace scope: {v:?}");
+    }
+
+    #[test]
     fn fixture_event_alloc_flagged_outside_simcore() {
         let src = include_str!("../fixtures/event_alloc.rs");
         let v = lint_file(src, &ctx("platform", "crates/platform/src/bad.rs"));

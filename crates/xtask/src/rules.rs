@@ -11,7 +11,7 @@
 //! | `float-eq`  | `stats`, `propack` (non-test)           | no `==`/`!=` against float literals: use tolerances or document exact-zero guards |
 //! | `const-doc` | `platform::profile`                     | every `pub const` cites its paper provenance (Fig./Eq./Table/§) |
 //! | `thread-spawn` | all crates except `sweep`, `executor` | no `thread::spawn`/`thread::scope`: host concurrency lives in the sweep engine and kernel harness |
-//! | `fault-rng` | `*fault*.rs` in simulation crates       | no direct RNG construction: fault draws come only from the seeded `RngStreams` lane tree |
+//! | `fault-rng` | `*fault*.rs`/`*trace*.rs` in simulation crates | no direct RNG construction: fault and arrival draws come only from the seeded `RngStreams` lane tree |
 //! | `event-alloc` | simulation crates except `simcore` (non-test) | no `Box::new` inside `schedule_*(…)` calls: hot paths use the typed pooled event queue; the boxed-closure path is simcore's compatibility fallback |
 //!
 //! Escape hatch: `// simlint: allow(<rule>): "justification"` on the same
@@ -29,6 +29,7 @@ pub const SIM_CRATES: &[&str] = &[
     "propack",
     "baselines",
     "orchestrator",
+    "replay",
 ];
 
 /// Crates whose non-test library code must be panic-free.
@@ -113,16 +114,18 @@ impl FileCtx {
         SIM_CRATES.contains(&self.crate_name.as_str()) && self.crate_name != "simcore"
     }
 
-    /// Whether the `fault-rng` rule applies: fault-lane source files in the
-    /// simulation crates (matched on the file name, so `fault.rs`,
-    /// `faults.rs`, or a future `fault_model.rs` are all covered).
+    /// Whether the `fault-rng` rule applies: fault-lane and arrival-trace
+    /// source files in the simulation crates (matched on the file name, so
+    /// `fault.rs`, `faults.rs`, a future `fault_model.rs`, and the replay
+    /// crate's `trace.rs` generators are all covered — both draw randomness
+    /// that must come exclusively from seeded `RngStreams` lanes).
     fn wants_fault_rng(&self) -> bool {
         SIM_CRATES.contains(&self.crate_name.as_str())
             && self
                 .rel_path
                 .rsplit('/')
                 .next()
-                .is_some_and(|name| name.contains("fault"))
+                .is_some_and(|name| name.contains("fault") || name.contains("trace"))
     }
 }
 

@@ -1,0 +1,90 @@
+//! Online packing under a diurnal arrival trace (EXPERIMENTS.md, "Replay").
+//!
+//! ```sh
+//! cargo run --release --example diurnal_replay
+//! ```
+//!
+//! The rest of the examples plan one burst offline. This one replays the
+//! bundled diurnal trace (`crates/replay/traces/diurnal_sample.csv`) on sim
+//! time, re-planning the packing degree every epoch, and compares four
+//! controllers:
+//!
+//! * `no-packing`  — every invocation isolated (the Knative/Lambda default);
+//! * `fixed:4`     — packing, but a hand-picked constant degree;
+//! * `propack:ewma`— the online ProPack controller: EWMA-forecast the next
+//!   epoch's concurrency, plan `P` for the forecast;
+//! * `oracle`      — same planner, but told each epoch's true concurrency
+//!   (the hindsight bound on what forecasting can achieve).
+//!
+//! The figure of merit is realized total service time; expense and QoS
+//! violations (tail latency vs a fixed bound) ride along. Expected ordering:
+//! `oracle` <= `propack:ewma` <= `fixed:4`, with the oracle/EWMA gap being
+//! pure forecast error (both pay one model fit through the shared cache).
+
+use propack_repro::platform::PlatformBuilder;
+use propack_repro::propack::cache::ModelCache;
+use propack_repro::replay::{ArrivalTrace, Controller, ReplayEngine, ReplaySpec};
+use propack_repro::workloads::Benchmarks;
+
+fn main() {
+    let traces = ArrivalTrace::bundled_diurnal().expect("bundled trace parses");
+    let trace = ArrivalTrace::select(&traces, "sort").expect("sort app in bundled trace");
+    let n_epochs = (trace.horizon_secs() / 60.0).ceil() as usize;
+    let mut per_epoch = vec![0u32; n_epochs];
+    for &t in trace.arrivals() {
+        per_epoch[((t / 60.0) as usize).min(n_epochs - 1)] += 1;
+    }
+    let peak = per_epoch.iter().max().copied().unwrap_or(0);
+    let trough = per_epoch.iter().min().copied().unwrap_or(0);
+    println!(
+        "trace `{}`: {} arrivals over {:.0}s; per-60s-epoch load swings {trough}..{peak}\n",
+        trace.name(),
+        trace.len(),
+        trace.horizon_secs(),
+    );
+
+    let platform = PlatformBuilder::aws().build();
+    let work = Benchmarks::resolve("sort")
+        .expect("sort benchmark")
+        .profile();
+    let spec = ReplaySpec {
+        // Per-epoch p95 bound: tight enough that constant-degree packing
+        // busts it at peak load while adaptive packing stays inside.
+        qos_secs: Some(140.0),
+        ..ReplaySpec::default()
+    };
+    let engine = ReplayEngine::new(spec);
+    // One cache for all controllers: the scaling-campaign fit is paid once
+    // and every planning controller below reuses it.
+    let models = ModelCache::new();
+
+    let controllers = ["no-packing", "fixed:4", "propack:ewma", "oracle"];
+    println!(
+        "{:<13} {:>10} {:>12} {:>8} {:>9} {:>6}",
+        "controller", "service_s", "expense_usd", "qos_viol", "fcst_mae", "max_P"
+    );
+    for name in controllers {
+        let controller = Controller::parse(name).expect("controller parses");
+        let report = engine
+            .run(&platform, &work, trace, &controller, &models)
+            .expect("replay runs");
+        assert_eq!(report.error_count(), 0, "no epoch may fail");
+        let mae = report
+            .mean_abs_forecast_error()
+            .map_or("-".to_string(), |e| format!("{e:.1}"));
+        println!(
+            "{:<13} {:>10.1} {:>12.4} {:>8} {:>9} {:>6}",
+            report.controller,
+            report.total_service_secs(),
+            report.total_expense_usd() + report.model_overhead_usd,
+            report.qos_violations(),
+            mae,
+            report.max_degree(),
+        );
+    }
+    println!(
+        "\nmodel fits paid: {} (cache hits {}) — shared across the planning controllers",
+        models.len(),
+        models.hits(),
+    );
+}

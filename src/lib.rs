@@ -13,6 +13,7 @@ pub use propack_funcx as funcx;
 pub use propack_model as propack;
 pub use propack_orchestrator as orchestrator;
 pub use propack_platform as platform;
+pub use propack_replay as replay;
 pub use propack_simcore as simcore;
 pub use propack_stats as stats;
 pub use propack_sweep as sweep;
