@@ -8,7 +8,7 @@ use propack_platform::{
     BurstSpec, FaultSummary, InstanceLimits, InstanceRecord, PlatformError, RunReport,
     ScalingBreakdown, ServerlessPlatform, WorkProfile,
 };
-use propack_simcore::rng::jitter;
+use propack_simcore::rng::{jitter, lanes};
 use propack_simcore::{
     BandwidthPipe, EventState, FaultPlan, FaultSpec, FifoResource, MultiServer, RetryPolicy,
     RngStreams, Sim, SimTime,
@@ -176,7 +176,7 @@ impl ServerlessPlatform for FuncXPlatform {
         let n = spec.instances;
         let pod_count = n.div_ceil(cfg.workers_per_pod) as usize;
         let streams = RngStreams::new(spec.seed);
-        let mut ctrl_rng = streams.stream("funcx-control");
+        let mut ctrl_rng = streams.stream(lanes::FUNCX_CONTROL);
         let pods = (0..pod_count)
             .map(|_| PodState {
                 ready_at: None,
@@ -312,7 +312,7 @@ fn join_pod(sim: &mut Sim<ClusterState>, i: u32) {
 fn claim_slot(sim: &mut Sim<ClusterState>, i: u32) {
     let now = sim.now();
     let s = sim.state_mut();
-    let mut exec_rng = s.streams.stream_indexed("funcx-exec", i as u64);
+    let mut exec_rng = s.streams.stream_indexed(lanes::FUNCX_EXEC, i as u64);
     // Cache-miss pods load the runtime dependencies once per worker launch;
     // cached pods have them resident.
     let dep = if s.records[i as usize].warm {

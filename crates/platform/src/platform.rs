@@ -38,7 +38,7 @@ use crate::fleet::Fleet;
 use crate::instance::packed_exec_secs;
 use crate::profile::{PlatformProfile, PriceSheet};
 use crate::report::{FaultSummary, InstanceRecord, RunReport, ScalingBreakdown};
-use propack_simcore::rng::jitter;
+use propack_simcore::rng::{jitter, lanes};
 use propack_simcore::{
     BandwidthPipe, EventState, FaultPlan, FaultSpec, FifoResource, RetryPolicy, RngStreams, Sim,
     SimTime, Tracer,
@@ -313,7 +313,7 @@ impl CloudPlatform {
             admitted: 0,
             place_failures: 0,
             records: (0..n).map(pending_record).collect(),
-            ctrl_rng: streams.stream("control-plane"),
+            ctrl_rng: streams.stream(lanes::CONTROL_PLANE),
             fault_plan: FaultPlan::new(&streams, spec.faults),
             retry: spec.retry,
             retry_budget_left: spec.retry.retry_budget,
@@ -560,7 +560,7 @@ fn finish_arithmetically(sim: &mut Sim<BurstState>, i: u32, provision_secs: f64)
     let started = sim.now() + provision_secs;
     let started_secs = started.as_secs();
     let s = sim.state_mut();
-    let mut exec_rng = s.streams.stream_indexed("exec", i as u64);
+    let mut exec_rng = s.streams.stream_indexed(lanes::EXEC, i as u64);
     let mut exec = s.base_exec_secs * jitter(&mut exec_rng, s.profile.instance.exec_jitter);
     if let Some(factor) = s.fault_plan.straggler(i) {
         s.faults.stragglers += 1;
@@ -586,7 +586,7 @@ fn run_attempt(sim: &mut Sim<BurstState>, i: u32, attempt: u32) {
         s.records[i as usize].started_at = now.as_secs();
         s.tracer.record(now, i as u64, "started");
     }
-    let mut exec_rng = s.streams.stream_indexed("exec", i as u64);
+    let mut exec_rng = s.streams.stream_indexed(lanes::EXEC, i as u64);
     let mut exec = s.base_exec_secs * jitter(&mut exec_rng, s.profile.instance.exec_jitter);
     if let Some(factor) = s.fault_plan.straggler(i) {
         if attempt == 1 {

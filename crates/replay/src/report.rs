@@ -91,6 +91,7 @@ impl ReplayReport {
 
     /// Epochs whose tail latency violated the QoS bound.
     pub fn qos_violations(&self) -> u32 {
+        // simlint: allow(as-truncation): "epoch count, bounded by the replay horizon (thousands, not billions)"
         self.epochs.iter().filter(|e| e.qos_violation).count() as u32
     }
 

@@ -34,6 +34,7 @@ impl EpochTimeline {
         if !horizon_secs.is_finite() || horizon_secs <= 0.0 {
             return None;
         }
+        // simlint: allow(as-truncation): "both operands validated finite and positive above; the ratio is a small epoch count"
         let epochs = (horizon_secs / epoch_secs).ceil() as u32;
         Some(Self {
             epoch_secs,

@@ -23,7 +23,7 @@
 //! directly in fault code is rejected by `cargo xtask simlint` (rule
 //! `fault-rng`); wall-clock or OS-entropy seeding would break replay.
 
-use crate::rng::RngStreams;
+use crate::rng::{lanes, RngStreams};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -227,7 +227,7 @@ impl FaultPlan {
         }
         let mut rng = self
             .streams
-            .stream_indexed("fault-crash", Self::lane(instance, attempt));
+            .stream_indexed(lanes::FAULT_CRASH, Self::lane(instance, attempt));
         if rng.random::<f64>() < self.spec.crash_rate {
             Some(0.05 + 0.9 * rng.random::<f64>())
         } else {
@@ -242,7 +242,7 @@ impl FaultPlan {
         }
         let mut rng = self
             .streams
-            .stream_indexed("fault-provision", Self::lane(instance, attempt));
+            .stream_indexed(lanes::FAULT_PROVISION, Self::lane(instance, attempt));
         rng.random::<f64>() < self.spec.provision_failure_rate
     }
 
@@ -254,7 +254,7 @@ impl FaultPlan {
         }
         let mut rng = self
             .streams
-            .stream_indexed("fault-ship", Self::lane(instance, 0));
+            .stream_indexed(lanes::FAULT_SHIP, Self::lane(instance, 0));
         if rng.random::<f64>() < self.spec.ship_stall_rate {
             Some(self.spec.ship_stall_factor)
         } else {
@@ -270,7 +270,7 @@ impl FaultPlan {
         }
         let mut rng = self
             .streams
-            .stream_indexed("fault-straggler", Self::lane(instance, 0));
+            .stream_indexed(lanes::FAULT_STRAGGLER, Self::lane(instance, 0));
         if rng.random::<f64>() < self.spec.straggler_rate {
             Some(self.spec.straggler_factor)
         } else {

@@ -10,9 +10,66 @@
 //!    cannot shift the sequence another component sees, because streams are
 //!    derived by hashing the component name into the seed rather than by
 //!    sharing one generator.
+//!
+//! Stream names are **not free-form**: every call site must pass a constant
+//! from [`lanes`], the workspace lane registry. `cargo xtask simlint`
+//! enforces this (rule `rng-lane`), which keeps the set of active lanes
+//! auditable in one place and makes accidental lane collisions (two
+//! components hashing to the same stream) detectable at lint time.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+
+/// Central registry of RNG lane names.
+///
+/// Each constant names one independent random stream. Call sites must use
+/// these constants — never a raw string literal — so that:
+///
+/// * the full set of lanes is visible (and reviewable) in one module;
+/// * `cargo xtask simlint` can prove at lint time that no two lanes collide
+///   under the FNV-1a stream hash and that no lane is dead;
+/// * renaming a lane is a single-constant change with an obvious blast
+///   radius (it reshuffles that stream and regenerates the goldens).
+pub mod lanes {
+    /// Per-instance execution jitter (cold start, run time, billing ticks).
+    pub const EXEC: &str = "exec";
+    /// Platform control-plane noise: admission, scheduling, placement.
+    pub const CONTROL_PLANE: &str = "control-plane";
+    /// FuncX endpoint control loop (cache hits, dispatch latency).
+    pub const FUNCX_CONTROL: &str = "funcx-control";
+    /// FuncX per-task execution jitter.
+    pub const FUNCX_EXEC: &str = "funcx-exec";
+    /// Replay: Poisson arrival synthesis.
+    pub const TRACE_POISSON: &str = "trace-poisson";
+    /// Replay: diurnal (thinned inhomogeneous Poisson) arrival synthesis.
+    pub const TRACE_DIURNAL: &str = "trace-diurnal";
+    /// Replay: burst-train arrival synthesis.
+    pub const TRACE_BURST: &str = "trace-burst";
+    /// Fault injection: instance crash draws.
+    pub const FAULT_CRASH: &str = "fault-crash";
+    /// Fault injection: provisioning-failure draws.
+    pub const FAULT_PROVISION: &str = "fault-provision";
+    /// Fault injection: data-ship stall draws.
+    pub const FAULT_SHIP: &str = "fault-ship";
+    /// Fault injection: straggler slowdown draws.
+    pub const FAULT_STRAGGLER: &str = "fault-straggler";
+
+    /// Every registered lane. Order is documentation only; the stream hash
+    /// does not depend on it.
+    pub const ALL: &[&str] = &[
+        EXEC,
+        CONTROL_PLANE,
+        FUNCX_CONTROL,
+        FUNCX_EXEC,
+        TRACE_POISSON,
+        TRACE_DIURNAL,
+        TRACE_BURST,
+        FAULT_CRASH,
+        FAULT_PROVISION,
+        FAULT_SHIP,
+        FAULT_STRAGGLER,
+    ];
+}
 
 /// Factory for independent, deterministic RNG streams.
 #[derive(Debug, Clone)]
@@ -35,22 +92,40 @@ impl RngStreams {
     ///
     /// The same `(seed, name)` pair always produces the same stream; different
     /// names produce statistically independent streams (FNV-1a split).
+    ///
+    /// `name` must be a constant from [`lanes`] (enforced by simlint).
     pub fn stream(&self, name: &str) -> ChaCha8Rng {
         ChaCha8Rng::seed_from_u64(self.seed ^ fnv1a(name.as_bytes()))
     }
 
     /// Derive a generator for the named component plus an index — e.g. one
     /// stream per function instance.
+    ///
+    /// The index is folded into the FNV-1a state as eight little-endian
+    /// bytes *continuing* the name hash, which domain-separates indexed
+    /// streams from [`RngStreams::stream`]: even `index == 0` advances the
+    /// hash state (eight multiply rounds), so `stream_indexed(name, 0)`
+    /// never aliases `stream(name)`. (The previous derivation XORed
+    /// `index * GOLDEN_RATIO` into the hash, which made index 0 a no-op and
+    /// silently shared the un-indexed stream — see DESIGN.md §"Seed
+    /// compatibility".)
     pub fn stream_indexed(&self, name: &str, index: u64) -> ChaCha8Rng {
-        let mut h = fnv1a(name.as_bytes());
-        h ^= index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let h = fnv1a_continue(fnv1a(name.as_bytes()), &index.to_le_bytes());
         ChaCha8Rng::seed_from_u64(self.seed ^ h)
     }
 }
 
 /// FNV-1a 64-bit hash; small, deterministic, dependency-free.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+///
+/// Public so that tests (and `cargo xtask simlint`'s collision analysis,
+/// which mirrors this function) can verify the lane registry is
+/// collision-free against the exact production hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_continue(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Continue an FNV-1a hash from an existing state.
+fn fnv1a_continue(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash ^= b as u64;
         hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
@@ -71,33 +146,38 @@ pub fn jitter<R: Rng>(rng: &mut R, amplitude: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeSet;
 
     #[test]
     fn same_seed_same_stream() {
         let a = RngStreams::new(42);
         let b = RngStreams::new(42);
-        let xs: Vec<u64> = a.stream("exec").random_iter().take(16).collect();
-        let ys: Vec<u64> = b.stream("exec").random_iter().take(16).collect();
+        let xs: Vec<u64> = a.stream(lanes::EXEC).random_iter().take(16).collect();
+        let ys: Vec<u64> = b.stream(lanes::EXEC).random_iter().take(16).collect();
         assert_eq!(xs, ys);
     }
 
     #[test]
     fn different_names_different_streams() {
         let s = RngStreams::new(42);
-        let xs: Vec<u64> = s.stream("exec").random_iter().take(16).collect();
-        let ys: Vec<u64> = s.stream("sched").random_iter().take(16).collect();
+        let xs: Vec<u64> = s.stream(lanes::EXEC).random_iter().take(16).collect();
+        let ys: Vec<u64> = s
+            .stream(lanes::CONTROL_PLANE)
+            .random_iter()
+            .take(16)
+            .collect();
         assert_ne!(xs, ys);
     }
 
     #[test]
     fn different_seeds_different_streams() {
         let xs: Vec<u64> = RngStreams::new(1)
-            .stream("exec")
+            .stream(lanes::EXEC)
             .random_iter()
             .take(16)
             .collect();
         let ys: Vec<u64> = RngStreams::new(2)
-            .stream("exec")
+            .stream(lanes::EXEC)
             .random_iter()
             .take(16)
             .collect();
@@ -107,18 +187,60 @@ mod tests {
     #[test]
     fn indexed_streams_distinct() {
         let s = RngStreams::new(7);
-        let xs: Vec<u64> = s.stream_indexed("inst", 0).random_iter().take(8).collect();
-        let ys: Vec<u64> = s.stream_indexed("inst", 1).random_iter().take(8).collect();
+        let xs: Vec<u64> = s
+            .stream_indexed(lanes::EXEC, 0)
+            .random_iter()
+            .take(8)
+            .collect();
+        let ys: Vec<u64> = s
+            .stream_indexed(lanes::EXEC, 1)
+            .random_iter()
+            .take(8)
+            .collect();
         assert_ne!(xs, ys);
         // And reproducible.
-        let xs2: Vec<u64> = s.stream_indexed("inst", 0).random_iter().take(8).collect();
+        let xs2: Vec<u64> = s
+            .stream_indexed(lanes::EXEC, 0)
+            .random_iter()
+            .take(8)
+            .collect();
         assert_eq!(xs, xs2);
+    }
+
+    /// The historical bug this module's v2 derivation fixes: index 0 used to
+    /// contribute nothing to the stream hash, so `stream_indexed(name, 0)`
+    /// silently shared `stream(name)`'s sequence.
+    #[test]
+    fn index_zero_does_not_alias_unindexed_stream() {
+        let s = RngStreams::new(42);
+        for lane in lanes::ALL {
+            // simlint: allow(rng-lane): "iterates the registry itself; every value is a lane const"
+            let base: Vec<u64> = s.stream(lane).random_iter().take(8).collect();
+            // simlint: allow(rng-lane): "iterates the registry itself; every value is a lane const"
+            let idx0: Vec<u64> = s.stream_indexed(lane, 0).random_iter().take(8).collect();
+            assert_ne!(
+                base, idx0,
+                "stream_indexed({lane:?}, 0) aliases stream({lane:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn lane_registry_has_no_fnv_collisions() {
+        let mut seen = BTreeSet::new();
+        for lane in lanes::ALL {
+            assert!(
+                seen.insert(fnv1a(lane.as_bytes())),
+                "lane {lane:?} collides with another registered lane under FNV-1a"
+            );
+        }
+        assert_eq!(seen.len(), lanes::ALL.len());
     }
 
     #[test]
     fn jitter_bounds_and_mean() {
         let s = RngStreams::new(99);
-        let mut rng = s.stream("jitter");
+        let mut rng = s.stream(lanes::EXEC);
         let mut sum = 0.0;
         const N: usize = 10_000;
         for _ in 0..N {

@@ -1,5 +1,6 @@
 //! Property-based tests for the DES engine and its resources.
 
+use propack_simcore::rng::lanes;
 use propack_simcore::{BandwidthPipe, FifoResource, MultiServer, RngStreams, Sim, SimTime};
 use proptest::prelude::*;
 
@@ -95,14 +96,47 @@ proptest! {
     fn rng_streams_deterministic(seed in any::<u64>(), idx in 0u64..1000) {
         use rand::Rng;
         let s = RngStreams::new(seed);
-        let mut r1 = s.stream_indexed("x", idx);
-        let mut r2 = s.stream_indexed("x", idx);
+        let mut r1 = s.stream_indexed(lanes::EXEC, idx);
+        let mut r2 = s.stream_indexed(lanes::EXEC, idx);
         let v1: Vec<u64> = (0..8).map(|_| r1.random()).collect();
         let v2: Vec<u64> = (0..8).map(|_| r2.random()).collect();
         prop_assert_eq!(&v1, &v2);
-        let mut r3 = s.stream_indexed("x", idx.wrapping_add(1));
+        let mut r3 = s.stream_indexed(lanes::EXEC, idx.wrapping_add(1));
         let v3: Vec<u64> = (0..8).map(|_| r3.random()).collect();
         prop_assert_ne!(&v1, &v3);
+    }
+
+    /// Every (lane, index) pair in a grid over the full registry yields a
+    /// pairwise-distinct stream — including `stream(lane)` versus
+    /// `stream_indexed(lane, 0)`, the aliasing pair under the pre-v2
+    /// derivation where index 0 contributed nothing to the stream hash.
+    #[test]
+    fn rng_streams_pairwise_distinct_over_lane_grid(seed in any::<u64>()) {
+        use rand::Rng;
+        let s = RngStreams::new(seed);
+        let mut prefixes: Vec<(String, Vec<u64>)> = Vec::new();
+        for lane in lanes::ALL {
+            // simlint: allow(rng-lane): "iterates the registry itself; every value is a lane const"
+            let mut base = s.stream(lane);
+            prefixes.push((format!("{lane}"), (0..8).map(|_| base.random()).collect()));
+            for idx in [0u64, 1, 2, u64::MAX] {
+                // simlint: allow(rng-lane): "iterates the registry itself; every value is a lane const"
+                let mut r = s.stream_indexed(lane, idx);
+                prefixes.push((format!("{lane}#{idx}"), (0..8).map(|_| r.random()).collect()));
+            }
+        }
+        for i in 0..prefixes.len() {
+            for j in (i + 1)..prefixes.len() {
+                prop_assert_ne!(
+                    &prefixes[i].1,
+                    &prefixes[j].1,
+                    "streams {} and {} coincide under seed {}",
+                    prefixes[i].0,
+                    prefixes[j].0,
+                    seed
+                );
+            }
+        }
     }
 
     /// run_until never fires events past the deadline, and a subsequent

@@ -1,0 +1,8 @@
+//! simlint fixture: aliases randomized-order maps, in a crate where the
+//! `hash-map` rule does not apply — so the definitions themselves are
+//! clean here, and only the cross-file alias table carries them onward.
+//! Analyzed together with `alias_hash_map_use.rs`.
+
+pub use std::collections::HashMap as FastMap;
+
+pub type SpeedyCache = std::collections::HashMap<u64, u64>;

@@ -1,0 +1,18 @@
+//! simlint fixture: uses aliased `HashMap`s in a simulation crate. The v1
+//! token scan sees only innocent identifiers (`FastMap`, `SpeedyCache`)
+//! and reports nothing; the AST pass joins them against the workspace
+//! alias table from `alias_hash_map.rs` (6 violations).
+
+use crate::alias::{FastMap, SpeedyCache};
+
+pub fn index(keys: &[u32]) -> FastMap<u32, u32> {
+    let mut m = FastMap::new();
+    for (i, &k) in keys.iter().enumerate() {
+        m.insert(k, i);
+    }
+    m
+}
+
+pub fn cache() -> SpeedyCache {
+    SpeedyCache::default()
+}

@@ -1,0 +1,28 @@
+//! simlint fixture: lossy `as` casts on sim-time/seed arithmetic
+//! (2 violations). Narrow casts of values derived from time or seed
+//! identifiers silently truncate; counts and ratios without such operands
+//! are out of scope.
+
+pub fn epochs(horizon_secs: f64, epoch_secs: f64) -> u32 {
+    // Sim-time ratio truncated to 32 bits: flagged.
+    (horizon_secs / epoch_secs).ceil() as u32
+}
+
+pub fn fold(seed: u64) -> u16 {
+    // Seed arithmetic truncated: flagged.
+    (seed >> 48) as u16
+}
+
+pub fn fine(count: usize, ratio: f64) -> u32 {
+    // Widening and non-time/seed operands: clean.
+    let scaled = (count as f64 * ratio) as u64;
+    scaled.min(4_000_000_000) as u32
+}
+
+pub fn widened(tick_nanos: u64) -> u128 {
+    // Widening cast: clean.
+    tick_nanos as u128
+}
+
+// simlint: allow(as-truncation): "fixture: epoch count bounded by horizon validation upstream"
+pub fn allowed(horizon_secs: f64) -> u32 { horizon_secs as u32 }

@@ -1,0 +1,13 @@
+//! simlint fixture: a lane registry with one dead lane, linted as if it
+//! were `crates/simcore/src/rng.rs`. Analyzed together with `rng_lane.rs`
+//! (the call-site half of the `rng-lane` checks).
+
+pub mod lanes {
+    /// Referenced by `rng_lane.rs` — stays clean.
+    pub const ALPHA: &str = "alpha";
+    /// Registered but never passed to a stream call: dead lane.
+    pub const DEAD: &str = "dead-lane";
+
+    /// Every registered lane.
+    pub const ALL: &[&str] = &[ALPHA, DEAD];
+}

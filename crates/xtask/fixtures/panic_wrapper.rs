@@ -1,0 +1,27 @@
+//! simlint fixture: macros whose expansion panics, defined in a crate
+//! where the `panic-path` rule does not apply — the definitions are clean
+//! here; the cross-file macro table carries them to every invocation site.
+//! Analyzed together with `panic_wrapper_use.rs`.
+
+#[macro_export]
+macro_rules! die_fast {
+    ($msg:expr) => {
+        panic!("fixture: {}", $msg)
+    };
+}
+
+/// Panics transitively, via `die_fast!`.
+#[macro_export]
+macro_rules! die_faster {
+    () => {
+        die_fast!("nested")
+    };
+}
+
+/// Does not panic: invocations stay clean everywhere.
+#[macro_export]
+macro_rules! harmless {
+    ($x:expr) => {
+        $x + 1
+    };
+}

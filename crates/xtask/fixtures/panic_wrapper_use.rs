@@ -1,0 +1,21 @@
+//! simlint fixture: invokes panic-wrapper macros from a panic-free crate
+//! (2 violations). The v1 token scan sees `die_fast ! (…)` as an unknown
+//! macro and reports nothing; the AST pass resolves it against the
+//! workspace `macro_rules!` table from `panic_wrapper.rs`.
+
+pub fn risky(x: Option<u32>) -> u32 {
+    if x.is_none() {
+        die_fast!("missing input");
+    }
+    die_faster!();
+    let bumped = harmless!(x.unwrap_or(0));
+    bumped
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wrappers_fine_in_tests() {
+        die_fast!("test code may panic");
+    }
+}

@@ -1,0 +1,21 @@
+//! simlint fixture: lane discipline at `stream(…)`/`stream_indexed(…)`
+//! call sites (4 violations). Analyzed together with `lanes_registry.rs`,
+//! which declares the registry (`ALPHA` is registered, `NOT_REGISTERED`
+//! is not).
+
+use propack_simcore::rng::lanes;
+
+pub fn draws(streams: &RngStreams, lane_var: &str) {
+    // A registered constant: clean.
+    let _a = streams.stream(lanes::ALPHA);
+    // Raw string literals bypass the registry: flagged, even when the
+    // text happens to match a registered lane's value.
+    let _b = streams.stream("alpha");
+    let _c = streams.stream_indexed("beta", 3);
+    // A computed lane name defeats the collision audit: flagged.
+    let _d = streams.stream(lane_var);
+    // simlint: allow(rng-lane): "fixture: registry-iteration pattern, every value is a lane const"
+    let _e = streams.stream(lane_var);
+    // A constant that is not in the registry: flagged cross-file.
+    let _f = streams.stream(lanes::NOT_REGISTERED);
+}

@@ -1,0 +1,14 @@
+//! simlint fixture: a stale `allow` directive (1 violation). The first
+//! directive suppresses a real finding and stays clean; the second excuses
+//! code that no longer triggers its rule — under v1 it rotted silently,
+//! the AST pass flags it.
+
+pub fn effective(x: f64) -> bool {
+    // simlint: allow(float-eq): "exact zero is the caller's sentinel"
+    x == 0.0
+}
+
+pub fn stale(x: f64) -> bool {
+    // simlint: allow(float-eq): "this comparison was rewritten long ago"
+    x < 1.0
+}

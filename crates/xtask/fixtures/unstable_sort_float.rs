@@ -1,0 +1,24 @@
+//! simlint fixture: unstable sorts keyed on floats (2 violations). Equal
+//! keys reorder unpredictably under `sort_unstable_*`, so float-keyed
+//! orderings in simulation crates must use the stable form.
+
+pub fn order(xs: &mut Vec<(f64, u32)>, ids: &mut Vec<u32>, ws: &mut Vec<f32>) {
+    // Float comparator through an unstable sort: flagged.
+    xs.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    // Float arithmetic in the key extractor: flagged.
+    ws.sort_unstable_by_key(|w| (w * 100.0) as i64);
+    // Integer keys need no tie-break order: clean.
+    ids.sort_unstable();
+    // The stable sort is the endorsed form: clean.
+    xs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    // simlint: allow(unstable-sort-float): "fixture: keys are unique by construction"
+    xs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn assertion_order(xs: &mut Vec<f64>) {
+        // Test code may sort however it likes.
+        xs.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    }
+}

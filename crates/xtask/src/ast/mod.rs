@@ -1,0 +1,167 @@
+//! simlint v2: the AST analysis pass.
+//!
+//! Pipeline (see DESIGN.md §7):
+//!
+//! 1. **Parse** every workspace source into a token-tree forest
+//!    ([`parser`]). Files the parser rejects (unbalanced delimiters —
+//!    macro-heavy or mid-edit code) fall back to the v1 lexer rules and
+//!    are listed in the report, so coverage loss is visible, never silent.
+//! 2. **Per-file visitors** ([`rules`]) run the seven ported v1 rules plus
+//!    the AST-only `unstable-sort-float` and `as-truncation`.
+//! 3. **Cross-file phase** ([`xfile`]): harvested facts (lane registry,
+//!    stream call sites, banned-type aliases, `macro_rules!` bodies) join
+//!    into workspace tables; then lane-registry findings (collisions, dead
+//!    lanes, unregistered constants), aliased banned-type usages, and
+//!    panic-wrapper invocations are emitted against the owning files.
+//! 4. **Allow filtering**: the v1 escape-hatch grammar is honored
+//!    unchanged, plus the `stale-allow` audit — a well-formed allow that
+//!    suppresses nothing is itself a finding, so escapes cannot outlive
+//!    the code they excused.
+//! 5. **Report** ([`report`]): rustc-style text, stable JSON, or GitHub
+//!    annotations.
+
+pub mod parser;
+pub mod report;
+pub mod rules;
+pub mod xfile;
+
+use crate::lexer::AllowDirective;
+use crate::rules::{FileCtx, Violation, RULES};
+use report::Report;
+
+/// Analyze a set of sources. Each entry is `(source_text, ctx)`; contexts
+/// carry the crate identity the scoping tables key on, so tests can lint
+/// fixture strings under any identity (mirroring `rules::lint_file`).
+pub fn analyze_files(files: &[(String, FileCtx)]) -> Report {
+    struct PerFile<'a> {
+        parsed: parser::ParsedFile,
+        ctx: &'a FileCtx,
+        raw: Vec<Violation>,
+    }
+
+    let mut parsed_files: Vec<PerFile<'_>> = Vec::new();
+    let mut fallback_files = Vec::new();
+    let mut final_violations = Vec::new();
+    let mut all_facts = Vec::new();
+
+    for (src, ctx) in files {
+        match parser::parse(src) {
+            Ok(parsed) => {
+                let mut raw = Vec::new();
+                rules::per_file_violations(&parsed, ctx, &mut raw);
+                all_facts.push(xfile::harvest(&parsed, ctx, &mut raw));
+                parsed_files.push(PerFile { parsed, ctx, raw });
+            }
+            Err(_) => {
+                // Lexer fallback: the v1 pipeline, with its own allow
+                // filtering (no stale-allow audit — the lexer cannot prove
+                // an allow useless).
+                fallback_files.push(ctx.rel_path.clone());
+                final_violations.extend(crate::rules::lint_file(src, ctx));
+            }
+        }
+    }
+
+    let ws = xfile::join(all_facts);
+    let mut global = Vec::new();
+    xfile::registry_violations(&ws, &xfile::fnv1a, &mut global);
+    xfile::unknown_lane_violations(&ws, &mut global);
+    for pf in &mut parsed_files {
+        xfile::cross_check_file(&pf.parsed, pf.ctx, &ws, &mut pf.raw);
+    }
+    // Route workspace-level findings to their owning file so its allow
+    // directives (and the stale audit) see them.
+    for v in global {
+        match parsed_files
+            .iter_mut()
+            .find(|pf| pf.ctx.rel_path == v.rel_path)
+        {
+            Some(pf) => pf.raw.push(v),
+            None => final_violations.push(v),
+        }
+    }
+
+    for pf in parsed_files {
+        final_violations.extend(apply_allows(pf.raw, &pf.parsed.allows, pf.ctx));
+    }
+    final_violations
+        .sort_by(|a, b| (&a.rel_path, a.line, a.rule).cmp(&(&b.rel_path, b.line, b.rule)));
+
+    Report {
+        files_scanned: files.len(),
+        fallback_files,
+        violations: final_violations,
+    }
+}
+
+/// The v1 escape-hatch grammar plus the stale-allow audit.
+///
+/// * unknown rule or missing justification → `bad-allow` (as in v1);
+/// * a well-formed allow that suppressed zero raw findings → `stale-allow`
+///   (the scope it excused no longer triggers; the directive must go).
+fn apply_allows(raw: Vec<Violation>, allows: &[AllowDirective], ctx: &FileCtx) -> Vec<Violation> {
+    let mut out: Vec<Violation> = Vec::new();
+    let mut suppressed_counts = vec![0usize; allows.len()];
+    let mut kept: Vec<Violation> = Vec::new();
+
+    for v in raw {
+        let mut suppressed = false;
+        for (di, d) in allows.iter().enumerate() {
+            let covers = d.rule == v.rule
+                && d.justification.is_some()
+                && if d.trailing {
+                    d.line == v.line
+                } else {
+                    d.line + 1 == v.line
+                };
+            if covers {
+                suppressed_counts[di] += 1;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            kept.push(v);
+        }
+    }
+
+    for (di, d) in allows.iter().enumerate() {
+        if !RULES.contains(&d.rule.as_str()) {
+            out.push(Violation {
+                rule: "bad-allow",
+                rel_path: ctx.rel_path.clone(),
+                line: d.line,
+                message: format!(
+                    "`allow({})` names no simlint rule; known rules: {}",
+                    d.rule,
+                    RULES.join(", ")
+                ),
+            });
+        } else if d.justification.is_none() {
+            out.push(Violation {
+                rule: "bad-allow",
+                rel_path: ctx.rel_path.clone(),
+                line: d.line,
+                message: format!(
+                    "`allow({})` requires a justification: \
+                     `// simlint: allow({}): \"why this is sound\"`",
+                    d.rule, d.rule
+                ),
+            });
+        } else if suppressed_counts[di] == 0 && d.rule != "stale-allow" {
+            out.push(Violation {
+                rule: "stale-allow",
+                rel_path: ctx.rel_path.clone(),
+                line: d.line,
+                message: format!(
+                    "`allow({})` suppresses nothing on the line it covers; the code \
+                     it excused is gone — delete the directive (stale allows hide \
+                     future violations)",
+                    d.rule
+                ),
+            });
+        }
+    }
+
+    out.extend(kept);
+    out
+}

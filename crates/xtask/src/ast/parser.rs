@@ -1,0 +1,328 @@
+//! Token-tree parser: the front half of simlint's AST pass.
+//!
+//! The lexer flattens a file into tokens; this module folds the delimiter
+//! structure back in, producing a forest of [`Tree`]s where every `(…)`,
+//! `[…]`, `{…}` becomes a [`Group`] node owning its contents. That one
+//! structural step is what separates simlint v2 from the v1 token scan:
+//!
+//! * call arguments are a subtree, so "`Box::new` *inside* `schedule(…)`"
+//!   or "a float key *inside* `sort_unstable_by(…)`" is containment, not a
+//!   fragile paren-counting walk;
+//! * `#[cfg(test)]` / `#[test]` gating follows the item structure (the
+//!   attribute covers exactly the trees up to and including the item's
+//!   body), not brace-matched line ranges;
+//! * multi-line expressions cost nothing — trees have no line geometry.
+//!
+//! Unbalanced delimiters are a [`ParseError`]; the driver falls back to the
+//! v1 lexer rules for such files (see `ast::analyze_workspace`). rustc is
+//! the judge of validity; simlint only needs a best-effort shape.
+
+use crate::lexer::{lex, AllowDirective, Token, TokenKind};
+
+/// One node of the token-tree forest.
+#[derive(Debug)]
+pub enum Tree {
+    /// A non-delimiter token.
+    Leaf(Token),
+    /// A delimited group and everything inside it.
+    Group(Group),
+}
+
+/// A delimited token group: `(…)`, `[…]`, or `{…}`.
+#[derive(Debug)]
+pub struct Group {
+    /// Opening delimiter: `(`, `[`, or `{`.
+    pub delim: char,
+    /// Line of the opening delimiter.
+    pub open_line: u32,
+    /// Children, in source order.
+    pub trees: Vec<Tree>,
+}
+
+impl Tree {
+    /// The token, if this is a leaf.
+    pub fn leaf(&self) -> Option<&Token> {
+        match self {
+            Tree::Leaf(t) => Some(t),
+            Tree::Group(_) => None,
+        }
+    }
+
+    /// The group, if this is one.
+    pub fn group(&self) -> Option<&Group> {
+        match self {
+            Tree::Group(g) => Some(g),
+            Tree::Leaf(_) => None,
+        }
+    }
+
+    /// Source line of this node (opening delimiter for groups).
+    pub fn line(&self) -> u32 {
+        match self {
+            Tree::Leaf(t) => t.line,
+            Tree::Group(g) => g.open_line,
+        }
+    }
+}
+
+/// Why a file could not be tree-parsed (the driver then uses the lexer
+/// fallback path for it). The fields feed test assertions and `{:?}`
+/// diagnostics; the driver itself only needs the `Err` arm.
+#[derive(Debug)]
+#[allow(dead_code)]
+pub struct ParseError {
+    pub line: u32,
+    pub message: String,
+}
+
+/// A parsed source file: the tree forest plus the comment side channel.
+#[derive(Debug)]
+pub struct ParsedFile {
+    pub trees: Vec<Tree>,
+    pub allows: Vec<AllowDirective>,
+}
+
+/// Lex and tree-parse one file.
+pub fn parse(src: &str) -> Result<ParsedFile, ParseError> {
+    let lexed = lex(src);
+    let mut pos = 0usize;
+    let trees = parse_level(&lexed.tokens, &mut pos, None)?;
+    if pos != lexed.tokens.len() {
+        // Only reachable via a stray closer at the top level.
+        let t = &lexed.tokens[pos];
+        return Err(ParseError {
+            line: t.line,
+            message: format!("unmatched `{}`", t.text),
+        });
+    }
+    Ok(ParsedFile {
+        trees,
+        allows: lexed.allows,
+    })
+}
+
+fn closer_for(open: char) -> char {
+    match open {
+        '(' => ')',
+        '[' => ']',
+        _ => '}',
+    }
+}
+
+fn parse_level(
+    tokens: &[Token],
+    pos: &mut usize,
+    expect_close: Option<char>,
+) -> Result<Vec<Tree>, ParseError> {
+    let mut out = Vec::new();
+    while let Some(t) = tokens.get(*pos) {
+        if t.kind == TokenKind::Punct && t.text.len() == 1 {
+            let c = t.text.chars().next().unwrap_or(' ');
+            if matches!(c, '(' | '[' | '{') {
+                let open_line = t.line;
+                *pos += 1;
+                let trees = parse_level(tokens, pos, Some(closer_for(c)))?;
+                out.push(Tree::Group(Group {
+                    delim: c,
+                    open_line,
+                    trees,
+                }));
+                continue;
+            }
+            if matches!(c, ')' | ']' | '}') {
+                if expect_close == Some(c) {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                if expect_close.is_none() {
+                    // Stray closer at top level: stop; caller reports it.
+                    return Ok(out);
+                }
+                return Err(ParseError {
+                    line: t.line,
+                    message: format!("expected `{}` but found `{c}`", expect_close.unwrap_or('?')),
+                });
+            }
+        }
+        out.push(Tree::Leaf(t.clone()));
+        *pos += 1;
+    }
+    match expect_close {
+        None => Ok(out),
+        Some(c) => Err(ParseError {
+            line: tokens.last().map_or(0, |t| t.line),
+            message: format!("unclosed delimiter; expected `{c}`"),
+        }),
+    }
+}
+
+/// Leaf identifier equality.
+pub fn is_ident(t: &Tree, s: &str) -> bool {
+    t.leaf()
+        .is_some_and(|t| t.kind == TokenKind::Ident && t.text == s)
+}
+
+/// Leaf punctuation equality.
+pub fn is_punct(t: &Tree, s: &str) -> bool {
+    t.leaf()
+        .is_some_and(|t| t.kind == TokenKind::Punct && t.text == s)
+}
+
+/// The token at `level[i]`, if it is a leaf.
+pub fn leaf_at<'a>(level: &'a [Tree], i: usize) -> Option<&'a Token> {
+    level.get(i).and_then(Tree::leaf)
+}
+
+/// The group at `level[i]` if it is one with the given delimiter.
+pub fn group_at<'a>(level: &'a [Tree], i: usize, delim: char) -> Option<&'a Group> {
+    level
+        .get(i)
+        .and_then(Tree::group)
+        .filter(|g| g.delim == delim)
+}
+
+/// Collect every leaf token under `trees`, depth-first (delimiters are not
+/// reproduced). For containment queries like "does this argument list
+/// mention `partial_cmp` anywhere".
+pub fn flatten<'a>(trees: &'a [Tree], out: &mut Vec<&'a Token>) {
+    for t in trees {
+        match t {
+            Tree::Leaf(tok) => out.push(tok),
+            Tree::Group(g) => flatten(&g.trees, out),
+        }
+    }
+}
+
+/// Does any leaf under `trees` equal the identifier `name`?
+pub fn contains_ident(trees: &[Tree], name: &str) -> bool {
+    trees.iter().any(|t| match t {
+        Tree::Leaf(tok) => tok.kind == TokenKind::Ident && tok.text == name,
+        Tree::Group(g) => contains_ident(&g.trees, name),
+    })
+}
+
+/// Per-child test-ness for one sibling level.
+///
+/// A `#[test]`-family attribute (any attribute whose tokens mention the
+/// identifier `test`: `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`,
+/// `#[tokio::test]`) covers the trees that follow it up to and including
+/// the item's braced body, or up to a terminating `;` for body-less items.
+/// An inherited `true` covers the whole level.
+pub fn child_test_flags(level: &[Tree], inherited: bool) -> Vec<bool> {
+    let mut flags = vec![inherited; level.len()];
+    if inherited {
+        return flags;
+    }
+    let mut pending = false;
+    let mut i = 0;
+    while i < level.len() {
+        if is_punct(&level[i], "#") {
+            if let Some(g) = group_at(level, i + 1, '[') {
+                if contains_ident(&g.trees, "test") {
+                    pending = true;
+                }
+                i += 2;
+                continue;
+            }
+        }
+        if pending {
+            flags[i] = true;
+            let closes_item = match &level[i] {
+                Tree::Group(g) => g.delim == '{',
+                Tree::Leaf(t) => t.kind == TokenKind::Punct && t.text == ";",
+            };
+            if closes_item {
+                pending = false;
+            }
+        }
+        i += 1;
+    }
+    flags
+}
+
+/// Visit every sibling level of the forest, with the test-ness the level
+/// inherits from the attributes above it. `f` receives the level slice and
+/// whether it is (transitively) test-gated.
+pub fn walk_levels<'a, F: FnMut(&'a [Tree], bool)>(trees: &'a [Tree], in_test: bool, f: &mut F) {
+    f(trees, in_test);
+    let flags = child_test_flags(trees, in_test);
+    for (i, t) in trees.iter().enumerate() {
+        if let Tree::Group(g) = t {
+            walk_levels(&g.trees, flags[i], f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_nest_and_keep_lines() {
+        let p = parse("fn f(a: u32) {\n    g(a, [1, 2]);\n}\n").expect("parses");
+        // Top level: fn, f, (…), {…}
+        assert!(is_ident(&p.trees[0], "fn"));
+        assert!(is_ident(&p.trees[1], "f"));
+        let args = p.trees[2].group().expect("arg group");
+        assert_eq!(args.delim, '(');
+        assert_eq!(args.open_line, 1);
+        let body = p.trees[3].group().expect("body group");
+        assert_eq!(body.delim, '{');
+        let call_args = body
+            .trees
+            .iter()
+            .find_map(Tree::group)
+            .expect("call arg group");
+        assert_eq!(call_args.open_line, 2);
+        assert!(call_args.trees.iter().any(|t| t.group().is_some()));
+    }
+
+    #[test]
+    fn unbalanced_is_a_parse_error() {
+        assert!(parse("fn f() { let x = (1; }").is_err());
+        assert!(parse("fn f() { }").is_ok());
+        assert!(parse("fn f() { } }").is_err());
+    }
+
+    #[test]
+    fn test_attr_covers_following_item_only() {
+        let p = parse(
+            "fn live() {}\n\
+             #[cfg(test)]\nmod tests {\n fn helper() {}\n}\n\
+             fn also_live() {}\n",
+        )
+        .expect("parses");
+        let flags = child_test_flags(&p.trees, false);
+        // `fn live ( ) { }` → not test; the mod body group is test.
+        let mod_body = p
+            .trees
+            .iter()
+            .position(|t| {
+                t.group()
+                    .is_some_and(|g| g.delim == '{' && !g.trees.is_empty())
+            })
+            .expect("mod body present");
+        assert!(flags[mod_body], "cfg(test) mod body must be test-gated");
+        assert!(!flags[0], "plain fn before the attr is not test code");
+        let last = p.trees.len() - 1;
+        assert!(!flags[last], "item after the gated mod is not test code");
+    }
+
+    #[test]
+    fn semicolon_item_clears_pending_attr() {
+        let p = parse("#[cfg(test)]\nuse std::fmt;\nfn live() {}\n").expect("parses");
+        let flags = child_test_flags(&p.trees, false);
+        let body = p
+            .trees
+            .iter()
+            .position(|t| t.group().is_some_and(|g| g.delim == '{'))
+            .expect("fn body");
+        assert!(!flags[body], "attr must not leak past the `;` item");
+    }
+
+    #[test]
+    fn strings_with_delimiters_do_not_confuse_nesting() {
+        let p = parse("fn f() { let s = \"unbalanced ( [ {\"; }").expect("parses");
+        assert_eq!(p.trees.len(), 4);
+    }
+}

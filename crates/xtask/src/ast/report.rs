@@ -1,0 +1,216 @@
+//! Machine-readable simlint reports.
+//!
+//! Three formats, one data model:
+//!
+//! * `text` — the v1 rustc-style diagnostics on stderr (default);
+//! * `json` — a stable schema for CI artifacts (`--format json`):
+//!
+//!   ```json
+//!   {
+//!     "version": 2,
+//!     "tool": "simlint",
+//!     "files_scanned": 93,
+//!     "fallback_files": [],
+//!     "findings": [
+//!       {"rule": "hash-map", "file": "crates/x/src/a.rs", "line": 7,
+//!        "message": "…"}
+//!     ],
+//!     "summary": {"total": 1, "by_rule": {"hash-map": 1}}
+//!   }
+//!   ```
+//!
+//!   The schema is additive-only: consumers may rely on every field above
+//!   existing in all future versions ≥ 2.
+//!
+//! * `github` — one `::error file=…,line=…,title=…::…` workflow command
+//!   per finding, so CI failures annotate the offending lines in the PR
+//!   diff view.
+
+use crate::rules::Violation;
+use std::collections::BTreeMap;
+
+/// The outcome of an analysis run.
+#[derive(Debug)]
+pub struct Report {
+    /// Files the walker handed to the linter.
+    pub files_scanned: usize,
+    /// Files the tree parser rejected (linted by the v1 lexer fallback).
+    pub fallback_files: Vec<String>,
+    /// All findings, sorted by (path, line).
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// rustc-style text diagnostics plus a one-line summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&v.render());
+            out.push('\n');
+        }
+        if self.violations.is_empty() {
+            out.push_str(&format!("simlint: {} files clean\n", self.files_scanned));
+        } else {
+            out.push_str(&format!(
+                "simlint: {} violation{} in {} files\n",
+                self.violations.len(),
+                if self.violations.len() == 1 { "" } else { "s" },
+                self.files_scanned
+            ));
+        }
+        if !self.fallback_files.is_empty() {
+            out.push_str(&format!(
+                "simlint: note: {} file(s) linted via lexer fallback: {}\n",
+                self.fallback_files.len(),
+                self.fallback_files.join(", ")
+            ));
+        }
+        out
+    }
+
+    /// The stable JSON schema (version 2).
+    pub fn render_json(&self) -> String {
+        let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
+        for v in &self.violations {
+            *by_rule.entry(v.rule).or_insert(0) += 1;
+        }
+        let mut out = String::from("{\n");
+        out.push_str("  \"version\": 2,\n  \"tool\": \"simlint\",\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str("  \"fallback_files\": [");
+        for (i, f) in self.fallback_files.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(f));
+        }
+        out.push_str("],\n  \"findings\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            out.push_str(&format!(
+                "{{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_string(v.rule),
+                json_string(&v.rel_path),
+                v.line,
+                json_string(&v.message)
+            ));
+        }
+        if !self.violations.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str(&format!(
+            "  \"summary\": {{\"total\": {}, \"by_rule\": {{",
+            self.violations.len()
+        ));
+        for (i, (rule, n)) in by_rule.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {}", json_string(rule), n));
+        }
+        out.push_str("}}\n}\n");
+        out
+    }
+
+    /// GitHub Actions workflow commands: one annotation per finding.
+    pub fn render_github(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!(
+                "::error file={},line={},title=simlint::{}::{}\n",
+                v.rel_path,
+                v.line,
+                v.rule,
+                github_escape(&v.message)
+            ));
+        }
+        out
+    }
+}
+
+/// JSON string literal with the escapes the schema can ever need.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Workflow-command message escaping (the data portion after `::`).
+fn github_escape(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            files_scanned: 3,
+            fallback_files: vec!["crates/x/src/broken.rs".to_string()],
+            violations: vec![Violation {
+                rule: "hash-map",
+                rel_path: "crates/x/src/a.rs".to_string(),
+                line: 7,
+                message: "bad \"map\"".to_string(),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_schema_has_required_fields() {
+        let j = sample().render_json();
+        for needle in [
+            "\"version\": 2",
+            "\"tool\": \"simlint\"",
+            "\"files_scanned\": 3",
+            "\"fallback_files\": [\"crates/x/src/broken.rs\"]",
+            "\"rule\": \"hash-map\"",
+            "\"file\": \"crates/x/src/a.rs\"",
+            "\"line\": 7",
+            "\"message\": \"bad \\\"map\\\"\"",
+            "\"summary\": {\"total\": 1, \"by_rule\": {\"hash-map\": 1}}",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in:\n{j}");
+        }
+    }
+
+    #[test]
+    fn github_annotations_escape_newlines() {
+        let mut r = sample();
+        r.violations[0].message = "line1\nline2 100%".to_string();
+        let g = r.render_github();
+        assert_eq!(
+            g,
+            "::error file=crates/x/src/a.rs,line=7,\
+             title=simlint::hash-map::line1%0Aline2 100%25\n"
+        );
+    }
+
+    #[test]
+    fn clean_report_text_summarizes() {
+        let r = Report {
+            files_scanned: 9,
+            fallback_files: vec![],
+            violations: vec![],
+        };
+        assert_eq!(r.render_text(), "simlint: 9 files clean\n");
+        assert!(r.render_json().contains("\"total\": 0"));
+        assert!(r.render_github().is_empty());
+    }
+}

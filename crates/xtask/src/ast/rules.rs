@@ -1,0 +1,505 @@
+//! Per-file AST rule visitors.
+//!
+//! Each rule is a visitor over the sibling levels of a file's token-tree
+//! forest (see [`crate::ast::parser::walk_levels`]); a level sees its own
+//! leaves plus its child groups as opaque siblings, which is exactly the
+//! granularity Rust item and expression syntax needs for these checks.
+//! Scoping (which crates a rule applies to) reuses the v1 tables in
+//! [`crate::rules`], so the two engines cannot drift apart on policy.
+//!
+//! The seven v1 rules are ported here unchanged in meaning; two rules are
+//! AST-only (`unstable-sort-float`, `as-truncation`) because they need the
+//! argument-containment and operand-context queries only trees provide.
+//! The `rng-lane` call-site visitor lives in [`crate::ast::xfile`] since
+//! its findings feed the cross-file lane-registry analysis.
+
+use crate::ast::parser::{
+    flatten, group_at, is_ident, is_punct, leaf_at, walk_levels, Group, ParsedFile, Tree,
+};
+use crate::lexer::TokenKind;
+use crate::rules::{
+    FileCtx, Violation, FLOAT_EQ_CRATES, PANIC_FREE_CRATES, SIM_CRATES, THREAD_EXEMPT,
+    WALL_CLOCK_EXEMPT,
+};
+
+/// Wall-clock / entropy identifiers banned outside the exempt crates
+/// (mirrors the v1 table; kept local so the AST pass is self-contained).
+const WALL_CLOCK_IDENTS: &[&str] = &[
+    "Instant",
+    "SystemTime",
+    "thread_rng",
+    "from_entropy",
+    "from_os_rng",
+];
+
+/// Substrings accepted as a paper-provenance citation in a doc comment.
+const CITATION_MARKERS: &[&str] = &["Fig.", "Eq.", "Table", "§"];
+
+/// Direct RNG construction banned in fault-lane code.
+const FAULT_RNG_IDENTS: &[&str] = &[
+    "ChaCha8Rng",
+    "ChaCha12Rng",
+    "ChaCha20Rng",
+    "StdRng",
+    "SmallRng",
+    "seed_from_u64",
+    "from_seed",
+];
+
+/// Narrow numeric types whose `as` casts silently truncate 64-bit
+/// sim-time/seed arithmetic.
+const NARROW_CASTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// Identifier substrings that mark an operand as sim-time or seed
+/// arithmetic for the `as-truncation` rule.
+const TIME_SEED_MARKERS: &[&str] = &[
+    "seed", "secs", "nanos", "micros", "millis", "time", "tick", "epoch",
+];
+
+/// Run every per-file AST rule over one parsed file.
+pub fn per_file_violations(parsed: &ParsedFile, ctx: &FileCtx, out: &mut Vec<Violation>) {
+    let whole_file_test = ctx.test_target;
+    walk_levels(&parsed.trees, whole_file_test, &mut |level, in_test| {
+        check_hash_map(level, ctx, out);
+        check_wall_clock(level, ctx, out);
+        check_panic_path(level, in_test, ctx, out);
+        check_float_eq(level, in_test, ctx, out);
+        check_const_doc(level, ctx, out);
+        check_thread_spawn(level, ctx, out);
+        check_fault_rng(level, ctx, out);
+        check_event_alloc(level, in_test, ctx, out);
+        check_unstable_sort_float(level, in_test, ctx, out);
+        check_as_truncation(level, in_test, ctx, out);
+    });
+}
+
+fn push(out: &mut Vec<Violation>, rule: &'static str, ctx: &FileCtx, line: u32, message: String) {
+    out.push(Violation {
+        rule,
+        rel_path: ctx.rel_path.clone(),
+        line,
+        message,
+    });
+}
+
+fn check_hash_map(level: &[Tree], ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if !SIM_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    for t in level {
+        if let Some(tok) = t.leaf() {
+            if tok.kind == TokenKind::Ident && (tok.text == "HashMap" || tok.text == "HashSet") {
+                push(
+                    out,
+                    "hash-map",
+                    ctx,
+                    tok.line,
+                    format!(
+                        "`{}` iterates in randomized order; simulation crates must use \
+                         `BTreeMap`/`BTreeSet` so replays are bit-identical",
+                        tok.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn check_wall_clock(level: &[Tree], ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if WALL_CLOCK_EXEMPT.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    for (i, t) in level.iter().enumerate() {
+        let Some(tok) = t.leaf() else { continue };
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let banned = WALL_CLOCK_IDENTS.contains(&tok.text.as_str())
+            // `rand::random()` / `rand::rng()` pull from OS entropy.
+            || ((tok.text == "random" || tok.text == "rng")
+                && i >= 2
+                && is_punct(&level[i - 1], "::")
+                && is_ident(&level[i - 2], "rand"));
+        if banned {
+            push(
+                out,
+                "wall-clock",
+                ctx,
+                tok.line,
+                format!(
+                    "`{}` reads wall-clock time or OS entropy; outside `crates/executor` \
+                     use virtual `SimTime` and seeded `RngStreams`",
+                    tok.text
+                ),
+            );
+        }
+    }
+}
+
+fn check_panic_path(level: &[Tree], in_test: bool, ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if in_test || !PANIC_FREE_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    for (i, t) in level.iter().enumerate() {
+        let Some(tok) = t.leaf() else { continue };
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        // `.unwrap(…)` / `.expect(…)` method calls: dot before, arg group after.
+        let method = (tok.text == "unwrap" || tok.text == "expect")
+            && i >= 1
+            && is_punct(&level[i - 1], ".")
+            && group_at(level, i + 1, '(').is_some();
+        // `panic!` / `todo!` / `unimplemented!` macro invocations.
+        let mac = matches!(tok.text.as_str(), "panic" | "todo" | "unimplemented")
+            && matches!(level.get(i + 1), Some(n) if is_punct(n, "!"));
+        if method || mac {
+            let spelled = if method {
+                format!(".{}()", tok.text)
+            } else {
+                format!("{}!", tok.text)
+            };
+            push(
+                out,
+                "panic-path",
+                ctx,
+                tok.line,
+                format!(
+                    "`{spelled}` can abort a simulation mid-burst; return a \
+                     `platform::error::PlatformError` (or restructure) instead"
+                ),
+            );
+        }
+    }
+}
+
+fn check_float_eq(level: &[Tree], in_test: bool, ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if in_test || !FLOAT_EQ_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    for (i, t) in level.iter().enumerate() {
+        let Some(tok) = t.leaf() else { continue };
+        if !(tok.kind == TokenKind::Punct && (tok.text == "==" || tok.text == "!=")) {
+            continue;
+        }
+        let float_leaf = |t: Option<&Tree>| {
+            t.and_then(Tree::leaf)
+                .is_some_and(|t| t.kind == TokenKind::FloatLit)
+        };
+        if float_leaf(i.checked_sub(1).and_then(|j| level.get(j))) || float_leaf(level.get(i + 1)) {
+            push(
+                out,
+                "float-eq",
+                ctx,
+                tok.line,
+                format!(
+                    "exact `{}` against a float literal; compare with a tolerance, or \
+                     annotate a deliberate exact-zero guard",
+                    tok.text
+                ),
+            );
+        }
+    }
+}
+
+fn check_const_doc(level: &[Tree], ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if !(ctx.crate_name == "platform" && ctx.rel_path.ends_with("profile.rs")) {
+        return;
+    }
+    for (i, t) in level.iter().enumerate() {
+        if !is_ident(t, "const") {
+            continue;
+        }
+        // `pub const` (also `pub(crate) const`: pub, (crate) group, const).
+        let vis_start = if i >= 1 && is_ident(&level[i - 1], "pub") {
+            i - 1
+        } else if i >= 2 && group_at(level, i - 1, '(').is_some() && is_ident(&level[i - 2], "pub")
+        {
+            i - 2
+        } else {
+            continue;
+        };
+        let name = match leaf_at(level, i + 1) {
+            Some(n) if n.kind == TokenKind::Ident && n.text != "fn" => n.text.clone(),
+            _ => continue, // `pub const fn` or malformed
+        };
+        // The contiguous run of doc-comment leaves above the visibility
+        // token must carry a citation.
+        let mut cited = false;
+        let mut j = vis_start;
+        while j > 0 {
+            match leaf_at(level, j - 1) {
+                Some(d) if d.kind == TokenKind::DocComment => {
+                    cited |= CITATION_MARKERS.iter().any(|m| d.text.contains(m));
+                    j -= 1;
+                }
+                _ => break,
+            }
+        }
+        if !cited {
+            push(
+                out,
+                "const-doc",
+                ctx,
+                t.line(),
+                format!(
+                    "calibration constant `{name}` has no provenance doc comment; cite \
+                     the paper figure/equation/table it was read from (e.g. `/// Fig. 4`)"
+                ),
+            );
+        }
+    }
+}
+
+fn check_thread_spawn(level: &[Tree], ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if THREAD_EXEMPT.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    for (i, t) in level.iter().enumerate() {
+        let Some(tok) = t.leaf() else { continue };
+        let spawns = tok.kind == TokenKind::Ident
+            && (tok.text == "spawn" || tok.text == "scope")
+            && i >= 2
+            && is_punct(&level[i - 1], "::")
+            && is_ident(&level[i - 2], "thread");
+        if spawns {
+            push(
+                out,
+                "thread-spawn",
+                ctx,
+                tok.line,
+                format!(
+                    "`thread::{}` creates OS threads outside the sweep engine; run \
+                     parallel grids through `propack_sweep::SweepRunner` (host threads \
+                     belong to `crates/sweep` and `crates/executor` only)",
+                    tok.text
+                ),
+            );
+        }
+    }
+}
+
+fn check_fault_rng(level: &[Tree], ctx: &FileCtx, out: &mut Vec<Violation>) {
+    let in_scope = SIM_CRATES.contains(&ctx.crate_name.as_str())
+        && ctx
+            .rel_path
+            .rsplit('/')
+            .next()
+            .is_some_and(|name| name.contains("fault") || name.contains("trace"));
+    if !in_scope {
+        return;
+    }
+    for t in level {
+        if let Some(tok) = t.leaf() {
+            if tok.kind == TokenKind::Ident && FAULT_RNG_IDENTS.contains(&tok.text.as_str()) {
+                push(
+                    out,
+                    "fault-rng",
+                    ctx,
+                    tok.line,
+                    format!(
+                        "`{}` constructs an RNG directly in fault-lane code; draw from the \
+                         burst's seeded `RngStreams` lanes (`stream_indexed(\"fault-…\", …)`) \
+                         so fault draws replay bit-identically at any thread count",
+                        tok.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `Box::new` inside the argument group of a `schedule_*(…)` call: the
+/// argument list is a subtree, so containment is a recursive query rather
+/// than v1's paren counting.
+fn check_event_alloc(level: &[Tree], in_test: bool, ctx: &FileCtx, out: &mut Vec<Violation>) {
+    let in_scope = SIM_CRATES.contains(&ctx.crate_name.as_str()) && ctx.crate_name != "simcore";
+    if in_test || !in_scope {
+        return;
+    }
+    for (i, t) in level.iter().enumerate() {
+        let Some(tok) = t.leaf() else { continue };
+        if !(tok.kind == TokenKind::Ident && tok.text.starts_with("schedule")) {
+            continue;
+        }
+        let Some(args) = group_at(level, i + 1, '(') else {
+            continue;
+        };
+        let callee = tok.text.clone();
+        find_box_new(&args.trees, &mut |line| {
+            push(
+                out,
+                "event-alloc",
+                ctx,
+                line,
+                format!(
+                    "`Box::new` inside `{callee}(…)` heap-allocates a closure per \
+                     event; define a typed event (`EventState::Event`) and use \
+                     `schedule_event`/`schedule_batch` — the boxed-closure form is \
+                     simcore's compatibility fallback, not the hot path"
+                ),
+            );
+        });
+    }
+}
+
+fn find_box_new(trees: &[Tree], hit: &mut impl FnMut(u32)) {
+    for (i, t) in trees.iter().enumerate() {
+        match t {
+            Tree::Leaf(tok) => {
+                if tok.kind == TokenKind::Ident
+                    && tok.text == "Box"
+                    && matches!(trees.get(i + 1), Some(n) if is_punct(n, "::"))
+                    && matches!(trees.get(i + 2), Some(n) if is_ident(n, "new"))
+                {
+                    hit(tok.line);
+                }
+            }
+            Tree::Group(g) => find_box_new(&g.trees, hit),
+        }
+    }
+}
+
+/// `sort_unstable_by`/`sort_unstable_by_key` with float evidence in the
+/// comparator: unstable sorts reorder equal keys unpredictably across std
+/// versions and platforms, so float-keyed orderings in simulation crates
+/// must use the stable `sort_by(total_cmp)` form.
+fn check_unstable_sort_float(
+    level: &[Tree],
+    in_test: bool,
+    ctx: &FileCtx,
+    out: &mut Vec<Violation>,
+) {
+    if in_test || !SIM_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    for (i, t) in level.iter().enumerate() {
+        let Some(tok) = t.leaf() else { continue };
+        let is_sort = tok.kind == TokenKind::Ident
+            && (tok.text == "sort_unstable_by" || tok.text == "sort_unstable_by_key")
+            && i >= 1
+            && is_punct(&level[i - 1], ".");
+        if !is_sort {
+            continue;
+        }
+        let Some(args) = group_at(level, i + 1, '(') else {
+            continue;
+        };
+        let mut leaves = Vec::new();
+        flatten(&args.trees, &mut leaves);
+        let float_keyed = leaves.iter().any(|l| {
+            l.kind == TokenKind::FloatLit
+                || (l.kind == TokenKind::Ident
+                    && matches!(l.text.as_str(), "partial_cmp" | "total_cmp" | "f64" | "f32"))
+        });
+        if float_keyed {
+            push(
+                out,
+                "unstable-sort-float",
+                ctx,
+                tok.line,
+                format!(
+                    "`.{}` on a float key: unstable sorts break ties in an \
+                     unspecified order, so equal keys reorder between std versions; \
+                     use stable `sort_by(|a, b| a.total_cmp(b))` in simulation code",
+                    tok.text
+                ),
+            );
+        }
+    }
+}
+
+/// Lossy `as` casts of sim-time/seed arithmetic to narrow numeric types:
+/// `(horizon_secs / epoch_secs).ceil() as u32` silently truncates, and
+/// truncation of time or seed values is a classic source of
+/// seed-dependent divergence.
+fn check_as_truncation(level: &[Tree], in_test: bool, ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if in_test || !SIM_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    for (i, t) in level.iter().enumerate() {
+        if !is_ident(t, "as") {
+            continue;
+        }
+        let Some(target) = leaf_at(level, i + 1) else {
+            continue;
+        };
+        if target.kind != TokenKind::Ident || !NARROW_CASTS.contains(&target.text.as_str()) {
+            continue;
+        }
+        // Scan the cast operand: walk left over this expression's trees
+        // (stopping at a statement/assignment boundary) and collect the
+        // identifiers involved, descending into groups.
+        let mut idents: Vec<String> = Vec::new();
+        let mut j = i;
+        let mut budget = 16usize;
+        while j > 0 && budget > 0 {
+            j -= 1;
+            budget -= 1;
+            match &level[j] {
+                Tree::Leaf(tok) => {
+                    if tok.kind == TokenKind::Punct
+                        && matches!(tok.text.as_str(), ";" | "," | "=" | "=>" | "{")
+                    {
+                        break;
+                    }
+                    if tok.kind == TokenKind::Ident {
+                        idents.push(tok.text.to_ascii_lowercase());
+                    }
+                }
+                Tree::Group(g) => {
+                    let mut leaves = Vec::new();
+                    flatten(&g.trees, &mut leaves);
+                    idents.extend(
+                        leaves
+                            .iter()
+                            .filter(|l| l.kind == TokenKind::Ident)
+                            .map(|l| l.text.to_ascii_lowercase()),
+                    );
+                }
+            }
+        }
+        let tainted = idents
+            .iter()
+            .find(|id| TIME_SEED_MARKERS.iter().any(|m| id.contains(m)));
+        if let Some(source) = tainted {
+            push(
+                out,
+                "as-truncation",
+                ctx,
+                t.line(),
+                format!(
+                    "`as {}` truncates a value derived from `{source}`; sim-time and \
+                     seed arithmetic must stay 64-bit (use `u64`/`f64`, or a checked \
+                     conversion with an explicit policy for overflow)",
+                    target.text
+                ),
+            );
+        }
+    }
+}
+
+/// Detection of the panic-wrapper *invocation* check lives in
+/// [`crate::ast::xfile`] (it needs the workspace macro table); this hook is
+/// re-exported there for the definition side.
+pub fn group_body_has_panic(g: &Group) -> bool {
+    let mut found = false;
+    walk_levels(&g.trees, false, &mut |level, _| {
+        for (i, t) in level.iter().enumerate() {
+            let Some(tok) = t.leaf() else { continue };
+            if tok.kind != TokenKind::Ident {
+                continue;
+            }
+            let mac = matches!(tok.text.as_str(), "panic" | "todo" | "unimplemented")
+                && matches!(level.get(i + 1), Some(n) if is_punct(n, "!"));
+            let method = (tok.text == "unwrap" || tok.text == "expect")
+                && i >= 1
+                && is_punct(&level[i - 1], ".")
+                && group_at(level, i + 1, '(').is_some();
+            if mac || method {
+                found = true;
+            }
+        }
+    });
+    found
+}

@@ -184,6 +184,8 @@ impl Lexer {
     fn string_lit(&mut self) {
         let line = self.line;
         self.bump();
+        let start = self.pos;
+        let mut end = self.pos;
         while let Some(c) = self.bump() {
             match c {
                 '\\' => {
@@ -192,8 +194,11 @@ impl Lexer {
                 '"' => break,
                 _ => {}
             }
+            end = self.pos;
         }
-        self.push(TokenKind::StrLit, String::new(), line);
+        // Inner text, escapes unprocessed (lane names contain none).
+        let text: String = self.chars[start..end].iter().collect();
+        self.push(TokenKind::StrLit, text, line);
     }
 
     /// Handle `r"…"`, `r#"…"#`, `br"…"`, `b"…"`, `b'…'`, and raw idents
@@ -249,6 +254,8 @@ impl Lexer {
         for _ in 0..offset + hashes + 1 {
             self.bump();
         }
+        let start = self.pos;
+        let mut end = self.pos;
         'outer: while let Some(c) = self.bump() {
             if c == '"' {
                 for i in 0..hashes {
@@ -261,8 +268,10 @@ impl Lexer {
                 }
                 break;
             }
+            end = self.pos;
         }
-        self.push(TokenKind::StrLit, String::new(), line);
+        let text: String = self.chars[start..end].iter().collect();
+        self.push(TokenKind::StrLit, text, line);
         true
     }
 

@@ -3,11 +3,21 @@
 //! Two tasks:
 //!
 //! * `simlint` — a repo-specific static-analysis pass enforcing the
-//!   determinism and robustness invariants described in DESIGN.md §7:
+//!   determinism and robustness invariants described in DESIGN.md §7.
+//!   Sources are parsed into token-tree forests and analyzed per file and
+//!   across files (RNG-lane registry, banned-type aliases, panic-wrapper
+//!   macros); files the parser rejects fall back to the v1 lexer rules:
 //!
 //!   ```text
-//!   cargo xtask simlint [--root <workspace-root>]
+//!   cargo xtask simlint [--root <workspace-root>] \
+//!       [--format text|json|github] [--self-check]
 //!   ```
+//!
+//!   `--format json` prints the stable v2 schema on stdout (for CI
+//!   artifacts); `--format github` prints one `::error` workflow command
+//!   per finding (PR annotations); `--self-check` ignores the workspace
+//!   and instead verifies every compiled-in fixture still produces its
+//!   pinned findings — the linter's own regression gate.
 //!
 //! * `benchdiff` — the kernel-throughput regression gate: compares a fresh
 //!   `BENCH_kernel.json` against the committed baseline and fails when any
@@ -23,12 +33,22 @@
 //! Exit status: 0 when clean, 1 when violations/regressions were found, 2 on
 //! usage or I/O errors. Diagnostics are `file:line`-style lines on stderr.
 
+mod ast;
 mod benchdiff;
 mod lexer;
 mod rules;
+mod selfcheck;
 mod walk;
 
 use std::process::ExitCode;
+
+/// Output format for `simlint` reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Github,
+}
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -36,17 +56,29 @@ fn main() -> ExitCode {
     match task.as_deref() {
         Some("simlint") => {
             let mut root: Option<std::path::PathBuf> = None;
+            let mut format = Format::Text;
+            let mut self_check = false;
             while let Some(arg) = args.next() {
                 match arg.as_str() {
                     "--root" => match args.next() {
                         Some(p) => root = Some(p.into()),
                         None => return usage("--root requires a path"),
                     },
+                    "--format" => match args.next().as_deref() {
+                        Some("text") => format = Format::Text,
+                        Some("json") => format = Format::Json,
+                        Some("github") => format = Format::Github,
+                        _ => return usage("--format requires text, json, or github"),
+                    },
+                    "--self-check" => self_check = true,
                     other => return usage(&format!("unknown simlint option `{other}`")),
                 }
             }
+            if self_check {
+                return simlint_self_check();
+            }
             let root = root.unwrap_or_else(default_root);
-            simlint(&root)
+            simlint(&root, format)
         }
         Some("benchdiff") => {
             let mut current = std::path::PathBuf::from("BENCH_kernel.json");
@@ -87,46 +119,58 @@ fn default_root() -> std::path::PathBuf {
         .to_path_buf()
 }
 
-fn simlint(root: &std::path::Path) -> ExitCode {
-    let files = match walk::workspace_sources(root) {
+fn simlint(root: &std::path::Path, format: Format) -> ExitCode {
+    let walked = match walk::workspace_sources(root) {
         Ok(files) => files,
         Err(e) => {
             eprintln!("error: cannot walk workspace at {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
-    let mut violations = Vec::new();
-    let mut scanned = 0usize;
-    for file in &files {
-        let src = match std::fs::read_to_string(&file.abs_path) {
-            Ok(src) => src,
+    let mut files = Vec::with_capacity(walked.len());
+    for file in walked {
+        match std::fs::read_to_string(&file.abs_path) {
+            Ok(src) => files.push((src, file.ctx)),
             Err(e) => {
                 eprintln!("error: cannot read {}: {e}", file.abs_path.display());
                 return ExitCode::from(2);
             }
-        };
-        scanned += 1;
-        violations.extend(rules::lint_file(&src, &file.ctx));
+        }
     }
-    for v in &violations {
-        eprintln!("{}", v.render());
+    let report = ast::analyze_files(&files);
+    match format {
+        // Text keeps the v1 contract: diagnostics on stderr.
+        Format::Text => eprint!("{}", report.render_text()),
+        // Machine formats go to stdout so CI can redirect them to files.
+        Format::Json => print!("{}", report.render_json()),
+        Format::Github => print!("{}", report.render_github()),
     }
-    if violations.is_empty() {
-        eprintln!("simlint: {scanned} files clean");
+    if report.violations.is_empty() {
         ExitCode::SUCCESS
     } else {
-        eprintln!(
-            "simlint: {} violation{} in {scanned} files",
-            violations.len(),
-            if violations.len() == 1 { "" } else { "s" }
-        );
+        ExitCode::FAILURE
+    }
+}
+
+/// `simlint --self-check`: verify the fixture expectation table.
+fn simlint_self_check() -> ExitCode {
+    let failures = selfcheck::run();
+    if failures.is_empty() {
+        eprintln!("simlint: self-check passed (all fixture expectations hold)");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("{f}");
+        }
+        eprintln!("simlint: self-check FAILED ({} case(s))", failures.len());
         ExitCode::FAILURE
     }
 }
 
 fn usage(err: &str) -> ExitCode {
     eprintln!(
-        "error: {err}\n\nUsage:\n  cargo xtask simlint [--root <workspace-root>]\n  \
+        "error: {err}\n\nUsage:\n  cargo xtask simlint [--root <workspace-root>] \
+         [--format text|json|github] [--self-check]\n  \
          cargo xtask benchdiff [--current <json>] [--baseline <json>] [--tolerance <frac>]"
     );
     ExitCode::from(2)
@@ -320,6 +364,152 @@ mod tests {
         assert!(lint_file(src, &c).is_empty());
         c.test_target = false;
         assert_eq!(lint_file(src, &c).len(), 1);
+    }
+
+    /// Run the AST engine over fixture sources under given identities.
+    fn analyze(files: &[(&str, &str, &str)]) -> crate::ast::report::Report {
+        let owned: Vec<(String, FileCtx)> = files
+            .iter()
+            .map(|(src, krate, path)| ((*src).to_string(), ctx(krate, path)))
+            .collect();
+        crate::ast::analyze_files(&owned)
+    }
+
+    /// Acceptance: an aliased `HashMap` import is invisible to the v1
+    /// token scan (no `HashMap` ident at the use sites) but caught by the
+    /// workspace alias table.
+    #[test]
+    fn aliased_hash_map_missed_by_lexer_caught_by_ast() {
+        let def = include_str!("../fixtures/alias_hash_map.rs");
+        let user = include_str!("../fixtures/alias_hash_map_use.rs");
+        // v1 lexer path: the using file lints clean — the false negative.
+        let v = lint_file(user, &ctx("platform", "crates/platform/src/uses_alias.rs"));
+        assert!(v.is_empty(), "lexer should miss aliases: {v:?}");
+        // AST path over the pair: the use decl re-exporting the alias plus
+        // every aliased usage site.
+        let report = analyze(&[
+            (def, "bench", "crates/bench/src/alias.rs"),
+            (user, "platform", "crates/platform/src/uses_alias.rs"),
+        ]);
+        assert_eq!(report.violations.len(), 6, "{:?}", report.violations);
+        assert!(report.violations.iter().all(|v| v.rule == "hash-map"));
+        assert!(report
+            .violations
+            .iter()
+            .all(|v| v.rel_path == "crates/platform/src/uses_alias.rs"));
+    }
+
+    /// Acceptance: a panic hidden behind a `macro_rules!` wrapper is
+    /// invisible to the v1 scan at the invocation site but caught by the
+    /// transitive wrapper closure.
+    #[test]
+    fn panic_wrapper_missed_by_lexer_caught_by_ast() {
+        let def = include_str!("../fixtures/panic_wrapper.rs");
+        let user = include_str!("../fixtures/panic_wrapper_use.rs");
+        let v = lint_file(user, &ctx("platform", "crates/platform/src/uses_macros.rs"));
+        assert!(v.is_empty(), "lexer should miss wrapped panics: {v:?}");
+        let report = analyze(&[
+            (def, "workloads", "crates/workloads/src/macros.rs"),
+            (user, "platform", "crates/platform/src/uses_macros.rs"),
+        ]);
+        assert_eq!(report.violations.len(), 2, "{:?}", report.violations);
+        assert!(report.violations.iter().all(|v| v.rule == "panic-path"));
+        // One direct wrapper, one transitive (die_faster → die_fast →
+        // panic!).
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.message.contains("die_fast!")));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.message.contains("die_faster!")));
+    }
+
+    /// Acceptance: a stale allow rots silently under v1 (the lexer cannot
+    /// prove an allow useless) but is a finding under the AST audit.
+    #[test]
+    fn stale_allow_missed_by_lexer_caught_by_ast() {
+        let src = include_str!("../fixtures/stale_allow.rs");
+        let v = lint_file(src, &ctx("stats", "crates/stats/src/bad.rs"));
+        assert!(v.is_empty(), "lexer accepts stale allows: {v:?}");
+        let report = analyze(&[(src, "stats", "crates/stats/src/bad.rs")]);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert_eq!(report.violations[0].rule, "stale-allow");
+        assert_eq!(report.violations[0].line, 12);
+    }
+
+    /// The rng-lane fixture pair: literals, a dynamic expression, an
+    /// unregistered constant, and a dead registry lane — each classified.
+    #[test]
+    fn rng_lane_findings_are_classified() {
+        let report = analyze(&[
+            (
+                include_str!("../fixtures/lanes_registry.rs"),
+                "simcore",
+                "crates/simcore/src/rng.rs",
+            ),
+            (
+                include_str!("../fixtures/rng_lane.rs"),
+                "platform",
+                "crates/platform/src/draws.rs",
+            ),
+        ]);
+        assert!(report.violations.iter().all(|v| v.rule == "rng-lane"));
+        let msgs: Vec<&str> = report
+            .violations
+            .iter()
+            .map(|v| v.message.as_str())
+            .collect();
+        assert_eq!(msgs.len(), 5, "{msgs:#?}");
+        assert_eq!(
+            msgs.iter()
+                .filter(|m| m.contains("raw string literal"))
+                .count(),
+            2,
+            "{msgs:#?}"
+        );
+        assert!(msgs.iter().any(|m| m.contains("non-constant")), "{msgs:#?}");
+        assert!(
+            msgs.iter().any(|m| m.contains("NOT_REGISTERED")),
+            "{msgs:#?}"
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("registered but never passed")),
+            "{msgs:#?}"
+        );
+    }
+
+    /// The acceptance bar for the workspace migration: the shipped tree
+    /// analyzes clean under the AST engine — no raw-string lane call
+    /// sites, no stale allows, every file tree-parses (no lexer
+    /// fallback).
+    #[test]
+    fn shipped_workspace_is_clean_under_ast_engine() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .unwrap();
+        let walked = crate::walk::workspace_sources(root).expect("walk workspace");
+        let files: Vec<(String, FileCtx)> = walked
+            .into_iter()
+            .map(|f| {
+                let src = std::fs::read_to_string(&f.abs_path).expect("read source");
+                (src, f.ctx)
+            })
+            .collect();
+        let report = crate::ast::analyze_files(&files);
+        assert!(
+            report.violations.is_empty(),
+            "workspace must lint clean:\n{}",
+            report.render_text()
+        );
+        assert!(
+            report.fallback_files.is_empty(),
+            "all shipped sources must tree-parse: {:?}",
+            report.fallback_files
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ pub const WALL_CLOCK_EXEMPT: &[&str] = &["executor", "sweep", "bench", "xtask"];
 /// scheduling; route parallel experiments through `propack_sweep`.
 pub const THREAD_EXEMPT: &[&str] = &["executor", "sweep", "xtask"];
 
-/// All rule names, for `allow(...)` validation.
+/// All rule names, for `allow(...)` validation. The last four are AST-only
+/// (`crates/xtask/src/ast/`); they are listed here so `allow(...)`
+/// directives naming them stay valid when a file falls back to the lexer
+/// path.
 pub const RULES: &[&str] = &[
     "hash-map",
     "wall-clock",
@@ -61,6 +64,10 @@ pub const RULES: &[&str] = &[
     "thread-spawn",
     "fault-rng",
     "event-alloc",
+    "rng-lane",
+    "unstable-sort-float",
+    "as-truncation",
+    "stale-allow",
 ];
 
 /// Wall-clock / entropy identifiers banned outside `executor`.

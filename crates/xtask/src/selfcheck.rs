@@ -1,0 +1,269 @@
+//! `cargo xtask simlint --self-check`: prove the linter still catches what
+//! it claims to catch.
+//!
+//! Every fixture under `crates/xtask/fixtures/` is compiled into the
+//! binary together with the crate identity it is linted under and the
+//! exact per-rule finding counts it must produce. CI runs this before
+//! linting the workspace: a linter that silently lost a rule (a refactor
+//! that broke a visitor, a scope table edit that widened an exemption)
+//! fails its own gate instead of greenlighting bad code.
+//!
+//! Cross-file fixtures are grouped into one analysis each, mirroring how
+//! the workspace pass joins files; the table also pins the *absence* of
+//! findings (clean fixtures, suppressed allows).
+
+use crate::ast;
+use crate::rules::FileCtx;
+use std::collections::BTreeMap;
+
+/// One self-check case: fixture sources (with lint identities) plus the
+/// exact per-rule finding counts the analysis must produce.
+struct Case {
+    name: &'static str,
+    /// `(fixture source, crate_name, rel_path, test_target)`.
+    files: &'static [(&'static str, &'static str, &'static str)],
+    /// Expected `(rule, count)` pairs; rules not listed must not appear.
+    expect: &'static [(&'static str, usize)],
+}
+
+const CASES: &[Case] = &[
+    // ── the seven ported v1 rules, now through the AST engine ──────────
+    Case {
+        name: "hash-map",
+        files: &[(
+            include_str!("../fixtures/hash_map.rs"),
+            "workloads",
+            "crates/workloads/src/bad.rs",
+        )],
+        expect: &[("hash-map", 3)],
+    },
+    Case {
+        name: "wall-clock",
+        files: &[(
+            include_str!("../fixtures/wall_clock.rs"),
+            "simcore",
+            "crates/simcore/src/bad.rs",
+        )],
+        expect: &[("wall-clock", 4)],
+    },
+    Case {
+        name: "panic-path",
+        files: &[(
+            include_str!("../fixtures/panic_path.rs"),
+            "platform",
+            "crates/platform/src/bad.rs",
+        )],
+        expect: &[("panic-path", 4)],
+    },
+    Case {
+        name: "float-eq",
+        files: &[(
+            include_str!("../fixtures/float_eq.rs"),
+            "stats",
+            "crates/stats/src/bad.rs",
+        )],
+        expect: &[("float-eq", 2)],
+    },
+    Case {
+        name: "const-doc",
+        files: &[(
+            include_str!("../fixtures/const_doc.rs"),
+            "platform",
+            "crates/platform/src/profile.rs",
+        )],
+        expect: &[("const-doc", 2)],
+    },
+    Case {
+        name: "thread-spawn",
+        files: &[(
+            include_str!("../fixtures/thread_spawn.rs"),
+            "propack",
+            "crates/propack/src/bad.rs",
+        )],
+        expect: &[("thread-spawn", 2)],
+    },
+    Case {
+        name: "fault-rng",
+        files: &[(
+            include_str!("../fixtures/fault_rng.rs"),
+            "simcore",
+            "crates/simcore/src/fault.rs",
+        )],
+        expect: &[("fault-rng", 3)],
+    },
+    Case {
+        name: "event-alloc",
+        files: &[(
+            include_str!("../fixtures/event_alloc.rs"),
+            "platform",
+            "crates/platform/src/bad.rs",
+        )],
+        expect: &[("event-alloc", 2)],
+    },
+    // ── escape hatch semantics ─────────────────────────────────────────
+    Case {
+        name: "allow-suppression",
+        files: &[(
+            include_str!("../fixtures/allowed.rs"),
+            "stats",
+            "crates/stats/src/ok.rs",
+        )],
+        expect: &[],
+    },
+    Case {
+        name: "allow-missing-justification",
+        files: &[(
+            include_str!("../fixtures/allow_missing_justification.rs"),
+            "stats",
+            "crates/stats/src/bad.rs",
+        )],
+        expect: &[("bad-allow", 1), ("float-eq", 1)],
+    },
+    Case {
+        name: "clean",
+        files: &[(
+            include_str!("../fixtures/clean.rs"),
+            "simcore",
+            "crates/simcore/src/clean.rs",
+        )],
+        expect: &[],
+    },
+    // ── the AST-only rules ─────────────────────────────────────────────
+    Case {
+        name: "rng-lane",
+        files: &[
+            (
+                include_str!("../fixtures/lanes_registry.rs"),
+                "simcore",
+                "crates/simcore/src/rng.rs",
+            ),
+            (
+                include_str!("../fixtures/rng_lane.rs"),
+                "platform",
+                "crates/platform/src/draws.rs",
+            ),
+        ],
+        // Two raw literals + one dynamic expression + one unregistered
+        // constant (call sites) + one dead registry lane; the allowed
+        // dynamic call is suppressed.
+        expect: &[("rng-lane", 5)],
+    },
+    Case {
+        name: "alias-hash-map",
+        files: &[
+            (
+                include_str!("../fixtures/alias_hash_map.rs"),
+                "bench",
+                "crates/bench/src/alias.rs",
+            ),
+            (
+                include_str!("../fixtures/alias_hash_map_use.rs"),
+                "platform",
+                "crates/platform/src/uses_alias.rs",
+            ),
+        ],
+        expect: &[("hash-map", 6)],
+    },
+    Case {
+        name: "panic-wrapper",
+        files: &[
+            (
+                include_str!("../fixtures/panic_wrapper.rs"),
+                "workloads",
+                "crates/workloads/src/macros.rs",
+            ),
+            (
+                include_str!("../fixtures/panic_wrapper_use.rs"),
+                "platform",
+                "crates/platform/src/uses_macros.rs",
+            ),
+        ],
+        expect: &[("panic-path", 2)],
+    },
+    Case {
+        name: "unstable-sort-float",
+        files: &[(
+            include_str!("../fixtures/unstable_sort_float.rs"),
+            "workloads",
+            "crates/workloads/src/bad.rs",
+        )],
+        expect: &[("unstable-sort-float", 2)],
+    },
+    Case {
+        name: "as-truncation",
+        files: &[(
+            include_str!("../fixtures/as_truncation.rs"),
+            "simcore",
+            "crates/simcore/src/bad.rs",
+        )],
+        expect: &[("as-truncation", 2)],
+    },
+    Case {
+        name: "stale-allow",
+        files: &[(
+            include_str!("../fixtures/stale_allow.rs"),
+            "stats",
+            "crates/stats/src/bad.rs",
+        )],
+        expect: &[("stale-allow", 1)],
+    },
+];
+
+/// Run every case; returns human-readable failure lines (empty = pass).
+pub fn run() -> Vec<String> {
+    let mut failures = Vec::new();
+    for case in CASES {
+        let files: Vec<(String, FileCtx)> = case
+            .files
+            .iter()
+            .map(|(src, crate_name, rel_path)| {
+                (
+                    (*src).to_string(),
+                    FileCtx {
+                        crate_name: (*crate_name).to_string(),
+                        rel_path: (*rel_path).to_string(),
+                        test_target: false,
+                    },
+                )
+            })
+            .collect();
+        let report = ast::analyze_files(&files);
+        let mut got: BTreeMap<&str, usize> = BTreeMap::new();
+        for v in &report.violations {
+            *got.entry(v.rule).or_insert(0) += 1;
+        }
+        let want: BTreeMap<&str, usize> = case.expect.iter().copied().collect();
+        if got != want {
+            failures.push(format!(
+                "self-check `{}`: expected {:?}, got {:?}\n{}",
+                case.name,
+                want,
+                got,
+                report
+                    .violations
+                    .iter()
+                    .map(|v| format!("    {}:{} {} — {}", v.rel_path, v.line, v.rule, v.message))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            ));
+        }
+        if !report.fallback_files.is_empty() {
+            failures.push(format!(
+                "self-check `{}`: fixtures must tree-parse, but fell back for {:?}",
+                case.name, report.fallback_files
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    /// The self-check gate itself: every fixture produces exactly the
+    /// findings the table pins.
+    #[test]
+    fn all_fixture_expectations_hold() {
+        let failures = super::run();
+        assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+    }
+}

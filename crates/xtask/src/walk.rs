@@ -11,9 +11,11 @@ pub struct SourceFile {
     pub ctx: FileCtx,
 }
 
-/// Directories never descended into: build output, VCS metadata, and the
-/// lint fixtures themselves (which contain deliberate violations).
-const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "fixtures"];
+/// Directories never descended into: build output, VCS metadata, the lint
+/// fixtures themselves (which contain deliberate violations), and the
+/// offline dependency stubs (vendored third-party API shells, not
+/// simulation code).
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "fixtures", "offline"];
 
 /// Collect all lintable `.rs` files under `root`, deterministically ordered.
 pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<SourceFile>> {
