@@ -1,0 +1,2 @@
+//! Offline stub for `bytes`: the workspace declares the dependency but
+//! uses no API from it; this shell only satisfies resolution.

@@ -1,0 +1,45 @@
+//! Offline stub for `crossbeam`: only `crossbeam::thread::scope`, mapped
+//! onto `std::thread::scope` (available since Rust 1.63). The closure-arg
+//! shape is preserved: crossbeam spawns take `FnOnce(&Scope) -> T`.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Result alias matching `crossbeam::thread::scope`'s return.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Scoped-spawn handle wrapper so call sites keep `handle.join()?`-style
+    /// semantics.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T> {
+            self.0.join()
+        }
+    }
+
+    /// Crossbeam-shaped scope: spawn closures receive the scope reference.
+    pub struct Scope<'env, 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+    impl<'env, 'scope> Scope<'env, 'scope> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'env, 'scope>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.0;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope(inner))))
+        }
+    }
+
+    /// Run `f` with a thread scope; all spawned threads are joined before
+    /// returning. Unlike crossbeam, a panicking child propagates when
+    /// joined via std's scope drop — matching call sites that `.unwrap()`
+    /// the scope result.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'env, 'scope>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope(s))))
+    }
+}

@@ -1,0 +1,163 @@
+//! Offline stub for `rand` 0.9: the subset of the API this workspace uses,
+//! bit-exact where outputs feed simulated results.
+//!
+//! Exactness-critical pieces (verified against the committed golden replay
+//! fixtures, which were generated with the real crates):
+//!
+//! * [`SeedableRng::seed_from_u64`] — rand_core's PCG-based seed expansion.
+//! * `Rng::random::<f64>()` — the 53-bit multiply method
+//!   (`(next_u64() >> 11) * 2^-53`).
+//! * `Rng::random::<u64>()` / `u32` — direct `next_u64`/`next_u32`.
+
+/// Core RNG interface (stand-in for `rand_core::RngCore`).
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable RNG constructors (stand-in for `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// rand_core's default `seed_from_u64`: a PCG32 sequence expands the
+    /// `u64` into the full seed, 4 little-endian bytes per step. Constants
+    /// and output function match rand_core 0.9 exactly.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types samplable from the standard (uniform) distribution.
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.9: sign bit of a u32 draw.
+        (rng.next_u32() >> 31) == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.9 `StandardUniform` for f64: 53 random bits, multiply.
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        scale * ((rng.next_u64() >> 11) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let scale = 1.0 / ((1u32 << 24) as f32);
+        scale * ((rng.next_u32() >> 8) as f32)
+    }
+}
+
+/// User-facing sampling methods (stand-in for `rand::Rng`).
+pub trait Rng: RngCore {
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    fn random_iter<T: Standard>(self) -> RandomIter<Self, T>
+    where
+        Self: Sized,
+    {
+        RandomIter {
+            rng: self,
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Iterator over standard-distribution draws, consuming the RNG.
+pub struct RandomIter<R, T> {
+    rng: R,
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<R: RngCore, T: Standard> Iterator for RandomIter<R, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        Some(T::sample(&mut self.rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.0 += 1;
+            self.0 as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 += 1;
+            self.0
+        }
+    }
+
+    #[test]
+    fn f64_is_unit_interval() {
+        let mut r = Counter(0);
+        for _ in 0..100 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

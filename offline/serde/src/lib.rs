@@ -1,0 +1,24 @@
+//! Offline stub for `serde`: marker traits plus the no-op derives from the
+//! sibling `serde_derive` stub. Serialization is structurally unavailable
+//! offline — `serde_json`'s stub returns errors — and the JSON round-trip
+//! tests are gated behind the workspace's per-crate `offline-stub` features.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -1,0 +1,111 @@
+//! Offline stub for `serde_derive`: emits empty marker-trait impls for the
+//! `serde` stub. Handles plain and generic `struct`/`enum` items well enough
+//! for this workspace (which derives only on concrete types), and accepts —
+//! and ignores — `#[serde(...)]` helper attributes.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the item identifier (the token after `struct`/`enum`) and any
+/// `<...>` generic parameter list that follows it, rendered as text.
+fn item_name(input: &TokenStream) -> Option<(String, String)> {
+    let tokens: Vec<TokenTree> = input.clone().into_iter().collect();
+    for i in 0..tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            let kw = id.to_string();
+            if kw != "struct" && kw != "enum" {
+                continue;
+            }
+            if let Some(TokenTree::Ident(name)) = tokens.get(i + 1) {
+                let mut generics = String::new();
+                if let Some(TokenTree::Punct(p)) = tokens.get(i + 2) {
+                    if p.as_char() == '<' {
+                        let mut depth = 0i32;
+                        for t in &tokens[i + 2..] {
+                            let s = t.to_string();
+                            generics.push_str(&s);
+                            generics.push(' ');
+                            if s == "<" {
+                                depth += 1;
+                            } else if s == ">" {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                return Some((name.to_string(), generics));
+            }
+        }
+    }
+    None
+}
+
+/// Parameter names from a generics list (`<T: Clone, const N: usize>` →
+/// `<T, N>`), for the use-site angle brackets.
+fn generic_args(generics: &str) -> String {
+    let mut args: Vec<String> = Vec::new();
+    let mut depth = 0i32;
+    let mut take_next = false;
+    for t in generics.split_whitespace() {
+        match t {
+            "<" => {
+                depth += 1;
+                if depth == 1 {
+                    take_next = true;
+                }
+            }
+            ">" => depth -= 1,
+            "," if depth == 1 => take_next = true,
+            "const" | "mut" => {}
+            _ if take_next && depth == 1 => {
+                args.push(t.trim_start_matches('\'').to_string());
+                take_next = false;
+            }
+            _ => {}
+        }
+    }
+    if args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", args.join(", "))
+    }
+}
+
+/// Inner text of the generics list, without the outer angle brackets.
+fn generic_params(generics: &str) -> &str {
+    generics
+        .trim()
+        .strip_prefix('<')
+        .and_then(|g| g.strip_suffix('>'))
+        .unwrap_or("")
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Some((name, generics)) = item_name(&input) else {
+        return TokenStream::new();
+    };
+    let args = generic_args(&generics);
+    format!("impl{generics} serde::Serialize for {name}{args} {{}}")
+        .parse()
+        .unwrap_or_default()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Some((name, generics)) = item_name(&input) else {
+        return TokenStream::new();
+    };
+    let args = generic_args(&generics);
+    let code = if generics.is_empty() {
+        format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+    } else {
+        format!(
+            "impl<'de, {}> serde::Deserialize<'de> for {name}{args} {{}}",
+            generic_params(&generics)
+        )
+    };
+    code.parse().unwrap_or_default()
+}
