@@ -2,8 +2,10 @@
 //! paper evaluates or dismisses.
 
 use crate::outcome::StrategyOutcome;
+use propack_platform::billing::WARM_REUSE_STORAGE_DISCOUNT;
+use propack_platform::warmpool::DEFAULT_POOL_CAPACITY;
 use propack_platform::{
-    BurstSpec, FaultSpec, PlatformError, RetryPolicy, ServerlessPlatform, WorkProfile,
+    BurstSpec, FaultSpec, PlatformError, RetryPolicy, ServerlessPlatform, WarmPool, WorkProfile,
 };
 
 /// A way to execute `C` concurrent functions on a platform.
@@ -191,17 +193,22 @@ pub struct Pywren {
     /// Size of Pywren's maintained instance pool: invocations up to this
     /// count land on reused (warm) instances; beyond it, the overflow pays
     /// full cold starts. This is why Pywren shines at low concurrency and
-    /// fades at high concurrency (§1).
+    /// fades at high concurrency (§1). Defaults to the platform's
+    /// [`DEFAULT_POOL_CAPACITY`] — the single source of truth shared with
+    /// `propack_platform::warmpool`.
     pub pool_size: u32,
     /// Fractional storage-bill reduction from data-movement optimization.
+    /// Defaults to the platform's [`WARM_REUSE_STORAGE_DISCOUNT`] — warm
+    /// reuse and common-storage staging are the same mechanism, so they
+    /// share one calibration constant.
     pub storage_discount: f64,
 }
 
 impl Default for Pywren {
     fn default() -> Self {
         Pywren {
-            pool_size: 2000,
-            storage_discount: 0.4,
+            pool_size: DEFAULT_POOL_CAPACITY,
+            storage_discount: WARM_REUSE_STORAGE_DISCOUNT,
         }
     }
 }
@@ -220,11 +227,19 @@ impl Strategy for Pywren {
         faults: FaultSpec,
         retry: RetryPolicy,
     ) -> Result<StrategyOutcome, PlatformError> {
-        let warm = (self.pool_size as f64 / c as f64).min(1.0);
+        // Pywren's private reuse pool is the platform-level WarmPool,
+        // pre-warmed with `pool_size` containers of this function (Pywren
+        // actively maintains its pool, so the keep-alive is unbounded). The
+        // acquisition size is the historical scalar warm count — computed
+        // with the same float expression the warm-fraction path used — so
+        // pre-pool timelines replay bit-identically.
+        let want = ((self.pool_size as f64 / c as f64).min(1.0) * c as f64).floor() as u32;
+        let mut pool = WarmPool::pywren_prewarmed(&work.name, self.pool_size);
+        let grants = pool.acquire(&work.name, want, 0.0);
         let report = platform.run_burst(
             &BurstSpec::new(work.clone(), c, 1)
                 .with_seed(seed)
-                .with_warm_fraction(warm)
+                .with_warm_starts(grants)
                 .with_faults(faults)
                 .with_retry(retry),
         )?;
@@ -323,12 +338,35 @@ mod tests {
     }
 
     #[test]
+    fn pywren_pool_path_matches_legacy_warm_fraction() {
+        // The WarmPool-backed Pywren must reproduce the pre-pool
+        // warm-fraction timeline bit-for-bit, including at a concurrency
+        // that does not divide the pool size.
+        let platform = aws();
+        let w = work();
+        for c in [200u32, 3000, 5000] {
+            let pooled = Pywren::default().run(&platform, &w, c, 13).unwrap();
+            let warm = (Pywren::default().pool_size as f64 / c as f64).min(1.0);
+            let legacy = platform
+                .run_burst(
+                    &BurstSpec::new(w.clone(), c, 1)
+                        .with_seed(13)
+                        .with_warm_fraction(warm),
+                )
+                .unwrap();
+            let mut want = StrategyOutcome::from_report("Pywren", &legacy);
+            want.expense_usd -= legacy.expense.storage_usd * WARM_REUSE_STORAGE_DISCOUNT;
+            assert_eq!(pooled, want, "c = {c}");
+        }
+    }
+
+    #[test]
     fn pywren_storage_discount_applies() {
         let platform = aws();
         let w = work();
         let no_discount = Pywren {
-            pool_size: 2000,
             storage_discount: 0.0,
+            ..Pywren::default()
         }
         .run(&platform, &w, 300, 2)
         .unwrap();

@@ -2,9 +2,13 @@
 //!
 //! Measures how many sweep cells per second the simulation kernel sustains
 //! on a fixed grid (the CI smoke-sweep grid: {aws, funcx} × {sort, video} ×
-//! C ∈ {500, 1000} × {no-packing, propack-joint} × seed 42), grouped by
-//! packing policy so the ProPack cells — whose cost is dominated by model
-//! fitting — are tracked separately from the raw-burst baseline cells.
+//! C ∈ {500, 1000} × {no-packing, propack-joint} × {cold, fixed:60} ×
+//! seed 42), grouped by packing policy so the ProPack cells — whose cost is
+//! dominated by model fitting — are tracked separately from the raw-burst
+//! baseline cells. Warm-pool cells form their own `<policy>+fixed:60`
+//! groups: the cold groups keep their pre-pool labels and numbers, so the
+//! committed baseline stays comparable, while the warm path gets its own
+//! throughput trend (pool bookkeeping rides the same benchdiff gate).
 //!
 //! Methodology (see `DESIGN.md` §9):
 //! * one **warmup** run (untimed) so allocator and page-cache state do not
@@ -33,7 +37,8 @@ use std::time::Instant;
 /// Seed shared with the CI smoke sweep and the golden replay fixtures.
 pub const KERNEL_SEED: u64 = 42;
 
-/// The fixed measurement grid (16 cells: 8 baseline + 8 ProPack).
+/// The fixed measurement grid (32 cells: {8 baseline + 8 ProPack} × {cold,
+/// fixed:60 keep-alive}).
 pub fn kernel_grid() -> SweepSpec {
     SweepSpec::new("kernel")
         .platforms([PlatformAxis::Aws, PlatformAxis::FuncX])
@@ -45,6 +50,20 @@ pub fn kernel_grid() -> SweepSpec {
         .concurrency([500, 1000])
         .policies([PackingPolicy::NoPacking, PackingPolicy::propack_default()])
         .seeds([KERNEL_SEED])
+        .keepalive([
+            KeepAliveScenario::cold(),
+            KeepAliveScenario::parse("fixed:60").expect("fixed:60 scenario"),
+        ])
+}
+
+/// Throughput-group label of one cell: cold cells keep the bare policy
+/// label (baseline continuity); warm-pool cells get their own group.
+fn group_label(policy: &str, keepalive: &str) -> String {
+    if keepalive == "cold" {
+        policy.to_string()
+    } else {
+        format!("{policy}+{keepalive}")
+    }
 }
 
 /// Throughput of one policy group on the kernel grid.
@@ -100,12 +119,13 @@ fn run_once(spec: &SweepSpec) -> Result<Vec<(String, usize, f64)>, String> {
     let mut cell_wall_total = 0.0;
     for cell in &report.cells {
         cell_wall_total += cell.wall_ms;
-        match groups.iter_mut().find(|(p, _, _)| *p == cell.key.policy) {
+        let label = group_label(&cell.key.policy, &cell.key.keepalive);
+        match groups.iter_mut().find(|(p, _, _)| *p == label) {
             Some((_, n, secs)) => {
                 *n += 1;
                 *secs += cell.wall_ms / 1000.0;
             }
-            None => groups.push((cell.key.policy.clone(), 1, cell.wall_ms / 1000.0)),
+            None => groups.push((label, 1, cell.wall_ms / 1000.0)),
         }
     }
     // Attribute engine overhead (expansion, sorting, dispatch) pro rata so
@@ -199,7 +219,7 @@ pub fn render_json(
     out.push_str("  \"bench\": \"kernel\",\n");
     out.push_str(&format!("  \"seed\": {KERNEL_SEED},\n"));
     out.push_str(
-        "  \"grid\": \"aws,funcx x sort,video x c{500,1000} x {no-packing,propack-joint} x seed 42\",\n",
+        "  \"grid\": \"aws,funcx x sort,video x c{500,1000} x {no-packing,propack-joint} x {cold,fixed:60} x seed 42\",\n",
     );
     out.push_str(&format!("  \"reps\": {reps},\n"));
     out.push_str(&format!("  \"outputs_identical\": {outputs_identical},\n"));
@@ -266,10 +286,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn grid_is_the_ci_smoke_grid() {
+    fn grid_is_the_ci_smoke_grid_plus_the_warm_path() {
         let spec = kernel_grid();
-        assert_eq!(spec.cell_count(), 16);
+        assert_eq!(spec.cell_count(), 32);
         assert_eq!(golden_cases().len(), 16);
+    }
+
+    #[test]
+    fn warm_cells_get_their_own_group_labels() {
+        // Cold cells keep the bare policy label so the committed baseline
+        // stays comparable; only warm cells grow a suffix.
+        assert_eq!(group_label("no-packing", "cold"), "no-packing");
+        assert_eq!(
+            group_label("propack-joint-0.5", "fixed:60"),
+            "propack-joint-0.5+fixed:60"
+        );
     }
 
     #[test]

@@ -8,28 +8,29 @@
 //! ```text
 //! propack sweep    --apps <a,b> [--platforms <p,..>] [--concurrency <C,..>]
 //!                  [--policies <pol,..>] [--seeds <s,..>] [--faults <f,..>]
-//!                  [--threads <n>] [--bench-out <file>] [--compare-serial]
-//!                  [--name <id>]
+//!                  [--keepalive <k,..>] [--threads <n>] [--bench-out <file>]
+//!                  [--compare-serial] [--name <id>]
 //! propack replay   [--trace <file.csv> | --arrivals <gen>] [--epoch <s>]
-//!                  [--controller <c,..>] [--faults <f>] [--seed <s>]
-//!                  [--threads <n>] [--compare-serial] [--out <file>]
+//!                  [--controller <c,..>] [--keepalive <k>] [--faults <f>]
+//!                  [--seed <s>] [--threads <n>] [--compare-serial]
+//!                  [--out <file>]
 //! propack figures  [--fig <fig01,fig21,..|all>] [--json]
 //! propack validate --app <name> -c <C> [--platform <p>] [--seed <s>]
 //! propack help
 //! ```
 //!
-//! The single-cell commands of earlier releases (`plan`, `run`, `compare`,
-//! `apps`, `platforms`) keep working; `plan`/`run`/`compare` print a
-//! deprecation note on stderr pointing at `propack sweep`.
+//! The single-cell commands of earlier releases (`plan`, `run`, `compare`)
+//! are gone: a single cell is a 1×1 grid, so `propack sweep` covers them
+//! with identical numbers. Typing one prints the sweep equivalent.
 //!
 //! Apps are the five paper benchmarks (`video`, `sort`, `stateless`,
 //! `smith-waterman`, `xapian`); platforms are `aws`, `google`, `azure`,
 //! `funcx`; policies are `no-packing`, `pywren`, `fixed:<P>`, `propack`,
-//! `propack:<objective>`.
+//! `propack:<objective>`; keep-alive scenarios are `cold`, `fixed:<secs>`,
+//! `histogram[:<bin>,<pct>,<max>]`, `pagurus[:<ttl>]`.
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use propack_baselines::{NoPacking, Pywren, Strategy};
 use propack_funcx::FuncXPlatform;
 use propack_model::cache::ModelCache;
 use propack_model::optimizer::Objective;
@@ -40,8 +41,8 @@ use propack_platform::{ServerlessPlatform, WorkProfile};
 use propack_replay::{ArrivalTrace, Controller, ReplayEngine, ReplaySpec};
 use propack_stats::chi2::ChiSquareTest;
 use propack_sweep::{
-    bench_json, replay_bench_json, timed_replay, FaultScenario, PackingPolicy, PlatformAxis,
-    ReplayGrid, RunTiming, SweepRunner, SweepSpec,
+    bench_json, replay_bench_json, timed_replay, FaultScenario, KeepAliveScenario, PackingPolicy,
+    PlatformAxis, ReplayGrid, RunTiming, SweepRunner, SweepSpec,
 };
 use propack_workloads::Benchmarks;
 
@@ -56,12 +57,6 @@ pub enum Command {
     Figures(FiguresArgs),
     /// Replay the §2.4 χ² model-validation protocol for one app.
     Validate(ValidateArgs),
-    /// Print the packing plan without executing (legacy single-cell).
-    Plan(RunArgs),
-    /// Execute the packed burst and report (legacy single-cell).
-    Run(RunArgs),
-    /// Compare no-packing / Pywren / ProPack side by side (legacy).
-    Compare(RunArgs),
     /// List known applications.
     Apps,
     /// List known platforms.
@@ -88,6 +83,10 @@ pub struct SweepArgs {
     /// Fault scenarios (comma list of `none`, `default`, or
     /// `key=value[;key=value..]` specs — see `propack_sweep::FaultScenario`).
     pub faults: Vec<String>,
+    /// Keep-alive scenarios (comma list of `cold`, `fixed:<secs>`,
+    /// `histogram[:<bin>,<pct>,<max>]`, `pagurus[:<ttl>]` — see
+    /// `propack_sweep::KeepAliveScenario`).
+    pub keepalive: Vec<String>,
     /// Worker threads; 0 = one per available core.
     pub threads: usize,
     /// Write `BENCH_sweep.json` here.
@@ -124,6 +123,9 @@ pub struct ReplayArgs {
     pub qos: Option<f64>,
     /// Fault scenario (single `--faults` spec, same grammar as sweep).
     pub faults: String,
+    /// Keep-alive scenario the replay's warm pool runs under (single
+    /// `--keepalive` spec, same grammar as the sweep axis).
+    pub keepalive: String,
     /// Base seed.
     pub seed: u64,
     /// Worker threads for the `--compare-serial` sweep cross-check;
@@ -156,39 +158,6 @@ pub struct ValidateArgs {
     pub platform: String,
     /// RNG seed.
     pub seed: u64,
-}
-
-/// Shared arguments of the legacy plan/run/compare commands.
-#[derive(Debug, Clone, PartialEq)]
-pub struct RunArgs {
-    /// Benchmark key (`video`, `sort`, …).
-    pub app: String,
-    /// Concurrency level `C`.
-    pub concurrency: u32,
-    /// Platform key (`aws`, `google`, `azure`, `funcx`).
-    pub platform: String,
-    /// Objective key (`joint`, `service`, `expense`).
-    pub objective: String,
-    /// RNG seed.
-    pub seed: u64,
-    /// Save the fitted model snapshot to this path after building.
-    pub save_model: Option<String>,
-    /// Load a previously saved model snapshot instead of profiling.
-    pub load_model: Option<String>,
-}
-
-impl Default for RunArgs {
-    fn default() -> Self {
-        RunArgs {
-            app: String::new(),
-            concurrency: 0,
-            platform: "aws".into(),
-            objective: "joint".into(),
-            seed: 42,
-            save_model: None,
-            load_model: None,
-        }
-    }
 }
 
 /// Parse errors with user-facing messages.
@@ -268,14 +237,7 @@ impl FlagSet {
 
 /// Flag aliases shared by every subcommand: `(alias, canonical, note)`.
 /// A `Some` note marks the alias deprecated.
-const FLAG_ALIASES: &[(&str, &str, Option<&str>)] = &[
-    ("-c", "--concurrency", None),
-    (
-        "--model",
-        "--load",
-        Some("`--model` is deprecated; use `--load <file>`"),
-    ),
-];
+const FLAG_ALIASES: &[(&str, &str, Option<&str>)] = &[("-c", "--concurrency", None)];
 
 /// The one flag parser every subcommand shares: canonicalize aliases, then
 /// accept exactly the declared value flags and switches.
@@ -326,23 +288,10 @@ struct Subcommand {
     build: fn(&FlagSet) -> Result<Command, ParseError>,
 }
 
-const RUN_FLAGS: &[&str] = &[
-    "--app",
-    "--concurrency",
-    "--platform",
-    "--objective",
-    "--seed",
-    "--save",
-    "--load",
-];
-
-const LEGACY_NOTE: &str =
-    "single-cell commands are legacy; grid experiments have moved to `propack sweep`";
-
 const SUBCOMMANDS: &[Subcommand] = &[
     Subcommand {
         name: "sweep",
-        usage: "sweep    --apps <a,..> [--platforms aws,google,azure,funcx] [--concurrency <C,..>] [--policies no-packing,pywren,fixed:<P>,propack[:<obj>]] [--seeds <s,..>] [--faults none,default,crash=<r>[;straggler=<r>;..]] [--threads <n>] [--bench-out <file>] [--compare-serial] [--name <id>]",
+        usage: "sweep    --apps <a,..> [--platforms aws,google,azure,funcx] [--concurrency <C,..>] [--policies no-packing,pywren,fixed:<P>,propack[:<obj>]] [--seeds <s,..>] [--faults none,default,crash=<r>[;straggler=<r>;..]] [--keepalive cold,fixed:<secs>,histogram[:<bin>,<pct>,<max>],pagurus[:<ttl>]] [--threads <n>] [--bench-out <file>] [--compare-serial] [--name <id>]",
         value_flags: &[
             "--name",
             "--apps",
@@ -351,6 +300,7 @@ const SUBCOMMANDS: &[Subcommand] = &[
             "--policies",
             "--seeds",
             "--faults",
+            "--keepalive",
             "--threads",
             "--bench-out",
         ],
@@ -360,7 +310,7 @@ const SUBCOMMANDS: &[Subcommand] = &[
     },
     Subcommand {
         name: "replay",
-        usage: "replay   [--app <a>] [--trace <file.csv> | --arrivals poisson:<rate>|diurnal:<mean>,<amp>,<period>|burst:<rate>,<on_s>,<off_s>] [--trace-app <name>] [--horizon <s>] [--epoch <s>] [--controller no-packing,fixed:<P>,oracle,propack[:<forecaster>]] [--platform <p>] [--objective <o>] [--qos <s>] [--faults <spec>] [--seed <s>] [--threads <n>] [--compare-serial] [--out <file>]",
+        usage: "replay   [--app <a>] [--trace <file.csv> | --arrivals poisson:<rate>|diurnal:<mean>,<amp>,<period>|burst:<rate>,<on_s>,<off_s>] [--trace-app <name>] [--horizon <s>] [--epoch <s>] [--controller no-packing,fixed:<P>,oracle,propack[:<forecaster>]] [--platform <p>] [--objective <o>] [--qos <s>] [--faults <spec>] [--keepalive <k>] [--seed <s>] [--threads <n>] [--compare-serial] [--out <file>]",
         value_flags: &[
             "--app",
             "--trace",
@@ -373,6 +323,7 @@ const SUBCOMMANDS: &[Subcommand] = &[
             "--objective",
             "--qos",
             "--faults",
+            "--keepalive",
             "--seed",
             "--threads",
             "--out",
@@ -396,30 +347,6 @@ const SUBCOMMANDS: &[Subcommand] = &[
         switch_flags: &[],
         note: None,
         build: build_validate,
-    },
-    Subcommand {
-        name: "plan",
-        usage: "plan     --app <name> -c <C> [--platform <p>] [--objective <o>] [--save <file>] [--load <file>]",
-        value_flags: RUN_FLAGS,
-        switch_flags: &[],
-        note: Some(LEGACY_NOTE),
-        build: |fs| Ok(Command::Plan(build_run_args(fs)?)),
-    },
-    Subcommand {
-        name: "run",
-        usage: "run      --app <name> -c <C> [--platform <p>] [--objective <o>] [--seed <n>] [--save <file>] [--load <file>]",
-        value_flags: RUN_FLAGS,
-        switch_flags: &[],
-        note: Some(LEGACY_NOTE),
-        build: |fs| Ok(Command::Run(build_run_args(fs)?)),
-    },
-    Subcommand {
-        name: "compare",
-        usage: "compare  --app <name> -c <C> [--platform <p>]",
-        value_flags: RUN_FLAGS,
-        switch_flags: &[],
-        note: Some(LEGACY_NOTE),
-        build: |fs| Ok(Command::Compare(build_run_args(fs)?)),
     },
     Subcommand {
         name: "apps",
@@ -465,6 +392,9 @@ fn build_sweep(flags: &FlagSet) -> Result<Command, ParseError> {
             .unwrap_or_else(|| vec!["no-packing".into(), "pywren".into(), "propack".into()]),
         seeds: flags.parsed_list("seeds")?.unwrap_or_else(|| vec![42]),
         faults: flags.list("faults").unwrap_or_else(|| vec!["none".into()]),
+        keepalive: flags
+            .list("keepalive")
+            .unwrap_or_else(|| vec!["cold".into()]),
         threads: flags.parsed("threads")?.unwrap_or(0),
         bench_out: flags.get("bench-out").map(str::to_string),
         compare_serial: flags.has("compare-serial"),
@@ -486,6 +416,7 @@ fn build_replay(flags: &FlagSet) -> Result<Command, ParseError> {
         objective: flags.get("objective").unwrap_or("service").to_string(),
         qos: flags.parsed("qos")?,
         faults: flags.get("faults").unwrap_or("none").to_string(),
+        keepalive: flags.get("keepalive").unwrap_or("cold").to_string(),
         seed: flags.parsed("seed")?.unwrap_or(42),
         threads: flags.parsed("threads")?.unwrap_or(0),
         compare_serial: flags.has("compare-serial"),
@@ -514,18 +445,6 @@ fn build_validate(flags: &FlagSet) -> Result<Command, ParseError> {
     }))
 }
 
-fn build_run_args(flags: &FlagSet) -> Result<RunArgs, ParseError> {
-    Ok(RunArgs {
-        app: require_app(flags)?,
-        concurrency: require_concurrency(flags)?,
-        platform: flags.get("platform").unwrap_or("aws").to_string(),
-        objective: flags.get("objective").unwrap_or("joint").to_string(),
-        seed: flags.parsed("seed")?.unwrap_or(42),
-        save_model: flags.get("save").map(str::to_string),
-        load_model: flags.get("load").map(str::to_string),
-    })
-}
-
 fn require_app(flags: &FlagSet) -> Result<String, ParseError> {
     flags
         .get("app")
@@ -541,6 +460,10 @@ fn require_concurrency(flags: &FlagSet) -> Result<u32, ParseError> {
     }
 }
 
+/// Single-cell commands of earlier releases, now removed in favor of 1×1
+/// sweep grids (kept as a list so the error can name the replacement).
+const REMOVED_COMMANDS: &[&str] = &["plan", "run", "compare"];
+
 /// Parse an argument vector (without the binary name), returning the
 /// command plus any deprecation notes the invocation triggered.
 pub fn parse_with_notes(args: &[String]) -> Result<(Command, Vec<String>), ParseError> {
@@ -551,10 +474,18 @@ pub fn parse_with_notes(args: &[String]) -> Result<(Command, Vec<String>), Parse
         "--help" | "-h" => "help",
         other => other,
     };
-    let def = SUBCOMMANDS
-        .iter()
-        .find(|d| d.name == name)
-        .ok_or_else(|| ParseError(format!("unknown command {cmd}; try `propack help`")))?;
+    let def = SUBCOMMANDS.iter().find(|d| d.name == name).ok_or_else(|| {
+        // The removed single-cell commands get a pointed error: a single
+        // cell is a 1×1 grid, so `sweep` reproduces them exactly.
+        if REMOVED_COMMANDS.contains(&name) {
+            ParseError(format!(
+                "`{name}` was removed; run the cell as a 1×1 grid instead: \
+                 `propack sweep --apps <app> --concurrency <C> --policies propack[:<obj>]`"
+            ))
+        } else {
+            ParseError(format!("unknown command {cmd}; try `propack help`"))
+        }
+    })?;
     let mut notes = Vec::new();
     if let Some(note) = def.note {
         notes.push(note.to_string());
@@ -689,13 +620,19 @@ pub fn build_sweep_spec(args: &SweepArgs) -> Result<SweepSpec, ParseError> {
         .iter()
         .map(|f| FaultScenario::parse(f).map_err(|e| ParseError(e.to_string())))
         .collect::<Result<Vec<_>, _>>()?;
+    let keepalive = args
+        .keepalive
+        .iter()
+        .map(|k| KeepAliveScenario::parse(k).map_err(|e| ParseError(e.to_string())))
+        .collect::<Result<Vec<_>, _>>()?;
     let spec = SweepSpec::new(args.name.clone())
         .platforms(platforms)
         .workloads(workloads)
         .concurrency(args.concurrency.iter().copied())
         .policies(policies)
         .seeds(args.seeds.iter().copied())
-        .faults(faults);
+        .faults(faults)
+        .keepalive(keepalive);
     spec.validate().map_err(|e| ParseError(e.to_string()))?;
     Ok(spec)
 }
@@ -814,93 +751,6 @@ pub fn execute(
                 } else {
                     "REJECTED"
                 }
-            )?;
-        }
-        Command::Plan(ra) => {
-            let (pp, _platform, objective) = build(&ra)?;
-            let plan = pp.plan(ra.concurrency, objective)?;
-            writeln!(out, "app:       {} on {}", pp.work.name, pp.platform_name)?;
-            writeln!(
-                out,
-                "model:     ET(P) = {:.2}·e^({:.4}·P)s; scaling β=({:.2e}, {:.3}, {:.1})",
-                pp.model.interference.base,
-                pp.model.interference.rate,
-                pp.model.scaling.beta1,
-                pp.model.scaling.beta2,
-                pp.model.scaling.beta3
-            )?;
-            writeln!(
-                out,
-                "plan:      degree {} → {} instances",
-                plan.packing_degree, plan.instances
-            )?;
-            writeln!(
-                out,
-                "predicted: service {:.0}s, expense ${:.2}",
-                plan.predicted_service_secs, plan.predicted_expense_usd
-            )?;
-            writeln!(
-                out,
-                "overhead:  {} probe bursts, ${:.2}",
-                pp.overhead.bursts, pp.overhead.expense_usd
-            )?;
-        }
-        Command::Run(ra) => {
-            let (pp, platform, objective) = build(&ra)?;
-            let outcome = pp.execute(platform.as_ref(), ra.concurrency, objective, ra.seed)?;
-            writeln!(
-                out,
-                "ran {} × {} packed at degree {} on {}",
-                outcome.plan.instances, pp.work.name, outcome.plan.packing_degree, pp.platform_name
-            )?;
-            writeln!(
-                out,
-                "service:  {:.0}s total ({:.0}s scaling)",
-                outcome.report.total_service_time(),
-                outcome.report.scaling_time()
-            )?;
-            writeln!(
-                out,
-                "expense:  ${:.2} (incl. ${:.2} profiling overhead)",
-                outcome.expense_with_overhead_usd(),
-                outcome.overhead.expense_usd
-            )?;
-        }
-        Command::Compare(ra) => {
-            let (pp, platform, objective) = build(&ra)?;
-            let work = pp.work.clone();
-            writeln!(
-                out,
-                "{:<12} {:>12} {:>12} {:>8}",
-                "strategy", "service (s)", "expense ($)", "degree"
-            )?;
-            let base = NoPacking.run(platform.as_ref(), &work, ra.concurrency, ra.seed)?;
-            writeln!(
-                out,
-                "{:<12} {:>12.0} {:>12.2} {:>8}",
-                "no-packing",
-                base.total_service_secs(),
-                base.expense_usd,
-                1
-            )?;
-            let pywren =
-                Pywren::default().run(platform.as_ref(), &work, ra.concurrency, ra.seed)?;
-            writeln!(
-                out,
-                "{:<12} {:>12.0} {:>12.2} {:>8}",
-                "pywren",
-                pywren.total_service_secs(),
-                pywren.expense_usd,
-                1
-            )?;
-            let outcome = pp.execute(platform.as_ref(), ra.concurrency, objective, ra.seed)?;
-            writeln!(
-                out,
-                "{:<12} {:>12.0} {:>12.2} {:>8}",
-                "propack",
-                outcome.report.total_service_time(),
-                outcome.expense_with_overhead_usd(),
-                outcome.plan.packing_degree
             )?;
         }
     }
@@ -1114,6 +964,8 @@ fn run_replay(
     let trace = resolve_trace(ra)?;
     let objective = resolve_objective(&ra.objective)?;
     let scenario = FaultScenario::parse(&ra.faults).map_err(|e| ParseError(e.to_string()))?;
+    let keepalive =
+        KeepAliveScenario::parse(&ra.keepalive).map_err(|e| ParseError(e.to_string()))?;
     let controllers = ra
         .controllers
         .iter()
@@ -1132,12 +984,21 @@ fn run_replay(
         qos_secs: ra.qos,
         faults: scenario.resolve(platform.as_ref()),
         retry: scenario.retry,
+        keepalive: keepalive.policy,
         fit_config: ProPackConfig::default(),
     });
     let models = ModelCache::new();
 
     if ra.compare_serial {
-        compare_serial_replay(ra, &work, &trace, &scenario, objective, &controllers)?;
+        compare_serial_replay(
+            ra,
+            &work,
+            &trace,
+            &scenario,
+            &keepalive,
+            objective,
+            &controllers,
+        )?;
     }
 
     if ra.out.is_some() {
@@ -1207,6 +1068,7 @@ fn compare_serial_replay(
     work: &WorkProfile,
     trace: &ArrivalTrace,
     scenario: &FaultScenario,
+    keepalive: &KeepAliveScenario,
     objective: Objective,
     controllers: &[Controller],
 ) -> Result<(), Box<dyn std::error::Error>> {
@@ -1221,6 +1083,7 @@ fn compare_serial_replay(
         .policies([PackingPolicy::NoPacking])
         .seeds([ra.seed])
         .faults([scenario.clone()])
+        .keepalive([keepalive.clone()])
         .replay(grid)
         .controllers(controllers.to_vec());
     let threads = if ra.threads == 0 {
@@ -1244,69 +1107,12 @@ fn compare_serial_replay(
     Ok(())
 }
 
-/// The fully-resolved execution context of a plan/run/compare invocation.
-type BuiltContext = (Propack, Box<dyn ServerlessPlatform>, Objective);
-
-fn build(ra: &RunArgs) -> Result<BuiltContext, Box<dyn std::error::Error>> {
-    let work = resolve_app(&ra.app)?;
-    let platform = resolve_platform(&ra.platform)?;
-    let objective = resolve_objective(&ra.objective)?;
-    let pp = match &ra.load_model {
-        // Restore a saved snapshot: no profiling runs at all.
-        Some(path) => Propack::from_json(&std::fs::read_to_string(path)?)?,
-        None => Propack::build(platform.as_ref(), &work, &ProPackConfig::default())?,
-    };
-    if let Some(path) = &ra.save_model {
-        std::fs::write(path, pp.to_json()?)?;
-    }
-    Ok((pp, platform, objective))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn s(v: &[&str]) -> Vec<String> {
         v.iter().map(|x| x.to_string()).collect()
-    }
-
-    #[test]
-    fn parses_plan() {
-        let cmd = parse(&s(&["plan", "--app", "sort", "-c", "2000"])).unwrap();
-        match cmd {
-            Command::Plan(ra) => {
-                assert_eq!(ra.app, "sort");
-                assert_eq!(ra.concurrency, 2000);
-                assert_eq!(ra.platform, "aws");
-            }
-            other => panic!("wrong command {other:?}"),
-        }
-    }
-
-    #[test]
-    fn parses_full_run() {
-        let cmd = parse(&s(&[
-            "run",
-            "--app",
-            "video",
-            "--concurrency",
-            "5000",
-            "--platform",
-            "google",
-            "--objective",
-            "expense",
-            "--seed",
-            "7",
-        ]))
-        .unwrap();
-        match cmd {
-            Command::Run(ra) => {
-                assert_eq!(ra.platform, "google");
-                assert_eq!(ra.objective, "expense");
-                assert_eq!(ra.seed, 7);
-            }
-            other => panic!("wrong command {other:?}"),
-        }
     }
 
     #[test]
@@ -1325,6 +1131,8 @@ mod tests {
             "1,2",
             "--faults",
             "none,crash=0.01;attempts=5",
+            "--keepalive",
+            "cold,fixed:60",
             "--threads",
             "4",
             "--bench-out",
@@ -1339,15 +1147,33 @@ mod tests {
                 assert_eq!(sa.concurrency, vec![100, 1000]);
                 assert_eq!(sa.seeds, vec![1, 2]);
                 assert_eq!(sa.faults, vec!["none", "crash=0.01;attempts=5"]);
+                assert_eq!(sa.keepalive, vec!["cold", "fixed:60"]);
                 assert_eq!(sa.threads, 4);
                 assert_eq!(sa.bench_out.as_deref(), Some("B.json"));
                 assert!(sa.compare_serial);
                 let spec = build_sweep_spec(&sa).unwrap();
-                assert_eq!(spec.cell_count(), 2 * 2 * 2 * 3 * 2 * 2);
+                assert_eq!(spec.cell_count(), 2 * 2 * 2 * 3 * 2 * 2 * 2);
                 assert_eq!(spec.faults[1].label, "crash=0.01;attempts=5");
                 assert_eq!(spec.faults[1].retry.max_attempts, 5);
+                assert_eq!(spec.keepalive[1].label, "fixed:60");
             }
             other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_keepalive_scenarios_are_rejected() {
+        for bad in ["fixed:0", "cold:5", "thermal"] {
+            match parse(&s(&["sweep", "--apps", "sort", "--keepalive", bad])).unwrap() {
+                Command::Sweep(sa) => {
+                    let err = build_sweep_spec(&sa).unwrap_err();
+                    assert!(
+                        err.0.contains("keep-alive"),
+                        "unhelpful error for {bad:?}: {err}"
+                    );
+                }
+                other => panic!("wrong command {other:?}"),
+            }
         }
     }
 
@@ -1412,33 +1238,26 @@ mod tests {
     }
 
     #[test]
-    fn legacy_commands_carry_a_deprecation_note() {
-        let (_, notes) = parse_with_notes(&s(&["plan", "--app", "sort", "-c", "100"])).unwrap();
-        assert!(
-            notes.iter().any(|n| n.contains("propack sweep")),
-            "{notes:?}"
-        );
+    fn removed_single_cell_commands_name_their_replacement() {
+        for gone in ["plan", "run", "compare"] {
+            let err = parse(&s(&[gone, "--app", "sort", "-c", "100"])).unwrap_err();
+            assert!(err.0.contains("was removed"), "{gone}: {err}");
+            assert!(err.0.contains("propack sweep"), "{gone}: {err}");
+        }
+        // `--model` went with them: no subcommand accepts it.
+        let err = parse(&s(&["sweep", "--apps", "sort", "--model", "m.json"])).unwrap_err();
+        assert!(err.0.contains("unknown flag"), "{err}");
         let (_, notes) = parse_with_notes(&s(&["sweep", "--apps", "sort"])).unwrap();
         assert!(notes.is_empty(), "{notes:?}");
-        // `--model` is an alias for `--load`, with its own note.
-        let (cmd, notes) = parse_with_notes(&s(&[
-            "run", "--app", "sort", "-c", "100", "--model", "m.json",
-        ]))
-        .unwrap();
-        match cmd {
-            Command::Run(ra) => assert_eq!(ra.load_model.as_deref(), Some("m.json")),
-            other => panic!("{other:?}"),
-        }
-        assert!(notes.iter().any(|n| n.contains("--load")), "{notes:?}");
     }
 
     #[test]
     fn rejects_missing_required_args() {
-        assert!(parse(&s(&["plan", "-c", "100"])).is_err());
-        assert!(parse(&s(&["plan", "--app", "sort"])).is_err());
-        assert!(parse(&s(&["plan", "--app", "sort", "-c", "zero"])).is_err());
+        assert!(parse(&s(&["validate", "-c", "100"])).is_err());
+        assert!(parse(&s(&["validate", "--app", "sort"])).is_err());
+        assert!(parse(&s(&["validate", "--app", "sort", "-c", "zero"])).is_err());
         assert!(parse(&s(&["frobnicate"])).is_err());
-        assert!(parse(&s(&["plan", "--bogus", "x"])).is_err());
+        assert!(parse(&s(&["validate", "--bogus", "x"])).is_err());
         assert!(parse(&s(&["sweep", "--apps", "sort", "--threads"])).is_err());
         assert!(parse(&s(&["sweep", "--apps", "sort", "--concurrency", "x"])).is_err());
     }
@@ -1531,16 +1350,6 @@ mod tests {
     }
 
     #[test]
-    fn plan_command_end_to_end() {
-        let cmd = parse(&s(&["plan", "--app", "sort", "-c", "1000"])).unwrap();
-        let mut buf = Vec::new();
-        execute(cmd, &mut buf).unwrap();
-        let text = String::from_utf8(buf).unwrap();
-        assert!(text.contains("degree"), "{text}");
-        assert!(text.contains("predicted"), "{text}");
-    }
-
-    #[test]
     fn sweep_command_end_to_end() {
         let dir = std::env::temp_dir().join("propack-cli-sweep-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -1553,6 +1362,7 @@ mod tests {
             policies: vec!["no-packing".into(), "fixed:4".into()],
             seeds: vec![1],
             faults: vec!["none".into(), "crash=0.02".into()],
+            keepalive: vec!["cold".into()],
             threads: 2,
             bench_out: Some(bench_path.to_str().unwrap().to_string()),
             compare_serial: true,
@@ -1577,6 +1387,29 @@ mod tests {
     }
 
     #[test]
+    fn sweep_keepalive_axis_end_to_end() {
+        let cmd = parse(&s(&[
+            "sweep",
+            "--apps",
+            "sort",
+            "--concurrency",
+            "50",
+            "--policies",
+            "fixed:2",
+            "--keepalive",
+            "cold,fixed:60",
+        ]))
+        .unwrap();
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("sweep cli-sweep: 2 cells"), "{text}");
+        // Cold lines keep the pre-pool format; warm lines carry the column.
+        assert!(text.contains("ka=fixed:60"), "{text}");
+        assert!(!text.contains("ka=cold"), "{text}");
+    }
+
+    #[test]
     fn parses_replay() {
         match parse(&s(&[
             "replay",
@@ -1588,6 +1421,8 @@ mod tests {
             "fixed:4,oracle,propack:ewma",
             "--faults",
             "crash=0.01",
+            "--keepalive",
+            "fixed:120",
             "--seed",
             "7",
             "--qos",
@@ -1603,6 +1438,7 @@ mod tests {
                 assert_eq!(ra.epoch_secs, 120.0);
                 assert_eq!(ra.controllers, vec!["fixed:4", "oracle", "propack:ewma"]);
                 assert_eq!(ra.faults, "crash=0.01");
+                assert_eq!(ra.keepalive, "fixed:120");
                 assert_eq!(ra.seed, 7);
                 assert_eq!(ra.qos, Some(90.0));
                 assert_eq!(ra.out.as_deref(), Some("R.json"));
@@ -1623,6 +1459,7 @@ mod tests {
                 assert_eq!(ra.controllers, vec!["propack:ewma"]);
                 assert_eq!(ra.objective, "service");
                 assert_eq!(ra.faults, "none");
+                assert_eq!(ra.keepalive, "cold");
                 assert_eq!(ra.seed, 42);
                 assert!(!ra.compare_serial);
             }
@@ -1739,72 +1576,6 @@ mod tests {
                 "{}",
                 def.name
             );
-        }
-    }
-}
-
-#[cfg(test)]
-mod persist_cli_tests {
-    use super::*;
-
-    #[test]
-    #[cfg_attr(
-        feature = "offline-stub",
-        ignore = "requires real serde_json (offline stub cannot serialize)"
-    )]
-    fn save_then_load_round_trips_through_files() {
-        let dir = std::env::temp_dir().join("propack-cli-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("model.json");
-        let path_str = path.to_str().unwrap().to_string();
-
-        let save = Command::Plan(RunArgs {
-            app: "sort".into(),
-            concurrency: 1000,
-            save_model: Some(path_str.clone()),
-            ..RunArgs::default()
-        });
-        let mut out = Vec::new();
-        execute(save, &mut out).unwrap();
-        assert!(path.exists());
-
-        let load = Command::Plan(RunArgs {
-            app: "sort".into(),
-            concurrency: 1000,
-            load_model: Some(path_str),
-            ..RunArgs::default()
-        });
-        let mut out2 = Vec::new();
-        execute(load, &mut out2).unwrap();
-        // Same model → identical plan line.
-        let plan_line = |bytes: &[u8]| {
-            String::from_utf8_lossy(bytes)
-                .lines()
-                .find(|l| l.starts_with("plan:"))
-                .unwrap()
-                .to_string()
-        };
-        assert_eq!(plan_line(&out), plan_line(&out2));
-        std::fs::remove_file(&path).ok();
-    }
-
-    #[test]
-    fn parse_save_and_load_flags() {
-        let args: Vec<String> = ["plan", "--app", "sort", "-c", "100", "--save", "m.json"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        match parse(&args).unwrap() {
-            Command::Plan(ra) => assert_eq!(ra.save_model.as_deref(), Some("m.json")),
-            other => panic!("{other:?}"),
-        }
-        let args: Vec<String> = ["run", "--app", "sort", "-c", "100", "--load", "m.json"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        match parse(&args).unwrap() {
-            Command::Run(ra) => assert_eq!(ra.load_model.as_deref(), Some("m.json")),
-            other => panic!("{other:?}"),
         }
     }
 }

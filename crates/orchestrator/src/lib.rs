@@ -27,7 +27,9 @@ pub mod retry;
 pub mod run;
 pub mod state;
 
-pub use retry::{run_burst_with_retry, RetriedRun};
+#[allow(deprecated)]
+pub use retry::run_burst_with_retry;
+pub use retry::RetriedRun;
 pub use run::{
     execute, execute_faulted, execute_with_cache, execute_with_cache_faulted, StateReport,
     WorkflowReport,

@@ -1,21 +1,17 @@
 //! Orchestrator-level retry: resubmit failed functions as follow-up bursts.
 //!
-//! The platform's own retry loop (capped exponential backoff inside an
-//! instance, see `propack_simcore::RetryPolicy`) handles transient faults
-//! *within* a burst. When an instance exhausts its attempts or the burst's
-//! retry budget, its functions come back failed and the burst is partial.
-//! Step-Functions-style orchestrators handle that layer too: the failed
-//! fan-out entries are resubmitted as a smaller follow-up burst, up to
-//! [`RetryPolicy::max_rounds`] submissions total. Rounds serialize — a
-//! follow-up is only submitted once the previous round has completed — so
-//! the retried service time is the sum of round makespans.
+//! The resubmission loop itself now lives in the platform crate as
+//! [`propack_platform::BurstRequest`] — the unified burst entrypoint that
+//! also carries warm-pool state. This module keeps the orchestrator-flavored
+//! [`RetriedRun`] view and a deprecated shim so historical callers keep
+//! compiling; new code should build a `BurstRequest` directly.
 //!
 //! Determinism: round `k` draws its seed as a pure function of the original
 //! seed and `k` (round 0 uses the original seed verbatim, so a fault-free
 //! run is bit-identical to a plain `run_burst`).
 
 use propack_platform::{
-    BurstSpec, FaultSpec, FaultSummary, PlatformError, RetryPolicy, RunReport, ServerlessPlatform,
+    BurstRun, FaultSpec, FaultSummary, PlatformError, RetryPolicy, RunReport, ServerlessPlatform,
     WorkProfile,
 };
 
@@ -70,15 +66,24 @@ impl RetriedRun {
     }
 }
 
-/// Seed for resubmission round `round` (round 0 reproduces `seed` exactly,
-/// keeping fault-free runs bit-identical to a plain burst).
-fn round_seed(seed: u64, round: u32) -> u64 {
-    seed ^ u64::from(round).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+/// A [`BurstRun`] narrowed to the orchestrator's historical view (the
+/// warm-pool counters are dropped; pool-less submissions never set them).
+impl From<BurstRun> for RetriedRun {
+    fn from(run: BurstRun) -> Self {
+        RetriedRun {
+            rounds: run.rounds,
+            abandoned_functions: run.abandoned_functions,
+        }
+    }
 }
 
 /// Run `c` functions of `work` packed at `degree`, resubmitting failed
 /// functions as follow-up bursts until everything completes or
 /// [`RetryPolicy::max_rounds`] submissions have been made.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a propack_platform::BurstRequest and call run()/run_pooled() instead"
+)]
 pub fn run_burst_with_retry<P: ServerlessPlatform + ?Sized>(
     platform: &P,
     work: &WorkProfile,
@@ -88,37 +93,19 @@ pub fn run_burst_with_retry<P: ServerlessPlatform + ?Sized>(
     faults: FaultSpec,
     retry: RetryPolicy,
 ) -> Result<RetriedRun, PlatformError> {
-    let work = std::sync::Arc::new(work.clone());
-    let mut rounds = Vec::new();
-    let mut remaining = c;
-    let mut round = 0u32;
-    while remaining > 0 && round < retry.max_rounds.max(1) {
-        // A follow-up round smaller than the packing degree packs what it
-        // has — never more functions per instance than functions left.
-        let p = degree.max(1).min(remaining);
-        let spec = BurstSpec::packed(std::sync::Arc::clone(&work), remaining, p)
-            .with_seed(round_seed(seed, round))
-            .with_faults(faults)
-            .with_retry(retry);
-        let report = platform.run_burst(&spec)?;
-        // The platform counts failures in whole-instance units of `p`, so a
-        // remainder instance can report more failed functions than were
-        // actually submitted; the resubmission is capped at what remains.
-        let failed = report.faults.failed_functions.min(u64::from(remaining));
-        rounds.push(report);
-        remaining = failed as u32;
-        round += 1;
-    }
-    Ok(RetriedRun {
-        rounds,
-        abandoned_functions: u64::from(remaining),
-    })
+    propack_platform::BurstRequest::new(work.clone(), c, degree)
+        .with_seed(seed)
+        .with_faults(faults)
+        .with_retry(retry)
+        .run(platform)
+        .map(RetriedRun::from)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use propack_platform::{CloudPlatform, PlatformBuilder};
+    use propack_platform::{BurstSpec, CloudPlatform, PlatformBuilder};
 
     fn aws() -> CloudPlatform {
         PlatformBuilder::aws().build()

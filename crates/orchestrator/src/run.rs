@@ -1,12 +1,14 @@
 //! Workflow execution over a [`ServerlessPlatform`].
 
-use crate::retry::run_burst_with_retry;
+use crate::retry::RetriedRun;
 use crate::state::{MapPacking, State, Workflow};
 use crate::WorkflowError;
 use propack_model::cache::ModelCache;
 use propack_model::optimizer::Objective;
 use propack_model::propack::{ProPackConfig, Propack};
-use propack_platform::{FaultSpec, FaultSummary, RetryPolicy, ServerlessPlatform, WorkProfile};
+use propack_platform::{
+    BurstRequest, FaultSpec, FaultSummary, RetryPolicy, ServerlessPlatform, WorkProfile,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -115,8 +117,12 @@ impl<P: ServerlessPlatform + ?Sized> ExecCtx<'_, P> {
         match state {
             State::Task { name, work } => {
                 let seed = self.next_seed();
-                let run =
-                    run_burst_with_retry(self.platform, work, 1, 1, seed, self.faults, self.retry)?;
+                let run: RetriedRun = BurstRequest::new(work.clone(), 1, 1)
+                    .with_seed(seed)
+                    .with_faults(self.faults)
+                    .with_retry(self.retry)
+                    .run(self.platform)?
+                    .into();
                 let duration = run.total_service_secs();
                 self.fault_totals.merge(&run.faults());
                 self.reports.push(StateReport {
@@ -155,15 +161,12 @@ impl<P: ServerlessPlatform + ?Sized> ExecCtx<'_, P> {
                     }
                 };
                 let seed = self.next_seed();
-                let run = run_burst_with_retry(
-                    self.platform,
-                    work,
-                    *concurrency,
-                    degree,
-                    seed,
-                    self.faults,
-                    self.retry,
-                )?;
+                let run: RetriedRun = BurstRequest::new(work.clone(), *concurrency, degree)
+                    .with_seed(seed)
+                    .with_faults(self.faults)
+                    .with_retry(self.retry)
+                    .run(self.platform)?
+                    .into();
                 let duration = run.total_service_secs();
                 self.fault_totals.merge(&run.faults());
                 self.reports.push(StateReport {

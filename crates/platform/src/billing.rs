@@ -21,6 +21,27 @@ use serde::{Deserialize, Serialize};
 /// rest is served locally by co-packed functions.
 pub const PACKED_EGRESS_RESIDUAL: f64 = 0.1;
 
+/// Fraction of the storage bill a same-function warm start avoids: a kept-
+/// alive container still holds the function's dependencies, so it skips the
+/// staging reads a cold start performs against common storage. This is the
+/// same mechanism (and the same calibration) as the Pywren baseline's
+/// common-storage optimization — `propack_baselines::Pywren` sources its
+/// `storage_discount` default from this constant.
+pub const WARM_REUSE_STORAGE_DISCOUNT: f64 = 0.4;
+
+/// Storage credit earned when `warm_instances` of `total_instances` in a
+/// burst were served from same-function warm containers: the warm share of
+/// the storage bill, discounted by [`WARM_REUSE_STORAGE_DISCOUNT`]. Compute
+/// seconds are unaffected — provisioning time was never billed (§2.3), so
+/// the warm/cold split shows up on the storage line only.
+pub fn warm_reuse_credit(expense: &Expense, warm_instances: u32, total_instances: u32) -> f64 {
+    if total_instances == 0 {
+        return 0.0;
+    }
+    let fraction = f64::from(warm_instances.min(total_instances)) / f64::from(total_instances);
+    expense.storage_usd * WARM_REUSE_STORAGE_DISCOUNT * fraction
+}
+
 /// An itemized bill for one burst.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct Expense {
@@ -143,6 +164,21 @@ mod tests {
         let prices = PlatformProfile::aws_lambda().prices;
         let e = bill_burst(&prices, &work(), 10.0, &[100.0; 10], 1);
         assert_eq!(e.network_usd, 0.0);
+    }
+
+    #[test]
+    fn warm_reuse_credit_scales_with_warm_share() {
+        let prices = PlatformProfile::aws_lambda().prices;
+        let e = bill_burst(&prices, &work(), 10.0, &[100.0; 40], 1);
+        assert_eq!(warm_reuse_credit(&e, 0, 40), 0.0);
+        let half = warm_reuse_credit(&e, 20, 40);
+        let full = warm_reuse_credit(&e, 40, 40);
+        assert!(half > 0.0);
+        assert!((full - 2.0 * half).abs() < 1e-15);
+        assert!((full - e.storage_usd * WARM_REUSE_STORAGE_DISCOUNT).abs() < 1e-15);
+        // Degenerate inputs never over-credit or divide by zero.
+        assert_eq!(warm_reuse_credit(&e, 10, 0), 0.0);
+        assert!((warm_reuse_credit(&e, 100, 40) - full).abs() < 1e-15);
     }
 
     #[test]

@@ -33,6 +33,13 @@ pub struct BurstSpec {
     /// Fraction of instances served from warm containers (skip build +
     /// shipping). The Pywren baseline drives this; plain bursts use 0.0.
     pub warm_fraction: f64,
+    /// Per-instance warm-start latencies granted by a
+    /// [`crate::warmpool::WarmPool`]: instance `i < warm_starts.len()` is
+    /// warm and starts after `warm_starts[i]` seconds. Empty (the default)
+    /// falls back to `warm_fraction` with the legacy constant latency, so
+    /// pool-less specs replay bit-identically.
+    #[serde(default)]
+    pub warm_starts: Vec<f64>,
     /// Runtime fault processes injected into this burst (default: none,
     /// which replays the historical fault-free timeline exactly).
     #[serde(default)]
@@ -52,6 +59,8 @@ pub struct BurstSpecWire {
     seed: u64,
     warm_fraction: f64,
     #[serde(default)]
+    warm_starts: Vec<f64>,
+    #[serde(default)]
     faults: FaultSpec,
     #[serde(default)]
     retry: RetryPolicy,
@@ -65,6 +74,7 @@ impl From<BurstSpecWire> for BurstSpec {
             packing_degree: w.packing_degree,
             seed: w.seed,
             warm_fraction: w.warm_fraction,
+            warm_starts: w.warm_starts,
             faults: w.faults,
             retry: w.retry,
         }
@@ -79,6 +89,7 @@ impl From<BurstSpec> for BurstSpecWire {
             packing_degree: s.packing_degree,
             seed: s.seed,
             warm_fraction: s.warm_fraction,
+            warm_starts: s.warm_starts,
             faults: s.faults,
             retry: s.retry,
         }
@@ -97,6 +108,7 @@ impl BurstSpec {
             packing_degree,
             seed: 0,
             warm_fraction: 0.0,
+            warm_starts: Vec::new(),
             faults: FaultSpec::none(),
             retry: RetryPolicy::default(),
         }
@@ -111,6 +123,18 @@ impl BurstSpec {
     /// Builder-style warm-fraction setter (clamped to `[0, 1]`).
     pub fn with_warm_fraction(mut self, f: f64) -> Self {
         self.warm_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder-style warm-grant setter: the first `grants.len()` instances
+    /// start warm after the granted per-instance latencies (a
+    /// [`crate::warmpool::WarmPool::acquire`] result). Also sets
+    /// `warm_fraction` to the covered fraction so reports and admission
+    /// logic agree with the grant list.
+    pub fn with_warm_starts(mut self, grants: Vec<f64>) -> Self {
+        let covered = (grants.len() as f64 / self.instances.max(1) as f64).clamp(0.0, 1.0);
+        self.warm_fraction = covered;
+        self.warm_starts = grants;
         self
     }
 

@@ -53,6 +53,9 @@ pub struct Fleet {
     servers: Vec<Server>,
     reserved: u64,
     capacity: u64,
+    /// Cumulative placements served from warm containers — the warm/cold
+    /// split the keep-alive layer reports against.
+    warm_placements: u64,
     /// Lazy least-loaded candidates; `Reverse` turns `BinaryHeap`'s max-heap
     /// into the min-heap the (used, index) order needs.
     candidates: BinaryHeap<Reverse<(u32, u32)>>,
@@ -86,6 +89,7 @@ impl Fleet {
             ],
             reserved: 0,
             capacity: u64::from(servers) * u64::from(slots_per_server),
+            warm_placements: 0,
             // All servers start empty; seed one candidate each.
             candidates: (0..servers).map(|i| Reverse((0, i))).collect(),
         }
@@ -104,6 +108,23 @@ impl Fleet {
     /// Free slots.
     pub fn free(&self) -> u64 {
         self.capacity - self.reserved
+    }
+
+    /// Placements served warm so far (see [`Fleet::place_with`]).
+    pub fn warm_placements(&self) -> u64 {
+        self.warm_placements
+    }
+
+    /// [`Fleet::place`] annotated with the instance's provisioning path:
+    /// warm placements reuse a kept-alive container and are tallied
+    /// separately, but occupy a slot exactly like cold ones (a warm microVM
+    /// is still a reserved microVM).
+    pub fn place_with(&mut self, warm: bool) -> Option<Placement> {
+        let placement = self.place();
+        if warm && placement.is_some() {
+            self.warm_placements += 1;
+        }
+        placement
     }
 
     /// Reserve a slot on the least-loaded server (ties → lowest index, so
@@ -210,6 +231,16 @@ mod tests {
         f.release(p1.server);
         let p3 = f.place().unwrap();
         assert_eq!(p3.server, p1.server, "freed server is now least loaded");
+    }
+
+    #[test]
+    fn warm_placements_are_tallied_but_occupy_slots() {
+        let mut f = Fleet::new(2, 2);
+        assert!(f.place_with(true).is_some());
+        assert!(f.place_with(false).is_some());
+        assert!(f.place_with(true).is_some());
+        assert_eq!(f.warm_placements(), 2);
+        assert_eq!(f.reserved(), 3, "warm placements still reserve slots");
     }
 
     #[test]

@@ -24,7 +24,7 @@
 
 use crate::profile::InstanceProfile;
 use crate::work::WorkProfile;
-use propack_simcore::rng::{jitter, lanes};
+use propack_simcore::rng::jitter;
 use rand::Rng;
 
 /// Deterministic (noise-free) execution time of one instance running
@@ -155,7 +155,7 @@ mod tests {
         let inst = aws_inst();
         let w = work(0.25, 0.2);
         let streams = propack_simcore::RngStreams::new(11);
-        let mut rng = streams.stream(lanes::EXEC);
+        let mut rng = streams.stream(propack_simcore::rng::lanes::EXEC);
         let base = packed_exec_secs(&inst, &w, 5);
         for _ in 0..1000 {
             let t = sampled_exec_secs(&inst, &w, 5, &mut rng);

@@ -141,6 +141,9 @@ struct BurstState {
     peak_occupancy: u32,
     work: Arc<crate::WorkProfile>,
     packing_degree: u32,
+    /// Per-instance warm-start latencies granted by a `WarmPool`; instances
+    /// beyond the list (but under `warm_fraction`) use the legacy constant.
+    warm_starts: Vec<f64>,
     /// Cohort-shared interference term: `packed_exec_secs` is a pure
     /// function of (instance shape, workload, degree), all constant within
     /// a burst, so it is computed once here instead of once per attempt.
@@ -302,6 +305,7 @@ impl CloudPlatform {
             peak_occupancy: 0,
             work: Arc::clone(&spec.workload),
             packing_degree: spec.packing_degree,
+            warm_starts: spec.warm_starts.clone(),
             base_exec_secs: packed_exec_secs(
                 &self.profile.instance,
                 &spec.workload,
@@ -323,8 +327,14 @@ impl CloudPlatform {
 
         let mut sim = Sim::new(state);
         // All invocations arrive at t = 0, enqueued as one batch (instance
-        // order is preserved — consecutive sequence numbers).
-        let warm_count = (spec.warm_fraction * n as f64).floor() as u32;
+        // order is preserved — consecutive sequence numbers). Warm-pool
+        // grants pin the warm count exactly; fraction-driven specs keep the
+        // legacy floor arithmetic.
+        let warm_count = if spec.warm_starts.is_empty() {
+            (spec.warm_fraction * n as f64).floor() as u32
+        } else {
+            (spec.warm_starts.len() as u32).min(n)
+        };
         sim.schedule_batch(
             SimTime::ZERO,
             (0..n).map(|i| BurstEvent::Invoke {
@@ -418,7 +428,7 @@ fn place_instance(sim: &mut Sim<BurstState>, i: u32, warm: bool) {
     let now = sim.now();
     let at = now.as_secs();
     let s = sim.state_mut();
-    let placement = match s.fleet.place() {
+    let placement = match s.fleet.place_with(warm) {
         Some(p) => p,
         None => {
             s.place_failures += 1;
@@ -432,11 +442,18 @@ fn place_instance(sim: &mut Sim<BurstState>, i: u32, warm: bool) {
     s.tracer.record(now, i as u64, "scheduled");
     if warm {
         // Warm container: already built, shipped, and provisioned —
-        // warm starts cannot suffer provision faults.
+        // warm starts cannot suffer provision faults. The start latency is
+        // the pool's per-instance grant when one exists, otherwise the
+        // legacy constant (Pywren-style `warm_fraction` bursts).
         let s = sim.state_mut();
         s.records[i as usize].built_at = at;
         s.records[i as usize].shipped_at = at;
-        start_execution(sim, i, 0.05, 1);
+        let latency = s
+            .warm_starts
+            .get(i as usize)
+            .copied()
+            .unwrap_or(crate::warmpool::WARM_START_SECS);
+        start_execution(sim, i, latency, 1);
     } else {
         build_container(sim, i);
     }

@@ -1,0 +1,448 @@
+//! The unified burst entrypoint: build once, submit anywhere.
+//!
+//! Before this module, running a burst meant picking among four entrypoints
+//! spread over three crates — `run_burst` (plain), strategy `run_faulted`
+//! (faults, no resubmission), the orchestrator's `run_burst_with_retry`
+//! (faults + resubmission rounds), and `Propack::execute_faulted` (planned
+//! degree + faults) — each threading a different subset of `FaultSpec`,
+//! `RetryPolicy` and warm state. [`BurstRequest`] collapses them: one
+//! builder carries the workload, concurrency, packing degree, seed, fault
+//! processes, retry policy, and (optionally) a [`WarmPool`] handle; one
+//! submit path owns the resubmission loop and the pool lifecycle.
+//!
+//! ## Resubmission rounds
+//!
+//! Failed functions are resubmitted as smaller follow-up bursts, up to
+//! [`RetryPolicy::max_rounds`](propack_simcore::RetryPolicy) submissions.
+//! Rounds serialize — a follow-up is only submitted once the previous round
+//! completed — so the end-to-end service time is the sum of round makespans.
+//! Round `k` draws its seed as a pure function of the original seed and `k`
+//! (round 0 uses the original seed verbatim), which keeps a fault-free
+//! pooled-but-cold run bit-identical to a plain [`ServerlessPlatform::run_burst`].
+//!
+//! ## Warm-pool lifecycle
+//!
+//! When submitted with [`BurstRequest::run_pooled`], the original round
+//! acquires warm containers from the pool (follow-up rounds re-drive
+//! *failed* work, whose containers are gone — they always start cold), and
+//! every instance that completes without abandoning its functions is checked
+//! back in at its absolute finish time. Crashed-out instances are **not**
+//! returned: a crash destroys the container, which is exactly the
+//! fault/keep-alive interaction the tests pin down.
+//!
+//! Billing splits along the warm/cold boundary here, not inside the
+//! platform: compute seconds are billed identically either way (provisioning
+//! was never billed, §2.3), but a same-function warm start skips re-staging
+//! the function's dependencies through common storage, so the request earns
+//! a storage credit per warm instance (see
+//! [`billing::warm_reuse_credit`]). Re-specialized Pagurus donors still
+//! stage the new function's dependencies and earn no credit — their saving
+//! is latency, not storage.
+
+use crate::billing;
+use crate::burst::BurstSpec;
+use crate::error::PlatformError;
+use crate::platform::ServerlessPlatform;
+use crate::report::{FaultSummary, RunReport};
+use crate::warmpool::WarmPool;
+use crate::work::WorkProfile;
+use propack_simcore::{FaultSpec, RetryPolicy};
+use std::sync::Arc;
+
+/// Seed for resubmission round `round` (round 0 reproduces the request seed
+/// exactly, keeping fault-free runs bit-identical to a plain burst).
+pub(crate) fn round_seed(seed: u64, round: u32) -> u64 {
+    seed ^ u64::from(round).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// One burst submission: `concurrency` functions of a workload packed at
+/// `packing_degree`, with faults, retries and warm state all in one place.
+///
+/// ```
+/// use propack_platform::prelude::*;
+///
+/// let platform = PlatformBuilder::aws().build();
+/// let work = WorkProfile::synthetic("noop", 0.25, 10.0);
+/// let run = BurstRequest::new(work, 100, 4).with_seed(7).run(&platform).unwrap();
+/// assert_eq!(run.rounds.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BurstRequest {
+    workload: Arc<WorkProfile>,
+    concurrency: u32,
+    packing_degree: u32,
+    seed: u64,
+    faults: FaultSpec,
+    retry: RetryPolicy,
+}
+
+impl BurstRequest {
+    /// A fault-free request for `concurrency` functions packed at `degree`.
+    /// Accepts an owned [`WorkProfile`] or a shared `Arc` (pass the `Arc`
+    /// when issuing many requests of the same workload).
+    pub fn new(workload: impl Into<Arc<WorkProfile>>, concurrency: u32, degree: u32) -> Self {
+        BurstRequest {
+            workload: workload.into(),
+            concurrency,
+            packing_degree: degree.max(1),
+            seed: 0,
+            faults: FaultSpec::none(),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Builder-style seed setter.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style fault-injection setter.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Builder-style retry-policy setter.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The workload this request will run.
+    pub fn workload(&self) -> &Arc<WorkProfile> {
+        &self.workload
+    }
+
+    /// Requested concurrency (`C`).
+    pub fn concurrency(&self) -> u32 {
+        self.concurrency
+    }
+
+    /// Requested packing degree (`P`).
+    pub fn packing_degree(&self) -> u32 {
+        self.packing_degree
+    }
+
+    /// Submit without a warm pool: every instance cold-starts. Bit-identical
+    /// to the deprecated `run_burst_with_retry`, and — fault-free — to a
+    /// plain [`ServerlessPlatform::run_burst`].
+    pub fn run<P: ServerlessPlatform + ?Sized>(
+        &self,
+        platform: &P,
+    ) -> Result<BurstRun, PlatformError> {
+        self.submit(platform, None, 0.0)
+    }
+
+    /// Submit against a [`WarmPool`] at simulated time `now`: the original
+    /// round acquires warm containers, surviving instances are checked back
+    /// in at their finish times, and the run carries the warm/cold billing
+    /// split.
+    pub fn run_pooled<P: ServerlessPlatform + ?Sized>(
+        &self,
+        platform: &P,
+        pool: &mut WarmPool,
+        now: f64,
+    ) -> Result<BurstRun, PlatformError> {
+        self.submit(platform, Some(pool), now)
+    }
+
+    fn submit<P: ServerlessPlatform + ?Sized>(
+        &self,
+        platform: &P,
+        mut pool: Option<&mut WarmPool>,
+        now: f64,
+    ) -> Result<BurstRun, PlatformError> {
+        let mut rounds = Vec::new();
+        let mut remaining = self.concurrency;
+        let mut round = 0u32;
+        // Rounds serialize; `offset` is the simulated time already consumed
+        // by earlier rounds, so check-ins land at absolute finish times.
+        let mut offset = 0.0;
+        let mut warm_grants = 0u64;
+        let mut shared_grants = 0u64;
+        let mut warm_credit_usd = 0.0;
+        while remaining > 0 && round < self.retry.max_rounds.max(1) {
+            // A follow-up round smaller than the packing degree packs what
+            // it has — never more functions per instance than remain.
+            let p = self.packing_degree.max(1).min(remaining);
+            let mut spec = BurstSpec::packed(Arc::clone(&self.workload), remaining, p)
+                .with_seed(round_seed(self.seed, round))
+                .with_faults(self.faults)
+                .with_retry(self.retry);
+            if round == 0 {
+                if let Some(pool) = pool.as_deref_mut() {
+                    let before = pool.stats();
+                    let grants = pool.acquire(&self.workload.name, spec.instances, now);
+                    let after = pool.stats();
+                    warm_grants = after.warm_grants - before.warm_grants;
+                    shared_grants = after.shared_grants - before.shared_grants;
+                    if !grants.is_empty() {
+                        spec = spec.with_warm_starts(grants);
+                    }
+                }
+            }
+            let report = platform.run_burst(&spec)?;
+            if round == 0 && warm_grants > 0 {
+                // Only same-function warm starts skip dependency staging;
+                // re-specialized donors restage and earn no credit.
+                warm_credit_usd = billing::warm_reuse_credit(
+                    &report.expense,
+                    warm_grants.min(u64::from(u32::MAX)) as u32,
+                    report.instances.len() as u32,
+                );
+            }
+            if let Some(pool) = pool.as_deref_mut() {
+                for rec in &report.instances {
+                    if !rec.failed {
+                        pool.check_in(&self.workload.name, 1, now + offset + rec.finished_at);
+                    }
+                }
+            }
+            offset += report.total_service_time();
+            // The platform counts failures in whole-instance units of `p`,
+            // so a remainder instance can report more failed functions than
+            // were submitted; cap the resubmission at what remains.
+            let failed = report.faults.failed_functions.min(u64::from(remaining));
+            rounds.push(report);
+            remaining = failed as u32;
+            round += 1;
+        }
+        Ok(BurstRun {
+            rounds,
+            abandoned_functions: u64::from(remaining),
+            warm_grants,
+            shared_grants,
+            warm_credit_usd,
+        })
+    }
+}
+
+/// Outcome of a [`BurstRequest`] submission: per-round reports plus the
+/// warm/cold split the pool produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstRun {
+    /// Per-round platform reports; `rounds[0]` is the original submission.
+    pub rounds: Vec<RunReport>,
+    /// Functions still failed after the final round — nonzero means the
+    /// request completed *partially*.
+    pub abandoned_functions: u64,
+    /// Same-function warm starts granted to the original round.
+    pub warm_grants: u64,
+    /// Pagurus re-specializations granted to the original round.
+    pub shared_grants: u64,
+    /// Storage credit earned by warm reuse (see
+    /// [`billing::warm_reuse_credit`]); already subtracted by
+    /// [`BurstRun::expense_usd`].
+    pub warm_credit_usd: f64,
+}
+
+impl BurstRun {
+    /// End-to-end service time: rounds serialize, so makespans add.
+    pub fn total_service_secs(&self) -> f64 {
+        self.rounds.iter().map(|r| r.total_service_time()).sum()
+    }
+
+    /// Total bill across all rounds (failed attempts are still billed),
+    /// minus the warm-reuse storage credit.
+    pub fn expense_usd(&self) -> f64 {
+        self.rounds
+            .iter()
+            .map(|r| r.expense.total_usd())
+            .sum::<f64>()
+            - self.warm_credit_usd
+    }
+
+    /// Billed compute across all rounds, function-hours.
+    pub fn function_hours(&self) -> f64 {
+        self.rounds.iter().map(|r| r.function_hours()).sum()
+    }
+
+    /// Instances spawned across all rounds.
+    pub fn instances(&self) -> u32 {
+        self.rounds.iter().map(|r| r.instances_requested).sum()
+    }
+
+    /// Fault counters merged across all rounds.
+    pub fn faults(&self) -> FaultSummary {
+        let mut total = FaultSummary::default();
+        for r in &self.rounds {
+            total.merge(&r.faults);
+        }
+        total
+    }
+
+    /// Follow-up submissions beyond the original burst.
+    pub fn resubmission_rounds(&self) -> u32 {
+        self.rounds.len() as u32 - 1
+    }
+
+    /// Instances served warm (same-function or re-specialized).
+    pub fn warm_instances(&self) -> u64 {
+        self.warm_grants + self.shared_grants
+    }
+
+    /// True when functions remain failed after every round.
+    pub fn is_partial(&self) -> bool {
+        self.abandoned_functions > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlatformBuilder;
+    use crate::platform::CloudPlatform;
+    use crate::warmpool::{KeepAlivePolicy, WarmPoolConfig, WARM_START_SECS};
+
+    fn aws() -> CloudPlatform {
+        PlatformBuilder::aws().build()
+    }
+
+    fn work() -> WorkProfile {
+        WorkProfile::synthetic("w", 0.25, 60.0)
+            .with_contention(0.2)
+            .with_storage(0.01, 4)
+    }
+
+    fn fixed_pool(ttl: f64) -> WarmPool {
+        WarmPool::new(
+            WarmPoolConfig::cold().with_policy(KeepAlivePolicy::FixedKeepAlive { idle_ttl: ttl }),
+        )
+    }
+
+    #[test]
+    fn fault_free_request_matches_plain_burst() {
+        let platform = aws();
+        let run = BurstRequest::new(work(), 400, 4)
+            .with_seed(11)
+            .run(&platform)
+            .unwrap();
+        assert_eq!(run.rounds.len(), 1);
+        assert!(!run.is_partial());
+        assert_eq!(run.warm_instances(), 0);
+        let plain = platform
+            .run_burst(&BurstSpec::packed(work(), 400, 4).with_seed(11))
+            .unwrap();
+        assert_eq!(run.rounds[0], plain);
+        assert!((run.expense_usd() - plain.expense.total_usd()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cold_pool_is_bit_identical_to_no_pool() {
+        let platform = aws();
+        let req = BurstRequest::new(work(), 300, 4).with_seed(9);
+        let bare = req.run(&platform).unwrap();
+        let mut pool = WarmPool::new(WarmPoolConfig::cold());
+        let pooled = req.run_pooled(&platform, &mut pool, 0.0).unwrap();
+        assert_eq!(bare, pooled);
+        assert_eq!(
+            bare.rounds[0].canonical_text(),
+            pooled.rounds[0].canonical_text()
+        );
+    }
+
+    #[test]
+    fn warm_pool_grants_cut_latency_and_earn_credit() {
+        let platform = aws();
+        let req = BurstRequest::new(work(), 200, 4).with_seed(5);
+        let cold = req.run(&platform).unwrap();
+
+        let mut pool = fixed_pool(600.0);
+        pool.check_in("w", 50, 0.0);
+        let warm = req.run_pooled(&platform, &mut pool, 10.0).unwrap();
+        assert_eq!(warm.warm_grants, 50);
+        assert_eq!(warm.shared_grants, 0);
+        assert!(warm.warm_credit_usd > 0.0, "warm reuse must earn credit");
+        assert!(warm.expense_usd() < cold.expense_usd());
+        assert!(
+            warm.total_service_secs() <= cold.total_service_secs(),
+            "warm starts cannot slow the burst"
+        );
+        let warm_count = warm.rounds[0].instances.iter().filter(|r| r.warm).count();
+        assert_eq!(warm_count, 50);
+        for rec in warm.rounds[0].instances.iter().take(50) {
+            // Warm instances skip build/ship: only scheduling + the granted
+            // warm latency separate placement from execution start.
+            assert!((rec.started_at - rec.scheduled_at - WARM_START_SECS).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn survivors_are_checked_back_in() {
+        let platform = aws();
+        let mut pool = fixed_pool(1e9);
+        let req = BurstRequest::new(work(), 100, 4).with_seed(3);
+        let run = req.run_pooled(&platform, &mut pool, 0.0).unwrap();
+        assert_eq!(pool.len(), run.rounds[0].instances.len());
+        // The next burst of the same function starts fully warm.
+        let again = req.run_pooled(&platform, &mut pool, 5_000.0).unwrap();
+        assert_eq!(again.warm_grants, again.rounds[0].instances.len() as u64);
+    }
+
+    #[test]
+    fn crashed_instances_are_evicted_from_the_pool() {
+        // Certain crash + no retries: every instance fails, so nothing may
+        // be returned to the pool — a crash destroys the container.
+        let platform = aws();
+        let mut pool = fixed_pool(1e9);
+        let run = BurstRequest::new(work(), 60, 4)
+            .with_seed(3)
+            .with_faults(FaultSpec::none().with_crash_rate(1.0))
+            .with_retry(RetryPolicy::no_retries())
+            .run_pooled(&platform, &mut pool, 0.0)
+            .unwrap();
+        assert!(run.is_partial());
+        assert_eq!(run.abandoned_functions, 60);
+        assert!(
+            pool.is_empty(),
+            "crashed instances must not re-enter the pool"
+        );
+    }
+
+    #[test]
+    fn follow_up_rounds_start_cold() {
+        let platform = aws();
+        let retry = RetryPolicy {
+            max_rounds: 3,
+            ..RetryPolicy::no_retries()
+        };
+        let mut pool = fixed_pool(1e9);
+        pool.check_in("w", 500, 0.0);
+        let run = BurstRequest::new(work(), 600, 4)
+            .with_seed(7)
+            .with_faults(FaultSpec::none().with_crash_rate(0.3))
+            .with_retry(retry)
+            .run_pooled(&platform, &mut pool, 1.0)
+            .unwrap();
+        assert!(run.rounds.len() > 1, "failures must trigger a follow-up");
+        for later in &run.rounds[1..] {
+            assert!(
+                later.instances.iter().all(|r| !r.warm),
+                "follow-up rounds re-drive failed work cold"
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_requests_replay_bit_identically() {
+        let platform = aws();
+        let build = || {
+            let mut pool = fixed_pool(300.0);
+            pool.check_in("w", 40, 0.0);
+            BurstRequest::new(work(), 200, 4)
+                .with_seed(7)
+                .with_faults(FaultSpec::none().with_crash_rate(0.1))
+                .with_retry(RetryPolicy {
+                    max_rounds: 2,
+                    ..RetryPolicy::no_retries()
+                })
+                .run_pooled(&platform, &mut pool, 10.0)
+                .map(|run| (run, pool.stats()))
+                .unwrap()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,751 @@
+//! Platform-level warm pool: instance keep-alive lifecycle policies.
+//!
+//! Commercial platforms do not tear a microVM down the instant its function
+//! returns — they keep it *warm* for a while so the next invocation of the
+//! same function skips scheduling's build/ship/provision stages and starts
+//! in tens of milliseconds. The paper's platform model (§2) cold-starts
+//! everything, which makes packing the only cost/latency lever; this module
+//! adds the second lever as a first-class API the planner can see.
+//!
+//! A [`WarmPool`] is a bounded set of idle containers, each remembering
+//! which function it is specialized for and since when it has been idle.
+//! A [`KeepAlivePolicy`] decides how long idle containers stay usable:
+//!
+//! * [`KeepAlivePolicy::ColdAlways`] — the pre-warm-pool behaviour: the pool
+//!   never grants anything, every start is cold. Runs under this policy are
+//!   bit-identical to runs with no pool at all.
+//! * [`KeepAlivePolicy::FixedKeepAlive`] — the industry default (Azure/
+//!   OpenWhisk style): containers idle longer than `idle_ttl` expire.
+//! * [`KeepAlivePolicy::HybridHistogram`] — the Serverless-in-the-Wild
+//!   policy: a per-function histogram of observed idle times picks the
+//!   keep-alive window as the `keep_percentile` quantile of the
+//!   distribution, clamped to `max_ttl`; functions without enough history
+//!   fall back to the full window.
+//! * [`KeepAlivePolicy::PagurusShare`] — Pagurus-style inter-function
+//!   sharing: a container whose own-function TTL has lapsed is not
+//!   discarded but becomes a *standby* donor for one more TTL window, and
+//!   can be re-specialized for another function at a reduced (not zero)
+//!   warm cost.
+//!
+//! ## Determinism
+//!
+//! The pool lives entirely in simulated time — callers pass `now` in
+//! simulation seconds, never wall-clock. Entries are held oldest-first in a
+//! `Vec` ordered by `(idle_since, insertion sequence)`; eviction pops the
+//! front and acquisition scans front-to-back, so every decision is a pure
+//! function of the operation history. The single stochastic choice —
+//! which standby donor Pagurus re-specializes — draws from the dedicated
+//! [`lanes::KEEPALIVE_PAGURUS`] RNG lane indexed by a draw counter, so the
+//! donor sequence is a pure function of `(seed, draw index)` and cannot
+//! perturb any other lane.
+
+use propack_simcore::rng::lanes;
+use propack_simcore::RngStreams;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Default pool capacity, in containers. This is the single source of truth
+/// for Pywren-style reuse pools (`propack_baselines::Pywren` sizes its pool
+/// from here): one warm slot per server of the default cloud fleet.
+pub const DEFAULT_POOL_CAPACITY: u32 = 2_000;
+
+/// Latency of a warm start in seconds: the container is built, shipped and
+/// provisioned already, so only runtime dispatch remains. This is the same
+/// constant the burst pipeline has always used for `warm_fraction`
+/// instances, hoisted here so the pool and the pipeline cannot drift.
+pub const WARM_START_SECS: f64 = 0.05;
+
+/// Multiplier over [`WARM_START_SECS`] for a Pagurus re-specialization:
+/// swapping another function's code into a live container costs more than a
+/// same-function warm start but far less than a cold build/ship/provision.
+pub const RESPECIALIZE_FACTOR: f64 = 6.0;
+
+/// How long an idle container stays warm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeepAlivePolicy {
+    /// Never keep anything warm — bit-identical to the pre-pool platform.
+    ColdAlways,
+    /// Expire containers idle longer than `idle_ttl` seconds.
+    FixedKeepAlive {
+        /// Idle time-to-live in seconds.
+        idle_ttl: f64,
+    },
+    /// Serverless-in-the-Wild hybrid policy: per-function idle-time
+    /// histograms choose the keep-alive window.
+    HybridHistogram {
+        /// Histogram bin width in seconds.
+        bin_secs: f64,
+        /// Fraction of observed idle times the window must cover.
+        keep_percentile: f64,
+        /// Upper bound on the window (and the cold-history fallback).
+        max_ttl: f64,
+    },
+    /// Pagurus-style sharing: expired containers linger one more TTL as
+    /// standby donors that other functions can re-specialize cheaply.
+    PagurusShare {
+        /// Own-function idle time-to-live in seconds.
+        idle_ttl: f64,
+    },
+}
+
+impl KeepAlivePolicy {
+    /// Human-readable label, mirroring the sweep scenario grammar.
+    pub fn label(&self) -> String {
+        match self {
+            KeepAlivePolicy::ColdAlways => "cold".to_string(),
+            KeepAlivePolicy::FixedKeepAlive { idle_ttl } => format!("fixed:{idle_ttl}"),
+            KeepAlivePolicy::HybridHistogram { .. } => "histogram".to_string(),
+            KeepAlivePolicy::PagurusShare { .. } => "pagurus".to_string(),
+        }
+    }
+}
+
+/// Pool configuration: capacity, start latencies, policy and RNG seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmPoolConfig {
+    /// Maximum containers the pool holds; check-ins beyond it evict the
+    /// oldest entry.
+    pub capacity: u32,
+    /// Latency granted for a same-function warm start.
+    pub warm_start_secs: f64,
+    /// Latency granted for a Pagurus re-specialization.
+    pub respecialize_secs: f64,
+    /// The keep-alive policy.
+    pub policy: KeepAlivePolicy,
+    /// Seed for the pool's RNG lanes (donor selection).
+    pub seed: u64,
+}
+
+impl WarmPoolConfig {
+    /// The no-op pool: [`KeepAlivePolicy::ColdAlways`] at default capacity.
+    pub fn cold() -> Self {
+        WarmPoolConfig {
+            capacity: DEFAULT_POOL_CAPACITY,
+            warm_start_secs: WARM_START_SECS,
+            respecialize_secs: WARM_START_SECS * RESPECIALIZE_FACTOR,
+            policy: KeepAlivePolicy::ColdAlways,
+            seed: 0,
+        }
+    }
+
+    /// Replace the policy.
+    pub fn with_policy(mut self, policy: KeepAlivePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replace the capacity.
+    pub fn with_capacity(mut self, capacity: u32) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Replace the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for WarmPoolConfig {
+    fn default() -> Self {
+        WarmPoolConfig::cold()
+    }
+}
+
+/// Lifecycle state of a pooled container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryState {
+    /// Within its own-function keep-alive window.
+    Live,
+    /// Pagurus only: own-function TTL lapsed; available as a donor for one
+    /// more TTL window.
+    Standby,
+}
+
+#[derive(Debug, Clone)]
+struct WarmEntry {
+    function: String,
+    idle_since: f64,
+    /// Insertion sequence — the deterministic tiebreak for equal
+    /// `idle_since` (all containers of one burst check in at one instant).
+    sequence: u64,
+    state: EntryState,
+}
+
+/// Counters describing what the pool did over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmPoolStats {
+    /// Same-function warm starts granted.
+    pub warm_grants: u64,
+    /// Pagurus re-specializations granted.
+    pub shared_grants: u64,
+    /// Acquisitions that found nothing warm (cold starts).
+    pub cold_misses: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+    /// Entries dropped by TTL/window expiry.
+    pub expirations: u64,
+}
+
+/// What the planner sees when it asks about pool state ahead of a burst.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolSnapshot {
+    /// Same-function containers currently warm.
+    pub warm_available: u32,
+    /// Other-function standby containers a Pagurus policy could donate.
+    pub shared_available: u32,
+    /// Latency of a same-function warm start.
+    pub warm_start_secs: f64,
+    /// Latency of a re-specialized start.
+    pub respecialize_secs: f64,
+}
+
+impl PoolSnapshot {
+    /// A snapshot with nothing warm (cold planning).
+    pub fn cold() -> Self {
+        PoolSnapshot {
+            warm_available: 0,
+            shared_available: 0,
+            warm_start_secs: WARM_START_SECS,
+            respecialize_secs: WARM_START_SECS * RESPECIALIZE_FACTOR,
+        }
+    }
+
+    /// Containers available to the named function from any source.
+    pub fn total_available(&self) -> u32 {
+        self.warm_available + self.shared_available
+    }
+}
+
+/// Per-function histogram of observed idle times (Serverless in the Wild,
+/// §4.2): each reuse records how long the container had been idle; the
+/// keep-alive window is the smallest bin boundary covering
+/// `keep_percentile` of the observations.
+#[derive(Debug, Clone, Default)]
+struct IdleHistogram {
+    /// Bin counts; bin `k` covers `[k·bin_secs, (k+1)·bin_secs)`.
+    bins: Vec<u64>,
+    observations: u64,
+}
+
+/// Observations below which the histogram policy falls back to `max_ttl`
+/// (not enough history to trust a narrow window).
+const HISTOGRAM_MIN_OBSERVATIONS: u64 = 4;
+
+impl IdleHistogram {
+    fn observe(&mut self, idle_secs: f64, bin_secs: f64) {
+        if !(idle_secs.is_finite() && bin_secs > 0.0) {
+            return;
+        }
+        let bin = (idle_secs / bin_secs).floor().min(4_096.0).max(0.0) as usize;
+        if self.bins.len() <= bin {
+            self.bins.resize(bin + 1, 0);
+        }
+        self.bins[bin] += 1;
+        self.observations += 1;
+    }
+
+    /// The keep-alive window: upper edge of the smallest bin prefix covering
+    /// `keep_percentile` of observations, clamped to `max_ttl`.
+    fn window(&self, bin_secs: f64, keep_percentile: f64, max_ttl: f64) -> f64 {
+        if self.observations < HISTOGRAM_MIN_OBSERVATIONS {
+            return max_ttl;
+        }
+        let need = (self.observations as f64 * keep_percentile).ceil() as u64;
+        let mut seen = 0u64;
+        for (k, count) in self.bins.iter().enumerate() {
+            seen += count;
+            if seen >= need {
+                return ((k as f64 + 1.0) * bin_secs).min(max_ttl);
+            }
+        }
+        max_ttl
+    }
+}
+
+/// A bounded pool of idle warm containers governed by a [`KeepAlivePolicy`].
+///
+/// All methods take `now` in simulation seconds. The pool is deliberately
+/// not `Sync` — it models a platform-level singleton mutated between bursts
+/// (sweep cells own one pool each; replay drivers persist one across
+/// epochs).
+#[derive(Debug, Clone)]
+pub struct WarmPool {
+    config: WarmPoolConfig,
+    /// Oldest-first by `(idle_since, sequence)` — maintained on insertion,
+    /// so eviction order is reproducible by construction.
+    entries: Vec<WarmEntry>,
+    histograms: BTreeMap<String, IdleHistogram>,
+    streams: RngStreams,
+    next_sequence: u64,
+    donor_draws: u64,
+    stats: WarmPoolStats,
+}
+
+impl WarmPool {
+    /// An empty pool under `config`.
+    pub fn new(config: WarmPoolConfig) -> Self {
+        let streams = RngStreams::new(config.seed);
+        WarmPool {
+            config,
+            entries: Vec::new(),
+            histograms: BTreeMap::new(),
+            streams,
+            next_sequence: 0,
+            donor_draws: 0,
+            stats: WarmPoolStats::default(),
+        }
+    }
+
+    /// A Pywren-style pre-warmed pool: `size` containers of `function`
+    /// checked in at t = 0 under an effectively infinite keep-alive, so the
+    /// first burst sees exactly `min(size, burst)` warm starts.
+    pub fn pywren_prewarmed(function: &str, size: u32) -> Self {
+        let mut pool = WarmPool::new(WarmPoolConfig::cold().with_capacity(size).with_policy(
+            KeepAlivePolicy::FixedKeepAlive {
+                idle_ttl: f64::INFINITY,
+            },
+        ));
+        pool.check_in(function, size, 0.0);
+        pool
+    }
+
+    /// The configuration the pool was built with.
+    pub fn config(&self) -> &WarmPoolConfig {
+        &self.config
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> WarmPoolStats {
+        self.stats
+    }
+
+    /// Containers currently pooled (live and standby).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is pooled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The keep-alive window for `function` at the current history.
+    pub fn keep_alive_window(&self, function: &str) -> f64 {
+        match self.config.policy {
+            KeepAlivePolicy::ColdAlways => 0.0,
+            KeepAlivePolicy::FixedKeepAlive { idle_ttl } => idle_ttl,
+            KeepAlivePolicy::PagurusShare { idle_ttl } => idle_ttl,
+            KeepAlivePolicy::HybridHistogram {
+                bin_secs,
+                keep_percentile,
+                max_ttl,
+            } => self
+                .histograms
+                .get(function)
+                .map(|h| h.window(bin_secs, keep_percentile, max_ttl))
+                .unwrap_or(max_ttl),
+        }
+    }
+
+    /// Drop (or demote, under Pagurus) entries whose window lapsed by `now`.
+    pub fn expire(&mut self, now: f64) {
+        match self.config.policy {
+            KeepAlivePolicy::ColdAlways => {
+                self.stats.expirations += self.entries.len() as u64;
+                self.entries.clear();
+            }
+            KeepAlivePolicy::FixedKeepAlive { idle_ttl } => {
+                let expired = self
+                    .entries
+                    .iter()
+                    .filter(|e| now - e.idle_since > idle_ttl)
+                    .count();
+                self.stats.expirations += expired as u64;
+                self.entries.retain(|e| now - e.idle_since <= idle_ttl);
+            }
+            KeepAlivePolicy::HybridHistogram { .. } => {
+                // Window depends on the entry's function; compute per entry.
+                let windows: Vec<f64> = self
+                    .entries
+                    .iter()
+                    .map(|e| self.keep_alive_window(&e.function))
+                    .collect();
+                let mut kept = Vec::with_capacity(self.entries.len());
+                for (entry, window) in self.entries.drain(..).zip(windows) {
+                    if now - entry.idle_since <= window {
+                        kept.push(entry);
+                    } else {
+                        self.stats.expirations += 1;
+                    }
+                }
+                self.entries = kept;
+            }
+            KeepAlivePolicy::PagurusShare { idle_ttl } => {
+                // Lapsed live entries become standby donors for one more
+                // window; lapsed standby entries are reclaimed for real.
+                let mut kept = Vec::with_capacity(self.entries.len());
+                for mut entry in self.entries.drain(..) {
+                    let idle = now - entry.idle_since;
+                    match entry.state {
+                        EntryState::Live if idle > idle_ttl => {
+                            entry.state = EntryState::Standby;
+                            if idle <= 2.0 * idle_ttl {
+                                kept.push(entry);
+                            } else {
+                                self.stats.expirations += 1;
+                            }
+                        }
+                        EntryState::Standby if idle > 2.0 * idle_ttl => {
+                            self.stats.expirations += 1;
+                        }
+                        _ => kept.push(entry),
+                    }
+                }
+                self.entries = kept;
+            }
+        }
+    }
+
+    /// Take up to `want` warm containers for `function` at time `now`.
+    ///
+    /// Returns the granted start latencies, same-function warm starts first
+    /// (each [`WarmPoolConfig::warm_start_secs`]), then — under Pagurus —
+    /// re-specialized donors (each [`WarmPoolConfig::respecialize_secs`]).
+    /// The shortfall versus `want` is the number of cold starts the caller
+    /// must perform.
+    pub fn acquire(&mut self, function: &str, want: u32, now: f64) -> Vec<f64> {
+        self.expire(now);
+        if want == 0 || matches!(self.config.policy, KeepAlivePolicy::ColdAlways) {
+            self.stats.cold_misses += u64::from(want);
+            return Vec::new();
+        }
+        let mut grants = Vec::new();
+
+        // Same-function live entries, oldest first (front-to-back): the
+        // container closest to expiry is reused first, which maximises the
+        // chance every pooled container is reused before its window lapses.
+        let mut idx = 0;
+        while idx < self.entries.len() && (grants.len() as u32) < want {
+            let matches = self.entries[idx].state == EntryState::Live
+                && self.entries[idx].function == function;
+            if matches {
+                let entry = self.entries.remove(idx);
+                self.record_idle(function, now - entry.idle_since);
+                grants.push(self.config.warm_start_secs);
+            } else {
+                idx += 1;
+            }
+        }
+
+        // Pagurus: fill the shortfall from standby donors of any function,
+        // donor picked by the dedicated RNG lane.
+        if matches!(self.config.policy, KeepAlivePolicy::PagurusShare { .. }) {
+            while (grants.len() as u32) < want {
+                let donors: Vec<usize> = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.state == EntryState::Standby)
+                    .map(|(k, _)| k)
+                    .collect();
+                if donors.is_empty() {
+                    break;
+                }
+                let mut rng = self
+                    .streams
+                    .stream_indexed(lanes::KEEPALIVE_PAGURUS, self.donor_draws);
+                self.donor_draws += 1;
+                let pick = donors[(rng.random::<u64>() % donors.len() as u64) as usize];
+                self.entries.remove(pick);
+                self.stats.shared_grants += 1;
+                grants.push(self.config.respecialize_secs);
+            }
+        }
+
+        let warm = grants
+            .iter()
+            .filter(|g| **g <= self.config.warm_start_secs)
+            .count() as u64;
+        self.stats.warm_grants += warm;
+        self.stats.cold_misses += u64::from(want) - grants.len() as u64;
+        grants
+    }
+
+    /// Return `count` containers of `function` to the pool at time `now`.
+    ///
+    /// The capacity bound evicts the oldest entries (front of the ordered
+    /// vector) — deterministic because the order is maintained on insertion.
+    pub fn check_in(&mut self, function: &str, count: u32, now: f64) {
+        if matches!(self.config.policy, KeepAlivePolicy::ColdAlways) {
+            return;
+        }
+        for _ in 0..count {
+            let entry = WarmEntry {
+                function: function.to_string(),
+                idle_since: now,
+                sequence: self.next_sequence,
+                state: EntryState::Live,
+            };
+            self.next_sequence += 1;
+            // Maintain oldest-first (idle_since, sequence) order. Check-ins
+            // happen in nondecreasing simulated time, so this is a push;
+            // the insertion sort is a guard for out-of-order callers.
+            let pos = self
+                .entries
+                .iter()
+                .rposition(|e| (e.idle_since, e.sequence) <= (entry.idle_since, entry.sequence))
+                .map(|p| p + 1)
+                .unwrap_or(0);
+            self.entries.insert(pos, entry);
+        }
+        while self.entries.len() as u32 > self.config.capacity {
+            self.entries.remove(0);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Non-mutating view of what `function` could acquire at `now` — the
+    /// planner's input. Counts mirror [`WarmPool::acquire`] without
+    /// consuming anything.
+    pub fn snapshot(&self, function: &str, now: f64) -> PoolSnapshot {
+        let mut warm = 0u32;
+        let mut shared = 0u32;
+        let pagurus = matches!(self.config.policy, KeepAlivePolicy::PagurusShare { .. });
+        if !matches!(self.config.policy, KeepAlivePolicy::ColdAlways) {
+            for e in &self.entries {
+                let idle = now - e.idle_since;
+                match e.state {
+                    EntryState::Live => {
+                        let window = self.keep_alive_window(&e.function);
+                        if idle <= window && e.function == function {
+                            warm += 1;
+                        } else if pagurus && idle > window && idle <= 2.0 * window {
+                            // Would demote to standby at acquire time.
+                            shared += 1;
+                        }
+                    }
+                    EntryState::Standby => {
+                        if let KeepAlivePolicy::PagurusShare { idle_ttl } = self.config.policy {
+                            if idle <= 2.0 * idle_ttl {
+                                shared += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        PoolSnapshot {
+            warm_available: warm,
+            shared_available: shared,
+            warm_start_secs: self.config.warm_start_secs,
+            respecialize_secs: self.config.respecialize_secs,
+        }
+    }
+
+    fn record_idle(&mut self, function: &str, idle_secs: f64) {
+        if let KeepAlivePolicy::HybridHistogram { bin_secs, .. } = self.config.policy {
+            self.histograms
+                .entry(function.to_string())
+                .or_default()
+                .observe(idle_secs, bin_secs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed(ttl: f64) -> WarmPool {
+        WarmPool::new(
+            WarmPoolConfig::cold().with_policy(KeepAlivePolicy::FixedKeepAlive { idle_ttl: ttl }),
+        )
+    }
+
+    #[test]
+    fn cold_always_grants_nothing() {
+        let mut pool = WarmPool::new(WarmPoolConfig::cold());
+        pool.check_in("sort", 100, 0.0);
+        assert!(pool.is_empty(), "ColdAlways must not pool anything");
+        assert!(pool.acquire("sort", 10, 1.0).is_empty());
+        assert_eq!(pool.stats().warm_grants, 0);
+        assert_eq!(pool.stats().cold_misses, 10);
+    }
+
+    #[test]
+    fn fixed_ttl_grants_within_window_and_expires_after() {
+        let mut pool = fixed(60.0);
+        pool.check_in("sort", 5, 100.0);
+        // Within the window: warm.
+        let grants = pool.acquire("sort", 3, 150.0);
+        assert_eq!(grants, vec![WARM_START_SECS; 3]);
+        // Past the window: the remaining 2 expire.
+        assert!(pool.acquire("sort", 2, 161.0).is_empty());
+        assert_eq!(pool.stats().expirations, 2);
+        assert_eq!(pool.stats().warm_grants, 3);
+    }
+
+    #[test]
+    fn ttl_expiry_evicts_oldest_first_deterministically() {
+        let mut pool = fixed(60.0);
+        pool.check_in("a", 1, 0.0);
+        pool.check_in("a", 1, 30.0);
+        pool.check_in("a", 1, 50.0);
+        // At t=70 only the t=0 entry has lapsed.
+        pool.expire(70.0);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.stats().expirations, 1);
+        // Oldest-first acquisition: the t=30 entry is granted before t=50.
+        let mut clone = pool.clone();
+        let g = clone.acquire("a", 1, 70.0);
+        assert_eq!(g.len(), 1);
+        assert_eq!(clone.len(), 1);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest() {
+        let mut pool = WarmPool::new(
+            WarmPoolConfig::cold()
+                .with_capacity(3)
+                .with_policy(KeepAlivePolicy::FixedKeepAlive { idle_ttl: 1e9 }),
+        );
+        pool.check_in("a", 2, 0.0);
+        pool.check_in("b", 2, 10.0);
+        assert_eq!(pool.len(), 3, "capacity bound");
+        assert_eq!(pool.stats().evictions, 1);
+        // The survivor set is the newest three: one "a" (t=0) was evicted.
+        let a = pool.acquire("a", 2, 20.0);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn acquire_mixes_functions_correctly() {
+        let mut pool = fixed(60.0);
+        pool.check_in("a", 2, 0.0);
+        pool.check_in("b", 2, 0.0);
+        let a = pool.acquire("a", 4, 10.0);
+        assert_eq!(a.len(), 2, "only a's own containers are warm for a");
+        assert_eq!(pool.len(), 2, "b's containers stay pooled");
+    }
+
+    #[test]
+    fn histogram_window_tracks_observed_idle_times() {
+        let policy = KeepAlivePolicy::HybridHistogram {
+            bin_secs: 10.0,
+            keep_percentile: 0.99,
+            max_ttl: 600.0,
+        };
+        let mut pool = WarmPool::new(WarmPoolConfig::cold().with_policy(policy));
+        // No history yet: fall back to the full window.
+        assert_eq!(pool.keep_alive_window("f"), 600.0);
+        // Observe idle times of ~25 s (bin 2) by checking in and reusing.
+        for k in 0..6u32 {
+            let t = 100.0 * f64::from(k);
+            pool.check_in("f", 1, t);
+            let g = pool.acquire("f", 1, t + 25.0);
+            assert_eq!(g.len(), 1, "reuse at 25 s idle must be warm");
+        }
+        // Six observations in bin [20,30): the 99th-percentile window is
+        // that bin's upper edge.
+        assert_eq!(pool.keep_alive_window("f"), 30.0);
+        // And the window is enforced: a container idle 45 s > 30 s expires.
+        pool.check_in("f", 1, 1000.0);
+        assert!(pool.acquire("f", 1, 1045.0).is_empty());
+    }
+
+    #[test]
+    fn histogram_windows_are_per_function() {
+        let policy = KeepAlivePolicy::HybridHistogram {
+            bin_secs: 10.0,
+            keep_percentile: 0.99,
+            max_ttl: 600.0,
+        };
+        let mut pool = WarmPool::new(WarmPoolConfig::cold().with_policy(policy));
+        for k in 0..6u32 {
+            let t = 1000.0 * f64::from(k);
+            pool.check_in("short", 1, t);
+            assert_eq!(pool.acquire("short", 1, t + 5.0).len(), 1);
+            pool.check_in("long", 1, t);
+            assert_eq!(pool.acquire("long", 1, t + 95.0).len(), 1);
+        }
+        assert_eq!(pool.keep_alive_window("short"), 10.0);
+        assert_eq!(pool.keep_alive_window("long"), 100.0);
+    }
+
+    #[test]
+    fn pagurus_respecializes_at_reduced_not_zero_cost() {
+        let mut pool = WarmPool::new(
+            WarmPoolConfig::cold().with_policy(KeepAlivePolicy::PagurusShare { idle_ttl: 60.0 }),
+        );
+        pool.check_in("donor", 3, 0.0);
+        // t=90: own TTL lapsed → all three are standby donors.
+        let grants = pool.acquire("borrower", 2, 90.0);
+        assert_eq!(grants.len(), 2);
+        for g in &grants {
+            assert!(*g > WARM_START_SECS, "re-specialization is not free");
+            assert!((g - WARM_START_SECS * RESPECIALIZE_FACTOR).abs() < 1e-12);
+        }
+        assert_eq!(pool.stats().shared_grants, 2);
+        // t=200: past 2×TTL — the last donor is reclaimed.
+        assert!(pool.acquire("borrower", 1, 200.0).is_empty());
+    }
+
+    #[test]
+    fn pagurus_prefers_own_function_warm_starts() {
+        let mut pool = WarmPool::new(
+            WarmPoolConfig::cold().with_policy(KeepAlivePolicy::PagurusShare { idle_ttl: 60.0 }),
+        );
+        pool.check_in("other", 1, 0.0);
+        pool.check_in("mine", 1, 50.0);
+        // t=70: "mine" is live (idle 20 < 60), "other" is standby (idle 70).
+        let grants = pool.acquire("mine", 2, 70.0);
+        assert_eq!(grants.len(), 2);
+        assert!((grants[0] - WARM_START_SECS).abs() < 1e-12, "own first");
+        assert!(grants[1] > WARM_START_SECS, "then a donor");
+    }
+
+    #[test]
+    fn pagurus_donor_selection_is_deterministic() {
+        let build = || {
+            let mut p = WarmPool::new(
+                WarmPoolConfig::cold()
+                    .with_policy(KeepAlivePolicy::PagurusShare { idle_ttl: 60.0 })
+                    .with_seed(7),
+            );
+            p.check_in("a", 4, 0.0);
+            p.check_in("b", 4, 1.0);
+            p
+        };
+        let mut x = build();
+        let mut y = build();
+        for _ in 0..4 {
+            assert_eq!(x.acquire("c", 1, 90.0), y.acquire("c", 1, 90.0));
+            assert_eq!(x.len(), y.len());
+        }
+    }
+
+    #[test]
+    fn snapshot_matches_acquire_counts() {
+        let mut pool = fixed(60.0);
+        pool.check_in("f", 7, 0.0);
+        let snap = pool.snapshot("f", 30.0);
+        assert_eq!(snap.warm_available, 7);
+        assert_eq!(snap.shared_available, 0);
+        let grants = pool.acquire("f", 20, 30.0);
+        assert_eq!(grants.len() as u32, snap.warm_available);
+        // After expiry the snapshot goes to zero.
+        pool.check_in("f", 2, 100.0);
+        assert_eq!(pool.snapshot("f", 200.0).warm_available, 0);
+    }
+
+    #[test]
+    fn pywren_prewarmed_pool_matches_legacy_fraction() {
+        let pool = WarmPool::pywren_prewarmed("w", DEFAULT_POOL_CAPACITY);
+        assert_eq!(pool.len() as u32, DEFAULT_POOL_CAPACITY);
+        let snap = pool.snapshot("w", 0.0);
+        assert_eq!(snap.warm_available, DEFAULT_POOL_CAPACITY);
+        assert!((snap.warm_start_secs - 0.05).abs() < 1e-12);
+    }
+}

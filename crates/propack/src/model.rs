@@ -10,8 +10,9 @@
 
 use crate::interference::InterferenceModel;
 use crate::scaling::ScalingModel;
-use propack_platform::billing::PACKED_EGRESS_RESIDUAL;
+use propack_platform::billing::{PACKED_EGRESS_RESIDUAL, WARM_REUSE_STORAGE_DISCOUNT};
 use propack_platform::profile::PriceSheet;
+use propack_platform::warmpool::PoolSnapshot;
 use propack_platform::WorkProfile;
 use propack_stats::percentile::Percentile;
 use serde::{Deserialize, Serialize};
@@ -129,6 +130,68 @@ impl PackingModel {
         compute
             + self.instances(c, p) as f64 * self.cost.usd_per_instance
             + functions * (self.cost.usd_per_function_storage + network)
+    }
+
+    /// How many of the `⌈C/P⌉` instances each provisioning path serves at
+    /// degree `p` given the pool state: `(warm, shared, cold)`. Warm
+    /// same-function containers are consumed first, then Pagurus donors,
+    /// exactly mirroring `WarmPool::acquire`.
+    fn pool_split(&self, c: u32, p: u32, pool: &PoolSnapshot) -> (u32, u32, u32) {
+        let n = self.instances(c, p);
+        let warm = pool.warm_available.min(n);
+        let shared = pool.shared_available.min(n - warm);
+        (warm, shared, n - warm - shared)
+    }
+
+    /// Warm-state-aware Eq. 3: predicted service time when the first
+    /// `warm + shared` instances are served from a keep-alive pool.
+    ///
+    /// This is where the fitted model's *fixed-cost term becomes a function
+    /// of pool state*: only the cold instances pay the scaling delay
+    /// (Eq. 2's polynomial, evaluated at the cold count), while pooled
+    /// instances start after their warm/re-specialization latency. With a
+    /// cold snapshot ([`PoolSnapshot::cold`]) this reduces exactly to
+    /// [`PackingModel::service_secs`].
+    pub fn service_secs_pooled(
+        &self,
+        c: u32,
+        p: u32,
+        metric: Percentile,
+        pool: &PoolSnapshot,
+    ) -> f64 {
+        let (warm, shared, cold) = self.pool_split(c, p, pool);
+        let slowest = p.max(1).min(c.max(1));
+        let warm_tail = if shared > 0 {
+            pool.respecialize_secs
+        } else if warm > 0 {
+            pool.warm_start_secs
+        } else {
+            0.0
+        };
+        let start_tail = if cold > 0 {
+            self.scaling
+                .scaling_secs_quantile(f64::from(cold), metric.quantile())
+                .max(warm_tail)
+        } else {
+            warm_tail
+        };
+        self.exec_secs(slowest) + start_tail
+    }
+
+    /// Warm-state-aware Eq. 4: predicted expense minus the storage credit
+    /// earned by same-function warm starts (the planner-side mirror of
+    /// `propack_platform::billing::warm_reuse_credit`). Re-specialized
+    /// donors restage dependencies and earn nothing. With a cold snapshot
+    /// this reduces exactly to [`PackingModel::expense_usd`].
+    pub fn expense_usd_pooled(&self, c: u32, p: u32, pool: &PoolSnapshot) -> f64 {
+        let (warm, _, _) = self.pool_split(c, p, pool);
+        let n = self.instances(c, p);
+        let base = self.expense_usd(c, p);
+        if warm == 0 || n == 0 {
+            return base;
+        }
+        let storage_usd = c as f64 * self.cost.usd_per_function_storage;
+        base - storage_usd * WARM_REUSE_STORAGE_DISCOUNT * (f64::from(warm) / f64::from(n))
     }
 
     /// Predictions for every feasible degree `1..=p_max`.
@@ -284,6 +347,78 @@ mod tests {
         assert_eq!(sweep.len(), 40);
         assert_eq!(sweep[0].packing_degree, 1);
         assert_eq!(sweep[39].packing_degree, 40);
+    }
+
+    #[test]
+    fn cold_snapshot_reduces_to_unpooled_predictors() {
+        let m = paper_like_model();
+        let cold = PoolSnapshot::cold();
+        for c in [50u32, 1000, 5000] {
+            for p in [1u32, 4, 20, 40] {
+                assert_eq!(
+                    m.service_secs_pooled(c, p, Percentile::Total, &cold),
+                    m.service_secs(c, p, Percentile::Total),
+                    "service c={c} p={p}"
+                );
+                assert_eq!(
+                    m.expense_usd_pooled(c, p, &cold),
+                    m.expense_usd(c, p),
+                    "expense c={c} p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_pool_cuts_predicted_service_and_expense() {
+        let mut m = paper_like_model();
+        // The storage credit needs a workload that actually bills storage.
+        m.cost = CostFactors::derive(
+            &PlatformProfile::aws_lambda().prices,
+            &WorkProfile::synthetic("w", 0.25, 100.0).with_storage(0.01, 4),
+            10.0,
+        );
+        let pool = PoolSnapshot {
+            warm_available: 500,
+            shared_available: 0,
+            ..PoolSnapshot::cold()
+        };
+        let c = 2000;
+        let p = 4;
+        // 500 warm instances absorb the head of the burst: only the cold
+        // remainder pays scaling, and each warm one earns a storage credit.
+        assert!(
+            m.service_secs_pooled(c, p, Percentile::Total, &pool)
+                < m.service_secs(c, p, Percentile::Total)
+        );
+        assert!(m.expense_usd_pooled(c, p, &pool) < m.expense_usd(c, p));
+        // A fully-warm burst pays only the warm-start latency.
+        let all_warm = PoolSnapshot {
+            warm_available: 5000,
+            shared_available: 0,
+            ..PoolSnapshot::cold()
+        };
+        let s = m.service_secs_pooled(c, p, Percentile::Total, &all_warm);
+        assert!((s - (m.exec_secs(p) + all_warm.warm_start_secs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_donors_cut_service_but_not_storage() {
+        let m = paper_like_model();
+        let shared_only = PoolSnapshot {
+            warm_available: 0,
+            shared_available: 5000,
+            ..PoolSnapshot::cold()
+        };
+        let c = 2000;
+        let p = 4;
+        let s = m.service_secs_pooled(c, p, Percentile::Total, &shared_only);
+        assert!((s - (m.exec_secs(p) + shared_only.respecialize_secs)).abs() < 1e-12);
+        // Re-specialization restages dependencies: no storage credit.
+        assert_eq!(
+            m.expense_usd_pooled(c, p, &shared_only),
+            m.expense_usd(c, p)
+        );
     }
 
     #[test]

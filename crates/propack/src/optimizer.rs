@@ -9,6 +9,7 @@
 
 use crate::model::PackingModel;
 use crate::ModelError;
+use propack_platform::warmpool::PoolSnapshot;
 use propack_stats::percentile::Percentile;
 use serde::{Deserialize, Serialize};
 
@@ -125,6 +126,45 @@ pub fn plan(
         concurrency: c,
         predicted_service_secs: model.service_secs(c, p, metric),
         predicted_expense_usd: model.expense_usd(c, p),
+        metric,
+    })
+}
+
+/// Warm-state-aware [`plan`]: the same objectives evaluated through the
+/// pooled predictors, so the fixed-cost (scaling) term reflects what the
+/// keep-alive pool can serve at plan time. A [`PoolSnapshot::cold`]
+/// snapshot reproduces [`plan`] exactly — bit-identical degrees and
+/// predictions — so cold-path planning is unchanged by construction.
+pub fn plan_pooled(
+    model: &PackingModel,
+    c: u32,
+    objective: Objective,
+    metric: Percentile,
+    pool: &PoolSnapshot,
+) -> Result<PackingPlan, ModelError> {
+    objective.validate()?;
+    let service = |p: u32| model.service_secs_pooled(c, p, metric, pool);
+    let expense = |p: u32| model.expense_usd_pooled(c, p, pool);
+    let p = match objective {
+        Objective::ServiceTime => argmin(model, &service),
+        Objective::Expense => argmin(model, &expense),
+        Objective::Joint { w_s } => {
+            let w_e = 1.0 - w_s;
+            let s_best = service(argmin(model, &service));
+            let e_best = expense(argmin(model, &expense));
+            argmin(model, |p| {
+                let ds = (service(p) - s_best) / s_best;
+                let de = (expense(p) - e_best) / e_best;
+                w_s * ds + w_e * de
+            })
+        }
+    };
+    Ok(PackingPlan {
+        packing_degree: p,
+        instances: model.instances(c, p),
+        concurrency: c,
+        predicted_service_secs: service(p),
+        predicted_expense_usd: expense(p),
         metric,
     })
 }
@@ -277,6 +317,59 @@ mod tests {
         // The boundary weights are valid, not edge-case rejections.
         assert!(plan(&m, 2000, Objective::Joint { w_s: 0.0 }, Percentile::Total).is_ok());
         assert!(plan(&m, 2000, Objective::Joint { w_s: 1.0 }, Percentile::Total).is_ok());
+    }
+
+    #[test]
+    fn cold_snapshot_plans_are_bit_identical_to_unpooled() {
+        let m = model();
+        let cold = PoolSnapshot::cold();
+        for c in [100u32, 1000, 5000] {
+            for obj in [
+                Objective::ServiceTime,
+                Objective::Expense,
+                Objective::Joint { w_s: 0.5 },
+            ] {
+                let a = plan(&m, c, obj, Percentile::Total).unwrap();
+                let b = plan_pooled(&m, c, obj, Percentile::Total, &cold).unwrap();
+                assert_eq!(a, b, "c={c} {obj:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_pool_lowers_the_service_optimal_degree() {
+        // Packing exists to dodge the scaling penalty; when a pool absorbs
+        // most of it, the planner should back off toward lower degrees
+        // (less interference) — the realized optimum shifts with pool state.
+        let m = model();
+        let c = 5000;
+        let cold_p = plan_pooled(
+            &m,
+            c,
+            Objective::ServiceTime,
+            Percentile::Total,
+            &PoolSnapshot::cold(),
+        )
+        .unwrap()
+        .packing_degree;
+        let warm = PoolSnapshot {
+            warm_available: 5000,
+            shared_available: 0,
+            ..PoolSnapshot::cold()
+        };
+        let warm_plan =
+            plan_pooled(&m, c, Objective::ServiceTime, Percentile::Total, &warm).unwrap();
+        assert!(
+            warm_plan.packing_degree < cold_p,
+            "warm pool must relax packing: {cold_p} → {}",
+            warm_plan.packing_degree
+        );
+        assert!(
+            warm_plan.predicted_service_secs
+                < plan(&m, c, Objective::ServiceTime, Percentile::Total)
+                    .unwrap()
+                    .predicted_service_secs
+        );
     }
 
     #[test]

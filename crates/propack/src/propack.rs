@@ -12,13 +12,14 @@
 //!    run and the accumulated overhead.
 
 use crate::model::{CostFactors, PackingModel};
-use crate::optimizer::{plan, Objective, PackingPlan};
+use crate::optimizer::{plan, plan_pooled, Objective, PackingPlan};
 use crate::profiler::{default_scaling_levels, probe_scaling, profile_interference, Overhead};
 use crate::qos::select_weights;
 use crate::scaling::ScalingModel;
 use crate::{InterferenceModel, ModelError};
+use propack_platform::warmpool::PoolSnapshot;
 use propack_platform::{
-    BurstSpec, FaultSpec, RetryPolicy, RunReport, ServerlessPlatform, WorkProfile,
+    BurstRequest, BurstSpec, FaultSpec, RetryPolicy, RunReport, ServerlessPlatform, WorkProfile,
 };
 use propack_stats::percentile::Percentile;
 use serde::{Deserialize, Serialize};
@@ -173,6 +174,53 @@ impl Propack {
         plan(&self.model, c, objective, Percentile::Total)
     }
 
+    /// Warm-state-aware plan: like [`Propack::plan`], but the fitted
+    /// model's fixed-cost (scaling) term is evaluated against the pool
+    /// state at plan time — cold instances pay it, pooled instances start
+    /// after their warm/re-specialization latency, and same-function warm
+    /// starts earn the storage credit. With [`PoolSnapshot::cold`] this is
+    /// bit-identical to [`Propack::plan`].
+    pub fn plan_with_pool(
+        &self,
+        c: u32,
+        objective: Objective,
+        pool: &PoolSnapshot,
+    ) -> Result<PackingPlan, ModelError> {
+        plan_pooled(&self.model, c, objective, Percentile::Total, pool)
+    }
+
+    /// Plan for `c` under `objective` and build the matching
+    /// [`BurstRequest`] — the unified entrypoint that replaced the
+    /// `execute`/`execute_faulted` pair. Thread seed/faults/retry onto the
+    /// request, then `run` it (or `run_pooled` against a warm pool).
+    pub fn request(
+        &self,
+        c: u32,
+        objective: Objective,
+    ) -> Result<(PackingPlan, BurstRequest), ModelError> {
+        let plan = self.plan(c, objective)?;
+        Ok((
+            plan,
+            BurstRequest::new(self.work.clone(), c, plan.packing_degree),
+        ))
+    }
+
+    /// [`Propack::request`] planned against a pool snapshot: the degree is
+    /// chosen warm-state-aware, and the returned request is meant to be
+    /// submitted with `run_pooled` on the pool the snapshot came from.
+    pub fn request_with_pool(
+        &self,
+        c: u32,
+        objective: Objective,
+        pool: &PoolSnapshot,
+    ) -> Result<(PackingPlan, BurstRequest), ModelError> {
+        let plan = self.plan_with_pool(c, objective, pool)?;
+        Ok((
+            plan,
+            BurstRequest::new(self.work.clone(), c, plan.packing_degree),
+        ))
+    }
+
     /// Plan with an explicit figure of merit (total / tail / median — §3).
     pub fn plan_with_metric(
         &self,
@@ -226,6 +274,7 @@ impl Propack {
         objective: Objective,
         seed: u64,
     ) -> Result<ProPackOutcome, ModelError> {
+        #[allow(deprecated)]
         self.execute_faulted(
             platform,
             c,
@@ -244,6 +293,10 @@ impl Propack {
     /// through, so the reported expense and service time include crashes,
     /// retries, and backoff. Check [`RunReport::is_partial`] on the result
     /// when the retry budget may be exhaustible.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build the burst via Propack::request()/request_with_pool() and run the returned BurstRequest"
+    )]
     pub fn execute_faulted<P: ServerlessPlatform + ?Sized>(
         &self,
         platform: &P,
@@ -470,5 +523,73 @@ mod tests {
             outcome.overhead.expense_usd,
             baseline.expense.total_usd()
         );
+    }
+
+    #[test]
+    fn cold_pool_plans_match_plain_plans_bit_for_bit() {
+        let pp = Propack::build(&aws(), &work(), &ProPackConfig::default()).unwrap();
+        for c in [20u32, 500, 5000] {
+            for objective in [
+                Objective::ServiceTime,
+                Objective::Expense,
+                Objective::Joint { w_s: 0.5 },
+            ] {
+                let plain = pp.plan(c, objective).unwrap();
+                let pooled = pp
+                    .plan_with_pool(c, objective, &PoolSnapshot::cold())
+                    .unwrap();
+                assert_eq!(plain.packing_degree, pooled.packing_degree);
+                assert_eq!(
+                    plain.predicted_service_secs.to_bits(),
+                    pooled.predicted_service_secs.to_bits()
+                );
+                assert_eq!(
+                    plain.predicted_expense_usd.to_bits(),
+                    pooled.predicted_expense_usd.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn request_reproduces_execute() {
+        let platform = aws();
+        let pp = Propack::build(&platform, &work(), &ProPackConfig::default()).unwrap();
+        let outcome = pp
+            .execute(&platform, 5000, Objective::default(), 7)
+            .unwrap();
+        let (plan, request) = pp.request(5000, Objective::default()).unwrap();
+        assert_eq!(plan.packing_degree, outcome.plan.packing_degree);
+        let run = request.with_seed(7).run(&platform).unwrap();
+        assert_eq!(
+            run.total_service_secs().to_bits(),
+            outcome.report.total_service_time().to_bits()
+        );
+        assert_eq!(
+            run.expense_usd().to_bits(),
+            outcome.report.expense.total_usd().to_bits()
+        );
+    }
+
+    #[test]
+    fn warm_snapshot_requests_can_pick_a_different_degree() {
+        let pp = Propack::build(&aws(), &work(), &ProPackConfig::default()).unwrap();
+        let warm = PoolSnapshot {
+            warm_available: 5000,
+            shared_available: 0,
+            warm_start_secs: 0.05,
+            respecialize_secs: 0.3,
+        };
+        let (cold_plan, _) = pp.request(5000, Objective::ServiceTime).unwrap();
+        let (warm_plan, req) = pp
+            .request_with_pool(5000, Objective::ServiceTime, &warm)
+            .unwrap();
+        assert!(
+            warm_plan.packing_degree <= cold_plan.packing_degree,
+            "an all-warm fleet never favors more packing: {} vs {}",
+            warm_plan.packing_degree,
+            cold_plan.packing_degree
+        );
+        assert_eq!(req.packing_degree(), warm_plan.packing_degree);
     }
 }

@@ -32,6 +32,10 @@ pub struct EpochResult {
     pub retries: u64,
     /// Functions abandoned after the retry budget.
     pub failed_functions: u64,
+    /// Instances granted warm (same-function keep-alive) from the pool.
+    pub warm_grants: u64,
+    /// Instances granted as re-specialized shared donors (Pagurus).
+    pub shared_grants: u64,
     /// True when a QoS bound was set and the epoch's tail exceeded it.
     pub qos_violation: bool,
     /// Platform or planning error, if the epoch could not run.
@@ -57,6 +61,9 @@ pub struct ReplayReport {
     pub seed: u64,
     /// QoS bound on per-epoch tail latency, if one was set.
     pub qos_secs: Option<f64>,
+    /// Keep-alive policy label (`cold`, `fixed:60`, `histogram`,
+    /// `pagurus`). `cold` renders exactly as the pre-pool format did.
+    pub keepalive: String,
     /// Per-epoch results, in epoch order.
     pub epochs: Vec<EpochResult>,
     /// Model-building expense, USD, paid once per replay (zero for
@@ -98,6 +105,16 @@ impl ReplayReport {
     /// Total retries across all epochs.
     pub fn total_retries(&self) -> u64 {
         self.epochs.iter().map(|e| e.retries).sum()
+    }
+
+    /// Total same-function warm grants across all epochs.
+    pub fn total_warm_grants(&self) -> u64 {
+        self.epochs.iter().map(|e| e.warm_grants).sum()
+    }
+
+    /// Total re-specialized shared (Pagurus donor) grants across all epochs.
+    pub fn total_shared_grants(&self) -> u64 {
+        self.epochs.iter().map(|e| e.shared_grants).sum()
     }
 
     /// Total abandoned functions across all epochs.
@@ -202,6 +219,16 @@ impl ReplayReport {
                 None => "-".to_string(),
             },
         ));
+        // The warm line exists only under a keep-alive policy, so a cold
+        // replay renders byte-identically to the pre-pool format.
+        if self.keepalive != "cold" {
+            out.push_str(&format!(
+                "warm: keepalive={} warm_grants={} shared_grants={}\n",
+                self.keepalive,
+                self.total_warm_grants(),
+                self.total_shared_grants(),
+            ));
+        }
         out
     }
 }
@@ -231,6 +258,8 @@ mod tests {
             function_hours: 0.2,
             retries: 0,
             failed_functions: 0,
+            warm_grants: 0,
+            shared_grants: 0,
             qos_violation: service > 30.0,
             error: None,
             run_ms: 5.0,
@@ -246,6 +275,7 @@ mod tests {
             epoch_secs: 60.0,
             seed: 42,
             qos_secs: Some(30.0),
+            keepalive: "cold".into(),
             epochs: vec![
                 epoch(0, 100, None, 12.0),
                 epoch(1, 120, Some(100), 35.0),
@@ -291,6 +321,20 @@ mod tests {
         assert!(text.contains("ERROR: instance limit"));
         assert!(text.contains("qos_violations=1"));
         assert!(text.contains("forecast_mae=25.00"));
+    }
+
+    #[test]
+    fn warm_line_appears_only_under_a_keepalive_policy() {
+        let cold = report();
+        assert!(!cold.render().contains("warm:"));
+        let mut warm = report();
+        warm.keepalive = "fixed:60".into();
+        warm.epochs[1].warm_grants = 12;
+        warm.epochs[2].shared_grants = 3;
+        let text = warm.render();
+        assert!(text.contains("warm: keepalive=fixed:60 warm_grants=12 shared_grants=3"));
+        // Everything above the warm line is byte-identical to the cold render.
+        assert!(text.starts_with(&cold.render()));
     }
 
     #[test]

@@ -53,6 +53,9 @@ pub mod lanes {
     pub const FAULT_SHIP: &str = "fault-ship";
     /// Fault injection: straggler slowdown draws.
     pub const FAULT_STRAGGLER: &str = "fault-straggler";
+    /// Keep-alive: Pagurus-style donor selection when an idle container is
+    /// re-specialized for another function.
+    pub const KEEPALIVE_PAGURUS: &str = "keepalive-pagurus";
 
     /// Every registered lane. Order is documentation only; the stream hash
     /// does not depend on it.
@@ -68,6 +71,7 @@ pub mod lanes {
         FAULT_PROVISION,
         FAULT_SHIP,
         FAULT_STRAGGLER,
+        KEEPALIVE_PAGURUS,
     ];
 }
 

@@ -3,6 +3,7 @@
 use propack_replay::Controller;
 
 use crate::faults::FaultScenario;
+use crate::keepalive::KeepAliveScenario;
 use crate::spec::{PackingPolicy, PlatformAxis, ReplayGrid, SweepSpec};
 
 /// The identity of one grid cell, totally ordered.
@@ -26,15 +27,21 @@ pub struct CellKey {
     /// fault axis appended to pre-fault grid orderings instead of
     /// reshuffling).
     pub faults: String,
-    /// Replay-controller label, `off` for classic cells (last in the sort
-    /// order for the same append-only reason as `faults`).
+    /// Replay-controller label, `off` for classic cells (after `faults` in
+    /// the sort order for the same append-only reason).
     pub controller: String,
+    /// Keep-alive scenario label, `cold` by default (last in the sort
+    /// order, so adding the axis appended to pre-pool grid orderings
+    /// instead of reshuffling).
+    pub keepalive: String,
 }
 
 impl CellKey {
-    /// Compact single-string form, used in `BENCH_sweep.json`.
+    /// Compact single-string form, used in `BENCH_sweep.json`. The
+    /// keep-alive segment appears only for non-cold scenarios, so cold
+    /// sweeps keep their pre-pool compact keys byte-for-byte.
     pub fn compact(&self) -> String {
-        format!(
+        let mut key = format!(
             "{}/{}/{}/c{}/s{}/f{}/r{}",
             self.platform,
             self.workload,
@@ -43,7 +50,11 @@ impl CellKey {
             self.seed,
             self.faults,
             self.controller
-        )
+        );
+        if self.keepalive != "cold" {
+            key.push_str(&format!("/k{}", self.keepalive));
+        }
+        key
     }
 }
 
@@ -69,6 +80,8 @@ pub struct Cell {
     pub controller: Option<Controller>,
     /// The shared replay configuration for controller cells.
     pub replay: Option<ReplayGrid>,
+    /// Keep-alive scenario the cell's warm pool runs under.
+    pub keepalive: KeepAliveScenario,
 }
 
 /// Simulation results for one cell.
@@ -117,16 +130,22 @@ impl CellResult {
     }
 
     /// The deterministic fields as one rendered line (fixed precision, no
-    /// host timing).
+    /// host timing). The `ka=` column appears only for non-cold keep-alive
+    /// scenarios, so cold sweeps render their pre-pool lines byte-for-byte.
     pub fn render_line(&self) -> String {
         let k = &self.key;
+        let ka = if k.keepalive == "cold" {
+            String::new()
+        } else {
+            format!("\tka={}", k.keepalive)
+        };
         match &self.error {
             Some(e) => format!(
-                "{}\t{}\t{}\tC={}\tseed={}\tfaults={}\tctl={}\tERROR: {}",
+                "{}\t{}\t{}\tC={}\tseed={}\tfaults={}\tctl={}{ka}\tERROR: {}",
                 k.platform, k.workload, k.policy, k.concurrency, k.seed, k.faults, k.controller, e
             ),
             None => format!(
-                "{}\t{}\t{}\tC={}\tseed={}\tfaults={}\tctl={}\tP={}\tinstances={}\tservice_s={:.3}\tscaling_s={:.3}\texpense_usd={:.6}\tfn_hours={:.6}\tretries={}\tfailed={}",
+                "{}\t{}\t{}\tC={}\tseed={}\tfaults={}\tctl={}{ka}\tP={}\tinstances={}\tservice_s={:.3}\tscaling_s={:.3}\texpense_usd={:.6}\tfn_hours={:.6}\tretries={}\tfailed={}",
                 k.platform,
                 k.workload,
                 k.policy,
@@ -148,7 +167,7 @@ impl CellResult {
 }
 
 /// Expand a spec into its cells, in fixed grid order (platform-major,
-/// controller-minor). Workers may *run* cells in any order; merging
+/// keep-alive-minor). Workers may *run* cells in any order; merging
 /// sorts by [`CellKey`], so enumeration order never shows in output.
 /// An empty controller axis expands to the single `off` value: replay
 /// disabled, classic single-burst cells.
@@ -166,26 +185,30 @@ pub fn expand(spec: &SweepSpec) -> Vec<Cell> {
                     for &seed in &spec.seeds {
                         for faults in &spec.faults {
                             for controller in &controllers {
-                                cells.push(Cell {
-                                    key: CellKey {
-                                        platform: platform.label(),
-                                        workload: work.name.clone(),
-                                        policy: policy.label(),
+                                for keepalive in &spec.keepalive {
+                                    cells.push(Cell {
+                                        key: CellKey {
+                                            platform: platform.label(),
+                                            workload: work.name.clone(),
+                                            policy: policy.label(),
+                                            concurrency,
+                                            seed,
+                                            faults: faults.label.clone(),
+                                            controller: controller
+                                                .map_or_else(|| "off".to_string(), |c| c.label()),
+                                            keepalive: keepalive.label.clone(),
+                                        },
+                                        platform: platform.clone(),
+                                        work: work.clone(),
                                         concurrency,
+                                        policy: *policy,
                                         seed,
-                                        faults: faults.label.clone(),
-                                        controller: controller
-                                            .map_or_else(|| "off".to_string(), |c| c.label()),
-                                    },
-                                    platform: platform.clone(),
-                                    work: work.clone(),
-                                    concurrency,
-                                    policy: *policy,
-                                    seed,
-                                    faults: faults.clone(),
-                                    controller: controller.cloned(),
-                                    replay: controller.and(spec.replay.clone()),
-                                });
+                                        faults: faults.clone(),
+                                        controller: controller.cloned(),
+                                        replay: controller.and(spec.replay.clone()),
+                                        keepalive: keepalive.clone(),
+                                    });
+                                }
                             }
                         }
                     }
@@ -228,6 +251,7 @@ mod tests {
             seed: 2,
             faults: "none".into(),
             controller: "off".into(),
+            keepalive: "cold".into(),
         };
         let mut b = a.clone();
         b.seed = 1;
@@ -241,7 +265,12 @@ mod tests {
         let mut e = a.clone();
         e.controller = "fixed-4".into();
         assert!(e < a, "controller label sorts last, after faults");
+        let mut f = a.clone();
+        f.keepalive = "fixed:60".into();
+        assert!(f > a, "keep-alive label sorts last of all");
+        // Cold keys keep their pre-pool compact form; non-cold keys append.
         assert_eq!(a.compact(), "aws/w/no-packing/c100/s2/fnone/roff");
+        assert_eq!(f.compact(), "aws/w/no-packing/c100/s2/fnone/roff/kfixed:60");
     }
 
     #[test]

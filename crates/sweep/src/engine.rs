@@ -21,7 +21,7 @@ use std::time::Instant;
 use propack_baselines::{NoPacking, Pywren, Strategy, StrategyOutcome};
 use propack_model::cache::ModelCache;
 use propack_model::propack::ProPackConfig;
-use propack_platform::BurstSpec;
+use propack_platform::{BurstSpec, WarmPool, WarmPoolConfig};
 use propack_replay::{Controller, ReplayEngine, ReplaySpec};
 
 use crate::cell::{expand, Cell, CellKey, CellResult};
@@ -223,16 +223,22 @@ fn simulate(cell: &Cell, fit_config: &ProPackConfig, models: &ModelCache) -> Cel
             let fit_started = Instant::now();
             let fitted = models.fit(&*platform, &cell.work, fit_config);
             let fit_ms = fit_started.elapsed().as_secs_f64() * 1e3;
-            match fitted {
-                Err(e) => failed(&cell.key, e.to_string()),
-                Ok(pp) => match pp.execute_faulted(
+            let pp = match fitted {
+                Err(e) => return failed(&cell.key, e.to_string()),
+                Ok(pp) => pp,
+            };
+            if cell.keepalive.is_cold() {
+                // The pool-free pipeline the golden fixtures pin down.
+                #[allow(deprecated)]
+                let executed = pp.execute_faulted(
                     &*platform,
                     cell.concurrency,
                     objective,
                     cell.seed,
                     faults,
                     retry,
-                ) {
+                );
+                match executed {
                     Err(e) => failed(&cell.key, e.to_string()),
                     Ok(outcome) => CellResult {
                         key: cell.key.clone(),
@@ -252,7 +258,46 @@ fn simulate(cell: &Cell, fit_config: &ProPackConfig, models: &ModelCache) -> Cel
                         fit_ms,
                         run_ms: 0.0,
                     },
-                },
+                }
+            } else {
+                // Non-cold scenarios go through the warm-state-aware
+                // request pipeline. A classic cell's pool starts empty, so
+                // the snapshot is cold and the numbers match the cold
+                // scenario; only replay cells accumulate reuse.
+                let mut pool = WarmPool::new(
+                    WarmPoolConfig::cold()
+                        .with_policy(cell.keepalive.policy)
+                        .with_seed(cell.seed),
+                );
+                let snapshot = pool.snapshot(&cell.work.name, 0.0);
+                match pp.request_with_pool(cell.concurrency, objective, &snapshot) {
+                    Err(e) => failed(&cell.key, e.to_string()),
+                    Ok((plan, request)) => {
+                        let run = request
+                            .with_seed(cell.seed)
+                            .with_faults(faults)
+                            .with_retry(retry)
+                            .run_pooled(&*platform, &mut pool, 0.0);
+                        match run {
+                            Err(e) => failed(&cell.key, e.to_string()),
+                            Ok(run) => CellResult {
+                                key: cell.key.clone(),
+                                packing_degree: plan.packing_degree,
+                                instances: run.instances(),
+                                service_secs: run.total_service_secs(),
+                                scaling_secs: run.rounds.first().map_or(0.0, |r| r.scaling_time()),
+                                expense_usd: run.expense_usd() + pp.overhead.expense_usd,
+                                function_hours: run.function_hours() + pp.overhead.function_hours,
+                                retries: run.faults().retries,
+                                failed_functions: run.abandoned_functions,
+                                error: None,
+                                wall_ms: 0.0,
+                                fit_ms,
+                                run_ms: 0.0,
+                            },
+                        }
+                    }
+                }
             }
         }
     }
@@ -279,6 +324,7 @@ fn simulate_replay(
         qos_secs: grid.qos_secs,
         faults: cell.faults.resolve(&*platform),
         retry: cell.faults.retry,
+        keepalive: cell.keepalive.policy,
         fit_config: fit_config.clone(),
     };
     let origin = Instant::now();
@@ -585,6 +631,103 @@ mod tests {
             .collect();
         assert_eq!(planned.len(), 4);
         assert!(planned.iter().all(|c| c.is_ok()));
+    }
+
+    #[test]
+    fn keepalive_axis_classic_cells_keep_their_cold_numbers() {
+        use crate::keepalive::KeepAliveScenario;
+        let spec = SweepSpec::new("keepalive-classic")
+            .platforms([PlatformAxis::Aws])
+            .workloads([work("w")])
+            .concurrency([400])
+            .policies([PackingPolicy::propack_default()])
+            .seeds([7])
+            .keepalive([
+                KeepAliveScenario::cold(),
+                KeepAliveScenario::parse("fixed:60").unwrap(),
+            ]);
+        let report = SweepRunner::new().run(&spec).unwrap();
+        assert_eq!(report.cells.len(), 2);
+        let by_ka = |label: &str| {
+            report
+                .cells
+                .iter()
+                .find(|c| c.key.keepalive == label)
+                .expect("cell present")
+        };
+        let cold = by_ka("cold");
+        let warm = by_ka("fixed:60");
+        // A classic cell's pool starts empty: the warm-state-aware pipeline
+        // reduces to the cold one bit for bit.
+        assert!(cold.is_ok() && warm.is_ok());
+        assert_eq!(cold.packing_degree, warm.packing_degree);
+        assert_eq!(cold.instances, warm.instances);
+        assert_eq!(cold.service_secs.to_bits(), warm.service_secs.to_bits());
+        assert_eq!(cold.expense_usd.to_bits(), warm.expense_usd.to_bits());
+        // The key (and only the key) records the scenario.
+        assert!(warm.key.compact().ends_with("/kfixed:60"));
+        assert!(!cold.key.compact().contains("/k"));
+        assert!(warm.render_line().contains("\tka=fixed:60\t"));
+        assert!(!cold.render_line().contains("ka="));
+    }
+
+    #[test]
+    fn keepalive_replay_sweeps_reuse_warm_and_stay_thread_invariant() {
+        use crate::keepalive::KeepAliveScenario;
+        use propack_model::Objective;
+        use propack_replay::ArrivalTrace;
+        // A cost-aware controller, mirroring the EXPERIMENTS keep-alive
+        // grid: warm reuse earns the storage credit without unpacking. The
+        // credit is a cut of the *storage* bill, so the workload needs one.
+        let trace = ArrivalTrace::diurnal("w", 1.0, 0.8, 600.0, 600.0, 11).expect("trace");
+        let spec = SweepSpec::new("replay-keepalive")
+            .platforms([PlatformAxis::Aws])
+            .workloads([work("w").with_storage(0.01, 4)])
+            .concurrency([1])
+            .policies([PackingPolicy::NoPacking])
+            .seeds([7, 8])
+            .replay(ReplayGrid::new(trace, 100.0).objective(Objective::Expense))
+            .controllers([
+                Controller::Oracle,
+                Controller::parse("propack:ewma").expect("controller"),
+            ])
+            .fit_config(ProPackConfig {
+                scaling_levels: vec![10, 20, 40],
+                ..ProPackConfig::default()
+            })
+            .keepalive([
+                KeepAliveScenario::cold(),
+                KeepAliveScenario::parse("fixed:200").unwrap(),
+            ]);
+        let serial = SweepRunner::new().run(&spec).unwrap();
+        assert_eq!(serial.cells.len(), 8);
+        assert_eq!(serial.error_count(), 0);
+        for threads in [2, 4] {
+            let parallel = SweepRunner::new().threads(threads).run(&spec).unwrap();
+            assert_eq!(serial.render(), parallel.render(), "threads={threads}");
+        }
+        // Replay pools persist across epochs, so warm reuse changes the
+        // realized numbers (unlike classic cells): the cost-aware
+        // controller's bill strictly improves.
+        let find = |controller: &str, seed: u64, label: &str| {
+            serial
+                .cells
+                .iter()
+                .find(|c| {
+                    c.key.controller == controller && c.key.seed == seed && c.key.keepalive == label
+                })
+                .expect("cell present")
+        };
+        for seed in [7, 8] {
+            let cold = find("propack-ewma", seed, "cold");
+            let warm = find("propack-ewma", seed, "fixed:200");
+            assert!(
+                warm.expense_usd < cold.expense_usd,
+                "seed {seed}: warm reuse cuts the bill: {} vs {}",
+                warm.expense_usd,
+                cold.expense_usd
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! The keep-alive axis: named warm-pool policies for a grid.
+//!
+//! A [`KeepAliveScenario`] names a [`KeepAlivePolicy`] for a sweep, the
+//! same way [`crate::FaultScenario`] names a fault/retry configuration.
+//! Every sweep has this axis; the default single value is
+//! [`KeepAliveScenario::cold`], which disables the pool entirely and
+//! reproduces pre-pool sweep output byte-for-byte — a cold scenario never
+//! constructs a [`propack_platform::WarmPool`], takes no RNG lane draws,
+//! and leaves cell keys and rendered lines unchanged.
+//!
+//! The textual grammar understood by [`KeepAliveScenario::parse`] is what
+//! the CLI's `--keepalive` flag accepts:
+//!
+//! ```text
+//! cold                    no pool (the default)
+//! fixed:60                fixed 60 s idle TTL
+//! histogram               Serverless-in-the-Wild hybrid histogram policy
+//! histogram:60,0.99,480   ...with explicit bin width, percentile, max TTL
+//! pagurus                 Pagurus standby-donor sharing, default TTL
+//! pagurus:120             ...with an explicit own-function idle TTL
+//! ```
+//!
+//! Keep-alive only pays off across *successive* bursts, so the axis shows
+//! its effect on replay cells, whose pool persists across epochs. Classic
+//! single-burst cells run through the same pooled pipeline but start each
+//! cell from an empty pool: their numbers match the cold scenario exactly,
+//! and only the cell key records the policy.
+
+use propack_platform::KeepAlivePolicy;
+
+use crate::spec::SweepError;
+
+/// Default histogram bin width, seconds (`histogram` without parameters).
+pub const DEFAULT_HISTOGRAM_BIN_SECS: f64 = 60.0;
+/// Default fraction of observed idle times the window must cover.
+pub const DEFAULT_HISTOGRAM_PERCENTILE: f64 = 0.99;
+/// Default upper bound on the histogram keep-alive window, seconds.
+pub const DEFAULT_HISTOGRAM_MAX_TTL: f64 = 480.0;
+/// Default own-function idle TTL for `pagurus` without parameters, seconds.
+pub const DEFAULT_PAGURUS_TTL: f64 = 60.0;
+
+/// One point on the keep-alive axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeepAliveScenario {
+    /// Stable label used in cell keys and rendered output.
+    pub label: String,
+    /// The warm-pool policy this scenario applies.
+    pub policy: KeepAlivePolicy,
+}
+
+impl KeepAliveScenario {
+    /// The pool-free scenario — the axis default, byte-identical to
+    /// pre-pool sweep output.
+    pub fn cold() -> Self {
+        KeepAliveScenario {
+            label: "cold".to_string(),
+            policy: KeepAlivePolicy::ColdAlways,
+        }
+    }
+
+    /// An explicit scenario under a caller-chosen label.
+    pub fn explicit(label: impl Into<String>, policy: KeepAlivePolicy) -> Self {
+        KeepAliveScenario {
+            label: label.into(),
+            policy,
+        }
+    }
+
+    /// Whether this scenario runs without a pool.
+    pub fn is_cold(&self) -> bool {
+        matches!(self.policy, KeepAlivePolicy::ColdAlways)
+    }
+
+    /// Check the scenario describes a valid policy.
+    pub fn validate(&self) -> Result<(), SweepError> {
+        let ok = match self.policy {
+            KeepAlivePolicy::ColdAlways => true,
+            KeepAlivePolicy::FixedKeepAlive { idle_ttl }
+            | KeepAlivePolicy::PagurusShare { idle_ttl } => idle_ttl > 0.0,
+            KeepAlivePolicy::HybridHistogram {
+                bin_secs,
+                keep_percentile,
+                max_ttl,
+            } => bin_secs > 0.0 && (0.0..=1.0).contains(&keep_percentile) && max_ttl > 0.0,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(SweepError::InvalidValue {
+                what: "keep-alive scenario",
+                value: format!("{}: {:?}", self.label, self.policy),
+            })
+        }
+    }
+
+    /// Parse the `--keepalive` grammar (see module docs). The normalized
+    /// input (whitespace stripped) becomes the scenario label.
+    pub fn parse(input: &str) -> Result<KeepAliveScenario, SweepError> {
+        let label: String = input.chars().filter(|c| !c.is_whitespace()).collect();
+        let (kind, params) = match label.split_once(':') {
+            Some((kind, params)) => (kind, Some(params)),
+            None => (label.as_str(), None),
+        };
+        let policy = match (kind, params) {
+            ("", _) => return Err(invalid(input, "empty scenario")),
+            ("cold", None) => KeepAlivePolicy::ColdAlways,
+            ("cold", Some(_)) => return Err(invalid(&label, "cold takes no parameters")),
+            ("fixed", Some(ttl)) => KeepAlivePolicy::FixedKeepAlive {
+                idle_ttl: seconds(&label, ttl)?,
+            },
+            ("fixed", None) => return Err(invalid(&label, "expected fixed:<secs>")),
+            ("histogram", None) => KeepAlivePolicy::HybridHistogram {
+                bin_secs: DEFAULT_HISTOGRAM_BIN_SECS,
+                keep_percentile: DEFAULT_HISTOGRAM_PERCENTILE,
+                max_ttl: DEFAULT_HISTOGRAM_MAX_TTL,
+            },
+            ("histogram", Some(params)) => {
+                let parts: Vec<&str> = params.split(',').collect();
+                if parts.len() != 3 {
+                    return Err(invalid(&label, "expected histogram:<bin>,<pct>,<max-ttl>"));
+                }
+                KeepAlivePolicy::HybridHistogram {
+                    bin_secs: seconds(&label, parts[0])?,
+                    keep_percentile: fraction(&label, parts[1])?,
+                    max_ttl: seconds(&label, parts[2])?,
+                }
+            }
+            ("pagurus", None) => KeepAlivePolicy::PagurusShare {
+                idle_ttl: DEFAULT_PAGURUS_TTL,
+            },
+            ("pagurus", Some(ttl)) => KeepAlivePolicy::PagurusShare {
+                idle_ttl: seconds(&label, ttl)?,
+            },
+            _ => return Err(invalid(&label, "unknown policy")),
+        };
+        let scenario = KeepAliveScenario { label, policy };
+        scenario.validate()?;
+        Ok(scenario)
+    }
+}
+
+impl Default for KeepAliveScenario {
+    fn default() -> Self {
+        KeepAliveScenario::cold()
+    }
+}
+
+fn invalid(part: &str, why: &str) -> SweepError {
+    SweepError::InvalidValue {
+        what: "keep-alive scenario",
+        value: format!("`{part}` ({why})"),
+    }
+}
+
+fn seconds(part: &str, value: &str) -> Result<f64, SweepError> {
+    match value.parse::<f64>() {
+        Ok(v) if v.is_finite() && v > 0.0 => Ok(v),
+        _ => Err(invalid(part, "not a positive number of seconds")),
+    }
+}
+
+fn fraction(part: &str, value: &str) -> Result<f64, SweepError> {
+    match value.parse::<f64>() {
+        Ok(v) if (0.0..=1.0).contains(&v) => Ok(v),
+        _ => Err(invalid(part, "not a fraction in [0, 1]")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_is_the_default_and_a_keyword() {
+        let cold = KeepAliveScenario::parse("cold").unwrap();
+        assert!(cold.is_cold());
+        assert_eq!(cold, KeepAliveScenario::default());
+        assert_eq!(cold.label, "cold");
+    }
+
+    #[test]
+    fn the_grammar_round_trips_labels_and_policies() {
+        let fixed = KeepAliveScenario::parse("fixed:60").unwrap();
+        assert_eq!(fixed.label, "fixed:60");
+        assert_eq!(
+            fixed.policy,
+            KeepAlivePolicy::FixedKeepAlive { idle_ttl: 60.0 }
+        );
+        assert_eq!(fixed.policy.label(), "fixed:60");
+
+        let hist = KeepAliveScenario::parse("histogram").unwrap();
+        assert_eq!(
+            hist.policy,
+            KeepAlivePolicy::HybridHistogram {
+                bin_secs: DEFAULT_HISTOGRAM_BIN_SECS,
+                keep_percentile: DEFAULT_HISTOGRAM_PERCENTILE,
+                max_ttl: DEFAULT_HISTOGRAM_MAX_TTL,
+            }
+        );
+        let hist = KeepAliveScenario::parse("histogram: 30, 0.95, 300").unwrap();
+        assert_eq!(hist.label, "histogram:30,0.95,300");
+        assert_eq!(
+            hist.policy,
+            KeepAlivePolicy::HybridHistogram {
+                bin_secs: 30.0,
+                keep_percentile: 0.95,
+                max_ttl: 300.0,
+            }
+        );
+
+        let pagurus = KeepAliveScenario::parse("pagurus").unwrap();
+        assert_eq!(
+            pagurus.policy,
+            KeepAlivePolicy::PagurusShare {
+                idle_ttl: DEFAULT_PAGURUS_TTL
+            }
+        );
+        let pagurus = KeepAliveScenario::parse("pagurus:120").unwrap();
+        assert_eq!(
+            pagurus.policy,
+            KeepAlivePolicy::PagurusShare { idle_ttl: 120.0 }
+        );
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected_with_the_offending_part() {
+        for bad in [
+            "",
+            "warm",
+            "cold:5",
+            "fixed",
+            "fixed:0",
+            "fixed:-2",
+            "fixed:x",
+            "fixed:inf",
+            "histogram:60",
+            "histogram:60,2,480",
+            "histogram:0,0.99,480",
+            "pagurus:0",
+            "pagurus:abc",
+        ] {
+            assert!(KeepAliveScenario::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn validate_catches_hand_built_out_of_domain_policies() {
+        let bad =
+            KeepAliveScenario::explicit("bad", KeepAlivePolicy::FixedKeepAlive { idle_ttl: -1.0 });
+        assert!(bad.validate().is_err());
+        assert!(KeepAliveScenario::cold().validate().is_ok());
+    }
+}

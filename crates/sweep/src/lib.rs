@@ -2,7 +2,7 @@
 //!
 //! Every experiment in the reproduction is a *grid*: platforms ×
 //! workloads × concurrency levels × packing policies × seeds × fault
-//! scenarios × replay controllers. This crate
+//! scenarios × replay controllers × keep-alive policies. This crate
 //! is the single way to run such grids. You describe the experiment as a
 //! declarative [`SweepSpec`], hand it to a [`SweepRunner`], and get back a
 //! [`SweepReport`] whose rendered output is **byte-identical for every
@@ -41,6 +41,7 @@
 pub mod cell;
 pub mod engine;
 pub mod faults;
+pub mod keepalive;
 pub mod replay_bench;
 pub mod report;
 pub mod spec;
@@ -48,6 +49,7 @@ pub mod spec;
 pub use cell::{Cell, CellKey, CellResult};
 pub use engine::SweepRunner;
 pub use faults::{FaultScenario, FaultScenarioSpec};
+pub use keepalive::KeepAliveScenario;
 pub use replay_bench::{replay_bench_json, timed_replay};
 pub use report::{bench_json, speedup, RunTiming, SweepReport};
 pub use spec::{PackingPolicy, PlatformAxis, ReplayGrid, SweepError, SweepSpec};
@@ -57,6 +59,7 @@ pub mod prelude {
     pub use crate::cell::{CellKey, CellResult};
     pub use crate::engine::SweepRunner;
     pub use crate::faults::{FaultScenario, FaultScenarioSpec};
+    pub use crate::keepalive::KeepAliveScenario;
     pub use crate::replay_bench::{replay_bench_json, timed_replay};
     pub use crate::report::{bench_json, RunTiming, SweepReport};
     pub use crate::spec::{PackingPolicy, PlatformAxis, ReplayGrid, SweepError, SweepSpec};

@@ -206,6 +206,7 @@ mod tests {
                 seed,
                 faults: "none".into(),
                 controller: "off".into(),
+                keepalive: "cold".into(),
             },
             packing_degree: 4,
             instances: 25,

@@ -1,19 +1,22 @@
 //! The declarative description of an experiment grid.
 //!
-//! A [`SweepSpec`] is the cross product of seven axes — platform ×
+//! A [`SweepSpec`] is the cross product of eight axes — platform ×
 //! workload × concurrency × packing policy × seed × fault scenario ×
-//! replay controller — and is the single entry point for multi-run
-//! experiments: every figure grid in the reproduction is one of these. The
-//! spec is pure data; handing it to a [`crate::SweepRunner`] produces one
-//! independent seeded simulation per cell. The fault axis defaults to the
-//! single fault-free scenario and the controller axis to the single `off`
-//! value, so specs that never mention them keep their exact legacy grids.
+//! replay controller × keep-alive policy — and is the single entry point
+//! for multi-run experiments: every figure grid in the reproduction is one
+//! of these. The spec is pure data; handing it to a [`crate::SweepRunner`]
+//! produces one independent seeded simulation per cell. The fault axis
+//! defaults to the single fault-free scenario, the controller axis to the
+//! single `off` value, and the keep-alive axis to the single pool-free
+//! `cold` scenario, so specs that never mention them keep their exact
+//! legacy grids.
 
 use std::sync::Arc;
 
 use propack_funcx::{FuncXConfig, FuncXPlatform};
 
 use crate::faults::FaultScenario;
+use crate::keepalive::KeepAliveScenario;
 use propack_model::optimizer::Objective;
 use propack_model::propack::ProPackConfig;
 use propack_platform::{CloudPlatform, PlatformProfile, Provider, ServerlessPlatform};
@@ -202,6 +205,11 @@ pub struct SweepSpec {
     /// The shared replay configuration (trace, epoch width, objective, QoS)
     /// when the controller axis is in use.
     pub replay: Option<ReplayGrid>,
+    /// Keep-alive axis; defaults to the single pool-free `cold` scenario.
+    /// Warm reuse accrues across epochs, so non-cold scenarios change
+    /// replay-cell results; classic single-burst cells start each cell from
+    /// an empty pool and keep their cold numbers under any policy.
+    pub keepalive: Vec<KeepAliveScenario>,
     /// Profiling configuration for ProPack cells (part of the model-cache
     /// key, so every cell sharing it shares one fit per workload; profiling
     /// itself always runs fault-free, whatever the fault axis says).
@@ -222,6 +230,7 @@ impl SweepSpec {
             faults: vec![FaultScenario::none()],
             controllers: Vec::new(),
             replay: None,
+            keepalive: vec![KeepAliveScenario::cold()],
             fit_config: ProPackConfig::default(),
         }
     }
@@ -277,6 +286,12 @@ impl SweepSpec {
         self
     }
 
+    /// Set the keep-alive axis (replacing the pool-free `cold` default).
+    pub fn keepalive(mut self, axis: impl IntoIterator<Item = KeepAliveScenario>) -> Self {
+        self.keepalive = axis.into_iter().collect();
+        self
+    }
+
     /// Set the ProPack profiling configuration.
     pub fn fit_config(mut self, config: ProPackConfig) -> Self {
         self.fit_config = config;
@@ -292,6 +307,7 @@ impl SweepSpec {
             * self.seeds.len()
             * self.faults.len()
             * self.controllers.len().max(1)
+            * self.keepalive.len()
     }
 
     /// Check the spec describes a runnable, non-degenerate grid.
@@ -303,6 +319,7 @@ impl SweepSpec {
             ("policies", self.policies.len()),
             ("seeds", self.seeds.len()),
             ("faults", self.faults.len()),
+            ("keepalive", self.keepalive.len()),
         ];
         for (name, len) in axes {
             if len == 0 {
@@ -310,6 +327,9 @@ impl SweepSpec {
             }
         }
         for scenario in &self.faults {
+            scenario.validate()?;
+        }
+        for scenario in &self.keepalive {
             scenario.validate()?;
         }
         if let Some(&c) = self.concurrency.iter().find(|&&c| c == 0) {

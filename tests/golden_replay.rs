@@ -134,6 +134,42 @@ fn golden_replay_bit_identical() {
     );
 }
 
+/// The warm-pool redesign's backward-compatibility contract: submitting the
+/// same bursts through the [`BurstRequest`] + `ColdAlways` [`WarmPool`] path
+/// must reproduce every golden fixture byte for byte. A cold pool grants
+/// nothing, so round 0 of the pooled run is the plain burst, down to the
+/// last ULP.
+#[test]
+fn cold_pool_request_path_reproduces_golden_fixtures() {
+    let dir = golden_dir();
+    for (name, plat, work, c, faults) in cases() {
+        let Ok(golden) = fs::read_to_string(dir.join(&name)) else {
+            continue; // golden_replay_bit_identical reports missing fixtures
+        };
+        let p = platform(plat);
+        let w = workload(work);
+        let mut request = BurstRequest::new(w, c, 1).with_seed(SEED);
+        if faults == "crash001" {
+            request = request
+                .with_faults(FaultSpec::none().with_crash_rate(0.01))
+                .with_retry(RetryPolicy::default());
+        }
+        let mut pool = WarmPool::new(WarmPoolConfig::cold());
+        let run = request
+            .run_pooled(p.as_ref(), &mut pool, 0.0)
+            .unwrap_or_else(|e| panic!("{name}: {e:?}"));
+        assert_eq!(run.warm_instances(), 0, "{name}: cold pool granted warmth");
+        assert_eq!(run.warm_credit_usd, 0.0, "{name}: cold pool earned credit");
+        let current = run.rounds[0].canonical_text();
+        assert_eq!(
+            golden,
+            current,
+            "cold-pool replay diverged for {name}: {}",
+            first_divergence(&golden, &current)
+        );
+    }
+}
+
 /// The crash-fault fixtures must actually contain faults — otherwise the
 /// crash scenario silently degenerated into the fault-free one and the
 /// golden grid lost half its coverage.
