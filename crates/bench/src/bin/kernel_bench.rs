@@ -40,16 +40,24 @@ fn main() {
         golden_dir.display()
     );
     let divergences = kernel::golden_divergences(&golden_dir).expect("golden replay");
-    let outputs_identical = divergences.is_empty();
-    if !outputs_identical {
+    if !divergences.is_empty() {
         eprintln!("kernel_bench: OUTPUT DIVERGENCE in {divergences:?}");
     }
 
     eprintln!("kernel_bench: measuring ({reps} reps + warmup, threads=1)");
-    let groups = kernel::measure(reps).expect("kernel grid");
+    let measurement = kernel::measure(reps).expect("kernel grid");
+    if !measurement.faulted_day_exact {
+        eprintln!("kernel_bench: OUTPUT DIVERGENCE: faulted day batched != event path");
+    }
+    let outputs_identical = divergences.is_empty() && measurement.faulted_day_exact;
+    let groups = measurement.groups;
     for g in &groups {
+        let err = g
+            .max_rel_err
+            .map(|e| format!("  max_rel_err {e:.4}"))
+            .unwrap_or_default();
         eprintln!(
-            "  {:<20} {:>3} cells  {:>9.4}s  {:>10.2} cells/s",
+            "  {:<20} {:>3} cells  {:>9.4}s  {:>10.2} cells/s{err}",
             g.policy, g.cells, g.wall_secs, g.cells_per_sec
         );
     }

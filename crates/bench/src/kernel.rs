@@ -37,6 +37,18 @@ use std::time::Instant;
 /// Seed shared with the CI smoke sweep and the golden replay fixtures.
 pub const KERNEL_SEED: u64 = 42;
 
+/// Fault scenario injected into the faulted kernel groups: a mixed process
+/// so every cohort fast-path branch (crash chains, provision re-boots,
+/// stragglers) is on the timed path.
+pub const FAULTED_SCENARIO: &str = "crash=0.05,provision=0.03,straggler=0.05";
+
+/// Functions in the 100k-invocation faulted day burst.
+pub const FAULTED_DAY_FUNCTIONS: u32 = 100_000;
+/// Packing degree of the faulted day burst (25 000 instances).
+pub const FAULTED_DAY_DEGREE: u32 = 4;
+/// Fluid opt-in threshold used for the `faulted-day-fluid` group.
+pub const FAULTED_DAY_FLUID_MIN: u32 = 1000;
+
 /// The fixed measurement grid (32 cells: {8 baseline + 8 ProPack} × {cold,
 /// fixed:60 keep-alive}).
 pub fn kernel_grid() -> SweepSpec {
@@ -54,6 +66,47 @@ pub fn kernel_grid() -> SweepSpec {
             KeepAliveScenario::cold(),
             KeepAliveScenario::parse("fixed:60").expect("fixed:60 scenario"),
         ])
+}
+
+/// The faulted measurement grid (8 cells): packed bursts under the mixed
+/// fault scenario, so the cohort-chain fast path — not the fault-free
+/// shortcut — carries the cells. Groups from this grid are prefixed
+/// `faulted-` so they never collide with the fault-free labels.
+pub fn faulted_grid() -> SweepSpec {
+    SweepSpec::new("kernel-faulted")
+        .platforms([PlatformAxis::Aws, PlatformAxis::FuncX])
+        .workloads(["sort", "video"].into_iter().map(|k| {
+            Benchmarks::resolve(k)
+                .unwrap_or_else(|| panic!("unknown workload {k}"))
+                .profile()
+        }))
+        .concurrency([500, 1000])
+        .policies([PackingPolicy::Fixed(4)])
+        .seeds([KERNEL_SEED])
+        .faults([FaultScenario::parse(FAULTED_SCENARIO).expect("faulted scenario")])
+}
+
+/// The 100k-invocation faulted day: one `C = 100 000` burst packed at
+/// degree 4 (25 000 instances) under the mixed fault process. Measured
+/// three ways — per-event (`with_batching(false)`, the PR-3-era kernel's
+/// only faulted path), cohort-batched exact, and fluid — this is the entry
+/// that carries the faulted fast-path speedup claim.
+pub fn faulted_day_spec() -> BurstSpec {
+    let profile = Benchmarks::resolve("sort").expect("sort workload").profile();
+    BurstSpec::packed(profile, FAULTED_DAY_FUNCTIONS, FAULTED_DAY_DEGREE)
+        .with_seed(KERNEL_SEED)
+        .with_faults(
+            FaultSpec::none()
+                .with_crash_rate(0.02)
+                .with_provision_failure_rate(0.01)
+                .with_straggler(0.02, 3.0),
+        )
+        // A day-scale budget: in-place retries are never budget-limited, so
+        // the batched and event paths agree and the cohort gate stays open.
+        .with_retry(RetryPolicy {
+            retry_budget: u32::MAX,
+            ..RetryPolicy::default()
+        })
 }
 
 /// Throughput-group label of one cell: cold cells keep the bare policy
@@ -77,19 +130,51 @@ pub struct GroupTiming {
     pub wall_secs: f64,
     /// `cells / wall_secs`.
     pub cells_per_sec: f64,
+    /// Measured max relative timestamp error vs the exact run — present
+    /// only on fluid groups, where benchdiff gates it against the
+    /// baseline's committed bound.
+    pub max_rel_err: Option<f64>,
 }
 
-/// Run the kernel grid (`1 + reps` times) and report per-policy throughput.
-pub fn measure(reps: usize) -> Result<Vec<GroupTiming>, String> {
-    let spec = kernel_grid();
+/// Everything `kernel_bench` writes: per-group throughput plus the faulted
+/// day's exact-path equivalence bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelMeasurement {
+    /// Per-group best-of-reps throughput, first-seen order.
+    pub groups: Vec<GroupTiming>,
+    /// Whether the cohort-batched faulted day reproduced the per-event
+    /// (`with_batching(false)`) run byte-for-byte. Folded into the output's
+    /// `outputs_identical` alongside the golden fixtures.
+    pub faulted_day_exact: bool,
+}
+
+/// Run the kernel and faulted grids plus the 100k-invocation faulted day
+/// (`1 + reps` times each) and report per-group throughput.
+pub fn measure(reps: usize) -> Result<KernelMeasurement, String> {
+    let mut groups = measure_grid(&kernel_grid(), reps, "")?;
+    groups.extend(measure_grid(&faulted_grid(), reps, "faulted-")?);
+    let day = measure_faulted_day(reps)?;
+    Ok(KernelMeasurement {
+        faulted_day_exact: day.exact_identical,
+        groups: {
+            groups.extend(day.groups);
+            groups
+        },
+    })
+}
+
+/// Run one sweep grid (`1 + reps` times) and report per-policy throughput,
+/// with `prefix` prepended to every group label.
+fn measure_grid(spec: &SweepSpec, reps: usize, prefix: &str) -> Result<Vec<GroupTiming>, String> {
     // Warmup: full run, result discarded.
-    run_once(&spec)?;
+    run_once(spec)?;
     let mut best: Vec<(String, usize, f64)> = Vec::new();
     for _ in 0..reps.max(1) {
-        for (policy, cells, secs) in run_once(&spec)? {
-            match best.iter_mut().find(|(p, _, _)| *p == policy) {
+        for (policy, cells, secs) in run_once(spec)? {
+            let label = format!("{prefix}{policy}");
+            match best.iter_mut().find(|(p, _, _)| *p == label) {
                 Some((_, _, b)) => *b = b.min(secs),
-                None => best.push((policy, cells, secs)),
+                None => best.push((label, cells, secs)),
             }
         }
     }
@@ -104,8 +189,87 @@ pub fn measure(reps: usize) -> Result<Vec<GroupTiming>, String> {
                 f64::INFINITY
             },
             wall_secs,
+            max_rel_err: None,
         })
         .collect())
+}
+
+struct DayMeasurement {
+    groups: Vec<GroupTiming>,
+    exact_identical: bool,
+}
+
+/// Measure the faulted day on the per-event, batched-exact, and fluid
+/// paths, checking batched ≡ event byte-for-byte and recording the fluid
+/// path's measured relative error.
+fn measure_faulted_day(reps: usize) -> Result<DayMeasurement, String> {
+    let spec = faulted_day_spec();
+    let fluid_spec = spec.clone().with_fluid(FAULTED_DAY_FLUID_MIN);
+    let batched = PlatformBuilder::aws().build();
+    let event = PlatformBuilder::aws().build().with_batching(false);
+    let run = |platform: &CloudPlatform, s: &BurstSpec| {
+        platform
+            .run_burst(s)
+            .map_err(|e| format!("faulted day burst: {e:?}"))
+    };
+
+    // Correctness before timing: the batched exact path must reproduce the
+    // event path byte-for-byte, and the fluid error is measured against the
+    // exact run.
+    let exact = run(&batched, &spec)?;
+    let exact_identical = exact.canonical_text() == run(&event, &spec)?.canonical_text();
+    let max_rel_err = fluid_max_rel_err(&exact, &run(&batched, &fluid_spec)?);
+
+    let time = |platform: &CloudPlatform, s: &BurstSpec| -> Result<f64, String> {
+        run(platform, s)?; // warmup
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let started = Instant::now();
+            run(platform, s)?;
+            best = best.min(started.elapsed().as_secs_f64());
+        }
+        Ok(best)
+    };
+    let event_secs = time(&event, &spec)?;
+    let batched_secs = time(&batched, &spec)?;
+    let fluid_secs = time(&batched, &fluid_spec)?;
+    let group = |policy: &str, wall_secs: f64, max_rel_err: Option<f64>| GroupTiming {
+        policy: policy.to_string(),
+        cells: 1,
+        cells_per_sec: if wall_secs > 0.0 {
+            1.0 / wall_secs
+        } else {
+            f64::INFINITY
+        },
+        wall_secs,
+        max_rel_err,
+    };
+    Ok(DayMeasurement {
+        groups: vec![
+            group("faulted-day-event", event_secs, None),
+            group("faulted-day", batched_secs, None),
+            group("faulted-day-fluid", fluid_secs, Some(max_rel_err)),
+        ],
+        exact_identical,
+    })
+}
+
+/// Max relative error of the fluid run's per-instance timestamps
+/// (scheduled/started/finished) against the exact run's.
+pub fn fluid_max_rel_err(exact: &RunReport, fluid: &RunReport) -> f64 {
+    let mut max = 0.0f64;
+    for (e, f) in exact.instances.iter().zip(&fluid.instances) {
+        for (a, b) in [
+            (e.scheduled_at, f.scheduled_at),
+            (e.started_at, f.started_at),
+            (e.finished_at, f.finished_at),
+        ] {
+            if a.abs() > 1e-12 {
+                max = max.max(((b - a) / a).abs());
+            }
+        }
+    }
+    max
 }
 
 /// One serial run of the grid; returns `(policy, cells, wall_secs)` per
@@ -219,15 +383,19 @@ pub fn render_json(
     out.push_str("  \"bench\": \"kernel\",\n");
     out.push_str(&format!("  \"seed\": {KERNEL_SEED},\n"));
     out.push_str(
-        "  \"grid\": \"aws,funcx x sort,video x c{500,1000} x {no-packing,propack-joint} x {cold,fixed:60} x seed 42\",\n",
+        "  \"grid\": \"aws,funcx x sort,video x c{500,1000} x {no-packing,propack-joint} x {cold,fixed:60} x seed 42; faulted-* = same grid under crash/provision/straggler faults at fixed:4, plus the 100k-function faulted day (event|batched|fluid)\",\n",
     );
     out.push_str(&format!("  \"reps\": {reps},\n"));
     out.push_str(&format!("  \"outputs_identical\": {outputs_identical},\n"));
     out.push_str("  \"groups\": [\n");
     for (i, g) in groups.iter().enumerate() {
         let comma = if i + 1 < groups.len() { "," } else { "" };
+        let err = g
+            .max_rel_err
+            .map(|e| format!(", \"max_rel_err\": {e:.6}"))
+            .unwrap_or_default();
         out.push_str(&format!(
-            "    {{\"policy\": \"{}\", \"cells\": {}, \"wall_secs\": {:.6}, \"cells_per_sec\": {:.3}}}{comma}\n",
+            "    {{\"policy\": \"{}\", \"cells\": {}, \"wall_secs\": {:.6}, \"cells_per_sec\": {:.3}{err}}}{comma}\n",
             g.policy, g.cells, g.wall_secs, g.cells_per_sec
         ));
     }
@@ -293,6 +461,38 @@ mod tests {
     }
 
     #[test]
+    fn faulted_grid_and_day_cover_the_cohort_fast_paths() {
+        assert_eq!(faulted_grid().cell_count(), 8);
+        let day = faulted_day_spec();
+        assert_eq!(day.instances, FAULTED_DAY_FUNCTIONS / FAULTED_DAY_DEGREE);
+        assert_eq!(day.packing_degree, FAULTED_DAY_DEGREE);
+        assert!(!day.faults.is_none(), "the day must actually fault");
+        assert!(
+            day.fluid_min_cohort.is_none(),
+            "exact by default; only the fluid group opts in"
+        );
+    }
+
+    #[test]
+    fn fluid_error_is_zero_against_itself_and_positive_against_fluid() {
+        // Cheap end-to-end sanity of the error metric on a small burst.
+        let platform = PlatformBuilder::aws().build();
+        let spec = faulted_day_spec();
+        let small = BurstSpec {
+            instances: 400,
+            ..spec
+        };
+        let exact = platform.run_burst(&small).expect("exact");
+        assert_eq!(fluid_max_rel_err(&exact, &exact), 0.0);
+        let fluid = platform
+            .run_burst(&small.clone().with_fluid(1))
+            .expect("fluid");
+        let err = fluid_max_rel_err(&exact, &fluid);
+        assert!(err > 0.0, "fluid must actually approximate");
+        assert!(err < 0.06, "err {err} past the AWS control-jitter bound");
+    }
+
+    #[test]
     fn warm_cells_get_their_own_group_labels() {
         // Cold cells keep the bare policy label so the committed baseline
         // stays comparable; only warm cells grow a suffix.
@@ -311,12 +511,14 @@ mod tests {
                 cells: 8,
                 wall_secs: 0.25,
                 cells_per_sec: 32.0,
+                max_rel_err: None,
             },
             GroupTiming {
                 policy: "propack-joint-0.5".into(),
                 cells: 8,
                 wall_secs: 2.0,
                 cells_per_sec: 4.0,
+                max_rel_err: Some(0.012345),
             },
         ];
         let json = render_json(
@@ -335,6 +537,7 @@ mod tests {
         );
         assert!(json.contains("\"outputs_identical\": true"));
         assert!(json.contains("\"speedup\": 3.100"));
+        assert!(json.contains("\"max_rel_err\": 0.012345"));
         // Braces and brackets balance (the render is hand-rolled).
         let opens = json.matches(['{', '[']).count();
         let closes = json.matches(['}', ']']).count();

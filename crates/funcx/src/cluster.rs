@@ -159,6 +159,10 @@ impl ServerlessPlatform for FuncXPlatform {
         self.config.profile.default_faults()
     }
 
+    fn placement_secs(&self) -> f64 {
+        self.config.sched_base_secs
+    }
+
     fn run_burst(&self, spec: &BurstSpec) -> Result<RunReport, PlatformError> {
         let cfg = &self.config;
         if spec.instances == 0 || spec.packing_degree == 0 {

@@ -34,10 +34,23 @@ pub const WARM_REUSE_STORAGE_DISCOUNT: f64 = 0.4;
 /// the storage bill, discounted by [`WARM_REUSE_STORAGE_DISCOUNT`]. Compute
 /// seconds are unaffected — provisioning time was never billed (§2.3), so
 /// the warm/cold split shows up on the storage line only.
+///
+/// **Saturating**: `warm_instances` is clamped to `total_instances`, so an
+/// over-count can never credit more than the full-warm storage share, and
+/// `total_instances == 0` earns nothing. An over-count is also a caller
+/// bug — a pool cannot grant more warm containers than the burst admitted
+/// (`request.rs` derives both arguments from the same round-0 burst, where
+/// the invariant holds by construction) — so debug builds trap it while
+/// release builds keep the documented clamp.
 pub fn warm_reuse_credit(expense: &Expense, warm_instances: u32, total_instances: u32) -> f64 {
     if total_instances == 0 {
         return 0.0;
     }
+    debug_assert!(
+        warm_instances <= total_instances,
+        "warm_reuse_credit: {warm_instances} warm grants exceed {total_instances} admitted \
+         instances; the credit saturates at the full-warm share"
+    );
     let fraction = f64::from(warm_instances.min(total_instances)) / f64::from(total_instances);
     expense.storage_usd * WARM_REUSE_STORAGE_DISCOUNT * fraction
 }
@@ -178,7 +191,19 @@ mod tests {
         assert!((full - e.storage_usd * WARM_REUSE_STORAGE_DISCOUNT).abs() < 1e-15);
         // Degenerate inputs never over-credit or divide by zero.
         assert_eq!(warm_reuse_credit(&e, 10, 0), 0.0);
-        assert!((warm_reuse_credit(&e, 100, 40) - full).abs() < 1e-15);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "warm grants exceed"))]
+    fn warm_overcount_traps_in_debug_and_saturates_in_release() {
+        // warm > total is a caller bug: debug builds trap it loudly, while
+        // release builds keep the documented saturating clamp (never more
+        // than the full-warm credit).
+        let prices = PlatformProfile::aws_lambda().prices;
+        let e = bill_burst(&prices, &work(), 10.0, &[100.0; 40], 1);
+        let full = warm_reuse_credit(&e, 40, 40);
+        let over = warm_reuse_credit(&e, 100, 40);
+        assert!((over - full).abs() < 1e-15);
     }
 
     #[test]

@@ -47,6 +47,16 @@ pub struct BurstSpec {
     /// Retry/backoff policy for faulted instances.
     #[serde(default)]
     pub retry: RetryPolicy,
+    /// Opt-in fluid approximation: bursts of at least this many instances
+    /// replace the event-driven control plane with its closed-form
+    /// mean-field wave (control-plane jitter set to its mean of 1; fault
+    /// and execution draws stay exact), trading a bounded relative error
+    /// on timestamps — at most the profile's control jitter amplitude —
+    /// for an event-free O(instances) run. `None` (the default) never
+    /// approximates: every spec that doesn't ask for fluid execution
+    /// replays its exact timeline.
+    #[serde(default)]
+    pub fluid_min_cohort: Option<u32>,
 }
 
 /// Serde mirror of [`BurstSpec`] with the workload stored by value, keeping
@@ -64,6 +74,8 @@ pub struct BurstSpecWire {
     faults: FaultSpec,
     #[serde(default)]
     retry: RetryPolicy,
+    #[serde(default)]
+    fluid_min_cohort: Option<u32>,
 }
 
 impl From<BurstSpecWire> for BurstSpec {
@@ -77,6 +89,7 @@ impl From<BurstSpecWire> for BurstSpec {
             warm_starts: w.warm_starts,
             faults: w.faults,
             retry: w.retry,
+            fluid_min_cohort: w.fluid_min_cohort,
         }
     }
 }
@@ -92,6 +105,7 @@ impl From<BurstSpec> for BurstSpecWire {
             warm_starts: s.warm_starts,
             faults: s.faults,
             retry: s.retry,
+            fluid_min_cohort: s.fluid_min_cohort,
         }
     }
 }
@@ -111,6 +125,7 @@ impl BurstSpec {
             warm_starts: Vec::new(),
             faults: FaultSpec::none(),
             retry: RetryPolicy::default(),
+            fluid_min_cohort: None,
         }
     }
 
@@ -147,6 +162,15 @@ impl BurstSpec {
     /// Builder-style retry-policy setter.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Builder-style fluid opt-in: approximate bursts of at least
+    /// `min_cohort` instances with the closed-form mean-field control
+    /// plane (see the field docs for the error bound). Smaller bursts —
+    /// and every traced run — keep the exact event path.
+    pub fn with_fluid(mut self, min_cohort: u32) -> Self {
+        self.fluid_min_cohort = Some(min_cohort.max(1));
         self
     }
 

@@ -19,17 +19,34 @@
 //! stage transition is a [`BurstEvent`] (a small enum recycled through a
 //! slab), not a boxed closure, and the t = 0 fan-out enqueues all `C`
 //! invocations in one [`Sim::schedule_batch`] call. On top of that,
-//! fault-free instances take a *cohort* shortcut: once an instance clears
-//! the shared control plane (scheduler, build/ship pipes, provision — which
-//! all consume the sequential control-plane RNG and therefore must stay in
-//! event order), its execution phase touches only per-instance state. If
-//! attempt 1 cannot crash and tracing is off, the start/finish timestamps
-//! are computed arithmetically with the burst's hoisted interference term
-//! instead of dispatching two more events — bit-identical to the
-//! event-by-event timeline (asserted by the golden replay tests) because
-//! the arithmetic replays the exact f64 operation chain the events would
-//! have performed. Crashing, provision-failing and traced instances still
+//! every instance takes a *cohort* shortcut through its execution phase:
+//! once an instance clears the shared control plane (scheduler, build/ship
+//! pipes, provision — which all consume the sequential control-plane RNG
+//! and therefore must stay in event order), everything that remains touches
+//! only per-instance state. The burst pre-evaluates its whole
+//! [`CohortOutcomes`] batch (survivor set, crash chains, severity factors)
+//! up front, and when the cohort's total retry demand fits the burst's
+//! retry budget — so no grant/deny decision can depend on event
+//! interleaving — each instance's full crash/retry/finish chain is
+//! replayed arithmetically at control-plane time instead of dispatching
+//! `RunAttempt`/`Crashed`/`Finish` events through the heap. This is
+//! bit-identical to the event-by-event timeline (asserted by the golden
+//! replay tests and the faulted equivalence matrix) because the arithmetic
+//! replays the exact f64 operation chain the events would have performed
+//! on the exact same pure fault draws. Traced runs, and bursts whose retry
+//! demand exceeds their budget (where grant order *does* matter), still
 //! simulate event-by-event.
+//!
+//! ## Fluid approximation
+//!
+//! On explicit opt-in ([`BurstSpec::with_fluid`]) very large cohorts skip
+//! the event heap entirely: the shared control plane collapses to its
+//! mean-field wave (every control-plane jitter at its mean of 1, pipes as
+//! running maxima), while fault and execution draws stay exact. Every
+//! timestamp is a monotone function of the jitter draws, so the fluid
+//! timeline's relative error is bounded by the profile's control jitter
+//! amplitude — measured and gated in the bench harness. Exact paths are
+//! never affected: fluid runs only when asked, and never under tracing.
 
 use crate::billing::{bill_burst, Expense};
 use crate::burst::BurstSpec;
@@ -38,10 +55,10 @@ use crate::fleet::Fleet;
 use crate::instance::packed_exec_secs;
 use crate::profile::{PlatformProfile, PriceSheet};
 use crate::report::{FaultSummary, InstanceRecord, RunReport, ScalingBreakdown};
-use propack_simcore::rng::{jitter, lanes};
+use propack_simcore::rng::{jitter, jitter_value, lanes};
 use propack_simcore::{
-    BandwidthPipe, EventState, FaultPlan, FaultSpec, FifoResource, RetryPolicy, RngStreams, Sim,
-    SimTime, Tracer,
+    BandwidthPipe, CohortOutcomes, EventState, FaultPlan, FaultSpec, FifoResource, RetryPolicy,
+    RngStreams, Sim, SimTime, Tracer,
 };
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
@@ -87,6 +104,15 @@ pub trait ServerlessPlatform {
     fn default_faults(&self) -> FaultSpec {
         FaultSpec::none()
     }
+
+    /// Per-placement scheduler latency: the linear control-plane cost every
+    /// placement pays whether it starts warm or cold. Pool-aware planners
+    /// charge it to warm instances — the fitted model's linear coefficient
+    /// conflates it with build/ship costs that warm starts skip, so it must
+    /// be surfaced separately. Zero unless the implementation knows it.
+    fn placement_secs(&self) -> f64 {
+        0.0
+    }
 }
 
 /// A commercial-cloud serverless platform driven by a calibration profile.
@@ -94,6 +120,7 @@ pub trait ServerlessPlatform {
 pub struct CloudPlatform {
     profile: PlatformProfile,
     tracing: bool,
+    batching: bool,
 }
 
 impl CloudPlatform {
@@ -103,6 +130,7 @@ impl CloudPlatform {
         CloudPlatform {
             profile,
             tracing: false,
+            batching: true,
         }
     }
 
@@ -110,6 +138,21 @@ impl CloudPlatform {
     pub fn with_tracing(mut self, enabled: bool) -> Self {
         self.tracing = enabled;
         self
+    }
+
+    /// Enable or disable cohort batching (on by default). With batching
+    /// off, every instance simulates event-by-event — the pre-cohort
+    /// kernel. Results are bit-identical either way (the fast paths
+    /// replay the exact event arithmetic); the toggle exists so benches
+    /// and equivalence tests can measure one path against the other.
+    pub fn with_batching(mut self, enabled: bool) -> Self {
+        self.batching = enabled;
+        self
+    }
+
+    /// Whether cohort batching is enabled (see [`Self::with_batching`]).
+    pub fn batching_enabled(&self) -> bool {
+        self.batching
     }
 
     /// Whether this platform traces lifecycle events by default.
@@ -162,6 +205,14 @@ struct BurstState {
     /// Seeded fault draws (lanes independent of `ctrl_rng`/`exec`, so a
     /// fault-free spec replays the historical timeline bit-identically).
     fault_plan: FaultPlan,
+    /// Pre-evaluated batch of the burst's fault draws (empty when cohort
+    /// batching is off — the accessors are total, so an empty batch just
+    /// reads as "no faults anywhere").
+    cohort: CohortOutcomes,
+    /// Whether the cohort chain fast path is active: batching is on, the
+    /// run is untraced, and the cohort's retry demand fits the budget (so
+    /// grant order cannot matter and chains replay order-independently).
+    cohort_enabled: bool,
     retry: RetryPolicy,
     /// Burst-wide retry budget; consumed in deterministic event order.
     retry_budget_left: u32,
@@ -252,6 +303,10 @@ impl ServerlessPlatform for CloudPlatform {
         self.profile.prices
     }
 
+    fn placement_secs(&self) -> f64 {
+        self.profile.control.sched_base_secs
+    }
+
     fn nominal_exec_secs(&self, work: &crate::WorkProfile, packing_degree: u32) -> f64 {
         packed_exec_secs(&self.profile.instance, work, packing_degree)
     }
@@ -294,6 +349,28 @@ impl CloudPlatform {
 
         let n = spec.instances;
         let streams = RngStreams::new(spec.seed);
+        let fault_plan = FaultPlan::new(&streams, spec.faults);
+        // Warm-pool grants pin the warm count exactly; fraction-driven
+        // specs keep the legacy floor arithmetic.
+        let warm_count = if spec.warm_starts.is_empty() {
+            (spec.warm_fraction * n as f64).floor() as u32
+        } else {
+            (spec.warm_starts.len() as u32).min(n)
+        };
+        // Pre-evaluate the cohort's fault draws in bulk. The chain fast
+        // path is sound only when every retry the cohort could ask for is
+        // guaranteed a grant: then no instance's chain depends on global
+        // event interleaving, and per-instance replay is order-free.
+        let batching = self.batching && !tracer.is_enabled();
+        let cohort = if batching {
+            fault_plan.cohort_outcomes(n, warm_count, &spec.retry)
+        } else {
+            CohortOutcomes::default()
+        };
+        let cohort_enabled = batching && cohort.retry_demand() <= u64::from(spec.retry.retry_budget);
+        if cohort_enabled && spec.fluid_min_cohort.is_some_and(|min| n >= min) {
+            return self.run_burst_fluid(spec, tracer, &streams, &cohort, warm_count);
+        }
         let state = BurstState {
             profile: self.profile,
             tracer,
@@ -318,7 +395,9 @@ impl CloudPlatform {
             place_failures: 0,
             records: (0..n).map(pending_record).collect(),
             ctrl_rng: streams.stream(lanes::CONTROL_PLANE),
-            fault_plan: FaultPlan::new(&streams, spec.faults),
+            fault_plan,
+            cohort,
+            cohort_enabled,
             retry: spec.retry,
             retry_budget_left: spec.retry.retry_budget,
             faults: FaultSummary::default(),
@@ -327,14 +406,7 @@ impl CloudPlatform {
 
         let mut sim = Sim::new(state);
         // All invocations arrive at t = 0, enqueued as one batch (instance
-        // order is preserved — consecutive sequence numbers). Warm-pool
-        // grants pin the warm count exactly; fraction-driven specs keep the
-        // legacy floor arithmetic.
-        let warm_count = if spec.warm_starts.is_empty() {
-            (spec.warm_fraction * n as f64).floor() as u32
-        } else {
-            (spec.warm_starts.len() as u32).min(n)
-        };
+        // order is preserved — consecutive sequence numbers).
         sim.schedule_batch(
             SimTime::ZERO,
             (0..n).map(|i| BurstEvent::Invoke {
@@ -371,6 +443,175 @@ impl CloudPlatform {
                 faults: state.faults,
             },
             state.tracer,
+        ))
+    }
+
+    /// The fluid fast path: the shared control plane collapses to its
+    /// mean-field wave (every `ctrl_rng` jitter replaced by its mean of 1)
+    /// and each instance's timeline is computed in one O(n) sweep with no
+    /// event heap at all. Fault outcomes and execution draws are the exact
+    /// per-instance values the event path would use, so billing and the
+    /// survivor set match the exact run up to float rounding; timestamps
+    /// are monotone in the suppressed jitter draws, so their relative
+    /// error is bounded by the profile's control jitter amplitude.
+    ///
+    /// Only reachable when the spec opted in ([`BurstSpec::with_fluid`]),
+    /// tracing is off, and the cohort's retry demand fits its budget.
+    fn run_burst_fluid(
+        &self,
+        spec: &BurstSpec,
+        tracer: Tracer,
+        streams: &RngStreams,
+        cohort: &CohortOutcomes,
+        warm_count: u32,
+    ) -> Result<(RunReport, Tracer), PlatformError> {
+        let n = spec.instances;
+        let ctrl = self.profile.control;
+        let exec_jitter = self.profile.instance.exec_jitter;
+        let base_exec = packed_exec_secs(&self.profile.instance, &spec.workload, spec.packing_degree);
+        let cold_secs = ctrl.cold_start_secs + spec.workload.dependency_load_secs;
+        let tau_build = ctrl.image_bytes / ctrl.build_bytes_per_sec;
+        let max_attempts = spec.retry.max_attempts;
+        let mut faults = FaultSummary::default();
+        let mut records: Vec<InstanceRecord> = (0..n).map(pending_record).collect();
+        // Exact per-instance execution jitters, swept eight stream heads at
+        // a time — the same values `stream_indexed(EXEC, i)` would draw.
+        let mut exec_jitters: Vec<f64> = Vec::with_capacity(n as usize);
+        let mut i = 0u32;
+        while i < n {
+            let k = (n - i).min(8);
+            let indices = [0u32, 1, 2, 3, 4, 5, 6, 7].map(|j| u64::from(i + j.min(k - 1)));
+            let heads = streams.head_indexed8(lanes::EXEC, indices);
+            for head in heads.iter().take(k as usize) {
+                exec_jitters.push(jitter_value(head.f64_draw(0), exec_jitter));
+            }
+            i += k;
+        }
+        // Pipe frontiers: when the scheduler / build pipe / ship fabric
+        // next falls idle. All arrivals are at t = 0 and the stages are
+        // FIFO, so each is a running maximum over instance order.
+        let mut sched_done = 0.0f64;
+        let mut build_free = 0.0f64;
+        let mut ship_free = 0.0f64;
+        let mut build_busy = 0.0f64;
+        let mut ship_busy = 0.0f64;
+        for i in 0..n {
+            sched_done += ctrl.sched_base_secs + ctrl.sched_per_inflight_secs * f64::from(i);
+            let warm = i < warm_count;
+            {
+                let rec = &mut records[i as usize];
+                rec.scheduled_at = sched_done;
+                rec.warm = warm;
+            }
+            // Control plane: warm containers are already built, shipped and
+            // provisioned; cold ones queue through the build and ship pipes
+            // and boot (possibly several times) at the mean cold-start.
+            let started = if warm {
+                let rec = &mut records[i as usize];
+                rec.built_at = sched_done;
+                rec.shipped_at = sched_done;
+                let latency = spec
+                    .warm_starts
+                    .get(i as usize)
+                    .copied()
+                    .unwrap_or(crate::warmpool::WARM_START_SECS);
+                sched_done + latency
+            } else {
+                let built = sched_done.max(build_free) + tau_build;
+                build_busy += tau_build;
+                build_free = built;
+                let mut ship_bytes = ctrl.image_bytes;
+                if let Some(factor) = cohort.ship_stall(i) {
+                    faults.ship_stalls += 1;
+                    ship_bytes *= factor;
+                }
+                let tau_ship = ship_bytes / ctrl.ship_bytes_per_sec;
+                let shipped = built.max(ship_free) + tau_ship;
+                ship_busy += tau_ship;
+                ship_free = shipped;
+                let rec = &mut records[i as usize];
+                rec.built_at = built;
+                rec.shipped_at = shipped;
+                let fails = cohort.provision_failures(i);
+                faults.provision_failures += u64::from(fails);
+                let mut boot_at = shipped;
+                if !cohort.provisions(i) {
+                    // Terminal provision failure: every boot consumed its
+                    // cold-start time, all but the last earned a retry.
+                    for attempt in 1..fails {
+                        boot_at += cold_secs + spec.retry.backoff_secs(attempt);
+                        faults.retries += 1;
+                    }
+                    let abandoned_at = boot_at + cold_secs;
+                    rec.started_at = abandoned_at;
+                    rec.finished_at = abandoned_at;
+                    rec.failed = true;
+                    faults.failed_functions += u64::from(spec.packing_degree);
+                    continue;
+                }
+                for attempt in 1..=fails {
+                    boot_at += cold_secs + spec.retry.backoff_secs(attempt);
+                    faults.retries += 1;
+                }
+                boot_at + cold_secs
+            };
+            // Execution phase: exact per-instance draws, exact crash-chain
+            // arithmetic — identical to the cohort chain fast path, just
+            // anchored on the fluid control-plane start instant.
+            let mut exec = base_exec * exec_jitters[i as usize];
+            if let Some(factor) = cohort.straggler(i) {
+                faults.stragglers += 1;
+                exec *= factor;
+            }
+            let rec = &mut records[i as usize];
+            rec.started_at = started;
+            let mut t = started;
+            let mut abandoned = false;
+            for attempt in 1..=cohort.crash_count(i) {
+                let crashed = t + exec * cohort.crash_chain(i)[(attempt - 1) as usize];
+                faults.crashes += 1;
+                rec.billed_secs += crashed - t;
+                if attempt < max_attempts {
+                    faults.retries += 1;
+                    t = crashed + spec.retry.backoff_secs(attempt);
+                } else {
+                    rec.finished_at = crashed;
+                    rec.failed = true;
+                    faults.failed_functions += u64::from(spec.packing_degree);
+                    abandoned = true;
+                    break;
+                }
+            }
+            if !abandoned {
+                let finished = t + exec;
+                rec.billed_secs += finished - t;
+                rec.finished_at = finished;
+            }
+        }
+        let max_of = |f: fn(&InstanceRecord) -> f64| records.iter().map(f).fold(0.0, f64::max);
+        let started_max = max_of(|r| r.started_at);
+        let shipped_max = max_of(|r| r.shipped_at);
+        let scaling = ScalingBreakdown {
+            scheduling_secs: max_of(|r| r.scheduled_at),
+            startup_secs: build_busy,
+            shipping_secs: ship_busy,
+            provisioning_secs: (started_max - shipped_max).max(0.0),
+            total_secs: started_max,
+        };
+        let billed_secs: Vec<f64> = records.iter().map(|r| r.billed_secs).collect();
+        let expense = compute_expense(&self.profile, spec, &billed_secs);
+        Ok((
+            RunReport {
+                platform: self.name(),
+                workload: spec.workload.name.clone(),
+                instances_requested: n,
+                packing_degree: spec.packing_degree,
+                instances: records,
+                scaling,
+                expense,
+                faults,
+            },
+            tracer,
         ))
     }
 }
@@ -551,17 +792,27 @@ fn provision_failed(sim: &mut Sim<BurstState>, i: u32, attempt: u32) {
 /// their own fault lanes.
 fn start_execution(sim: &mut Sim<BurstState>, i: u32, provision_secs: f64, attempt: u32) {
     let s = sim.state_mut();
-    // Cohort fast path: a first attempt that cannot crash touches only
-    // per-instance state from here on (the exec draw comes from the
+    // Cohort fast path: an instance entering its execution phase touches
+    // only per-instance state from here on (the exec draw comes from the
     // instance's own RNG stream, straggler/crash draws are pure functions
     // of the fault lanes, and fleet release order is report-invisible), so
-    // its start/finish can be computed arithmetically instead of
-    // dispatching RunAttempt + Finish through the queue. Traced runs stay
-    // on the event path so the tracer observes every transition in
-    // chronological order.
-    if attempt == 1 && !s.tracer.is_enabled() && s.fault_plan.crash_point(i, 1).is_none() {
-        finish_arithmetically(sim, i, provision_secs);
-        return;
+    // its whole crash/retry/finish chain can be computed arithmetically
+    // instead of dispatching RunAttempt/Crashed/Finish through the queue —
+    // provided the cohort's retry demand fits the budget, which guarantees
+    // every retry in the chain is granted regardless of how the event path
+    // would have interleaved grants. Traced runs stay on the event path so
+    // the tracer observes every transition in chronological order, and a
+    // budget-constrained burst falls back to the crash-free-only shortcut
+    // (grant order matters there, so crashing chains must run as events).
+    if attempt == 1 && !s.tracer.is_enabled() {
+        if s.cohort_enabled {
+            finish_chain_arithmetically(sim, i, provision_secs);
+            return;
+        }
+        if s.fault_plan.crash_point(i, 1).is_none() {
+            finish_arithmetically(sim, i, provision_secs);
+            return;
+        }
     }
     let started = sim.now() + provision_secs;
     sim.schedule_event(started, BurstEvent::RunAttempt { i, attempt });
@@ -577,8 +828,9 @@ fn finish_arithmetically(sim: &mut Sim<BurstState>, i: u32, provision_secs: f64)
     let started = sim.now() + provision_secs;
     let started_secs = started.as_secs();
     let s = sim.state_mut();
-    let mut exec_rng = s.streams.stream_indexed(lanes::EXEC, i as u64);
-    let mut exec = s.base_exec_secs * jitter(&mut exec_rng, s.profile.instance.exec_jitter);
+    let exec_head = s.streams.head_indexed(lanes::EXEC, u64::from(i));
+    let mut exec =
+        s.base_exec_secs * jitter_value(exec_head.f64_draw(0), s.profile.instance.exec_jitter);
     if let Some(factor) = s.fault_plan.straggler(i) {
         s.faults.stragglers += 1;
         exec *= factor;
@@ -589,6 +841,61 @@ fn finish_arithmetically(sim: &mut Sim<BurstState>, i: u32, provision_secs: f64)
     record.started_at = started_secs;
     record.finished_at = finished_secs;
     record.billed_secs += finished_secs - started_secs;
+    let server = s.placements[i as usize];
+    s.fleet.release(server);
+}
+
+/// The cohort fast path's arithmetic replay of the *entire* execution
+/// phase — attempt 1 through every crash, backoff and retry, to the final
+/// finish or abandonment — using the pre-evaluated [`CohortOutcomes`]
+/// chain. Each step performs exactly the f64 operations the event path
+/// would: attempts fire at `SimTime` instants built by the same
+/// `time + delay` additions, billing accumulates the same differences of
+/// the same rounded second values, and fault counters advance by the same
+/// amounts (order-invisible sums; every retry here is pre-guaranteed a
+/// budget grant, so the chronological budget race the event path runs
+/// cannot change any decision).
+fn finish_chain_arithmetically(sim: &mut Sim<BurstState>, i: u32, provision_secs: f64) {
+    let mut t = sim.now() + provision_secs;
+    let s = sim.state_mut();
+    let started_secs = t.as_secs();
+    let exec_head = s.streams.head_indexed(lanes::EXEC, u64::from(i));
+    let mut exec =
+        s.base_exec_secs * jitter_value(exec_head.f64_draw(0), s.profile.instance.exec_jitter);
+    if let Some(factor) = s.cohort.straggler(i) {
+        s.faults.stragglers += 1;
+        exec *= factor;
+    }
+    s.records[i as usize].started_at = started_secs;
+    for attempt in 1..=s.cohort.crash_count(i) {
+        // The attempt dies after completing its drawn fraction; the
+        // partial run is billed (the provider metered it).
+        let crashed = t + exec * s.cohort.crash_chain(i)[(attempt - 1) as usize];
+        s.faults.crashes += 1;
+        s.records[i as usize].billed_secs += crashed.as_secs() - t.as_secs();
+        if attempt < s.retry.max_attempts {
+            s.retry_budget_left -= 1;
+            s.faults.retries += 1;
+            t = crashed + s.retry.backoff_secs(attempt);
+        } else {
+            // Out of attempts: abandon at the crash instant, exactly as
+            // the event path's `abandon` would.
+            let record = &mut s.records[i as usize];
+            if record.started_at <= 0.0 {
+                record.started_at = crashed.as_secs();
+            }
+            record.finished_at = crashed.as_secs();
+            record.failed = true;
+            s.faults.failed_functions += u64::from(s.packing_degree);
+            let server = s.placements[i as usize];
+            s.fleet.release(server);
+            return;
+        }
+    }
+    let finished = t + exec;
+    let record = &mut s.records[i as usize];
+    record.finished_at = finished.as_secs();
+    record.billed_secs += finished.as_secs() - t.as_secs();
     let server = s.placements[i as usize];
     s.fleet.release(server);
 }
@@ -1134,6 +1441,142 @@ mod fault_tests {
         );
         let abandoned = report.instances.iter().filter(|r| r.failed).count();
         assert_eq!(trace.at_stage("abandoned").count(), abandoned);
+    }
+}
+
+#[cfg(test)]
+mod fluid_tests {
+    use super::*;
+    use crate::builder::PlatformBuilder;
+    use crate::work::WorkProfile;
+
+    fn aws() -> CloudPlatform {
+        PlatformBuilder::aws().build()
+    }
+
+    fn work() -> WorkProfile {
+        WorkProfile::synthetic("w", 0.25, 60.0).with_contention(0.2)
+    }
+
+    fn faulted_spec() -> BurstSpec {
+        BurstSpec::packed(work(), 2000, 4).with_seed(23).with_faults(
+            FaultSpec::none()
+                .with_crash_rate(0.04)
+                .with_provision_failure_rate(0.03)
+                .with_ship_stall(0.02, 5.0)
+                .with_straggler(0.02, 3.0),
+        )
+    }
+
+    /// Max relative error of the fluid timeline against the exact one,
+    /// over every per-instance timestamp.
+    fn max_rel_err(exact: &RunReport, fluid: &RunReport) -> f64 {
+        exact
+            .instances
+            .iter()
+            .zip(&fluid.instances)
+            .flat_map(|(e, f)| {
+                [
+                    (e.scheduled_at, f.scheduled_at),
+                    (e.started_at, f.started_at),
+                    (e.finished_at, f.finished_at),
+                ]
+            })
+            .map(|(e, f)| (e - f).abs() / e)
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn fluid_error_stays_under_the_jitter_bound() {
+        let p = aws();
+        let exact = p.run_burst(&faulted_spec()).unwrap();
+        let fluid = p.run_burst(&faulted_spec().with_fluid(500)).unwrap();
+        // Every timestamp is a monotone function of the suppressed
+        // control-plane jitter draws (amplitude `amp`), so the fluid value
+        // sits within a factor (1 ± amp) of the exact one — relative to
+        // the exact timeline that is amp / (1 − amp).
+        let amp = p.profile().control.jitter;
+        let bound = amp / (1.0 - amp);
+        let err = max_rel_err(&exact, &fluid);
+        assert!(err <= bound, "fluid error {err} exceeds bound {bound}");
+        assert!(err > 0.0, "fluid must actually approximate");
+    }
+
+    #[test]
+    fn fluid_preserves_outcomes_and_billing() {
+        let p = aws();
+        let exact = p.run_burst(&faulted_spec()).unwrap();
+        let fluid = p.run_burst(&faulted_spec().with_fluid(1)).unwrap();
+        // Fault draws are exact in the fluid path: same counters, same
+        // survivor set, same warm split.
+        assert_eq!(exact.faults, fluid.faults);
+        for (e, f) in exact.instances.iter().zip(&fluid.instances) {
+            assert_eq!(e.failed, f.failed);
+            assert_eq!(e.warm, f.warm);
+            // Billing differences are pure float rounding (the billed spans
+            // are the same exec sums anchored at different start instants).
+            assert!((e.billed_secs - f.billed_secs).abs() <= 1e-6 * e.billed_secs.max(1.0));
+        }
+        let (e_usd, f_usd) = (exact.expense.total_usd(), fluid.expense.total_usd());
+        assert!((e_usd - f_usd).abs() <= 1e-9 * e_usd.max(1.0));
+    }
+
+    #[test]
+    fn fluid_is_deterministic_and_gated_by_cohort_size() {
+        let p = aws();
+        // Below the opt-in threshold the exact path runs: bit-identical to
+        // a spec that never mentioned fluid at all.
+        let exact = p.run_burst(&faulted_spec()).unwrap();
+        let gated = p
+            .run_burst(&faulted_spec().with_fluid(u32::MAX))
+            .unwrap();
+        assert_eq!(exact, gated);
+        // At or above it, the approximation is itself deterministic.
+        let a = p.run_burst(&faulted_spec().with_fluid(100)).unwrap();
+        let b = p.run_burst(&faulted_spec().with_fluid(100)).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, exact);
+    }
+
+    #[test]
+    fn traced_runs_never_go_fluid() {
+        let p = aws();
+        let (exact, _) = p.run_burst_traced(&faulted_spec()).unwrap();
+        let (traced, trace) = p.run_burst_traced(&faulted_spec().with_fluid(1)).unwrap();
+        assert_eq!(exact, traced);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn fluid_covers_warm_and_partial_bursts() {
+        // Warm grants, provision exhaustion and crash exhaustion all have
+        // fluid equivalents; the report invariants hold on each.
+        let p = aws();
+        let spec = BurstSpec::packed(work(), 1200, 4)
+            .with_seed(31)
+            .with_warm_fraction(0.3)
+            .with_faults(
+                FaultSpec::none()
+                    .with_crash_rate(0.6)
+                    .with_provision_failure_rate(0.5),
+            )
+            .with_retry(RetryPolicy {
+                max_attempts: 2,
+                ..RetryPolicy::default()
+            })
+            .with_fluid(1);
+        let exact_spec = BurstSpec {
+            fluid_min_cohort: None,
+            ..spec.clone()
+        };
+        let exact = p.run_burst(&exact_spec).unwrap();
+        let fluid = p.run_burst(&spec).unwrap();
+        assert_eq!(exact.faults, fluid.faults);
+        assert!(fluid.is_partial());
+        for (e, f) in exact.instances.iter().zip(&fluid.instances) {
+            assert_eq!(e.failed, f.failed);
+            assert!(f.finished_at >= f.started_at);
+        }
     }
 }
 

@@ -186,6 +186,10 @@ impl BurstRequest {
             if round == 0 && warm_grants > 0 {
                 // Only same-function warm starts skip dependency staging;
                 // re-specialized donors restage and earn no credit.
+                // `warm_grants <= instances` holds by construction: the pool
+                // granted at most `spec.instances` containers, and round 0's
+                // report has exactly that many records — the credit's
+                // saturating clamp (and its debug assert) never engage here.
                 warm_credit_usd = billing::warm_reuse_credit(
                     &report.expense,
                     warm_grants.min(u64::from(u32::MAX)) as u32,

@@ -114,6 +114,13 @@ pub struct WarmPoolConfig {
     pub policy: KeepAlivePolicy,
     /// Seed for the pool's RNG lanes (donor selection).
     pub seed: u64,
+    /// The platform's per-placement scheduler latency, surfaced to the
+    /// planner through [`PoolSnapshot`]. Every placement — warm or cold —
+    /// waits its turn behind the central scheduler, but the fitted model's
+    /// linear term conflates that cost with the build/ship pipeline warm
+    /// starts skip, so the planner needs it separately. Zero when unknown
+    /// (the predictor then falls back to its quadratic queue share only).
+    pub sched_secs_per_placement: f64,
 }
 
 impl WarmPoolConfig {
@@ -125,12 +132,21 @@ impl WarmPoolConfig {
             respecialize_secs: WARM_START_SECS * RESPECIALIZE_FACTOR,
             policy: KeepAlivePolicy::ColdAlways,
             seed: 0,
+            sched_secs_per_placement: 0.0,
         }
     }
 
     /// Replace the policy.
     pub fn with_policy(mut self, policy: KeepAlivePolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Record the platform's per-placement scheduler latency
+    /// ([`crate::ServerlessPlatform::placement_secs`]) for planner
+    /// snapshots.
+    pub fn with_placement_secs(mut self, secs: f64) -> Self {
+        self.sched_secs_per_placement = secs;
         self
     }
 
@@ -199,6 +215,10 @@ pub struct PoolSnapshot {
     pub warm_start_secs: f64,
     /// Latency of a re-specialized start.
     pub respecialize_secs: f64,
+    /// The platform's per-placement scheduler latency — the linear
+    /// control-plane cost every placement pays whether it starts warm or
+    /// cold (see [`WarmPoolConfig::sched_secs_per_placement`]).
+    pub sched_secs_per_placement: f64,
 }
 
 impl PoolSnapshot {
@@ -209,6 +229,7 @@ impl PoolSnapshot {
             shared_available: 0,
             warm_start_secs: WARM_START_SECS,
             respecialize_secs: WARM_START_SECS * RESPECIALIZE_FACTOR,
+            sched_secs_per_placement: 0.0,
         }
     }
 
@@ -541,6 +562,7 @@ impl WarmPool {
             shared_available: shared,
             warm_start_secs: self.config.warm_start_secs,
             respecialize_secs: self.config.respecialize_secs,
+            sched_secs_per_placement: self.config.sched_secs_per_placement,
         }
     }
 

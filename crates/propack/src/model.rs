@@ -147,11 +147,38 @@ impl PackingModel {
     /// `warm + shared` instances are served from a keep-alive pool.
     ///
     /// This is where the fitted model's *fixed-cost term becomes a function
-    /// of pool state*: only the cold instances pay the scaling delay
-    /// (Eq. 2's polynomial, evaluated at the cold count), while pooled
-    /// instances start after their warm/re-specialization latency. With a
-    /// cold snapshot ([`PoolSnapshot::cold`]) this reduces exactly to
-    /// [`PackingModel::service_secs`].
+    /// of pool state*: only the cold instances pay the linear
+    /// build/ship/provision terms of Eq. 2, while pooled instances start
+    /// after their warm/re-specialization latency. Crucially, **every**
+    /// placement — pooled or cold — still waits its turn behind the central
+    /// scheduler. That queue share has two pieces:
+    ///
+    /// * the fitted quadratic congestion term
+    ///   ([`ScalingModel::queue_secs`], `β₁·k²` of Eq. 2), and
+    /// * the linear per-placement scheduler latency reported by the
+    ///   platform ([`PoolSnapshot::sched_secs_per_placement`]). The ladder
+    ///   fit cannot supply this one: `β₁` recovers only the
+    ///   inflight-congestion coefficient (≈ `sched_per_inflight / 2`),
+    ///   while the per-placement base cost is conflated into `β₂` together
+    ///   with the build/ship pipeline that warm starts legitimately skip.
+    ///   Dropping the whole `β₂·k` for pooled instances therefore also
+    ///   dropped their scheduler share, so an all-warm burst looked like it
+    ///   started in near-constant time at any size, which drove the
+    ///   service-objective planner to P = 1 on hot days (more instances →
+    ///   more warm grants → "free" starts) even though the realized
+    ///   placement queue grows linearly-plus-quadratically in the instance
+    ///   count.
+    ///
+    /// Pooled instances are charged both pieces on top of the grant
+    /// latency, and the cold tail (scheduled after the pooled head,
+    /// mirroring `WarmPool::acquire` order) pays the queue delay of the
+    /// *whole* burst, not just of its own cold segment.
+    ///
+    /// With a cold snapshot ([`PoolSnapshot::cold`]) this reduces exactly
+    /// to [`PackingModel::service_secs`]: the pooled head is empty, the
+    /// cold tail's extra queue delay is identically zero, and a cold
+    /// snapshot carries `sched_secs_per_placement = 0` (the cold path's
+    /// scheduler cost already lives inside the fitted `β₂`).
     pub fn service_secs_pooled(
         &self,
         c: u32,
@@ -161,17 +188,30 @@ impl PackingModel {
     ) -> f64 {
         let (warm, shared, cold) = self.pool_split(c, p, pool);
         let slowest = p.max(1).min(c.max(1));
-        let warm_tail = if shared > 0 {
+        let n = f64::from(self.instances(c, p));
+        let pooled = f64::from(warm + shared);
+        let q = metric.quantile();
+        let grant = if shared > 0 {
             pool.respecialize_secs
         } else if warm > 0 {
             pool.warm_start_secs
         } else {
             0.0
         };
+        let sched = pool.sched_secs_per_placement;
+        let warm_tail = if pooled > 0.0 {
+            self.scaling.queue_secs_quantile(pooled, q) + sched * pooled * q + grant
+        } else {
+            0.0
+        };
         let start_tail = if cold > 0 {
-            self.scaling
+            let cold_tail = self
+                .scaling
                 .scaling_secs_quantile(f64::from(cold), metric.quantile())
-                .max(warm_tail)
+                + (self.scaling.queue_secs_quantile(n, q)
+                    - self.scaling.queue_secs_quantile(f64::from(cold), q))
+                + sched * (n - f64::from(cold)) * q;
+            cold_tail.max(warm_tail)
         } else {
             warm_tail
         };
@@ -392,14 +432,77 @@ mod tests {
                 < m.service_secs(c, p, Percentile::Total)
         );
         assert!(m.expense_usd_pooled(c, p, &pool) < m.expense_usd(c, p));
-        // A fully-warm burst pays only the warm-start latency.
+        // A fully-warm burst pays its placement-queue share plus the
+        // warm-start latency — not the cold build/ship/provision terms.
         let all_warm = PoolSnapshot {
             warm_available: 5000,
             shared_available: 0,
             ..PoolSnapshot::cold()
         };
         let s = m.service_secs_pooled(c, p, Percentile::Total, &all_warm);
-        assert!((s - (m.exec_secs(p) + all_warm.warm_start_secs)).abs() < 1e-12);
+        let n = f64::from(m.instances(c, p));
+        let want = m.exec_secs(p) + m.scaling.queue_secs(n) + all_warm.warm_start_secs;
+        assert!((s - want).abs() < 1e-12, "got {s}, want {want}");
+    }
+
+    #[test]
+    fn warm_head_still_pays_the_placement_queue() {
+        // The headline regression: an all-warm burst must not look like it
+        // starts in near-constant time at any size. The queue share grows
+        // quadratically with the instance count, so unpacking (P = 1, five
+        // times the instances of P = 5) must cost more queue than it saves
+        // in grant latency.
+        let m = paper_like_model();
+        let all_warm = PoolSnapshot {
+            warm_available: u32::MAX,
+            shared_available: 0,
+            ..PoolSnapshot::cold()
+        };
+        let c = 5000;
+        let s1 = m.service_secs_pooled(c, 1, Percentile::Total, &all_warm);
+        let s5 = m.service_secs_pooled(c, 5, Percentile::Total, &all_warm);
+        assert!(
+            s1 > s5,
+            "queue-blind all-warm predictor resurfaced: P=1 {s1} vs P=5 {s5}"
+        );
+        // And the queue share scales with the P = 1 instance count.
+        assert!(s1 > m.scaling.queue_secs(f64::from(c)));
+    }
+
+    #[test]
+    fn warm_head_pays_the_linear_scheduler_share_too() {
+        // The quadratic β₁·k² term alone is not enough on platforms where
+        // the fitted β₁ is tiny (a wide ladder fit recovers the true
+        // congestion coefficient, ~1e-5): the per-placement scheduler base
+        // cost lives in β₂ and must be re-charged to warm starts from the
+        // platform-reported rate.
+        let m = paper_like_model();
+        let sched = 0.2;
+        let all_warm = PoolSnapshot {
+            warm_available: u32::MAX,
+            sched_secs_per_placement: sched,
+            ..PoolSnapshot::cold()
+        };
+        let c = 2000;
+        let p = 4;
+        let s = m.service_secs_pooled(c, p, Percentile::Total, &all_warm);
+        let n = f64::from(m.instances(c, p));
+        let want =
+            m.exec_secs(p) + m.scaling.queue_secs(n) + sched * n + all_warm.warm_start_secs;
+        assert!((s - want).abs() < 1e-12, "got {s}, want {want}");
+        // With no pooled instances the rate is inert: the cold path's
+        // scheduler cost is already inside the fitted β₂.
+        let empty = PoolSnapshot {
+            sched_secs_per_placement: sched,
+            ..PoolSnapshot::cold()
+        };
+        for deg in [1, 2, 4, 8] {
+            assert_eq!(
+                m.service_secs_pooled(c, deg, Percentile::Total, &empty),
+                m.service_secs(c, deg, Percentile::Total),
+                "p={deg}"
+            );
+        }
     }
 
     #[test]
@@ -413,7 +516,9 @@ mod tests {
         let c = 2000;
         let p = 4;
         let s = m.service_secs_pooled(c, p, Percentile::Total, &shared_only);
-        assert!((s - (m.exec_secs(p) + shared_only.respecialize_secs)).abs() < 1e-12);
+        let n = f64::from(m.instances(c, p));
+        let want = m.exec_secs(p) + m.scaling.queue_secs(n) + shared_only.respecialize_secs;
+        assert!((s - want).abs() < 1e-12, "got {s}, want {want}");
         // Re-specialization restages dependencies: no storage credit.
         assert_eq!(
             m.expense_usd_pooled(c, p, &shared_only),

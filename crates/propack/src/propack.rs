@@ -579,6 +579,7 @@ mod tests {
             shared_available: 0,
             warm_start_secs: 0.05,
             respecialize_secs: 0.3,
+            sched_secs_per_placement: 0.0,
         };
         let (cold_plan, _) = pp.request(5000, Objective::ServiceTime).unwrap();
         let (warm_plan, req) = pp

@@ -76,6 +76,25 @@ impl ScalingModel {
     pub fn scaling_secs_quantile(&self, c_eff: f64, q: f64) -> f64 {
         self.scaling_secs(c_eff * q.clamp(0.0, 1.0))
     }
+
+    /// The placement-queue share of Eq. 2: the quadratic scheduler term
+    /// `β₁·k²` alone, clamped at zero like the full polynomial.
+    ///
+    /// Every placement — warm or cold — waits behind the central
+    /// scheduler's occupancy scan (the quadratic mechanism of Eq. 2); only
+    /// the cold ones then pay the linear build/ship/provision terms and
+    /// the `−β₃` offset. Warm-aware predictors charge pooled instances
+    /// this share so a large warm head is not modeled as starting in
+    /// near-constant time regardless of burst size.
+    pub fn queue_secs(&self, k: f64) -> f64 {
+        (self.beta1 * k * k).max(0.0)
+    }
+
+    /// Queue share of the first `q·k` placements (same order-preserving
+    /// argument as [`ScalingModel::scaling_secs_quantile`]).
+    pub fn queue_secs_quantile(&self, k: f64, q: f64) -> f64 {
+        self.queue_secs(k * q.clamp(0.0, 1.0))
+    }
 }
 
 #[cfg(test)]

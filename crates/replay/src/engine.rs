@@ -204,7 +204,8 @@ impl ReplayEngine {
             policy => Some(WarmPool::new(
                 WarmPoolConfig::cold()
                     .with_policy(policy)
-                    .with_seed(self.spec.seed),
+                    .with_seed(self.spec.seed)
+                    .with_placement_secs(platform.placement_secs()),
             )),
         };
         let driver = EpochDriver {
@@ -615,6 +616,72 @@ mod tests {
         // The cold spec renders without any warm line at all.
         assert!(!cold.render().contains("warm:"));
         assert!(a.render().contains("warm: keepalive="));
+    }
+
+    #[test]
+    fn warm_aware_service_plan_tracks_the_realized_ladder_optimum() {
+        // Regression for the queue-blind pooled predictor: on the hot
+        // synthetic day (EXPERIMENTS.md: `diurnal:8,0.8,600 --horizon 1200
+        // --epoch 60 --keepalive fixed:60`) the warm-aware service plan used
+        // to unpack all the way to P = 1 — the predictor charged warm
+        // instances only their grant latency, not their share of the
+        // placement queue — while the realized fixed-P ladder optimum is
+        // interior. The fixed predictor's dominant chosen degree must land
+        // within ±1 of the realized ladder argmin, and must not be 1.
+        let platform = PlatformBuilder::aws().build();
+        let work = sort_profile();
+        let trace = ArrivalTrace::diurnal("sort", 8.0, 0.8, 600.0, 1200.0, 42).expect("trace");
+        let models = ModelCache::default();
+        let engine = ReplayEngine::new(ReplaySpec {
+            epoch_secs: 60.0,
+            fit_config: small_fit(),
+            keepalive: KeepAlivePolicy::FixedKeepAlive { idle_ttl: 60.0 },
+            ..ReplaySpec::default()
+        });
+
+        // Realized fixed-P ladder (no model involved): the hindsight optimum
+        // the plan is judged against.
+        let mut ladder_argmin = 0u32;
+        let mut ladder_best = f64::INFINITY;
+        for p in [1u32, 2, 3, 4, 6, 8] {
+            let run = engine
+                .run(&platform, &work, &trace, &Controller::Fixed(p), &models)
+                .expect("ladder rung");
+            let service = run.total_service_secs();
+            if service < ladder_best {
+                ladder_best = service;
+                ladder_argmin = p;
+            }
+        }
+        assert!(
+            ladder_argmin > 1,
+            "hot day's realized optimum is interior, got P = {ladder_argmin}"
+        );
+
+        // The warm-aware plan under the service objective.
+        let controller = Controller::parse("propack:ewma").expect("controller");
+        let warm = engine
+            .run(&platform, &work, &trace, &controller, &models)
+            .expect("warm-aware run");
+        // Dominant degree = arrivals-weighted mode over the planned epochs
+        // (epoch 0 is forced unpacked by the cold forecaster, skip it).
+        let mut weight = std::collections::BTreeMap::new();
+        for e in warm.epochs.iter().skip(1).filter(|e| e.arrivals > 0) {
+            *weight.entry(e.packing_degree).or_insert(0u64) += u64::from(e.arrivals);
+        }
+        let dominant = weight
+            .iter()
+            .max_by_key(|&(_, w)| *w)
+            .map(|(&p, _)| p)
+            .expect("planned epochs exist");
+        assert!(
+            dominant > 1,
+            "warm-aware service plan must not unpack to P = 1 (ladder optimum P = {ladder_argmin})"
+        );
+        assert!(
+            dominant.abs_diff(ladder_argmin) <= 1,
+            "warm-aware dominant degree {dominant} strays from realized ladder optimum {ladder_argmin}"
+        );
     }
 
     #[test]

@@ -279,6 +279,272 @@ impl FaultPlan {
     }
 }
 
+/// Bulk-evaluated fault draws for one burst's cohort: the survivor set,
+/// per-attempt crash fractions, and per-instance severity factors, all
+/// computed in a single pass over the fault lanes.
+///
+/// Every entry is produced by the *same pure draw* the per-event path
+/// takes ([`FaultPlan::crash_point`] / [`FaultPlan::provision_fails`] /
+/// [`FaultPlan::ship_stall`] / [`FaultPlan::straggler`] on the same
+/// `(seed, lane, instance, attempt)` tuple), so consuming the batch is
+/// bit-identical to re-drawing event by event — the point is that a
+/// consumer can now decompose the cohort arithmetically (survivors,
+/// retried crashers, abandoned instances) without dispatching per-attempt
+/// events or re-constructing a lane stream per attempt.
+///
+/// Disabled fault processes take zero draws and allocate nothing, exactly
+/// like the scalar API: a fault-free spec yields an all-survivor batch
+/// with empty chain storage.
+#[derive(Debug, Clone, Default)]
+pub struct CohortOutcomes {
+    /// Per-instance straggler slowdown factor (`None` = not a straggler).
+    /// Empty when the straggler process is disabled.
+    stragglers: Vec<Option<f64>>,
+    /// Per-instance ship-stall slowdown factor. Empty when disabled.
+    ship_stalls: Vec<Option<f64>>,
+    /// Per-instance count of crashed execution attempts before the first
+    /// surviving attempt, capped at `max_attempts`. Empty when the crash
+    /// process is disabled.
+    crash_counts: Vec<u32>,
+    /// Instance-major flat storage of crash fractions: instance `i` owns
+    /// `crash_counts[i]` entries starting at `crash_offsets[i]`.
+    crash_offsets: Vec<u32>,
+    crash_fractions: Vec<f64>,
+    /// Per-instance count of failed cold-provision attempts before the
+    /// first successful boot, capped at `max_attempts`. Empty when the
+    /// provision-failure process is disabled.
+    provision_counts: Vec<u32>,
+    /// Number of execution attempts each instance may take (the retry
+    /// policy's cap), kept so `survives`/chain accessors are total.
+    max_attempts: u32,
+    /// Total in-burst retries the cohort demands (crash retries plus
+    /// cold-provision retries), assuming every one is granted. If this is
+    /// within the burst's retry budget, no instance can be starved and the
+    /// final retry counters are order-independent sums.
+    retry_demand: u64,
+}
+
+impl CohortOutcomes {
+    /// Straggler factor of `instance` — same draw as
+    /// [`FaultPlan::straggler`].
+    pub fn straggler(&self, instance: u32) -> Option<f64> {
+        self.stragglers.get(instance as usize).copied().flatten()
+    }
+
+    /// Ship-stall factor of `instance` — same draw as
+    /// [`FaultPlan::ship_stall`].
+    pub fn ship_stall(&self, instance: u32) -> Option<f64> {
+        self.ship_stalls.get(instance as usize).copied().flatten()
+    }
+
+    /// How many execution attempts of `instance` crash before one
+    /// survives, capped at the policy's `max_attempts`.
+    pub fn crash_count(&self, instance: u32) -> u32 {
+        self.crash_counts.get(instance as usize).copied().unwrap_or(0)
+    }
+
+    /// The crash fractions of `instance`'s failed attempts, in attempt
+    /// order — entry `k` is the [`FaultPlan::crash_point`] draw of attempt
+    /// `k + 1`.
+    pub fn crash_chain(&self, instance: u32) -> &[f64] {
+        let i = instance as usize;
+        match (self.crash_offsets.get(i), self.crash_counts.get(i)) {
+            (Some(&off), Some(&count)) => {
+                let (start, end) = (off as usize, off as usize + count as usize);
+                self.crash_fractions.get(start..end).unwrap_or(&[])
+            }
+            _ => &[],
+        }
+    }
+
+    /// Whether `instance`'s execution phase survives within the attempt
+    /// cap (i.e. some attempt `≤ max_attempts` does not crash).
+    pub fn survives(&self, instance: u32) -> bool {
+        self.crash_count(instance) < self.max_attempts.max(1)
+    }
+
+    /// How many cold-provision attempts of `instance` fail before one
+    /// boots, capped at the policy's `max_attempts`. Always `0` for
+    /// instances the caller declared warm.
+    pub fn provision_failures(&self, instance: u32) -> u32 {
+        self.provision_counts
+            .get(instance as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Whether `instance`'s cold provisioning eventually boots (some
+    /// attempt `≤ max_attempts` succeeds).
+    pub fn provisions(&self, instance: u32) -> bool {
+        self.provision_failures(instance) < self.max_attempts.max(1)
+    }
+
+    /// Total retries the cohort demands across every crash and provision
+    /// chain, assuming all are granted. Compare against
+    /// [`RetryPolicy::retry_budget`]: when the demand fits, grant order
+    /// cannot matter (no instance is ever refused), so per-instance chains
+    /// are independent of global event interleaving.
+    pub fn retry_demand(&self) -> u64 {
+        self.retry_demand
+    }
+
+    /// The instances whose execution phase survives — the cohort's
+    /// survivor set (provision-abandoned instances are excluded).
+    pub fn survivors(&self) -> impl Iterator<Item = u32> + '_ {
+        let n = self
+            .crash_counts
+            .len()
+            .max(self.provision_counts.len()) as u32;
+        (0..n).filter(|&i| self.survives(i) && self.provisions(i))
+    }
+}
+
+impl FaultPlan {
+    /// Evaluate every fault draw the burst's execution and provisioning
+    /// phases can consume, in one pass: instances `0..instances`, of which
+    /// the first `warm_count` are warm (warm containers never provision,
+    /// so their provision lanes are never drawn — matching the event
+    /// path, which skips the provision stage for them entirely).
+    ///
+    /// Chains stop at the policy's `max_attempts`; the retry demand
+    /// conservatively counts a provision-abandoned instance's crash
+    /// retries too (the event path would never take them), so a demand
+    /// within budget is a sufficient — not necessary — condition for
+    /// order-independence.
+    pub fn cohort_outcomes(
+        &self,
+        instances: u32,
+        warm_count: u32,
+        retry: &RetryPolicy,
+    ) -> CohortOutcomes {
+        let m = retry.max_attempts.max(1);
+        let n = instances as usize;
+        let mut out = CohortOutcomes {
+            max_attempts: m,
+            ..CohortOutcomes::default()
+        };
+        // Every draw below goes through `RngStreams::head_indexed{,4}` —
+        // the first-block window onto exactly the stream the scalar API
+        // (`crash_point` / `provision_fails` / ...) would construct, so the
+        // values are bit-identical while the bulk pass skips the full
+        // generator setup. Attempt-1 draws (one per instance) run four
+        // lanes at a time; the rare chain continuations fall back to one
+        // head per `(instance, attempt)` lane.
+        if self.spec.straggler_rate > 0.0 {
+            out.stragglers = Vec::with_capacity(n);
+            self.sweep_heads(lanes::FAULT_STRAGGLER, 0, instances, |_, head| {
+                out.stragglers.push(if head.f64_draw(0) < self.spec.straggler_rate {
+                    Some(self.spec.straggler_factor)
+                } else {
+                    None
+                });
+            });
+        }
+        if self.spec.ship_stall_rate > 0.0 {
+            out.ship_stalls = Vec::with_capacity(n);
+            self.sweep_heads(lanes::FAULT_SHIP, 0, instances, |_, head| {
+                out.ship_stalls.push(if head.f64_draw(0) < self.spec.ship_stall_rate {
+                    Some(self.spec.ship_stall_factor)
+                } else {
+                    None
+                });
+            });
+        }
+        if self.spec.crash_rate > 0.0 {
+            out.crash_offsets = Vec::with_capacity(n);
+            out.crash_counts = Vec::with_capacity(n);
+            let (offsets, counts, fractions, mut demand) = (
+                &mut out.crash_offsets,
+                &mut out.crash_counts,
+                &mut out.crash_fractions,
+                0u64,
+            );
+            self.sweep_heads(lanes::FAULT_CRASH, 0, instances, |i, head| {
+                offsets.push(fractions.len() as u32);
+                let mut crashes = 0u32;
+                let mut head = head;
+                for attempt in 1..=m {
+                    if head.f64_draw(0) >= self.spec.crash_rate {
+                        break;
+                    }
+                    fractions.push(0.05 + 0.9 * head.f64_draw(1));
+                    crashes += 1;
+                    if attempt < m {
+                        head = self
+                            .streams
+                            .head_indexed(lanes::FAULT_CRASH, Self::lane(i, attempt + 1));
+                    }
+                }
+                counts.push(crashes);
+                // A crashed attempt is retried unless it was the last
+                // permitted one.
+                demand += u64::from(crashes.min(m - 1));
+            });
+            out.retry_demand += demand;
+        }
+        if self.spec.provision_failure_rate > 0.0 {
+            out.provision_counts = vec![0; n];
+            let (counts, mut demand) = (&mut out.provision_counts, 0u64);
+            self.sweep_heads(lanes::FAULT_PROVISION, warm_count, instances, |i, head| {
+                let mut fails = 0u32;
+                let mut head = head;
+                for attempt in 1..=m {
+                    if head.f64_draw(0) >= self.spec.provision_failure_rate {
+                        break;
+                    }
+                    fails += 1;
+                    if attempt < m {
+                        head = self
+                            .streams
+                            .head_indexed(lanes::FAULT_PROVISION, Self::lane(i, attempt + 1));
+                    }
+                }
+                counts[i as usize] = fails;
+                demand += u64::from(fails.min(m - 1));
+            });
+            out.retry_demand += demand;
+        }
+        out
+    }
+
+    /// Visit the attempt-1 stream head of every instance in `[from, to)`,
+    /// eight lanes at a time, in instance order. Per-instance fault lanes
+    /// (straggler, ship-stall) live at attempt index 0; chain lanes (crash,
+    /// provision) start at attempt 1 — both use the head at the instance's
+    /// *first* draw, so the caller supplies the attempt via [`Self::lane`]
+    /// when it continues a chain.
+    fn sweep_heads(
+        &self,
+        name: &'static str,
+        from: u32,
+        to: u32,
+        mut visit: impl FnMut(u32, crate::rng::StreamHead),
+    ) {
+        let first_attempt = if name == lanes::FAULT_CRASH || name == lanes::FAULT_PROVISION {
+            1
+        } else {
+            0
+        };
+        let mut i = from;
+        while i < to {
+            let k = (to - i).min(8);
+            let mut indices = [0u64; 8];
+            for (j, ix) in indices.iter_mut().enumerate() {
+                // Pad short tails by repeating the last lane; the extra
+                // heads are computed and dropped.
+                let inst = (i + (j as u32).min(k - 1)).min(to - 1);
+                *ix = Self::lane(inst, first_attempt);
+            }
+            // simlint: allow(rng-lane): "lane forwarded from the cohort sweep callers, which each pass a `lanes::FAULT_*` constant"
+            let heads = self.streams.head_indexed8(name, indices);
+            for j in 0..k {
+                visit(i + j, heads[j as usize]);
+            }
+            i += k;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,5 +659,122 @@ mod tests {
         assert_eq!(p.max_attempts, 1);
         assert_eq!(p.retry_budget, 0);
         assert_eq!(p.backoff_secs(1), 0.0);
+    }
+
+    #[test]
+    fn cohort_outcomes_match_scalar_draws_exactly() {
+        let spec = FaultSpec::none()
+            .with_crash_rate(0.4)
+            .with_provision_failure_rate(0.3)
+            .with_ship_stall(0.2, 5.0)
+            .with_straggler(0.2, 2.5);
+        let p = plan(42, spec);
+        let retry = RetryPolicy {
+            max_attempts: 4,
+            ..RetryPolicy::default()
+        };
+        let warm = 16u32;
+        let batch = p.cohort_outcomes(128, warm, &retry);
+        for i in 0..128u32 {
+            assert_eq!(batch.straggler(i), p.straggler(i), "straggler {i}");
+            assert_eq!(batch.ship_stall(i), p.ship_stall(i), "ship {i}");
+            // The crash chain is exactly the per-attempt draws up to the
+            // first survival or the attempt cap.
+            let mut expect = Vec::new();
+            for attempt in 1..=retry.max_attempts {
+                match p.crash_point(i, attempt) {
+                    Some(f) => expect.push(f),
+                    None => break,
+                }
+            }
+            assert_eq!(batch.crash_chain(i), expect.as_slice(), "chain {i}");
+            assert_eq!(batch.crash_count(i), expect.len() as u32);
+            assert_eq!(
+                batch.survives(i),
+                (expect.len() as u32) < retry.max_attempts
+            );
+            // Warm instances never touch the provision lane.
+            if i < warm {
+                assert_eq!(batch.provision_failures(i), 0);
+            } else {
+                let mut fails = 0u32;
+                for attempt in 1..=retry.max_attempts {
+                    if p.provision_fails(i, attempt) {
+                        fails += 1;
+                    } else {
+                        break;
+                    }
+                }
+                assert_eq!(batch.provision_failures(i), fails, "provision {i}");
+                assert_eq!(batch.provisions(i), fails < retry.max_attempts);
+            }
+        }
+    }
+
+    #[test]
+    fn cohort_retry_demand_sums_all_chains() {
+        let spec = FaultSpec::none()
+            .with_crash_rate(0.5)
+            .with_provision_failure_rate(0.3);
+        let p = plan(7, spec);
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let batch = p.cohort_outcomes(200, 0, &retry);
+        let mut want = 0u64;
+        for i in 0..200u32 {
+            want += u64::from(batch.crash_count(i).min(retry.max_attempts - 1));
+            want += u64::from(
+                batch
+                    .provision_failures(i)
+                    .min(retry.max_attempts - 1),
+            );
+        }
+        assert_eq!(batch.retry_demand(), want);
+        assert!(batch.retry_demand() > 0);
+    }
+
+    #[test]
+    fn fault_free_cohort_is_all_survivors_with_no_storage() {
+        let p = plan(3, FaultSpec::none());
+        let batch = p.cohort_outcomes(1000, 0, &RetryPolicy::default());
+        assert_eq!(batch.retry_demand(), 0);
+        for i in 0..1000 {
+            assert!(batch.survives(i));
+            assert!(batch.provisions(i));
+            assert!(batch.straggler(i).is_none());
+            assert!(batch.ship_stall(i).is_none());
+            assert!(batch.crash_chain(i).is_empty());
+        }
+    }
+
+    #[test]
+    fn certain_crash_without_retries_abandons_everyone() {
+        let p = plan(9, FaultSpec::none().with_crash_rate(1.0));
+        let batch = p.cohort_outcomes(32, 0, &RetryPolicy::no_retries());
+        assert_eq!(batch.retry_demand(), 0, "single attempt demands nothing");
+        for i in 0..32 {
+            assert!(!batch.survives(i));
+            assert_eq!(batch.crash_count(i), 1);
+        }
+        assert_eq!(batch.survivors().count(), 0);
+    }
+
+    #[test]
+    fn survivor_set_excludes_provision_abandoned_instances() {
+        let spec = FaultSpec::none().with_provision_failure_rate(0.8);
+        let p = plan(13, spec);
+        let retry = RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        };
+        let batch = p.cohort_outcomes(64, 0, &retry);
+        let survivors: Vec<u32> = batch.survivors().collect();
+        assert!(!survivors.is_empty());
+        assert!(survivors.len() < 64, "0.8² of instances must abandon");
+        for &i in &survivors {
+            assert!(batch.provisions(i));
+        }
     }
 }

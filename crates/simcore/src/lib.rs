@@ -34,7 +34,7 @@ pub mod trace;
 
 pub use engine::{EventState, Sim};
 pub use epoch::EpochTimeline;
-pub use fault::{FaultPlan, FaultSpec, RetryPolicy};
+pub use fault::{CohortOutcomes, FaultPlan, FaultSpec, RetryPolicy};
 pub use resource::{BandwidthPipe, FifoResource, MultiServer};
 pub use rng::RngStreams;
 pub use time::SimTime;

@@ -117,7 +117,363 @@ impl RngStreams {
         let h = fnv1a_continue(fnv1a(name.as_bytes()), &index.to_le_bytes());
         ChaCha8Rng::seed_from_u64(self.seed ^ h)
     }
+
+    /// The head of the stream [`RngStreams::stream_indexed`] would create —
+    /// the first keystream block only, enough for the stream's first eight
+    /// `random::<f64>()` draws, at a fraction of the construction cost (no
+    /// four-block refill, no generator state). Bulk cohort evaluation uses
+    /// this: it creates one short-lived stream per `(instance, attempt)`
+    /// lane and never draws more than twice from it.
+    ///
+    /// `name` must be a constant from [`lanes`] (enforced by simlint).
+    pub fn head_indexed(&self, name: &str, index: u64) -> StreamHead {
+        let h = fnv1a_continue(fnv1a(name.as_bytes()), &index.to_le_bytes());
+        stream_head(self.seed ^ h)
+    }
+
+    /// Four [`RngStreams::head_indexed`] heads evaluated together. The four
+    /// ChaCha blocks are computed lane-parallel (the quarter-round runs on
+    /// `[u32; 4]` columns, which the compiler vectorizes), so this is the
+    /// fast shape for sweeping a cohort's per-instance draws.
+    ///
+    /// `name` must be a constant from [`lanes`] (enforced by simlint).
+    pub fn head_indexed4(&self, name: &str, indices: [u64; 4]) -> [StreamHead; 4] {
+        let base = fnv1a(name.as_bytes());
+        stream_head4(indices.map(|ix| self.seed ^ fnv1a_continue(base, &ix.to_le_bytes())))
+    }
+
+    /// Eight [`RngStreams::head_indexed`] heads evaluated together — the
+    /// widest bulk shape (AVX2 when the CPU has it, two four-lane batches
+    /// otherwise). Prefer this for full-cohort sweeps.
+    ///
+    /// `name` must be a constant from [`lanes`] (enforced by simlint).
+    pub fn head_indexed8(&self, name: &str, indices: [u64; 8]) -> [StreamHead; 8] {
+        let base = fnv1a(name.as_bytes());
+        stream_head8(indices.map(|ix| self.seed ^ fnv1a_continue(base, &ix.to_le_bytes())))
+    }
 }
+
+/// The first keystream block of `ChaCha8Rng::seed_from_u64(seed)`: a
+/// read-only window onto the stream's first eight `u64` (equivalently
+/// `f64`) draws. Produced by [`stream_head`] / [`RngStreams::head_indexed`].
+///
+/// Bit-compatibility is pinned by tests against the real generator: for
+/// every `k < 8`, [`StreamHead::f64_draw`]`(k)` equals the `(k+1)`-th
+/// `random::<f64>()` of a freshly seeded `ChaCha8Rng` on the same seed.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamHead {
+    words: [u32; 16],
+}
+
+impl StreamHead {
+    /// The stream's `k`-th `random::<f64>()` draw (`k < 8`), bit-identical
+    /// to drawing from the full generator.
+    #[inline]
+    pub fn f64_draw(&self, k: usize) -> f64 {
+        debug_assert!(k < 8, "a StreamHead holds only the first 8 draws");
+        let lo = u64::from(self.words[2 * k]);
+        let hi = u64::from(self.words[2 * k + 1]);
+        let v = (hi << 32) | lo;
+        // rand 0.9 `StandardUniform` for f64: 53 random bits, multiply.
+        (1.0 / ((1u64 << 53) as f64)) * ((v >> 11) as f64)
+    }
+}
+
+/// Compute the head of the stream `ChaCha8Rng::seed_from_u64(seed)` yields:
+/// rand_core's PCG32 seed expansion (each little-endian key word is one
+/// PCG output) followed by a single ChaCha8 block at counter 0, stream 0.
+pub fn stream_head(seed: u64) -> StreamHead {
+    StreamHead {
+        words: chacha8_block(pcg_expand_key(seed)),
+    }
+}
+
+/// Four [`stream_head`]s computed lane-parallel: the state is sixteen
+/// four-lane columns, one per ChaCha word, with the four streams occupying
+/// the four SIMD lanes of each column. On x86-64 the permutation runs on
+/// SSE2 vectors (baseline for the architecture, so no runtime dispatch);
+/// elsewhere a portable `[u32; 4]` combinator version computes the same
+/// integers. Bit-equality with four scalar [`stream_head`]s — and hence
+/// with the full generator — is pinned by tests.
+pub fn stream_head4(seeds: [u64; 4]) -> [StreamHead; 4] {
+    let keys = seeds.map(pcg_expand_key);
+    let mut input = [[0u32; 4]; 16];
+    input[0] = [0x6170_7865; 4];
+    input[1] = [0x3320_646e; 4];
+    input[2] = [0x7962_2d32; 4];
+    input[3] = [0x6b20_6574; 4];
+    for w in 0..8 {
+        input[4 + w] = [keys[0][w], keys[1][w], keys[2][w], keys[3][w]];
+    }
+    // Words 12..16 (counter and stream) are zero for a fresh head.
+    let x = block4_columns(&input);
+    let mut heads = [StreamHead { words: [0; 16] }; 4];
+    for (w, (col, init)) in x.iter().zip(input.iter()).enumerate() {
+        for l in 0..4 {
+            heads[l].words[w] = col[l].wrapping_add(init[l]);
+        }
+    }
+    heads
+}
+
+/// Eight [`stream_head`]s computed lane-parallel: AVX2 eight-lane columns
+/// when the CPU supports them (detected once, cached by the standard
+/// library), otherwise two four-lane batches. Same integers either way.
+pub fn stream_head8(seeds: [u64; 8]) -> [StreamHead; 8] {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        let keys = seeds.map(pcg_expand_key);
+        let mut input = [[0u32; 8]; 16];
+        input[0] = [0x6170_7865; 8];
+        input[1] = [0x3320_646e; 8];
+        input[2] = [0x7962_2d32; 8];
+        input[3] = [0x6b20_6574; 8];
+        for w in 0..8 {
+            for l in 0..8 {
+                input[4 + w][l] = keys[l][w];
+            }
+        }
+        // SAFETY: the AVX2 requirement of `block8_columns_avx2` was just
+        // checked at runtime.
+        let x = unsafe { block8_columns_avx2(&input) };
+        let mut heads = [StreamHead { words: [0; 16] }; 8];
+        for (w, (col, init)) in x.iter().zip(input.iter()).enumerate() {
+            for l in 0..8 {
+                heads[l].words[w] = col[l].wrapping_add(init[l]);
+            }
+        }
+        return heads;
+    }
+    let lo = stream_head4([seeds[0], seeds[1], seeds[2], seeds[3]]);
+    let hi = stream_head4([seeds[4], seeds[5], seeds[6], seeds[7]]);
+    [lo[0], lo[1], lo[2], lo[3], hi[0], hi[1], hi[2], hi[3]]
+}
+
+/// The ChaCha8 permutation over sixteen eight-lane columns (pre-add state).
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support (`is_x86_feature_detected!`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn block8_columns_avx2(input: &[[u32; 8]; 16]) -> [[u32; 8]; 16] {
+    use core::arch::x86_64::{
+        __m256i, _mm256_add_epi32, _mm256_loadu_si256, _mm256_or_si256, _mm256_slli_epi32,
+        _mm256_srli_epi32, _mm256_storeu_si256, _mm256_xor_si256,
+    };
+    #[inline(always)]
+    unsafe fn xor_rotl<const L: i32, const R: i32>(a: __m256i, b: __m256i) -> __m256i {
+        let x = _mm256_xor_si256(a, b);
+        _mm256_or_si256(_mm256_slli_epi32::<L>(x), _mm256_srli_epi32::<R>(x))
+    }
+    macro_rules! quarter {
+        ($x:ident, $a:literal, $b:literal, $c:literal, $d:literal) => {
+            $x[$a] = _mm256_add_epi32($x[$a], $x[$b]);
+            $x[$d] = xor_rotl::<16, 16>($x[$d], $x[$a]);
+            $x[$c] = _mm256_add_epi32($x[$c], $x[$d]);
+            $x[$b] = xor_rotl::<12, 20>($x[$b], $x[$c]);
+            $x[$a] = _mm256_add_epi32($x[$a], $x[$b]);
+            $x[$d] = xor_rotl::<8, 24>($x[$d], $x[$a]);
+            $x[$c] = _mm256_add_epi32($x[$c], $x[$d]);
+            $x[$b] = xor_rotl::<7, 25>($x[$b], $x[$c]);
+        };
+    }
+    let mut x = [core::mem::zeroed::<__m256i>(); 16];
+    for (col, src) in x.iter_mut().zip(input.iter()) {
+        *col = _mm256_loadu_si256(src.as_ptr().cast());
+    }
+    for _ in 0..4 {
+        // Column round.
+        quarter!(x, 0, 4, 8, 12);
+        quarter!(x, 1, 5, 9, 13);
+        quarter!(x, 2, 6, 10, 14);
+        quarter!(x, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter!(x, 0, 5, 10, 15);
+        quarter!(x, 1, 6, 11, 12);
+        quarter!(x, 2, 7, 8, 13);
+        quarter!(x, 3, 4, 9, 14);
+    }
+    let mut out = [[0u32; 8]; 16];
+    for (dst, col) in out.iter_mut().zip(x.iter()) {
+        _mm256_storeu_si256(dst.as_mut_ptr().cast(), *col);
+    }
+    out
+}
+
+/// The ChaCha8 permutation over sixteen four-lane columns (pre-add state).
+#[cfg(target_arch = "x86_64")]
+fn block4_columns(input: &[[u32; 4]; 16]) -> [[u32; 4]; 16] {
+    use core::arch::x86_64::{
+        __m128i, _mm_add_epi32, _mm_loadu_si128, _mm_or_si128, _mm_slli_epi32, _mm_srli_epi32,
+        _mm_storeu_si128, _mm_xor_si128,
+    };
+    // SAFETY: every intrinsic below is an SSE2 integer operation; SSE2 is
+    // part of the x86-64 baseline, so the `cfg(target_arch)` gate alone
+    // guarantees the instructions exist. Loads and stores use the
+    // unaligned variants on pointers derived from in-bounds `[u32; 4]`
+    // elements.
+    unsafe {
+        #[inline(always)]
+        unsafe fn xor_rotl<const L: i32, const R: i32>(a: __m128i, b: __m128i) -> __m128i {
+            let x = _mm_xor_si128(a, b);
+            _mm_or_si128(_mm_slli_epi32::<L>(x), _mm_srli_epi32::<R>(x))
+        }
+        macro_rules! quarter {
+            ($x:ident, $a:literal, $b:literal, $c:literal, $d:literal) => {
+                $x[$a] = _mm_add_epi32($x[$a], $x[$b]);
+                $x[$d] = xor_rotl::<16, 16>($x[$d], $x[$a]);
+                $x[$c] = _mm_add_epi32($x[$c], $x[$d]);
+                $x[$b] = xor_rotl::<12, 20>($x[$b], $x[$c]);
+                $x[$a] = _mm_add_epi32($x[$a], $x[$b]);
+                $x[$d] = xor_rotl::<8, 24>($x[$d], $x[$a]);
+                $x[$c] = _mm_add_epi32($x[$c], $x[$d]);
+                $x[$b] = xor_rotl::<7, 25>($x[$b], $x[$c]);
+            };
+        }
+        let mut x = [core::mem::zeroed::<__m128i>(); 16];
+        for (col, src) in x.iter_mut().zip(input.iter()) {
+            *col = _mm_loadu_si128(src.as_ptr().cast());
+        }
+        for _ in 0..4 {
+            // Column round.
+            quarter!(x, 0, 4, 8, 12);
+            quarter!(x, 1, 5, 9, 13);
+            quarter!(x, 2, 6, 10, 14);
+            quarter!(x, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter!(x, 0, 5, 10, 15);
+            quarter!(x, 1, 6, 11, 12);
+            quarter!(x, 2, 7, 8, 13);
+            quarter!(x, 3, 4, 9, 14);
+        }
+        let mut out = [[0u32; 4]; 16];
+        for (dst, col) in out.iter_mut().zip(x.iter()) {
+            _mm_storeu_si128(dst.as_mut_ptr().cast(), *col);
+        }
+        out
+    }
+}
+
+/// Portable fallback: the same permutation as whole-column combinators.
+#[cfg(not(target_arch = "x86_64"))]
+fn block4_columns(input: &[[u32; 4]; 16]) -> [[u32; 4]; 16] {
+    type V = [u32; 4];
+    #[inline(always)]
+    fn add(a: V, b: V) -> V {
+        [
+            a[0].wrapping_add(b[0]),
+            a[1].wrapping_add(b[1]),
+            a[2].wrapping_add(b[2]),
+            a[3].wrapping_add(b[3]),
+        ]
+    }
+    #[inline(always)]
+    fn xor_rotl<const R: u32>(a: V, b: V) -> V {
+        [
+            (a[0] ^ b[0]).rotate_left(R),
+            (a[1] ^ b[1]).rotate_left(R),
+            (a[2] ^ b[2]).rotate_left(R),
+            (a[3] ^ b[3]).rotate_left(R),
+        ]
+    }
+    #[inline(always)]
+    fn quarter(x: &mut [V; 16], a: usize, b: usize, c: usize, d: usize) {
+        x[a] = add(x[a], x[b]);
+        x[d] = xor_rotl::<16>(x[d], x[a]);
+        x[c] = add(x[c], x[d]);
+        x[b] = xor_rotl::<12>(x[b], x[c]);
+        x[a] = add(x[a], x[b]);
+        x[d] = xor_rotl::<8>(x[d], x[a]);
+        x[c] = add(x[c], x[d]);
+        x[b] = xor_rotl::<7>(x[b], x[c]);
+    }
+    let mut x = *input;
+    for _ in 0..4 {
+        // Column round.
+        quarter(&mut x, 0, 4, 8, 12);
+        quarter(&mut x, 1, 5, 9, 13);
+        quarter(&mut x, 2, 6, 10, 14);
+        quarter(&mut x, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter(&mut x, 0, 5, 10, 15);
+        quarter(&mut x, 1, 6, 11, 12);
+        quarter(&mut x, 2, 7, 8, 13);
+        quarter(&mut x, 3, 4, 9, 14);
+    }
+    x
+}
+
+/// rand_core 0.9's `seed_from_u64` PCG32 expansion, collapsed to the eight
+/// little-endian key words it produces (each 4-byte chunk of the expanded
+/// seed is one PCG output, and `from_seed` reads the words back in the same
+/// little-endian order, so the byte round-trip cancels).
+fn pcg_expand_key(mut state: u64) -> [u32; 8] {
+    const MUL: u64 = 6364136223846793005;
+    const INC: u64 = 11634580027462260723;
+    let mut key = [0u32; 8];
+    for w in key.iter_mut() {
+        state = state.wrapping_mul(MUL).wrapping_add(INC);
+        let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+        let rot = (state >> 59) as u32;
+        *w = xorshifted.rotate_right(rot);
+    }
+    key
+}
+
+/// One ChaCha8 block: counter 0, stream 0 — exactly the first block the
+/// generator's four-block refill would place at the front of its buffer.
+fn chacha8_block(key: [u32; 8]) -> [u32; 16] {
+    let mut input = [
+        0x6170_7865,
+        0x3320_646e,
+        0x7962_2d32,
+        0x6b20_6574,
+        0,
+        0,
+        0,
+        0,
+        0,
+        0,
+        0,
+        0,
+        0,
+        0,
+        0,
+        0,
+    ];
+    input[4..12].copy_from_slice(&key);
+    let mut x = input;
+    for _ in 0..4 {
+        // Column round.
+        quarter_round(&mut x, 0, 4, 8, 12);
+        quarter_round(&mut x, 1, 5, 9, 13);
+        quarter_round(&mut x, 2, 6, 10, 14);
+        quarter_round(&mut x, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut x, 0, 5, 10, 15);
+        quarter_round(&mut x, 1, 6, 11, 12);
+        quarter_round(&mut x, 2, 7, 8, 13);
+        quarter_round(&mut x, 3, 4, 9, 14);
+    }
+    for (o, i) in x.iter_mut().zip(input.iter()) {
+        *o = o.wrapping_add(*i);
+    }
+    x
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
 
 /// FNV-1a 64-bit hash; small, deterministic, dependency-free.
 ///
@@ -143,8 +499,16 @@ fn fnv1a_continue(mut hash: u64, bytes: &[u8]) -> u64 {
 /// (Fig. 5a) reports < 5 % variation, which corresponds to
 /// `amplitude = 0.05`.
 pub fn jitter<R: Rng>(rng: &mut R, amplitude: f64) -> f64 {
+    jitter_value(rng.random::<f64>(), amplitude)
+}
+
+/// The jitter factor a given unit-interval draw maps to — the pure
+/// arithmetic of [`jitter`], exposed so batched paths can feed it
+/// [`StreamHead::f64_draw`] values and land on bit-identical factors.
+#[inline]
+pub fn jitter_value(draw: f64, amplitude: f64) -> f64 {
     debug_assert!((0.0..1.0).contains(&amplitude));
-    1.0 + amplitude * (rng.random::<f64>() * 2.0 - 1.0)
+    1.0 + amplitude * (draw * 2.0 - 1.0)
 }
 
 #[cfg(test)]
@@ -226,6 +590,95 @@ mod tests {
                 base, idx0,
                 "stream_indexed({lane:?}, 0) aliases stream({lane:?})"
             );
+        }
+    }
+
+    /// The stream-head fast path's whole contract: for any seed, the head's
+    /// eight draws are bit-identical to the full generator's first eight
+    /// `random::<f64>()` outputs. Seeds sweep a pseudo-random set plus the
+    /// adversarial corners.
+    #[test]
+    fn stream_head_matches_the_full_generator_bit_for_bit() {
+        let mut seeds: Vec<u64> = vec![0, 1, u64::MAX, u64::MAX - 1, 1 << 63];
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..256 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            seeds.push(x);
+        }
+        for &seed in &seeds {
+            let head = stream_head(seed);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            for k in 0..8 {
+                let want: f64 = rng.random();
+                let got = head.f64_draw(k);
+                assert!(
+                    got == want,
+                    "stream_head({seed:#x}) draw {k}: {got} != {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_head4_matches_four_scalar_heads() {
+        let seeds = [3u64, u64::MAX, 0x1234_5678_9abc_def0, 42];
+        let wide = stream_head4(seeds);
+        for l in 0..4 {
+            let scalar = stream_head(seeds[l]);
+            for k in 0..8 {
+                assert!(wide[l].f64_draw(k) == scalar.f64_draw(k));
+            }
+        }
+    }
+
+    #[test]
+    fn stream_head8_matches_eight_scalar_heads() {
+        let seeds = [0u64, 1, u64::MAX, 42, 7, 1 << 40, 0xdead_beef, 3];
+        let wide = stream_head8(seeds);
+        for l in 0..8 {
+            let scalar = stream_head(seeds[l]);
+            for k in 0..8 {
+                assert!(wide[l].f64_draw(k) == scalar.f64_draw(k));
+            }
+        }
+    }
+
+    #[test]
+    fn head_indexed_matches_stream_indexed() {
+        let s = RngStreams::new(1337);
+        for index in [0u64, 1, 7, (5u64 << 32) | 3, u64::MAX] {
+            let head = s.head_indexed(lanes::FAULT_CRASH, index);
+            let mut rng = s.stream_indexed(lanes::FAULT_CRASH, index);
+            for k in 0..8 {
+                let want: f64 = rng.random();
+                assert!(head.f64_draw(k) == want);
+            }
+        }
+        let indices = [2u64, 3, 5, 8];
+        let wide = s.head_indexed4(lanes::EXEC, indices);
+        for l in 0..4 {
+            let mut rng = s.stream_indexed(lanes::EXEC, indices[l]);
+            let want: f64 = rng.random();
+            assert!(wide[l].f64_draw(0) == want);
+        }
+        let indices8 = [2u64, 3, 5, 8, 13, 21, 34, 55];
+        let wide8 = s.head_indexed8(lanes::EXEC, indices8);
+        for l in 0..8 {
+            let mut rng = s.stream_indexed(lanes::EXEC, indices8[l]);
+            let want: f64 = rng.random();
+            assert!(wide8[l].f64_draw(0) == want);
+        }
+    }
+
+    #[test]
+    fn jitter_value_matches_jitter() {
+        let s = RngStreams::new(4242);
+        for i in 0..64 {
+            let drawn = jitter(&mut s.stream_indexed(lanes::EXEC, i), 0.05);
+            let head = jitter_value(s.head_indexed(lanes::EXEC, i).f64_draw(0), 0.05);
+            assert!(drawn == head);
         }
     }
 

@@ -267,7 +267,8 @@ fn simulate(cell: &Cell, fit_config: &ProPackConfig, models: &ModelCache) -> Cel
                 let mut pool = WarmPool::new(
                     WarmPoolConfig::cold()
                         .with_policy(cell.keepalive.policy)
-                        .with_seed(cell.seed),
+                        .with_seed(cell.seed)
+                        .with_placement_secs(platform.placement_secs()),
                 );
                 let snapshot = pool.snapshot(&cell.work.name, 0.0);
                 match pp.request_with_pool(cell.concurrency, objective, &snapshot) {

@@ -81,7 +81,13 @@ impl KeepAliveScenario {
                 bin_secs,
                 keep_percentile,
                 max_ttl,
-            } => bin_secs > 0.0 && (0.0..=1.0).contains(&keep_percentile) && max_ttl > 0.0,
+            // `max_ttl >= bin_secs`: a cap below one bin width means the
+            // histogram can never keep a container for even its smallest
+            // observable idle bucket — a nonsensical policy that would
+            // silently behave like `cold`.
+            } => {
+                bin_secs > 0.0 && (0.0..=1.0).contains(&keep_percentile) && max_ttl >= bin_secs
+            }
         };
         if ok {
             Ok(())
@@ -119,10 +125,20 @@ impl KeepAliveScenario {
                 if parts.len() != 3 {
                     return Err(invalid(&label, "expected histogram:<bin>,<pct>,<max-ttl>"));
                 }
+                let bin_secs = seconds(&label, parts[0])?;
+                let keep_percentile = fraction(&label, parts[1])?;
+                let max_ttl = seconds(&label, parts[2])?;
+                if max_ttl < bin_secs {
+                    return Err(invalid(
+                        &label,
+                        "max-ttl must be at least the bin width; a cap below \
+                         one bin can never keep a container",
+                    ));
+                }
                 KeepAlivePolicy::HybridHistogram {
-                    bin_secs: seconds(&label, parts[0])?,
-                    keep_percentile: fraction(&label, parts[1])?,
-                    max_ttl: seconds(&label, parts[2])?,
+                    bin_secs,
+                    keep_percentile,
+                    max_ttl,
                 }
             }
             ("pagurus", None) => KeepAlivePolicy::PagurusShare {
@@ -236,6 +252,11 @@ mod tests {
             "histogram:60",
             "histogram:60,2,480",
             "histogram:0,0.99,480",
+            "histogram:30,1.7,10",
+            "histogram:30,-0.1,300",
+            "histogram:30,0.9,10",
+            "histogram:60,0.99,0",
+            "histogram:60,0.99,-480",
             "pagurus:0",
             "pagurus:abc",
         ] {
@@ -244,10 +265,42 @@ mod tests {
     }
 
     #[test]
+    fn histogram_rejections_name_the_out_of_range_parameter() {
+        // An out-of-range percentile is caught by the fraction check...
+        let err = KeepAliveScenario::parse("histogram:30,1.7,480")
+            .expect_err("pct > 1 accepted")
+            .to_string();
+        assert!(err.contains("fraction in [0, 1]"), "unpointed: {err}");
+        // ...and a cap below one bin width by the max-ttl check, each with a
+        // message naming the violated constraint, not a generic parse error.
+        let err = KeepAliveScenario::parse("histogram:30,0.9,10")
+            .expect_err("max-ttl < bin accepted")
+            .to_string();
+        assert!(
+            err.contains("max-ttl must be at least the bin width"),
+            "unpointed: {err}"
+        );
+        // The boundary itself is legal: a one-bin window.
+        let one_bin = KeepAliveScenario::parse("histogram:30,0.9,30").unwrap();
+        assert!(one_bin.validate().is_ok());
+    }
+
+    #[test]
     fn validate_catches_hand_built_out_of_domain_policies() {
         let bad =
             KeepAliveScenario::explicit("bad", KeepAlivePolicy::FixedKeepAlive { idle_ttl: -1.0 });
         assert!(bad.validate().is_err());
+        // A hand-built histogram that skips `parse` still can't smuggle a
+        // sub-bin cap past `validate`.
+        let capped = KeepAliveScenario::explicit(
+            "capped",
+            KeepAlivePolicy::HybridHistogram {
+                bin_secs: 30.0,
+                keep_percentile: 0.9,
+                max_ttl: 10.0,
+            },
+        );
+        assert!(capped.validate().is_err());
         assert!(KeepAliveScenario::cold().validate().is_ok());
     }
 }

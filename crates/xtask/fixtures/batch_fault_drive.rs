@@ -1,0 +1,23 @@
+//! simlint fixture: the batch-fault drive side (platform identity).
+//! Exercises the bulk-head call forms added for cohort fault evaluation:
+//! registered constants are clean (and mark their lanes live), a raw
+//! literal is flagged, a forwarded lane name needs a justified allow, and
+//! the re-drive scheduler call must not box its closure.
+
+use propack_simcore::rng::lanes;
+
+pub fn drive(streams: &RngStreams, lane_name: &str, sim: &mut Sim) {
+    // Registered constants through every bulk-head spelling: clean.
+    let _one = streams.head_indexed(lanes::FAULT_CRASH, 7);
+    let _four = streams.head_indexed4(lanes::FAULT_EXEC, [0, 1, 2, 3]);
+    let _eight = streams.head_indexed8(lanes::FAULT_EXEC, [0, 1, 2, 3, 4, 5, 6, 7]);
+    // A raw string literal bypasses the registry, same as at `stream(…)`.
+    let _bad = streams.head_indexed("fault-crash", 7);
+    // The production sweep pattern — a lane forwarded by parameter — is
+    // only legal under a justified allow.
+    // simlint: allow(rng-lane): "fixture: lane forwarded from callers that pass lanes constants"
+    let _fwd = streams.head_indexed8(lane_name, [0, 1, 2, 3, 4, 5, 6, 7]);
+    // Re-driving abandoned functions must go through the typed queue, not
+    // a boxed closure per retry.
+    sim.schedule(SimTime::ZERO, Box::new(move |sim| redrive(sim)));
+}

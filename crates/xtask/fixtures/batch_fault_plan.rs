@@ -1,0 +1,22 @@
+//! simlint fixture: the batch-fault plan side. Linted as if it were a
+//! `crates/simcore/src/batch_fault.rs`, so the `fault-rng` rule applies
+//! (file name contains `fault`). Declares the lane registry the companion
+//! `batch_fault_drive.rs` draws from through the bulk-head API — both
+//! lanes must be seen as *live* via `head_indexed{,4,8}` call sites.
+
+pub mod lanes {
+    /// Drawn via `head_indexed` in `batch_fault_drive.rs`.
+    pub const FAULT_CRASH: &str = "fault-crash";
+    /// Drawn via `head_indexed4`/`head_indexed8` in `batch_fault_drive.rs`.
+    pub const FAULT_EXEC: &str = "fault-exec";
+
+    /// Every registered lane.
+    pub const ALL: &[&str] = &[FAULT_CRASH, FAULT_EXEC];
+}
+
+pub fn crash_plan(seed: u64) -> f64 {
+    // Hand-rolled generator instead of the seeded lane tree: two findings
+    // on one line (the RNG type and the seeding constructor).
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.random::<f64>()
+}

@@ -5,7 +5,9 @@
 //!
 //! 1. **RNG-lane registry** (`rng-lane`): the lane constants declared in
 //!    `simcore::rng::lanes` form a registry; every `.stream(…)` /
-//!    `.stream_indexed(…)` call site must pass one of them. Raw string
+//!    `.stream_indexed(…)` call site — and every bulk-head call site
+//!    (`.head_indexed(…)` / `.head_indexed4(…)` / `.head_indexed8(…)`,
+//!    the batch-fault fast path) — must pass one of them. Raw string
 //!    literals, dynamic expressions, and constants missing from the
 //!    registry are findings — as are registry lanes that are never used
 //!    and any two lanes whose FNV-1a hashes collide (a collision silently
@@ -38,7 +40,8 @@ pub struct LaneConst {
     pub line: u32,
 }
 
-/// How a `.stream(…)`/`.stream_indexed(…)` call site names its lane.
+/// How a `.stream(…)`/`.stream_indexed(…)`/`.head_indexed{,4,8}(…)` call
+/// site names its lane.
 #[derive(Debug, Clone)]
 pub enum LaneArg {
     /// A raw string literal (the registry bypass the rule exists to stop).
@@ -137,17 +140,28 @@ fn collect_lane_registry(level: &[Tree], ctx: &FileCtx, facts: &mut FileFacts) {
     }
 }
 
-/// `.stream(ARG, …)` / `.stream_indexed(ARG, …)` call sites.
+/// `.stream(ARG, …)` / `.stream_indexed(ARG, …)` call sites, plus the
+/// bulk stream-head forms (`head_indexed`, `head_indexed4`,
+/// `head_indexed8`) the batch-fault cohort path draws through — a head is
+/// the first block of the very stream `stream_indexed` would build, so it
+/// is subject to exactly the same lane discipline.
 fn collect_stream_calls(
     level: &[Tree],
     ctx: &FileCtx,
     facts: &mut FileFacts,
     out: &mut Vec<Violation>,
 ) {
+    const LANE_METHODS: &[&str] = &[
+        "stream",
+        "stream_indexed",
+        "head_indexed",
+        "head_indexed4",
+        "head_indexed8",
+    ];
     for (i, t) in level.iter().enumerate() {
         let Some(tok) = t.leaf() else { continue };
         let is_call = tok.kind == TokenKind::Ident
-            && (tok.text == "stream" || tok.text == "stream_indexed")
+            && LANE_METHODS.contains(&tok.text.as_str())
             && i >= 1
             && is_punct(&level[i - 1], ".");
         if !is_call {
@@ -420,8 +434,8 @@ pub fn registry_violations(ws: &Workspace, hash: &dyn Fn(&str) -> u64, out: &mut
                 line: lane.line,
                 message: format!(
                     "lane `{}` ({:?}) is registered but never passed to `stream(…)`/\
-                     `stream_indexed(…)`; delete it or wire up the component that \
-                     should be drawing from it",
+                     `stream_indexed(…)`/`head_indexed{{,4,8}}(…)`; delete it or wire \
+                     up the component that should be drawing from it",
                     lane.name, lane.value
                 ),
             });

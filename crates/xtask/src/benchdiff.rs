@@ -8,27 +8,58 @@
 //! accidental algorithmic regressions (an O(n) scan reintroduced on a hot
 //! path), not scheduler jitter.
 //!
+//! Two per-group refinements, both read from the *baseline* document:
+//!
+//! * `"tolerance"` on a baseline group overrides the global `--tolerance`
+//!   for that group only. Single-cell groups (the 100k faulted day) time one
+//!   long run instead of averaging 16 cells, so they earn a wider band.
+//! * `"max_rel_err_bound"` on a baseline group makes the gate *accuracy-
+//!   aware*: the current run must carry a measured `"max_rel_err"` for that
+//!   group, and it must not exceed the bound. This is how the fluid
+//!   approximation cells gate on both speedup and fidelity — a fluid path
+//!   that got faster by drifting from the exact results still fails.
+//!
 //! The parser is a line-oriented duplicate of
 //! `propack_bench::kernel::parse_cells_per_sec`: xtask takes no
 //! dependencies (not even on workspace crates), so it cannot link the bench
 //! crate. Both sides rely on `BENCH_kernel.json` writing each group object
-//! on one line carrying both a `"policy"` and a `"cells_per_sec"` key.
+//! on one line carrying a `"policy"` and a `"cells_per_sec"` key, with the
+//! optional per-group keys on the same line.
 
 use std::path::Path;
 use std::process::ExitCode;
 
-/// Extract `(policy, cells_per_sec)` pairs from a `BENCH_kernel.json`
-/// document.
-pub fn parse_cells_per_sec(json: &str) -> Vec<(String, f64)> {
+/// One parsed bench group: throughput plus the optional per-group gate keys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Group {
+    pub policy: String,
+    pub cells_per_sec: f64,
+    /// Baseline-side per-group override of the global tolerance.
+    pub tolerance: Option<f64>,
+    /// Current-side measured approximation error (fluid groups).
+    pub max_rel_err: Option<f64>,
+    /// Baseline-side accuracy bound the current error must stay under.
+    pub max_rel_err_bound: Option<f64>,
+}
+
+/// Extract every group (one JSON object per line) from a `BENCH_kernel.json`
+/// or baseline document.
+pub fn parse_groups(json: &str) -> Vec<Group> {
     let mut out = Vec::new();
     for line in json.lines() {
         let Some(policy) = extract_str(line, "\"policy\": \"") else {
             continue;
         };
-        let Some(value) = extract_f64(line, "\"cells_per_sec\": ") else {
+        let Some(cells_per_sec) = extract_f64(line, "\"cells_per_sec\": ") else {
             continue;
         };
-        out.push((policy, value));
+        out.push(Group {
+            policy,
+            cells_per_sec,
+            tolerance: extract_f64(line, "\"tolerance\": "),
+            max_rel_err: extract_f64(line, "\"max_rel_err\": "),
+            max_rel_err_bound: extract_f64(line, "\"max_rel_err_bound\": "),
+        });
     }
     out
 }
@@ -54,49 +85,63 @@ fn extract_f64(line: &str, key: &str) -> Option<f64> {
 pub enum Verdict {
     /// Within tolerance (or faster). Carries current/baseline ratio.
     Ok(f64),
-    /// Regressed beyond tolerance. Carries current/baseline ratio.
-    Regressed(f64),
+    /// Regressed beyond tolerance. Carries current/baseline ratio and the
+    /// tolerance that applied (global or per-group).
+    Regressed(f64, f64),
     /// Policy present in the baseline but missing from the current run.
     Missing,
+    /// The baseline demands an accuracy bound and the current run's
+    /// measured error exceeds it. Carries `(measured, bound)`.
+    ErrorExceeded(f64, f64),
+    /// The baseline demands an accuracy bound but the current run reported
+    /// no `max_rel_err` for the group. Carries the bound.
+    ErrorUnmeasured(f64),
 }
 
 /// Compare current vs. baseline throughput per policy. Every baseline policy
 /// must appear in the current document; policies new in the current document
-/// pass (there is nothing to regress against).
+/// pass (there is nothing to regress against). A baseline group may carry a
+/// per-group `tolerance` (overriding `default_tolerance`) and a
+/// `max_rel_err_bound` the current group's measured `max_rel_err` must stay
+/// under — accuracy failures outrank throughput ones.
 pub fn compare(
-    current: &[(String, f64)],
-    baseline: &[(String, f64)],
-    tolerance: f64,
+    current: &[Group],
+    baseline: &[Group],
+    default_tolerance: f64,
 ) -> Vec<(String, Verdict)> {
     baseline
         .iter()
-        .map(|(policy, base)| {
-            let verdict = match current.iter().find(|(p, _)| p == policy) {
+        .map(|base| {
+            let verdict = match current.iter().find(|g| g.policy == base.policy) {
                 None => Verdict::Missing,
-                Some((_, now)) => {
-                    let ratio = if *base > 0.0 {
-                        now / base
+                Some(now) => {
+                    let tolerance = base.tolerance.unwrap_or(default_tolerance);
+                    let ratio = if base.cells_per_sec > 0.0 {
+                        now.cells_per_sec / base.cells_per_sec
                     } else {
                         f64::INFINITY
                     };
-                    if ratio < 1.0 - tolerance {
-                        Verdict::Regressed(ratio)
-                    } else {
-                        Verdict::Ok(ratio)
+                    match (base.max_rel_err_bound, now.max_rel_err) {
+                        (Some(bound), None) => Verdict::ErrorUnmeasured(bound),
+                        (Some(bound), Some(err)) if err > bound => {
+                            Verdict::ErrorExceeded(err, bound)
+                        }
+                        _ if ratio < 1.0 - tolerance => Verdict::Regressed(ratio, tolerance),
+                        _ => Verdict::Ok(ratio),
                     }
                 }
             };
-            (policy.clone(), verdict)
+            (base.policy.clone(), verdict)
         })
         .collect()
 }
 
 /// Run the gate: parse both documents, compare, report to stderr.
 pub fn run(current: &Path, baseline: &Path, tolerance: f64) -> ExitCode {
-    let read = |path: &Path| -> Result<Vec<(String, f64)>, String> {
+    let read = |path: &Path| -> Result<Vec<Group>, String> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let groups = parse_cells_per_sec(&text);
+        let groups = parse_groups(&text);
         if groups.is_empty() {
             return Err(format!(
                 "{}: no `policy`/`cells_per_sec` groups found",
@@ -119,17 +164,30 @@ pub fn run(current: &Path, baseline: &Path, tolerance: f64) -> ExitCode {
             Verdict::Ok(ratio) => {
                 eprintln!("benchdiff: {policy}: {:.2}x baseline — ok", ratio);
             }
-            Verdict::Regressed(ratio) => {
+            Verdict::Regressed(ratio, applied) => {
                 failed = true;
                 eprintln!(
                     "benchdiff: {policy}: {:.2}x baseline — REGRESSED beyond {:.0}% tolerance",
                     ratio,
-                    tolerance * 100.0
+                    applied * 100.0
                 );
             }
             Verdict::Missing => {
                 failed = true;
                 eprintln!("benchdiff: {policy}: missing from current run — FAILED");
+            }
+            Verdict::ErrorExceeded(err, bound) => {
+                failed = true;
+                eprintln!(
+                    "benchdiff: {policy}: max_rel_err {err:.6} exceeds bound {bound:.6} — FAILED"
+                );
+            }
+            Verdict::ErrorUnmeasured(bound) => {
+                failed = true;
+                eprintln!(
+                    "benchdiff: {policy}: baseline bounds max_rel_err at {bound:.6} but the \
+                     current run reported none — FAILED"
+                );
             }
         }
     }
@@ -154,24 +212,51 @@ mod tests {
 }
 "#;
 
+    const FLUID_BASE: &str = r#"{
+  "groups": [
+    {"policy": "faulted-day", "cells": 1, "cells_per_sec": 0.5, "tolerance": 0.50},
+    {"policy": "faulted-day-fluid", "cells": 1, "cells_per_sec": 2.0, "tolerance": 0.50, "max_rel_err_bound": 0.053}
+  ]
+}
+"#;
+
+    fn plain(policy: &str, cps: f64) -> Group {
+        Group {
+            policy: policy.to_string(),
+            cells_per_sec: cps,
+            tolerance: None,
+            max_rel_err: None,
+            max_rel_err_bound: None,
+        }
+    }
+
     #[test]
     fn parser_reads_groups() {
-        let groups = parse_cells_per_sec(DOC);
-        assert_eq!(
-            groups,
-            vec![
-                ("no-packing".to_string(), 80.0),
-                ("propack-joint-0.5".to_string(), 40.0)
-            ]
+        let groups = parse_groups(DOC);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], plain("no-packing", 80.0));
+        assert_eq!(groups[1], plain("propack-joint-0.5", 40.0));
+    }
+
+    #[test]
+    fn parser_reads_per_group_gate_keys() {
+        let groups = parse_groups(FLUID_BASE);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].tolerance, Some(0.50));
+        assert_eq!(groups[0].max_rel_err_bound, None);
+        assert_eq!(groups[1].max_rel_err_bound, Some(0.053));
+        let current = parse_groups(
+            r#"{"policy": "faulted-day-fluid", "cells_per_sec": 2.1, "max_rel_err": 0.012345}"#,
         );
+        assert_eq!(current[0].max_rel_err, Some(0.012345));
     }
 
     #[test]
     fn within_tolerance_passes() {
-        let base = parse_cells_per_sec(DOC);
+        let base = parse_groups(DOC);
         let current = vec![
-            ("no-packing".to_string(), 60.0),         // 0.75x: ok at 30%
-            ("propack-joint-0.5".to_string(), 120.0), // faster: ok
+            plain("no-packing", 60.0),         // 0.75x: ok at 30%
+            plain("propack-joint-0.5", 120.0), // faster: ok
         ];
         let verdicts = compare(&current, &base, 0.30);
         assert!(
@@ -182,23 +267,62 @@ mod tests {
 
     #[test]
     fn beyond_tolerance_regresses() {
-        let base = parse_cells_per_sec(DOC);
+        let base = parse_groups(DOC);
         let current = vec![
-            ("no-packing".to_string(), 80.0),
-            ("propack-joint-0.5".to_string(), 20.0), // 0.5x: regressed
+            plain("no-packing", 80.0),
+            plain("propack-joint-0.5", 20.0), // 0.5x: regressed
         ];
         let verdicts = compare(&current, &base, 0.30);
         assert_eq!(verdicts[0].1, Verdict::Ok(1.0));
-        assert!(matches!(verdicts[1].1, Verdict::Regressed(r) if (r - 0.5).abs() < 1e-12));
+        assert!(matches!(verdicts[1].1, Verdict::Regressed(r, _) if (r - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn per_group_tolerance_overrides_the_global_default() {
+        let base = parse_groups(FLUID_BASE);
+        // 0.6x the baseline: dead at the 30% global default, alive under the
+        // group's own 50% band.
+        let current = vec![
+            plain("faulted-day", 0.3),
+            Group {
+                max_rel_err: Some(0.01),
+                ..plain("faulted-day-fluid", 1.2)
+            },
+        ];
+        let verdicts = compare(&current, &base, 0.30);
+        assert!(
+            verdicts.iter().all(|(_, v)| matches!(v, Verdict::Ok(_))),
+            "{verdicts:?}"
+        );
+    }
+
+    #[test]
+    fn fluid_groups_gate_on_measured_error() {
+        let base = parse_groups(FLUID_BASE);
+        // Fast enough, but the measured error blows the bound.
+        let current = vec![
+            plain("faulted-day", 0.6),
+            Group {
+                max_rel_err: Some(0.20),
+                ..plain("faulted-day-fluid", 4.0)
+            },
+        ];
+        let verdicts = compare(&current, &base, 0.30);
+        assert!(matches!(
+            verdicts[1].1,
+            Verdict::ErrorExceeded(e, b) if (e - 0.20).abs() < 1e-12 && (b - 0.053).abs() < 1e-12
+        ));
+
+        // No error reported at all: also a failure, never a silent pass.
+        let current = vec![plain("faulted-day", 0.6), plain("faulted-day-fluid", 4.0)];
+        let verdicts = compare(&current, &base, 0.30);
+        assert!(matches!(verdicts[1].1, Verdict::ErrorUnmeasured(b) if (b - 0.053).abs() < 1e-12));
     }
 
     #[test]
     fn missing_policy_fails_and_new_policy_passes() {
-        let base = parse_cells_per_sec(DOC);
-        let current = vec![
-            ("no-packing".to_string(), 80.0),
-            ("brand-new-policy".to_string(), 1.0),
-        ];
+        let base = parse_groups(DOC);
+        let current = vec![plain("no-packing", 80.0), plain("brand-new-policy", 1.0)];
         let verdicts = compare(&current, &base, 0.30);
         assert_eq!(verdicts.len(), 2, "one verdict per baseline policy");
         assert!(matches!(verdicts[1].1, Verdict::Missing));

@@ -22,7 +22,11 @@
 //! * `benchdiff` — the kernel-throughput regression gate: compares a fresh
 //!   `BENCH_kernel.json` against the committed baseline and fails when any
 //!   policy group's `cells_per_sec` regressed by more than the tolerance
-//!   (default 30 %):
+//!   (default 30 %). A baseline group may carry its own `"tolerance"`
+//!   (overriding the global default for that group) and a
+//!   `"max_rel_err_bound"` that the current run's measured `"max_rel_err"`
+//!   must stay under — this is how fluid-approximation cells gate on both
+//!   speedup *and* fidelity:
 //!
 //!   ```text
 //!   cargo xtask benchdiff [--current BENCH_kernel.json] \

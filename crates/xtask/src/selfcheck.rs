@@ -149,6 +149,28 @@ const CASES: &[Case] = &[
         expect: &[("rng-lane", 5)],
     },
     Case {
+        name: "batch-fault-api",
+        files: &[
+            (
+                include_str!("../fixtures/batch_fault_plan.rs"),
+                "simcore",
+                "crates/simcore/src/batch_fault.rs",
+            ),
+            (
+                include_str!("../fixtures/batch_fault_drive.rs"),
+                "platform",
+                "crates/platform/src/batch_drive.rs",
+            ),
+        ],
+        // Plan side: a hand-rolled RNG in a fault-named file (type +
+        // constructor = 2). Drive side: one raw-literal lane at a bulk-head
+        // call, one boxed re-drive closure; the three registered-constant
+        // head calls are clean and keep both registry lanes live (no
+        // dead-lane findings), and the forwarded-lane call is suppressed
+        // by its justified allow.
+        expect: &[("fault-rng", 2), ("rng-lane", 1), ("event-alloc", 1)],
+    },
+    Case {
         name: "alias-hash-map",
         files: &[
             (

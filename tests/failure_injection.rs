@@ -184,6 +184,101 @@ fn exhausted_retry_budget_reports_partial_completion() {
 }
 
 #[test]
+fn faulted_cohort_batching_matches_the_event_path_across_the_fault_matrix() {
+    // The tentpole equivalence matrix: every fault process × retry depth ×
+    // packing shape, each asserting the cohort-batched fast path reproduces
+    // the per-event simulation byte-for-byte. `with_batching(false)` forces
+    // the event path the fast path claims to replicate; equal `Debug`
+    // renders compare every f64 at full round-trip precision.
+    let batched = PlatformBuilder::aws().build();
+    let event = PlatformBuilder::aws().build().with_batching(false);
+    assert!(batched.batching_enabled() && !event.batching_enabled());
+    let work = WorkProfile::synthetic("w", 0.25, 30.0).with_contention(0.2);
+    let matrix: [(&str, FaultSpec); 5] = [
+        ("crash", FaultSpec::none().with_crash_rate(0.08)),
+        (
+            "provision",
+            FaultSpec::none().with_provision_failure_rate(0.06),
+        ),
+        ("ship-stall", FaultSpec::none().with_ship_stall(0.1, 4.0)),
+        ("straggler", FaultSpec::none().with_straggler(0.1, 3.0)),
+        (
+            "mixed",
+            FaultSpec::none()
+                .with_crash_rate(0.05)
+                .with_provision_failure_rate(0.04)
+                .with_ship_stall(0.05, 4.0)
+                .with_straggler(0.05, 3.0),
+        ),
+    ];
+    let mut faulted_cells = 0u32;
+    for (name, faults) in matrix {
+        for max_attempts in [1u32, 2, 5] {
+            for degree in [1u32, 4] {
+                let spec = BurstSpec::packed(work.clone(), 240, degree)
+                    .with_seed(97)
+                    .with_faults(faults)
+                    .with_retry(RetryPolicy {
+                        max_attempts,
+                        ..RetryPolicy::default()
+                    });
+                let a = batched.run_burst(&spec).unwrap();
+                let b = event.run_burst(&spec).unwrap();
+                assert_eq!(
+                    format!("{a:?}"),
+                    format!("{b:?}"),
+                    "{name} × attempts={max_attempts} × P={degree} diverged"
+                );
+                if a.faults.total_faults() > 0 {
+                    faulted_cells += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        faulted_cells >= 25,
+        "matrix must actually exercise faults, only {faulted_cells}/30 cells faulted"
+    );
+}
+
+#[test]
+fn cohort_batching_equivalence_holds_across_a_seed_sweep() {
+    // Property-style: many seeds, a mixed fault process, warm fractions, and
+    // tight retry budgets (forcing the fast path's no-exhaustion gate to
+    // toggle) — the batched and per-event reports must stay byte-identical
+    // in every drawn configuration.
+    let batched = PlatformBuilder::aws().build();
+    let event = PlatformBuilder::aws().build().with_batching(false);
+    let work = WorkProfile::synthetic("w", 0.25, 25.0).with_contention(0.15);
+    let faults = FaultSpec::none()
+        .with_crash_rate(0.12)
+        .with_provision_failure_rate(0.05)
+        .with_straggler(0.06, 2.5);
+    for seed in 0..24u64 {
+        // Small budgets on odd seeds exhaust mid-burst and push the run
+        // back onto the event path; even seeds stay batched.
+        let budget = if seed % 2 == 0 { u32::MAX } else { 3 };
+        let warm = f64::from(u32::try_from(seed % 3).unwrap()) * 0.25;
+        let spec = BurstSpec::packed(work.clone(), 120, 3)
+            .with_seed(seed)
+            .with_warm_fraction(warm)
+            .with_faults(faults)
+            .with_retry(RetryPolicy {
+                max_attempts: 3,
+                retry_budget: budget,
+                ..RetryPolicy::default()
+            });
+        let a = batched.run_burst(&spec).unwrap();
+        let b = event.run_burst(&spec).unwrap();
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "seed {seed} (budget {budget}, warm {warm}) diverged"
+        );
+    }
+}
+
+#[test]
 fn fault_draws_replay_bit_identically_across_thread_counts() {
     // The determinism contract with faults *on*: a sweep whose every cell
     // injects faults renders byte-identically at --threads 1, 4, and 8.
