@@ -92,7 +92,9 @@ pub fn faulted_grid() -> SweepSpec {
 /// only faulted path), cohort-batched exact, and fluid — this is the entry
 /// that carries the faulted fast-path speedup claim.
 pub fn faulted_day_spec() -> BurstSpec {
-    let profile = Benchmarks::resolve("sort").expect("sort workload").profile();
+    let profile = Benchmarks::resolve("sort")
+        .expect("sort workload")
+        .profile();
     BurstSpec::packed(profile, FAULTED_DAY_FUNCTIONS, FAULTED_DAY_DEGREE)
         .with_seed(KERNEL_SEED)
         .with_faults(

@@ -31,6 +31,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use propack_fleet::{synthetic_fleet, FleetEngine, FleetSpec, SyntheticFleetConfig, TenantSpec};
 use propack_funcx::FuncXPlatform;
 use propack_model::cache::ModelCache;
 use propack_model::optimizer::Objective;
@@ -41,8 +42,8 @@ use propack_platform::{ServerlessPlatform, WorkProfile};
 use propack_replay::{ArrivalTrace, Controller, ReplayEngine, ReplaySpec};
 use propack_stats::chi2::ChiSquareTest;
 use propack_sweep::{
-    bench_json, replay_bench_json, timed_replay, FaultScenario, KeepAliveScenario, PackingPolicy,
-    PlatformAxis, ReplayGrid, RunTiming, SweepRunner, SweepSpec,
+    bench_json, fleet_bench_json, replay_bench_json, timed_fleet, timed_replay, FaultScenario,
+    KeepAliveScenario, PackingPolicy, PlatformAxis, ReplayGrid, RunTiming, SweepRunner, SweepSpec,
 };
 use propack_workloads::Benchmarks;
 
@@ -53,6 +54,8 @@ pub enum Command {
     Sweep(SweepArgs),
     /// Replay a trace-driven arrival stream under online controllers.
     Replay(ReplayArgs),
+    /// Replay a synthetic multi-tenant fleet on the sharded engine.
+    Fleet(FleetArgs),
     /// Regenerate paper figures/tables by experiment id.
     Figures(FiguresArgs),
     /// Replay the §2.4 χ² model-validation protocol for one app.
@@ -135,6 +138,50 @@ pub struct ReplayArgs {
     /// parallel and require byte-identical output.
     pub compare_serial: bool,
     /// Write `BENCH_replay.json` here.
+    pub out: Option<String>,
+}
+
+/// Arguments of `propack fleet`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetArgs {
+    /// Applications in the synthetic fleet (each app carries 1..=max_funcs
+    /// functions, and every (app, function) pair is one tenant).
+    pub apps: u32,
+    /// Distinct function profiles tenants are drawn from.
+    pub profiles: u32,
+    /// Maximum functions per application.
+    pub max_funcs: u32,
+    /// Fleet-wide invocation budget over the horizon.
+    pub invocations: f64,
+    /// Trace horizon, seconds.
+    pub horizon: f64,
+    /// Epoch (control window) width, seconds.
+    pub epoch_secs: f64,
+    /// Controller keys (comma list); each runs one full fleet pass.
+    pub controllers: Vec<String>,
+    /// Platform key.
+    pub platform: String,
+    /// Objective key for the planning controllers.
+    pub objective: String,
+    /// Per-epoch tail-latency QoS bound, seconds.
+    pub qos: Option<f64>,
+    /// Fault scenario (single `--faults` spec, same grammar as sweep).
+    pub faults: String,
+    /// Keep-alive scenario for the shared warm pool.
+    pub keepalive: String,
+    /// Base seed (fleet generator + warm pool).
+    pub seed: u64,
+    /// Shared fleet: servers.
+    pub servers: u32,
+    /// Shared fleet: microVM slots per server.
+    pub slots: u32,
+    /// Fluid-kernel cohort floor; `None` keeps the exact event kernel.
+    pub fluid: Option<u32>,
+    /// Worker threads for the parallel burst phase; 0 = one per core.
+    pub threads: usize,
+    /// Also run serially and require byte-identical output.
+    pub compare_serial: bool,
+    /// Write `BENCH_fleet.json` here.
     pub out: Option<String>,
 }
 
@@ -333,6 +380,33 @@ const SUBCOMMANDS: &[Subcommand] = &[
         build: build_replay,
     },
     Subcommand {
+        name: "fleet",
+        usage: "fleet    [--apps <n>] [--profiles <n>] [--max-funcs <n>] [--invocations <n>] [--horizon <s>] [--epoch <s>] [--controller no-packing,fixed:<P>,oracle,propack[:<forecaster>]] [--platform <p>] [--objective <o>] [--qos <s>] [--faults <spec>] [--keepalive <k>] [--seed <s>] [--servers <n>] [--slots <n>] [--fluid <min-cohort>] [--threads <n>] [--compare-serial] [--out <file>]",
+        value_flags: &[
+            "--apps",
+            "--profiles",
+            "--max-funcs",
+            "--invocations",
+            "--horizon",
+            "--epoch",
+            "--controller",
+            "--platform",
+            "--objective",
+            "--qos",
+            "--faults",
+            "--keepalive",
+            "--seed",
+            "--servers",
+            "--slots",
+            "--fluid",
+            "--threads",
+            "--out",
+        ],
+        switch_flags: &["--compare-serial"],
+        note: None,
+        build: build_fleet,
+    },
+    Subcommand {
         name: "figures",
         usage: "figures  [--fig fig01,fig21,..|all] [--json]",
         value_flags: &["--fig"],
@@ -418,6 +492,32 @@ fn build_replay(flags: &FlagSet) -> Result<Command, ParseError> {
         faults: flags.get("faults").unwrap_or("none").to_string(),
         keepalive: flags.get("keepalive").unwrap_or("cold").to_string(),
         seed: flags.parsed("seed")?.unwrap_or(42),
+        threads: flags.parsed("threads")?.unwrap_or(0),
+        compare_serial: flags.has("compare-serial"),
+        out: flags.get("out").map(str::to_string),
+    }))
+}
+
+fn build_fleet(flags: &FlagSet) -> Result<Command, ParseError> {
+    Ok(Command::Fleet(FleetArgs {
+        apps: flags.parsed("apps")?.unwrap_or(100),
+        profiles: flags.parsed("profiles")?.unwrap_or(5),
+        max_funcs: flags.parsed("max-funcs")?.unwrap_or(3),
+        invocations: flags.parsed("invocations")?.unwrap_or(100_000.0),
+        horizon: flags.parsed("horizon")?.unwrap_or(86_400.0),
+        epoch_secs: flags.parsed("epoch")?.unwrap_or(60.0),
+        controllers: flags
+            .list("controller")
+            .unwrap_or_else(|| vec!["propack:ewma".into()]),
+        platform: flags.get("platform").unwrap_or("aws").to_string(),
+        objective: flags.get("objective").unwrap_or("service").to_string(),
+        qos: flags.parsed("qos")?,
+        faults: flags.get("faults").unwrap_or("none").to_string(),
+        keepalive: flags.get("keepalive").unwrap_or("cold").to_string(),
+        seed: flags.parsed("seed")?.unwrap_or(42),
+        servers: flags.parsed("servers")?.unwrap_or(2_000),
+        slots: flags.parsed("slots")?.unwrap_or(16),
+        fluid: flags.parsed("fluid")?,
         threads: flags.parsed("threads")?.unwrap_or(0),
         compare_serial: flags.has("compare-serial"),
         out: flags.get("out").map(str::to_string),
@@ -524,6 +624,21 @@ pub fn resolve_app(key: &str) -> Result<WorkProfile, ParseError> {
 
 /// Resolve a platform key.
 pub fn resolve_platform(key: &str) -> Result<Box<dyn ServerlessPlatform>, ParseError> {
+    Ok(match key.to_ascii_lowercase().as_str() {
+        "aws" | "lambda" => Box::new(PlatformBuilder::aws().build()),
+        "google" | "gcf" => Box::new(PlatformBuilder::google().build()),
+        "azure" => Box::new(PlatformBuilder::azure().build()),
+        "funcx" => Box::new(FuncXPlatform::default()),
+        other => return Err(ParseError(format!("unknown platform '{other}'"))),
+    })
+}
+
+/// Resolve a platform key to a [`Sync`] platform handle. The fleet engine
+/// shares one platform across its burst workers, so unlike
+/// [`resolve_platform`] the trait object carries the `Sync` bound.
+pub fn resolve_shared_platform(
+    key: &str,
+) -> Result<Box<dyn ServerlessPlatform + Sync>, ParseError> {
     Ok(match key.to_ascii_lowercase().as_str() {
         "aws" | "lambda" => Box::new(PlatformBuilder::aws().build()),
         "google" | "gcf" => Box::new(PlatformBuilder::google().build()),
@@ -691,6 +806,7 @@ pub fn execute(
         }
         Command::Sweep(sa) => run_sweep(&sa, out)?,
         Command::Replay(ra) => run_replay(&ra, out)?,
+        Command::Fleet(fa) => run_fleet(&fa, out)?,
         Command::Figures(fa) => {
             let ids: Vec<String> = if fa.ids.is_empty() {
                 propack_bench::ALL_EXPERIMENTS
@@ -1056,6 +1172,144 @@ fn run_replay(
             runs.push(timing);
         }
         std::fs::write(path, replay_bench_json(&reports, &runs, Some(true)))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `propack fleet`: generate one synthetic multi-tenant fleet per
+/// controller, replay each on the sharded engine, render the per-tenant /
+/// per-epoch report deterministically to `out`, and emit host timing to
+/// stderr / `BENCH_fleet.json`.
+///
+/// `--compare-serial` re-runs every pass at `--threads 1` and requires
+/// byte-identical renders (the sharded core's contract). `--out` follows
+/// the `BENCH_sweep.json` methodology: one untimed warmup pass, then two
+/// timed passes whose renders must match.
+fn run_fleet(
+    fa: &FleetArgs,
+    out: &mut impl std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let platform = resolve_shared_platform(&fa.platform)?;
+    let objective = resolve_objective(&fa.objective)?;
+    let scenario = FaultScenario::parse(&fa.faults).map_err(|e| ParseError(e.to_string()))?;
+    let keepalive =
+        KeepAliveScenario::parse(&fa.keepalive).map_err(|e| ParseError(e.to_string()))?;
+    if fa.controllers.is_empty() {
+        return Err(Box::new(ParseError(
+            "--controller needs at least one controller".into(),
+        )));
+    }
+    let threads = if fa.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        fa.threads
+    };
+
+    let spec = |threads: usize| FleetSpec {
+        epoch_secs: fa.epoch_secs,
+        seed: fa.seed,
+        objective,
+        qos_secs: fa.qos,
+        faults: scenario.resolve(platform.as_ref()),
+        retry: scenario.retry,
+        keepalive: keepalive.policy,
+        fit_config: ProPackConfig::default(),
+        servers: fa.servers,
+        slots_per_server: fa.slots,
+        threads,
+        fluid_min_cohort: fa.fluid,
+        keep_tenant_epochs: false,
+    };
+
+    // One fleet per controller: same apps, profiles, and traces (the
+    // generator never consults the controller), differing only in policy.
+    let fleets: Vec<Vec<TenantSpec>> = fa
+        .controllers
+        .iter()
+        .map(|key| {
+            let controller = resolve_controller(key)?;
+            synthetic_fleet(&SyntheticFleetConfig {
+                apps: fa.apps,
+                seed: fa.seed,
+                horizon_secs: fa.horizon,
+                profiles: fa.profiles,
+                max_funcs_per_app: fa.max_funcs,
+                daily_invocations: fa.invocations,
+                controller,
+            })
+            .map_err(|e| ParseError(format!("fleet generation failed: {e}")))
+        })
+        .collect::<Result<_, _>>()?;
+
+    if fa.compare_serial {
+        for (key, tenants) in fa.controllers.iter().zip(&fleets) {
+            let serial = FleetEngine::new(spec(1))
+                .run(platform.as_ref(), tenants, &ModelCache::new())?
+                .render();
+            let parallel = FleetEngine::new(spec(threads))
+                .run(platform.as_ref(), tenants, &ModelCache::new())?
+                .render();
+            if serial != parallel {
+                return Err(Box::new(ParseError(format!(
+                    "fleet output for {key} diverged between --threads 1 and \
+                     --threads {threads} — determinism bug"
+                ))));
+            }
+            eprintln!(
+                "compare-serial: {key} byte-identical at --threads 1 and --threads {threads} \
+                 ({} tenants)",
+                tenants.len()
+            );
+        }
+    }
+
+    let engine = FleetEngine::new(spec(threads));
+    let models = ModelCache::new();
+    if fa.out.is_some() {
+        // Warmup pass: fills the model cache and OS caches, never timed.
+        for tenants in &fleets {
+            engine.run(platform.as_ref(), tenants, &models)?;
+        }
+    }
+
+    let mut reports = Vec::new();
+    let mut timed = Vec::new();
+    for tenants in &fleets {
+        let (report, timing) = timed_fleet(&engine, platform.as_ref(), tenants, &models)?;
+        eprintln!(
+            "timing: {} replayed {} tenants x {} epochs ({} invocations) in {:.3}s (fit {:.1} ms)",
+            report.controller,
+            report.tenants.len(),
+            report.epochs.len(),
+            report.total_arrivals(),
+            timing.wall_secs,
+            report.fit_ms,
+        );
+        reports.push(report);
+        timed.push(timing);
+    }
+    for (i, report) in reports.iter().enumerate() {
+        if i > 0 {
+            writeln!(out)?;
+        }
+        out.write_all(report.render().as_bytes())?;
+    }
+
+    if let Some(path) = &fa.out {
+        // Second timed pass doubles as the re-run determinism check.
+        let mut runs = timed.clone();
+        for (tenants, first) in fleets.iter().zip(&reports) {
+            let (second, timing) = timed_fleet(&engine, platform.as_ref(), tenants, &models)?;
+            if second.render() != first.render() {
+                return Err(Box::new(ParseError(format!(
+                    "fleet output for {} diverged between passes — determinism bug",
+                    first.controller
+                ))));
+            }
+            runs.push(timing);
+        }
+        std::fs::write(path, fleet_bench_json(&reports, &timed, &runs, Some(true)))?;
         eprintln!("wrote {path}");
     }
     Ok(())

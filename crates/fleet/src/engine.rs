@@ -1,0 +1,883 @@
+//! The sharded multi-tenant fleet replay engine.
+//!
+//! Each epoch runs four phases:
+//!
+//! 1. **Plan** (serial, tenant-id order): for every tenant, count the
+//!    window's arrivals, snapshot the shared warm pool, forecast → plan →
+//!    observe — byte-for-byte the [`propack_replay::ReplayEngine`]
+//!    sequence, with the tenant's own forecaster, model, and seed.
+//! 2. **Admit** (serial, tenant-id order): convert each plan into an
+//!    instance demand and reserve slots on the shared
+//!    [`Fleet`](propack_platform::fleet::Fleet), least-loaded first.
+//!    Saturation throttles arrivals in tenant-id order — the commutative
+//!    occupancy-reservation protocol: because reservations are *counted*
+//!    (a slot is a slot) and committed in a fixed order, the outcome is
+//!    independent of which thread later executes which tenant. Warm
+//!    containers are drawn from the shared pool here, too
+//!    ([`WarmPool::acquire_counted`]).
+//! 3. **Execute** (parallel): the admitted bursts run on the work-stealing
+//!    pool (the sweep engine's deque idiom). Each job is a pure function
+//!    of `(request, grant, now)` against the immutable platform — no
+//!    shared mutable state — so any thread interleaving produces the same
+//!    bits.
+//! 4. **Reduce** (serial, tenant-id order): commit pool check-ins, free
+//!    fleet slots, and accumulate per-tenant and fleet-level rows.
+//!
+//! Only phase 3 touches host threads; phases 1/2/4 pin the order every
+//! shared structure is mutated in. `--threads N` output is therefore
+//! byte-identical for any `N`, and a single-tenant fleet with ample
+//! capacity reproduces the solo [`propack_replay::ReplayEngine`] replay
+//! bit-for-bit (pinned by the `fleet_determinism` suite).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use propack_model::{cache::ModelCache, Objective, ProPackConfig, Propack};
+use propack_platform::fleet::Fleet;
+use propack_platform::warmpool::PoolSnapshot;
+use propack_platform::{
+    BurstRequest, FaultSpec, GrantedRun, KeepAlivePolicy, PlatformError, PoolGrant, RetryPolicy,
+    ServerlessPlatform, WarmPool, WarmPoolConfig,
+};
+use propack_replay::{epoch_seed, Controller, EpochResult, Forecaster};
+use propack_simcore::EpochTimeline;
+use propack_stats::Percentile;
+
+use crate::report::{FleetEpochRow, FleetReport, TenantRow};
+use crate::tenant::TenantSpec;
+
+/// Errors that abort a fleet replay before any epoch runs. Per-epoch
+/// planning/platform failures are recorded on the tenant's row instead.
+#[derive(Debug)]
+pub enum FleetError {
+    /// No tenants were supplied.
+    NoTenants,
+    /// Two tenants share a name; tenant-id order would be ambiguous.
+    DuplicateTenant {
+        /// The colliding name.
+        name: String,
+    },
+    /// Every tenant's trace is empty: nothing to replay.
+    NoArrivals,
+    /// The epoch width or fleet horizon is degenerate.
+    InvalidEpoch {
+        /// The rejected epoch width.
+        epoch_secs: f64,
+    },
+    /// The fleet has zero capacity.
+    InvalidCapacity,
+    /// A controller needs a ProPack model and the fit failed.
+    Model(propack_model::ModelError),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::NoTenants => write!(f, "fleet replay needs at least one tenant"),
+            FleetError::DuplicateTenant { name } => {
+                write!(f, "duplicate tenant name `{name}`")
+            }
+            FleetError::NoArrivals => write!(f, "every tenant trace is empty"),
+            FleetError::InvalidEpoch { epoch_secs } => {
+                write!(f, "invalid epoch width {epoch_secs}s")
+            }
+            FleetError::InvalidCapacity => write!(f, "fleet needs servers and slots"),
+            FleetError::Model(e) => write!(f, "model fit failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<propack_model::ModelError> for FleetError {
+    fn from(e: propack_model::ModelError) -> Self {
+        FleetError::Model(e)
+    }
+}
+
+/// Everything about a fleet replay except the tenants and platform.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// Epoch (control window) width, seconds.
+    pub epoch_secs: f64,
+    /// Fleet-level seed: seeds the shared warm pool. Tenants carry their
+    /// own seeds, so results are independent of this unless a pool policy
+    /// draws randomness.
+    pub seed: u64,
+    /// Objective the planning controllers optimize.
+    pub objective: Objective,
+    /// Per-epoch tail-latency QoS bound, seconds.
+    pub qos_secs: Option<f64>,
+    /// Fault rates injected into every tenant's epoch bursts.
+    pub faults: FaultSpec,
+    /// Retry policy for faulted bursts.
+    pub retry: RetryPolicy,
+    /// Keep-alive policy for the *shared* warm pool. Tenants with the same
+    /// workload profile share containers (the platform pools by function).
+    pub keepalive: KeepAlivePolicy,
+    /// Model-fit configuration (shared through [`ModelCache`]).
+    pub fit_config: ProPackConfig,
+    /// Shared fleet: number of servers.
+    pub servers: u32,
+    /// Shared fleet: microVM slots per server.
+    pub slots_per_server: u32,
+    /// Worker threads for the parallel burst phase. Output is
+    /// byte-identical for any value; 1 executes inline.
+    pub threads: usize,
+    /// Fluid-kernel cohort floor passed through to every burst (see
+    /// [`BurstRequest::with_fluid`]); `None` keeps the exact kernel.
+    pub fluid_min_cohort: Option<u32>,
+    /// Keep per-tenant per-epoch rows in the report (memory-heavy at
+    /// fleet scale; required for solo-replay reconstruction).
+    pub keep_tenant_epochs: bool,
+}
+
+impl Default for FleetSpec {
+    fn default() -> Self {
+        Self {
+            epoch_secs: 60.0,
+            seed: 42,
+            objective: Objective::ServiceTime,
+            qos_secs: None,
+            faults: FaultSpec::none(),
+            retry: RetryPolicy::no_retries(),
+            keepalive: KeepAlivePolicy::ColdAlways,
+            fit_config: ProPackConfig::default(),
+            // The default cloud fleet (platform::fleet::default_cloud_fleet).
+            servers: 2_000,
+            slots_per_server: 16,
+            threads: 1,
+            fluid_min_cohort: None,
+            keep_tenant_epochs: false,
+        }
+    }
+}
+
+/// The sharded fleet runner. See the module docs for the phase protocol.
+#[derive(Debug, Clone, Default)]
+pub struct FleetEngine {
+    spec: FleetSpec,
+}
+
+/// Per-tenant planning state that lives across the whole replay.
+struct TenantState {
+    /// Index into the caller's tenant slice.
+    input: usize,
+    model: Option<Arc<Propack>>,
+    forecaster: Option<Box<dyn Forecaster + Send>>,
+    acc: TenantRow,
+    degree_weight: BTreeMap<u32, u64>,
+    epochs: Vec<EpochResult>,
+}
+
+/// One tenant's plan for the current epoch (phase 1 output).
+struct Pending {
+    arrivals: u32,
+    forecast: Option<u32>,
+    degree: u32,
+    error: Option<String>,
+    /// Filled by phase 2.
+    admitted: u32,
+    demand: u32,
+    granted: u32,
+    servers: Vec<u32>,
+}
+
+/// One admitted burst handed to the parallel phase.
+struct EpochJob {
+    /// Position in tenant-id order (phase 4 reduces by this key).
+    pos: usize,
+    request: BurstRequest,
+    pool_grant: PoolGrant,
+}
+
+impl FleetEngine {
+    /// Build an engine from a spec.
+    pub fn new(spec: FleetSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The spec this engine runs.
+    pub fn spec(&self) -> &FleetSpec {
+        &self.spec
+    }
+
+    /// Replay `tenants` against one shared fleet on `platform`. Host
+    /// timing fields in the report are zero; use
+    /// [`FleetEngine::run_with_clock`] from a wall-clock-exempt crate to
+    /// capture them.
+    pub fn run<P: ServerlessPlatform + Sync + ?Sized>(
+        &self,
+        platform: &P,
+        tenants: &[TenantSpec],
+        models: &ModelCache,
+    ) -> Result<FleetReport, FleetError> {
+        self.run_with_clock(platform, tenants, models, &|| 0.0)
+    }
+
+    /// [`FleetEngine::run`] with an injected host clock for `fit_ms` /
+    /// per-epoch `run_ms` capture. The clock influences timing fields
+    /// only, never simulated results.
+    pub fn run_with_clock<P: ServerlessPlatform + Sync + ?Sized>(
+        &self,
+        platform: &P,
+        tenants: &[TenantSpec],
+        models: &ModelCache,
+        clock: &dyn Fn() -> f64,
+    ) -> Result<FleetReport, FleetError> {
+        let spec = &self.spec;
+        if tenants.is_empty() {
+            return Err(FleetError::NoTenants);
+        }
+        if spec.servers == 0 || spec.slots_per_server == 0 {
+            return Err(FleetError::InvalidCapacity);
+        }
+
+        // Tenant-id order: results must not depend on input order, so every
+        // serial phase walks tenants sorted by name.
+        let mut order: Vec<usize> = (0..tenants.len()).collect();
+        order.sort_by(|&a, &b| tenants[a].name.cmp(&tenants[b].name));
+        for pair in order.windows(2) {
+            if tenants[pair[0]].name == tenants[pair[1]].name {
+                return Err(FleetError::DuplicateTenant {
+                    name: tenants[pair[0]].name.clone(),
+                });
+            }
+        }
+
+        // One shared timeline over the longest tenant horizon. Silent
+        // tenants (empty traces) are legal — the Azure population is mostly
+        // quiet apps — but an entirely silent fleet is a configuration bug.
+        let horizon = tenants
+            .iter()
+            .map(|t| t.trace.horizon_secs())
+            .fold(0.0, f64::max);
+        if tenants.iter().all(|t| t.trace.is_empty()) {
+            return Err(FleetError::NoArrivals);
+        }
+        let timeline = EpochTimeline::over_horizon(spec.epoch_secs, horizon).ok_or(
+            FleetError::InvalidEpoch {
+                epoch_secs: spec.epoch_secs,
+            },
+        )?;
+
+        // Fit models in tenant-id order. The cache coalesces identical
+        // (platform, workload, config) keys, so a 1000-tenant fleet over 5
+        // profiles pays 5 fits; the fleet's overhead bill counts each
+        // distinct fit once, while each tenant row remembers the solo-replay
+        // share its plans rely on.
+        let fit_t0 = clock();
+        let mut states: Vec<TenantState> = Vec::with_capacity(tenants.len());
+        let mut fitted: BTreeSet<String> = BTreeSet::new();
+        let mut model_overhead_usd = 0.0;
+        for &i in &order {
+            let t = &tenants[i];
+            let (model, tenant_overhead) = if t.controller.needs_model() {
+                let pp = models.fit(platform, &t.workload, &spec.fit_config)?;
+                let overhead = pp.overhead.expense_usd;
+                if fitted.insert(t.workload.name.clone()) {
+                    model_overhead_usd += overhead;
+                }
+                (Some(pp), overhead)
+            } else {
+                (None, 0.0)
+            };
+            let forecaster = match &t.controller {
+                Controller::Propack(kind) => Some(kind.build()),
+                _ => None,
+            };
+            states.push(TenantState {
+                input: i,
+                model,
+                forecaster,
+                acc: blank_row(t, tenant_overhead),
+                degree_weight: BTreeMap::new(),
+                epochs: Vec::new(),
+            });
+        }
+        let fit_ms = (clock() - fit_t0) * 1000.0;
+        let distinct_fits = fitted.len() as u64;
+
+        let mut pool = match spec.keepalive {
+            KeepAlivePolicy::ColdAlways => None,
+            policy => Some(WarmPool::new(
+                WarmPoolConfig::cold()
+                    .with_policy(policy)
+                    .with_seed(spec.seed)
+                    .with_placement_secs(platform.placement_secs()),
+            )),
+        };
+        let mut fleet = Fleet::new(spec.servers, spec.slots_per_server);
+        let capacity = fleet.capacity();
+
+        let mut epoch_rows: Vec<FleetEpochRow> = Vec::with_capacity(timeline.len() as usize);
+        for (k, start, end) in timeline.iter() {
+            let include_end = k + 1 == timeline.len();
+            let now = end.as_secs();
+            if let Some(p) = pool.as_mut() {
+                p.expire(now);
+            }
+
+            // Phase 1: plan (serial, tenant-id order). Mirrors the solo
+            // EpochDriver exactly: snapshot → forecast → plan → observe.
+            let mut pending: Vec<Pending> = Vec::with_capacity(states.len());
+            for st in states.iter_mut() {
+                let t = &tenants[st.input];
+                let arrivals = t.trace.count_window(start, end, include_end);
+                let snapshot: Option<PoolSnapshot> =
+                    pool.as_ref().map(|p| p.snapshot(&t.workload.name, now));
+                let forecast = st.forecaster.as_ref().and_then(|f| f.forecast());
+                let mut error: Option<String> = None;
+                let degree = match &t.controller {
+                    Controller::NoPacking => 1,
+                    Controller::Fixed(p) => *p,
+                    Controller::Oracle => {
+                        plan_degree(st, arrivals, spec.objective, snapshot.as_ref(), &mut error)
+                            .unwrap_or(1)
+                    }
+                    Controller::Propack(_) => match forecast {
+                        None | Some(0) => 1,
+                        Some(c) => {
+                            plan_degree(st, c, spec.objective, snapshot.as_ref(), &mut error)
+                                .unwrap_or(1)
+                        }
+                    },
+                };
+                if let Some(f) = st.forecaster.as_mut() {
+                    f.observe(arrivals);
+                }
+                pending.push(Pending {
+                    arrivals,
+                    forecast,
+                    degree,
+                    error,
+                    admitted: 0,
+                    demand: 0,
+                    granted: 0,
+                    servers: Vec::new(),
+                });
+            }
+
+            // Phase 2: admit (serial, tenant-id order). Counted
+            // reservations committed in a fixed order make the shared-fleet
+            // outcome independent of phase-3 scheduling.
+            let mut jobs: Vec<EpochJob> = Vec::new();
+            for (pos, p) in pending.iter_mut().enumerate() {
+                if p.arrivals == 0 || p.error.is_some() {
+                    continue;
+                }
+                let t = &tenants[states[pos].input];
+                let p_eff = p.degree.max(1).min(p.arrivals);
+                p.demand = p.arrivals.div_ceil(p_eff);
+                let free = u32::try_from(fleet.free()).unwrap_or(u32::MAX);
+                p.granted = p.demand.min(free);
+                p.admitted = if p.granted == p.demand {
+                    p.arrivals
+                } else {
+                    let cap = u64::from(p.granted) * u64::from(p_eff);
+                    u32::try_from(cap.min(u64::from(p.arrivals))).unwrap_or(p.arrivals)
+                };
+                if p.admitted == 0 {
+                    continue;
+                }
+                let mut request = BurstRequest::new(Arc::clone(&t.workload), p.admitted, p.degree)
+                    .with_seed(epoch_seed(t.seed, k))
+                    .with_faults(spec.faults)
+                    .with_retry(spec.retry);
+                if let Some(mc) = spec.fluid_min_cohort {
+                    request = request.with_fluid(mc);
+                }
+                // The round-0 instance count equals the granted slots by
+                // construction (admitted = granted·p_eff, capped at the
+                // arrivals); the warm pool serves at most that many.
+                let want = request.round0_instances();
+                debug_assert_eq!(want, p.granted);
+                let pool_grant = pool
+                    .as_mut()
+                    .map(|pl| pl.acquire_counted(&t.workload.name, want, now))
+                    .unwrap_or_else(PoolGrant::cold);
+                for j in 0..want as usize {
+                    // Free capacity ≥ want is guaranteed by the grant; the
+                    // first `grants.len()` placements ride warm containers.
+                    let warm = j < pool_grant.grants.len();
+                    if let Some(placement) = fleet.place_with(warm) {
+                        p.servers.push(placement.server);
+                    }
+                }
+                jobs.push(EpochJob {
+                    pos,
+                    request,
+                    pool_grant,
+                });
+            }
+
+            // Phase 3: execute (parallel, pure). Results come back keyed by
+            // tenant-id position; order of completion is irrelevant.
+            let run_t0 = clock();
+            let results = run_jobs(platform, &jobs, now, spec.threads);
+            let run_ms = (clock() - run_t0) * 1000.0;
+
+            // Phase 4: reduce (serial, tenant-id order): commit pool
+            // check-ins, free slots, accumulate rows.
+            let mut results = results.into_iter().peekable();
+            let mut row_arrivals = 0u64;
+            let mut row_admitted = 0u64;
+            let mut row_throttled = 0u64;
+            let mut row_demand = 0u64;
+            let mut row_granted = 0u64;
+            let mut row_warm = 0u64;
+            let mut row_shared = 0u64;
+            let peak_occupancy = fleet.peak_occupancy();
+            for (pos, p) in pending.iter_mut().enumerate() {
+                let st = &mut states[pos];
+                let t = &tenants[st.input];
+                let mut row = EpochResult {
+                    epoch: k,
+                    start_secs: start.as_secs(),
+                    arrivals: p.arrivals,
+                    forecast: p.forecast,
+                    packing_degree: p.degree,
+                    instances: 0,
+                    service_secs: 0.0,
+                    tail_secs: 0.0,
+                    expense_usd: 0.0,
+                    function_hours: 0.0,
+                    retries: 0,
+                    failed_functions: 0,
+                    warm_grants: 0,
+                    shared_grants: 0,
+                    qos_violation: false,
+                    error: p.error.take(),
+                    run_ms: 0.0,
+                };
+                if results.peek().is_some_and(|&(rpos, _)| rpos == pos) {
+                    if let Some((_, outcome)) = results.next() {
+                        match outcome {
+                            Ok(granted_run) => {
+                                let run = &granted_run.run;
+                                let faults = run.faults();
+                                row.instances = run.instances();
+                                row.service_secs = run.total_service_secs();
+                                row.tail_secs = run
+                                    .rounds
+                                    .iter()
+                                    .map(|r| r.service_time(Percentile::Tail95))
+                                    .sum();
+                                row.expense_usd = run.expense_usd();
+                                row.function_hours = run.function_hours();
+                                row.retries = faults.retries;
+                                row.failed_functions = run.abandoned_functions;
+                                row.warm_grants = run.warm_grants;
+                                row.shared_grants = run.shared_grants;
+                                row.qos_violation =
+                                    spec.qos_secs.is_some_and(|q| row.tail_secs > q);
+                                if let Some(pl) = pool.as_mut() {
+                                    for &t_in in &granted_run.check_ins {
+                                        pl.check_in(&t.workload.name, 1, t_in);
+                                    }
+                                }
+                            }
+                            Err(e) => row.error = Some(e.to_string()),
+                        }
+                    }
+                }
+                for &server in &p.servers {
+                    fleet.release(server);
+                }
+                row_arrivals += u64::from(p.arrivals);
+                row_admitted += u64::from(p.admitted);
+                row_throttled += u64::from(p.arrivals - p.admitted.min(p.arrivals));
+                row_demand += u64::from(p.demand);
+                row_granted += u64::from(p.granted);
+                row_warm += row.warm_grants;
+                row_shared += row.shared_grants;
+                accumulate(st, p, &row);
+                if spec.keep_tenant_epochs {
+                    st.epochs.push(row);
+                }
+            }
+            epoch_rows.push(FleetEpochRow {
+                epoch: k,
+                start_secs: start.as_secs(),
+                arrivals: row_arrivals,
+                admitted: row_admitted,
+                throttled: row_throttled,
+                demand_instances: row_demand,
+                granted_instances: row_granted,
+                warm_grants: row_warm,
+                shared_grants: row_shared,
+                utilization: row_granted as f64 / capacity as f64,
+                peak_occupancy,
+                run_ms,
+            });
+        }
+
+        // Finalize tenant rows: dominant degree is the arrivals-weighted
+        // mode (ties → the larger degree; BTreeMap iteration makes
+        // max_by_key's last-max deterministic).
+        let mut tenant_rows: Vec<TenantRow> = Vec::with_capacity(states.len());
+        let mut tenant_epochs: Option<Vec<Vec<EpochResult>>> = if spec.keep_tenant_epochs {
+            Some(Vec::with_capacity(states.len()))
+        } else {
+            None
+        };
+        let mut labels: BTreeSet<String> = BTreeSet::new();
+        for st in states.into_iter() {
+            let mut acc = st.acc;
+            acc.dominant_degree = st
+                .degree_weight
+                .iter()
+                .max_by_key(|&(_, w)| *w)
+                .map(|(&p, _)| p)
+                .unwrap_or(1);
+            labels.insert(acc.controller.clone());
+            tenant_rows.push(acc);
+            if let Some(rows) = tenant_epochs.as_mut() {
+                rows.push(st.epochs);
+            }
+        }
+        let controller = if labels.len() == 1 {
+            labels.into_iter().next().unwrap_or_default()
+        } else {
+            "mixed".to_string()
+        };
+
+        Ok(FleetReport {
+            platform: platform.name(),
+            controller,
+            epoch_secs: spec.epoch_secs,
+            seed: spec.seed,
+            qos_secs: spec.qos_secs,
+            keepalive: spec.keepalive.label(),
+            capacity,
+            tenants: tenant_rows,
+            epochs: epoch_rows,
+            tenant_epochs,
+            model_overhead_usd,
+            distinct_fits,
+            fit_ms,
+        })
+    }
+}
+
+/// A fresh accumulator row for one tenant.
+fn blank_row(t: &TenantSpec, model_overhead_usd: f64) -> TenantRow {
+    TenantRow {
+        name: t.name.clone(),
+        trace: t.trace.name().to_string(),
+        workload: t.workload.name.clone(),
+        controller: t.controller.label(),
+        seed: t.seed,
+        arrivals: 0,
+        admitted: 0,
+        throttled: 0,
+        instances: 0,
+        service_secs: 0.0,
+        tail_secs: 0.0,
+        expense_usd: 0.0,
+        model_overhead_usd,
+        function_hours: 0.0,
+        retries: 0,
+        failed_functions: 0,
+        warm_grants: 0,
+        shared_grants: 0,
+        qos_violations: 0,
+        max_degree: 0,
+        dominant_degree: 1,
+        forecast_abs_err_sum: 0.0,
+        forecast_epochs: 0,
+        errors: 0,
+    }
+}
+
+/// Fold one epoch row into a tenant's accumulator.
+fn accumulate(st: &mut TenantState, p: &Pending, row: &EpochResult) {
+    let acc = &mut st.acc;
+    acc.arrivals += u64::from(p.arrivals);
+    acc.admitted += u64::from(p.admitted);
+    acc.throttled += u64::from(p.arrivals - p.admitted.min(p.arrivals));
+    acc.instances += u64::from(row.instances);
+    acc.service_secs += row.service_secs;
+    acc.tail_secs += row.tail_secs;
+    acc.expense_usd += row.expense_usd;
+    acc.function_hours += row.function_hours;
+    acc.retries += row.retries;
+    acc.failed_functions += row.failed_functions;
+    acc.warm_grants += row.warm_grants;
+    acc.shared_grants += row.shared_grants;
+    if row.qos_violation {
+        acc.qos_violations += 1;
+    }
+    if row.error.is_some() {
+        acc.errors += 1;
+    }
+    acc.max_degree = acc.max_degree.max(row.packing_degree);
+    if let Some(f) = row.forecast {
+        acc.forecast_abs_err_sum += (f64::from(f) - f64::from(row.arrivals)).abs();
+        acc.forecast_epochs += 1;
+    }
+    if row.arrivals > 0 {
+        *st.degree_weight.entry(row.packing_degree).or_insert(0) += u64::from(row.arrivals);
+    }
+}
+
+/// Plan a packing degree for concurrency `c` with the tenant's model;
+/// `None` (with the error recorded) degrades the epoch to unpacked —
+/// byte-for-byte the solo engine's `plan_degree`.
+fn plan_degree(
+    st: &TenantState,
+    c: u32,
+    objective: Objective,
+    pool: Option<&PoolSnapshot>,
+    error: &mut Option<String>,
+) -> Option<u32> {
+    if c == 0 {
+        return Some(1);
+    }
+    let model = st.model.as_ref()?;
+    let planned = match pool {
+        Some(snapshot) => model.plan_with_pool(c, objective, snapshot),
+        None => model.plan(c, objective),
+    };
+    match planned {
+        Ok(plan) => Some(plan.packing_degree),
+        Err(e) => {
+            *error = Some(format!("plan failed: {e}"));
+            None
+        }
+    }
+}
+
+/// Execute the epoch's admitted bursts, serially or on work-stealing
+/// deques, returning results sorted by tenant-id position. Each job is a
+/// pure read of the platform, so the schedule cannot affect the bits.
+fn run_jobs<P: ServerlessPlatform + Sync + ?Sized>(
+    platform: &P,
+    jobs: &[EpochJob],
+    now: f64,
+    threads: usize,
+) -> Vec<(usize, Result<GrantedRun, PlatformError>)> {
+    let workers = threads.min(jobs.len()).max(1);
+    let mut results: Vec<(usize, Result<GrantedRun, PlatformError>)> = if workers <= 1 {
+        jobs.iter()
+            .map(|j| (j.pos, j.request.run_granted(platform, &j.pool_grant, now)))
+            .collect()
+    } else {
+        // Deal indices round-robin so each worker starts with a balanced,
+        // deterministic share; stealing rebalances skewed tenants (the
+        // heavy-tailed fleet's hot apps dominate one deque otherwise).
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| Mutex::new((w..jobs.len()).step_by(workers).collect()))
+            .collect();
+        let mut out = Vec::with_capacity(jobs.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let queues = &queues;
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        while let Some(i) = next_job(queues, w) {
+                            let j = &jobs[i];
+                            mine.push((j.pos, j.request.run_granted(platform, &j.pool_grant, now)));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(batch) => out.extend(batch),
+                    // A worker panic is a simulator bug, not a tenant
+                    // outcome; surface it instead of dropping tenants.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        out
+    };
+    results.sort_by_key(|&(pos, _)| pos);
+    results
+}
+
+/// Claim the next job for worker `w`: own deque front first, then steal
+/// from the back of the others. `None` drains the epoch.
+fn next_job(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    if let Some(i) = lock(&queues[w]).pop_front() {
+        return Some(i);
+    }
+    for step in 1..queues.len() {
+        if let Some(i) = lock(&queues[(w + step) % queues.len()]).pop_back() {
+            return Some(i);
+        }
+    }
+    None
+}
+
+fn lock(queue: &Mutex<VecDeque<usize>>) -> MutexGuard<'_, VecDeque<usize>> {
+    // A poisoned deque only means another worker panicked while holding
+    // the guard; the indices themselves are still valid work.
+    queue
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::{synthetic_fleet, SyntheticFleetConfig};
+    use propack_platform::PlatformBuilder;
+
+    fn small_fit() -> ProPackConfig {
+        ProPackConfig {
+            scaling_levels: vec![10, 20, 40],
+            ..ProPackConfig::default()
+        }
+    }
+
+    fn small_fleet(apps: u32) -> Vec<TenantSpec> {
+        synthetic_fleet(&SyntheticFleetConfig {
+            apps,
+            daily_invocations: f64::from(apps) * 40.0,
+            horizon_secs: 600.0,
+            ..SyntheticFleetConfig::default()
+        })
+        .expect("fleet generates")
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_bits() {
+        let platform = PlatformBuilder::aws().build();
+        let tenants = small_fleet(12);
+        let run = |threads: usize| {
+            let spec = FleetSpec {
+                epoch_secs: 120.0,
+                threads,
+                fit_config: small_fit(),
+                keepalive: KeepAlivePolicy::FixedKeepAlive { idle_ttl: 120.0 },
+                ..FleetSpec::default()
+            };
+            FleetEngine::new(spec)
+                .run(&platform, &tenants, &ModelCache::default())
+                .expect("fleet runs")
+                .render()
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(4), "threads=4 diverged");
+        assert_eq!(serial, run(8), "threads=8 diverged");
+    }
+
+    #[test]
+    fn tenant_input_order_does_not_change_the_bits() {
+        let platform = PlatformBuilder::aws().build();
+        let tenants = small_fleet(8);
+        let mut shuffled = tenants.clone();
+        shuffled.reverse();
+        shuffled.swap(0, 3);
+        let spec = FleetSpec {
+            epoch_secs: 120.0,
+            threads: 4,
+            fit_config: small_fit(),
+            ..FleetSpec::default()
+        };
+        let a = FleetEngine::new(spec.clone())
+            .run(&platform, &tenants, &ModelCache::default())
+            .expect("fleet runs");
+        let b = FleetEngine::new(spec)
+            .run(&platform, &shuffled, &ModelCache::default())
+            .expect("shuffled runs");
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn saturation_throttles_in_tenant_id_order() {
+        let platform = PlatformBuilder::aws().build();
+        // No-packing tenants (no model fits) against a toy fleet far below
+        // the demand: someone must be throttled.
+        let tenants = synthetic_fleet(&SyntheticFleetConfig {
+            apps: 10,
+            daily_invocations: 400.0,
+            horizon_secs: 600.0,
+            controller: Controller::NoPacking,
+            ..SyntheticFleetConfig::default()
+        })
+        .expect("fleet generates");
+        let spec = FleetSpec {
+            epoch_secs: 120.0,
+            servers: 1,
+            slots_per_server: 2,
+            ..FleetSpec::default()
+        };
+        let report = FleetEngine::new(spec)
+            .run(&platform, &tenants, &ModelCache::default())
+            .expect("fleet runs");
+        assert!(report.total_throttled() > 0, "tiny fleet must throttle");
+        assert!(report.contention() > 0.0);
+        assert_eq!(
+            report.total_admitted() + report.total_throttled(),
+            report.total_arrivals()
+        );
+        // Early-name tenants keep admission priority: the first tenant
+        // with arrivals is never fully starved while later ones are served.
+        let first_active = report.tenants.iter().find(|t| t.arrivals > 0);
+        if let Some(first) = first_active {
+            assert!(first.admitted > 0, "tenant-id order admits the head");
+        }
+        // Utilization clamps at capacity.
+        assert!(report.peak_utilization() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn identical_profiles_coalesce_into_shared_fits() {
+        let platform = PlatformBuilder::aws().build();
+        let tenants = small_fleet(20);
+        let models = ModelCache::default();
+        let spec = FleetSpec {
+            epoch_secs: 120.0,
+            fit_config: small_fit(),
+            ..FleetSpec::default()
+        };
+        let report = FleetEngine::new(spec)
+            .run(&platform, &tenants, &models)
+            .expect("fleet runs");
+        let distinct: std::collections::BTreeSet<&str> =
+            tenants.iter().map(|t| t.workload.name.as_str()).collect();
+        assert_eq!(report.distinct_fits, distinct.len() as u64);
+        assert_eq!(models.misses(), distinct.len() as u64);
+        assert!(models.hits() >= (tenants.len() - distinct.len()) as u64);
+    }
+
+    #[test]
+    fn empty_and_degenerate_fleets_are_rejected() {
+        let platform = PlatformBuilder::aws().build();
+        let models = ModelCache::default();
+        let engine = FleetEngine::new(FleetSpec::default());
+        assert!(matches!(
+            engine.run(&platform, &[], &models),
+            Err(FleetError::NoTenants)
+        ));
+        let tenants = small_fleet(2);
+        let mut dup = tenants.clone();
+        dup[1].name = dup[0].name.clone();
+        assert!(matches!(
+            engine.run(&platform, &dup, &models),
+            Err(FleetError::DuplicateTenant { .. })
+        ));
+        let bad = FleetEngine::new(FleetSpec {
+            epoch_secs: 0.0,
+            ..FleetSpec::default()
+        });
+        assert!(matches!(
+            bad.run(&platform, &tenants, &models),
+            Err(FleetError::InvalidEpoch { .. })
+        ));
+        let no_cap = FleetEngine::new(FleetSpec {
+            servers: 0,
+            ..FleetSpec::default()
+        });
+        assert!(matches!(
+            no_cap.run(&platform, &tenants, &models),
+            Err(FleetError::InvalidCapacity)
+        ));
+    }
+}

@@ -1,0 +1,43 @@
+//! Multi-tenant fleet replay: an Azure-scale day on one shared datacenter.
+//!
+//! The single-trace [`propack_replay::ReplayEngine`] answers "how should
+//! *one* app's packing degree track its load?". Production FaaS platforms
+//! run thousands of apps against **one** fleet and **one** warm pool — the
+//! regime the Azure Functions trace (Shahrad et al., ATC '20) describes and
+//! the ProPack paper's motivation assumes. This crate replays that regime:
+//!
+//! * [`TenantSpec`] — one tenant: an arrival trace, a workload profile
+//!   (shared `Arc` across tenants with the same function profile), a
+//!   [`propack_replay::Controller`], and a private RNG seed.
+//! * [`synthetic_fleet`] — a deterministic Azure-style fleet generator:
+//!   per-app function counts (`M_func`), profile assignment, and
+//!   heavy-tailed per-function rates are sampled on the
+//!   `fleet-gen`/`fleet-tenant` RNG lanes, normalized so the expected
+//!   invocation total over the horizon hits a target (e.g. a 1M-invocation
+//!   day).
+//! * [`FleetEngine`] — the sharded executor. Each epoch runs four phases:
+//!   serial per-tenant planning (forecast → plan → observe, exactly the
+//!   [`propack_replay::ReplayEngine`] sequence), serial tenant-id-ordered
+//!   admission against the shared [`propack_platform::fleet::Fleet`] and
+//!   [`propack_platform::WarmPool`], a **parallel** burst phase over the
+//!   admitted tenants (work-stealing deques, the sweep engine's idiom), and
+//!   a serial tenant-id-ordered reduce that commits pool check-ins and
+//!   frees fleet slots. Only the parallel phase touches the platform, and
+//!   it is pure (no shared mutable state), so reports are byte-identical
+//!   for any `--threads N` and any tenant input order.
+//! * [`FleetReport`] — per-tenant accounting (service, expense, QoS
+//!   violations, chosen `P`) plus fleet-level utilization, cold-start rate,
+//!   and contention, with a deterministic [`FleetReport::render`].
+//!
+//! Determinism contract: a single-tenant fleet with ample capacity
+//! reproduces the single-trace [`propack_replay::ReplayEngine`] replay
+//! **bit-identically** (same per-epoch rows), pinned by the
+//! `fleet_determinism` integration suite.
+
+pub mod engine;
+pub mod report;
+pub mod tenant;
+
+pub use engine::{FleetEngine, FleetError, FleetSpec};
+pub use report::{FleetEpochRow, FleetReport, TenantRow};
+pub use tenant::{synthetic_fleet, SyntheticFleetConfig, TenantSpec};

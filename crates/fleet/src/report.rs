@@ -1,0 +1,514 @@
+//! Fleet replay reports: per-tenant and fleet-level accounting.
+//!
+//! Same contract as the sweep and replay reports: [`FleetReport::render`]
+//! contains only simulated results at fixed precision and must be
+//! byte-identical across re-runs, `--threads N`, and tenant input order.
+//! Host timing (`fit_ms`, per-epoch `run_ms`) is captured for
+//! `BENCH_fleet.json` but never rendered.
+
+use propack_replay::{EpochResult, ReplayReport};
+
+/// One tenant's accumulated outcome over the whole replay, in tenant-id
+/// (name) order in [`FleetReport::tenants`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantRow {
+    /// Tenant name (by convention `app/function`).
+    pub name: String,
+    /// The tenant's trace name (usually equal to `name`).
+    pub trace: String,
+    /// Workload profile name.
+    pub workload: String,
+    /// Controller label, e.g. `propack-ewma`.
+    pub controller: String,
+    /// The tenant's private base seed.
+    pub seed: u64,
+    /// Invocations that arrived over the horizon.
+    pub arrivals: u64,
+    /// Invocations admitted past fleet-capacity throttling.
+    pub admitted: u64,
+    /// Invocations rejected because the shared fleet was saturated.
+    pub throttled: u64,
+    /// Instances spawned (all retry rounds).
+    pub instances: u64,
+    /// Realized service time, seconds.
+    pub service_secs: f64,
+    /// Realized tail (p95) latency, seconds, summed across epochs.
+    pub tail_secs: f64,
+    /// Billed expense, USD (excludes the shared model overhead, reported
+    /// fleet-level; `model_overhead_usd` here is the tenant's share for a
+    /// solo-replay reconstruction).
+    pub expense_usd: f64,
+    /// The profiling cost this tenant's plans rely on, USD — what a solo
+    /// replay of this tenant would have paid. Coalesced tenants all record
+    /// the same figure; the fleet pays it once (see
+    /// [`FleetReport::model_overhead_usd`]).
+    pub model_overhead_usd: f64,
+    /// Billed compute, function-hours.
+    pub function_hours: f64,
+    /// Retries consumed by fault recovery.
+    pub retries: u64,
+    /// Functions abandoned after the retry budget.
+    pub failed_functions: u64,
+    /// Warm (same-function keep-alive) grants from the shared pool.
+    pub warm_grants: u64,
+    /// Re-specialized shared-donor grants from the shared pool.
+    pub shared_grants: u64,
+    /// Epochs whose tail latency violated the QoS bound.
+    pub qos_violations: u32,
+    /// Largest packing degree any epoch used.
+    pub max_degree: u32,
+    /// Arrivals-weighted modal packing degree ("chosen P"); 1 when the
+    /// tenant never saw an arrival.
+    pub dominant_degree: u32,
+    /// Sum of |forecast − arrivals| over forecasted epochs.
+    pub forecast_abs_err_sum: f64,
+    /// Number of forecasted epochs.
+    pub forecast_epochs: u64,
+    /// Epochs that failed to plan or run.
+    pub errors: u32,
+}
+
+impl TenantRow {
+    /// Mean absolute forecast error, functions; `None` when the tenant's
+    /// controller never forecast.
+    pub fn mean_abs_forecast_error(&self) -> Option<f64> {
+        if self.forecast_epochs == 0 {
+            None
+        } else {
+            Some(self.forecast_abs_err_sum / self.forecast_epochs as f64)
+        }
+    }
+}
+
+/// One epoch of fleet-level admission and occupancy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetEpochRow {
+    /// Epoch index.
+    pub epoch: u32,
+    /// Epoch start, seconds on the sim clock.
+    pub start_secs: f64,
+    /// Invocations that arrived fleet-wide in this window.
+    pub arrivals: u64,
+    /// Invocations admitted after capacity throttling.
+    pub admitted: u64,
+    /// Invocations throttled by fleet saturation.
+    pub throttled: u64,
+    /// Instance slots the tenants asked for.
+    pub demand_instances: u64,
+    /// Instance slots the fleet granted (= concurrently reserved during
+    /// the epoch; slots are freed at the epoch boundary).
+    pub granted_instances: u64,
+    /// Warm pool grants consumed this epoch.
+    pub warm_grants: u64,
+    /// Shared-donor pool grants consumed this epoch.
+    pub shared_grants: u64,
+    /// `granted_instances / capacity`.
+    pub utilization: f64,
+    /// Maximum per-server occupancy while the epoch's placements were live.
+    pub peak_occupancy: u32,
+    /// Host milliseconds spent in the parallel burst phase (timing only,
+    /// not rendered).
+    pub run_ms: f64,
+}
+
+/// Accumulated outcome of replaying a multi-tenant fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Platform display name.
+    pub platform: String,
+    /// Controller summary: the shared label when every tenant runs the
+    /// same policy, `mixed` otherwise.
+    pub controller: String,
+    /// Epoch width, seconds.
+    pub epoch_secs: f64,
+    /// Base seed (warm pool; tenants carry their own).
+    pub seed: u64,
+    /// QoS bound on per-epoch tail latency, if one was set.
+    pub qos_secs: Option<f64>,
+    /// Keep-alive policy label.
+    pub keepalive: String,
+    /// Total fleet slots.
+    pub capacity: u64,
+    /// Per-tenant rows, in tenant-id (name) order.
+    pub tenants: Vec<TenantRow>,
+    /// Per-epoch fleet rows, in epoch order.
+    pub epochs: Vec<FleetEpochRow>,
+    /// Per-tenant per-epoch rows (index-aligned with `tenants`), kept only
+    /// when [`crate::FleetSpec::keep_tenant_epochs`] is set — the
+    /// single-tenant ≡ `ReplayEngine` bit-identity check reads these.
+    pub tenant_epochs: Option<Vec<Vec<EpochResult>>>,
+    /// Model-building expense the *fleet* paid, USD: one charge per
+    /// distinct (platform, workload, config) fit, however many tenants
+    /// share it.
+    pub model_overhead_usd: f64,
+    /// Distinct model fits paid (coalesced across tenants).
+    pub distinct_fits: u64,
+    /// Host milliseconds fitting models (timing only, not rendered).
+    pub fit_ms: f64,
+}
+
+impl FleetReport {
+    /// Total invocations that arrived.
+    pub fn total_arrivals(&self) -> u64 {
+        self.tenants.iter().map(|t| t.arrivals).sum()
+    }
+
+    /// Total invocations admitted.
+    pub fn total_admitted(&self) -> u64 {
+        self.tenants.iter().map(|t| t.admitted).sum()
+    }
+
+    /// Total invocations throttled by fleet saturation.
+    pub fn total_throttled(&self) -> u64 {
+        self.tenants.iter().map(|t| t.throttled).sum()
+    }
+
+    /// Fleet contention: the throttled share of arrivals (0 on an idle or
+    /// amply-provisioned fleet).
+    pub fn contention(&self) -> f64 {
+        let arrivals = self.total_arrivals();
+        if arrivals == 0 {
+            0.0
+        } else {
+            self.total_throttled() as f64 / arrivals as f64
+        }
+    }
+
+    /// Total realized service time, seconds.
+    pub fn total_service_secs(&self) -> f64 {
+        self.tenants.iter().map(|t| t.service_secs).sum()
+    }
+
+    /// Total billed expense including the coalesced model overhead, USD.
+    pub fn total_expense_usd(&self) -> f64 {
+        self.model_overhead_usd + self.tenants.iter().map(|t| t.expense_usd).sum::<f64>()
+    }
+
+    /// Total billed compute, function-hours.
+    pub fn total_function_hours(&self) -> f64 {
+        self.tenants.iter().map(|t| t.function_hours).sum()
+    }
+
+    /// Total instances spawned.
+    pub fn total_instances(&self) -> u64 {
+        self.tenants.iter().map(|t| t.instances).sum()
+    }
+
+    /// QoS violations across all tenants and epochs.
+    pub fn qos_violations(&self) -> u64 {
+        self.tenants
+            .iter()
+            .map(|t| u64::from(t.qos_violations))
+            .sum()
+    }
+
+    /// Total retries across the fleet.
+    pub fn total_retries(&self) -> u64 {
+        self.tenants.iter().map(|t| t.retries).sum()
+    }
+
+    /// Total abandoned functions across the fleet.
+    pub fn total_failed(&self) -> u64 {
+        self.tenants.iter().map(|t| t.failed_functions).sum()
+    }
+
+    /// Total warm grants across the fleet.
+    pub fn total_warm_grants(&self) -> u64 {
+        self.tenants.iter().map(|t| t.warm_grants).sum()
+    }
+
+    /// Total shared-donor grants across the fleet.
+    pub fn total_shared_grants(&self) -> u64 {
+        self.tenants.iter().map(|t| t.shared_grants).sum()
+    }
+
+    /// Instance slots granted across all epochs.
+    pub fn total_granted_instances(&self) -> u64 {
+        self.epochs.iter().map(|e| e.granted_instances).sum()
+    }
+
+    /// Cold-start rate: the share of granted instances that were *not*
+    /// served warm or shared from the pool. 1.0 when nothing ran (an idle
+    /// fleet is all-cold by convention) or when no pool is configured.
+    pub fn cold_start_rate(&self) -> f64 {
+        let granted = self.total_granted_instances();
+        if granted == 0 {
+            return 1.0;
+        }
+        let pooled = self.total_warm_grants() + self.total_shared_grants();
+        1.0 - (pooled.min(granted) as f64 / granted as f64)
+    }
+
+    /// Mean per-epoch fleet utilization.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.epochs.is_empty() {
+            return 0.0;
+        }
+        self.epochs.iter().map(|e| e.utilization).sum::<f64>() / self.epochs.len() as f64
+    }
+
+    /// Peak per-epoch fleet utilization.
+    pub fn peak_utilization(&self) -> f64 {
+        self.epochs
+            .iter()
+            .map(|e| e.utilization)
+            .fold(0.0, f64::max)
+    }
+
+    /// Epochs that failed to plan or run, across all tenants.
+    pub fn error_count(&self) -> u64 {
+        self.tenants.iter().map(|t| u64::from(t.errors)).sum()
+    }
+
+    /// Reconstruct the [`ReplayReport`] tenant `idx` (tenant-id order)
+    /// would have produced as a solo replay: same per-epoch rows, the
+    /// tenant's own seed and model overhead. `None` unless the run kept
+    /// tenant epochs. The single-tenant fleet ≡ `ReplayEngine` bit-identity
+    /// suite diffs this against the real engine's output.
+    pub fn tenant_replay_report(&self, idx: usize) -> Option<ReplayReport> {
+        let rows = self.tenant_epochs.as_ref()?.get(idx)?;
+        let t = self.tenants.get(idx)?;
+        Some(ReplayReport {
+            trace: t.trace.clone(),
+            platform: self.platform.clone(),
+            workload: t.workload.clone(),
+            controller: t.controller.clone(),
+            epoch_secs: self.epoch_secs,
+            seed: t.seed,
+            qos_secs: self.qos_secs,
+            keepalive: self.keepalive.clone(),
+            epochs: rows.clone(),
+            model_overhead_usd: t.model_overhead_usd,
+            fit_ms: self.fit_ms,
+        })
+    }
+
+    /// The deterministic text report: fixed precision, no host timing.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fleet on {}: tenants={} controller={} epochs={} epoch_s={:.1} seed={} capacity={} keepalive={} qos_s={}\n",
+            self.platform,
+            self.tenants.len(),
+            self.controller,
+            self.epochs.len(),
+            self.epoch_secs,
+            self.seed,
+            self.capacity,
+            self.keepalive,
+            match self.qos_secs {
+                Some(q) => format!("{q:.3}"),
+                None => "-".to_string(),
+            },
+        ));
+        out.push_str(
+            "epoch\tstart_s\tarrivals\tadmitted\tthrottled\tdemand\tgranted\twarm\tshared\tutil\tpeak\n",
+        );
+        for e in &self.epochs {
+            out.push_str(&format!(
+                "{}\t{:.1}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.4}\t{}\n",
+                e.epoch,
+                e.start_secs,
+                e.arrivals,
+                e.admitted,
+                e.throttled,
+                e.demand_instances,
+                e.granted_instances,
+                e.warm_grants,
+                e.shared_grants,
+                e.utilization,
+                e.peak_occupancy,
+            ));
+        }
+        out.push_str(
+            "tenant\tworkload\tcontroller\tarrivals\tadmitted\tthrottled\tP*\tPmax\tinstances\tservice_s\ttail_s\texpense_usd\tfn_hours\tretries\tfailed\twarm\tqos\tmae\terrors\n",
+        );
+        for t in &self.tenants {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.3}\t{:.3}\t{:.6}\t{:.4}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                t.name,
+                t.workload,
+                t.controller,
+                t.arrivals,
+                t.admitted,
+                t.throttled,
+                t.dominant_degree,
+                t.max_degree,
+                t.instances,
+                t.service_secs,
+                t.tail_secs,
+                t.expense_usd,
+                t.function_hours,
+                t.retries,
+                t.failed_functions,
+                t.warm_grants,
+                t.qos_violations,
+                match t.mean_abs_forecast_error() {
+                    Some(m) => format!("{m:.2}"),
+                    None => "-".to_string(),
+                },
+                t.errors,
+            ));
+        }
+        out.push_str(&format!(
+            "total: arrivals={} admitted={} throttled={} service_s={:.3} expense_usd={:.6} (model_overhead_usd={:.6} fits={}) fn_hours={:.4} retries={} failed={} qos_violations={} errors={}\n",
+            self.total_arrivals(),
+            self.total_admitted(),
+            self.total_throttled(),
+            self.total_service_secs(),
+            self.total_expense_usd(),
+            self.model_overhead_usd,
+            self.distinct_fits,
+            self.total_function_hours(),
+            self.total_retries(),
+            self.total_failed(),
+            self.qos_violations(),
+            self.error_count(),
+        ));
+        out.push_str(&format!(
+            "fleet: utilization={:.4} peak_util={:.4} cold_start_rate={:.4} contention={:.4} warm_grants={} shared_grants={}\n",
+            self.mean_utilization(),
+            self.peak_utilization(),
+            self.cold_start_rate(),
+            self.contention(),
+            self.total_warm_grants(),
+            self.total_shared_grants(),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tenant(name: &str, arrivals: u64, throttled: u64) -> TenantRow {
+        TenantRow {
+            name: name.to_string(),
+            trace: name.to_string(),
+            workload: "fleet-p0".to_string(),
+            controller: "propack-ewma".to_string(),
+            seed: 7,
+            arrivals,
+            admitted: arrivals - throttled,
+            throttled,
+            instances: arrivals / 4,
+            service_secs: 12.0,
+            tail_secs: 9.5,
+            expense_usd: 0.01,
+            model_overhead_usd: 0.005,
+            function_hours: 0.2,
+            retries: 1,
+            failed_functions: 0,
+            warm_grants: 3,
+            shared_grants: 1,
+            qos_violations: 2,
+            max_degree: 8,
+            dominant_degree: 4,
+            forecast_abs_err_sum: 50.0,
+            forecast_epochs: 10,
+            errors: 0,
+        }
+    }
+
+    fn report() -> FleetReport {
+        FleetReport {
+            platform: "AWS Lambda".into(),
+            controller: "propack-ewma".into(),
+            epoch_secs: 60.0,
+            seed: 42,
+            qos_secs: Some(30.0),
+            keepalive: "cold".into(),
+            capacity: 1000,
+            tenants: vec![tenant("a00/f0", 100, 0), tenant("a01/f0", 200, 40)],
+            epochs: vec![
+                FleetEpochRow {
+                    epoch: 0,
+                    start_secs: 0.0,
+                    arrivals: 150,
+                    admitted: 130,
+                    throttled: 20,
+                    demand_instances: 40,
+                    granted_instances: 35,
+                    warm_grants: 2,
+                    shared_grants: 0,
+                    utilization: 0.035,
+                    peak_occupancy: 3,
+                    run_ms: 4.0,
+                },
+                FleetEpochRow {
+                    epoch: 1,
+                    start_secs: 60.0,
+                    arrivals: 150,
+                    admitted: 130,
+                    throttled: 20,
+                    demand_instances: 42,
+                    granted_instances: 40,
+                    warm_grants: 4,
+                    shared_grants: 2,
+                    utilization: 0.04,
+                    peak_occupancy: 4,
+                    run_ms: 5.0,
+                },
+            ],
+            tenant_epochs: None,
+            model_overhead_usd: 0.005,
+            distinct_fits: 1,
+            fit_ms: 11.0,
+        }
+    }
+
+    #[test]
+    fn totals_and_fleet_metrics_accumulate() {
+        let r = report();
+        assert_eq!(r.total_arrivals(), 300);
+        assert_eq!(r.total_throttled(), 40);
+        assert!((r.contention() - 40.0 / 300.0).abs() < 1e-12);
+        assert_eq!(r.total_granted_instances(), 75);
+        // 8 pooled grants (tenant rows: 2·(3+1)) over 75 granted.
+        assert!((r.cold_start_rate() - (1.0 - 8.0 / 75.0)).abs() < 1e-12);
+        assert!((r.mean_utilization() - 0.0375).abs() < 1e-12);
+        assert!((r.peak_utilization() - 0.04).abs() < 1e-12);
+        assert_eq!(r.qos_violations(), 4);
+        // Overhead is paid once, not per tenant.
+        assert!((r.total_expense_usd() - (0.005 + 0.02)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_excludes_host_timing() {
+        let a = report();
+        let mut b = report();
+        b.fit_ms = 1e9;
+        for e in &mut b.epochs {
+            e.run_ms = 1e9;
+        }
+        assert_eq!(a.render(), b.render());
+        let mut c = report();
+        c.tenants[0].service_secs += 0.001;
+        assert_ne!(a.render(), c.render());
+    }
+
+    #[test]
+    fn idle_fleet_metrics_are_well_defined() {
+        let mut r = report();
+        r.tenants.clear();
+        r.epochs.clear();
+        assert_eq!(r.contention(), 0.0);
+        assert_eq!(r.cold_start_rate(), 1.0);
+        assert_eq!(r.mean_utilization(), 0.0);
+        assert_eq!(r.peak_utilization(), 0.0);
+    }
+
+    #[test]
+    fn tenant_replay_reconstruction_needs_kept_epochs() {
+        let r = report();
+        assert!(r.tenant_replay_report(0).is_none());
+        let mut kept = report();
+        kept.tenant_epochs = Some(vec![Vec::new(), Vec::new()]);
+        let solo = kept.tenant_replay_report(1).expect("kept");
+        assert_eq!(solo.trace, "a01/f0");
+        assert_eq!(solo.seed, 7);
+        assert_eq!(solo.controller, "propack-ewma");
+        assert!((solo.model_overhead_usd - 0.005).abs() < 1e-12);
+    }
+}

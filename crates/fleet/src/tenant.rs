@@ -1,0 +1,369 @@
+//! Tenants and the deterministic synthetic fleet generator.
+//!
+//! A tenant is one (app, function) arrival stream with its own controller
+//! and RNG seed. The generator reproduces the shape of the Azure Functions
+//! 2019 trace (Shahrad et al., ATC '20) that motivates ProPack's
+//! concurrency regime: many apps, a small number of functions per app
+//! (`M_func`), a handful of distinct resource profiles, and a heavy-tailed
+//! invocation-rate distribution where a few functions dominate the day.
+//!
+//! Determinism: fleet *structure* (function counts, profile assignment,
+//! rate weights) is sampled on the [`lanes::FLEET_GEN`] stream; each
+//! tenant's private seed comes from [`lanes::FLEET_TENANT`] indexed by the
+//! tenant ordinal, so tenant simulations are decorrelated from each other
+//! and from the structure draws. Given the same [`SyntheticFleetConfig`],
+//! the generated fleet is bit-identical across runs and platforms.
+
+use std::sync::Arc;
+
+use propack_platform::WorkProfile;
+use propack_replay::{ArrivalTrace, Controller, ForecasterKind, TraceError};
+use propack_simcore::rng::lanes;
+use propack_simcore::RngStreams;
+use rand::{Rng, RngCore};
+
+/// One tenant of the shared fleet: an arrival stream, the workload profile
+/// it invokes (an `Arc` so identical profiles share one model fit through
+/// the [`propack_model::cache::ModelCache`]), the packing controller that
+/// plans for it, and a private seed for its epoch bursts.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Unique tenant name, by convention `app/function` (the 4-field Azure
+    /// CSV loader produces exactly this shape).
+    pub name: String,
+    /// The function profile this tenant invokes. Tenants with the same
+    /// profile (same `Arc` or same profile name) coalesce into one model
+    /// fit during fleet replay.
+    pub workload: Arc<WorkProfile>,
+    /// The tenant's arrival stream. May be empty (a silent app): the
+    /// tenant then contributes zero rows but still appears in the report.
+    pub trace: ArrivalTrace,
+    /// Packing policy planning this tenant's epochs.
+    pub controller: Controller,
+    /// Private base seed; epoch `k` of this tenant derives its burst seed
+    /// via [`propack_replay::epoch_seed`] exactly as a solo replay would.
+    pub seed: u64,
+}
+
+/// Configuration for [`synthetic_fleet`].
+#[derive(Debug, Clone)]
+pub struct SyntheticFleetConfig {
+    /// Number of applications. Each app owns 1..=`max_funcs_per_app`
+    /// functions; the tenant count is the realized function total.
+    pub apps: u32,
+    /// Seed for the `fleet-gen` / `fleet-tenant` lanes.
+    pub seed: u64,
+    /// Trace horizon, seconds (86 400 = one day).
+    pub horizon_secs: f64,
+    /// Number of distinct function profiles shared across the fleet. The
+    /// Azure trace clusters into a few behavioral archetypes; keeping this
+    /// small is also what makes the `ModelCache` coalesce fleet fits.
+    pub profiles: u32,
+    /// Upper bound on functions per app (`M_func` is uniform on
+    /// `1..=max_funcs_per_app`).
+    pub max_funcs_per_app: u32,
+    /// Expected total invocations over the horizon, split across tenants
+    /// by the heavy-tailed rate weights. The realized Poisson total varies
+    /// by O(√N) around this.
+    pub daily_invocations: f64,
+    /// Controller assigned to every generated tenant (callers re-map per
+    /// tenant afterwards for mixed-policy fleets).
+    pub controller: Controller,
+}
+
+impl Default for SyntheticFleetConfig {
+    fn default() -> Self {
+        Self {
+            apps: 100,
+            seed: 42,
+            horizon_secs: 86_400.0,
+            profiles: 5,
+            max_funcs_per_app: 3,
+            daily_invocations: 100_000.0,
+            controller: Controller::Propack(ForecasterKind::Ewma { alpha: 0.5 }),
+        }
+    }
+}
+
+/// Errors from the synthetic generator.
+#[derive(Debug)]
+pub enum FleetGenError {
+    /// A zero dimension (`apps`, `profiles`, or `max_funcs_per_app`).
+    EmptyFleet,
+    /// The invocation target or horizon is non-positive or non-finite.
+    InvalidLoad,
+    /// Trace synthesis failed (degenerate rate or horizon).
+    Trace(TraceError),
+}
+
+impl std::fmt::Display for FleetGenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetGenError::EmptyFleet => {
+                write!(f, "fleet needs at least one app, profile, and function")
+            }
+            FleetGenError::InvalidLoad => {
+                write!(
+                    f,
+                    "daily_invocations and horizon_secs must be positive and finite"
+                )
+            }
+            FleetGenError::Trace(e) => write!(f, "trace synthesis failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetGenError {}
+
+impl From<TraceError> for FleetGenError {
+    fn from(e: TraceError) -> Self {
+        FleetGenError::Trace(e)
+    }
+}
+
+/// The five behavioral archetypes the fleet cycles through:
+/// `(mem_gb, base_exec_secs)`. Small-memory short glue functions dominate
+/// the Azure population; a few heavy profiles carry the long tail.
+const PROFILE_SHAPES: &[(f64, f64)] = &[
+    (0.125, 8.0),
+    (0.25, 45.0),
+    (0.5, 20.0),
+    (1.0, 90.0),
+    (2.0, 30.0),
+];
+
+/// Pareto tail index for the per-function rate weights. α ≤ 1 has an
+/// infinite mean (one tenant would swallow the whole day); 1.5 gives the
+/// skew the Azure trace reports — a small head of functions carrying most
+/// invocations — with a finite normalizable total.
+const RATE_TAIL_ALPHA: f64 = 1.5;
+
+/// The shared profile templates for a `profiles`-way fleet. Distinct names
+/// (`fleet-p0`…) keep the `ModelCache` keys distinct; cycling past the five
+/// base shapes bumps memory so every template stays unique.
+pub fn fleet_profiles(profiles: u32) -> Vec<Arc<WorkProfile>> {
+    (0..profiles)
+        .map(|i| {
+            let shape = PROFILE_SHAPES[(i as usize) % PROFILE_SHAPES.len()];
+            let cycle = (i as usize / PROFILE_SHAPES.len()) as u32;
+            Arc::new(WorkProfile::synthetic(
+                &format!("fleet-p{i}"),
+                shape.0 * f64::from(cycle + 1),
+                shape.1,
+            ))
+        })
+        .collect()
+}
+
+/// Sample a uniform index in `0..n` from the bit-exact `f64` draw (the
+/// offline rand stub has no `random_range`; the 53-bit multiply draw is
+/// identical under the real crate, so fleets generated either way match).
+fn uniform_index<R: Rng>(rng: &mut R, n: u32) -> u32 {
+    let u: f64 = rng.random();
+    // u·n < n ≤ u32::MAX by construction; min() guards the u = 1-ulp edge.
+    ((u * f64::from(n)) as u32).min(n - 1)
+}
+
+/// Generate a deterministic synthetic multi-tenant fleet.
+///
+/// Structure (how many functions each app has, which profile each function
+/// uses, how hot it is) comes from the `fleet-gen` lane; per-tenant seeds
+/// come from the indexed `fleet-tenant` lane. Rate weights are Pareto
+/// (heavy-tailed) and normalized so the *expected* invocation total over
+/// the horizon equals `daily_invocations`.
+pub fn synthetic_fleet(cfg: &SyntheticFleetConfig) -> Result<Vec<TenantSpec>, FleetGenError> {
+    if cfg.apps == 0 || cfg.profiles == 0 || cfg.max_funcs_per_app == 0 {
+        return Err(FleetGenError::EmptyFleet);
+    }
+    if !(cfg.daily_invocations > 0.0 && cfg.daily_invocations.is_finite())
+        || !(cfg.horizon_secs > 0.0 && cfg.horizon_secs.is_finite())
+    {
+        return Err(FleetGenError::InvalidLoad);
+    }
+    let profiles = fleet_profiles(cfg.profiles);
+    let streams = RngStreams::new(cfg.seed);
+    let mut structure = streams.stream(lanes::FLEET_GEN);
+
+    // Pass 1: fleet structure on the single structure stream.
+    struct Draft {
+        app: u32,
+        func: u32,
+        profile: usize,
+        weight: f64,
+    }
+    let mut drafts = Vec::new();
+    for app in 0..cfg.apps {
+        let m_func = 1 + uniform_index(&mut structure, cfg.max_funcs_per_app);
+        for func in 0..m_func {
+            let profile = uniform_index(&mut structure, cfg.profiles) as usize;
+            // Pareto(α) via inverse transform on the unit draw; u ∈ [0,1)
+            // keeps 1-u in (0,1], so the weight is finite and ≥ 1.
+            let u: f64 = structure.random();
+            let weight = (1.0 - u).powf(-1.0 / RATE_TAIL_ALPHA);
+            drafts.push(Draft {
+                app,
+                func,
+                profile,
+                weight,
+            });
+        }
+    }
+    let total_weight: f64 = drafts.iter().map(|d| d.weight).sum();
+
+    // Pass 2: one decorrelated lane per tenant ordinal for its seed and
+    // trace, so adding app N+1 never perturbs apps 0..N.
+    let mut tenants = Vec::with_capacity(drafts.len());
+    for (ordinal, d) in drafts.iter().enumerate() {
+        let mut lane = streams.stream_indexed(lanes::FLEET_TENANT, ordinal as u64);
+        let tenant_seed = lane.next_u64();
+        let trace_seed = lane.next_u64();
+        let rate = (d.weight / total_weight) * cfg.daily_invocations / cfg.horizon_secs;
+        let name = format!("a{:04}/f{}", d.app, d.func);
+        let trace = ArrivalTrace::poisson(&name, rate, cfg.horizon_secs, trace_seed)?;
+        tenants.push(TenantSpec {
+            name,
+            workload: Arc::clone(&profiles[d.profile]),
+            trace,
+            controller: cfg.controller.clone(),
+            seed: tenant_seed,
+        });
+    }
+    Ok(tenants)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_order_stable() {
+        let cfg = SyntheticFleetConfig {
+            apps: 20,
+            daily_invocations: 2_000.0,
+            horizon_secs: 1_800.0,
+            ..SyntheticFleetConfig::default()
+        };
+        let a = synthetic_fleet(&cfg).expect("generates");
+        let b = synthetic_fleet(&cfg).expect("generates");
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.workload.name, y.workload.name);
+            assert_eq!(x.trace.arrivals(), y.trace.arrivals());
+        }
+        // Names are unique and already in sorted (app, func) order.
+        let names: Vec<&str> = a.iter().map(|t| t.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(names, sorted, "names unique and sorted");
+    }
+
+    #[test]
+    fn rates_hit_the_invocation_target_in_expectation() {
+        let cfg = SyntheticFleetConfig {
+            apps: 200,
+            daily_invocations: 50_000.0,
+            horizon_secs: 86_400.0,
+            ..SyntheticFleetConfig::default()
+        };
+        let fleet = synthetic_fleet(&cfg).expect("generates");
+        let realized: usize = fleet.iter().map(|t| t.trace.len()).sum();
+        // Poisson with mean 50k: ±3σ ≈ ±670. Allow a wide 5% band.
+        let lo = 47_500;
+        let hi = 52_500;
+        assert!(
+            (lo..=hi).contains(&realized),
+            "realized {realized} outside [{lo}, {hi}]"
+        );
+        // Heavy tail: the hottest tenant carries well over its uniform share.
+        let hottest = fleet.iter().map(|t| t.trace.len()).max().unwrap_or(0);
+        assert!(
+            hottest > 2 * realized / fleet.len(),
+            "hot tenant {hottest} not skewed vs mean {}",
+            realized / fleet.len()
+        );
+    }
+
+    #[test]
+    fn profiles_are_shared_arcs_across_tenants() {
+        let cfg = SyntheticFleetConfig {
+            apps: 50,
+            profiles: 3,
+            daily_invocations: 1_000.0,
+            horizon_secs: 600.0,
+            ..SyntheticFleetConfig::default()
+        };
+        let fleet = synthetic_fleet(&cfg).expect("generates");
+        let mut distinct = std::collections::BTreeSet::new();
+        for t in &fleet {
+            distinct.insert(t.workload.name.clone());
+        }
+        assert_eq!(distinct.len(), 3, "exactly the 3 profile templates");
+        // Sharing is by Arc identity, not just name equality.
+        let by_name = |name: &str| {
+            fleet
+                .iter()
+                .filter(|t| t.workload.name == name)
+                .collect::<Vec<_>>()
+        };
+        for name in &distinct {
+            let group = by_name(name);
+            for pair in group.windows(2) {
+                assert!(Arc::ptr_eq(&pair[0].workload, &pair[1].workload));
+            }
+        }
+    }
+
+    #[test]
+    fn per_tenant_lanes_are_decorrelated_from_structure() {
+        // Growing the fleet must not change the tenants that already
+        // existed: structure draws are sequential, but seeds/traces are
+        // indexed per ordinal.
+        let small = synthetic_fleet(&SyntheticFleetConfig {
+            apps: 10,
+            max_funcs_per_app: 1,
+            daily_invocations: 1_000.0,
+            horizon_secs: 600.0,
+            ..SyntheticFleetConfig::default()
+        })
+        .expect("small");
+        let large = synthetic_fleet(&SyntheticFleetConfig {
+            apps: 20,
+            max_funcs_per_app: 1,
+            daily_invocations: 2_000.0,
+            horizon_secs: 600.0,
+            ..SyntheticFleetConfig::default()
+        })
+        .expect("large");
+        for (s, l) in small.iter().zip(&large) {
+            assert_eq!(s.name, l.name);
+            assert_eq!(s.seed, l.seed, "tenant seed stable under fleet growth");
+        }
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        for cfg in [
+            SyntheticFleetConfig {
+                apps: 0,
+                ..SyntheticFleetConfig::default()
+            },
+            SyntheticFleetConfig {
+                profiles: 0,
+                ..SyntheticFleetConfig::default()
+            },
+            SyntheticFleetConfig {
+                daily_invocations: 0.0,
+                ..SyntheticFleetConfig::default()
+            },
+            SyntheticFleetConfig {
+                horizon_secs: f64::NAN,
+                ..SyntheticFleetConfig::default()
+            },
+        ] {
+            assert!(synthetic_fleet(&cfg).is_err());
+        }
+    }
+}

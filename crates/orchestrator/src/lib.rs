@@ -27,8 +27,6 @@ pub mod retry;
 pub mod run;
 pub mod state;
 
-#[allow(deprecated)]
-pub use retry::run_burst_with_retry;
 pub use retry::RetriedRun;
 pub use run::{
     execute, execute_faulted, execute_with_cache, execute_with_cache_faulted, StateReport,

@@ -1,19 +1,16 @@
 //! Orchestrator-level retry: resubmit failed functions as follow-up bursts.
 //!
-//! The resubmission loop itself now lives in the platform crate as
+//! The resubmission loop itself lives in the platform crate as
 //! [`propack_platform::BurstRequest`] — the unified burst entrypoint that
 //! also carries warm-pool state. This module keeps the orchestrator-flavored
-//! [`RetriedRun`] view and a deprecated shim so historical callers keep
-//! compiling; new code should build a `BurstRequest` directly.
+//! [`RetriedRun`] view; build a `BurstRequest` and convert its
+//! [`BurstRun`] with `RetriedRun::from`.
 //!
 //! Determinism: round `k` draws its seed as a pure function of the original
 //! seed and `k` (round 0 uses the original seed verbatim, so a fault-free
 //! run is bit-identical to a plain `run_burst`).
 
-use propack_platform::{
-    BurstRun, FaultSpec, FaultSummary, PlatformError, RetryPolicy, RunReport, ServerlessPlatform,
-    WorkProfile,
-};
+use propack_platform::{BurstRun, FaultSummary, RunReport};
 
 /// Outcome of a burst executed under the orchestrator's retry loop.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,35 +74,13 @@ impl From<BurstRun> for RetriedRun {
     }
 }
 
-/// Run `c` functions of `work` packed at `degree`, resubmitting failed
-/// functions as follow-up bursts until everything completes or
-/// [`RetryPolicy::max_rounds`] submissions have been made.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a propack_platform::BurstRequest and call run()/run_pooled() instead"
-)]
-pub fn run_burst_with_retry<P: ServerlessPlatform + ?Sized>(
-    platform: &P,
-    work: &WorkProfile,
-    c: u32,
-    degree: u32,
-    seed: u64,
-    faults: FaultSpec,
-    retry: RetryPolicy,
-) -> Result<RetriedRun, PlatformError> {
-    propack_platform::BurstRequest::new(work.clone(), c, degree)
-        .with_seed(seed)
-        .with_faults(faults)
-        .with_retry(retry)
-        .run(platform)
-        .map(RetriedRun::from)
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use propack_platform::{BurstSpec, CloudPlatform, PlatformBuilder};
+    use propack_platform::{
+        BurstRequest, BurstSpec, CloudPlatform, FaultSpec, PlatformBuilder, PlatformError,
+        RetryPolicy, ServerlessPlatform, WorkProfile,
+    };
 
     fn aws() -> CloudPlatform {
         PlatformBuilder::aws().build()
@@ -113,6 +88,25 @@ mod tests {
 
     fn work() -> WorkProfile {
         WorkProfile::synthetic("w", 0.25, 60.0).with_contention(0.2)
+    }
+
+    /// The orchestrator's view of a retried burst, built through the
+    /// unified [`BurstRequest`] entrypoint (the old free-function shim).
+    fn run_burst_with_retry(
+        platform: &CloudPlatform,
+        work: &WorkProfile,
+        c: u32,
+        degree: u32,
+        seed: u64,
+        faults: FaultSpec,
+        retry: RetryPolicy,
+    ) -> Result<RetriedRun, PlatformError> {
+        BurstRequest::new(work.clone(), c, degree)
+            .with_seed(seed)
+            .with_faults(faults)
+            .with_retry(retry)
+            .run(platform)
+            .map(RetriedRun::from)
     }
 
     #[test]

@@ -58,8 +58,10 @@ pub use error::PlatformError;
 pub use platform::{CloudPlatform, InstanceLimits, ServerlessPlatform};
 pub use profile::{PlatformProfile, Provider};
 pub use report::{FaultSummary, InstanceRecord, RunReport, ScalingBreakdown};
-pub use request::{BurstRequest, BurstRun};
-pub use warmpool::{KeepAlivePolicy, PoolSnapshot, WarmPool, WarmPoolConfig, WarmPoolStats};
+pub use request::{BurstRequest, BurstRun, GrantedRun};
+pub use warmpool::{
+    KeepAlivePolicy, PoolGrant, PoolSnapshot, WarmPool, WarmPoolConfig, WarmPoolStats,
+};
 pub use work::WorkProfile;
 
 // Fault-injection inputs live in the simulation core (the draws must come
@@ -79,8 +81,8 @@ pub mod prelude {
     pub use crate::platform::{CloudPlatform, InstanceLimits, ServerlessPlatform};
     pub use crate::profile::{PlatformProfile, PriceSheet, Provider};
     pub use crate::report::{FaultSummary, RunReport};
-    pub use crate::request::{BurstRequest, BurstRun};
-    pub use crate::warmpool::{KeepAlivePolicy, PoolSnapshot, WarmPool, WarmPoolConfig};
+    pub use crate::request::{BurstRequest, BurstRun, GrantedRun};
+    pub use crate::warmpool::{KeepAlivePolicy, PoolGrant, PoolSnapshot, WarmPool, WarmPoolConfig};
     pub use crate::work::WorkProfile;
     pub use propack_simcore::{FaultSpec, RetryPolicy};
 }

@@ -367,7 +367,8 @@ impl CloudPlatform {
         } else {
             CohortOutcomes::default()
         };
-        let cohort_enabled = batching && cohort.retry_demand() <= u64::from(spec.retry.retry_budget);
+        let cohort_enabled =
+            batching && cohort.retry_demand() <= u64::from(spec.retry.retry_budget);
         if cohort_enabled && spec.fluid_min_cohort.is_some_and(|min| n >= min) {
             return self.run_burst_fluid(spec, tracer, &streams, &cohort, warm_count);
         }
@@ -468,7 +469,8 @@ impl CloudPlatform {
         let n = spec.instances;
         let ctrl = self.profile.control;
         let exec_jitter = self.profile.instance.exec_jitter;
-        let base_exec = packed_exec_secs(&self.profile.instance, &spec.workload, spec.packing_degree);
+        let base_exec =
+            packed_exec_secs(&self.profile.instance, &spec.workload, spec.packing_degree);
         let cold_secs = ctrl.cold_start_secs + spec.workload.dependency_load_secs;
         let tau_build = ctrl.image_bytes / ctrl.build_bytes_per_sec;
         let max_attempts = spec.retry.max_attempts;
@@ -1459,13 +1461,15 @@ mod fluid_tests {
     }
 
     fn faulted_spec() -> BurstSpec {
-        BurstSpec::packed(work(), 2000, 4).with_seed(23).with_faults(
-            FaultSpec::none()
-                .with_crash_rate(0.04)
-                .with_provision_failure_rate(0.03)
-                .with_ship_stall(0.02, 5.0)
-                .with_straggler(0.02, 3.0),
-        )
+        BurstSpec::packed(work(), 2000, 4)
+            .with_seed(23)
+            .with_faults(
+                FaultSpec::none()
+                    .with_crash_rate(0.04)
+                    .with_provision_failure_rate(0.03)
+                    .with_ship_stall(0.02, 5.0)
+                    .with_straggler(0.02, 3.0),
+            )
     }
 
     /// Max relative error of the fluid timeline against the exact one,
@@ -1527,9 +1531,7 @@ mod fluid_tests {
         // Below the opt-in threshold the exact path runs: bit-identical to
         // a spec that never mentioned fluid at all.
         let exact = p.run_burst(&faulted_spec()).unwrap();
-        let gated = p
-            .run_burst(&faulted_spec().with_fluid(u32::MAX))
-            .unwrap();
+        let gated = p.run_burst(&faulted_spec().with_fluid(u32::MAX)).unwrap();
         assert_eq!(exact, gated);
         // At or above it, the approximation is itself deterministic.
         let a = p.run_burst(&faulted_spec().with_fluid(100)).unwrap();

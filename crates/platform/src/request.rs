@@ -44,7 +44,7 @@ use crate::burst::BurstSpec;
 use crate::error::PlatformError;
 use crate::platform::ServerlessPlatform;
 use crate::report::{FaultSummary, RunReport};
-use crate::warmpool::WarmPool;
+use crate::warmpool::{PoolGrant, WarmPool};
 use crate::work::WorkProfile;
 use propack_simcore::{FaultSpec, RetryPolicy};
 use std::sync::Arc;
@@ -74,6 +74,7 @@ pub struct BurstRequest {
     seed: u64,
     faults: FaultSpec,
     retry: RetryPolicy,
+    fluid_min_cohort: Option<u32>,
 }
 
 impl BurstRequest {
@@ -88,6 +89,7 @@ impl BurstRequest {
             seed: 0,
             faults: FaultSpec::none(),
             retry: RetryPolicy::default(),
+            fluid_min_cohort: None,
         }
     }
 
@@ -109,6 +111,15 @@ impl BurstRequest {
         self
     }
 
+    /// Builder-style fluid-approximation opt-in, passed through to every
+    /// round's [`BurstSpec::with_fluid`]: rounds whose cohort reaches
+    /// `min_cohort` instances take the closed-form fluid path instead of
+    /// the per-instance event path.
+    pub fn with_fluid(mut self, min_cohort: u32) -> Self {
+        self.fluid_min_cohort = Some(min_cohort.max(1));
+        self
+    }
+
     /// The workload this request will run.
     pub fn workload(&self) -> &Arc<WorkProfile> {
         &self.workload
@@ -124,9 +135,20 @@ impl BurstRequest {
         self.packing_degree
     }
 
-    /// Submit without a warm pool: every instance cold-starts. Bit-identical
-    /// to the deprecated `run_burst_with_retry`, and — fault-free — to a
-    /// plain [`ServerlessPlatform::run_burst`].
+    /// Instances the original round will spawn: `ceil(C / min(P, C))` —
+    /// what a caller must reserve (fleet slots, warm containers) before
+    /// submitting through [`BurstRequest::run_granted`].
+    pub fn round0_instances(&self) -> u32 {
+        if self.concurrency == 0 {
+            return 0;
+        }
+        let p = self.packing_degree.max(1).min(self.concurrency);
+        self.concurrency.div_ceil(p)
+    }
+
+    /// Submit without a warm pool: every instance cold-starts. Fault-free,
+    /// this is bit-identical to a plain [`ServerlessPlatform::run_burst`]
+    /// of the round-0 spec.
     pub fn run<P: ServerlessPlatform + ?Sized>(
         &self,
         platform: &P,
@@ -145,6 +167,72 @@ impl BurstRequest {
         now: f64,
     ) -> Result<BurstRun, PlatformError> {
         self.submit(platform, Some(pool), now)
+    }
+
+    /// Split-phase pooled submission for *shared* pools: run with container
+    /// grants the caller already acquired (via [`WarmPool::acquire_counted`])
+    /// and return the check-in times for the caller to apply afterwards.
+    ///
+    /// This is the shape the fleet engine's deterministic occupancy merge
+    /// needs — acquisition and check-in happen in a serial tenant-id-ordered
+    /// phase while the bursts themselves run on worker threads. The
+    /// sequence `acquire_counted` → `run_granted` → `check_in` each returned
+    /// time (in order) is bit-identical to [`BurstRequest::run_pooled`]:
+    /// both walk the same rounds, and the pool is neither read nor written
+    /// between round 0's acquisition and the final check-in in either path.
+    pub fn run_granted<P: ServerlessPlatform + ?Sized>(
+        &self,
+        platform: &P,
+        grant: &PoolGrant,
+        now: f64,
+    ) -> Result<GrantedRun, PlatformError> {
+        let mut rounds = Vec::new();
+        let mut remaining = self.concurrency;
+        let mut round = 0u32;
+        let mut offset = 0.0;
+        let mut warm_credit_usd = 0.0;
+        let mut check_ins = Vec::new();
+        while remaining > 0 && round < self.retry.max_rounds.max(1) {
+            let p = self.packing_degree.max(1).min(remaining);
+            let mut spec = BurstSpec::packed(Arc::clone(&self.workload), remaining, p)
+                .with_seed(round_seed(self.seed, round))
+                .with_faults(self.faults)
+                .with_retry(self.retry);
+            if let Some(mc) = self.fluid_min_cohort {
+                spec = spec.with_fluid(mc);
+            }
+            if round == 0 && !grant.grants.is_empty() {
+                spec = spec.with_warm_starts(grant.grants.clone());
+            }
+            let report = platform.run_burst(&spec)?;
+            if round == 0 && grant.warm > 0 {
+                warm_credit_usd = billing::warm_reuse_credit(
+                    &report.expense,
+                    grant.warm.min(u64::from(u32::MAX)) as u32,
+                    report.instances.len() as u32,
+                );
+            }
+            for rec in &report.instances {
+                if !rec.failed {
+                    check_ins.push(now + offset + rec.finished_at);
+                }
+            }
+            offset += report.total_service_time();
+            let failed = report.faults.failed_functions.min(u64::from(remaining));
+            rounds.push(report);
+            remaining = failed as u32;
+            round += 1;
+        }
+        Ok(GrantedRun {
+            run: BurstRun {
+                rounds,
+                abandoned_functions: u64::from(remaining),
+                warm_grants: grant.warm,
+                shared_grants: grant.shared,
+                warm_credit_usd,
+            },
+            check_ins,
+        })
     }
 
     fn submit<P: ServerlessPlatform + ?Sized>(
@@ -170,6 +258,9 @@ impl BurstRequest {
                 .with_seed(round_seed(self.seed, round))
                 .with_faults(self.faults)
                 .with_retry(self.retry);
+            if let Some(mc) = self.fluid_min_cohort {
+                spec = spec.with_fluid(mc);
+            }
             if round == 0 {
                 if let Some(pool) = pool.as_deref_mut() {
                     let before = pool.stats();
@@ -220,6 +311,20 @@ impl BurstRequest {
             warm_credit_usd,
         })
     }
+}
+
+/// Outcome of a split-phase [`BurstRequest::run_granted`] submission: the
+/// run itself plus the pool check-ins the caller still owes. Applying
+/// `check_ins` in order via [`WarmPool::check_in`] (count 1 each) leaves
+/// the pool in the exact state [`BurstRequest::run_pooled`] would have.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrantedRun {
+    /// The burst outcome, identical to what [`BurstRequest::run_pooled`]
+    /// returns for the same grant.
+    pub run: BurstRun,
+    /// Absolute finish times of every surviving instance, in round order —
+    /// the deferred `check_in` calls of the pooled path.
+    pub check_ins: Vec<f64>,
 }
 
 /// Outcome of a [`BurstRequest`] submission: per-round reports plus the
@@ -426,6 +531,49 @@ mod tests {
                 "follow-up rounds re-drive failed work cold"
             );
         }
+    }
+
+    #[test]
+    fn split_phase_granted_run_is_bit_identical_to_run_pooled() {
+        // The fleet engine's serial acquire → parallel run → serial check-in
+        // protocol must reproduce the inline pooled path exactly: same run,
+        // same pool end state, under faults and retries.
+        let platform = aws();
+        let req = BurstRequest::new(work(), 200, 4)
+            .with_seed(7)
+            .with_faults(FaultSpec::none().with_crash_rate(0.1))
+            .with_retry(RetryPolicy {
+                max_rounds: 2,
+                ..RetryPolicy::no_retries()
+            });
+
+        let mut inline_pool = fixed_pool(300.0);
+        inline_pool.check_in("w", 40, 0.0);
+        let inline = req.run_pooled(&platform, &mut inline_pool, 10.0).unwrap();
+
+        let mut split_pool = fixed_pool(300.0);
+        split_pool.check_in("w", 40, 0.0);
+        let grant = split_pool.acquire_counted("w", req.round0_instances(), 10.0);
+        let granted = req.run_granted(&platform, &grant, 10.0).unwrap();
+        for &t in &granted.check_ins {
+            split_pool.check_in("w", 1, t);
+        }
+
+        assert_eq!(inline, granted.run);
+        assert_eq!(inline_pool.stats(), split_pool.stats());
+        assert_eq!(inline_pool.len(), split_pool.len());
+        assert_eq!(
+            inline.rounds[0].canonical_text(),
+            granted.run.rounds[0].canonical_text()
+        );
+    }
+
+    #[test]
+    fn round0_instances_matches_the_submitted_spec() {
+        assert_eq!(BurstRequest::new(work(), 100, 4).round0_instances(), 25);
+        assert_eq!(BurstRequest::new(work(), 3, 4).round0_instances(), 1);
+        assert_eq!(BurstRequest::new(work(), 0, 4).round0_instances(), 0);
+        assert_eq!(BurstRequest::new(work(), 101, 4).round0_instances(), 26);
     }
 
     #[test]

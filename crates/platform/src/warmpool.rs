@@ -204,6 +204,27 @@ pub struct WarmPoolStats {
     pub expirations: u64,
 }
 
+/// The outcome of one counted acquisition ([`WarmPool::acquire_counted`]):
+/// the granted start latencies plus the warm/shared split this particular
+/// call produced — what a split-phase submission
+/// ([`crate::BurstRequest::run_granted`]) needs to carry into the burst.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PoolGrant {
+    /// Granted start latencies, same-function warm starts first.
+    pub grants: Vec<f64>,
+    /// Same-function warm starts among the grants.
+    pub warm: u64,
+    /// Pagurus re-specializations among the grants.
+    pub shared: u64,
+}
+
+impl PoolGrant {
+    /// The empty grant: every instance cold-starts.
+    pub fn cold() -> Self {
+        Self::default()
+    }
+}
+
 /// What the planner sees when it asks about pool state ahead of a burst.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PoolSnapshot {
@@ -426,6 +447,22 @@ impl WarmPool {
                 }
                 self.entries = kept;
             }
+        }
+    }
+
+    /// [`WarmPool::acquire`] with the warm/shared split of *this call*
+    /// attached (computed from the stats delta, exactly as the pooled
+    /// submission path does internally). Use with
+    /// [`crate::BurstRequest::run_granted`] when acquisition must happen in
+    /// a serial phase separate from burst execution.
+    pub fn acquire_counted(&mut self, function: &str, want: u32, now: f64) -> PoolGrant {
+        let before = self.stats();
+        let grants = self.acquire(function, want, now);
+        let after = self.stats();
+        PoolGrant {
+            grants,
+            warm: after.warm_grants - before.warm_grants,
+            shared: after.shared_grants - before.shared_grants,
         }
     }
 

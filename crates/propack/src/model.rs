@@ -487,8 +487,7 @@ mod tests {
         let p = 4;
         let s = m.service_secs_pooled(c, p, Percentile::Total, &all_warm);
         let n = f64::from(m.instances(c, p));
-        let want =
-            m.exec_secs(p) + m.scaling.queue_secs(n) + sched * n + all_warm.warm_start_secs;
+        let want = m.exec_secs(p) + m.scaling.queue_secs(n) + sched * n + all_warm.warm_start_secs;
         assert!((s - want).abs() < 1e-12, "got {s}, want {want}");
         // With no pooled instances the rate is inert: the cold path's
         // scheduler cost is already inside the fitted β₂.

@@ -18,9 +18,7 @@ use crate::qos::select_weights;
 use crate::scaling::ScalingModel;
 use crate::{InterferenceModel, ModelError};
 use propack_platform::warmpool::PoolSnapshot;
-use propack_platform::{
-    BurstRequest, BurstSpec, FaultSpec, RetryPolicy, RunReport, ServerlessPlatform, WorkProfile,
-};
+use propack_platform::{BurstRequest, PlatformError, RunReport, ServerlessPlatform, WorkProfile};
 use propack_stats::percentile::Percentile;
 use serde::{Deserialize, Serialize};
 
@@ -190,9 +188,9 @@ impl Propack {
     }
 
     /// Plan for `c` under `objective` and build the matching
-    /// [`BurstRequest`] — the unified entrypoint that replaced the
-    /// `execute`/`execute_faulted` pair. Thread seed/faults/retry onto the
-    /// request, then `run` it (or `run_pooled` against a warm pool).
+    /// [`BurstRequest`] — the unified burst entrypoint. Thread
+    /// seed/faults/retry onto the request, then `run` it (or `run_pooled`
+    /// against a warm pool).
     pub fn request(
         &self,
         c: u32,
@@ -267,6 +265,12 @@ impl Propack {
     }
 
     /// Execute the planned packing on `platform` at concurrency `c`.
+    ///
+    /// A fault-free convenience over [`Propack::request`]: plan, build the
+    /// [`BurstRequest`], run it, and report the single round together with
+    /// the accumulated overhead. For faults, retries, or warm pools, call
+    /// `request`/`request_with_pool` and drive the returned request
+    /// yourself — the old `execute_faulted` shim is gone.
     pub fn execute<P: ServerlessPlatform + ?Sized>(
         &self,
         platform: &P,
@@ -274,44 +278,16 @@ impl Propack {
         objective: Objective,
         seed: u64,
     ) -> Result<ProPackOutcome, ModelError> {
-        #[allow(deprecated)]
-        self.execute_faulted(
-            platform,
-            c,
-            objective,
-            seed,
-            FaultSpec::none(),
-            RetryPolicy::no_retries(),
-        )
-    }
-
-    /// Execute the planned packing under a runtime fault process.
-    ///
-    /// The *plan* is unchanged — profiling probes and the analytical models
-    /// stay fault-free (the paper's models describe the healthy platform) —
-    /// but the planned burst itself runs with `faults`/`retry` threaded
-    /// through, so the reported expense and service time include crashes,
-    /// retries, and backoff. Check [`RunReport::is_partial`] on the result
-    /// when the retry budget may be exhaustible.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build the burst via Propack::request()/request_with_pool() and run the returned BurstRequest"
-    )]
-    pub fn execute_faulted<P: ServerlessPlatform + ?Sized>(
-        &self,
-        platform: &P,
-        c: u32,
-        objective: Objective,
-        seed: u64,
-        faults: FaultSpec,
-        retry: RetryPolicy,
-    ) -> Result<ProPackOutcome, ModelError> {
-        let plan = self.plan(c, objective)?;
-        let spec = BurstSpec::packed(self.work.clone(), c, plan.packing_degree)
-            .with_seed(seed)
-            .with_faults(faults)
-            .with_retry(retry);
-        let report = platform.run_burst(&spec)?;
+        let (plan, request) = self.request(c, objective)?;
+        let mut run = request.with_seed(seed).run(platform)?;
+        // Fault-free means no resubmission: exactly one round, bit-identical
+        // to a plain `run_burst` of the planned spec.
+        debug_assert_eq!(run.rounds.len(), 1);
+        let report = if run.rounds.is_empty() {
+            return Err(ModelError::Platform(PlatformError::EmptyBurst));
+        } else {
+            run.rounds.swap_remove(0)
+        };
         Ok(ProPackOutcome {
             plan,
             report,
@@ -324,6 +300,7 @@ impl Propack {
 mod tests {
     use super::*;
     use propack_platform::profile::PlatformProfile;
+    use propack_platform::BurstSpec;
     use propack_platform::CloudPlatform;
     use propack_platform::PlatformBuilder;
 

@@ -395,8 +395,10 @@ impl<P: ServerlessPlatform + ?Sized> EpochDriver<'_, P> {
 /// Decorrelated per-epoch seed. A plain `seed ^ k·GOLDEN` would collide
 /// with the orchestrator's per-round xor (epoch 1 round 1 would reuse epoch
 /// 0 round 0's seed), so the epoch index is mixed through a finalizer
-/// first.
-fn epoch_seed(seed: u64, k: u32) -> u64 {
+/// first. Public because the fleet engine must derive the *same* seed for
+/// epoch `k` of a tenant replay — single-tenant fleet output is pinned
+/// bit-identical to this engine's.
+pub fn epoch_seed(seed: u64, k: u32) -> u64 {
     let mut z = seed ^ u64::from(k + 1).wrapping_mul(0xD1B5_4A32_D192_ED03);
     z ^= z >> 33;
     z = z.wrapping_mul(0xFF51_AFD7_ED55_8CCD);

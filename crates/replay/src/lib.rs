@@ -33,7 +33,7 @@ pub mod report;
 pub mod trace;
 
 pub use controller::Controller;
-pub use engine::{ReplayEngine, ReplayError, ReplaySpec};
+pub use engine::{epoch_seed, ReplayEngine, ReplayError, ReplaySpec};
 pub use forecast::{Ewma, Forecaster, ForecasterKind, SlidingWindowMax};
 pub use report::{EpochResult, ReplayReport};
 pub use trace::{ArrivalTrace, TraceError};

@@ -340,7 +340,10 @@ impl CohortOutcomes {
     /// How many execution attempts of `instance` crash before one
     /// survives, capped at the policy's `max_attempts`.
     pub fn crash_count(&self, instance: u32) -> u32 {
-        self.crash_counts.get(instance as usize).copied().unwrap_or(0)
+        self.crash_counts
+            .get(instance as usize)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// The crash fractions of `instance`'s failed attempts, in attempt
@@ -391,10 +394,7 @@ impl CohortOutcomes {
     /// The instances whose execution phase survives — the cohort's
     /// survivor set (provision-abandoned instances are excluded).
     pub fn survivors(&self) -> impl Iterator<Item = u32> + '_ {
-        let n = self
-            .crash_counts
-            .len()
-            .max(self.provision_counts.len()) as u32;
+        let n = self.crash_counts.len().max(self.provision_counts.len()) as u32;
         (0..n).filter(|&i| self.survives(i) && self.provisions(i))
     }
 }
@@ -433,21 +433,23 @@ impl FaultPlan {
         if self.spec.straggler_rate > 0.0 {
             out.stragglers = Vec::with_capacity(n);
             self.sweep_heads(lanes::FAULT_STRAGGLER, 0, instances, |_, head| {
-                out.stragglers.push(if head.f64_draw(0) < self.spec.straggler_rate {
-                    Some(self.spec.straggler_factor)
-                } else {
-                    None
-                });
+                out.stragglers
+                    .push(if head.f64_draw(0) < self.spec.straggler_rate {
+                        Some(self.spec.straggler_factor)
+                    } else {
+                        None
+                    });
             });
         }
         if self.spec.ship_stall_rate > 0.0 {
             out.ship_stalls = Vec::with_capacity(n);
             self.sweep_heads(lanes::FAULT_SHIP, 0, instances, |_, head| {
-                out.ship_stalls.push(if head.f64_draw(0) < self.spec.ship_stall_rate {
-                    Some(self.spec.ship_stall_factor)
-                } else {
-                    None
-                });
+                out.ship_stalls
+                    .push(if head.f64_draw(0) < self.spec.ship_stall_rate {
+                        Some(self.spec.ship_stall_factor)
+                    } else {
+                        None
+                    });
             });
         }
         if self.spec.crash_rate > 0.0 {
@@ -725,11 +727,7 @@ mod tests {
         let mut want = 0u64;
         for i in 0..200u32 {
             want += u64::from(batch.crash_count(i).min(retry.max_attempts - 1));
-            want += u64::from(
-                batch
-                    .provision_failures(i)
-                    .min(retry.max_attempts - 1),
-            );
+            want += u64::from(batch.provision_failures(i).min(retry.max_attempts - 1));
         }
         assert_eq!(batch.retry_demand(), want);
         assert!(batch.retry_demand() > 0);

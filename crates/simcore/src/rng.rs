@@ -56,6 +56,13 @@ pub mod lanes {
     /// Keep-alive: Pagurus-style donor selection when an idle container is
     /// re-specialized for another function.
     pub const KEEPALIVE_PAGURUS: &str = "keepalive-pagurus";
+    /// Fleet replay: synthetic multi-tenant fleet structure sampling
+    /// (per-app function counts, profile assignment, rate weights).
+    pub const FLEET_GEN: &str = "fleet-gen";
+    /// Fleet replay: per-tenant seed derivation (indexed by tenant ordinal)
+    /// so tenant simulations are decorrelated from each other and from the
+    /// structure stream.
+    pub const FLEET_TENANT: &str = "fleet-tenant";
 
     /// Every registered lane. Order is documentation only; the stream hash
     /// does not depend on it.
@@ -72,6 +79,8 @@ pub mod lanes {
         FAULT_SHIP,
         FAULT_STRAGGLER,
         KEEPALIVE_PAGURUS,
+        FLEET_GEN,
+        FLEET_TENANT,
     ];
 }
 
@@ -473,7 +482,6 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
     state[c] = state[c].wrapping_add(state[d]);
     state[b] = (state[b] ^ state[c]).rotate_left(7);
 }
-
 
 /// FNV-1a 64-bit hash; small, deterministic, dependency-free.
 ///

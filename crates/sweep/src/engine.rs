@@ -227,76 +227,46 @@ fn simulate(cell: &Cell, fit_config: &ProPackConfig, models: &ModelCache) -> Cel
                 Err(e) => return failed(&cell.key, e.to_string()),
                 Ok(pp) => pp,
             };
-            if cell.keepalive.is_cold() {
-                // The pool-free pipeline the golden fixtures pin down.
-                #[allow(deprecated)]
-                let executed = pp.execute_faulted(
-                    &*platform,
-                    cell.concurrency,
-                    objective,
-                    cell.seed,
-                    faults,
-                    retry,
-                );
-                match executed {
-                    Err(e) => failed(&cell.key, e.to_string()),
-                    Ok(outcome) => CellResult {
-                        key: cell.key.clone(),
-                        packing_degree: outcome.plan.packing_degree,
-                        instances: outcome.report.instances.len() as u32,
-                        service_secs: outcome.report.total_service_time(),
-                        scaling_secs: outcome.report.scaling_time(),
-                        // The paper's accounting: profiling overhead is
-                        // charged to ProPack (once per model, baked into
-                        // the fitted model, so cache hits change nothing).
-                        expense_usd: outcome.expense_with_overhead_usd(),
-                        function_hours: outcome.function_hours_with_overhead(),
-                        retries: outcome.report.faults.retries,
-                        failed_functions: outcome.report.faults.failed_functions,
-                        error: None,
-                        wall_ms: 0.0,
-                        fit_ms,
-                        run_ms: 0.0,
-                    },
-                }
-            } else {
-                // Non-cold scenarios go through the warm-state-aware
-                // request pipeline. A classic cell's pool starts empty, so
-                // the snapshot is cold and the numbers match the cold
-                // scenario; only replay cells accumulate reuse.
-                let mut pool = WarmPool::new(
-                    WarmPoolConfig::cold()
-                        .with_policy(cell.keepalive.policy)
+            // Every scenario goes through the warm-state-aware request
+            // pipeline. A classic cell's pool starts empty — under a cold
+            // keep-alive policy it *stays* empty — so the snapshot is cold,
+            // the plan matches a pool-free `Propack::request`, and only
+            // replay cells accumulate reuse.
+            let mut pool = WarmPool::new(
+                WarmPoolConfig::cold()
+                    .with_policy(cell.keepalive.policy)
+                    .with_seed(cell.seed)
+                    .with_placement_secs(platform.placement_secs()),
+            );
+            let snapshot = pool.snapshot(&cell.work.name, 0.0);
+            match pp.request_with_pool(cell.concurrency, objective, &snapshot) {
+                Err(e) => failed(&cell.key, e.to_string()),
+                Ok((plan, request)) => {
+                    let run = request
                         .with_seed(cell.seed)
-                        .with_placement_secs(platform.placement_secs()),
-                );
-                let snapshot = pool.snapshot(&cell.work.name, 0.0);
-                match pp.request_with_pool(cell.concurrency, objective, &snapshot) {
-                    Err(e) => failed(&cell.key, e.to_string()),
-                    Ok((plan, request)) => {
-                        let run = request
-                            .with_seed(cell.seed)
-                            .with_faults(faults)
-                            .with_retry(retry)
-                            .run_pooled(&*platform, &mut pool, 0.0);
-                        match run {
-                            Err(e) => failed(&cell.key, e.to_string()),
-                            Ok(run) => CellResult {
-                                key: cell.key.clone(),
-                                packing_degree: plan.packing_degree,
-                                instances: run.instances(),
-                                service_secs: run.total_service_secs(),
-                                scaling_secs: run.rounds.first().map_or(0.0, |r| r.scaling_time()),
-                                expense_usd: run.expense_usd() + pp.overhead.expense_usd,
-                                function_hours: run.function_hours() + pp.overhead.function_hours,
-                                retries: run.faults().retries,
-                                failed_functions: run.abandoned_functions,
-                                error: None,
-                                wall_ms: 0.0,
-                                fit_ms,
-                                run_ms: 0.0,
-                            },
-                        }
+                        .with_faults(faults)
+                        .with_retry(retry)
+                        .run_pooled(&*platform, &mut pool, 0.0);
+                    match run {
+                        Err(e) => failed(&cell.key, e.to_string()),
+                        Ok(run) => CellResult {
+                            key: cell.key.clone(),
+                            packing_degree: plan.packing_degree,
+                            instances: run.instances(),
+                            service_secs: run.total_service_secs(),
+                            scaling_secs: run.rounds.first().map_or(0.0, |r| r.scaling_time()),
+                            // The paper's accounting: profiling overhead is
+                            // charged to ProPack (once per model, baked into
+                            // the fitted model, so cache hits change nothing).
+                            expense_usd: run.expense_usd() + pp.overhead.expense_usd,
+                            function_hours: run.function_hours() + pp.overhead.function_hours,
+                            retries: run.faults().retries,
+                            failed_functions: run.abandoned_functions,
+                            error: None,
+                            wall_ms: 0.0,
+                            fit_ms,
+                            run_ms: 0.0,
+                        },
                     }
                 }
             }

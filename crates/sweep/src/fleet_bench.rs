@@ -1,0 +1,216 @@
+//! Host-timing harness for `propack fleet`: timed runs and
+//! `BENCH_fleet.json`.
+//!
+//! Like [`crate::replay_bench`], this lives in the sweep crate because only
+//! wall-clock-exempt crates may read `std::time` (the workspace determinism
+//! policy): [`propack_fleet::FleetEngine`] takes an injected clock, and
+//! [`timed_fleet`] is the one place that injects a real one. The JSON
+//! follows the `BENCH_kernel.json` group conventions — hand-rolled (no
+//! serde), one group object per line carrying `"policy"` and
+//! `"cells_per_sec"` so `cargo xtask benchdiff` can gate on it. A fleet
+//! "cell" is one tenant-epoch: the unit of planning + admission + burst
+//! work the sharded core fans out.
+
+use std::time::Instant;
+
+use propack_fleet::{FleetEngine, FleetError, FleetReport, TenantSpec};
+use propack_model::cache::ModelCache;
+use propack_platform::ServerlessPlatform;
+
+use crate::report::{escape_json, json_f64, RunTiming};
+
+/// Run one fleet replay with host timing captured: the report's `fit_ms`
+/// and per-epoch `run_ms` fields are real measurements, and the returned
+/// [`RunTiming`] covers the whole replay. Simulated results are identical
+/// to [`FleetEngine::run`] — the clock feeds timing fields only.
+pub fn timed_fleet(
+    engine: &FleetEngine,
+    platform: &(dyn ServerlessPlatform + Sync),
+    tenants: &[TenantSpec],
+    models: &ModelCache,
+) -> Result<(FleetReport, RunTiming), FleetError> {
+    let origin = Instant::now();
+    let clock = move || origin.elapsed().as_secs_f64();
+    let report = engine.run_with_clock(platform, tenants, models, &clock)?;
+    Ok((
+        report,
+        RunTiming {
+            threads: engine.spec().threads,
+            wall_secs: origin.elapsed().as_secs_f64(),
+        },
+    ))
+}
+
+/// Tenant-epoch cells in a fleet report (the benchdiff throughput unit).
+fn cells(report: &FleetReport) -> u64 {
+    report.tenants.len() as u64 * report.epochs.len() as u64
+}
+
+/// Compose `BENCH_fleet.json` from the reports of one fleet pass (one
+/// report per controller, all over same-shape synthetic fleets) plus the
+/// pass timings.
+///
+/// `runs` follows the `BENCH_sweep.json` warmup convention: the caller
+/// runs one untimed warmup pass first and reports only the timed passes
+/// here; `timed` must hold the wall time of the pass that produced each
+/// report, index-aligned. `outputs_identical` says whether every repeated
+/// pass rendered byte-identically (`None` when no repeat pass was made).
+pub fn fleet_bench_json(
+    reports: &[FleetReport],
+    timed: &[RunTiming],
+    runs: &[RunTiming],
+    outputs_identical: Option<bool>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"fleet\",\n");
+    let (platform, epoch_secs, tenants, epochs, seed, capacity) =
+        reports
+            .first()
+            .map_or((String::new(), 0.0, 0usize, 0usize, 0u64, 0u64), |r| {
+                (
+                    r.platform.clone(),
+                    r.epoch_secs,
+                    r.tenants.len(),
+                    r.epochs.len(),
+                    r.seed,
+                    r.capacity,
+                )
+            });
+    out.push_str(&format!(
+        "  \"platform\": \"{}\",\n",
+        escape_json(&platform)
+    ));
+    out.push_str(&format!("  \"epoch_secs\": {},\n", json_f64(epoch_secs)));
+    out.push_str(&format!("  \"tenants\": {tenants},\n"));
+    out.push_str(&format!("  \"epochs\": {epochs},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"capacity\": {capacity},\n"));
+
+    out.push_str("  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"wall_secs\": {}}}{}\n",
+            run.threads,
+            json_f64(run.wall_secs),
+            comma,
+        ));
+    }
+    out.push_str("  ],\n");
+    match outputs_identical {
+        Some(b) => out.push_str(&format!("  \"outputs_identical\": {b},\n")),
+        None => out.push_str("  \"outputs_identical\": null,\n"),
+    }
+
+    out.push_str("  \"groups\": [\n");
+    for (i, report) in reports.iter().enumerate() {
+        let comma = if i + 1 < reports.len() { "," } else { "" };
+        let wall = timed.get(i).map_or(0.0, |t| t.wall_secs);
+        let n = cells(report);
+        let cells_per_sec = if wall > 0.0 { n as f64 / wall } else { 0.0 };
+        out.push_str(&format!(
+            "    {{\"policy\": \"fleet-{}\", \"cells\": {}, \"wall_secs\": {}, \"cells_per_sec\": {}, \"invocations\": {}, \"admitted\": {}, \"throttled\": {}, \"distinct_fits\": {}, \"fit_ms\": {}, \"utilization\": {}, \"peak_utilization\": {}, \"cold_start_rate\": {}, \"contention\": {}, \"qos_violations\": {}, \"service_secs\": {}, \"expense_usd\": {}}}{}\n",
+            escape_json(&report.controller),
+            n,
+            json_f64(wall),
+            json_f64(cells_per_sec),
+            report.total_arrivals(),
+            report.total_admitted(),
+            report.total_throttled(),
+            report.distinct_fits,
+            json_f64(report.fit_ms),
+            json_f64(report.mean_utilization()),
+            json_f64(report.peak_utilization()),
+            json_f64(report.cold_start_rate()),
+            json_f64(report.contention()),
+            report.qos_violations(),
+            json_f64(report.total_service_secs()),
+            json_f64(report.total_expense_usd()),
+            comma,
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propack_fleet::{synthetic_fleet, FleetSpec, SyntheticFleetConfig};
+    use propack_platform::PlatformBuilder;
+    use propack_replay::Controller;
+
+    fn small_fleet(controller: &str) -> Vec<TenantSpec> {
+        synthetic_fleet(&SyntheticFleetConfig {
+            apps: 8,
+            daily_invocations: 400.0,
+            horizon_secs: 300.0,
+            controller: Controller::parse(controller).expect("controller"),
+            ..SyntheticFleetConfig::default()
+        })
+        .expect("fleet generates")
+    }
+
+    #[test]
+    fn timed_fleet_measures_without_changing_results() {
+        let platform = PlatformBuilder::aws().build();
+        let tenants = small_fleet("fixed:4");
+        let engine = FleetEngine::new(FleetSpec {
+            epoch_secs: 100.0,
+            ..FleetSpec::default()
+        });
+        let (timed, timing) =
+            timed_fleet(&engine, &platform, &tenants, &ModelCache::new()).expect("timed run");
+        let untimed = engine
+            .run(&platform, &tenants, &ModelCache::new())
+            .expect("untimed run");
+        assert_eq!(timed.render(), untimed.render());
+        assert!(timing.wall_secs > 0.0);
+        assert!(
+            timed.epochs.iter().any(|e| e.run_ms > 0.0),
+            "real clock reaches the epoch timer"
+        );
+        assert!(
+            untimed.epochs.iter().all(|e| e.run_ms == 0.0),
+            "null clock reports zeros"
+        );
+    }
+
+    #[test]
+    fn fleet_bench_json_is_wellformed_enough() {
+        let platform = PlatformBuilder::aws().build();
+        let engine = FleetEngine::new(FleetSpec {
+            epoch_secs: 100.0,
+            ..FleetSpec::default()
+        });
+        let mut reports = Vec::new();
+        let mut timed = Vec::new();
+        for key in ["fixed:4", "no-packing"] {
+            let tenants = small_fleet(key);
+            let (report, timing) =
+                timed_fleet(&engine, &platform, &tenants, &ModelCache::new()).expect("run");
+            reports.push(report);
+            timed.push(timing);
+        }
+        let json = fleet_bench_json(&reports, &timed, &timed, Some(true));
+        assert!(json.contains("\"bench\": \"fleet\""));
+        assert!(json.contains("\"policy\": \"fleet-fixed-4\""));
+        assert!(json.contains("\"policy\": \"fleet-no-packing\""));
+        assert!(json.contains("\"cells_per_sec\": "));
+        assert!(json.contains("\"outputs_identical\": true"));
+        // benchdiff's line-oriented parser must see one group per line.
+        let group_lines = json
+            .lines()
+            .filter(|l| l.contains("\"policy\": ") && l.contains("\"cells_per_sec\": "))
+            .count();
+        assert_eq!(group_lines, 2);
+        let balance = |open: char, close: char| {
+            json.chars().filter(|&c| c == open).count()
+                == json.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}'));
+        assert!(balance('[', ']'));
+    }
+}

@@ -81,13 +81,11 @@ impl KeepAliveScenario {
                 bin_secs,
                 keep_percentile,
                 max_ttl,
-            // `max_ttl >= bin_secs`: a cap below one bin width means the
-            // histogram can never keep a container for even its smallest
-            // observable idle bucket — a nonsensical policy that would
-            // silently behave like `cold`.
-            } => {
-                bin_secs > 0.0 && (0.0..=1.0).contains(&keep_percentile) && max_ttl >= bin_secs
-            }
+                // `max_ttl >= bin_secs`: a cap below one bin width means the
+                // histogram can never keep a container for even its smallest
+                // observable idle bucket — a nonsensical policy that would
+                // silently behave like `cold`.
+            } => bin_secs > 0.0 && (0.0..=1.0).contains(&keep_percentile) && max_ttl >= bin_secs,
         };
         if ok {
             Ok(())

@@ -41,6 +41,7 @@
 pub mod cell;
 pub mod engine;
 pub mod faults;
+pub mod fleet_bench;
 pub mod keepalive;
 pub mod replay_bench;
 pub mod report;
@@ -49,6 +50,7 @@ pub mod spec;
 pub use cell::{Cell, CellKey, CellResult};
 pub use engine::SweepRunner;
 pub use faults::{FaultScenario, FaultScenarioSpec};
+pub use fleet_bench::{fleet_bench_json, timed_fleet};
 pub use keepalive::KeepAliveScenario;
 pub use replay_bench::{replay_bench_json, timed_replay};
 pub use report::{bench_json, speedup, RunTiming, SweepReport};

@@ -10,7 +10,7 @@
 //! | `panic-path`| `simcore`, `platform`, `propack` (non-test) | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`: route errors through `platform::error` |
 //! | `float-eq`  | `stats`, `propack` (non-test)           | no `==`/`!=` against float literals: use tolerances or document exact-zero guards |
 //! | `const-doc` | `platform::profile`                     | every `pub const` cites its paper provenance (Fig./Eq./Table/§) |
-//! | `thread-spawn` | all crates except `sweep`, `executor` | no `thread::spawn`/`thread::scope`: host concurrency lives in the sweep engine and kernel harness |
+//! | `thread-spawn` | all crates except `sweep`, `fleet`, `executor` | no `thread::spawn`/`thread::scope`: host concurrency lives in the sweep engine, the fleet shard phase, and the kernel harness |
 //! | `fault-rng` | `*fault*.rs`/`*trace*.rs` in simulation crates | no direct RNG construction: fault and arrival draws come only from the seeded `RngStreams` lane tree |
 //! | `event-alloc` | simulation crates except `simcore` (non-test) | no `Box::new` inside `schedule_*(…)` calls: hot paths use the typed pooled event queue; the boxed-closure path is simcore's compatibility fallback |
 //!
@@ -30,6 +30,7 @@ pub const SIM_CRATES: &[&str] = &[
     "baselines",
     "orchestrator",
     "replay",
+    "fleet",
 ];
 
 /// Crates whose non-test library code must be panic-free.
@@ -46,10 +47,12 @@ pub const FLOAT_EQ_CRATES: &[&str] = &["stats", "propack"];
 pub const WALL_CLOCK_EXEMPT: &[&str] = &["executor", "sweep", "bench", "xtask"];
 
 /// Crates allowed to create OS threads: `sweep` owns the work-stealing grid
-/// fan-out, `executor` drives real kernels, `xtask` is tooling. Everything
-/// else stays single-threaded so simulated outcomes cannot depend on host
-/// scheduling; route parallel experiments through `propack_sweep`.
-pub const THREAD_EXEMPT: &[&str] = &["executor", "sweep", "xtask"];
+/// fan-out, `fleet` shards its per-epoch burst phase the same way (host
+/// threads only ever execute pure jobs against an immutable platform —
+/// every mutation of simulated state happens on the serial phases, so
+/// outcomes cannot depend on host scheduling), `executor` drives real
+/// kernels, `xtask` is tooling. Everything else stays single-threaded.
+pub const THREAD_EXEMPT: &[&str] = &["executor", "sweep", "xtask", "fleet"];
 
 /// All rule names, for `allow(...)` validation. The last four are AST-only
 /// (`crates/xtask/src/ast/`); they are listed here so `allow(...)`

@@ -9,6 +9,7 @@
 
 pub use propack_baselines as baselines;
 pub use propack_executor as executor;
+pub use propack_fleet as fleet;
 pub use propack_funcx as funcx;
 pub use propack_model as propack;
 pub use propack_orchestrator as orchestrator;

@@ -1,0 +1,207 @@
+//! The multi-tenant fleet engine, pinned end to end: reports render
+//! byte-identically at `--threads 1/4/8` and across serial re-runs, tenant
+//! input order is irrelevant, and a single-tenant fleet with ample
+//! capacity reproduces the solo `ReplayEngine` replay **bit for bit** —
+//! same per-epoch rows, same render — including under faults, retries,
+//! and a shared warm pool.
+
+use std::sync::Arc;
+
+use propack_repro::fleet::{synthetic_fleet, FleetEngine, FleetSpec, SyntheticFleetConfig};
+use propack_repro::platform::{FaultSpec, KeepAlivePolicy, PlatformBuilder, RetryPolicy};
+use propack_repro::propack::{cache::ModelCache, ProPackConfig};
+use propack_repro::replay::{ArrivalTrace, Controller, ReplayEngine, ReplaySpec};
+use propack_repro::workloads::Benchmarks;
+
+fn small_fit() -> ProPackConfig {
+    ProPackConfig {
+        scaling_levels: vec![10, 20, 40],
+        ..ProPackConfig::default()
+    }
+}
+
+fn azure_style_fleet() -> Vec<propack_repro::fleet::TenantSpec> {
+    synthetic_fleet(&SyntheticFleetConfig {
+        apps: 15,
+        daily_invocations: 900.0,
+        horizon_secs: 600.0,
+        ..SyntheticFleetConfig::default()
+    })
+    .expect("synthetic fleet generates")
+}
+
+fn fleet_spec(threads: usize) -> FleetSpec {
+    FleetSpec {
+        epoch_secs: 120.0,
+        threads,
+        fit_config: small_fit(),
+        keepalive: KeepAlivePolicy::FixedKeepAlive { idle_ttl: 120.0 },
+        faults: FaultSpec::none().with_crash_rate(0.05),
+        retry: RetryPolicy {
+            max_rounds: 2,
+            ..RetryPolicy::no_retries()
+        },
+        qos_secs: Some(150.0),
+        ..FleetSpec::default()
+    }
+}
+
+#[test]
+fn fleet_renders_byte_identically_across_thread_counts() {
+    let platform = PlatformBuilder::aws().build();
+    let tenants = azure_style_fleet();
+    let run = |threads: usize| {
+        FleetEngine::new(fleet_spec(threads))
+            .run(&platform, &tenants, &ModelCache::default())
+            .expect("fleet replay runs")
+            .render()
+    };
+    let reference = run(1);
+    assert!(!reference.contains("ERROR"), "{reference}");
+    for threads in [4, 8] {
+        assert_eq!(
+            reference.as_bytes(),
+            run(threads).as_bytes(),
+            "threads={threads} fleet output diverged from serial"
+        );
+    }
+    // Serial re-run with a warm model cache is also byte-identical.
+    let models = ModelCache::default();
+    let warm = |_: usize| {
+        FleetEngine::new(fleet_spec(1))
+            .run(&platform, &tenants, &models)
+            .expect("fleet replay runs")
+            .render()
+    };
+    assert_eq!(reference.as_bytes(), warm(0).as_bytes());
+    assert_eq!(reference.as_bytes(), warm(1).as_bytes());
+}
+
+#[test]
+fn tenant_input_order_is_irrelevant() {
+    let platform = PlatformBuilder::aws().build();
+    let tenants = azure_style_fleet();
+    // A deterministic shuffle: reverse, then rotate.
+    let mut shuffled = tenants.clone();
+    shuffled.reverse();
+    shuffled.rotate_left(tenants.len() / 3);
+    let a = FleetEngine::new(fleet_spec(4))
+        .run(&platform, &tenants, &ModelCache::default())
+        .expect("sorted input runs");
+    let b = FleetEngine::new(fleet_spec(4))
+        .run(&platform, &shuffled, &ModelCache::default())
+        .expect("shuffled input runs");
+    assert_eq!(a.render().as_bytes(), b.render().as_bytes());
+}
+
+#[test]
+fn thousand_tenant_fleet_with_five_profiles_pays_exactly_five_fits() {
+    let platform = PlatformBuilder::aws().build();
+    let tenants = synthetic_fleet(&SyntheticFleetConfig {
+        apps: 1000,
+        max_funcs_per_app: 1,
+        profiles: 5,
+        daily_invocations: 2000.0,
+        horizon_secs: 120.0,
+        ..SyntheticFleetConfig::default()
+    })
+    .expect("synthetic fleet generates");
+    assert_eq!(tenants.len(), 1000);
+
+    let models = ModelCache::default();
+    let report = FleetEngine::new(FleetSpec {
+        epoch_secs: 120.0,
+        fit_config: small_fit(),
+        ..FleetSpec::default()
+    })
+    .run(&platform, &tenants, &models)
+    .expect("fleet replay runs");
+
+    // Identical tenants coalesce onto one fit per distinct profile: 1000
+    // cache consults, 5 fits, and a single platform probe campaign (the
+    // scaling ladder is application-independent).
+    assert_eq!(report.distinct_fits, 5);
+    assert_eq!(models.misses(), 5, "one fit per distinct function profile");
+    assert_eq!(models.hits(), 995, "every other tenant reuses a fit");
+    assert_eq!(
+        models.scaling_campaigns(),
+        1,
+        "one scaling-probe campaign per platform, not per tenant"
+    );
+}
+
+#[test]
+fn single_tenant_fleet_is_bit_identical_to_replay_engine() {
+    let platform = PlatformBuilder::aws().build();
+    let work = Benchmarks::resolve("sort")
+        .expect("sort benchmark")
+        .profile();
+    let trace = ArrivalTrace::diurnal("sort", 1.0, 0.8, 600.0, 600.0, 7).expect("trace");
+    let faults = FaultSpec::none().with_crash_rate(0.05);
+    let retry = RetryPolicy {
+        max_rounds: 2,
+        ..RetryPolicy::no_retries()
+    };
+
+    for controller_spec in ["propack:ewma", "fixed:4"] {
+        let controller = Controller::parse(controller_spec).expect("controller parses");
+
+        let solo = ReplayEngine::new(ReplaySpec {
+            epoch_secs: 100.0,
+            seed: 42,
+            qos_secs: Some(150.0),
+            faults,
+            retry,
+            keepalive: KeepAlivePolicy::FixedKeepAlive { idle_ttl: 120.0 },
+            fit_config: small_fit(),
+            ..ReplaySpec::default()
+        })
+        .run(
+            &platform,
+            &work,
+            &trace,
+            &controller,
+            &ModelCache::default(),
+        )
+        .expect("solo replay runs");
+
+        let tenant = propack_repro::fleet::TenantSpec {
+            name: trace.name().to_string(),
+            workload: Arc::new(work.clone()),
+            trace: trace.clone(),
+            controller: controller.clone(),
+            seed: 42,
+        };
+        let fleet = FleetEngine::new(FleetSpec {
+            epoch_secs: 100.0,
+            seed: 42,
+            qos_secs: Some(150.0),
+            faults,
+            retry,
+            keepalive: KeepAlivePolicy::FixedKeepAlive { idle_ttl: 120.0 },
+            fit_config: small_fit(),
+            threads: 4,
+            keep_tenant_epochs: true,
+            ..FleetSpec::default()
+        })
+        .run(&platform, &[tenant], &ModelCache::default())
+        .expect("single-tenant fleet runs");
+
+        // Ample capacity: admission must be a no-op.
+        assert_eq!(fleet.total_throttled(), 0, "{controller_spec}: throttled");
+        let reconstructed = fleet
+            .tenant_replay_report(0)
+            .expect("tenant epochs were kept");
+        // Bit identity: every per-epoch field, then the rendered bytes.
+        assert_eq!(
+            reconstructed.epochs, solo.epochs,
+            "{controller_spec}: per-epoch rows diverged"
+        );
+        assert_eq!(reconstructed, solo, "{controller_spec}: reports diverged");
+        assert_eq!(
+            reconstructed.render().as_bytes(),
+            solo.render().as_bytes(),
+            "{controller_spec}: renders diverged"
+        );
+    }
+}
