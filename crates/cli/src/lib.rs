@@ -14,6 +14,10 @@
 //!                  [--controller <c,..>] [--keepalive <k>] [--faults <f>]
 //!                  [--seed <s>] [--threads <n>] [--compare-serial]
 //!                  [--out <file>]
+//! propack workflow [--apps <a,..>] [--shapes <sh,..>] [--platforms <p,..>]
+//!                  [--concurrency <C,..>] [--policies <pol,..>]
+//!                  [--seeds <s,..>] [--faults <f,..>] [--keepalive <k,..>]
+//!                  [--threads <n>] [--compare-serial] [--out <file>]
 //! propack figures  [--fig <fig01,fig21,..|all>] [--json]
 //! propack validate --app <name> -c <C> [--platform <p>] [--seed <s>]
 //! propack help
@@ -42,8 +46,9 @@ use propack_platform::{ServerlessPlatform, WorkProfile};
 use propack_replay::{ArrivalTrace, Controller, ReplayEngine, ReplaySpec};
 use propack_stats::chi2::ChiSquareTest;
 use propack_sweep::{
-    bench_json, fleet_bench_json, replay_bench_json, timed_fleet, timed_replay, FaultScenario,
-    KeepAliveScenario, PackingPolicy, PlatformAxis, ReplayGrid, RunTiming, SweepRunner, SweepSpec,
+    bench_json, fleet_bench_json, replay_bench_json, timed_fleet, timed_replay,
+    workflow_bench_json, FaultScenario, KeepAliveScenario, PackingPolicy, PlatformAxis, ReplayGrid,
+    RunTiming, SweepReport, SweepRunner, SweepSpec,
 };
 use propack_workloads::Benchmarks;
 
@@ -56,6 +61,8 @@ pub enum Command {
     Replay(ReplayArgs),
     /// Replay a synthetic multi-tenant fleet on the sharded engine.
     Fleet(FleetArgs),
+    /// Replay DAG workflows (the sweep grid's workflow-shape axis).
+    Workflow(WorkflowArgs),
     /// Regenerate paper figures/tables by experiment id.
     Figures(FiguresArgs),
     /// Replay the §2.4 χ² model-validation protocol for one app.
@@ -137,6 +144,9 @@ pub struct ReplayArgs {
     /// Also run the controllers through the sweep grid serially and in
     /// parallel and require byte-identical output.
     pub compare_serial: bool,
+    /// Shadow each epoch with the oracle plan and report the
+    /// controller-vs-oracle service / expense regret.
+    pub regret: bool,
     /// Write `BENCH_replay.json` here.
     pub out: Option<String>,
 }
@@ -183,6 +193,38 @@ pub struct FleetArgs {
     pub compare_serial: bool,
     /// Write `BENCH_fleet.json` here.
     pub out: Option<String>,
+}
+
+/// Arguments of `propack workflow`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkflowArgs {
+    /// Grid name (used in the report header and `BENCH_workflow.json`).
+    pub name: String,
+    /// Benchmark keys (comma list) supplying the leaf work profiles.
+    pub apps: Vec<String>,
+    /// Workflow shapes (comma list: `task`, `map[:N]`, `seq-map`,
+    /// `diamond`, `mixed:cpu+io` — see `propack_workflow::known_shapes`).
+    pub shapes: Vec<String>,
+    /// Platform keys (comma list).
+    pub platforms: Vec<String>,
+    /// Fan-out widths (comma list; the sweep's concurrency axis).
+    pub concurrency: Vec<u32>,
+    /// Map-stage packing policies (comma list; `pywren` is rejected —
+    /// it has no workflow equivalent).
+    pub policies: Vec<String>,
+    /// Seeds (comma list).
+    pub seeds: Vec<u64>,
+    /// Fault scenarios (comma list, sweep grammar).
+    pub faults: Vec<String>,
+    /// Keep-alive scenarios (comma list, sweep grammar).
+    pub keepalive: Vec<String>,
+    /// Worker threads; 0 = one per available core.
+    pub threads: usize,
+    /// Write `BENCH_workflow.json` here (switches to the thread-ladder
+    /// bench methodology).
+    pub out: Option<String>,
+    /// Also run serially and verify byte-identical output + speedup.
+    pub compare_serial: bool,
 }
 
 /// Arguments of `propack figures`.
@@ -357,7 +399,7 @@ const SUBCOMMANDS: &[Subcommand] = &[
     },
     Subcommand {
         name: "replay",
-        usage: "replay   [--app <a>] [--trace <file.csv> | --arrivals poisson:<rate>|diurnal:<mean>,<amp>,<period>|burst:<rate>,<on_s>,<off_s>] [--trace-app <name>] [--horizon <s>] [--epoch <s>] [--controller no-packing,fixed:<P>,oracle,propack[:<forecaster>]] [--platform <p>] [--objective <o>] [--qos <s>] [--faults <spec>] [--keepalive <k>] [--seed <s>] [--threads <n>] [--compare-serial] [--out <file>]",
+        usage: "replay   [--app <a>] [--trace <file.csv> | --arrivals poisson:<rate>|diurnal:<mean>,<amp>,<period>|burst:<rate>,<on_s>,<off_s>] [--trace-app <name>] [--horizon <s>] [--epoch <s>] [--controller no-packing,fixed:<P>,oracle,propack[:<forecaster>]] [--platform <p>] [--objective <o>] [--qos <s>] [--faults <spec>] [--keepalive <k>] [--seed <s>] [--threads <n>] [--compare-serial] [--regret] [--out <file>]",
         value_flags: &[
             "--app",
             "--trace",
@@ -375,7 +417,7 @@ const SUBCOMMANDS: &[Subcommand] = &[
             "--threads",
             "--out",
         ],
-        switch_flags: &["--compare-serial"],
+        switch_flags: &["--compare-serial", "--regret"],
         note: None,
         build: build_replay,
     },
@@ -405,6 +447,26 @@ const SUBCOMMANDS: &[Subcommand] = &[
         switch_flags: &["--compare-serial"],
         note: None,
         build: build_fleet,
+    },
+    Subcommand {
+        name: "workflow",
+        usage: "workflow [--apps <a,..>] [--shapes task,map[:N],seq-map,diamond,mixed:cpu+io] [--platforms aws,google,azure,funcx] [--concurrency <C,..>] [--policies no-packing,fixed:<P>,propack[:<obj>]] [--seeds <s,..>] [--faults <f,..>] [--keepalive <k,..>] [--threads <n>] [--compare-serial] [--out <file>] [--name <id>]",
+        value_flags: &[
+            "--name",
+            "--apps",
+            "--shapes",
+            "--platforms",
+            "--concurrency",
+            "--policies",
+            "--seeds",
+            "--faults",
+            "--keepalive",
+            "--threads",
+            "--out",
+        ],
+        switch_flags: &["--compare-serial"],
+        note: None,
+        build: build_workflow,
     },
     Subcommand {
         name: "figures",
@@ -494,6 +556,7 @@ fn build_replay(flags: &FlagSet) -> Result<Command, ParseError> {
         seed: flags.parsed("seed")?.unwrap_or(42),
         threads: flags.parsed("threads")?.unwrap_or(0),
         compare_serial: flags.has("compare-serial"),
+        regret: flags.has("regret"),
         out: flags.get("out").map(str::to_string),
     }))
 }
@@ -521,6 +584,38 @@ fn build_fleet(flags: &FlagSet) -> Result<Command, ParseError> {
         threads: flags.parsed("threads")?.unwrap_or(0),
         compare_serial: flags.has("compare-serial"),
         out: flags.get("out").map(str::to_string),
+    }))
+}
+
+fn build_workflow(flags: &FlagSet) -> Result<Command, ParseError> {
+    Ok(Command::Workflow(WorkflowArgs {
+        name: flags.get("name").unwrap_or("cli-workflow").to_string(),
+        apps: flags.list("apps").unwrap_or_else(|| vec!["sort".into()]),
+        shapes: flags.list("shapes").unwrap_or_else(|| {
+            vec![
+                "task".into(),
+                "seq-map".into(),
+                "diamond".into(),
+                "mixed:cpu+io".into(),
+            ]
+        }),
+        platforms: flags
+            .list("platforms")
+            .unwrap_or_else(|| vec!["aws".into()]),
+        concurrency: flags
+            .parsed_list("concurrency")?
+            .unwrap_or_else(|| vec![200]),
+        policies: flags
+            .list("policies")
+            .unwrap_or_else(|| vec!["no-packing".into(), "propack".into()]),
+        seeds: flags.parsed_list("seeds")?.unwrap_or_else(|| vec![42]),
+        faults: flags.list("faults").unwrap_or_else(|| vec!["none".into()]),
+        keepalive: flags
+            .list("keepalive")
+            .unwrap_or_else(|| vec!["cold".into()]),
+        threads: flags.parsed("threads")?.unwrap_or(0),
+        out: flags.get("out").map(str::to_string),
+        compare_serial: flags.has("compare-serial"),
     }))
 }
 
@@ -752,6 +847,47 @@ pub fn build_sweep_spec(args: &SweepArgs) -> Result<SweepSpec, ParseError> {
     Ok(spec)
 }
 
+/// Build a [`SweepSpec`] from parsed `propack workflow` arguments: the
+/// classic grid axes plus the workflow-shape axis.
+pub fn build_workflow_spec(args: &WorkflowArgs) -> Result<SweepSpec, ParseError> {
+    let workloads = args
+        .apps
+        .iter()
+        .map(|a| resolve_app(a))
+        .collect::<Result<Vec<_>, _>>()?;
+    let platforms = args
+        .platforms
+        .iter()
+        .map(|p| resolve_platform_axis(p))
+        .collect::<Result<Vec<_>, _>>()?;
+    let policies = args
+        .policies
+        .iter()
+        .map(|p| resolve_policy(p))
+        .collect::<Result<Vec<_>, _>>()?;
+    let faults = args
+        .faults
+        .iter()
+        .map(|f| FaultScenario::parse(f).map_err(|e| ParseError(e.to_string())))
+        .collect::<Result<Vec<_>, _>>()?;
+    let keepalive = args
+        .keepalive
+        .iter()
+        .map(|k| KeepAliveScenario::parse(k).map_err(|e| ParseError(e.to_string())))
+        .collect::<Result<Vec<_>, _>>()?;
+    let spec = SweepSpec::new(args.name.clone())
+        .platforms(platforms)
+        .workloads(workloads)
+        .concurrency(args.concurrency.iter().copied())
+        .policies(policies)
+        .seeds(args.seeds.iter().copied())
+        .faults(faults)
+        .keepalive(keepalive)
+        .workflows(args.shapes.iter().cloned());
+    spec.validate().map_err(|e| ParseError(e.to_string()))?;
+    Ok(spec)
+}
+
 // ---------------------------------------------------------------------------
 // Execution.
 // ---------------------------------------------------------------------------
@@ -807,6 +943,7 @@ pub fn execute(
         Command::Sweep(sa) => run_sweep(&sa, out)?,
         Command::Replay(ra) => run_replay(&ra, out)?,
         Command::Fleet(fa) => run_fleet(&fa, out)?,
+        Command::Workflow(wa) => run_workflow_grid(&wa, out)?,
         Command::Figures(fa) => {
             let ids: Vec<String> = if fa.ids.is_empty() {
                 propack_bench::ALL_EXPERIMENTS
@@ -891,19 +1028,49 @@ fn run_sweep(
     out: &mut impl std::io::Write,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let spec = build_sweep_spec(sa)?;
-    let threads = if sa.threads == 0 {
+    let threads = resolve_thread_count(sa.threads);
+    if let Some(path) = &sa.bench_out {
+        return run_grid_bench(&spec, path, bench_json, out);
+    }
+    run_grid(&spec, threads, sa.compare_serial, out)
+}
+
+/// `propack workflow`: the same grid machinery as `propack sweep`, with the
+/// workflow-shape axis populated; `--out` writes `BENCH_workflow.json`
+/// (per-(shape, policy) groups for the `cargo xtask benchdiff` gate).
+fn run_workflow_grid(
+    wa: &WorkflowArgs,
+    out: &mut impl std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let spec = build_workflow_spec(wa)?;
+    let threads = resolve_thread_count(wa.threads);
+    if let Some(path) = &wa.out {
+        return run_grid_bench(&spec, path, workflow_bench_json, out);
+    }
+    run_grid(&spec, threads, wa.compare_serial, out)
+}
+
+/// `--threads 0` means one worker per available core.
+fn resolve_thread_count(requested: usize) -> usize {
+    if requested == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
-        sa.threads
-    };
-    if let Some(path) = &sa.bench_out {
-        return run_sweep_bench(&spec, path, out);
+        requested
     }
+}
 
+/// Run one grid (optionally serial-first for the determinism + speedup
+/// comparison) and render deterministically to `out`.
+fn run_grid(
+    spec: &SweepSpec,
+    threads: usize,
+    compare_serial: bool,
+    out: &mut impl std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
     let mut runs = Vec::new();
     let mut serial_render = None;
-    if sa.compare_serial && threads > 1 {
-        let serial = SweepRunner::new().run(&spec)?;
+    if compare_serial && threads > 1 {
+        let serial = SweepRunner::new().run(spec)?;
         eprintln!("{}", serial.timing_line());
         runs.push(RunTiming {
             threads: serial.threads,
@@ -912,7 +1079,7 @@ fn run_sweep(
         serial_render = Some(serial.render());
     }
 
-    let report = SweepRunner::new().threads(threads).run(&spec)?;
+    let report = SweepRunner::new().threads(threads).run(spec)?;
     eprintln!("{}", report.timing_line());
     runs.push(RunTiming {
         threads: report.threads,
@@ -938,11 +1105,14 @@ fn run_sweep(
     Ok(())
 }
 
-/// The `--bench-out` methodology: warmup, then the full thread ladder with a
-/// byte-identity check across every render.
-fn run_sweep_bench(
-    spec: &propack_sweep::SweepSpec,
+/// The `--bench-out`/`--out` methodology: warmup, then the full thread
+/// ladder with a byte-identity check across every render. `compose` picks
+/// the JSON dialect (`bench_json` for sweeps, `workflow_bench_json` for
+/// workflow grids).
+fn run_grid_bench(
+    spec: &SweepSpec,
     bench_path: &str,
+    compose: fn(&SweepReport, &[RunTiming], Option<bool>) -> String,
     out: &mut impl std::io::Write,
 ) -> Result<(), Box<dyn std::error::Error>> {
     // Warmup: full serial run, result discarded, never timed.
@@ -976,7 +1146,7 @@ fn run_sweep_bench(
     }
 
     out.write_all(report.render().as_bytes())?;
-    std::fs::write(bench_path, bench_json(&report, &runs, Some(true)))?;
+    std::fs::write(bench_path, compose(&report, &runs, Some(true)))?;
     eprintln!("wrote {bench_path}");
     Ok(())
 }
@@ -1101,6 +1271,7 @@ fn run_replay(
         faults: scenario.resolve(platform.as_ref()),
         retry: scenario.retry,
         keepalive: keepalive.policy,
+        regret: ra.regret,
         fit_config: ProPackConfig::default(),
     });
     let models = ModelCache::new();
@@ -1664,6 +1835,112 @@ mod tests {
     }
 
     #[test]
+    fn parses_workflow_and_fills_defaults() {
+        match parse(&s(&[
+            "workflow",
+            "--apps",
+            "sort",
+            "--shapes",
+            "task,diamond",
+            "--concurrency",
+            "100",
+            "--policies",
+            "no-packing,fixed:4",
+            "--seeds",
+            "7",
+            "--threads",
+            "2",
+            "--compare-serial",
+        ]))
+        .unwrap()
+        {
+            Command::Workflow(wa) => {
+                assert_eq!(wa.apps, vec!["sort"]);
+                assert_eq!(wa.shapes, vec!["task", "diamond"]);
+                assert_eq!(wa.concurrency, vec![100]);
+                assert_eq!(wa.seeds, vec![7]);
+                assert!(wa.compare_serial);
+                let spec = build_workflow_spec(&wa).unwrap();
+                assert_eq!(spec.cell_count(), 2 * 2);
+                assert_eq!(spec.workflows, vec!["task", "diamond"]);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&s(&["workflow"])).unwrap() {
+            Command::Workflow(wa) => {
+                assert_eq!(wa.apps, vec!["sort"]);
+                assert_eq!(
+                    wa.shapes,
+                    vec!["task", "seq-map", "diamond", "mixed:cpu+io"]
+                );
+                assert_eq!(wa.concurrency, vec![200]);
+                assert_eq!(wa.policies, vec!["no-packing", "propack"]);
+                assert_eq!(wa.seeds, vec![42]);
+                assert_eq!(wa.threads, 0);
+                assert!(wa.out.is_none());
+                assert!(!wa.compare_serial);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn workflow_rejects_pywren_and_unknown_shapes() {
+        for (flags, needle) in [
+            (vec!["--policies", "pywren"], "pywren"),
+            (vec!["--shapes", "triangle"], "workflow shape"),
+        ] {
+            let mut args = vec!["workflow", "--apps", "sort"];
+            args.extend(flags);
+            match parse(&s(&args)).unwrap() {
+                Command::Workflow(wa) => {
+                    let err = build_workflow_spec(&wa).unwrap_err();
+                    assert!(err.0.contains(needle), "{err}");
+                }
+                other => panic!("wrong command {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn workflow_command_end_to_end() {
+        let dir = std::env::temp_dir().join("propack-cli-workflow-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bench_path = dir.join("BENCH_workflow.json");
+        let cmd = Command::Workflow(WorkflowArgs {
+            name: "wf-e2e".into(),
+            apps: vec!["sort".into()],
+            shapes: vec!["task".into(), "diamond".into()],
+            platforms: vec!["aws".into()],
+            concurrency: vec![100],
+            policies: vec!["no-packing".into(), "fixed:4".into()],
+            seeds: vec![1, 2],
+            faults: vec!["none".into()],
+            keepalive: vec!["cold".into()],
+            threads: 2,
+            out: Some(bench_path.to_str().unwrap().to_string()),
+            compare_serial: false,
+        });
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("sweep wf-e2e: 8 cells"), "{text}");
+        assert!(text.contains("wf=task"), "{text}");
+        assert!(text.contains("wf=diamond"), "{text}");
+        let json = std::fs::read_to_string(&bench_path).unwrap();
+        assert!(json.contains("\"bench\": \"workflow\""), "{json}");
+        assert!(json.contains("\"outputs_identical\": true"), "{json}");
+        assert!(
+            json.contains("\"policy\": \"workflow-diamond-fixed-4\""),
+            "{json}"
+        );
+        for t in BENCH_THREAD_LADDER {
+            assert!(json.contains(&format!("\"threads\": {t}")), "{json}");
+        }
+        std::fs::remove_file(&bench_path).ok();
+    }
+
+    #[test]
     fn parses_replay() {
         match parse(&s(&[
             "replay",
@@ -1784,6 +2061,7 @@ mod tests {
             controllers: vec!["fixed:4".into(), "propack:ewma".into()],
             threads: 2,
             compare_serial: true,
+            regret: true,
             out: Some(bench_path.to_str().unwrap().to_string()),
             ..default_replay_args()
         });
@@ -1793,10 +2071,13 @@ mod tests {
         assert!(text.contains("controller=fixed-4"), "{text}");
         assert!(text.contains("controller=propack-ewma"), "{text}");
         assert!(text.contains("forecast_mae="), "{text}");
+        assert!(text.contains("regret: service_s="), "{text}");
         let json = std::fs::read_to_string(&bench_path).unwrap();
         assert!(json.contains("\"bench\": \"replay\""), "{json}");
         assert!(json.contains("\"outputs_identical\": true"), "{json}");
         assert!(json.contains("\"epoch_run_ms\""), "{json}");
+        assert!(json.contains("\"service_regret_secs\""), "{json}");
+        assert!(json.contains("\"expense_regret_usd\""), "{json}");
         std::fs::remove_file(&bench_path).ok();
     }
 

@@ -448,6 +448,10 @@ impl FleetEngine {
                     warm_grants: 0,
                     shared_grants: 0,
                     qos_violation: false,
+                    // Fleet replays skip the oracle shadow: the regret
+                    // instrumentation is the single-tenant replay's.
+                    oracle_service_secs: None,
+                    oracle_expense_usd: None,
                     error: p.error.take(),
                     run_ms: 0.0,
                 };

@@ -451,6 +451,31 @@ mod tests {
     }
 
     #[test]
+    fn five_distinct_profiles_cost_exactly_five_fits() {
+        // `MapPacking::ProPack` must fit through the shared [`ModelCache`],
+        // not a private per-state model: the cache keys by workload name, so
+        // a workflow fanning five distinct profiles out across ProPack maps
+        // pays exactly five fits — and a rerun on the same cache pays zero.
+        let platform = aws();
+        let maps: Vec<State> = (0..5)
+            .map(|i| State::Map {
+                name: format!("m{i}"),
+                work: WorkProfile::synthetic(&format!("profile-{i}"), 0.5, 40.0 + 10.0 * i as f64)
+                    .with_contention(0.12),
+                concurrency: 300,
+                packing: MapPacking::ProPack { w_s: 0.5 },
+            })
+            .collect();
+        let wf = Workflow::new("fan", State::Parallel(maps));
+        let shared = ModelCache::new();
+        execute_with_cache(&platform, &wf, 11, &shared).unwrap();
+        assert_eq!(shared.misses(), 5, "one fit per distinct profile");
+        execute_with_cache(&platform, &wf, 12, &shared).unwrap();
+        assert_eq!(shared.misses(), 5, "rerun fits nothing new");
+        assert!(shared.hits() >= 5);
+    }
+
+    #[test]
     fn prewarmed_cache_does_not_change_the_report() {
         // Bit-identical reports whether the shared cache is cold, warm, or
         // private — the cache may only change how fast results arrive.

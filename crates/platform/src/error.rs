@@ -37,6 +37,13 @@ pub enum PlatformError {
         /// Total fleet slots.
         capacity: u64,
     },
+    /// The platform has no mixed-instance model: heterogeneous co-packed
+    /// bursts ([`crate::mixed::MixedBurstSpec`]) only run on platforms that
+    /// implement the pairwise interference mechanism.
+    MixedBurstsUnsupported {
+        /// The platform that rejected the request.
+        platform: String,
+    },
 }
 
 impl std::fmt::Display for PlatformError {
@@ -54,6 +61,10 @@ impl std::fmt::Display for PlatformError {
             PlatformError::FleetSaturated { requested, capacity } => write!(
                 f,
                 "fleet saturated: {requested} concurrent instances exceed {capacity} slots"
+            ),
+            PlatformError::MixedBurstsUnsupported { platform } => write!(
+                f,
+                "{platform} has no mixed-instance model; co-packed bursts need one"
             ),
         }
     }

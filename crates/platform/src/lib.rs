@@ -55,6 +55,7 @@ pub mod work;
 pub use builder::PlatformBuilder;
 pub use burst::BurstSpec;
 pub use error::PlatformError;
+pub use mixed::{InterferenceMatrix, MixSpec, MixedBurstSpec, MixedRunOutcome};
 pub use platform::{CloudPlatform, InstanceLimits, ServerlessPlatform};
 pub use profile::{PlatformProfile, Provider};
 pub use report::{FaultSummary, InstanceRecord, RunReport, ScalingBreakdown};
@@ -62,7 +63,7 @@ pub use request::{BurstRequest, BurstRun, GrantedRun};
 pub use warmpool::{
     KeepAlivePolicy, PoolGrant, PoolSnapshot, WarmPool, WarmPoolConfig, WarmPoolStats,
 };
-pub use work::WorkProfile;
+pub use work::{ResourceKind, WorkProfile};
 
 // Fault-injection inputs live in the simulation core (the draws must come
 // from its seeded RNG tree); re-exported here so downstream crates that
@@ -78,11 +79,12 @@ pub mod prelude {
     pub use crate::builder::PlatformBuilder;
     pub use crate::burst::BurstSpec;
     pub use crate::error::PlatformError;
+    pub use crate::mixed::{InterferenceMatrix, MixSpec, MixedBurstSpec, MixedRunOutcome};
     pub use crate::platform::{CloudPlatform, InstanceLimits, ServerlessPlatform};
     pub use crate::profile::{PlatformProfile, PriceSheet, Provider};
     pub use crate::report::{FaultSummary, RunReport};
     pub use crate::request::{BurstRequest, BurstRun, GrantedRun};
     pub use crate::warmpool::{KeepAlivePolicy, PoolGrant, PoolSnapshot, WarmPool, WarmPoolConfig};
-    pub use crate::work::WorkProfile;
+    pub use crate::work::{ResourceKind, WorkProfile};
     pub use propack_simcore::{FaultSpec, RetryPolicy};
 }

@@ -18,15 +18,31 @@
 //!
 //! With a single application (`n` copies of one type) this is
 //! `exp(rate·(n−1))` — identical to [`crate::instance::packed_exec_secs`].
+//!
+//! ## Pairwise interference (heterogeneous co-packing)
+//!
+//! The pressure mechanism treats all co-residents alike: only their memory
+//! footprint and contention rate matter, not *what* they contend for. The
+//! intra-function-parallelism literature shows that is too coarse — two
+//! I/O-bound functions fight over one NIC while an I/O-bound and a
+//! CPU-bound function barely overlap. [`InterferenceMatrix`] refines the
+//! model with a deterministic multiplicative factor keyed by
+//! [`ResourceKind`] pairs: a victim of kind `i` sharing an instance with
+//! `n_j` residents of kind `j` is additionally slowed by
+//! `Π_j factor(i,j)^(n_j − δ_ij)` (its own copy excluded). Every factor
+//! defaults to **1.0**, so an unconfigured matrix leaves the homogeneous
+//! model bit-identical — the same compatibility argument the warm pool's
+//! `ColdAlways` policy makes.
 
 use crate::billing::{bill_burst, Expense};
 use crate::burst::BurstSpec;
 use crate::error::PlatformError;
 use crate::profile::InstanceProfile;
 use crate::report::RunReport;
-use crate::work::WorkProfile;
+use crate::work::{ResourceKind, WorkProfile};
 use crate::{CloudPlatform, ServerlessPlatform};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Composition of one mixed instance: how many copies of each application
 /// share it.
@@ -61,6 +77,87 @@ impl MixSpec {
     }
 }
 
+/// Pairwise slowdown factors between resource kinds, applied on top of the
+/// pressure mechanism when unlike functions share an instance.
+///
+/// Factors are directional — `factor(victim, aggressor)` — and default to
+/// 1.0 for every unset pair, so `InterferenceMatrix::identity()` (and
+/// `Default`) leaves all execution times bit-identical to the pure pressure
+/// model.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct InterferenceMatrix {
+    /// `(victim kind, aggressor kind) → per-co-resident factor`; absent
+    /// pairs read as 1.0. A `BTreeMap` keeps iteration (and serialization)
+    /// order deterministic.
+    factors: BTreeMap<(ResourceKind, ResourceKind), f64>,
+}
+
+impl InterferenceMatrix {
+    /// The do-nothing matrix: every factor 1.0.
+    pub fn identity() -> Self {
+        InterferenceMatrix::default()
+    }
+
+    /// Reference calibration for CPU/IO mixes, used by the workflow
+    /// `mixed:cpu+io` shape. Same-kind residents hurt more than the memory
+    /// pressure model alone predicts (they queue on one bottleneck
+    /// resource); cross-kind residents overlap cleanly and get a slight
+    /// relief versus the pressure-only prediction.
+    pub fn cpu_io_reference() -> Self {
+        InterferenceMatrix::identity()
+            .with_factor(ResourceKind::Cpu, ResourceKind::Cpu, 1.04)
+            .with_factor(ResourceKind::Io, ResourceKind::Io, 1.08)
+            .with_factor(ResourceKind::Cpu, ResourceKind::Io, 0.99)
+            .with_factor(ResourceKind::Io, ResourceKind::Cpu, 0.99)
+    }
+
+    /// Builder-style setter for one directional pair. Setting 1.0 removes
+    /// the entry (keeps `is_identity` an exact structural check).
+    pub fn with_factor(mut self, victim: ResourceKind, aggressor: ResourceKind, f: f64) -> Self {
+        if f == 1.0 {
+            self.factors.remove(&(victim, aggressor));
+        } else {
+            self.factors.insert((victim, aggressor), f);
+        }
+        self
+    }
+
+    /// The per-co-resident factor for a `victim`-kind function sharing with
+    /// one `aggressor`-kind resident. Unset pairs read as 1.0.
+    pub fn factor(&self, victim: ResourceKind, aggressor: ResourceKind) -> f64 {
+        self.factors
+            .get(&(victim, aggressor))
+            .copied()
+            .unwrap_or(1.0)
+    }
+
+    /// True when every factor is 1.0 — the matrix cannot change any number.
+    pub fn is_identity(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// Total slowdown a function of part `part` experiences from the mix:
+    /// `Π_j factor(kind_i, kind_j)^(n_j − δ_ij)` — each co-resident
+    /// contributes one factor, the victim's own copy excluded. Exactly 1.0
+    /// for the identity matrix.
+    pub fn victim_factor(&self, mix: &MixSpec, part: usize) -> f64 {
+        if self.is_identity() {
+            return 1.0;
+        }
+        let victim = mix.parts[part].0.resource_kind;
+        let mut total = 1.0;
+        for (j, (work, n)) in mix.parts.iter().enumerate() {
+            let co_residents = if j == part { n.saturating_sub(1) } else { *n };
+            if co_residents > 0 {
+                total *= self
+                    .factor(victim, work.resource_kind)
+                    .powi(co_residents as i32);
+            }
+        }
+        total
+    }
+}
+
 /// Deterministic execution time of a type-`i` function inside a mixed
 /// instance (see module docs for the mechanism).
 pub fn mixed_exec_secs(inst: &InstanceProfile, mix: &MixSpec, part: usize) -> f64 {
@@ -77,6 +174,57 @@ pub fn mixed_exec_secs(inst: &InstanceProfile, mix: &MixSpec, part: usize) -> f6
     work.base_exec_secs * pressure.exp() * timeslice * colocation
 }
 
+/// [`mixed_exec_secs`] with the pairwise interference factor applied.
+/// Bit-identical to the plain version under the identity matrix (the
+/// factor is exactly 1.0 and `x * 1.0 == x` in IEEE 754).
+pub fn mixed_exec_secs_with(
+    inst: &InstanceProfile,
+    mix: &MixSpec,
+    part: usize,
+    interference: &InterferenceMatrix,
+) -> f64 {
+    mixed_exec_secs(inst, mix, part) * interference.victim_factor(mix, part)
+}
+
+/// A heterogeneous co-packed burst: unlike [`WorkProfile`]s sharing each
+/// instance at per-function packing degrees, under a pairwise interference
+/// model. The workflow engine's fused-sibling-Map primitive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedBurstSpec {
+    /// Instance composition: `(workload, copies per instance)` per part.
+    pub mix: MixSpec,
+    /// Number of identical mixed instances to launch.
+    pub instances: u32,
+    /// Pairwise interference factors; identity ⇒ pure pressure model.
+    pub interference: InterferenceMatrix,
+    /// RNG seed for the shared control-plane timeline.
+    pub seed: u64,
+}
+
+impl MixedBurstSpec {
+    /// A mixed burst under the identity matrix and seed 0.
+    pub fn new(mix: MixSpec, instances: u32) -> Self {
+        MixedBurstSpec {
+            mix,
+            instances,
+            interference: InterferenceMatrix::identity(),
+            seed: 0,
+        }
+    }
+
+    /// Builder-style setter for the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style setter for the interference matrix.
+    pub fn with_interference(mut self, interference: InterferenceMatrix) -> Self {
+        self.interference = interference;
+        self
+    }
+}
+
 /// Outcome of a mixed burst: one run report per application in the mix,
 /// sharing the same control-plane timeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,19 +237,27 @@ pub struct MixedRunOutcome {
 }
 
 impl CloudPlatform {
-    /// Execute `instances` mixed instances, each packed per `mix`.
-    ///
-    /// The control-plane cost depends only on the instance count (Fig. 5b's
-    /// application-independence), so the mixed burst reuses the homogeneous
-    /// pipeline with a representative profile and then assigns each
-    /// application its own execution times from the mixed-interference
-    /// mechanism.
+    /// Execute `instances` mixed instances, each packed per `mix`, under
+    /// the identity interference matrix. Bit-identical to
+    /// [`CloudPlatform::run_mixed`] with an unconfigured matrix.
     pub fn run_mixed_burst(
         &self,
         mix: &MixSpec,
         instances: u32,
         seed: u64,
     ) -> Result<MixedRunOutcome, PlatformError> {
+        self.run_mixed(&MixedBurstSpec::new(mix.clone(), instances).with_seed(seed))
+    }
+
+    /// Execute a heterogeneous co-packed burst.
+    ///
+    /// The control-plane cost depends only on the instance count (Fig. 5b's
+    /// application-independence), so the mixed burst reuses the homogeneous
+    /// pipeline with a representative profile and then assigns each
+    /// application its own execution times from the mixed-interference
+    /// mechanism, scaled by the spec's pairwise interference factors.
+    pub fn run_mixed(&self, spec: &MixedBurstSpec) -> Result<MixedRunOutcome, PlatformError> {
+        let (mix, instances, seed) = (&spec.mix, spec.instances, spec.seed);
         if mix.parts.is_empty() || mix.degree() == 0 || instances == 0 {
             return Err(PlatformError::EmptyBurst);
         }
@@ -115,7 +271,8 @@ impl CloudPlatform {
         }
         let inst = self.profile().instance;
         for part in 0..mix.parts.len() {
-            let projected = mixed_exec_secs(&inst, mix, part) * (1.0 + inst.exec_jitter);
+            let projected = mixed_exec_secs_with(&inst, mix, part, &spec.interference)
+                * (1.0 + inst.exec_jitter);
             if projected > limits.max_exec_secs {
                 return Err(PlatformError::ExecutionTimeout {
                     projected_secs: projected,
@@ -141,7 +298,7 @@ impl CloudPlatform {
         let mut per_app = Vec::with_capacity(mix.parts.len());
         let mut all_exec = Vec::new();
         for (part_idx, (work, copies)) in mix.parts.iter().enumerate() {
-            let exec = mixed_exec_secs(&inst, mix, part_idx);
+            let exec = mixed_exec_secs_with(&inst, mix, part_idx, &spec.interference);
             let mut records = timeline.instances.clone();
             for r in records.iter_mut() {
                 r.finished_at = r.started_at + exec;
@@ -290,6 +447,103 @@ mod tests {
             p.run_mixed_burst(&mix, 5, 1),
             Err(PlatformError::ExecutionTimeout { .. })
         ));
+    }
+
+    #[test]
+    fn identity_matrix_is_bit_identical_to_the_legacy_path() {
+        let p = aws();
+        let mix = MixSpec::pair((light(), 4), (heavy(), 2));
+        let legacy = p.run_mixed_burst(&mix, 50, 9).unwrap();
+        let spec = MixedBurstSpec::new(mix.clone(), 50).with_seed(9);
+        assert!(spec.interference.is_identity());
+        let modern = p.run_mixed(&spec).unwrap();
+        assert_eq!(legacy, modern, "identity matrix must change nothing");
+        // And the per-part exec times match the plain mechanism exactly.
+        let inst = PlatformProfile::aws_lambda().instance;
+        for part in 0..2 {
+            assert_eq!(
+                mixed_exec_secs(&inst, &mix, part).to_bits(),
+                mixed_exec_secs_with(&inst, &mix, part, &InterferenceMatrix::identity()).to_bits(),
+            );
+        }
+    }
+
+    #[test]
+    fn pairwise_factors_scale_the_victim_only() {
+        use crate::work::ResourceKind;
+        let inst = PlatformProfile::aws_lambda().instance;
+        let cpu = light().with_resource_kind(ResourceKind::Cpu);
+        let io = heavy().with_resource_kind(ResourceKind::Io);
+        let mix = MixSpec::pair((cpu, 2), (io, 3));
+        // Slow CPU victims 10% per I/O co-resident; leave everything else.
+        let m =
+            InterferenceMatrix::identity().with_factor(ResourceKind::Cpu, ResourceKind::Io, 1.10);
+        let base_cpu = mixed_exec_secs(&inst, &mix, 0);
+        let base_io = mixed_exec_secs(&inst, &mix, 1);
+        let got_cpu = mixed_exec_secs_with(&inst, &mix, 0, &m);
+        let got_io = mixed_exec_secs_with(&inst, &mix, 1, &m);
+        // Three I/O co-residents → 1.1³ on the CPU part.
+        assert!((got_cpu / base_cpu - 1.1f64.powi(3)).abs() < 1e-12);
+        assert_eq!(got_io.to_bits(), base_io.to_bits(), "io part untouched");
+    }
+
+    #[test]
+    fn own_copy_is_excluded_from_the_victim_factor() {
+        use crate::work::ResourceKind;
+        let io = light().with_resource_kind(ResourceKind::Io);
+        let m =
+            InterferenceMatrix::identity().with_factor(ResourceKind::Io, ResourceKind::Io, 1.08);
+        // One I/O function alone: zero co-residents, factor exactly 1.
+        let solo = MixSpec {
+            parts: vec![(io.clone(), 1)],
+        };
+        assert_eq!(m.victim_factor(&solo, 0), 1.0);
+        // Four copies: three co-residents.
+        let four = MixSpec {
+            parts: vec![(io, 4)],
+        };
+        assert!((m.victim_factor(&four, 0) - 1.08f64.powi(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn setting_a_factor_to_one_restores_identity() {
+        use crate::work::ResourceKind;
+        let m = InterferenceMatrix::identity()
+            .with_factor(ResourceKind::Cpu, ResourceKind::Io, 1.2)
+            .with_factor(ResourceKind::Cpu, ResourceKind::Io, 1.0);
+        assert!(m.is_identity());
+    }
+
+    #[test]
+    fn non_mixed_platforms_reject_co_packed_bursts() {
+        // The trait's default implementation: a platform without the
+        // mixed-instance model refuses rather than silently decomposing.
+        struct Bare;
+        impl ServerlessPlatform for Bare {
+            fn name(&self) -> String {
+                "bare".into()
+            }
+            fn limits(&self) -> crate::platform::InstanceLimits {
+                aws().limits()
+            }
+            fn prices(&self) -> crate::profile::PriceSheet {
+                aws().prices()
+            }
+            fn run_burst(&self, spec: &BurstSpec) -> Result<RunReport, PlatformError> {
+                aws().run_burst(spec)
+            }
+            fn nominal_exec_secs(&self, work: &WorkProfile, degree: u32) -> f64 {
+                aws().nominal_exec_secs(work, degree)
+            }
+        }
+        let spec = MixedBurstSpec::new(MixSpec::pair((light(), 1), (heavy(), 1)), 4);
+        assert!(matches!(
+            Bare.run_mixed(&spec),
+            Err(PlatformError::MixedBurstsUnsupported { .. })
+        ));
+        // While CloudPlatform, through the same trait surface, accepts.
+        let p: &dyn ServerlessPlatform = &aws();
+        assert!(p.run_mixed(&spec).is_ok());
     }
 
     #[test]

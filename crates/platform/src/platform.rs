@@ -113,6 +113,20 @@ pub trait ServerlessPlatform {
     fn placement_secs(&self) -> f64 {
         0.0
     }
+
+    /// Execute a heterogeneous co-packed burst ([`crate::mixed`]): unlike
+    /// functions sharing each instance under a pairwise interference model.
+    /// Platforms without a mixed-instance model reject the request — the
+    /// workflow engine then falls back to per-stage homogeneous bursts
+    /// rather than silently simulating co-location it cannot model.
+    fn run_mixed(
+        &self,
+        _spec: &crate::mixed::MixedBurstSpec,
+    ) -> Result<crate::mixed::MixedRunOutcome, PlatformError> {
+        Err(PlatformError::MixedBurstsUnsupported {
+            platform: self.name(),
+        })
+    }
 }
 
 /// A commercial-cloud serverless platform driven by a calibration profile.
@@ -318,6 +332,15 @@ impl ServerlessPlatform for CloudPlatform {
 
     fn default_faults(&self) -> FaultSpec {
         self.profile.default_faults()
+    }
+
+    fn run_mixed(
+        &self,
+        spec: &crate::mixed::MixedBurstSpec,
+    ) -> Result<crate::mixed::MixedRunOutcome, PlatformError> {
+        // The inherent method (crates/platform/src/mixed.rs) — inherent
+        // resolution wins, so this is not a recursive call.
+        CloudPlatform::run_mixed(self, spec)
     }
 }
 

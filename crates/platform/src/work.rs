@@ -10,6 +10,42 @@
 
 use serde::{Deserialize, Serialize};
 
+/// The resource a function saturates first — the key of the pairwise
+/// interference model for heterogeneous co-packing ([`crate::mixed`]).
+///
+/// The homogeneous contention mechanism (`contention_per_gb`) already
+/// captures how copies of *one* function degrade each other; the resource
+/// kind captures what a single fitted model cannot: two functions with the
+/// same memory pressure interfere differently depending on *which* resource
+/// they fight over (two I/O-bound functions share one NIC; an I/O-bound and
+/// a CPU-bound function barely touch). Defaults to [`ResourceKind::Generic`]
+/// so every existing profile deserializes and behaves exactly as before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// No declared affinity: pairwise interference factors default to 1.0,
+    /// leaving the homogeneous model untouched.
+    #[default]
+    Generic,
+    /// Compute-bound (e.g. Smith-Waterman): saturates cores.
+    Cpu,
+    /// Memory-bandwidth-bound (e.g. sort): saturates the memory bus.
+    Memory,
+    /// I/O-bound (e.g. storage-heavy stages): saturates network/disk.
+    Io,
+}
+
+impl ResourceKind {
+    /// Stable lowercase label (reports, workflow grammar).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ResourceKind::Generic => "generic",
+            ResourceKind::Cpu => "cpu",
+            ResourceKind::Memory => "memory",
+            ResourceKind::Io => "io",
+        }
+    }
+}
+
 /// Simulator-facing description of one function of an application.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkProfile {
@@ -43,6 +79,12 @@ pub struct WorkProfile {
     /// which is the cold-start optimization Pywren's instance reuse
     /// targets (§4). Loaded once per instance regardless of packing.
     pub dependency_load_secs: f64,
+    /// The resource this function saturates first, keying the pairwise
+    /// interference model when unlike functions share an instance
+    /// ([`crate::mixed::InterferenceMatrix`]). Absent in serialized
+    /// profiles from before heterogeneous co-packing, hence the default.
+    #[serde(default)]
+    pub resource_kind: ResourceKind,
 }
 
 impl WorkProfile {
@@ -58,6 +100,7 @@ impl WorkProfile {
             storage_requests: 0,
             network_gb: 0.0,
             dependency_load_secs: 0.0,
+            resource_kind: ResourceKind::Generic,
         }
     }
 
@@ -92,6 +135,12 @@ impl WorkProfile {
     /// Builder-style setter for cold-container dependency-load time.
     pub fn with_dependency_load(mut self, secs: f64) -> Self {
         self.dependency_load_secs = secs;
+        self
+    }
+
+    /// Builder-style setter for the dominant resource kind.
+    pub fn with_resource_kind(mut self, kind: ResourceKind) -> Self {
+        self.resource_kind = kind;
         self
     }
 }
@@ -130,5 +179,14 @@ mod tests {
         assert_eq!(w.storage_requests, 4);
         assert_eq!(w.network_gb, 0.05);
         assert_eq!(w.contention_per_gb, 0.09);
+    }
+
+    #[test]
+    fn resource_kind_defaults_to_generic_and_builds() {
+        let w = WorkProfile::synthetic("w", 0.5, 60.0);
+        assert_eq!(w.resource_kind, ResourceKind::Generic);
+        let w = w.with_resource_kind(ResourceKind::Io);
+        assert_eq!(w.resource_kind, ResourceKind::Io);
+        assert_eq!(w.resource_kind.label(), "io");
     }
 }

@@ -108,6 +108,13 @@ pub struct ReplaySpec {
     pub keepalive: KeepAlivePolicy,
     /// Model-fit configuration (shared through [`ModelCache`]).
     pub fit_config: ProPackConfig,
+    /// Track per-epoch regret vs the oracle: after each epoch's burst, plan
+    /// with the *true* arrival count and — when that plan differs from the
+    /// controller's — replay the epoch's burst a second time (same seed,
+    /// same pre-burst warm-pool state) to record what the oracle would have
+    /// realized. Off by default: the shadow runs cost wall clock, and a
+    /// plain replay must stay byte-identical to the pre-regret format.
+    pub regret: bool,
 }
 
 impl Default for ReplaySpec {
@@ -123,6 +130,7 @@ impl Default for ReplaySpec {
             retry: RetryPolicy::no_retries(),
             keepalive: KeepAlivePolicy::ColdAlways,
             fit_config: ProPackConfig::default(),
+            regret: false,
         }
     }
 }
@@ -181,12 +189,19 @@ impl ReplayEngine {
             })?;
 
         // Fit once per (platform, workload, config) — the cache coalesces
-        // repeat fits across controllers, cells, and threads.
-        let (model, model_overhead_usd, fit_ms) = if controller.needs_model() {
+        // repeat fits across controllers, cells, and threads. Regret
+        // tracking needs the model even under static controllers (the
+        // oracle shadow plans with it), but the fit is then the observer's
+        // instrument, so its overhead is never billed to the controller.
+        let (model, model_overhead_usd, fit_ms) = if controller.needs_model() || self.spec.regret {
             let t0 = clock();
             let pp = models.fit(platform, work, &self.spec.fit_config)?;
             let fit_ms = (clock() - t0) * 1000.0;
-            let overhead = pp.overhead.expense_usd;
+            let overhead = if controller.needs_model() {
+                pp.overhead.expense_usd
+            } else {
+                0.0
+            };
             (Some(pp), overhead, fit_ms)
         } else {
             (None, 0.0, 0.0)
@@ -322,10 +337,19 @@ impl<P: ServerlessPlatform + ?Sized> EventState for EpochDriver<'_, P> {
             warm_grants: 0,
             shared_grants: 0,
             qos_violation: false,
+            oracle_service_secs: None,
+            oracle_expense_usd: None,
             error,
             run_ms: 0.0,
         };
         if arrivals > 0 && row.error.is_none() {
+            // The oracle shadow must see the warm-pool state the controller
+            // saw, so its copy is taken before the real burst mutates it.
+            let shadow_pool = if st.spec.regret {
+                st.pool.clone()
+            } else {
+                None
+            };
             let t0 = (st.clock)();
             let request = BurstRequest::new(st.work.clone(), arrivals, degree)
                 .with_seed(epoch_seed(st.spec.seed, k))
@@ -358,12 +382,64 @@ impl<P: ServerlessPlatform + ?Sized> EventState for EpochDriver<'_, P> {
                 Err(e) => row.error = Some(e.to_string()),
             }
             row.run_ms = ((st.clock)() - t0) * 1000.0;
+            if st.spec.regret && row.error.is_none() {
+                st.record_oracle_shadow(
+                    &mut row,
+                    arrivals,
+                    degree,
+                    snapshot.as_ref(),
+                    shadow_pool,
+                    now,
+                    k,
+                );
+            }
         }
         st.epochs.push(row);
     }
 }
 
 impl<P: ServerlessPlatform + ?Sized> EpochDriver<'_, P> {
+    /// Record what the oracle's plan for the epoch's *true* arrival count
+    /// would have realized (the per-epoch regret instrumentation). When the
+    /// oracle plans the degree the controller already ran, the realized row
+    /// *is* the oracle outcome — no shadow burst needed; otherwise the
+    /// epoch's burst replays once more with the oracle degree on the
+    /// pre-burst pool copy. Shadow runs never touch live state, so regret
+    /// tracking cannot perturb the replay's own numbers.
+    #[allow(clippy::too_many_arguments)]
+    fn record_oracle_shadow(
+        &self,
+        row: &mut EpochResult,
+        arrivals: u32,
+        degree: u32,
+        snapshot: Option<&PoolSnapshot>,
+        shadow_pool: Option<WarmPool>,
+        now: f64,
+        k: u32,
+    ) {
+        let mut plan_error = None;
+        let Some(oracle_degree) = self.plan_degree(arrivals, snapshot, &mut plan_error) else {
+            return;
+        };
+        if oracle_degree == degree {
+            row.oracle_service_secs = Some(row.service_secs);
+            row.oracle_expense_usd = Some(row.expense_usd);
+            return;
+        }
+        let request = BurstRequest::new(self.work.clone(), arrivals, oracle_degree)
+            .with_seed(epoch_seed(self.spec.seed, k))
+            .with_faults(self.spec.faults)
+            .with_retry(self.spec.retry);
+        let outcome = match shadow_pool {
+            Some(mut pool) => request.run_pooled(self.platform, &mut pool, now),
+            None => request.run(self.platform),
+        };
+        if let Ok(run) = outcome {
+            row.oracle_service_secs = Some(run.total_service_secs());
+            row.oracle_expense_usd = Some(run.expense_usd());
+        }
+    }
+
     /// Plan a packing degree for concurrency `c`; `None` (with the error
     /// recorded) when planning fails, so the epoch degrades to unpacked.
     /// With a pool snapshot the fitted model's fixed-cost term is evaluated
@@ -710,5 +786,86 @@ mod tests {
         assert_eq!(report.total_arrivals(), trace.len() as u64);
         let counts: Vec<u32> = report.epochs.iter().map(|e| e.arrivals).collect();
         assert_eq!(counts, vec![3, 3], "[0,60) and [60,120] with inclusive end");
+    }
+
+    #[test]
+    fn oracle_controller_has_exactly_zero_regret() {
+        let platform = PlatformBuilder::aws().build();
+        let work = sort_profile();
+        let trace = ArrivalTrace::poisson("sort", 0.8, 400.0, 11).expect("trace");
+        let engine = ReplayEngine::new(ReplaySpec {
+            epoch_secs: 100.0,
+            fit_config: small_fit(),
+            regret: true,
+            ..ReplaySpec::default()
+        });
+        let report = engine
+            .run(
+                &platform,
+                &work,
+                &trace,
+                &Controller::Oracle,
+                &ModelCache::default(),
+            )
+            .expect("oracle run");
+        // The oracle already plans with true arrivals, so the shadow's plan
+        // matches every epoch and regret is identically zero (copied, not
+        // re-simulated — bit-equal, no tolerance needed).
+        assert_eq!(report.total_service_regret_secs(), Some(0.0));
+        assert_eq!(report.total_expense_regret_usd(), Some(0.0));
+        assert!(
+            report
+                .epochs
+                .iter()
+                .filter(|e| e.arrivals > 0)
+                .all(|e| e.oracle_service_secs == Some(e.service_secs)),
+            "every replayed epoch copies its realized service as the oracle's"
+        );
+    }
+
+    #[test]
+    fn static_controllers_pay_regret_but_not_model_overhead() {
+        let platform = PlatformBuilder::aws().build();
+        let work = sort_profile();
+        let trace = ArrivalTrace::poisson("sort", 2.0, 400.0, 11).expect("trace");
+        let base = ReplaySpec {
+            epoch_secs: 100.0,
+            fit_config: small_fit(),
+            ..ReplaySpec::default()
+        };
+        let models = ModelCache::default();
+        let plain = ReplayEngine::new(base.clone())
+            .run(&platform, &work, &trace, &Controller::NoPacking, &models)
+            .expect("plain run");
+        let tracked = ReplayEngine::new(ReplaySpec {
+            regret: true,
+            ..base
+        })
+        .run(&platform, &work, &trace, &Controller::NoPacking, &models)
+        .expect("regret run");
+        // Regret is pure instrumentation: the realized epochs are untouched,
+        // only the oracle columns and the summary line are added.
+        assert!(!plain.render().contains("regret"));
+        assert!(tracked.render().contains("regret: service_s="));
+        assert_eq!(plain.total_service_secs(), tracked.total_service_secs());
+        assert_eq!(plain.total_expense_usd(), tracked.total_expense_usd());
+        // An unpacked burst under load is service-slower than the oracle's
+        // packed plan, so the gap is strictly positive for this trace.
+        let gap = tracked.total_service_regret_secs().expect("tracked");
+        assert!(gap > 0.0, "no-packing leaves service on the table: {gap}");
+        // The model exists only to score the shadow: a static controller is
+        // not billed for it.
+        assert_eq!(tracked.model_overhead_usd, 0.0);
+        assert_eq!(models.misses(), 1, "regret shadow fits through the cache");
+        // Rerun determinism with the shadow path on.
+        let again = ReplayEngine::new(ReplaySpec {
+            epoch_secs: 100.0,
+            fit_config: small_fit(),
+            regret: true,
+            ..ReplaySpec::default()
+        })
+        .run(&platform, &work, &trace, &Controller::NoPacking, &models)
+        .expect("regret rerun");
+        assert_eq!(tracked.render(), again.render());
     }
 }

@@ -38,6 +38,13 @@ pub struct EpochResult {
     pub shared_grants: u64,
     /// True when a QoS bound was set and the epoch's tail exceeded it.
     pub qos_violation: bool,
+    /// Realized service time of the oracle's plan for this epoch's true
+    /// arrivals, seconds (regret instrumentation only; `None` when regret
+    /// tracking is off or the oracle shadow could not run).
+    pub oracle_service_secs: Option<f64>,
+    /// Realized expense of the oracle's plan for this epoch, USD (same
+    /// provenance as [`EpochResult::oracle_service_secs`]).
+    pub oracle_expense_usd: Option<f64>,
     /// Platform or planning error, if the epoch could not run.
     pub error: Option<String>,
     /// Host milliseconds dispatching this epoch (timing only, not rendered).
@@ -140,6 +147,39 @@ impl ReplayReport {
         }
     }
 
+    /// Epochs carrying oracle regret instrumentation.
+    pub fn regret_epochs(&self) -> usize {
+        self.epochs
+            .iter()
+            .filter(|e| e.oracle_service_secs.is_some())
+            .count()
+    }
+
+    /// Total service regret vs the oracle's plan, seconds: how much slower
+    /// this controller's realized epochs ran than the oracle's plan for the
+    /// same true arrivals (same seed, same warm-pool state). Negative values
+    /// are possible — the oracle plans on the fitted model, and the model is
+    /// an approximation of the realized timeline. `None` when regret
+    /// tracking was off.
+    pub fn total_service_regret_secs(&self) -> Option<f64> {
+        self.fold_regret(|e| e.oracle_service_secs.map(|o| e.service_secs - o))
+    }
+
+    /// Total expense regret vs the oracle's plan, USD (see
+    /// [`ReplayReport::total_service_regret_secs`]).
+    pub fn total_expense_regret_usd(&self) -> Option<f64> {
+        self.fold_regret(|e| e.oracle_expense_usd.map(|o| e.expense_usd - o))
+    }
+
+    fn fold_regret(&self, gap: impl Fn(&EpochResult) -> Option<f64>) -> Option<f64> {
+        let gaps: Vec<f64> = self.epochs.iter().filter_map(gap).collect();
+        if gaps.is_empty() {
+            None
+        } else {
+            Some(gaps.iter().sum())
+        }
+    }
+
     /// Largest packing degree any epoch used.
     pub fn max_degree(&self) -> u32 {
         self.epochs
@@ -188,7 +228,7 @@ impl ReplayReport {
                 continue;
             }
             out.push_str(&format!(
-                "{}\t{:.1}\t{}\t{}\t{}\t{}\t{:.3}\t{:.3}\t{:.6}\t{:.4}\t{}\t{}\t{}\n",
+                "{}\t{:.1}\t{}\t{}\t{}\t{}\t{:.3}\t{:.3}\t{:.6}\t{:.4}\t{}\t{}\t{}",
                 e.epoch,
                 e.start_secs,
                 e.arrivals,
@@ -203,6 +243,16 @@ impl ReplayReport {
                 e.failed_functions,
                 if e.qos_violation { "VIOLATED" } else { "ok" },
             ));
+            // Regret columns exist only under `--regret`, so a plain replay
+            // renders exactly the pre-regret bytes.
+            if let (Some(os), Some(oe)) = (e.oracle_service_secs, e.oracle_expense_usd) {
+                out.push_str(&format!(
+                    "\tregret_s={:.3}\tregret_usd={:.6}",
+                    e.service_secs - os,
+                    e.expense_usd - oe,
+                ));
+            }
+            out.push('\n');
         }
         out.push_str(&format!(
             "total: arrivals={} service_s={:.3} expense_usd={:.6} (model_overhead_usd={:.6}) fn_hours={:.4} retries={} failed={} qos_violations={} forecast_mae={}\n",
@@ -219,6 +269,19 @@ impl ReplayReport {
                 None => "-".to_string(),
             },
         ));
+        // Like the warm line, the regret line is opt-in: it exists only
+        // when the oracle shadow ran, keeping plain replays byte-stable.
+        if let (Some(rs), Some(re)) = (
+            self.total_service_regret_secs(),
+            self.total_expense_regret_usd(),
+        ) {
+            out.push_str(&format!(
+                "regret: service_s={:.3} expense_usd={:.6} epochs={}\n",
+                rs,
+                re,
+                self.regret_epochs(),
+            ));
+        }
         // The warm line exists only under a keep-alive policy, so a cold
         // replay renders byte-identically to the pre-pool format.
         if self.keepalive != "cold" {
@@ -261,6 +324,8 @@ mod tests {
             warm_grants: 0,
             shared_grants: 0,
             qos_violation: service > 30.0,
+            oracle_service_secs: None,
+            oracle_expense_usd: None,
             error: None,
             run_ms: 5.0,
         }
@@ -335,6 +400,38 @@ mod tests {
         assert!(text.contains("warm: keepalive=fixed:60 warm_grants=12 shared_grants=3"));
         // Everything above the warm line is byte-identical to the cold render.
         assert!(text.starts_with(&cold.render()));
+    }
+
+    #[test]
+    fn regret_totals_and_render_are_opt_in() {
+        let plain = report();
+        assert_eq!(plain.total_service_regret_secs(), None);
+        assert_eq!(plain.total_expense_regret_usd(), None);
+        assert_eq!(plain.regret_epochs(), 0);
+        assert!(!plain.render().contains("regret"));
+
+        let mut tracked = report();
+        // Epoch 1 ran 5s slower and $0.002 cheaper than the oracle's plan;
+        // epoch 2 matched it exactly. Epoch 0 carries no shadow data.
+        tracked.epochs[1].oracle_service_secs = Some(30.0);
+        tracked.epochs[1].oracle_expense_usd = Some(0.012);
+        tracked.epochs[2].oracle_service_secs = Some(10.0);
+        tracked.epochs[2].oracle_expense_usd = Some(0.01);
+        assert_eq!(tracked.regret_epochs(), 2);
+        assert!((tracked.total_service_regret_secs().unwrap() - 5.0).abs() < 1e-12);
+        assert!((tracked.total_expense_regret_usd().unwrap() + 0.002).abs() < 1e-12);
+        let text = tracked.render();
+        assert!(
+            text.contains("\tregret_s=5.000\tregret_usd=-0.002000"),
+            "{text}"
+        );
+        assert!(
+            text.contains("regret: service_s=5.000 expense_usd=-0.002000 epochs=2"),
+            "{text}"
+        );
+        // Rows without shadow data keep the pre-regret shape.
+        let epoch0 = text.lines().nth(2).expect("epoch 0 row");
+        assert!(!epoch0.contains("regret"), "{epoch0}");
     }
 
     #[test]

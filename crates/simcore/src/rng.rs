@@ -63,6 +63,11 @@ pub mod lanes {
     /// so tenant simulations are decorrelated from each other and from the
     /// structure stream.
     pub const FLEET_TENANT: &str = "fleet-tenant";
+    /// Workflow engine: per-leaf seed derivation (indexed by a hash of the
+    /// leaf state's identity) so every Task/Map burst in a DAG draws an
+    /// independent stream regardless of the order sibling branches are
+    /// declared or scheduled in.
+    pub const WORKFLOW_LEAF: &str = "workflow-leaf";
 
     /// Every registered lane. Order is documentation only; the stream hash
     /// does not depend on it.
@@ -81,6 +86,7 @@ pub mod lanes {
         KEEPALIVE_PAGURUS,
         FLEET_GEN,
         FLEET_TENANT,
+        WORKFLOW_LEAF,
     ];
 }
 

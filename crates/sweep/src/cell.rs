@@ -30,16 +30,19 @@ pub struct CellKey {
     /// Replay-controller label, `off` for classic cells (after `faults` in
     /// the sort order for the same append-only reason).
     pub controller: String,
-    /// Keep-alive scenario label, `cold` by default (last in the sort
-    /// order, so adding the axis appended to pre-pool grid orderings
-    /// instead of reshuffling).
+    /// Keep-alive scenario label, `cold` by default (after `controller` in
+    /// the sort order, so adding the axis appended to pre-pool grid
+    /// orderings instead of reshuffling).
     pub keepalive: String,
+    /// Workflow shape label, empty for classic single-burst cells (last in
+    /// the sort order for the same append-only reason).
+    pub workflow: String,
 }
 
 impl CellKey {
     /// Compact single-string form, used in `BENCH_sweep.json`. The
-    /// keep-alive segment appears only for non-cold scenarios, so cold
-    /// sweeps keep their pre-pool compact keys byte-for-byte.
+    /// keep-alive and workflow segments appear only for non-default values,
+    /// so pre-existing sweeps keep their compact keys byte-for-byte.
     pub fn compact(&self) -> String {
         let mut key = format!(
             "{}/{}/{}/c{}/s{}/f{}/r{}",
@@ -53,6 +56,9 @@ impl CellKey {
         );
         if self.keepalive != "cold" {
             key.push_str(&format!("/k{}", self.keepalive));
+        }
+        if !self.workflow.is_empty() {
+            key.push_str(&format!("/w{}", self.workflow));
         }
         key
     }
@@ -82,6 +88,9 @@ pub struct Cell {
     pub replay: Option<ReplayGrid>,
     /// Keep-alive scenario the cell's warm pool runs under.
     pub keepalive: KeepAliveScenario,
+    /// Workflow shape (see `propack_workflow::spec::from_shape`), when the
+    /// cell replays a DAG workflow instead of running one flat burst.
+    pub workflow: Option<String>,
 }
 
 /// Simulation results for one cell.
@@ -130,15 +139,18 @@ impl CellResult {
     }
 
     /// The deterministic fields as one rendered line (fixed precision, no
-    /// host timing). The `ka=` column appears only for non-cold keep-alive
-    /// scenarios, so cold sweeps render their pre-pool lines byte-for-byte.
+    /// host timing). The `ka=` and `wf=` columns appear only for non-default
+    /// axis values, so pre-existing sweeps render their lines byte-for-byte.
     pub fn render_line(&self) -> String {
         let k = &self.key;
-        let ka = if k.keepalive == "cold" {
+        let mut ka = if k.keepalive == "cold" {
             String::new()
         } else {
             format!("\tka={}", k.keepalive)
         };
+        if !k.workflow.is_empty() {
+            ka.push_str(&format!("\twf={}", k.workflow));
+        }
         match &self.error {
             Some(e) => format!(
                 "{}\t{}\t{}\tC={}\tseed={}\tfaults={}\tctl={}{ka}\tERROR: {}",
@@ -167,15 +179,21 @@ impl CellResult {
 }
 
 /// Expand a spec into its cells, in fixed grid order (platform-major,
-/// keep-alive-minor). Workers may *run* cells in any order; merging
+/// workflow-minor). Workers may *run* cells in any order; merging
 /// sorts by [`CellKey`], so enumeration order never shows in output.
-/// An empty controller axis expands to the single `off` value: replay
-/// disabled, classic single-burst cells.
+/// An empty controller axis expands to the single `off` value (replay
+/// disabled) and an empty workflow axis to the single classic
+/// flat-burst cell kind.
 pub fn expand(spec: &SweepSpec) -> Vec<Cell> {
     let controllers: Vec<Option<&Controller>> = if spec.controllers.is_empty() {
         vec![None]
     } else {
         spec.controllers.iter().map(Some).collect()
+    };
+    let workflows: Vec<Option<&String>> = if spec.workflows.is_empty() {
+        vec![None]
+    } else {
+        spec.workflows.iter().map(Some).collect()
     };
     let mut cells = Vec::with_capacity(spec.cell_count());
     for platform in &spec.platforms {
@@ -186,28 +204,35 @@ pub fn expand(spec: &SweepSpec) -> Vec<Cell> {
                         for faults in &spec.faults {
                             for controller in &controllers {
                                 for keepalive in &spec.keepalive {
-                                    cells.push(Cell {
-                                        key: CellKey {
-                                            platform: platform.label(),
-                                            workload: work.name.clone(),
-                                            policy: policy.label(),
+                                    for workflow in &workflows {
+                                        cells.push(Cell {
+                                            key: CellKey {
+                                                platform: platform.label(),
+                                                workload: work.name.clone(),
+                                                policy: policy.label(),
+                                                concurrency,
+                                                seed,
+                                                faults: faults.label.clone(),
+                                                controller: controller.map_or_else(
+                                                    || "off".to_string(),
+                                                    |c| c.label(),
+                                                ),
+                                                keepalive: keepalive.label.clone(),
+                                                workflow: workflow
+                                                    .map_or_else(String::new, |w| w.clone()),
+                                            },
+                                            platform: platform.clone(),
+                                            work: work.clone(),
                                             concurrency,
+                                            policy: *policy,
                                             seed,
-                                            faults: faults.label.clone(),
-                                            controller: controller
-                                                .map_or_else(|| "off".to_string(), |c| c.label()),
-                                            keepalive: keepalive.label.clone(),
-                                        },
-                                        platform: platform.clone(),
-                                        work: work.clone(),
-                                        concurrency,
-                                        policy: *policy,
-                                        seed,
-                                        faults: faults.clone(),
-                                        controller: controller.cloned(),
-                                        replay: controller.and(spec.replay.clone()),
-                                        keepalive: keepalive.clone(),
-                                    });
+                                            faults: faults.clone(),
+                                            controller: controller.cloned(),
+                                            replay: controller.and(spec.replay.clone()),
+                                            keepalive: keepalive.clone(),
+                                            workflow: workflow.cloned(),
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -252,6 +277,7 @@ mod tests {
             faults: "none".into(),
             controller: "off".into(),
             keepalive: "cold".into(),
+            workflow: String::new(),
         };
         let mut b = a.clone();
         b.seed = 1;
@@ -267,10 +293,14 @@ mod tests {
         assert!(e < a, "controller label sorts last, after faults");
         let mut f = a.clone();
         f.keepalive = "fixed:60".into();
-        assert!(f > a, "keep-alive label sorts last of all");
-        // Cold keys keep their pre-pool compact form; non-cold keys append.
+        assert!(f > a, "keep-alive label sorts after controller");
+        let mut g = a.clone();
+        g.workflow = "diamond".into();
+        assert!(g > a, "workflow label sorts last of all");
+        // Default keys keep their legacy compact form; non-defaults append.
         assert_eq!(a.compact(), "aws/w/no-packing/c100/s2/fnone/roff");
         assert_eq!(f.compact(), "aws/w/no-packing/c100/s2/fnone/roff/kfixed:60");
+        assert_eq!(g.compact(), "aws/w/no-packing/c100/s2/fnone/roff/wdiamond");
     }
 
     #[test]
@@ -308,5 +338,27 @@ mod tests {
         assert_eq!(classic.len(), 1);
         assert_eq!(classic[0].key.controller, "off");
         assert!(classic[0].controller.is_none() && classic[0].replay.is_none());
+        // ... and the workflow axis off means classic flat-burst cells.
+        assert_eq!(classic[0].key.workflow, "");
+        assert!(classic[0].workflow.is_none());
+    }
+
+    #[test]
+    fn workflow_axis_expands_innermost() {
+        let spec = SweepSpec::new("x")
+            .platforms([PlatformAxis::Aws])
+            .workloads([WorkProfile::synthetic("w", 0.25, 60.0)])
+            .concurrency([100])
+            .policies([PackingPolicy::NoPacking])
+            .seeds([1, 2])
+            .workflows(["task", "diamond"]);
+        let cells = expand(&spec);
+        assert_eq!(cells.len(), 4);
+        let labels: Vec<&str> = cells.iter().map(|c| c.key.workflow.as_str()).collect();
+        assert_eq!(labels, vec!["task", "diamond", "task", "diamond"]);
+        for cell in &cells {
+            assert_eq!(cell.workflow.as_deref(), Some(cell.key.workflow.as_str()));
+            assert!(cell.key.compact().contains("/w"));
+        }
     }
 }

@@ -20,9 +20,11 @@ use std::time::Instant;
 
 use propack_baselines::{NoPacking, Pywren, Strategy, StrategyOutcome};
 use propack_model::cache::ModelCache;
+use propack_model::optimizer::Objective;
 use propack_model::propack::ProPackConfig;
 use propack_platform::{BurstSpec, WarmPool, WarmPoolConfig};
 use propack_replay::{Controller, ReplayEngine, ReplaySpec};
+use propack_workflow::{run_workflow, MapPacking, WorkflowSpec};
 
 use crate::cell::{expand, Cell, CellKey, CellResult};
 use crate::report::SweepReport;
@@ -176,6 +178,9 @@ fn run_cell(cell: &Cell, fit_config: &ProPackConfig, models: &ModelCache) -> Cel
 /// the result, not raised — one bad cell must not sink a thousand-cell
 /// sweep.
 fn simulate(cell: &Cell, fit_config: &ProPackConfig, models: &ModelCache) -> CellResult {
+    if let Some(shape) = &cell.workflow {
+        return simulate_workflow(cell, shape, fit_config, models);
+    }
     if let (Some(controller), Some(grid)) = (&cell.controller, &cell.replay) {
         return simulate_replay(cell, controller, grid, fit_config, models);
     }
@@ -296,6 +301,9 @@ fn simulate_replay(
         faults: cell.faults.resolve(&*platform),
         retry: cell.faults.retry,
         keepalive: cell.keepalive.policy,
+        // Regret shadows double each epoch's burst work; sweep grids value
+        // throughput over oracle gaps, so the standalone replay CLI owns it.
+        regret: false,
         fit_config: fit_config.clone(),
     };
     let origin = Instant::now();
@@ -344,6 +352,82 @@ fn simulate_replay(
                 run_ms: 0.0,
             }
         }
+    }
+}
+
+/// The sweep policy axis, mapped onto per-Map packing for workflow cells.
+/// `None` means the policy has no workflow equivalent (Pywren's warm reuse
+/// is a whole-burst baseline, rejected by spec validation).
+fn map_packing(policy: &PackingPolicy) -> Option<MapPacking> {
+    match policy {
+        PackingPolicy::NoPacking => Some(MapPacking::None),
+        PackingPolicy::Fixed(p) => Some(MapPacking::Fixed(*p)),
+        PackingPolicy::Pywren => None,
+        PackingPolicy::Propack { objective } => {
+            let w_s = match objective {
+                Objective::ServiceTime => 1.0,
+                Objective::Expense => 0.0,
+                Objective::Joint { w_s } => *w_s,
+            };
+            Some(MapPacking::ProPack { w_s })
+        }
+    }
+}
+
+/// The workflow-cell body: lower the cell's shape onto a DAG workflow spec
+/// (the concurrency axis becomes the Map fan-out, the policy axis the
+/// per-Map packing, the keep-alive axis the workflow pool policy) and
+/// replay it through the workflow engine. The whole-workflow makespan
+/// stands in for the flat burst's service time; packing degree reports the
+/// widest stage, instances the total placed across stages.
+fn simulate_workflow(
+    cell: &Cell,
+    shape: &str,
+    fit_config: &ProPackConfig,
+    models: &ModelCache,
+) -> CellResult {
+    let Some(packing) = map_packing(&cell.policy) else {
+        return failed(
+            &cell.key,
+            format!("policy `{}` has no workflow equivalent", cell.key.policy),
+        );
+    };
+    let platform = cell.platform.build();
+    let spec = match WorkflowSpec::from_shape(shape, &cell.work, cell.concurrency, packing) {
+        Err(e) => return failed(&cell.key, e.to_string()),
+        Ok(spec) => spec
+            .with_seed(cell.seed)
+            .with_faults(cell.faults.resolve(&*platform), cell.faults.retry)
+            .with_keepalive(cell.keepalive.policy)
+            .with_fit_config(fit_config.clone()),
+    };
+    match run_workflow(&*platform, &spec, models) {
+        Err(e) => failed(&cell.key, e.to_string()),
+        Ok(report) => CellResult {
+            key: cell.key.clone(),
+            packing_degree: report
+                .stages
+                .iter()
+                .map(|s| s.packing_degree)
+                .max()
+                .unwrap_or(0),
+            instances: report.stages.iter().map(|s| s.instances).sum(),
+            service_secs: report.makespan_secs,
+            // The DAG has no single scaling span; per-stage scaling is
+            // already inside each stage's duration (and the makespan).
+            scaling_secs: 0.0,
+            expense_usd: report.expense_usd,
+            function_hours: report.function_hours,
+            retries: report.faults.retries,
+            failed_functions: report.faults.failed_functions,
+            error: None,
+            // Fits and bursts interleave inside the engine, so the whole
+            // workflow is charged to `run_ms` (the `wall_ms − fit_ms`
+            // remainder stamped by `run_cell`).
+            wall_ms: 0.0,
+            fit_ms: 0.0,
+            run_ms: 0.0,
+        },
     }
 }
 
@@ -699,6 +783,88 @@ mod tests {
                 cold.expense_usd
             );
         }
+    }
+
+    fn workflow_spec(name: &str) -> SweepSpec {
+        SweepSpec::new(name)
+            .platforms([PlatformAxis::Aws])
+            .workloads([work("w")])
+            .concurrency([200])
+            .policies([PackingPolicy::NoPacking, PackingPolicy::propack_default()])
+            .seeds([7, 8])
+            .workflows(["task", "seq-map", "diamond", "mixed:cpu+io"])
+    }
+
+    #[test]
+    fn workflow_axis_stays_thread_count_invariant() {
+        let spec = workflow_spec("workflow-threads");
+        let serial = SweepRunner::new().run(&spec).unwrap();
+        assert_eq!(serial.cells.len(), 16);
+        assert_eq!(serial.error_count(), 0);
+        for threads in [2, 4, 8] {
+            let parallel = SweepRunner::new().threads(threads).run(&spec).unwrap();
+            assert_eq!(serial.render(), parallel.render(), "threads={threads}");
+        }
+        // Every workflow cell's key and line carry the shape.
+        for cell in &serial.cells {
+            assert!(!cell.key.workflow.is_empty());
+            assert!(cell
+                .render_line()
+                .contains(&format!("\twf={}", cell.key.workflow)));
+        }
+    }
+
+    #[test]
+    fn workflow_cells_share_fits_with_each_other() {
+        // The propack cells fit `w` (task/seq-map/diamond cpu branch share
+        // the same profile name only for task; seq-map adds the coordinator
+        // and diamond adds cpu/io variants) — what matters is that repeat
+        // (platform, workload, config) triples never re-fit across seeds.
+        let spec = workflow_spec("workflow-cache");
+        let models = ModelCache::new();
+        let report = SweepRunner::new().run_with_cache(&spec, &models).unwrap();
+        assert_eq!(report.error_count(), 0);
+        // Distinct profiles fitted: `w` (task/seq-map/diamond cpu branch
+        // share it) and the diamond's `w-io` variant. Coordinators and
+        // non-propack cells never consult the cache.
+        assert_eq!(report.fitted_models, 2);
+        assert!(report.fit_hits > 0, "seeds and shapes must reuse fits");
+    }
+
+    #[test]
+    fn workflow_cells_respect_the_packing_policy_axis() {
+        // Packing shrinks the diamond's fan-out instance count; no-packing
+        // keeps one function per instance.
+        let base = SweepSpec::new("workflow-packing")
+            .platforms([PlatformAxis::Aws])
+            .workloads([work("w")])
+            .concurrency([200])
+            .seeds([7])
+            .workflows(["seq-map"]);
+        let report = SweepRunner::new()
+            .run(&base.policies([
+                PackingPolicy::NoPacking,
+                PackingPolicy::Fixed(4),
+                PackingPolicy::propack_default(),
+            ]))
+            .unwrap();
+        assert_eq!(report.error_count(), 0);
+        let by_policy = |label: &str| {
+            report
+                .cells
+                .iter()
+                .find(|c| c.key.policy == label)
+                .expect("cell present")
+        };
+        let unpacked = by_policy("no-packing");
+        let fixed = by_policy("fixed-4");
+        let planned = by_policy("propack-joint-0.5");
+        assert_eq!(unpacked.packing_degree, 1);
+        assert_eq!(fixed.packing_degree, 4);
+        assert!(planned.packing_degree > 1, "ProPack must pack the fan-out");
+        // 200 fan-out functions + 2 coordinator tasks.
+        assert_eq!(unpacked.instances, 202);
+        assert!(fixed.instances < unpacked.instances);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! Every experiment in the reproduction is a *grid*: platforms ×
 //! workloads × concurrency levels × packing policies × seeds × fault
-//! scenarios × replay controllers × keep-alive policies. This crate
+//! scenarios × replay controllers × keep-alive policies × workflow
+//! shapes. This crate
 //! is the single way to run such grids. You describe the experiment as a
 //! declarative [`SweepSpec`], hand it to a [`SweepRunner`], and get back a
 //! [`SweepReport`] whose rendered output is **byte-identical for every
@@ -46,6 +47,7 @@ pub mod keepalive;
 pub mod replay_bench;
 pub mod report;
 pub mod spec;
+pub mod workflow_bench;
 
 pub use cell::{Cell, CellKey, CellResult};
 pub use engine::SweepRunner;
@@ -55,6 +57,7 @@ pub use keepalive::KeepAliveScenario;
 pub use replay_bench::{replay_bench_json, timed_replay};
 pub use report::{bench_json, speedup, RunTiming, SweepReport};
 pub use spec::{PackingPolicy, PlatformAxis, ReplayGrid, SweepError, SweepSpec};
+pub use workflow_bench::workflow_bench_json;
 
 /// Everything needed to define and run a sweep.
 pub mod prelude {
@@ -65,6 +68,7 @@ pub mod prelude {
     pub use crate::replay_bench::{replay_bench_json, timed_replay};
     pub use crate::report::{bench_json, RunTiming, SweepReport};
     pub use crate::spec::{PackingPolicy, PlatformAxis, ReplayGrid, SweepError, SweepSpec};
+    pub use crate::workflow_bench::workflow_bench_json;
     pub use propack_model::cache::ModelCache;
     pub use propack_replay::{ArrivalTrace, Controller, ReplayEngine, ReplaySpec};
 }

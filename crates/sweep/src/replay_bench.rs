@@ -101,7 +101,7 @@ pub fn replay_bench_json(
         let comma = if i + 1 < reports.len() { "," } else { "" };
         let epoch_run_ms: Vec<String> = report.epochs.iter().map(|e| json_f64(e.run_ms)).collect();
         out.push_str(&format!(
-            "    {{\"controller\": \"{}\", \"fit_ms\": {}, \"total_service_secs\": {}, \"total_expense_usd\": {}, \"qos_violations\": {}, \"forecast_mae\": {}, \"epoch_run_ms\": [{}]}}{}\n",
+            "    {{\"controller\": \"{}\", \"fit_ms\": {}, \"total_service_secs\": {}, \"total_expense_usd\": {}, \"qos_violations\": {}, \"forecast_mae\": {}, \"service_regret_secs\": {}, \"expense_regret_usd\": {}, \"epoch_run_ms\": [{}]}}{}\n",
             escape_json(&report.controller),
             json_f64(report.fit_ms),
             json_f64(report.total_service_secs()),
@@ -109,6 +109,12 @@ pub fn replay_bench_json(
             report.qos_violations(),
             report
                 .mean_abs_forecast_error()
+                .map_or("null".to_string(), json_f64),
+            report
+                .total_service_regret_secs()
+                .map_or("null".to_string(), json_f64),
+            report
+                .total_expense_regret_usd()
                 .map_or("null".to_string(), json_f64),
             epoch_run_ms.join(", "),
             comma,
@@ -172,6 +178,9 @@ mod tests {
         assert!(json.contains("\"controller\": \"propack-ewma\""));
         assert!(json.contains("\"epoch_run_ms\""));
         assert!(json.contains("\"outputs_identical\": true"));
+        // Regret is off in this spec, so both gap fields render as null.
+        assert!(json.contains("\"service_regret_secs\": null"));
+        assert!(json.contains("\"expense_regret_usd\": null"));
         let balance = |open: char, close: char| {
             json.chars().filter(|&c| c == open).count()
                 == json.chars().filter(|&c| c == close).count()

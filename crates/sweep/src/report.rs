@@ -207,6 +207,7 @@ mod tests {
                 faults: "none".into(),
                 controller: "off".into(),
                 keepalive: "cold".into(),
+                workflow: String::new(),
             },
             packing_degree: 4,
             instances: 25,

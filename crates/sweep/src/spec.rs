@@ -1,15 +1,16 @@
 //! The declarative description of an experiment grid.
 //!
-//! A [`SweepSpec`] is the cross product of eight axes — platform ×
+//! A [`SweepSpec`] is the cross product of nine axes — platform ×
 //! workload × concurrency × packing policy × seed × fault scenario ×
-//! replay controller × keep-alive policy — and is the single entry point
-//! for multi-run experiments: every figure grid in the reproduction is one
-//! of these. The spec is pure data; handing it to a [`crate::SweepRunner`]
-//! produces one independent seeded simulation per cell. The fault axis
-//! defaults to the single fault-free scenario, the controller axis to the
-//! single `off` value, and the keep-alive axis to the single pool-free
-//! `cold` scenario, so specs that never mention them keep their exact
-//! legacy grids.
+//! replay controller × keep-alive policy × workflow shape — and is the
+//! single entry point for multi-run experiments: every figure grid in the
+//! reproduction is one of these. The spec is pure data; handing it to a
+//! [`crate::SweepRunner`] produces one independent seeded simulation per
+//! cell. The fault axis defaults to the single fault-free scenario, the
+//! controller axis to the single `off` value, the keep-alive axis to the
+//! single pool-free `cold` scenario, and the workflow axis to the single
+//! classic flat-burst cell kind, so specs that never mention them keep
+//! their exact legacy grids.
 
 use std::sync::Arc;
 
@@ -21,6 +22,7 @@ use propack_model::optimizer::Objective;
 use propack_model::propack::ProPackConfig;
 use propack_platform::{CloudPlatform, PlatformProfile, Provider, ServerlessPlatform};
 use propack_replay::{ArrivalTrace, Controller};
+use propack_workflow::MapPacking;
 
 /// One point on the platform axis.
 ///
@@ -210,6 +212,12 @@ pub struct SweepSpec {
     /// replay-cell results; classic single-burst cells start each cell from
     /// an empty pool and keep their cold numbers under any policy.
     pub keepalive: Vec<KeepAliveScenario>,
+    /// Workflow-shape axis (see [`propack_workflow::spec::from_shape`]);
+    /// empty by default, which means every cell runs one flat burst.
+    /// Non-empty shapes turn every cell into a DAG workflow replay: the
+    /// concurrency axis becomes the Map fan-out and the policy axis maps
+    /// onto [`propack_workflow::MapPacking`] for every Map state.
+    pub workflows: Vec<String>,
     /// Profiling configuration for ProPack cells (part of the model-cache
     /// key, so every cell sharing it shares one fit per workload; profiling
     /// itself always runs fault-free, whatever the fault axis says).
@@ -231,6 +239,7 @@ impl SweepSpec {
             controllers: Vec::new(),
             replay: None,
             keepalive: vec![KeepAliveScenario::cold()],
+            workflows: Vec::new(),
             fit_config: ProPackConfig::default(),
         }
     }
@@ -292,6 +301,12 @@ impl SweepSpec {
         self
     }
 
+    /// Set the workflow-shape axis (turning every cell into a DAG replay).
+    pub fn workflows<S: Into<String>>(mut self, axis: impl IntoIterator<Item = S>) -> Self {
+        self.workflows = axis.into_iter().map(Into::into).collect();
+        self
+    }
+
     /// Set the ProPack profiling configuration.
     pub fn fit_config(mut self, config: ProPackConfig) -> Self {
         self.fit_config = config;
@@ -308,6 +323,7 @@ impl SweepSpec {
             * self.faults.len()
             * self.controllers.len().max(1)
             * self.keepalive.len()
+            * self.workflows.len().max(1)
     }
 
     /// Check the spec describes a runnable, non-degenerate grid.
@@ -347,7 +363,8 @@ impl SweepSpec {
                 value: p.to_string(),
             });
         }
-        self.validate_replay()
+        self.validate_replay()?;
+        self.validate_workflows()
     }
 
     /// The replay-axis invariants: controllers and a [`ReplayGrid`] come
@@ -399,6 +416,40 @@ impl SweepSpec {
                     self.concurrency.len()
                 ),
             });
+        }
+        Ok(())
+    }
+
+    /// The workflow-axis invariants: workflow cells are classic (not
+    /// replay) cells, every shape string must parse, and every policy must
+    /// have a [`propack_workflow::MapPacking`] equivalent (Pywren's warm
+    /// reuse has no per-Map packing meaning).
+    fn validate_workflows(&self) -> Result<(), SweepError> {
+        if self.workflows.is_empty() {
+            return Ok(());
+        }
+        if !self.controllers.is_empty() || self.replay.is_some() {
+            return Err(SweepError::InvalidValue {
+                what: "workflows",
+                value: "set together with a replay grid; the axes are exclusive".to_string(),
+            });
+        }
+        if self.policies.contains(&PackingPolicy::Pywren) {
+            return Err(SweepError::InvalidValue {
+                what: "policies",
+                value: "pywren has no workflow equivalent (burst-only baseline)".to_string(),
+            });
+        }
+        let probe = propack_platform::WorkProfile::synthetic("probe", 0.25, 60.0);
+        for shape in &self.workflows {
+            if let Err(e) =
+                propack_workflow::WorkflowSpec::from_shape(shape, &probe, 1, MapPacking::None)
+            {
+                return Err(SweepError::InvalidValue {
+                    what: "workflow shape",
+                    value: e.to_string(),
+                });
+            }
         }
         Ok(())
     }
@@ -599,6 +650,49 @@ mod tests {
             no_arrivals.validate(),
             Err(SweepError::InvalidValue {
                 what: "replay trace",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn workflow_axis_multiplies_the_grid_and_is_validated() {
+        let base = SweepSpec::new("x")
+            .platforms([PlatformAxis::Aws])
+            .workloads([work()])
+            .concurrency([100])
+            .policies([PackingPolicy::NoPacking])
+            .seeds([1, 2]);
+        // The implicit default axis is the single classic cell kind.
+        assert_eq!(base.cell_count(), 2);
+        let wf = base.clone().workflows(["task", "seq-map", "diamond"]);
+        assert_eq!(wf.cell_count(), 6);
+        assert!(wf.validate().is_ok());
+        // Unknown shapes are caught up front, not per cell.
+        let bad = base.clone().workflows(["triangle"]);
+        assert!(matches!(
+            bad.validate(),
+            Err(SweepError::InvalidValue {
+                what: "workflow shape",
+                ..
+            })
+        ));
+        // Pywren has no per-Map packing meaning.
+        let pywren = base
+            .clone()
+            .policies([PackingPolicy::Pywren])
+            .workflows(["map"]);
+        assert!(pywren.validate().is_err());
+        // Workflow and replay axes are exclusive.
+        let trace = ArrivalTrace::poisson("w", 0.5, 120.0, 7).expect("trace");
+        let both = base
+            .workflows(["task"])
+            .replay(ReplayGrid::new(trace, 60.0))
+            .controllers([Controller::Oracle]);
+        assert!(matches!(
+            both.validate(),
+            Err(SweepError::InvalidValue {
+                what: "workflows",
                 ..
             })
         ));

@@ -1,0 +1,206 @@
+//! Bench harness for `propack workflow`: compose `BENCH_workflow.json`.
+//!
+//! Workflow cells run through the ordinary sweep engine (the workflow axis
+//! is just the ninth grid axis), so the timing evidence is the sweep's own
+//! thread-ladder `RunTiming`s. What this module adds is the *group* view
+//! the `cargo xtask benchdiff` gate consumes: one JSON object per
+//! (shape, policy) pair, written on a single line with a `"policy"` key of
+//! the form `workflow-<shape>-<policy>` and a `"cells_per_sec"` figure, the
+//! exact line grammar `benchdiff` parses. Per-group throughput is derived
+//! from the per-cell `wall_ms` the runner stamps, so a regression in one
+//! shape's lowering (say, the diamond join) fails its own group instead of
+//! hiding in the grid average.
+
+use std::collections::BTreeMap;
+
+use crate::cell::CellResult;
+use crate::report::{escape_json, json_f64, speedup, RunTiming, SweepReport};
+
+/// One aggregated (shape, policy) group of workflow cells.
+#[derive(Debug)]
+struct WorkflowGroup<'a> {
+    cells: Vec<&'a CellResult>,
+}
+
+impl WorkflowGroup<'_> {
+    fn wall_ms(&self) -> f64 {
+        self.cells.iter().map(|c| c.wall_ms).sum()
+    }
+
+    fn cells_per_sec(&self) -> f64 {
+        self.cells.len() as f64 / (self.wall_ms() / 1000.0).max(1e-9)
+    }
+
+    fn mean(&self, f: impl Fn(&CellResult) -> f64) -> f64 {
+        let n = self.cells.len().max(1) as f64;
+        self.cells.iter().map(|c| f(c)).sum::<f64>() / n
+    }
+}
+
+/// Compose `BENCH_workflow.json` from a workflow sweep plus the timings of
+/// its thread-ladder runs (same warmup convention as `BENCH_sweep.json`:
+/// the caller runs one untimed warmup pass and reports only timed runs).
+///
+/// Only cells with a non-empty workflow axis are grouped; a mixed grid's
+/// classic cells still count in the header totals but get no group line.
+/// `outputs_identical` reports whether every run rendered byte-identically
+/// (`None` when only one run was made).
+pub fn workflow_bench_json(
+    report: &SweepReport,
+    runs: &[RunTiming],
+    outputs_identical: Option<bool>,
+) -> String {
+    let mut groups: BTreeMap<(String, String), WorkflowGroup> = BTreeMap::new();
+    for cell in &report.cells {
+        if cell.key.workflow.is_empty() {
+            continue;
+        }
+        groups
+            .entry((cell.key.workflow.clone(), cell.key.policy.clone()))
+            .or_insert_with(|| WorkflowGroup { cells: Vec::new() })
+            .cells
+            .push(cell);
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"workflow\",\n");
+    out.push_str(&format!(
+        "  \"sweep\": \"{}\",\n",
+        escape_json(&report.name)
+    ));
+    out.push_str(&format!("  \"cells\": {},\n", report.cells.len()));
+    out.push_str(&format!("  \"ok\": {},\n", report.ok_count()));
+    out.push_str(&format!("  \"failed\": {},\n", report.error_count()));
+    out.push_str(&format!("  \"fitted_models\": {},\n", report.fitted_models));
+
+    out.push_str("  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"wall_secs\": {}, \"cells_per_sec\": {}}}{}\n",
+            run.threads,
+            json_f64(run.wall_secs),
+            json_f64(report.cells.len() as f64 / run.wall_secs.max(1e-9)),
+            comma,
+        ));
+    }
+    out.push_str("  ],\n");
+
+    match speedup(runs) {
+        Some(s) => out.push_str(&format!(
+            "  \"speedup_parallel_vs_serial\": {},\n",
+            json_f64(s)
+        )),
+        None => out.push_str("  \"speedup_parallel_vs_serial\": null,\n"),
+    }
+    match outputs_identical {
+        Some(b) => out.push_str(&format!("  \"outputs_identical\": {b},\n")),
+        None => out.push_str("  \"outputs_identical\": null,\n"),
+    }
+
+    out.push_str("  \"groups\": [\n");
+    let total = groups.len();
+    for (i, ((shape, policy), group)) in groups.iter().enumerate() {
+        let comma = if i + 1 < total { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"policy\": \"workflow-{}-{}\", \"cells\": {}, \"wall_ms\": {}, \"cells_per_sec\": {}, \"mean_makespan_secs\": {}, \"mean_expense_usd\": {}}}{}\n",
+            escape_json(shape),
+            escape_json(policy),
+            group.cells.len(),
+            json_f64(group.wall_ms()),
+            json_f64(group.cells_per_sec()),
+            json_f64(group.mean(|c| c.service_secs)),
+            json_f64(group.mean(|c| c.expense_usd)),
+            comma,
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SweepRunner;
+    use crate::spec::{PackingPolicy, PlatformAxis, SweepSpec};
+    use propack_platform::WorkProfile;
+
+    fn workflow_report() -> SweepReport {
+        let spec = SweepSpec::new("wf-bench")
+            .platforms([PlatformAxis::Aws])
+            .workloads([WorkProfile::synthetic("w", 0.25, 30.0).with_contention(0.2)])
+            .concurrency([200])
+            .policies([PackingPolicy::NoPacking, PackingPolicy::propack_default()])
+            .seeds([7])
+            .workflows(["task", "diamond"]);
+        SweepRunner::new().run(&spec).expect("workflow sweep")
+    }
+
+    #[test]
+    fn workflow_bench_json_is_wellformed_enough() {
+        let report = workflow_report();
+        let runs = [
+            RunTiming {
+                threads: 1,
+                wall_secs: 1.0,
+            },
+            RunTiming {
+                threads: 4,
+                wall_secs: 0.5,
+            },
+        ];
+        let json = workflow_bench_json(&report, &runs, Some(true));
+        assert!(json.contains("\"bench\": \"workflow\""));
+        assert!(json.contains("\"outputs_identical\": true"));
+        assert!(json.contains("\"speedup_parallel_vs_serial\": 2"));
+        // One benchdiff-parsable group line per (shape, policy) pair.
+        for group in [
+            "workflow-task-no-packing",
+            "workflow-task-propack-joint-0.5",
+            "workflow-diamond-no-packing",
+            "workflow-diamond-propack-joint-0.5",
+        ] {
+            let line = json
+                .lines()
+                .find(|l| l.contains(&format!("\"policy\": \"{group}\"")))
+                .unwrap_or_else(|| panic!("missing group {group}"));
+            assert!(line.contains("\"cells_per_sec\": "), "{line}");
+            assert!(line.contains("\"cells\": 1"), "{line}");
+        }
+        let group_lines = json
+            .lines()
+            .filter(|l| l.contains("\"policy\": \"workflow-"))
+            .count();
+        assert_eq!(group_lines, 4);
+        let balance = |open: char, close: char| {
+            json.chars().filter(|&c| c == open).count()
+                == json.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}'));
+        assert!(balance('[', ']'));
+    }
+
+    #[test]
+    fn classic_cells_get_no_group_line() {
+        let spec = SweepSpec::new("classic")
+            .platforms([PlatformAxis::Aws])
+            .workloads([WorkProfile::synthetic("w", 0.25, 30.0).with_contention(0.2)])
+            .concurrency([100])
+            .policies([PackingPolicy::NoPacking])
+            .seeds([1]);
+        let report = SweepRunner::new().run(&spec).expect("classic sweep");
+        let json = workflow_bench_json(
+            &report,
+            &[RunTiming {
+                threads: 1,
+                wall_secs: 0.1,
+            }],
+            None,
+        );
+        assert!(!json.contains("\"policy\": \"workflow-"));
+        assert!(json.contains("\"cells\": 1,"), "header still counts cells");
+        assert!(json.contains("\"speedup_parallel_vs_serial\": null"));
+    }
+}

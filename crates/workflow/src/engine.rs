@@ -1,0 +1,975 @@
+//! The DAG engine: compiles a `State` tree into an explicit leaf DAG and
+//! replays it on the simcore timeline.
+//!
+//! Three invariants drive the implementation (DESIGN.md §14):
+//!
+//! 1. **Identity-keyed randomness.** Each leaf's burst seed comes from the
+//!    `workflow-leaf` RNG lane indexed by a hash of `(state name,
+//!    occurrence ordinal)` — see [`leaf_seed`] — so the seed is a function
+//!    of *which* leaf runs, never of *when* it became ready. Reordering
+//!    `Parallel` branches cannot perturb any timeline.
+//! 2. **Canonical event order.** Whenever several leaves unblock at once
+//!    (workflow launch, or one completion releasing several successors),
+//!    their Ready events are scheduled in `(name, ordinal)` order, so the
+//!    engine's event sequence — simcore's tiebreaker for equal timestamps
+//!    — is independent of declaration order.
+//! 3. **`f64` time accounting.** Stage starts and finishes are computed
+//!    from burst reports in plain `f64` (`start = max(pred finishes)`);
+//!    the sim clock only sequences events. A single-Task workflow is
+//!    therefore bit-identical to the flat pooled burst it reduces to.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use propack_model::cache::ModelCache;
+use propack_model::optimizer::Objective;
+use propack_model::propack::Propack;
+use propack_orchestrator::{MapPacking, State};
+use propack_platform::{
+    BurstRequest, FaultSummary, MixSpec, MixedBurstSpec, ServerlessPlatform, WarmPool, WorkProfile,
+};
+use propack_simcore::rng::lanes;
+use propack_simcore::{EventState, RngStreams, Sim, SimTime};
+use rand::RngCore;
+
+use crate::report::{CriticalHop, StageKind, StageRow, WorkflowRunReport};
+use crate::spec::{CoPack, WorkflowSpec};
+use crate::WorkflowRunError;
+
+/// The burst seed of the leaf `(name, ordinal)` in a workflow rooted at
+/// `workflow_seed`.
+///
+/// Derived from the `workflow-leaf` RNG lane indexed by an FNV-1a hash of
+/// the leaf identity, so it depends only on the workflow seed and on which
+/// leaf is running — not on DAG position, sibling order, or arrival time.
+/// Public so reduction tests can replay a leaf's burst flat.
+pub fn leaf_seed(workflow_seed: u64, name: &str, ordinal: u64) -> u64 {
+    let mut rng = RngStreams::new(workflow_seed)
+        .stream_indexed(lanes::WORKFLOW_LEAF, leaf_index(name, ordinal));
+    rng.next_u64()
+}
+
+/// FNV-1a over the leaf name continued with the ordinal bytes (continuing
+/// the hash domain-separates `("a", 1)` from `("a1", 0)`-style collisions
+/// an XOR fold would allow).
+fn leaf_index(name: &str, ordinal: u64) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in name.bytes().chain(ordinal.to_le_bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// One leaf (Task or Map state) of the compiled DAG.
+#[derive(Debug, Clone)]
+struct LeafNode {
+    name: String,
+    /// Occurrence ordinal among same-named leaves, in pre-order.
+    ordinal: u64,
+    work: WorkProfile,
+    concurrency: u32,
+    packing: MapPacking,
+    is_map: bool,
+    preds: Vec<u32>,
+    succs: Vec<u32>,
+    /// Index into [`Dag::groups`] when this leaf co-packs with siblings.
+    group: Option<u32>,
+}
+
+impl LeafNode {
+    fn key(&self) -> (&str, u64) {
+        (&self.name, self.ordinal)
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Dag {
+    nodes: Vec<LeafNode>,
+    /// Co-pack groups: member node ids in canonical `(name, ordinal)`
+    /// order.
+    groups: Vec<Vec<u32>>,
+}
+
+/// Compile the state tree into a leaf DAG. Returns the node list plus
+/// co-pack groups (direct Task/Map children of each `Parallel`, when
+/// co-packing is on and the `Parallel` has at least two such leaves).
+fn compile(root: &State, co_pack: bool) -> Result<Dag, WorkflowRunError> {
+    let mut dag = Dag::default();
+    let mut ordinals: BTreeMap<String, u64> = BTreeMap::new();
+    walk(root, &mut dag, &mut ordinals, co_pack)?;
+    Ok(dag)
+}
+
+/// Recursive DAG construction. Returns `(sources, sinks)` of the subtree:
+/// the leaves with no predecessor inside it, and the leaves nothing inside
+/// it depends on.
+#[allow(clippy::type_complexity)]
+fn walk(
+    state: &State,
+    dag: &mut Dag,
+    ordinals: &mut BTreeMap<String, u64>,
+    co_pack: bool,
+) -> Result<(Vec<u32>, Vec<u32>), WorkflowRunError> {
+    let leaf = |dag: &mut Dag,
+                ordinals: &mut BTreeMap<String, u64>,
+                name: &str,
+                work: &WorkProfile,
+                concurrency: u32,
+                packing: MapPacking,
+                is_map: bool|
+     -> u32 {
+        let ordinal = ordinals.entry(name.to_string()).or_insert(0);
+        let id = dag.nodes.len() as u32;
+        dag.nodes.push(LeafNode {
+            name: name.to_string(),
+            ordinal: *ordinal,
+            work: work.clone(),
+            concurrency,
+            packing,
+            is_map,
+            preds: Vec::new(),
+            succs: Vec::new(),
+            group: None,
+        });
+        *ordinal += 1;
+        id
+    };
+    match state {
+        State::Task { name, work } => {
+            let id = leaf(dag, ordinals, name, work, 1, MapPacking::None, false);
+            Ok((vec![id], vec![id]))
+        }
+        State::Map {
+            name,
+            work,
+            concurrency,
+            packing,
+        } => {
+            if *concurrency == 0 {
+                return Err(WorkflowRunError::EmptyMap {
+                    state: name.clone(),
+                });
+            }
+            let id = leaf(
+                dag,
+                ordinals,
+                name,
+                work,
+                *concurrency,
+                packing.clone(),
+                true,
+            );
+            Ok((vec![id], vec![id]))
+        }
+        State::Sequence(children) => {
+            if children.is_empty() {
+                return Err(WorkflowRunError::EmptyWorkflow);
+            }
+            let mut sources: Vec<u32> = Vec::new();
+            let mut prev_sinks: Vec<u32> = Vec::new();
+            for (i, child) in children.iter().enumerate() {
+                let (child_sources, child_sinks) = walk(child, dag, ordinals, co_pack)?;
+                if i == 0 {
+                    sources = child_sources;
+                } else {
+                    for &a in &prev_sinks {
+                        for &b in &child_sources {
+                            dag.nodes[a as usize].succs.push(b);
+                            dag.nodes[b as usize].preds.push(a);
+                        }
+                    }
+                }
+                prev_sinks = child_sinks;
+            }
+            Ok((sources, prev_sinks))
+        }
+        State::Parallel(children) => {
+            if children.is_empty() {
+                return Err(WorkflowRunError::EmptyWorkflow);
+            }
+            let mut sources = Vec::new();
+            let mut sinks = Vec::new();
+            let mut direct_leaves = Vec::new();
+            for child in children {
+                let is_leaf = matches!(child, State::Task { .. } | State::Map { .. });
+                let (child_sources, child_sinks) = walk(child, dag, ordinals, co_pack)?;
+                if is_leaf && co_pack {
+                    direct_leaves.extend_from_slice(&child_sources);
+                }
+                sources.extend(child_sources);
+                sinks.extend(child_sinks);
+            }
+            if co_pack && direct_leaves.len() >= 2 {
+                let gid = dag.groups.len() as u32;
+                direct_leaves.sort_by(|&a, &b| {
+                    dag.nodes[a as usize]
+                        .key()
+                        .cmp(&dag.nodes[b as usize].key())
+                });
+                for &id in &direct_leaves {
+                    dag.nodes[id as usize].group = Some(gid);
+                }
+                dag.groups.push(direct_leaves);
+            }
+            Ok((sources, sinks))
+        }
+    }
+}
+
+/// Per-node runtime bookkeeping.
+#[derive(Debug, Clone, Default)]
+struct NodeRun {
+    pending: usize,
+    started: bool,
+    done: bool,
+    finish: f64,
+    critical_pred: Option<u32>,
+    row: Option<StageRow>,
+}
+
+/// Events on the workflow timeline.
+enum WfEvent {
+    /// A lone leaf became ready: run its burst.
+    Ready(u32),
+    /// Every member of a co-pack group became ready: run the fused burst.
+    GroupReady(u32),
+    /// A leaf's burst finished.
+    Done(u32),
+}
+
+/// The sim state: the DAG plus everything needed to run leaves.
+struct Engine<'a, P: ServerlessPlatform + ?Sized> {
+    platform: &'a P,
+    models: &'a ModelCache,
+    spec: &'a WorkflowSpec,
+    dag: Dag,
+    seeds: Vec<u64>,
+    runs: Vec<NodeRun>,
+    group_pending: Vec<usize>,
+    pool: WarmPool,
+    charged: BTreeSet<String>,
+    overhead_usd: f64,
+    overhead_hours: f64,
+    fault_totals: FaultSummary,
+    error: Option<WorkflowRunError>,
+}
+
+impl<P: ServerlessPlatform + ?Sized> Engine<'_, P> {
+    /// ProPack model for `work` from the shared cache; profiling overhead
+    /// is charged once per distinct workload per run — whether the fit was
+    /// cold or a cache hit — so a pre-warmed cache cannot change the
+    /// report (only how fast it is produced).
+    fn propack_for(&mut self, work: &WorkProfile) -> Result<Arc<Propack>, WorkflowRunError> {
+        let pp = self
+            .models
+            .fit(self.platform, work, &self.spec.fit_config)
+            .map_err(|e| WorkflowRunError::Planning(e.to_string()))?;
+        if self.charged.insert(work.name.clone()) {
+            self.overhead_usd += pp.overhead.expense_usd;
+            self.overhead_hours += pp.overhead.function_hours;
+        }
+        Ok(pp)
+    }
+
+    /// Packing degree for one leaf under its Map policy.
+    fn degree_for(&mut self, idx: usize) -> Result<u32, WorkflowRunError> {
+        let node = &self.dag.nodes[idx];
+        match node.packing.clone() {
+            MapPacking::None => Ok(1),
+            MapPacking::Fixed(p) => Ok(p.max(1)),
+            MapPacking::ProPack { w_s } => {
+                let (work, concurrency) = (node.work.clone(), node.concurrency);
+                Ok(self
+                    .propack_for(&work)?
+                    .plan(concurrency, Objective::Joint { w_s })
+                    .map_err(|e| WorkflowRunError::Planning(e.to_string()))?
+                    .packing_degree)
+            }
+        }
+    }
+
+    /// Start offset of a leaf: the max of its predecessors' finish times
+    /// (pure `f64`, never the sim clock). Also records which predecessor
+    /// realized that max — ties broken toward the smaller canonical key —
+    /// for critical-path recovery.
+    fn start_of(&mut self, idx: usize) -> f64 {
+        let mut start = 0.0_f64;
+        let mut critical: Option<u32> = None;
+        for &p in &self.dag.nodes[idx].preds {
+            let f = self.runs[p as usize].finish;
+            let better = match critical {
+                None => true,
+                Some(c) => {
+                    f > start
+                        || (f == start
+                            && self.dag.nodes[p as usize].key() < self.dag.nodes[c as usize].key())
+                }
+            };
+            if better {
+                start = f;
+                critical = Some(p);
+            }
+        }
+        self.runs[idx].critical_pred = critical;
+        start
+    }
+
+    /// Run a lone leaf's burst. Returns its service duration so the caller
+    /// can schedule the Done event.
+    fn exec_leaf(&mut self, id: u32) -> Result<f64, WorkflowRunError> {
+        let idx = id as usize;
+        let start = self.start_of(idx);
+        let degree = self.degree_for(idx)?;
+        let (leaf_work, concurrency) = {
+            let node = &self.dag.nodes[idx];
+            (node.work.clone(), node.concurrency)
+        };
+        let run = BurstRequest::new(leaf_work, concurrency, degree)
+            .with_seed(self.seeds[idx])
+            .with_faults(self.spec.faults.clone())
+            .with_retry(self.spec.retry.clone())
+            .run_pooled(self.platform, &mut self.pool, start)?;
+        let faults = run.faults();
+        let duration = run.total_service_secs();
+        self.fault_totals.merge(&faults);
+        let (name, ordinal, is_map) = {
+            let node = &self.dag.nodes[idx];
+            (node.name.clone(), node.ordinal, node.is_map)
+        };
+        self.runs[idx].started = true;
+        self.runs[idx].finish = start + duration;
+        self.runs[idx].row = Some(StageRow {
+            name,
+            ordinal,
+            kind: if is_map {
+                StageKind::Map
+            } else {
+                StageKind::Task
+            },
+            start_secs: start,
+            duration_secs: duration,
+            concurrency,
+            packing_degree: degree,
+            instances: run.instances(),
+            expense_usd: run.expense_usd(),
+            function_hours: run.function_hours(),
+            warm_grants: run.warm_grants,
+            retries: faults.retries,
+            abandoned_functions: run.abandoned_functions,
+            on_critical_path: false,
+        });
+        Ok(duration)
+    }
+
+    /// Run a co-pack group as one fused heterogeneous burst. Returns each
+    /// member's `(id, duration)` so the caller can schedule Done events.
+    ///
+    /// Instance count: start from the widest member's homogeneous plan
+    /// (`max_i ceil(C_i / P_i)`), then add instances until the combined
+    /// per-instance footprint fits the platform memory limit (more
+    /// instances → fewer copies of each function per instance). Fused
+    /// bursts bypass the warm pool and run fault-free: the mixed-burst
+    /// primitive models interference, not faults — a documented limit of
+    /// the co-packing path.
+    fn exec_group(&mut self, gid: u32) -> Result<Vec<(u32, f64)>, WorkflowRunError> {
+        let members = self.dag.groups[gid as usize].clone();
+        let mut degrees = Vec::with_capacity(members.len());
+        for &m in &members {
+            degrees.push(self.degree_for(m as usize)?);
+        }
+        let mut start = 0.0_f64;
+        for &m in &members {
+            start = start.max(self.start_of(m as usize));
+        }
+        let mem_limit = self.platform.limits().mem_gb;
+        let max_c = members
+            .iter()
+            .map(|&m| self.dag.nodes[m as usize].concurrency)
+            .max()
+            .unwrap_or(1);
+        let mut instances = members
+            .iter()
+            .zip(&degrees)
+            .map(|(&m, &p)| self.dag.nodes[m as usize].concurrency.div_ceil(p.max(1)))
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let copies = loop {
+            let copies: Vec<u32> = members
+                .iter()
+                .map(|&m| self.dag.nodes[m as usize].concurrency.div_ceil(instances))
+                .collect();
+            let mem: f64 = members
+                .iter()
+                .zip(&copies)
+                .map(|(&m, &n)| self.dag.nodes[m as usize].work.mem_gb * f64::from(n))
+                .sum();
+            if mem <= mem_limit || instances >= max_c {
+                break copies;
+            }
+            instances += 1;
+        };
+        let parts: Vec<(WorkProfile, u32)> = members
+            .iter()
+            .zip(&copies)
+            .map(|(&m, &n)| (self.dag.nodes[m as usize].work.clone(), n))
+            .collect();
+        let interference = match &self.spec.co_pack {
+            CoPack::Siblings(m) => m.clone(),
+            CoPack::Disabled => unreachable!("groups only exist when co-packing is enabled"),
+        };
+        let seed = self.seeds[members[0] as usize];
+        let outcome = self.platform.run_mixed(
+            &MixedBurstSpec::new(MixSpec { parts }, instances)
+                .with_seed(seed)
+                .with_interference(interference),
+        )?;
+        // Compute + request fees are billed per fused instance, not per
+        // part (the per-app reports carry only their own storage/network).
+        // Attribute that shared residual in proportion to each part's
+        // billed seconds × copies.
+        let per_app_direct: f64 = outcome.per_app.iter().map(|r| r.expense.total_usd()).sum();
+        let residual = outcome.expense.total_usd() - per_app_direct;
+        let weights: Vec<f64> = outcome
+            .per_app
+            .iter()
+            .zip(&copies)
+            .map(|(r, &n)| f64::from(n) * r.instances.iter().map(|i| i.billed_secs).sum::<f64>())
+            .collect();
+        let total_weight: f64 = weights.iter().sum();
+        let mut durations = Vec::with_capacity(members.len());
+        for (j, &m) in members.iter().enumerate() {
+            let idx = m as usize;
+            let report = &outcome.per_app[j];
+            let share = if total_weight > 0.0 {
+                weights[j] / total_weight
+            } else {
+                1.0 / members.len() as f64
+            };
+            let duration = report.total_service_time();
+            let (name, ordinal, concurrency) = {
+                let node = &self.dag.nodes[idx];
+                (node.name.clone(), node.ordinal, node.concurrency)
+            };
+            self.runs[idx].started = true;
+            self.runs[idx].finish = start + duration;
+            self.runs[idx].row = Some(StageRow {
+                name,
+                ordinal,
+                kind: StageKind::CoPacked,
+                start_secs: start,
+                duration_secs: duration,
+                concurrency,
+                packing_degree: copies[j],
+                instances,
+                expense_usd: report.expense.total_usd() + residual * share,
+                function_hours: report.function_hours(),
+                warm_grants: 0,
+                retries: 0,
+                abandoned_functions: 0,
+                on_critical_path: false,
+            });
+            durations.push((m, duration));
+        }
+        Ok(durations)
+    }
+
+    /// Record a completion and return the events to schedule *now*, in
+    /// canonical `(name, ordinal)` order: Ready for lone leaves whose
+    /// predecessors all finished, GroupReady for groups whose last member
+    /// just unblocked.
+    fn complete(&mut self, id: u32) -> Vec<WfEvent> {
+        let idx = id as usize;
+        self.runs[idx].done = true;
+        let succs = self.dag.nodes[idx].succs.clone();
+        let mut unblocked: Vec<u32> = Vec::new();
+        for s in succs {
+            let run = &mut self.runs[s as usize];
+            run.pending -= 1;
+            if run.pending == 0 {
+                unblocked.push(s);
+            }
+        }
+        self.ready_events(unblocked)
+    }
+
+    /// Canonically order freshly-unblocked leaves and fold co-pack group
+    /// members into a single GroupReady fired when the last member
+    /// unblocks.
+    fn ready_events(&mut self, mut unblocked: Vec<u32>) -> Vec<WfEvent> {
+        unblocked.sort_by(|&a, &b| {
+            self.dag.nodes[a as usize]
+                .key()
+                .cmp(&self.dag.nodes[b as usize].key())
+        });
+        let mut events = Vec::new();
+        for id in unblocked {
+            match self.dag.nodes[id as usize].group {
+                Some(g) => {
+                    let slot = &mut self.group_pending[g as usize];
+                    *slot -= 1;
+                    if *slot == 0 {
+                        events.push(WfEvent::GroupReady(g));
+                    }
+                }
+                None => events.push(WfEvent::Ready(id)),
+            }
+        }
+        events
+    }
+}
+
+impl<P: ServerlessPlatform + ?Sized> EventState for Engine<'_, P> {
+    type Event = WfEvent;
+
+    fn handle(sim: &mut Sim<Self>, event: WfEvent) {
+        if sim.state().error.is_some() {
+            return;
+        }
+        match event {
+            WfEvent::Ready(id) => match sim.state_mut().exec_leaf(id) {
+                Ok(duration) => sim.schedule_event_in(duration, WfEvent::Done(id)),
+                Err(e) => sim.state_mut().error = Some(e),
+            },
+            WfEvent::GroupReady(g) => match sim.state_mut().exec_group(g) {
+                Ok(durations) => {
+                    for (id, duration) in durations {
+                        sim.schedule_event_in(duration, WfEvent::Done(id));
+                    }
+                }
+                Err(e) => sim.state_mut().error = Some(e),
+            },
+            WfEvent::Done(id) => {
+                for ev in sim.state_mut().complete(id) {
+                    sim.schedule_event_in(0.0, ev);
+                }
+            }
+        }
+    }
+}
+
+/// Replay `spec` on `platform`, drawing ProPack fits from (and
+/// contributing them to) the shared `models` cache.
+///
+/// Deterministic: equal inputs produce a bit-identical
+/// [`WorkflowRunReport`] regardless of cache contents or host parallelism
+/// (the engine itself is single-threaded; the sweep layer runs many
+/// workflows in parallel and relies on this).
+pub fn run_workflow<P: ServerlessPlatform + ?Sized>(
+    platform: &P,
+    spec: &WorkflowSpec,
+    models: &ModelCache,
+) -> Result<WorkflowRunReport, WorkflowRunError> {
+    let dag = compile(&spec.workflow.root, spec.co_pack.interference().is_some())?;
+    if dag.nodes.is_empty() {
+        return Err(WorkflowRunError::EmptyWorkflow);
+    }
+    let seeds: Vec<u64> = dag
+        .nodes
+        .iter()
+        .map(|n| leaf_seed(spec.seed, &n.name, n.ordinal))
+        .collect();
+    let runs: Vec<NodeRun> = dag
+        .nodes
+        .iter()
+        .map(|n| NodeRun {
+            pending: n.preds.len(),
+            ..NodeRun::default()
+        })
+        .collect();
+    let group_pending: Vec<usize> = dag.groups.iter().map(Vec::len).collect();
+    let roots: Vec<u32> = dag
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.preds.is_empty())
+        .map(|(i, _)| i as u32)
+        .collect();
+    let pool = WarmPool::new(spec.pool_config(platform.placement_secs()));
+    let engine = Engine {
+        platform,
+        models,
+        spec,
+        dag,
+        seeds,
+        runs,
+        group_pending,
+        pool,
+        charged: BTreeSet::new(),
+        overhead_usd: 0.0,
+        overhead_hours: 0.0,
+        fault_totals: FaultSummary::default(),
+        error: None,
+    };
+    let mut sim = Sim::new(engine);
+    let launch = sim.state_mut().ready_events(roots);
+    for ev in launch {
+        sim.schedule_event(SimTime::ZERO, ev);
+    }
+    sim.run();
+    let state = sim.into_state();
+    if let Some(e) = state.error {
+        return Err(e);
+    }
+    let mut stages: Vec<StageRow> = Vec::with_capacity(state.dag.nodes.len());
+    // Recover the critical path: back-walk from the leaf that realized the
+    // makespan (ties toward the smaller canonical key) through each
+    // stage's recorded critical predecessor.
+    let mut end: Option<usize> = None;
+    for (i, run) in state.runs.iter().enumerate() {
+        debug_assert!(run.done, "sim drained with unfinished leaves");
+        let better = match end {
+            None => true,
+            Some(e) => {
+                run.finish > state.runs[e].finish
+                    || (run.finish == state.runs[e].finish
+                        && state.dag.nodes[i].key() < state.dag.nodes[e].key())
+            }
+        };
+        if better {
+            end = Some(i);
+        }
+    }
+    let mut on_path = vec![false; state.dag.nodes.len()];
+    let mut critical_path = Vec::new();
+    let mut cursor = end;
+    while let Some(i) = cursor {
+        on_path[i] = true;
+        cursor = state.runs[i].critical_pred.map(|p| p as usize);
+    }
+    let makespan = end.map(|e| state.runs[e].finish).unwrap_or(0.0);
+    for (i, run) in state.runs.iter().enumerate() {
+        if let Some(mut row) = run.row.clone() {
+            row.on_critical_path = on_path[i];
+            stages.push(row);
+        }
+    }
+    stages.sort_by(|a, b| {
+        a.start_secs
+            .total_cmp(&b.start_secs)
+            .then_with(|| a.name.cmp(&b.name))
+            .then_with(|| a.ordinal.cmp(&b.ordinal))
+    });
+    for row in &stages {
+        if row.on_critical_path {
+            critical_path.push(CriticalHop {
+                name: row.name.clone(),
+                ordinal: row.ordinal,
+                start_secs: row.start_secs,
+                duration_secs: row.duration_secs,
+            });
+        }
+    }
+    let expense_usd = stages.iter().map(|s| s.expense_usd).sum::<f64>() + state.overhead_usd;
+    let function_hours =
+        stages.iter().map(|s| s.function_hours).sum::<f64>() + state.overhead_hours;
+    let co_packed = stages.iter().any(|s| s.kind == StageKind::CoPacked);
+    Ok(WorkflowRunReport {
+        name: spec.workflow.name.clone(),
+        platform: platform.name(),
+        seed: spec.seed,
+        keepalive: spec.keepalive.label(),
+        co_packed,
+        makespan_secs: makespan,
+        expense_usd,
+        function_hours,
+        model_overhead_usd: state.overhead_usd,
+        stages,
+        critical_path,
+        faults: state.fault_totals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propack_orchestrator::Workflow;
+    use propack_platform::prelude::*;
+
+    fn aws() -> CloudPlatform {
+        PlatformBuilder::aws().build()
+    }
+
+    fn work(name: &str) -> WorkProfile {
+        WorkProfile::synthetic(name, 1.0, 60.0).with_storage(0.02, 3)
+    }
+
+    fn spec_of(root: State) -> WorkflowSpec {
+        WorkflowSpec::new(Workflow::new("test", root)).with_seed(11)
+    }
+
+    #[test]
+    fn leaf_seed_depends_on_identity_only() {
+        assert_eq!(leaf_seed(7, "a", 0), leaf_seed(7, "a", 0));
+        assert_ne!(leaf_seed(7, "a", 0), leaf_seed(7, "a", 1));
+        assert_ne!(leaf_seed(7, "a", 0), leaf_seed(7, "b", 0));
+        assert_ne!(leaf_seed(7, "a", 0), leaf_seed(8, "a", 0));
+        // Continued-hash domain separation: ("a1", 0) vs ("a", 1) shifted
+        // name/ordinal boundaries must not alias.
+        assert_ne!(leaf_seed(7, "a1", 0), leaf_seed(7, "a", 1));
+    }
+
+    #[test]
+    fn single_task_reduces_to_flat_pooled_burst() {
+        let platform = aws();
+        let models = ModelCache::new();
+        let spec = spec_of(State::Task {
+            name: "solo".into(),
+            work: work("solo"),
+        });
+        let report = run_workflow(&platform, &spec, &models).unwrap();
+
+        let mut pool = WarmPool::new(spec.pool_config(platform.placement_secs()));
+        let flat = BurstRequest::new(work("solo"), 1, 1)
+            .with_seed(leaf_seed(spec.seed, "solo", 0))
+            .with_faults(spec.faults.clone())
+            .with_retry(spec.retry.clone())
+            .run_pooled(&platform, &mut pool, 0.0)
+            .unwrap();
+
+        assert_eq!(report.stages.len(), 1);
+        assert_eq!(
+            report.makespan_secs.to_bits(),
+            flat.total_service_secs().to_bits()
+        );
+        assert_eq!(report.expense_usd.to_bits(), flat.expense_usd().to_bits());
+        assert_eq!(
+            report.function_hours.to_bits(),
+            flat.function_hours().to_bits()
+        );
+    }
+
+    #[test]
+    fn sequence_chains_and_parallel_overlaps() {
+        let platform = aws();
+        let models = ModelCache::new();
+        let seq = run_workflow(
+            &platform,
+            &spec_of(State::Sequence(vec![
+                State::Task {
+                    name: "a".into(),
+                    work: work("a"),
+                },
+                State::Task {
+                    name: "b".into(),
+                    work: work("b"),
+                },
+            ])),
+            &models,
+        )
+        .unwrap();
+        assert_eq!(seq.stages.len(), 2);
+        let a = &seq.stages[0];
+        let b = &seq.stages[1];
+        assert_eq!(a.name, "a");
+        assert_eq!(b.start_secs.to_bits(), a.finish_secs().to_bits());
+        assert_eq!(seq.makespan_secs.to_bits(), b.finish_secs().to_bits());
+        assert!(a.on_critical_path && b.on_critical_path);
+
+        let par = run_workflow(
+            &platform,
+            &spec_of(State::Parallel(vec![
+                State::Task {
+                    name: "a".into(),
+                    work: work("a"),
+                },
+                State::Task {
+                    name: "b".into(),
+                    work: work("b"),
+                },
+            ])),
+            &models,
+        )
+        .unwrap();
+        assert_eq!(par.stages.len(), 2);
+        assert!(par.stages.iter().all(|s| s.start_secs == 0.0));
+        let slowest = par
+            .stages
+            .iter()
+            .map(|s| s.duration_secs)
+            .fold(0.0_f64, f64::max);
+        assert_eq!(par.makespan_secs.to_bits(), slowest.to_bits());
+        assert_eq!(
+            par.critical_path.len(),
+            1,
+            "one branch realizes the makespan"
+        );
+        assert!(par.makespan_secs < seq.makespan_secs);
+    }
+
+    #[test]
+    fn parallel_branch_order_is_irrelevant() {
+        let platform = aws();
+        let models = ModelCache::new();
+        let branches = |flip: bool| {
+            let mut v = vec![
+                State::Map {
+                    name: "left".into(),
+                    work: work("left"),
+                    concurrency: 40,
+                    packing: MapPacking::Fixed(4),
+                },
+                State::Map {
+                    name: "right".into(),
+                    work: work("right"),
+                    concurrency: 24,
+                    packing: MapPacking::None,
+                },
+            ];
+            if flip {
+                v.reverse();
+            }
+            State::Sequence(vec![
+                State::Task {
+                    name: "head".into(),
+                    work: work("head"),
+                },
+                State::Parallel(v),
+                State::Task {
+                    name: "tail".into(),
+                    work: work("tail"),
+                },
+            ])
+        };
+        let fwd = run_workflow(&platform, &spec_of(branches(false)), &models).unwrap();
+        let rev = run_workflow(&platform, &spec_of(branches(true)), &models).unwrap();
+        assert_eq!(fwd, rev, "branch declaration order must not matter");
+        assert_eq!(fwd.render(), rev.render());
+    }
+
+    #[test]
+    fn duplicate_names_get_distinct_ordinals_and_seeds() {
+        let platform = aws();
+        let models = ModelCache::new();
+        let report = run_workflow(
+            &platform,
+            &spec_of(State::Sequence(vec![
+                State::Task {
+                    name: "stage".into(),
+                    work: work("w"),
+                },
+                State::Task {
+                    name: "stage".into(),
+                    work: work("w"),
+                },
+            ])),
+            &models,
+        )
+        .unwrap();
+        assert_eq!(report.stages.len(), 2);
+        assert_eq!(report.stages[0].ordinal, 0);
+        assert_eq!(report.stages[1].ordinal, 1);
+    }
+
+    #[test]
+    fn propack_map_plans_through_shared_cache() {
+        let platform = aws();
+        let models = ModelCache::new();
+        let root = State::Sequence(vec![
+            State::Map {
+                name: "m1".into(),
+                work: work("same"),
+                concurrency: 500,
+                packing: MapPacking::ProPack { w_s: 0.5 },
+            },
+            State::Map {
+                name: "m2".into(),
+                work: work("same"),
+                concurrency: 800,
+                packing: MapPacking::ProPack { w_s: 0.5 },
+            },
+        ]);
+        let report = run_workflow(&platform, &spec_of(root), &models).unwrap();
+        assert_eq!(models.misses(), 1, "one profile → one fit, shared");
+        assert!(report.model_overhead_usd > 0.0);
+        assert!(report.stages.iter().all(|s| s.packing_degree > 1));
+
+        // A second run against the same cache hits and reports identically.
+        let report2 = run_workflow(
+            &platform,
+            &spec_of(State::Map {
+                name: "m1".into(),
+                work: work("same"),
+                concurrency: 500,
+                packing: MapPacking::ProPack { w_s: 0.5 },
+            }),
+            &models,
+        )
+        .unwrap();
+        assert_eq!(models.misses(), 1);
+        assert!(report2.model_overhead_usd > 0.0, "overhead charged per run");
+    }
+
+    #[test]
+    fn co_packed_diamond_fuses_siblings() {
+        let platform = aws();
+        let models = ModelCache::new();
+        let spec =
+            crate::spec::from_shape("mixed:cpu+io", &work("payload"), 64, MapPacking::Fixed(4))
+                .unwrap()
+                .with_seed(11);
+        let report = run_workflow(&platform, &spec, &models).unwrap();
+        assert!(report.co_packed);
+        let fused: Vec<_> = report
+            .stages
+            .iter()
+            .filter(|s| s.kind == StageKind::CoPacked)
+            .collect();
+        assert_eq!(fused.len(), 2, "both branches ran co-packed");
+        assert_eq!(
+            fused[0].instances, fused[1].instances,
+            "fused members share instances"
+        );
+        assert!(
+            fused[0].start_secs.to_bits() == fused[1].start_secs.to_bits(),
+            "fused members launch together"
+        );
+
+        // The same diamond without co-packing runs each branch alone.
+        let solo_spec =
+            crate::spec::from_shape("diamond", &work("payload"), 64, MapPacking::Fixed(4))
+                .unwrap()
+                .with_seed(11);
+        let solo = run_workflow(&platform, &solo_spec, &models).unwrap();
+        assert!(!solo.co_packed);
+        assert!(solo.stages.iter().all(|s| s.kind != StageKind::CoPacked));
+    }
+
+    #[test]
+    fn errors_surface_from_compile_and_platform() {
+        let platform = aws();
+        let models = ModelCache::new();
+        let empty = run_workflow(&platform, &spec_of(State::Sequence(vec![])), &models);
+        assert_eq!(empty, Err(WorkflowRunError::EmptyWorkflow));
+
+        let zero_map = run_workflow(
+            &platform,
+            &spec_of(State::Map {
+                name: "z".into(),
+                work: work("z"),
+                concurrency: 0,
+                packing: MapPacking::None,
+            }),
+            &models,
+        );
+        assert!(matches!(zero_map, Err(WorkflowRunError::EmptyMap { .. })));
+
+        // An oversized fixed degree violates the platform memory limit at
+        // burst time; the error must propagate out of the event loop.
+        let over = run_workflow(
+            &platform,
+            &spec_of(State::Map {
+                name: "fat".into(),
+                work: WorkProfile::synthetic("fat", 6.0, 30.0),
+                concurrency: 8,
+                packing: MapPacking::Fixed(4),
+            }),
+            &models,
+        );
+        assert!(matches!(over, Err(WorkflowRunError::Platform(_))));
+    }
+}

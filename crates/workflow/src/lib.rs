@@ -1,0 +1,94 @@
+//! Deterministic DAG workflow execution over the platform simulator.
+//!
+//! The orchestrator crate defines the *state language* (Task / Map /
+//! Sequence / Parallel) and a recursive interpreter that adds and maxes
+//! durations. This crate is the **engine** underneath that abstraction: it
+//! compiles a [`propack_orchestrator::State`] tree into an explicit leaf
+//! DAG and replays it on the simcore event timeline, so that
+//!
+//! * every Task/Map leaf becomes a scheduled event with a concrete start
+//!   time (the max of its predecessors' finish times),
+//! * Map fan-outs are planned by ProPack through a **shared**
+//!   [`ModelCache`](propack_model::cache::ModelCache) — one probe campaign
+//!   per distinct profile anywhere in the process,
+//! * sibling Map leaves of a `Parallel` node can be **co-packed** into one
+//!   heterogeneous burst ([`propack_platform::MixedBurstSpec`]) under a
+//!   pairwise interference model, and
+//! * the realized **critical path** (which chain of leaves determined the
+//!   makespan) is recovered and reported, so experiments can show packing
+//!   *shifting* the critical path rather than just shrinking one stage.
+//!
+//! # Determinism
+//!
+//! The engine is deterministic by construction (DESIGN.md §14):
+//!
+//! * Every leaf burst draws its seed from the `workflow-leaf` RNG lane,
+//!   indexed by a hash of the leaf's *identity* (state name + occurrence
+//!   ordinal) — never by arrival order. Shuffling the branches of a
+//!   `Parallel` therefore cannot change any leaf's timeline.
+//! * Ready events for simultaneously-unblocked leaves are scheduled in
+//!   canonical `(name, ordinal)` order, so event sequence numbers — the
+//!   simcore tiebreaker — are themselves canonical.
+//! * All reported times are computed in `f64` from burst reports
+//!   (`start = max(pred finishes)`, `finish = start + service`); the sim
+//!   clock only orders events. A single-Task workflow therefore reproduces
+//!   the flat [`BurstRequest::run_pooled`](propack_platform::BurstRequest)
+//!   burst bit-for-bit — the same reduction argument the fleet engine
+//!   makes for single-tenant replay.
+
+pub mod engine;
+pub mod report;
+pub mod spec;
+
+pub use engine::{leaf_seed, run_workflow};
+pub use report::{CriticalHop, StageRow, WorkflowRunReport};
+pub use spec::{CoPack, WorkflowSpec};
+
+// The state language is the orchestrator's; re-export the pieces needed to
+// build workflow specs so downstream crates depend on one surface.
+pub use propack_orchestrator::{MapPacking, State, Workflow};
+
+/// Errors from compiling or executing a workflow DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkflowRunError {
+    /// A burst failed on the platform.
+    Platform(propack_platform::PlatformError),
+    /// ProPack model fitting or planning failed for a Map state.
+    Planning(String),
+    /// The workflow has no leaf states (empty Sequence/Parallel).
+    EmptyWorkflow,
+    /// A Map state requested zero concurrency.
+    EmptyMap {
+        /// Name of the offending state.
+        state: String,
+    },
+    /// An unrecognized workflow shape string (see
+    /// [`spec::known_shapes`]).
+    UnknownShape(String),
+}
+
+impl std::fmt::Display for WorkflowRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkflowRunError::Platform(e) => write!(f, "platform error: {e}"),
+            WorkflowRunError::Planning(msg) => write!(f, "planning error: {msg}"),
+            WorkflowRunError::EmptyWorkflow => write!(f, "workflow has no leaf states"),
+            WorkflowRunError::EmptyMap { state } => {
+                write!(f, "map state '{state}' has zero concurrency")
+            }
+            WorkflowRunError::UnknownShape(s) => write!(
+                f,
+                "unknown workflow shape '{s}' (known: {})",
+                spec::known_shapes().join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowRunError {}
+
+impl From<propack_platform::PlatformError> for WorkflowRunError {
+    fn from(e: propack_platform::PlatformError) -> Self {
+        WorkflowRunError::Platform(e)
+    }
+}

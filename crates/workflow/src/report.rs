@@ -1,0 +1,268 @@
+//! Workflow run reports: per-leaf stage rows, totals, and the realized
+//! critical path.
+
+use propack_platform::FaultSummary;
+use serde::{Deserialize, Serialize};
+
+/// What kind of execution a stage row records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StageKind {
+    /// A single-function Task leaf.
+    Task,
+    /// A homogeneous Map fan-out.
+    Map,
+    /// A Map (or Task) leaf that ran inside a fused heterogeneous
+    /// co-packed burst with its Parallel siblings.
+    CoPacked,
+}
+
+impl StageKind {
+    /// Stable lowercase label for rendering.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StageKind::Task => "task",
+            StageKind::Map => "map",
+            StageKind::CoPacked => "copack",
+        }
+    }
+}
+
+/// One executed leaf (Task or Map state) of the workflow DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageRow {
+    /// State name.
+    pub name: String,
+    /// Occurrence ordinal among same-named leaves (pre-order).
+    pub ordinal: u64,
+    /// How the leaf executed.
+    pub kind: StageKind,
+    /// Start offset from workflow launch (seconds): the max of the
+    /// predecessors' finish times.
+    pub start_secs: f64,
+    /// Service time of the leaf's burst (seconds).
+    pub duration_secs: f64,
+    /// Fan-out width (1 for Tasks).
+    pub concurrency: u32,
+    /// Packing degree used (copies per instance inside a co-packed burst).
+    pub packing_degree: u32,
+    /// Instances the burst placed (summed over retry rounds).
+    pub instances: u32,
+    /// Billed expense attributed to this leaf (USD).
+    pub expense_usd: f64,
+    /// Billed compute attributed to this leaf (function-hours).
+    pub function_hours: f64,
+    /// Same-function warm starts granted by the workflow pool.
+    pub warm_grants: u64,
+    /// Retry rounds the leaf needed.
+    pub retries: u64,
+    /// Functions abandoned after retries were exhausted.
+    pub abandoned_functions: u64,
+    /// Whether this leaf lies on the realized critical path.
+    pub on_critical_path: bool,
+}
+
+impl StageRow {
+    /// Finish offset from workflow launch (seconds).
+    pub fn finish_secs(&self) -> f64 {
+        self.start_secs + self.duration_secs
+    }
+}
+
+/// One hop of the realized critical path, in execution order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CriticalHop {
+    /// Leaf state name.
+    pub name: String,
+    /// Occurrence ordinal (matches the stage row).
+    pub ordinal: u64,
+    /// Start offset (seconds).
+    pub start_secs: f64,
+    /// Duration (seconds).
+    pub duration_secs: f64,
+}
+
+/// The result of replaying one workflow DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowRunReport {
+    /// Workflow name.
+    pub name: String,
+    /// Platform display name.
+    pub platform: String,
+    /// Root seed.
+    pub seed: u64,
+    /// Keep-alive policy label of the workflow pool.
+    pub keepalive: String,
+    /// Whether any stage ran co-packed.
+    pub co_packed: bool,
+    /// End-to-end wall time (seconds): the latest leaf finish.
+    pub makespan_secs: f64,
+    /// Total expense (USD), including ProPack profiling overhead.
+    pub expense_usd: f64,
+    /// Total billed compute (function-hours), including overhead.
+    pub function_hours: f64,
+    /// ProPack profiling overhead charged this run (USD; once per distinct
+    /// workload, whether the fit was cold or cached).
+    pub model_overhead_usd: f64,
+    /// Executed leaves, ordered by (start, name, ordinal).
+    pub stages: Vec<StageRow>,
+    /// The chain of leaves that realized the makespan, launch → finish.
+    pub critical_path: Vec<CriticalHop>,
+    /// Fault and retry counters merged across every leaf burst.
+    pub faults: FaultSummary,
+}
+
+impl WorkflowRunReport {
+    /// Sum of critical-path hop durations — the compute (non-idle) share
+    /// of the makespan along the critical chain.
+    pub fn critical_busy_secs(&self) -> f64 {
+        self.critical_path.iter().map(|h| h.duration_secs).sum()
+    }
+
+    /// True when any leaf abandoned functions after exhausting retries.
+    pub fn is_partial(&self) -> bool {
+        self.stages.iter().any(|s| s.abandoned_functions > 0)
+    }
+
+    /// Deterministic fixed-precision rendering: a header line, one
+    /// tab-separated row per stage, the critical path, and a fault line
+    /// when anything faulted. No host timing appears anywhere — equal
+    /// simulations render byte-identically.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "workflow {} on {}: stages={} makespan_s={:.3} expense_usd={:.6} fn_hours={:.6} overhead_usd={:.6} seed={} keepalive={} copack={}\n",
+            self.name,
+            self.platform,
+            self.stages.len(),
+            self.makespan_secs,
+            self.expense_usd,
+            self.function_hours,
+            self.model_overhead_usd,
+            self.seed,
+            self.keepalive,
+            if self.co_packed { "yes" } else { "no" },
+        ));
+        out.push_str(
+            "stage\tkind\tstart_s\tdur_s\tC\tP\tinst\texpense_usd\tfn_hours\twarm\tretries\tfailed\tcrit\n",
+        );
+        for s in &self.stages {
+            out.push_str(&format!(
+                "{}#{}\t{}\t{:.3}\t{:.3}\t{}\t{}\t{}\t{:.6}\t{:.6}\t{}\t{}\t{}\t{}\n",
+                s.name,
+                s.ordinal,
+                s.kind.label(),
+                s.start_secs,
+                s.duration_secs,
+                s.concurrency,
+                s.packing_degree,
+                s.instances,
+                s.expense_usd,
+                s.function_hours,
+                s.warm_grants,
+                s.retries,
+                s.abandoned_functions,
+                if s.on_critical_path { "*" } else { "-" },
+            ));
+        }
+        let chain = self
+            .critical_path
+            .iter()
+            .map(|h| format!("{}#{}({:.3}s)", h.name, h.ordinal, h.duration_secs))
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        out.push_str(&format!(
+            "critical\t{}\tbusy_s={:.3}\n",
+            chain,
+            self.critical_busy_secs()
+        ));
+        if self.faults.total_faults() > 0 || self.faults.failed_functions > 0 {
+            out.push_str(&format!(
+                "faults\tcrashes={} provision={} ship={} straggler={} retries={} failed={}\n",
+                self.faults.crashes,
+                self.faults.provision_failures,
+                self.faults.ship_stalls,
+                self.faults.stragglers,
+                self.faults.retries,
+                self.faults.failed_functions,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> WorkflowRunReport {
+        WorkflowRunReport {
+            name: "wf".into(),
+            platform: "AWS".into(),
+            seed: 7,
+            keepalive: "cold".into(),
+            co_packed: false,
+            makespan_secs: 12.5,
+            expense_usd: 0.25,
+            function_hours: 0.03,
+            model_overhead_usd: 0.0,
+            stages: vec![StageRow {
+                name: "t".into(),
+                ordinal: 0,
+                kind: StageKind::Task,
+                start_secs: 0.0,
+                duration_secs: 12.5,
+                concurrency: 1,
+                packing_degree: 1,
+                instances: 1,
+                expense_usd: 0.25,
+                function_hours: 0.03,
+                warm_grants: 0,
+                retries: 0,
+                abandoned_functions: 0,
+                on_critical_path: true,
+            }],
+            critical_path: vec![CriticalHop {
+                name: "t".into(),
+                ordinal: 0,
+                start_secs: 0.0,
+                duration_secs: 12.5,
+            }],
+            faults: FaultSummary::default(),
+        }
+    }
+
+    #[test]
+    fn render_is_stable_and_fault_line_is_conditional() {
+        let r = report();
+        let text = r.render();
+        assert!(text.starts_with("workflow wf on AWS: stages=1"));
+        assert!(text.contains("t#0\ttask\t0.000\t12.500"));
+        assert!(text.contains("critical\tt#0(12.500s)\tbusy_s=12.500"));
+        assert!(
+            !text.contains("faults\t"),
+            "fault-free run renders no fault line"
+        );
+        assert_eq!(text, r.render(), "render is deterministic");
+    }
+
+    #[test]
+    fn critical_busy_and_partial() {
+        let mut r = report();
+        assert_eq!(r.critical_busy_secs(), 12.5);
+        assert!(!r.is_partial());
+        r.stages[0].abandoned_functions = 2;
+        assert!(r.is_partial());
+    }
+
+    #[test]
+    #[cfg_attr(
+        feature = "offline-stub",
+        ignore = "requires real serde_json (offline stub cannot serialize)"
+    )]
+    fn report_round_trips_through_serde() {
+        let r = report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: WorkflowRunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,334 @@
+//! Workflow run specifications and the sweep-facing shape grammar.
+
+use crate::WorkflowRunError;
+use propack_model::propack::ProPackConfig;
+use propack_orchestrator::{MapPacking, State, Workflow};
+use propack_platform::{
+    FaultSpec, InterferenceMatrix, KeepAlivePolicy, ResourceKind, RetryPolicy, WarmPoolConfig,
+    WorkProfile,
+};
+
+/// Whether sibling Map leaves of a `Parallel` node are fused into one
+/// heterogeneous co-packed burst.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum CoPack {
+    /// Every leaf runs its own homogeneous burst (the orchestrator's
+    /// semantics; bit-compatible with [`propack_orchestrator::execute`]).
+    #[default]
+    Disabled,
+    /// Direct Task/Map children of each `Parallel` node share instances:
+    /// one [`propack_platform::MixedBurstSpec`] per sibling group, with
+    /// this pairwise interference model.
+    Siblings(InterferenceMatrix),
+}
+
+impl CoPack {
+    /// The interference matrix when co-packing is enabled.
+    pub fn interference(&self) -> Option<&InterferenceMatrix> {
+        match self {
+            CoPack::Disabled => None,
+            CoPack::Siblings(m) => Some(m),
+        }
+    }
+}
+
+/// Everything needed to replay one workflow: the state tree plus the run
+/// environment (seed, faults, retries, keep-alive policy, co-packing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkflowSpec {
+    /// The workflow to execute.
+    pub workflow: Workflow,
+    /// Root seed; every leaf burst derives its own stream from it (see
+    /// [`crate::engine::leaf_seed`]).
+    pub seed: u64,
+    /// Fault injection applied to every (non-co-packed) leaf burst.
+    pub faults: FaultSpec,
+    /// Retry policy for faulted bursts.
+    pub retry: RetryPolicy,
+    /// Keep-alive policy for the workflow's warm pool. Leaves of one
+    /// workflow share a single pool, so a Sequence re-running the same
+    /// profile benefits from warm starts exactly as a flat replay would.
+    pub keepalive: KeepAlivePolicy,
+    /// Heterogeneous co-packing of Parallel sibling leaves.
+    pub co_pack: CoPack,
+    /// Profiling configuration for ProPack Map states (part of the
+    /// model-cache key, so workflows sharing it share fits with classic
+    /// sweep cells).
+    pub fit_config: ProPackConfig,
+}
+
+impl WorkflowSpec {
+    /// Spec with default environment: seed 7, no faults, cold pool, no
+    /// co-packing.
+    pub fn new(workflow: Workflow) -> Self {
+        WorkflowSpec {
+            workflow,
+            seed: 7,
+            faults: FaultSpec::none(),
+            retry: RetryPolicy::default(),
+            keepalive: KeepAlivePolicy::ColdAlways,
+            co_pack: CoPack::Disabled,
+            fit_config: ProPackConfig::default(),
+        }
+    }
+
+    /// Replace the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Inject faults (with the given retry policy) into every leaf burst.
+    pub fn with_faults(mut self, faults: FaultSpec, retry: RetryPolicy) -> Self {
+        self.faults = faults;
+        self.retry = retry;
+        self
+    }
+
+    /// Replace the keep-alive policy.
+    pub fn with_keepalive(mut self, policy: KeepAlivePolicy) -> Self {
+        self.keepalive = policy;
+        self
+    }
+
+    /// Co-pack Parallel sibling leaves under `interference`.
+    pub fn with_co_pack(mut self, interference: InterferenceMatrix) -> Self {
+        self.co_pack = CoPack::Siblings(interference);
+        self
+    }
+
+    /// Replace the ProPack profiling configuration.
+    pub fn with_fit_config(mut self, config: ProPackConfig) -> Self {
+        self.fit_config = config;
+        self
+    }
+
+    /// The warm-pool configuration the engine builds for this spec:
+    /// cold-start latencies from the platform defaults, policy and seed
+    /// from the spec, and the platform's per-placement scheduler latency.
+    ///
+    /// Public so reduction tests can replay a flat burst against an
+    /// *identical* pool.
+    pub fn pool_config(&self, placement_secs: f64) -> WarmPoolConfig {
+        WarmPoolConfig::cold()
+            .with_policy(self.keepalive)
+            .with_seed(self.seed)
+            .with_placement_secs(placement_secs)
+    }
+
+    /// Build a spec from the sweep shape grammar — see [`from_shape`].
+    pub fn from_shape(
+        shape: &str,
+        work: &WorkProfile,
+        concurrency: u32,
+        packing: MapPacking,
+    ) -> Result<Self, WorkflowRunError> {
+        from_shape(shape, work, concurrency, packing)
+    }
+}
+
+/// The shape strings [`from_shape`] understands.
+pub fn known_shapes() -> &'static [&'static str] {
+    &["task", "map", "map:N", "seq-map", "diamond", "mixed:cpu+io"]
+}
+
+/// A light coordination profile derived from the payload profile: small
+/// footprint, short runtime, same dependency stack (so warm pools help it
+/// the same way they help the real stages).
+fn coordinator(work: &WorkProfile) -> WorkProfile {
+    WorkProfile::synthetic(&format!("{}-coord", work.name), 0.5, 15.0)
+        .with_storage(0.1, 6)
+        .with_dependency_load(work.dependency_load_secs)
+}
+
+/// The I/O-bound counterpart of a (presumed compute-bound) payload
+/// profile: smaller footprint, shorter compute, low contention, heavy
+/// storage traffic. Used by the `diamond` / `mixed:cpu+io` shapes to put a
+/// genuinely different resource signature on the second branch.
+fn io_variant(work: &WorkProfile) -> WorkProfile {
+    WorkProfile::synthetic(
+        &format!("{}-io", work.name),
+        (work.mem_gb * 0.5).max(0.125),
+        work.base_exec_secs * 0.6,
+    )
+    .with_contention(work.contention_per_gb * 0.4)
+    .with_storage(work.storage_gb.max(0.25), work.storage_requests.max(10))
+    .with_dependency_load(work.dependency_load_secs)
+    .with_resource_kind(ResourceKind::Io)
+}
+
+/// Build a [`WorkflowSpec`] from the sweep's workflow grammar:
+///
+/// * `task` — a single Task of `work` (the reduction shape: must replay
+///   bit-identically to a flat pooled burst);
+/// * `map` / `map:N` — a single Map of `work`, fan-out `concurrency`
+///   (or `N`);
+/// * `seq-map` — prepare → Map fan-out → collect (the paper's
+///   coordinator/worker pipelines, §3);
+/// * `diamond` — split → Parallel[cpu-branch Map, io-branch Map] → join,
+///   with the cpu branch tagged [`ResourceKind::Cpu`] and the io branch an
+///   I/O-bound variant of `work`;
+/// * `mixed:cpu+io` — the diamond with sibling co-packing enabled under
+///   the reference CPU/IO interference matrix.
+///
+/// `packing` applies to every Map state.
+pub fn from_shape(
+    shape: &str,
+    work: &WorkProfile,
+    concurrency: u32,
+    packing: MapPacking,
+) -> Result<WorkflowSpec, WorkflowRunError> {
+    let diamond = |work: &WorkProfile| -> Workflow {
+        let coord = coordinator(work);
+        let branch_c = concurrency.div_ceil(2).max(1);
+        let cpu_work = work.clone().with_resource_kind(ResourceKind::Cpu);
+        Workflow::new(
+            format!("diamond-{}", work.name),
+            State::Sequence(vec![
+                State::Task {
+                    name: "split".into(),
+                    work: coord.clone(),
+                },
+                State::Parallel(vec![
+                    State::Map {
+                        name: "cpu-branch".into(),
+                        work: cpu_work,
+                        concurrency: branch_c,
+                        packing: packing.clone(),
+                    },
+                    State::Map {
+                        name: "io-branch".into(),
+                        work: io_variant(work),
+                        concurrency: branch_c,
+                        packing: packing.clone(),
+                    },
+                ]),
+                State::Task {
+                    name: "join".into(),
+                    work: coord,
+                },
+            ]),
+        )
+    };
+
+    match shape {
+        "task" => Ok(WorkflowSpec::new(Workflow::new(
+            format!("task-{}", work.name),
+            State::Task {
+                name: work.name.clone(),
+                work: work.clone(),
+            },
+        ))),
+        "seq-map" => {
+            let coord = coordinator(work);
+            Ok(WorkflowSpec::new(Workflow::new(
+                format!("seq-map-{}", work.name),
+                State::Sequence(vec![
+                    State::Task {
+                        name: "prepare".into(),
+                        work: coord.clone(),
+                    },
+                    State::Map {
+                        name: "fan-out".into(),
+                        work: work.clone(),
+                        concurrency,
+                        packing,
+                    },
+                    State::Task {
+                        name: "collect".into(),
+                        work: coord,
+                    },
+                ]),
+            )))
+        }
+        "diamond" => Ok(WorkflowSpec::new(diamond(work))),
+        "mixed:cpu+io" => {
+            let mut spec = WorkflowSpec::new(diamond(work));
+            spec.workflow.name = format!("mixed-{}", work.name);
+            Ok(spec.with_co_pack(InterferenceMatrix::cpu_io_reference()))
+        }
+        _ => {
+            let fan_out = if shape == "map" {
+                Some(concurrency)
+            } else {
+                shape
+                    .strip_prefix("map:")
+                    .and_then(|n| n.parse::<u32>().ok())
+            };
+            match fan_out {
+                Some(c) => Ok(WorkflowSpec::new(Workflow::new(
+                    format!("map-{}", work.name),
+                    State::Map {
+                        name: "fan-out".into(),
+                        work: work.clone(),
+                        concurrency: c,
+                        packing,
+                    },
+                ))),
+                None => Err(WorkflowRunError::UnknownShape(shape.to_string())),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w() -> WorkProfile {
+        WorkProfile::synthetic("sw", 1.0, 90.0)
+    }
+
+    #[test]
+    fn shapes_parse() {
+        let t = from_shape("task", &w(), 100, MapPacking::None).unwrap();
+        assert_eq!(t.workflow.root.leaf_count(), 1);
+        assert_eq!(t.workflow.root.total_functions(), 1);
+
+        let m = from_shape("map:64", &w(), 100, MapPacking::None).unwrap();
+        assert_eq!(m.workflow.root.total_functions(), 64);
+        let m = from_shape("map", &w(), 100, MapPacking::None).unwrap();
+        assert_eq!(m.workflow.root.total_functions(), 100);
+
+        let s = from_shape("seq-map", &w(), 100, MapPacking::Fixed(4)).unwrap();
+        assert_eq!(s.workflow.root.leaf_count(), 3);
+        assert_eq!(s.workflow.root.total_functions(), 102);
+
+        let d = from_shape("diamond", &w(), 100, MapPacking::None).unwrap();
+        assert_eq!(d.workflow.root.leaf_count(), 4);
+        assert_eq!(d.co_pack, CoPack::Disabled);
+
+        let x = from_shape("mixed:cpu+io", &w(), 100, MapPacking::None).unwrap();
+        assert_eq!(x.workflow.root.leaf_count(), 4);
+        assert!(x.co_pack.interference().is_some());
+    }
+
+    #[test]
+    fn unknown_shapes_are_errors() {
+        for bad in ["", "tri", "map:", "map:x", "mixed:gpu"] {
+            assert!(matches!(
+                from_shape(bad, &w(), 10, MapPacking::None),
+                Err(WorkflowRunError::UnknownShape(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn diamond_branches_have_distinct_resource_kinds() {
+        let d = from_shape("diamond", &w(), 100, MapPacking::None).unwrap();
+        let State::Sequence(stages) = &d.workflow.root else {
+            panic!("diamond root must be a sequence");
+        };
+        let State::Parallel(branches) = &stages[1] else {
+            panic!("diamond middle must be parallel");
+        };
+        let kinds: Vec<_> = branches
+            .iter()
+            .map(|b| match b {
+                State::Map { work, .. } => work.resource_kind,
+                _ => panic!("diamond branches must be maps"),
+            })
+            .collect();
+        assert_eq!(kinds, vec![ResourceKind::Cpu, ResourceKind::Io]);
+    }
+}

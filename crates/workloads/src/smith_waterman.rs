@@ -15,7 +15,7 @@
 //! not a sketch.
 
 use crate::{mix64, WorkOutput, Workload};
-use propack_platform::WorkProfile;
+use propack_platform::{ResourceKind, WorkProfile};
 
 /// Amino acid alphabet (standard 20 residues).
 pub const AMINO_ACIDS: [u8; 20] = [
@@ -182,6 +182,7 @@ impl Workload for SmithWaterman {
             storage_requests: 3,
             network_gb: 0.005,
             dependency_load_secs: 6.0, // scoring matrices + sequence DB client
+            resource_kind: ResourceKind::Cpu, // DP matrix fill saturates cores
         }
     }
 

@@ -16,7 +16,7 @@
 //! three primary benchmarks (Fig. 4) and the heaviest storage traffic.
 
 use crate::{mix64, WorkOutput, Workload};
-use propack_platform::WorkProfile;
+use propack_platform::{ResourceKind, WorkProfile};
 
 /// The Map-Reduce Sort workload.
 #[derive(Debug, Clone)]
@@ -129,6 +129,7 @@ impl Workload for MapReduceSort {
             storage_requests: 12,
             network_gb: 0.08,          // shuffle traffic between mappers and sorters
             dependency_load_secs: 8.0, // Hadoop runtime/jars on a cold container
+            resource_kind: ResourceKind::Memory, // merge passes stream the memory bus
         }
     }
 

@@ -13,7 +13,7 @@
 //! a 10 GB Lambda (Fig. 8); the middle interference curve of Fig. 4.
 
 use crate::{mix64, WorkOutput, Workload};
-use propack_platform::WorkProfile;
+use propack_platform::{ResourceKind, WorkProfile};
 
 /// The Stateless Cost workload.
 #[derive(Debug, Clone)]
@@ -117,6 +117,7 @@ impl Workload for StatelessCost {
             storage_requests: 4,
             network_gb: 0.015,
             dependency_load_secs: 5.0, // imaging libraries on a cold container
+            resource_kind: ResourceKind::Cpu, // pixel transforms are compute-bound
         }
     }
 

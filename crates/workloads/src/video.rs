@@ -15,7 +15,7 @@
 //! the Video curve of Fig. 4.
 
 use crate::{mix64, WorkOutput, Workload};
-use propack_platform::WorkProfile;
+use propack_platform::{ResourceKind, WorkProfile};
 
 /// Frame geometry (pixels); kept modest so tests run in milliseconds.
 const FRAME_W: usize = 64;
@@ -157,6 +157,7 @@ impl Workload for Video {
             storage_requests: 6,
             network_gb: 0.02,
             dependency_load_secs: 12.0, // MXNET DNN model load on a cold container
+            resource_kind: ResourceKind::Cpu, // encode + DNN inference saturate cores
         }
     }
 

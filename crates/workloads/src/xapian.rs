@@ -12,7 +12,7 @@
 //! BM25-ranked top-k retrieval.
 
 use crate::{mix64, WorkOutput, Workload};
-use propack_platform::WorkProfile;
+use propack_platform::{ResourceKind, WorkProfile};
 use std::collections::BTreeMap;
 
 /// BM25 parameters (standard defaults).
@@ -147,6 +147,7 @@ impl Workload for Xapian {
             storage_requests: 2,
             network_gb: 0.01,
             dependency_load_secs: 7.0, // index libraries + shard open on cold start
+            resource_kind: ResourceKind::Io, // posting-list walks are index-I/O bound
         }
     }
 

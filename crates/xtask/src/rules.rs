@@ -31,6 +31,7 @@ pub const SIM_CRATES: &[&str] = &[
     "orchestrator",
     "replay",
     "fleet",
+    "workflow",
 ];
 
 /// Crates whose non-test library code must be panic-free.

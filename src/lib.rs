@@ -18,6 +18,7 @@ pub use propack_replay as replay;
 pub use propack_simcore as simcore;
 pub use propack_stats as stats;
 pub use propack_sweep as sweep;
+pub use propack_workflow as workflow;
 pub use propack_workloads as workloads;
 
 /// The experiment-facing surface: build a platform, describe a sweep, run

@@ -1,0 +1,180 @@
+//! The workflow engine's determinism contract, pinned end to end
+//! (DESIGN.md §14): a sweep over every shipped DAG shape renders
+//! byte-identically at `--threads 1/4/8`, Parallel branch order is
+//! irrelevant, a single-Task workflow reproduces the flat pooled burst
+//! **bit for bit**, and a golden diamond-DAG fixture freezes the full
+//! packed replay — stage rows, critical path, and bill.
+
+use std::fs;
+use std::path::PathBuf;
+
+use propack_repro::prelude::*;
+use propack_repro::workflow::{leaf_seed, run_workflow, MapPacking, State, Workflow, WorkflowSpec};
+use propack_repro::workloads::Benchmarks;
+
+fn sort_profile() -> WorkProfile {
+    Benchmarks::resolve("sort")
+        .expect("sort benchmark exists")
+        .profile()
+}
+
+fn workflow_grid() -> SweepSpec {
+    SweepSpec::new("wf-determinism")
+        .platforms([PlatformAxis::Aws])
+        .workloads([sort_profile()])
+        .concurrency([120])
+        .policies([
+            PackingPolicy::NoPacking,
+            PackingPolicy::Fixed(4),
+            PackingPolicy::propack_default(),
+        ])
+        .workflows(["task", "seq-map", "diamond", "mixed:cpu+io"])
+        .seeds([11])
+}
+
+#[test]
+fn workflow_sweep_renders_byte_identically_across_thread_counts() {
+    let spec = workflow_grid();
+    assert_eq!(spec.cell_count(), 12);
+    let reference = SweepRunner::new().run(&spec).unwrap().render();
+    assert!(reference.contains("wf=diamond"), "{reference}");
+    assert!(reference.contains("wf=mixed:cpu+io"), "{reference}");
+    for threads in [4, 8] {
+        let rendered = SweepRunner::new()
+            .threads(threads)
+            .run(&spec)
+            .unwrap()
+            .render();
+        assert_eq!(
+            reference.as_bytes(),
+            rendered.as_bytes(),
+            "threads={threads} workflow sweep diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn parallel_branch_order_is_irrelevant() {
+    // Leaf seeds hang off (name, ordinal) identity and ready events are
+    // scheduled in canonical order, so shuffling the branches of a
+    // Parallel must not move a single bit of the report.
+    let platform = PlatformBuilder::aws().build();
+    let models = ModelCache::new();
+    let branches = |order: &[usize]| -> Vec<State> {
+        let all = [
+            State::Map {
+                name: "alpha".into(),
+                work: WorkProfile::synthetic("alpha", 0.5, 60.0).with_contention(0.12),
+                concurrency: 80,
+                packing: MapPacking::Fixed(4),
+            },
+            State::Map {
+                name: "beta".into(),
+                work: WorkProfile::synthetic("beta", 1.0, 90.0).with_contention(0.2),
+                concurrency: 50,
+                packing: MapPacking::ProPack { w_s: 0.5 },
+            },
+            State::Task {
+                name: "gamma".into(),
+                work: WorkProfile::synthetic("gamma", 0.25, 30.0),
+            },
+        ];
+        order.iter().map(|&i| all[i].clone()).collect()
+    };
+    let run = |order: &[usize]| {
+        let spec = WorkflowSpec::new(Workflow::new("shuffle", State::Parallel(branches(order))))
+            .with_seed(17);
+        run_workflow(&platform, &spec, &models).expect("workflow runs")
+    };
+    let reference = run(&[0, 1, 2]);
+    for order in [[2, 1, 0], [1, 2, 0], [2, 0, 1]] {
+        let shuffled = run(&order);
+        assert_eq!(reference, shuffled, "order {order:?} changed the report");
+        assert_eq!(
+            reference.render().as_bytes(),
+            shuffled.render().as_bytes(),
+            "order {order:?} changed the rendered bytes"
+        );
+    }
+}
+
+#[test]
+fn single_task_workflow_is_bit_identical_to_flat_pooled_burst() {
+    // The reduction argument: a Task leaf is exactly one pooled burst with
+    // the leaf's identity seed, so the workflow machinery must be invisible
+    // — including under faults, retries, and a warm pool.
+    let platform = PlatformBuilder::aws().build();
+    let work = sort_profile();
+    let faults = FaultSpec::none().with_crash_rate(0.05);
+    let retry = RetryPolicy::default();
+    let spec = WorkflowSpec::from_shape("task", &work, 1, MapPacking::None)
+        .expect("task shape")
+        .with_seed(42)
+        .with_faults(faults, retry)
+        .with_keepalive(KeepAlivePolicy::FixedKeepAlive { idle_ttl: 60.0 });
+    let report = run_workflow(&platform, &spec, &ModelCache::new()).expect("workflow runs");
+
+    let mut pool = WarmPool::new(spec.pool_config(platform.placement_secs()));
+    let flat = BurstRequest::new(work.clone(), 1, 1)
+        .with_seed(leaf_seed(spec.seed, &work.name, 0))
+        .with_faults(spec.faults)
+        .with_retry(spec.retry)
+        .run_pooled(&platform, &mut pool, 0.0)
+        .expect("flat burst runs");
+
+    assert_eq!(report.stages.len(), 1);
+    assert_eq!(
+        report.makespan_secs.to_bits(),
+        flat.total_service_secs().to_bits(),
+        "makespan != flat service: {} vs {}",
+        report.makespan_secs,
+        flat.total_service_secs()
+    );
+    assert_eq!(report.expense_usd.to_bits(), flat.expense_usd().to_bits());
+    assert_eq!(
+        report.function_hours.to_bits(),
+        flat.function_hours().to_bits()
+    );
+    assert_eq!(report.stages[0].instances, flat.instances());
+    assert_eq!(report.stages[0].warm_grants, flat.warm_grants);
+    assert_eq!(report.faults.retries, flat.faults().retries);
+}
+
+/// The golden diamond fixture pins the full packed DAG replay — split /
+/// cpu-branch / io-branch / join rows, ProPack degrees, the realized
+/// critical path, and every fixed-precision figure. Regenerate only when
+/// *intentionally* changing simulated behaviour:
+///
+/// ```text
+/// UPDATE_GOLDEN=1 cargo test --test workflow_determinism golden_diamond
+/// ```
+#[test]
+fn golden_diamond_dag_fixture() {
+    let platform = PlatformBuilder::aws().build();
+    let spec = WorkflowSpec::from_shape(
+        "diamond",
+        &sort_profile(),
+        200,
+        MapPacking::ProPack { w_s: 0.5 },
+    )
+    .expect("diamond shape")
+    .with_seed(42);
+    let current = run_workflow(&platform, &spec, &ModelCache::new())
+        .expect("diamond replays")
+        .render();
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("workflow_diamond.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(&path, &current).expect("write golden fixture");
+        return;
+    }
+    let golden = fs::read_to_string(&path)
+        .expect("missing tests/golden/workflow_diamond.txt (run with UPDATE_GOLDEN=1)");
+    assert_eq!(
+        golden, current,
+        "golden diamond workflow diverged from the fixture"
+    );
+}
